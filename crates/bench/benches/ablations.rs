@@ -1,0 +1,65 @@
+//! Ablations of Cascade's optimization stages (paper Sec. 4): the modeled
+//! virtual-clock rate of the running example with inlining, ABI
+//! forwarding, and open-loop scheduling individually disabled.
+//!
+//! Criterion measures the *real* cost of driving each configuration; the
+//! printed modeled rates (stderr, once per config) show the virtual-clock
+//! impact each stage has — the quantity DESIGN.md's ablation index tracks.
+
+use cascade_core::{JitConfig, Runtime};
+use cascade_fpga::Board;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const PROGRAM: &str = "module Rol(input wire [7:0] x, output wire [7:0] y);\n\
+    assign y = (x == 8'h80) ? 8'h1 : (x<<1);\nendmodule\n\
+    reg [7:0] cnt = 1;\n\
+    Rol r(.x(cnt));\n\
+    always @(posedge clk.val) if (pad.val == 0) cnt <= r.y;\n\
+    assign led.val = cnt;";
+
+fn runtime_for(config: JitConfig, migrate: bool) -> Runtime {
+    let board = Board::new();
+    let mut rt = Runtime::new(board, config).unwrap();
+    rt.eval(PROGRAM).unwrap();
+    if migrate {
+        rt.wait_for_compile_worker();
+        if let Some(ready) = rt.compile_ready_at() {
+            rt.advance_wall((ready - rt.wall_seconds()).max(0.0) + 1.0);
+            rt.run_ticks(1).unwrap();
+        }
+    }
+    rt
+}
+
+fn modeled_rate(rt: &mut Runtime, ticks: u64) -> f64 {
+    let t0 = rt.ticks();
+    let w0 = rt.wall_seconds();
+    rt.run_ticks(ticks).unwrap();
+    (rt.ticks() - t0) as f64 / (rt.wall_seconds() - w0)
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    let configs: Vec<(&str, JitConfig, bool)> = vec![
+        ("full_jit", JitConfig::default(), true),
+        ("no_open_loop", JitConfig::default().without("open_loop"), true),
+        ("no_forwarding", JitConfig::default().without("forwarding"), true),
+        // Software-only pair isolating the inlining stage (Sec. 4.2):
+        // one engine for all user logic vs one engine per instance.
+        ("sw_inlined", JitConfig::default().without("auto_compile"), false),
+        ("sw_partitioned", JitConfig::interpreter_only(), false),
+    ];
+    for (name, config, migrate) in configs {
+        let mut rt = runtime_for(config.clone(), migrate);
+        let rate = modeled_rate(&mut rt, if migrate { 100_000 } else { 500 });
+        eprintln!("# ablation {name}: modeled virtual clock {rate:.0} Hz");
+        group.bench_function(name, |b| {
+            let mut rt = runtime_for(config.clone(), migrate);
+            b.iter(|| rt.run_ticks(64).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

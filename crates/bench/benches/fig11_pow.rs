@@ -1,0 +1,57 @@
+//! Real-throughput companion to Fig. 11: host-machine cycles/second of the
+//! SHA-256 miner on each execution substrate (AST interpreter vs compiled
+//! netlist), plus the end-to-end JIT tick rate.
+
+use cascade_core::{JitConfig, Runtime};
+use cascade_fpga::Board;
+use cascade_netlist::{synthesize, NetlistSim};
+use cascade_sim::{elaborate, library_from_source, Simulator};
+use cascade_workloads::sha256::{miner_verilog, Flavor, MinerConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+fn bench_miner(c: &mut Criterion) {
+    let cfg = MinerConfig { target: 0, announce: false, ..MinerConfig::default() };
+    let src = miner_verilog(&cfg, Flavor::Ported);
+    let lib = library_from_source(&src).unwrap();
+    let design = Arc::new(elaborate("Miner", &lib, &Default::default()).unwrap());
+
+    let mut group = c.benchmark_group("fig11_pow");
+    group.throughput(Throughput::Elements(128));
+
+    group.bench_function("interpreter_128_cycles", |b| {
+        let mut sim = Simulator::new(Arc::clone(&design));
+        sim.initialize().unwrap();
+        b.iter(|| {
+            for _ in 0..128 {
+                sim.tick("clk").unwrap();
+            }
+        });
+    });
+
+    let nl = Arc::new(synthesize(&design).unwrap());
+    group.bench_function("netlist_128_cycles", |b| {
+        let mut hw = NetlistSim::new(Arc::clone(&nl)).unwrap();
+        b.iter(|| {
+            hw.run(128);
+        });
+    });
+
+    group.bench_function("cascade_jit_hw_128_ticks", |b| {
+        let board = Board::new();
+        let mut rt = Runtime::new(board, JitConfig::default()).unwrap();
+        rt.eval(&miner_verilog(&cfg, Flavor::Cascade)).unwrap();
+        rt.wait_for_compile_worker();
+        let ready = rt.compile_ready_at().expect("staged");
+        rt.advance_wall((ready - rt.wall_seconds()).max(0.0) + 1.0);
+        rt.run_ticks(1).unwrap();
+        b.iter(|| {
+            rt.run_ticks(128).unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_miner);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Real-throughput companion to Fig. 12: bytes/second through the regex
+//! matcher on each substrate, and the Rust reference DFA as an upper bound.
+
+use cascade_bits::Bits;
+use cascade_netlist::{synthesize, NetlistSim};
+use cascade_sim::{elaborate, library_from_source, Simulator};
+use cascade_workloads::regex::{compile, matcher_verilog, Flavor};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+const PATTERN: &str = "GET |POST |HEAD ";
+const STREAM: &[u8] = b"GET /index.html POST /submit HEAD /x PUT /y noise GET /z ";
+
+fn bench_regex(c: &mut Criterion) {
+    let dfa = compile(PATTERN).unwrap();
+    let src = matcher_verilog(&dfa, Flavor::Ported);
+    let lib = library_from_source(&src).unwrap();
+    let design = Arc::new(elaborate("Matcher", &lib, &Default::default()).unwrap());
+
+    let mut group = c.benchmark_group("fig12_regex");
+    group.throughput(Throughput::Bytes(STREAM.len() as u64));
+
+    group.bench_function("reference_dfa", |b| {
+        b.iter(|| dfa.count_matches(std::hint::black_box(STREAM)));
+    });
+
+    group.bench_function("interpreter", |b| {
+        let mut sim = Simulator::new(Arc::clone(&design));
+        sim.initialize().unwrap();
+        sim.poke("valid", Bits::from_u64(1, 1));
+        b.iter(|| {
+            for &byte in STREAM {
+                sim.poke("byte_in", Bits::from_u64(8, byte as u64));
+                sim.tick("clk").unwrap();
+            }
+        });
+    });
+
+    let nl = Arc::new(synthesize(&design).unwrap());
+    group.bench_function("netlist", |b| {
+        let mut hw = NetlistSim::new(Arc::clone(&nl)).unwrap();
+        hw.set_by_name("valid", Bits::from_u64(1, 1));
+        b.iter(|| {
+            for &byte in STREAM {
+                hw.set_by_name("byte_in", Bits::from_u64(8, byte as u64));
+                hw.step_clock(0);
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_regex);
+criterion_main!(benches);

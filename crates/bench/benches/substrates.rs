@@ -1,0 +1,60 @@
+//! Microbenchmarks of the execution substrates: bit-vector ops, frontend
+//! passes, interpreter event dispatch, and netlist evaluation.
+
+use cascade_bits::Bits;
+use cascade_netlist::{synthesize, NetlistSim};
+use cascade_sim::{elaborate, library_from_source, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+const COUNTER: &str = "module Count(input wire clk, output wire [31:0] o);\n\
+    reg [31:0] c = 0;\n\
+    always @(posedge clk) c <= c + 1;\n\
+    assign o = c;\nendmodule";
+
+fn bench_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bits");
+    let a = Bits::from_words(256, &[0x0123_4567_89ab_cdef; 4]);
+    let b = Bits::from_words(256, &[0xfedc_ba98_7654_3210; 4]);
+    group.bench_function("add_256", |bch| bch.iter(|| std::hint::black_box(&a).add(&b)));
+    group.bench_function("mul_256", |bch| bch.iter(|| std::hint::black_box(&a).mul(&b)));
+    group.bench_function("shl_256", |bch| bch.iter(|| std::hint::black_box(&a).shl(97)));
+    group.bench_function("cmp_256", |bch| bch.iter(|| std::hint::black_box(&a).cmp_unsigned(&b)));
+    let small = Bits::from_u64(32, 0xdead_beef);
+    group.bench_function("add_32", |bch| bch.iter(|| std::hint::black_box(&small).add(&small)));
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    let src = cascade_verilog::corpus::RUNNING_EXAMPLE;
+    group.bench_function("lex", |b| b.iter(|| cascade_verilog::lex(std::hint::black_box(src))));
+    group.bench_function("parse", |b| b.iter(|| cascade_verilog::parse(std::hint::black_box(src))));
+    let lib = library_from_source(src).unwrap();
+    group.bench_function("elaborate", |b| {
+        b.iter(|| elaborate("Main", &lib, &Default::default()).unwrap())
+    });
+    let design = elaborate("Main", &lib, &Default::default()).unwrap();
+    group.bench_function("synthesize", |b| b.iter(|| synthesize(&design).unwrap()));
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval");
+    let lib = library_from_source(COUNTER).unwrap();
+    let design = Arc::new(elaborate("Count", &lib, &Default::default()).unwrap());
+    group.bench_function("interpreter_tick", |b| {
+        let mut sim = Simulator::new(Arc::clone(&design));
+        sim.initialize().unwrap();
+        b.iter(|| sim.tick("clk").unwrap());
+    });
+    let nl = Arc::new(synthesize(&design).unwrap());
+    group.bench_function("netlist_cycle", |b| {
+        let mut hw = NetlistSim::new(Arc::clone(&nl)).unwrap();
+        b.iter(|| hw.step_clock(0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bits, bench_frontend, bench_eval);
+criterion_main!(benches);

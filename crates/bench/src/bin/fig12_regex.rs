@@ -1,0 +1,124 @@
+//! Figure 12: streaming regular-expression IO/s benchmark.
+//!
+//! Reproduces the paper's Fig. 12 — IO operations per second over time for
+//! Quartus and Cascade, one byte per FIFO transfer — on the modeled wall
+//! clock. (No iVerilog series: as in the paper, "it does not provide
+//! support for interactions with IO peripherals".)
+//!
+//! Run with: `cargo run --release -p cascade-bench --bin fig12_regex`
+
+use cascade_bench::{fmt_rate, fresh_runtime, print_series};
+use cascade_bits::Bits;
+use cascade_core::{ExecMode, JitConfig};
+use cascade_fpga::{wrapper_overhead_les, CostModel, Toolchain};
+use cascade_netlist::estimate_area;
+use cascade_sim::{elaborate, library_from_source};
+use cascade_workloads::regex::{compile, matcher_verilog, Flavor};
+use std::sync::Arc;
+
+const PATTERN: &str = "GET |POST |HEAD |PUT ";
+
+fn main() {
+    let scale: f64 = std::env::var("CASCADE_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let horizon_s = 900.0 * scale;
+    println!("# Figure 12: streaming regex IO/s vs time (pattern {PATTERN:?})");
+    println!("# scale={scale} => horizon {horizon_s:.0} modeled seconds\n");
+
+    let dfa = compile(PATTERN).expect("pattern");
+    let costs = CostModel::default();
+
+    // ------------------------------------------------------------------
+    // Quartus baseline: the matcher compiled directly; IO is bus-bound at
+    // one memory-mapped transfer per byte.
+    // ------------------------------------------------------------------
+    let ported = matcher_verilog(&dfa, Flavor::Ported);
+    let lib = library_from_source(&ported).expect("parse");
+    let design = Arc::new(elaborate("Matcher", &lib, &Default::default()).expect("elaborate"));
+    let tc = Toolchain { time_scale: scale, ..Toolchain::default() };
+    let native = tc.compile(&design).expect("native compile");
+    let quartus_ready = native.modeled_duration.as_secs_f64();
+    // One token per bus transfer plus one fabric cycle.
+    let quartus_ios = 1e9 / (costs.abi_message_ns + costs.hw_cycle_ns);
+    println!(
+        "# Quartus: 0 until {quartus_ready:.0}s, then {} (paper: 560 KIO/s after 9.5 min)",
+        fmt_rate(quartus_ios)
+    );
+
+    // ------------------------------------------------------------------
+    // Cascade with the stdlib FIFO.
+    // ------------------------------------------------------------------
+    let mut config = JitConfig::default();
+    config.toolchain.time_scale = scale;
+    let (mut rt, board) = fresh_runtime(config);
+    board.set_fifo_capacity(1 << 20);
+    rt.eval(&matcher_verilog(&dfa, Flavor::Cascade)).expect("eval");
+    rt.wait_for_compile_worker();
+
+    let mut series: Vec<(f64, f64)> = Vec::new();
+    let feed = |board: &cascade_fpga::Board, n: u64| {
+        for i in 0..n {
+            board.fifo_push(Bits::from_u64(8, b"GET /xPOST#"[(i % 11) as usize] as u64));
+        }
+    };
+
+    // Software phase.
+    let mut sim_ios = 0.0;
+    while rt.mode() == ExecMode::Software && rt.wall_seconds() < horizon_s {
+        feed(&board, 600);
+        let p0 = board.fifo_pops();
+        let w0 = rt.wall_seconds();
+        rt.run_ticks(600).unwrap();
+        sim_ios = (board.fifo_pops() - p0) as f64 / (rt.wall_seconds() - w0);
+        series.push(((w0 + rt.wall_seconds()) / 2.0, sim_ios));
+    }
+    let crossover_s = rt.wall_seconds();
+    if rt.mode() == ExecMode::Software {
+        println!("# WARNING: compile did not land within the window; raise CASCADE_BENCH_SCALE");
+        return;
+    }
+
+    // Hardware phase: measure steady IO/s, then extend analytically.
+    feed(&board, 3_000_000);
+    let p0 = board.fifo_pops();
+    let w0 = rt.wall_seconds();
+    rt.run_ticks(2_000_000).unwrap();
+    let hw_ios = (board.fifo_pops() - p0) as f64 / (rt.wall_seconds() - w0);
+    let mut t = rt.wall_seconds();
+    series.push((t, hw_ios));
+    while t < horizon_s {
+        t += horizon_s / 20.0;
+        series.push((t, hw_ios));
+    }
+
+    let quartus_series: Vec<(f64, f64)> = (0..=20)
+        .map(|i| {
+            let t = horizon_s * i as f64 / 20.0;
+            (t, if t >= quartus_ready { quartus_ios } else { 0.0 })
+        })
+        .collect();
+    print_series("quartus", &quartus_series);
+    print_series("cascade", &series);
+
+    // ------------------------------------------------------------------
+    // Headline numbers (paper Sec. 6.2).
+    // ------------------------------------------------------------------
+    let nl = cascade_netlist::synthesize(&design).unwrap();
+    let native_area = estimate_area(&nl).logic_elements.max(1);
+    let cascade_area = native_area + wrapper_overhead_les(&nl);
+    println!("# --- summary (paper's Sec 6.2 claims in parentheses) ---");
+    println!("# cascade sim IO rate: {} (paper: 32 KIO/s)", fmt_rate(sim_ios));
+    println!("# cascade crossover at {crossover_s:.0}s; quartus ready at {quartus_ready:.0}s");
+    println!(
+        "# cascade hw {} vs quartus {} => {:.2}x (paper: 492 vs 560 KIO/s = 0.88x)",
+        fmt_rate(hw_ios),
+        fmt_rate(quartus_ios),
+        hw_ios / quartus_ios
+    );
+    println!(
+        "# spatial overhead: {cascade_area} vs {native_area} LEs => {:.1}x (paper: 6.5x)",
+        cascade_area as f64 / native_area as f64
+    );
+}

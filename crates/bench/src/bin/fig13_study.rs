@@ -1,0 +1,65 @@
+//! Figure 13: the user study.
+//!
+//! Reproduces the paper's Fig. 13 scatter plots from the stochastic
+//! developer model (a documented substitution for the n=20 human study; see
+//! DESIGN.md). Left plot: builds vs time-to-working-design. Right plot:
+//! average compile time vs average test/debug time between compiles.
+//!
+//! Run with: `cargo run --release -p cascade-bench --bin fig13_study`
+
+use cascade_workloads::study::{simulate_cohort, ToolModel};
+
+fn main() {
+    let seed: u64 = std::env::var("CASCADE_BENCH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2019);
+    let n = 10; // per tool, matching the paper's 20 total participants
+    let quartus = simulate_cohort(&ToolModel::quartus(), n, seed);
+    let cascade = simulate_cohort(&ToolModel::cascade(), n, seed ^ 0xABCD);
+
+    println!("# Figure 13 (left): builds vs experiment time (minutes)");
+    println!("# tool builds total_min");
+    for cohort in [&quartus, &cascade] {
+        for p in &cohort.participants {
+            println!("{} {} {:.1}", cohort.tool, p.builds, p.total_min);
+        }
+    }
+    println!();
+    println!("# Figure 13 (right): avg compile time vs avg test/debug time (minutes)");
+    println!("# tool avg_compile_min avg_debug_min");
+    for cohort in [&quartus, &cascade] {
+        for p in &cohort.participants {
+            let per_build = p.builds.max(1) as f64;
+            println!(
+                "{} {:.2} {:.2}",
+                cohort.tool,
+                p.compile_min / per_build,
+                p.debug_min / per_build
+            );
+        }
+    }
+    println!();
+    println!("# --- summary (paper's Sec 6.3 claims in parentheses) ---");
+    println!(
+        "# builds: cascade {:.1} vs quartus {:.1} => +{:.0}% (paper: +43%)",
+        cascade.mean_builds(),
+        quartus.mean_builds(),
+        (cascade.mean_builds() / quartus.mean_builds() - 1.0) * 100.0
+    );
+    println!(
+        "# completion: cascade {:.1} min vs quartus {:.1} min => {:.0}% faster (paper: 21%)",
+        cascade.mean_total_min(),
+        quartus.mean_total_min(),
+        (1.0 - cascade.mean_total_min() / quartus.mean_total_min()) * 100.0
+    );
+    println!(
+        "# compile time: quartus/cascade = {:.0}x less time compiling (paper: 67x)",
+        quartus.mean_compile_min() / cascade.mean_compile_min()
+    );
+    println!(
+        "# debug time: cascade {:.1} min vs quartus {:.1} min (paper: 'only slightly less')",
+        cascade.mean_debug_min(),
+        quartus.mean_debug_min()
+    );
+}

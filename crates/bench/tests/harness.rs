@@ -1,0 +1,33 @@
+//! Unit tests for the bench harness utilities.
+
+use cascade_bench::{fmt_rate, Curve};
+
+#[test]
+fn curve_rates_and_last_rate() {
+    let mut c = Curve::new("test");
+    assert_eq!(c.last_rate(), 0.0);
+    c.push(0.0, 0);
+    c.push(1.0, 100);
+    c.push(3.0, 500);
+    assert_eq!(c.last_rate(), 200.0);
+    let rates = c.rates();
+    assert_eq!(rates.len(), 2);
+    assert_eq!(rates[0], (0.5, 100.0));
+    assert_eq!(rates[1], (2.0, 200.0));
+}
+
+#[test]
+fn curve_ignores_zero_width_intervals() {
+    let mut c = Curve::new("test");
+    c.push(1.0, 10);
+    c.push(1.0, 20);
+    assert!(c.rates().is_empty());
+    assert_eq!(c.last_rate(), 0.0);
+}
+
+#[test]
+fn rate_formatting() {
+    assert_eq!(fmt_rate(650.0), "650 Hz");
+    assert_eq!(fmt_rate(32_000.0), "32.0 KHz");
+    assert_eq!(fmt_rate(50_000_000.0), "50.0 MHz");
+}

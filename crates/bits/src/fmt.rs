@@ -1,0 +1,100 @@
+//! Display/Debug formatting for [`Bits`] in the radices `$display` uses.
+
+use crate::Bits;
+use std::fmt;
+
+impl Bits {
+    /// Formats as unsigned decimal, the `%d` behaviour of `$display`.
+    pub fn to_decimal_string(&self) -> String {
+        if !self.to_bool() {
+            return "0".to_string();
+        }
+        if self.fits_u64() {
+            return self.to_u64().to_string();
+        }
+        // Repeated division by 10^19 (the largest power of ten in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let chunk = Bits::from_u64(self.width(), CHUNK);
+        let mut cur = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while cur.to_bool() {
+            let q = cur.div(&chunk);
+            let r = cur.rem(&chunk);
+            parts.push(r.to_u64());
+            cur = q;
+        }
+        let mut s = parts.pop().map(|p| p.to_string()).unwrap_or_default();
+        while let Some(p) = parts.pop() {
+            s.push_str(&format!("{p:019}"));
+        }
+        s
+    }
+
+    /// Formats as signed decimal (used by `$signed` display contexts).
+    pub fn to_signed_decimal_string(&self) -> String {
+        if self.msb() {
+            format!("-{}", self.neg().to_decimal_string())
+        } else {
+            self.to_decimal_string()
+        }
+    }
+
+    /// Formats as lowercase hex without a prefix, the `%h` behaviour.
+    pub fn to_hex_string(&self) -> String {
+        let digits = self.width().div_ceil(4).max(1);
+        let mut s = String::with_capacity(digits as usize);
+        for d in (0..digits).rev() {
+            let nibble = self.slice(d * 4, 4).to_u64();
+            s.push(char::from_digit(nibble as u32, 16).expect("nibble < 16"));
+        }
+        s
+    }
+
+    /// Formats as binary without a prefix, the `%b` behaviour.
+    pub fn to_binary_string(&self) -> String {
+        let w = self.width().max(1);
+        (0..w).rev().map(|i| if self.bit(i) { '1' } else { '0' }).collect()
+    }
+
+    /// Formats as octal without a prefix, the `%o` behaviour.
+    pub fn to_octal_string(&self) -> String {
+        let digits = self.width().div_ceil(3).max(1);
+        let mut s = String::with_capacity(digits as usize);
+        for d in (0..digits).rev() {
+            let oct = self.slice(d * 3, 3).to_u64();
+            s.push(char::from_digit(oct as u32, 8).expect("octal digit < 8"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Bits {
+    /// Displays as `<width>'h<hex>`, the canonical Verilog literal form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{}", self.width(), self.to_hex_string())
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits({self})")
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex_string())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0b", &self.to_binary_string())
+    }
+}
+
+impl fmt::Octal for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0o", &self.to_octal_string())
+    }
+}

@@ -1,0 +1,33 @@
+//! Arbitrary-width two-state bit vectors with Verilog operator semantics.
+//!
+//! [`Bits`] is the value type used by every evaluator in Cascade-rs: the
+//! AST interpreter in `cascade-sim`, the netlist evaluator in
+//! `cascade-netlist`, and the MMIO register file in `cascade-fpga`. Values
+//! carry an explicit bit width and all operators wrap to that width, mirroring
+//! the semantics of synthesizable Verilog-2005 (two-state; see DESIGN.md for
+//! the X/Z substitution note).
+//!
+//! # Examples
+//!
+//! ```
+//! use cascade_bits::Bits;
+//!
+//! let x = Bits::from_u64(8, 0x80);
+//! let rol = if x == Bits::from_u64(8, 0x80) {
+//!     Bits::from_u64(8, 1)
+//! } else {
+//!     x.shl(1)
+//! };
+//! assert_eq!(rol.to_u64(), 1);
+//! ```
+
+mod bv;
+mod fmt;
+mod ops;
+mod parse;
+
+pub use bv::Bits;
+pub use parse::ParseBitsError;
+
+#[cfg(test)]
+mod tests;

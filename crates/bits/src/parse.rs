@@ -1,0 +1,126 @@
+//! Parsing of Verilog-style literals into [`Bits`].
+
+use crate::Bits;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a Verilog literal fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitsError {
+    message: String,
+}
+
+impl ParseBitsError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseBitsError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseBitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid verilog literal: {}", self.message)
+    }
+}
+
+impl Error for ParseBitsError {}
+
+impl Bits {
+    /// Parses the digit body of a based literal (`1a2f`, `0101`, `42`) at the
+    /// given radix into a `width`-bit value. Underscores are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBitsError`] when the body is empty or contains a digit
+    /// invalid for the radix. Digits beyond `width` wrap (are discarded),
+    /// matching Verilog truncation semantics.
+    pub fn from_str_radix(width: u32, radix: u32, body: &str) -> Result<Bits, ParseBitsError> {
+        debug_assert!(matches!(radix, 2 | 8 | 10 | 16), "radix must be 2, 8, 10 or 16");
+        let mut out = Bits::zero(width);
+        let base = Bits::from_u64(width.max(4), radix as u64);
+        let mut any = false;
+        for c in body.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c
+                .to_digit(radix)
+                .ok_or_else(|| ParseBitsError::new(format!("digit {c:?} invalid for base {radix}")))?;
+            any = true;
+            out = out.mul(&base).resize(width);
+            out = out.add(&Bits::from_u64(width, d as u64)).resize(width);
+        }
+        if !any {
+            return Err(ParseBitsError::new("empty digit string"));
+        }
+        Ok(out)
+    }
+
+    /// Parses a full Verilog literal: `8'hff`, `4'b1010`, `'d42`, or a bare
+    /// decimal like `42` (which gets the conventional 32-bit width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBitsError`] on malformed syntax or invalid digits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cascade_bits::Bits;
+    /// let b: Bits = "8'h80".parse()?;
+    /// assert_eq!(b.to_u64(), 0x80);
+    /// assert_eq!(b.width(), 8);
+    /// # Ok::<(), cascade_bits::ParseBitsError>(())
+    /// ```
+    pub fn parse_literal(text: &str) -> Result<Bits, ParseBitsError> {
+        let text = text.trim();
+        match text.find('\'') {
+            None => {
+                let body: String = text.chars().filter(|&c| c != '_').collect();
+                let v: u64 =
+                    body.parse().map_err(|_| ParseBitsError::new(format!("bad decimal {text:?}")))?;
+                Ok(Bits::from_u64(32, v))
+            }
+            Some(pos) => {
+                let (size, rest) = text.split_at(pos);
+                let rest = &rest[1..];
+                let width = if size.is_empty() {
+                    32
+                } else {
+                    size.trim()
+                        .parse::<u32>()
+                        .map_err(|_| ParseBitsError::new(format!("bad size {size:?}")))?
+                };
+                if width == 0 {
+                    return Err(ParseBitsError::new("zero-width literal"));
+                }
+                let mut chars = rest.chars();
+                let mut radix_char =
+                    chars.next().ok_or_else(|| ParseBitsError::new("missing base"))?;
+                // Signed designator: 8'sd5 — sign only affects context, the
+                // bit pattern parses identically.
+                if radix_char == 's' || radix_char == 'S' {
+                    radix_char = chars.next().ok_or_else(|| ParseBitsError::new("missing base"))?;
+                }
+                let radix = match radix_char.to_ascii_lowercase() {
+                    'b' => 2,
+                    'o' => 8,
+                    'd' => 10,
+                    'h' => 16,
+                    other => {
+                        return Err(ParseBitsError::new(format!("unknown base {other:?}")));
+                    }
+                };
+                Bits::from_str_radix(width, radix, chars.as_str().trim())
+            }
+        }
+    }
+}
+
+impl FromStr for Bits {
+    type Err = ParseBitsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Bits::parse_literal(s)
+    }
+}

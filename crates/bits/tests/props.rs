@@ -1,0 +1,120 @@
+//! Property-based tests for `cascade-bits` against `u128` reference
+//! semantics and algebraic laws.
+
+use cascade_bits::Bits;
+use proptest::prelude::*;
+
+fn bits_and_val(width: u32) -> impl Strategy<Value = (Bits, u128)> {
+    any::<u128>().prop_map(move |v| {
+        let v = if width >= 128 { v } else { v & ((1u128 << width) - 1) };
+        (Bits::from_words(width, &[v as u64, (v >> 64) as u64]), v)
+    })
+}
+
+fn arb_width() -> impl Strategy<Value = u32> {
+    prop_oneof![1u32..=64, 65u32..=128]
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128((w, a, b) in arb_width().prop_flat_map(|w| {
+        (Just(w), bits_and_val(w), bits_and_val(w))
+    }).prop_map(|(w, a, b)| (w, a, b))) {
+        let ((ba, va), (bb, vb)) = (a, b);
+        let mask = if w >= 128 { u128::MAX } else { (1u128 << w) - 1 };
+        let expect = va.wrapping_add(vb) & mask;
+        let got = ba.add(&bb);
+        prop_assert_eq!(got.slice(0, 64).to_u64() as u128
+            | ((got.slice(64, 64).to_u64() as u128) << 64), expect);
+    }
+
+    #[test]
+    fn sub_is_add_of_neg((w, a, b) in arb_width().prop_flat_map(|w| {
+        (Just(w), bits_and_val(w), bits_and_val(w))
+    })) {
+        let ((ba, _), (bb, _)) = (a, b);
+        prop_assert_eq!(ba.sub(&bb), ba.add(&bb.neg()));
+        let _ = w;
+    }
+
+    #[test]
+    fn mul_matches_u128((a, b) in (bits_and_val(64), bits_and_val(64))) {
+        let ((ba, va), (bb, vb)) = (a, b);
+        let expect = (va as u64).wrapping_mul(vb as u64);
+        prop_assert_eq!(ba.mul(&bb).to_u64(), expect);
+    }
+
+    #[test]
+    fn divmod_identity((a, b) in (bits_and_val(96), bits_and_val(96))) {
+        let ((ba, _), (bb, vb)) = (a, b);
+        prop_assume!(vb != 0);
+        let q = ba.div(&bb);
+        let r = ba.rem(&bb);
+        prop_assert!(r.cmp_unsigned(&bb) == std::cmp::Ordering::Less);
+        prop_assert_eq!(q.mul(&bb).add(&r).resize(96), ba);
+    }
+
+    #[test]
+    fn shift_roundtrip((a, s) in (bits_and_val(100), 0u32..100)) {
+        let (ba, _) = a;
+        // (a << s) >> s clears the high s bits only.
+        let round = ba.shl(s).shr(s);
+        prop_assert_eq!(round, ba.slice(0, 100 - s).resize(100));
+    }
+
+    #[test]
+    fn not_involutive(a in bits_and_val(77)) {
+        let (ba, _) = a;
+        prop_assert_eq!(ba.not().not(), ba.clone());
+    }
+
+    #[test]
+    fn de_morgan((a, b) in (bits_and_val(90), bits_and_val(90))) {
+        let ((ba, _), (bb, _)) = (a, b);
+        prop_assert_eq!(ba.and(&bb).not(), ba.not().or(&bb.not()));
+    }
+
+    #[test]
+    fn concat_slice_roundtrip((a, b) in (bits_and_val(37), bits_and_val(21))) {
+        let ((ba, _), (bb, _)) = (a, b);
+        let c = ba.concat(&bb);
+        prop_assert_eq!(c.width(), 58);
+        prop_assert_eq!(c.slice(0, 21), bb);
+        prop_assert_eq!(c.slice(21, 37), ba);
+    }
+
+    #[test]
+    fn decimal_string_roundtrip(a in bits_and_val(128)) {
+        let (ba, _) = a;
+        let s = ba.to_decimal_string();
+        let back = Bits::from_str_radix(128, 10, &s).unwrap();
+        prop_assert_eq!(back, ba);
+    }
+
+    #[test]
+    fn hex_string_roundtrip(a in bits_and_val(71)) {
+        let (ba, _) = a;
+        let back = Bits::from_str_radix(71, 16, &ba.to_hex_string()).unwrap();
+        prop_assert_eq!(back, ba);
+    }
+
+    #[test]
+    fn cmp_signed_matches_i64(a in any::<u64>(), b in any::<u64>()) {
+        let ba = Bits::from_u64(64, a);
+        let bb = Bits::from_u64(64, b);
+        prop_assert_eq!(ba.cmp_signed(&bb), (a as i64).cmp(&(b as i64)));
+    }
+
+    #[test]
+    fn reduce_xor_is_parity(a in bits_and_val(93)) {
+        let (ba, _) = a;
+        prop_assert_eq!(ba.reduce_xor(), ba.count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn resize_signed_preserves_value(a in any::<u64>(), w in 1u32..63) {
+        let ba = Bits::from_u64(w, a);
+        let wide = ba.resize_signed(64);
+        prop_assert_eq!(wide.to_i64(), ba.to_i64());
+    }
+}

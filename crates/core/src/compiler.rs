@@ -1,0 +1,168 @@
+//! The background compilation pipeline.
+//!
+//! When the runtime (re)builds its IR, it hands the user-logic subprogram to
+//! a worker thread running the virtual toolchain. Execution continues in
+//! software; when the bitstream is ready — and the *modeled* compile
+//! latency has elapsed on the virtual wall clock — the runtime swaps the
+//! software engine for a hardware engine. From the user's perspective the
+//! program simply gets faster.
+
+use cascade_fpga::{wrapper_overhead_les, Bitstream, CompileError, Toolchain};
+use cascade_netlist::synthesize;
+use cascade_sim::Design;
+use std::sync::mpsc::{channel, Receiver, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The outcome of one background compile.
+#[derive(Debug)]
+pub struct CompileOutcome {
+    /// Program version this compile was submitted against.
+    pub version: u64,
+    pub result: Result<Bitstream, CompileError>,
+    /// Modeled latency from submission to availability.
+    pub latency: Duration,
+}
+
+/// A single-slot background compiler (a newer submission supersedes an
+/// in-flight one: its result will be dropped as stale).
+pub struct BackgroundCompiler {
+    rx: Option<Receiver<CompileOutcome>>,
+    handle: Option<JoinHandle<()>>,
+    /// Wall time (modeled seconds) at submission.
+    submitted_s: f64,
+    submitted_version: u64,
+    /// Completed outcome waiting for its modeled latency to elapse.
+    staged: Option<CompileOutcome>,
+}
+
+impl Default for BackgroundCompiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BackgroundCompiler {
+    /// An idle compiler.
+    pub fn new() -> Self {
+        BackgroundCompiler {
+            rx: None,
+            handle: None,
+            submitted_s: 0.0,
+            submitted_version: 0,
+            staged: None,
+        }
+    }
+
+    /// Whether a compile is in flight or staged.
+    pub fn busy(&self) -> bool {
+        self.rx.is_some() || self.staged.is_some()
+    }
+
+    /// The version of the in-flight/staged compile.
+    pub fn version(&self) -> u64 {
+        self.submitted_version
+    }
+
+    /// Submits a design for compilation with the Cascade MMIO wrapper's
+    /// overhead charged to area and latency. Supersedes any prior
+    /// submission.
+    pub fn submit(&mut self, design: Arc<Design>, toolchain: Toolchain, version: u64, wall_s: f64) {
+        let (tx, rx) = channel();
+        let handle = std::thread::spawn(move || {
+            let outcome = compile_with_wrapper(&design, &toolchain, version);
+            let _ = tx.send(outcome);
+        });
+        self.rx = Some(rx);
+        self.handle = Some(handle);
+        self.submitted_s = wall_s;
+        self.submitted_version = version;
+        self.staged = None;
+    }
+
+    /// Polls the worker and, when the modeled latency has elapsed at
+    /// `wall_s`, returns the outcome.
+    pub fn poll(&mut self, wall_s: f64) -> Option<CompileOutcome> {
+        if self.staged.is_none() {
+            if let Some(rx) = &self.rx {
+                match rx.try_recv() {
+                    Ok(outcome) => {
+                        self.staged = Some(outcome);
+                        self.rx = None;
+                        if let Some(h) = self.handle.take() {
+                            let _ = h.join();
+                        }
+                    }
+                    Err(TryRecvError::Empty) => {}
+                    Err(TryRecvError::Disconnected) => {
+                        self.rx = None;
+                    }
+                }
+            }
+        }
+        let ready = self
+            .staged
+            .as_ref()
+            .map(|o| wall_s >= self.submitted_s + o.latency.as_secs_f64())
+            .unwrap_or(false);
+        if ready {
+            self.staged.take()
+        } else {
+            None
+        }
+    }
+
+    /// The modeled wall-clock second at which the staged result becomes
+    /// available, if known.
+    pub fn ready_at(&self) -> Option<f64> {
+        self.staged.as_ref().map(|o| self.submitted_s + o.latency.as_secs_f64())
+    }
+
+    /// Blocks the calling thread until the worker finishes (test support;
+    /// the modeled latency gate still applies to `poll`).
+    pub fn wait_worker(&mut self) {
+        if let Some(rx) = &self.rx {
+            if let Ok(outcome) = rx.recv() {
+                self.staged = Some(outcome);
+            }
+            self.rx = None;
+            if let Some(h) = self.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Runs the full flow: synthesis, wrapper-overhead accounting, placement,
+/// timing. Failures carry a modeled latency too — a timing-closure failure
+/// is only discovered after place-and-route (paper Sec. 6.4).
+fn compile_with_wrapper(design: &Design, toolchain: &Toolchain, version: u64) -> CompileOutcome {
+    let netlist = match synthesize(design) {
+        Ok(nl) => Arc::new(nl),
+        Err(e) => {
+            return CompileOutcome {
+                version,
+                result: Err(CompileError::Synth(e)),
+                // Synthesis errors surface early in a real flow.
+                latency: Duration::from_secs(30),
+            };
+        }
+    };
+    let mut tc = toolchain.clone();
+    tc.overhead_les = wrapper_overhead_les(&netlist);
+    let area = cascade_netlist::estimate_area(&netlist);
+    let mut padded = area;
+    padded.logic_elements += tc.overhead_les;
+    let full_latency = tc.modeled_duration(&padded, netlist.cell_count());
+    match tc.compile_netlist(Arc::clone(&netlist)) {
+        Ok(bs) => CompileOutcome { version, result: Ok(bs), latency: full_latency },
+        Err(e @ CompileError::DoesNotFit { .. }) => CompileOutcome {
+            version,
+            result: Err(e),
+            // Fit checks fail at the start of place-and-route.
+            latency: Duration::from_secs_f64(full_latency.as_secs_f64() * 0.2),
+        },
+        Err(e) => CompileOutcome { version, result: Err(e), latency: full_latency },
+    }
+}

@@ -1,0 +1,72 @@
+//! Runtime configuration: the JIT policy knobs and platform models.
+
+use cascade_fpga::{CostModel, Device, Toolchain};
+
+/// Cascade's optimization policy (paper Sec. 4). Every stage can be toggled
+/// independently — the ablation benchmarks exercise exactly these switches.
+#[derive(Debug, Clone)]
+pub struct JitConfig {
+    /// Inline user logic into a single subprogram (Sec. 4.2, Fig. 9.2).
+    pub inline: bool,
+    /// Absorb standard-library components into the hardware engine so it
+    /// answers ABI requests on their behalf (Sec. 4.3, Fig. 9.4).
+    pub forwarding: bool,
+    /// Allow open-loop scheduling (Sec. 4.4, Fig. 9.5).
+    pub open_loop: bool,
+    /// Start background hardware compilations automatically.
+    pub auto_compile: bool,
+    /// Target modeled time between open-loop control returns, in seconds
+    /// (the adaptive profiler aims here; paper: "a small number of
+    /// seconds").
+    pub open_loop_target_s: f64,
+    /// The virtual toolchain used for background compilation.
+    pub toolchain: Toolchain,
+    /// Modeled per-operation costs.
+    pub costs: CostModel,
+    /// Width of the implicit button pad.
+    pub pad_width: u32,
+    /// Width of the implicit LED bank.
+    pub led_width: u32,
+}
+
+impl Default for JitConfig {
+    fn default() -> Self {
+        JitConfig {
+            inline: true,
+            forwarding: true,
+            open_loop: true,
+            auto_compile: true,
+            open_loop_target_s: 1.0,
+            toolchain: Toolchain::new(Device::cyclone_v()),
+            costs: CostModel::default(),
+            pad_width: 4,
+            led_width: 8,
+        }
+    }
+}
+
+impl JitConfig {
+    /// A configuration with every JIT optimization disabled — the
+    /// interpreter-only baseline.
+    pub fn interpreter_only() -> Self {
+        JitConfig {
+            inline: false,
+            forwarding: false,
+            open_loop: false,
+            auto_compile: false,
+            ..JitConfig::default()
+        }
+    }
+
+    /// Disables one stage by name (used by the ablation harness).
+    pub fn without(mut self, stage: &str) -> Self {
+        match stage {
+            "inline" => self.inline = false,
+            "forwarding" => self.forwarding = false,
+            "open_loop" => self.open_loop = false,
+            "auto_compile" => self.auto_compile = false,
+            other => panic!("unknown JIT stage `{other}`"),
+        }
+        self
+    }
+}

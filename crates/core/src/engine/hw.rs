@@ -1,0 +1,357 @@
+//! Hardware engines: compiled subprograms running in the virtual FPGA
+//! behind the MMIO protocol (paper Sec. 5.2, Fig. 10), with optional ABI
+//! forwarding for absorbed standard-library components (Sec. 4.3) and
+//! open-loop scheduling (Sec. 4.4).
+
+use crate::engine::{Engine, EngineError, EngineKind, EngineState, TaskEvent};
+use cascade_bits::Bits;
+use cascade_fpga::{CostModel, MmioCore};
+use cascade_netlist::{Netlist, TaskFire, TaskKind};
+use cascade_stdlib::Peripheral;
+use cascade_verilog::ast::Edge;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A standard-library component absorbed into this engine (forwarding):
+/// its ports are connected directly instead of across the data plane.
+pub struct Forwarded {
+    pub instance: String,
+    pub peripheral: Box<dyn Peripheral>,
+    /// engine output port → peripheral input port.
+    pub drives: Vec<(String, String)>,
+    /// peripheral output port → engine input port.
+    pub feeds: Vec<(String, String)>,
+}
+
+/// A compiled subprogram executing behind the MMIO register file.
+pub struct HwEngine {
+    core: MmioCore,
+    /// Clock domains: domain index → (input port, edge).
+    clock_inputs: Vec<(String, Edge)>,
+    /// Last seen value of each clock input.
+    clock_last: Vec<bool>,
+    /// Clock domains with a pending edge.
+    pending: Vec<u32>,
+    /// Whether non-clock inputs changed since the last evaluate.
+    dirty: bool,
+    forwarded: Vec<Forwarded>,
+    tasks: Vec<TaskEvent>,
+    /// Runtime-visible bus messages (the data/control-plane traffic the
+    /// cost model charges; internal forwarded peripheral exchanges are
+    /// on-fabric and free).
+    bus_msgs: u64,
+    last_cycles: u64,
+}
+
+impl HwEngine {
+    /// Wraps a compiled netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the netlist cannot be levelized.
+    pub fn new(netlist: Arc<Netlist>) -> Result<Self, EngineError> {
+        let clock_inputs = netlist
+            .clocks
+            .iter()
+            .map(|&(net, edge)| {
+                let name = netlist.nets[net.0 as usize]
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("n{}", net.0));
+                (name, edge)
+            })
+            .collect::<Vec<_>>();
+        let core = MmioCore::new(netlist)
+            .map_err(|e| EngineError::Internal(format!("levelization failed: {e}")))?;
+        let clock_last = vec![false; clock_inputs.len()];
+        Ok(HwEngine {
+            core,
+            clock_inputs,
+            clock_last,
+            pending: Vec::new(),
+            dirty: true,
+            forwarded: Vec::new(),
+            tasks: Vec::new(),
+            bus_msgs: 0,
+            last_cycles: 0,
+        })
+    }
+
+    /// Absorbs standard-library components (ABI forwarding, Fig. 9.4).
+    pub fn absorb(&mut self, forwarded: Vec<Forwarded>) {
+        self.forwarded = forwarded;
+        // Establish initial peripheral-driven inputs.
+        self.exchange_with_peripherals();
+    }
+
+    /// Releases absorbed components (the engine is about to be replaced).
+    pub fn release(&mut self) -> Vec<Forwarded> {
+        std::mem::take(&mut self.forwarded)
+    }
+
+    /// Whether this engine has absorbed peripherals.
+    pub fn is_forwarding(&self) -> bool {
+        !self.forwarded.is_empty()
+    }
+
+    /// Whether the engine has exactly one rising-edge clock domain (the
+    /// open-loop eligibility requirement).
+    pub fn single_posedge_domain(&self) -> bool {
+        self.clock_inputs.len() <= 1
+            && self.clock_inputs.first().map(|(_, e)| *e == Edge::Pos).unwrap_or(true)
+    }
+
+    fn collect_fires(&mut self, fires: Vec<TaskFire>) {
+        for f in fires {
+            self.tasks.push(match f.kind {
+                TaskKind::Display => TaskEvent::Display(f.text),
+                TaskKind::Write => TaskEvent::Write(f.text),
+                TaskKind::Finish => TaskEvent::Finish,
+                TaskKind::Fatal => TaskEvent::Fatal(f.text),
+            });
+        }
+    }
+
+    /// Two-round combinational exchange between the engine and absorbed
+    /// peripherals (enough for the request/ready handshakes the stdlib
+    /// uses).
+    fn exchange_with_peripherals(&mut self) {
+        for _ in 0..2 {
+            for fi in 0..self.forwarded.len() {
+                let feeds = self.forwarded[fi].feeds.clone();
+                let outs = self.forwarded[fi].peripheral.outputs();
+                for (periph_port, engine_port) in &feeds {
+                    if let Some((_, v)) = outs.iter().find(|(n, _)| n == periph_port) {
+                        if let Some(addr) = self.core.map().addr(engine_port) {
+                            self.core.write(addr, v.clone());
+                        }
+                    }
+                }
+            }
+            for fi in 0..self.forwarded.len() {
+                let drives = self.forwarded[fi].drives.clone();
+                for (engine_port, periph_port) in &drives {
+                    if let Some(addr) = self.core.map().addr(engine_port) {
+                        let v = self.core.read(addr);
+                        self.forwarded[fi].peripheral.set_input(periph_port, &v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One full clock cycle including absorbed peripherals.
+    fn cycle(&mut self) {
+        self.exchange_with_peripherals();
+        self.core.ctrl_write(cascade_fpga::Ctrl::Latch, Bits::from_u64(1, 1));
+        for f in &mut self.forwarded {
+            f.peripheral.posedge();
+        }
+        self.exchange_with_peripherals();
+        let fires = self.core.drain_tasks();
+        self.collect_fires(fires);
+    }
+}
+
+impl Engine for HwEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Hardware
+    }
+
+    fn get_state(&mut self) -> EngineState {
+        let mut state = EngineState::default();
+        let nl = Arc::clone(self.core.sim_ref().netlist());
+        for (i, reg) in nl.regs.iter().enumerate() {
+            let name = reg.name.clone().unwrap_or_else(|| format!("reg{i}"));
+            state
+                .regs
+                .insert(name, self.core.sim().read_reg(cascade_netlist::RegId(i as u32)).clone());
+        }
+        for (i, mem) in nl.mems.iter().enumerate() {
+            let name = mem.name.clone().unwrap_or_else(|| format!("mem{i}"));
+            let words = (0..mem.words)
+                .map(|a| self.core.sim().read_mem(cascade_netlist::MemId(i as u32), a))
+                .collect();
+            state.mems.insert(name, words);
+        }
+        for f in &self.forwarded {
+            for (k, v) in f.peripheral.get_state() {
+                state.mems.insert(format!("{}::{k}", f.instance), v);
+            }
+        }
+        state
+    }
+
+    fn set_state(&mut self, state: &EngineState) {
+        let nl = Arc::clone(self.core.sim_ref().netlist());
+        for (i, reg) in nl.regs.iter().enumerate() {
+            let name = reg.name.clone().unwrap_or_else(|| format!("reg{i}"));
+            if let Some(v) = state.regs.get(&name) {
+                self.core.sim().write_reg(cascade_netlist::RegId(i as u32), v.clone());
+            }
+        }
+        for (i, mem) in nl.mems.iter().enumerate() {
+            let name = mem.name.clone().unwrap_or_else(|| format!("mem{i}"));
+            if let Some(words) = state.mems.get(&name) {
+                for (a, w) in words.iter().enumerate() {
+                    self.core.sim().write_mem(cascade_netlist::MemId(i as u32), a as u64, w.clone());
+                }
+            }
+        }
+        for f in &mut self.forwarded {
+            let prefix = format!("{}::", f.instance);
+            let sub: BTreeMap<String, Vec<Bits>> = state
+                .mems
+                .iter()
+                .filter_map(|(k, v)| {
+                    k.strip_prefix(&prefix).map(|rest| (rest.to_string(), v.clone()))
+                })
+                .collect();
+            if !sub.is_empty() {
+                f.peripheral.set_state(&sub);
+            }
+        }
+        self.core.sim().settle();
+        self.dirty = true;
+    }
+
+    fn read(&mut self, port: &str, value: &Bits) {
+        self.bus_msgs += 1;
+        // Clock inputs are edges, not data. One physical clock may drive
+        // several domains (posedge and negedge logic), so every matching
+        // domain gets edge-detected.
+        let mut is_clock = false;
+        for (i, (name, edge)) in self.clock_inputs.iter().enumerate() {
+            if name == port {
+                is_clock = true;
+                let now = value.to_bool();
+                let was = self.clock_last[i];
+                self.clock_last[i] = now;
+                let fire = match edge {
+                    Edge::Pos => !was && now,
+                    Edge::Neg => was && !now,
+                };
+                if fire {
+                    self.pending.push(i as u32);
+                }
+            }
+        }
+        if let Some(addr) = self.core.map().addr(port) {
+            self.core.write(addr, value.clone());
+            if !is_clock {
+                self.dirty = true;
+            }
+        }
+    }
+
+    fn output(&mut self, port: &str) -> Bits {
+        self.bus_msgs += 1;
+        match self.core.map().addr(port) {
+            Some(addr) => self.core.read(addr),
+            None => Bits::default(),
+        }
+    }
+
+    fn there_are_evals(&self) -> bool {
+        self.dirty
+    }
+
+    fn evaluate(&mut self) -> Result<(), EngineError> {
+        self.bus_msgs += 1;
+        // Combinational settling happened on write; just refresh absorbed
+        // peripherals and clear the flag.
+        if self.is_forwarding() {
+            self.exchange_with_peripherals();
+        }
+        self.dirty = false;
+        Ok(())
+    }
+
+    fn there_are_updates(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    fn update(&mut self) -> Result<(), EngineError> {
+        self.bus_msgs += 1;
+        let pending = std::mem::take(&mut self.pending);
+        for domain in pending {
+            if domain == 0 && self.is_forwarding() {
+                self.cycle();
+            } else {
+                self.core.sim().step_clock(domain);
+                let fires = self.core.sim().drain_tasks();
+                self.collect_fires(fires);
+            }
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    fn end_step(&mut self) {
+        for f in &mut self.forwarded {
+            f.peripheral.end_step();
+        }
+        if self.is_forwarding() {
+            self.exchange_with_peripherals();
+        }
+    }
+
+    fn drain_tasks(&mut self) -> Vec<TaskEvent> {
+        let fires = self.core.drain_tasks();
+        self.collect_fires(fires);
+        std::mem::take(&mut self.tasks)
+    }
+
+    fn open_loop(&mut self, steps: u64) -> u64 {
+        if !self.single_posedge_domain() {
+            return 0;
+        }
+        self.bus_msgs += 2; // request + return of control
+        // Sample external inputs at batch start: the runtime hands over
+        // control at an observable state, which is when boards get polled.
+        for f in &mut self.forwarded {
+            f.peripheral.end_step();
+        }
+        self.exchange_with_peripherals();
+        let mut done = 0u64;
+        while done < steps {
+            self.cycle();
+            done += 1;
+            if !self.tasks.is_empty() || self.core.is_finished() {
+                break;
+            }
+        }
+        // Peripherals poll external inputs when control returns.
+        for f in &mut self.forwarded {
+            f.peripheral.end_step();
+        }
+        self.exchange_with_peripherals();
+        self.dirty = true;
+        done
+    }
+
+    fn take_cost_ns(&mut self, costs: &CostModel) -> f64 {
+        let mut msgs = self.bus_msgs;
+        self.bus_msgs = 0;
+        // Host-coupled peripherals (the FIFO) move data over the same bus
+        // even when absorbed.
+        for f in &mut self.forwarded {
+            msgs += f.peripheral.take_bus_words();
+        }
+        let cycles = self.core.sim_ref().cycles() - self.last_cycles;
+        self.last_cycles = self.core.sim_ref().cycles();
+        msgs as f64 * costs.abi_message_ns + cycles as f64 * costs.hw_cycle_ns
+    }
+
+    fn is_finished(&self) -> bool {
+        self.core.is_finished()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}

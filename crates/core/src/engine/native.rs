@@ -1,0 +1,147 @@
+//! Native mode (paper Sec. 4.5): the program compiled exactly as written,
+//! with no MMIO wrapper, no `get_state`/`set_state` muxing, and no system
+//! task support. Interactivity is sacrificed for full native performance.
+
+use crate::engine::hw::Forwarded;
+use crate::engine::{Engine, EngineError, EngineKind, EngineState, TaskEvent};
+use cascade_bits::Bits;
+use cascade_fpga::CostModel;
+use cascade_netlist::{Netlist, NetlistSim};
+use std::sync::Arc;
+
+/// A wrapper-free compiled program with direct peripheral connections.
+pub struct NativeEngine {
+    sim: NetlistSim,
+    peripherals: Vec<Forwarded>,
+    last_cycles: u64,
+}
+
+impl NativeEngine {
+    /// Compiles the raw netlist into a native engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the netlist contains system tasks (native
+    /// mode forfeits unsynthesizable Verilog) or cannot be levelized.
+    pub fn new(netlist: Arc<Netlist>, peripherals: Vec<Forwarded>) -> Result<Self, EngineError> {
+        if !netlist.tasks.is_empty() {
+            return Err(EngineError::Internal(
+                "native mode requires a program without system tasks".to_string(),
+            ));
+        }
+        if netlist.clocks.len() > 1 {
+            return Err(EngineError::Internal(
+                "native mode supports a single clock domain".to_string(),
+            ));
+        }
+        let sim = NetlistSim::new(netlist)
+            .map_err(|e| EngineError::Internal(format!("levelization failed: {e}")))?;
+        Ok(NativeEngine { sim, peripherals, last_cycles: 0 })
+    }
+
+    fn exchange(&mut self) {
+        for _ in 0..2 {
+            for fi in 0..self.peripherals.len() {
+                let feeds = self.peripherals[fi].feeds.clone();
+                let outs = self.peripherals[fi].peripheral.outputs();
+                for (periph_port, engine_port) in &feeds {
+                    if let Some((_, v)) = outs.iter().find(|(n, _)| n == periph_port) {
+                        if let Some(net) = self.sim.netlist().net_by_name(engine_port) {
+                            self.sim.set_input(net, v.clone());
+                        }
+                    }
+                }
+            }
+            for fi in 0..self.peripherals.len() {
+                let drives = self.peripherals[fi].drives.clone();
+                for (engine_port, periph_port) in &drives {
+                    if let Some(v) = self.sim.get_by_name(engine_port).cloned() {
+                        self.peripherals[fi].peripheral.set_input(periph_port, &v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases the peripherals (leaving native mode).
+    pub fn release(&mut self) -> Vec<Forwarded> {
+        std::mem::take(&mut self.peripherals)
+    }
+}
+
+impl Engine for NativeEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Native
+    }
+
+    fn get_state(&mut self) -> EngineState {
+        // Native bitstreams have no state-access wrapper; migration out of
+        // native mode restarts from initial values, exactly like a
+        // traditionally-deployed design.
+        EngineState::default()
+    }
+
+    fn set_state(&mut self, _state: &EngineState) {}
+
+    fn read(&mut self, port: &str, value: &Bits) {
+        if let Some(net) = self.sim.netlist().net_by_name(port) {
+            self.sim.set_input(net, value.clone());
+        }
+    }
+
+    fn output(&mut self, port: &str) -> Bits {
+        self.sim.get_by_name(port).cloned().unwrap_or_default()
+    }
+
+    fn there_are_evals(&self) -> bool {
+        false
+    }
+
+    fn evaluate(&mut self) -> Result<(), EngineError> {
+        Ok(())
+    }
+
+    fn there_are_updates(&self) -> bool {
+        false
+    }
+
+    fn update(&mut self) -> Result<(), EngineError> {
+        Ok(())
+    }
+
+    fn drain_tasks(&mut self) -> Vec<TaskEvent> {
+        Vec::new()
+    }
+
+    fn open_loop(&mut self, steps: u64) -> u64 {
+        let mut done = 0;
+        while done < steps {
+            self.exchange();
+            self.sim.step_clock(0);
+            for f in &mut self.peripherals {
+                f.peripheral.posedge();
+            }
+            done += 1;
+        }
+        for f in &mut self.peripherals {
+            f.peripheral.end_step();
+        }
+        self.exchange();
+        done
+    }
+
+    fn take_cost_ns(&mut self, costs: &CostModel) -> f64 {
+        let cycles = self.sim.cycles() - self.last_cycles;
+        self.last_cycles = self.sim.cycles();
+        let bus: u64 = self.peripherals.iter_mut().map(|f| f.peripheral.take_bus_words()).sum();
+        cycles as f64 * costs.hw_cycle_ns + bus as f64 * costs.abi_message_ns
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}

@@ -1,0 +1,115 @@
+//! Standard-library components as scheduler-visible engines.
+//!
+//! Before forwarding kicks in (paper Fig. 9.1–9.3), each stdlib instance is
+//! its own pre-compiled engine on the data/control plane. The runtime wires
+//! the global clock to `__clk` so synchronous components (FIFO pops, memory
+//! writes) commit on the virtual rising edge.
+
+use crate::engine::{Engine, EngineError, EngineKind, EngineState, TaskEvent};
+use cascade_bits::Bits;
+use cascade_fpga::CostModel;
+use cascade_stdlib::Peripheral;
+
+/// The implicit clock input port wired to every peripheral engine.
+pub const PERIPHERAL_CLOCK_PORT: &str = "__clk";
+
+/// Wraps a [`Peripheral`] as an [`Engine`].
+pub struct PeripheralEngine {
+    peripheral: Box<dyn Peripheral>,
+    clk_last: bool,
+    edge_pending: bool,
+    msgs: u64,
+}
+
+impl PeripheralEngine {
+    /// Wraps a component.
+    pub fn new(peripheral: Box<dyn Peripheral>) -> Self {
+        PeripheralEngine { peripheral, clk_last: false, edge_pending: false, msgs: 0 }
+    }
+
+    /// Extracts the component (for forwarding absorption).
+    pub fn into_peripheral(self) -> Box<dyn Peripheral> {
+        self.peripheral
+    }
+}
+
+impl Engine for PeripheralEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Peripheral
+    }
+
+    fn get_state(&mut self) -> EngineState {
+        EngineState { regs: Default::default(), mems: self.peripheral.get_state() }
+    }
+
+    fn set_state(&mut self, state: &EngineState) {
+        self.peripheral.set_state(&state.mems);
+    }
+
+    fn read(&mut self, port: &str, value: &Bits) {
+        self.msgs += 1;
+        if port == PERIPHERAL_CLOCK_PORT {
+            let now = value.to_bool();
+            if !self.clk_last && now {
+                self.edge_pending = true;
+            }
+            self.clk_last = now;
+        } else {
+            self.peripheral.set_input(port, value);
+        }
+    }
+
+    fn output(&mut self, port: &str) -> Bits {
+        self.peripheral
+            .outputs()
+            .into_iter()
+            .find(|(n, _)| n == port)
+            .map(|(_, v)| v)
+            .unwrap_or_default()
+    }
+
+    fn there_are_evals(&self) -> bool {
+        false
+    }
+
+    fn evaluate(&mut self) -> Result<(), EngineError> {
+        Ok(())
+    }
+
+    fn there_are_updates(&self) -> bool {
+        self.edge_pending
+    }
+
+    fn update(&mut self) -> Result<(), EngineError> {
+        if self.edge_pending {
+            self.edge_pending = false;
+            self.peripheral.posedge();
+        }
+        Ok(())
+    }
+
+    fn end_step(&mut self) {
+        self.peripheral.end_step();
+    }
+
+    fn drain_tasks(&mut self) -> Vec<TaskEvent> {
+        Vec::new()
+    }
+
+    fn take_cost_ns(&mut self, costs: &CostModel) -> f64 {
+        // Pre-compiled stdlib engines live in hardware; runtime interaction
+        // costs one bus message per port exchange, and host-coupled data
+        // (FIFO tokens) costs a bus word each.
+        let msgs = self.msgs + self.peripheral.take_bus_words();
+        self.msgs = 0;
+        msgs as f64 * costs.abi_message_ns
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}

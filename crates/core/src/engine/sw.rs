@@ -1,0 +1,215 @@
+//! Software engines: subprograms interpreted by `cascade-sim`
+//! (paper Sec. 5.1). These begin execution in under a second and run until
+//! the background hardware compilation delivers a replacement.
+
+use crate::engine::{Engine, EngineError, EngineKind, EngineState, TaskEvent};
+use cascade_bits::Bits;
+use cascade_fpga::CostModel;
+use cascade_sim::{Design, SimEvent, Simulator, VarClass, VarId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An AST-interpreting engine over one subprogram.
+pub struct SwEngine {
+    sim: Simulator,
+    design: Arc<Design>,
+    /// Output port name → var.
+    outputs: BTreeMap<String, VarId>,
+    /// Input port name → var.
+    inputs: BTreeMap<String, VarId>,
+    last_activations: u64,
+    last_statements: u64,
+    tasks: Vec<TaskEvent>,
+    /// Scheduler iterations seen; two per virtual clock tick.
+    half_steps: u8,
+}
+
+impl SwEngine {
+    /// Builds and initializes a software engine (runs `initial` blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if time-zero settlement fails.
+    pub fn new(design: Arc<Design>) -> Result<Self, EngineError> {
+        Self::with_state(design, None)
+    }
+
+    /// Builds a software engine, restoring `prior` state *before* running
+    /// `initial` blocks — newly eval'ed statements must observe the live
+    /// program state they were typed against (paper Sec. 3.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if time-zero settlement fails.
+    pub fn with_state(
+        design: Arc<Design>,
+        prior: Option<&EngineState>,
+    ) -> Result<Self, EngineError> {
+        let mut sim = Simulator::new(Arc::clone(&design));
+        let mut inputs = BTreeMap::new();
+        let mut outputs = BTreeMap::new();
+        for (name, id) in design.iter_vars() {
+            let info = design.info(id);
+            if info.is_input {
+                inputs.insert(name.to_string(), id);
+            }
+            if info.is_output {
+                outputs.insert(name.to_string(), id);
+            }
+        }
+        if let Some(state) = prior {
+            for (name, value) in &state.regs {
+                if let Some(id) = design.var(name) {
+                    sim.force(id, value.clone());
+                }
+            }
+            for (name, words) in &state.mems {
+                if let Some(id) = design.var(name) {
+                    for (i, w) in words.iter().enumerate() {
+                        sim.poke_array(id, i as u64, w.clone());
+                    }
+                }
+            }
+        }
+        sim.initialize()?;
+        let mut engine = SwEngine {
+            sim,
+            design,
+            outputs,
+            inputs,
+            last_activations: 0,
+            last_statements: 0,
+            tasks: Vec::new(),
+            half_steps: 0,
+        };
+        engine.collect_tasks();
+        Ok(engine)
+    }
+
+    /// The underlying design (used by the runtime when compiling this
+    /// subprogram in the background).
+    pub fn design(&self) -> &Arc<Design> {
+        &self.design
+    }
+
+    fn collect_tasks(&mut self) {
+        for ev in self.sim.drain_events() {
+            self.tasks.push(match ev {
+                SimEvent::Display(s) => TaskEvent::Display(s),
+                SimEvent::Write(s) => TaskEvent::Write(s),
+                SimEvent::Finish => TaskEvent::Finish,
+                SimEvent::Fatal(s) => TaskEvent::Fatal(s),
+            });
+        }
+    }
+}
+
+impl Engine for SwEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Software
+    }
+
+    fn get_state(&mut self) -> EngineState {
+        let mut state = EngineState::default();
+        for (name, id) in self.design.iter_vars() {
+            let info = self.design.info(id);
+            if info.class != VarClass::Reg {
+                continue;
+            }
+            if info.is_array() {
+                let words =
+                    (0..info.array_len).map(|i| self.sim.peek_array(id, i)).collect();
+                state.mems.insert(name.to_string(), words);
+            } else {
+                state.regs.insert(name.to_string(), self.sim.peek_id(id));
+            }
+        }
+        state
+    }
+
+    fn set_state(&mut self, state: &EngineState) {
+        for (name, value) in &state.regs {
+            if let Some(id) = self.design.var(name) {
+                self.sim.force(id, value.clone());
+            }
+        }
+        for (name, words) in &state.mems {
+            if let Some(id) = self.design.var(name) {
+                for (i, w) in words.iter().enumerate() {
+                    self.sim.poke_array(id, i as u64, w.clone());
+                }
+            }
+        }
+        // Re-settle combinational logic around the restored state (force
+        // does not generate events).
+        let _ = self.sim.resettle();
+    }
+
+    fn read(&mut self, port: &str, value: &Bits) {
+        if let Some(&id) = self.inputs.get(port) {
+            self.sim.poke_id(id, value.clone());
+        }
+    }
+
+    fn output(&mut self, port: &str) -> Bits {
+        match self.outputs.get(port).copied().or_else(|| self.sim.design().var(port)) {
+            Some(id) => self.sim.peek_id(id),
+            None => Bits::default(),
+        }
+    }
+
+    fn there_are_evals(&self) -> bool {
+        self.sim.has_evals()
+    }
+
+    fn evaluate(&mut self) -> Result<(), EngineError> {
+        self.sim.eval_phase()?;
+        self.collect_tasks();
+        Ok(())
+    }
+
+    fn there_are_updates(&self) -> bool {
+        self.sim.has_updates()
+    }
+
+    fn update(&mut self) -> Result<(), EngineError> {
+        self.sim.apply_updates();
+        Ok(())
+    }
+
+    fn end_step(&mut self) {
+        self.sim.end_step();
+        // Two scheduler iterations make one virtual clock tick (`$time`).
+        self.half_steps += 1;
+        if self.half_steps == 2 {
+            self.half_steps = 0;
+            self.sim.advance_time();
+        }
+        self.collect_tasks();
+    }
+
+    fn drain_tasks(&mut self) -> Vec<TaskEvent> {
+        self.collect_tasks();
+        std::mem::take(&mut self.tasks)
+    }
+
+    fn take_cost_ns(&mut self, costs: &CostModel) -> f64 {
+        let acts = self.sim.activations - self.last_activations;
+        self.last_activations = self.sim.activations;
+        let stmts = self.sim.statements - self.last_statements;
+        self.last_statements = self.sim.statements;
+        acts as f64 * costs.sw_activation_ns + stmts as f64 * costs.sw_statement_ns
+    }
+
+    fn is_finished(&self) -> bool {
+        self.sim.is_finished()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the Cascade runtime.
+
+use cascade_fpga::CompileError;
+use cascade_sim::SimError;
+use cascade_verilog::Diagnostic;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure surfaced to the Cascade user.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CascadeError {
+    /// Lex/parse/preprocess failure for eval'ed code.
+    Parse(Diagnostic),
+    /// Type errors in eval'ed code (all of them).
+    Typecheck(Vec<Diagnostic>),
+    /// Elaboration failure while rebuilding engines.
+    Elaborate(Diagnostic),
+    /// A runtime simulation failure (combinational loop, runaway loop).
+    Sim(SimError),
+    /// A constraint of this implementation (documented deviations).
+    Unsupported(String),
+    /// Attempt to use native mode on an ineligible program.
+    NativeIneligible(String),
+    /// A hardware compilation failed (reported when native mode demands
+    /// one, or surfaced as a warning otherwise).
+    Compile(CompileError),
+}
+
+impl fmt::Display for CascadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CascadeError::Parse(d) => write!(f, "{d}"),
+            CascadeError::Typecheck(ds) => {
+                write!(f, "{} type error(s)", ds.len())?;
+                for d in ds {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
+            CascadeError::Elaborate(d) => write!(f, "{d}"),
+            CascadeError::Sim(e) => write!(f, "{e}"),
+            CascadeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            CascadeError::NativeIneligible(msg) => {
+                write!(f, "native mode unavailable: {msg}")
+            }
+            CascadeError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CascadeError {}
+
+impl From<Diagnostic> for CascadeError {
+    fn from(d: Diagnostic) -> Self {
+        CascadeError::Parse(d)
+    }
+}
+
+impl From<SimError> for CascadeError {
+    fn from(e: SimError) -> Self {
+        CascadeError::Sim(e)
+    }
+}
+
+impl From<CompileError> for CascadeError {
+    fn from(e: CompileError) -> Self {
+        CascadeError::Compile(e)
+    }
+}

@@ -1,0 +1,479 @@
+//! Source-to-source generation of the hardware engine's MMIO wrapper
+//! (paper Fig. 10).
+//!
+//! Given an inlined, transformed subprogram, this emits the standalone
+//! Verilog a hardware engine hands to the blackbox toolchain: an AXI-style
+//! port list (`CLK`/`RW`/`ADDR`/`IN`/`OUT`/`WAIT`), a variable file holding
+//! the subprogram's inputs and state, shadow registers with update masks
+//! for nonblocking assignments, task masks with argument capture for
+//! `$display`/`$finish`, and the open-loop counter that lets the engine run
+//! cycles without runtime intervention.
+//!
+//! The generated module is real Verilog: it parses with this repository's
+//! frontend and, driven over the bus protocol, behaves identically to the
+//! original subprogram (see `fig10_wrapper_is_behaviourally_equivalent`).
+//!
+//! Deviations from the figure, for clarity rather than necessity: variable
+//! slots are emitted as individually named registers at their natural
+//! widths (`_var_cnt`) instead of packed 32-bit array words, and update/task
+//! masks carry one bit per target.
+
+use crate::error::CascadeError;
+use cascade_verilog::ast::*;
+use cascade_verilog::typecheck::{check_module, ModuleLibrary, ParamEnv};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What one bus address refers to in the generated wrapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WrapperSlot {
+    /// A subprogram input (writable; reads return the current value).
+    Input(String),
+    /// A stateful element (readable and writable — `get`/`set_state`).
+    State(String),
+    /// A captured `$display` argument (readable).
+    TaskArg { task: usize, arg: usize },
+    /// A subprogram output (readable).
+    Output(String),
+}
+
+/// The generated wrapper: Verilog source plus its address map.
+#[derive(Debug, Clone)]
+pub struct Fig10Wrapper {
+    /// The complete module source (module name `Main`, as in the figure).
+    pub source: String,
+    /// Data addresses, in order.
+    pub slots: Vec<WrapperSlot>,
+    /// Control addresses: `(name, address)` for LATCH / CLEAR / OLOOP /
+    /// TASKS / UPDATES / ITRS.
+    pub ctrl: BTreeMap<String, u32>,
+}
+
+impl Fig10Wrapper {
+    /// The bus address of a named input/state/output slot.
+    pub fn addr_of(&self, name: &str) -> Option<u32> {
+        self.slots.iter().position(|s| match s {
+            WrapperSlot::Input(n) | WrapperSlot::State(n) | WrapperSlot::Output(n) => n == name,
+            WrapperSlot::TaskArg { .. } => false,
+        }).map(|i| i as u32)
+    }
+}
+
+/// Generates the Fig. 10 wrapper for an inlined subprogram.
+///
+/// # Errors
+///
+/// Returns [`CascadeError::Unsupported`] when the subprogram still contains
+/// instances (inline first, paper Sec. 4.2), uses memories (the real system
+/// maps those to block RAM ports), or mixes clock edges.
+pub fn generate_wrapper(sub: &Module, lib: &ModuleLibrary) -> Result<Fig10Wrapper, CascadeError> {
+    if sub.items.iter().any(|i| matches!(i, ModuleItem::Instance(_))) {
+        return Err(CascadeError::Unsupported(
+            "fig10 wrapper generation requires inlined user logic".to_string(),
+        ));
+    }
+    let checked = check_module(sub, &ParamEnv::new(), lib).map_err(CascadeError::Typecheck)?;
+
+    // Classify: inputs (ports), state (regs written under a clock edge),
+    // outputs (ports).
+    let mut inputs: Vec<(String, u32)> = Vec::new();
+    let mut outputs: Vec<(String, u32)> = Vec::new();
+    for p in &sub.ports {
+        let width = checked.width_of(&p.name).unwrap_or(1);
+        match p.dir {
+            PortDir::Input => inputs.push((p.name.clone(), width)),
+            PortDir::Output => outputs.push((p.name.clone(), width)),
+            PortDir::Inout => {
+                return Err(CascadeError::Unsupported("inout ports".to_string()));
+            }
+        }
+    }
+    let mut state: Vec<(String, u32)> = Vec::new();
+    let mut unsupported: Option<String> = None;
+    for item in &sub.items {
+        let ModuleItem::Always(a) = item else { continue };
+        let clocked = matches!(&a.sensitivity, Sensitivity::List(items)
+            if items.iter().any(|i| i.edge.is_some()));
+        if !clocked {
+            continue;
+        }
+        a.body.visit_writes(&mut |lv, blocking| {
+            for n in lv.written_names() {
+                if let Some(sym) = checked.symbol(n) {
+                    if sym.kind.is_variable() && sym.array.is_none() {
+                        // Shadow registers capture whole-variable
+                        // nonblocking updates; partial or blocking state
+                        // writes would need read-modify-write shadows.
+                        if !matches!(lv, LValue::Ident(_)) {
+                            unsupported = Some(format!(
+                                "partial write to state `{n}` in fig10 wrapper"
+                            ));
+                        }
+                        if blocking {
+                            unsupported = Some(format!(
+                                "blocking write to state `{n}` in fig10 wrapper"
+                            ));
+                        }
+                        if !state.iter().any(|(s, _)| s == n) {
+                            state.push((n.to_string(), sym.width()));
+                        }
+                    }
+                }
+            }
+        });
+    }
+    if let Some(msg) = unsupported {
+        return Err(CascadeError::Unsupported(msg));
+    }
+    for (name, _) in &state {
+        if checked.symbol(name).is_some_and(|s| s.array.is_some()) {
+            return Err(CascadeError::Unsupported(format!(
+                "memory `{name}` in fig10 wrapper (block-RAM ports are out of scope)"
+            )));
+        }
+    }
+
+    // Collect tasks (in source order) and their argument expressions.
+    let mut tasks: Vec<TaskInfo> = Vec::new();
+    for item in &sub.items {
+        if let ModuleItem::Always(a) = item {
+            collect_tasks(&a.body, &mut tasks);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Address map.
+    // ------------------------------------------------------------------
+    let mut slots: Vec<WrapperSlot> = Vec::new();
+    for (n, _) in &inputs {
+        slots.push(WrapperSlot::Input(n.clone()));
+    }
+    for (n, _) in &state {
+        slots.push(WrapperSlot::State(n.clone()));
+    }
+    let mut task_arg_slots: Vec<Vec<usize>> = Vec::new();
+    for (ti, (_, args, fmt)) in tasks.iter().enumerate() {
+        let mut these = Vec::new();
+        let skip_first = usize::from(fmt.is_some());
+        for (ci, _) in args.iter().skip(skip_first).enumerate() {
+            these.push(slots.len());
+            slots.push(WrapperSlot::TaskArg { task: ti, arg: ci });
+        }
+        task_arg_slots.push(these);
+    }
+    for (n, _) in &outputs {
+        slots.push(WrapperSlot::Output(n.clone()));
+    }
+    let base_ctrl = slots.len() as u32;
+    let mut ctrl = BTreeMap::new();
+    for (i, name) in ["LATCH", "CLEAR", "OLOOP", "TASKS", "UPDATES", "ITRS"]
+        .iter()
+        .enumerate()
+    {
+        ctrl.insert(name.to_string(), base_ctrl + i as u32);
+    }
+
+    // ------------------------------------------------------------------
+    // Emit source.
+    // ------------------------------------------------------------------
+    let mut src = String::with_capacity(8192);
+    src.push_str(
+        "module Main(\n  input wire CLK,\n  input wire RW,\n  input wire [31:0] ADDR,\n  input wire [31:0] IN,\n  output wire [31:0] OUT,\n  output wire WAIT\n);\n",
+    );
+    // Address shorthands (the figure's <SET n> / <LATCH> / <OLOOP>).
+    for (name, addr) in &ctrl {
+        let _ = writeln!(src, "localparam A_{name} = 32'd{addr};");
+    }
+    let nstate = state.len().max(1);
+    let ntasks = tasks.len().max(1);
+    // Variable file: inputs and state at natural widths.
+    for (n, w) in &inputs {
+        let _ = writeln!(src, "reg [{}:0] _var_{n} = 0;", w - 1);
+    }
+    for (n, w) in &state {
+        let init = checked
+            .symbol(n)
+            .and_then(|s| s.init.clone())
+            .map(|e| cascade_verilog::pretty::print_expr(&e))
+            .unwrap_or_else(|| "0".to_string());
+        let _ = writeln!(src, "reg [{}:0] _var_{n} = {init};", w - 1);
+        let _ = writeln!(src, "reg [{}:0] _nvar_{n} = 0;", w - 1);
+    }
+    // Task argument capture.
+    for (ti, args) in task_arg_slots.iter().enumerate() {
+        for (ai, _) in args.iter().enumerate() {
+            let _ = writeln!(src, "reg [31:0] _targ_{ti}_{ai} = 0;");
+        }
+    }
+    // Masks and the open-loop machinery (figure lines 11-13, 28-42).
+    let _ = writeln!(src, "reg [{}:0] _umask = 0, _numask = 0;", nstate - 1);
+    let _ = writeln!(src, "reg [{}:0] _tmask = 0, _ntmask = 0;", ntasks - 1);
+    src.push_str("reg [31:0] _oloop = 0, _itrs = 0;\n");
+    let _ = writeln!(src, "wire _updates = _umask != _numask;");
+    let _ = writeln!(src, "wire _set_latch = RW && ADDR == A_LATCH;");
+    let _ = writeln!(src, "wire _latch = _set_latch || (_updates && _oloop != 0);");
+    let _ = writeln!(src, "wire _tasks = _tmask != _ntmask;");
+    let _ = writeln!(src, "wire _clear = RW && ADDR == A_CLEAR;");
+    let _ = writeln!(src, "wire _otick = (_oloop != 0) && !_tasks;");
+    // Name bindings: original code reads its variables through the file.
+    for (n, w) in inputs.iter().chain(state.iter()) {
+        let _ = writeln!(src, "wire [{}:0] {n} = _var_{n};", w - 1);
+    }
+    // Output port declarations become plain wires driven by the user logic.
+    for (n, w) in &outputs {
+        let _ = writeln!(src, "wire [{}:0] {n};", w - 1);
+    }
+
+    // The user's items, with state writes redirected to shadows and tasks
+    // replaced by capture+mask toggles.
+    let state_names: Vec<String> = state.iter().map(|(n, _)| n.clone()).collect();
+    let mut task_counter = 0usize;
+    for item in &sub.items {
+        match item {
+            ModuleItem::Net(decl) => {
+                // State/input declarations were replaced by the file; keep
+                // everything else (wires, comb regs).
+                let mut kept = decl.clone();
+                kept.decls.retain(|d| {
+                    !state_names.contains(&d.name)
+                        && !inputs.iter().any(|(n, _)| n == &d.name)
+                });
+                if !kept.decls.is_empty() {
+                    src.push_str(&print_item(&ModuleItem::Net(kept)));
+                }
+            }
+            ModuleItem::Always(a) => {
+                let mut rewritten = a.clone();
+                rewrite_stmt(&mut rewritten.body, &state_names, &mut task_counter, &task_arg_slots, &tasks);
+                src.push_str(&print_item(&ModuleItem::Always(rewritten)));
+            }
+            ModuleItem::Assign(_) | ModuleItem::Param(_) => {
+                src.push_str(&print_item(item));
+            }
+            ModuleItem::Initial(_) | ModuleItem::Statement(_) => {
+                // One-shot items never reach the hardware build.
+            }
+            other => {
+                return Err(CascadeError::Unsupported(format!(
+                    "unexpected item in inlined subprogram: {other:?}"
+                )));
+            }
+        }
+    }
+
+    // Bus write plane (figure lines 35-47).
+    src.push_str("always @(posedge CLK) begin\n");
+    src.push_str("  _umask <= _latch ? _numask : _umask;\n");
+    src.push_str("  _tmask <= _clear ? _ntmask : _tmask;\n");
+    src.push_str(
+        "  _oloop <= (RW && ADDR == A_OLOOP) ? IN : _otick ? (_oloop - 1) : _tasks ? 0 : _oloop;\n",
+    );
+    src.push_str("  _itrs <= (RW && ADDR == A_OLOOP) ? 0 : _otick ? (_itrs + 1) : _itrs;\n");
+    for (i, (n, _)) in inputs.iter().enumerate() {
+        if i == 0 {
+            // By convention the first input is the virtual clock; open loop
+            // toggles it (figure line 43).
+            let _ = writeln!(
+                src,
+                "  _var_{n} <= _otick ? (_var_{n} + 1) : (RW && ADDR == 32'd{i}) ? IN : _var_{n};"
+            );
+        } else {
+            let _ = writeln!(src, "  _var_{n} <= (RW && ADDR == 32'd{i}) ? IN : _var_{n};");
+        }
+    }
+    for (si, (n, _)) in state.iter().enumerate() {
+        let addr = inputs.len() + si;
+        let _ = writeln!(
+            src,
+            "  _var_{n} <= (RW && ADDR == 32'd{addr}) ? IN : (_latch && (_umask[{si}] != _numask[{si}])) ? _nvar_{n} : _var_{n};"
+        );
+    }
+    src.push_str("end\n");
+
+    // Bus read plane (figure lines 50-53).
+    src.push_str("reg [31:0] _out;\nalways @(*) begin\n  _out = 32'd0;\n  case (ADDR)\n");
+    for (addr, slot) in slots.iter().enumerate() {
+        let expr = match slot {
+            WrapperSlot::Input(n) | WrapperSlot::State(n) => format!("_var_{n}"),
+            WrapperSlot::TaskArg { task, arg } => format!("_targ_{task}_{arg}"),
+            WrapperSlot::Output(n) => n.clone(),
+        };
+        let _ = writeln!(src, "    32'd{addr}: _out = {expr};");
+    }
+    let _ = writeln!(src, "    A_TASKS: _out = _tmask ^ _ntmask;");
+    let _ = writeln!(src, "    A_UPDATES: _out = _umask ^ _numask;");
+    let _ = writeln!(src, "    A_ITRS: _out = _itrs;");
+    src.push_str("    default: _out = 32'd0;\n  endcase\nend\n");
+    src.push_str("assign OUT = _out;\nassign WAIT = _oloop != 0;\nendmodule\n");
+
+    Ok(Fig10Wrapper { source: src, slots, ctrl })
+}
+
+/// Task descriptor: `(kind, original args, optional format string)`.
+type TaskInfo = (SystemTask, Vec<Expr>, Option<String>);
+
+/// Collects system tasks in source order.
+fn collect_tasks(s: &Stmt, out: &mut Vec<TaskInfo>) {
+    match s {
+        Stmt::SystemTask { task, args, .. } => {
+            let fmt = match args.first() {
+                Some(Expr::Str(f)) => Some(f.clone()),
+                _ => None,
+            };
+            out.push((*task, args.clone(), fmt));
+        }
+        Stmt::Block { stmts, .. } => {
+            for st in stmts {
+                collect_tasks(st, out);
+            }
+        }
+        Stmt::If { then_branch, else_branch, .. } => {
+            collect_tasks(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_tasks(e, out);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for arm in arms {
+                collect_tasks(&arm.body, out);
+            }
+            if let Some(d) = default {
+                collect_tasks(d, out);
+            }
+        }
+        Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::Repeat { body, .. }
+        | Stmt::Forever { body, .. } => collect_tasks(body, out),
+        _ => {}
+    }
+}
+
+/// Rewrites a clocked body: state writes → shadow writes with mask toggles;
+/// tasks → argument capture + task-mask toggles.
+#[allow(clippy::only_used_in_recursion)]
+fn rewrite_stmt(
+    s: &mut Stmt,
+    state: &[String],
+    task_counter: &mut usize,
+    task_arg_slots: &[Vec<usize>],
+    tasks: &[TaskInfo],
+) {
+    match s {
+        Stmt::Block { stmts, .. } => {
+            for st in stmts {
+                rewrite_stmt(st, state, task_counter, task_arg_slots, tasks);
+            }
+        }
+        Stmt::Blocking { lhs, .. } | Stmt::NonBlocking { lhs, .. } => {
+            if let Some(si) = state.iter().position(|n| {
+                lhs.written_names().first().is_some_and(|w| w == n)
+            }) {
+                let name = state[si].clone();
+                redirect_lvalue(lhs, &name, &format!("_nvar_{name}"));
+                // Append the mask toggle by wrapping in a block.
+                let toggle = Stmt::NonBlocking {
+                    lhs: LValue::Index {
+                        base: "_numask".to_string(),
+                        index: Expr::number(si as u64),
+                    },
+                    rhs: Expr::Unary {
+                        op: UnaryOp::BitNot,
+                        operand: Box::new(Expr::Index {
+                            base: Box::new(Expr::ident("_numask")),
+                            index: Box::new(Expr::number(si as u64)),
+                        }),
+                    },
+                    span: cascade_verilog::Span::synthetic(),
+                };
+                let original = std::mem::replace(s, Stmt::Null);
+                *s = Stmt::Block { name: None, stmts: vec![original, toggle] };
+            }
+        }
+        Stmt::If { then_branch, else_branch, .. } => {
+            rewrite_stmt(then_branch, state, task_counter, task_arg_slots, tasks);
+            if let Some(e) = else_branch {
+                rewrite_stmt(e, state, task_counter, task_arg_slots, tasks);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for arm in arms {
+                rewrite_stmt(&mut arm.body, state, task_counter, task_arg_slots, tasks);
+            }
+            if let Some(d) = default {
+                rewrite_stmt(d, state, task_counter, task_arg_slots, tasks);
+            }
+        }
+        Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::Repeat { body, .. }
+        | Stmt::Forever { body, .. } => {
+            rewrite_stmt(body, state, task_counter, task_arg_slots, tasks);
+        }
+        Stmt::SystemTask { .. } => {
+            let ti = *task_counter;
+            *task_counter += 1;
+            let (_, args, fmt) = &tasks[ti];
+            let mut stmts = Vec::new();
+            let skip = usize::from(fmt.is_some());
+            for (k, arg) in args.iter().skip(skip).enumerate() {
+                stmts.push(Stmt::NonBlocking {
+                    lhs: LValue::Ident(format!("_targ_{ti}_{k}")),
+                    rhs: arg.clone(),
+                    span: cascade_verilog::Span::synthetic(),
+                });
+            }
+            stmts.push(Stmt::NonBlocking {
+                lhs: LValue::Index {
+                    base: "_ntmask".to_string(),
+                    index: Expr::number(ti as u64),
+                },
+                rhs: Expr::Unary {
+                    op: UnaryOp::BitNot,
+                    operand: Box::new(Expr::Index {
+                        base: Box::new(Expr::ident("_ntmask")),
+                        index: Box::new(Expr::number(ti as u64)),
+                    }),
+                },
+                span: cascade_verilog::Span::synthetic(),
+            });
+            *s = Stmt::Block { name: None, stmts };
+        }
+        Stmt::Null => {}
+    }
+}
+
+/// Redirects an lvalue whose base is `from` to `to`.
+fn redirect_lvalue(lv: &mut LValue, from: &str, to: &str) {
+    match lv {
+        LValue::Ident(n)
+        | LValue::Index { base: n, .. }
+        | LValue::Part { base: n, .. }
+        | LValue::IndexedPart { base: n, .. }
+        | LValue::IndexThenPart { base: n, .. } => {
+            if n == from {
+                *n = to.to_string();
+            }
+        }
+        LValue::Hier(_) => {}
+        LValue::Concat(parts) => {
+            for p in parts {
+                redirect_lvalue(p, from, to);
+            }
+        }
+    }
+}
+
+fn print_item(item: &ModuleItem) -> String {
+    let module = Module {
+        name: "__tmp".to_string(),
+        params: Vec::new(),
+        ports: Vec::new(),
+        items: vec![item.clone()],
+        span: cascade_verilog::Span::synthetic(),
+    };
+    let printed = cascade_verilog::pretty::print_module(&module);
+    // Strip the module wrapper lines.
+    printed
+        .lines()
+        .skip(1)
+        .take_while(|l| !l.starts_with("endmodule"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}

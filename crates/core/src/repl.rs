@@ -1,0 +1,114 @@
+//! The Read-Eval-Print-Loop controller and view (paper Sec. 3.1, Fig. 3).
+//!
+//! Verilog is accepted one line at a time; lines accumulate until they form
+//! a complete item (a module declaration, a root declaration/instantiation,
+//! or a statement), which is then eval'ed into the running program. Errors
+//! are reported per item; code that passes begins execution immediately.
+
+use crate::error::CascadeError;
+use crate::runtime::Runtime;
+
+/// What the REPL did with a line of input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplResponse {
+    /// The line was accepted and the accumulated item(s) evaluated; any
+    /// `$display` output produced immediately is included.
+    Evaluated(Vec<String>),
+    /// The line is part of an incomplete item; more input is needed.
+    Incomplete,
+    /// The item failed to parse or type check and was discarded.
+    Error(String),
+}
+
+/// A line-oriented front end over [`Runtime`].
+pub struct Repl {
+    runtime: Runtime,
+    buffer: String,
+}
+
+impl Repl {
+    /// Wraps a runtime.
+    pub fn new(runtime: Runtime) -> Self {
+        Repl { runtime, buffer: String::new() }
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&mut self) -> &mut Runtime {
+        &mut self.runtime
+    }
+
+    /// Consumes the REPL, returning the runtime.
+    pub fn into_runtime(self) -> Runtime {
+        self.runtime
+    }
+
+    /// Feeds one line of input.
+    pub fn line(&mut self, text: &str) -> ReplResponse {
+        self.buffer.push_str(text);
+        self.buffer.push('\n');
+        if !self.buffer_complete() {
+            return ReplResponse::Incomplete;
+        }
+        let src = std::mem::take(&mut self.buffer);
+        match self.runtime.eval(&src) {
+            Ok(()) => ReplResponse::Evaluated(self.runtime.drain_output()),
+            Err(CascadeError::Parse(d)) => ReplResponse::Error(d.render(&src)),
+            Err(e) => ReplResponse::Error(e.to_string()),
+        }
+    }
+
+    /// Feeds a whole file (batch mode, paper Sec. 3.1). The process is the
+    /// same as interactive input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first evaluation error.
+    pub fn batch(&mut self, src: &str) -> Result<Vec<String>, CascadeError> {
+        self.runtime.eval(src)?;
+        Ok(self.runtime.drain_output())
+    }
+
+    /// Heuristic completeness check: balanced `module`/`endmodule`,
+    /// `begin`/`end`, `case`/`endcase`, parens/braces/brackets, and a
+    /// terminating `;` (or a block keyword ending).
+    fn buffer_complete(&self) -> bool {
+        let Ok(tokens) = cascade_verilog::lex(&self.buffer) else {
+            // Unterminated comment/string: wait for more input... unless the
+            // input cannot recover (a lex error on a complete line is rare;
+            // let eval() surface it).
+            return self.buffer.contains('\n');
+        };
+        use cascade_verilog::{Keyword, TokenKind};
+        let mut depth: i64 = 0;
+        let mut blocks: i64 = 0;
+        let mut last_significant: Option<&TokenKind> = None;
+        for t in &tokens {
+            match &t.kind {
+                TokenKind::LParen | TokenKind::LBrace | TokenKind::LBracket => depth += 1,
+                TokenKind::RParen | TokenKind::RBrace | TokenKind::RBracket => depth -= 1,
+                TokenKind::Keyword(Keyword::Module)
+                | TokenKind::Keyword(Keyword::Begin)
+                | TokenKind::Keyword(Keyword::Case)
+                | TokenKind::Keyword(Keyword::Casez)
+                | TokenKind::Keyword(Keyword::Casex) => blocks += 1,
+                TokenKind::Keyword(Keyword::Endmodule)
+                | TokenKind::Keyword(Keyword::End)
+                | TokenKind::Keyword(Keyword::Endcase) => blocks -= 1,
+                _ => {}
+            }
+            if !matches!(t.kind, TokenKind::Eof) {
+                last_significant = Some(&t.kind);
+            }
+        }
+        if depth > 0 || blocks > 0 {
+            return false;
+        }
+        matches!(
+            last_significant,
+            Some(TokenKind::Semi)
+                | Some(TokenKind::Keyword(Keyword::Endmodule))
+                | Some(TokenKind::Keyword(Keyword::End))
+                | Some(TokenKind::Keyword(Keyword::Endcase))
+        )
+    }
+}

@@ -1,0 +1,965 @@
+//! The Cascade runtime (paper Sec. 3.4, Fig. 5 & 6).
+//!
+//! The runtime owns the program's source, the engine for each subprogram,
+//! the data/control plane wiring them, the interrupt queue, and the
+//! scheduler. Code eval'ed by the user is integrated between time steps —
+//! when the event queue is empty and the system is in an observable state —
+//! which is also when hardware engines replace software engines and
+//! interrupts (system-task side effects) are serviced.
+
+use crate::compiler::BackgroundCompiler;
+use crate::config::JitConfig;
+use crate::engine::clock::ClockEngine;
+use crate::engine::hw::{Forwarded, HwEngine};
+use crate::engine::native::NativeEngine;
+use crate::engine::peripheral::{PeripheralEngine, PERIPHERAL_CLOCK_PORT};
+use crate::engine::sw::SwEngine;
+use crate::engine::{Engine, EngineKind, EngineState, TaskEvent};
+use crate::error::CascadeError;
+use crate::transform::{transform_module, Externals, Wire};
+use cascade_bits::Bits;
+use cascade_fpga::{Board, VirtualWall};
+use cascade_sim::Design;
+use cascade_verilog::ast::{Item, Module, ModuleItem};
+use cascade_verilog::typecheck::{check_module, const_eval, ModuleLibrary, ParamEnv};
+use cascade_verilog::Span;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The name of the implicit root module.
+const ROOT: &str = "main";
+
+/// One accumulated root-module item and whether its one-shot part has
+/// already executed (statements and initial blocks run exactly once, when
+/// eval'ed).
+#[derive(Debug, Clone)]
+struct RootEntry {
+    item: ModuleItem,
+    executed: bool,
+}
+
+struct Slot {
+    name: String,
+    engine: Box<dyn Engine>,
+}
+
+struct ResolvedWire {
+    from: (usize, String),
+    to: (usize, String),
+    last: Option<Bits>,
+}
+
+/// How the program is currently executing (for instrumentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// No user logic yet.
+    Idle,
+    /// Software engines on the data plane.
+    Software,
+    /// User logic in hardware; stdlib still on the data plane.
+    Hardware,
+    /// Hardware with stdlib absorbed (ABI forwarding).
+    HardwareForwarded,
+    /// Wrapper-free native execution.
+    Native,
+}
+
+/// Point-in-time runtime statistics.
+#[derive(Debug, Clone)]
+pub struct RuntimeStats {
+    pub version: u64,
+    pub ticks: u64,
+    pub wall_seconds: f64,
+    pub mode: ExecMode,
+    pub compile_in_flight: bool,
+    pub engines: Vec<(String, EngineKind)>,
+    /// Whether the last `run_ticks` batch used open-loop scheduling.
+    pub open_loop_active: bool,
+}
+
+/// The Cascade runtime: eval Verilog, run it immediately, let the JIT move
+/// it into (virtual) hardware behind your back.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_core::{JitConfig, Runtime};
+/// use cascade_fpga::Board;
+///
+/// let board = Board::new();
+/// let mut cascade = Runtime::new(board.clone(), JitConfig::default())?;
+/// cascade.eval(
+///     "reg [7:0] cnt = 1;\n\
+///      always @(posedge clk.val) cnt <= (cnt == 8'h80) ? 8'h1 : (cnt << 1);\n\
+///      assign led.val = cnt;",
+/// )?;
+/// cascade.run_ticks(3)?;
+/// assert_eq!(board.leds().to_u64(), 8);
+/// # Ok::<(), cascade_core::CascadeError>(())
+/// ```
+pub struct Runtime {
+    config: JitConfig,
+    board: Board,
+    lib: ModuleLibrary,
+    root: Vec<RootEntry>,
+    version: u64,
+
+    slots: Vec<Slot>,
+    wires: Vec<ResolvedWire>,
+    clock_idx: usize,
+    main_idx: Option<usize>,
+
+    output: Vec<String>,
+    finished: bool,
+    wall: VirtualWall,
+    iterations: u64,
+
+    compiler: BackgroundCompiler,
+    /// Design of the current main subprogram (what gets compiled).
+    hw_design: Option<Arc<Design>>,
+    native: bool,
+    open_loop_last: bool,
+    /// Adaptive open-loop budget in cycles (paper Sec. 4.4: "adaptive
+    /// profiling is used to choose an iteration limit which allows the
+    /// engine to relinquish control on a regular basis").
+    open_loop_budget: f64,
+    /// Warnings surfaced asynchronously (compile failures).
+    warnings: Vec<String>,
+}
+
+impl Runtime {
+    /// Creates a runtime bound to a virtual board. The standard library is
+    /// declared and its implicit components (`clk`, `pad`, `led`) are
+    /// instantiated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError`] only on internal stdlib declaration
+    /// failures.
+    pub fn new(board: Board, config: JitConfig) -> Result<Self, CascadeError> {
+        let mut lib = ModuleLibrary::new();
+        for m in cascade_stdlib::stdlib_modules() {
+            lib.insert(m);
+        }
+        let mut rt = Runtime {
+            config,
+            board,
+            lib,
+            root: Vec::new(),
+            version: 0,
+            slots: Vec::new(),
+            wires: Vec::new(),
+            clock_idx: 0,
+            main_idx: None,
+            output: Vec::new(),
+            finished: false,
+            wall: VirtualWall::new(),
+            iterations: 0,
+            compiler: BackgroundCompiler::new(),
+            hw_design: None,
+            native: false,
+            open_loop_last: false,
+            open_loop_budget: 4096.0,
+            warnings: Vec::new(),
+        };
+        rt.rebuild()?;
+        Ok(rt)
+    }
+
+    // ------------------------------------------------------------------
+    // Public surface
+    // ------------------------------------------------------------------
+
+    /// The board this runtime drives.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// Virtual clock ticks executed.
+    pub fn ticks(&self) -> u64 {
+        self.iterations / 2
+    }
+
+    /// Modeled wall-clock seconds elapsed.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall.seconds()
+    }
+
+    /// Advances the modeled wall clock without executing (idle time, e.g.
+    /// a user reading the screen in the study model).
+    pub fn advance_wall(&mut self, seconds: f64) {
+        self.wall.advance_ns(seconds * 1e9);
+    }
+
+    /// Whether `$finish` has executed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Drains view output (`$display` text, warnings).
+    pub fn drain_output(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            version: self.version,
+            ticks: self.ticks(),
+            wall_seconds: self.wall.seconds(),
+            mode: self.mode(),
+            compile_in_flight: self.compiler.busy(),
+            engines: self
+                .slots
+                .iter()
+                .map(|s| {
+                    let kind = s.engine.kind();
+                    (s.name.clone(), kind)
+                })
+                .collect(),
+            open_loop_active: self.open_loop_last,
+        }
+    }
+
+    /// The current execution mode.
+    pub fn mode(&self) -> ExecMode {
+        if self.native {
+            return ExecMode::Native;
+        }
+        match self.main_idx {
+            None => ExecMode::Idle,
+            Some(i) => match self.slots[i].engine.kind() {
+                EngineKind::Hardware => {
+                    if self.slots.len() <= 2 {
+                        ExecMode::HardwareForwarded
+                    } else {
+                        ExecMode::Hardware
+                    }
+                }
+                EngineKind::Native => ExecMode::Native,
+                _ => ExecMode::Software,
+            },
+        }
+    }
+
+    /// Evaluates Verilog source: module declarations enter the library;
+    /// bare items (declarations, instantiations, statements) append to the
+    /// implicit root module. Code begins executing immediately — statements
+    /// run once, and any `$display` output is available from
+    /// [`Runtime::drain_output`] on return.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError`] on parse/type errors; the program is left
+    /// unchanged.
+    pub fn eval(&mut self, src: &str) -> Result<(), CascadeError> {
+        let src = cascade_verilog::preproc::preprocess(src, &cascade_verilog::preproc::NoIncludes)?;
+        let unit = cascade_verilog::parse(&src)?;
+        // Stage: validate before mutating.
+        let mut staged_lib = self.lib.clone();
+        let mut staged_root = self.root.clone();
+        for item in unit.items {
+            match item {
+                Item::Module(m) => {
+                    if cascade_stdlib::is_stdlib_module(&m.name) {
+                        return Err(CascadeError::Unsupported(format!(
+                            "cannot redeclare standard-library module `{}`",
+                            m.name
+                        )));
+                    }
+                    // Monotonicity (paper Sec. 7.2): eval may add code to a
+                    // running program but never edit or delete it — the
+                    // soundness of running code immediately depends on later
+                    // evals not changing its semantics.
+                    if staged_lib.contains(&m.name) {
+                        return Err(CascadeError::Unsupported(format!(
+                            "cannot redeclare module `{}`: Cascade programs are append-only \
+                             (paper Sec. 7.2)",
+                            m.name
+                        )));
+                    }
+                    check_module(&m, &ParamEnv::new(), &staged_lib)
+                        .map_err(CascadeError::Typecheck)?;
+                    staged_lib.insert(m);
+                }
+                Item::RootItem(mi) => {
+                    staged_root.push(RootEntry { item: mi, executed: false });
+                }
+            }
+        }
+        // Validate the composed root module.
+        let root_module = compose_root(&staged_root, false);
+        let externals = root_externals(&root_module, &staged_lib, &self.config, true)?;
+        let mut wires = Vec::new();
+        let transformed =
+            transform_module(ROOT, &root_module, &externals, &staged_lib, &mut wires)?;
+        check_module(&transformed, &ParamEnv::new(), &staged_lib)
+            .map_err(CascadeError::Typecheck)?;
+        // Commit.
+        self.lib = staged_lib;
+        self.root = staged_root;
+        self.version += 1;
+        self.native = false;
+        self.rebuild()?;
+        Ok(())
+    }
+
+    /// Runs `n` virtual clock ticks (or until `$finish`), using open-loop
+    /// scheduling when eligible. Returns the ticks actually executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError`] on engine faults.
+    pub fn run_ticks(&mut self, n: u64) -> Result<u64, CascadeError> {
+        let mut done = 0;
+        self.open_loop_last = false;
+        while done < n && !self.finished {
+            self.poll_compiler()?;
+            if let Some(k) = self.try_open_loop(n - done)? {
+                done += k;
+                continue;
+            }
+            self.tick()?;
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    /// Runs one virtual clock tick (two scheduler iterations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError`] on engine faults.
+    pub fn tick(&mut self) -> Result<(), CascadeError> {
+        self.iteration()?;
+        self.iteration()?;
+        Ok(())
+    }
+
+    /// Switches to native mode: the program is compiled exactly as written
+    /// (no wrapper), sacrificing interactivity and system tasks for full
+    /// native performance. Blocks for the (modeled) compile latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::NativeIneligible`] when the program uses
+    /// unsynthesizable Verilog, or the compile error otherwise.
+    pub fn enter_native(&mut self) -> Result<(), CascadeError> {
+        let design = self
+            .hw_design
+            .clone()
+            .ok_or_else(|| CascadeError::NativeIneligible("no user logic".to_string()))?;
+        let mut tc = self.config.toolchain.clone();
+        tc.overhead_les = 0;
+        let bitstream = tc.compile(&design)?;
+        if !bitstream.netlist.tasks.is_empty() {
+            return Err(CascadeError::NativeIneligible(
+                "program contains unsynthesizable system tasks".to_string(),
+            ));
+        }
+        self.wall.advance(bitstream.modeled_duration);
+        // Gather peripherals for direct connection.
+        let forwarded = self.collect_forwarded();
+        let native = NativeEngine::new(Arc::clone(&bitstream.netlist), forwarded)
+            .map_err(|e| CascadeError::NativeIneligible(e.to_string()))?;
+        let main_idx = self.main_idx.expect("hw_design implies main");
+        self.slots[main_idx].engine = Box::new(native);
+        // Only the clock and the native engine remain.
+        self.retain_clock_and_main();
+        self.native = true;
+        Ok(())
+    }
+
+    /// Leaves native mode, rebuilding interpreted engines (state restarts
+    /// from initial values, as with a traditionally-deployed design).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError`] if the rebuild fails.
+    pub fn exit_native(&mut self) -> Result<(), CascadeError> {
+        self.native = false;
+        self.version += 1;
+        self.rebuild()
+    }
+
+    /// Test and instrumentation support: blocks until any in-flight
+    /// compilation's worker thread finishes (its modeled latency still
+    /// gates the swap).
+    pub fn wait_for_compile_worker(&mut self) {
+        self.compiler.wait_worker();
+    }
+
+    /// The modeled second at which the pending bitstream becomes available.
+    pub fn compile_ready_at(&self) -> Option<f64> {
+        self.compiler.ready_at()
+    }
+
+    /// Reads a named signal from the main engine (outputs and promoted
+    /// ports), for tests and probes.
+    pub fn probe(&mut self, port: &str) -> Option<Bits> {
+        let idx = self.main_idx?;
+        Some(self.slots[idx].engine.output(port))
+    }
+
+    // ------------------------------------------------------------------
+    // Rebuild: source → partition → engines
+    // ------------------------------------------------------------------
+
+    fn rebuild(&mut self) -> Result<(), CascadeError> {
+        // 1. Save state.
+        let mut saved: BTreeMap<String, EngineState> = BTreeMap::new();
+        for slot in &mut self.slots {
+            saved.insert(slot.name.clone(), slot.engine.get_state());
+        }
+        // 2. Compose and transform. Without inlining (paper Fig. 9.1), every
+        // root-level user-module instance becomes its own engine on the
+        // data/control plane; with inlining (Fig. 9.2) they stay inside the
+        // single main subprogram.
+        let root_module = compose_root(&self.root, true);
+        let mut externals = root_externals(&root_module, &self.lib, &self.config, true)?;
+        let mut child_specs: Vec<(String, String, ParamEnv)> = Vec::new();
+        if !self.config.inline {
+            for item in &root_module.items {
+                let ModuleItem::Instance(inst) = item else { continue };
+                if cascade_stdlib::is_stdlib_module(&inst.module) {
+                    continue;
+                }
+                let Some(decl) = self.lib.get(&inst.module) else { continue };
+                let mut params = ParamEnv::new();
+                for (i, conn) in inst.params.iter().enumerate() {
+                    let name = match &conn.name {
+                        Some(n) => n.clone(),
+                        None => match decl.params.get(i) {
+                            Some(p) => p.name.clone(),
+                            None => continue,
+                        },
+                    };
+                    if let Some(expr) = &conn.expr {
+                        if let Ok(v) = const_eval(expr, &ParamEnv::new()) {
+                            params.insert(name, v);
+                        }
+                    }
+                }
+                externals.insert(inst.name.clone(), (inst.module.clone(), params.clone()));
+                child_specs.push((inst.name.clone(), inst.module.clone(), params));
+            }
+        }
+        let mut wires: Vec<Wire> = Vec::new();
+        let transformed =
+            transform_module(ROOT, &root_module, &externals, &self.lib, &mut wires)?;
+
+        // 3. Build engines.
+        let mut slots: Vec<Slot> = Vec::new();
+        slots.push(Slot { name: "clk".to_string(), engine: Box::new(ClockEngine::new()) });
+        let clock_idx = 0;
+
+        // Peripherals that actually participate (wired), instantiated via
+        // the stdlib.
+        let mut peripheral_names: Vec<String> = wires
+            .iter()
+            .flat_map(|w| [w.from.0.clone(), w.to.0.clone()])
+            .filter(|n| n != ROOT && n != "clk")
+            .collect();
+        peripheral_names.sort();
+        peripheral_names.dedup();
+        for name in &peripheral_names {
+            let Some((module, params)) = externals.get(name) else { continue };
+            if !cascade_stdlib::is_stdlib_module(module) {
+                continue; // a non-inlined user instance: gets its own engine below
+            }
+            let Some(p) = cascade_stdlib::instantiate(module, params, &self.board) else {
+                return Err(CascadeError::Unsupported(format!(
+                    "`{module}` cannot be instantiated as a peripheral"
+                )));
+            };
+            slots.push(Slot { name: name.clone(), engine: Box::new(PeripheralEngine::new(p)) });
+        }
+
+        // Child engines for non-inlined user instances (software only; the
+        // JIT promotes to hardware only in the inlined configuration, as in
+        // the paper's optimization flow).
+        for (inst_name, module_name, params) in &child_specs {
+            let design = cascade_sim::elaborate(module_name, &self.lib, params)
+                .map_err(CascadeError::Elaborate)?;
+            let engine =
+                SwEngine::with_state(Arc::new(design), saved.get(inst_name.as_str()))
+                    .map_err(|e| CascadeError::Unsupported(e.to_string()))?;
+            slots.push(Slot { name: inst_name.clone(), engine: Box::new(engine) });
+        }
+
+        // The main engine (if there is user logic).
+        let has_user_logic = !transformed.items.is_empty();
+        let mut main_idx = None;
+        let mut hw_design = None;
+        if has_user_logic {
+            // Software design includes not-yet-executed statements/initials.
+            let sw_design = Arc::new(self.elaborate_subprogram(&transformed)?);
+            // The hardware design excludes one-shot items entirely.
+            let hw_module = strip_one_shot(&transformed);
+            let hw = Arc::new(self.elaborate_subprogram(&hw_module)?);
+            // Prior state is restored *before* initial blocks and freshly
+            // eval'ed statements execute, so probes observe live values.
+            let engine = SwEngine::with_state(Arc::clone(&sw_design), saved.get(ROOT))
+                .map_err(|e| CascadeError::Unsupported(e.to_string()))?;
+            main_idx = Some(slots.len());
+            slots.push(Slot { name: ROOT.to_string(), engine: Box::new(engine) });
+            hw_design = Some(hw);
+        }
+
+        // 4. Resolve wires (plus the implicit clock wire to peripherals).
+        let index_of = |name: &str, slots: &[Slot]| slots.iter().position(|s| s.name == name);
+        let mut resolved = Vec::new();
+        for w in &wires {
+            let (Some(f), Some(t)) = (index_of(&w.from.0, &slots), index_of(&w.to.0, &slots))
+            else {
+                continue; // wire to an unused peripheral
+            };
+            resolved.push(ResolvedWire {
+                from: (f, w.from.1.clone()),
+                to: (t, w.to.1.clone()),
+                last: None,
+            });
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            if slot.engine.kind() == EngineKind::Peripheral {
+                resolved.push(ResolvedWire {
+                    from: (clock_idx, "val".to_string()),
+                    to: (i, PERIPHERAL_CLOCK_PORT.to_string()),
+                    last: None,
+                });
+            }
+        }
+
+        // Restore peripheral state (memories survive rebuilds).
+        for slot in &mut slots {
+            if let Some(prev) = saved.get(&slot.name) {
+                if slot.engine.kind() == EngineKind::Peripheral {
+                    slot.engine.set_state(prev);
+                }
+            }
+        }
+
+        self.slots = slots;
+        self.wires = resolved;
+        self.clock_idx = clock_idx;
+        self.main_idx = main_idx;
+        self.hw_design = hw_design;
+
+        // 5. Mark one-shot items executed (they ran during engine init) and
+        // surface their output.
+        for entry in &mut self.root {
+            if matches!(entry.item, ModuleItem::Statement(_) | ModuleItem::Initial(_)) {
+                entry.executed = true;
+            }
+        }
+        self.collect_interrupts();
+        // Initial propagation so peripherals see time-zero outputs.
+        self.propagate();
+
+        // 6. Kick background compilation (only meaningful for the inlined
+        // configuration: a partitioned program would need one compile per
+        // engine, which the paper's flow sidesteps by inlining first).
+        if self.config.auto_compile && self.config.inline {
+            if let Some(design) = &self.hw_design {
+                self.compiler.submit(
+                    Arc::clone(design),
+                    self.config.toolchain.clone(),
+                    self.version,
+                    self.wall.seconds(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Elaborates a transformed subprogram against the user library.
+    /// (Function inlining happens inside `cascade_sim::elaborate`.)
+    fn elaborate_subprogram(&self, module: &Module) -> Result<Design, CascadeError> {
+        let mut lib = self.lib.clone();
+        let mut m = module.clone();
+        m.name = "__cascade_sub".to_string();
+        lib.insert(m);
+        cascade_sim::elaborate("__cascade_sub", &lib, &ParamEnv::new())
+            .map_err(CascadeError::Elaborate)
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler (paper Fig. 6)
+    // ------------------------------------------------------------------
+
+    fn iteration(&mut self) -> Result<(), CascadeError> {
+        if self.finished {
+            return Ok(());
+        }
+        // Start-of-step: poll external inputs (board state the user changed
+        // while the runtime was idle) and re-arm recurring events like the
+        // clock tick. This is the paper's "end step for all engines",
+        // executed at the equivalent point before the next iteration.
+        for slot in &mut self.slots {
+            slot.engine.end_step();
+        }
+        self.propagate();
+        loop {
+            // Evaluation events, batched per engine, with propagation.
+            loop {
+                let mut any = false;
+                for slot in &mut self.slots {
+                    if slot.engine.there_are_evals() {
+                        slot.engine.evaluate().map_err(engine_err)?;
+                        any = true;
+                    }
+                }
+                let moved = self.propagate();
+                if !any && !moved {
+                    break;
+                }
+            }
+            // Update events.
+            let mut updated = false;
+            for slot in &mut self.slots {
+                if slot.engine.there_are_updates() {
+                    slot.engine.update().map_err(engine_err)?;
+                    updated = true;
+                }
+            }
+            if !updated {
+                break;
+            }
+            self.propagate();
+        }
+        // Observable state: interrupts are serviced, engines may be
+        // replaced, time advances.
+        self.collect_interrupts();
+        self.iterations += 1;
+        self.charge_costs();
+        self.wall.advance_ns(self.config.costs.runtime_iteration_ns);
+        Ok(())
+    }
+
+    /// Moves changed output values across data-plane wires. Returns whether
+    /// anything moved.
+    fn propagate(&mut self) -> bool {
+        let mut moved = false;
+        for wi in 0..self.wires.len() {
+            let (from_idx, from_port) = self.wires[wi].from.clone();
+            let value = self.slots[from_idx].engine.output(&from_port);
+            if self.wires[wi].last.as_ref() == Some(&value) {
+                continue;
+            }
+            let (to_idx, to_port) = self.wires[wi].to.clone();
+            self.slots[to_idx].engine.read(&to_port, &value);
+            self.wires[wi].last = Some(value);
+            moved = true;
+        }
+        moved
+    }
+
+    fn collect_interrupts(&mut self) {
+        for slot in &mut self.slots {
+            for ev in slot.engine.drain_tasks() {
+                match ev {
+                    TaskEvent::Display(s) => self.output.push(s),
+                    TaskEvent::Write(s) => self.output.push(s),
+                    TaskEvent::Finish => {
+                        self.finished = true;
+                    }
+                    TaskEvent::Fatal(s) => {
+                        self.output.push(format!("fatal: {s}"));
+                        self.finished = true;
+                    }
+                }
+            }
+        }
+        for w in std::mem::take(&mut self.warnings) {
+            self.output.push(w);
+        }
+    }
+
+    fn charge_costs(&mut self) {
+        let costs = self.config.costs.clone();
+        for slot in &mut self.slots {
+            let ns = slot.engine.take_cost_ns(&costs);
+            self.wall.advance_ns(ns);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // JIT transitions
+    // ------------------------------------------------------------------
+
+    fn poll_compiler(&mut self) -> Result<(), CascadeError> {
+        let Some(outcome) = self.compiler.poll(self.wall.seconds()) else {
+            return Ok(());
+        };
+        if outcome.version != self.version || self.native {
+            return Ok(()); // stale
+        }
+        match outcome.result {
+            Ok(bitstream) => {
+                self.swap_to_hardware(Arc::clone(&bitstream.netlist))?;
+            }
+            Err(e) => {
+                self.warnings.push(format!("hardware compilation failed: {e}"));
+                self.collect_interrupts();
+            }
+        }
+        Ok(())
+    }
+
+    fn swap_to_hardware(&mut self, netlist: Arc<cascade_netlist::Netlist>) -> Result<(), CascadeError> {
+        let Some(main_idx) = self.main_idx else { return Ok(()) };
+        // Swap only at a tick boundary (clock low) so edge detection stays
+        // coherent.
+        let mut hw = HwEngine::new(netlist).map_err(|e| CascadeError::Unsupported(e.to_string()))?;
+        let state = self.slots[main_idx].engine.get_state();
+        hw.set_state(&state);
+        self.slots[main_idx].engine = Box::new(hw);
+        // Reset wire caches so current values are re-broadcast into the new
+        // engine.
+        for w in &mut self.wires {
+            if w.to.0 == main_idx {
+                w.last = None;
+            }
+        }
+        self.propagate();
+        self.wall.advance_ns(self.config.costs.reprogram_ns);
+        if self.config.forwarding {
+            self.absorb_peripherals(main_idx);
+        }
+        Ok(())
+    }
+
+    /// ABI forwarding (paper Sec. 4.3): move peripherals into the hardware
+    /// engine and collapse their data-plane wires.
+    fn absorb_peripherals(&mut self, main_idx: usize) {
+        let forwarded = self.collect_forwarded();
+        if forwarded.is_empty() {
+            return;
+        }
+        let slot = &mut self.slots[main_idx];
+        if let Some(hw) = as_hw(&mut slot.engine) {
+            hw.absorb(forwarded);
+        }
+        self.retain_clock_and_main();
+    }
+
+    /// Extracts peripheral engines and their bindings for absorption.
+    fn collect_forwarded(&mut self) -> Vec<Forwarded> {
+        let Some(main_idx) = self.main_idx else { return Vec::new() };
+        let mut out: Vec<Forwarded> = Vec::new();
+        let peripheral_indices: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.engine.kind() == EngineKind::Peripheral)
+            .map(|(i, _)| i)
+            .collect();
+        for pi in peripheral_indices {
+            let mut drives = Vec::new();
+            let mut feeds = Vec::new();
+            for w in &self.wires {
+                if w.from.0 == main_idx && w.to.0 == pi {
+                    drives.push((w.from.1.clone(), w.to.1.clone()));
+                }
+                if w.from.0 == pi && w.to.0 == main_idx {
+                    feeds.push((w.from.1.clone(), w.to.1.clone()));
+                }
+            }
+            // Replace the slot's engine with a placeholder and take the
+            // peripheral out.
+            let name = self.slots[pi].name.clone();
+            let old = std::mem::replace(
+                &mut self.slots[pi].engine,
+                Box::new(ClockEngine::new()) as Box<dyn Engine>,
+            );
+            // Downcast via the concrete wrapper: engines are built here, so
+            // the type is known.
+            let peripheral = match into_peripheral(old) {
+                Some(p) => p,
+                None => continue,
+            };
+            out.push(Forwarded { instance: name, peripheral, drives, feeds });
+        }
+        out
+    }
+
+    /// Drops every slot except the clock and main, rewiring accordingly.
+    fn retain_clock_and_main(&mut self) {
+        let Some(main_idx) = self.main_idx else { return };
+        let keep: Vec<usize> = vec![self.clock_idx, main_idx];
+        let mut new_slots = Vec::new();
+        let mut remap = BTreeMap::new();
+        for (new_i, &old_i) in keep.iter().enumerate() {
+            remap.insert(old_i, new_i);
+            new_slots.push(std::mem::replace(
+                &mut self.slots[old_i],
+                Slot { name: String::new(), engine: Box::new(ClockEngine::new()) },
+            ));
+        }
+        self.wires.retain(|w| remap.contains_key(&w.from.0) && remap.contains_key(&w.to.0));
+        for w in &mut self.wires {
+            w.from.0 = remap[&w.from.0];
+            w.to.0 = remap[&w.to.0];
+        }
+        self.slots = new_slots;
+        self.clock_idx = 0;
+        self.main_idx = Some(1);
+    }
+
+    /// Open-loop scheduling (paper Sec. 4.4): hand the engine an iteration
+    /// budget and let it run cycles internally.
+    fn try_open_loop(&mut self, remaining: u64) -> Result<Option<u64>, CascadeError> {
+        if !self.config.open_loop && !self.native {
+            return Ok(None);
+        }
+        let Some(main_idx) = self.main_idx else { return Ok(None) };
+        if self.slots.len() > 2 {
+            return Ok(None); // peripherals still on the data plane
+        }
+        let kind = self.slots[main_idx].engine.kind();
+        if kind != EngineKind::Hardware && kind != EngineKind::Native {
+            return Ok(None);
+        }
+        // Adaptive budget: aim for the configured control-return period.
+        // The profiler measures the modeled cost of the previous batch and
+        // rescales — necessary because per-cycle cost varies wildly between
+        // pure compute (one fabric cycle) and host-coupled IO (a bus
+        // round trip per token).
+        let mut budget = (self.open_loop_budget as u64).max(16).min(remaining.max(1));
+        if let Some(ready_at) = self.compiler.ready_at() {
+            let per_tick_ns = self.config.costs.hw_cycle_ns.max(0.001);
+            let until = ((ready_at - self.wall.seconds()).max(0.0) * 1e9 / per_tick_ns) as u64;
+            budget = budget.min(until.max(1));
+        }
+        let w0 = self.wall.seconds();
+        let done = self.slots[main_idx].engine.open_loop(budget);
+        if done == 0 {
+            return Ok(None);
+        }
+        self.iterations += 2 * done;
+        self.collect_interrupts();
+        self.charge_costs();
+        let elapsed = self.wall.seconds() - w0;
+        if elapsed > 0.0 {
+            let per_cycle_s = elapsed / done as f64;
+            let target = (self.config.open_loop_target_s / per_cycle_s).max(16.0);
+            // Exponential smoothing keeps the controller stable when task
+            // firings cut batches short.
+            self.open_loop_budget = 0.5 * self.open_loop_budget + 0.5 * target;
+        }
+        self.open_loop_last = true;
+        Ok(Some(done))
+    }
+}
+
+fn engine_err(e: crate::engine::EngineError) -> CascadeError {
+    match e {
+        crate::engine::EngineError::Sim(s) => CascadeError::Sim(s),
+        crate::engine::EngineError::Internal(m) => CascadeError::Unsupported(m),
+    }
+}
+
+/// Composes the implicit root module from accumulated entries. When
+/// `for_engine`, previously executed one-shot items are excluded.
+fn compose_root(entries: &[RootEntry], for_engine: bool) -> Module {
+    let items = entries
+        .iter()
+        .filter(|e| {
+            if !for_engine {
+                return true;
+            }
+            match e.item {
+                ModuleItem::Statement(_) | ModuleItem::Initial(_) => !e.executed,
+                _ => true,
+            }
+        })
+        .map(|e| e.item.clone())
+        .collect();
+    Module {
+        name: "Main".to_string(),
+        params: Vec::new(),
+        ports: Vec::new(),
+        items,
+        span: Span::synthetic(),
+    }
+}
+
+/// A copy of the module without one-shot (statement/initial) items — the
+/// form that goes to the hardware toolchain.
+fn strip_one_shot(module: &Module) -> Module {
+    let mut out = module.clone();
+    out.items.retain(|i| !matches!(i, ModuleItem::Statement(_) | ModuleItem::Initial(_)));
+    out
+}
+
+/// Determines the external components visible to the root subprogram: the
+/// implicit stdlib instances plus any stdlib modules instantiated in the
+/// root items.
+fn root_externals(
+    root: &Module,
+    lib: &ModuleLibrary,
+    config: &JitConfig,
+    _inline: bool,
+) -> Result<Externals, CascadeError> {
+    let mut ext = Externals::new();
+    ext.insert("clk".to_string(), ("Clock".to_string(), ParamEnv::new()));
+    ext.insert(
+        "pad".to_string(),
+        (
+            "Pad".to_string(),
+            ParamEnv::from([("WIDTH".to_string(), Bits::from_u64(32, config.pad_width as u64))]),
+        ),
+    );
+    ext.insert(
+        "led".to_string(),
+        (
+            "Led".to_string(),
+            ParamEnv::from([("WIDTH".to_string(), Bits::from_u64(32, config.led_width as u64))]),
+        ),
+    );
+    ext.insert("rst".to_string(), ("Reset".to_string(), ParamEnv::new()));
+    ext.insert("gpio".to_string(), ("GPIO".to_string(), ParamEnv::new()));
+    // Explicit stdlib instances.
+    for item in &root.items {
+        let ModuleItem::Instance(inst) = item else { continue };
+        if !cascade_stdlib::is_stdlib_module(&inst.module) {
+            continue;
+        }
+        let decl = lib.get(&inst.module).ok_or_else(|| {
+            CascadeError::Unsupported(format!("unknown stdlib module `{}`", inst.module))
+        })?;
+        let mut params = ParamEnv::new();
+        for (i, conn) in inst.params.iter().enumerate() {
+            let name = match &conn.name {
+                Some(n) => n.clone(),
+                None => match decl.params.get(i) {
+                    Some(p) => p.name.clone(),
+                    None => continue,
+                },
+            };
+            if let Some(expr) = &conn.expr {
+                let v = const_eval(expr, &ParamEnv::new())
+                    .map_err(CascadeError::Elaborate)?;
+                params.insert(name, v);
+            }
+        }
+        ext.insert(inst.name.clone(), (inst.module.clone(), params));
+    }
+    Ok(ext)
+}
+
+// ---------------------------------------------------------------------
+// Downcast helpers (engines are concrete types built in this module).
+// ---------------------------------------------------------------------
+
+fn as_hw(engine: &mut Box<dyn Engine>) -> Option<&mut HwEngine> {
+    engine.as_any_mut().downcast_mut::<HwEngine>()
+}
+
+fn into_peripheral(engine: Box<dyn Engine>) -> Option<Box<dyn cascade_stdlib::Peripheral>> {
+    engine
+        .into_any()
+        .downcast::<PeripheralEngine>()
+        .ok()
+        .map(|p| p.into_peripheral())
+}

@@ -1,0 +1,547 @@
+//! Cascade's distributed-system IR (paper Sec. 3.3, Fig. 4).
+//!
+//! The user's program is managed at module granularity: each engine runs a
+//! *standalone* Verilog subprogram whose cross-boundary references have been
+//! promoted to input/output ports (`r.y` becomes port `r_y`), and whose
+//! nested instantiations of external components have been replaced by
+//! assignments. The result is flat: subprograms are peers communicating
+//! over the runtime's data/control plane. Verilog has no pointers, so the
+//! promotion analysis is exact.
+
+use crate::error::CascadeError;
+use cascade_verilog::ast::*;
+use cascade_verilog::typecheck::{check_module, CheckedModule, ModuleLibrary, ParamEnv};
+use cascade_verilog::Span;
+use std::collections::BTreeMap;
+
+/// An external component visible to a subprogram: instance name →
+/// (module type, resolved parameters).
+pub type Externals = BTreeMap<String, (String, ParamEnv)>;
+
+/// One endpoint of a data-plane wire: `(engine name, port name)`.
+pub type Endpoint = (String, String);
+
+/// A data-plane connection from a producing port to a consuming port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wire {
+    pub from: Endpoint,
+    pub to: Endpoint,
+}
+
+/// A standalone subprogram produced by the transform.
+#[derive(Debug, Clone)]
+pub struct Subprogram {
+    /// Engine name (instance path, e.g. `main` or `main.r`).
+    pub name: String,
+    /// The transformed, standalone module.
+    pub module: Module,
+    /// Type-checked form (symbol table for widths and state names).
+    pub checked: CheckedModule,
+}
+
+/// A peripheral to instantiate: `(instance name, stdlib module, params)`.
+#[derive(Debug, Clone)]
+pub struct PeripheralSpec {
+    pub name: String,
+    pub module: String,
+    pub params: ParamEnv,
+}
+
+/// The partitioned program: user subprograms, stdlib peripherals, and the
+/// wires connecting them.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    pub subprograms: Vec<Subprogram>,
+    pub peripherals: Vec<PeripheralSpec>,
+    pub wires: Vec<Wire>,
+}
+
+impl Partition {
+    /// The primary (root) subprogram, if any user logic exists.
+    pub fn main(&self) -> Option<&Subprogram> {
+        self.subprograms.iter().find(|s| s.name == "main")
+    }
+}
+
+fn unsupported(msg: impl Into<String>) -> CascadeError {
+    CascadeError::Unsupported(msg.into())
+}
+
+/// Transforms one module into a standalone subprogram against a set of
+/// external instances, recording the data-plane wires its promoted ports
+/// require.
+///
+/// `engine_name` is the subprogram's name on the plane; `externals` maps
+/// sibling instance names to their module types. `lib` must contain
+/// declarations for every external module (to resolve port widths and
+/// directions).
+pub fn transform_module(
+    engine_name: &str,
+    module: &Module,
+    externals: &Externals,
+    lib: &ModuleLibrary,
+    wires: &mut Vec<Wire>,
+) -> Result<Module, CascadeError> {
+    let mut t = Transformer {
+        engine: engine_name.to_string(),
+        externals,
+        lib,
+        in_ports: BTreeMap::new(),
+        out_ports: BTreeMap::new(),
+        extra_assigns: Vec::new(),
+        errors: Vec::new(),
+        read_back: Vec::new(),
+    };
+    let mut out = module.clone();
+    out.items.retain(|item| !t.absorb_instance(item));
+    for item in &mut out.items {
+        t.rewrite_item(item);
+    }
+    for (inst, port) in &t.read_back {
+        let promoted = format!("{inst}_{port}");
+        if !t.out_ports.contains_key(&promoted) {
+            t.errors.push(unsupported(format!(
+                "cannot read input port `{inst}.{port}` of an external component \
+                 (it is not driven here)"
+            )));
+        }
+    }
+    if let Some(e) = t.errors.first() {
+        return Err(e.clone());
+    }
+    let wire_ins = t.wire_ins();
+    let wire_outs = t.wire_outs();
+    out.items.extend(t.extra_assigns.clone());
+    // Add promoted ports (sorted for determinism).
+    for (port_name, (width, signed)) in &t.in_ports {
+        out.ports.push(make_port(PortDir::Input, port_name, *width, *signed));
+    }
+    for (port_name, (width, signed)) in &t.out_ports {
+        out.ports.push(make_port(PortDir::Output, port_name, *width, *signed));
+    }
+    // Record wires.
+    for ((inst, ext_port), promoted) in &wire_ins {
+        wires.push(Wire {
+            from: (inst.clone(), ext_port.clone()),
+            to: (engine_name.to_string(), promoted.clone()),
+        });
+    }
+    for ((inst, ext_port), promoted) in &wire_outs {
+        wires.push(Wire {
+            from: (engine_name.to_string(), promoted.clone()),
+            to: (inst.clone(), ext_port.clone()),
+        });
+    }
+    let _ = &t.engine;
+    Ok(out)
+}
+
+fn make_port(dir: PortDir, name: &str, width: u32, signed: bool) -> Port {
+    let range = if width > 1 {
+        Some(Range { msb: Expr::number(width as u64 - 1), lsb: Expr::number(0) })
+    } else {
+        None
+    };
+    Port { dir, is_reg: false, signed, range, name: name.to_string(), span: Span::synthetic() }
+}
+
+struct Transformer<'a> {
+    engine: String,
+    externals: &'a Externals,
+    lib: &'a ModuleLibrary,
+    /// promoted input port → (width, signed)
+    in_ports: BTreeMap<String, (u32, bool)>,
+    out_ports: BTreeMap<String, (u32, bool)>,
+    extra_assigns: Vec<ModuleItem>,
+    errors: Vec<CascadeError>,
+    /// External input ports read back locally; must be driven here.
+    read_back: Vec<(String, String)>,
+}
+
+impl<'a> Transformer<'a> {
+    /// `wire_ins`/`wire_outs` views derived from the port maps: the
+    /// promoted name encodes `(instance, port)` as `inst_port`.
+    fn decode(&self, promoted: &str) -> Option<(String, String)> {
+        // Longest matching external instance prefix wins.
+        let mut best: Option<(String, String)> = None;
+        for inst in self.externals.keys() {
+            if let Some(rest) = promoted.strip_prefix(&format!("{inst}_")) {
+                let better = best.as_ref().map(|(i, _)| inst.len() > i.len()).unwrap_or(true);
+                if better {
+                    best = Some((inst.clone(), rest.to_string()));
+                }
+            }
+        }
+        best
+    }
+
+    fn err(&mut self, e: CascadeError) {
+        self.errors.push(e);
+    }
+
+    /// Resolves an external port's `(width, signed, direction)`.
+    fn ext_port(&mut self, inst: &str, port: &str) -> Option<(u32, bool, PortDir)> {
+        let (module_name, params) = self.externals.get(inst)?;
+        let Some(decl) = self.lib.get(module_name) else {
+            self.err(unsupported(format!("unknown external module `{module_name}`")));
+            return None;
+        };
+        let Ok(checked) = check_module(decl, params, self.lib) else {
+            self.err(unsupported(format!("cannot resolve external module `{module_name}`")));
+            return None;
+        };
+        let Some(port_decl) = decl.port(port) else {
+            // Not a port. For user modules the paper's IR promotes *any*
+            // variable accessed hierarchically; internal nets are readable
+            // (the owning engine broadcasts them) but never writable.
+            if let Some(sym) = checked.symbol(port) {
+                if !cascade_stdlib::is_stdlib_module(module_name) {
+                    return Some((sym.width(), sym.signed, PortDir::Output));
+                }
+            }
+            self.err(unsupported(format!("module `{module_name}` has no port `{port}`")));
+            return None;
+        };
+        let width = checked.width_of(port).unwrap_or(1);
+        Some((width, port_decl.signed, port_decl.dir))
+    }
+
+    fn promote_read(&mut self, inst: &str, port: &str) -> Option<String> {
+        let (width, signed, dir) = self.ext_port(inst, port)?;
+        let promoted = format!("{inst}_{port}");
+        if dir == PortDir::Input {
+            // Reading back an external *input* is legal only when this
+            // subprogram also drives it: the read then refers to the local
+            // output port. Validation happens after the walk, once all
+            // drivers are known.
+            self.read_back.push((inst.to_string(), port.to_string()));
+            return Some(promoted);
+        }
+        self.in_ports.insert(promoted.clone(), (width, signed));
+        Some(promoted)
+    }
+
+    fn promote_write(&mut self, inst: &str, port: &str) -> Option<String> {
+        let (width, signed, dir) = self.ext_port(inst, port)?;
+        if dir == PortDir::Output {
+            self.err(unsupported(format!(
+                "cannot drive output port `{inst}.{port}` of an external component"
+            )));
+            return None;
+        }
+        let promoted = format!("{inst}_{port}");
+        self.out_ports.insert(promoted.clone(), (width, signed));
+        Some(promoted)
+    }
+
+    /// Removes instances of external components, lowering their connections
+    /// to assignments over promoted ports. Returns `true` when the item was
+    /// absorbed.
+    fn absorb_instance(&mut self, item: &ModuleItem) -> bool {
+        let ModuleItem::Instance(inst) = item else { return false };
+        if !self.externals.contains_key(&inst.name) {
+            return false;
+        }
+        let (module_name, _) = self.externals[&inst.name].clone();
+        let Some(decl) = self.lib.get(&module_name).cloned() else {
+            self.err(unsupported(format!("unknown module `{module_name}`")));
+            return true;
+        };
+        // Resolve connections (named or positional).
+        let named = inst.ports.iter().any(|c| c.name.is_some());
+        for (i, conn) in inst.ports.iter().enumerate() {
+            let Some(expr) = conn.expr.clone() else { continue };
+            let port_name = match (&conn.name, named) {
+                (Some(n), _) => n.clone(),
+                (None, false) => match decl.ports.get(i) {
+                    Some(p) => p.name.clone(),
+                    None => {
+                        self.err(unsupported(format!(
+                            "too many connections for `{module_name}`"
+                        )));
+                        continue;
+                    }
+                },
+                (None, true) => {
+                    self.err(unsupported("mixed named and positional connections"));
+                    continue;
+                }
+            };
+            let Some(port_decl) = decl.port(&port_name).cloned() else {
+                self.err(unsupported(format!(
+                    "module `{module_name}` has no port `{port_name}`"
+                )));
+                continue;
+            };
+            match port_decl.dir {
+                PortDir::Input => {
+                    // `assign inst_port = expr;` drives the external input.
+                    if let Some(promoted) = self.promote_write(&inst.name, &port_name) {
+                        self.extra_assigns.push(ModuleItem::Assign(ContinuousAssign {
+                            lhs: LValue::Ident(promoted),
+                            rhs: expr,
+                        span: Span::synthetic(),
+                        }));
+                    }
+                }
+                PortDir::Output => {
+                    // `assign <expr-as-lvalue> = inst_port;` consumes it.
+                    if let Some(promoted) = self.promote_read(&inst.name, &port_name) {
+                        match expr_as_lvalue(&expr) {
+                            Some(lhs) => {
+                                self.extra_assigns.push(ModuleItem::Assign(ContinuousAssign {
+                                    lhs,
+                                    rhs: Expr::Ident(promoted),
+                                    span: Span::synthetic(),
+                                }));
+                            }
+                            None => self.err(unsupported(
+                                "output connection target is not assignable",
+                            )),
+                        }
+                    }
+                }
+                PortDir::Inout => self.err(unsupported("inout ports are not supported")),
+            }
+        }
+        true
+    }
+
+    fn rewrite_item(&mut self, item: &mut ModuleItem) {
+        match item {
+            ModuleItem::Net(decl) => {
+                for d in &mut decl.decls {
+                    if let Some(init) = &mut d.init {
+                        self.rewrite_expr(init);
+                    }
+                }
+            }
+            ModuleItem::Param(p) => self.rewrite_expr(&mut p.value),
+            ModuleItem::Assign(a) => {
+                self.rewrite_lvalue(&mut a.lhs);
+                self.rewrite_expr(&mut a.rhs);
+            }
+            ModuleItem::Always(a) => {
+                if let Sensitivity::List(items) = &mut a.sensitivity {
+                    for it in items {
+                        self.rewrite_expr(&mut it.expr);
+                    }
+                }
+                self.rewrite_stmt(&mut a.body);
+            }
+            ModuleItem::Initial(i) => self.rewrite_stmt(&mut i.body),
+            ModuleItem::Instance(inst) => {
+                for c in inst.ports.iter_mut().chain(inst.params.iter_mut()) {
+                    if let Some(e) = &mut c.expr {
+                        self.rewrite_expr(e);
+                    }
+                }
+            }
+            ModuleItem::Statement(s) => self.rewrite_stmt(s),
+            ModuleItem::Function(f) => self.rewrite_stmt(&mut f.body),
+            ModuleItem::Genvar(_) => {}
+            ModuleItem::GenerateFor(g) => {
+                self.rewrite_expr(&mut g.init);
+                self.rewrite_expr(&mut g.cond);
+                self.rewrite_expr(&mut g.step);
+                for it in &mut g.items {
+                    self.rewrite_item(it);
+                }
+            }
+        }
+    }
+
+    fn rewrite_stmt(&mut self, s: &mut Stmt) {
+        match s {
+            Stmt::Block { stmts, .. } => {
+                for st in stmts {
+                    self.rewrite_stmt(st);
+                }
+            }
+            Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => {
+                self.rewrite_lvalue(lhs);
+                self.rewrite_expr(rhs);
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.rewrite_expr(cond);
+                self.rewrite_stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.rewrite_stmt(e);
+                }
+            }
+            Stmt::Case { scrutinee, arms, default, .. } => {
+                self.rewrite_expr(scrutinee);
+                for arm in arms {
+                    for l in &mut arm.labels {
+                        self.rewrite_expr(l);
+                    }
+                    self.rewrite_stmt(&mut arm.body);
+                }
+                if let Some(d) = default {
+                    self.rewrite_stmt(d);
+                }
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.rewrite_stmt(init);
+                self.rewrite_expr(cond);
+                self.rewrite_stmt(step);
+                self.rewrite_stmt(body);
+            }
+            Stmt::While { cond, body, .. } => {
+                self.rewrite_expr(cond);
+                self.rewrite_stmt(body);
+            }
+            Stmt::Repeat { count, body, .. } => {
+                self.rewrite_expr(count);
+                self.rewrite_stmt(body);
+            }
+            Stmt::Forever { body, .. } => self.rewrite_stmt(body),
+            Stmt::SystemTask { args, .. } => {
+                for a in args {
+                    self.rewrite_expr(a);
+                }
+            }
+            Stmt::Null => {}
+        }
+    }
+
+    fn rewrite_lvalue(&mut self, lv: &mut LValue) {
+        match lv {
+            LValue::Hier(path) if path.len() == 2 && self.externals.contains_key(&path[0]) => {
+                if let Some(promoted) = self.promote_write(&path[0].clone(), &path[1].clone()) {
+                    *lv = LValue::Ident(promoted);
+                }
+            }
+            LValue::Concat(parts) => {
+                for p in parts {
+                    self.rewrite_lvalue(p);
+                }
+            }
+            LValue::Index { index, .. } => self.rewrite_expr(index),
+            LValue::Part { msb, lsb, .. } => {
+                self.rewrite_expr(msb);
+                self.rewrite_expr(lsb);
+            }
+            LValue::IndexedPart { offset, width, .. } => {
+                self.rewrite_expr(offset);
+                self.rewrite_expr(width);
+            }
+            LValue::IndexThenPart { index, msb, lsb, .. } => {
+                self.rewrite_expr(index);
+                self.rewrite_expr(msb);
+                self.rewrite_expr(lsb);
+            }
+            _ => {}
+        }
+    }
+
+    fn rewrite_expr(&mut self, e: &mut Expr) {
+        match e {
+            Expr::Hier(path) if path.len() == 2 && self.externals.contains_key(&path[0]) => {
+                if let Some(promoted) = self.promote_read(&path[0].clone(), &path[1].clone()) {
+                    *e = Expr::Ident(promoted);
+                }
+            }
+            Expr::Hier(path) if path.len() > 2 && self.externals.contains_key(&path[0]) => {
+                self.err(unsupported(format!(
+                    "deep hierarchical reference `{}` across an engine boundary",
+                    path.join(".")
+                )));
+            }
+            Expr::Unary { operand, .. } => self.rewrite_expr(operand),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.rewrite_expr(lhs);
+                self.rewrite_expr(rhs);
+            }
+            Expr::Ternary { cond, then_expr, else_expr } => {
+                self.rewrite_expr(cond);
+                self.rewrite_expr(then_expr);
+                self.rewrite_expr(else_expr);
+            }
+            Expr::Index { base, index } => {
+                self.rewrite_expr(base);
+                self.rewrite_expr(index);
+            }
+            Expr::Part { base, msb, lsb } => {
+                self.rewrite_expr(base);
+                self.rewrite_expr(msb);
+                self.rewrite_expr(lsb);
+            }
+            Expr::IndexedPart { base, offset, width, .. } => {
+                self.rewrite_expr(base);
+                self.rewrite_expr(offset);
+                self.rewrite_expr(width);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    self.rewrite_expr(p);
+                }
+            }
+            Expr::Replicate { count, inner } => {
+                self.rewrite_expr(count);
+                self.rewrite_expr(inner);
+            }
+            Expr::SystemCall { args, .. } | Expr::FnCall { args, .. } => {
+                for a in args {
+                    self.rewrite_expr(a);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl<'a> Transformer<'a> {
+    /// Wires implied by promoted input ports: `(inst, ext port) → promoted`.
+    #[allow(clippy::wrong_self_convention)]
+    fn wire_pairs(
+        &self,
+        ports: &BTreeMap<String, (u32, bool)>,
+    ) -> BTreeMap<(String, String), String> {
+        let mut out = BTreeMap::new();
+        for promoted in ports.keys() {
+            if let Some((inst, port)) = self.decode(promoted) {
+                out.insert((inst, port), promoted.clone());
+            }
+        }
+        out
+    }
+}
+
+// Accessors used by `transform_module` after the walk.
+impl<'a> Transformer<'a> {
+    fn wire_ins(&self) -> BTreeMap<(String, String), String> {
+        self.wire_pairs(&self.in_ports)
+    }
+
+    fn wire_outs(&self) -> BTreeMap<(String, String), String> {
+        self.wire_pairs(&self.out_ports)
+    }
+}
+
+/// Converts a connection expression to an assignable target.
+fn expr_as_lvalue(e: &Expr) -> Option<LValue> {
+    match e {
+        Expr::Ident(n) => Some(LValue::Ident(n.clone())),
+        Expr::Hier(path) => Some(LValue::Hier(path.clone())),
+        Expr::Index { base, index } => match base.as_ref() {
+            Expr::Ident(n) => {
+                Some(LValue::Index { base: n.clone(), index: (**index).clone() })
+            }
+            _ => None,
+        },
+        Expr::Part { base, msb, lsb } => match base.as_ref() {
+            Expr::Ident(n) => Some(LValue::Part {
+                base: n.clone(),
+                msb: (**msb).clone(),
+                lsb: (**lsb).clone(),
+            }),
+            _ => None,
+        },
+        Expr::Concat(parts) => {
+            let lvs: Option<Vec<LValue>> = parts.iter().map(expr_as_lvalue).collect();
+            lvs.map(LValue::Concat)
+        }
+        _ => None,
+    }
+}

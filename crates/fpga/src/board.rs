@@ -1,0 +1,183 @@
+//! The virtual development board: buttons, LEDs, GPIO, reset, and a
+//! host-coupled FIFO.
+//!
+//! Peripherals are *externally visible shared state* — exactly the property
+//! that forces Cascade to place standard-library components in hardware
+//! from the first eval (paper Sec. 4.3). Both software and hardware engines
+//! observe the same [`Board`], so a program's IO side effects are identical
+//! in every compilation state.
+
+use cascade_bits::Bits;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Shared handle to the board (cheaply cloneable).
+#[derive(Debug, Clone, Default)]
+pub struct Board {
+    inner: Arc<Mutex<BoardState>>,
+}
+
+#[derive(Debug)]
+struct BoardState {
+    buttons: Bits,
+    leds: Bits,
+    gpio_out: Bits,
+    gpio_in: Bits,
+    reset: bool,
+    fifo_in: VecDeque<Bits>,
+    fifo_out: VecDeque<Bits>,
+    fifo_capacity: usize,
+    /// Cumulative LED writes (used by examples/tests to observe activity).
+    led_writes: u64,
+    /// Tokens consumed from the host->FPGA FIFO (Fig. 12's IO/s metric).
+    fifo_pops: u64,
+}
+
+impl Default for BoardState {
+    fn default() -> Self {
+        BoardState {
+            buttons: Bits::zero(4),
+            leds: Bits::zero(8),
+            gpio_out: Bits::zero(32),
+            gpio_in: Bits::zero(32),
+            reset: false,
+            fifo_in: VecDeque::new(),
+            fifo_out: VecDeque::new(),
+            fifo_capacity: 64,
+            led_writes: 0,
+            fifo_pops: 0,
+        }
+    }
+}
+
+impl Board {
+    /// A board with the paper's IO complement: four buttons and a bank of
+    /// LEDs.
+    pub fn new() -> Board {
+        Board::default()
+    }
+
+    /// Presses (or releases) one button.
+    pub fn set_button(&self, index: u32, down: bool) {
+        let mut st = self.inner.lock();
+        st.buttons.set_bit(index, down);
+    }
+
+    /// Current button state (1 = pressed).
+    pub fn buttons(&self) -> Bits {
+        self.inner.lock().buttons.clone()
+    }
+
+    /// Drives the LED bank (called by engines).
+    pub fn write_leds(&self, value: Bits) {
+        let mut st = self.inner.lock();
+        if st.leds != value.resize(st.leds.width()) {
+            st.led_writes += 1;
+        }
+        let w = st.leds.width();
+        st.leds = value.resize(w);
+    }
+
+    /// Current LED bank state.
+    pub fn leds(&self) -> Bits {
+        self.inner.lock().leds.clone()
+    }
+
+    /// Number of observable LED changes so far.
+    pub fn led_writes(&self) -> u64 {
+        self.inner.lock().led_writes
+    }
+
+    /// Sets GPIO input pins (host side).
+    pub fn set_gpio(&self, value: Bits) {
+        let mut st = self.inner.lock();
+        let w = st.gpio_in.width();
+        st.gpio_in = value.resize(w);
+    }
+
+    /// Reads GPIO input pins (engine side).
+    pub fn gpio_in(&self) -> Bits {
+        self.inner.lock().gpio_in.clone()
+    }
+
+    /// Drives GPIO output pins (engine side).
+    pub fn write_gpio(&self, value: Bits) {
+        let mut st = self.inner.lock();
+        let w = st.gpio_out.width();
+        st.gpio_out = value.resize(w);
+    }
+
+    /// Reads GPIO output pins (host side).
+    pub fn gpio_out(&self) -> Bits {
+        self.inner.lock().gpio_out.clone()
+    }
+
+    /// Asserts or releases the reset line.
+    pub fn set_reset(&self, asserted: bool) {
+        self.inner.lock().reset = asserted;
+    }
+
+    /// Current reset state.
+    pub fn reset(&self) -> bool {
+        self.inner.lock().reset
+    }
+
+    /// Host pushes one token toward the FPGA. Returns `false` when the FIFO
+    /// is full (back pressure, paper Sec. 7.1).
+    pub fn fifo_push(&self, value: Bits) -> bool {
+        let mut st = self.inner.lock();
+        if st.fifo_in.len() >= st.fifo_capacity {
+            return false;
+        }
+        st.fifo_in.push_back(value);
+        true
+    }
+
+    /// Engine pops one token from the host FIFO.
+    pub fn fifo_pop(&self) -> Option<Bits> {
+        let mut st = self.inner.lock();
+        let v = st.fifo_in.pop_front();
+        if v.is_some() {
+            st.fifo_pops += 1;
+        }
+        v
+    }
+
+    /// Engine peeks the head token without consuming it.
+    pub fn fifo_peek(&self) -> Option<Bits> {
+        self.inner.lock().fifo_in.front().cloned()
+    }
+
+    /// Whether the host FIFO has data.
+    pub fn fifo_nonempty(&self) -> bool {
+        !self.inner.lock().fifo_in.is_empty()
+    }
+
+    /// Whether the host FIFO is full.
+    pub fn fifo_full(&self) -> bool {
+        let st = self.inner.lock();
+        st.fifo_in.len() >= st.fifo_capacity
+    }
+
+    /// Tokens consumed from the host FIFO so far (the IO/s numerator of
+    /// the paper's Fig. 12).
+    pub fn fifo_pops(&self) -> u64 {
+        self.inner.lock().fifo_pops
+    }
+
+    /// Engine pushes one token toward the host.
+    pub fn fifo_out_push(&self, value: Bits) {
+        self.inner.lock().fifo_out.push_back(value);
+    }
+
+    /// Host drains tokens produced by the engine.
+    pub fn fifo_out_drain(&self) -> Vec<Bits> {
+        self.inner.lock().fifo_out.drain(..).collect()
+    }
+
+    /// Changes the host FIFO depth.
+    pub fn set_fifo_capacity(&self, capacity: usize) {
+        self.inner.lock().fifo_capacity = capacity;
+    }
+}

@@ -1,0 +1,81 @@
+//! The deterministic virtual wall clock and operation cost model.
+//!
+//! The paper's figures plot performance against wall-clock time on the
+//! authors' testbed. We have no testbed, so experiments advance a modeled
+//! wall clock charged with calibrated per-operation costs: interpreter
+//! activations, data/control-plane messages, FPGA cycles, and background
+//! compile latency. This makes every curve deterministic and
+//! machine-independent; Criterion benches separately measure *real*
+//! throughput of each substrate.
+
+use std::time::Duration;
+
+/// Calibrated per-operation costs.
+///
+/// Defaults approximate the paper's platform: an 800 MHz ARM host running
+/// the runtime and software engines, a 50 MHz fabric, and a memory-mapped
+/// IO bridge between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Cost of one interpreter process activation (software engine work).
+    pub sw_activation_ns: f64,
+    /// Cost of one interpreted statement (AST dispatch plus arbitrary-width
+    /// arithmetic on the modeled 800 MHz ARM host).
+    pub sw_statement_ns: f64,
+    /// Fixed per-scheduler-iteration runtime overhead.
+    pub runtime_iteration_ns: f64,
+    /// One message across the data/control plane (MMIO round trip).
+    pub abi_message_ns: f64,
+    /// One FPGA fabric clock cycle.
+    pub hw_cycle_ns: f64,
+    /// Reconfiguring the FPGA with a finished bitstream ("less than a
+    /// millisecond", paper Sec. 2.4).
+    pub reprogram_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            sw_activation_ns: 550.0,
+            sw_statement_ns: 7_500.0,
+            runtime_iteration_ns: 120.0,
+            abi_message_ns: 1_800.0,
+            hw_cycle_ns: 20.0,
+            reprogram_ns: 800_000.0,
+        }
+    }
+}
+
+/// A monotonically increasing modeled wall clock.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualWall {
+    elapsed_ns: f64,
+}
+
+impl VirtualWall {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualWall::default()
+    }
+
+    /// Advances by a raw nanosecond amount.
+    pub fn advance_ns(&mut self, ns: f64) {
+        debug_assert!(ns >= 0.0, "time cannot go backwards");
+        self.elapsed_ns += ns;
+    }
+
+    /// Advances by a duration.
+    pub fn advance(&mut self, d: Duration) {
+        self.elapsed_ns += d.as_secs_f64() * 1e9;
+    }
+
+    /// Elapsed modeled time.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_secs_f64(self.elapsed_ns / 1e9)
+    }
+
+    /// Elapsed modeled seconds.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed_ns / 1e9
+    }
+}

@@ -1,0 +1,52 @@
+//! Virtual FPGA device descriptions.
+
+/// Capacity and clocking of a virtual FPGA, standing in for the paper's
+/// Intel Cyclone V SoC testbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    pub name: String,
+    /// Logic elements (LUT+FF pairs).
+    pub logic_elements: u64,
+    /// Block RAM capacity in bits.
+    pub bram_bits: u64,
+    /// Hardened multiplier blocks.
+    pub dsp_blocks: u64,
+    /// The fabric clock in MHz.
+    pub clock_mhz: f64,
+}
+
+impl Device {
+    /// The paper's experimental platform: a Cyclone V SoC with 110K logic
+    /// elements and a 50 MHz fabric clock (Sec. 6).
+    pub fn cyclone_v() -> Device {
+        Device {
+            name: "virtual-cyclone-v".to_string(),
+            logic_elements: 110_000,
+            bram_bits: 5_570_000,
+            dsp_blocks: 112,
+            clock_mhz: 50.0,
+        }
+    }
+
+    /// A tiny device for tests that exercise capacity failures.
+    pub fn tiny(logic_elements: u64) -> Device {
+        Device {
+            name: format!("virtual-tiny-{logic_elements}"),
+            logic_elements,
+            bram_bits: 4096,
+            dsp_blocks: 2,
+            clock_mhz: 50.0,
+        }
+    }
+
+    /// The fabric clock period in nanoseconds.
+    pub fn clock_period_ns(&self) -> f64 {
+        1000.0 / self.clock_mhz
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::cyclone_v()
+    }
+}

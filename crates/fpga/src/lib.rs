@@ -1,0 +1,53 @@
+//! The virtual FPGA substrate for Cascade-rs.
+//!
+//! The paper evaluates on an Intel Cyclone V SoC programmed with Quartus;
+//! neither is available here, so this crate simulates the parts of that
+//! stack whose *behaviour* Cascade depends on (see DESIGN.md for the full
+//! substitution argument):
+//!
+//! - [`Device`]: fabric capacity and the 50 MHz clock;
+//! - [`Toolchain`]: real synthesis + simulated-annealing placement with a
+//!   calibrated compile-latency model, timing closure included;
+//! - [`Board`]: buttons, LEDs, GPIO, and a host-coupled FIFO shared by
+//!   software and hardware engines;
+//! - [`MmioCore`]: the Fig. 10 register-file protocol wrapping a compiled
+//!   netlist, including open-loop execution and the modeled wrapper area
+//!   overhead;
+//! - [`VirtualWall`]/[`CostModel`]: the deterministic wall clock the
+//!   experiments plot against.
+//!
+//! # Examples
+//!
+//! ```
+//! use cascade_fpga::{Toolchain, Device};
+//! use cascade_sim::{elaborate, library_from_source};
+//!
+//! let lib = library_from_source(
+//!     "module Count(input wire clk, output wire [7:0] o);\n\
+//!      reg [7:0] c = 0;\n\
+//!      always @(posedge clk) c <= c + 1;\n\
+//!      assign o = c;\nendmodule",
+//! )?;
+//! let design = elaborate("Count", &lib, &Default::default())?;
+//! let bitstream = Toolchain::new(Device::cyclone_v()).compile(&design)?;
+//! assert!(bitstream.fmax_mhz >= 50.0);
+//! assert!(bitstream.modeled_duration.as_secs() > 60, "compilation is slow");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod board;
+mod clock;
+mod device;
+mod mmio;
+mod place;
+mod toolchain;
+
+pub use board::Board;
+pub use clock::{CostModel, VirtualWall};
+pub use device::Device;
+pub use mmio::{describe_task, wrapper_overhead_les, AddressMap, Ctrl, MmioCore, Slot};
+pub use place::{place, Placement};
+pub use toolchain::{Bitstream, CompileError, Toolchain};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,140 @@
+//! A simulated-annealing placer over the virtual fabric.
+//!
+//! Place-and-route is the NP-hard step that makes real FPGA compilation
+//! slow (paper Sec. 1). This placer does genuine combinatorial work — its
+//! cost scales superlinearly with design size — so the latency the Cascade
+//! runtime hides in the background is real computation, not a `sleep`.
+
+use cascade_netlist::{Def, Netlist};
+
+/// The outcome of placement: final wirelength statistics feeding the
+/// timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Number of placeable cells.
+    pub cells: usize,
+    /// Grid side length.
+    pub grid: u32,
+    /// Average half-perimeter wirelength per net, in grid units.
+    pub avg_wirelength: f64,
+    /// Annealing moves attempted.
+    pub moves: u64,
+}
+
+/// Deterministic xorshift PRNG (keeps placement reproducible per seed).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Places a netlist's cells on a square grid, minimizing total wirelength
+/// by simulated annealing. `effort` scales the number of moves (1.0 is the
+/// default Quartus-like effort).
+pub fn place(nl: &Netlist, seed: u64, effort: f64) -> Placement {
+    // Placeable objects: every cell/register/memread net.
+    let placeable: Vec<u32> = nl
+        .nets
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.def, Def::Cell(_) | Def::MemRead { .. } | Def::Reg(_)))
+        .map(|(i, _)| i as u32)
+        .collect();
+    let n = placeable.len();
+    if n == 0 {
+        return Placement { cells: 0, grid: 1, avg_wirelength: 0.0, moves: 0 };
+    }
+    // Two-pin nets: cell -> each input.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut index_of = vec![u32::MAX; nl.nets.len()];
+    for (slot, &net) in placeable.iter().enumerate() {
+        index_of[net as usize] = slot as u32;
+    }
+    for &net in &placeable {
+        if let Def::Cell(cell) = &nl.nets[net as usize].def {
+            for inp in &cell.inputs {
+                let src = index_of[inp.0 as usize];
+                if src != u32::MAX {
+                    edges.push((src, index_of[net as usize]));
+                }
+            }
+        }
+        if let Def::MemRead { addr, .. } = &nl.nets[net as usize].def {
+            let src = index_of[addr.0 as usize];
+            if src != u32::MAX {
+                edges.push((src, index_of[net as usize]));
+            }
+        }
+    }
+    for reg in &nl.regs {
+        let (s, d) = (index_of[reg.d.0 as usize], index_of[reg.q.0 as usize]);
+        if s != u32::MAX && d != u32::MAX {
+            edges.push((s, d));
+        }
+    }
+
+    let grid = (n as f64).sqrt().ceil() as u32 + 1;
+    let mut rng = Rng(seed | 1);
+    // Initial placement: sequential with some shuffle.
+    let mut pos: Vec<(u32, u32)> = (0..n as u32).map(|i| (i % grid, i / grid)).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        pos.swap(i, j);
+    }
+    // Adjacency for incremental cost.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    let dist = |a: (u32, u32), b: (u32, u32)| -> i64 {
+        (a.0 as i64 - b.0 as i64).abs() + (a.1 as i64 - b.1 as i64).abs()
+    };
+    let node_cost = |pos: &[(u32, u32)], i: usize| -> i64 {
+        adj[i].iter().map(|&o| dist(pos[i], pos[o as usize])).sum()
+    };
+
+    let moves = ((n as u64).saturating_mul(192).max(8_192) as f64 * effort) as u64;
+    let mut temperature = grid as f64;
+    let cooling = 0.999_f64.powf(1.0 / effort.max(0.01));
+    let mut attempted = 0u64;
+    for _ in 0..moves {
+        attempted += 1;
+        let i = rng.below(n as u64) as usize;
+        let j = rng.below(n as u64) as usize;
+        if i == j {
+            continue;
+        }
+        let before = node_cost(&pos, i) + node_cost(&pos, j);
+        pos.swap(i, j);
+        let after = node_cost(&pos, i) + node_cost(&pos, j);
+        let delta = (after - before) as f64;
+        if delta > 0.0 && rng.unit() >= (-delta / temperature.max(0.01)).exp() {
+            pos.swap(i, j); // reject
+        }
+        temperature *= cooling;
+    }
+
+    let total: i64 = edges.iter().map(|&(a, b)| dist(pos[a as usize], pos[b as usize])).sum();
+    let avg = if edges.is_empty() { 0.0 } else { total as f64 / edges.len() as f64 };
+    Placement { cells: n, grid, avg_wirelength: avg, moves: attempted }
+}

@@ -1,0 +1,180 @@
+//! The virtual FPGA toolchain: synthesis + placement + timing closure,
+//! with a calibrated compile-latency model.
+//!
+//! This is the stand-in for Intel Quartus: the blackbox compiler whose
+//! minutes-to-hours latency Cascade hides behind simulation. `compile`
+//! performs real synthesis and real simulated-annealing placement, and
+//! additionally reports a *modeled* wall-clock duration calibrated so the
+//! paper's headline latencies reproduce (a SHA-256 proof-of-work miner
+//! takes about ten modeled minutes, Sec. 6.1).
+
+use crate::device::Device;
+use crate::place::{place, Placement};
+use cascade_netlist::{
+    critical_path_ns, estimate_area, levelize, logic_depth, synthesize, AreaEstimate, Netlist,
+    SynthError,
+};
+use cascade_sim::Design;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a compilation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The design is not synthesizable.
+    Synth(SynthError),
+    /// A combinational cycle survived synthesis.
+    CombLoop(String),
+    /// The design does not fit the device.
+    DoesNotFit { needed: AreaEstimate, device: Device },
+    /// The routed design cannot meet the fabric clock (paper Sec. 6.4:
+    /// "many submissions which ran correctly in simulation did not pass
+    /// timing closure").
+    TimingClosure { fmax_mhz: f64, required_mhz: f64 },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Synth(e) => write!(f, "{e}"),
+            CompileError::CombLoop(nets) => write!(f, "combinational loop: {nets}"),
+            CompileError::DoesNotFit { needed, device } => write!(
+                f,
+                "design needs {} LEs / {} BRAM bits; device {} has {} / {}",
+                needed.logic_elements,
+                needed.bram_bits,
+                device.name,
+                device.logic_elements,
+                device.bram_bits
+            ),
+            CompileError::TimingClosure { fmax_mhz, required_mhz } => write!(
+                f,
+                "timing closure failed: fmax {fmax_mhz:.1} MHz < required {required_mhz:.1} MHz"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<SynthError> for CompileError {
+    fn from(e: SynthError) -> Self {
+        CompileError::Synth(e)
+    }
+}
+
+/// A successful compilation: the "bitstream".
+#[derive(Debug, Clone)]
+pub struct Bitstream {
+    pub netlist: Arc<Netlist>,
+    pub area: AreaEstimate,
+    pub placement: Placement,
+    /// Post-route maximum frequency.
+    pub fmax_mhz: f64,
+    /// Longest combinational path in cell levels.
+    pub logic_depth: u32,
+    /// Modeled wall-clock compile duration (what a developer would wait).
+    pub modeled_duration: Duration,
+}
+
+/// Compiler options.
+#[derive(Debug, Clone)]
+pub struct Toolchain {
+    pub device: Device,
+    /// Placement effort multiplier (1.0 ≈ default Quartus effort).
+    pub effort: f64,
+    pub seed: u64,
+    /// Extra logic appended by the caller (e.g. Cascade's MMIO wrapper);
+    /// charged to area and compile time.
+    pub overhead_les: u64,
+    /// Scales the *modeled* compile latency without affecting placement
+    /// quality — the benches' time-compression knob.
+    pub time_scale: f64,
+}
+
+impl Default for Toolchain {
+    fn default() -> Self {
+        Toolchain {
+            device: Device::cyclone_v(),
+            effort: 1.0,
+            seed: 1,
+            overhead_les: 0,
+            time_scale: 1.0,
+        }
+    }
+}
+
+impl Toolchain {
+    /// Creates a toolchain for a device with default effort.
+    pub fn new(device: Device) -> Self {
+        Toolchain { device, ..Toolchain::default() }
+    }
+
+    /// Full compilation: synthesis, fit check, placement, timing analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] for unsynthesizable input, capacity
+    /// overflow, combinational loops, or timing-closure failure.
+    pub fn compile(&self, design: &Design) -> Result<Bitstream, CompileError> {
+        let netlist = synthesize(design)?;
+        self.compile_netlist(Arc::new(netlist))
+    }
+
+    /// Compilation from an already-synthesized netlist.
+    ///
+    /// # Errors
+    ///
+    /// See [`Toolchain::compile`].
+    pub fn compile_netlist(&self, netlist: Arc<Netlist>) -> Result<Bitstream, CompileError> {
+        let order = levelize(&netlist)
+            .map_err(|e| CompileError::CombLoop(e.nets.join(" -> ")))?;
+        let depth = logic_depth(&netlist, &order);
+        let mut area = estimate_area(&netlist);
+        area.logic_elements += self.overhead_les;
+        if area.cells() > self.device.logic_elements || area.bram_bits > self.device.bram_bits {
+            return Err(CompileError::DoesNotFit { needed: area, device: self.device.clone() });
+        }
+        let placement = place(&netlist, self.seed, self.effort);
+        // Timing model: the delay-weighted critical path plus routed wire
+        // delay that grows with average wirelength and device utilization.
+        let path_ns = critical_path_ns(&netlist, &order);
+        let utilization = area.cells() as f64 / self.device.logic_elements as f64;
+        // Routing stretches every logic level; congested or poorly-placed
+        // designs stretch more.
+        let wire_factor =
+            (0.03 * placement.avg_wirelength * (1.0 + 2.0 * utilization)).min(1.5);
+        let ns = 1.5 + path_ns * (1.0 + wire_factor);
+        let fmax = 1000.0 / ns;
+        if fmax < self.device.clock_mhz {
+            return Err(CompileError::TimingClosure {
+                fmax_mhz: fmax,
+                required_mhz: self.device.clock_mhz,
+            });
+        }
+        let modeled_duration = self.modeled_duration(&area, placement.cells);
+        Ok(Bitstream {
+            netlist,
+            area,
+            placement,
+            fmax_mhz: fmax,
+            logic_depth: depth,
+            modeled_duration,
+        })
+    }
+
+    /// The modeled wall-clock compile latency. Calibrated against the
+    /// paper's observations: trivial designs take a couple of minutes and
+    /// the SHA-256 proof-of-work miner takes roughly ten (Sec. 2, 6.1).
+    pub fn modeled_duration(&self, area: &AreaEstimate, cells: usize) -> Duration {
+        let le = area.logic_elements as f64;
+        // Base toolchain spin-up + synthesis/optimization (∝ netlist cells,
+        // the dominant term) + place&route (∝ sqrt of placed logic).
+        // Calibrated so the paper's miner takes roughly ten minutes
+        // (Sec. 6.1) and trivial programs a couple of minutes (Sec. 2).
+        let secs = (90.0 + 1.1 * cells as f64 + 0.9 * le.sqrt()) * self.effort * self.time_scale;
+        Duration::from_secs_f64(secs)
+    }
+}

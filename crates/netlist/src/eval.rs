@@ -1,0 +1,373 @@
+//! The netlist evaluator: a Verilator-style compiled-schedule simulator.
+//!
+//! Where `cascade-sim` walks an AST event queue, this evaluator executes a
+//! precomputed topological order of word-level cells — the performance model
+//! for code that has been moved onto the (virtual) FPGA fabric.
+
+use crate::ir::*;
+use crate::level::{levelize, LevelError};
+use cascade_bits::Bits;
+use cascade_verilog::ast::Edge;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A system-task firing observed at a clock edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFire {
+    pub kind: TaskKind,
+    /// Rendered text for display/write/fatal (empty for finish).
+    pub text: String,
+}
+
+/// Executes a synthesized [`Netlist`] cycle by cycle.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_netlist::{synthesize, NetlistSim};
+/// use cascade_sim::{elaborate, library_from_source};
+/// use cascade_bits::Bits;
+///
+/// let lib = library_from_source(
+///     "module Count(input wire clk, output wire [7:0] o);\n\
+///      reg [7:0] c = 0;\n\
+///      always @(posedge clk) c <= c + 1;\n\
+///      assign o = c;\nendmodule",
+/// )?;
+/// let design = elaborate("Count", &lib, &Default::default())?;
+/// let netlist = synthesize(&design)?;
+/// let mut sim = NetlistSim::new(netlist.into())?;
+/// for _ in 0..3 { sim.step_clock(0); }
+/// assert_eq!(sim.get_by_name("o").unwrap().to_u64(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistSim {
+    nl: Arc<Netlist>,
+    values: Vec<Bits>,
+    mems: Vec<Vec<Bits>>,
+    /// Topological evaluation order of cell/memread nets.
+    order: Vec<NetId>,
+    tasks: Vec<TaskFire>,
+    finished: bool,
+    /// Cycles executed per clock domain.
+    cycles: u64,
+}
+
+impl NetlistSim {
+    /// Builds the evaluator, levelizing the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelError`] when the netlist has a combinational cycle.
+    pub fn new(nl: Arc<Netlist>) -> Result<Self, LevelError> {
+        let order = levelize(&nl)?;
+        let values = nl
+            .nets
+            .iter()
+            .map(|n| match &n.def {
+                Def::Const(c) => c.resize(n.width),
+                Def::Reg(r) => nl.regs[r.0 as usize].init.resize(n.width),
+                Def::Input | Def::Undriven | Def::Cell(_) | Def::MemRead { .. } => {
+                    Bits::zero(n.width)
+                }
+            })
+            .collect();
+        let mems = nl
+            .mems
+            .iter()
+            .map(|m| vec![Bits::zero(m.width); m.words as usize])
+            .collect();
+        let mut sim = NetlistSim { nl, values, mems, order, tasks: Vec::new(), finished: false, cycles: 0 };
+        sim.settle();
+        Ok(sim)
+    }
+
+    /// The netlist being executed.
+    pub fn netlist(&self) -> &Arc<Netlist> {
+        &self.nl
+    }
+
+    /// Whether a `$finish` task has fired.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Total clock edges executed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Drains task firings observed so far.
+    pub fn drain_tasks(&mut self) -> Vec<TaskFire> {
+        std::mem::take(&mut self.tasks)
+    }
+
+    /// Whether any task firings are pending.
+    pub fn has_tasks(&self) -> bool {
+        !self.tasks.is_empty()
+    }
+
+    /// Sets an input net and repropagates combinational logic.
+    pub fn set_input(&mut self, net: NetId, value: Bits) {
+        let w = self.nl.width(net);
+        self.values[net.0 as usize] = value.resize(w);
+        self.settle();
+    }
+
+    /// Sets an input by port name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input net has this name.
+    pub fn set_by_name(&mut self, name: &str, value: Bits) {
+        let net = self
+            .nl
+            .net_by_name(name)
+            .unwrap_or_else(|| panic!("unknown net `{name}`"));
+        self.set_input(net, value);
+    }
+
+    /// Reads any net's current value.
+    pub fn get(&self, net: NetId) -> &Bits {
+        &self.values[net.0 as usize]
+    }
+
+    /// Reads a net by name.
+    pub fn get_by_name(&self, name: &str) -> Option<&Bits> {
+        self.nl.net_by_name(name).map(|n| self.get(n))
+    }
+
+    /// Reads one word of a memory.
+    pub fn read_mem(&self, mem: MemId, addr: u64) -> Bits {
+        self.mems[mem.0 as usize]
+            .get(addr as usize)
+            .cloned()
+            .unwrap_or_else(|| Bits::zero(self.nl.mems[mem.0 as usize].width))
+    }
+
+    /// Writes one word of a memory directly (state restoration).
+    pub fn write_mem(&mut self, mem: MemId, addr: u64, value: Bits) {
+        let w = self.nl.mems[mem.0 as usize].width;
+        if let Some(slot) = self.mems[mem.0 as usize].get_mut(addr as usize) {
+            *slot = value.resize(w);
+        }
+    }
+
+    /// Overwrites a register's current value (state restoration), without
+    /// repropagating; call [`NetlistSim::settle`] when done.
+    pub fn write_reg(&mut self, reg: RegId, value: Bits) {
+        let q = self.nl.regs[reg.0 as usize].q;
+        let w = self.nl.width(q);
+        self.values[q.0 as usize] = value.resize(w);
+    }
+
+    /// Reads a register's current value.
+    pub fn read_reg(&self, reg: RegId) -> &Bits {
+        let q = self.nl.regs[reg.0 as usize].q;
+        self.get(q)
+    }
+
+    /// Recomputes all combinational nets in topological order.
+    pub fn settle(&mut self) {
+        let nl = Arc::clone(&self.nl);
+        for &net in &self.order {
+            let value = match &nl.nets[net.0 as usize].def {
+                Def::Cell(cell) => {
+                    let inputs: Vec<&Bits> =
+                        cell.inputs.iter().map(|i| &self.values[i.0 as usize]).collect();
+                    eval_cell_refs(cell.op, &inputs, nl.width(net))
+                }
+                Def::MemRead { mem, addr } => {
+                    let a = self.values[addr.0 as usize].to_u64();
+                    self.read_mem(*mem, a)
+                }
+                _ => continue,
+            };
+            self.values[net.0 as usize] = value;
+        }
+    }
+
+    /// Executes one edge of the given clock domain: samples task triggers
+    /// and register/memory inputs, commits them, and repropagates. One call
+    /// corresponds to one hardware clock cycle.
+    pub fn step_clock(&mut self, clock_index: u32) {
+        if self.finished {
+            return;
+        }
+        let nl = Arc::clone(&self.nl);
+        let clock = ClockId(clock_index);
+        // Sample phase (pre-edge values).
+        let mut reg_updates: Vec<(NetId, Bits)> = Vec::new();
+        for reg in &nl.regs {
+            if reg.clock == clock {
+                reg_updates.push((reg.q, self.values[reg.d.0 as usize].clone()));
+            }
+        }
+        let mut mem_updates: Vec<(MemId, u64, Bits)> = Vec::new();
+        for (mi, mem) in nl.mems.iter().enumerate() {
+            for port in &mem.write_ports {
+                if port.clock == clock && self.values[port.enable.0 as usize].to_bool() {
+                    let addr = self.values[port.addr.0 as usize].to_u64();
+                    mem_updates.push((MemId(mi as u32), addr, self.values[port.data.0 as usize].clone()));
+                }
+            }
+        }
+        for task in &nl.tasks {
+            if task.clock == clock && self.values[task.trigger.0 as usize].to_bool() {
+                let args: Vec<Bits> =
+                    task.args.iter().map(|a| self.values[a.0 as usize].clone()).collect();
+                let text = match (&task.format, task.kind) {
+                    (_, TaskKind::Finish) => String::new(),
+                    (Some(f), _) => cascade_sim::format_verilog(f, &args),
+                    (None, _) => args
+                        .iter()
+                        .zip(task.arg_signed.iter().chain(std::iter::repeat(&false)))
+                        .map(|(v, &s)| {
+                            if s {
+                                v.to_signed_decimal_string()
+                            } else {
+                                v.to_decimal_string()
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                };
+                if matches!(task.kind, TaskKind::Finish | TaskKind::Fatal) {
+                    self.finished = true;
+                }
+                self.tasks.push(TaskFire { kind: task.kind, text });
+            }
+        }
+        // Commit phase.
+        for (q, v) in reg_updates {
+            let w = nl.width(q);
+            self.values[q.0 as usize] = v.resize(w);
+        }
+        for (mem, addr, v) in mem_updates {
+            self.write_mem(mem, addr, v);
+        }
+        self.cycles += 1;
+        self.settle();
+    }
+
+    /// Runs `n` cycles of clock domain 0, stopping early on `$finish`.
+    /// Returns the number of cycles actually executed.
+    pub fn run(&mut self, n: u64) -> u64 {
+        let mut done = 0;
+        for _ in 0..n {
+            if self.finished {
+                break;
+            }
+            self.step_clock(0);
+            done += 1;
+        }
+        done
+    }
+}
+
+/// Which edge a clock domain uses (for drivers that model both edges).
+pub fn clock_edge(nl: &Netlist, clock_index: u32) -> Option<Edge> {
+    nl.clocks.get(clock_index as usize).map(|&(_, e)| e)
+}
+
+/// Evaluates one cell over owned inputs (shared with the synthesizer's
+/// constant folder).
+pub fn eval_cell(op: CellOp, inputs: &[Bits], width: u32) -> Bits {
+    let refs: Vec<&Bits> = inputs.iter().collect();
+    eval_cell_refs(op, &refs, width)
+}
+
+fn eval_cell_refs(op: CellOp, inputs: &[&Bits], width: u32) -> Bits {
+    use CellOp::*;
+    let a = inputs.first().copied();
+    let b = inputs.get(1).copied();
+    match op {
+        Not => a.expect("input").not(),
+        Neg => a.expect("input").neg(),
+        RedAnd => Bits::from_bool(a.expect("input").reduce_and()),
+        RedOr => Bits::from_bool(a.expect("input").reduce_or()),
+        RedXor => Bits::from_bool(a.expect("input").reduce_xor()),
+        LogNot => Bits::from_bool(!a.expect("input").to_bool()),
+        Add => a.expect("a").add(b.expect("b")).resize(width),
+        Sub => a.expect("a").sub(b.expect("b")).resize(width),
+        Mul => a.expect("a").mul(b.expect("b")).resize(width),
+        DivU => a.expect("a").div(b.expect("b")).resize(width),
+        RemU => a.expect("a").rem(b.expect("b")).resize(width),
+        DivS => signed_div(a.expect("a"), b.expect("b")).resize(width),
+        RemS => signed_rem(a.expect("a"), b.expect("b")).resize(width),
+        And => a.expect("a").and(b.expect("b")).resize(width),
+        Or => a.expect("a").or(b.expect("b")).resize(width),
+        Xor => a.expect("a").xor(b.expect("b")).resize(width),
+        Xnor => a.expect("a").xnor(b.expect("b")).resize(width),
+        Shl => a.expect("a").shl(shift_amount(b.expect("b"))).resize(width),
+        Shr => a.expect("a").shr(shift_amount(b.expect("b"))).resize(width),
+        AShr => a.expect("a").ashr(shift_amount(b.expect("b"))).resize(width),
+        Eq => Bits::from_bool(a.expect("a").eq_value(b.expect("b"))),
+        Ne => Bits::from_bool(!a.expect("a").eq_value(b.expect("b"))),
+        LtU => Bits::from_bool(a.expect("a").cmp_unsigned(b.expect("b")) == Ordering::Less),
+        LeU => Bits::from_bool(a.expect("a").cmp_unsigned(b.expect("b")) != Ordering::Greater),
+        LtS => Bits::from_bool(a.expect("a").cmp_signed(b.expect("b")) == Ordering::Less),
+        LeS => Bits::from_bool(a.expect("a").cmp_signed(b.expect("b")) != Ordering::Greater),
+        Mux => {
+            if inputs[0].to_bool() {
+                inputs[1].resize(width)
+            } else {
+                inputs[2].resize(width)
+            }
+        }
+        Concat => {
+            // Inputs are MSB-first.
+            let mut acc = Bits::zero(0);
+            for part in inputs {
+                acc = acc.concat(part);
+            }
+            acc.resize(width)
+        }
+        Slice { offset } => a.expect("input").slice(offset, width),
+        DynSlice => {
+            let off = shift_amount(b.expect("offset"));
+            a.expect("input").slice(off, width)
+        }
+        ZExt => a.expect("input").resize(width),
+        SExt => a.expect("input").resize_signed(width),
+        Repeat { count } => a.expect("input").repeat(count).resize(width),
+    }
+}
+
+fn shift_amount(b: &Bits) -> u32 {
+    b.to_u64().min(u32::MAX as u64) as u32
+}
+
+fn signed_div(l: &Bits, r: &Bits) -> Bits {
+    let w = l.width().max(r.width());
+    if !r.to_bool() {
+        return Bits::ones(w);
+    }
+    let ln = l.msb();
+    let rn = r.msb();
+    let la = if ln { l.neg() } else { l.clone() };
+    let ra = if rn { r.neg() } else { r.clone() };
+    let q = la.div(&ra);
+    if ln ^ rn {
+        q.neg()
+    } else {
+        q
+    }
+}
+
+fn signed_rem(l: &Bits, r: &Bits) -> Bits {
+    let w = l.width().max(r.width());
+    if !r.to_bool() {
+        return Bits::ones(w);
+    }
+    let ln = l.msb();
+    let la = if ln { l.neg() } else { l.clone() };
+    let ra = if r.msb() { r.neg() } else { r.clone() };
+    let m = la.rem(&ra);
+    if ln {
+        m.neg()
+    } else {
+        m
+    }
+}

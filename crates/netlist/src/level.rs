@@ -1,0 +1,117 @@
+//! Topological levelization of the combinational portion of a netlist.
+
+use crate::ir::{Def, Netlist, NetId};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a netlist contains a combinational cycle (which could
+/// not be realized on an FPGA without a latch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelError {
+    /// Names of nets involved in (or near) the cycle.
+    pub nets: Vec<String>,
+}
+
+impl fmt::Display for LevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "combinational cycle through: {}", self.nets.join(" -> "))
+    }
+}
+
+impl Error for LevelError {}
+
+/// Computes a topological evaluation order over cell and memory-read nets.
+///
+/// Inputs, constants, and register outputs are sources; a cell can be
+/// evaluated once all of its inputs are. Registers break cycles (their `d`
+/// input is consumed at the clock edge, not combinationally).
+///
+/// # Errors
+///
+/// Returns [`LevelError`] if the combinational subgraph is cyclic.
+pub fn levelize(nl: &Netlist) -> Result<Vec<NetId>, LevelError> {
+    let n = nl.nets.len();
+    // In-degree over combinational deps only.
+    let mut indeg = vec![0u32; n];
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, net) in nl.nets.iter().enumerate() {
+        match &net.def {
+            Def::Cell(cell) => {
+                for inp in &cell.inputs {
+                    if is_comb(nl, *inp) {
+                        indeg[i] += 1;
+                        dependents[inp.0 as usize].push(i as u32);
+                    }
+                }
+            }
+            Def::MemRead { addr, .. }
+                if is_comb(nl, *addr) => {
+                    indeg[i] += 1;
+                    dependents[addr.0 as usize].push(i as u32);
+                }
+            _ => {}
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut queue: Vec<u32> = (0..n as u32)
+        .filter(|&i| {
+            indeg[i as usize] == 0
+                && matches!(nl.nets[i as usize].def, Def::Cell(_) | Def::MemRead { .. })
+        })
+        .collect();
+    // Also propagate readiness from source nets.
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        order.push(NetId(i));
+        for &d in &dependents[i as usize] {
+            indeg[d as usize] -= 1;
+            if indeg[d as usize] == 0 {
+                queue.push(d);
+            }
+        }
+    }
+    let comb_total = nl
+        .nets
+        .iter()
+        .filter(|net| matches!(net.def, Def::Cell(_) | Def::MemRead { .. }))
+        .count();
+    if order.len() != comb_total {
+        let stuck: Vec<String> = nl
+            .nets
+            .iter()
+            .enumerate()
+            .filter(|(i, net)| {
+                indeg[*i] > 0 && matches!(net.def, Def::Cell(_) | Def::MemRead { .. })
+            })
+            .take(8)
+            .map(|(i, net)| net.name.clone().unwrap_or_else(|| format!("n{i}")))
+            .collect();
+        return Err(LevelError { nets: stuck });
+    }
+    Ok(order)
+}
+
+/// The longest combinational path length (in cells) — the logic-depth input
+/// to the timing model.
+pub fn logic_depth(nl: &Netlist, order: &[NetId]) -> u32 {
+    let mut depth = vec![0u32; nl.nets.len()];
+    let mut max = 0;
+    for &net in order {
+        let d = match &nl.nets[net.0 as usize].def {
+            Def::Cell(cell) => {
+                cell.inputs.iter().map(|i| depth[i.0 as usize]).max().unwrap_or(0) + 1
+            }
+            Def::MemRead { addr, .. } => depth[addr.0 as usize] + 1,
+            _ => 0,
+        };
+        depth[net.0 as usize] = d;
+        max = max.max(d);
+    }
+    max
+}
+
+fn is_comb(nl: &Netlist, id: NetId) -> bool {
+    matches!(nl.nets[id.0 as usize].def, Def::Cell(_) | Def::MemRead { .. })
+}

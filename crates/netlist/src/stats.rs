@@ -1,0 +1,156 @@
+//! Area and timing estimation over a synthesized netlist.
+//!
+//! These estimates feed the virtual FPGA's resource and fmax model; the
+//! constants approximate a Cyclone V-class device (4-input ALMs, M10K block
+//! RAM). Absolute numbers are not calibrated against real silicon — only
+//! relative comparisons (Cascade-wrapper overhead vs. direct compilation,
+//! paper Sec. 6.1/6.2) are meaningful.
+
+use crate::ir::{Cell, CellOp, Def, Netlist};
+use crate::level::{levelize, logic_depth};
+
+/// Estimated resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AreaEstimate {
+    /// Logic elements (LUT+FF pairs).
+    pub logic_elements: u64,
+    /// Dedicated register bits.
+    pub registers: u64,
+    /// Block RAM bits.
+    pub bram_bits: u64,
+    /// DSP multiplier blocks.
+    pub dsp_blocks: u64,
+}
+
+impl AreaEstimate {
+    /// A single scalar for fit checks: logic elements plus register packing.
+    pub fn cells(&self) -> u64 {
+        self.logic_elements.max(self.registers)
+    }
+}
+
+/// Estimated timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingEstimate {
+    /// Longest combinational path, in cell levels.
+    pub logic_depth: u32,
+    /// Estimated maximum clock frequency in MHz.
+    pub fmax_mhz: f64,
+}
+
+/// Estimates the resources a netlist occupies.
+pub fn estimate_area(nl: &Netlist) -> AreaEstimate {
+    let mut le: u64 = 0;
+    let mut dsp: u64 = 0;
+    for net in &nl.nets {
+        if let Def::Cell(cell) = &net.def {
+            let (l, d) = cell_cost(cell, net.width, nl);
+            le += l;
+            dsp += d;
+        }
+    }
+    let registers: u64 = nl.regs.iter().map(|r| nl.width(r.q) as u64).sum();
+    let bram_bits: u64 = nl.mems.iter().map(|m| m.width as u64 * m.words).sum();
+    // Each memory write port costs address decode logic.
+    le += nl
+        .mems
+        .iter()
+        .map(|m| m.write_ports.len() as u64 * (m.width as u64 / 4 + 4))
+        .sum::<u64>();
+    // Task cells cost trigger plumbing.
+    le += nl.tasks.len() as u64 * 8;
+    AreaEstimate { logic_elements: le, registers, bram_bits, dsp_blocks: dsp }
+}
+
+/// Per-cell LE/DSP cost model.
+fn cell_cost(cell: &Cell, width: u32, nl: &Netlist) -> (u64, u64) {
+    let w = width as u64;
+    match cell.op {
+        CellOp::Not | CellOp::And | CellOp::Or | CellOp::Xor | CellOp::Xnor => (w.div_ceil(2), 0),
+        CellOp::Neg | CellOp::Add | CellOp::Sub => (w, 0),
+        CellOp::Mul => {
+            let in_w = nl.width(cell.inputs[0]) as u64;
+            // 18x18 DSP blocks; wider multiplies decompose.
+            (w / 4, (in_w.div_ceil(18)).pow(2))
+        }
+        CellOp::DivU | CellOp::DivS | CellOp::RemU | CellOp::RemS => (w * w / 2, 0),
+        CellOp::RedAnd | CellOp::RedOr | CellOp::RedXor => {
+            (nl.width(cell.inputs[0]) as u64 / 4 + 1, 0)
+        }
+        CellOp::LogNot => (1, 0),
+        CellOp::Shl | CellOp::Shr | CellOp::AShr | CellOp::DynSlice => {
+            // Barrel shifter: w * log2(w) muxes.
+            let stages = (64 - w.leading_zeros()) as u64;
+            (w * stages / 2, 0)
+        }
+        CellOp::Eq | CellOp::Ne | CellOp::LtU | CellOp::LtS | CellOp::LeU | CellOp::LeS => {
+            (nl.width(cell.inputs[0]) as u64 / 2 + 1, 0)
+        }
+        CellOp::Mux => (w, 0),
+        // Pure wiring.
+        CellOp::Concat | CellOp::Slice { .. } | CellOp::ZExt | CellOp::SExt
+        | CellOp::Repeat { .. } => (0, 0),
+    }
+}
+
+/// Propagation delay of one cell in nanoseconds. Wide arithmetic is slower
+/// than its single-cell netlist representation suggests: a w-bit divider is
+/// an O(w) array of subtract-shift stages, an adder a carry chain, a shift
+/// a log-depth barrel.
+pub fn cell_delay_ns(cell: &Cell, width: u32, nl: &Netlist) -> f64 {
+    let w = width.max(1) as f64;
+    let in_w = cell.inputs.first().map(|&i| nl.width(i)).unwrap_or(1).max(1) as f64;
+    match cell.op {
+        CellOp::Not | CellOp::LogNot => 0.25,
+        CellOp::And | CellOp::Or | CellOp::Xor | CellOp::Xnor | CellOp::Mux => 0.3,
+        // Hardened carry chains make wide adds cheap on FPGAs.
+        CellOp::Neg | CellOp::Add | CellOp::Sub => 0.3 + 0.016 * w,
+        CellOp::Eq | CellOp::Ne | CellOp::LtU | CellOp::LtS | CellOp::LeU | CellOp::LeS => {
+            0.35 + 0.015 * in_w
+        }
+        CellOp::Mul => 1.0 + 0.5 * in_w.log2(),
+        CellOp::DivU | CellOp::DivS | CellOp::RemU | CellOp::RemS => 1.0 + 0.45 * in_w,
+        CellOp::Shl | CellOp::Shr | CellOp::AShr | CellOp::DynSlice => 0.35 + 0.3 * w.log2(),
+        CellOp::RedAnd | CellOp::RedOr | CellOp::RedXor => 0.25 + 0.25 * in_w.log2(),
+        CellOp::Concat | CellOp::Slice { .. } | CellOp::ZExt | CellOp::SExt
+        | CellOp::Repeat { .. } => 0.0,
+    }
+}
+
+/// The delay-weighted critical path through the combinational network, in
+/// nanoseconds (excluding routing, which the toolchain adds from placement).
+pub fn critical_path_ns(nl: &Netlist, order: &[crate::NetId]) -> f64 {
+    let mut arrival = vec![0.0f64; nl.nets.len()];
+    let mut max = 0.0f64;
+    for &net in order {
+        let t = match &nl.nets[net.0 as usize].def {
+            Def::Cell(cell) => {
+                let inputs_max = cell
+                    .inputs
+                    .iter()
+                    .map(|i| arrival[i.0 as usize])
+                    .fold(0.0, f64::max);
+                inputs_max + cell_delay_ns(cell, nl.width(net), nl)
+            }
+            Def::MemRead { addr, .. } => arrival[addr.0 as usize] + 1.5,
+            _ => 0.0,
+        };
+        arrival[net.0 as usize] = t;
+        max = max.max(t);
+    }
+    max
+}
+
+/// Estimates the post-place-and-route clock rate.
+///
+/// The model: the delay-weighted critical path plus a fixed 2 ns of clock
+/// network and register overhead. A combinationally cyclic netlist yields
+/// depth 0 here only if levelization failed upstream.
+pub fn estimate_timing(nl: &Netlist) -> TimingEstimate {
+    let (depth, path_ns) = match levelize(nl) {
+        Ok(order) => (logic_depth(nl, &order), critical_path_ns(nl, &order)),
+        Err(_) => (0, 0.0),
+    };
+    let ns = 2.0 + path_ns;
+    TimingEstimate { logic_depth: depth, fmax_mhz: 1000.0 / ns }
+}

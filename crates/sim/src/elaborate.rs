@@ -1,0 +1,1040 @@
+//! Elaboration: AST + module library → executable [`Design`].
+//!
+//! Elaboration instantiates the module hierarchy (recursively resolving
+//! parameters), assigns every net a [`VarId`] under its full hierarchical
+//! name, lowers port connections to continuous assignments, and rewrites all
+//! bit/part/array selects into zero-based LSB offsets.
+
+use crate::rir::*;
+use cascade_bits::Bits;
+use cascade_verilog::ast::{Expr, Item, LValue, ModuleItem, NetKind, PortDir, Sensitivity, Stmt, SystemFunction};
+use cascade_verilog::typecheck::{
+    check_module, const_eval, CheckedModule, ModuleLibrary, ParamEnv, Symbol, SymbolKind,
+};
+use cascade_verilog::{Diagnostic, FrontendResult, Phase, Span};
+use std::collections::BTreeMap;
+
+/// A fully elaborated, flat design ready for simulation.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Variable table; indices are [`VarId`]s.
+    pub vars: Vec<VarInfo>,
+    /// Executable processes.
+    pub processes: Vec<Process>,
+    /// Hierarchical name → variable.
+    pub by_name: BTreeMap<String, VarId>,
+    /// Name of the top module.
+    pub top: String,
+}
+
+impl Design {
+    /// Looks up a variable by hierarchical name (without the top-module
+    /// prefix: `cnt`, `r.y`).
+    pub fn var(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Variable metadata.
+    pub fn info(&self, id: VarId) -> &VarInfo {
+        &self.vars[id.0 as usize]
+    }
+
+    /// Iterates over `(name, id)` pairs.
+    pub fn iter_vars(&self) -> impl Iterator<Item = (&str, VarId)> {
+        self.by_name.iter().map(|(n, &id)| (n.as_str(), id))
+    }
+
+    /// The root input variables (top-module input ports).
+    pub fn inputs(&self) -> Vec<VarId> {
+        (0..self.vars.len() as u32)
+            .map(VarId)
+            .filter(|id| self.info(*id).is_input)
+            .collect()
+    }
+
+    /// Total number of state bits (registers and memories), a rough area
+    /// statistic.
+    pub fn state_bits(&self) -> u64 {
+        self.vars
+            .iter()
+            .filter(|v| v.class == VarClass::Reg)
+            .map(|v| v.width as u64 * v.array_len)
+            .sum()
+    }
+}
+
+/// Builds a module library from parsed source text.
+///
+/// # Errors
+///
+/// Returns the first parse diagnostic.
+pub fn library_from_source(src: &str) -> FrontendResult<ModuleLibrary> {
+    let unit = cascade_verilog::parse(src)?;
+    let mut lib = ModuleLibrary::new();
+    for item in unit.items {
+        if let Item::Module(m) = item {
+            lib.insert(m);
+        }
+    }
+    Ok(lib)
+}
+
+/// Elaborates `top` against `lib` with root parameter `overrides`.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unknown modules, type errors, unsupported
+/// constructs (`inout`, non-constant part-select bounds), or recursive
+/// instantiation deeper than 64 levels.
+pub fn elaborate(top: &str, lib: &ModuleLibrary, overrides: &ParamEnv) -> FrontendResult<Design> {
+    let mut el = Elaborator { lib, vars: Vec::new(), processes: Vec::new(), by_name: BTreeMap::new() };
+    let scope = el.instantiate(top, "", overrides, 0)?;
+    el.lower_scope(&scope)?;
+    Ok(Design { vars: el.vars, processes: el.processes, by_name: el.by_name, top: top.to_string() })
+}
+
+/// Elaborates a single already-checked module with no instances (the form
+/// Cascade's runtime produces for subprogram engines).
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] if the module still contains instantiations or
+/// unsupported constructs.
+pub fn elaborate_leaf(checked: &CheckedModule) -> FrontendResult<Design> {
+    if !checked.instances.is_empty() {
+        return Err(err(format!(
+            "module `{}` still contains instances; inline before leaf elaboration",
+            checked.module.name
+        )));
+    }
+    let lib = ModuleLibrary::new();
+    let mut el = Elaborator { lib: &lib, vars: Vec::new(), processes: Vec::new(), by_name: BTreeMap::new() };
+    let scope = el.build_scope(checked.clone(), "", 0)?;
+    el.lower_scope(&scope)?;
+    Ok(Design {
+        vars: el.vars,
+        processes: el.processes,
+        by_name: el.by_name,
+        top: checked.module.name.clone(),
+    })
+}
+
+fn err(msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(Phase::Elaborate, msg, Span::synthetic())
+}
+
+/// One instantiated module scope.
+struct Scope {
+    #[allow(dead_code)]
+    prefix: String,
+    checked: CheckedModule,
+    names: BTreeMap<String, VarId>,
+    children: BTreeMap<String, Scope>,
+    /// Depth 0 = root (its input ports are externally poked).
+    #[allow(dead_code)]
+    depth: usize,
+}
+
+struct Elaborator<'a> {
+    lib: &'a ModuleLibrary,
+    vars: Vec<VarInfo>,
+    processes: Vec<Process>,
+    by_name: BTreeMap<String, VarId>,
+}
+
+impl<'a> Elaborator<'a> {
+    fn fresh_var(&mut self, name: String, info: VarInfo) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(info);
+        self.by_name.insert(name, id);
+        id
+    }
+
+    fn instantiate(
+        &mut self,
+        module_name: &str,
+        prefix: &str,
+        overrides: &ParamEnv,
+        depth: usize,
+    ) -> FrontendResult<Scope> {
+        if depth > 64 {
+            return Err(err("instantiation depth exceeds 64 (recursive modules?)"));
+        }
+        let mut module = self
+            .lib
+            .get(module_name)
+            .ok_or_else(|| err(format!("unknown module `{module_name}`")))?
+            .clone();
+        if cascade_verilog::has_generates(&module) {
+            let params = cascade_verilog::typecheck::resolve_params(&module, overrides)?;
+            module = cascade_verilog::expand_generates(&module, &params)?;
+        }
+        if cascade_verilog::has_functions(&module) {
+            module = cascade_verilog::inline_functions(&module)?;
+        }
+        let checked = check_module(&module, overrides, self.lib).map_err(|mut ds| {
+            ds.pop().unwrap_or_else(|| err(format!("type errors in `{module_name}`")))
+        })?;
+        self.build_scope(checked, prefix, depth)
+    }
+
+    fn build_scope(
+        &mut self,
+        checked: CheckedModule,
+        prefix: &str,
+        depth: usize,
+    ) -> FrontendResult<Scope> {
+        let mut names = BTreeMap::new();
+        // Declare variables for every non-parameter symbol.
+        for (name, sym) in &checked.symbols {
+            if sym.kind == SymbolKind::Parameter {
+                continue;
+            }
+            let qual = if prefix.is_empty() { name.clone() } else { format!("{prefix}.{name}") };
+            // Only state elements take declaration initializers; a wire's
+            // `= expr` is a continuous assignment lowered later.
+            let init = match &sym.init {
+                Some(e) if sym.kind.is_variable() => Some(
+                    const_eval(e, &checked.params)
+                        .map(|v| v.resize(sym.width()))
+                        .map_err(|d| err(format!("initializer for `{qual}`: {}", d.message)))?,
+                ),
+                _ => None,
+            };
+            let class = if sym.kind.is_variable() { VarClass::Reg } else { VarClass::Wire };
+            let is_input = depth == 0 && sym.port == Some(PortDir::Input);
+            let is_output = depth == 0 && sym.port == Some(PortDir::Output);
+            if sym.port == Some(PortDir::Inout) {
+                return Err(err(format!("inout port `{qual}` is not supported")));
+            }
+            let id = self.fresh_var(
+                qual,
+                VarInfo {
+                    name: if prefix.is_empty() {
+                        name.clone()
+                    } else {
+                        format!("{prefix}.{name}")
+                    },
+                    class,
+                    width: sym.width(),
+                    signed: sym.signed,
+                    array_len: sym.array_len(),
+                    init,
+                    is_input,
+                    is_output,
+                },
+            );
+            names.insert(name.clone(), id);
+        }
+        // Instantiate children.
+        let mut children = BTreeMap::new();
+        let instances = checked.instances.clone();
+        for ri in &instances {
+            let child_prefix = if prefix.is_empty() {
+                ri.inst_name.clone()
+            } else {
+                format!("{prefix}.{}", ri.inst_name)
+            };
+            let child = self.instantiate(&ri.module_name, &child_prefix, &ri.params, depth + 1)?;
+            children.insert(ri.inst_name.clone(), child);
+        }
+        Ok(Scope { prefix: prefix.to_string(), checked, names, children, depth })
+    }
+
+    /// Lowers a scope's items (and recursively its children's) to processes.
+    fn lower_scope(&mut self, scope: &Scope) -> FrontendResult<()> {
+        for child in scope.children.values() {
+            self.lower_scope(child)?;
+        }
+        // Port connections.
+        for ri in &scope.checked.instances {
+            let child = &scope.children[&ri.inst_name];
+            for (port_name, expr) in &ri.connections {
+                let Some(expr) = expr else { continue };
+                let port = child
+                    .checked
+                    .module
+                    .port(port_name)
+                    .ok_or_else(|| err(format!("no port `{port_name}`")))?
+                    .clone();
+                let child_var = child.names[port_name];
+                match port.dir {
+                    PortDir::Input => {
+                        let rhs = self.expr(scope, expr)?;
+                        self.processes.push(Process::Assign { lhs: RLValue::Var(child_var), rhs });
+                    }
+                    PortDir::Output => {
+                        let lhs = self.expr_as_lvalue(scope, expr)?;
+                        let info = &self.vars[child_var.0 as usize];
+                        let rhs = RExpr {
+                            width: info.width,
+                            signed: info.signed,
+                            kind: RExprKind::Var(child_var),
+                        };
+                        self.processes.push(Process::Assign { lhs, rhs });
+                    }
+                    PortDir::Inout => {
+                        return Err(err(format!("inout port `{port_name}` is not supported")));
+                    }
+                }
+            }
+        }
+        // Module items.
+        let items = scope.checked.module.items.clone();
+        for item in &items {
+            match item {
+                ModuleItem::Net(decl) => {
+                    // `wire x = expr;` is a continuous assignment.
+                    if decl.kind == NetKind::Wire {
+                        for d in &decl.decls {
+                            if let Some(init) = &d.init {
+                                let lhs = RLValue::Var(scope.names[&d.name]);
+                                let rhs = self.expr(scope, init)?;
+                                self.processes.push(Process::Assign { lhs, rhs });
+                            }
+                        }
+                    }
+                }
+                ModuleItem::Param(_) | ModuleItem::Instance(_) => {}
+                ModuleItem::Function(f) => {
+                    return Err(err(format!(
+                        "function `{}` survived inlining (internal error)",
+                        f.name
+                    )));
+                }
+                ModuleItem::Genvar(_) => {}
+                ModuleItem::GenerateFor(_) => {
+                    return Err(err("generate block survived expansion (internal error)"));
+                }
+                ModuleItem::Assign(a) => {
+                    let lhs = self.lvalue(scope, &a.lhs)?;
+                    let rhs = self.expr(scope, &a.rhs)?;
+                    self.processes.push(Process::Assign { lhs, rhs });
+                }
+                ModuleItem::Always(a) => {
+                    let body = self.stmt(scope, &a.body)?;
+                    let sens = match &a.sensitivity {
+                        Sensitivity::Star => {
+                            let mut vars = Vec::new();
+                            collect_reads_stmt(&body, &mut vars);
+                            vars.sort();
+                            vars.dedup();
+                            vars.into_iter().map(|v| Sens { var: v, edge: None }).collect()
+                        }
+                        Sensitivity::List(items) => {
+                            let mut out = Vec::new();
+                            for it in items {
+                                let e = self.expr(scope, &it.expr)?;
+                                let mut vars = Vec::new();
+                                collect_reads(&e, &mut vars);
+                                if vars.is_empty() {
+                                    return Err(err("sensitivity item reads no variable"));
+                                }
+                                for v in vars {
+                                    out.push(Sens { var: v, edge: it.edge });
+                                }
+                            }
+                            out
+                        }
+                    };
+                    self.processes.push(Process::Always { sens, body });
+                }
+                ModuleItem::Initial(i) => {
+                    let body = self.stmt(scope, &i.body)?;
+                    self.processes.push(Process::Initial { body });
+                }
+                ModuleItem::Statement(s) => {
+                    // REPL-injected root statements execute once, like an
+                    // initial block appended to the root module.
+                    let body = self.stmt(scope, s)?;
+                    self.processes.push(Process::Initial { body });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Name resolution
+    // ------------------------------------------------------------------
+
+    fn resolve_path<'s>(&self, scope: &'s Scope, path: &[String]) -> FrontendResult<(VarId, &'s Scope, String)> {
+        let mut cur = scope;
+        for (i, part) in path.iter().enumerate() {
+            let last = i == path.len() - 1;
+            if last {
+                let id = cur.names.get(part).copied().ok_or_else(|| {
+                    err(format!("unknown variable `{}` in `{}`", part, cur.checked.module.name))
+                })?;
+                return Ok((id, cur, part.clone()));
+            }
+            cur = cur.children.get(part).ok_or_else(|| {
+                err(format!("unknown instance `{part}` in `{}`", cur.checked.module.name))
+            })?;
+        }
+        Err(err("empty hierarchical path"))
+    }
+
+    fn symbol<'s>(&self, scope: &'s Scope, name: &str) -> FrontendResult<&'s Symbol> {
+        scope
+            .checked
+            .symbols
+            .get(name)
+            .ok_or_else(|| err(format!("unknown symbol `{name}`")))
+    }
+
+    fn var_expr(&self, id: VarId) -> RExpr {
+        let info = &self.vars[id.0 as usize];
+        RExpr { width: info.width, signed: info.signed, kind: RExprKind::Var(id) }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self, scope: &Scope, e: &Expr) -> FrontendResult<RExpr> {
+        use cascade_verilog::ast::{BinaryOp, UnaryOp};
+        // Selects into parameters (`SEQ_A[i +: 2]`) are constants; fold them
+        // here so the select machinery only ever sees runtime variables.
+        if matches!(e, Expr::Index { .. } | Expr::Part { .. } | Expr::IndexedPart { .. }) {
+            if let Ok(v) = const_eval(e, &scope.checked.params) {
+                return Ok(RExpr::constant(v));
+            }
+        }
+        Ok(match e {
+            Expr::Literal { value, sized } => RExpr {
+                width: value.width(),
+                // Unsized decimal literals are signed in Verilog.
+                signed: !sized,
+                kind: RExprKind::Const(value.clone()),
+            },
+            Expr::MaskedLiteral { value, .. } => RExpr::constant(value.clone()),
+            Expr::Str(_) => return Err(err("string literal outside system task arguments")),
+            Expr::Ident(name) => {
+                let sym = self.symbol(scope, name)?;
+                if sym.kind == SymbolKind::Parameter {
+                    let v = sym
+                        .value
+                        .clone()
+                        .ok_or_else(|| err(format!("parameter `{name}` has no value")))?;
+                    RExpr::constant(v)
+                } else {
+                    let id = scope.names[name];
+                    self.var_expr(id)
+                }
+            }
+            Expr::Hier(path) => {
+                let (id, _, _) = self.resolve_path(scope, path)?;
+                self.var_expr(id)
+            }
+            Expr::Unary { op, operand } => {
+                let inner = self.expr(scope, operand)?;
+                let (width, signed) = match op {
+                    UnaryOp::Plus | UnaryOp::Neg | UnaryOp::BitNot => (inner.width, inner.signed),
+                    _ => (1, false),
+                };
+                RExpr { width, signed, kind: RExprKind::Unary { op: *op, operand: Box::new(inner) } }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.expr(scope, lhs)?;
+                let r = self.expr(scope, rhs)?;
+                let (width, signed) = match op {
+                    BinaryOp::Add
+                    | BinaryOp::Sub
+                    | BinaryOp::Mul
+                    | BinaryOp::Div
+                    | BinaryOp::Rem
+                    | BinaryOp::And
+                    | BinaryOp::Or
+                    | BinaryOp::Xor
+                    | BinaryOp::Xnor => (l.width.max(r.width), l.signed && r.signed),
+                    BinaryOp::Pow | BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl
+                    | BinaryOp::AShr => (l.width, l.signed),
+                    _ => (1, false),
+                };
+                RExpr {
+                    width,
+                    signed,
+                    kind: RExprKind::Binary { op: *op, lhs: Box::new(l), rhs: Box::new(r) },
+                }
+            }
+            Expr::Ternary { cond, then_expr, else_expr } => {
+                let c = self.expr(scope, cond)?;
+                let t = self.expr(scope, then_expr)?;
+                let f = self.expr(scope, else_expr)?;
+                RExpr {
+                    width: t.width.max(f.width),
+                    signed: t.signed && f.signed,
+                    kind: RExprKind::Ternary {
+                        cond: Box::new(c),
+                        then_expr: Box::new(t),
+                        else_expr: Box::new(f),
+                    },
+                }
+            }
+            Expr::Index { base, index } => self.index_expr(scope, base, index)?,
+            Expr::Part { base, msb, lsb } => {
+                let (var, elem_index) = self.select_base(scope, base)?;
+                let sym = self.base_symbol(scope, base)?;
+                let m = const_eval(msb, &scope.checked.params)
+                    .map_err(|d| err(format!("part-select bound: {}", d.message)))?
+                    .to_i64();
+                let l = const_eval(lsb, &scope.checked.params)
+                    .map_err(|d| err(format!("part-select bound: {}", d.message)))?
+                    .to_i64();
+                let off_m = sym
+                    .bit_offset(m)
+                    .ok_or_else(|| err(format!("part-select bound {m} out of range")))?;
+                let off_l = sym
+                    .bit_offset(l)
+                    .ok_or_else(|| err(format!("part-select bound {l} out of range")))?;
+                let lo = off_m.min(off_l);
+                let width = off_m.abs_diff(off_l) + 1;
+                let base_expr = self.word_expr(var, elem_index);
+                RExpr {
+                    width,
+                    signed: false,
+                    kind: RExprKind::Slice {
+                        base: Box::new(base_expr),
+                        offset: Box::new(RExpr::constant(Bits::from_u64(32, lo as u64))),
+                        width,
+                    },
+                }
+            }
+            Expr::IndexedPart { base, offset, width, ascending } => {
+                let (var, elem_index) = self.select_base(scope, base)?;
+                let sym = self.base_symbol(scope, base)?;
+                let w = const_eval(width, &scope.checked.params)
+                    .map_err(|d| err(format!("part-select width: {}", d.message)))?
+                    .to_u64() as u32;
+                let off_expr = self.expr(scope, offset)?;
+                let lsb_index = if *ascending {
+                    off_expr
+                } else {
+                    // x[i -: w] selects [i, i-w+1]; LSB index = i - (w-1).
+                    binary_sub(off_expr, w - 1)
+                };
+                let mapped = self.map_bit_offset(sym, lsb_index);
+                let base_expr = self.word_expr(var, elem_index);
+                RExpr {
+                    width: w,
+                    signed: false,
+                    kind: RExprKind::Slice {
+                        base: Box::new(base_expr),
+                        offset: Box::new(mapped),
+                        width: w,
+                    },
+                }
+            }
+            Expr::Concat(parts) => {
+                let rs: Vec<RExpr> =
+                    parts.iter().map(|p| self.expr(scope, p)).collect::<Result<_, _>>()?;
+                let width = rs.iter().map(|r| r.width).sum();
+                RExpr { width, signed: false, kind: RExprKind::Concat(rs) }
+            }
+            Expr::Replicate { count, inner } => {
+                let c = const_eval(count, &scope.checked.params)
+                    .map_err(|d| err(format!("replication count: {}", d.message)))?
+                    .to_u64() as u32;
+                let i = self.expr(scope, inner)?;
+                RExpr {
+                    width: i.width * c,
+                    signed: false,
+                    kind: RExprKind::Repeat { count: c, inner: Box::new(i) },
+                }
+            }
+            Expr::FnCall { name, .. } => {
+                return Err(err(format!(
+                    "call to `{name}` survived function inlining (internal error)"
+                )));
+            }
+            Expr::SystemCall { func, args } => match func {
+                SystemFunction::Time => {
+                    RExpr { width: 64, signed: false, kind: RExprKind::Time }
+                }
+                SystemFunction::Random => {
+                    RExpr { width: 32, signed: true, kind: RExprKind::Random }
+                }
+                SystemFunction::Signed | SystemFunction::Unsigned => {
+                    let a = args
+                        .first()
+                        .ok_or_else(|| err(format!("{} needs an argument", func.as_str())))?;
+                    let mut inner = self.expr(scope, a)?;
+                    inner.signed = *func == SystemFunction::Signed;
+                    inner
+                }
+                SystemFunction::Clog2 => {
+                    let a = args.first().ok_or_else(|| err("$clog2 needs an argument"))?;
+                    let v = const_eval(a, &scope.checked.params)
+                        .map_err(|d| err(format!("$clog2: {}", d.message)))?;
+                    RExpr::constant(Bits::from_u64(32, cascade_verilog::typecheck::clog2(&v)))
+                }
+            },
+        })
+    }
+
+    /// Resolves the base of a select to `(var, optional array index expr)`.
+    fn select_base(
+        &mut self,
+        scope: &Scope,
+        base: &Expr,
+    ) -> FrontendResult<(VarId, Option<RExpr>)> {
+        match base {
+            Expr::Ident(name) => {
+                if self.symbol(scope, name)?.kind == SymbolKind::Parameter {
+                    return Err(err(format!("cannot select into parameter `{name}`")));
+                }
+                Ok((scope.names[name], None))
+            }
+            Expr::Hier(path) => {
+                let (id, _, _) = self.resolve_path(scope, path)?;
+                Ok((id, None))
+            }
+            Expr::Index { base: inner, index } => {
+                // `mem[i]` as the base of a further select.
+                let (var, prior) = self.select_base(scope, inner)?;
+                if prior.is_some() {
+                    return Err(err("multi-dimensional arrays are not supported"));
+                }
+                let info = &self.vars[var.0 as usize];
+                if !info.is_array() {
+                    return Err(err(format!(
+                        "`{}` is not an array; nested select is invalid",
+                        info.name
+                    )));
+                }
+                let sym = self.base_symbol(scope, inner)?;
+                let idx = self.expr(scope, index)?;
+                let mapped = self.map_array_offset(sym, idx);
+                Ok((var, Some(mapped)))
+            }
+            _ => Err(err("unsupported select base expression")),
+        }
+    }
+
+    /// The frontend symbol for a select base (for range mapping).
+    fn base_symbol<'s>(&self, scope: &'s Scope, base: &Expr) -> FrontendResult<&'s Symbol> {
+        match base {
+            Expr::Ident(name) => self.symbol(scope, name),
+            Expr::Hier(path) => {
+                let (_, owner, leaf) = self.resolve_path(scope, path)?;
+                owner
+                    .checked
+                    .symbols
+                    .get(&leaf)
+                    .ok_or_else(|| err(format!("unknown symbol `{leaf}`")))
+            }
+            Expr::Index { base: inner, .. } => self.base_symbol(scope, inner),
+            _ => Err(err("unsupported select base expression")),
+        }
+    }
+
+    fn word_expr(&self, var: VarId, elem_index: Option<RExpr>) -> RExpr {
+        let info = &self.vars[var.0 as usize];
+        match elem_index {
+            None => RExpr { width: info.width, signed: info.signed, kind: RExprKind::Var(var) },
+            Some(index) => RExpr {
+                width: info.width,
+                signed: info.signed,
+                kind: RExprKind::ArrayWord { var, index: Box::new(index) },
+            },
+        }
+    }
+
+    fn index_expr(&mut self, scope: &Scope, base: &Expr, index: &Expr) -> FrontendResult<RExpr> {
+        let (var, elem_index) = self.select_base(scope, base)?;
+        let info = self.vars[var.0 as usize].clone();
+        let sym = self.base_symbol(scope, base)?;
+        if info.is_array() && elem_index.is_none() {
+            // Array word read.
+            let idx = self.expr(scope, index)?;
+            let mapped = self.map_array_offset(sym, idx);
+            return Ok(RExpr {
+                width: info.width,
+                signed: info.signed,
+                kind: RExprKind::ArrayWord { var, index: Box::new(mapped) },
+            });
+        }
+        // Bit select (possibly of an array word).
+        let idx = self.expr(scope, index)?;
+        let mapped = self.map_bit_offset(sym, idx);
+        let base_expr = self.word_expr(var, elem_index);
+        Ok(RExpr {
+            width: 1,
+            signed: false,
+            kind: RExprKind::Slice {
+                base: Box::new(base_expr),
+                offset: Box::new(mapped),
+                width: 1,
+            },
+        })
+    }
+
+    /// Maps a source bit index to a zero-based LSB offset.
+    fn map_bit_offset(&self, sym: &Symbol, index: RExpr) -> RExpr {
+        if sym.msb >= sym.lsb {
+            if sym.lsb == 0 {
+                index
+            } else {
+                binary_sub(index, sym.lsb as u32)
+            }
+        } else {
+            // Ascending range [lsb-declared-as-msb..]: offset = lsb - index.
+            binary_rsub(sym.lsb as u64, index)
+        }
+    }
+
+    /// Maps a source array index to a zero-based word offset.
+    fn map_array_offset(&self, sym: &Symbol, index: RExpr) -> RExpr {
+        let Some((a, b)) = sym.array else { return index };
+        let lo = a.min(b);
+        if lo == 0 {
+            index
+        } else {
+            binary_sub(index, lo as u32)
+        }
+    }
+
+    fn expr_as_lvalue(&mut self, scope: &Scope, e: &Expr) -> FrontendResult<RLValue> {
+        let lv = match e {
+            Expr::Ident(name) => LValue::Ident(name.clone()),
+            Expr::Index { base, index } => match base.as_ref() {
+                Expr::Ident(name) => {
+                    LValue::Index { base: name.clone(), index: (**index).clone() }
+                }
+                _ => return Err(err("connection target must be a simple name or select")),
+            },
+            Expr::Part { base, msb, lsb } => match base.as_ref() {
+                Expr::Ident(name) => LValue::Part {
+                    base: name.clone(),
+                    msb: (**msb).clone(),
+                    lsb: (**lsb).clone(),
+                },
+                _ => return Err(err("connection target must be a simple name or select")),
+            },
+            Expr::Concat(parts) => {
+                let mut lvs = Vec::new();
+                for p in parts {
+                    lvs.push(self.expr_as_lvalue(scope, p)?);
+                }
+                return Ok(RLValue::Concat(lvs));
+            }
+            _ => return Err(err("output connection target is not assignable")),
+        };
+        self.lvalue(scope, &lv)
+    }
+
+    // ------------------------------------------------------------------
+    // LValues
+    // ------------------------------------------------------------------
+
+    fn lvalue(&mut self, scope: &Scope, lv: &LValue) -> FrontendResult<RLValue> {
+        Ok(match lv {
+            LValue::Ident(name) => RLValue::Var(scope.names[name]),
+            LValue::Hier(path) => {
+                let (id, _, _) = self.resolve_path(scope, path)?;
+                RLValue::Var(id)
+            }
+            LValue::Index { base, index } => {
+                let var = scope.names[base];
+                let is_array = self.vars[var.0 as usize].is_array();
+                let idx = self.expr(scope, index)?;
+                let sym = self.symbol(scope, base)?;
+                if is_array {
+                    let mapped = self.map_array_offset(sym, idx);
+                    RLValue::ArrayWord { var, index: mapped }
+                } else {
+                    let mapped = self.map_bit_offset(sym, idx);
+                    RLValue::Range { var, offset: mapped, width: 1 }
+                }
+            }
+            LValue::Part { base, msb, lsb } => {
+                let sym = self.symbol(scope, base)?;
+                let var = scope.names[base];
+                let m = const_eval(msb, &scope.checked.params)
+                    .map_err(|d| err(format!("part-select bound: {}", d.message)))?
+                    .to_i64();
+                let l = const_eval(lsb, &scope.checked.params)
+                    .map_err(|d| err(format!("part-select bound: {}", d.message)))?
+                    .to_i64();
+                let off_m = sym
+                    .bit_offset(m)
+                    .ok_or_else(|| err(format!("part-select bound {m} out of range")))?;
+                let off_l = sym
+                    .bit_offset(l)
+                    .ok_or_else(|| err(format!("part-select bound {l} out of range")))?;
+                let lo = off_m.min(off_l);
+                RLValue::Range {
+                    var,
+                    offset: RExpr::constant(Bits::from_u64(32, lo as u64)),
+                    width: off_m.abs_diff(off_l) + 1,
+                }
+            }
+            LValue::IndexedPart { base, offset, width, ascending } => {
+                let sym = self.symbol(scope, base)?;
+                let var = scope.names[base];
+                let w = const_eval(width, &scope.checked.params)
+                    .map_err(|d| err(format!("part-select width: {}", d.message)))?
+                    .to_u64() as u32;
+                let off = self.expr(scope, offset)?;
+                let lsb_index = if *ascending { off } else { binary_sub(off, w - 1) };
+                let sym2 = self.symbol(scope, base)?;
+                let mapped = self.map_bit_offset(sym2, lsb_index);
+                let _ = sym;
+                RLValue::Range { var, offset: mapped, width: w }
+            }
+            LValue::Concat(parts) => {
+                let rs: Vec<RLValue> =
+                    parts.iter().map(|p| self.lvalue(scope, p)).collect::<Result<_, _>>()?;
+                RLValue::Concat(rs)
+            }
+            LValue::IndexThenPart { base, index, msb, lsb } => {
+                let sym = self.symbol(scope, base)?;
+                let var = scope.names[base];
+                let idx = self.expr(scope, index)?;
+                let m = const_eval(msb, &scope.checked.params)
+                    .map_err(|d| err(format!("part-select bound: {}", d.message)))?
+                    .to_i64();
+                let l = const_eval(lsb, &scope.checked.params)
+                    .map_err(|d| err(format!("part-select bound: {}", d.message)))?
+                    .to_i64();
+                let off_m = sym
+                    .bit_offset(m)
+                    .ok_or_else(|| err(format!("part-select bound {m} out of range")))?;
+                let off_l = sym
+                    .bit_offset(l)
+                    .ok_or_else(|| err(format!("part-select bound {l} out of range")))?;
+                let lo = off_m.min(off_l);
+                let sym2 = self.symbol(scope, base)?;
+                let mapped = self.map_array_offset(sym2, idx);
+                RLValue::ArrayWordRange {
+                    var,
+                    index: mapped,
+                    offset: RExpr::constant(Bits::from_u64(32, lo as u64)),
+                    width: off_m.abs_diff(off_l) + 1,
+                }
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self, scope: &Scope, s: &Stmt) -> FrontendResult<RStmt> {
+        Ok(match s {
+            Stmt::Block { stmts, .. } => {
+                RStmt::Block(stmts.iter().map(|st| self.stmt(scope, st)).collect::<Result<_, _>>()?)
+            }
+            Stmt::Blocking { lhs, rhs, .. } => RStmt::Blocking {
+                lhs: self.lvalue(scope, lhs)?,
+                rhs: self.expr(scope, rhs)?,
+            },
+            Stmt::NonBlocking { lhs, rhs, .. } => RStmt::NonBlocking {
+                lhs: self.lvalue(scope, lhs)?,
+                rhs: self.expr(scope, rhs)?,
+            },
+            Stmt::If { cond, then_branch, else_branch, .. } => RStmt::If {
+                cond: self.expr(scope, cond)?,
+                then_branch: Box::new(self.stmt(scope, then_branch)?),
+                else_branch: match else_branch {
+                    Some(e) => Some(Box::new(self.stmt(scope, e)?)),
+                    None => None,
+                },
+            },
+            Stmt::Case { kind, scrutinee, arms, default, .. } => RStmt::Case {
+                kind: *kind,
+                scrutinee: self.expr(scope, scrutinee)?,
+                arms: arms
+                    .iter()
+                    .map(|arm| {
+                        let labels = arm
+                            .labels
+                            .iter()
+                            .map(|l| {
+                                Ok(match l {
+                                    Expr::MaskedLiteral { value, care } => RCaseLabel {
+                                        value: RExpr::constant(value.clone()),
+                                        care: Some(care.clone()),
+                                    },
+                                    other => RCaseLabel {
+                                        value: self.expr(scope, other)?,
+                                        care: None,
+                                    },
+                                })
+                            })
+                            .collect::<FrontendResult<Vec<_>>>()?;
+                        Ok(RCaseArm { labels, body: self.stmt(scope, &arm.body)? })
+                    })
+                    .collect::<FrontendResult<Vec<_>>>()?,
+                default: match default {
+                    Some(d) => Some(Box::new(self.stmt(scope, d)?)),
+                    None => None,
+                },
+            },
+            Stmt::For { init, cond, step, body, .. } => RStmt::For {
+                init: Box::new(self.stmt(scope, init)?),
+                cond: self.expr(scope, cond)?,
+                step: Box::new(self.stmt(scope, step)?),
+                body: Box::new(self.stmt(scope, body)?),
+            },
+            Stmt::While { cond, body, .. } => RStmt::While {
+                cond: self.expr(scope, cond)?,
+                body: Box::new(self.stmt(scope, body)?),
+            },
+            Stmt::Repeat { count, body, .. } => RStmt::Repeat {
+                count: self.expr(scope, count)?,
+                body: Box::new(self.stmt(scope, body)?),
+            },
+            Stmt::Forever { .. } => {
+                return Err(err(
+                    "`forever` requires delay control, which the virtual-clock model does not support",
+                ));
+            }
+            Stmt::SystemTask { task, args, .. } => RStmt::SystemTask {
+                task: *task,
+                args: args
+                    .iter()
+                    .map(|a| match a {
+                        Expr::Str(s) => Ok(RTaskArg::Str(s.clone())),
+                        other => Ok(RTaskArg::Expr(self.expr(scope, other)?)),
+                    })
+                    .collect::<FrontendResult<Vec<_>>>()?,
+            },
+            Stmt::Null => RStmt::Null,
+        })
+    }
+}
+
+/// `expr - k` as a 32-bit-or-wider subtraction.
+fn binary_sub(e: RExpr, k: u32) -> RExpr {
+    let w = e.width.max(32);
+    RExpr {
+        width: w,
+        signed: false,
+        kind: RExprKind::Binary {
+            op: cascade_verilog::ast::BinaryOp::Sub,
+            lhs: Box::new(e),
+            rhs: Box::new(RExpr::constant(Bits::from_u64(w, k as u64))),
+        },
+    }
+}
+
+/// `k - expr`.
+fn binary_rsub(k: u64, e: RExpr) -> RExpr {
+    let w = e.width.max(32);
+    RExpr {
+        width: w,
+        signed: false,
+        kind: RExprKind::Binary {
+            op: cascade_verilog::ast::BinaryOp::Sub,
+            lhs: Box::new(RExpr::constant(Bits::from_u64(w, k))),
+            rhs: Box::new(e),
+        },
+    }
+}
+
+/// Collects variables read by an expression.
+pub fn collect_reads(e: &RExpr, out: &mut Vec<VarId>) {
+    match &e.kind {
+        RExprKind::Const(_) | RExprKind::Time | RExprKind::Random => {}
+        RExprKind::Var(v) => out.push(*v),
+        RExprKind::ArrayWord { var, index } => {
+            out.push(*var);
+            collect_reads(index, out);
+        }
+        RExprKind::Slice { base, offset, .. } => {
+            collect_reads(base, out);
+            collect_reads(offset, out);
+        }
+        RExprKind::Unary { operand, .. } => collect_reads(operand, out),
+        RExprKind::Binary { lhs, rhs, .. } => {
+            collect_reads(lhs, out);
+            collect_reads(rhs, out);
+        }
+        RExprKind::Ternary { cond, then_expr, else_expr } => {
+            collect_reads(cond, out);
+            collect_reads(then_expr, out);
+            collect_reads(else_expr, out);
+        }
+        RExprKind::Concat(parts) => {
+            for p in parts {
+                collect_reads(p, out);
+            }
+        }
+        RExprKind::Repeat { inner, .. } => collect_reads(inner, out),
+    }
+}
+
+/// Collects variables read anywhere in a statement (including selector
+/// expressions of lvalues).
+pub fn collect_reads_stmt(s: &RStmt, out: &mut Vec<VarId>) {
+    fn lv_reads(lv: &RLValue, out: &mut Vec<VarId>) {
+        match lv {
+            RLValue::Var(_) => {}
+            RLValue::Range { offset, .. } => collect_reads(offset, out),
+            RLValue::ArrayWord { index, .. } => collect_reads(index, out),
+            RLValue::ArrayWordRange { index, offset, .. } => {
+                collect_reads(index, out);
+                collect_reads(offset, out);
+            }
+            RLValue::Concat(parts) => {
+                for p in parts {
+                    lv_reads(p, out);
+                }
+            }
+        }
+    }
+    match s {
+        RStmt::Block(stmts) => {
+            for st in stmts {
+                collect_reads_stmt(st, out);
+            }
+        }
+        RStmt::Blocking { lhs, rhs } | RStmt::NonBlocking { lhs, rhs } => {
+            lv_reads(lhs, out);
+            collect_reads(rhs, out);
+        }
+        RStmt::If { cond, then_branch, else_branch } => {
+            collect_reads(cond, out);
+            collect_reads_stmt(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_reads_stmt(e, out);
+            }
+        }
+        RStmt::Case { scrutinee, arms, default, .. } => {
+            collect_reads(scrutinee, out);
+            for arm in arms {
+                for l in &arm.labels {
+                    collect_reads(&l.value, out);
+                }
+                collect_reads_stmt(&arm.body, out);
+            }
+            if let Some(d) = default {
+                collect_reads_stmt(d, out);
+            }
+        }
+        RStmt::For { init, cond, step, body } => {
+            collect_reads_stmt(init, out);
+            collect_reads(cond, out);
+            collect_reads_stmt(step, out);
+            collect_reads_stmt(body, out);
+        }
+        RStmt::While { cond, body } => {
+            collect_reads(cond, out);
+            collect_reads_stmt(body, out);
+        }
+        RStmt::Repeat { count, body } => {
+            collect_reads(count, out);
+            collect_reads_stmt(body, out);
+        }
+        RStmt::SystemTask { args, .. } => {
+            for a in args {
+                if let RTaskArg::Expr(e) = a {
+                    collect_reads(e, out);
+                }
+            }
+        }
+        RStmt::Null => {}
+    }
+}

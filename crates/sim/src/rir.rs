@@ -1,0 +1,186 @@
+//! The resolved IR the simulator executes.
+//!
+//! Elaboration lowers the frontend AST into this form: every name is a
+//! [`VarId`], every select is rewritten into zero-based LSB offsets, every
+//! parameter is a constant, and every expression node carries its
+//! self-determined width and signedness (the two attributes Verilog's
+//! context-determined sizing rules need).
+
+use cascade_bits::Bits;
+use cascade_verilog::ast::{BinaryOp, CaseKind, Edge, SystemTask, UnaryOp};
+
+/// Index of a variable in a [`Design`](crate::Design)'s variable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Index of a process in a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+/// Storage class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarClass {
+    /// Driven by continuous assignment or port connection.
+    Wire,
+    /// Procedural state (reg / integer).
+    Reg,
+}
+
+/// A resolved variable.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// Fully qualified hierarchical name, e.g. `main.r.y`.
+    pub name: String,
+    pub class: VarClass,
+    pub width: u32,
+    pub signed: bool,
+    /// Number of array words; 1 for scalars.
+    pub array_len: u64,
+    /// Initial value for state elements.
+    pub init: Option<Bits>,
+    /// Whether this variable is a root-level input (externally poked).
+    pub is_input: bool,
+    /// Whether this variable is a root-level output port.
+    pub is_output: bool,
+}
+
+impl VarInfo {
+    /// Whether this variable is a memory (array).
+    pub fn is_array(&self) -> bool {
+        self.array_len > 1
+    }
+}
+
+/// A resolved expression with precomputed width/sign attributes.
+#[derive(Debug, Clone)]
+pub struct RExpr {
+    /// Self-determined width in bits.
+    pub width: u32,
+    /// Whether the expression is signed under Verilog's propagation rules.
+    pub signed: bool,
+    pub kind: RExprKind,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone)]
+pub enum RExprKind {
+    Const(Bits),
+    Var(VarId),
+    /// `mem[index]` where the variable is an array; `index` is a zero-based
+    /// word offset expression.
+    ArrayWord { var: VarId, index: Box<RExpr> },
+    /// Bit-range extraction at a zero-based LSB `offset`.
+    Slice { base: Box<RExpr>, offset: Box<RExpr>, width: u32 },
+    Unary { op: UnaryOp, operand: Box<RExpr> },
+    Binary { op: BinaryOp, lhs: Box<RExpr>, rhs: Box<RExpr> },
+    Ternary { cond: Box<RExpr>, then_expr: Box<RExpr>, else_expr: Box<RExpr> },
+    Concat(Vec<RExpr>),
+    Repeat { count: u32, inner: Box<RExpr> },
+    /// `$time` (the simulator's step counter).
+    Time,
+    /// `$random` (deterministic LCG).
+    Random,
+}
+
+impl RExpr {
+    /// A constant node.
+    pub fn constant(value: Bits) -> RExpr {
+        RExpr { width: value.width(), signed: false, kind: RExprKind::Const(value) }
+    }
+}
+
+/// A resolved assignment target.
+#[derive(Debug, Clone)]
+pub enum RLValue {
+    /// The whole variable.
+    Var(VarId),
+    /// A bit range at a dynamic zero-based offset.
+    Range { var: VarId, offset: RExpr, width: u32 },
+    /// An array word.
+    ArrayWord { var: VarId, index: RExpr },
+    /// A bit range of an array word.
+    ArrayWordRange { var: VarId, index: RExpr, offset: RExpr, width: u32 },
+    /// `{a, b} = ...` — parts listed MSB-first as written.
+    Concat(Vec<RLValue>),
+}
+
+impl RLValue {
+    /// Total width of the target in bits (array words use element width).
+    pub fn width(&self, vars: &[VarInfo]) -> u32 {
+        match self {
+            RLValue::Var(v) => vars[v.0 as usize].width,
+            RLValue::Range { width, .. } | RLValue::ArrayWordRange { width, .. } => *width,
+            RLValue::ArrayWord { var, .. } => vars[var.0 as usize].width,
+            RLValue::Concat(parts) => parts.iter().map(|p| p.width(vars)).sum(),
+        }
+    }
+
+    /// The variables written by this lvalue.
+    pub fn targets(&self) -> Vec<VarId> {
+        match self {
+            RLValue::Var(v)
+            | RLValue::Range { var: v, .. }
+            | RLValue::ArrayWord { var: v, .. }
+            | RLValue::ArrayWordRange { var: v, .. } => vec![*v],
+            RLValue::Concat(parts) => parts.iter().flat_map(|p| p.targets()).collect(),
+        }
+    }
+}
+
+/// A case label: value plus care mask for `casez`/`casex` wildcards.
+#[derive(Debug, Clone)]
+pub struct RCaseLabel {
+    pub value: RExpr,
+    /// `None` for exact match.
+    pub care: Option<Bits>,
+}
+
+/// A resolved case arm.
+#[derive(Debug, Clone)]
+pub struct RCaseArm {
+    pub labels: Vec<RCaseLabel>,
+    pub body: RStmt,
+}
+
+/// Resolved statements.
+#[derive(Debug, Clone)]
+pub enum RStmt {
+    Block(Vec<RStmt>),
+    /// Blocking assignment: takes effect immediately.
+    Blocking { lhs: RLValue, rhs: RExpr },
+    /// Nonblocking assignment: scheduled as an update event.
+    NonBlocking { lhs: RLValue, rhs: RExpr },
+    If { cond: RExpr, then_branch: Box<RStmt>, else_branch: Option<Box<RStmt>> },
+    Case { kind: CaseKind, scrutinee: RExpr, arms: Vec<RCaseArm>, default: Option<Box<RStmt>> },
+    For { init: Box<RStmt>, cond: RExpr, step: Box<RStmt>, body: Box<RStmt> },
+    While { cond: RExpr, body: Box<RStmt> },
+    Repeat { count: RExpr, body: Box<RStmt> },
+    SystemTask { task: SystemTask, args: Vec<RTaskArg> },
+    Null,
+}
+
+/// A `$display`-family argument: a format string or an expression.
+#[derive(Debug, Clone)]
+pub enum RTaskArg {
+    Str(String),
+    Expr(RExpr),
+}
+
+/// Sensitivity of a process to one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sens {
+    pub var: VarId,
+    /// `None` = level sensitive (any change).
+    pub edge: Option<Edge>,
+}
+
+/// An executable process.
+#[derive(Debug, Clone)]
+pub enum Process {
+    /// A continuous assignment (or lowered port connection).
+    Assign { lhs: RLValue, rhs: RExpr },
+    /// An `always @(...)` block.
+    Always { sens: Vec<Sens>, body: RStmt },
+    /// An `initial` block (runs once at time zero).
+    Initial { body: RStmt },
+}

@@ -1,0 +1,280 @@
+//! Concrete standard-library components.
+
+use crate::Peripheral;
+use cascade_bits::Bits;
+use cascade_fpga::Board;
+use std::collections::BTreeMap;
+
+/// `Pad`: button inputs driven by the board.
+#[derive(Debug)]
+pub struct Pad {
+    board: Board,
+    width: u32,
+    val: Bits,
+}
+
+impl Pad {
+    /// Binds a pad bank of `width` buttons to the board.
+    pub fn new(board: Board, width: u32) -> Self {
+        let val = board.buttons().resize(width);
+        Pad { board, width, val }
+    }
+}
+
+impl Peripheral for Pad {
+    fn module_name(&self) -> &'static str {
+        "Pad"
+    }
+
+    fn outputs(&self) -> Vec<(String, Bits)> {
+        vec![("val".to_string(), self.val.clone())]
+    }
+
+    fn set_input(&mut self, _port: &str, _value: &Bits) {}
+
+    fn end_step(&mut self) {
+        self.val = self.board.buttons().resize(self.width);
+    }
+}
+
+/// `Led`: an output bank mirrored to the board.
+#[derive(Debug)]
+pub struct Led {
+    board: Board,
+    width: u32,
+    val: Bits,
+}
+
+impl Led {
+    /// Binds an LED bank of `width` lights to the board.
+    pub fn new(board: Board, width: u32) -> Self {
+        Led { board, width, val: Bits::zero(width) }
+    }
+}
+
+impl Peripheral for Led {
+    fn module_name(&self) -> &'static str {
+        "Led"
+    }
+
+    fn outputs(&self) -> Vec<(String, Bits)> {
+        Vec::new()
+    }
+
+    fn set_input(&mut self, port: &str, value: &Bits) {
+        if port == "val" {
+            self.val = value.resize(self.width);
+            self.board.write_leds(self.val.clone());
+        }
+    }
+}
+
+/// `Reset`: the board's reset line.
+#[derive(Debug)]
+pub struct Reset {
+    board: Board,
+    val: bool,
+}
+
+impl Reset {
+    /// Binds to the board's reset line.
+    pub fn new(board: Board) -> Self {
+        let val = board.reset();
+        Reset { board, val }
+    }
+}
+
+impl Peripheral for Reset {
+    fn module_name(&self) -> &'static str {
+        "Reset"
+    }
+
+    fn outputs(&self) -> Vec<(String, Bits)> {
+        vec![("val".to_string(), Bits::from_bool(self.val))]
+    }
+
+    fn set_input(&mut self, _port: &str, _value: &Bits) {}
+
+    fn end_step(&mut self) {
+        self.val = self.board.reset();
+    }
+}
+
+/// `GPIO`: general-purpose pins in both directions.
+#[derive(Debug)]
+pub struct Gpio {
+    board: Board,
+    width: u32,
+    in_val: Bits,
+}
+
+impl Gpio {
+    /// Binds a GPIO bank to the board.
+    pub fn new(board: Board, width: u32) -> Self {
+        let in_val = board.gpio_in().resize(width);
+        Gpio { board, width, in_val }
+    }
+}
+
+impl Peripheral for Gpio {
+    fn module_name(&self) -> &'static str {
+        "GPIO"
+    }
+
+    fn outputs(&self) -> Vec<(String, Bits)> {
+        vec![("in".to_string(), self.in_val.clone())]
+    }
+
+    fn set_input(&mut self, port: &str, value: &Bits) {
+        if port == "out" {
+            self.board.write_gpio(value.resize(self.width));
+        }
+    }
+
+    fn end_step(&mut self) {
+        self.in_val = self.board.gpio_in().resize(self.width);
+    }
+}
+
+/// `Memory`: a synchronous-write, asynchronous-read RAM block.
+#[derive(Debug)]
+pub struct Memory {
+    addr_width: u32,
+    width: u32,
+    words: Vec<Bits>,
+    raddr: u64,
+    wen: bool,
+    waddr: u64,
+    wdata: Bits,
+}
+
+impl Memory {
+    /// Creates a RAM of `2^addr_width` words of `width` bits.
+    pub fn new(addr_width: u32, width: u32) -> Self {
+        let n = 1usize << addr_width.min(24);
+        Memory {
+            addr_width,
+            width,
+            words: vec![Bits::zero(width); n],
+            raddr: 0,
+            wen: false,
+            waddr: 0,
+            wdata: Bits::zero(width),
+        }
+    }
+}
+
+impl Peripheral for Memory {
+    fn module_name(&self) -> &'static str {
+        "Memory"
+    }
+
+    fn outputs(&self) -> Vec<(String, Bits)> {
+        let rdata = self
+            .words
+            .get(self.raddr as usize)
+            .cloned()
+            .unwrap_or_else(|| Bits::zero(self.width));
+        vec![("rdata".to_string(), rdata)]
+    }
+
+    fn set_input(&mut self, port: &str, value: &Bits) {
+        match port {
+            "raddr" => self.raddr = value.to_u64() & ((1 << self.addr_width.min(63)) - 1),
+            "wen" => self.wen = value.to_bool(),
+            "waddr" => self.waddr = value.to_u64() & ((1 << self.addr_width.min(63)) - 1),
+            "wdata" => self.wdata = value.resize(self.width),
+            _ => {}
+        }
+    }
+
+    fn posedge(&mut self) {
+        if self.wen {
+            if let Some(slot) = self.words.get_mut(self.waddr as usize) {
+                *slot = self.wdata.clone();
+            }
+        }
+    }
+
+    fn get_state(&self) -> BTreeMap<String, Vec<Bits>> {
+        BTreeMap::from([("words".to_string(), self.words.clone())])
+    }
+
+    fn set_state(&mut self, state: &BTreeMap<String, Vec<Bits>>) {
+        if let Some(words) = state.get("words") {
+            for (dst, src) in self.words.iter_mut().zip(words) {
+                *dst = src.resize(self.width);
+            }
+        }
+    }
+}
+
+/// `FIFO`: the host-coupled queue used by the streaming benchmarks
+/// (paper Sec. 6.2). Reads pop the board's host→FPGA queue; writes push to
+/// the FPGA→host queue. Pops commit at the clock edge; `empty`/`full` are
+/// combinational.
+#[derive(Debug)]
+pub struct Fifo {
+    board: Board,
+    width: u32,
+    rreq: bool,
+    wreq: bool,
+    wdata: Bits,
+    rdata: Bits,
+    bus_words: u64,
+}
+
+impl Fifo {
+    /// Binds a FIFO endpoint of `width`-bit tokens to the board.
+    pub fn new(board: Board, width: u32) -> Self {
+        Fifo {
+            board,
+            width,
+            rreq: false,
+            wreq: false,
+            wdata: Bits::zero(width),
+            rdata: Bits::zero(width),
+            bus_words: 0,
+        }
+    }
+}
+
+impl Peripheral for Fifo {
+    fn module_name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn outputs(&self) -> Vec<(String, Bits)> {
+        vec![
+            ("rdata".to_string(), self.rdata.clone()),
+            ("empty".to_string(), Bits::from_bool(!self.board.fifo_nonempty())),
+            ("full".to_string(), Bits::from_bool(self.board.fifo_full())),
+        ]
+    }
+
+    fn set_input(&mut self, port: &str, value: &Bits) {
+        match port {
+            "rreq" => self.rreq = value.to_bool(),
+            "wreq" => self.wreq = value.to_bool(),
+            "wdata" => self.wdata = value.resize(self.width),
+            _ => {}
+        }
+    }
+
+    fn posedge(&mut self) {
+        if self.rreq {
+            if let Some(v) = self.board.fifo_pop() {
+                self.rdata = v.resize(self.width);
+                self.bus_words += 1;
+            }
+        }
+        if self.wreq {
+            self.board.fifo_out_push(self.wdata.clone());
+            self.bus_words += 1;
+        }
+    }
+
+    fn take_bus_words(&mut self) -> u64 {
+        std::mem::take(&mut self.bus_words)
+    }
+}

@@ -1,0 +1,150 @@
+//! Cascade's standard library (paper Sec. 3.2): IO peripherals and common
+//! components exposed to Verilog as pre-declared module types.
+//!
+//! `Clock`, `Pad`, and `Led` are implicitly instantiated when the runtime
+//! starts; `Reset`, `GPIO`, `Memory`, and `FIFO` may be instantiated at the
+//! user's discretion. Each component is a [`Peripheral`]: a Rust object
+//! bound to the virtual [`Board`] that both software-engine scheduling and
+//! forwarded hardware-engine execution can drive. This is what makes IO
+//! side effects visible in *every* compilation state — the portability and
+//! interactivity story of the paper.
+
+use cascade_bits::Bits;
+use cascade_fpga::Board;
+use cascade_verilog::ast::Module;
+use cascade_verilog::typecheck::ParamEnv;
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod components;
+
+pub use components::{Fifo, Gpio, Led, Memory, Pad, Reset};
+
+/// The Verilog interface declarations for every standard-library module.
+///
+/// These are inserted into the runtime's module library at startup so user
+/// code can reference `pad.val`, instantiate `FIFO #(8) f();`, and so on.
+pub const STDLIB_DECLARATIONS: &str = r#"
+module Clock(output wire val); endmodule
+
+module Pad #(parameter WIDTH = 4)(output wire [WIDTH-1:0] val); endmodule
+
+module Led #(parameter WIDTH = 8)(input wire [WIDTH-1:0] val); endmodule
+
+module Reset(output wire val); endmodule
+
+module GPIO #(parameter WIDTH = 32)(
+  input wire [WIDTH-1:0] out,
+  output wire [WIDTH-1:0] in
+); endmodule
+
+module Memory #(parameter ADDR = 8, parameter WIDTH = 8)(
+  input wire [ADDR-1:0] raddr,
+  output wire [WIDTH-1:0] rdata,
+  input wire wen,
+  input wire [ADDR-1:0] waddr,
+  input wire [WIDTH-1:0] wdata
+); endmodule
+
+module FIFO #(parameter WIDTH = 8)(
+  input wire rreq,
+  output wire [WIDTH-1:0] rdata,
+  output wire empty,
+  input wire wreq,
+  input wire [WIDTH-1:0] wdata,
+  output wire full
+); endmodule
+"#;
+
+/// Names of the standard-library module types.
+pub const STDLIB_MODULE_NAMES: &[&str] =
+    &["Clock", "Pad", "Led", "Reset", "GPIO", "Memory", "FIFO"];
+
+/// Whether a module name belongs to the standard library.
+pub fn is_stdlib_module(name: &str) -> bool {
+    STDLIB_MODULE_NAMES.contains(&name)
+}
+
+/// Parses the standard-library declarations.
+///
+/// # Panics
+///
+/// Panics only on an internal syntax error, which the test suite guards.
+pub fn stdlib_modules() -> Vec<Module> {
+    let unit = cascade_verilog::parse(STDLIB_DECLARATIONS)
+        .expect("stdlib declarations always parse");
+    unit.items
+        .into_iter()
+        .filter_map(|i| match i {
+            cascade_verilog::ast::Item::Module(m) => Some(m),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A standard-library component instance: Rust-implemented behaviour behind
+/// a Verilog port interface.
+///
+/// Components are *synchronous* where it matters (FIFO pops, memory writes
+/// commit at the virtual clock's rising edge) and combinational elsewhere
+/// (`empty`, `rdata` of Memory), mirroring ordinary vendor IP.
+pub trait Peripheral: Send {
+    /// The stdlib module type this instance implements.
+    fn module_name(&self) -> &'static str;
+
+    /// Current values of all output ports.
+    fn outputs(&self) -> Vec<(String, Bits)>;
+
+    /// Drives one input port.
+    fn set_input(&mut self, port: &str, value: &Bits);
+
+    /// Called at each rising edge of the virtual clock (synchronous
+    /// behaviour such as FIFO pops).
+    fn posedge(&mut self) {}
+
+    /// Called at each observable state (poll external inputs).
+    fn end_step(&mut self) {}
+
+    /// Snapshot internal state for engine migration (memories).
+    fn get_state(&self) -> BTreeMap<String, Vec<Bits>> {
+        BTreeMap::new()
+    }
+
+    /// Restore internal state.
+    fn set_state(&mut self, _state: &BTreeMap<String, Vec<Bits>>) {}
+
+    /// Host-bus words moved since the last call. On-board pins (buttons,
+    /// LEDs, GPIO) cost nothing; host-coupled components (the FIFO) cross
+    /// the memory-mapped IO bus once per token — the bottleneck behind the
+    /// paper's Fig. 12 rates.
+    fn take_bus_words(&mut self) -> u64 {
+        0
+    }
+}
+
+impl fmt::Debug for dyn Peripheral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Peripheral({})", self.module_name())
+    }
+}
+
+/// Instantiates a peripheral by stdlib module name with resolved parameter
+/// overrides, bound to `board`. Returns `None` for non-stdlib names and for
+/// `Clock` (the clock is the runtime's tick source, not a peripheral).
+pub fn instantiate(name: &str, params: &ParamEnv, board: &Board) -> Option<Box<dyn Peripheral>> {
+    let width = |key: &str, default: u64| -> u32 {
+        params.get(key).map(|b| b.to_u64() as u32).unwrap_or(default as u32)
+    };
+    Some(match name {
+        "Pad" => Box::new(Pad::new(board.clone(), width("WIDTH", 4))),
+        "Led" => Box::new(Led::new(board.clone(), width("WIDTH", 8))),
+        "Reset" => Box::new(Reset::new(board.clone())),
+        "GPIO" => Box::new(Gpio::new(board.clone(), width("WIDTH", 32))),
+        "Memory" => Box::new(Memory::new(width("ADDR", 8), width("WIDTH", 8))),
+        "FIFO" => Box::new(Fifo::new(board.clone(), width("WIDTH", 8))),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,184 @@
+use crate::{instantiate, is_stdlib_module, stdlib_modules, Peripheral};
+use cascade_bits::Bits;
+use cascade_fpga::Board;
+use cascade_verilog::typecheck::ParamEnv;
+
+#[test]
+fn declarations_parse_and_cover_all_names() {
+    let mods = stdlib_modules();
+    let names: Vec<_> = mods.iter().map(|m| m.name.as_str()).collect();
+    for expected in crate::STDLIB_MODULE_NAMES {
+        assert!(names.contains(expected), "missing declaration for {expected}");
+    }
+}
+
+#[test]
+fn stdlib_name_predicate() {
+    assert!(is_stdlib_module("Clock"));
+    assert!(is_stdlib_module("FIFO"));
+    assert!(!is_stdlib_module("Rol"));
+}
+
+#[test]
+fn instantiate_by_name() {
+    let board = Board::new();
+    for name in ["Pad", "Led", "Reset", "GPIO", "Memory", "FIFO"] {
+        assert!(instantiate(name, &ParamEnv::new(), &board).is_some(), "{name}");
+    }
+    assert!(instantiate("Clock", &ParamEnv::new(), &board).is_none());
+    assert!(instantiate("Rol", &ParamEnv::new(), &board).is_none());
+}
+
+#[test]
+fn pad_reflects_board_buttons() {
+    let board = Board::new();
+    let mut pad = instantiate("Pad", &ParamEnv::new(), &board).unwrap();
+    assert_eq!(pad.outputs()[0].1.to_u64(), 0);
+    board.set_button(1, true);
+    // Pads sample the board at end_step, not instantly.
+    assert_eq!(pad.outputs()[0].1.to_u64(), 0);
+    pad.end_step();
+    assert_eq!(pad.outputs()[0].1.to_u64(), 0b0010);
+}
+
+#[test]
+fn led_drives_board() {
+    let board = Board::new();
+    let mut led = instantiate("Led", &ParamEnv::new(), &board).unwrap();
+    led.set_input("val", &Bits::from_u64(8, 0x81));
+    assert_eq!(board.leds().to_u64(), 0x81);
+}
+
+#[test]
+fn led_width_parameter() {
+    let board = Board::new();
+    let params = ParamEnv::from([("WIDTH".to_string(), Bits::from_u64(32, 4))]);
+    let mut led = instantiate("Led", &params, &board).unwrap();
+    led.set_input("val", &Bits::from_u64(8, 0xff));
+    assert_eq!(board.leds().to_u64(), 0x0f, "masked to 4 bits");
+}
+
+#[test]
+fn reset_follows_board() {
+    let board = Board::new();
+    let mut rst = instantiate("Reset", &ParamEnv::new(), &board).unwrap();
+    assert!(!rst.outputs()[0].1.to_bool());
+    board.set_reset(true);
+    rst.end_step();
+    assert!(rst.outputs()[0].1.to_bool());
+}
+
+#[test]
+fn gpio_round_trip() {
+    let board = Board::new();
+    let mut gpio = instantiate("GPIO", &ParamEnv::new(), &board).unwrap();
+    board.set_gpio(Bits::from_u64(32, 0x1234));
+    gpio.end_step();
+    let outs = gpio.outputs();
+    assert_eq!(outs[0].1.to_u64(), 0x1234);
+    gpio.set_input("out", &Bits::from_u64(32, 0x77));
+    assert_eq!(board.gpio_out().to_u64(), 0x77);
+}
+
+#[test]
+fn memory_sync_write_async_read() {
+    let mut mem = crate::Memory::new(4, 8);
+    mem.set_input("raddr", &Bits::from_u64(4, 3));
+    assert_eq!(mem.outputs()[0].1.to_u64(), 0);
+    mem.set_input("wen", &Bits::from_u64(1, 1));
+    mem.set_input("waddr", &Bits::from_u64(4, 3));
+    mem.set_input("wdata", &Bits::from_u64(8, 0xcd));
+    // Write does not land until the clock edge.
+    assert_eq!(mem.outputs()[0].1.to_u64(), 0);
+    mem.posedge();
+    assert_eq!(mem.outputs()[0].1.to_u64(), 0xcd);
+}
+
+#[test]
+fn memory_state_transfer() {
+    let mut a = crate::Memory::new(4, 8);
+    a.set_input("wen", &Bits::from_u64(1, 1));
+    a.set_input("waddr", &Bits::from_u64(4, 9));
+    a.set_input("wdata", &Bits::from_u64(8, 0x42));
+    a.posedge();
+    let snap = a.get_state();
+    let mut b = crate::Memory::new(4, 8);
+    b.set_state(&snap);
+    b.set_input("raddr", &Bits::from_u64(4, 9));
+    assert_eq!(b.outputs()[0].1.to_u64(), 0x42);
+}
+
+#[test]
+fn fifo_pop_commits_at_edge() {
+    let board = Board::new();
+    board.fifo_push(Bits::from_u64(8, 11));
+    board.fifo_push(Bits::from_u64(8, 22));
+    let mut fifo = crate::Fifo::new(board.clone(), 8);
+    let empty = |f: &crate::Fifo| {
+        f.outputs().iter().find(|(n, _)| n == "empty").unwrap().1.to_bool()
+    };
+    assert!(!empty(&fifo));
+    fifo.set_input("rreq", &Bits::from_u64(1, 1));
+    fifo.posedge();
+    let rdata = fifo.outputs().iter().find(|(n, _)| n == "rdata").unwrap().1.clone();
+    assert_eq!(rdata.to_u64(), 11);
+    fifo.posedge();
+    let rdata = fifo.outputs().iter().find(|(n, _)| n == "rdata").unwrap().1.clone();
+    assert_eq!(rdata.to_u64(), 22);
+    assert!(empty(&fifo));
+    assert_eq!(board.fifo_pops(), 2);
+}
+
+#[test]
+fn fifo_write_side() {
+    let board = Board::new();
+    let mut fifo = crate::Fifo::new(board.clone(), 8);
+    fifo.set_input("wreq", &Bits::from_u64(1, 1));
+    fifo.set_input("wdata", &Bits::from_u64(8, 0x5a));
+    fifo.posedge();
+    let out = board.fifo_out_drain();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].to_u64(), 0x5a);
+}
+
+#[test]
+fn fifo_holds_rdata_when_empty() {
+    let board = Board::new();
+    board.fifo_push(Bits::from_u64(8, 7));
+    let mut fifo = crate::Fifo::new(board, 8);
+    fifo.set_input("rreq", &Bits::from_u64(1, 1));
+    fifo.posedge();
+    fifo.posedge(); // empty now: rdata holds
+    let rdata = fifo.outputs().iter().find(|(n, _)| n == "rdata").unwrap().1.clone();
+    assert_eq!(rdata.to_u64(), 7);
+}
+
+#[test]
+fn fifo_counts_bus_words() {
+    let board = Board::new();
+    board.fifo_push(Bits::from_u64(8, 1));
+    board.fifo_push(Bits::from_u64(8, 2));
+    let mut fifo = crate::Fifo::new(board.clone(), 8);
+    assert_eq!(fifo.take_bus_words(), 0);
+    fifo.set_input("rreq", &Bits::from_u64(1, 1));
+    fifo.posedge();
+    fifo.posedge();
+    assert_eq!(fifo.take_bus_words(), 2, "one bus word per pop");
+    assert_eq!(fifo.take_bus_words(), 0, "drained");
+    fifo.set_input("rreq", &Bits::from_u64(1, 0));
+    fifo.set_input("wreq", &Bits::from_u64(1, 1));
+    fifo.set_input("wdata", &Bits::from_u64(8, 9));
+    fifo.posedge();
+    assert_eq!(fifo.take_bus_words(), 1, "pushes cross the bus too");
+}
+
+#[test]
+fn pad_and_led_are_free_of_bus_cost() {
+    let board = Board::new();
+    let mut pad = crate::Pad::new(board.clone(), 4);
+    let mut led = crate::Led::new(board, 8);
+    pad.end_step();
+    led.set_input("val", &Bits::from_u64(8, 3));
+    assert_eq!(pad.take_bus_words(), 0);
+    assert_eq!(led.take_bus_words(), 0);
+}

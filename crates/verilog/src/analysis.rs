@@ -1,0 +1,282 @@
+//! Static analyses over the AST: cross-module references, read/write sets,
+//! synthesizability classification, and the syntax statistics reported in
+//! the paper's Table 1.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+
+/// Collects every hierarchical reference (`r.y`) read inside a module.
+///
+/// The Cascade IR transform promotes these to ports (paper Fig. 4). Verilog
+/// has no pointers, so the analysis is exact ("tractable, sound, and
+/// complete" in the paper's words).
+pub fn hierarchical_reads(module: &Module) -> BTreeSet<Vec<String>> {
+    let mut out = BTreeSet::new();
+    let mut visit = |e: &Expr| {
+        e.visit_reads(&mut |path: &[String]| {
+            if path.len() > 1 {
+                out.insert(path.to_vec());
+            }
+        });
+    };
+    for_each_expr(module, &mut visit);
+    out
+}
+
+/// Collects the simple identifiers read anywhere in a module.
+pub fn read_set(module: &Module) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut visit = |e: &Expr| {
+        e.visit_reads(&mut |path: &[String]| {
+            if path.len() == 1 {
+                out.insert(path[0].clone());
+            }
+        });
+    };
+    for_each_expr(module, &mut visit);
+    out
+}
+
+/// Collects the identifiers written anywhere in a module (procedural and
+/// continuous targets).
+pub fn write_set(module: &Module) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for item in &module.items {
+        match item {
+            ModuleItem::Assign(a) => {
+                for n in a.lhs.written_names() {
+                    out.insert(n.to_string());
+                }
+            }
+            ModuleItem::Always(a) => {
+                a.body.visit_writes(&mut |lv, _| {
+                    for n in lv.written_names() {
+                        out.insert(n.to_string());
+                    }
+                });
+            }
+            ModuleItem::Initial(i) => {
+                i.body.visit_writes(&mut |lv, _| {
+                    for n in lv.written_names() {
+                        out.insert(n.to_string());
+                    }
+                });
+            }
+            ModuleItem::Statement(s) => {
+                s.visit_writes(&mut |lv, _| {
+                    for n in lv.written_names() {
+                        out.insert(n.to_string());
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Applies `visit` to every expression in the module.
+fn for_each_expr(module: &Module, visit: &mut impl FnMut(&Expr)) {
+    for item in &module.items {
+        match item {
+            ModuleItem::Net(d) => {
+                for decl in &d.decls {
+                    if let Some(init) = &decl.init {
+                        visit(init);
+                    }
+                }
+            }
+            ModuleItem::Param(p) => visit(&p.value),
+            ModuleItem::Assign(a) => {
+                visit(&a.rhs);
+                a.lhs.visit_exprs(visit);
+            }
+            ModuleItem::Always(a) => {
+                if let Sensitivity::List(items) = &a.sensitivity {
+                    for it in items {
+                        visit(&it.expr);
+                    }
+                }
+                a.body.visit_exprs(visit);
+            }
+            ModuleItem::Initial(i) => i.body.visit_exprs(visit),
+            ModuleItem::Instance(inst) => {
+                for c in inst.params.iter().chain(&inst.ports) {
+                    if let Some(e) = &c.expr {
+                        visit(e);
+                    }
+                }
+            }
+            ModuleItem::Statement(s) => s.visit_exprs(visit),
+            ModuleItem::Function(f) => f.body.visit_exprs(visit),
+            ModuleItem::Genvar(_) => {}
+            ModuleItem::GenerateFor(g) => {
+                visit(&g.init);
+                visit(&g.cond);
+                visit(&g.step);
+            }
+        }
+    }
+}
+
+/// Why a construct is unsynthesizable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnsynthesizableReason {
+    /// A system task such as `$display` or `$finish` (paper Sec. 2.3).
+    SystemTask(SystemTask),
+    /// An `initial` block with statements beyond state initialization.
+    InitialBlock,
+    /// `forever`/`while` loops without static bounds.
+    UnboundedLoop,
+}
+
+/// Classifies the unsynthesizable constructs in a module.
+///
+/// Cascade deletes none of these: software engines execute them directly and
+/// hardware engines trap them through the task mask (paper Fig. 10). The
+/// classification drives native-mode eligibility (paper Sec. 4.5).
+pub fn unsynthesizable_constructs(module: &Module) -> Vec<UnsynthesizableReason> {
+    let mut out = Vec::new();
+    fn walk_stmt(s: &Stmt, out: &mut Vec<UnsynthesizableReason>) {
+        match s {
+            Stmt::SystemTask { task, .. } => {
+                out.push(UnsynthesizableReason::SystemTask(*task));
+            }
+            Stmt::Block { stmts, .. } => {
+                for st in stmts {
+                    walk_stmt(st, out);
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                walk_stmt(then_branch, out);
+                if let Some(e) = else_branch {
+                    walk_stmt(e, out);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms {
+                    walk_stmt(&arm.body, out);
+                }
+                if let Some(d) = default {
+                    walk_stmt(d, out);
+                }
+            }
+            Stmt::For { body, .. } | Stmt::Repeat { body, .. } => walk_stmt(body, out),
+            Stmt::While { body, .. } => {
+                out.push(UnsynthesizableReason::UnboundedLoop);
+                walk_stmt(body, out);
+            }
+            Stmt::Forever { body, .. } => {
+                out.push(UnsynthesizableReason::UnboundedLoop);
+                walk_stmt(body, out);
+            }
+            _ => {}
+        }
+    }
+    for item in &module.items {
+        match item {
+            ModuleItem::Always(a) => walk_stmt(&a.body, &mut out),
+            ModuleItem::Initial(i) => {
+                out.push(UnsynthesizableReason::InitialBlock);
+                walk_stmt(&i.body, &mut out);
+            }
+            ModuleItem::Statement(s) => walk_stmt(s, &mut out),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether the module is fully synthesizable (eligible for native mode).
+pub fn is_synthesizable(module: &Module) -> bool {
+    unsynthesizable_constructs(module).is_empty()
+}
+
+/// The per-program syntax statistics aggregated in the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceStats {
+    /// Non-blank lines of Verilog.
+    pub lines: usize,
+    /// Number of `always` blocks.
+    pub always_blocks: usize,
+    /// Number of blocking assignments (`=`).
+    pub blocking_assignments: usize,
+    /// Number of nonblocking assignments (`<=`).
+    pub nonblocking_assignments: usize,
+    /// Number of `$display`/`$write` statements.
+    pub display_statements: usize,
+    /// Number of module instantiations.
+    pub instances: usize,
+    /// Number of module declarations.
+    pub modules: usize,
+}
+
+/// Measures Table 1 statistics over raw source text (lines) and its parsed
+/// form (syntax counts).
+pub fn source_stats(text: &str, unit: &SourceUnit) -> SourceStats {
+    let mut stats = SourceStats {
+        lines: text.lines().filter(|l| !l.trim().is_empty()).count(),
+        ..SourceStats::default()
+    };
+    fn walk_stmt(s: &Stmt, stats: &mut SourceStats) {
+        match s {
+            Stmt::Blocking { .. } => stats.blocking_assignments += 1,
+            Stmt::NonBlocking { .. } => stats.nonblocking_assignments += 1,
+            Stmt::SystemTask { task: SystemTask::Display | SystemTask::Write, .. } => {
+                stats.display_statements += 1;
+            }
+            Stmt::Block { stmts, .. } => {
+                for st in stmts {
+                    walk_stmt(st, stats);
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                walk_stmt(then_branch, stats);
+                if let Some(e) = else_branch {
+                    walk_stmt(e, stats);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms {
+                    walk_stmt(&arm.body, stats);
+                }
+                if let Some(d) = default {
+                    walk_stmt(d, stats);
+                }
+            }
+            Stmt::For { init, step, body, .. } => {
+                walk_stmt(init, stats);
+                walk_stmt(step, stats);
+                walk_stmt(body, stats);
+            }
+            Stmt::While { body, .. } | Stmt::Repeat { body, .. } | Stmt::Forever { body, .. } => {
+                walk_stmt(body, stats);
+            }
+            _ => {}
+        }
+    }
+    fn walk_items(items: &[ModuleItem], stats: &mut SourceStats) {
+        for item in items {
+            match item {
+                ModuleItem::Always(a) => {
+                    stats.always_blocks += 1;
+                    walk_stmt(&a.body, stats);
+                }
+                ModuleItem::Initial(i) => walk_stmt(&i.body, stats),
+                ModuleItem::Instance(_) => stats.instances += 1,
+                ModuleItem::Statement(s) => walk_stmt(s, stats),
+                _ => {}
+            }
+        }
+    }
+    for item in &unit.items {
+        match item {
+            Item::Module(m) => {
+                stats.modules += 1;
+                walk_items(&m.items, &mut stats);
+            }
+            Item::RootItem(mi) => walk_items(std::slice::from_ref(mi), &mut stats),
+        }
+    }
+    stats
+}

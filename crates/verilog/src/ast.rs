@@ -1,0 +1,672 @@
+//! Abstract syntax for the supported Verilog-2005 subset.
+//!
+//! The tree deliberately mirrors the grammar the Cascade paper relies on:
+//! modules with ports and parameters, net/reg declarations, continuous
+//! assignments, `always`/`initial` blocks, module instantiations, and the
+//! unsynthesizable system tasks (`$display`, `$write`, `$finish`) that the
+//! runtime keeps alive in hardware.
+
+use crate::source::Span;
+use cascade_bits::Bits;
+
+/// A parsed source unit: a sequence of top-level items.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceUnit {
+    pub items: Vec<Item>,
+}
+
+/// A top-level item. Cascade's REPL additionally accepts bare module items
+/// (instantiations and statements destined for the root module), which is why
+/// they appear here as well as inside [`Module`].
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A `module ... endmodule` declaration.
+    Module(Module),
+    /// A bare module item eval'ed into the root module (REPL usage).
+    RootItem(ModuleItem),
+}
+
+/// A module declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    pub name: String,
+    pub params: Vec<ParamDecl>,
+    pub ports: Vec<Port>,
+    pub items: Vec<ModuleItem>,
+    pub span: Span,
+}
+
+impl Module {
+    /// Finds a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Finds a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&ParamDecl> {
+        self.params.iter().find(|p| p.name == name)
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    Input,
+    Output,
+    Inout,
+}
+
+/// An ANSI-style port declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    pub dir: PortDir,
+    /// `true` when declared `output reg`.
+    pub is_reg: bool,
+    pub signed: bool,
+    pub range: Option<Range>,
+    pub name: String,
+    pub span: Span,
+}
+
+/// A `parameter`/`localparam` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    pub local: bool,
+    pub range: Option<Range>,
+    pub name: String,
+    pub value: Expr,
+    pub span: Span,
+}
+
+/// A bit range `[msb:lsb]` with constant (elaboration-time) bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Range {
+    pub msb: Expr,
+    pub lsb: Expr,
+}
+
+/// Net flavour for declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    Wire,
+    Reg,
+    /// `integer` — a 32-bit signed reg.
+    Integer,
+}
+
+/// A single declarator within a net declaration: name, optional unpacked
+/// array dimension, and optional initializer (`reg [7:0] cnt = 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declarator {
+    pub name: String,
+    /// Unpacked dimension for memories: `reg [7:0] mem [0:255]`.
+    pub array: Option<Range>,
+    pub init: Option<Expr>,
+    pub span: Span,
+}
+
+/// A `wire`/`reg`/`integer` declaration possibly declaring several names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetDecl {
+    pub kind: NetKind,
+    pub signed: bool,
+    pub range: Option<Range>,
+    pub decls: Vec<Declarator>,
+    pub span: Span,
+}
+
+/// A `function ... endfunction` declaration (synthesizable, combinational).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    pub name: String,
+    pub signed: bool,
+    /// Return range; `None` = 1 bit.
+    pub range: Option<Range>,
+    /// Inputs in declaration order: `(name, range, signed)`.
+    pub inputs: Vec<(String, Option<Range>, bool)>,
+    /// Local variable declarations.
+    pub locals: Vec<NetDecl>,
+    pub body: Stmt,
+    pub span: Span,
+}
+
+/// A `for (i = a; i < b; i = i + c) begin : label ... end` generate loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateFor {
+    pub genvar: String,
+    pub init: Expr,
+    pub cond: Expr,
+    pub step: Expr,
+    pub label: Option<String>,
+    pub items: Vec<ModuleItem>,
+    pub span: Span,
+}
+
+/// Items permitted inside a module body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModuleItem {
+    /// A function declaration (inlined away before elaboration).
+    Function(FunctionDecl),
+    /// `genvar i;` — loop variables for generate blocks.
+    Genvar(Vec<String>),
+    /// A `generate for` block (unrolled away before elaboration).
+    GenerateFor(GenerateFor),
+    Net(NetDecl),
+    Param(ParamDecl),
+    /// `assign lhs = rhs;`
+    Assign(ContinuousAssign),
+    Always(AlwaysBlock),
+    Initial(InitialBlock),
+    Instance(Instance),
+    /// A bare procedural statement appended to the root module's implicit
+    /// `always` region by the REPL (Cascade Fig. 3); regular parsed modules
+    /// never contain these.
+    Statement(Stmt),
+}
+
+/// A continuous assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousAssign {
+    pub lhs: LValue,
+    pub rhs: Expr,
+    pub span: Span,
+}
+
+/// An `always @(...)` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlwaysBlock {
+    pub sensitivity: Sensitivity,
+    pub body: Stmt,
+    pub span: Span,
+}
+
+/// An `initial` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitialBlock {
+    pub body: Stmt,
+    pub span: Span,
+}
+
+/// The sensitivity list of an `always` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sensitivity {
+    /// `@(*)` or `@*` — combinational.
+    Star,
+    /// `@(posedge a, negedge b, c)`.
+    List(Vec<SensItem>),
+}
+
+/// One entry in a sensitivity list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensItem {
+    pub edge: Option<Edge>,
+    pub expr: Expr,
+}
+
+/// Signal edge polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    Pos,
+    Neg,
+}
+
+/// A module instantiation, e.g. `Rol #(8) r(.x(cnt));`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    pub module: String,
+    pub name: String,
+    pub params: Vec<Connection>,
+    pub ports: Vec<Connection>,
+    pub span: Span,
+}
+
+/// A parameter or port connection. `name` is `None` for positional
+/// connections; `expr` is `None` for explicitly unconnected ports `.x()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Connection {
+    pub name: Option<String>,
+    pub expr: Option<Expr>,
+    pub span: Span,
+}
+
+/// Case statement flavour. `casez`/`casex` treat `?`-like bits as wildcards;
+/// in two-state mode both behave as `casez` with explicit wildcard masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseKind {
+    Case,
+    Casez,
+    Casex,
+}
+
+/// One arm of a case statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArm {
+    pub labels: Vec<Expr>,
+    pub body: Stmt,
+}
+
+/// Procedural statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `begin ... end` (optionally named).
+    Block { name: Option<String>, stmts: Vec<Stmt> },
+    /// Blocking assignment `lhs = rhs;`.
+    Blocking { lhs: LValue, rhs: Expr, span: Span },
+    /// Nonblocking assignment `lhs <= rhs;`.
+    NonBlocking { lhs: LValue, rhs: Expr, span: Span },
+    If { cond: Expr, then_branch: Box<Stmt>, else_branch: Option<Box<Stmt>>, span: Span },
+    Case { kind: CaseKind, scrutinee: Expr, arms: Vec<CaseArm>, default: Option<Box<Stmt>>, span: Span },
+    For { init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Box<Stmt>, span: Span },
+    While { cond: Expr, body: Box<Stmt>, span: Span },
+    Repeat { count: Expr, body: Box<Stmt>, span: Span },
+    Forever { body: Box<Stmt>, span: Span },
+    /// A system task call such as `$display("%d", cnt);`.
+    SystemTask { task: SystemTask, args: Vec<Expr>, span: Span },
+    /// The null statement `;`.
+    Null,
+}
+
+/// The unsynthesizable system tasks Cascade keeps alive in hardware
+/// (paper Sec. 2.3, 3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemTask {
+    Display,
+    Write,
+    Finish,
+    Monitor,
+    Fatal,
+}
+
+impl SystemTask {
+    /// Parses a system-task name (without the `$`).
+    pub fn from_name(name: &str) -> Option<SystemTask> {
+        Some(match name {
+            "display" => SystemTask::Display,
+            "write" => SystemTask::Write,
+            "finish" => SystemTask::Finish,
+            "monitor" => SystemTask::Monitor,
+            "fatal" => SystemTask::Fatal,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling, with `$`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SystemTask::Display => "$display",
+            SystemTask::Write => "$write",
+            SystemTask::Finish => "$finish",
+            SystemTask::Monitor => "$monitor",
+            SystemTask::Fatal => "$fatal",
+        }
+    }
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A plain identifier.
+    Ident(String),
+    /// A whole-variable hierarchical target such as `led.val` (used to
+    /// drive standard-library component inputs, paper Fig. 3).
+    Hier(Vec<String>),
+    /// A single bit or array element select: `x[i]` / `mem[addr]`.
+    Index { base: String, index: Expr },
+    /// A constant part select `x[msb:lsb]`.
+    Part { base: String, msb: Expr, lsb: Expr },
+    /// An indexed part select `x[base +: width]` / `x[base -: width]`.
+    IndexedPart { base: String, offset: Expr, width: Expr, ascending: bool },
+    /// A concatenation target `{a, b[3:0]}`.
+    Concat(Vec<LValue>),
+    /// A memory word select with a further bit range: `mem[addr][3:0]`.
+    IndexThenPart { base: String, index: Expr, msb: Expr, lsb: Expr },
+}
+
+impl LValue {
+    /// The identifiers written by this lvalue.
+    pub fn written_names(&self) -> Vec<&str> {
+        match self {
+            LValue::Hier(path) => vec![path[0].as_str()],
+            LValue::Ident(n)
+            | LValue::Index { base: n, .. }
+            | LValue::Part { base: n, .. }
+            | LValue::IndexedPart { base: n, .. }
+            | LValue::IndexThenPart { base: n, .. } => vec![n.as_str()],
+            LValue::Concat(parts) => parts.iter().flat_map(|p| p.written_names()).collect(),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Plus,
+    Neg,
+    LogicalNot,
+    BitNot,
+    ReduceAnd,
+    ReduceOr,
+    ReduceXor,
+    ReduceNand,
+    ReduceNor,
+    ReduceXnor,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Pow,
+    And,
+    Or,
+    Xor,
+    Xnor,
+    LogicalAnd,
+    LogicalOr,
+    Eq,
+    Ne,
+    CaseEq,
+    CaseNe,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    AShl,
+    AShr,
+}
+
+/// System functions usable in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemFunction {
+    /// `$time` — current simulation time.
+    Time,
+    /// `$random` — pseudo-random 32-bit value.
+    Random,
+    /// `$signed(x)` — reinterpret as signed.
+    Signed,
+    /// `$unsigned(x)` — reinterpret as unsigned.
+    Unsigned,
+    /// `$clog2(x)` — ceiling log base 2.
+    Clog2,
+}
+
+impl SystemFunction {
+    /// Parses a system-function name (without the `$`).
+    pub fn from_name(name: &str) -> Option<SystemFunction> {
+        Some(match name {
+            "time" => SystemFunction::Time,
+            "random" => SystemFunction::Random,
+            "signed" => SystemFunction::Signed,
+            "unsigned" => SystemFunction::Unsigned,
+            "clog2" => SystemFunction::Clog2,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling, with `$`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SystemFunction::Time => "$time",
+            SystemFunction::Random => "$random",
+            SystemFunction::Signed => "$signed",
+            SystemFunction::Unsigned => "$unsigned",
+            SystemFunction::Clog2 => "$clog2",
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A sized or unsized literal. `sized` records whether the width was
+    /// written explicitly (it affects context-determined sizing).
+    Literal { value: Bits, sized: bool },
+    /// A literal containing `x`/`z`/`?` wildcard digits. `care` has a zero
+    /// bit where the digit was a wildcard. Meaningful as a `casez`/`casex`
+    /// label; elsewhere wildcard bits read as zero (two-state mode).
+    MaskedLiteral { value: Bits, care: Bits },
+    /// A string literal (only meaningful as a `$display` argument).
+    Str(String),
+    /// A simple identifier reference.
+    Ident(String),
+    /// A hierarchical reference such as `r.y` (paper Fig. 1 line 10).
+    Hier(Vec<String>),
+    Unary { op: UnaryOp, operand: Box<Expr> },
+    Binary { op: BinaryOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Ternary { cond: Box<Expr>, then_expr: Box<Expr>, else_expr: Box<Expr> },
+    /// Bit select or memory word select: `base[index]`.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// Constant part select `base[msb:lsb]`.
+    Part { base: Box<Expr>, msb: Box<Expr>, lsb: Box<Expr> },
+    /// Indexed part select `base[offset +: width]`.
+    IndexedPart { base: Box<Expr>, offset: Box<Expr>, width: Box<Expr>, ascending: bool },
+    Concat(Vec<Expr>),
+    /// Replication `{count{inner}}`.
+    Replicate { count: Box<Expr>, inner: Box<Expr> },
+    /// A system function call.
+    SystemCall { func: SystemFunction, args: Vec<Expr> },
+    /// A user function call (inlined away before elaboration).
+    FnCall { name: String, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Convenience constructor for an unsigned sized literal.
+    pub fn literal(width: u32, value: u64) -> Expr {
+        Expr::Literal { value: Bits::from_u64(width, value), sized: true }
+    }
+
+    /// Convenience constructor for an unsized decimal literal.
+    pub fn number(value: u64) -> Expr {
+        Expr::Literal { value: Bits::from_u64(32, value), sized: false }
+    }
+
+    /// Convenience constructor for an identifier.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Visits every identifier and hierarchical name read by this
+    /// expression.
+    pub fn visit_reads(&self, f: &mut impl FnMut(&[String])) {
+        match self {
+            Expr::Literal { .. } | Expr::MaskedLiteral { .. } | Expr::Str(_) => {}
+            Expr::Ident(n) => f(std::slice::from_ref(n)),
+            Expr::Hier(path) => f(path),
+            Expr::Unary { operand, .. } => operand.visit_reads(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit_reads(f);
+                rhs.visit_reads(f);
+            }
+            Expr::Ternary { cond, then_expr, else_expr } => {
+                cond.visit_reads(f);
+                then_expr.visit_reads(f);
+                else_expr.visit_reads(f);
+            }
+            Expr::Index { base, index } => {
+                base.visit_reads(f);
+                index.visit_reads(f);
+            }
+            Expr::Part { base, msb, lsb } => {
+                base.visit_reads(f);
+                msb.visit_reads(f);
+                lsb.visit_reads(f);
+            }
+            Expr::IndexedPart { base, offset, width, .. } => {
+                base.visit_reads(f);
+                offset.visit_reads(f);
+                width.visit_reads(f);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.visit_reads(f);
+                }
+            }
+            Expr::Replicate { count, inner } => {
+                count.visit_reads(f);
+                inner.visit_reads(f);
+            }
+            Expr::SystemCall { args, .. } | Expr::FnCall { args, .. } => {
+                for a in args {
+                    a.visit_reads(f);
+                }
+            }
+        }
+    }
+}
+
+impl Stmt {
+    /// Visits every expression contained in this statement (shallow walk of
+    /// nested statements included).
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Stmt::Block { stmts, .. } => {
+                for s in stmts {
+                    s.visit_exprs(f);
+                }
+            }
+            Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => {
+                lhs.visit_exprs(f);
+                f(rhs);
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                f(cond);
+                then_branch.visit_exprs(f);
+                if let Some(e) = else_branch {
+                    e.visit_exprs(f);
+                }
+            }
+            Stmt::Case { scrutinee, arms, default, .. } => {
+                f(scrutinee);
+                for arm in arms {
+                    for l in &arm.labels {
+                        f(l);
+                    }
+                    arm.body.visit_exprs(f);
+                }
+                if let Some(d) = default {
+                    d.visit_exprs(f);
+                }
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                init.visit_exprs(f);
+                f(cond);
+                step.visit_exprs(f);
+                body.visit_exprs(f);
+            }
+            Stmt::While { cond, body, .. } => {
+                f(cond);
+                body.visit_exprs(f);
+            }
+            Stmt::Repeat { count, body, .. } => {
+                f(count);
+                body.visit_exprs(f);
+            }
+            Stmt::Forever { body, .. } => body.visit_exprs(f),
+            Stmt::SystemTask { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Stmt::Null => {}
+        }
+    }
+
+    /// Visits every lvalue assigned within this statement.
+    pub fn visit_writes(&self, f: &mut impl FnMut(&LValue, bool)) {
+        match self {
+            Stmt::Block { stmts, .. } => {
+                for s in stmts {
+                    s.visit_writes(f);
+                }
+            }
+            Stmt::Blocking { lhs, .. } => f(lhs, true),
+            Stmt::NonBlocking { lhs, .. } => f(lhs, false),
+            Stmt::If { then_branch, else_branch, .. } => {
+                then_branch.visit_writes(f);
+                if let Some(e) = else_branch {
+                    e.visit_writes(f);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms {
+                    arm.body.visit_writes(f);
+                }
+                if let Some(d) = default {
+                    d.visit_writes(f);
+                }
+            }
+            Stmt::For { init, step, body, .. } => {
+                init.visit_writes(f);
+                step.visit_writes(f);
+                body.visit_writes(f);
+            }
+            Stmt::While { body, .. } | Stmt::Repeat { body, .. } | Stmt::Forever { body, .. } => {
+                body.visit_writes(f)
+            }
+            Stmt::SystemTask { .. } | Stmt::Null => {}
+        }
+    }
+}
+
+impl LValue {
+    /// Mutable variant of [`LValue::visit_exprs`].
+    pub fn visit_exprs_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        match self {
+            LValue::Ident(_) | LValue::Hier(_) => {}
+            LValue::Index { index, .. } => f(index),
+            LValue::Part { msb, lsb, .. } => {
+                f(msb);
+                f(lsb);
+            }
+            LValue::IndexedPart { offset, width, .. } => {
+                f(offset);
+                f(width);
+            }
+            LValue::Concat(parts) => {
+                for p in parts {
+                    p.visit_exprs_mut(f);
+                }
+            }
+            LValue::IndexThenPart { index, msb, lsb, .. } => {
+                f(index);
+                f(msb);
+                f(lsb);
+            }
+        }
+    }
+
+    /// Visits the expressions appearing inside index computations of this
+    /// lvalue (not the written target itself).
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            LValue::Ident(_) | LValue::Hier(_) => {}
+            LValue::Index { index, .. } => f(index),
+            LValue::Part { msb, lsb, .. } => {
+                f(msb);
+                f(lsb);
+            }
+            LValue::IndexedPart { offset, width, .. } => {
+                f(offset);
+                f(width);
+            }
+            LValue::Concat(parts) => {
+                for p in parts {
+                    p.visit_exprs(f);
+                }
+            }
+            LValue::IndexThenPart { index, msb, lsb, .. } => {
+                f(index);
+                f(msb);
+                f(lsb);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared Verilog source snippets used across the workspace's tests,
+//! examples, and benchmarks.
+
+/// The paper's Fig. 1 running example: an LED rotator that pauses (and, in
+/// a debugging session, prints and finishes) when a button is pressed.
+pub const RUNNING_EXAMPLE: &str = r#"
+module Rol(
+  input wire [7:0] x,
+  output wire [7:0] y
+);
+  assign y = (x == 8'h80) ? 1 : (x<<1);
+endmodule
+
+module Main(
+  input wire clk,
+  input wire [3:0] pad,
+  output wire [7:0] led
+);
+  reg [7:0] cnt = 1;
+  Rol r(.x(cnt));
+  always @(posedge clk)
+    if (pad == 0)
+      cnt <= r.y;
+    else begin
+      $display(cnt);
+      $finish;
+    end
+  assign led = cnt;
+endmodule
+"#;
+
+/// The synthesizable-only variant of the running example (no system tasks),
+/// eligible for native mode.
+pub const RUNNING_EXAMPLE_SYNTH: &str = r#"
+module Rol(
+  input wire [7:0] x,
+  output wire [7:0] y
+);
+  assign y = (x == 8'h80) ? 1 : (x<<1);
+endmodule
+
+module Main(
+  input wire clk,
+  input wire [3:0] pad,
+  output wire [7:0] led
+);
+  reg [7:0] cnt = 1;
+  Rol r(.x(cnt));
+  always @(posedge clk)
+    if (pad == 0)
+      cnt <= r.y;
+  assign led = cnt;
+endmodule
+"#;
+
+/// A four-bit ripple-carry adder built from gate-level full adders —
+/// exercises deep combinational hierarchies.
+pub const RIPPLE_ADDER: &str = r#"
+module FullAdder(
+  input wire a, input wire b, input wire cin,
+  output wire s, output wire cout
+);
+  assign s = a ^ b ^ cin;
+  assign cout = (a & b) | (cin & (a ^ b));
+endmodule
+
+module Adder4(
+  input wire [3:0] a, input wire [3:0] b,
+  output wire [3:0] s, output wire cout
+);
+  wire c0, c1, c2;
+  FullAdder f0(.a(a[0]), .b(b[0]), .cin(1'b0), .s(s[0]), .cout(c0));
+  FullAdder f1(.a(a[1]), .b(b[1]), .cin(c0), .s(s[1]), .cout(c1));
+  FullAdder f2(.a(a[2]), .b(b[2]), .cin(c1), .s(s[2]), .cout(c2));
+  FullAdder f3(.a(a[3]), .b(b[3]), .cin(c2), .s(s[3]), .cout(cout));
+endmodule
+"#;

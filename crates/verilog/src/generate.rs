@@ -1,0 +1,270 @@
+//! Generate-block expansion: unrolls `generate for` loops at elaboration
+//! time.
+//!
+//! Each iteration clones the block's items with the genvar substituted by
+//! its constant value; names *declared inside* the block (nets, instances)
+//! are suffixed with the block label and iteration index so the unrolled
+//! copies do not collide, mirroring Verilog's `label[i].name` scoping in a
+//! flat namespace.
+
+use crate::ast::*;
+use crate::inline_fn::{rename_expr, rename_lvalue, rename_stmt, walk_subexprs_mut};
+use crate::source::{Diagnostic, FrontendResult, Phase, Span};
+use crate::typecheck::{const_eval, ParamEnv};
+use cascade_bits::Bits;
+use std::collections::BTreeMap;
+
+fn err(msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(Phase::Elaborate, msg, Span::synthetic())
+}
+
+/// Maximum total unrolled iterations per module.
+const GENERATE_LIMIT: u64 = 10_000;
+
+/// Whether the module contains generate constructs.
+pub fn has_generates(module: &Module) -> bool {
+    module
+        .items
+        .iter()
+        .any(|i| matches!(i, ModuleItem::Genvar(_) | ModuleItem::GenerateFor(_)))
+}
+
+/// Unrolls every generate loop under the given (already resolved)
+/// parameter environment.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] when loop bounds are not compile-time constants
+/// or the unroll limit is exceeded.
+pub fn expand_generates(module: &Module, params: &ParamEnv) -> FrontendResult<Module> {
+    let mut out = module.clone();
+    let mut budget = GENERATE_LIMIT;
+    let mut items = Vec::with_capacity(out.items.len());
+    for item in out.items {
+        match item {
+            ModuleItem::Genvar(_) => {}
+            ModuleItem::GenerateFor(g) => {
+                expand_for(&g, params, &mut items, &mut budget)?;
+            }
+            other => items.push(other),
+        }
+    }
+    out.items = items;
+    Ok(out)
+}
+
+fn expand_for(
+    g: &GenerateFor,
+    params: &ParamEnv,
+    out: &mut Vec<ModuleItem>,
+    budget: &mut u64,
+) -> FrontendResult<()> {
+    let mut env = params.clone();
+    let mut value = const_eval(&g.init, &env)
+        .map_err(|d| err(format!("generate init for `{}`: {}", g.genvar, d.message)))?;
+    loop {
+        env.insert(g.genvar.clone(), value.clone());
+        let cont = const_eval(&g.cond, &env)
+            .map_err(|d| err(format!("generate condition: {}", d.message)))?;
+        if !cont.to_bool() {
+            break;
+        }
+        if *budget == 0 {
+            return Err(err(format!(
+                "generate unrolling exceeded {GENERATE_LIMIT} iterations"
+            )));
+        }
+        *budget -= 1;
+        let idx = value.to_u64();
+        let label = g.label.clone().unwrap_or_else(|| "genblk".to_string());
+        instantiate_iteration(g, &env, &label, idx, out, budget)?;
+        value = const_eval(&g.step, &env)
+            .map_err(|d| err(format!("generate step: {}", d.message)))?;
+    }
+    Ok(())
+}
+
+fn instantiate_iteration(
+    g: &GenerateFor,
+    env: &ParamEnv,
+    label: &str,
+    idx: u64,
+    out: &mut Vec<ModuleItem>,
+    budget: &mut u64,
+) -> FrontendResult<()> {
+    // Names declared inside the block are suffixed per iteration.
+    let mut renames: BTreeMap<String, String> = BTreeMap::new();
+    for item in &g.items {
+        match item {
+            ModuleItem::Net(decl) => {
+                for d in &decl.decls {
+                    renames.insert(d.name.clone(), format!("{}__{label}_{idx}", d.name));
+                }
+            }
+            ModuleItem::Instance(inst) => {
+                renames.insert(inst.name.clone(), format!("{}__{label}_{idx}", inst.name));
+            }
+            _ => {}
+        }
+    }
+    let genvar_value = env.get(&g.genvar).cloned().unwrap_or_else(|| Bits::from_u64(32, idx));
+    for item in &g.items {
+        let mut it = item.clone();
+        subst_item(&mut it, &g.genvar, &genvar_value, &renames)?;
+        match it {
+            ModuleItem::GenerateFor(inner) => {
+                // Nested loop: expand with the outer genvar in scope.
+                expand_for(&inner, env, out, budget)?;
+            }
+            other => out.push(other),
+        }
+    }
+    Ok(())
+}
+
+/// Substitutes the genvar with a literal and applies declaration renames.
+fn subst_item(
+    item: &mut ModuleItem,
+    genvar: &str,
+    value: &Bits,
+    renames: &BTreeMap<String, String>,
+) -> FrontendResult<()> {
+    let subst = |e: &mut Expr| {
+        subst_expr(e, genvar, value);
+        rename_expr(e, renames);
+    };
+    match item {
+        ModuleItem::Net(decl) => {
+            for d in &mut decl.decls {
+                if let Some(new) = renames.get(&d.name) {
+                    d.name = new.clone();
+                }
+                if let Some(init) = &mut d.init {
+                    subst(init);
+                }
+            }
+            if let Some(r) = &mut decl.range {
+                subst(&mut r.msb);
+                subst(&mut r.lsb);
+            }
+        }
+        ModuleItem::Assign(a) => {
+            subst_lvalue(&mut a.lhs, genvar, value, renames);
+            subst(&mut a.rhs);
+        }
+        ModuleItem::Always(al) => {
+            if let Sensitivity::List(items) = &mut al.sensitivity {
+                for it in items {
+                    subst(&mut it.expr);
+                }
+            }
+            subst_stmt(&mut al.body, genvar, value, renames);
+        }
+        ModuleItem::Initial(i) => subst_stmt(&mut i.body, genvar, value, renames),
+        ModuleItem::Instance(inst) => {
+            if let Some(new) = renames.get(&inst.name) {
+                inst.name = new.clone();
+            }
+            for c in inst.ports.iter_mut().chain(inst.params.iter_mut()) {
+                if let Some(e) = &mut c.expr {
+                    subst(e);
+                }
+            }
+        }
+        ModuleItem::Statement(s) => subst_stmt(s, genvar, value, renames),
+        ModuleItem::GenerateFor(inner) => {
+            // Substitute the outer genvar in the inner header and body;
+            // the caller expands it afterwards.
+            subst(&mut inner.init);
+            subst(&mut inner.cond);
+            subst(&mut inner.step);
+            for it in &mut inner.items {
+                subst_item(it, genvar, value, renames)?;
+            }
+        }
+        ModuleItem::Param(_) | ModuleItem::Function(_) | ModuleItem::Genvar(_) => {
+            return Err(err(
+                "parameters, functions, and genvars cannot be declared inside generate blocks",
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn subst_expr(e: &mut Expr, genvar: &str, value: &Bits) {
+    if let Expr::Ident(n) = e {
+        if n == genvar {
+            *e = Expr::Literal { value: value.clone(), sized: false };
+        }
+        return;
+    }
+    let _ = walk_subexprs_mut(e, &mut |sub| {
+        subst_expr(sub, genvar, value);
+        Ok(())
+    });
+}
+
+fn subst_lvalue(lv: &mut LValue, genvar: &str, value: &Bits, renames: &BTreeMap<String, String>) {
+    rename_lvalue(lv, renames);
+    lv.visit_exprs_mut(&mut |e| subst_expr(e, genvar, value));
+}
+
+fn subst_stmt(s: &mut Stmt, genvar: &str, value: &Bits, renames: &BTreeMap<String, String>) {
+    // Rename declared names first, then substitute the genvar.
+    rename_stmt(s, renames);
+    visit_stmt_exprs_mut(s, &mut |e| subst_expr(e, genvar, value));
+}
+
+fn visit_stmt_exprs_mut(s: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    match s {
+        Stmt::Block { stmts, .. } => {
+            for st in stmts {
+                visit_stmt_exprs_mut(st, f);
+            }
+        }
+        Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => {
+            lhs.visit_exprs_mut(f);
+            f(rhs);
+        }
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            f(cond);
+            visit_stmt_exprs_mut(then_branch, f);
+            if let Some(e) = else_branch {
+                visit_stmt_exprs_mut(e, f);
+            }
+        }
+        Stmt::Case { scrutinee, arms, default, .. } => {
+            f(scrutinee);
+            for arm in arms {
+                for l in &mut arm.labels {
+                    f(l);
+                }
+                visit_stmt_exprs_mut(&mut arm.body, f);
+            }
+            if let Some(d) = default {
+                visit_stmt_exprs_mut(d, f);
+            }
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            visit_stmt_exprs_mut(init, f);
+            f(cond);
+            visit_stmt_exprs_mut(step, f);
+            visit_stmt_exprs_mut(body, f);
+        }
+        Stmt::While { cond, body, .. } => {
+            f(cond);
+            visit_stmt_exprs_mut(body, f);
+        }
+        Stmt::Repeat { count, body, .. } => {
+            f(count);
+            visit_stmt_exprs_mut(body, f);
+        }
+        Stmt::Forever { body, .. } => visit_stmt_exprs_mut(body, f),
+        Stmt::SystemTask { args, .. } => {
+            for a in args {
+                f(a);
+            }
+        }
+        Stmt::Null => {}
+    }
+}

@@ -1,0 +1,538 @@
+//! Function inlining: rewrites user function calls into combinational
+//! `always @(*)` blocks.
+//!
+//! Synthesizable Verilog functions are pure combinational logic. Each call
+//! site becomes a dedicated block that copies the arguments into materialized
+//! input registers (getting the input-range truncation semantics right),
+//! executes the renamed body, and leaves the result in a return register the
+//! call expression is replaced by. Both the simulator and the synthesizer
+//! consume the inlined form, so this is the single implementation of
+//! function semantics.
+
+use crate::ast::*;
+use crate::source::{Diagnostic, FrontendResult, Phase, Span};
+use std::collections::BTreeMap;
+
+fn err(msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(Phase::Elaborate, msg, Span::synthetic())
+}
+
+/// Rewrites every function call in `module`, removing the function
+/// declarations. Idempotent on modules without functions.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unknown functions, arity mismatches,
+/// recursion (directly or through other functions, depth > 16), or calls in
+/// constant contexts (parameter values and declared ranges).
+pub fn inline_functions(module: &Module) -> FrontendResult<Module> {
+    let mut functions: BTreeMap<String, FunctionDecl> = BTreeMap::new();
+    for item in &module.items {
+        if let ModuleItem::Function(f) = item {
+            if functions.contains_key(&f.name) {
+                return Err(err(format!("duplicate function `{}`", f.name)));
+            }
+            functions.insert(f.name.clone(), f.clone());
+        }
+    }
+    let mut out = module.clone();
+    out.items.retain(|i| !matches!(i, ModuleItem::Function(_)));
+    if functions.is_empty() {
+        // Still reject stray calls.
+        return match find_any_call(&out) {
+            Some(name) => Err(err(format!("unknown function `{name}`"))),
+            None => Ok(out),
+        };
+    }
+    let mut ctx = Inliner { functions, counter: 0, new_items: Vec::new() };
+    for item in &mut out.items {
+        ctx.rewrite_item(item, 0)?;
+    }
+    out.items.extend(ctx.new_items);
+    Ok(out)
+}
+
+/// Whether the module declares or calls any functions (used to skip the
+/// pass cheaply).
+pub fn has_functions(module: &Module) -> bool {
+    module.items.iter().any(|i| matches!(i, ModuleItem::Function(_)))
+        || find_any_call(module).is_some()
+}
+
+fn find_any_call(module: &Module) -> Option<String> {
+    fn in_expr(e: &Expr, hit: &mut Option<String>) {
+        if hit.is_some() {
+            return;
+        }
+        if let Expr::FnCall { name, .. } = e {
+            *hit = Some(name.clone());
+            return;
+        }
+        walk_subexprs(e, &mut |sub| in_expr(sub, hit));
+    }
+    let mut hit = None;
+    for item in &module.items {
+        for_each_item_expr(item, &mut |e| in_expr(e, &mut hit));
+        if hit.is_some() {
+            break;
+        }
+    }
+    hit
+}
+
+struct Inliner {
+    functions: BTreeMap<String, FunctionDecl>,
+    counter: u32,
+    new_items: Vec<ModuleItem>,
+}
+
+impl Inliner {
+    fn rewrite_item(&mut self, item: &mut ModuleItem, depth: u32) -> FrontendResult<()> {
+        match item {
+            ModuleItem::Net(decl) => {
+                for d in &mut decl.decls {
+                    if let Some(init) = &mut d.init {
+                        self.rewrite_expr(init, depth)?;
+                    }
+                }
+            }
+            ModuleItem::Param(p) => {
+                if expr_has_call(&p.value) {
+                    return Err(err(format!(
+                        "function call in constant expression for parameter `{}` is unsupported",
+                        p.name
+                    )));
+                }
+            }
+            ModuleItem::Assign(a) => {
+                self.rewrite_expr(&mut a.rhs, depth)?;
+                let mut lhs_err = Ok(());
+                a.lhs.visit_exprs(&mut |e| {
+                    if expr_has_call(e) {
+                        lhs_err = Err(err("function call in a select expression of an assignment target is unsupported"));
+                    }
+                });
+                lhs_err?;
+            }
+            ModuleItem::Always(a) => {
+                if let Sensitivity::List(items) = &mut a.sensitivity {
+                    for it in &mut items.iter_mut() {
+                        self.rewrite_expr(&mut it.expr, depth)?;
+                    }
+                }
+                self.rewrite_stmt(&mut a.body, depth)?;
+            }
+            ModuleItem::Initial(i) => self.rewrite_stmt(&mut i.body, depth)?,
+            ModuleItem::Instance(inst) => {
+                for c in inst.ports.iter_mut().chain(inst.params.iter_mut()) {
+                    if let Some(e) = &mut c.expr {
+                        self.rewrite_expr(e, depth)?;
+                    }
+                }
+            }
+            ModuleItem::Statement(s) => self.rewrite_stmt(s, depth)?,
+            ModuleItem::Function(_) | ModuleItem::Genvar(_) => {}
+            ModuleItem::GenerateFor(_) => {
+                return Err(err(
+                    "generate blocks must be expanded before function inlining (internal error)",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn rewrite_stmt(&mut self, s: &mut Stmt, depth: u32) -> FrontendResult<()> {
+        match s {
+            Stmt::Block { stmts, .. } => {
+                for st in stmts {
+                    self.rewrite_stmt(st, depth)?;
+                }
+            }
+            Stmt::Blocking { rhs, .. } | Stmt::NonBlocking { rhs, .. } => {
+                self.rewrite_expr(rhs, depth)?;
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.rewrite_expr(cond, depth)?;
+                self.rewrite_stmt(then_branch, depth)?;
+                if let Some(e) = else_branch {
+                    self.rewrite_stmt(e, depth)?;
+                }
+            }
+            Stmt::Case { scrutinee, arms, default, .. } => {
+                self.rewrite_expr(scrutinee, depth)?;
+                for arm in arms {
+                    for l in &mut arm.labels {
+                        self.rewrite_expr(l, depth)?;
+                    }
+                    self.rewrite_stmt(&mut arm.body, depth)?;
+                }
+                if let Some(d) = default {
+                    self.rewrite_stmt(d, depth)?;
+                }
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.rewrite_stmt(init, depth)?;
+                self.rewrite_expr(cond, depth)?;
+                self.rewrite_stmt(step, depth)?;
+                self.rewrite_stmt(body, depth)?;
+            }
+            Stmt::While { cond, body, .. } => {
+                self.rewrite_expr(cond, depth)?;
+                self.rewrite_stmt(body, depth)?;
+            }
+            Stmt::Repeat { count, body, .. } => {
+                self.rewrite_expr(count, depth)?;
+                self.rewrite_stmt(body, depth)?;
+            }
+            Stmt::Forever { body, .. } => self.rewrite_stmt(body, depth)?,
+            Stmt::SystemTask { args, .. } => {
+                for a in args {
+                    self.rewrite_expr(a, depth)?;
+                }
+            }
+            Stmt::Null => {}
+        }
+        Ok(())
+    }
+
+    /// Replaces calls bottom-up in one expression.
+    fn rewrite_expr(&mut self, e: &mut Expr, depth: u32) -> FrontendResult<()> {
+        if depth > 16 {
+            return Err(err("function expansion exceeds depth 16 (recursion?)"));
+        }
+        // Children first, so nested calls inside arguments are expanded.
+        walk_subexprs_mut(e, &mut |sub| self.rewrite_expr(sub, depth))?;
+        if let Expr::FnCall { name, args } = e {
+            let name = name.clone();
+            let args = std::mem::take(args);
+            let ret = self.expand_call(&name, args, depth)?;
+            *e = Expr::Ident(ret);
+        }
+        Ok(())
+    }
+
+    /// Expands one call, returning the name of its return register.
+    fn expand_call(&mut self, name: &str, args: Vec<Expr>, depth: u32) -> FrontendResult<String> {
+        let f = self
+            .functions
+            .get(name)
+            .cloned()
+            .ok_or_else(|| err(format!("unknown function `{name}`")))?;
+        if args.len() != f.inputs.len() {
+            return Err(err(format!(
+                "function `{name}` takes {} argument(s), got {}",
+                f.inputs.len(),
+                args.len()
+            )));
+        }
+        let k = self.counter;
+        self.counter += 1;
+        let prefix = format!("__fn_{name}_{k}");
+        let ret = format!("{prefix}_ret");
+
+        // Return register.
+        self.new_items.push(ModuleItem::Net(NetDecl {
+            kind: NetKind::Reg,
+            signed: f.signed,
+            range: f.range.clone(),
+            decls: vec![Declarator { name: ret.clone(), array: None, init: None, span: Span::synthetic() }],
+            span: Span::synthetic(),
+        }));
+        // Materialized inputs (the copy gives input-width truncation).
+        let mut renames: BTreeMap<String, String> = BTreeMap::new();
+        renames.insert(f.name.clone(), ret.clone());
+        let mut prologue: Vec<Stmt> = Vec::new();
+        for ((in_name, in_range, in_signed), arg) in f.inputs.iter().zip(args) {
+            let mat = format!("{prefix}_{in_name}");
+            self.new_items.push(ModuleItem::Net(NetDecl {
+                kind: NetKind::Reg,
+                signed: *in_signed,
+                range: in_range.clone(),
+                decls: vec![Declarator {
+                    name: mat.clone(),
+                    array: None,
+                    init: None,
+                    span: Span::synthetic(),
+                }],
+                span: Span::synthetic(),
+            }));
+            prologue.push(Stmt::Blocking {
+                lhs: LValue::Ident(mat.clone()),
+                rhs: arg,
+                span: Span::synthetic(),
+            });
+            renames.insert(in_name.clone(), mat);
+        }
+        // Locals.
+        for local in &f.locals {
+            let mut decl = local.clone();
+            for d in &mut decl.decls {
+                let mat = format!("{prefix}_{}", d.name);
+                renames.insert(d.name.clone(), mat.clone());
+                d.name = mat;
+            }
+            self.new_items.push(ModuleItem::Net(decl));
+        }
+        // Renamed body; nested calls inside it expand recursively.
+        let mut body = f.body.clone();
+        rename_stmt(&mut body, &renames);
+        let mut full = Stmt::Block {
+            name: None,
+            stmts: prologue.into_iter().chain([body]).collect(),
+        };
+        self.rewrite_stmt(&mut full, depth + 1)?;
+        self.new_items.push(ModuleItem::Always(AlwaysBlock {
+            sensitivity: Sensitivity::Star,
+            body: full,
+            span: Span::synthetic(),
+        }));
+        Ok(ret)
+    }
+}
+
+fn expr_has_call(e: &Expr) -> bool {
+    let mut found = false;
+    fn walk(e: &Expr, found: &mut bool) {
+        if *found {
+            return;
+        }
+        if matches!(e, Expr::FnCall { .. }) {
+            *found = true;
+            return;
+        }
+        walk_subexprs(e, &mut |sub| walk(sub, found));
+    }
+    walk(e, &mut found);
+    found
+}
+
+// ----------------------------------------------------------------------
+// Generic walkers / renamers
+// ----------------------------------------------------------------------
+
+pub(crate) fn walk_subexprs(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    match e {
+        Expr::Literal { .. } | Expr::MaskedLiteral { .. } | Expr::Str(_) | Expr::Ident(_)
+        | Expr::Hier(_) => {}
+        Expr::Unary { operand, .. } => f(operand),
+        Expr::Binary { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        Expr::Ternary { cond, then_expr, else_expr } => {
+            f(cond);
+            f(then_expr);
+            f(else_expr);
+        }
+        Expr::Index { base, index } => {
+            f(base);
+            f(index);
+        }
+        Expr::Part { base, msb, lsb } => {
+            f(base);
+            f(msb);
+            f(lsb);
+        }
+        Expr::IndexedPart { base, offset, width, .. } => {
+            f(base);
+            f(offset);
+            f(width);
+        }
+        Expr::Concat(parts) => parts.iter().for_each(f),
+        Expr::Replicate { count, inner } => {
+            f(count);
+            f(inner);
+        }
+        Expr::SystemCall { args, .. } | Expr::FnCall { args, .. } => args.iter().for_each(f),
+    }
+}
+
+pub(crate) fn walk_subexprs_mut(
+    e: &mut Expr,
+    f: &mut impl FnMut(&mut Expr) -> FrontendResult<()>,
+) -> FrontendResult<()> {
+    match e {
+        Expr::Literal { .. } | Expr::MaskedLiteral { .. } | Expr::Str(_) | Expr::Ident(_)
+        | Expr::Hier(_) => Ok(()),
+        Expr::Unary { operand, .. } => f(operand),
+        Expr::Binary { lhs, rhs, .. } => {
+            f(lhs)?;
+            f(rhs)
+        }
+        Expr::Ternary { cond, then_expr, else_expr } => {
+            f(cond)?;
+            f(then_expr)?;
+            f(else_expr)
+        }
+        Expr::Index { base, index } => {
+            f(base)?;
+            f(index)
+        }
+        Expr::Part { base, msb, lsb } => {
+            f(base)?;
+            f(msb)?;
+            f(lsb)
+        }
+        Expr::IndexedPart { base, offset, width, .. } => {
+            f(base)?;
+            f(offset)?;
+            f(width)
+        }
+        Expr::Concat(parts) => parts.iter_mut().try_for_each(f),
+        Expr::Replicate { count, inner } => {
+            f(count)?;
+            f(inner)
+        }
+        Expr::SystemCall { args, .. } | Expr::FnCall { args, .. } => {
+            args.iter_mut().try_for_each(f)
+        }
+    }
+}
+
+pub(crate) fn rename_expr(e: &mut Expr, renames: &BTreeMap<String, String>) {
+    if let Expr::Ident(n) = e {
+        if let Some(new) = renames.get(n) {
+            *n = new.clone();
+        }
+        return;
+    }
+    let _ = walk_subexprs_mut(e, &mut |sub| {
+        rename_expr(sub, renames);
+        Ok(())
+    });
+}
+
+pub(crate) fn rename_lvalue(lv: &mut LValue, renames: &BTreeMap<String, String>) {
+    match lv {
+        LValue::Ident(n)
+        | LValue::Index { base: n, .. }
+        | LValue::Part { base: n, .. }
+        | LValue::IndexedPart { base: n, .. }
+        | LValue::IndexThenPart { base: n, .. } => {
+            if let Some(new) = renames.get(n) {
+                *n = new.clone();
+            }
+        }
+        LValue::Hier(_) => {}
+        LValue::Concat(parts) => {
+            for p in parts {
+                rename_lvalue(p, renames);
+            }
+        }
+    }
+    match lv {
+        LValue::Index { index, .. } => rename_expr(index, renames),
+        LValue::Part { msb, lsb, .. } => {
+            rename_expr(msb, renames);
+            rename_expr(lsb, renames);
+        }
+        LValue::IndexedPart { offset, width, .. } => {
+            rename_expr(offset, renames);
+            rename_expr(width, renames);
+        }
+        LValue::IndexThenPart { index, msb, lsb, .. } => {
+            rename_expr(index, renames);
+            rename_expr(msb, renames);
+            rename_expr(lsb, renames);
+        }
+        _ => {}
+    }
+}
+
+pub(crate) fn rename_stmt(s: &mut Stmt, renames: &BTreeMap<String, String>) {
+    match s {
+        Stmt::Block { stmts, .. } => {
+            for st in stmts {
+                rename_stmt(st, renames);
+            }
+        }
+        Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => {
+            rename_lvalue(lhs, renames);
+            rename_expr(rhs, renames);
+        }
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            rename_expr(cond, renames);
+            rename_stmt(then_branch, renames);
+            if let Some(e) = else_branch {
+                rename_stmt(e, renames);
+            }
+        }
+        Stmt::Case { scrutinee, arms, default, .. } => {
+            rename_expr(scrutinee, renames);
+            for arm in arms {
+                for l in &mut arm.labels {
+                    rename_expr(l, renames);
+                }
+                rename_stmt(&mut arm.body, renames);
+            }
+            if let Some(d) = default {
+                rename_stmt(d, renames);
+            }
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            rename_stmt(init, renames);
+            rename_expr(cond, renames);
+            rename_stmt(step, renames);
+            rename_stmt(body, renames);
+        }
+        Stmt::While { cond, body, .. } => {
+            rename_expr(cond, renames);
+            rename_stmt(body, renames);
+        }
+        Stmt::Repeat { count, body, .. } => {
+            rename_expr(count, renames);
+            rename_stmt(body, renames);
+        }
+        Stmt::Forever { body, .. } => rename_stmt(body, renames),
+        Stmt::SystemTask { args, .. } => {
+            for a in args {
+                rename_expr(a, renames);
+            }
+        }
+        Stmt::Null => {}
+    }
+}
+
+fn for_each_item_expr(item: &ModuleItem, f: &mut impl FnMut(&Expr)) {
+    fn stmt_exprs(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+        s.visit_exprs(f);
+    }
+    match item {
+        ModuleItem::Net(d) => {
+            for decl in &d.decls {
+                if let Some(init) = &decl.init {
+                    f(init);
+                }
+            }
+        }
+        ModuleItem::Param(p) => f(&p.value),
+        ModuleItem::Assign(a) => {
+            f(&a.rhs);
+            a.lhs.visit_exprs(f);
+        }
+        ModuleItem::Always(a) => {
+            if let Sensitivity::List(items) = &a.sensitivity {
+                for it in items {
+                    f(&it.expr);
+                }
+            }
+            stmt_exprs(&a.body, f);
+        }
+        ModuleItem::Initial(i) => stmt_exprs(&i.body, f),
+        ModuleItem::Instance(inst) => {
+            for c in inst.ports.iter().chain(&inst.params) {
+                if let Some(e) = &c.expr {
+                    f(e);
+                }
+            }
+        }
+        ModuleItem::Statement(s) => stmt_exprs(s, f),
+        ModuleItem::Function(func) => stmt_exprs(&func.body, f),
+        ModuleItem::Genvar(_) => {}
+        ModuleItem::GenerateFor(g) => {
+            for it in &g.items {
+                for_each_item_expr(it, f);
+            }
+        }
+    }
+}

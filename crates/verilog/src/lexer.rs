@@ -1,0 +1,428 @@
+//! The Verilog lexer: source text to a token stream.
+
+use crate::source::{Diagnostic, FrontendResult, Phase, Span};
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Lexes `src` into a token vector terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on an unterminated comment or string, an invalid
+/// based literal, or an unexpected character.
+pub fn lex(src: &str) -> FrontendResult<Vec<Token>> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, tokens: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> FrontendResult<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos as u32;
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match c {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                b'\\' => self.escaped_ident(start)?,
+                b'$' => self.sys_ident(start)?,
+                b'0'..=b'9' | b'\'' => self.number(start)?,
+                b'"' => self.string(start)?,
+                _ => self.operator(start)?,
+            }
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>, start: u32) -> Diagnostic {
+        Diagnostic::new(Phase::Lex, msg, Span::new(start, self.pos as u32))
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: u32) {
+        self.tokens.push(Token { kind, span: Span::new(start, self.pos as u32) });
+    }
+
+    fn skip_trivia(&mut self) -> FrontendResult<()> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos as u32;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => return Err(self.err("unterminated block comment", start)),
+                        }
+                    }
+                }
+                // Attributes (* ... *) are skipped as trivia. `(*)` — the
+                // `@(*)` sensitivity form — is not an attribute.
+                Some(b'(')
+                    if self.peek2() == Some(b'*')
+                        && self.bytes.get(self.pos + 2).copied() != Some(b')') =>
+                {
+                    let start = self.pos as u32;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b')') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => return Err(self.err("unterminated attribute", start)),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self, start: u32) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start as usize..self.pos];
+        match Keyword::from_str(text) {
+            Some(kw) => self.push(TokenKind::Keyword(kw), start),
+            None => self.push(TokenKind::Ident(text.to_string()), start),
+        }
+    }
+
+    fn escaped_ident(&mut self, start: u32) -> FrontendResult<()> {
+        self.pos += 1; // consume backslash
+        let body_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == body_start {
+            return Err(self.err("empty escaped identifier", start));
+        }
+        let text = self.src[body_start..self.pos].to_string();
+        self.push(TokenKind::Ident(text), start);
+        Ok(())
+    }
+
+    fn sys_ident(&mut self, start: u32) -> FrontendResult<()> {
+        self.pos += 1; // consume $
+        let body_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == body_start {
+            return Err(self.err("empty system identifier", start));
+        }
+        let text = self.src[body_start..self.pos].to_string();
+        self.push(TokenKind::SysIdent(text), start);
+        Ok(())
+    }
+
+    /// Lexes a number: bare decimal, or a based literal like `8'hff`.
+    ///
+    /// A based literal's optional size prefix was already consumed as a bare
+    /// decimal when present; this handles both pieces by lookahead.
+    fn number(&mut self, start: u32) -> FrontendResult<()> {
+        let mut size: Option<u32> = None;
+        if self.peek() != Some(b'\'') {
+            // Leading decimal digits: either a bare literal or a size prefix.
+            let dec_start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || c == b'_' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String =
+                self.src[dec_start..self.pos].chars().filter(|&c| c != '_').collect();
+            let value: u64 =
+                text.parse().map_err(|_| self.err(format!("bad decimal `{text}`"), start))?;
+            // Whitespace may separate the size from the tick.
+            let save = self.pos;
+            while matches!(self.peek(), Some(b' ' | b'\t')) {
+                self.pos += 1;
+            }
+            if self.peek() == Some(b'\'')
+                && matches!(
+                    self.peek2().map(|c| c.to_ascii_lowercase()),
+                    Some(b'b' | b'o' | b'd' | b'h' | b's')
+                )
+            {
+                size = Some(value as u32);
+            } else {
+                self.pos = save;
+                self.push(TokenKind::Decimal(value), start);
+                return Ok(());
+            }
+        }
+        // At a tick.
+        self.pos += 1;
+        let mut radix_char =
+            self.bump().ok_or_else(|| self.err("missing base after `'`", start))?;
+        if radix_char == b's' || radix_char == b'S' {
+            radix_char = self.bump().ok_or_else(|| self.err("missing base after `'s`", start))?;
+        }
+        let radix = match radix_char.to_ascii_lowercase() {
+            b'b' => 2,
+            b'o' => 8,
+            b'd' => 10,
+            b'h' => 16,
+            other => {
+                return Err(self.err(format!("unknown base `{}`", other as char), start));
+            }
+        };
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+        let body_start = self.pos;
+        while let Some(c) = self.peek() {
+            // x/z/? wildcard digits are accepted in non-decimal bases and
+            // resolved by the parser (don't-care bits in casez/casex labels,
+            // zeros elsewhere under two-state semantics).
+            let wild = matches!(c, b'x' | b'X' | b'z' | b'Z' | b'?') && radix != 10;
+            let ok = c == b'_'
+                || wild
+                || match radix {
+                    2 => matches!(c, b'0' | b'1'),
+                    8 => c.is_ascii_digit() && c < b'8',
+                    10 => c.is_ascii_digit(),
+                    16 => c.is_ascii_hexdigit(),
+                    _ => unreachable!(),
+                };
+            if ok {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == body_start {
+            return Err(self.err("based literal has no digits", start));
+        }
+        let body: String =
+            self.src[body_start..self.pos].chars().filter(|&c| c != '_').collect();
+        self.push(TokenKind::Number { size, radix, body }, start);
+        Ok(())
+    }
+
+    fn string(&mut self, start: u32) -> FrontendResult<()> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(self.err("unterminated string", start)),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    let esc =
+                        self.bump().ok_or_else(|| self.err("unterminated escape", start))?;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        other => other as char,
+                    });
+                }
+                Some(c) => out.push(c as char),
+            }
+        }
+        self.push(TokenKind::Str(out), start);
+        Ok(())
+    }
+
+    fn operator(&mut self, start: u32) -> FrontendResult<()> {
+        use TokenKind::*;
+        let c = self.bump().expect("operator called at end of input");
+        let kind = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b':' => Colon,
+            b'?' => Question,
+            b'@' => At,
+            b'#' => Hash,
+            b'+' => {
+                if self.peek() == Some(b':') {
+                    self.pos += 1;
+                    PlusColon
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b':') {
+                    self.pos += 1;
+                    MinusColon
+                } else {
+                    Minus
+                }
+            }
+            b'*' => {
+                if self.peek() == Some(b'*') {
+                    self.pos += 1;
+                    StarStar
+                } else {
+                    Star
+                }
+            }
+            b'/' => Slash,
+            b'%' => Percent,
+            b'!' => match (self.peek(), self.peek2()) {
+                (Some(b'='), Some(b'=')) => {
+                    self.pos += 2;
+                    BangEqEq
+                }
+                (Some(b'='), _) => {
+                    self.pos += 1;
+                    BangEq
+                }
+                _ => Bang,
+            },
+            b'~' => match self.peek() {
+                Some(b'^') => {
+                    self.pos += 1;
+                    TildeCaret
+                }
+                Some(b'&') => {
+                    self.pos += 1;
+                    // ~& reduction NAND: treated as Tilde + Amp by the parser
+                    // is ambiguous, so lex it as a distinct two-token shortcut:
+                    // push Tilde now and Amp next round.
+                    self.tokens.push(Token { kind: Tilde, span: Span::new(start, start + 1) });
+                    Amp
+                }
+                Some(b'|') => {
+                    self.pos += 1;
+                    self.tokens.push(Token { kind: Tilde, span: Span::new(start, start + 1) });
+                    Pipe
+                }
+                _ => Tilde,
+            },
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.pos += 1;
+                    AmpAmp
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                    PipePipe
+                } else {
+                    Pipe
+                }
+            }
+            b'^' => {
+                if self.peek() == Some(b'~') {
+                    self.pos += 1;
+                    TildeCaret
+                } else {
+                    Caret
+                }
+            }
+            b'=' => match (self.peek(), self.peek2()) {
+                (Some(b'='), Some(b'=')) => {
+                    self.pos += 2;
+                    EqEqEq
+                }
+                (Some(b'='), _) => {
+                    self.pos += 1;
+                    EqEq
+                }
+                _ => Eq,
+            },
+            b'<' => match (self.peek(), self.peek2()) {
+                (Some(b'<'), Some(b'<')) => {
+                    self.pos += 3 - 1;
+                    AShl
+                }
+                (Some(b'<'), _) => {
+                    self.pos += 1;
+                    Shl
+                }
+                (Some(b'='), _) => {
+                    self.pos += 1;
+                    LtEq
+                }
+                _ => Lt,
+            },
+            b'>' => match (self.peek(), self.peek2()) {
+                (Some(b'>'), Some(b'>')) => {
+                    self.pos += 2;
+                    AShr
+                }
+                (Some(b'>'), _) => {
+                    self.pos += 1;
+                    Shr
+                }
+                (Some(b'='), _) => {
+                    self.pos += 1;
+                    GtEq
+                }
+                _ => Gt,
+            },
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char), start));
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}

@@ -1,0 +1,48 @@
+//! Verilog-2005 frontend for Cascade-rs: preprocessor, lexer, parser, type
+//! checker, analyses, and pretty-printer.
+//!
+//! The supported subset is the synthesizable core the Cascade paper targets
+//! — modules, ports, parameters, wires/regs/memories, continuous assigns,
+//! `always`/`initial` blocks, instantiations — plus the unsynthesizable
+//! system tasks (`$display`, `$write`, `$finish`, `$monitor`, `$fatal`) that
+//! Cascade's runtime keeps alive even after code moves to hardware.
+//!
+//! # Examples
+//!
+//! ```
+//! use cascade_verilog::{parse, analysis};
+//!
+//! let unit = parse(
+//!     "module Main(input wire clk, output wire [7:0] led);\n\
+//!      reg [7:0] cnt = 1;\n\
+//!      always @(posedge clk) cnt <= cnt + 1;\n\
+//!      assign led = cnt;\n\
+//!      endmodule",
+//! )?;
+//! let cascade_verilog::ast::Item::Module(m) = &unit.items[0] else { unreachable!() };
+//! assert!(analysis::is_synthesizable(m));
+//! # Ok::<(), cascade_verilog::Diagnostic>(())
+//! ```
+
+pub mod analysis;
+pub mod ast;
+pub mod corpus;
+mod generate;
+mod inline_fn;
+mod lexer;
+mod parser;
+pub mod preproc;
+pub mod pretty;
+mod source;
+mod token;
+pub mod typecheck;
+
+pub use generate::{expand_generates, has_generates};
+pub use inline_fn::{has_functions, inline_functions};
+pub use lexer::lex;
+pub use parser::{parse, parse_expr, parse_stmt};
+pub use source::{line_col, Diagnostic, FrontendResult, LineCol, Phase, Span};
+pub use token::{Keyword, Token, TokenKind};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,1044 @@
+//! Recursive-descent parser for the supported Verilog subset.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::source::{Diagnostic, FrontendResult, Phase, Span};
+use crate::token::{Keyword, Token, TokenKind};
+use cascade_bits::Bits;
+
+/// Parses a complete source unit (modules plus, in REPL usage, bare root
+/// items).
+///
+/// # Errors
+///
+/// Returns the first lex or parse [`Diagnostic`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// let unit = cascade_verilog::parse(
+///     "module Rol(input wire [7:0] x, output wire [7:0] y);\n\
+///      assign y = (x == 8'h80) ? 1 : (x << 1);\nendmodule",
+/// )?;
+/// assert_eq!(unit.items.len(), 1);
+/// # Ok::<(), cascade_verilog::Diagnostic>(())
+/// ```
+pub fn parse(src: &str) -> FrontendResult<SourceUnit> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.source_unit()
+}
+
+/// Parses a single expression, used by tests and the REPL's probe command.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on malformed input or trailing tokens.
+pub fn parse_expr(src: &str) -> FrontendResult<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Parses a single procedural statement, used by the REPL.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on malformed input or trailing tokens.
+pub fn parse_stmt(src: &str) -> FrontendResult<Stmt> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let s = p.stmt()?;
+    p.expect_eof()?;
+    Ok(s)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1).min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(&TokenKind::Keyword(kw))
+    }
+
+    fn at_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Phase::Parse, msg, self.span())
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> FrontendResult<()> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> FrontendResult<()> {
+        self.expect(TokenKind::Keyword(kw))
+    }
+
+    fn expect_eof(&mut self) -> FrontendResult<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> FrontendResult<String> {
+        match self.peek() {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Top level
+    // ------------------------------------------------------------------
+
+    fn source_unit(&mut self) -> FrontendResult<SourceUnit> {
+        let mut items = Vec::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            if self.at_kw(Keyword::Module) {
+                items.push(Item::Module(self.module()?));
+            } else {
+                items.push(Item::RootItem(self.module_item()?));
+            }
+        }
+        Ok(SourceUnit { items })
+    }
+
+    fn module(&mut self) -> FrontendResult<Module> {
+        let start = self.span();
+        self.expect_kw(Keyword::Module)?;
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::Hash) {
+            self.expect(TokenKind::LParen)?;
+            loop {
+                self.eat_kw(Keyword::Parameter);
+                let pstart = self.span();
+                let range = self.opt_range()?;
+                let pname = self.ident()?;
+                self.expect(TokenKind::Eq)?;
+                let value = self.expr()?;
+                params.push(ParamDecl {
+                    local: false,
+                    range,
+                    name: pname,
+                    value,
+                    span: pstart.to(self.prev_span()),
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        let mut ports = Vec::new();
+        if self.eat(&TokenKind::LParen)
+            && !self.eat(&TokenKind::RParen) {
+                loop {
+                    ports.push(self.port()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+        self.expect(TokenKind::Semi)?;
+        let mut items = Vec::new();
+        while !self.at_kw(Keyword::Endmodule) {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.err("unterminated module; expected `endmodule`"));
+            }
+            items.push(self.module_item()?);
+        }
+        self.expect_kw(Keyword::Endmodule)?;
+        Ok(Module { name, params, ports, items, span: start.to(self.prev_span()) })
+    }
+
+    fn port(&mut self) -> FrontendResult<Port> {
+        let start = self.span();
+        let dir = match self.bump() {
+            TokenKind::Keyword(Keyword::Input) => PortDir::Input,
+            TokenKind::Keyword(Keyword::Output) => PortDir::Output,
+            TokenKind::Keyword(Keyword::Inout) => PortDir::Inout,
+            other => return Err(self.err(format!("expected port direction, found {other}"))),
+        };
+        let is_reg = if self.eat_kw(Keyword::Wire) {
+            false
+        } else {
+            self.eat_kw(Keyword::Reg)
+        };
+        let signed = self.eat_kw(Keyword::Signed);
+        let range = self.opt_range()?;
+        let name = self.ident()?;
+        Ok(Port { dir, is_reg, signed, range, name, span: start.to(self.prev_span()) })
+    }
+
+    fn opt_range(&mut self) -> FrontendResult<Option<Range>> {
+        if !self.eat(&TokenKind::LBracket) {
+            return Ok(None);
+        }
+        let msb = self.expr()?;
+        self.expect(TokenKind::Colon)?;
+        let lsb = self.expr()?;
+        self.expect(TokenKind::RBracket)?;
+        Ok(Some(Range { msb, lsb }))
+    }
+
+    // ------------------------------------------------------------------
+    // Module items
+    // ------------------------------------------------------------------
+
+    fn module_item(&mut self) -> FrontendResult<ModuleItem> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Wire | Keyword::Reg | Keyword::Integer) => {
+                Ok(ModuleItem::Net(self.net_decl()?))
+            }
+            TokenKind::Keyword(Keyword::Parameter | Keyword::Localparam) => {
+                Ok(ModuleItem::Param(self.param_decl()?))
+            }
+            TokenKind::Keyword(Keyword::Assign) => {
+                let start = self.span();
+                self.bump();
+                let lhs = self.lvalue()?;
+                self.expect(TokenKind::Eq)?;
+                let rhs = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(ModuleItem::Assign(ContinuousAssign {
+                    lhs,
+                    rhs,
+                    span: start.to(self.prev_span()),
+                }))
+            }
+            TokenKind::Keyword(Keyword::Always) => {
+                let start = self.span();
+                self.bump();
+                self.expect(TokenKind::At)?;
+                let sensitivity = self.sensitivity()?;
+                let body = self.stmt()?;
+                Ok(ModuleItem::Always(AlwaysBlock {
+                    sensitivity,
+                    body,
+                    span: start.to(self.prev_span()),
+                }))
+            }
+            TokenKind::Keyword(Keyword::Initial) => {
+                let start = self.span();
+                self.bump();
+                let body = self.stmt()?;
+                Ok(ModuleItem::Initial(InitialBlock { body, span: start.to(self.prev_span()) }))
+            }
+            TokenKind::Keyword(Keyword::Function) => Ok(ModuleItem::Function(self.function()?)),
+            TokenKind::Keyword(Keyword::Genvar) => {
+                self.bump();
+                let mut names = vec![self.ident()?];
+                while self.eat(&TokenKind::Comma) {
+                    names.push(self.ident()?);
+                }
+                self.expect(TokenKind::Semi)?;
+                Ok(ModuleItem::Genvar(names))
+            }
+            TokenKind::Keyword(Keyword::Generate) => {
+                self.bump();
+                let item = self.generate_for()?;
+                self.expect_kw(Keyword::Endgenerate)?;
+                Ok(item)
+            }
+            TokenKind::Ident(_) if self.instance_ahead() => {
+                Ok(ModuleItem::Instance(self.instance()?))
+            }
+            _ => Ok(ModuleItem::Statement(self.stmt()?)),
+        }
+    }
+
+    /// Distinguishes `Rol r(...)` (instantiation) from `x = ...` or
+    /// `x[...] <= ...` (REPL statement) at an identifier.
+    fn instance_ahead(&self) -> bool {
+        matches!(self.peek(), TokenKind::Ident(_))
+            && (matches!(self.peek2(), TokenKind::Ident(_))
+                || matches!(self.peek2(), TokenKind::Hash))
+    }
+
+    fn net_decl(&mut self) -> FrontendResult<NetDecl> {
+        let start = self.span();
+        let kind = match self.bump() {
+            TokenKind::Keyword(Keyword::Wire) => NetKind::Wire,
+            TokenKind::Keyword(Keyword::Reg) => NetKind::Reg,
+            TokenKind::Keyword(Keyword::Integer) => NetKind::Integer,
+            other => return Err(self.err(format!("expected net kind, found {other}"))),
+        };
+        let signed = self.eat_kw(Keyword::Signed) || kind == NetKind::Integer;
+        let range = if kind == NetKind::Integer { None } else { self.opt_range()? };
+        let mut decls = Vec::new();
+        loop {
+            let dstart = self.span();
+            let name = self.ident()?;
+            let array = self.opt_range()?;
+            let init = if self.eat(&TokenKind::Eq) { Some(self.expr()?) } else { None };
+            decls.push(Declarator { name, array, init, span: dstart.to(self.prev_span()) });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(NetDecl { kind, signed, range, decls, span: start.to(self.prev_span()) })
+    }
+
+    fn param_decl(&mut self) -> FrontendResult<ParamDecl> {
+        let start = self.span();
+        let local = match self.bump() {
+            TokenKind::Keyword(Keyword::Parameter) => false,
+            TokenKind::Keyword(Keyword::Localparam) => true,
+            other => return Err(self.err(format!("expected parameter keyword, found {other}"))),
+        };
+        let range = self.opt_range()?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Eq)?;
+        let value = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(ParamDecl { local, range, name, value, span: start.to(self.prev_span()) })
+    }
+
+    /// Parses a `for (...) begin : label ... end` generate loop.
+    fn generate_for(&mut self) -> FrontendResult<ModuleItem> {
+        let start = self.span();
+        self.expect_kw(Keyword::For)?;
+        self.expect(TokenKind::LParen)?;
+        let genvar = self.ident()?;
+        self.expect(TokenKind::Eq)?;
+        let init = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        let step_var = self.ident()?;
+        if step_var != genvar {
+            return Err(self.err(format!(
+                "generate step must assign the genvar `{genvar}`, found `{step_var}`"
+            )));
+        }
+        self.expect(TokenKind::Eq)?;
+        let step = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        self.expect_kw(Keyword::Begin)?;
+        let label = if self.eat(&TokenKind::Colon) { Some(self.ident()?) } else { None };
+        let mut items = Vec::new();
+        while !self.at_kw(Keyword::End) {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.err("unterminated generate block; expected `end`"));
+            }
+            if self.at_kw(Keyword::For) {
+                items.push(self.generate_for()?);
+            } else {
+                items.push(self.module_item()?);
+            }
+        }
+        self.expect_kw(Keyword::End)?;
+        Ok(ModuleItem::GenerateFor(GenerateFor {
+            genvar,
+            init,
+            cond,
+            step,
+            label,
+            items,
+            span: start.to(self.prev_span()),
+        }))
+    }
+
+    /// Parses a function declaration (classic or ANSI header style).
+    fn function(&mut self) -> FrontendResult<FunctionDecl> {
+        let start = self.span();
+        self.expect_kw(Keyword::Function)?;
+        // Optional `automatic` is accepted as an identifier and ignored.
+        if matches!(self.peek(), TokenKind::Ident(n) if n == "automatic") {
+            self.bump();
+        }
+        let signed = self.eat_kw(Keyword::Signed);
+        let range = self.opt_range()?;
+        let name = self.ident()?;
+        let mut inputs = Vec::new();
+        // ANSI header: function [r] name(input [r] a, input [r] b);
+        if self.eat(&TokenKind::LParen)
+            && !self.eat(&TokenKind::RParen) {
+                loop {
+                    self.expect_kw(Keyword::Input)?;
+                    self.eat_kw(Keyword::Wire);
+                    self.eat_kw(Keyword::Reg);
+                    let in_signed = self.eat_kw(Keyword::Signed);
+                    let in_range = self.opt_range()?;
+                    let in_name = self.ident()?;
+                    inputs.push((in_name, in_range, in_signed));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+        self.expect(TokenKind::Semi)?;
+        // Classic declarations: inputs and locals before the body.
+        let mut locals = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Keyword(Keyword::Input) => {
+                    self.bump();
+                    self.eat_kw(Keyword::Wire);
+                    self.eat_kw(Keyword::Reg);
+                    let in_signed = self.eat_kw(Keyword::Signed);
+                    let in_range = self.opt_range()?;
+                    loop {
+                        let in_name = self.ident()?;
+                        inputs.push((in_name, in_range.clone(), in_signed));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Keyword(Keyword::Reg | Keyword::Integer) => {
+                    locals.push(self.net_decl()?);
+                }
+                _ => break,
+            }
+        }
+        let body = self.stmt()?;
+        self.expect_kw(Keyword::Endfunction)?;
+        Ok(FunctionDecl {
+            name,
+            signed,
+            range,
+            inputs,
+            locals,
+            body,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn sensitivity(&mut self) -> FrontendResult<Sensitivity> {
+        // `@*` without parens.
+        if self.eat(&TokenKind::Star) {
+            return Ok(Sensitivity::Star);
+        }
+        self.expect(TokenKind::LParen)?;
+        if self.eat(&TokenKind::Star) {
+            self.expect(TokenKind::RParen)?;
+            return Ok(Sensitivity::Star);
+        }
+        let mut items = Vec::new();
+        loop {
+            let edge = if self.eat_kw(Keyword::Posedge) {
+                Some(Edge::Pos)
+            } else if self.eat_kw(Keyword::Negedge) {
+                Some(Edge::Neg)
+            } else {
+                None
+            };
+            let expr = self.expr()?;
+            items.push(SensItem { edge, expr });
+            if self.eat(&TokenKind::Comma) || self.eat_kw(Keyword::Or) {
+                continue;
+            }
+            break;
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Sensitivity::List(items))
+    }
+
+    fn instance(&mut self) -> FrontendResult<Instance> {
+        let start = self.span();
+        let module = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::Hash) {
+            self.expect(TokenKind::LParen)?;
+            params = self.connections()?;
+            self.expect(TokenKind::RParen)?;
+        }
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let ports =
+            if matches!(self.peek(), TokenKind::RParen) { Vec::new() } else { self.connections()? };
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Instance { module, name, params, ports, span: start.to(self.prev_span()) })
+    }
+
+    fn connections(&mut self) -> FrontendResult<Vec<Connection>> {
+        let mut out = Vec::new();
+        loop {
+            let start = self.span();
+            if self.eat(&TokenKind::Dot) {
+                let name = self.ident()?;
+                self.expect(TokenKind::LParen)?;
+                let expr =
+                    if matches!(self.peek(), TokenKind::RParen) { None } else { Some(self.expr()?) };
+                self.expect(TokenKind::RParen)?;
+                out.push(Connection { name: Some(name), expr, span: start.to(self.prev_span()) });
+            } else {
+                let expr = self.expr()?;
+                out.push(Connection { name: None, expr: Some(expr), span: start.to(self.prev_span()) });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self) -> FrontendResult<Stmt> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Begin) => {
+                self.bump();
+                let name =
+                    if self.eat(&TokenKind::Colon) { Some(self.ident()?) } else { None };
+                let mut stmts = Vec::new();
+                while !self.at_kw(Keyword::End) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return Err(self.err("unterminated block; expected `end`"));
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                self.bump();
+                Ok(Stmt::Block { name, stmts })
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat_kw(Keyword::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then_branch, else_branch, span: start.to(self.prev_span()) })
+            }
+            TokenKind::Keyword(kw @ (Keyword::Case | Keyword::Casez | Keyword::Casex)) => {
+                let kind = match kw {
+                    Keyword::Case => CaseKind::Case,
+                    Keyword::Casez => CaseKind::Casez,
+                    _ => CaseKind::Casex,
+                };
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let scrutinee = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                while !self.at_kw(Keyword::Endcase) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return Err(self.err("unterminated case; expected `endcase`"));
+                    }
+                    if self.eat_kw(Keyword::Default) {
+                        self.eat(&TokenKind::Colon);
+                        default = Some(Box::new(self.stmt()?));
+                        continue;
+                    }
+                    let mut labels = vec![self.expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        labels.push(self.expr()?);
+                    }
+                    self.expect(TokenKind::Colon)?;
+                    let body = self.stmt()?;
+                    arms.push(CaseArm { labels, body });
+                }
+                self.bump();
+                Ok(Stmt::Case { kind, scrutinee, arms, default, span: start.to(self.prev_span()) })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let init = Box::new(self.assignment_no_semi()?);
+                self.expect(TokenKind::Semi)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                let step = Box::new(self.assignment_no_semi()?);
+                self.expect(TokenKind::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For { init, cond, step, body, span: start.to(self.prev_span()) })
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::While { cond, body, span: start.to(self.prev_span()) })
+            }
+            TokenKind::Keyword(Keyword::Repeat) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let count = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::Repeat { count, body, span: start.to(self.prev_span()) })
+            }
+            TokenKind::Keyword(Keyword::Forever) => {
+                self.bump();
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::Forever { body, span: start.to(self.prev_span()) })
+            }
+            TokenKind::SysIdent(name) => {
+                let name = name.clone();
+                let Some(task) = SystemTask::from_name(&name) else {
+                    return Err(self.err(format!("unsupported system task `${name}`")));
+                };
+                self.bump();
+                let mut args = Vec::new();
+                if self.eat(&TokenKind::LParen) {
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::SystemTask { task, args, span: start.to(self.prev_span()) })
+            }
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Null)
+            }
+            _ => {
+                let s = self.assignment_no_semi()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Parses `lvalue = expr` or `lvalue <= expr` without the trailing
+    /// semicolon (shared by statement position and `for` headers).
+    fn assignment_no_semi(&mut self) -> FrontendResult<Stmt> {
+        let start = self.span();
+        let lhs = self.lvalue()?;
+        if self.eat(&TokenKind::Eq) {
+            let rhs = self.expr()?;
+            Ok(Stmt::Blocking { lhs, rhs, span: start.to(self.prev_span()) })
+        } else if self.eat(&TokenKind::LtEq) {
+            let rhs = self.expr()?;
+            Ok(Stmt::NonBlocking { lhs, rhs, span: start.to(self.prev_span()) })
+        } else {
+            Err(self.err(format!("expected `=` or `<=`, found {}", self.peek())))
+        }
+    }
+
+    fn lvalue(&mut self) -> FrontendResult<LValue> {
+        if self.eat(&TokenKind::LBrace) {
+            let mut parts = vec![self.lvalue()?];
+            while self.eat(&TokenKind::Comma) {
+                parts.push(self.lvalue()?);
+            }
+            self.expect(TokenKind::RBrace)?;
+            return Ok(LValue::Concat(parts));
+        }
+        let base = self.ident()?;
+        if matches!(self.peek(), TokenKind::Dot) {
+            let mut path = vec![base];
+            while self.eat(&TokenKind::Dot) {
+                path.push(self.ident()?);
+            }
+            return Ok(LValue::Hier(path));
+        }
+        if !self.eat(&TokenKind::LBracket) {
+            return Ok(LValue::Ident(base));
+        }
+        let first = self.expr()?;
+        match self.bump() {
+            TokenKind::RBracket => {
+                // Either a plain index, or a memory word followed by a range.
+                if self.eat(&TokenKind::LBracket) {
+                    let msb = self.expr()?;
+                    self.expect(TokenKind::Colon)?;
+                    let lsb = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    Ok(LValue::IndexThenPart { base, index: first, msb, lsb })
+                } else {
+                    Ok(LValue::Index { base, index: first })
+                }
+            }
+            TokenKind::Colon => {
+                let lsb = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                Ok(LValue::Part { base, msb: first, lsb })
+            }
+            TokenKind::PlusColon => {
+                let width = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                Ok(LValue::IndexedPart { base, offset: first, width, ascending: true })
+            }
+            TokenKind::MinusColon => {
+                let width = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                Ok(LValue::IndexedPart { base, offset: first, width, ascending: false })
+            }
+            other => Err(self.err(format!("expected `]`, `:`, `+:` or `-:`, found {other}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    /// Parses an expression.
+    pub(crate) fn expr(&mut self) -> FrontendResult<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> FrontendResult<Expr> {
+        let cond = self.binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let then_expr = Box::new(self.expr()?);
+            self.expect(TokenKind::Colon)?;
+            let else_expr = Box::new(self.ternary()?);
+            Ok(Expr::Ternary { cond: Box::new(cond), then_expr, else_expr })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_op(&self, min_prec: u8) -> Option<(BinaryOp, u8)> {
+        use BinaryOp::*;
+        use TokenKind as T;
+        let (op, prec) = match self.peek() {
+            T::PipePipe => (LogicalOr, 1),
+            T::AmpAmp => (LogicalAnd, 2),
+            T::Pipe => (Or, 3),
+            T::Caret => (Xor, 4),
+            T::TildeCaret => (Xnor, 4),
+            T::Amp => (And, 5),
+            T::EqEq => (Eq, 6),
+            T::BangEq => (Ne, 6),
+            T::EqEqEq => (CaseEq, 6),
+            T::BangEqEq => (CaseNe, 6),
+            T::Lt => (Lt, 7),
+            T::LtEq => (Le, 7),
+            T::Gt => (Gt, 7),
+            T::GtEq => (Ge, 7),
+            T::Shl => (Shl, 8),
+            T::Shr => (Shr, 8),
+            T::AShl => (AShl, 8),
+            T::AShr => (AShr, 8),
+            T::Plus => (Add, 9),
+            T::Minus => (Sub, 9),
+            T::Star => (Mul, 10),
+            T::Slash => (Div, 10),
+            T::Percent => (Rem, 10),
+            T::StarStar => (Pow, 11),
+            _ => return None,
+        };
+        (prec >= min_prec).then_some((op, prec))
+    }
+
+    fn binary(&mut self, min_prec: u8) -> FrontendResult<Expr> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = self.binary_op(min_prec) {
+            self.bump();
+            // `**` is right-associative; everything else left.
+            let next_min = if op == BinaryOp::Pow { prec } else { prec + 1 };
+            let rhs = self.binary(next_min)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> FrontendResult<Expr> {
+        use TokenKind as T;
+        let op = match self.peek() {
+            T::Plus => Some(UnaryOp::Plus),
+            T::Minus => Some(UnaryOp::Neg),
+            T::Bang => Some(UnaryOp::LogicalNot),
+            T::Tilde => Some(UnaryOp::BitNot),
+            T::Amp => Some(UnaryOp::ReduceAnd),
+            T::Pipe => Some(UnaryOp::ReduceOr),
+            T::Caret => Some(UnaryOp::ReduceXor),
+            T::TildeCaret => Some(UnaryOp::ReduceXnor),
+            _ => None,
+        };
+        if let Some(mut op) = op {
+            self.bump();
+            // `~&` / `~|` were lexed as Tilde followed by Amp/Pipe; fold the
+            // NAND/NOR reductions here so `~&x` is one operation.
+            if op == UnaryOp::BitNot {
+                if matches!(self.peek(), T::Amp) {
+                    self.bump();
+                    op = UnaryOp::ReduceNand;
+                } else if matches!(self.peek(), T::Pipe) {
+                    self.bump();
+                    op = UnaryOp::ReduceNor;
+                }
+            }
+            let operand = Box::new(self.unary()?);
+            return Ok(Expr::Unary { op, operand });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> FrontendResult<Expr> {
+        let mut base = self.primary()?;
+        loop {
+            if self.eat(&TokenKind::LBracket) {
+                let first = self.expr()?;
+                match self.bump() {
+                    TokenKind::RBracket => {
+                        base = Expr::Index { base: Box::new(base), index: Box::new(first) };
+                    }
+                    TokenKind::Colon => {
+                        let lsb = self.expr()?;
+                        self.expect(TokenKind::RBracket)?;
+                        base = Expr::Part {
+                            base: Box::new(base),
+                            msb: Box::new(first),
+                            lsb: Box::new(lsb),
+                        };
+                    }
+                    TokenKind::PlusColon => {
+                        let width = self.expr()?;
+                        self.expect(TokenKind::RBracket)?;
+                        base = Expr::IndexedPart {
+                            base: Box::new(base),
+                            offset: Box::new(first),
+                            width: Box::new(width),
+                            ascending: true,
+                        };
+                    }
+                    TokenKind::MinusColon => {
+                        let width = self.expr()?;
+                        self.expect(TokenKind::RBracket)?;
+                        base = Expr::IndexedPart {
+                            base: Box::new(base),
+                            offset: Box::new(first),
+                            width: Box::new(width),
+                            ascending: false,
+                        };
+                    }
+                    other => {
+                        return Err(
+                            self.err(format!("expected `]`, `:`, `+:` or `-:`, found {other}"))
+                        );
+                    }
+                }
+            } else {
+                return Ok(base);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> FrontendResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::Decimal(v) => {
+                self.bump();
+                Ok(Expr::Literal { value: Bits::from_u64(32, v), sized: false })
+            }
+            TokenKind::Number { size, radix, body } => {
+                self.bump();
+                self.based_literal(size, radix, &body)
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                // A user function call: `name(arg, ...)`.
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    return Ok(Expr::FnCall { name, args });
+                }
+                let mut path = vec![name];
+                while matches!(self.peek(), TokenKind::Dot) {
+                    self.bump();
+                    path.push(self.ident()?);
+                }
+                if path.len() == 1 {
+                    Ok(Expr::Ident(path.pop().expect("non-empty path")))
+                } else {
+                    Ok(Expr::Hier(path))
+                }
+            }
+            TokenKind::SysIdent(name) => {
+                let Some(func) = SystemFunction::from_name(&name) else {
+                    return Err(self.err(format!("unsupported system function `${name}`")));
+                };
+                self.bump();
+                let mut args = Vec::new();
+                if self.eat(&TokenKind::LParen) {
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                Ok(Expr::SystemCall { func, args })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let first = self.expr()?;
+                // `{n{expr}}` replication vs `{a, b}` concatenation.
+                if matches!(self.peek(), TokenKind::LBrace) {
+                    self.bump();
+                    let mut inner = vec![self.expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        inner.push(self.expr()?);
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                    self.expect(TokenKind::RBrace)?;
+                    let inner_expr =
+                        if inner.len() == 1 { inner.pop().expect("one") } else { Expr::Concat(inner) };
+                    Ok(Expr::Replicate { count: Box::new(first), inner: Box::new(inner_expr) })
+                } else {
+                    let mut parts = vec![first];
+                    while self.eat(&TokenKind::Comma) {
+                        parts.push(self.expr()?);
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                    Ok(Expr::Concat(parts))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+
+    /// Resolves a based literal token to a [`Expr::Literal`] or, when it
+    /// contains wildcard digits, a [`Expr::MaskedLiteral`].
+    fn based_literal(&mut self, size: Option<u32>, radix: u32, body: &str) -> FrontendResult<Expr> {
+        let width = size.unwrap_or(32);
+        if width == 0 {
+            return Err(Diagnostic::new(Phase::Parse, "zero-width literal", self.prev_span()));
+        }
+        let has_wild = body.chars().any(|c| matches!(c, 'x' | 'X' | 'z' | 'Z' | '?'));
+        if !has_wild {
+            let value = Bits::from_str_radix(width, radix, body).map_err(|e| {
+                Diagnostic::new(Phase::Parse, e.to_string(), self.prev_span())
+            })?;
+            return Ok(Expr::Literal { value, sized: size.is_some() });
+        }
+        if radix == 10 {
+            return Err(Diagnostic::new(
+                Phase::Parse,
+                "wildcard digits are not allowed in decimal literals",
+                self.prev_span(),
+            ));
+        }
+        let bits_per_digit = match radix {
+            2 => 1,
+            8 => 3,
+            16 => 4,
+            _ => unreachable!(),
+        };
+        let mut value = Bits::zero(width);
+        let mut care = Bits::zero(width);
+        for c in body.chars() {
+            if c == '_' {
+                continue;
+            }
+            value = value.shl(bits_per_digit);
+            care = care.shl(bits_per_digit);
+            if matches!(c, 'x' | 'X' | 'z' | 'Z' | '?') {
+                continue; // wildcard: value 0, care 0
+            }
+            let d = c.to_digit(radix).ok_or_else(|| {
+                Diagnostic::new(
+                    Phase::Parse,
+                    format!("digit {c:?} invalid for base {radix}"),
+                    self.prev_span(),
+                )
+            })?;
+            value = value.or(&Bits::from_u64(width, d as u64));
+            care = care.or(&Bits::from_u64(width, (1u64 << bits_per_digit) - 1));
+        }
+        // Digits above the literal's width were shifted out of `care`; the
+        // remaining high bits were never written and are don't-care only if
+        // the leading digit was a wildcard. Verilog extends with the leading
+        // digit; approximate by marking unwritten high bits as care-zero.
+        let digits_width = body.chars().filter(|&c| c != '_').count() as u32 * bits_per_digit;
+        if digits_width < width {
+            let lead_wild =
+                body.chars().find(|&c| c != '_').is_some_and(|c| matches!(c, 'x' | 'X' | 'z' | 'Z' | '?'));
+            if !lead_wild {
+                for i in digits_width..width {
+                    care.set_bit(i, true);
+                }
+            }
+        } else {
+            // Literal exactly fills or overfills the width; nothing to extend.
+        }
+        Ok(Expr::MaskedLiteral { value, care })
+    }
+}

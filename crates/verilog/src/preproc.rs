@@ -1,0 +1,193 @@
+//! A minimal Verilog preprocessor: `` `define ``, `` `undef ``,
+//! `` `ifdef ``/`` `ifndef ``/`` `else ``/`` `endif ``, `` `include ``, and
+//! macro substitution (object-like macros only).
+
+use crate::source::{Diagnostic, FrontendResult, Phase, Span};
+use std::collections::BTreeMap;
+
+/// Provides the text of `` `include ``d files.
+pub trait IncludeProvider {
+    /// Returns the contents of `path`, or `None` if it does not exist.
+    fn read(&self, path: &str) -> Option<String>;
+}
+
+/// An include provider backed by an in-memory map (used by tests and the
+/// REPL, which has no filesystem notion of its own).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryIncludes {
+    files: BTreeMap<String, String>,
+}
+
+impl MemoryIncludes {
+    /// Creates an empty provider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a file.
+    pub fn insert(&mut self, path: impl Into<String>, text: impl Into<String>) {
+        self.files.insert(path.into(), text.into());
+    }
+}
+
+impl IncludeProvider for MemoryIncludes {
+    fn read(&self, path: &str) -> Option<String> {
+        self.files.get(path).cloned()
+    }
+}
+
+/// An include provider that refuses every include (default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoIncludes;
+
+impl IncludeProvider for NoIncludes {
+    fn read(&self, _path: &str) -> Option<String> {
+        None
+    }
+}
+
+/// Preprocesses `src`, expanding directives and macros.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on unbalanced conditionals, unknown directives,
+/// missing includes, or include recursion deeper than 16 levels.
+pub fn preprocess(src: &str, includes: &dyn IncludeProvider) -> FrontendResult<String> {
+    let mut defines = BTreeMap::new();
+    preprocess_with(src, includes, &mut defines, 0)
+}
+
+fn preprocess_with(
+    src: &str,
+    includes: &dyn IncludeProvider,
+    defines: &mut BTreeMap<String, String>,
+    depth: usize,
+) -> FrontendResult<String> {
+    let err =
+        |msg: String| Diagnostic::new(Phase::Preprocess, msg, Span::synthetic());
+    if depth > 16 {
+        return Err(err("include depth exceeds 16".into()));
+    }
+    let mut out = String::with_capacity(src.len());
+    // Stack of conditional states: (this branch active, any branch taken).
+    let mut conds: Vec<(bool, bool)> = Vec::new();
+    for line in src.lines() {
+        let trimmed = line.trim_start();
+        let active = conds.iter().all(|&(a, _)| a);
+        if let Some(rest) = trimmed.strip_prefix('`') {
+            let (directive, arg) =
+                rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            let arg = arg.trim();
+            match directive {
+                "define" if active => {
+                    let (name, body) =
+                        arg.split_once(char::is_whitespace).unwrap_or((arg, ""));
+                    if name.is_empty() {
+                        return Err(err("`define needs a name".into()));
+                    }
+                    defines.insert(name.to_string(), body.trim().to_string());
+                    out.push('\n');
+                    continue;
+                }
+                "undef" if active => {
+                    defines.remove(arg);
+                    out.push('\n');
+                    continue;
+                }
+                "ifdef" => {
+                    let taken = active && defines.contains_key(arg);
+                    conds.push((taken, taken));
+                    out.push('\n');
+                    continue;
+                }
+                "ifndef" => {
+                    let taken = active && !defines.contains_key(arg);
+                    conds.push((taken, taken));
+                    out.push('\n');
+                    continue;
+                }
+                "else" => {
+                    let (branch, taken) =
+                        conds.pop().ok_or_else(|| err("`else without `ifdef".into()))?;
+                    let parent_active = conds.iter().all(|&(a, _)| a);
+                    conds.push((parent_active && !taken && !branch, true));
+                    out.push('\n');
+                    continue;
+                }
+                "endif" => {
+                    conds.pop().ok_or_else(|| err("`endif without `ifdef".into()))?;
+                    out.push('\n');
+                    continue;
+                }
+                "include" if active => {
+                    let path = arg.trim_matches('"');
+                    let text = includes
+                        .read(path)
+                        .ok_or_else(|| err(format!("cannot include {path:?}")))?;
+                    out.push_str(&preprocess_with(&text, includes, defines, depth + 1)?);
+                    out.push('\n');
+                    continue;
+                }
+                "timescale" | "default_nettype" => {
+                    // Accepted and ignored: timing directives have no meaning
+                    // for Cascade's virtual-clock model.
+                    out.push('\n');
+                    continue;
+                }
+                _ if !active => {
+                    out.push('\n');
+                    continue;
+                }
+                other => {
+                    // A macro use at line start, or an unknown directive.
+                    if defines.contains_key(other) {
+                        // fall through to macro expansion below
+                    } else {
+                        return Err(err(format!("unknown directive `{other}`")));
+                    }
+                }
+            }
+        }
+        if !active {
+            out.push('\n');
+            continue;
+        }
+        out.push_str(&expand_macros(line, defines)?);
+        out.push('\n');
+    }
+    if !conds.is_empty() {
+        return Err(err("unterminated `ifdef".into()));
+    }
+    Ok(out)
+}
+
+fn expand_macros(line: &str, defines: &BTreeMap<String, String>) -> FrontendResult<String> {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.char_indices().peekable();
+    while let Some((_, c)) = chars.next() {
+        if c != '`' {
+            out.push(c);
+            continue;
+        }
+        let mut name = String::new();
+        while let Some(&(_, nc)) = chars.peek() {
+            if nc.is_ascii_alphanumeric() || nc == '_' {
+                name.push(nc);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        match defines.get(&name) {
+            Some(body) => out.push_str(body),
+            None => {
+                return Err(Diagnostic::new(
+                    Phase::Preprocess,
+                    format!("undefined macro `{name}`"),
+                    Span::synthetic(),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,469 @@
+//! Pretty-printer: AST back to Verilog source.
+//!
+//! Used to emit the transformed subprograms that hardware engines hand to
+//! the (virtual) toolchain, and to round-trip programs in tests.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a source unit as Verilog text.
+pub fn print_unit(unit: &SourceUnit) -> String {
+    let mut p = Printer::default();
+    for item in &unit.items {
+        match item {
+            Item::Module(m) => p.module(m),
+            Item::RootItem(mi) => p.module_item(mi),
+        }
+    }
+    p.out
+}
+
+/// Renders a single module.
+pub fn print_module(module: &Module) -> String {
+    let mut p = Printer::default();
+    p.module(module);
+    p.out
+}
+
+/// Renders a single statement.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::default();
+    p.stmt(stmt);
+    p.out
+}
+
+/// Renders a single expression.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(expr);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn open(&mut self, text: &str) {
+        self.line(text);
+        self.indent += 1;
+    }
+
+    fn close(&mut self, text: &str) {
+        self.indent = self.indent.saturating_sub(1);
+        self.line(text);
+    }
+
+    fn module(&mut self, m: &Module) {
+        let mut header = format!("module {}", m.name);
+        if !m.params.is_empty() {
+            header.push_str(" #(");
+            for (i, p) in m.params.iter().enumerate() {
+                if i > 0 {
+                    header.push_str(", ");
+                }
+                write!(header, "parameter {} = {}", p.name, print_expr(&p.value))
+                    .expect("write to string");
+            }
+            header.push(')');
+        }
+        if m.ports.is_empty() {
+            header.push_str("();");
+            self.open(&header);
+        } else {
+            header.push('(');
+            self.open(&header);
+            for (i, port) in m.ports.iter().enumerate() {
+                let dir = match port.dir {
+                    PortDir::Input => "input",
+                    PortDir::Output => "output",
+                    PortDir::Inout => "inout",
+                };
+                let kind = if port.is_reg { " reg" } else { " wire" };
+                let signed = if port.signed { " signed" } else { "" };
+                let range = port.range.as_ref().map(|r| self.range(r)).unwrap_or_default();
+                let comma = if i + 1 < m.ports.len() { "," } else { "" };
+                self.line(&format!("{dir}{kind}{signed}{range} {}{comma}", port.name));
+            }
+            self.close(");");
+            self.indent += 1;
+        }
+        for item in &m.items {
+            self.module_item(item);
+        }
+        self.close("endmodule");
+    }
+
+    fn range(&self, r: &Range) -> String {
+        format!(" [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb))
+    }
+
+    fn module_item(&mut self, item: &ModuleItem) {
+        match item {
+            ModuleItem::Genvar(names) => {
+                self.line(&format!("genvar {};", names.join(", ")));
+            }
+            ModuleItem::GenerateFor(g) => {
+                self.open("generate");
+                let label = g.label.as_deref().map(|l| format!(" : {l}")).unwrap_or_default();
+                self.open(&format!(
+                    "for ({gv} = {init}; {cond}; {gv} = {step}) begin{label}",
+                    gv = g.genvar,
+                    init = print_expr(&g.init),
+                    cond = print_expr(&g.cond),
+                    step = print_expr(&g.step),
+                ));
+                for it in &g.items {
+                    self.module_item(it);
+                }
+                self.close("end");
+                self.close("endgenerate");
+            }
+            ModuleItem::Function(f) => {
+                let range = f.range.as_ref().map(|r| self.range(r)).unwrap_or_default();
+                let signed = if f.signed { " signed" } else { "" };
+                self.open(&format!("function{signed}{range} {};", f.name));
+                for (name, r, s) in &f.inputs {
+                    let rng = r.as_ref().map(|r| self.range(r)).unwrap_or_default();
+                    let sg = if *s { " signed" } else { "" };
+                    self.line(&format!("input{sg}{rng} {name};"));
+                }
+                let locals: Vec<ModuleItem> =
+                    f.locals.iter().cloned().map(ModuleItem::Net).collect();
+                for l in &locals {
+                    self.module_item(l);
+                }
+                self.stmt(&f.body);
+                self.close("endfunction");
+            }
+            ModuleItem::Net(d) => {
+                let kind = match d.kind {
+                    NetKind::Wire => "wire",
+                    NetKind::Reg => "reg",
+                    NetKind::Integer => "integer",
+                };
+                let signed = if d.signed && d.kind != NetKind::Integer { " signed" } else { "" };
+                let range = d.range.as_ref().map(|r| self.range(r)).unwrap_or_default();
+                let decls = d
+                    .decls
+                    .iter()
+                    .map(|decl| {
+                        let mut s = decl.name.clone();
+                        if let Some(arr) = &decl.array {
+                            s.push_str(&self.range(arr));
+                        }
+                        if let Some(init) = &decl.init {
+                            write!(s, " = {}", print_expr(init)).expect("write to string");
+                        }
+                        s
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                self.line(&format!("{kind}{signed}{range} {decls};"));
+            }
+            ModuleItem::Param(p) => {
+                let kw = if p.local { "localparam" } else { "parameter" };
+                let range = p.range.as_ref().map(|r| self.range(r)).unwrap_or_default();
+                self.line(&format!("{kw}{range} {} = {};", p.name, print_expr(&p.value)));
+            }
+            ModuleItem::Assign(a) => {
+                self.line(&format!("assign {} = {};", self.lvalue(&a.lhs), print_expr(&a.rhs)));
+            }
+            ModuleItem::Always(a) => {
+                let sens = match &a.sensitivity {
+                    Sensitivity::Star => "*".to_string(),
+                    Sensitivity::List(items) => {
+                        let parts = items
+                            .iter()
+                            .map(|item| {
+                                let edge = match item.edge {
+                                    Some(Edge::Pos) => "posedge ",
+                                    Some(Edge::Neg) => "negedge ",
+                                    None => "",
+                                };
+                                format!("{edge}{}", print_expr(&item.expr))
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" or ");
+                        format!("({parts})")
+                    }
+                };
+                self.open(&format!("always @{sens}"));
+                self.stmt(&a.body);
+                self.indent -= 1;
+            }
+            ModuleItem::Initial(i) => {
+                self.open("initial");
+                self.stmt(&i.body);
+                self.indent -= 1;
+            }
+            ModuleItem::Instance(inst) => {
+                let mut s = inst.module.clone();
+                if !inst.params.is_empty() {
+                    write!(s, " #({})", self.connections(&inst.params)).expect("write to string");
+                }
+                write!(s, " {}({});", inst.name, self.connections(&inst.ports))
+                    .expect("write to string");
+                self.line(&s);
+            }
+            ModuleItem::Statement(stmt) => self.stmt(stmt),
+        }
+    }
+
+    fn connections(&self, conns: &[Connection]) -> String {
+        conns
+            .iter()
+            .map(|c| match (&c.name, &c.expr) {
+                (Some(n), Some(e)) => format!(".{n}({})", print_expr(e)),
+                (Some(n), None) => format!(".{n}()"),
+                (None, Some(e)) => print_expr(e),
+                (None, None) => String::new(),
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Block { name, stmts } => {
+                match name {
+                    Some(n) => self.open(&format!("begin : {n}")),
+                    None => self.open("begin"),
+                }
+                for st in stmts {
+                    self.stmt(st);
+                }
+                self.close("end");
+            }
+            Stmt::Blocking { lhs, rhs, .. } => {
+                self.line(&format!("{} = {};", self.lvalue(lhs), print_expr(rhs)));
+            }
+            Stmt::NonBlocking { lhs, rhs, .. } => {
+                self.line(&format!("{} <= {};", self.lvalue(lhs), print_expr(rhs)));
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.open(&format!("if ({})", print_expr(cond)));
+                self.stmt(then_branch);
+                self.indent -= 1;
+                if let Some(e) = else_branch {
+                    self.open("else");
+                    self.stmt(e);
+                    self.indent -= 1;
+                }
+            }
+            Stmt::Case { kind, scrutinee, arms, default, .. } => {
+                let kw = match kind {
+                    CaseKind::Case => "case",
+                    CaseKind::Casez => "casez",
+                    CaseKind::Casex => "casex",
+                };
+                self.open(&format!("{kw} ({})", print_expr(scrutinee)));
+                for arm in arms {
+                    let labels = arm
+                        .labels
+                        .iter()
+                        .map(print_expr)
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    self.open(&format!("{labels}:"));
+                    self.stmt(&arm.body);
+                    self.indent -= 1;
+                }
+                if let Some(d) = default {
+                    self.open("default:");
+                    self.stmt(d);
+                    self.indent -= 1;
+                }
+                self.close("endcase");
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                let init_s = self.inline_assign(init);
+                let step_s = self.inline_assign(step);
+                self.open(&format!("for ({init_s}; {}; {step_s})", print_expr(cond)));
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            Stmt::While { cond, body, .. } => {
+                self.open(&format!("while ({})", print_expr(cond)));
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            Stmt::Repeat { count, body, .. } => {
+                self.open(&format!("repeat ({})", print_expr(count)));
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            Stmt::Forever { body, .. } => {
+                self.open("forever");
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            Stmt::SystemTask { task, args, .. } => {
+                if args.is_empty() {
+                    self.line(&format!("{};", task.as_str()));
+                } else {
+                    let args_s = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+                    self.line(&format!("{}({args_s});", task.as_str()));
+                }
+            }
+            Stmt::Null => self.line(";"),
+        }
+    }
+
+    fn inline_assign(&self, s: &Stmt) -> String {
+        match s {
+            Stmt::Blocking { lhs, rhs, .. } => {
+                format!("{} = {}", self.lvalue(lhs), print_expr(rhs))
+            }
+            Stmt::NonBlocking { lhs, rhs, .. } => {
+                format!("{} <= {}", self.lvalue(lhs), print_expr(rhs))
+            }
+            other => print_stmt(other).trim().to_string(),
+        }
+    }
+
+    fn lvalue(&self, lv: &LValue) -> String {
+        match lv {
+            LValue::Ident(n) => n.clone(),
+            LValue::Hier(path) => path.join("."),
+            LValue::Index { base, index } => format!("{base}[{}]", print_expr(index)),
+            LValue::Part { base, msb, lsb } => {
+                format!("{base}[{}:{}]", print_expr(msb), print_expr(lsb))
+            }
+            LValue::IndexedPart { base, offset, width, ascending } => {
+                let op = if *ascending { "+:" } else { "-:" };
+                format!("{base}[{} {op} {}]", print_expr(offset), print_expr(width))
+            }
+            LValue::Concat(parts) => {
+                let inner =
+                    parts.iter().map(|p| self.lvalue(p)).collect::<Vec<_>>().join(", ");
+                format!("{{{inner}}}")
+            }
+            LValue::IndexThenPart { base, index, msb, lsb } => format!(
+                "{base}[{}][{}:{}]",
+                print_expr(index),
+                print_expr(msb),
+                print_expr(lsb)
+            ),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        let s = render_expr(e);
+        self.out.push_str(&s);
+    }
+}
+
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal { value, sized } => {
+            if *sized {
+                format!("{}'h{}", value.width(), value.to_hex_string())
+            } else {
+                value.to_decimal_string()
+            }
+        }
+        Expr::MaskedLiteral { value, care } => {
+            let w = value.width();
+            let mut s = format!("{w}'b");
+            for i in (0..w).rev() {
+                if care.bit(i) {
+                    s.push(if value.bit(i) { '1' } else { '0' });
+                } else {
+                    s.push('?');
+                }
+            }
+            s
+        }
+        Expr::Str(text) => format!("\"{}\"", text.replace('\\', "\\\\").replace('"', "\\\"")),
+        Expr::Ident(n) => n.clone(),
+        Expr::Hier(path) => path.join("."),
+        Expr::Unary { op, operand } => {
+            let op_s = match op {
+                UnaryOp::Plus => "+",
+                UnaryOp::Neg => "-",
+                UnaryOp::LogicalNot => "!",
+                UnaryOp::BitNot => "~",
+                UnaryOp::ReduceAnd => "&",
+                UnaryOp::ReduceOr => "|",
+                UnaryOp::ReduceXor => "^",
+                UnaryOp::ReduceNand => "~&",
+                UnaryOp::ReduceNor => "~|",
+                UnaryOp::ReduceXnor => "~^",
+            };
+            format!("{op_s}({})", render_expr(operand))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let op_s = match op {
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::Div => "/",
+                BinaryOp::Rem => "%",
+                BinaryOp::Pow => "**",
+                BinaryOp::And => "&",
+                BinaryOp::Or => "|",
+                BinaryOp::Xor => "^",
+                BinaryOp::Xnor => "~^",
+                BinaryOp::LogicalAnd => "&&",
+                BinaryOp::LogicalOr => "||",
+                BinaryOp::Eq => "==",
+                BinaryOp::Ne => "!=",
+                BinaryOp::CaseEq => "===",
+                BinaryOp::CaseNe => "!==",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+                BinaryOp::Shl => "<<",
+                BinaryOp::Shr => ">>",
+                BinaryOp::AShl => "<<<",
+                BinaryOp::AShr => ">>>",
+            };
+            format!("({} {op_s} {})", render_expr(lhs), render_expr(rhs))
+        }
+        Expr::Ternary { cond, then_expr, else_expr } => format!(
+            "({} ? {} : {})",
+            render_expr(cond),
+            render_expr(then_expr),
+            render_expr(else_expr)
+        ),
+        Expr::Index { base, index } => format!("{}[{}]", render_expr(base), render_expr(index)),
+        Expr::Part { base, msb, lsb } => {
+            format!("{}[{}:{}]", render_expr(base), render_expr(msb), render_expr(lsb))
+        }
+        Expr::IndexedPart { base, offset, width, ascending } => {
+            let op = if *ascending { "+:" } else { "-:" };
+            format!("{}[{} {op} {}]", render_expr(base), render_expr(offset), render_expr(width))
+        }
+        Expr::Concat(parts) => {
+            let inner = parts.iter().map(render_expr).collect::<Vec<_>>().join(", ");
+            format!("{{{inner}}}")
+        }
+        Expr::Replicate { count, inner } => {
+            format!("{{{}{{{}}}}}", render_expr(count), render_expr(inner))
+        }
+        Expr::FnCall { name, args } => {
+            let args_s = args.iter().map(render_expr).collect::<Vec<_>>().join(", ");
+            format!("{name}({args_s})")
+        }
+        Expr::SystemCall { func, args } => {
+            if args.is_empty() {
+                func.as_str().to_string()
+            } else {
+                let args_s = args.iter().map(render_expr).collect::<Vec<_>>().join(", ");
+                format!("{}({args_s})", func.as_str())
+            }
+        }
+    }
+}

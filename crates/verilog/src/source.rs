@@ -1,0 +1,112 @@
+//! Source positions and diagnostics shared by the lexer, parser, and
+//! type checker.
+
+use std::error::Error;
+use std::fmt;
+
+/// A half-open byte range into a source buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// A zero-length span, used for synthesized nodes.
+    pub fn synthetic() -> Span {
+        Span::default()
+    }
+}
+
+/// Line/column location (1-based) resolved from a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Resolves the 1-based line/column of a byte offset within `text`.
+pub fn line_col(text: &str, offset: u32) -> LineCol {
+    let offset = (offset as usize).min(text.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in text.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+/// The phase of the frontend that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Preprocess,
+    Lex,
+    Parse,
+    Typecheck,
+    Elaborate,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Preprocess => "preprocess",
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Typecheck => "typecheck",
+            Phase::Elaborate => "elaborate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A frontend diagnostic: phase, message, and source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub phase: Phase,
+    pub message: String,
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic for the given phase.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { phase, message: message.into(), span }
+    }
+
+    /// Renders with line/column resolved against the original source text.
+    pub fn render(&self, source: &str) -> String {
+        let lc = line_col(source, self.span.start);
+        format!("{}:{}: {} error: {}", lc.line, lc.col, self.phase, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {} (at byte {})", self.phase, self.message, self.span.start)
+    }
+}
+
+impl Error for Diagnostic {}
+
+/// Result alias for frontend passes.
+pub type FrontendResult<T> = Result<T, Diagnostic>;

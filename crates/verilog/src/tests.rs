@@ -1,0 +1,898 @@
+use crate::analysis::{self, SourceStats, UnsynthesizableReason};
+use crate::ast::*;
+use crate::preproc::{preprocess, MemoryIncludes, NoIncludes};
+use crate::pretty;
+use crate::typecheck::{check_module, clog2, const_eval, ModuleLibrary, ParamEnv};
+use crate::{lex, parse, parse_expr, parse_stmt, TokenKind};
+use cascade_bits::Bits;
+
+/// The paper's Fig. 1 running example, verbatim modulo comments.
+pub const RUNNING_EXAMPLE: &str = r#"
+module Rol(
+  input wire [7:0] x,
+  output wire [7:0] y
+);
+  assign y = (x == 8'h80) ? 1 : (x<<1);
+endmodule
+
+module Main(
+  input wire clk,
+  input wire [3:0] pad,
+  output wire [7:0] led
+);
+  reg [7:0] cnt = 1;
+  Rol r(.x(cnt));
+  always @(posedge clk)
+    if (pad == 0)
+      cnt <= r.y;
+    else begin
+      $display(cnt);
+      $finish;
+    end
+  assign led = cnt;
+endmodule
+"#;
+
+fn first_module(src: &str) -> Module {
+    let unit = parse(src).expect("parse");
+    unit.items
+        .into_iter()
+        .find_map(|i| match i {
+            Item::Module(m) => Some(m),
+            _ => None,
+        })
+        .expect("has module")
+}
+
+fn modules(src: &str) -> Vec<Module> {
+    parse(src)
+        .expect("parse")
+        .items
+        .into_iter()
+        .filter_map(|i| match i {
+            Item::Module(m) => Some(m),
+            _ => None,
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------------
+
+#[test]
+fn lex_basic_tokens() {
+    let toks = lex("module x; endmodule").unwrap();
+    assert!(matches!(toks[0].kind, TokenKind::Keyword(crate::Keyword::Module)));
+    assert!(matches!(toks.last().unwrap().kind, TokenKind::Eof));
+}
+
+#[test]
+fn lex_numbers() {
+    let toks = lex("42 8'hff 4'b1010 'd9 16 'h dead").unwrap();
+    assert!(matches!(toks[0].kind, TokenKind::Decimal(42)));
+    assert!(
+        matches!(&toks[1].kind, TokenKind::Number { size: Some(8), radix: 16, body } if body == "ff")
+    );
+    assert!(
+        matches!(&toks[2].kind, TokenKind::Number { size: Some(4), radix: 2, body } if body == "1010")
+    );
+    assert!(matches!(&toks[3].kind, TokenKind::Number { size: None, radix: 10, .. }));
+}
+
+#[test]
+fn lex_number_with_space_before_tick() {
+    let toks = lex("8 'hff").unwrap();
+    assert!(matches!(&toks[0].kind, TokenKind::Number { size: Some(8), radix: 16, .. }));
+}
+
+#[test]
+fn lex_operators() {
+    let toks = lex("<<< >>> << >> <= >= == != === !== && || ~^ ~& ~| +: -: **").unwrap();
+    let kinds: Vec<_> = toks.iter().map(|t| &t.kind).collect();
+    assert!(matches!(kinds[0], TokenKind::AShl));
+    assert!(matches!(kinds[1], TokenKind::AShr));
+    assert!(matches!(kinds[2], TokenKind::Shl));
+    assert!(matches!(kinds[3], TokenKind::Shr));
+    assert!(matches!(kinds[4], TokenKind::LtEq));
+    assert!(matches!(kinds[5], TokenKind::GtEq));
+    assert!(matches!(kinds[6], TokenKind::EqEq));
+    assert!(matches!(kinds[7], TokenKind::BangEq));
+    assert!(matches!(kinds[8], TokenKind::EqEqEq));
+    assert!(matches!(kinds[9], TokenKind::BangEqEq));
+    assert!(matches!(kinds[10], TokenKind::AmpAmp));
+    assert!(matches!(kinds[11], TokenKind::PipePipe));
+    assert!(matches!(kinds[12], TokenKind::TildeCaret));
+}
+
+#[test]
+fn lex_comments_and_attributes() {
+    let toks = lex("a // line\n /* block\nmore */ b (* attr = 1 *) c").unwrap();
+    let idents: Vec<_> = toks
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokenKind::Ident(n) => Some(n.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(idents, vec!["a", "b", "c"]);
+}
+
+#[test]
+fn lex_strings() {
+    let toks = lex(r#""hello\nworld" "q\"uote""#).unwrap();
+    assert!(matches!(&toks[0].kind, TokenKind::Str(s) if s == "hello\nworld"));
+    assert!(matches!(&toks[1].kind, TokenKind::Str(s) if s == "q\"uote"));
+}
+
+#[test]
+fn lex_errors() {
+    assert!(lex("/* unterminated").is_err());
+    assert!(lex("\"unterminated").is_err());
+    assert!(lex("8'q7").is_err());
+    assert!(lex("@@ §").is_err());
+}
+
+#[test]
+fn lex_escaped_ident() {
+    let toks = lex(r"\foo+bar x").unwrap();
+    assert!(matches!(&toks[0].kind, TokenKind::Ident(n) if n == "foo+bar"));
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+#[test]
+fn parse_running_example() {
+    let unit = parse(RUNNING_EXAMPLE).unwrap();
+    assert_eq!(unit.items.len(), 2);
+    let mods = modules(RUNNING_EXAMPLE);
+    assert_eq!(mods[0].name, "Rol");
+    assert_eq!(mods[1].name, "Main");
+    assert_eq!(mods[1].ports.len(), 3);
+    // Main contains: net, instance, always, assign
+    assert_eq!(mods[1].items.len(), 4);
+}
+
+#[test]
+fn parse_parameters() {
+    let m = first_module(
+        "module Pad #(parameter N = 4, parameter W = 2*N)(output wire [N-1:0] val); endmodule",
+    );
+    assert_eq!(m.params.len(), 2);
+    assert_eq!(m.params[1].name, "W");
+}
+
+#[test]
+fn parse_localparam_and_integer() {
+    let m = first_module(
+        "module T; localparam W = 8; integer i; reg [W-1:0] x; endmodule",
+    );
+    assert_eq!(m.items.len(), 3);
+    assert!(matches!(
+        &m.items[1],
+        ModuleItem::Net(NetDecl { kind: NetKind::Integer, .. })
+    ));
+}
+
+#[test]
+fn parse_memory_decl() {
+    let m = first_module("module T; reg [31:0] mem [0:255]; endmodule");
+    let ModuleItem::Net(d) = &m.items[0] else { panic!() };
+    assert!(d.decls[0].array.is_some());
+}
+
+#[test]
+fn parse_multi_declarator() {
+    let m = first_module("module T; wire [3:0] a, b = 4'h7, c; endmodule");
+    let ModuleItem::Net(d) = &m.items[0] else { panic!() };
+    assert_eq!(d.decls.len(), 3);
+    assert!(d.decls[1].init.is_some());
+}
+
+#[test]
+fn parse_always_variants() {
+    let m = first_module(
+        "module T(input wire clk, input wire rst);\n\
+         reg a; reg b;\n\
+         always @(posedge clk or negedge rst) a <= 1;\n\
+         always @(*) b = a;\n\
+         always @* b = a;\n\
+         endmodule",
+    );
+    let sens: Vec<_> = m
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            ModuleItem::Always(a) => Some(&a.sensitivity),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sens.len(), 3);
+    assert!(matches!(sens[0], Sensitivity::List(items) if items.len() == 2));
+    assert!(matches!(sens[1], Sensitivity::Star));
+    assert!(matches!(sens[2], Sensitivity::Star));
+}
+
+#[test]
+fn parse_case_statement() {
+    let s = parse_stmt(
+        "case (x)\n 2'b00: y = 1;\n 2'b01, 2'b10: y = 2;\n default: y = 3;\n endcase",
+    )
+    .unwrap();
+    let Stmt::Case { arms, default, kind, .. } = s else { panic!() };
+    assert_eq!(kind, CaseKind::Case);
+    assert_eq!(arms.len(), 2);
+    assert_eq!(arms[1].labels.len(), 2);
+    assert!(default.is_some());
+}
+
+#[test]
+fn parse_casez_wildcards() {
+    let s = parse_stmt("casez (x) 4'b1???: y = 1; endcase").unwrap();
+    let Stmt::Case { arms, .. } = s else { panic!() };
+    let Expr::MaskedLiteral { value, care } = &arms[0].labels[0] else {
+        panic!("expected masked literal, got {:?}", arms[0].labels[0]);
+    };
+    assert_eq!(value.to_u64(), 0b1000);
+    assert_eq!(care.to_u64(), 0b1000);
+}
+
+#[test]
+fn parse_for_loop() {
+    let s = parse_stmt("for (i = 0; i < 8; i = i + 1) mem[i] <= 0;").unwrap();
+    assert!(matches!(s, Stmt::For { .. }));
+}
+
+#[test]
+fn parse_system_tasks() {
+    let s = parse_stmt("$display(\"%d %h\", a, b);").unwrap();
+    let Stmt::SystemTask { task, args, .. } = s else { panic!() };
+    assert_eq!(task, SystemTask::Display);
+    assert_eq!(args.len(), 3);
+    assert!(parse_stmt("$finish;").is_ok());
+    assert!(parse_stmt("$bogus;").is_err());
+}
+
+#[test]
+fn parse_instances() {
+    let m = first_module(
+        "module T;\nwire [7:0] c;\nRol r(.x(c));\nAdder #(8) a1(c, c);\nFifo #(.W(8), .D(16)) f(.in(c), .out());\nendmodule",
+    );
+    let insts: Vec<_> = m
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            ModuleItem::Instance(inst) => Some(inst),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(insts.len(), 3);
+    assert_eq!(insts[0].ports[0].name.as_deref(), Some("x"));
+    assert_eq!(insts[1].params.len(), 1);
+    assert!(insts[1].ports[0].name.is_none());
+    assert_eq!(insts[2].params[1].name.as_deref(), Some("D"));
+    assert!(insts[2].ports[1].expr.is_none());
+}
+
+#[test]
+fn parse_expressions() {
+    // Precedence: a + b * c == a + (b * c)
+    let e = parse_expr("a + b * c").unwrap();
+    let Expr::Binary { op: BinaryOp::Add, rhs, .. } = e else { panic!() };
+    assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+
+    // Right-associative power.
+    let e = parse_expr("a ** b ** c").unwrap();
+    let Expr::Binary { op: BinaryOp::Pow, rhs, .. } = e else { panic!() };
+    assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::Pow, .. }));
+
+    // Ternary chains.
+    let e = parse_expr("a ? b : c ? d : e").unwrap();
+    let Expr::Ternary { else_expr, .. } = e else { panic!() };
+    assert!(matches!(*else_expr, Expr::Ternary { .. }));
+
+    // Concatenation & replication.
+    let e = parse_expr("{a, 2'b01, {4{b}}}").unwrap();
+    let Expr::Concat(parts) = e else { panic!() };
+    assert_eq!(parts.len(), 3);
+    assert!(matches!(parts[2], Expr::Replicate { .. }));
+
+    // Part selects.
+    assert!(matches!(parse_expr("x[7:0]").unwrap(), Expr::Part { .. }));
+    assert!(matches!(
+        parse_expr("x[i +: 8]").unwrap(),
+        Expr::IndexedPart { ascending: true, .. }
+    ));
+    assert!(matches!(
+        parse_expr("x[i -: 8]").unwrap(),
+        Expr::IndexedPart { ascending: false, .. }
+    ));
+
+    // Hierarchical names.
+    assert!(matches!(parse_expr("r.y").unwrap(), Expr::Hier(p) if p.len() == 2));
+
+    // Reduction vs binary operators.
+    let e = parse_expr("a & &b").unwrap();
+    let Expr::Binary { op: BinaryOp::And, rhs, .. } = e else { panic!() };
+    assert!(matches!(*rhs, Expr::Unary { op: UnaryOp::ReduceAnd, .. }));
+
+    // Reduction nand.
+    assert!(matches!(
+        parse_expr("~&x").unwrap(),
+        Expr::Unary { op: UnaryOp::ReduceNand, .. }
+    ));
+}
+
+#[test]
+fn parse_lvalues() {
+    assert!(matches!(
+        parse_stmt("x = 1;").unwrap(),
+        Stmt::Blocking { lhs: LValue::Ident(_), .. }
+    ));
+    assert!(matches!(
+        parse_stmt("x[3] <= 1;").unwrap(),
+        Stmt::NonBlocking { lhs: LValue::Index { .. }, .. }
+    ));
+    assert!(matches!(
+        parse_stmt("x[7:4] = 1;").unwrap(),
+        Stmt::Blocking { lhs: LValue::Part { .. }, .. }
+    ));
+    assert!(matches!(
+        parse_stmt("{c, s} = a + b;").unwrap(),
+        Stmt::Blocking { lhs: LValue::Concat(_), .. }
+    ));
+    assert!(matches!(
+        parse_stmt("mem[i][7:0] <= 0;").unwrap(),
+        Stmt::NonBlocking { lhs: LValue::IndexThenPart { .. }, .. }
+    ));
+    assert!(matches!(
+        parse_stmt("x[i +: 4] = 0;").unwrap(),
+        Stmt::Blocking { lhs: LValue::IndexedPart { .. }, .. }
+    ));
+}
+
+#[test]
+fn parse_root_items_for_repl() {
+    let unit = parse("reg [7:0] cnt = 1;\nRol r(.x(cnt));\ncnt <= r.y;").unwrap();
+    assert_eq!(unit.items.len(), 3);
+    assert!(matches!(&unit.items[0], Item::RootItem(ModuleItem::Net(_))));
+    assert!(matches!(&unit.items[1], Item::RootItem(ModuleItem::Instance(_))));
+    assert!(matches!(&unit.items[2], Item::RootItem(ModuleItem::Statement(_))));
+}
+
+#[test]
+fn parse_errors() {
+    assert!(parse("module M; wire x").is_err()); // missing ; and endmodule
+    assert!(parse("module M(input wire x,); endmodule").is_err());
+    assert!(parse_expr("a +").is_err());
+    assert!(parse_expr("(a").is_err());
+    assert!(parse_stmt("x = ;").is_err());
+    assert!(parse_stmt("if (a) x = 1; else").is_err());
+    assert!(parse("module ; endmodule").is_err());
+}
+
+#[test]
+fn parse_error_reports_position() {
+    let err = parse("module M;\n  wire 42;\nendmodule").unwrap_err();
+    let rendered = err.render("module M;\n  wire 42;\nendmodule");
+    assert!(rendered.contains("2:"), "got {rendered}");
+}
+
+// ----------------------------------------------------------------------
+// Pretty printer round trip
+// ----------------------------------------------------------------------
+
+#[test]
+fn pretty_round_trip_running_example() {
+    let unit = parse(RUNNING_EXAMPLE).unwrap();
+    let printed = pretty::print_unit(&unit);
+    let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+    let printed2 = pretty::print_unit(&reparsed);
+    assert_eq!(printed, printed2, "pretty print not a fixpoint");
+}
+
+#[test]
+fn pretty_round_trip_constructs() {
+    let src = "module T #(parameter W = 8)(input wire clk, input wire signed [W-1:0] a, output reg [W-1:0] q);\n\
+        localparam D = W * 2;\n\
+        reg [W-1:0] mem [0:15];\n\
+        integer i;\n\
+        wire [D-1:0] wide = {a, a};\n\
+        always @(posedge clk) begin : blk\n\
+          casez (a)\n\
+            8'b1???_????: q <= ~a;\n\
+            default: q <= a ^ {W{1'b1}};\n\
+          endcase\n\
+          for (i = 0; i < 16; i = i + 1) mem[i] <= mem[i] + 1;\n\
+          if (a[3] || a[0 +: 2] == 2'b11) q[7:4] <= a[W-1 -: 4];\n\
+          else repeat (3) q <= q <<< 1;\n\
+          while (0) q <= $random;\n\
+          $display(\"%d\", $time);\n\
+        end\n\
+        initial q = 0;\n\
+        endmodule";
+    let unit = parse(src).unwrap();
+    let printed = pretty::print_unit(&unit);
+    let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+    assert_eq!(pretty::print_unit(&reparsed), printed);
+}
+
+// ----------------------------------------------------------------------
+// Const eval
+// ----------------------------------------------------------------------
+
+#[test]
+fn const_eval_arithmetic() {
+    let env = ParamEnv::from([("N".to_string(), Bits::from_u64(32, 8))]);
+    let cases = [
+        ("N * 2 - 1", 15),
+        ("1 << N", 256),
+        ("N == 8 ? 100 : 200", 100),
+        ("$clog2(N)", 3),
+        ("$clog2(N + 1)", 4),
+        ("{N[1:0], 2'b11}", 0b0011),
+        ("(N > 4) && (N < 16)", 1),
+    ];
+    for (src, expect) in cases {
+        let e = parse_expr(src).unwrap();
+        assert_eq!(const_eval(&e, &env).unwrap().to_u64(), expect, "{src}");
+    }
+}
+
+#[test]
+fn const_eval_rejects_runtime() {
+    let env = ParamEnv::new();
+    assert!(const_eval(&parse_expr("$time").unwrap(), &env).is_err());
+    assert!(const_eval(&parse_expr("x + 1").unwrap(), &env).is_err());
+    assert!(const_eval(&parse_expr("r.y").unwrap(), &env).is_err());
+}
+
+#[test]
+fn clog2_values() {
+    assert_eq!(clog2(&Bits::from_u64(32, 0)), 0);
+    assert_eq!(clog2(&Bits::from_u64(32, 1)), 0);
+    assert_eq!(clog2(&Bits::from_u64(32, 2)), 1);
+    assert_eq!(clog2(&Bits::from_u64(32, 3)), 2);
+    assert_eq!(clog2(&Bits::from_u64(32, 255)), 8);
+    assert_eq!(clog2(&Bits::from_u64(32, 256)), 8);
+    assert_eq!(clog2(&Bits::from_u64(32, 257)), 9);
+}
+
+// ----------------------------------------------------------------------
+// Typecheck
+// ----------------------------------------------------------------------
+
+fn lib_of(src: &str) -> ModuleLibrary {
+    let mut lib = ModuleLibrary::new();
+    for m in modules(src) {
+        lib.insert(m);
+    }
+    lib
+}
+
+#[test]
+fn typecheck_running_example() {
+    let lib = lib_of(RUNNING_EXAMPLE);
+    let main = lib.get("Main").unwrap().clone();
+    let checked = check_module(&main, &ParamEnv::new(), &lib).unwrap();
+    assert_eq!(checked.symbol("cnt").unwrap().width(), 8);
+    assert_eq!(checked.symbol("pad").unwrap().width(), 4);
+    assert_eq!(checked.instances.len(), 1);
+    assert_eq!(checked.instances[0].module_name, "Rol");
+    assert_eq!(checked.instances[0].connections[0].0, "x");
+}
+
+#[test]
+fn typecheck_parameter_resolution() {
+    let lib = lib_of("module P #(parameter N = 4, parameter M = N * 2)(output wire [M-1:0] o); endmodule");
+    let m = lib.get("P").unwrap().clone();
+    let checked = check_module(&m, &ParamEnv::new(), &lib).unwrap();
+    assert_eq!(checked.symbol("o").unwrap().width(), 8);
+    // Override N; M derives from the default expression unless overridden.
+    let overrides = ParamEnv::from([("N".to_string(), Bits::from_u64(32, 8))]);
+    let checked = check_module(&m, &overrides, &lib).unwrap();
+    assert_eq!(checked.symbol("o").unwrap().width(), 16);
+}
+
+#[test]
+fn typecheck_rejects_bad_programs() {
+    let lib = ModuleLibrary::new();
+    let bad = [
+        "module T; wire x; wire x; endmodule",                        // duplicate
+        "module T; assign y = 1; endmodule",                          // undeclared lhs
+        "module T; wire y; assign y = z; endmodule",                  // undeclared rhs
+        "module T; reg r; assign r = 1; endmodule",                   // assign to reg
+        "module T(input wire clk); wire w; always @(posedge clk) w <= 1; endmodule", // proc to wire
+        "module T(input wire i); assign i = 1; endmodule",            // assign to input
+        "module T; Unknown u(); endmodule",                           // unknown module
+        "module T; wire w; assign w = r.y; endmodule",                // unknown instance
+    ];
+    for src in bad {
+        let m = first_module(src);
+        assert!(
+            check_module(&m, &ParamEnv::new(), &lib).is_err(),
+            "expected rejection: {src}"
+        );
+    }
+}
+
+#[test]
+fn typecheck_instance_connections() {
+    let lib = lib_of(
+        "module Sub(input wire a, output wire b); assign b = a; endmodule\n\
+         module T; wire x; wire y; Sub s(.a(x), .b(y)); endmodule",
+    );
+    let t = lib.get("T").unwrap().clone();
+    assert!(check_module(&t, &ParamEnv::new(), &lib).is_ok());
+
+    let lib2 = lib_of(
+        "module Sub(input wire a); endmodule\n\
+         module T; wire x; Sub s(.bogus(x)); endmodule",
+    );
+    let t2 = lib2.get("T").unwrap().clone();
+    assert!(check_module(&t2, &ParamEnv::new(), &lib2).is_err());
+
+    let lib3 = lib_of(
+        "module Sub(input wire a); endmodule\n\
+         module T; wire x; wire z; Sub s(x, z); endmodule",
+    );
+    let t3 = lib3.get("T").unwrap().clone();
+    assert!(check_module(&t3, &ParamEnv::new(), &lib3).is_err(), "too many positional");
+}
+
+#[test]
+fn symbol_bit_offsets() {
+    let lib = lib_of("module T; wire [7:0] d; wire [0:7] a; reg [15:8] h; endmodule");
+    let m = lib.get("T").unwrap().clone();
+    let checked = check_module(&m, &ParamEnv::new(), &lib).unwrap();
+    let d = checked.symbol("d").unwrap();
+    assert_eq!(d.bit_offset(0), Some(0));
+    assert_eq!(d.bit_offset(7), Some(7));
+    assert_eq!(d.bit_offset(8), None);
+    let a = checked.symbol("a").unwrap();
+    assert_eq!(a.bit_offset(0), Some(7)); // [0:7]: index 0 is the MSB
+    assert_eq!(a.bit_offset(7), Some(0));
+    let h = checked.symbol("h").unwrap();
+    assert_eq!(h.bit_offset(8), Some(0));
+    assert_eq!(h.bit_offset(15), Some(7));
+    assert_eq!(h.bit_offset(0), None);
+}
+
+#[test]
+fn symbol_array_offsets() {
+    let lib = lib_of("module T; reg [7:0] m [0:255]; reg [7:0] r [255:0]; endmodule");
+    let m = lib.get("T").unwrap().clone();
+    let checked = check_module(&m, &ParamEnv::new(), &lib).unwrap();
+    let mem = checked.symbol("m").unwrap();
+    assert_eq!(mem.array_len(), 256);
+    assert_eq!(mem.array_offset(0), Some(0));
+    assert_eq!(mem.array_offset(255), Some(255));
+    assert_eq!(mem.array_offset(256), None);
+    let rev = checked.symbol("r").unwrap();
+    assert_eq!(rev.array_offset(0), Some(0));
+}
+
+// ----------------------------------------------------------------------
+// Analysis
+// ----------------------------------------------------------------------
+
+#[test]
+fn analysis_hierarchical_reads() {
+    let mods = modules(RUNNING_EXAMPLE);
+    let refs = analysis::hierarchical_reads(&mods[1]);
+    assert_eq!(refs.len(), 1);
+    assert!(refs.contains(&vec!["r".to_string(), "y".to_string()]));
+}
+
+#[test]
+fn analysis_read_write_sets() {
+    let mods = modules(RUNNING_EXAMPLE);
+    let reads = analysis::read_set(&mods[1]);
+    assert!(reads.contains("clk"));
+    assert!(reads.contains("pad"));
+    assert!(reads.contains("cnt"));
+    let writes = analysis::write_set(&mods[1]);
+    assert!(writes.contains("cnt"));
+    assert!(writes.contains("led"));
+}
+
+#[test]
+fn analysis_synthesizability() {
+    let mods = modules(RUNNING_EXAMPLE);
+    assert!(analysis::is_synthesizable(&mods[0]));
+    assert!(!analysis::is_synthesizable(&mods[1]));
+    let reasons = analysis::unsynthesizable_constructs(&mods[1]);
+    assert!(reasons
+        .iter()
+        .any(|r| matches!(r, UnsynthesizableReason::SystemTask(SystemTask::Display))));
+    assert!(reasons
+        .iter()
+        .any(|r| matches!(r, UnsynthesizableReason::SystemTask(SystemTask::Finish))));
+}
+
+#[test]
+fn analysis_source_stats() {
+    let unit = parse(RUNNING_EXAMPLE).unwrap();
+    let stats: SourceStats = analysis::source_stats(RUNNING_EXAMPLE, &unit);
+    assert_eq!(stats.modules, 2);
+    assert_eq!(stats.always_blocks, 1);
+    assert_eq!(stats.nonblocking_assignments, 1);
+    assert_eq!(stats.display_statements, 1);
+    assert_eq!(stats.instances, 1);
+    assert!(stats.lines > 10);
+}
+
+// ----------------------------------------------------------------------
+// Preprocessor
+// ----------------------------------------------------------------------
+
+#[test]
+fn preproc_define_and_expand() {
+    let out = preprocess("`define W 8\nwire [`W-1:0] x;", &NoIncludes).unwrap();
+    assert!(out.contains("wire [8-1:0] x;"));
+}
+
+#[test]
+fn preproc_conditionals() {
+    let src = "`define FAST\n`ifdef FAST\nfast\n`else\nslow\n`endif\n`ifndef FAST\nnope\n`endif";
+    let out = preprocess(src, &NoIncludes).unwrap();
+    assert!(out.contains("fast"));
+    assert!(!out.contains("slow"));
+    assert!(!out.contains("nope"));
+}
+
+#[test]
+fn preproc_nested_conditionals() {
+    let src = "`ifdef A\n`ifdef B\nab\n`endif\n`else\nno_a\n`endif";
+    let out = preprocess(src, &NoIncludes).unwrap();
+    assert!(out.contains("no_a"));
+    assert!(!out.contains("ab"));
+}
+
+#[test]
+fn preproc_include() {
+    let mut inc = MemoryIncludes::new();
+    inc.insert("defs.vh", "`define N 16");
+    let out = preprocess("`include \"defs.vh\"\nwire [`N-1:0] x;", &inc).unwrap();
+    assert!(out.contains("wire [16-1:0] x;"));
+}
+
+#[test]
+fn preproc_errors() {
+    assert!(preprocess("`ifdef X\n", &NoIncludes).is_err());
+    assert!(preprocess("`endif\n", &NoIncludes).is_err());
+    assert!(preprocess("`include \"missing.vh\"", &NoIncludes).is_err());
+    assert!(preprocess("`UNDEFINED_MACRO x;", &NoIncludes).is_err());
+    assert!(preprocess("`bogus_directive\n", &NoIncludes).is_err());
+}
+
+#[test]
+fn preproc_undef() {
+    let src = "`define X 1\n`undef X\n`ifdef X\nyes\n`endif";
+    let out = preprocess(src, &NoIncludes).unwrap();
+    assert!(!out.contains("yes"));
+}
+
+#[test]
+fn preproc_ignores_timescale() {
+    assert!(preprocess("`timescale 1ns/1ps\nwire x;", &NoIncludes).is_ok());
+}
+
+// ----------------------------------------------------------------------
+// Functions
+// ----------------------------------------------------------------------
+
+#[test]
+fn parse_function_classic_style() {
+    let m = first_module(
+        "module T(input wire [7:0] a, input wire [7:0] b, output wire [7:0] o);\n\
+         function [7:0] max2;\n\
+           input [7:0] x;\n\
+           input [7:0] y;\n\
+           begin\n\
+             if (x > y) max2 = x; else max2 = y;\n\
+           end\n\
+         endfunction\n\
+         assign o = max2(a, b);\n\
+         endmodule",
+    );
+    let ModuleItem::Function(f) = &m.items[0] else { panic!("expected function") };
+    assert_eq!(f.name, "max2");
+    assert_eq!(f.inputs.len(), 2);
+    let ModuleItem::Assign(a) = &m.items[1] else { panic!() };
+    assert!(matches!(&a.rhs, Expr::FnCall { name, args } if name == "max2" && args.len() == 2));
+}
+
+#[test]
+fn parse_function_ansi_style_with_locals() {
+    let m = first_module(
+        "module T;\n\
+         function signed [15:0] dot(input signed [7:0] a, input signed [7:0] b);\n\
+           reg signed [15:0] tmp;\n\
+           begin tmp = a * b; dot = tmp; end\n\
+         endfunction\n\
+         endmodule",
+    );
+    let ModuleItem::Function(f) = &m.items[0] else { panic!() };
+    assert!(f.signed);
+    assert_eq!(f.inputs.len(), 2);
+    assert_eq!(f.locals.len(), 1);
+}
+
+#[test]
+fn inline_functions_produces_comb_blocks() {
+    let m = first_module(
+        "module T(input wire [7:0] a, input wire [7:0] b, output wire [7:0] o);\n\
+         function [7:0] max2;\n\
+           input [7:0] x; input [7:0] y;\n\
+           max2 = (x > y) ? x : y;\n\
+         endfunction\n\
+         assign o = max2(a, max2(b, 8'd7));\n\
+         endmodule",
+    );
+    let out = crate::inline_functions(&m).unwrap();
+    assert!(!out.items.iter().any(|i| matches!(i, ModuleItem::Function(_))));
+    let blocks = out
+        .items
+        .iter()
+        .filter(|i| matches!(i, ModuleItem::Always(_)))
+        .count();
+    assert_eq!(blocks, 2, "one block per call site");
+    // The result still type-checks as a plain module.
+    let lib = ModuleLibrary::new();
+    check_module(&out, &ParamEnv::new(), &lib).unwrap();
+}
+
+#[test]
+fn inline_functions_rejects_bad_calls() {
+    let unknown = first_module("module T(output wire o); assign o = nope(1); endmodule");
+    assert!(crate::inline_functions(&unknown).is_err());
+
+    let arity = first_module(
+        "module T(output wire [7:0] o);\n\
+         function [7:0] id; input [7:0] x; id = x; endfunction\n\
+         assign o = id(1, 2);\n\
+         endmodule",
+    );
+    assert!(crate::inline_functions(&arity).is_err());
+
+    let recursive = first_module(
+        "module T(output wire [7:0] o);\n\
+         function [7:0] f; input [7:0] x; f = f(x); endfunction\n\
+         assign o = f(1);\n\
+         endmodule",
+    );
+    assert!(crate::inline_functions(&recursive).is_err());
+}
+
+#[test]
+fn typecheck_validates_function_calls() {
+    let lib = ModuleLibrary::new();
+    let good = first_module(
+        "module T(input wire [7:0] a, output wire [7:0] o);\n\
+         function [7:0] inc; input [7:0] x; inc = x + 1; endfunction\n\
+         assign o = inc(a);\n\
+         endmodule",
+    );
+    assert!(check_module(&good, &ParamEnv::new(), &lib).is_ok());
+    let bad = first_module(
+        "module T(input wire [7:0] a, output wire [7:0] o);\n\
+         function [7:0] inc; input [7:0] x; inc = x + 1; endfunction\n\
+         assign o = inc(a, a);\n\
+         endmodule",
+    );
+    assert!(check_module(&bad, &ParamEnv::new(), &lib).is_err());
+}
+
+#[test]
+fn function_pretty_roundtrip() {
+    let src = "module T(input wire [7:0] a, output wire [7:0] o);\n\
+         function [7:0] twice;\n\
+           input [7:0] x;\n\
+           reg [7:0] t;\n\
+           begin t = x + x; twice = t; end\n\
+         endfunction\n\
+         assign o = twice(a);\n\
+         endmodule";
+    let unit = parse(src).unwrap();
+    let printed = pretty::print_unit(&unit);
+    let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse: {e}\n{printed}"));
+    assert_eq!(pretty::print_unit(&reparsed), printed);
+}
+
+// ----------------------------------------------------------------------
+// Generate blocks
+// ----------------------------------------------------------------------
+
+#[test]
+fn parse_generate_for() {
+    let m = first_module(
+        "module T #(parameter N = 4)(input wire [N-1:0] a, output wire [N-1:0] o);\n\
+         genvar i;\n\
+         generate\n\
+           for (i = 0; i < N; i = i + 1) begin : bits\n\
+             assign o[i] = ~a[i];\n\
+           end\n\
+         endgenerate\n\
+         endmodule",
+    );
+    assert!(matches!(&m.items[0], ModuleItem::Genvar(names) if names == &vec!["i".to_string()]));
+    let ModuleItem::GenerateFor(g) = &m.items[1] else { panic!() };
+    assert_eq!(g.genvar, "i");
+    assert_eq!(g.label.as_deref(), Some("bits"));
+    assert_eq!(g.items.len(), 1);
+}
+
+#[test]
+fn expand_generates_unrolls_assigns() {
+    let m = first_module(
+        "module T(input wire [3:0] a, output wire [3:0] o);\n\
+         genvar i;\n\
+         generate\n\
+           for (i = 0; i < 4; i = i + 1) begin : inv\n\
+             assign o[i] = ~a[3 - i];\n\
+           end\n\
+         endgenerate\n\
+         endmodule",
+    );
+    let out = crate::expand_generates(&m, &ParamEnv::new()).unwrap();
+    let assigns =
+        out.items.iter().filter(|i| matches!(i, ModuleItem::Assign(_))).count();
+    assert_eq!(assigns, 4);
+    assert!(!out.items.iter().any(|i| matches!(i, ModuleItem::GenerateFor(_))));
+}
+
+#[test]
+fn expand_generates_renames_inner_decls() {
+    let m = first_module(
+        "module T(input wire clk, output wire [1:0] o);\n\
+         genvar i;\n\
+         generate\n\
+           for (i = 0; i < 2; i = i + 1) begin : stage\n\
+             reg r = 0;\n\
+             always @(posedge clk) r <= ~r;\n\
+             assign o[i] = r;\n\
+           end\n\
+         endgenerate\n\
+         endmodule",
+    );
+    let out = crate::expand_generates(&m, &ParamEnv::new()).unwrap();
+    let printed = pretty::print_module(&out);
+    assert!(printed.contains("r__stage_0"), "{printed}");
+    assert!(printed.contains("r__stage_1"), "{printed}");
+    // The unrolled module type-checks (no duplicate declarations).
+    check_module(&out, &ParamEnv::new(), &ModuleLibrary::new()).unwrap();
+}
+
+#[test]
+fn expand_generates_rejects_nonconstant_bounds() {
+    let m = first_module(
+        "module T(input wire [3:0] n, output wire o);\n\
+         genvar i;\n\
+         generate\n\
+           for (i = 0; i < n; i = i + 1) begin : b\n\
+             assign o = 0;\n\
+           end\n\
+         endgenerate\n\
+         endmodule",
+    );
+    assert!(crate::expand_generates(&m, &ParamEnv::new()).is_err());
+}
+
+#[test]
+fn generate_pretty_roundtrip() {
+    let src = "module T #(parameter N = 3)(input wire [N-1:0] a, output wire [N-1:0] o);\n\
+         genvar i;\n\
+         generate\n\
+           for (i = 0; i < N; i = i + 1) begin : g\n\
+             assign o[i] = a[i];\n\
+           end\n\
+         endgenerate\n\
+         endmodule";
+    let unit = parse(src).unwrap();
+    let printed = pretty::print_unit(&unit);
+    let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse: {e}\n{printed}"));
+    assert_eq!(pretty::print_unit(&reparsed), printed);
+}

@@ -1,0 +1,264 @@
+//! Token kinds produced by the lexer.
+
+use crate::source::Span;
+use std::fmt;
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Verilog keywords in the supported subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Integer,
+    Signed,
+    Parameter,
+    Localparam,
+    Assign,
+    Always,
+    Initial,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Casex,
+    Endcase,
+    Default,
+    For,
+    While,
+    Repeat,
+    Forever,
+    Posedge,
+    Negedge,
+    Or,
+    Genvar,
+    Generate,
+    Endgenerate,
+    Function,
+    Endfunction,
+}
+
+impl Keyword {
+    /// The keyword's source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Module => "module",
+            Keyword::Endmodule => "endmodule",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::Inout => "inout",
+            Keyword::Wire => "wire",
+            Keyword::Reg => "reg",
+            Keyword::Integer => "integer",
+            Keyword::Signed => "signed",
+            Keyword::Parameter => "parameter",
+            Keyword::Localparam => "localparam",
+            Keyword::Assign => "assign",
+            Keyword::Always => "always",
+            Keyword::Initial => "initial",
+            Keyword::Begin => "begin",
+            Keyword::End => "end",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Case => "case",
+            Keyword::Casez => "casez",
+            Keyword::Casex => "casex",
+            Keyword::Endcase => "endcase",
+            Keyword::Default => "default",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::Repeat => "repeat",
+            Keyword::Forever => "forever",
+            Keyword::Posedge => "posedge",
+            Keyword::Negedge => "negedge",
+            Keyword::Or => "or",
+            Keyword::Genvar => "genvar",
+            Keyword::Generate => "generate",
+            Keyword::Endgenerate => "endgenerate",
+            Keyword::Function => "function",
+            Keyword::Endfunction => "endfunction",
+        }
+    }
+
+    /// Looks up an identifier as a keyword.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "module" => Keyword::Module,
+            "endmodule" => Keyword::Endmodule,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "inout" => Keyword::Inout,
+            "wire" => Keyword::Wire,
+            "reg" => Keyword::Reg,
+            "integer" => Keyword::Integer,
+            "signed" => Keyword::Signed,
+            "parameter" => Keyword::Parameter,
+            "localparam" => Keyword::Localparam,
+            "assign" => Keyword::Assign,
+            "always" => Keyword::Always,
+            "initial" => Keyword::Initial,
+            "begin" => Keyword::Begin,
+            "end" => Keyword::End,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "case" => Keyword::Case,
+            "casez" => Keyword::Casez,
+            "casex" => Keyword::Casex,
+            "endcase" => Keyword::Endcase,
+            "default" => Keyword::Default,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "repeat" => Keyword::Repeat,
+            "forever" => Keyword::Forever,
+            "posedge" => Keyword::Posedge,
+            "negedge" => Keyword::Negedge,
+            "or" => Keyword::Or,
+            "genvar" => Keyword::Genvar,
+            "generate" => Keyword::Generate,
+            "endgenerate" => Keyword::Endgenerate,
+            "function" => Keyword::Function,
+            "endfunction" => Keyword::Endfunction,
+            _ => return None,
+        })
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier such as `cnt` or an escaped identifier.
+    Ident(String),
+    /// A system identifier such as `$display`.
+    SysIdent(String),
+    /// A reserved word.
+    Keyword(Keyword),
+    /// An integer literal, kept textual until the parser sizes it:
+    /// `(size, radix, digits)`; `size` is `None` for unsized literals.
+    Number { size: Option<u32>, radix: u32, body: String },
+    /// A bare decimal literal such as `42`.
+    Decimal(u64),
+    /// A string literal (contents, unescaped).
+    Str(String),
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    Question,
+    At,
+    Hash,
+    Eq,        // =
+    PlusColon, // +:
+    MinusColon, // -:
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    Percent,
+    Bang,
+    Tilde,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    TildeCaret, // ~^ or ^~
+    EqEq,
+    BangEq,
+    EqEqEq,
+    BangEqEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Shl,     // <<
+    Shr,     // >>
+    AShl,    // <<<
+    AShr,    // >>>
+    LtAssign, // <= in statement position is nonblocking assign; lexed as LtEq and disambiguated by the parser
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::SysIdent(s) => write!(f, "`${s}`"),
+            TokenKind::Keyword(k) => write!(f, "`{}`", k.as_str()),
+            TokenKind::Number { .. } => write!(f, "number"),
+            TokenKind::Decimal(v) => write!(f, "number `{v}`"),
+            TokenKind::Str(_) => write!(f, "string"),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => {
+                let s = match other {
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::Semi => ";",
+                    TokenKind::Comma => ",",
+                    TokenKind::Dot => ".",
+                    TokenKind::Colon => ":",
+                    TokenKind::Question => "?",
+                    TokenKind::At => "@",
+                    TokenKind::Hash => "#",
+                    TokenKind::Eq => "=",
+                    TokenKind::PlusColon => "+:",
+                    TokenKind::MinusColon => "-:",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::StarStar => "**",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::Bang => "!",
+                    TokenKind::Tilde => "~",
+                    TokenKind::Amp => "&",
+                    TokenKind::AmpAmp => "&&",
+                    TokenKind::Pipe => "|",
+                    TokenKind::PipePipe => "||",
+                    TokenKind::Caret => "^",
+                    TokenKind::TildeCaret => "~^",
+                    TokenKind::EqEq => "==",
+                    TokenKind::BangEq => "!=",
+                    TokenKind::EqEqEq => "===",
+                    TokenKind::BangEqEq => "!==",
+                    TokenKind::Lt => "<",
+                    TokenKind::LtEq => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::GtEq => ">=",
+                    TokenKind::Shl => "<<",
+                    TokenKind::Shr => ">>",
+                    TokenKind::AShl => "<<<",
+                    TokenKind::AShr => ">>>",
+                    TokenKind::LtAssign => "<=",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}

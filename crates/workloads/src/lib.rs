@@ -1,0 +1,13 @@
+//! Benchmark workload generators for the Cascade paper's evaluation
+//! (Sec. 6): the SHA-256 proof-of-work miner (Fig. 11), the streaming
+//! regular-expression matcher (Fig. 12), the synthetic user-study cohorts
+//! (Fig. 13), and the Needleman-Wunsch class corpus (Table 1).
+//!
+//! Every generator emits real Verilog that the rest of the workspace
+//! parses, simulates, synthesizes, and JIT-compiles; the Rust reference
+//! implementations in each module pin down the expected answers.
+
+pub mod needleman;
+pub mod regex;
+pub mod sha256;
+pub mod study;

@@ -1,0 +1,343 @@
+//! The SHA-256 proof-of-work miner (paper Sec. 6.1).
+//!
+//! The paper runs "a standard Verilog implementation of the SHA-256 proof
+//! of work consensus algorithm used in bitcoin mining": combine a data
+//! block with a nonce, hash, repeat until the hash is below a target. We
+//! generate that Verilog here — an iterative one-round-per-cycle SHA-256
+//! core wrapped in a nonce-search state machine — plus a bit-exact Rust
+//! reference used by the tests to validate the hardware against.
+//!
+//! Substitution note (DESIGN.md): the miner hashes a single 512-bit block
+//! containing the nonce rather than a full 80-byte double-SHA bitcoin
+//! header; the compute structure per attempt (64 schedule+compression
+//! rounds) is identical in kind, only the attempt count per block differs.
+
+use std::fmt::Write as _;
+
+/// SHA-256 round constants.
+pub const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// SHA-256 initial hash values.
+pub const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+/// Reference SHA-256 over exactly one padded 512-bit block whose first word
+/// is `data` and second word is `nonce` (remaining words are the padding of
+/// an 8-byte message). Returns the 8-word digest.
+pub fn sha256_block(data: u32, nonce: u32) -> [u32; 8] {
+    let mut w = [0u32; 64];
+    w[0] = data;
+    w[1] = nonce;
+    w[2] = 0x8000_0000; // padding: leading 1 bit
+    w[15] = 64; // message length in bits
+    for t in 16..64 {
+        let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+        let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+        w[t] = w[t - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[t - 7])
+            .wrapping_add(s1);
+    }
+    let mut h = H0;
+    let (mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh) =
+        (h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]);
+    for t in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[t])
+            .wrapping_add(w[t]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+    h[5] = h[5].wrapping_add(f);
+    h[6] = h[6].wrapping_add(g);
+    h[7] = h[7].wrapping_add(hh);
+    h
+}
+
+/// The first nonce at or above `start` whose digest's leading word is below
+/// `target` (the reference answer the Verilog miner must reproduce).
+pub fn find_nonce(data: u32, target: u32, start: u32) -> (u32, [u32; 8]) {
+    let mut nonce = start;
+    loop {
+        let h = sha256_block(data, nonce);
+        if h[0] < target {
+            return (nonce, h);
+        }
+        nonce = nonce.wrapping_add(1);
+    }
+}
+
+/// How the generated miner is packaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// A standalone module with a `clk` input port (for the iVerilog and
+    /// Quartus baselines).
+    Ported,
+    /// Root items referencing the Cascade standard library (`clk.val`,
+    /// `led.val`), with a `$display` on success — the debugging-session
+    /// form the paper measures.
+    Cascade,
+}
+
+/// Miner configuration.
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// The fixed data word hashed with each nonce.
+    pub data: u32,
+    /// Accept a nonce when the digest's leading word is below this.
+    pub target: u32,
+    /// First nonce attempted.
+    pub start_nonce: u32,
+    /// Emit a `$display` + `$finish` when found (Cascade flavor only).
+    pub announce: bool,
+    /// Express the SHA round primitives as Verilog `function`s (the style
+    /// open-source miners actually use) instead of inline wires.
+    pub use_functions: bool,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            data: 0x5eed_b10c,
+            target: 0x0200_0000,
+            start_nonce: 0,
+            announce: true,
+            use_functions: false,
+        }
+    }
+}
+
+/// Generates the miner Verilog.
+pub fn miner_verilog(cfg: &MinerConfig, flavor: Flavor) -> String {
+    let mut src = String::with_capacity(16_384);
+    let body = miner_body(cfg, flavor);
+    match flavor {
+        Flavor::Ported => {
+            src.push_str("module Miner(\n  input wire clk,\n  output wire found,\n  output wire [31:0] nonce_out,\n  output wire [31:0] hash_hi\n);\n");
+            src.push_str(&body);
+            src.push_str("assign found = state == 2'd2;\nassign nonce_out = nonce;\nassign hash_hi = digest0;\n");
+            src.push_str("endmodule\n");
+        }
+        Flavor::Cascade => {
+            src.push_str(&body);
+            src.push_str("assign led.val = state == 2'd2 ? 8'hff : nonce[7:0];\n");
+            if cfg.announce {
+                src.push_str(
+                    "always @(posedge clk.val)\n  if (state == 2'd2 && !announced) begin\n    announced <= 1'b1;\n    $display(\"FOUND nonce=%h hash=%h\", nonce, digest0);\n    $finish;\n  end\n",
+                );
+            }
+        }
+    }
+    src
+}
+
+fn clk_expr(flavor: Flavor) -> &'static str {
+    match flavor {
+        Flavor::Ported => "clk",
+        Flavor::Cascade => "clk.val",
+    }
+}
+
+fn miner_body(cfg: &MinerConfig, flavor: Flavor) -> String {
+    let clk = clk_expr(flavor);
+    let mut s = String::new();
+    // State.
+    s.push_str("reg [1:0] state = 0;\nreg [6:0] round = 0;\nreg announced = 0;\n");
+    let _ = writeln!(s, "reg [31:0] nonce = 32'h{:08x};", cfg.start_nonce);
+    for i in 0..16 {
+        let _ = writeln!(s, "reg [31:0] w{i} = 0;");
+    }
+    for r in ["a", "b", "c", "d", "e", "f", "g", "h2"] {
+        let _ = writeln!(s, "reg [31:0] {r} = 0;");
+    }
+    for i in 0..8 {
+        let _ = writeln!(s, "reg [31:0] digest{i} = 0;");
+    }
+    // Round constant ROM.
+    s.push_str("reg [31:0] kr;\nalways @(*) case (round)\n");
+    for (i, k) in K.iter().enumerate() {
+        let _ = writeln!(s, "  7'd{i}: kr = 32'h{k:08x};");
+    }
+    s.push_str("  default: kr = 32'h0;\nendcase\n");
+    // Combinational round logic: either inline wires or the function style
+    // real open-source miners use.
+    if cfg.use_functions {
+        s.push_str(
+            "function [31:0] bsig1; input [31:0] x;\n\
+               bsig1 = {x[5:0], x[31:6]} ^ {x[10:0], x[31:11]} ^ {x[24:0], x[31:25]};\n\
+             endfunction\n\
+             function [31:0] bsig0; input [31:0] x;\n\
+               bsig0 = {x[1:0], x[31:2]} ^ {x[12:0], x[31:13]} ^ {x[21:0], x[31:22]};\n\
+             endfunction\n\
+             function [31:0] ssig0; input [31:0] x;\n\
+               ssig0 = {x[6:0], x[31:7]} ^ {x[17:0], x[31:18]} ^ (x >> 3);\n\
+             endfunction\n\
+             function [31:0] ssig1; input [31:0] x;\n\
+               ssig1 = {x[16:0], x[31:17]} ^ {x[18:0], x[31:19]} ^ (x >> 10);\n\
+             endfunction\n\
+             function [31:0] choose; input [31:0] x; input [31:0] y; input [31:0] z;\n\
+               choose = (x & y) ^ (~x & z);\n\
+             endfunction\n\
+             function [31:0] majority; input [31:0] x; input [31:0] y; input [31:0] z;\n\
+               majority = (x & y) ^ (x & z) ^ (y & z);\n\
+             endfunction\n\
+             wire [31:0] t1 = h2 + bsig1(e) + choose(e, f, g) + kr + w0;\n\
+             wire [31:0] t2 = bsig0(a) + majority(a, b, c);\n\
+             wire [31:0] wnext = w0 + ssig0(w1) + w9 + ssig1(w14);\n",
+        );
+    } else {
+        s.push_str(
+            "wire [31:0] s1 = {e[5:0], e[31:6]} ^ {e[10:0], e[31:11]} ^ {e[24:0], e[31:25]};\n\
+             wire [31:0] ch = (e & f) ^ (~e & g);\n\
+             wire [31:0] t1 = h2 + s1 + ch + kr + w0;\n\
+             wire [31:0] s0 = {a[1:0], a[31:2]} ^ {a[12:0], a[31:13]} ^ {a[21:0], a[31:22]};\n\
+             wire [31:0] maj = (a & b) ^ (a & c) ^ (b & c);\n\
+             wire [31:0] t2 = s0 + maj;\n\
+             wire [31:0] sch0 = {w1[6:0], w1[31:7]} ^ {w1[17:0], w1[31:18]} ^ (w1 >> 3);\n\
+             wire [31:0] sch1 = {w14[16:0], w14[31:17]} ^ {w14[18:0], w14[31:19]} ^ (w14 >> 10);\n\
+             wire [31:0] wnext = w0 + sch0 + w9 + sch1;\n",
+        );
+    }
+    // FSM.
+    let _ = writeln!(s, "always @(posedge {clk}) begin");
+    s.push_str("  if (state == 2'd0) begin\n");
+    let _ = writeln!(s, "    w0 <= 32'h{:08x};", cfg.data);
+    s.push_str("    w1 <= nonce;\n    w2 <= 32'h80000000;\n");
+    for i in 3..15 {
+        let _ = writeln!(s, "    w{i} <= 32'h0;");
+    }
+    s.push_str("    w15 <= 32'd64;\n");
+    let h = H0;
+    let names = ["a", "b", "c", "d", "e", "f", "g", "h2"];
+    for (n, v) in names.iter().zip(h.iter()) {
+        let _ = writeln!(s, "    {n} <= 32'h{v:08x};");
+    }
+    s.push_str("    round <= 0;\n    state <= 2'd1;\n  end\n");
+    // Round state.
+    s.push_str("  else if (state == 2'd1) begin\n");
+    for i in 0..15 {
+        let _ = writeln!(s, "    w{i} <= w{};", i + 1);
+    }
+    s.push_str("    w15 <= wnext;\n");
+    s.push_str(
+        "    h2 <= g;\n    g <= f;\n    f <= e;\n    e <= d + t1;\n    d <= c;\n    c <= b;\n    b <= a;\n    a <= t1 + t2;\n",
+    );
+    s.push_str("    if (round == 7'd63) begin\n");
+    let h0n = [
+        ("digest0", "a"),
+        ("digest1", "b"),
+        ("digest2", "c"),
+        ("digest3", "d"),
+        ("digest4", "e"),
+        ("digest5", "f"),
+        ("digest6", "g"),
+        ("digest7", "h2"),
+    ];
+    for (i, (dn, wn)) in h0n.iter().enumerate() {
+        // digest_i = H0[i] + final working var... but the final values are
+        // the post-round-63 ones, which land in the regs on this same edge.
+        // Compute them from the nonblocking RHS expressions instead.
+        let base = H0[i];
+        let rhs = match *wn {
+            "a" => "(t1 + t2)".to_string(),
+            "b" => "a".to_string(),
+            "c" => "b".to_string(),
+            "d" => "c".to_string(),
+            "e" => "(d + t1)".to_string(),
+            "f" => "e".to_string(),
+            "g" => "f".to_string(),
+            "h2" => "g".to_string(),
+            _ => unreachable!(),
+        };
+        let _ = writeln!(s, "      {dn} <= 32'h{base:08x} + {rhs};");
+    }
+    s.push_str("      state <= 2'd3;\n    end\n    else round <= round + 1;\n  end\n");
+    // Check state.
+    s.push_str("  else if (state == 2'd3) begin\n");
+    let _ = writeln!(s, "    if (digest0 < 32'h{:08x})", cfg.target);
+    s.push_str("      state <= 2'd2;\n    else begin\n      nonce <= nonce + 1;\n      state <= 2'd0;\n    end\n  end\nend\n");
+    s
+}
+
+/// Cycles per nonce attempt (init + 64 rounds + check).
+pub const CYCLES_PER_ATTEMPT: u64 = 66;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_digest_known_vector() {
+        // SHA-256 of the 8-byte message 5eedb10c_00000000 (big-endian words)
+        // must match a truth value computed independently; spot-check the
+        // algebraic structure instead: digests differ across nonces and are
+        // deterministic.
+        let a = sha256_block(0x5eed_b10c, 0);
+        let b = sha256_block(0x5eed_b10c, 0);
+        let c = sha256_block(0x5eed_b10c, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sha256_matches_known_test_vector() {
+        // "abcdefgh" as two big-endian words = 0x61626364, 0x65666768.
+        // sha256("abcdefgh") = 9c56cc51... (public test vector).
+        let h = sha256_block(0x6162_6364, 0x6566_6768);
+        assert_eq!(h[0], 0x9c56cc51);
+        assert_eq!(h[1], 0xb374c3ba);
+    }
+
+    #[test]
+    fn find_nonce_terminates() {
+        let (nonce, h) = find_nonce(0x5eed_b10c, 0x0800_0000, 0);
+        assert!(h[0] < 0x0800_0000);
+        assert!(nonce < 1000, "easy target found quickly, got {nonce}");
+    }
+
+    #[test]
+    fn generated_verilog_parses() {
+        let cfg = MinerConfig::default();
+        for flavor in [Flavor::Ported, Flavor::Cascade] {
+            let src = miner_verilog(&cfg, flavor);
+            let wrapped = if flavor == Flavor::Cascade {
+                // Root items parse as a unit.
+                src
+            } else {
+                src
+            };
+            cascade_verilog::parse(&wrapped).unwrap_or_else(|e| panic!("{flavor:?}: {e}"));
+        }
+    }
+}

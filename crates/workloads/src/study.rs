@@ -1,0 +1,206 @@
+//! The user-study model (paper Sec. 6.3, Fig. 13).
+//!
+//! The paper measured 20 humans fixing a seeded bug with either the Quartus
+//! IDE or Cascade, recording build counts, compile time, and test/debug
+//! time. We cannot re-run humans, so this module is a *stochastic developer
+//! model* (documented substitution, DESIGN.md): a developer iterates
+//! edit → compile → test; each test narrows the bug with some probability;
+//! compile latency is the tool's; and — the behavioural effect the paper's
+//! free responses describe — long compiles make developers batch more
+//! changes per build (fewer, bigger iterations) while instant feedback
+//! encourages small steps with a higher per-step success rate.
+
+/// Per-tool latency behaviour.
+#[derive(Debug, Clone)]
+pub struct ToolModel {
+    pub name: &'static str,
+    /// Mean compile latency in minutes.
+    pub compile_mean_min: f64,
+    /// Multiplicative jitter (log-uniform in `[1/j, j]`).
+    pub compile_jitter: f64,
+}
+
+impl ToolModel {
+    /// The Quartus IDE flow: ~1.2 min compiles for the study's 50-line
+    /// program (Fig. 13's x-axis tops out around 1.5 min average).
+    pub fn quartus() -> ToolModel {
+        ToolModel { name: "quartus", compile_mean_min: 1.2, compile_jitter: 1.4 }
+    }
+
+    /// Cascade: sub-second compiles (the JIT hides the real one).
+    pub fn cascade() -> ToolModel {
+        ToolModel { name: "cascade", compile_mean_min: 0.017, compile_jitter: 1.3 }
+    }
+}
+
+/// One simulated participant's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticipantResult {
+    pub builds: u32,
+    pub total_min: f64,
+    pub compile_min: f64,
+    pub debug_min: f64,
+}
+
+/// Aggregate over a cohort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortResult {
+    pub tool: &'static str,
+    pub participants: Vec<ParticipantResult>,
+}
+
+impl CohortResult {
+    /// Mean builds per participant.
+    pub fn mean_builds(&self) -> f64 {
+        self.participants.iter().map(|p| p.builds as f64).sum::<f64>()
+            / self.participants.len() as f64
+    }
+
+    /// Mean time to a working design, minutes.
+    pub fn mean_total_min(&self) -> f64 {
+        self.participants.iter().map(|p| p.total_min).sum::<f64>()
+            / self.participants.len() as f64
+    }
+
+    /// Mean time spent compiling, minutes.
+    pub fn mean_compile_min(&self) -> f64 {
+        self.participants.iter().map(|p| p.compile_min).sum::<f64>()
+            / self.participants.len() as f64
+    }
+
+    /// Mean time spent testing/debugging between compiles, minutes.
+    pub fn mean_debug_min(&self) -> f64 {
+        self.participants.iter().map(|p| p.debug_min).sum::<f64>()
+            / self.participants.len() as f64
+    }
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential with the given mean.
+    fn exp(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.unit()).ln()
+    }
+
+    /// Log-uniform jitter factor in `[1/j, j]`.
+    fn jitter(&mut self, j: f64) -> f64 {
+        let u = self.unit() * 2.0 - 1.0;
+        j.powf(u)
+    }
+}
+
+/// Simulates one participant fixing a multi-bug program with `tool`.
+pub fn simulate_participant(tool: &ToolModel, skill: f64, seed: u64) -> ParticipantResult {
+    let mut rng = Rng(seed.wrapping_mul(0xD1B54A32D192ED03) | 1);
+    // The study's program contains "one or more bugs".
+    let bugs = 1 + (rng.next() % 3) as u32;
+    let mut remaining = bugs as f64;
+    let mut builds = 0u32;
+    let mut total = 0.0;
+    let mut compile = 0.0;
+    let mut debug = 0.0;
+    // Behavioural adaptation: expensive compiles push developers to batch
+    // edits. Batch size grows with compile latency (capped); bigger batches
+    // raise the chance of introducing a confusion penalty.
+    let batch = 1.0 + (tool.compile_mean_min * 2.4).min(3.5);
+    let max_minutes = 90.0;
+    while remaining > 0.05 && total < max_minutes {
+        // Edit phase: scaled by batch size and skill.
+        let edit = rng.exp(1.1) * batch.powf(0.6) / skill;
+        // Compile.
+        let c = tool.compile_mean_min * rng.jitter(tool.compile_jitter);
+        // Test/debug phase: observe behaviour, reason about the bug. With
+        // printf available in the run environment (Cascade), localization
+        // is a bit faster; with a waveform/proxy detour it is slower.
+        let observe = rng.exp(if tool.compile_mean_min < 0.1 { 1.75 } else { 1.9 }) / skill;
+        builds += 1;
+        total += edit + c + observe;
+        compile += c;
+        debug += observe;
+        // Progress: each build fixes part of a bug; small batches are more
+        // reliable per attempt, large batches attempt more per build.
+        let per_build_progress = 0.35 * skill * batch.powf(0.5);
+        let success = rng.unit() < 0.8;
+        if success {
+            remaining -= per_build_progress;
+        } else if rng.unit() < 0.3 {
+            // A bad batch sets the participant back.
+            remaining += 0.12 * (batch - 1.0);
+        }
+    }
+    ParticipantResult { builds, total_min: total.min(max_minutes), compile_min: compile, debug_min: debug }
+}
+
+/// Simulates a cohort of `n` participants with mixed experience (the
+/// study's "familiarity ranged from none to strong").
+pub fn simulate_cohort(tool: &ToolModel, n: usize, seed: u64) -> CohortResult {
+    let mut rng = Rng(seed | 1);
+    let participants = (0..n)
+        .map(|i| {
+            let skill = 0.6 + rng.unit() * 0.9; // 0.6 (novice) .. 1.5 (strong)
+            simulate_participant(tool, skill, seed.wrapping_add(i as u64 * 7919))
+        })
+        .collect();
+    CohortResult { tool: tool.name, participants }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate_cohort(&ToolModel::cascade(), 10, 42);
+        let b = simulate_cohort(&ToolModel::cascade(), 10, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cascade_cohort_builds_more_and_finishes_faster() {
+        let q = simulate_cohort(&ToolModel::quartus(), 10, 1);
+        let c = simulate_cohort(&ToolModel::cascade(), 10, 1);
+        assert!(
+            c.mean_builds() > q.mean_builds() * 1.15,
+            "cascade {:.1} builds vs quartus {:.1}",
+            c.mean_builds(),
+            q.mean_builds()
+        );
+        assert!(
+            c.mean_total_min() < q.mean_total_min() * 0.95,
+            "cascade {:.1} min vs quartus {:.1}",
+            c.mean_total_min(),
+            q.mean_total_min()
+        );
+        assert!(
+            q.mean_compile_min() / c.mean_compile_min() > 20.0,
+            "compile time ratio {:.0}",
+            q.mean_compile_min() / c.mean_compile_min()
+        );
+        // "Faster compilation did not encourage sloppy thought": debug time
+        // is only slightly lower.
+        assert!(c.mean_debug_min() > q.mean_debug_min() * 0.5);
+    }
+
+    #[test]
+    fn participants_terminate() {
+        for seed in 0..50 {
+            let p = simulate_participant(&ToolModel::quartus(), 1.0, seed);
+            assert!(p.total_min <= 90.0);
+            assert!(p.builds >= 1);
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! Integration-test host crate. The tests live in the workspace-level
+//! `tests/` directory (see `Cargo.toml` test targets); this library is
+//! intentionally empty.

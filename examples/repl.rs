@@ -1,0 +1,110 @@
+//! An interactive Cascade REPL on the virtual board (paper Fig. 3).
+//!
+//! Type Verilog a line at a time; it runs as soon as it parses. Meta
+//! commands (lines starting with `:`) poke the board and inspect the JIT:
+//!
+//! ```text
+//! :run N        advance N virtual clock ticks
+//! :press I      press button I       :release I   release it
+//! :leds         show the LED bank    :stats       engine/JIT state
+//! :wait         block until the background compile lands
+//! :native       enter native mode    :quit
+//! ```
+//!
+//! Run with: `cargo run --release -p cascade-bench --example repl`
+
+use cascade_core::{JitConfig, Repl, ReplResponse, Runtime};
+use cascade_fpga::Board;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let board = Board::new();
+    let runtime = Runtime::new(board.clone(), JitConfig::default()).expect("runtime");
+    let mut repl = Repl::new(runtime);
+    let stdin = std::io::stdin();
+    println!("cascade-rs REPL — implicit components: clk, pad (4 buttons), led (8 LEDs)");
+    print!("CASCADE >>> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if let Some(cmd) = trimmed.strip_prefix(':') {
+            if !meta(cmd, &mut repl, &board) {
+                break;
+            }
+        } else {
+            match repl.line(&line) {
+                ReplResponse::Evaluated(output) => {
+                    for l in output {
+                        println!("{l}");
+                    }
+                }
+                ReplResponse::Incomplete => {
+                    print!("       ...> ");
+                    std::io::stdout().flush().ok();
+                    continue;
+                }
+                ReplResponse::Error(e) => println!("error: {e}"),
+            }
+        }
+        print!("CASCADE >>> ");
+        std::io::stdout().flush().ok();
+    }
+}
+
+fn meta(cmd: &str, repl: &mut Repl, board: &Board) -> bool {
+    let mut parts = cmd.split_whitespace();
+    let head = parts.next().unwrap_or("");
+    let arg: Option<u64> = parts.next().and_then(|a| a.parse().ok());
+    let rt = repl.runtime();
+    match head {
+        "run" => {
+            let n = arg.unwrap_or(1);
+            match rt.run_ticks(n) {
+                Ok(done) => {
+                    for l in rt.drain_output() {
+                        println!("{l}");
+                    }
+                    println!("advanced {done} ticks (t={})", rt.ticks());
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        "press" => board.set_button(arg.unwrap_or(0) as u32, true),
+        "release" => board.set_button(arg.unwrap_or(0) as u32, false),
+        "leds" => {
+            let v = board.leds().to_u64();
+            let bar: String =
+                (0..8).rev().map(|i| if v >> i & 1 == 1 { '#' } else { '.' }).collect();
+            println!("leds: {bar} ({v:#04x})");
+        }
+        "stats" => {
+            let s = rt.stats();
+            println!(
+                "mode={:?} ticks={} wall={:.3}s compiling={}",
+                s.mode, s.ticks, s.wall_seconds, s.compile_in_flight
+            );
+            for (name, kind) in s.engines {
+                println!("  engine {name}: {kind}");
+            }
+        }
+        "wait" => {
+            rt.wait_for_compile_worker();
+            if let Some(ready) = rt.compile_ready_at() {
+                let wait = (ready - rt.wall_seconds()).max(0.0);
+                rt.advance_wall(wait + 1.0);
+                let _ = rt.run_ticks(1);
+                println!("bitstream landed after {wait:.0} modeled seconds; mode={:?}", rt.mode());
+            } else {
+                println!("no compile in flight");
+            }
+        }
+        "native" => match rt.enter_native() {
+            Ok(()) => println!("native mode: {:?}", rt.mode()),
+            Err(e) => println!("error: {e}"),
+        },
+        "quit" | "exit" | "q" => return false,
+        other => println!("unknown command `:{other}`"),
+    }
+    true
+}

@@ -1,0 +1,154 @@
+//! Whole-system behavioural equivalence: the same program must produce the
+//! same observable behaviour (LED trace, printf output) in every execution
+//! mode — interpreter, JIT with migration mid-run, and ablated configs.
+//! This is the paper's well-formedness requirement (Sec. 2.5): any system
+//! producing the same sequence of observable states is a model for Verilog.
+
+use cascade_bits::Bits;
+use cascade_core::{ExecMode, JitConfig, Runtime};
+use cascade_fpga::Board;
+
+const PROGRAM: &str = "module Rol(input wire [7:0] x, output wire [7:0] y);\n\
+    assign y = (x == 8'h80) ? 8'h1 : (x<<1);\nendmodule\n\
+    reg [7:0] cnt = 1;\n\
+    Rol r(.x(cnt));\n\
+    always @(posedge clk.val)\n\
+      if (pad.val == 0)\n\
+        cnt <= r.y;\n\
+    assign led.val = cnt;";
+
+/// Runs the rotator for `ticks`, sampling the LED bank each tick;
+/// optionally migrates to hardware after `migrate_at` ticks.
+fn led_trace(config: JitConfig, ticks: u64, migrate_at: Option<u64>) -> Vec<u64> {
+    let board = Board::new();
+    let mut rt = Runtime::new(board.clone(), config).unwrap();
+    rt.eval(PROGRAM).unwrap();
+    let mut trace = Vec::new();
+    for t in 0..ticks {
+        if migrate_at == Some(t) {
+            rt.wait_for_compile_worker();
+            // Non-inlined configs never compile (the paper inlines before
+            // hardware); they simply stay in software.
+            if let Some(ready) = rt.compile_ready_at() {
+                rt.advance_wall((ready - rt.wall_seconds()).max(0.0) + 1.0);
+            }
+        }
+        rt.run_ticks(1).unwrap();
+        trace.push(board.leds().to_u64());
+    }
+    trace
+}
+
+#[test]
+fn led_trace_identical_across_modes() {
+    let reference = led_trace(JitConfig::interpreter_only(), 24, None);
+    // Expected rotation: 2, 4, ..., 0x80, 1, 2, ...
+    assert_eq!(reference[0], 2);
+    assert_eq!(reference[6], 0x80);
+    assert_eq!(reference[7], 1);
+
+    // Migrate at different points: the observable trace must not change.
+    for migrate_at in [0u64, 3, 7, 15] {
+        let t = led_trace(JitConfig::default(), 24, Some(migrate_at));
+        assert_eq!(t, reference, "divergence when migrating at tick {migrate_at}");
+    }
+}
+
+#[test]
+fn ablations_preserve_behaviour() {
+    let reference = led_trace(JitConfig::interpreter_only(), 16, None);
+    for stage in ["inline", "forwarding", "open_loop"] {
+        let cfg = JitConfig::default().without(stage);
+        let t = led_trace(cfg, 16, Some(2));
+        assert_eq!(t, reference, "ablation `{stage}` changed behaviour");
+    }
+}
+
+#[test]
+fn interactive_session_with_migration_and_edit() {
+    // A realistic session: eval, run, migrate, press buttons, edit code,
+    // keep going — state and behaviour must stay coherent throughout.
+    let board = Board::new();
+    let mut rt = Runtime::new(board.clone(), JitConfig::default()).unwrap();
+    rt.eval(PROGRAM).unwrap();
+    rt.run_ticks(2).unwrap();
+    assert_eq!(board.leds().to_u64(), 4);
+
+    // Migrate.
+    rt.wait_for_compile_worker();
+    let ready = rt.compile_ready_at().expect("staged");
+    rt.advance_wall((ready - rt.wall_seconds()).max(0.0) + 1.0);
+    rt.run_ticks(1).unwrap();
+    assert_eq!(rt.mode(), ExecMode::HardwareForwarded);
+    assert_eq!(board.leds().to_u64(), 8);
+
+    // Pause via button from hardware.
+    board.set_button(2, true);
+    rt.run_ticks(5).unwrap();
+    assert_eq!(board.leds().to_u64(), 8, "paused in hardware");
+    board.set_button(2, false);
+
+    // Live edit: add a probe statement; engine drops to software with
+    // state intact and the probe sees the live value.
+    rt.eval("$display(\"cnt is %d\", cnt);").unwrap();
+    let out = rt.drain_output();
+    assert_eq!(out, vec!["cnt is 8"]);
+    assert_eq!(rt.mode(), ExecMode::Software);
+    rt.run_ticks(1).unwrap();
+    assert_eq!(board.leds().to_u64(), 16);
+}
+
+#[test]
+fn gpio_and_reset_components() {
+    let board = Board::new();
+    let mut rt = Runtime::new(board.clone(), JitConfig::interpreter_only()).unwrap();
+    rt.eval(
+        "reg [31:0] acc = 0;\n\
+         always @(posedge clk.val)\n\
+           if (rst.val) acc <= 0;\n\
+           else acc <= acc + gpio.in;\n\
+         assign gpio.out = acc;",
+    )
+    .unwrap();
+    board.set_gpio(Bits::from_u64(32, 5));
+    rt.run_ticks(3).unwrap();
+    assert_eq!(board.gpio_out().to_u64(), 15);
+    board.set_reset(true);
+    rt.run_ticks(1).unwrap();
+    assert_eq!(board.gpio_out().to_u64(), 0);
+    board.set_reset(false);
+    board.set_gpio(Bits::from_u64(32, 7));
+    rt.run_ticks(2).unwrap();
+    assert_eq!(board.gpio_out().to_u64(), 14);
+}
+
+#[test]
+fn virtual_clock_gets_faster_over_time() {
+    // The headline Fig. 11 shape in one test: measure the virtual clock
+    // rate in software, then after migration; the latter must be far
+    // higher, and the program must never miss a beat.
+    let board = Board::new();
+    let mut rt = Runtime::new(board.clone(), JitConfig::default()).unwrap();
+    rt.eval(PROGRAM).unwrap();
+
+    let w0 = rt.wall_seconds();
+    rt.run_ticks(200).unwrap();
+    let sw_rate = 200.0 / (rt.wall_seconds() - w0);
+
+    rt.wait_for_compile_worker();
+    let ready = rt.compile_ready_at().expect("staged");
+    rt.advance_wall((ready - rt.wall_seconds()).max(0.0) + 1.0);
+    rt.run_ticks(1).unwrap();
+    let t0 = rt.ticks();
+    let w1 = rt.wall_seconds();
+    rt.run_ticks(500_000).unwrap();
+    let hw_rate = (rt.ticks() - t0) as f64 / (rt.wall_seconds() - w1);
+
+    assert!(
+        hw_rate > sw_rate * 100.0,
+        "open-loop hardware ({hw_rate:.0} Hz) should be orders of magnitude \
+         beyond software ({sw_rate:.0} Hz)"
+    );
+    // Within 3x of the native 50 MHz clock (paper's headline bound).
+    assert!(hw_rate > 50e6 / 3.0, "rate {hw_rate:.0} outside 3x of native");
+}
