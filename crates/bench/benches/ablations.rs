@@ -6,9 +6,10 @@
 //! printed modeled rates (stderr, once per config) show the virtual-clock
 //! impact each stage has — the quantity DESIGN.md's ablation index tracks.
 
+use cascade_bench::harness::Criterion;
+use cascade_bench::{criterion_group, criterion_main};
 use cascade_core::{JitConfig, Runtime};
 use cascade_fpga::Board;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 const PROGRAM: &str = "module Rol(input wire [7:0] x, output wire [7:0] y);\n\
     assign y = (x == 8'h80) ? 8'h1 : (x<<1);\nendmodule\n\
@@ -42,11 +43,23 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     let configs: Vec<(&str, JitConfig, bool)> = vec![
         ("full_jit", JitConfig::default(), true),
-        ("no_open_loop", JitConfig::default().without("open_loop"), true),
-        ("no_forwarding", JitConfig::default().without("forwarding"), true),
+        (
+            "no_open_loop",
+            JitConfig::default().without("open_loop"),
+            true,
+        ),
+        (
+            "no_forwarding",
+            JitConfig::default().without("forwarding"),
+            true,
+        ),
         // Software-only pair isolating the inlining stage (Sec. 4.2):
         // one engine for all user logic vs one engine per instance.
-        ("sw_inlined", JitConfig::default().without("auto_compile"), false),
+        (
+            "sw_inlined",
+            JitConfig::default().without("auto_compile"),
+            false,
+        ),
         ("sw_partitioned", JitConfig::interpreter_only(), false),
     ];
     for (name, config, migrate) in configs {

@@ -2,16 +2,21 @@
 //! SHA-256 miner on each execution substrate (AST interpreter vs compiled
 //! netlist), plus the end-to-end JIT tick rate.
 
+use cascade_bench::harness::{Criterion, Throughput};
+use cascade_bench::{criterion_group, criterion_main};
 use cascade_core::{JitConfig, Runtime};
 use cascade_fpga::Board;
 use cascade_netlist::{synthesize, NetlistSim};
 use cascade_sim::{elaborate, library_from_source, Simulator};
 use cascade_workloads::sha256::{miner_verilog, Flavor, MinerConfig};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
 
 fn bench_miner(c: &mut Criterion) {
-    let cfg = MinerConfig { target: 0, announce: false, ..MinerConfig::default() };
+    let cfg = MinerConfig {
+        target: 0,
+        announce: false,
+        ..MinerConfig::default()
+    };
     let src = miner_verilog(&cfg, Flavor::Ported);
     let lib = library_from_source(&src).unwrap();
     let design = Arc::new(elaborate("Miner", &lib, &Default::default()).unwrap());

@@ -1,11 +1,12 @@
 //! Real-throughput companion to Fig. 12: bytes/second through the regex
 //! matcher on each substrate, and the Rust reference DFA as an upper bound.
 
+use cascade_bench::harness::{Criterion, Throughput};
+use cascade_bench::{criterion_group, criterion_main};
 use cascade_bits::Bits;
 use cascade_netlist::{synthesize, NetlistSim};
 use cascade_sim::{elaborate, library_from_source, Simulator};
 use cascade_workloads::regex::{compile, matcher_verilog, Flavor};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
 
 const PATTERN: &str = "GET |POST |HEAD ";

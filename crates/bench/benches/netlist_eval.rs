@@ -1,0 +1,78 @@
+//! Compiled word-arena evaluator vs the interpretive reference walker on
+//! the paper's two throughput-bound netlists: the SHA-256 proof-of-work
+//! miner and the regex-DFA matcher. Batched `run_cycles` is measured
+//! alongside single stepping so the open-loop dense-streak path shows up
+//! as its own row.
+
+use cascade_bench::harness::{Criterion, Throughput};
+use cascade_bench::{criterion_group, criterion_main};
+use cascade_bits::Bits;
+use cascade_netlist::{synthesize, Netlist, NetlistSim, ReferenceSim};
+use cascade_sim::{elaborate, library_from_source};
+use cascade_workloads::regex::{compile, matcher_verilog};
+use cascade_workloads::sha256::{miner_verilog, Flavor, MinerConfig};
+use std::sync::Arc;
+
+const BATCH: u64 = 256;
+
+fn netlist_of(src: &str, top: &str) -> Arc<Netlist> {
+    let lib = library_from_source(src).expect("workload parses");
+    let design = elaborate(top, &lib, &Default::default()).expect("elaborates");
+    Arc::new(synthesize(&design).expect("synthesizes"))
+}
+
+fn bench_netlist(c: &mut Criterion, name: &str, nl: &Arc<Netlist>) {
+    let mut group = c.benchmark_group(name);
+    group.throughput(Throughput::Elements(BATCH));
+    group.bench_function("compiled_batched", |b| {
+        let mut hw = NetlistSim::new(Arc::clone(nl)).unwrap();
+        b.iter(|| {
+            hw.run_cycles(BATCH, usize::MAX);
+            hw.drain_tasks();
+        });
+    });
+    group.bench_function("compiled_stepped", |b| {
+        let mut hw = NetlistSim::new(Arc::clone(nl)).unwrap();
+        b.iter(|| {
+            for _ in 0..BATCH {
+                hw.step_clock(0);
+            }
+            hw.drain_tasks();
+        });
+    });
+    group.bench_function("reference", |b| {
+        let mut rf = ReferenceSim::new(Arc::clone(nl)).unwrap();
+        b.iter(|| {
+            rf.run(BATCH);
+            rf.drain_tasks();
+        });
+    });
+    group.finish();
+}
+
+fn bench_pow(c: &mut Criterion) {
+    let cfg = MinerConfig {
+        target: 0,
+        announce: false,
+        ..MinerConfig::default()
+    };
+    let nl = netlist_of(&miner_verilog(&cfg, Flavor::Ported), "Miner");
+    bench_netlist(c, "netlist_pow", &nl);
+}
+
+fn bench_regex(c: &mut Criterion) {
+    let dfa = compile("GET |POST |HEAD ").unwrap();
+    let nl = netlist_of(
+        &matcher_verilog(&dfa, cascade_workloads::regex::Flavor::Ported),
+        "Matcher",
+    );
+    // Drive a fixed byte so the DFA does real transitions each cycle.
+    let mut warm = NetlistSim::new(Arc::clone(&nl)).unwrap();
+    warm.set_by_name("valid", Bits::from_u64(1, 1));
+    warm.set_by_name("byte_in", Bits::from_u64(8, b'G' as u64));
+    drop(warm);
+    bench_netlist(c, "netlist_regex", &nl);
+}
+
+criterion_group!(benches, bench_pow, bench_regex);
+criterion_main!(benches);

@@ -1,10 +1,11 @@
 //! Microbenchmarks of the execution substrates: bit-vector ops, frontend
 //! passes, interpreter event dispatch, and netlist evaluation.
 
+use cascade_bench::harness::Criterion;
+use cascade_bench::{criterion_group, criterion_main};
 use cascade_bits::Bits;
 use cascade_netlist::{synthesize, NetlistSim};
 use cascade_sim::{elaborate, library_from_source, Simulator};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 const COUNTER: &str = "module Count(input wire clk, output wire [31:0] o);\n\
@@ -16,20 +17,34 @@ fn bench_bits(c: &mut Criterion) {
     let mut group = c.benchmark_group("bits");
     let a = Bits::from_words(256, &[0x0123_4567_89ab_cdef; 4]);
     let b = Bits::from_words(256, &[0xfedc_ba98_7654_3210; 4]);
-    group.bench_function("add_256", |bch| bch.iter(|| std::hint::black_box(&a).add(&b)));
-    group.bench_function("mul_256", |bch| bch.iter(|| std::hint::black_box(&a).mul(&b)));
-    group.bench_function("shl_256", |bch| bch.iter(|| std::hint::black_box(&a).shl(97)));
-    group.bench_function("cmp_256", |bch| bch.iter(|| std::hint::black_box(&a).cmp_unsigned(&b)));
+    group.bench_function("add_256", |bch| {
+        bch.iter(|| std::hint::black_box(&a).add(&b))
+    });
+    group.bench_function("mul_256", |bch| {
+        bch.iter(|| std::hint::black_box(&a).mul(&b))
+    });
+    group.bench_function("shl_256", |bch| {
+        bch.iter(|| std::hint::black_box(&a).shl(97))
+    });
+    group.bench_function("cmp_256", |bch| {
+        bch.iter(|| std::hint::black_box(&a).cmp_unsigned(&b))
+    });
     let small = Bits::from_u64(32, 0xdead_beef);
-    group.bench_function("add_32", |bch| bch.iter(|| std::hint::black_box(&small).add(&small)));
+    group.bench_function("add_32", |bch| {
+        bch.iter(|| std::hint::black_box(&small).add(&small))
+    });
     group.finish();
 }
 
 fn bench_frontend(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontend");
     let src = cascade_verilog::corpus::RUNNING_EXAMPLE;
-    group.bench_function("lex", |b| b.iter(|| cascade_verilog::lex(std::hint::black_box(src))));
-    group.bench_function("parse", |b| b.iter(|| cascade_verilog::parse(std::hint::black_box(src))));
+    group.bench_function("lex", |b| {
+        b.iter(|| cascade_verilog::lex(std::hint::black_box(src)))
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| cascade_verilog::parse(std::hint::black_box(src)))
+    });
     let lib = library_from_source(src).unwrap();
     group.bench_function("elaborate", |b| {
         b.iter(|| elaborate("Main", &lib, &Default::default()).unwrap())

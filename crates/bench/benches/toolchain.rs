@@ -2,19 +2,24 @@
 //! compilation of the paper's benchmark designs (the work Cascade hides in
 //! the background).
 
+use cascade_bench::harness::Criterion;
+use cascade_bench::{criterion_group, criterion_main};
 use cascade_fpga::{place, Toolchain};
 use cascade_netlist::synthesize;
 use cascade_sim::{elaborate, library_from_source};
 use cascade_workloads::regex::{compile as regex_compile, matcher_verilog};
 use cascade_workloads::sha256::{miner_verilog, Flavor, MinerConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 fn bench_toolchain(c: &mut Criterion) {
     let mut group = c.benchmark_group("toolchain");
     group.sample_size(10);
 
-    let miner_cfg = MinerConfig { target: 0, announce: false, ..MinerConfig::default() };
+    let miner_cfg = MinerConfig {
+        target: 0,
+        announce: false,
+        ..MinerConfig::default()
+    };
     let miner_src = miner_verilog(&miner_cfg, Flavor::Ported);
     let miner_lib = library_from_source(&miner_src).unwrap();
     let miner = Arc::new(elaborate("Miner", &miner_lib, &Default::default()).unwrap());
@@ -24,8 +29,12 @@ fn bench_toolchain(c: &mut Criterion) {
     let matcher_lib = library_from_source(&matcher_src).unwrap();
     let matcher = Arc::new(elaborate("Matcher", &matcher_lib, &Default::default()).unwrap());
 
-    group.bench_function("synthesize_miner", |b| b.iter(|| synthesize(&miner).unwrap()));
-    group.bench_function("synthesize_matcher", |b| b.iter(|| synthesize(&matcher).unwrap()));
+    group.bench_function("synthesize_miner", |b| {
+        b.iter(|| synthesize(&miner).unwrap())
+    });
+    group.bench_function("synthesize_matcher", |b| {
+        b.iter(|| synthesize(&matcher).unwrap())
+    });
 
     let miner_nl = Arc::new(synthesize(&miner).unwrap());
     group.bench_function("place_miner", |b| b.iter(|| place(&miner_nl, 1, 1.0)));

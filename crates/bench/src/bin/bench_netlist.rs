@@ -1,0 +1,144 @@
+//! Compiled-evaluator throughput report: cycles/second of the word-arena
+//! [`NetlistSim`] against the interpretive [`ReferenceSim`] baseline on the
+//! SHA-256 proof-of-work miner and the regex-DFA matcher netlists.
+//!
+//! Prints one row per (netlist, evaluator) and writes the machine-readable
+//! results to `BENCH_netlist.json` at the repository root. Set
+//! `CASCADE_BENCH_SECS` to trade precision for runtime.
+
+use cascade_bench::harness::{fmt_si, measure};
+use cascade_bits::Bits;
+use cascade_netlist::{levelize, synthesize, Netlist, NetlistSim, ReferenceSim};
+use cascade_sim::{elaborate, library_from_source};
+use cascade_workloads::regex::{compile, matcher_verilog};
+use cascade_workloads::sha256::{miner_verilog, Flavor, MinerConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+struct Row {
+    netlist: &'static str,
+    evaluator: &'static str,
+    cycles_per_sec: f64,
+}
+
+fn netlist_of(src: &str, top: &str) -> Arc<Netlist> {
+    let lib = library_from_source(src).expect("workload parses");
+    let design = elaborate(top, &lib, &Default::default()).expect("elaborates");
+    Arc::new(synthesize(&design).expect("synthesizes"))
+}
+
+/// Measures one evaluator on one netlist, in settled cycles per second.
+fn bench_pair(nl: &Arc<Netlist>, rows: &mut Vec<Row>, name: &'static str) {
+    const BATCH: u64 = 256;
+    let mut hw = NetlistSim::new(Arc::clone(nl)).expect("levelize");
+    let ns = measure(&mut || {
+        hw.run_cycles(BATCH, usize::MAX);
+        hw.drain_tasks();
+    });
+    let compiled = BATCH as f64 * 1e9 / ns;
+    rows.push(Row {
+        netlist: name,
+        evaluator: "compiled",
+        cycles_per_sec: compiled,
+    });
+
+    let mut reference = ReferenceSim::new(Arc::clone(nl)).expect("levelize");
+    let ns = measure(&mut || {
+        reference.run(BATCH);
+        reference.drain_tasks();
+    });
+    let interp = BATCH as f64 * 1e9 / ns;
+    rows.push(Row {
+        netlist: name,
+        evaluator: "reference",
+        cycles_per_sec: interp,
+    });
+
+    println!(
+        "{name:<10} compiled {:>10}cyc/s   reference {:>10}cyc/s   speedup {:.1}x",
+        fmt_si(compiled),
+        fmt_si(interp),
+        compiled / interp
+    );
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    let cfg = MinerConfig {
+        target: 0,
+        announce: false,
+        ..MinerConfig::default()
+    };
+    let pow = netlist_of(&miner_verilog(&cfg, Flavor::Ported), "Miner");
+    describe("pow", &pow);
+    bench_pair(&pow, &mut rows, "pow");
+
+    let dfa = compile("GET |POST |HEAD ").unwrap();
+    let regex = netlist_of(
+        &matcher_verilog(&dfa, cascade_workloads::regex::Flavor::Ported),
+        "Matcher",
+    );
+    describe("regex", &regex);
+    // The matcher consumes a byte per cycle; drive a fixed input so the
+    // measured loop matches the substrates bench's shape.
+    {
+        let mut hw = NetlistSim::new(Arc::clone(&regex)).expect("levelize");
+        hw.set_by_name("valid", Bits::from_u64(1, 1));
+        hw.set_by_name("byte_in", Bits::from_u64(8, b'G' as u64));
+        drop(hw);
+    }
+    bench_pair(&regex, &mut rows, "regex");
+
+    let json = render_json(&rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netlist.json");
+    std::fs::write(path, &json).expect("write BENCH_netlist.json");
+    println!("\nwrote {path}");
+}
+
+/// Prints the compiled-program profile for one workload netlist.
+fn describe(name: &str, nl: &Arc<Netlist>) {
+    let sim = NetlistSim::new(Arc::clone(nl)).expect("levelize");
+    let stats = sim.program_stats();
+    let order = levelize(nl).expect("acyclic");
+    let pop = cascade_netlist::level_population(nl, &order);
+    let widest = pop.iter().copied().max().unwrap_or(0);
+    println!(
+        "{name:<10} {} instrs ({} wide), {} arena words, {} levels (widest {widest})",
+        stats.instrs, stats.wide_instrs, stats.arena_words, stats.levels
+    );
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out =
+        String::from("{\n  \"benchmark\": \"netlist_eval_cycles_per_sec\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"netlist\": \"{}\", \"evaluator\": \"{}\", \"cycles_per_sec\": {:.1}}}{comma}",
+            r.netlist, r.evaluator, r.cycles_per_sec
+        )
+        .unwrap();
+    }
+    // Per-netlist speedups, the acceptance metric for the compiled lane.
+    out.push_str("  ],\n  \"speedup\": {\n");
+    let mut names: Vec<&str> = rows.iter().map(|r| r.netlist).collect();
+    names.dedup();
+    for (i, name) in names.iter().enumerate() {
+        let compiled = rows
+            .iter()
+            .find(|r| r.netlist == *name && r.evaluator == "compiled")
+            .map(|r| r.cycles_per_sec)
+            .unwrap_or(0.0);
+        let reference = rows
+            .iter()
+            .find(|r| r.netlist == *name && r.evaluator == "reference")
+            .map(|r| r.cycles_per_sec)
+            .unwrap_or(f64::INFINITY);
+        let comma = if i + 1 < names.len() { "," } else { "" };
+        writeln!(out, "    \"{name}\": {:.2}{comma}", compiled / reference).unwrap();
+    }
+    out.push_str("  }\n}\n");
+    out
+}

@@ -32,7 +32,11 @@ fn main() {
     println!("# scale={scale} => horizon {horizon_s:.0} modeled seconds\n");
 
     // Never-found target keeps the miner hashing for the whole window.
-    let cfg = MinerConfig { target: 0, announce: false, ..MinerConfig::default() };
+    let cfg = MinerConfig {
+        target: 0,
+        announce: false,
+        ..MinerConfig::default()
+    };
     let costs = CostModel::default();
 
     // ------------------------------------------------------------------
@@ -56,7 +60,10 @@ fn main() {
     // ------------------------------------------------------------------
     // Quartus baseline: nothing until compilation ends, then native rate.
     // ------------------------------------------------------------------
-    let quartus_tc = Toolchain { time_scale: scale, ..Toolchain::default() };
+    let quartus_tc = Toolchain {
+        time_scale: scale,
+        ..Toolchain::default()
+    };
     let native_bitstream = quartus_tc.compile(&design).expect("native compile");
     let quartus_ready = native_bitstream.modeled_duration.as_secs_f64();
     let native_rate = quartus_tc.device.clock_mhz * 1e6;
@@ -72,7 +79,8 @@ fn main() {
     let mut config = JitConfig::default();
     config.toolchain.time_scale = scale;
     let (mut rt, _board) = fresh_runtime(config);
-    rt.eval(&miner_verilog(&cfg, Flavor::Cascade)).expect("eval");
+    rt.eval(&miner_verilog(&cfg, Flavor::Cascade))
+        .expect("eval");
     let startup_s = rt.wall_seconds();
     // The worker thread is fast in real time; the modeled latency still
     // gates the swap.
@@ -106,8 +114,9 @@ fn main() {
     // ------------------------------------------------------------------
     // Series output.
     // ------------------------------------------------------------------
-    let iverilog_series: Vec<(f64, f64)> =
-        (0..=20).map(|i| (horizon_s * i as f64 / 20.0, iverilog_rate)).collect();
+    let iverilog_series: Vec<(f64, f64)> = (0..=20)
+        .map(|i| (horizon_s * i as f64 / 20.0, iverilog_rate))
+        .collect();
     let quartus_series: Vec<(f64, f64)> = (0..=20)
         .map(|i| {
             let t = horizon_s * i as f64 / 20.0;

@@ -37,7 +37,10 @@ fn main() {
     let ported = matcher_verilog(&dfa, Flavor::Ported);
     let lib = library_from_source(&ported).expect("parse");
     let design = Arc::new(elaborate("Matcher", &lib, &Default::default()).expect("elaborate"));
-    let tc = Toolchain { time_scale: scale, ..Toolchain::default() };
+    let tc = Toolchain {
+        time_scale: scale,
+        ..Toolchain::default()
+    };
     let native = tc.compile(&design).expect("native compile");
     let quartus_ready = native.modeled_duration.as_secs_f64();
     // One token per bus transfer plus one fabric cycle.
@@ -54,7 +57,8 @@ fn main() {
     config.toolchain.time_scale = scale;
     let (mut rt, board) = fresh_runtime(config);
     board.set_fifo_capacity(1 << 20);
-    rt.eval(&matcher_verilog(&dfa, Flavor::Cascade)).expect("eval");
+    rt.eval(&matcher_verilog(&dfa, Flavor::Cascade))
+        .expect("eval");
     rt.wait_for_compile_worker();
 
     let mut series: Vec<(f64, f64)> = Vec::new();
@@ -109,7 +113,10 @@ fn main() {
     let native_area = estimate_area(&nl).logic_elements.max(1);
     let cascade_area = native_area + wrapper_overhead_les(&nl);
     println!("# --- summary (paper's Sec 6.2 claims in parentheses) ---");
-    println!("# cascade sim IO rate: {} (paper: 32 KIO/s)", fmt_rate(sim_ios));
+    println!(
+        "# cascade sim IO rate: {} (paper: 32 KIO/s)",
+        fmt_rate(sim_ios)
+    );
     println!("# cascade crossover at {crossover_s:.0}s; quartus ready at {quartus_ready:.0}s");
     println!(
         "# cascade hw {} vs quartus {} => {:.2}x (paper: 492 vs 560 KIO/s = 0.88x)",

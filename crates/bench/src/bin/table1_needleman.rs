@@ -41,7 +41,10 @@ fn main() {
         ("Number of builds", 27, 1, 123),
     ];
     println!("# Table 1: aggregate statistics over {n} generated submissions");
-    println!("{:<26} {:>6} {:>5} {:>5}   (paper: mean/min/max)", "metric", "mean", "min", "max");
+    println!(
+        "{:<26} {:>6} {:>5} {:>5}   (paper: mean/min/max)",
+        "metric", "mean", "min", "max"
+    );
     for (k, (name, pm, pmin, pmax)) in metrics.iter().enumerate() {
         let vals: Vec<u64> = rows.iter().map(|r| r[k]).collect();
         let mean = vals.iter().sum::<u64>() / vals.len() as u64;
@@ -55,7 +58,9 @@ fn main() {
         "\n# blocking used {:.1}x more than nonblocking in aggregate (paper: 8x)",
         blocking as f64 / nonblocking.max(1) as f64
     );
-    let pipelined = (0..n).filter(|i| student_style(seed_base.wrapping_add(*i)).pipelined).count();
+    let pipelined = (0..n)
+        .filter(|i| student_style(seed_base.wrapping_add(*i)).pipelined)
+        .count();
     println!(
         "# {:.0}% of solutions pipelined (paper: 29%)",
         pipelined as f64 / n as f64 * 100.0

@@ -1,0 +1,184 @@
+//! A minimal Criterion-compatible micro-benchmark harness.
+//!
+//! The build environment has no registry access, so the real `criterion`
+//! crate cannot be resolved; this module implements the subset of its API
+//! the `benches/` files use (`benchmark_group`, `bench_function`,
+//! `Throughput`, `criterion_group!`/`criterion_main!`) over `std::time`.
+//! Results print as `group/name  <ns>/iter  (<rate>)` rows.
+//!
+//! Set `CASCADE_BENCH_SECS` (default 0.25) to control per-benchmark
+//! measurement time.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements (cycles, ticks).
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level harness handle passed to each registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Collected `(label, ns_per_iter, rate_desc)` rows.
+    results: Vec<(String, f64, String)>,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// All measured `(label, ns_per_iter, rate)` rows so far.
+    pub fn results(&self) -> &[(String, f64, String)] {
+        &self.results
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for Criterion API compatibility; this harness sizes its
+    /// measurement loop by wall time (`CASCADE_BENCH_SECS`) instead.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Measures one benchmark and prints its row.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                format!("{}/s", fmt_si(n as f64 * 1e9 / b.ns_per_iter))
+            }
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                format!("{}B/s", fmt_si(n as f64 * 1e9 / b.ns_per_iter))
+            }
+            _ => String::new(),
+        };
+        println!("{label:<44} {:>14}/iter  {rate}", fmt_ns(b.ns_per_iter));
+        self.harness.results.push((label, b.ns_per_iter, rate));
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times the closure, auto-calibrating the iteration count.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        self.ns_per_iter = measure(&mut || {
+            black_box(f());
+        });
+    }
+}
+
+/// Times one closure call in nanoseconds, averaged over an auto-calibrated
+/// batch repeated for the configured measurement window; returns the best
+/// (minimum) batch average, the conventional noise-resistant estimator.
+pub fn measure(f: &mut dyn FnMut()) -> f64 {
+    let budget = std::env::var("CASCADE_BENCH_SECS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.25)
+        .max(0.01);
+    // Calibrate: find an iteration count that takes ≥ ~1/20 of the budget.
+    let mut iters: u64 = 1;
+    let mut once;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        once = t0.elapsed();
+        if once >= Duration::from_secs_f64(budget / 20.0) || iters >= 1 << 30 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let mut best = once.as_secs_f64() / iters as f64;
+    let deadline = Instant::now() + Duration::from_secs_f64(budget);
+    while Instant::now() < deadline {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = t0.elapsed().as_secs_f64() / iters as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    best * 1e9
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Formats a rate with SI prefixes.
+pub fn fmt_si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Registers benchmark functions under one entry point, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($func:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $func(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -7,6 +7,8 @@
 //! machine-independent). The Criterion benches under `benches/` measure
 //! *real* throughput of the substrates on the host machine.
 
+pub mod harness;
+
 use cascade_core::{JitConfig, Runtime};
 use cascade_fpga::Board;
 
@@ -20,7 +22,10 @@ pub struct Curve {
 impl Curve {
     /// Creates an empty curve.
     pub fn new(label: impl Into<String>) -> Self {
-        Curve { points: Vec::new(), label: label.into() }
+        Curve {
+            points: Vec::new(),
+            label: label.into(),
+        }
     }
 
     /// Records a sample.

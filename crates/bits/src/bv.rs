@@ -49,9 +49,15 @@ impl Bits {
     /// ```
     pub fn zero(width: u32) -> Self {
         if width <= WORD_BITS {
-            Bits { width, repr: Repr::Small(0) }
+            Bits {
+                width,
+                repr: Repr::Small(0),
+            }
         } else {
-            Bits { width, repr: Repr::Big(vec![0u64; words_for(width)].into_boxed_slice()) }
+            Bits {
+                width,
+                repr: Repr::Big(vec![0u64; words_for(width)].into_boxed_slice()),
+            }
         }
     }
 
@@ -83,6 +89,7 @@ impl Bits {
     /// # use cascade_bits::Bits;
     /// assert_eq!(Bits::from_u64(4, 0xff).to_u64(), 0xf);
     /// ```
+    #[inline]
     pub fn from_u64(width: u32, value: u64) -> Self {
         let mut b = Bits::zero(width);
         if width > 0 {
@@ -93,6 +100,7 @@ impl Bits {
     }
 
     /// Creates a one-bit vector from a boolean.
+    #[inline]
     pub fn from_bool(value: bool) -> Self {
         Bits::from_u64(1, value as u64)
     }
@@ -286,6 +294,11 @@ impl Bits {
         if width == self.width {
             return self.clone();
         }
+        if width <= WORD_BITS {
+            // Word fast path: truncation to (or zero-extension within) a
+            // single word is one masked copy, no slice walk.
+            return Bits::from_u64(width, self.to_u64());
+        }
         let mut out = Bits::zero(width);
         let n = out.word_len().min(self.word_len());
         let src = self.words();
@@ -361,6 +374,7 @@ impl Bits {
 
     /// Interprets the value as a signed integer, returning its value as
     /// `i64` when the width is at most 64 bits.
+    #[inline]
     pub fn to_i64(&self) -> i64 {
         if self.width == 0 {
             return 0;

@@ -53,7 +53,10 @@ impl Bits {
     /// Formats as binary without a prefix, the `%b` behaviour.
     pub fn to_binary_string(&self) -> String {
         let w = self.width().max(1);
-        (0..w).rev().map(|i| if self.bit(i) { '1' } else { '0' }).collect()
+        (0..w)
+            .rev()
+            .map(|i| if self.bit(i) { '1' } else { '0' })
+            .collect()
     }
 
     /// Formats as octal without a prefix, the `%o` behaviour.

@@ -25,9 +25,11 @@ mod bv;
 mod fmt;
 mod ops;
 mod parse;
+pub mod prng;
 
 pub use bv::Bits;
 pub use parse::ParseBitsError;
+pub use prng::Prng;
 
 #[cfg(test)]
 mod tests;

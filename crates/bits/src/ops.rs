@@ -8,6 +8,19 @@
 use crate::bv::{top_mask, Bits, WORD_BITS};
 use std::cmp::Ordering;
 
+/// Word `i` of `x` sign-extended to an unbounded width: padding bits of the
+/// top word and words past the end read as the sign fill.
+fn sext_word(x: &Bits, i: usize, neg: bool) -> u64 {
+    let words = x.words();
+    let fill = if neg { u64::MAX } else { 0 };
+    let Some(&w) = words.get(i) else { return fill };
+    if neg && i == words.len() - 1 {
+        w | !top_mask(x.width())
+    } else {
+        w
+    }
+}
+
 impl Bits {
     fn zip_words(&self, rhs: &Bits, f: impl Fn(u64, u64) -> u64) -> Bits {
         let mut out = Bits::zero(self.width().max(rhs.width()));
@@ -116,7 +129,10 @@ impl Bits {
         let w = self.width().max(rhs.width());
         // a - b == a + ~b + 1 at width w.
         let nb = rhs.resize(w).not();
-        self.resize(w).add(&nb).add(&Bits::from_u64(w.max(1), 1)).resize(w)
+        self.resize(w)
+            .add(&nb)
+            .add(&Bits::from_u64(w.max(1), 1))
+            .resize(w)
     }
 
     /// Two's-complement negation (`-a`).
@@ -257,7 +273,8 @@ impl Bits {
         if amount >= self.width() {
             return Bits::zero(self.width());
         }
-        self.slice(amount, self.width() - amount).resize(self.width())
+        self.slice(amount, self.width() - amount)
+            .resize(self.width())
     }
 
     /// Arithmetic shift right (`>>>` under signed interpretation).
@@ -267,7 +284,11 @@ impl Bits {
         }
         let sign = self.msb();
         if amount >= self.width() {
-            return if sign { Bits::ones(self.width()) } else { Bits::zero(self.width()) };
+            return if sign {
+                Bits::ones(self.width())
+            } else {
+                Bits::zero(self.width())
+            };
         }
         let mut out = self.shr(amount);
         if sign {
@@ -296,14 +317,26 @@ impl Bits {
 
     /// Signed comparison at the width of the wider operand.
     pub fn cmp_signed(&self, rhs: &Bits) -> Ordering {
-        let w = self.width().max(rhs.width());
-        let a = self.resize_signed(w);
-        let b = rhs.resize_signed(w);
-        match (a.msb(), b.msb()) {
-            (true, false) => Ordering::Less,
-            (false, true) => Ordering::Greater,
-            _ => a.cmp_unsigned(&b),
+        let a_neg = self.msb();
+        let b_neg = rhs.msb();
+        match (a_neg, b_neg) {
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            _ => {}
         }
+        // Same sign: word-wise unsigned comparison of the sign-extended
+        // two's-complement patterns orders correctly, and extending on the
+        // fly avoids materializing resized copies of both operands.
+        let n = self.word_len().max(rhs.word_len());
+        for i in (0..n).rev() {
+            let a = sext_word(self, i, a_neg);
+            let b = sext_word(rhs, i, b_neg);
+            match a.cmp(&b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
     }
 
     /// Verilog equality by value (`==`), with zero extension.

@@ -13,7 +13,9 @@ pub struct ParseBitsError {
 
 impl ParseBitsError {
     fn new(message: impl Into<String>) -> Self {
-        ParseBitsError { message: message.into() }
+        ParseBitsError {
+            message: message.into(),
+        }
     }
 }
 
@@ -35,7 +37,10 @@ impl Bits {
     /// invalid for the radix. Digits beyond `width` wrap (are discarded),
     /// matching Verilog truncation semantics.
     pub fn from_str_radix(width: u32, radix: u32, body: &str) -> Result<Bits, ParseBitsError> {
-        debug_assert!(matches!(radix, 2 | 8 | 10 | 16), "radix must be 2, 8, 10 or 16");
+        debug_assert!(
+            matches!(radix, 2 | 8 | 10 | 16),
+            "radix must be 2, 8, 10 or 16"
+        );
         let mut out = Bits::zero(width);
         let base = Bits::from_u64(width.max(4), radix as u64);
         let mut any = false;
@@ -43,9 +48,9 @@ impl Bits {
             if c == '_' {
                 continue;
             }
-            let d = c
-                .to_digit(radix)
-                .ok_or_else(|| ParseBitsError::new(format!("digit {c:?} invalid for base {radix}")))?;
+            let d = c.to_digit(radix).ok_or_else(|| {
+                ParseBitsError::new(format!("digit {c:?} invalid for base {radix}"))
+            })?;
             any = true;
             out = out.mul(&base).resize(width);
             out = out.add(&Bits::from_u64(width, d as u64)).resize(width);
@@ -77,8 +82,9 @@ impl Bits {
         match text.find('\'') {
             None => {
                 let body: String = text.chars().filter(|&c| c != '_').collect();
-                let v: u64 =
-                    body.parse().map_err(|_| ParseBitsError::new(format!("bad decimal {text:?}")))?;
+                let v: u64 = body
+                    .parse()
+                    .map_err(|_| ParseBitsError::new(format!("bad decimal {text:?}")))?;
                 Ok(Bits::from_u64(32, v))
             }
             Some(pos) => {
@@ -95,12 +101,15 @@ impl Bits {
                     return Err(ParseBitsError::new("zero-width literal"));
                 }
                 let mut chars = rest.chars();
-                let mut radix_char =
-                    chars.next().ok_or_else(|| ParseBitsError::new("missing base"))?;
+                let mut radix_char = chars
+                    .next()
+                    .ok_or_else(|| ParseBitsError::new("missing base"))?;
                 // Signed designator: 8'sd5 — sign only affects context, the
                 // bit pattern parses identically.
                 if radix_char == 's' || radix_char == 'S' {
-                    radix_char = chars.next().ok_or_else(|| ParseBitsError::new("missing base"))?;
+                    radix_char = chars
+                        .next()
+                        .ok_or_else(|| ParseBitsError::new("missing base"))?;
                 }
                 let radix = match radix_char.to_ascii_lowercase() {
                     'b' => 2,

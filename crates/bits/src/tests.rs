@@ -243,7 +243,10 @@ fn parse_literals() {
     assert_eq!("'d42".parse::<Bits>().unwrap().width(), 32);
     assert_eq!("42".parse::<Bits>().unwrap().to_u64(), 42);
     assert_eq!("8'sd5".parse::<Bits>().unwrap().to_u64(), 5);
-    assert_eq!("32'hdead_beef".parse::<Bits>().unwrap().to_u64(), 0xdead_beef);
+    assert_eq!(
+        "32'hdead_beef".parse::<Bits>().unwrap().to_u64(),
+        0xdead_beef
+    );
     // Truncation: digits beyond the width wrap.
     assert_eq!("4'hff".parse::<Bits>().unwrap().to_u64(), 0xf);
 }

@@ -1,120 +1,195 @@
 //! Property-based tests for `cascade-bits` against `u128` reference
 //! semantics and algebraic laws.
+//!
+//! Randomized with the in-tree deterministic [`Prng`] (the container has no
+//! registry access, so `proptest` is unavailable); every case prints its
+//! seed on failure for replay.
 
-use cascade_bits::Bits;
-use proptest::prelude::*;
+use cascade_bits::{Bits, Prng};
 
-fn bits_and_val(width: u32) -> impl Strategy<Value = (Bits, u128)> {
-    any::<u128>().prop_map(move |v| {
-        let v = if width >= 128 { v } else { v & ((1u128 << width) - 1) };
-        (Bits::from_words(width, &[v as u64, (v >> 64) as u64]), v)
-    })
+const CASES: u64 = 256;
+
+fn bits_and_val(rng: &mut Prng, width: u32) -> (Bits, u128) {
+    let v = rng.next_u128();
+    let v = if width >= 128 {
+        v
+    } else {
+        v & ((1u128 << width) - 1)
+    };
+    (Bits::from_words(width, &[v as u64, (v >> 64) as u64]), v)
 }
 
-fn arb_width() -> impl Strategy<Value = u32> {
-    prop_oneof![1u32..=64, 65u32..=128]
+/// A width drawn from both the inline (≤64) and boxed (>64) representations.
+fn arb_width(rng: &mut Prng) -> u32 {
+    if rng.chance(1, 2) {
+        rng.range(1, 64) as u32
+    } else {
+        rng.range(65, 128) as u32
+    }
 }
 
-proptest! {
-    #[test]
-    fn add_matches_u128((w, a, b) in arb_width().prop_flat_map(|w| {
-        (Just(w), bits_and_val(w), bits_and_val(w))
-    }).prop_map(|(w, a, b)| (w, a, b))) {
-        let ((ba, va), (bb, vb)) = (a, b);
-        let mask = if w >= 128 { u128::MAX } else { (1u128 << w) - 1 };
+#[test]
+fn add_matches_u128() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let w = arb_width(&mut rng);
+        let (ba, va) = bits_and_val(&mut rng, w);
+        let (bb, vb) = bits_and_val(&mut rng, w);
+        let mask = if w >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << w) - 1
+        };
         let expect = va.wrapping_add(vb) & mask;
         let got = ba.add(&bb);
-        prop_assert_eq!(got.slice(0, 64).to_u64() as u128
-            | ((got.slice(64, 64).to_u64() as u128) << 64), expect);
+        let got128 =
+            got.slice(0, 64).to_u64() as u128 | ((got.slice(64, 64).to_u64() as u128) << 64);
+        assert_eq!(got128, expect, "seed {seed} width {w}");
     }
+}
 
-    #[test]
-    fn sub_is_add_of_neg((w, a, b) in arb_width().prop_flat_map(|w| {
-        (Just(w), bits_and_val(w), bits_and_val(w))
-    })) {
-        let ((ba, _), (bb, _)) = (a, b);
-        prop_assert_eq!(ba.sub(&bb), ba.add(&bb.neg()));
-        let _ = w;
+#[test]
+fn sub_is_add_of_neg() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let w = arb_width(&mut rng);
+        let (ba, _) = bits_and_val(&mut rng, w);
+        let (bb, _) = bits_and_val(&mut rng, w);
+        assert_eq!(ba.sub(&bb), ba.add(&bb.neg()), "seed {seed} width {w}");
     }
+}
 
-    #[test]
-    fn mul_matches_u128((a, b) in (bits_and_val(64), bits_and_val(64))) {
-        let ((ba, va), (bb, vb)) = (a, b);
+#[test]
+fn mul_matches_u128() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let (ba, va) = bits_and_val(&mut rng, 64);
+        let (bb, vb) = bits_and_val(&mut rng, 64);
         let expect = (va as u64).wrapping_mul(vb as u64);
-        prop_assert_eq!(ba.mul(&bb).to_u64(), expect);
+        assert_eq!(ba.mul(&bb).to_u64(), expect, "seed {seed}");
     }
+}
 
-    #[test]
-    fn divmod_identity((a, b) in (bits_and_val(96), bits_and_val(96))) {
-        let ((ba, _), (bb, vb)) = (a, b);
-        prop_assume!(vb != 0);
+#[test]
+fn divmod_identity() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let (ba, _) = bits_and_val(&mut rng, 96);
+        let (bb, vb) = bits_and_val(&mut rng, 96);
+        if vb == 0 {
+            continue;
+        }
         let q = ba.div(&bb);
         let r = ba.rem(&bb);
-        prop_assert!(r.cmp_unsigned(&bb) == std::cmp::Ordering::Less);
-        prop_assert_eq!(q.mul(&bb).add(&r).resize(96), ba);
+        assert!(
+            r.cmp_unsigned(&bb) == std::cmp::Ordering::Less,
+            "seed {seed}"
+        );
+        assert_eq!(q.mul(&bb).add(&r).resize(96), ba, "seed {seed}");
     }
+}
 
-    #[test]
-    fn shift_roundtrip((a, s) in (bits_and_val(100), 0u32..100)) {
-        let (ba, _) = a;
+#[test]
+fn shift_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let (ba, _) = bits_and_val(&mut rng, 100);
+        let s = rng.below(100) as u32;
         // (a << s) >> s clears the high s bits only.
         let round = ba.shl(s).shr(s);
-        prop_assert_eq!(round, ba.slice(0, 100 - s).resize(100));
+        assert_eq!(
+            round,
+            ba.slice(0, 100 - s).resize(100),
+            "seed {seed} shift {s}"
+        );
     }
+}
 
-    #[test]
-    fn not_involutive(a in bits_and_val(77)) {
-        let (ba, _) = a;
-        prop_assert_eq!(ba.not().not(), ba.clone());
+#[test]
+fn not_involutive() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let (ba, _) = bits_and_val(&mut rng, 77);
+        assert_eq!(ba.not().not(), ba, "seed {seed}");
     }
+}
 
-    #[test]
-    fn de_morgan((a, b) in (bits_and_val(90), bits_and_val(90))) {
-        let ((ba, _), (bb, _)) = (a, b);
-        prop_assert_eq!(ba.and(&bb).not(), ba.not().or(&bb.not()));
+#[test]
+fn de_morgan() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let (ba, _) = bits_and_val(&mut rng, 90);
+        let (bb, _) = bits_and_val(&mut rng, 90);
+        assert_eq!(ba.and(&bb).not(), ba.not().or(&bb.not()), "seed {seed}");
     }
+}
 
-    #[test]
-    fn concat_slice_roundtrip((a, b) in (bits_and_val(37), bits_and_val(21))) {
-        let ((ba, _), (bb, _)) = (a, b);
+#[test]
+fn concat_slice_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let (ba, _) = bits_and_val(&mut rng, 37);
+        let (bb, _) = bits_and_val(&mut rng, 21);
         let c = ba.concat(&bb);
-        prop_assert_eq!(c.width(), 58);
-        prop_assert_eq!(c.slice(0, 21), bb);
-        prop_assert_eq!(c.slice(21, 37), ba);
+        assert_eq!(c.width(), 58);
+        assert_eq!(c.slice(0, 21), bb, "seed {seed}");
+        assert_eq!(c.slice(21, 37), ba, "seed {seed}");
     }
+}
 
-    #[test]
-    fn decimal_string_roundtrip(a in bits_and_val(128)) {
-        let (ba, _) = a;
+#[test]
+fn decimal_string_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let (ba, _) = bits_and_val(&mut rng, 128);
         let s = ba.to_decimal_string();
         let back = Bits::from_str_radix(128, 10, &s).unwrap();
-        prop_assert_eq!(back, ba);
+        assert_eq!(back, ba, "seed {seed}");
     }
+}
 
-    #[test]
-    fn hex_string_roundtrip(a in bits_and_val(71)) {
-        let (ba, _) = a;
+#[test]
+fn hex_string_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let (ba, _) = bits_and_val(&mut rng, 71);
         let back = Bits::from_str_radix(71, 16, &ba.to_hex_string()).unwrap();
-        prop_assert_eq!(back, ba);
+        assert_eq!(back, ba, "seed {seed}");
     }
+}
 
-    #[test]
-    fn cmp_signed_matches_i64(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn cmp_signed_matches_i64() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let ba = Bits::from_u64(64, a);
         let bb = Bits::from_u64(64, b);
-        prop_assert_eq!(ba.cmp_signed(&bb), (a as i64).cmp(&(b as i64)));
+        assert_eq!(
+            ba.cmp_signed(&bb),
+            (a as i64).cmp(&(b as i64)),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn reduce_xor_is_parity(a in bits_and_val(93)) {
-        let (ba, _) = a;
-        prop_assert_eq!(ba.reduce_xor(), ba.count_ones() % 2 == 1);
+#[test]
+fn reduce_xor_is_parity() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let (ba, _) = bits_and_val(&mut rng, 93);
+        assert_eq!(ba.reduce_xor(), ba.count_ones() % 2 == 1, "seed {seed}");
     }
+}
 
-    #[test]
-    fn resize_signed_preserves_value(a in any::<u64>(), w in 1u32..63) {
-        let ba = Bits::from_u64(w, a);
+#[test]
+fn resize_signed_preserves_value() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(seed);
+        let w = rng.range(1, 62) as u32;
+        let ba = Bits::from_u64(w, rng.next_u64());
         let wide = ba.resize_signed(64);
-        prop_assert_eq!(wide.to_i64(), ba.to_i64());
+        assert_eq!(wide.to_i64(), ba.to_i64(), "seed {seed} width {w}");
     }
 }

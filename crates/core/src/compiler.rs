@@ -116,7 +116,9 @@ impl BackgroundCompiler {
     /// The modeled wall-clock second at which the staged result becomes
     /// available, if known.
     pub fn ready_at(&self) -> Option<f64> {
-        self.staged.as_ref().map(|o| self.submitted_s + o.latency.as_secs_f64())
+        self.staged
+            .as_ref()
+            .map(|o| self.submitted_s + o.latency.as_secs_f64())
     }
 
     /// Blocks the calling thread until the worker finishes (test support;
@@ -156,13 +158,21 @@ fn compile_with_wrapper(design: &Design, toolchain: &Toolchain, version: u64) ->
     padded.logic_elements += tc.overhead_les;
     let full_latency = tc.modeled_duration(&padded, netlist.cell_count());
     match tc.compile_netlist(Arc::clone(&netlist)) {
-        Ok(bs) => CompileOutcome { version, result: Ok(bs), latency: full_latency },
+        Ok(bs) => CompileOutcome {
+            version,
+            result: Ok(bs),
+            latency: full_latency,
+        },
         Err(e @ CompileError::DoesNotFit { .. }) => CompileOutcome {
             version,
             result: Err(e),
             // Fit checks fail at the start of place-and-route.
             latency: Duration::from_secs_f64(full_latency.as_secs_f64() * 0.2),
         },
-        Err(e) => CompileOutcome { version, result: Err(e), latency: full_latency },
+        Err(e) => CompileOutcome {
+            version,
+            result: Err(e),
+            latency: full_latency,
+        },
     }
 }

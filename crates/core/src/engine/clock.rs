@@ -18,7 +18,10 @@ pub struct ClockEngine {
 impl ClockEngine {
     /// A clock starting low and armed to rise.
     pub fn new() -> Self {
-        ClockEngine { val: false, armed: true }
+        ClockEngine {
+            val: false,
+            armed: true,
+        }
     }
 
     /// The current level.
@@ -40,7 +43,8 @@ impl Engine for ClockEngine {
 
     fn get_state(&mut self) -> EngineState {
         let mut s = EngineState::default();
-        s.regs.insert("__clk_val".to_string(), Bits::from_bool(self.val));
+        s.regs
+            .insert("__clk_val".to_string(), Bits::from_bool(self.val));
         s
     }
 

@@ -98,7 +98,11 @@ impl HwEngine {
     /// open-loop eligibility requirement).
     pub fn single_posedge_domain(&self) -> bool {
         self.clock_inputs.len() <= 1
-            && self.clock_inputs.first().map(|(_, e)| *e == Edge::Pos).unwrap_or(true)
+            && self
+                .clock_inputs
+                .first()
+                .map(|(_, e)| *e == Edge::Pos)
+                .unwrap_or(true)
     }
 
     fn collect_fires(&mut self, fires: Vec<TaskFire>) {
@@ -143,7 +147,8 @@ impl HwEngine {
     /// One full clock cycle including absorbed peripherals.
     fn cycle(&mut self) {
         self.exchange_with_peripherals();
-        self.core.ctrl_write(cascade_fpga::Ctrl::Latch, Bits::from_u64(1, 1));
+        self.core
+            .ctrl_write(cascade_fpga::Ctrl::Latch, Bits::from_u64(1, 1));
         for f in &mut self.forwarded {
             f.peripheral.posedge();
         }
@@ -163,14 +168,19 @@ impl Engine for HwEngine {
         let nl = Arc::clone(self.core.sim_ref().netlist());
         for (i, reg) in nl.regs.iter().enumerate() {
             let name = reg.name.clone().unwrap_or_else(|| format!("reg{i}"));
-            state
-                .regs
-                .insert(name, self.core.sim().read_reg(cascade_netlist::RegId(i as u32)).clone());
+            state.regs.insert(
+                name,
+                self.core.sim().read_reg(cascade_netlist::RegId(i as u32)),
+            );
         }
         for (i, mem) in nl.mems.iter().enumerate() {
             let name = mem.name.clone().unwrap_or_else(|| format!("mem{i}"));
             let words = (0..mem.words)
-                .map(|a| self.core.sim().read_mem(cascade_netlist::MemId(i as u32), a))
+                .map(|a| {
+                    self.core
+                        .sim()
+                        .read_mem(cascade_netlist::MemId(i as u32), a)
+                })
                 .collect();
             state.mems.insert(name, words);
         }
@@ -187,14 +197,20 @@ impl Engine for HwEngine {
         for (i, reg) in nl.regs.iter().enumerate() {
             let name = reg.name.clone().unwrap_or_else(|| format!("reg{i}"));
             if let Some(v) = state.regs.get(&name) {
-                self.core.sim().write_reg(cascade_netlist::RegId(i as u32), v.clone());
+                self.core
+                    .sim()
+                    .write_reg(cascade_netlist::RegId(i as u32), v.clone());
             }
         }
         for (i, mem) in nl.mems.iter().enumerate() {
             let name = mem.name.clone().unwrap_or_else(|| format!("mem{i}"));
             if let Some(words) = state.mems.get(&name) {
                 for (a, w) in words.iter().enumerate() {
-                    self.core.sim().write_mem(cascade_netlist::MemId(i as u32), a as u64, w.clone());
+                    self.core.sim().write_mem(
+                        cascade_netlist::MemId(i as u32),
+                        a as u64,
+                        w.clone(),
+                    );
                 }
             }
         }
@@ -204,7 +220,8 @@ impl Engine for HwEngine {
                 .mems
                 .iter()
                 .filter_map(|(k, v)| {
-                    k.strip_prefix(&prefix).map(|rest| (rest.to_string(), v.clone()))
+                    k.strip_prefix(&prefix)
+                        .map(|rest| (rest.to_string(), v.clone()))
                 })
                 .collect();
             if !sub.is_empty() {
@@ -307,6 +324,16 @@ impl Engine for HwEngine {
             return 0;
         }
         self.bus_msgs += 2; // request + return of control
+        if !self.is_forwarding() {
+            // No absorbed peripherals to feed per cycle: the whole batch
+            // executes inside the evaluator as one MMIO transaction,
+            // stopping at the first task firing or `$finish`.
+            let done = self.core.open_loop_batch(steps);
+            let fires = self.core.drain_tasks();
+            self.collect_fires(fires);
+            self.dirty = true;
+            return done;
+        }
         // Sample external inputs at batch start: the runtime hands over
         // control at an observable state, which is when boards get polled.
         for f in &mut self.forwarded {

@@ -36,7 +36,11 @@ impl NativeEngine {
         }
         let sim = NetlistSim::new(netlist)
             .map_err(|e| EngineError::Internal(format!("levelization failed: {e}")))?;
-        Ok(NativeEngine { sim, peripherals, last_cycles: 0 })
+        Ok(NativeEngine {
+            sim,
+            peripherals,
+            last_cycles: 0,
+        })
     }
 
     fn exchange(&mut self) {
@@ -55,7 +59,7 @@ impl NativeEngine {
             for fi in 0..self.peripherals.len() {
                 let drives = self.peripherals[fi].drives.clone();
                 for (engine_port, periph_port) in &drives {
-                    if let Some(v) = self.sim.get_by_name(engine_port).cloned() {
+                    if let Some(v) = self.sim.get_by_name(engine_port) {
                         self.peripherals[fi].peripheral.set_input(periph_port, &v);
                     }
                 }
@@ -90,7 +94,7 @@ impl Engine for NativeEngine {
     }
 
     fn output(&mut self, port: &str) -> Bits {
-        self.sim.get_by_name(port).cloned().unwrap_or_default()
+        self.sim.get_by_name(port).unwrap_or_default()
     }
 
     fn there_are_evals(&self) -> bool {
@@ -114,6 +118,11 @@ impl Engine for NativeEngine {
     }
 
     fn open_loop(&mut self, steps: u64) -> u64 {
+        if self.peripherals.is_empty() {
+            // Nothing to exchange per cycle: run the whole batch inside the
+            // evaluator (native mode has no tasks to interlock on).
+            return self.sim.run_cycles(steps, usize::MAX);
+        }
         let mut done = 0;
         while done < steps {
             self.exchange();
@@ -133,7 +142,11 @@ impl Engine for NativeEngine {
     fn take_cost_ns(&mut self, costs: &CostModel) -> f64 {
         let cycles = self.sim.cycles() - self.last_cycles;
         self.last_cycles = self.sim.cycles();
-        let bus: u64 = self.peripherals.iter_mut().map(|f| f.peripheral.take_bus_words()).sum();
+        let bus: u64 = self
+            .peripherals
+            .iter_mut()
+            .map(|f| f.peripheral.take_bus_words())
+            .sum();
         cycles as f64 * costs.hw_cycle_ns + bus as f64 * costs.abi_message_ns
     }
 

@@ -24,7 +24,12 @@ pub struct PeripheralEngine {
 impl PeripheralEngine {
     /// Wraps a component.
     pub fn new(peripheral: Box<dyn Peripheral>) -> Self {
-        PeripheralEngine { peripheral, clk_last: false, edge_pending: false, msgs: 0 }
+        PeripheralEngine {
+            peripheral,
+            clk_last: false,
+            edge_pending: false,
+            msgs: 0,
+        }
     }
 
     /// Extracts the component (for forwarding absorption).
@@ -39,7 +44,10 @@ impl Engine for PeripheralEngine {
     }
 
     fn get_state(&mut self) -> EngineState {
-        EngineState { regs: Default::default(), mems: self.peripheral.get_state() }
+        EngineState {
+            regs: Default::default(),
+            mems: self.peripheral.get_state(),
+        }
     }
 
     fn set_state(&mut self, state: &EngineState) {

@@ -117,8 +117,9 @@ impl Engine for SwEngine {
                 continue;
             }
             if info.is_array() {
-                let words =
-                    (0..info.array_len).map(|i| self.sim.peek_array(id, i)).collect();
+                let words = (0..info.array_len)
+                    .map(|i| self.sim.peek_array(id, i))
+                    .collect();
                 state.mems.insert(name.to_string(), words);
             } else {
                 state.regs.insert(name.to_string(), self.sim.peek_id(id));
@@ -152,7 +153,12 @@ impl Engine for SwEngine {
     }
 
     fn output(&mut self, port: &str) -> Bits {
-        match self.outputs.get(port).copied().or_else(|| self.sim.design().var(port)) {
+        match self
+            .outputs
+            .get(port)
+            .copied()
+            .or_else(|| self.sim.design().var(port))
+        {
             Some(id) => self.sim.peek_id(id),
             None => Bits::default(),
         }

@@ -52,10 +52,13 @@ pub struct Fig10Wrapper {
 impl Fig10Wrapper {
     /// The bus address of a named input/state/output slot.
     pub fn addr_of(&self, name: &str) -> Option<u32> {
-        self.slots.iter().position(|s| match s {
-            WrapperSlot::Input(n) | WrapperSlot::State(n) | WrapperSlot::Output(n) => n == name,
-            WrapperSlot::TaskArg { .. } => false,
-        }).map(|i| i as u32)
+        self.slots
+            .iter()
+            .position(|s| match s {
+                WrapperSlot::Input(n) | WrapperSlot::State(n) | WrapperSlot::Output(n) => n == name,
+                WrapperSlot::TaskArg { .. } => false,
+            })
+            .map(|i| i as u32)
     }
 }
 
@@ -67,7 +70,11 @@ impl Fig10Wrapper {
 /// instances (inline first, paper Sec. 4.2), uses memories (the real system
 /// maps those to block RAM ports), or mixes clock edges.
 pub fn generate_wrapper(sub: &Module, lib: &ModuleLibrary) -> Result<Fig10Wrapper, CascadeError> {
-    if sub.items.iter().any(|i| matches!(i, ModuleItem::Instance(_))) {
+    if sub
+        .items
+        .iter()
+        .any(|i| matches!(i, ModuleItem::Instance(_)))
+    {
         return Err(CascadeError::Unsupported(
             "fig10 wrapper generation requires inlined user logic".to_string(),
         ));
@@ -91,7 +98,9 @@ pub fn generate_wrapper(sub: &Module, lib: &ModuleLibrary) -> Result<Fig10Wrappe
     let mut state: Vec<(String, u32)> = Vec::new();
     let mut unsupported: Option<String> = None;
     for item in &sub.items {
-        let ModuleItem::Always(a) = item else { continue };
+        let ModuleItem::Always(a) = item else {
+            continue;
+        };
         let clocked = matches!(&a.sensitivity, Sensitivity::List(items)
             if items.iter().any(|i| i.edge.is_some()));
         if !clocked {
@@ -105,14 +114,12 @@ pub fn generate_wrapper(sub: &Module, lib: &ModuleLibrary) -> Result<Fig10Wrappe
                         // nonblocking updates; partial or blocking state
                         // writes would need read-modify-write shadows.
                         if !matches!(lv, LValue::Ident(_)) {
-                            unsupported = Some(format!(
-                                "partial write to state `{n}` in fig10 wrapper"
-                            ));
+                            unsupported =
+                                Some(format!("partial write to state `{n}` in fig10 wrapper"));
                         }
                         if blocking {
-                            unsupported = Some(format!(
-                                "blocking write to state `{n}` in fig10 wrapper"
-                            ));
+                            unsupported =
+                                Some(format!("blocking write to state `{n}` in fig10 wrapper"));
                         }
                         if !state.iter().any(|(s, _)| s == n) {
                             state.push((n.to_string(), sym.width()));
@@ -211,7 +218,10 @@ pub fn generate_wrapper(sub: &Module, lib: &ModuleLibrary) -> Result<Fig10Wrappe
     src.push_str("reg [31:0] _oloop = 0, _itrs = 0;\n");
     let _ = writeln!(src, "wire _updates = _umask != _numask;");
     let _ = writeln!(src, "wire _set_latch = RW && ADDR == A_LATCH;");
-    let _ = writeln!(src, "wire _latch = _set_latch || (_updates && _oloop != 0);");
+    let _ = writeln!(
+        src,
+        "wire _latch = _set_latch || (_updates && _oloop != 0);"
+    );
     let _ = writeln!(src, "wire _tasks = _tmask != _ntmask;");
     let _ = writeln!(src, "wire _clear = RW && ADDR == A_CLEAR;");
     let _ = writeln!(src, "wire _otick = (_oloop != 0) && !_tasks;");
@@ -235,8 +245,7 @@ pub fn generate_wrapper(sub: &Module, lib: &ModuleLibrary) -> Result<Fig10Wrappe
                 // everything else (wires, comb regs).
                 let mut kept = decl.clone();
                 kept.decls.retain(|d| {
-                    !state_names.contains(&d.name)
-                        && !inputs.iter().any(|(n, _)| n == &d.name)
+                    !state_names.contains(&d.name) && !inputs.iter().any(|(n, _)| n == &d.name)
                 });
                 if !kept.decls.is_empty() {
                     src.push_str(&print_item(&ModuleItem::Net(kept)));
@@ -244,7 +253,13 @@ pub fn generate_wrapper(sub: &Module, lib: &ModuleLibrary) -> Result<Fig10Wrappe
             }
             ModuleItem::Always(a) => {
                 let mut rewritten = a.clone();
-                rewrite_stmt(&mut rewritten.body, &state_names, &mut task_counter, &task_arg_slots, &tasks);
+                rewrite_stmt(
+                    &mut rewritten.body,
+                    &state_names,
+                    &mut task_counter,
+                    &task_arg_slots,
+                    &tasks,
+                );
                 src.push_str(&print_item(&ModuleItem::Always(rewritten)));
             }
             ModuleItem::Assign(_) | ModuleItem::Param(_) => {
@@ -278,7 +293,10 @@ pub fn generate_wrapper(sub: &Module, lib: &ModuleLibrary) -> Result<Fig10Wrappe
                 "  _var_{n} <= _otick ? (_var_{n} + 1) : (RW && ADDR == 32'd{i}) ? IN : _var_{n};"
             );
         } else {
-            let _ = writeln!(src, "  _var_{n} <= (RW && ADDR == 32'd{i}) ? IN : _var_{n};");
+            let _ = writeln!(
+                src,
+                "  _var_{n} <= (RW && ADDR == 32'd{i}) ? IN : _var_{n};"
+            );
         }
     }
     for (si, (n, _)) in state.iter().enumerate() {
@@ -306,7 +324,11 @@ pub fn generate_wrapper(sub: &Module, lib: &ModuleLibrary) -> Result<Fig10Wrappe
     src.push_str("    default: _out = 32'd0;\n  endcase\nend\n");
     src.push_str("assign OUT = _out;\nassign WAIT = _oloop != 0;\nendmodule\n");
 
-    Ok(Fig10Wrapper { source: src, slots, ctrl })
+    Ok(Fig10Wrapper {
+        source: src,
+        slots,
+        ctrl,
+    })
 }
 
 /// Task descriptor: `(kind, original args, optional format string)`.
@@ -327,7 +349,11 @@ fn collect_tasks(s: &Stmt, out: &mut Vec<TaskInfo>) {
                 collect_tasks(st, out);
             }
         }
-        Stmt::If { then_branch, else_branch, .. } => {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             collect_tasks(then_branch, out);
             if let Some(e) = else_branch {
                 collect_tasks(e, out);
@@ -341,7 +367,9 @@ fn collect_tasks(s: &Stmt, out: &mut Vec<TaskInfo>) {
                 collect_tasks(d, out);
             }
         }
-        Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::Repeat { body, .. }
+        Stmt::For { body, .. }
+        | Stmt::While { body, .. }
+        | Stmt::Repeat { body, .. }
         | Stmt::Forever { body, .. } => collect_tasks(body, out),
         _ => {}
     }
@@ -364,9 +392,10 @@ fn rewrite_stmt(
             }
         }
         Stmt::Blocking { lhs, .. } | Stmt::NonBlocking { lhs, .. } => {
-            if let Some(si) = state.iter().position(|n| {
-                lhs.written_names().first().is_some_and(|w| w == n)
-            }) {
+            if let Some(si) = state
+                .iter()
+                .position(|n| lhs.written_names().first().is_some_and(|w| w == n))
+            {
                 let name = state[si].clone();
                 redirect_lvalue(lhs, &name, &format!("_nvar_{name}"));
                 // Append the mask toggle by wrapping in a block.
@@ -385,10 +414,17 @@ fn rewrite_stmt(
                     span: cascade_verilog::Span::synthetic(),
                 };
                 let original = std::mem::replace(s, Stmt::Null);
-                *s = Stmt::Block { name: None, stmts: vec![original, toggle] };
+                *s = Stmt::Block {
+                    name: None,
+                    stmts: vec![original, toggle],
+                };
             }
         }
-        Stmt::If { then_branch, else_branch, .. } => {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             rewrite_stmt(then_branch, state, task_counter, task_arg_slots, tasks);
             if let Some(e) = else_branch {
                 rewrite_stmt(e, state, task_counter, task_arg_slots, tasks);
@@ -402,7 +438,9 @@ fn rewrite_stmt(
                 rewrite_stmt(d, state, task_counter, task_arg_slots, tasks);
             }
         }
-        Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::Repeat { body, .. }
+        Stmt::For { body, .. }
+        | Stmt::While { body, .. }
+        | Stmt::Repeat { body, .. }
         | Stmt::Forever { body, .. } => {
             rewrite_stmt(body, state, task_counter, task_arg_slots, tasks);
         }

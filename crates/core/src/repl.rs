@@ -29,7 +29,10 @@ pub struct Repl {
 impl Repl {
     /// Wraps a runtime.
     pub fn new(runtime: Runtime) -> Self {
-        Repl { runtime, buffer: String::new() }
+        Repl {
+            runtime,
+            buffer: String::new(),
+        }
     }
 
     /// The underlying runtime.

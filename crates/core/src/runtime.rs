@@ -141,6 +141,14 @@ impl Runtime {
         for m in cascade_stdlib::stdlib_modules() {
             lib.insert(m);
         }
+        // Seed the adaptive open-loop budget from the device clock: one
+        // batch ≈ one control-return period at full fabric speed. The
+        // controller rescales from measured cost after the first batch.
+        let open_loop_budget = config
+            .toolchain
+            .device
+            .open_loop_batch_hint(config.open_loop_target_s)
+            .min(1 << 22) as f64;
         let mut rt = Runtime {
             config,
             board,
@@ -159,7 +167,7 @@ impl Runtime {
             hw_design: None,
             native: false,
             open_loop_last: false,
-            open_loop_budget: 4096.0,
+            open_loop_budget,
             warnings: Vec::new(),
         };
         rt.rebuild()?;
@@ -283,7 +291,10 @@ impl Runtime {
                     staged_lib.insert(m);
                 }
                 Item::RootItem(mi) => {
-                    staged_root.push(RootEntry { item: mi, executed: false });
+                    staged_root.push(RootEntry {
+                        item: mi,
+                        executed: false,
+                    });
                 }
             }
         }
@@ -420,11 +431,15 @@ impl Runtime {
         let mut child_specs: Vec<(String, String, ParamEnv)> = Vec::new();
         if !self.config.inline {
             for item in &root_module.items {
-                let ModuleItem::Instance(inst) = item else { continue };
+                let ModuleItem::Instance(inst) = item else {
+                    continue;
+                };
                 if cascade_stdlib::is_stdlib_module(&inst.module) {
                     continue;
                 }
-                let Some(decl) = self.lib.get(&inst.module) else { continue };
+                let Some(decl) = self.lib.get(&inst.module) else {
+                    continue;
+                };
                 let mut params = ParamEnv::new();
                 for (i, conn) in inst.params.iter().enumerate() {
                     let name = match &conn.name {
@@ -445,12 +460,14 @@ impl Runtime {
             }
         }
         let mut wires: Vec<Wire> = Vec::new();
-        let transformed =
-            transform_module(ROOT, &root_module, &externals, &self.lib, &mut wires)?;
+        let transformed = transform_module(ROOT, &root_module, &externals, &self.lib, &mut wires)?;
 
         // 3. Build engines.
         let mut slots: Vec<Slot> = Vec::new();
-        slots.push(Slot { name: "clk".to_string(), engine: Box::new(ClockEngine::new()) });
+        slots.push(Slot {
+            name: "clk".to_string(),
+            engine: Box::new(ClockEngine::new()),
+        });
         let clock_idx = 0;
 
         // Peripherals that actually participate (wired), instantiated via
@@ -463,7 +480,9 @@ impl Runtime {
         peripheral_names.sort();
         peripheral_names.dedup();
         for name in &peripheral_names {
-            let Some((module, params)) = externals.get(name) else { continue };
+            let Some((module, params)) = externals.get(name) else {
+                continue;
+            };
             if !cascade_stdlib::is_stdlib_module(module) {
                 continue; // a non-inlined user instance: gets its own engine below
             }
@@ -472,7 +491,10 @@ impl Runtime {
                     "`{module}` cannot be instantiated as a peripheral"
                 )));
             };
-            slots.push(Slot { name: name.clone(), engine: Box::new(PeripheralEngine::new(p)) });
+            slots.push(Slot {
+                name: name.clone(),
+                engine: Box::new(PeripheralEngine::new(p)),
+            });
         }
 
         // Child engines for non-inlined user instances (software only; the
@@ -481,10 +503,12 @@ impl Runtime {
         for (inst_name, module_name, params) in &child_specs {
             let design = cascade_sim::elaborate(module_name, &self.lib, params)
                 .map_err(CascadeError::Elaborate)?;
-            let engine =
-                SwEngine::with_state(Arc::new(design), saved.get(inst_name.as_str()))
-                    .map_err(|e| CascadeError::Unsupported(e.to_string()))?;
-            slots.push(Slot { name: inst_name.clone(), engine: Box::new(engine) });
+            let engine = SwEngine::with_state(Arc::new(design), saved.get(inst_name.as_str()))
+                .map_err(|e| CascadeError::Unsupported(e.to_string()))?;
+            slots.push(Slot {
+                name: inst_name.clone(),
+                engine: Box::new(engine),
+            });
         }
 
         // The main engine (if there is user logic).
@@ -502,7 +526,10 @@ impl Runtime {
             let engine = SwEngine::with_state(Arc::clone(&sw_design), saved.get(ROOT))
                 .map_err(|e| CascadeError::Unsupported(e.to_string()))?;
             main_idx = Some(slots.len());
-            slots.push(Slot { name: ROOT.to_string(), engine: Box::new(engine) });
+            slots.push(Slot {
+                name: ROOT.to_string(),
+                engine: Box::new(engine),
+            });
             hw_design = Some(hw);
         }
 
@@ -548,7 +575,10 @@ impl Runtime {
         // 5. Mark one-shot items executed (they ran during engine init) and
         // surface their output.
         for entry in &mut self.root {
-            if matches!(entry.item, ModuleItem::Statement(_) | ModuleItem::Initial(_)) {
+            if matches!(
+                entry.item,
+                ModuleItem::Statement(_) | ModuleItem::Initial(_)
+            ) {
                 entry.executed = true;
             }
         }
@@ -699,18 +729,25 @@ impl Runtime {
                 self.swap_to_hardware(Arc::clone(&bitstream.netlist))?;
             }
             Err(e) => {
-                self.warnings.push(format!("hardware compilation failed: {e}"));
+                self.warnings
+                    .push(format!("hardware compilation failed: {e}"));
                 self.collect_interrupts();
             }
         }
         Ok(())
     }
 
-    fn swap_to_hardware(&mut self, netlist: Arc<cascade_netlist::Netlist>) -> Result<(), CascadeError> {
-        let Some(main_idx) = self.main_idx else { return Ok(()) };
+    fn swap_to_hardware(
+        &mut self,
+        netlist: Arc<cascade_netlist::Netlist>,
+    ) -> Result<(), CascadeError> {
+        let Some(main_idx) = self.main_idx else {
+            return Ok(());
+        };
         // Swap only at a tick boundary (clock low) so edge detection stays
         // coherent.
-        let mut hw = HwEngine::new(netlist).map_err(|e| CascadeError::Unsupported(e.to_string()))?;
+        let mut hw =
+            HwEngine::new(netlist).map_err(|e| CascadeError::Unsupported(e.to_string()))?;
         let state = self.slots[main_idx].engine.get_state();
         hw.set_state(&state);
         self.slots[main_idx].engine = Box::new(hw);
@@ -745,7 +782,9 @@ impl Runtime {
 
     /// Extracts peripheral engines and their bindings for absorption.
     fn collect_forwarded(&mut self) -> Vec<Forwarded> {
-        let Some(main_idx) = self.main_idx else { return Vec::new() };
+        let Some(main_idx) = self.main_idx else {
+            return Vec::new();
+        };
         let mut out: Vec<Forwarded> = Vec::new();
         let peripheral_indices: Vec<usize> = self
             .slots
@@ -778,14 +817,21 @@ impl Runtime {
                 Some(p) => p,
                 None => continue,
             };
-            out.push(Forwarded { instance: name, peripheral, drives, feeds });
+            out.push(Forwarded {
+                instance: name,
+                peripheral,
+                drives,
+                feeds,
+            });
         }
         out
     }
 
     /// Drops every slot except the clock and main, rewiring accordingly.
     fn retain_clock_and_main(&mut self) {
-        let Some(main_idx) = self.main_idx else { return };
+        let Some(main_idx) = self.main_idx else {
+            return;
+        };
         let keep: Vec<usize> = vec![self.clock_idx, main_idx];
         let mut new_slots = Vec::new();
         let mut remap = BTreeMap::new();
@@ -793,10 +839,14 @@ impl Runtime {
             remap.insert(old_i, new_i);
             new_slots.push(std::mem::replace(
                 &mut self.slots[old_i],
-                Slot { name: String::new(), engine: Box::new(ClockEngine::new()) },
+                Slot {
+                    name: String::new(),
+                    engine: Box::new(ClockEngine::new()),
+                },
             ));
         }
-        self.wires.retain(|w| remap.contains_key(&w.from.0) && remap.contains_key(&w.to.0));
+        self.wires
+            .retain(|w| remap.contains_key(&w.from.0) && remap.contains_key(&w.to.0));
         for w in &mut self.wires {
             w.from.0 = remap[&w.from.0];
             w.to.0 = remap[&w.to.0];
@@ -812,7 +862,9 @@ impl Runtime {
         if !self.config.open_loop && !self.native {
             return Ok(None);
         }
-        let Some(main_idx) = self.main_idx else { return Ok(None) };
+        let Some(main_idx) = self.main_idx else {
+            return Ok(None);
+        };
         if self.slots.len() > 2 {
             return Ok(None); // peripherals still on the data plane
         }
@@ -888,7 +940,8 @@ fn compose_root(entries: &[RootEntry], for_engine: bool) -> Module {
 /// form that goes to the hardware toolchain.
 fn strip_one_shot(module: &Module) -> Module {
     let mut out = module.clone();
-    out.items.retain(|i| !matches!(i, ModuleItem::Statement(_) | ModuleItem::Initial(_)));
+    out.items
+        .retain(|i| !matches!(i, ModuleItem::Statement(_) | ModuleItem::Initial(_)));
     out
 }
 
@@ -907,21 +960,29 @@ fn root_externals(
         "pad".to_string(),
         (
             "Pad".to_string(),
-            ParamEnv::from([("WIDTH".to_string(), Bits::from_u64(32, config.pad_width as u64))]),
+            ParamEnv::from([(
+                "WIDTH".to_string(),
+                Bits::from_u64(32, config.pad_width as u64),
+            )]),
         ),
     );
     ext.insert(
         "led".to_string(),
         (
             "Led".to_string(),
-            ParamEnv::from([("WIDTH".to_string(), Bits::from_u64(32, config.led_width as u64))]),
+            ParamEnv::from([(
+                "WIDTH".to_string(),
+                Bits::from_u64(32, config.led_width as u64),
+            )]),
         ),
     );
     ext.insert("rst".to_string(), ("Reset".to_string(), ParamEnv::new()));
     ext.insert("gpio".to_string(), ("GPIO".to_string(), ParamEnv::new()));
     // Explicit stdlib instances.
     for item in &root.items {
-        let ModuleItem::Instance(inst) = item else { continue };
+        let ModuleItem::Instance(inst) = item else {
+            continue;
+        };
         if !cascade_stdlib::is_stdlib_module(&inst.module) {
             continue;
         }
@@ -938,8 +999,7 @@ fn root_externals(
                 },
             };
             if let Some(expr) = &conn.expr {
-                let v = const_eval(expr, &ParamEnv::new())
-                    .map_err(CascadeError::Elaborate)?;
+                let v = const_eval(expr, &ParamEnv::new()).map_err(CascadeError::Elaborate)?;
                 params.insert(name, v);
             }
         }

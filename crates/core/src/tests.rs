@@ -21,7 +21,10 @@ fn runtime(config: JitConfig) -> (Runtime, Board) {
 }
 
 fn no_compile_config() -> JitConfig {
-    JitConfig { auto_compile: false, ..JitConfig::default() }
+    JitConfig {
+        auto_compile: false,
+        ..JitConfig::default()
+    }
 }
 
 #[test]
@@ -96,7 +99,8 @@ fn eval_statement_runs_once() {
 fn state_survives_incremental_eval() {
     let (mut rt, board) = runtime(no_compile_config());
     rt.eval("reg [7:0] cnt = 1;").unwrap();
-    rt.eval("always @(posedge clk.val) cnt <= cnt + 1;").unwrap();
+    rt.eval("always @(posedge clk.val) cnt <= cnt + 1;")
+        .unwrap();
     rt.run_ticks(5).unwrap();
     // cnt == 6 now; adding the LED hookup must not reset it (paper Sec. 3.5:
     // "cnt must be preserved rather than reset").
@@ -114,15 +118,22 @@ fn eval_errors_leave_program_unchanged() {
     rt.eval("assign led.val = cnt;").unwrap();
     assert!(rt.eval("assign led.val = bogus_name;").is_err());
     assert!(rt.eval("wire [3:0] w = $$;").is_err());
-    assert!(rt.eval("module Led(input wire x); endmodule").is_err(), "stdlib redeclare");
-    rt.eval("always @(posedge clk.val) cnt <= cnt + 1;").unwrap();
+    assert!(
+        rt.eval("module Led(input wire x); endmodule").is_err(),
+        "stdlib redeclare"
+    );
+    rt.eval("always @(posedge clk.val) cnt <= cnt + 1;")
+        .unwrap();
     rt.run_ticks(1).unwrap();
     assert_eq!(board.leds().to_u64(), 2);
 }
 
 #[test]
 fn jit_migrates_to_hardware_and_results_match() {
-    let config = JitConfig { open_loop: false, ..JitConfig::default() };
+    let config = JitConfig {
+        open_loop: false,
+        ..JitConfig::default()
+    };
     let (mut rt, board) = runtime(config);
     rt.eval(ROL_DECL).unwrap();
     rt.eval(MAIN_ITEMS).unwrap();
@@ -185,7 +196,11 @@ fn display_still_works_from_hardware() {
     rt.drain_output();
     rt.run_ticks(2000).unwrap();
     let out = rt.drain_output();
-    assert_eq!(out, vec!["hit 1000"], "printf from hardware (paper headline)");
+    assert_eq!(
+        out,
+        vec!["hit 1000"],
+        "printf from hardware (paper headline)"
+    );
 }
 
 #[test]
@@ -211,7 +226,8 @@ fn finish_still_works_from_hardware() {
 fn eval_after_hardware_returns_to_software() {
     let (mut rt, board) = runtime(JitConfig::default());
     rt.eval("reg [7:0] cnt = 1;").unwrap();
-    rt.eval("always @(posedge clk.val) cnt <= cnt + 1;").unwrap();
+    rt.eval("always @(posedge clk.val) cnt <= cnt + 1;")
+        .unwrap();
     rt.eval("assign led.val = cnt;").unwrap();
     rt.wait_for_compile_worker();
     let ready = rt.compile_ready_at().expect("staged");
@@ -223,7 +239,11 @@ fn eval_after_hardware_returns_to_software() {
     rt.eval("reg [7:0] other = 0;").unwrap();
     assert_eq!(rt.mode(), ExecMode::Software);
     rt.run_ticks(1).unwrap();
-    assert_eq!(board.leds().to_u64(), led_before + 1, "cnt preserved through demotion");
+    assert_eq!(
+        board.leds().to_u64(),
+        led_before + 1,
+        "cnt preserved through demotion"
+    );
 }
 
 #[test]
@@ -234,7 +254,8 @@ fn compile_failure_is_reported_not_fatal() {
     };
     let (mut rt, board) = runtime(config);
     rt.eval("reg [63:0] a = 0;").unwrap();
-    rt.eval("always @(posedge clk.val) a <= a * 64'd2654435761 + (a >> 7);").unwrap();
+    rt.eval("always @(posedge clk.val) a <= a * 64'd2654435761 + (a >> 7);")
+        .unwrap();
     rt.eval("assign led.val = a[7:0];").unwrap();
     rt.wait_for_compile_worker();
     let ready = rt.compile_ready_at().expect("staged");
@@ -292,7 +313,8 @@ fn memory_stdlib_component() {
 fn native_mode_full_performance() {
     let (mut rt, board) = runtime(JitConfig::default());
     rt.eval("reg [7:0] cnt = 1;").unwrap();
-    rt.eval("always @(posedge clk.val) cnt <= cnt + 1;").unwrap();
+    rt.eval("always @(posedge clk.val) cnt <= cnt + 1;")
+        .unwrap();
     rt.eval("assign led.val = cnt;").unwrap();
     rt.enter_native().unwrap();
     assert_eq!(rt.mode(), ExecMode::Native);
@@ -310,7 +332,8 @@ fn native_mode_full_performance() {
 fn native_mode_rejects_system_tasks() {
     let (mut rt, _) = runtime(no_compile_config());
     rt.eval("reg c = 0;").unwrap();
-    rt.eval("always @(posedge clk.val) begin c <= ~c; $display(c); end").unwrap();
+    rt.eval("always @(posedge clk.val) begin c <= ~c; $display(c); end")
+        .unwrap();
     match rt.enter_native() {
         Err(CascadeError::NativeIneligible(_)) => {}
         other => panic!("expected ineligible, got {other:?}"),
@@ -352,9 +375,18 @@ fn stats_reflect_engines() {
     rt.eval("reg [7:0] a = 0;").unwrap();
     rt.eval("assign led.val = a;").unwrap();
     let stats = rt.stats();
-    assert!(stats.engines.iter().any(|(n, k)| n == "clk" && *k == EngineKind::Clock));
-    assert!(stats.engines.iter().any(|(n, k)| n == "main" && *k == EngineKind::Software));
-    assert!(stats.engines.iter().any(|(n, k)| n == "led" && *k == EngineKind::Peripheral));
+    assert!(stats
+        .engines
+        .iter()
+        .any(|(n, k)| n == "clk" && *k == EngineKind::Clock));
+    assert!(stats
+        .engines
+        .iter()
+        .any(|(n, k)| n == "main" && *k == EngineKind::Software));
+    assert!(stats
+        .engines
+        .iter()
+        .any(|(n, k)| n == "led" && *k == EngineKind::Peripheral));
 }
 
 #[test]
@@ -392,14 +424,35 @@ fn wall_clock_advances_faster_in_software() {
 fn repl_accumulates_multiline_items() {
     let (rt, board) = runtime(no_compile_config());
     let mut repl = Repl::new(rt);
-    assert_eq!(repl.line("module Rol(input wire [7:0] x, output wire [7:0] y);"), ReplResponse::Incomplete);
-    assert_eq!(repl.line("assign y = (x == 8'h80) ? 8'h1 : (x<<1);"), ReplResponse::Incomplete);
+    assert_eq!(
+        repl.line("module Rol(input wire [7:0] x, output wire [7:0] y);"),
+        ReplResponse::Incomplete
+    );
+    assert_eq!(
+        repl.line("assign y = (x == 8'h80) ? 8'h1 : (x<<1);"),
+        ReplResponse::Incomplete
+    );
     assert!(matches!(repl.line("endmodule"), ReplResponse::Evaluated(_)));
-    assert!(matches!(repl.line("reg [7:0] cnt = 1;"), ReplResponse::Evaluated(_)));
-    assert!(matches!(repl.line("Rol r(.x(cnt));"), ReplResponse::Evaluated(_)));
-    assert_eq!(repl.line("always @(posedge clk.val)"), ReplResponse::Incomplete);
-    assert!(matches!(repl.line("cnt <= r.y;"), ReplResponse::Evaluated(_)));
-    assert!(matches!(repl.line("assign led.val = cnt;"), ReplResponse::Evaluated(_)));
+    assert!(matches!(
+        repl.line("reg [7:0] cnt = 1;"),
+        ReplResponse::Evaluated(_)
+    ));
+    assert!(matches!(
+        repl.line("Rol r(.x(cnt));"),
+        ReplResponse::Evaluated(_)
+    ));
+    assert_eq!(
+        repl.line("always @(posedge clk.val)"),
+        ReplResponse::Incomplete
+    );
+    assert!(matches!(
+        repl.line("cnt <= r.y;"),
+        ReplResponse::Evaluated(_)
+    ));
+    assert!(matches!(
+        repl.line("assign led.val = cnt;"),
+        ReplResponse::Evaluated(_)
+    ));
     repl.runtime().run_ticks(2).unwrap();
     assert_eq!(board.leds().to_u64(), 4);
 }
@@ -411,7 +464,10 @@ fn repl_reports_errors_and_recovers() {
     let resp = repl.line("assign led.val = nonexistent;");
     assert!(matches!(resp, ReplResponse::Error(_)));
     // Still usable afterwards.
-    assert!(matches!(repl.line("reg [3:0] ok = 0;"), ReplResponse::Evaluated(_)));
+    assert!(matches!(
+        repl.line("reg [3:0] ok = 0;"),
+        ReplResponse::Evaluated(_)
+    ));
 }
 
 #[test]
@@ -450,7 +506,9 @@ fn transform_promotes_hier_refs() {
          endmodule",
     )
     .unwrap();
-    let Item::Module(m) = &unit.items[0] else { panic!() };
+    let Item::Module(m) = &unit.items[0] else {
+        panic!()
+    };
     let mut lib = cascade_verilog::typecheck::ModuleLibrary::new();
     for sm in cascade_stdlib::stdlib_modules() {
         lib.insert(sm);
@@ -466,10 +524,12 @@ fn transform_promotes_hier_refs() {
     assert!(port_names.contains(&"pad_val"));
     assert!(port_names.contains(&"led_val"));
     assert_eq!(wires.len(), 3);
-    assert!(wires.iter().any(|w| w.from == ("clk".into(), "val".into())
-        && w.to == ("main".into(), "clk_val".into())));
-    assert!(wires.iter().any(|w| w.from == ("main".into(), "led_val".into())
-        && w.to == ("led".into(), "val".into())));
+    assert!(wires.iter().any(
+        |w| w.from == ("clk".into(), "val".into()) && w.to == ("main".into(), "clk_val".into())
+    ));
+    assert!(wires.iter().any(
+        |w| w.from == ("main".into(), "led_val".into()) && w.to == ("led".into(), "val".into())
+    ));
     // The printed module is standalone Verilog.
     let printed = cascade_verilog::pretty::print_module(&out);
     assert!(printed.contains("input wire clk_val"));
@@ -515,7 +575,9 @@ mod fig10_wrapper {
 
     fn wrapper_sim() -> (Simulator, crate::fig10::Fig10Wrapper) {
         let unit = cascade_verilog::parse(SUB).unwrap();
-        let Item::Module(m) = &unit.items[0] else { panic!() };
+        let Item::Module(m) = &unit.items[0] else {
+            panic!()
+        };
         let wrapper = generate_wrapper(m, &ModuleLibrary::new()).unwrap();
         let lib = cascade_sim::library_from_source(&wrapper.source)
             .unwrap_or_else(|e| panic!("wrapper must parse: {e}\n{}", wrapper.source));
@@ -555,7 +617,10 @@ mod fig10_wrapper {
         assert!(wrapper.source.contains("assign WAIT"));
         assert!(wrapper.ctrl.contains_key("LATCH"));
         assert!(wrapper.ctrl.contains_key("OLOOP"));
-        assert!(wrapper.slots.iter().any(|s| matches!(s, WrapperSlot::State(n) if n == "cnt")));
+        assert!(wrapper
+            .slots
+            .iter()
+            .any(|s| matches!(s, WrapperSlot::State(n) if n == "cnt")));
         assert!(wrapper
             .slots
             .iter()
@@ -637,7 +702,9 @@ mod fig10_wrapper {
              always @(posedge clk_val) begin m[i] <= m[i] + 1; i <= i + 1; end\n\
              assign o = m[0];\nendmodule";
         let unit = cascade_verilog::parse(src).unwrap();
-        let cascade_verilog::ast::Item::Module(m) = &unit.items[0] else { panic!() };
+        let cascade_verilog::ast::Item::Module(m) = &unit.items[0] else {
+            panic!()
+        };
         let w = generate_wrapper(m, &ModuleLibrary::new()).unwrap();
         assert!(w.addr_of("m").is_none(), "memory not bus-addressable");
         assert!(w.addr_of("i").is_some(), "scalar state is");
@@ -651,7 +718,9 @@ mod fig10_wrapper {
              always @(posedge clk_val) c = c + 1;\n\
              assign o = c;\nendmodule";
         let unit = cascade_verilog::parse(src).unwrap();
-        let cascade_verilog::ast::Item::Module(m) = &unit.items[0] else { panic!() };
+        let cascade_verilog::ast::Item::Module(m) = &unit.items[0] else {
+            panic!()
+        };
         assert!(generate_wrapper(m, &ModuleLibrary::new()).is_err());
     }
 }
@@ -660,7 +729,8 @@ mod fig10_wrapper {
 fn modules_are_append_only() {
     // Paper Sec. 7.2: eval can add code but never edit or delete it.
     let (mut rt, _) = runtime(no_compile_config());
-    rt.eval("module A(input wire x, output wire y); assign y = x; endmodule").unwrap();
+    rt.eval("module A(input wire x, output wire y); assign y = x; endmodule")
+        .unwrap();
     let err = rt
         .eval("module A(input wire x, output wire y); assign y = ~x; endmodule")
         .unwrap_err();
@@ -751,7 +821,10 @@ fn open_loop_budget_adapts_to_io_cost() {
     // A FIFO-bound program pays a bus round trip per cycle, so the adaptive
     // profiler must shrink the batch size to keep control returns near the
     // configured period.
-    let config = JitConfig { open_loop_target_s: 0.05, ..JitConfig::default() };
+    let config = JitConfig {
+        open_loop_target_s: 0.05,
+        ..JitConfig::default()
+    };
     let (mut rt, board) = runtime(config);
     board.set_fifo_capacity(1 << 20);
     rt.eval(
@@ -790,7 +863,10 @@ fn negedge_design_runs_in_hardware_closed_loop() {
     // Negedge-clocked logic is ineligible for open loop (single-posedge
     // requirement) but must still migrate and stay correct through the
     // closed-loop hardware path.
-    let config = JitConfig { open_loop: true, ..JitConfig::default() };
+    let config = JitConfig {
+        open_loop: true,
+        ..JitConfig::default()
+    };
     let (mut rt, board) = runtime(config);
     rt.eval(
         "reg [7:0] up = 0;\n\
@@ -806,8 +882,14 @@ fn negedge_design_runs_in_hardware_closed_loop() {
     let ready = rt.compile_ready_at().expect("staged");
     rt.advance_wall((ready - rt.wall_seconds()).max(0.0) + 1.0);
     rt.run_ticks(1).unwrap();
-    assert!(matches!(rt.mode(), ExecMode::Hardware | ExecMode::HardwareForwarded));
+    assert!(matches!(
+        rt.mode(),
+        ExecMode::Hardware | ExecMode::HardwareForwarded
+    ));
     rt.run_ticks(2).unwrap();
     assert_eq!(board.leds().to_u64(), 18, "both edges serviced in hardware");
-    assert!(!rt.stats().open_loop_active, "negedge domain forces closed loop");
+    assert!(
+        !rt.stats().open_loop_active,
+        "negedge domain forces closed loop"
+    );
 }

@@ -114,10 +114,12 @@ pub fn transform_module(
     out.items.extend(t.extra_assigns.clone());
     // Add promoted ports (sorted for determinism).
     for (port_name, (width, signed)) in &t.in_ports {
-        out.ports.push(make_port(PortDir::Input, port_name, *width, *signed));
+        out.ports
+            .push(make_port(PortDir::Input, port_name, *width, *signed));
     }
     for (port_name, (width, signed)) in &t.out_ports {
-        out.ports.push(make_port(PortDir::Output, port_name, *width, *signed));
+        out.ports
+            .push(make_port(PortDir::Output, port_name, *width, *signed));
     }
     // Record wires.
     for ((inst, ext_port), promoted) in &wire_ins {
@@ -138,11 +140,21 @@ pub fn transform_module(
 
 fn make_port(dir: PortDir, name: &str, width: u32, signed: bool) -> Port {
     let range = if width > 1 {
-        Some(Range { msb: Expr::number(width as u64 - 1), lsb: Expr::number(0) })
+        Some(Range {
+            msb: Expr::number(width as u64 - 1),
+            lsb: Expr::number(0),
+        })
     } else {
         None
     };
-    Port { dir, is_reg: false, signed, range, name: name.to_string(), span: Span::synthetic() }
+    Port {
+        dir,
+        is_reg: false,
+        signed,
+        range,
+        name: name.to_string(),
+        span: Span::synthetic(),
+    }
 }
 
 struct Transformer<'a> {
@@ -166,7 +178,10 @@ impl<'a> Transformer<'a> {
         let mut best: Option<(String, String)> = None;
         for inst in self.externals.keys() {
             if let Some(rest) = promoted.strip_prefix(&format!("{inst}_")) {
-                let better = best.as_ref().map(|(i, _)| inst.len() > i.len()).unwrap_or(true);
+                let better = best
+                    .as_ref()
+                    .map(|(i, _)| inst.len() > i.len())
+                    .unwrap_or(true);
                 if better {
                     best = Some((inst.clone(), rest.to_string()));
                 }
@@ -183,11 +198,15 @@ impl<'a> Transformer<'a> {
     fn ext_port(&mut self, inst: &str, port: &str) -> Option<(u32, bool, PortDir)> {
         let (module_name, params) = self.externals.get(inst)?;
         let Some(decl) = self.lib.get(module_name) else {
-            self.err(unsupported(format!("unknown external module `{module_name}`")));
+            self.err(unsupported(format!(
+                "unknown external module `{module_name}`"
+            )));
             return None;
         };
         let Ok(checked) = check_module(decl, params, self.lib) else {
-            self.err(unsupported(format!("cannot resolve external module `{module_name}`")));
+            self.err(unsupported(format!(
+                "cannot resolve external module `{module_name}`"
+            )));
             return None;
         };
         let Some(port_decl) = decl.port(port) else {
@@ -199,7 +218,9 @@ impl<'a> Transformer<'a> {
                     return Some((sym.width(), sym.signed, PortDir::Output));
                 }
             }
-            self.err(unsupported(format!("module `{module_name}` has no port `{port}`")));
+            self.err(unsupported(format!(
+                "module `{module_name}` has no port `{port}`"
+            )));
             return None;
         };
         let width = checked.width_of(port).unwrap_or(1);
@@ -238,7 +259,9 @@ impl<'a> Transformer<'a> {
     /// to assignments over promoted ports. Returns `true` when the item was
     /// absorbed.
     fn absorb_instance(&mut self, item: &ModuleItem) -> bool {
-        let ModuleItem::Instance(inst) = item else { return false };
+        let ModuleItem::Instance(inst) = item else {
+            return false;
+        };
         if !self.externals.contains_key(&inst.name) {
             return false;
         }
@@ -250,7 +273,9 @@ impl<'a> Transformer<'a> {
         // Resolve connections (named or positional).
         let named = inst.ports.iter().any(|c| c.name.is_some());
         for (i, conn) in inst.ports.iter().enumerate() {
-            let Some(expr) = conn.expr.clone() else { continue };
+            let Some(expr) = conn.expr.clone() else {
+                continue;
+            };
             let port_name = match (&conn.name, named) {
                 (Some(n), _) => n.clone(),
                 (None, false) => match decl.ports.get(i) {
@@ -277,11 +302,12 @@ impl<'a> Transformer<'a> {
                 PortDir::Input => {
                     // `assign inst_port = expr;` drives the external input.
                     if let Some(promoted) = self.promote_write(&inst.name, &port_name) {
-                        self.extra_assigns.push(ModuleItem::Assign(ContinuousAssign {
-                            lhs: LValue::Ident(promoted),
-                            rhs: expr,
-                        span: Span::synthetic(),
-                        }));
+                        self.extra_assigns
+                            .push(ModuleItem::Assign(ContinuousAssign {
+                                lhs: LValue::Ident(promoted),
+                                rhs: expr,
+                                span: Span::synthetic(),
+                            }));
                     }
                 }
                 PortDir::Output => {
@@ -289,15 +315,16 @@ impl<'a> Transformer<'a> {
                     if let Some(promoted) = self.promote_read(&inst.name, &port_name) {
                         match expr_as_lvalue(&expr) {
                             Some(lhs) => {
-                                self.extra_assigns.push(ModuleItem::Assign(ContinuousAssign {
-                                    lhs,
-                                    rhs: Expr::Ident(promoted),
-                                    span: Span::synthetic(),
-                                }));
+                                self.extra_assigns
+                                    .push(ModuleItem::Assign(ContinuousAssign {
+                                        lhs,
+                                        rhs: Expr::Ident(promoted),
+                                        span: Span::synthetic(),
+                                    }));
                             }
-                            None => self.err(unsupported(
-                                "output connection target is not assignable",
-                            )),
+                            None => {
+                                self.err(unsupported("output connection target is not assignable"))
+                            }
                         }
                     }
                 }
@@ -362,14 +389,24 @@ impl<'a> Transformer<'a> {
                 self.rewrite_lvalue(lhs);
                 self.rewrite_expr(rhs);
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.rewrite_expr(cond);
                 self.rewrite_stmt(then_branch);
                 if let Some(e) = else_branch {
                     self.rewrite_stmt(e);
                 }
             }
-            Stmt::Case { scrutinee, arms, default, .. } => {
+            Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                ..
+            } => {
                 self.rewrite_expr(scrutinee);
                 for arm in arms {
                     for l in &mut arm.labels {
@@ -381,7 +418,13 @@ impl<'a> Transformer<'a> {
                     self.rewrite_stmt(d);
                 }
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.rewrite_stmt(init);
                 self.rewrite_expr(cond);
                 self.rewrite_stmt(step);
@@ -426,7 +469,9 @@ impl<'a> Transformer<'a> {
                 self.rewrite_expr(offset);
                 self.rewrite_expr(width);
             }
-            LValue::IndexThenPart { index, msb, lsb, .. } => {
+            LValue::IndexThenPart {
+                index, msb, lsb, ..
+            } => {
                 self.rewrite_expr(index);
                 self.rewrite_expr(msb);
                 self.rewrite_expr(lsb);
@@ -453,7 +498,11 @@ impl<'a> Transformer<'a> {
                 self.rewrite_expr(lhs);
                 self.rewrite_expr(rhs);
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.rewrite_expr(cond);
                 self.rewrite_expr(then_expr);
                 self.rewrite_expr(else_expr);
@@ -467,7 +516,12 @@ impl<'a> Transformer<'a> {
                 self.rewrite_expr(msb);
                 self.rewrite_expr(lsb);
             }
-            Expr::IndexedPart { base, offset, width, .. } => {
+            Expr::IndexedPart {
+                base,
+                offset,
+                width,
+                ..
+            } => {
                 self.rewrite_expr(base);
                 self.rewrite_expr(offset);
                 self.rewrite_expr(width);
@@ -525,9 +579,10 @@ fn expr_as_lvalue(e: &Expr) -> Option<LValue> {
         Expr::Ident(n) => Some(LValue::Ident(n.clone())),
         Expr::Hier(path) => Some(LValue::Hier(path.clone())),
         Expr::Index { base, index } => match base.as_ref() {
-            Expr::Ident(n) => {
-                Some(LValue::Index { base: n.clone(), index: (**index).clone() })
-            }
+            Expr::Ident(n) => Some(LValue::Index {
+                base: n.clone(),
+                index: (**index).clone(),
+            }),
             _ => None,
         },
         Expr::Part { base, msb, lsb } => match base.as_ref() {

@@ -8,9 +8,9 @@
 //! in every compilation state.
 
 use cascade_bits::Bits;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Shared handle to the board (cheaply cloneable).
 #[derive(Debug, Clone, Default)]
@@ -60,18 +60,18 @@ impl Board {
 
     /// Presses (or releases) one button.
     pub fn set_button(&self, index: u32, down: bool) {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().expect("board mutex");
         st.buttons.set_bit(index, down);
     }
 
     /// Current button state (1 = pressed).
     pub fn buttons(&self) -> Bits {
-        self.inner.lock().buttons.clone()
+        self.inner.lock().expect("board mutex").buttons.clone()
     }
 
     /// Drives the LED bank (called by engines).
     pub fn write_leds(&self, value: Bits) {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().expect("board mutex");
         if st.leds != value.resize(st.leds.width()) {
             st.led_writes += 1;
         }
@@ -81,52 +81,52 @@ impl Board {
 
     /// Current LED bank state.
     pub fn leds(&self) -> Bits {
-        self.inner.lock().leds.clone()
+        self.inner.lock().expect("board mutex").leds.clone()
     }
 
     /// Number of observable LED changes so far.
     pub fn led_writes(&self) -> u64 {
-        self.inner.lock().led_writes
+        self.inner.lock().expect("board mutex").led_writes
     }
 
     /// Sets GPIO input pins (host side).
     pub fn set_gpio(&self, value: Bits) {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().expect("board mutex");
         let w = st.gpio_in.width();
         st.gpio_in = value.resize(w);
     }
 
     /// Reads GPIO input pins (engine side).
     pub fn gpio_in(&self) -> Bits {
-        self.inner.lock().gpio_in.clone()
+        self.inner.lock().expect("board mutex").gpio_in.clone()
     }
 
     /// Drives GPIO output pins (engine side).
     pub fn write_gpio(&self, value: Bits) {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().expect("board mutex");
         let w = st.gpio_out.width();
         st.gpio_out = value.resize(w);
     }
 
     /// Reads GPIO output pins (host side).
     pub fn gpio_out(&self) -> Bits {
-        self.inner.lock().gpio_out.clone()
+        self.inner.lock().expect("board mutex").gpio_out.clone()
     }
 
     /// Asserts or releases the reset line.
     pub fn set_reset(&self, asserted: bool) {
-        self.inner.lock().reset = asserted;
+        self.inner.lock().expect("board mutex").reset = asserted;
     }
 
     /// Current reset state.
     pub fn reset(&self) -> bool {
-        self.inner.lock().reset
+        self.inner.lock().expect("board mutex").reset
     }
 
     /// Host pushes one token toward the FPGA. Returns `false` when the FIFO
     /// is full (back pressure, paper Sec. 7.1).
     pub fn fifo_push(&self, value: Bits) -> bool {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().expect("board mutex");
         if st.fifo_in.len() >= st.fifo_capacity {
             return false;
         }
@@ -136,7 +136,7 @@ impl Board {
 
     /// Engine pops one token from the host FIFO.
     pub fn fifo_pop(&self) -> Option<Bits> {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().expect("board mutex");
         let v = st.fifo_in.pop_front();
         if v.is_some() {
             st.fifo_pops += 1;
@@ -146,38 +146,52 @@ impl Board {
 
     /// Engine peeks the head token without consuming it.
     pub fn fifo_peek(&self) -> Option<Bits> {
-        self.inner.lock().fifo_in.front().cloned()
+        self.inner
+            .lock()
+            .expect("board mutex")
+            .fifo_in
+            .front()
+            .cloned()
     }
 
     /// Whether the host FIFO has data.
     pub fn fifo_nonempty(&self) -> bool {
-        !self.inner.lock().fifo_in.is_empty()
+        !self.inner.lock().expect("board mutex").fifo_in.is_empty()
     }
 
     /// Whether the host FIFO is full.
     pub fn fifo_full(&self) -> bool {
-        let st = self.inner.lock();
+        let st = self.inner.lock().expect("board mutex");
         st.fifo_in.len() >= st.fifo_capacity
     }
 
     /// Tokens consumed from the host FIFO so far (the IO/s numerator of
     /// the paper's Fig. 12).
     pub fn fifo_pops(&self) -> u64 {
-        self.inner.lock().fifo_pops
+        self.inner.lock().expect("board mutex").fifo_pops
     }
 
     /// Engine pushes one token toward the host.
     pub fn fifo_out_push(&self, value: Bits) {
-        self.inner.lock().fifo_out.push_back(value);
+        self.inner
+            .lock()
+            .expect("board mutex")
+            .fifo_out
+            .push_back(value);
     }
 
     /// Host drains tokens produced by the engine.
     pub fn fifo_out_drain(&self) -> Vec<Bits> {
-        self.inner.lock().fifo_out.drain(..).collect()
+        self.inner
+            .lock()
+            .expect("board mutex")
+            .fifo_out
+            .drain(..)
+            .collect()
     }
 
     /// Changes the host FIFO depth.
     pub fn set_fifo_capacity(&self, capacity: usize) {
-        self.inner.lock().fifo_capacity = capacity;
+        self.inner.lock().expect("board mutex").fifo_capacity = capacity;
     }
 }

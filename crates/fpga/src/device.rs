@@ -43,6 +43,13 @@ impl Device {
     pub fn clock_period_ns(&self) -> f64 {
         1000.0 / self.clock_mhz
     }
+
+    /// How many fabric cycles fit in one open-loop control-return period of
+    /// `target_s` seconds — the natural seed for the runtime's adaptive
+    /// batch budget (the controller then rescales from measured cost).
+    pub fn open_loop_batch_hint(&self, target_s: f64) -> u64 {
+        ((target_s.max(0.0) * self.clock_mhz * 1e6) as u64).max(16)
+    }
 }
 
 impl Default for Device {

@@ -150,7 +150,12 @@ impl MmioCore {
     pub fn new(netlist: Arc<Netlist>) -> Result<Self, cascade_netlist::LevelError> {
         let map = AddressMap::for_netlist(&netlist);
         let sim = NetlistSim::new(netlist)?;
-        Ok(MmioCore { sim, map, transactions: 0, iterations: 0 })
+        Ok(MmioCore {
+            sim,
+            map,
+            transactions: 0,
+            iterations: 0,
+        })
     }
 
     /// The address map.
@@ -179,9 +184,9 @@ impl MmioCore {
         match self.map.slot(addr) {
             Some(Slot::Input(name)) | Some(Slot::Output(name)) => {
                 let name = name.clone();
-                self.sim.get_by_name(&name).cloned().unwrap_or_default()
+                self.sim.get_by_name(&name).unwrap_or_default()
             }
-            Some(Slot::State(reg, _)) => self.sim.read_reg(*reg).clone(),
+            Some(Slot::State(reg, _)) => self.sim.read_reg(*reg),
             None => Bits::zero(32),
         }
     }
@@ -225,38 +230,30 @@ impl MmioCore {
         }
     }
 
-    /// Whether any register (or memory) would change at the next edge.
+    /// Whether any register (or memory) would change at the next edge, in
+    /// any clock domain. Delegates to the evaluator's word-level compare —
+    /// no `Bits` are materialized.
     pub fn updates_pending(&self) -> bool {
-        let nl = Arc::clone(self.sim.netlist());
-        for reg in &nl.regs {
-            if self.sim.get(reg.d) != self.sim.get(reg.q) {
-                return true;
-            }
-        }
-        for mem in &nl.mems {
-            for port in &mem.write_ports {
-                if self.sim.get(port.enable).to_bool() {
-                    return true;
-                }
-            }
-        }
-        false
+        let domains = self.sim.netlist().clocks.len().max(1) as u32;
+        (0..domains).any(|c| self.sim.updates_pending(c))
     }
 
     /// Runs up to `limit` clock cycles entirely inside the engine, stopping
     /// early when a system task fires (Fig. 10's `_oloop` / `_tasks`
     /// interlock). Returns the number of cycles executed.
+    ///
+    /// The batch executes inside [`NetlistSim::run_cycles`]: one call, no
+    /// per-cycle host round trip.
     pub fn open_loop(&mut self, limit: u32) -> u32 {
+        self.open_loop_batch(limit as u64) as u32
+    }
+
+    /// [`MmioCore::open_loop`] without the `u32` bus-register limit, for
+    /// hosts that schedule multi-million-cycle batches.
+    pub fn open_loop_batch(&mut self, limit: u64) -> u64 {
         self.transactions += 1;
-        let mut done = 0;
-        while done < limit && !self.sim.is_finished() {
-            self.sim.step_clock(0);
-            done += 1;
-            if self.sim.has_tasks() {
-                break;
-            }
-        }
-        self.iterations = done;
+        let done = self.sim.run_cycles(limit, 1);
+        self.iterations = done.min(u32::MAX as u64) as u32;
         done
     }
 

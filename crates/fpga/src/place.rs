@@ -61,7 +61,12 @@ pub fn place(nl: &Netlist, seed: u64, effort: f64) -> Placement {
         .collect();
     let n = placeable.len();
     if n == 0 {
-        return Placement { cells: 0, grid: 1, avg_wirelength: 0.0, moves: 0 };
+        return Placement {
+            cells: 0,
+            grid: 1,
+            avg_wirelength: 0.0,
+            moves: 0,
+        };
     }
     // Two-pin nets: cell -> each input.
     let mut edges: Vec<(u32, u32)> = Vec::new();
@@ -134,7 +139,19 @@ pub fn place(nl: &Netlist, seed: u64, effort: f64) -> Placement {
         temperature *= cooling;
     }
 
-    let total: i64 = edges.iter().map(|&(a, b)| dist(pos[a as usize], pos[b as usize])).sum();
-    let avg = if edges.is_empty() { 0.0 } else { total as f64 / edges.len() as f64 };
-    Placement { cells: n, grid, avg_wirelength: avg, moves: attempted }
+    let total: i64 = edges
+        .iter()
+        .map(|&(a, b)| dist(pos[a as usize], pos[b as usize]))
+        .sum();
+    let avg = if edges.is_empty() {
+        0.0
+    } else {
+        total as f64 / edges.len() as f64
+    };
+    Placement {
+        cells: n,
+        grid,
+        avg_wirelength: avg,
+        moves: attempted,
+    }
 }

@@ -1,6 +1,6 @@
 use crate::{
-    place, wrapper_overhead_les, Board, CompileError, CostModel, Ctrl, Device, MmioCore,
-    Toolchain, VirtualWall,
+    place, wrapper_overhead_les, Board, CompileError, CostModel, Ctrl, Device, MmioCore, Toolchain,
+    VirtualWall,
 };
 use cascade_bits::Bits;
 use cascade_netlist::synthesize;
@@ -40,7 +40,9 @@ fn compile_small_design() {
 
 #[test]
 fn compile_time_grows_with_design_size() {
-    let small = Toolchain::default().compile(&design_of(COUNTER, "Count")).unwrap();
+    let small = Toolchain::default()
+        .compile(&design_of(COUNTER, "Count"))
+        .unwrap();
     let big_src = "module Big(input wire clk, input wire [63:0] x, output wire [63:0] o);\n\
         reg [63:0] a0 = 0; reg [63:0] a1 = 0; reg [63:0] a2 = 0; reg [63:0] a3 = 0;\n\
         always @(posedge clk) begin\n\
@@ -50,7 +52,9 @@ fn compile_time_grows_with_design_size() {
           a3 <= a2 ^ (a2 >> 17);\n\
         end\n\
         assign o = a3;\nendmodule";
-    let big = Toolchain::default().compile(&design_of(big_src, "Big")).unwrap();
+    let big = Toolchain::default()
+        .compile(&design_of(big_src, "Big"))
+        .unwrap();
     assert!(
         big.modeled_duration > small.modeled_duration,
         "bigger design must compile slower: {:?} vs {:?}",
@@ -86,7 +90,10 @@ fn timing_closure_failure_on_deep_logic() {
         "Deep",
     );
     match Toolchain::default().compile(&design) {
-        Err(CompileError::TimingClosure { fmax_mhz, required_mhz }) => {
+        Err(CompileError::TimingClosure {
+            fmax_mhz,
+            required_mhz,
+        }) => {
             assert!(fmax_mhz < required_mhz);
         }
         Ok(bs) => panic!("expected timing failure, got fmax {}", bs.fmax_mhz),
@@ -103,7 +110,10 @@ fn unsynthesizable_reported() {
          assign o = r;\nendmodule",
         "R",
     );
-    assert!(matches!(Toolchain::default().compile(&design), Err(CompileError::Synth(_))));
+    assert!(matches!(
+        Toolchain::default().compile(&design),
+        Err(CompileError::Synth(_))
+    ));
 }
 
 #[test]
@@ -259,7 +269,9 @@ fn wrapper_overhead_scales_with_state() {
     assert!(wrapper_overhead_les(&big_nl) > wrapper_overhead_les(&small_nl));
     // The wrapper dominates small designs — the root of the paper's
     // "small but noticeable" spatial overhead.
-    let user = cascade_netlist::estimate_area(&small_nl).logic_elements.max(1);
+    let user = cascade_netlist::estimate_area(&small_nl)
+        .logic_elements
+        .max(1);
     assert!(wrapper_overhead_les(&small_nl) > user);
 }
 
@@ -268,7 +280,10 @@ fn virtual_wall_accumulates() {
     let mut wall = VirtualWall::new();
     let costs = CostModel::default();
     wall.advance_ns(costs.hw_cycle_ns * 50_000_000.0);
-    assert!((wall.seconds() - 1.0).abs() < 1e-9, "50M cycles at 50 MHz is one second");
+    assert!(
+        (wall.seconds() - 1.0).abs() < 1e-9,
+        "50M cycles at 50 MHz is one second"
+    );
     wall.advance(Duration::from_secs(2));
     assert!((wall.seconds() - 3.0).abs() < 1e-9);
 }
@@ -276,7 +291,16 @@ fn virtual_wall_accumulates() {
 #[test]
 fn cost_model_defaults_are_sane() {
     let c = CostModel::default();
-    assert!(c.sw_activation_ns > c.hw_cycle_ns, "software is slower than fabric");
-    assert!(c.abi_message_ns > c.hw_cycle_ns, "bus round trips dominate cycles");
-    assert!(c.reprogram_ns < 1e6, "reprogramming takes less than a millisecond");
+    assert!(
+        c.sw_activation_ns > c.hw_cycle_ns,
+        "software is slower than fabric"
+    );
+    assert!(
+        c.abi_message_ns > c.hw_cycle_ns,
+        "bus round trips dominate cycles"
+    );
+    assert!(
+        c.reprogram_ns < 1e6,
+        "reprogramming takes less than a millisecond"
+    );
 }

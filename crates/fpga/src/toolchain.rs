@@ -28,7 +28,10 @@ pub enum CompileError {
     /// A combinational cycle survived synthesis.
     CombLoop(String),
     /// The design does not fit the device.
-    DoesNotFit { needed: AreaEstimate, device: Device },
+    DoesNotFit {
+        needed: AreaEstimate,
+        device: Device,
+    },
     /// The routed design cannot meet the fabric clock (paper Sec. 6.4:
     /// "many submissions which ran correctly in simulation did not pass
     /// timing closure").
@@ -49,7 +52,10 @@ impl fmt::Display for CompileError {
                 device.logic_elements,
                 device.bram_bits
             ),
-            CompileError::TimingClosure { fmax_mhz, required_mhz } => write!(
+            CompileError::TimingClosure {
+                fmax_mhz,
+                required_mhz,
+            } => write!(
                 f,
                 "timing closure failed: fmax {fmax_mhz:.1} MHz < required {required_mhz:.1} MHz"
             ),
@@ -109,7 +115,10 @@ impl Default for Toolchain {
 impl Toolchain {
     /// Creates a toolchain for a device with default effort.
     pub fn new(device: Device) -> Self {
-        Toolchain { device, ..Toolchain::default() }
+        Toolchain {
+            device,
+            ..Toolchain::default()
+        }
     }
 
     /// Full compilation: synthesis, fit check, placement, timing analysis.
@@ -129,13 +138,15 @@ impl Toolchain {
     ///
     /// See [`Toolchain::compile`].
     pub fn compile_netlist(&self, netlist: Arc<Netlist>) -> Result<Bitstream, CompileError> {
-        let order = levelize(&netlist)
-            .map_err(|e| CompileError::CombLoop(e.nets.join(" -> ")))?;
+        let order = levelize(&netlist).map_err(|e| CompileError::CombLoop(e.nets.join(" -> ")))?;
         let depth = logic_depth(&netlist, &order);
         let mut area = estimate_area(&netlist);
         area.logic_elements += self.overhead_les;
         if area.cells() > self.device.logic_elements || area.bram_bits > self.device.bram_bits {
-            return Err(CompileError::DoesNotFit { needed: area, device: self.device.clone() });
+            return Err(CompileError::DoesNotFit {
+                needed: area,
+                device: self.device.clone(),
+            });
         }
         let placement = place(&netlist, self.seed, self.effort);
         // Timing model: the delay-weighted critical path plus routed wire
@@ -144,8 +155,7 @@ impl Toolchain {
         let utilization = area.cells() as f64 / self.device.logic_elements as f64;
         // Routing stretches every logic level; congested or poorly-placed
         // designs stretch more.
-        let wire_factor =
-            (0.03 * placement.avg_wirelength * (1.0 + 2.0 * utilization)).min(1.5);
+        let wire_factor = (0.03 * placement.avg_wirelength * (1.0 + 2.0 * utilization)).min(1.5);
         let ns = 1.5 + path_ns * (1.0 + wire_factor);
         let fmax = 1000.0 / ns;
         if fmax < self.device.clock_mhz {

@@ -1,11 +1,15 @@
-//! The netlist evaluator: a Verilator-style compiled-schedule simulator.
+//! The netlist evaluator: a compiled word-arena simulator.
 //!
-//! Where `cascade-sim` walks an AST event queue, this evaluator executes a
-//! precomputed topological order of word-level cells — the performance model
-//! for code that has been moved onto the (virtual) FPGA fabric.
+//! Where `cascade-sim` walks an AST event queue, this evaluator lowers the
+//! levelized netlist into a flat instruction program over a `Vec<u64>` word
+//! arena at construction time (see [`crate::exec`]) and executes it with
+//! activity-driven scheduling: only the fan-out cone of nets that actually
+//! changed is re-evaluated. The previous interpretive loop survives as
+//! [`crate::ReferenceSim`] for benchmarking and differential testing.
 
+use crate::exec::{Program, ProgramStats, State};
 use crate::ir::*;
-use crate::level::{levelize, LevelError};
+use crate::level::LevelError;
 use cascade_bits::Bits;
 use cascade_verilog::ast::Edge;
 use std::cmp::Ordering;
@@ -20,6 +24,11 @@ pub struct TaskFire {
 }
 
 /// Executes a synthesized [`Netlist`] cycle by cycle.
+///
+/// Construction compiles the netlist into a word-arena program; after that,
+/// settling touches only dirty logic and a quiescent netlist costs nothing
+/// to re-settle. Clones share the compiled program and fork the mutable
+/// state.
 ///
 /// # Examples
 ///
@@ -44,10 +53,8 @@ pub struct TaskFire {
 #[derive(Debug, Clone)]
 pub struct NetlistSim {
     nl: Arc<Netlist>,
-    values: Vec<Bits>,
-    mems: Vec<Vec<Bits>>,
-    /// Topological evaluation order of cell/memread nets.
-    order: Vec<NetId>,
+    prog: Arc<Program>,
+    st: State,
     tasks: Vec<TaskFire>,
     finished: bool,
     /// Cycles executed per clock domain.
@@ -55,37 +62,38 @@ pub struct NetlistSim {
 }
 
 impl NetlistSim {
-    /// Builds the evaluator, levelizing the netlist.
+    /// Builds the evaluator: levelizes the netlist and compiles it into the
+    /// word-arena program.
     ///
     /// # Errors
     ///
     /// Returns [`LevelError`] when the netlist has a combinational cycle.
     pub fn new(nl: Arc<Netlist>) -> Result<Self, LevelError> {
-        let order = levelize(&nl)?;
-        let values = nl
-            .nets
-            .iter()
-            .map(|n| match &n.def {
-                Def::Const(c) => c.resize(n.width),
-                Def::Reg(r) => nl.regs[r.0 as usize].init.resize(n.width),
-                Def::Input | Def::Undriven | Def::Cell(_) | Def::MemRead { .. } => {
-                    Bits::zero(n.width)
-                }
-            })
-            .collect();
-        let mems = nl
-            .mems
-            .iter()
-            .map(|m| vec![Bits::zero(m.width); m.words as usize])
-            .collect();
-        let mut sim = NetlistSim { nl, values, mems, order, tasks: Vec::new(), finished: false, cycles: 0 };
-        sim.settle();
-        Ok(sim)
+        let prog = Arc::new(Program::compile(&nl)?);
+        let st = State::new(&nl, &prog);
+        Ok(NetlistSim {
+            nl,
+            prog,
+            st,
+            tasks: Vec::new(),
+            finished: false,
+            cycles: 0,
+        })
     }
 
     /// The netlist being executed.
     pub fn netlist(&self) -> &Arc<Netlist> {
         &self.nl
+    }
+
+    /// Size counters of the compiled program (diagnostics, benches).
+    pub fn program_stats(&self) -> ProgramStats {
+        self.prog.stats()
+    }
+
+    /// Instruction counts by kernel kind (diagnostic).
+    pub fn kernel_histogram(&self) -> Vec<(&'static str, usize)> {
+        self.prog.kernel_histogram()
     }
 
     /// Whether a `$finish` task has fired.
@@ -108,11 +116,16 @@ impl NetlistSim {
         !self.tasks.is_empty()
     }
 
-    /// Sets an input net and repropagates combinational logic.
+    /// Sets an input net and repropagates combinational logic. Only the
+    /// fan-out cone of the input is re-evaluated, and only when the value
+    /// actually changed.
     pub fn set_input(&mut self, net: NetId, value: Bits) {
-        let w = self.nl.width(net);
-        self.values[net.0 as usize] = value.resize(w);
-        self.settle();
+        let slot = self.prog.slots[net.0 as usize];
+        let v = value.resize(slot.width);
+        if self.st.write_slot(slot, &v) {
+            self.st.mark(&self.prog, net.0);
+            self.st.settle_auto(&self.prog);
+        }
     }
 
     /// Sets an input by port name.
@@ -129,63 +142,82 @@ impl NetlistSim {
     }
 
     /// Reads any net's current value.
-    pub fn get(&self, net: NetId) -> &Bits {
-        &self.values[net.0 as usize]
+    pub fn get(&self, net: NetId) -> Bits {
+        self.st.slot_bits(self.prog.slots[net.0 as usize])
+    }
+
+    /// Reads the low 64 bits of a net without materializing a [`Bits`]
+    /// (zero-copy fast path for MMIO polling).
+    pub fn get_u64(&self, net: NetId) -> u64 {
+        let slot = self.prog.slots[net.0 as usize];
+        self.st.arena[slot.off as usize]
     }
 
     /// Reads a net by name.
-    pub fn get_by_name(&self, name: &str) -> Option<&Bits> {
+    pub fn get_by_name(&self, name: &str) -> Option<Bits> {
         self.nl.net_by_name(name).map(|n| self.get(n))
     }
 
     /// Reads one word of a memory.
     pub fn read_mem(&self, mem: MemId, addr: u64) -> Bits {
-        self.mems[mem.0 as usize]
-            .get(addr as usize)
-            .cloned()
-            .unwrap_or_else(|| Bits::zero(self.nl.mems[mem.0 as usize].width))
+        self.st.read_mem(&self.prog, mem.0, addr)
     }
 
     /// Writes one word of a memory directly (state restoration).
     pub fn write_mem(&mut self, mem: MemId, addr: u64, value: Bits) {
-        let w = self.nl.mems[mem.0 as usize].width;
-        if let Some(slot) = self.mems[mem.0 as usize].get_mut(addr as usize) {
-            *slot = value.resize(w);
-        }
+        self.st.write_mem(&self.prog, mem.0, addr, &value);
+        self.st.settle_auto(&self.prog);
     }
 
     /// Overwrites a register's current value (state restoration), without
     /// repropagating; call [`NetlistSim::settle`] when done.
     pub fn write_reg(&mut self, reg: RegId, value: Bits) {
         let q = self.nl.regs[reg.0 as usize].q;
-        let w = self.nl.width(q);
-        self.values[q.0 as usize] = value.resize(w);
+        let slot = self.prog.slots[q.0 as usize];
+        if self.st.write_slot(slot, &value.resize(slot.width)) {
+            self.st.mark(&self.prog, q.0);
+        }
     }
 
     /// Reads a register's current value.
-    pub fn read_reg(&self, reg: RegId) -> &Bits {
-        let q = self.nl.regs[reg.0 as usize].q;
-        self.get(q)
+    pub fn read_reg(&self, reg: RegId) -> Bits {
+        self.get(self.nl.regs[reg.0 as usize].q)
     }
 
-    /// Recomputes all combinational nets in topological order.
-    pub fn settle(&mut self) {
-        let nl = Arc::clone(&self.nl);
-        for &net in &self.order {
-            let value = match &nl.nets[net.0 as usize].def {
-                Def::Cell(cell) => {
-                    let inputs: Vec<&Bits> =
-                        cell.inputs.iter().map(|i| &self.values[i.0 as usize]).collect();
-                    eval_cell_refs(cell.op, &inputs, nl.width(net))
+    /// Whether any register of the domain would change value at the next
+    /// clock edge (word-level compare of each `d` against its `q`), or any
+    /// memory write port is enabled. The MMIO `ThereAreUpdates` register.
+    pub fn updates_pending(&self, clock_index: u32) -> bool {
+        let Some(plan) = self.prog.domains.get(clock_index as usize) else {
+            return false;
+        };
+        for rc in plan.small.iter().chain(&plan.regs) {
+            let q_off = rc.q.off as usize;
+            let d_off = rc.d.off as usize;
+            let q_words = rc.q.words as usize;
+            let d_words = rc.d.words as usize;
+            let topmask = crate::exec::top_word_mask(rc.q.width);
+            for k in 0..q_words {
+                let mut d = if k < d_words {
+                    self.st.arena[d_off + k]
+                } else {
+                    0
+                };
+                if k == q_words - 1 {
+                    d &= topmask;
                 }
-                Def::MemRead { mem, addr } => {
-                    let a = self.values[addr.0 as usize].to_u64();
-                    self.read_mem(*mem, a)
+                if d != self.st.arena[q_off + k] {
+                    return true;
                 }
-                _ => continue,
-            };
-            self.values[net.0 as usize] = value;
+            }
         }
+        plan.ports.iter().any(|pc| self.st.slot_bool(pc.enable))
+    }
+
+    /// Drains any pending dirty logic to a fixed point. A no-op when the
+    /// netlist is quiescent.
+    pub fn settle(&mut self) {
+        self.st.settle_auto(&self.prog);
     }
 
     /// Executes one edge of the given clock domain: samples task triggers
@@ -195,72 +227,118 @@ impl NetlistSim {
         if self.finished {
             return;
         }
-        let nl = Arc::clone(&self.nl);
-        let clock = ClockId(clock_index);
-        // Sample phase (pre-edge values).
-        let mut reg_updates: Vec<(NetId, Bits)> = Vec::new();
-        for reg in &nl.regs {
-            if reg.clock == clock {
-                reg_updates.push((reg.q, self.values[reg.d.0 as usize].clone()));
-            }
-        }
-        let mut mem_updates: Vec<(MemId, u64, Bits)> = Vec::new();
-        for (mi, mem) in nl.mems.iter().enumerate() {
-            for port in &mem.write_ports {
-                if port.clock == clock && self.values[port.enable.0 as usize].to_bool() {
-                    let addr = self.values[port.addr.0 as usize].to_u64();
-                    mem_updates.push((MemId(mi as u32), addr, self.values[port.data.0 as usize].clone()));
-                }
-            }
-        }
-        for task in &nl.tasks {
-            if task.clock == clock && self.values[task.trigger.0 as usize].to_bool() {
-                let args: Vec<Bits> =
-                    task.args.iter().map(|a| self.values[a.0 as usize].clone()).collect();
-                let text = match (&task.format, task.kind) {
-                    (_, TaskKind::Finish) => String::new(),
-                    (Some(f), _) => cascade_sim::format_verilog(f, &args),
-                    (None, _) => args
-                        .iter()
-                        .zip(task.arg_signed.iter().chain(std::iter::repeat(&false)))
-                        .map(|(v, &s)| {
-                            if s {
-                                v.to_signed_decimal_string()
-                            } else {
-                                v.to_decimal_string()
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                        .join(" "),
-                };
-                if matches!(task.kind, TaskKind::Finish | TaskKind::Fatal) {
-                    self.finished = true;
-                }
-                self.tasks.push(TaskFire { kind: task.kind, text });
-            }
-        }
-        // Commit phase.
-        for (q, v) in reg_updates {
-            let w = nl.width(q);
-            self.values[q.0 as usize] = v.resize(w);
-        }
-        for (mem, addr, v) in mem_updates {
-            self.write_mem(mem, addr, v);
+        let prog = Arc::clone(&self.prog);
+        self.st.settle_auto(&prog);
+        self.fire_tasks(&prog, clock_index);
+        // `$finish` executes before the nonblocking-update region: an edge
+        // that finishes discards its pending commits, the same boundary
+        // the event-driven simulator observes.
+        if !self.finished {
+            self.st.commit_domain(&prog, clock_index as usize);
         }
         self.cycles += 1;
-        self.settle();
+        self.st.settle_auto(&prog);
+    }
+
+    /// Samples task triggers of one domain at their pre-edge values.
+    fn fire_tasks(&mut self, prog: &Program, clock_index: u32) {
+        let Some(plan) = prog.domains.get(clock_index as usize) else {
+            return;
+        };
+        for &ti in &plan.tasks {
+            let task = &self.nl.tasks[ti as usize];
+            if !self.st.slot_bool(prog.slots[task.trigger.0 as usize]) {
+                continue;
+            }
+            let args: Vec<Bits> = task
+                .args
+                .iter()
+                .map(|a| self.st.slot_bits(prog.slots[a.0 as usize]))
+                .collect();
+            let text = match (&task.format, task.kind) {
+                (_, TaskKind::Finish) => String::new(),
+                (Some(f), _) => cascade_sim::format_verilog(f, &args),
+                (None, _) => args
+                    .iter()
+                    .zip(task.arg_signed.iter().chain(std::iter::repeat(&false)))
+                    .map(|(v, &s)| {
+                        if s {
+                            v.to_signed_decimal_string()
+                        } else {
+                            v.to_decimal_string()
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            };
+            if matches!(task.kind, TaskKind::Finish | TaskKind::Fatal) {
+                self.finished = true;
+            }
+            self.tasks.push(TaskFire {
+                kind: task.kind,
+                text,
+            });
+        }
     }
 
     /// Runs `n` cycles of clock domain 0, stopping early on `$finish`.
     /// Returns the number of cycles actually executed.
     pub fn run(&mut self, n: u64) -> u64 {
+        self.run_cycles(n, usize::MAX)
+    }
+
+    /// Batched open-loop execution: runs up to `n` edges of clock domain 0,
+    /// stopping early when `$finish` fires or when `budget` task firings
+    /// are buffered (so a host can drain `$display` output promptly).
+    /// Returns the number of cycles actually executed.
+    ///
+    /// This is the entry point the MMIO `OpenLoop` register maps to: the
+    /// whole batch executes inside the evaluator with no per-cycle host
+    /// round trip.
+    pub fn run_cycles(&mut self, n: u64, budget: usize) -> u64 {
+        let prog = Arc::clone(&self.prog);
+        // When a settle goes dense, activity bookkeeping stops paying for
+        // itself entirely: the next PROBE-1 commits skip change detection
+        // and marking (the dense pass recomputes everything anyway), then
+        // one marked commit re-seeds the worklists so the schedule can
+        // drop back to sparse if the design quiesces.
+        const PROBE: u64 = 64;
+        let mut dense_left = 0u64;
         let mut done = 0;
-        for _ in 0..n {
+        while done < n && !self.finished {
+            if dense_left > 0 {
+                self.st.settle_dense(&prog);
+            } else if self.st.wave_is_dense(&prog) {
+                self.st.settle_dense(&prog);
+                dense_left = PROBE;
+            } else {
+                self.st.settle(&prog);
+            }
+            self.fire_tasks(&prog, 0);
             if self.finished {
+                // A `$finish` edge drops its commits (see `step_clock`).
+                self.cycles += 1;
+                done += 1;
                 break;
             }
-            self.step_clock(0);
+            if dense_left > 1 {
+                self.st.commit_domain_nomark(&prog, 0);
+                dense_left -= 1;
+            } else {
+                self.st.commit_domain(&prog, 0);
+                dense_left = 0;
+            }
+            self.cycles += 1;
             done += 1;
+            if self.tasks.len() >= budget {
+                break;
+            }
+        }
+        if dense_left > 0 {
+            // The last commit skipped marking; only a full pass is sound.
+            self.st.settle_dense(&prog);
+        } else {
+            self.st.settle_auto(&prog);
         }
         done
     }
@@ -278,7 +356,7 @@ pub fn eval_cell(op: CellOp, inputs: &[Bits], width: u32) -> Bits {
     eval_cell_refs(op, &refs, width)
 }
 
-fn eval_cell_refs(op: CellOp, inputs: &[&Bits], width: u32) -> Bits {
+pub(crate) fn eval_cell_refs(op: CellOp, inputs: &[&Bits], width: u32) -> Bits {
     use CellOp::*;
     let a = inputs.first().copied();
     let b = inputs.get(1).copied();
@@ -302,7 +380,10 @@ fn eval_cell_refs(op: CellOp, inputs: &[&Bits], width: u32) -> Bits {
         Xnor => a.expect("a").xnor(b.expect("b")).resize(width),
         Shl => a.expect("a").shl(shift_amount(b.expect("b"))).resize(width),
         Shr => a.expect("a").shr(shift_amount(b.expect("b"))).resize(width),
-        AShr => a.expect("a").ashr(shift_amount(b.expect("b"))).resize(width),
+        AShr => a
+            .expect("a")
+            .ashr(shift_amount(b.expect("b")))
+            .resize(width),
         Eq => Bits::from_bool(a.expect("a").eq_value(b.expect("b"))),
         Ne => Bits::from_bool(!a.expect("a").eq_value(b.expect("b"))),
         LtU => Bits::from_bool(a.expect("a").cmp_unsigned(b.expect("b")) == Ordering::Less),
@@ -344,11 +425,30 @@ fn signed_div(l: &Bits, r: &Bits) -> Bits {
     if !r.to_bool() {
         return Bits::ones(w);
     }
+    if w <= 64 {
+        // Word fast path: no magnitude temporaries.
+        let q = l.to_i64().wrapping_div(r.to_i64());
+        return Bits::from_u64(w, q as u64);
+    }
     let ln = l.msb();
     let rn = r.msb();
-    let la = if ln { l.neg() } else { l.clone() };
-    let ra = if rn { r.neg() } else { r.clone() };
-    let q = la.div(&ra);
+    // Negate into a temporary only for the negative operand; borrow the
+    // positive one directly.
+    let la;
+    let ra;
+    let lm = if ln {
+        la = l.neg();
+        &la
+    } else {
+        l
+    };
+    let rm = if rn {
+        ra = r.neg();
+        &ra
+    } else {
+        r
+    };
+    let q = lm.div(rm);
     if ln ^ rn {
         q.neg()
     } else {
@@ -361,10 +461,26 @@ fn signed_rem(l: &Bits, r: &Bits) -> Bits {
     if !r.to_bool() {
         return Bits::ones(w);
     }
+    if w <= 64 {
+        let m = l.to_i64().wrapping_rem(r.to_i64());
+        return Bits::from_u64(w, m as u64);
+    }
     let ln = l.msb();
-    let la = if ln { l.neg() } else { l.clone() };
-    let ra = if r.msb() { r.neg() } else { r.clone() };
-    let m = la.rem(&ra);
+    let la;
+    let ra;
+    let lm = if ln {
+        la = l.neg();
+        &la
+    } else {
+        l
+    };
+    let rm = if r.msb() {
+        ra = r.neg();
+        &ra
+    } else {
+        r
+    };
+    let m = lm.rem(rm);
     if ln {
         m.neg()
     } else {

@@ -1,0 +1,1800 @@
+//! The compiled word-arena evaluator.
+//!
+//! At construction time the levelized netlist is lowered into a flat
+//! program over a `Vec<u64>` arena: every net owns a fixed run of 64-bit
+//! words (one word for the common ≤64-bit case), and every combinational
+//! cell becomes one [`Instr`] whose kernel reads and writes arena offsets
+//! directly — no per-cycle `Bits` allocation, no pointer chasing through
+//! `Def`. Nets wider than 64 bits share the same arena through multi-word
+//! slices and evaluate through a generic [`Bits`]-based fallback kernel.
+//!
+//! Scheduling is activity-driven: each instruction carries its
+//! combinational level, and a per-level dirty worklist re-evaluates only
+//! the fan-out cone of nets that actually changed (inputs written from
+//! outside, registers and memories committed at a clock edge). A settled
+//! netlist whose inputs did not change costs nothing to re-settle.
+
+use crate::ir::*;
+use crate::level::{levelize, levels, LevelError};
+use cascade_bits::Bits;
+
+/// One net's run of words in the arena.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Slot {
+    pub off: u32,
+    pub words: u32,
+    pub width: u32,
+}
+
+/// Mask covering the valid bits of a `w`-bit value's top word, as a full
+/// single-word mask (`0` for zero-width nets).
+#[inline]
+pub(crate) fn wmask(w: u32) -> u64 {
+    if w == 0 {
+        0
+    } else if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// Sign-extends the low `w` bits of `v` to an `i64`.
+#[inline]
+fn sext(v: u64, w: u32) -> i64 {
+    if w == 0 {
+        0
+    } else if w >= 64 {
+        v as i64
+    } else {
+        ((v << (64 - w)) as i64) >> (64 - w)
+    }
+}
+
+/// A single-word compute kernel. Operand fields are arena word offsets of
+/// canonical (masked) values; `aw`/`bw` are operand bit widths where the
+/// operation is width-sensitive.
+#[derive(Debug, Clone)]
+pub(crate) enum Kernel {
+    Not {
+        a: u32,
+    },
+    Neg {
+        a: u32,
+    },
+    RedAnd {
+        a: u32,
+        full: u64,
+    },
+    RedOr {
+        a: u32,
+    },
+    RedXor {
+        a: u32,
+    },
+    LogNot {
+        a: u32,
+    },
+    Add {
+        a: u32,
+        b: u32,
+    },
+    Sub {
+        a: u32,
+        b: u32,
+    },
+    Mul {
+        a: u32,
+        b: u32,
+    },
+    DivU {
+        a: u32,
+        b: u32,
+    },
+    RemU {
+        a: u32,
+        b: u32,
+    },
+    DivS {
+        a: u32,
+        b: u32,
+        aw: u32,
+        bw: u32,
+    },
+    RemS {
+        a: u32,
+        b: u32,
+        aw: u32,
+        bw: u32,
+    },
+    And {
+        a: u32,
+        b: u32,
+    },
+    Or {
+        a: u32,
+        b: u32,
+    },
+    Xor {
+        a: u32,
+        b: u32,
+    },
+    Xnor {
+        a: u32,
+        b: u32,
+    },
+    Shl {
+        a: u32,
+        b: u32,
+        aw: u32,
+    },
+    Shr {
+        a: u32,
+        b: u32,
+        aw: u32,
+    },
+    AShr {
+        a: u32,
+        b: u32,
+        aw: u32,
+    },
+    Eq {
+        a: u32,
+        b: u32,
+    },
+    Ne {
+        a: u32,
+        b: u32,
+    },
+    LtU {
+        a: u32,
+        b: u32,
+    },
+    LeU {
+        a: u32,
+        b: u32,
+    },
+    LtS {
+        a: u32,
+        b: u32,
+        aw: u32,
+        bw: u32,
+    },
+    LeS {
+        a: u32,
+        b: u32,
+        aw: u32,
+        bw: u32,
+    },
+    Mux {
+        s: u32,
+        t: u32,
+        e: u32,
+    },
+    /// Fused compare/select: an unsigned comparison whose only reader is a
+    /// mux selector folds into the mux, removing one instruction and one
+    /// selector round trip through the arena per level of a select tree.
+    MuxEq {
+        a: u32,
+        b: u32,
+        t: u32,
+        e: u32,
+    },
+    MuxNe {
+        a: u32,
+        b: u32,
+        t: u32,
+        e: u32,
+    },
+    MuxLtU {
+        a: u32,
+        b: u32,
+        t: u32,
+        e: u32,
+    },
+    MuxLeU {
+        a: u32,
+        b: u32,
+        t: u32,
+        e: u32,
+    },
+    /// Two-part concatenation, `(a << sa) | (b << sb)` — the shape rotate
+    /// idioms lower to; specialized to avoid the boxed-parts indirection.
+    Concat2 {
+        a: u32,
+        sa: u32,
+        b: u32,
+        sb: u32,
+    },
+    /// A [`Concat2`] whose parts were single-use static slices, folded in:
+    /// `(((a >> ra) & ma) << sa) | (((b >> rb) & mb) << sb)`. This is a
+    /// full barrel rotate (`{x[l:0], x[h:l+1]}`) in one instruction.
+    ///
+    /// [`Concat2`]: Kernel::Concat2
+    Rot {
+        a: u32,
+        ra: u32,
+        ma: u64,
+        sa: u32,
+        b: u32,
+        rb: u32,
+        mb: u64,
+        sb: u32,
+    },
+    /// A flattened constant cone: a whole combinational region whose only
+    /// non-constant root is one small net (a `case` over literals, a
+    /// round-constant ROM, control decode off a narrow state register)
+    /// pre-evaluated over the root's entire domain into one table probe.
+    /// Indices beyond the table read `default`.
+    Lookup {
+        idx: u32,
+        table: Box<[u64]>,
+        default: u64,
+    },
+    /// A constant-folded output: always stores `v`.
+    ConstK {
+        v: u64,
+    },
+    /// Precompiled `(word offset, left shift)` per part, LSB-justified.
+    Concat {
+        parts: Box<[(u32, u32)]>,
+    },
+    Slice {
+        a: u32,
+        offset: u32,
+    },
+    DynSlice {
+        a: u32,
+        b: u32,
+    },
+    ZExt {
+        a: u32,
+    },
+    SExt {
+        a: u32,
+        aw: u32,
+        fill: u64,
+    },
+    /// `value * factor` replicates a narrow value into disjoint bit ranges.
+    Repeat {
+        a: u32,
+        factor: u64,
+    },
+    /// Asynchronous read of a ≤64-bit-wide memory; `addr` is the first
+    /// word of the address net (matching `Bits::to_u64` truncation).
+    MemRead {
+        mem: u32,
+        addr: u32,
+    },
+    /// Generic multi-word fallback: evaluate through [`Bits`].
+    Wide {
+        op: CellOp,
+        inputs: Box<[NetId]>,
+    },
+    /// Multi-word memory read fallback.
+    WideMemRead {
+        mem: u32,
+        addr: u32,
+    },
+}
+
+/// One compiled combinational instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct Instr {
+    /// Arena offset of the output's first word.
+    pub dst: u32,
+    /// Combined operation/output mask applied to single-word results.
+    pub mask: u64,
+    /// Output net (for slot metadata and fan-out marking).
+    pub out: u32,
+    pub kernel: Kernel,
+}
+
+/// Register commit plan: copy `d`'s words into `q` at a clock edge.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RegCommit {
+    pub d: Slot,
+    pub q: Slot,
+    pub q_net: u32,
+    /// Offset of this register's sample window in the commit scratch.
+    pub scratch: u32,
+}
+
+/// Memory write-port plan.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PortCommit {
+    pub mem: u32,
+    pub enable: Slot,
+    /// First word of the address net.
+    pub addr: u32,
+    pub data: Slot,
+}
+
+/// Everything that happens on one clock domain's edge.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DomainPlan {
+    /// Registers whose `d` and `q` each fit one word: committed by direct
+    /// word moves, no slice bookkeeping.
+    pub small: Vec<RegCommit>,
+    /// Multi-word registers (the general slice-copy path).
+    pub regs: Vec<RegCommit>,
+    pub ports: Vec<PortCommit>,
+    /// Indices into `Netlist::tasks`.
+    pub tasks: Vec<u32>,
+    /// Words of commit scratch this domain needs.
+    pub scratch_words: u32,
+}
+
+/// A memory's layout in the memory arena.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MemLayout {
+    pub off: u32,
+    pub words_per: u32,
+    pub count: u64,
+    pub width: u32,
+}
+
+/// The compiled program: immutable after construction, shared by clones of
+/// the evaluator.
+#[derive(Debug)]
+pub(crate) struct Program {
+    pub slots: Vec<Slot>,
+    pub instrs: Vec<Instr>,
+    /// Combinational level of each instruction (0-based).
+    pub level: Vec<u32>,
+    pub num_levels: u32,
+    /// Net → instructions consuming it (deduplicated).
+    pub fanout: Vec<Box<[u32]>>,
+    /// Memory → `MemRead` instructions over it.
+    pub mem_fanout: Vec<Box<[u32]>>,
+    pub mems: Vec<MemLayout>,
+    pub domains: Vec<DomainPlan>,
+    pub arena_words: u32,
+    pub mem_arena_words: u32,
+    /// Instructions on the generic wide lane (diagnostics).
+    pub wide_instrs: u32,
+}
+
+/// Mutable evaluator state over a [`Program`].
+#[derive(Debug, Clone)]
+pub(crate) struct State {
+    pub arena: Vec<u64>,
+    pub mem_arena: Vec<u64>,
+    /// Per-level dirty worklists of instruction indices.
+    queues: Vec<Vec<u32>>,
+    queued: Vec<bool>,
+    /// Reused register-sample buffer for two-phase commits.
+    scratch: Vec<u64>,
+}
+
+/// Summary counters for diagnostics and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramStats {
+    /// Compiled combinational instructions.
+    pub instrs: u32,
+    /// Instructions on the generic multi-word fallback lane.
+    pub wide_instrs: u32,
+    /// 64-bit words in the net arena.
+    pub arena_words: u32,
+    /// 64-bit words in the memory arena.
+    pub mem_arena_words: u32,
+    /// Combinational levels (depth of the scheduling pipeline).
+    pub levels: u32,
+}
+
+impl Program {
+    /// Lowers a levelized netlist into the arena program.
+    pub fn compile(nl: &Netlist) -> Result<Program, LevelError> {
+        let order = levelize(nl)?;
+        let (net_level, _depth) = levels(nl, &order);
+
+        // Arena layout: every net gets at least one word so zero-width
+        // temps still have a defined slot.
+        let mut slots = Vec::with_capacity(nl.nets.len());
+        let mut off = 0u32;
+        for net in &nl.nets {
+            let words = net.width.div_ceil(64).max(1);
+            slots.push(Slot {
+                off,
+                words,
+                width: net.width,
+            });
+            off += words;
+        }
+        let arena_words = off;
+
+        let mut mems = Vec::with_capacity(nl.mems.len());
+        let mut moff = 0u32;
+        for m in &nl.mems {
+            let words_per = m.width.div_ceil(64).max(1);
+            mems.push(MemLayout {
+                off: moff,
+                words_per,
+                count: m.words,
+                width: m.width,
+            });
+            moff += words_per * m.words as u32;
+        }
+
+        let mut items: Vec<(u32, NetId, Instr)> = Vec::with_capacity(order.len());
+        let mut num_levels = 0u32;
+        let mut wide_instrs = 0u32;
+        for &net in &order {
+            let instr = compile_net(nl, &slots, &mems, net);
+            if matches!(
+                instr.kernel,
+                Kernel::Wide { .. } | Kernel::WideMemRead { .. }
+            ) {
+                wide_instrs += 1;
+            }
+            // Source nets are level 0 and comb nets start at 1; instruction
+            // levels are 0-based.
+            let l = net_level[net.0 as usize].saturating_sub(1);
+            num_levels = num_levels.max(l + 1);
+            items.push((l, net, instr));
+        }
+        // --- Peephole over the compiled instruction stream. ---
+        //
+        // External observers pin their nets: named signals, ports,
+        // register d/q, memory write-port operands, task triggers and
+        // arguments, clocks. A pinned net's instruction must survive with
+        // its value materialized in the arena; anything else is an
+        // internal temp only instruction operands read, which the passes
+        // below may reroute or eliminate.
+        let mut pinned: Vec<bool> = nl.nets.iter().map(|n| n.name.is_some()).collect();
+        for &n in &nl.inputs {
+            pinned[n.0 as usize] = true;
+        }
+        for (_, n) in &nl.outputs {
+            pinned[n.0 as usize] = true;
+        }
+        for r in &nl.regs {
+            pinned[r.d.0 as usize] = true;
+            pinned[r.q.0 as usize] = true;
+        }
+        for m in &nl.mems {
+            for p in &m.write_ports {
+                pinned[p.enable.0 as usize] = true;
+                pinned[p.addr.0 as usize] = true;
+                pinned[p.data.0 as usize] = true;
+            }
+        }
+        for t in &nl.tasks {
+            pinned[t.trigger.0 as usize] = true;
+            for a in &t.args {
+                pinned[a.0 as usize] = true;
+            }
+        }
+        for &(c, _) in &nl.clocks {
+            pinned[c.0 as usize] = true;
+        }
+
+        // Slot base offset -> net, for attributing operands.
+        let mut off2net = vec![u32::MAX; arena_words as usize];
+        for (i, s) in slots.iter().enumerate() {
+            off2net[s.off as usize] = i as u32;
+        }
+        // Nets consumed by a `Wide` kernel must also stay materialized:
+        // the fallback lane reads whole slots at source widths.
+        let mut wide_read = vec![false; nl.nets.len()];
+        for (_, _, ins) in &items {
+            if let Kernel::Wide { inputs, .. } = &ins.kernel {
+                for n in inputs.iter() {
+                    wide_read[n.0 as usize] = true;
+                }
+            }
+        }
+
+        // Pass 1 — copy propagation: a `ZExt` (or offset-0 `Slice`) that
+        // does not narrow holds exactly its source's word, so consumers
+        // can read the source slot directly and the copy disappears.
+        let mut dead = vec![false; items.len()];
+        let mut fwd: Vec<u32> = (0..arena_words).collect();
+        for (idx, (_, net, ins)) in items.iter().enumerate() {
+            let src = match ins.kernel {
+                Kernel::ZExt { a } => a,
+                Kernel::Slice { a, offset: 0 } => a,
+                _ => continue,
+            };
+            let n = net.0 as usize;
+            if pinned[n] || wide_read[n] {
+                continue;
+            }
+            if slots[n].width < slots[off2net[src as usize] as usize].width {
+                continue; // truncating copy: the output mask does real work
+            }
+            // Items are in level order, so the source's own forwarding (if
+            // any) is already final: chains collapse in one pass.
+            fwd[ins.dst as usize] = fwd[src as usize];
+            dead[idx] = true;
+        }
+        for (_, _, ins) in items.iter_mut() {
+            for_each_operand(&mut ins.kernel, &mut |o| *o = fwd[*o as usize]);
+        }
+
+        // Pass 2 — compare/select fusion: a single-use unsigned compare
+        // whose only reader is a mux selector folds into the mux.
+        let mut uses = vec![0u32; nl.nets.len()];
+        let mut producer = vec![usize::MAX; nl.nets.len()];
+        for (idx, (_, net, ins)) in items.iter_mut().enumerate() {
+            if dead[idx] {
+                continue;
+            }
+            producer[net.0 as usize] = idx;
+            for_each_operand(&mut ins.kernel, &mut |o| {
+                uses[off2net[*o as usize] as usize] += 1;
+            });
+        }
+        for idx in 0..items.len() {
+            let (s, t, e) = match items[idx].2.kernel {
+                Kernel::Mux { s, t, e } => (s, t, e),
+                _ => continue,
+            };
+            let sn = off2net[s as usize] as usize;
+            if pinned[sn] || wide_read[sn] || uses[sn] != 1 {
+                continue;
+            }
+            let pidx = producer[sn];
+            // A compare's mask keeps bit 0, so its 0/1 result is exact.
+            if pidx == usize::MAX || items[pidx].2.mask & 1 == 0 {
+                continue;
+            }
+            let fused = match items[pidx].2.kernel {
+                Kernel::Eq { a, b } => Kernel::MuxEq { a, b, t, e },
+                Kernel::Ne { a, b } => Kernel::MuxNe { a, b, t, e },
+                Kernel::LtU { a, b } => Kernel::MuxLtU { a, b, t, e },
+                Kernel::LeU { a, b } => Kernel::MuxLeU { a, b, t, e },
+                _ => continue,
+            };
+            items[idx].2.kernel = fused;
+            dead[pidx] = true;
+        }
+
+        // Pass 3 — rotate fusion: a `Concat2` part produced by a
+        // single-use static slice reads the sliced source directly, with
+        // the shift and mask folded in. Barrel rotates (`{x[l:0],
+        // x[h:l+1]}`) become one instruction instead of three.
+        let fusable_slice =
+            |items: &[(u32, NetId, Instr)], off: u32| -> Option<(usize, u32, u32, u64)> {
+                let n = off2net[off as usize] as usize;
+                if pinned[n] || wide_read[n] || uses[n] != 1 {
+                    return None;
+                }
+                let pidx = producer[n];
+                if pidx == usize::MAX {
+                    return None;
+                }
+                match items[pidx].2.kernel {
+                    Kernel::Slice { a, offset } if offset < 64 => {
+                        Some((pidx, a, offset, items[pidx].2.mask))
+                    }
+                    _ => None,
+                }
+            };
+        for idx in 0..items.len() {
+            let (a, sa, b, sb) = match items[idx].2.kernel {
+                Kernel::Concat2 { a, sa, b, sb } => (a, sa, b, sb),
+                _ => continue,
+            };
+            let fa = fusable_slice(&items, a);
+            let fb = fusable_slice(&items, b);
+            if fa.is_none() && fb.is_none() {
+                continue;
+            }
+            let (a, ra, ma) = match fa {
+                Some((p, src, shr, m)) => {
+                    dead[p] = true;
+                    (src, shr, m)
+                }
+                None => (a, 0, u64::MAX),
+            };
+            let (b, rb, mb) = match fb {
+                Some((p, src, shr, m)) => {
+                    dead[p] = true;
+                    (src, shr, m)
+                }
+                None => (b, 0, u64::MAX),
+            };
+            items[idx].2.kernel = Kernel::Rot {
+                a,
+                ra,
+                ma,
+                sa,
+                b,
+                rb,
+                mb,
+                sb,
+            };
+        }
+
+        // Pass 4 — small-domain cone evaluation: an instruction whose
+        // transitive support is constants plus at most one narrow root
+        // net (a state register, a round counter) is a pure function of
+        // that root, so it is evaluated over the root's entire domain at
+        // compile time. A `case` over literals — the ROM/round-constant
+        // idiom — collapses to one table probe regardless of how
+        // lowering shaped the select network, and fully constant cones
+        // fold to `ConstK`. Interior nodes die in the DCE pass below.
+        const MAX_IDX_BITS: u32 = 8;
+        #[derive(Clone)]
+        enum NVal {
+            /// Not a function of a single small root.
+            Opaque,
+            /// Constant, already masked to the net width.
+            Const(u64),
+            /// `table[root]`, where `root` is a slot base offset and the
+            /// table spans the root's full domain, values post-mask.
+            Dep { root: u32, table: Box<[u64]> },
+        }
+        let mut vals: Vec<NVal> = vec![NVal::Opaque; nl.nets.len()];
+        for (n, net) in nl.nets.iter().enumerate() {
+            // A pinned constant stays opaque: `set_by_name` may overwrite
+            // the slot of any named net, and folding would hide that.
+            if pinned[n] || net.width > 64 {
+                continue;
+            }
+            if let Def::Const(c) = &net.def {
+                vals[n] = NVal::Const(c.resize(net.width).to_u64());
+            }
+        }
+        let mut ops: Vec<u32> = Vec::new();
+        for idx in 0..items.len() {
+            if dead[idx]
+                || matches!(
+                    items[idx].2.kernel,
+                    Kernel::MemRead { .. } | Kernel::Wide { .. } | Kernel::WideMemRead { .. }
+                )
+            {
+                continue;
+            }
+            ops.clear();
+            for_each_operand(&mut items[idx].2.kernel, &mut |o| ops.push(*o));
+            // Classify the operands. Items arrive in topological order,
+            // so each operand's own `NVal` is already final.
+            let mut root: Option<u32> = None;
+            let mut deps = 0usize;
+            let mut ok = true;
+            for &o in &ops {
+                let on = off2net.get(o as usize).copied().unwrap_or(u32::MAX);
+                if on == u32::MAX {
+                    ok = false;
+                    break;
+                }
+                let candidate = match &vals[on as usize] {
+                    NVal::Const(_) => continue,
+                    NVal::Dep { root, .. } => {
+                        deps += 1;
+                        *root
+                    }
+                    NVal::Opaque => {
+                        let s = slots[on as usize];
+                        if s.words != 1 || s.width == 0 || s.width > MAX_IDX_BITS || o != s.off {
+                            ok = false;
+                            break;
+                        }
+                        o
+                    }
+                };
+                match root {
+                    None => root = Some(candidate),
+                    Some(r) if r == candidate => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let net = items[idx].1 .0 as usize;
+            let mask = items[idx].2.mask;
+            let Some(ro) = root else {
+                // Every operand is constant: fold the whole instruction.
+                let v = kernel_apply(&items[idx].2.kernel, |off| {
+                    match &vals[off2net[off as usize] as usize] {
+                        NVal::Const(c) => *c,
+                        _ => unreachable!("classified constant"),
+                    }
+                })
+                .expect("stateful kernels filtered above")
+                    & mask;
+                items[idx].2.kernel = Kernel::ConstK { v };
+                vals[net] = NVal::Const(v);
+                continue;
+            };
+            let rw = slots[off2net[ro as usize] as usize].width;
+            let mut table = Vec::with_capacity(1usize << rw);
+            for v in 0..(1u64 << rw) {
+                let out = kernel_apply(&items[idx].2.kernel, |off| {
+                    if off == ro {
+                        return v;
+                    }
+                    match &vals[off2net[off as usize] as usize] {
+                        NVal::Const(c) => *c,
+                        NVal::Dep { table, .. } => table[v as usize],
+                        NVal::Opaque => unreachable!("classified const or root"),
+                    }
+                })
+                .expect("stateful kernels filtered above");
+                table.push(out & mask);
+            }
+            let table = table.into_boxed_slice();
+            // Only rewrite when the probe collapses interior nodes; a
+            // depth-1 cone (root and constants read directly) is already
+            // one instruction. The `NVal` still propagates either way.
+            if deps > 0 {
+                items[idx].2.kernel = Kernel::Lookup {
+                    idx: ro,
+                    table: table.clone(),
+                    default: 0,
+                };
+            }
+            vals[net] = NVal::Dep { root: ro, table };
+        }
+
+        // Pass 5 — dead code elimination: recompute use counts from the
+        // rewritten kernels (the passes above reroute reads) and drop
+        // unpinned instructions nothing reads, to a fixpoint so whole
+        // flattened cones disappear at once.
+        let mut uses = vec![0u32; nl.nets.len()];
+        for (idx, (_, _, ins)) in items.iter_mut().enumerate() {
+            if dead[idx] {
+                continue;
+            }
+            if let Kernel::Wide { inputs, .. } = &ins.kernel {
+                for n in inputs.iter() {
+                    uses[n.0 as usize] += 1;
+                }
+            }
+            for_each_operand(&mut ins.kernel, &mut |o| {
+                let n = off2net[*o as usize];
+                if n != u32::MAX {
+                    uses[n as usize] += 1;
+                }
+            });
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for idx in 0..items.len() {
+                if dead[idx] {
+                    continue;
+                }
+                let n = items[idx].1 .0 as usize;
+                if pinned[n] || uses[n] > 0 {
+                    continue;
+                }
+                dead[idx] = true;
+                changed = true;
+                if let Kernel::Wide { inputs, .. } = &items[idx].2.kernel {
+                    for m in inputs.iter() {
+                        uses[m.0 as usize] -= 1;
+                    }
+                }
+                for_each_operand(&mut items[idx].2.kernel, &mut |o| {
+                    let m = off2net[*o as usize];
+                    if m != u32::MAX {
+                        uses[m as usize] -= 1;
+                    }
+                });
+            }
+        }
+        let mut items: Vec<(u32, NetId, Instr)> = items
+            .into_iter()
+            .zip(dead)
+            .filter_map(|(item, d)| (!d).then_some(item))
+            .collect();
+
+        // Instructions within a level are independent, so group them by
+        // kernel kind: the interpreter's dispatch branch then sees runs of
+        // the same opcode and predicts well.
+        items.sort_by_key(|(l, _, ins)| (*l, kernel_rank(&ins.kernel)));
+        let level: Vec<u32> = items.iter().map(|&(l, _, _)| l).collect();
+
+        // Fan-out: net -> consuming instructions, memory -> readers.
+        // Built from kernel operands rather than netlist cell inputs: the
+        // passes above reroute reads, and sparse invalidation must follow
+        // the reads the interpreter actually performs.
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); nl.nets.len()];
+        let mut mem_fanout: Vec<Vec<u32>> = vec![Vec::new(); nl.mems.len()];
+        for (i, (_, _, ins)) in items.iter_mut().enumerate() {
+            if let Kernel::Wide { inputs, .. } = &ins.kernel {
+                for n in inputs.iter() {
+                    let f = &mut fanout[n.0 as usize];
+                    if f.last() != Some(&(i as u32)) {
+                        f.push(i as u32);
+                    }
+                }
+            }
+            if let Kernel::MemRead { mem, .. } | Kernel::WideMemRead { mem, .. } = ins.kernel {
+                mem_fanout[mem as usize].push(i as u32);
+            }
+            for_each_operand(&mut ins.kernel, &mut |o| {
+                let f = &mut fanout[off2net[*o as usize] as usize];
+                if f.last() != Some(&(i as u32)) {
+                    f.push(i as u32);
+                }
+            });
+        }
+        let instrs: Vec<Instr> = items.into_iter().map(|(_, _, ins)| ins).collect();
+
+        // Per-domain sequential plans.
+        let mut domains: Vec<DomainPlan> = (0..nl.clocks.len().max(1))
+            .map(|_| DomainPlan::default())
+            .collect();
+        for reg in &nl.regs {
+            let plan = &mut domains[reg.clock.0 as usize];
+            let d = slots[reg.d.0 as usize];
+            let q = slots[reg.q.0 as usize];
+            let commit = RegCommit {
+                d,
+                q,
+                q_net: reg.q.0,
+                scratch: plan.scratch_words,
+            };
+            plan.scratch_words += d.words;
+            if d.words == 1 && q.words == 1 {
+                plan.small.push(commit);
+            } else {
+                plan.regs.push(commit);
+            }
+        }
+        for (mi, mem) in nl.mems.iter().enumerate() {
+            for port in &mem.write_ports {
+                domains[port.clock.0 as usize].ports.push(PortCommit {
+                    mem: mi as u32,
+                    enable: slots[port.enable.0 as usize],
+                    addr: slots[port.addr.0 as usize].off,
+                    data: slots[port.data.0 as usize],
+                });
+            }
+        }
+        for (ti, task) in nl.tasks.iter().enumerate() {
+            domains[task.clock.0 as usize].tasks.push(ti as u32);
+        }
+
+        Ok(Program {
+            slots,
+            instrs,
+            level,
+            num_levels,
+            fanout: fanout.into_iter().map(Vec::into_boxed_slice).collect(),
+            mem_fanout: mem_fanout.into_iter().map(Vec::into_boxed_slice).collect(),
+            mems,
+            domains,
+            arena_words,
+            mem_arena_words: moff,
+            wide_instrs,
+        })
+    }
+
+    /// Instruction counts by kernel kind (diagnostic).
+    pub fn kernel_histogram(&self) -> Vec<(&'static str, usize)> {
+        use Kernel as K;
+        let mut map: std::collections::BTreeMap<&'static str, usize> = Default::default();
+        for ins in self.instrs.iter() {
+            let name = match &ins.kernel {
+                K::And { .. } => "And",
+                K::Or { .. } => "Or",
+                K::Xor { .. } => "Xor",
+                K::Xnor { .. } => "Xnor",
+                K::Not { .. } => "Not",
+                K::Add { .. } => "Add",
+                K::Sub { .. } => "Sub",
+                K::Neg { .. } => "Neg",
+                K::Mul { .. } => "Mul",
+                K::Concat2 { .. } => "Concat2",
+                K::Rot { .. } => "Rot",
+                K::Lookup { .. } => "Lookup",
+                K::ConstK { .. } => "ConstK",
+                K::Concat { .. } => "Concat",
+                K::Slice { .. } => "Slice",
+                K::ZExt { .. } => "ZExt",
+                K::SExt { .. } => "SExt",
+                K::Repeat { .. } => "Repeat",
+                K::Mux { .. } => "Mux",
+                K::MuxEq { .. } => "MuxEq",
+                K::MuxNe { .. } => "MuxNe",
+                K::MuxLtU { .. } => "MuxLtU",
+                K::MuxLeU { .. } => "MuxLeU",
+                K::Eq { .. } => "Eq",
+                K::Ne { .. } => "Ne",
+                K::LtU { .. } => "LtU",
+                K::LeU { .. } => "LeU",
+                K::LtS { .. } => "LtS",
+                K::LeS { .. } => "LeS",
+                K::Shl { .. } => "Shl",
+                K::Shr { .. } => "Shr",
+                K::AShr { .. } => "AShr",
+                K::DynSlice { .. } => "DynSlice",
+                K::RedAnd { .. } => "RedAnd",
+                K::RedOr { .. } => "RedOr",
+                K::RedXor { .. } => "RedXor",
+                K::LogNot { .. } => "LogNot",
+                K::DivU { .. } => "DivU",
+                K::RemU { .. } => "RemU",
+                K::DivS { .. } => "DivS",
+                K::RemS { .. } => "RemS",
+                K::MemRead { .. } => "MemRead",
+                K::Wide { .. } => "Wide",
+                K::WideMemRead { .. } => "WideMemRead",
+            };
+            *map.entry(name).or_default() += 1;
+        }
+        let mut v: Vec<_> = map.into_iter().collect();
+        v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        v
+    }
+
+    /// Summary counters.
+    pub fn stats(&self) -> ProgramStats {
+        ProgramStats {
+            instrs: self.instrs.len() as u32,
+            wide_instrs: self.wide_instrs,
+            arena_words: self.arena_words,
+            mem_arena_words: self.mem_arena_words,
+            levels: self.num_levels,
+        }
+    }
+}
+
+/// Calls `f` on every single-word operand of a kernel. Operands are slot
+/// base offsets, so the peephole passes can rewrite or attribute them;
+/// `Wide` inputs are net ids at source widths and are not visited.
+fn for_each_operand(k: &mut Kernel, f: &mut impl FnMut(&mut u32)) {
+    use Kernel as K;
+    match k {
+        K::Not { a }
+        | K::Neg { a }
+        | K::RedAnd { a, .. }
+        | K::RedOr { a }
+        | K::RedXor { a }
+        | K::LogNot { a }
+        | K::Slice { a, .. }
+        | K::ZExt { a }
+        | K::SExt { a, .. }
+        | K::Repeat { a, .. } => f(a),
+        K::Add { a, b }
+        | K::Sub { a, b }
+        | K::Mul { a, b }
+        | K::DivU { a, b }
+        | K::RemU { a, b }
+        | K::DivS { a, b, .. }
+        | K::RemS { a, b, .. }
+        | K::And { a, b }
+        | K::Or { a, b }
+        | K::Xor { a, b }
+        | K::Xnor { a, b }
+        | K::Shl { a, b, .. }
+        | K::Shr { a, b, .. }
+        | K::AShr { a, b, .. }
+        | K::Eq { a, b }
+        | K::Ne { a, b }
+        | K::LtU { a, b }
+        | K::LeU { a, b }
+        | K::LtS { a, b, .. }
+        | K::LeS { a, b, .. }
+        | K::DynSlice { a, b }
+        | K::Concat2 { a, b, .. }
+        | K::Rot { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        K::Mux { s, t, e } => {
+            f(s);
+            f(t);
+            f(e);
+        }
+        K::MuxEq { a, b, t, e }
+        | K::MuxNe { a, b, t, e }
+        | K::MuxLtU { a, b, t, e }
+        | K::MuxLeU { a, b, t, e } => {
+            f(a);
+            f(b);
+            f(t);
+            f(e);
+        }
+        K::Concat { parts } => {
+            for (o, _) in parts.iter_mut() {
+                f(o);
+            }
+        }
+        K::MemRead { addr, .. } | K::WideMemRead { addr, .. } => f(addr),
+        K::Lookup { idx, .. } => f(idx),
+        K::ConstK { .. } | K::Wide { .. } => {}
+    }
+}
+
+/// Evaluates a stateless single-word kernel over operand words supplied
+/// by `r` (arena offset → value). Returns `None` for the kernels that
+/// reach beyond the word arena (`Wide`, memory reads), which the
+/// interpreter handles out of line. This single definition serves both
+/// the per-cycle dispatch loop and compile-time cone evaluation.
+#[inline(always)]
+fn kernel_apply(k: &Kernel, r: impl Fn(u32) -> u64) -> Option<u64> {
+    use Kernel as K;
+    Some(match k {
+        K::Not { a } => !r(*a),
+        K::Neg { a } => r(*a).wrapping_neg(),
+        K::RedAnd { a, full } => (r(*a) == *full) as u64,
+        K::RedOr { a } => (r(*a) != 0) as u64,
+        K::RedXor { a } => (r(*a).count_ones() & 1) as u64,
+        K::LogNot { a } => (r(*a) == 0) as u64,
+        K::Add { a, b } => r(*a).wrapping_add(r(*b)),
+        K::Sub { a, b } => r(*a).wrapping_sub(r(*b)),
+        K::Mul { a, b } => r(*a).wrapping_mul(r(*b)),
+        // Division by zero yields all-ones, the two-state stand-in for `x`.
+        K::DivU { a, b } => r(*a).checked_div(r(*b)).unwrap_or(u64::MAX),
+        K::RemU { a, b } => r(*a).checked_rem(r(*b)).unwrap_or(u64::MAX),
+        K::DivS { a, b, aw, bw } => {
+            let d = r(*b);
+            if d == 0 {
+                u64::MAX
+            } else {
+                sext(r(*a), *aw).wrapping_div(sext(d, *bw)) as u64
+            }
+        }
+        K::RemS { a, b, aw, bw } => {
+            let d = r(*b);
+            if d == 0 {
+                u64::MAX
+            } else {
+                sext(r(*a), *aw).wrapping_rem(sext(d, *bw)) as u64
+            }
+        }
+        K::And { a, b } => r(*a) & r(*b),
+        K::Or { a, b } => r(*a) | r(*b),
+        K::Xor { a, b } => r(*a) ^ r(*b),
+        K::Xnor { a, b } => !(r(*a) ^ r(*b)),
+        K::Shl { a, b, aw } => {
+            let sh = r(*b);
+            if sh >= *aw as u64 {
+                0
+            } else {
+                r(*a) << sh
+            }
+        }
+        K::Shr { a, b, aw } => {
+            let sh = r(*b);
+            if sh >= *aw as u64 {
+                0
+            } else {
+                r(*a) >> sh
+            }
+        }
+        K::AShr { a, b, aw } => {
+            if *aw == 0 {
+                0
+            } else {
+                let sh = r(*b).min(63) as u32;
+                (sext(r(*a), *aw) >> sh) as u64
+            }
+        }
+        K::Eq { a, b } => (r(*a) == r(*b)) as u64,
+        K::Ne { a, b } => (r(*a) != r(*b)) as u64,
+        K::LtU { a, b } => (r(*a) < r(*b)) as u64,
+        K::LeU { a, b } => (r(*a) <= r(*b)) as u64,
+        K::LtS { a, b, aw, bw } => (sext(r(*a), *aw) < sext(r(*b), *bw)) as u64,
+        K::LeS { a, b, aw, bw } => (sext(r(*a), *aw) <= sext(r(*b), *bw)) as u64,
+        K::Mux { s, t, e } => {
+            if r(*s) != 0 {
+                r(*t)
+            } else {
+                r(*e)
+            }
+        }
+        K::MuxEq { a, b, t, e } => {
+            if r(*a) == r(*b) {
+                r(*t)
+            } else {
+                r(*e)
+            }
+        }
+        K::MuxNe { a, b, t, e } => {
+            if r(*a) != r(*b) {
+                r(*t)
+            } else {
+                r(*e)
+            }
+        }
+        K::MuxLtU { a, b, t, e } => {
+            if r(*a) < r(*b) {
+                r(*t)
+            } else {
+                r(*e)
+            }
+        }
+        K::MuxLeU { a, b, t, e } => {
+            if r(*a) <= r(*b) {
+                r(*t)
+            } else {
+                r(*e)
+            }
+        }
+        K::Concat2 { a, sa, b, sb } => (r(*a) << sa) | (r(*b) << sb),
+        K::Rot {
+            a,
+            ra,
+            ma,
+            sa,
+            b,
+            rb,
+            mb,
+            sb,
+        } => (((r(*a) >> ra) & ma) << sa) | (((r(*b) >> rb) & mb) << sb),
+        K::Lookup {
+            idx,
+            table,
+            default,
+        } => table.get(r(*idx) as usize).copied().unwrap_or(*default),
+        K::ConstK { v } => *v,
+        K::Concat { parts } => {
+            let mut acc = 0u64;
+            for &(off, shift) in parts.iter() {
+                acc |= r(off) << shift;
+            }
+            acc
+        }
+        K::Slice { a, offset } => {
+            if *offset >= 64 {
+                0
+            } else {
+                r(*a) >> offset
+            }
+        }
+        K::DynSlice { a, b } => {
+            let sh = r(*b);
+            if sh >= 64 {
+                0
+            } else {
+                r(*a) >> sh
+            }
+        }
+        K::ZExt { a } => r(*a),
+        K::SExt { a, aw, fill } => {
+            let v = r(*a);
+            if *aw > 0 && (v >> (aw - 1)) & 1 == 1 {
+                v | fill
+            } else {
+                v
+            }
+        }
+        K::Repeat { a, factor } => r(*a).wrapping_mul(*factor),
+        K::MemRead { .. } | K::Wide { .. } | K::WideMemRead { .. } => return None,
+    })
+}
+
+/// Dispatch-order rank for grouping same-kind kernels within a level.
+fn kernel_rank(k: &Kernel) -> u8 {
+    use Kernel as K;
+    match k {
+        K::And { .. } => 0,
+        K::Or { .. } => 1,
+        K::Xor { .. } => 2,
+        K::Xnor { .. } => 3,
+        K::Not { .. } => 4,
+        K::Add { .. } => 5,
+        K::Sub { .. } => 6,
+        K::Neg { .. } => 7,
+        K::Mul { .. } => 8,
+        K::Concat2 { .. } => 9,
+        K::Rot { .. } => 41,
+        K::Lookup { .. } => 42,
+        K::ConstK { .. } => 43,
+        K::Concat { .. } => 10,
+        K::Slice { .. } => 11,
+        K::ZExt { .. } => 12,
+        K::SExt { .. } => 13,
+        K::Repeat { .. } => 14,
+        K::Mux { .. } => 15,
+        K::MuxEq { .. } => 37,
+        K::MuxNe { .. } => 38,
+        K::MuxLtU { .. } => 39,
+        K::MuxLeU { .. } => 40,
+        K::Eq { .. } => 16,
+        K::Ne { .. } => 17,
+        K::LtU { .. } => 18,
+        K::LeU { .. } => 19,
+        K::LtS { .. } => 20,
+        K::LeS { .. } => 21,
+        K::Shl { .. } => 22,
+        K::Shr { .. } => 23,
+        K::AShr { .. } => 24,
+        K::DynSlice { .. } => 25,
+        K::RedAnd { .. } => 26,
+        K::RedOr { .. } => 27,
+        K::RedXor { .. } => 28,
+        K::LogNot { .. } => 29,
+        K::DivU { .. } => 30,
+        K::RemU { .. } => 31,
+        K::DivS { .. } => 32,
+        K::RemS { .. } => 33,
+        K::MemRead { .. } => 34,
+        K::Wide { .. } => 35,
+        K::WideMemRead { .. } => 36,
+    }
+}
+
+/// Compiles one combinational net into an instruction.
+fn compile_net(nl: &Netlist, slots: &[Slot], mems: &[MemLayout], net: NetId) -> Instr {
+    let out_slot = slots[net.0 as usize];
+    let width = out_slot.width;
+    let outmask = wmask(width);
+    let out = net.0;
+    match &nl.nets[net.0 as usize].def {
+        Def::MemRead { mem, addr } => {
+            let addr_off = slots[addr.0 as usize].off;
+            let m = mems[mem.0 as usize];
+            let kernel = if m.width <= 64 && width <= 64 {
+                Kernel::MemRead {
+                    mem: mem.0,
+                    addr: addr_off,
+                }
+            } else {
+                Kernel::WideMemRead {
+                    mem: mem.0,
+                    addr: addr_off,
+                }
+            };
+            Instr {
+                dst: out_slot.off,
+                mask: outmask,
+                out,
+                kernel,
+            }
+        }
+        Def::Cell(cell) => {
+            let ins = &cell.inputs;
+            let slot = |i: usize| slots[ins[i].0 as usize];
+            let o = |i: usize| slot(i).off;
+            let w = |i: usize| slot(i).width;
+            let all_small = width <= 64 && ins.iter().all(|i| slots[i.0 as usize].width <= 64);
+            let wide = || Instr {
+                dst: out_slot.off,
+                mask: outmask,
+                out,
+                kernel: Kernel::Wide {
+                    op: cell.op,
+                    inputs: ins.clone().into_boxed_slice(),
+                },
+            };
+            if !all_small {
+                return wide();
+            }
+            use CellOp as C;
+            // `mask` folds the operation-width wrap and the output resize
+            // into one AND; kernels that need a different combination set
+            // it explicitly.
+            let binop_mask = |i: usize, j: usize| wmask(w(i).max(w(j))) & outmask;
+            let (kernel, mask) = match cell.op {
+                C::Not => (Kernel::Not { a: o(0) }, wmask(w(0)) & outmask),
+                C::Neg => (Kernel::Neg { a: o(0) }, wmask(w(0)) & outmask),
+                C::RedAnd => (
+                    Kernel::RedAnd {
+                        a: o(0),
+                        full: wmask(w(0)),
+                    },
+                    outmask,
+                ),
+                C::RedOr => (Kernel::RedOr { a: o(0) }, outmask),
+                C::RedXor => (Kernel::RedXor { a: o(0) }, outmask),
+                C::LogNot => (Kernel::LogNot { a: o(0) }, outmask),
+                C::Add => (Kernel::Add { a: o(0), b: o(1) }, binop_mask(0, 1)),
+                C::Sub => (Kernel::Sub { a: o(0), b: o(1) }, binop_mask(0, 1)),
+                C::Mul => (Kernel::Mul { a: o(0), b: o(1) }, binop_mask(0, 1)),
+                C::DivU => (Kernel::DivU { a: o(0), b: o(1) }, binop_mask(0, 1)),
+                C::RemU => (Kernel::RemU { a: o(0), b: o(1) }, binop_mask(0, 1)),
+                C::DivS => (
+                    Kernel::DivS {
+                        a: o(0),
+                        b: o(1),
+                        aw: w(0),
+                        bw: w(1),
+                    },
+                    binop_mask(0, 1),
+                ),
+                C::RemS => (
+                    Kernel::RemS {
+                        a: o(0),
+                        b: o(1),
+                        aw: w(0),
+                        bw: w(1),
+                    },
+                    binop_mask(0, 1),
+                ),
+                C::And => (Kernel::And { a: o(0), b: o(1) }, binop_mask(0, 1)),
+                C::Or => (Kernel::Or { a: o(0), b: o(1) }, binop_mask(0, 1)),
+                C::Xor => (Kernel::Xor { a: o(0), b: o(1) }, binop_mask(0, 1)),
+                C::Xnor => (Kernel::Xnor { a: o(0), b: o(1) }, binop_mask(0, 1)),
+                C::Shl => (
+                    Kernel::Shl {
+                        a: o(0),
+                        b: o(1),
+                        aw: w(0),
+                    },
+                    wmask(w(0)) & outmask,
+                ),
+                C::Shr => (
+                    Kernel::Shr {
+                        a: o(0),
+                        b: o(1),
+                        aw: w(0),
+                    },
+                    outmask,
+                ),
+                C::AShr => (
+                    Kernel::AShr {
+                        a: o(0),
+                        b: o(1),
+                        aw: w(0),
+                    },
+                    wmask(w(0)) & outmask,
+                ),
+                C::Eq => (Kernel::Eq { a: o(0), b: o(1) }, outmask),
+                C::Ne => (Kernel::Ne { a: o(0), b: o(1) }, outmask),
+                C::LtU => (Kernel::LtU { a: o(0), b: o(1) }, outmask),
+                C::LeU => (Kernel::LeU { a: o(0), b: o(1) }, outmask),
+                C::LtS => (
+                    Kernel::LtS {
+                        a: o(0),
+                        b: o(1),
+                        aw: w(0),
+                        bw: w(1),
+                    },
+                    outmask,
+                ),
+                C::LeS => (
+                    Kernel::LeS {
+                        a: o(0),
+                        b: o(1),
+                        aw: w(0),
+                        bw: w(1),
+                    },
+                    outmask,
+                ),
+                C::Mux => (
+                    Kernel::Mux {
+                        s: o(0),
+                        t: o(1),
+                        e: o(2),
+                    },
+                    outmask,
+                ),
+                C::Concat => {
+                    let total: u32 = ins.iter().map(|i| slots[i.0 as usize].width).sum();
+                    if total > 64 {
+                        return wide();
+                    }
+                    // Inputs are MSB-first; compute each part's LSB offset.
+                    let mut shift = total;
+                    let mut parts = Vec::with_capacity(ins.len());
+                    for i in 0..ins.len() {
+                        let pw = w(i);
+                        shift -= pw;
+                        if pw > 0 {
+                            parts.push((o(i), shift));
+                        }
+                    }
+                    if let [(a, sa), (b, sb)] = parts[..] {
+                        (Kernel::Concat2 { a, sa, b, sb }, outmask)
+                    } else {
+                        (
+                            Kernel::Concat {
+                                parts: parts.into_boxed_slice(),
+                            },
+                            outmask,
+                        )
+                    }
+                }
+                C::Slice { offset } => (Kernel::Slice { a: o(0), offset }, outmask),
+                C::DynSlice => (Kernel::DynSlice { a: o(0), b: o(1) }, outmask),
+                C::ZExt => (Kernel::ZExt { a: o(0) }, outmask),
+                C::SExt => {
+                    let aw = w(0);
+                    let fill = outmask & !wmask(aw);
+                    (Kernel::SExt { a: o(0), aw, fill }, outmask)
+                }
+                C::Repeat { count } => {
+                    let aw = w(0);
+                    if aw as u64 * count as u64 > 64 {
+                        return wide();
+                    }
+                    let mut factor = 0u64;
+                    for i in 0..count {
+                        if aw == 0 {
+                            break;
+                        }
+                        factor |= 1u64 << (i * aw);
+                    }
+                    (Kernel::Repeat { a: o(0), factor }, outmask)
+                }
+            };
+            Instr {
+                dst: out_slot.off,
+                mask,
+                out,
+                kernel,
+            }
+        }
+        _ => unreachable!("only cells and memory reads are compiled"),
+    }
+}
+
+impl State {
+    /// Fresh state: constants and register initial values written, all
+    /// instructions queued for the first settle.
+    pub fn new(nl: &Netlist, prog: &Program) -> State {
+        let mut st = State {
+            arena: vec![0u64; prog.arena_words as usize],
+            mem_arena: vec![0u64; prog.mem_arena_words as usize],
+            queues: (0..prog.num_levels).map(|_| Vec::new()).collect(),
+            queued: vec![false; prog.instrs.len()],
+            scratch: vec![
+                0u64;
+                prog.domains
+                    .iter()
+                    .map(|d| d.scratch_words)
+                    .max()
+                    .unwrap_or(0) as usize
+            ],
+        };
+        for (i, net) in nl.nets.iter().enumerate() {
+            match &net.def {
+                Def::Const(c) => {
+                    st.write_slot(prog.slots[i], &c.resize(net.width));
+                }
+                Def::Reg(r) => {
+                    st.write_slot(prog.slots[i], &nl.regs[r.0 as usize].init.resize(net.width));
+                }
+                _ => {}
+            }
+        }
+        st.mark_all(prog);
+        st.settle(prog);
+        st
+    }
+
+    /// Queues every instruction (full re-evaluation).
+    pub fn mark_all(&mut self, prog: &Program) {
+        for i in 0..prog.instrs.len() as u32 {
+            if !self.queued[i as usize] {
+                self.queued[i as usize] = true;
+                self.queues[prog.level[i as usize] as usize].push(i);
+            }
+        }
+    }
+
+    /// Queues the consumers of one net.
+    #[inline]
+    pub fn mark(&mut self, prog: &Program, net: u32) {
+        for &i in prog.fanout[net as usize].iter() {
+            if !self.queued[i as usize] {
+                self.queued[i as usize] = true;
+                self.queues[prog.level[i as usize] as usize].push(i);
+            }
+        }
+    }
+
+    /// Queues every reader of a memory.
+    fn mark_mem(&mut self, prog: &Program, mem: u32) {
+        for &i in prog.mem_fanout[mem as usize].iter() {
+            if !self.queued[i as usize] {
+                self.queued[i as usize] = true;
+                self.queues[prog.level[i as usize] as usize].push(i);
+            }
+        }
+    }
+
+    /// Drains the dirty worklists level by level. An instruction's
+    /// consumers sit at strictly higher levels, so one ascending pass
+    /// reaches a fixed point.
+    pub fn settle(&mut self, prog: &Program) {
+        for lvl in 0..self.queues.len() {
+            if self.queues[lvl].is_empty() {
+                continue;
+            }
+            let mut q = std::mem::take(&mut self.queues[lvl]);
+            for &i in &q {
+                self.queued[i as usize] = false;
+                self.exec(prog, i, true);
+            }
+            q.clear();
+            // Reuse the buffer; consumers were queued at higher levels only.
+            debug_assert!(self.queues[lvl].is_empty());
+            self.queues[lvl] = q;
+        }
+    }
+
+    /// Recomputes every instruction in topological order with no dirty
+    /// bookkeeping — the straight-line schedule. Faster than [`settle`]
+    /// when most of the netlist is active (change-compare, fan-out marking,
+    /// and queue churn cost more than blind recomputation saves).
+    ///
+    /// [`settle`]: State::settle
+    pub fn settle_dense(&mut self, prog: &Program) {
+        for q in &mut self.queues {
+            for &i in q.iter() {
+                self.queued[i as usize] = false;
+            }
+            q.clear();
+        }
+        for i in 0..prog.instrs.len() as u32 {
+            self.exec(prog, i, false);
+        }
+    }
+
+    /// [`settle`] or [`settle_dense`], picked from how much of the program
+    /// the pending worklists already cover: a widely-seeded wave (common
+    /// after a clock edge in compute-bound designs like a PoW miner) runs
+    /// straight-line; a narrow one (a quiet design absorbing one input
+    /// change) propagates only its cone.
+    ///
+    /// [`settle`]: State::settle
+    /// [`settle_dense`]: State::settle_dense
+    pub fn settle_auto(&mut self, prog: &Program) {
+        if self.wave_is_dense(prog) {
+            self.settle_dense(prog);
+        } else {
+            self.settle(prog);
+        }
+    }
+
+    /// Whether the pending worklists cover enough of the program that a
+    /// dense pass beats draining them.
+    pub fn wave_is_dense(&self, prog: &Program) -> bool {
+        let seeded: usize = self.queues.iter().map(Vec::len).sum();
+        seeded * 4 >= prog.instrs.len() && !prog.instrs.is_empty()
+    }
+
+    /// Reads one word of the arena.
+    ///
+    /// Bounds are a construction invariant, not a runtime question: every
+    /// operand offset in a [`Program`] is a slot base laid out within
+    /// `arena_words` at compile time, and [`State::new`] allocates the
+    /// arena to exactly that size. The unchecked read keeps the per-instr
+    /// dispatch loop free of bounds branches.
+    #[inline]
+    fn w(&self, off: u32) -> u64 {
+        debug_assert!((off as usize) < self.arena.len());
+        // SAFETY: see above — offsets are in-bounds by construction.
+        unsafe { *self.arena.get_unchecked(off as usize) }
+    }
+
+    /// Whether a slot holds any set bit.
+    #[inline]
+    pub fn slot_bool(&self, slot: Slot) -> bool {
+        let off = slot.off as usize;
+        self.arena[off..off + slot.words as usize]
+            .iter()
+            .any(|&w| w != 0)
+    }
+
+    /// Materializes a slot as a [`Bits`] value.
+    pub fn slot_bits(&self, slot: Slot) -> Bits {
+        if slot.width <= 64 {
+            Bits::from_u64(slot.width, self.arena[slot.off as usize])
+        } else {
+            let off = slot.off as usize;
+            Bits::from_words(slot.width, &self.arena[off..off + slot.words as usize])
+        }
+    }
+
+    /// Writes a value (already resized to the slot width) into a slot.
+    /// Returns whether any word changed.
+    pub fn write_slot(&mut self, slot: Slot, value: &Bits) -> bool {
+        let off = slot.off as usize;
+        let dst = &mut self.arena[off..off + slot.words as usize];
+        let src = value.words();
+        let mut changed = false;
+        for (i, d) in dst.iter_mut().enumerate() {
+            let v = src.get(i).copied().unwrap_or(0);
+            changed |= *d != v;
+            *d = v;
+        }
+        changed
+    }
+
+    /// Executes one instruction. With `mark`, the write is change-detected
+    /// and consumers of a changed output are queued; without it the value
+    /// is stored unconditionally (dense schedule).
+    fn exec(&mut self, prog: &Program, i: u32, mark: bool) {
+        debug_assert!((i as usize) < prog.instrs.len());
+        // SAFETY: instruction indices come from the worklists and the
+        // dense loop, both bounded by `prog.instrs.len()`.
+        let ins = unsafe { prog.instrs.get_unchecked(i as usize) };
+        use Kernel as K;
+        let v = match &ins.kernel {
+            K::MemRead { mem, addr } => {
+                let m = prog.mems[*mem as usize];
+                let a = self.w(*addr);
+                if a < m.count {
+                    self.mem_arena[(m.off + a as u32 * m.words_per) as usize]
+                } else {
+                    0
+                }
+            }
+            K::Wide { op, inputs } => {
+                let values: Vec<Bits> = inputs
+                    .iter()
+                    .map(|n| self.slot_bits(prog.slots[n.0 as usize]))
+                    .collect();
+                let out_slot = prog.slots[ins.out as usize];
+                let v = crate::eval::eval_cell(*op, &values, out_slot.width).resize(out_slot.width);
+                if self.write_slot(out_slot, &v) && mark {
+                    self.mark(prog, ins.out);
+                }
+                return;
+            }
+            K::WideMemRead { mem, addr } => {
+                let m = prog.mems[*mem as usize];
+                let out_slot = prog.slots[ins.out as usize];
+                let a = self.w(*addr);
+                let v = if a < m.count {
+                    let off = (m.off + a as u32 * m.words_per) as usize;
+                    Bits::from_words(m.width, &self.mem_arena[off..off + m.words_per as usize])
+                } else {
+                    Bits::zero(m.width)
+                };
+                if self.write_slot(out_slot, &v.resize(out_slot.width)) && mark {
+                    self.mark(prog, ins.out);
+                }
+                return;
+            }
+            // `None` is impossible here: the stateful kernels are all
+            // matched above, and `kernel_apply` evaluates every other.
+            k => kernel_apply(k, |off| self.w(off)).unwrap_or(0),
+        };
+        let v = v & ins.mask;
+        let dst = ins.dst as usize;
+        debug_assert!(dst < self.arena.len());
+        // SAFETY: `dst` is a slot base offset, in-bounds by construction
+        // (see [`w`]).
+        unsafe {
+            if mark {
+                let old = *self.arena.get_unchecked(dst);
+                if v != old {
+                    *self.arena.get_unchecked_mut(dst) = v;
+                    self.mark(prog, ins.out);
+                }
+            } else {
+                *self.arena.get_unchecked_mut(dst) = v;
+            }
+        }
+    }
+
+    /// Reads one memory word as [`Bits`] (zero beyond the end).
+    pub fn read_mem(&self, prog: &Program, mem: u32, addr: u64) -> Bits {
+        let m = prog.mems[mem as usize];
+        if addr >= m.count {
+            return Bits::zero(m.width);
+        }
+        let off = (m.off + addr as u32 * m.words_per) as usize;
+        Bits::from_words(m.width, &self.mem_arena[off..off + m.words_per as usize])
+    }
+
+    /// Writes one memory word (resized to the memory width); queues the
+    /// memory's readers when the stored word changed.
+    pub fn write_mem(&mut self, prog: &Program, mem: u32, addr: u64, value: &Bits) {
+        self.write_mem_ex(prog, mem, addr, value, true);
+    }
+
+    fn write_mem_ex(&mut self, prog: &Program, mem: u32, addr: u64, value: &Bits, mark: bool) {
+        let m = prog.mems[mem as usize];
+        if addr >= m.count {
+            return;
+        }
+        let v = value.resize(m.width);
+        let off = (m.off + addr as u32 * m.words_per) as usize;
+        let dst = &mut self.mem_arena[off..off + m.words_per as usize];
+        let src = v.words();
+        let mut changed = false;
+        for (i, d) in dst.iter_mut().enumerate() {
+            let w = src.get(i).copied().unwrap_or(0);
+            if mark {
+                changed |= *d != w;
+            }
+            *d = w;
+        }
+        if changed {
+            self.mark_mem(prog, mem);
+        }
+    }
+
+    /// Commits one clock domain's registers and memory writes: samples all
+    /// pre-edge values, then writes them back, queueing the fan-out of
+    /// every net that changed. Combinational state must be settled.
+    pub fn commit_domain(&mut self, prog: &Program, domain: usize) {
+        self.commit_domain_ex(prog, domain, true);
+    }
+
+    /// As [`commit_domain`], but with no change detection and no consumer
+    /// marking. Only valid when the next settle is a dense (full) pass,
+    /// which recomputes every instruction regardless of worklist state.
+    ///
+    /// [`commit_domain`]: State::commit_domain
+    pub fn commit_domain_nomark(&mut self, prog: &Program, domain: usize) {
+        self.commit_domain_ex(prog, domain, false);
+    }
+
+    fn commit_domain_ex(&mut self, prog: &Program, domain: usize, mark: bool) {
+        let Some(plan) = prog.domains.get(domain) else {
+            return;
+        };
+        // Phase 1: sample every register's d into the scratch window, and
+        // every enabled write port's (addr, data). Registers may feed each
+        // other (shift chains), so no q is written until all ds are read.
+        for rc in &plan.small {
+            self.scratch[rc.scratch as usize] = self.arena[rc.d.off as usize];
+        }
+        for rc in &plan.regs {
+            let src = rc.d.off as usize;
+            let dst = rc.scratch as usize;
+            let words = rc.d.words as usize;
+            self.scratch[dst..dst + words].copy_from_slice(&self.arena[src..src + words]);
+        }
+        let mut writes: Vec<(u32, u64, Bits)> = Vec::new();
+        for pc in &plan.ports {
+            if self.slot_bool(pc.enable) {
+                let addr = self.w(pc.addr);
+                let data = self.slot_bits(pc.data);
+                writes.push((pc.mem, addr, data));
+            }
+        }
+        // Phase 2: commit.
+        for rc in &plan.small {
+            let v = self.scratch[rc.scratch as usize] & top_word_mask(rc.q.width);
+            let q = rc.q.off as usize;
+            if mark {
+                if self.arena[q] != v {
+                    self.arena[q] = v;
+                    self.mark(prog, rc.q_net);
+                }
+            } else {
+                self.arena[q] = v;
+            }
+        }
+        for rc in &plan.regs {
+            let q_off = rc.q.off as usize;
+            let q_words = rc.q.words as usize;
+            let d_words = rc.d.words as usize;
+            let topmask = top_word_mask(rc.q.width);
+            let mut changed = false;
+            for k in 0..q_words {
+                let mut v = if k < d_words {
+                    self.scratch[rc.scratch as usize + k]
+                } else {
+                    0
+                };
+                if k == q_words - 1 {
+                    v &= topmask;
+                }
+                if mark {
+                    changed |= self.arena[q_off + k] != v;
+                }
+                self.arena[q_off + k] = v;
+            }
+            if changed {
+                self.mark(prog, rc.q_net);
+            }
+        }
+        for (mem, addr, data) in writes {
+            self.write_mem_ex(prog, mem, addr, &data, mark);
+        }
+    }
+}
+
+/// Mask for the top (last) word of a `width`-bit multi-word value.
+#[inline]
+pub(crate) fn top_word_mask(width: u32) -> u64 {
+    if width == 0 {
+        0
+    } else {
+        let rem = width % 64;
+        if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+}

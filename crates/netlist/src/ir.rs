@@ -48,7 +48,10 @@ pub enum Def {
     /// Output of a register.
     Reg(RegId),
     /// Asynchronous memory read port.
-    MemRead { mem: MemId, addr: NetId },
+    MemRead {
+        mem: MemId,
+        addr: NetId,
+    },
 }
 
 /// A combinational cell. All inputs are pre-extended to the widths the
@@ -94,7 +97,9 @@ pub enum CellOp {
     /// MSB-first concatenation.
     Concat,
     /// Static slice `[offset, offset+width)` of `inputs[0]`.
-    Slice { offset: u32 },
+    Slice {
+        offset: u32,
+    },
     /// Dynamic slice: `inputs[0] >> inputs[1]`, truncated to the net width.
     DynSlice,
     /// Zero extension (or truncation) to the net width.
@@ -102,7 +107,9 @@ pub enum CellOp {
     /// Sign extension to the net width.
     SExt,
     /// Replication of `inputs[0]`.
-    Repeat { count: u32 },
+    Repeat {
+        count: u32,
+    },
 }
 
 /// A D flip-flop (bank): `q <= d` on its clock edge.
@@ -196,13 +203,15 @@ impl Netlist {
 
     /// Number of combinational cells.
     pub fn cell_count(&self) -> usize {
-        self.nets.iter().filter(|n| matches!(n.def, Def::Cell(_))).count()
+        self.nets
+            .iter()
+            .filter(|n| matches!(n.def, Def::Cell(_)))
+            .count()
     }
 
     /// Total state bits in registers and memories.
     pub fn state_bits(&self) -> u64 {
-        let reg_bits: u64 =
-            self.regs.iter().map(|r| self.width(r.q) as u64).sum();
+        let reg_bits: u64 = self.regs.iter().map(|r| self.width(r.q) as u64).sum();
         let mem_bits: u64 = self.mems.iter().map(|m| m.width as u64 * m.words).sum();
         reg_bits + mem_bits
     }

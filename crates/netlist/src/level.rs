@@ -1,6 +1,6 @@
 //! Topological levelization of the combinational portion of a netlist.
 
-use crate::ir::{Def, Netlist, NetId};
+use crate::ir::{Def, NetId, Netlist};
 use std::error::Error;
 use std::fmt;
 
@@ -44,11 +44,10 @@ pub fn levelize(nl: &Netlist) -> Result<Vec<NetId>, LevelError> {
                     }
                 }
             }
-            Def::MemRead { addr, .. }
-                if is_comb(nl, *addr) => {
-                    indeg[i] += 1;
-                    dependents[addr.0 as usize].push(i as u32);
-                }
+            Def::MemRead { addr, .. } if is_comb(nl, *addr) => {
+                indeg[i] += 1;
+                dependents[addr.0 as usize].push(i as u32);
+            }
             _ => {}
         }
     }
@@ -93,25 +92,42 @@ pub fn levelize(nl: &Netlist) -> Result<Vec<NetId>, LevelError> {
     Ok(order)
 }
 
-/// The longest combinational path length (in cells) — the logic-depth input
-/// to the timing model.
-pub fn logic_depth(nl: &Netlist, order: &[NetId]) -> u32 {
-    let mut depth = vec![0u32; nl.nets.len()];
+/// Per-net combinational level: sources (inputs, constants, register
+/// outputs) are level 0; a cell or memory read sits one past its deepest
+/// input. Returns `(levels, level_count)` where `level_count` is the number
+/// of distinct non-source levels (the compiled evaluator schedules one
+/// dirty-instruction worklist per level).
+pub fn levels(nl: &Netlist, order: &[NetId]) -> (Vec<u32>, u32) {
+    let mut level = vec![0u32; nl.nets.len()];
     let mut max = 0;
     for &net in order {
         let d = match &nl.nets[net.0 as usize].def {
             Def::Cell(cell) => {
-                cell.inputs.iter().map(|i| depth[i.0 as usize]).max().unwrap_or(0) + 1
+                cell.inputs
+                    .iter()
+                    .map(|i| level[i.0 as usize])
+                    .max()
+                    .unwrap_or(0)
+                    + 1
             }
-            Def::MemRead { addr, .. } => depth[addr.0 as usize] + 1,
+            Def::MemRead { addr, .. } => level[addr.0 as usize] + 1,
             _ => 0,
         };
-        depth[net.0 as usize] = d;
+        level[net.0 as usize] = d;
         max = max.max(d);
     }
-    max
+    (level, max)
+}
+
+/// The longest combinational path length (in cells) — the logic-depth input
+/// to the timing model.
+pub fn logic_depth(nl: &Netlist, order: &[NetId]) -> u32 {
+    levels(nl, order).1
 }
 
 fn is_comb(nl: &Netlist, id: NetId) -> bool {
-    matches!(nl.nets[id.0 as usize].def, Def::Cell(_) | Def::MemRead { .. })
+    matches!(
+        nl.nets[id.0 as usize].def,
+        Def::Cell(_) | Def::MemRead { .. }
+    )
 }

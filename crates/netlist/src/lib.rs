@@ -37,6 +37,8 @@
 //! ```
 
 mod eval;
+mod exec;
+mod interp;
 mod ir;
 mod level;
 mod lower;
@@ -44,14 +46,19 @@ pub mod opt;
 pub mod stats;
 
 pub use eval::{clock_edge, eval_cell, NetlistSim, TaskFire};
+pub use exec::ProgramStats;
+pub use interp::ReferenceSim;
 pub use ir::{
     Cell, CellOp, ClockId, Def, MemId, Memory, NetId, NetInfo, Netlist, RegId, Register, TaskCell,
     TaskKind, WritePort,
 };
-pub use level::{levelize, logic_depth, LevelError};
+pub use level::{levelize, levels, logic_depth, LevelError};
 pub use lower::{collect_writes, synthesize, SynthError};
 pub use opt::{balance_case_chains, const_fold, optimize, prune_dead, specialize};
-pub use stats::{cell_delay_ns, critical_path_ns, estimate_area, estimate_timing, AreaEstimate, TimingEstimate};
+pub use stats::{
+    cell_delay_ns, critical_path_ns, estimate_area, estimate_timing, level_population,
+    AreaEstimate, TimingEstimate,
+};
 
 #[cfg(test)]
 mod tests;

@@ -17,7 +17,8 @@ use std::fmt;
 
 /// Accumulated partial drivers for one variable:
 /// `(dynamic offset net, width, value net)`.
-type PartialDrivers = std::collections::BTreeMap<cascade_sim::VarId, Vec<(Option<NetId>, u32, NetId)>>;
+type PartialDrivers =
+    std::collections::BTreeMap<cascade_sim::VarId, Vec<(Option<NetId>, u32, NetId)>>;
 
 /// A task accumulated during symbolic execution:
 /// `(kind, trigger, format, args, arg signedness)`.
@@ -31,7 +32,9 @@ pub struct SynthError {
 
 impl SynthError {
     fn new(message: impl Into<String>) -> Self {
-        SynthError { message: message.into() }
+        SynthError {
+            message: message.into(),
+        }
     }
 }
 
@@ -98,7 +101,10 @@ impl<'a> Synth<'a> {
     fn new(design: &'a Design) -> Self {
         Synth {
             design,
-            nl: Netlist { name: design.top.clone(), ..Netlist::default() },
+            nl: Netlist {
+                name: design.top.clone(),
+                ..Netlist::default()
+            },
             cell_cache: HashMap::new(),
             const_cache: HashMap::new(),
             var_nets: vec![None; design.vars.len()],
@@ -229,8 +235,7 @@ impl<'a> Synth<'a> {
                 });
                 self.var_nets[i] = Some(q);
                 let _ = var;
-            }
-            else if info.class == cascade_sim::VarClass::Reg && !proc_written[i] {
+            } else if info.class == cascade_sim::VarClass::Reg && !proc_written[i] {
                 // Never procedurally written: a constant at its initial
                 // value (zero when unspecified).
                 let value = info.init.clone().unwrap_or_else(|| Bits::zero(info.width));
@@ -283,7 +288,10 @@ impl<'a> Synth<'a> {
                 // SSA one-def-per-net).
                 self.nl.nets[net.0 as usize].def = match &self.nl.nets[driver.0 as usize].def {
                     Def::Const(c) => Def::Const(c.resize(self.nl.nets[net.0 as usize].width)),
-                    _ => Def::Cell(Cell { op: CellOp::ZExt, inputs: vec![driver] }),
+                    _ => Def::Cell(Cell {
+                        op: CellOp::ZExt,
+                        inputs: vec![driver],
+                    }),
                 };
                 Ok(())
             }
@@ -291,7 +299,10 @@ impl<'a> Synth<'a> {
                 "`{}` is an input port and cannot be driven",
                 info.name
             ))),
-            _ => Err(SynthError::new(format!("multiple drivers for `{}`", info.name))),
+            _ => Err(SynthError::new(format!(
+                "multiple drivers for `{}`",
+                info.name
+            ))),
         }
     }
 
@@ -349,7 +360,11 @@ impl<'a> Synth<'a> {
             }
             // mux(const, a, b)
             if let Def::Const(c) = &self.nl.nets[cell.inputs[0].0 as usize].def {
-                return if c.to_bool() { cell.inputs[1] } else { cell.inputs[2] };
+                return if c.to_bool() {
+                    cell.inputs[1]
+                } else {
+                    cell.inputs[2]
+                };
             }
         }
         let key = (cell.clone(), width);
@@ -421,8 +436,11 @@ impl<'a> Synth<'a> {
         }
         let mut parts: Vec<NetId> = Vec::new(); // MSB first
         if offset + w < width {
-            let hi =
-                self.cell(CellOp::Slice { offset: offset + w }, vec![old], width - offset - w);
+            let hi = self.cell(
+                CellOp::Slice { offset: offset + w },
+                vec![old],
+                width - offset - w,
+            );
             parts.push(hi);
         }
         parts.push(value);
@@ -473,9 +491,15 @@ impl<'a> Synth<'a> {
                 let read = self.fresh_net(width, None, Def::MemRead { mem, addr });
                 self.ext(read, target, e.signed)
             }
-            RExprKind::Slice { base, offset, width } => {
+            RExprKind::Slice {
+                base,
+                offset,
+                width,
+            } => {
                 let b = self.build(base, 0, env)?;
-                let net = self.build(offset, 0, env).map(|off| match self.const_value(off) {
+                let net = self
+                    .build(offset, 0, env)
+                    .map(|off| match self.const_value(off) {
                         Some(c) => {
                             let o = c.to_u64();
                             if o >= self.nl.nets[b.0 as usize].width as u64 {
@@ -538,7 +562,11 @@ impl<'a> Synth<'a> {
                 let net = self.build_binary(*op, lhs, rhs, target, env)?;
                 self.ext(net, target, false)
             }
-            RExprKind::Ternary { cond, then_expr, else_expr } => {
+            RExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let c = self.build(cond, 0, env)?;
                 let cb = self.boolean(c);
                 let t = self.build(then_expr, target, env)?;
@@ -552,8 +580,7 @@ impl<'a> Synth<'a> {
                 for p in parts {
                     nets.push(self.build(p, 0, env)?);
                 }
-                let width: u32 =
-                    nets.iter().map(|&n| self.nl.nets[n.0 as usize].width).sum();
+                let width: u32 = nets.iter().map(|&n| self.nl.nets[n.0 as usize].width).sum();
                 let net = self.cell(CellOp::Concat, nets, width);
                 self.ext(net, target, false)
             }
@@ -653,7 +680,11 @@ impl<'a> Synth<'a> {
                 let lb = self.boolean(l);
                 let r = self.build(rhs, 0, env)?;
                 let rb = self.boolean(r);
-                let cop = if op == LogicalAnd { CellOp::And } else { CellOp::Or };
+                let cop = if op == LogicalAnd {
+                    CellOp::And
+                } else {
+                    CellOp::Or
+                };
                 self.cell(cop, vec![lb, rb], 1)
             }
             Eq | Ne | CaseEq | CaseNe | Lt | Le | Gt | Ge => {
@@ -666,10 +697,26 @@ impl<'a> Synth<'a> {
                 match op {
                     Eq | CaseEq => self.cell(CellOp::Eq, vec![l, r], 1),
                     Ne | CaseNe => self.cell(CellOp::Ne, vec![l, r], 1),
-                    Lt => self.cell(if signed { CellOp::LtS } else { CellOp::LtU }, vec![l, r], 1),
-                    Le => self.cell(if signed { CellOp::LeS } else { CellOp::LeU }, vec![l, r], 1),
-                    Gt => self.cell(if signed { CellOp::LtS } else { CellOp::LtU }, vec![r, l], 1),
-                    Ge => self.cell(if signed { CellOp::LeS } else { CellOp::LeU }, vec![r, l], 1),
+                    Lt => self.cell(
+                        if signed { CellOp::LtS } else { CellOp::LtU },
+                        vec![l, r],
+                        1,
+                    ),
+                    Le => self.cell(
+                        if signed { CellOp::LeS } else { CellOp::LeU },
+                        vec![l, r],
+                        1,
+                    ),
+                    Gt => self.cell(
+                        if signed { CellOp::LtS } else { CellOp::LtU },
+                        vec![r, l],
+                        1,
+                    ),
+                    Ge => self.cell(
+                        if signed { CellOp::LeS } else { CellOp::LeU },
+                        vec![r, l],
+                        1,
+                    ),
                     _ => unreachable!(),
                 }
             }
@@ -695,7 +742,10 @@ impl<'a> Synth<'a> {
             RLValue::Range { var, offset, width } => {
                 let off = self.build(offset, 0, None)?;
                 let v = self.ext(value, *width, false);
-                partials.entry(*var).or_default().push((Some(off), *width, v));
+                partials
+                    .entry(*var)
+                    .or_default()
+                    .push((Some(off), *width, v));
                 Ok(())
             }
             RLValue::Concat(parts) => {
@@ -765,7 +815,10 @@ impl<'a> Synth<'a> {
                         self.design.vars[var.0 as usize].name
                     )));
                 };
-                comb_drivers.entry(*var).or_default().push((None, 0, sval.net));
+                comb_drivers
+                    .entry(*var)
+                    .or_default()
+                    .push((None, 0, sval.net));
             }
             return Ok(());
         }
@@ -803,12 +856,22 @@ impl<'a> Synth<'a> {
             self.nl.regs[reg.0 as usize].d = d;
         }
         for (mem, enable, addr, data) in ctx.mem_writes {
-            self.nl.mems[mem.0 as usize]
-                .write_ports
-                .push(WritePort { clock, enable, addr, data });
+            self.nl.mems[mem.0 as usize].write_ports.push(WritePort {
+                clock,
+                enable,
+                addr,
+                data,
+            });
         }
         for (kind, trigger, format, args, arg_signed) in ctx.tasks {
-            self.nl.tasks.push(TaskCell { kind, clock, trigger, format, args, arg_signed });
+            self.nl.tasks.push(TaskCell {
+                kind,
+                clock,
+                trigger,
+                format,
+                args,
+                arg_signed,
+            });
         }
         Ok(())
     }
@@ -839,7 +902,11 @@ impl<'a> Synth<'a> {
                 let value = self.build_in(rhs, width, ctx)?;
                 self.proc_assign(lhs, value, cond, ctx, true)?;
             }
-            RStmt::If { cond: c, then_branch, else_branch } => {
+            RStmt::If {
+                cond: c,
+                then_branch,
+                else_branch,
+            } => {
                 let cnet = self.build_in(c, 0, ctx)?;
                 let cb = self.boolean(cnet);
                 // Static branch: fold away the untaken side entirely.
@@ -865,7 +932,12 @@ impl<'a> Synth<'a> {
                 }
                 self.merge_branches(cb, then_env, then_next, ctx);
             }
-            RStmt::Case { kind, scrutinee, arms, default } => {
+            RStmt::Case {
+                kind,
+                scrutinee,
+                arms,
+                default,
+            } => {
                 let mut w = scrutinee.width;
                 for arm in arms {
                     for l in &arm.labels {
@@ -874,9 +946,24 @@ impl<'a> Synth<'a> {
                 }
                 let scr = self.build_in(scrutinee, w, ctx)?;
                 let scr = self.ext(scr, w, scrutinee.signed);
-                self.exec_case(*kind, scr, w, arms, 0, default.as_deref(), cond, ctx, depth + 1)?;
+                self.exec_case(
+                    *kind,
+                    scr,
+                    w,
+                    arms,
+                    0,
+                    default.as_deref(),
+                    cond,
+                    ctx,
+                    depth + 1,
+                )?;
             }
-            RStmt::For { init, cond: c, step, body } => {
+            RStmt::For {
+                init,
+                cond: c,
+                step,
+                body,
+            } => {
                 self.exec(init, cond, ctx, depth + 1)?;
                 let mut iters = 0u32;
                 loop {
@@ -893,7 +980,9 @@ impl<'a> Synth<'a> {
                     self.exec(step, cond, ctx, depth + 1)?;
                     iters += 1;
                     if iters > UNROLL_LIMIT {
-                        return Err(SynthError::new("loop unrolling exceeded 100,000 iterations"));
+                        return Err(SynthError::new(
+                            "loop unrolling exceeded 100,000 iterations",
+                        ));
                     }
                 }
             }
@@ -912,14 +1001,18 @@ impl<'a> Synth<'a> {
                     self.exec(body, cond, ctx, depth + 1)?;
                     iters += 1;
                     if iters > UNROLL_LIMIT {
-                        return Err(SynthError::new("loop unrolling exceeded 100,000 iterations"));
+                        return Err(SynthError::new(
+                            "loop unrolling exceeded 100,000 iterations",
+                        ));
                     }
                 }
             }
             RStmt::Repeat { count, body } => {
                 let cnet = self.build_in(count, 0, ctx)?;
                 let Some(cv) = self.const_value(cnet) else {
-                    return Err(SynthError::new("repeat count must be constant for synthesis"));
+                    return Err(SynthError::new(
+                        "repeat count must be constant for synthesis",
+                    ));
                 };
                 let n = cv.to_u64().min(UNROLL_LIMIT as u64);
                 for _ in 0..n {
@@ -1076,12 +1169,18 @@ impl<'a> Synth<'a> {
         });
         let old = if self.var_nets[var.0 as usize].is_none() {
             // Materialize the placeholder net lazily.
-            SVal { net: self.var_net(var), ..old }
+            SVal {
+                net: self.var_net(var),
+                ..old
+            }
         } else {
             old
         };
         let sval = match range {
-            None => SVal { net: value, defined: true },
+            None => SVal {
+                net: value,
+                defined: true,
+            },
             Some((off, w)) => {
                 if ctx.comb && !old.defined {
                     return Err(SynthError::new(format!(
@@ -1089,10 +1188,17 @@ impl<'a> Synth<'a> {
                         self.design.vars[var.0 as usize].name
                     )));
                 }
-                SVal { net: self.splice_dyn(old.net, off, w, value), defined: old.defined }
+                SVal {
+                    net: self.splice_dyn(old.net, off, w, value),
+                    defined: old.defined,
+                }
             }
         };
-        let table = if nonblocking { &mut ctx.next } else { &mut ctx.env };
+        let table = if nonblocking {
+            &mut ctx.next
+        } else {
+            &mut ctx.env
+        };
         table.insert(var, sval);
         Ok(())
     }
@@ -1126,11 +1232,17 @@ impl<'a> Synth<'a> {
         keys.dedup();
         let mut out = BTreeMap::new();
         for var in keys {
-            let fallback = SVal { net: self.var_net(var), defined: !comb };
+            let fallback = SVal {
+                net: self.var_net(var),
+                defined: !comb,
+            };
             let t = then_map.get(&var).copied().unwrap_or(fallback);
             let e = else_map.get(&var).copied().unwrap_or(fallback);
             let merged = if t.net == e.net {
-                SVal { net: t.net, defined: t.defined && e.defined }
+                SVal {
+                    net: t.net,
+                    defined: t.defined && e.defined,
+                }
             } else {
                 let width = self.design.vars[var.0 as usize].width;
                 SVal {
@@ -1193,7 +1305,6 @@ impl<'a> Synth<'a> {
         self.merge_branches(hit, then_env, then_next, ctx);
         Ok(())
     }
-
 }
 
 fn extend_const(v: &Bits, target: u32, signed: bool) -> Bits {
@@ -1235,7 +1346,11 @@ pub fn collect_writes(s: &RStmt, out: &mut Vec<VarId>) {
             }
         }
         RStmt::Blocking { lhs, .. } | RStmt::NonBlocking { lhs, .. } => lv(lhs, out),
-        RStmt::If { then_branch, else_branch, .. } => {
+        RStmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             collect_writes(then_branch, out);
             if let Some(e) = else_branch {
                 collect_writes(e, out);
@@ -1249,7 +1364,9 @@ pub fn collect_writes(s: &RStmt, out: &mut Vec<VarId>) {
                 collect_writes(d, out);
             }
         }
-        RStmt::For { init, step, body, .. } => {
+        RStmt::For {
+            init, step, body, ..
+        } => {
             collect_writes(init, out);
             collect_writes(step, out);
             collect_writes(body, out);

@@ -7,7 +7,7 @@
 //! that rewrite; `prune_dead` then drops cells no longer reachable from any
 //! architectural root so area estimates reflect the optimized design.
 
-use crate::ir::{Cell, CellOp, Def, Netlist, NetId};
+use crate::ir::{Cell, CellOp, Def, NetId, Netlist};
 use cascade_bits::Bits;
 use std::collections::BTreeMap;
 
@@ -22,7 +22,9 @@ pub fn optimize(nl: &mut Netlist) {
 /// rewrites that introduce new constants afterwards (specialization).
 pub fn const_fold(nl: &mut Netlist) {
     // Topological order guarantees inputs fold before their users.
-    let Ok(order) = crate::level::levelize(nl) else { return };
+    let Ok(order) = crate::level::levelize(nl) else {
+        return;
+    };
     for net in order {
         let i = net.0 as usize;
         // Muxes with constant selectors collapse to one arm even when the
@@ -30,8 +32,15 @@ pub fn const_fold(nl: &mut Netlist) {
         if let Def::Cell(cell) = &nl.nets[i].def {
             if cell.op == CellOp::Mux {
                 if let Def::Const(sel) = &nl.nets[cell.inputs[0].0 as usize].def {
-                    let arm = if sel.to_bool() { cell.inputs[1] } else { cell.inputs[2] };
-                    nl.nets[i].def = Def::Cell(Cell { op: CellOp::ZExt, inputs: vec![arm] });
+                    let arm = if sel.to_bool() {
+                        cell.inputs[1]
+                    } else {
+                        cell.inputs[2]
+                    };
+                    nl.nets[i].def = Def::Cell(Cell {
+                        op: CellOp::ZExt,
+                        inputs: vec![arm],
+                    });
                 }
             }
         }
@@ -92,7 +101,9 @@ pub fn balance_case_chains(nl: &mut Netlist) {
     let n = nl.nets.len();
     for net in 0..n {
         let id = NetId(net as u32);
-        let Some((scr, links, default)) = detect_chain(nl, id) else { continue };
+        let Some((scr, links, default)) = detect_chain(nl, id) else {
+            continue;
+        };
         if links.len() < 8 {
             continue;
         }
@@ -107,7 +118,10 @@ pub fn balance_case_chains(nl: &mut Netlist) {
         let width = nl.width(id);
         let tree = build_tree(nl, scr, &entries, default, width);
         // Redirect the chain head to the tree root via an identity cell.
-        nl.nets[net].def = Def::Cell(Cell { op: CellOp::ZExt, inputs: vec![tree] });
+        nl.nets[net].def = Def::Cell(Cell {
+            op: CellOp::ZExt,
+            inputs: vec![tree],
+        });
     }
 }
 
@@ -121,7 +135,9 @@ fn detect_chain(nl: &Netlist, head: NetId) -> Option<(NetId, Vec<Link>, NetId)> 
             break;
         }
         let (sel, value, next) = (cell.inputs[0], cell.inputs[1], cell.inputs[2]);
-        let Def::Cell(sel_cell) = &nl.nets[sel.0 as usize].def else { break };
+        let Def::Cell(sel_cell) = &nl.nets[sel.0 as usize].def else {
+            break;
+        };
         if sel_cell.op != CellOp::Eq {
             break;
         }
@@ -169,13 +185,21 @@ fn build_tree(nl: &mut Netlist, scr: NetId, entries: &[Link], default: NetId, wi
 
 fn push_const(nl: &mut Netlist, value: Bits) -> NetId {
     let id = NetId(nl.nets.len() as u32);
-    nl.nets.push(crate::ir::NetInfo { width: value.width(), name: None, def: Def::Const(value) });
+    nl.nets.push(crate::ir::NetInfo {
+        width: value.width(),
+        name: None,
+        def: Def::Const(value),
+    });
     id
 }
 
 fn push_cell(nl: &mut Netlist, op: CellOp, inputs: Vec<NetId>, width: u32) -> NetId {
     let id = NetId(nl.nets.len() as u32);
-    nl.nets.push(crate::ir::NetInfo { width, name: None, def: Def::Cell(Cell { op, inputs }) });
+    nl.nets.push(crate::ir::NetInfo {
+        width,
+        name: None,
+        def: Def::Cell(Cell { op, inputs }),
+    });
     id
 }
 
@@ -225,10 +249,9 @@ pub fn prune_dead(nl: &mut Netlist) {
                     }
                 }
             }
-            Def::MemRead { addr, .. }
-                if !live[addr.0 as usize] => {
-                    stack.push(*addr);
-                }
+            Def::MemRead { addr, .. } if !live[addr.0 as usize] => {
+                stack.push(*addr);
+            }
             _ => {}
         }
     }

@@ -7,7 +7,7 @@
 //! paper Sec. 6.1/6.2) are meaningful.
 
 use crate::ir::{Cell, CellOp, Def, Netlist};
-use crate::level::{levelize, logic_depth};
+use crate::level::{levelize, levels, logic_depth};
 
 /// Estimated resource usage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,7 +59,12 @@ pub fn estimate_area(nl: &Netlist) -> AreaEstimate {
         .sum::<u64>();
     // Task cells cost trigger plumbing.
     le += nl.tasks.len() as u64 * 8;
-    AreaEstimate { logic_elements: le, registers, bram_bits, dsp_blocks: dsp }
+    AreaEstimate {
+        logic_elements: le,
+        registers,
+        bram_bits,
+        dsp_blocks: dsp,
+    }
 }
 
 /// Per-cell LE/DSP cost model.
@@ -88,7 +93,10 @@ fn cell_cost(cell: &Cell, width: u32, nl: &Netlist) -> (u64, u64) {
         }
         CellOp::Mux => (w, 0),
         // Pure wiring.
-        CellOp::Concat | CellOp::Slice { .. } | CellOp::ZExt | CellOp::SExt
+        CellOp::Concat
+        | CellOp::Slice { .. }
+        | CellOp::ZExt
+        | CellOp::SExt
         | CellOp::Repeat { .. } => (0, 0),
     }
 }
@@ -99,7 +107,12 @@ fn cell_cost(cell: &Cell, width: u32, nl: &Netlist) -> (u64, u64) {
 /// a log-depth barrel.
 pub fn cell_delay_ns(cell: &Cell, width: u32, nl: &Netlist) -> f64 {
     let w = width.max(1) as f64;
-    let in_w = cell.inputs.first().map(|&i| nl.width(i)).unwrap_or(1).max(1) as f64;
+    let in_w = cell
+        .inputs
+        .first()
+        .map(|&i| nl.width(i))
+        .unwrap_or(1)
+        .max(1) as f64;
     match cell.op {
         CellOp::Not | CellOp::LogNot => 0.25,
         CellOp::And | CellOp::Or | CellOp::Xor | CellOp::Xnor | CellOp::Mux => 0.3,
@@ -112,7 +125,10 @@ pub fn cell_delay_ns(cell: &Cell, width: u32, nl: &Netlist) -> f64 {
         CellOp::DivU | CellOp::DivS | CellOp::RemU | CellOp::RemS => 1.0 + 0.45 * in_w,
         CellOp::Shl | CellOp::Shr | CellOp::AShr | CellOp::DynSlice => 0.35 + 0.3 * w.log2(),
         CellOp::RedAnd | CellOp::RedOr | CellOp::RedXor => 0.25 + 0.25 * in_w.log2(),
-        CellOp::Concat | CellOp::Slice { .. } | CellOp::ZExt | CellOp::SExt
+        CellOp::Concat
+        | CellOp::Slice { .. }
+        | CellOp::ZExt
+        | CellOp::SExt
         | CellOp::Repeat { .. } => 0.0,
     }
 }
@@ -141,6 +157,24 @@ pub fn critical_path_ns(nl: &Netlist, order: &[crate::NetId]) -> f64 {
     max
 }
 
+/// Cells per combinational level (index 0 = cells fed only by sources).
+///
+/// The shape of this histogram predicts how much the compiled evaluator's
+/// activity-driven scheduling helps: wide shallow netlists re-evaluate only
+/// the few levels downstream of whatever changed, while a single deep chain
+/// re-evaluates everything on any change.
+pub fn level_population(nl: &Netlist, order: &[crate::NetId]) -> Vec<u32> {
+    let (level, depth) = levels(nl, order);
+    let mut pop = vec![0u32; depth as usize];
+    for &net in order {
+        let l = level[net.0 as usize].saturating_sub(1) as usize;
+        if l < pop.len() {
+            pop[l] += 1;
+        }
+    }
+    pop
+}
+
 /// Estimates the post-place-and-route clock rate.
 ///
 /// The model: the delay-weighted critical path plus a fixed 2 ns of clock
@@ -152,5 +186,8 @@ pub fn estimate_timing(nl: &Netlist) -> TimingEstimate {
         Err(_) => (0, 0.0),
     };
     let ns = 2.0 + path_ns;
-    TimingEstimate { logic_depth: depth, fmax_mhz: 1000.0 / ns }
+    TimingEstimate {
+        logic_depth: depth,
+        fmax_mhz: 1000.0 / ns,
+    }
 }

@@ -155,7 +155,11 @@ fn memory_with_write_port() {
     hw.set_by_name("we", Bits::from_u64(1, 0));
     hw.set_by_name("din", Bits::from_u64(8, 0x11));
     hw.step_clock(0);
-    assert_eq!(hw.get_by_name("dout").unwrap().to_u64(), 0x5a, "write disabled");
+    assert_eq!(
+        hw.get_by_name("dout").unwrap().to_u64(),
+        0x5a,
+        "write disabled"
+    );
 }
 
 #[test]
@@ -288,9 +292,7 @@ fn hash_consing_shares_cells() {
     let adds = nl
         .nets
         .iter()
-        .filter(|n| {
-            matches!(&n.def, crate::Def::Cell(c) if c.op == crate::CellOp::Add)
-        })
+        .filter(|n| matches!(&n.def, crate::Def::Cell(c) if c.op == crate::CellOp::Add))
         .count();
     assert_eq!(adds, 1, "common subexpression should be shared");
 }
@@ -315,7 +317,13 @@ fn constant_folding() {
 // hardware engine must be observationally identical to the software engine.
 // ----------------------------------------------------------------------
 
-fn assert_equivalent(src: &str, top: &str, inputs: &[(&str, u64, u32)], cycles: u32, outputs: &[&str]) {
+fn assert_equivalent(
+    src: &str,
+    top: &str,
+    inputs: &[(&str, u64, u32)],
+    cycles: u32,
+    outputs: &[&str],
+) {
     let design = Arc::new(design_of(src, top));
     let mut sw = Simulator::new(Arc::clone(&design));
     sw.initialize().unwrap();
@@ -332,7 +340,7 @@ fn assert_equivalent(src: &str, top: &str, inputs: &[(&str, u64, u32)], cycles: 
         for out in outputs {
             assert_eq!(
                 sw.peek(out),
-                *hw.get_by_name(out).unwrap(),
+                hw.get_by_name(out).unwrap(),
                 "divergence on `{out}` at t={}",
                 sw.time()
             );

@@ -7,7 +7,9 @@
 
 use crate::rir::*;
 use cascade_bits::Bits;
-use cascade_verilog::ast::{Expr, Item, LValue, ModuleItem, NetKind, PortDir, Sensitivity, Stmt, SystemFunction};
+use cascade_verilog::ast::{
+    Expr, Item, LValue, ModuleItem, NetKind, PortDir, Sensitivity, Stmt, SystemFunction,
+};
 use cascade_verilog::typecheck::{
     check_module, const_eval, CheckedModule, ModuleLibrary, ParamEnv, Symbol, SymbolKind,
 };
@@ -87,10 +89,20 @@ pub fn library_from_source(src: &str) -> FrontendResult<ModuleLibrary> {
 /// constructs (`inout`, non-constant part-select bounds), or recursive
 /// instantiation deeper than 64 levels.
 pub fn elaborate(top: &str, lib: &ModuleLibrary, overrides: &ParamEnv) -> FrontendResult<Design> {
-    let mut el = Elaborator { lib, vars: Vec::new(), processes: Vec::new(), by_name: BTreeMap::new() };
+    let mut el = Elaborator {
+        lib,
+        vars: Vec::new(),
+        processes: Vec::new(),
+        by_name: BTreeMap::new(),
+    };
     let scope = el.instantiate(top, "", overrides, 0)?;
     el.lower_scope(&scope)?;
-    Ok(Design { vars: el.vars, processes: el.processes, by_name: el.by_name, top: top.to_string() })
+    Ok(Design {
+        vars: el.vars,
+        processes: el.processes,
+        by_name: el.by_name,
+        top: top.to_string(),
+    })
 }
 
 /// Elaborates a single already-checked module with no instances (the form
@@ -108,7 +120,12 @@ pub fn elaborate_leaf(checked: &CheckedModule) -> FrontendResult<Design> {
         )));
     }
     let lib = ModuleLibrary::new();
-    let mut el = Elaborator { lib: &lib, vars: Vec::new(), processes: Vec::new(), by_name: BTreeMap::new() };
+    let mut el = Elaborator {
+        lib: &lib,
+        vars: Vec::new(),
+        processes: Vec::new(),
+        by_name: BTreeMap::new(),
+    };
     let scope = el.build_scope(checked.clone(), "", 0)?;
     el.lower_scope(&scope)?;
     Ok(Design {
@@ -173,7 +190,8 @@ impl<'a> Elaborator<'a> {
             module = cascade_verilog::inline_functions(&module)?;
         }
         let checked = check_module(&module, overrides, self.lib).map_err(|mut ds| {
-            ds.pop().unwrap_or_else(|| err(format!("type errors in `{module_name}`")))
+            ds.pop()
+                .unwrap_or_else(|| err(format!("type errors in `{module_name}`")))
         })?;
         self.build_scope(checked, prefix, depth)
     }
@@ -190,7 +208,11 @@ impl<'a> Elaborator<'a> {
             if sym.kind == SymbolKind::Parameter {
                 continue;
             }
-            let qual = if prefix.is_empty() { name.clone() } else { format!("{prefix}.{name}") };
+            let qual = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}.{name}")
+            };
             // Only state elements take declaration initializers; a wire's
             // `= expr` is a continuous assignment lowered later.
             let init = match &sym.init {
@@ -201,7 +223,11 @@ impl<'a> Elaborator<'a> {
                 ),
                 _ => None,
             };
-            let class = if sym.kind.is_variable() { VarClass::Reg } else { VarClass::Wire };
+            let class = if sym.kind.is_variable() {
+                VarClass::Reg
+            } else {
+                VarClass::Wire
+            };
             let is_input = depth == 0 && sym.port == Some(PortDir::Input);
             let is_output = depth == 0 && sym.port == Some(PortDir::Output);
             if sym.port == Some(PortDir::Inout) {
@@ -238,7 +264,13 @@ impl<'a> Elaborator<'a> {
             let child = self.instantiate(&ri.module_name, &child_prefix, &ri.params, depth + 1)?;
             children.insert(ri.inst_name.clone(), child);
         }
-        Ok(Scope { prefix: prefix.to_string(), checked, names, children, depth })
+        Ok(Scope {
+            prefix: prefix.to_string(),
+            checked,
+            names,
+            children,
+            depth,
+        })
     }
 
     /// Lowers a scope's items (and recursively its children's) to processes.
@@ -261,7 +293,10 @@ impl<'a> Elaborator<'a> {
                 match port.dir {
                     PortDir::Input => {
                         let rhs = self.expr(scope, expr)?;
-                        self.processes.push(Process::Assign { lhs: RLValue::Var(child_var), rhs });
+                        self.processes.push(Process::Assign {
+                            lhs: RLValue::Var(child_var),
+                            rhs,
+                        });
                     }
                     PortDir::Output => {
                         let lhs = self.expr_as_lvalue(scope, expr)?;
@@ -319,7 +354,9 @@ impl<'a> Elaborator<'a> {
                             collect_reads_stmt(&body, &mut vars);
                             vars.sort();
                             vars.dedup();
-                            vars.into_iter().map(|v| Sens { var: v, edge: None }).collect()
+                            vars.into_iter()
+                                .map(|v| Sens { var: v, edge: None })
+                                .collect()
                         }
                         Sensitivity::List(items) => {
                             let mut out = Vec::new();
@@ -331,7 +368,10 @@ impl<'a> Elaborator<'a> {
                                     return Err(err("sensitivity item reads no variable"));
                                 }
                                 for v in vars {
-                                    out.push(Sens { var: v, edge: it.edge });
+                                    out.push(Sens {
+                                        var: v,
+                                        edge: it.edge,
+                                    });
                                 }
                             }
                             out
@@ -358,18 +398,28 @@ impl<'a> Elaborator<'a> {
     // Name resolution
     // ------------------------------------------------------------------
 
-    fn resolve_path<'s>(&self, scope: &'s Scope, path: &[String]) -> FrontendResult<(VarId, &'s Scope, String)> {
+    fn resolve_path<'s>(
+        &self,
+        scope: &'s Scope,
+        path: &[String],
+    ) -> FrontendResult<(VarId, &'s Scope, String)> {
         let mut cur = scope;
         for (i, part) in path.iter().enumerate() {
             let last = i == path.len() - 1;
             if last {
                 let id = cur.names.get(part).copied().ok_or_else(|| {
-                    err(format!("unknown variable `{}` in `{}`", part, cur.checked.module.name))
+                    err(format!(
+                        "unknown variable `{}` in `{}`",
+                        part, cur.checked.module.name
+                    ))
                 })?;
                 return Ok((id, cur, part.clone()));
             }
             cur = cur.children.get(part).ok_or_else(|| {
-                err(format!("unknown instance `{part}` in `{}`", cur.checked.module.name))
+                err(format!(
+                    "unknown instance `{part}` in `{}`",
+                    cur.checked.module.name
+                ))
             })?;
         }
         Err(err("empty hierarchical path"))
@@ -385,7 +435,11 @@ impl<'a> Elaborator<'a> {
 
     fn var_expr(&self, id: VarId) -> RExpr {
         let info = &self.vars[id.0 as usize];
-        RExpr { width: info.width, signed: info.signed, kind: RExprKind::Var(id) }
+        RExpr {
+            width: info.width,
+            signed: info.signed,
+            kind: RExprKind::Var(id),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -396,7 +450,10 @@ impl<'a> Elaborator<'a> {
         use cascade_verilog::ast::{BinaryOp, UnaryOp};
         // Selects into parameters (`SEQ_A[i +: 2]`) are constants; fold them
         // here so the select machinery only ever sees runtime variables.
-        if matches!(e, Expr::Index { .. } | Expr::Part { .. } | Expr::IndexedPart { .. }) {
+        if matches!(
+            e,
+            Expr::Index { .. } | Expr::Part { .. } | Expr::IndexedPart { .. }
+        ) {
             if let Ok(v) = const_eval(e, &scope.checked.params) {
                 return Ok(RExpr::constant(v));
             }
@@ -433,7 +490,14 @@ impl<'a> Elaborator<'a> {
                     UnaryOp::Plus | UnaryOp::Neg | UnaryOp::BitNot => (inner.width, inner.signed),
                     _ => (1, false),
                 };
-                RExpr { width, signed, kind: RExprKind::Unary { op: *op, operand: Box::new(inner) } }
+                RExpr {
+                    width,
+                    signed,
+                    kind: RExprKind::Unary {
+                        op: *op,
+                        operand: Box::new(inner),
+                    },
+                }
             }
             Expr::Binary { op, lhs, rhs } => {
                 let l = self.expr(scope, lhs)?;
@@ -448,17 +512,28 @@ impl<'a> Elaborator<'a> {
                     | BinaryOp::Or
                     | BinaryOp::Xor
                     | BinaryOp::Xnor => (l.width.max(r.width), l.signed && r.signed),
-                    BinaryOp::Pow | BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl
+                    BinaryOp::Pow
+                    | BinaryOp::Shl
+                    | BinaryOp::Shr
+                    | BinaryOp::AShl
                     | BinaryOp::AShr => (l.width, l.signed),
                     _ => (1, false),
                 };
                 RExpr {
                     width,
                     signed,
-                    kind: RExprKind::Binary { op: *op, lhs: Box::new(l), rhs: Box::new(r) },
+                    kind: RExprKind::Binary {
+                        op: *op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
                 }
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let c = self.expr(scope, cond)?;
                 let t = self.expr(scope, then_expr)?;
                 let f = self.expr(scope, else_expr)?;
@@ -501,7 +576,12 @@ impl<'a> Elaborator<'a> {
                     },
                 }
             }
-            Expr::IndexedPart { base, offset, width, ascending } => {
+            Expr::IndexedPart {
+                base,
+                offset,
+                width,
+                ascending,
+            } => {
                 let (var, elem_index) = self.select_base(scope, base)?;
                 let sym = self.base_symbol(scope, base)?;
                 let w = const_eval(width, &scope.checked.params)
@@ -527,10 +607,16 @@ impl<'a> Elaborator<'a> {
                 }
             }
             Expr::Concat(parts) => {
-                let rs: Vec<RExpr> =
-                    parts.iter().map(|p| self.expr(scope, p)).collect::<Result<_, _>>()?;
+                let rs: Vec<RExpr> = parts
+                    .iter()
+                    .map(|p| self.expr(scope, p))
+                    .collect::<Result<_, _>>()?;
                 let width = rs.iter().map(|r| r.width).sum();
-                RExpr { width, signed: false, kind: RExprKind::Concat(rs) }
+                RExpr {
+                    width,
+                    signed: false,
+                    kind: RExprKind::Concat(rs),
+                }
             }
             Expr::Replicate { count, inner } => {
                 let c = const_eval(count, &scope.checked.params)
@@ -540,7 +626,10 @@ impl<'a> Elaborator<'a> {
                 RExpr {
                     width: i.width * c,
                     signed: false,
-                    kind: RExprKind::Repeat { count: c, inner: Box::new(i) },
+                    kind: RExprKind::Repeat {
+                        count: c,
+                        inner: Box::new(i),
+                    },
                 }
             }
             Expr::FnCall { name, .. } => {
@@ -549,12 +638,16 @@ impl<'a> Elaborator<'a> {
                 )));
             }
             Expr::SystemCall { func, args } => match func {
-                SystemFunction::Time => {
-                    RExpr { width: 64, signed: false, kind: RExprKind::Time }
-                }
-                SystemFunction::Random => {
-                    RExpr { width: 32, signed: true, kind: RExprKind::Random }
-                }
+                SystemFunction::Time => RExpr {
+                    width: 64,
+                    signed: false,
+                    kind: RExprKind::Time,
+                },
+                SystemFunction::Random => RExpr {
+                    width: 32,
+                    signed: true,
+                    kind: RExprKind::Random,
+                },
                 SystemFunction::Signed | SystemFunction::Unsigned => {
                     let a = args
                         .first()
@@ -564,7 +657,9 @@ impl<'a> Elaborator<'a> {
                     inner
                 }
                 SystemFunction::Clog2 => {
-                    let a = args.first().ok_or_else(|| err("$clog2 needs an argument"))?;
+                    let a = args
+                        .first()
+                        .ok_or_else(|| err("$clog2 needs an argument"))?;
                     let v = const_eval(a, &scope.checked.params)
                         .map_err(|d| err(format!("$clog2: {}", d.message)))?;
                     RExpr::constant(Bits::from_u64(32, cascade_verilog::typecheck::clog2(&v)))
@@ -632,11 +727,18 @@ impl<'a> Elaborator<'a> {
     fn word_expr(&self, var: VarId, elem_index: Option<RExpr>) -> RExpr {
         let info = &self.vars[var.0 as usize];
         match elem_index {
-            None => RExpr { width: info.width, signed: info.signed, kind: RExprKind::Var(var) },
+            None => RExpr {
+                width: info.width,
+                signed: info.signed,
+                kind: RExprKind::Var(var),
+            },
             Some(index) => RExpr {
                 width: info.width,
                 signed: info.signed,
-                kind: RExprKind::ArrayWord { var, index: Box::new(index) },
+                kind: RExprKind::ArrayWord {
+                    var,
+                    index: Box::new(index),
+                },
             },
         }
     }
@@ -652,7 +754,10 @@ impl<'a> Elaborator<'a> {
             return Ok(RExpr {
                 width: info.width,
                 signed: info.signed,
-                kind: RExprKind::ArrayWord { var, index: Box::new(mapped) },
+                kind: RExprKind::ArrayWord {
+                    var,
+                    index: Box::new(mapped),
+                },
             });
         }
         // Bit select (possibly of an array word).
@@ -686,7 +791,9 @@ impl<'a> Elaborator<'a> {
 
     /// Maps a source array index to a zero-based word offset.
     fn map_array_offset(&self, sym: &Symbol, index: RExpr) -> RExpr {
-        let Some((a, b)) = sym.array else { return index };
+        let Some((a, b)) = sym.array else {
+            return index;
+        };
         let lo = a.min(b);
         if lo == 0 {
             index
@@ -699,9 +806,10 @@ impl<'a> Elaborator<'a> {
         let lv = match e {
             Expr::Ident(name) => LValue::Ident(name.clone()),
             Expr::Index { base, index } => match base.as_ref() {
-                Expr::Ident(name) => {
-                    LValue::Index { base: name.clone(), index: (**index).clone() }
-                }
+                Expr::Ident(name) => LValue::Index {
+                    base: name.clone(),
+                    index: (**index).clone(),
+                },
                 _ => return Err(err("connection target must be a simple name or select")),
             },
             Expr::Part { base, msb, lsb } => match base.as_ref() {
@@ -745,7 +853,11 @@ impl<'a> Elaborator<'a> {
                     RLValue::ArrayWord { var, index: mapped }
                 } else {
                     let mapped = self.map_bit_offset(sym, idx);
-                    RLValue::Range { var, offset: mapped, width: 1 }
+                    RLValue::Range {
+                        var,
+                        offset: mapped,
+                        width: 1,
+                    }
                 }
             }
             LValue::Part { base, msb, lsb } => {
@@ -770,25 +882,45 @@ impl<'a> Elaborator<'a> {
                     width: off_m.abs_diff(off_l) + 1,
                 }
             }
-            LValue::IndexedPart { base, offset, width, ascending } => {
+            LValue::IndexedPart {
+                base,
+                offset,
+                width,
+                ascending,
+            } => {
                 let sym = self.symbol(scope, base)?;
                 let var = scope.names[base];
                 let w = const_eval(width, &scope.checked.params)
                     .map_err(|d| err(format!("part-select width: {}", d.message)))?
                     .to_u64() as u32;
                 let off = self.expr(scope, offset)?;
-                let lsb_index = if *ascending { off } else { binary_sub(off, w - 1) };
+                let lsb_index = if *ascending {
+                    off
+                } else {
+                    binary_sub(off, w - 1)
+                };
                 let sym2 = self.symbol(scope, base)?;
                 let mapped = self.map_bit_offset(sym2, lsb_index);
                 let _ = sym;
-                RLValue::Range { var, offset: mapped, width: w }
+                RLValue::Range {
+                    var,
+                    offset: mapped,
+                    width: w,
+                }
             }
             LValue::Concat(parts) => {
-                let rs: Vec<RLValue> =
-                    parts.iter().map(|p| self.lvalue(scope, p)).collect::<Result<_, _>>()?;
+                let rs: Vec<RLValue> = parts
+                    .iter()
+                    .map(|p| self.lvalue(scope, p))
+                    .collect::<Result<_, _>>()?;
                 RLValue::Concat(rs)
             }
-            LValue::IndexThenPart { base, index, msb, lsb } => {
+            LValue::IndexThenPart {
+                base,
+                index,
+                msb,
+                lsb,
+            } => {
                 let sym = self.symbol(scope, base)?;
                 let var = scope.names[base];
                 let idx = self.expr(scope, index)?;
@@ -823,9 +955,12 @@ impl<'a> Elaborator<'a> {
 
     fn stmt(&mut self, scope: &Scope, s: &Stmt) -> FrontendResult<RStmt> {
         Ok(match s {
-            Stmt::Block { stmts, .. } => {
-                RStmt::Block(stmts.iter().map(|st| self.stmt(scope, st)).collect::<Result<_, _>>()?)
-            }
+            Stmt::Block { stmts, .. } => RStmt::Block(
+                stmts
+                    .iter()
+                    .map(|st| self.stmt(scope, st))
+                    .collect::<Result<_, _>>()?,
+            ),
             Stmt::Blocking { lhs, rhs, .. } => RStmt::Blocking {
                 lhs: self.lvalue(scope, lhs)?,
                 rhs: self.expr(scope, rhs)?,
@@ -834,7 +969,12 @@ impl<'a> Elaborator<'a> {
                 lhs: self.lvalue(scope, lhs)?,
                 rhs: self.expr(scope, rhs)?,
             },
-            Stmt::If { cond, then_branch, else_branch, .. } => RStmt::If {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => RStmt::If {
                 cond: self.expr(scope, cond)?,
                 then_branch: Box::new(self.stmt(scope, then_branch)?),
                 else_branch: match else_branch {
@@ -842,7 +982,13 @@ impl<'a> Elaborator<'a> {
                     None => None,
                 },
             },
-            Stmt::Case { kind, scrutinee, arms, default, .. } => RStmt::Case {
+            Stmt::Case {
+                kind,
+                scrutinee,
+                arms,
+                default,
+                ..
+            } => RStmt::Case {
                 kind: *kind,
                 scrutinee: self.expr(scope, scrutinee)?,
                 arms: arms
@@ -864,7 +1010,10 @@ impl<'a> Elaborator<'a> {
                                 })
                             })
                             .collect::<FrontendResult<Vec<_>>>()?;
-                        Ok(RCaseArm { labels, body: self.stmt(scope, &arm.body)? })
+                        Ok(RCaseArm {
+                            labels,
+                            body: self.stmt(scope, &arm.body)?,
+                        })
                     })
                     .collect::<FrontendResult<Vec<_>>>()?,
                 default: match default {
@@ -872,7 +1021,13 @@ impl<'a> Elaborator<'a> {
                     None => None,
                 },
             },
-            Stmt::For { init, cond, step, body, .. } => RStmt::For {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => RStmt::For {
                 init: Box::new(self.stmt(scope, init)?),
                 cond: self.expr(scope, cond)?,
                 step: Box::new(self.stmt(scope, step)?),
@@ -952,7 +1107,11 @@ pub fn collect_reads(e: &RExpr, out: &mut Vec<VarId>) {
             collect_reads(lhs, out);
             collect_reads(rhs, out);
         }
-        RExprKind::Ternary { cond, then_expr, else_expr } => {
+        RExprKind::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             collect_reads(cond, out);
             collect_reads(then_expr, out);
             collect_reads(else_expr, out);
@@ -995,14 +1154,23 @@ pub fn collect_reads_stmt(s: &RStmt, out: &mut Vec<VarId>) {
             lv_reads(lhs, out);
             collect_reads(rhs, out);
         }
-        RStmt::If { cond, then_branch, else_branch } => {
+        RStmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             collect_reads(cond, out);
             collect_reads_stmt(then_branch, out);
             if let Some(e) = else_branch {
                 collect_reads_stmt(e, out);
             }
         }
-        RStmt::Case { scrutinee, arms, default, .. } => {
+        RStmt::Case {
+            scrutinee,
+            arms,
+            default,
+            ..
+        } => {
             collect_reads(scrutinee, out);
             for arm in arms {
                 for l in &arm.labels {
@@ -1014,7 +1182,12 @@ pub fn collect_reads_stmt(s: &RStmt, out: &mut Vec<VarId>) {
                 collect_reads_stmt(d, out);
             }
         }
-        RStmt::For { init, cond, step, body } => {
+        RStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             collect_reads_stmt(init, out);
             collect_reads(cond, out);
             collect_reads_stmt(step, out);

@@ -38,7 +38,9 @@ mod rir;
 mod sim;
 mod vcd;
 
-pub use elaborate::{collect_reads, collect_reads_stmt, elaborate, elaborate_leaf, library_from_source, Design};
+pub use elaborate::{
+    collect_reads, collect_reads_stmt, elaborate, elaborate_leaf, library_from_source, Design,
+};
 pub use rir::{
     Process, RCaseArm, RCaseLabel, RExpr, RExprKind, RLValue, RStmt, RTaskArg, Sens, VarClass,
     VarId, VarInfo,

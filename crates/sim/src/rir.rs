@@ -68,14 +68,35 @@ pub enum RExprKind {
     Var(VarId),
     /// `mem[index]` where the variable is an array; `index` is a zero-based
     /// word offset expression.
-    ArrayWord { var: VarId, index: Box<RExpr> },
+    ArrayWord {
+        var: VarId,
+        index: Box<RExpr>,
+    },
     /// Bit-range extraction at a zero-based LSB `offset`.
-    Slice { base: Box<RExpr>, offset: Box<RExpr>, width: u32 },
-    Unary { op: UnaryOp, operand: Box<RExpr> },
-    Binary { op: BinaryOp, lhs: Box<RExpr>, rhs: Box<RExpr> },
-    Ternary { cond: Box<RExpr>, then_expr: Box<RExpr>, else_expr: Box<RExpr> },
+    Slice {
+        base: Box<RExpr>,
+        offset: Box<RExpr>,
+        width: u32,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<RExpr>,
+    },
+    Binary {
+        op: BinaryOp,
+        lhs: Box<RExpr>,
+        rhs: Box<RExpr>,
+    },
+    Ternary {
+        cond: Box<RExpr>,
+        then_expr: Box<RExpr>,
+        else_expr: Box<RExpr>,
+    },
     Concat(Vec<RExpr>),
-    Repeat { count: u32, inner: Box<RExpr> },
+    Repeat {
+        count: u32,
+        inner: Box<RExpr>,
+    },
     /// `$time` (the simulator's step counter).
     Time,
     /// `$random` (deterministic LCG).
@@ -85,7 +106,11 @@ pub enum RExprKind {
 impl RExpr {
     /// A constant node.
     pub fn constant(value: Bits) -> RExpr {
-        RExpr { width: value.width(), signed: false, kind: RExprKind::Const(value) }
+        RExpr {
+            width: value.width(),
+            signed: false,
+            kind: RExprKind::Const(value),
+        }
     }
 }
 
@@ -95,11 +120,20 @@ pub enum RLValue {
     /// The whole variable.
     Var(VarId),
     /// A bit range at a dynamic zero-based offset.
-    Range { var: VarId, offset: RExpr, width: u32 },
+    Range {
+        var: VarId,
+        offset: RExpr,
+        width: u32,
+    },
     /// An array word.
     ArrayWord { var: VarId, index: RExpr },
     /// A bit range of an array word.
-    ArrayWordRange { var: VarId, index: RExpr, offset: RExpr, width: u32 },
+    ArrayWordRange {
+        var: VarId,
+        index: RExpr,
+        offset: RExpr,
+        width: u32,
+    },
     /// `{a, b} = ...` — parts listed MSB-first as written.
     Concat(Vec<RLValue>),
 }
@@ -147,15 +181,44 @@ pub struct RCaseArm {
 pub enum RStmt {
     Block(Vec<RStmt>),
     /// Blocking assignment: takes effect immediately.
-    Blocking { lhs: RLValue, rhs: RExpr },
+    Blocking {
+        lhs: RLValue,
+        rhs: RExpr,
+    },
     /// Nonblocking assignment: scheduled as an update event.
-    NonBlocking { lhs: RLValue, rhs: RExpr },
-    If { cond: RExpr, then_branch: Box<RStmt>, else_branch: Option<Box<RStmt>> },
-    Case { kind: CaseKind, scrutinee: RExpr, arms: Vec<RCaseArm>, default: Option<Box<RStmt>> },
-    For { init: Box<RStmt>, cond: RExpr, step: Box<RStmt>, body: Box<RStmt> },
-    While { cond: RExpr, body: Box<RStmt> },
-    Repeat { count: RExpr, body: Box<RStmt> },
-    SystemTask { task: SystemTask, args: Vec<RTaskArg> },
+    NonBlocking {
+        lhs: RLValue,
+        rhs: RExpr,
+    },
+    If {
+        cond: RExpr,
+        then_branch: Box<RStmt>,
+        else_branch: Option<Box<RStmt>>,
+    },
+    Case {
+        kind: CaseKind,
+        scrutinee: RExpr,
+        arms: Vec<RCaseArm>,
+        default: Option<Box<RStmt>>,
+    },
+    For {
+        init: Box<RStmt>,
+        cond: RExpr,
+        step: Box<RStmt>,
+        body: Box<RStmt>,
+    },
+    While {
+        cond: RExpr,
+        body: Box<RStmt>,
+    },
+    Repeat {
+        count: RExpr,
+        body: Box<RStmt>,
+    },
+    SystemTask {
+        task: SystemTask,
+        args: Vec<RTaskArg>,
+    },
     Null,
 }
 

@@ -38,7 +38,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Unstable { activations } => {
-                write!(f, "design did not stabilize after {activations} process activations")
+                write!(
+                    f,
+                    "design did not stabilize after {activations} process activations"
+                )
             }
             SimError::LoopLimit { limit } => {
                 write!(f, "process exceeded {limit} statements per activation")
@@ -247,7 +250,10 @@ impl Simulator {
     ///
     /// Panics if the name is unknown (use [`Design::var`] to test first).
     pub fn peek(&self, name: &str) -> Bits {
-        let id = self.design.var(name).unwrap_or_else(|| panic!("unknown variable `{name}`"));
+        let id = self
+            .design
+            .var(name)
+            .unwrap_or_else(|| panic!("unknown variable `{name}`"));
         self.peek_id(id)
     }
 
@@ -276,7 +282,10 @@ impl Simulator {
     /// Sets a variable and schedules its dependents (an external input
     /// change). Call [`Simulator::settle`] afterwards.
     pub fn poke(&mut self, name: &str, value: Bits) {
-        let id = self.design.var(name).unwrap_or_else(|| panic!("unknown variable `{name}`"));
+        let id = self
+            .design
+            .var(name)
+            .unwrap_or_else(|| panic!("unknown variable `{name}`"));
         self.poke_id(id, value);
     }
 
@@ -319,7 +328,9 @@ impl Simulator {
             self.apply_updates();
             rounds += 1;
             if rounds > self.activation_limit {
-                return Err(SimError::Unstable { activations: rounds });
+                return Err(SimError::Unstable {
+                    activations: rounds,
+                });
             }
         }
         // Monitors fire at observable states.
@@ -418,7 +429,10 @@ impl Simulator {
     ///
     /// Propagates [`SimError`] from [`Simulator::settle`].
     pub fn tick(&mut self, clk: &str) -> Result<(), SimError> {
-        let id = self.design.var(clk).unwrap_or_else(|| panic!("unknown clock `{clk}`"));
+        let id = self
+            .design
+            .var(clk)
+            .unwrap_or_else(|| panic!("unknown clock `{clk}`"));
         self.tick_id(id)
     }
 
@@ -444,7 +458,9 @@ impl Simulator {
         let vi = var.0 as usize;
         let info = &self.design.vars[vi];
         if info.is_array() {
-            let Some(slot) = self.arrays[vi].get_mut(word as usize) else { return };
+            let Some(slot) = self.arrays[vi].get_mut(word as usize) else {
+                return;
+            };
             let mut next = slot.clone();
             next.splice(offset, value);
             if next != *slot {
@@ -490,7 +506,7 @@ impl Simulator {
     fn run_process(&mut self, pid: ProcId) -> Result<(), SimError> {
         // Cheap Arc clone detaches the process borrow from `self`.
         let design = Arc::clone(&self.design);
-        
+
         match &design.processes[pid.0 as usize] {
             // Continuous assignments are *not* masked against self-wake:
             // `assign a = ~a;` is a genuine combinational loop and must be
@@ -516,7 +532,9 @@ impl Simulator {
 
     fn exec(&mut self, s: &RStmt, budget: &mut u64) -> Result<(), SimError> {
         if *budget == 0 {
-            return Err(SimError::LoopLimit { limit: self.loop_limit });
+            return Err(SimError::LoopLimit {
+                limit: self.loop_limit,
+            });
         }
         *budget -= 1;
         self.statements += 1;
@@ -539,14 +557,23 @@ impl Simulator {
                 let value = self.eval(rhs, width);
                 self.assign(lhs, &value, true);
             }
-            RStmt::If { cond, then_branch, else_branch } => {
+            RStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if self.eval(cond, 0).to_bool() {
                     self.exec(then_branch, budget)?;
                 } else if let Some(e) = else_branch {
                     self.exec(e, budget)?;
                 }
             }
-            RStmt::Case { kind, scrutinee, arms, default } => {
+            RStmt::Case {
+                kind,
+                scrutinee,
+                arms,
+                default,
+            } => {
                 let mut w = scrutinee.width;
                 for arm in arms {
                     for l in &arm.labels {
@@ -582,13 +609,20 @@ impl Simulator {
                     }
                 }
             }
-            RStmt::For { init, cond, step, body } => {
+            RStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.exec(init, budget)?;
                 while self.eval(cond, 0).to_bool() {
                     self.exec(body, budget)?;
                     self.exec(step, budget)?;
                     if *budget == 0 {
-                        return Err(SimError::LoopLimit { limit: self.loop_limit });
+                        return Err(SimError::LoopLimit {
+                            limit: self.loop_limit,
+                        });
                     }
                     *budget -= 1;
                     if self.finished {
@@ -600,7 +634,9 @@ impl Simulator {
                 while self.eval(cond, 0).to_bool() {
                     self.exec(body, budget)?;
                     if *budget == 0 {
-                        return Err(SimError::LoopLimit { limit: self.loop_limit });
+                        return Err(SimError::LoopLimit {
+                            limit: self.loop_limit,
+                        });
                     }
                     *budget -= 1;
                     if self.finished {
@@ -729,7 +765,12 @@ impl Simulator {
                 let width = self.design.info(*var).width;
                 self.emit_write(*var, idx, 0, value.resize(width), nonblocking);
             }
-            RLValue::ArrayWordRange { var, index, offset, width } => {
+            RLValue::ArrayWordRange {
+                var,
+                index,
+                offset,
+                width,
+            } => {
                 let idx = self.eval(index, 0).to_u64();
                 let off = self.eval(offset, 0).to_u64() as u32;
                 self.emit_write(*var, idx, off, value.resize(*width), nonblocking);
@@ -776,7 +817,11 @@ impl Simulator {
                 let v = self.peek_array(*var, idx);
                 extend(&v, target, e.signed)
             }
-            RExprKind::Slice { base, offset, width } => {
+            RExprKind::Slice {
+                base,
+                offset,
+                width,
+            } => {
                 let b = self.eval(base, 0);
                 let off = self.eval(offset, 0).to_u64();
                 let v = if off > u32::MAX as u64 {
@@ -795,7 +840,11 @@ impl Simulator {
                 extend(&r, target, false)
             }
             RExprKind::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, target),
-            RExprKind::Ternary { cond, then_expr, else_expr } => {
+            RExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 if self.eval(cond, 0).to_bool() {
                     self.eval(then_expr, target)
                 } else {
@@ -882,7 +931,11 @@ impl Simulator {
                 let signed = lhs.signed && rhs.signed;
                 let l = self.eval_extended(lhs, w, signed);
                 let r = self.eval_extended(rhs, w, signed);
-                let ord = if signed { l.cmp_signed(&r) } else { l.cmp_unsigned(&r) };
+                let ord = if signed {
+                    l.cmp_signed(&r)
+                } else {
+                    l.cmp_unsigned(&r)
+                };
                 let b = match op {
                     Eq | CaseEq => ord == Ordering::Equal,
                     Ne | CaseNe => ord != Ordering::Equal,
@@ -1000,7 +1053,9 @@ pub fn format_verilog(fmt: &str, values: &[Bits]) -> String {
             'b' => value.to_binary_string(),
             'o' => value.to_octal_string(),
             't' => value.to_decimal_string(),
-            'c' => char::from_u32(value.to_u64() as u32 & 0x7f).unwrap_or('?').to_string(),
+            'c' => char::from_u32(value.to_u64() as u32 & 0x7f)
+                .unwrap_or('?')
+                .to_string(),
             's' => {
                 // Interpret as packed ASCII, MSB first.
                 let mut s = String::new();

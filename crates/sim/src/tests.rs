@@ -57,7 +57,9 @@ fn running_example_rotates_and_pauses() {
     sim.settle().unwrap();
     sim.tick("clk").unwrap();
     let events = sim.drain_events();
-    assert!(events.iter().any(|e| matches!(e, SimEvent::Display(s) if s == "1")));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, SimEvent::Display(s) if s == "1")));
     assert!(events.contains(&SimEvent::Finish));
     assert!(sim.is_finished());
 }
@@ -100,7 +102,11 @@ fn combinational_star_block() {
     sim.poke("a", Bits::from_u64(4, 7));
     sim.poke("b", Bits::from_u64(4, 9));
     sim.settle().unwrap();
-    assert_eq!(sim.peek("s").to_u64(), 16, "carry preserved by 5-bit context");
+    assert_eq!(
+        sim.peek("s").to_u64(),
+        16,
+        "carry preserved by 5-bit context"
+    );
 }
 
 #[test]
@@ -227,7 +233,13 @@ fn casez_wildcards_priority() {
          assign grant = g;\nendmodule",
         "Pri",
     );
-    for (req, expect) in [(0b1000u64, 3u64), (0b1111, 3), (0b0101, 2), (0b0010, 1), (0b0001, 0)] {
+    for (req, expect) in [
+        (0b1000u64, 3u64),
+        (0b1111, 3),
+        (0b0101, 2),
+        (0b0010, 1),
+        (0b0001, 0),
+    ] {
         sim.poke("req", Bits::from_u64(4, req));
         sim.settle().unwrap();
         assert_eq!(sim.peek("grant").to_u64(), expect, "req={req:04b}");
@@ -328,7 +340,9 @@ fn display_formats() {
     );
     sim.tick("clk").unwrap();
     let ev = sim.drain_events();
-    let SimEvent::Display(s) = &ev[0] else { panic!() };
+    let SimEvent::Display(s) = &ev[0] else {
+        panic!()
+    };
     assert_eq!(s, "d=171 h=ab b=10101011 o=253 pct=% pad=0171");
 }
 
@@ -356,7 +370,10 @@ fn write_task_and_time() {
     sim.tick("clk").unwrap();
     sim.tick("clk").unwrap();
     let ev = sim.drain_events();
-    assert_eq!(ev, vec![SimEvent::Write("t=0".into()), SimEvent::Write("t=1".into())]);
+    assert_eq!(
+        ev,
+        vec![SimEvent::Write("t=0".into()), SimEvent::Write("t=1".into())]
+    );
 }
 
 #[test]

@@ -48,7 +48,12 @@ impl<W: Write> VcdWriter<W> {
         writeln!(out, "$upscope $end")?;
         writeln!(out, "$enddefinitions $end")?;
         let last = vec![None; tracked.len()];
-        Ok(VcdWriter { out, tracked, last, time: 0 })
+        Ok(VcdWriter {
+            out,
+            tracked,
+            last,
+            time: 0,
+        })
     }
 
     /// Records any changed values at the next timestamp.

@@ -48,7 +48,11 @@ pub struct Led {
 impl Led {
     /// Binds an LED bank of `width` lights to the board.
     pub fn new(board: Board, width: u32) -> Self {
-        Led { board, width, val: Bits::zero(width) }
+        Led {
+            board,
+            width,
+            val: Bits::zero(width),
+        }
     }
 }
 
@@ -112,7 +116,11 @@ impl Gpio {
     /// Binds a GPIO bank to the board.
     pub fn new(board: Board, width: u32) -> Self {
         let in_val = board.gpio_in().resize(width);
-        Gpio { board, width, in_val }
+        Gpio {
+            board,
+            width,
+            in_val,
+        }
     }
 }
 
@@ -247,7 +255,10 @@ impl Peripheral for Fifo {
     fn outputs(&self) -> Vec<(String, Bits)> {
         vec![
             ("rdata".to_string(), self.rdata.clone()),
-            ("empty".to_string(), Bits::from_bool(!self.board.fifo_nonempty())),
+            (
+                "empty".to_string(),
+                Bits::from_bool(!self.board.fifo_nonempty()),
+            ),
             ("full".to_string(), Bits::from_bool(self.board.fifo_full())),
         ]
     }

@@ -71,8 +71,8 @@ pub fn is_stdlib_module(name: &str) -> bool {
 ///
 /// Panics only on an internal syntax error, which the test suite guards.
 pub fn stdlib_modules() -> Vec<Module> {
-    let unit = cascade_verilog::parse(STDLIB_DECLARATIONS)
-        .expect("stdlib declarations always parse");
+    let unit =
+        cascade_verilog::parse(STDLIB_DECLARATIONS).expect("stdlib declarations always parse");
     unit.items
         .into_iter()
         .filter_map(|i| match i {
@@ -133,7 +133,10 @@ impl fmt::Debug for dyn Peripheral {
 /// `Clock` (the clock is the runtime's tick source, not a peripheral).
 pub fn instantiate(name: &str, params: &ParamEnv, board: &Board) -> Option<Box<dyn Peripheral>> {
     let width = |key: &str, default: u64| -> u32 {
-        params.get(key).map(|b| b.to_u64() as u32).unwrap_or(default as u32)
+        params
+            .get(key)
+            .map(|b| b.to_u64() as u32)
+            .unwrap_or(default as u32)
     };
     Some(match name {
         "Pad" => Box::new(Pad::new(board.clone(), width("WIDTH", 4))),

@@ -8,7 +8,10 @@ fn declarations_parse_and_cover_all_names() {
     let mods = stdlib_modules();
     let names: Vec<_> = mods.iter().map(|m| m.name.as_str()).collect();
     for expected in crate::STDLIB_MODULE_NAMES {
-        assert!(names.contains(expected), "missing declaration for {expected}");
+        assert!(
+            names.contains(expected),
+            "missing declaration for {expected}"
+        );
     }
 }
 
@@ -23,7 +26,10 @@ fn stdlib_name_predicate() {
 fn instantiate_by_name() {
     let board = Board::new();
     for name in ["Pad", "Led", "Reset", "GPIO", "Memory", "FIFO"] {
-        assert!(instantiate(name, &ParamEnv::new(), &board).is_some(), "{name}");
+        assert!(
+            instantiate(name, &ParamEnv::new(), &board).is_some(),
+            "{name}"
+        );
     }
     assert!(instantiate("Clock", &ParamEnv::new(), &board).is_none());
     assert!(instantiate("Rol", &ParamEnv::new(), &board).is_none());
@@ -115,15 +121,32 @@ fn fifo_pop_commits_at_edge() {
     board.fifo_push(Bits::from_u64(8, 22));
     let mut fifo = crate::Fifo::new(board.clone(), 8);
     let empty = |f: &crate::Fifo| {
-        f.outputs().iter().find(|(n, _)| n == "empty").unwrap().1.to_bool()
+        f.outputs()
+            .iter()
+            .find(|(n, _)| n == "empty")
+            .unwrap()
+            .1
+            .to_bool()
     };
     assert!(!empty(&fifo));
     fifo.set_input("rreq", &Bits::from_u64(1, 1));
     fifo.posedge();
-    let rdata = fifo.outputs().iter().find(|(n, _)| n == "rdata").unwrap().1.clone();
+    let rdata = fifo
+        .outputs()
+        .iter()
+        .find(|(n, _)| n == "rdata")
+        .unwrap()
+        .1
+        .clone();
     assert_eq!(rdata.to_u64(), 11);
     fifo.posedge();
-    let rdata = fifo.outputs().iter().find(|(n, _)| n == "rdata").unwrap().1.clone();
+    let rdata = fifo
+        .outputs()
+        .iter()
+        .find(|(n, _)| n == "rdata")
+        .unwrap()
+        .1
+        .clone();
     assert_eq!(rdata.to_u64(), 22);
     assert!(empty(&fifo));
     assert_eq!(board.fifo_pops(), 2);
@@ -149,7 +172,13 @@ fn fifo_holds_rdata_when_empty() {
     fifo.set_input("rreq", &Bits::from_u64(1, 1));
     fifo.posedge();
     fifo.posedge(); // empty now: rdata holds
-    let rdata = fifo.outputs().iter().find(|(n, _)| n == "rdata").unwrap().1.clone();
+    let rdata = fifo
+        .outputs()
+        .iter()
+        .find(|(n, _)| n == "rdata")
+        .unwrap()
+        .1
+        .clone();
     assert_eq!(rdata.to_u64(), 7);
 }
 

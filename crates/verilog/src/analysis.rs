@@ -147,7 +147,11 @@ pub fn unsynthesizable_constructs(module: &Module) -> Vec<UnsynthesizableReason>
                     walk_stmt(st, out);
                 }
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 walk_stmt(then_branch, out);
                 if let Some(e) = else_branch {
                     walk_stmt(e, out);
@@ -222,7 +226,10 @@ pub fn source_stats(text: &str, unit: &SourceUnit) -> SourceStats {
         match s {
             Stmt::Blocking { .. } => stats.blocking_assignments += 1,
             Stmt::NonBlocking { .. } => stats.nonblocking_assignments += 1,
-            Stmt::SystemTask { task: SystemTask::Display | SystemTask::Write, .. } => {
+            Stmt::SystemTask {
+                task: SystemTask::Display | SystemTask::Write,
+                ..
+            } => {
                 stats.display_statements += 1;
             }
             Stmt::Block { stmts, .. } => {
@@ -230,7 +237,11 @@ pub fn source_stats(text: &str, unit: &SourceUnit) -> SourceStats {
                     walk_stmt(st, stats);
                 }
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 walk_stmt(then_branch, stats);
                 if let Some(e) = else_branch {
                     walk_stmt(e, stats);
@@ -244,7 +255,9 @@ pub fn source_stats(text: &str, unit: &SourceUnit) -> SourceStats {
                     walk_stmt(d, stats);
                 }
             }
-            Stmt::For { init, step, body, .. } => {
+            Stmt::For {
+                init, step, body, ..
+            } => {
                 walk_stmt(init, stats);
                 walk_stmt(step, stats);
                 walk_stmt(body, stats);

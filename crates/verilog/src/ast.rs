@@ -251,19 +251,62 @@ pub struct CaseArm {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `begin ... end` (optionally named).
-    Block { name: Option<String>, stmts: Vec<Stmt> },
+    Block {
+        name: Option<String>,
+        stmts: Vec<Stmt>,
+    },
     /// Blocking assignment `lhs = rhs;`.
-    Blocking { lhs: LValue, rhs: Expr, span: Span },
+    Blocking {
+        lhs: LValue,
+        rhs: Expr,
+        span: Span,
+    },
     /// Nonblocking assignment `lhs <= rhs;`.
-    NonBlocking { lhs: LValue, rhs: Expr, span: Span },
-    If { cond: Expr, then_branch: Box<Stmt>, else_branch: Option<Box<Stmt>>, span: Span },
-    Case { kind: CaseKind, scrutinee: Expr, arms: Vec<CaseArm>, default: Option<Box<Stmt>>, span: Span },
-    For { init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Box<Stmt>, span: Span },
-    While { cond: Expr, body: Box<Stmt>, span: Span },
-    Repeat { count: Expr, body: Box<Stmt>, span: Span },
-    Forever { body: Box<Stmt>, span: Span },
+    NonBlocking {
+        lhs: LValue,
+        rhs: Expr,
+        span: Span,
+    },
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+        span: Span,
+    },
+    Case {
+        kind: CaseKind,
+        scrutinee: Expr,
+        arms: Vec<CaseArm>,
+        default: Option<Box<Stmt>>,
+        span: Span,
+    },
+    For {
+        init: Box<Stmt>,
+        cond: Expr,
+        step: Box<Stmt>,
+        body: Box<Stmt>,
+        span: Span,
+    },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+        span: Span,
+    },
+    Repeat {
+        count: Expr,
+        body: Box<Stmt>,
+        span: Span,
+    },
+    Forever {
+        body: Box<Stmt>,
+        span: Span,
+    },
     /// A system task call such as `$display("%d", cnt);`.
-    SystemTask { task: SystemTask, args: Vec<Expr>, span: Span },
+    SystemTask {
+        task: SystemTask,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// The null statement `;`.
     Null,
 }
@@ -317,11 +360,21 @@ pub enum LValue {
     /// A constant part select `x[msb:lsb]`.
     Part { base: String, msb: Expr, lsb: Expr },
     /// An indexed part select `x[base +: width]` / `x[base -: width]`.
-    IndexedPart { base: String, offset: Expr, width: Expr, ascending: bool },
+    IndexedPart {
+        base: String,
+        offset: Expr,
+        width: Expr,
+        ascending: bool,
+    },
     /// A concatenation target `{a, b[3:0]}`.
     Concat(Vec<LValue>),
     /// A memory word select with a further bit range: `mem[addr][3:0]`.
-    IndexThenPart { base: String, index: Expr, msb: Expr, lsb: Expr },
+    IndexThenPart {
+        base: String,
+        index: Expr,
+        msb: Expr,
+        lsb: Expr,
+    },
 }
 
 impl LValue {
@@ -428,44 +481,88 @@ impl SystemFunction {
 pub enum Expr {
     /// A sized or unsized literal. `sized` records whether the width was
     /// written explicitly (it affects context-determined sizing).
-    Literal { value: Bits, sized: bool },
+    Literal {
+        value: Bits,
+        sized: bool,
+    },
     /// A literal containing `x`/`z`/`?` wildcard digits. `care` has a zero
     /// bit where the digit was a wildcard. Meaningful as a `casez`/`casex`
     /// label; elsewhere wildcard bits read as zero (two-state mode).
-    MaskedLiteral { value: Bits, care: Bits },
+    MaskedLiteral {
+        value: Bits,
+        care: Bits,
+    },
     /// A string literal (only meaningful as a `$display` argument).
     Str(String),
     /// A simple identifier reference.
     Ident(String),
     /// A hierarchical reference such as `r.y` (paper Fig. 1 line 10).
     Hier(Vec<String>),
-    Unary { op: UnaryOp, operand: Box<Expr> },
-    Binary { op: BinaryOp, lhs: Box<Expr>, rhs: Box<Expr> },
-    Ternary { cond: Box<Expr>, then_expr: Box<Expr>, else_expr: Box<Expr> },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+    },
+    Binary {
+        op: BinaryOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Ternary {
+        cond: Box<Expr>,
+        then_expr: Box<Expr>,
+        else_expr: Box<Expr>,
+    },
     /// Bit select or memory word select: `base[index]`.
-    Index { base: Box<Expr>, index: Box<Expr> },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
     /// Constant part select `base[msb:lsb]`.
-    Part { base: Box<Expr>, msb: Box<Expr>, lsb: Box<Expr> },
+    Part {
+        base: Box<Expr>,
+        msb: Box<Expr>,
+        lsb: Box<Expr>,
+    },
     /// Indexed part select `base[offset +: width]`.
-    IndexedPart { base: Box<Expr>, offset: Box<Expr>, width: Box<Expr>, ascending: bool },
+    IndexedPart {
+        base: Box<Expr>,
+        offset: Box<Expr>,
+        width: Box<Expr>,
+        ascending: bool,
+    },
     Concat(Vec<Expr>),
     /// Replication `{count{inner}}`.
-    Replicate { count: Box<Expr>, inner: Box<Expr> },
+    Replicate {
+        count: Box<Expr>,
+        inner: Box<Expr>,
+    },
     /// A system function call.
-    SystemCall { func: SystemFunction, args: Vec<Expr> },
+    SystemCall {
+        func: SystemFunction,
+        args: Vec<Expr>,
+    },
     /// A user function call (inlined away before elaboration).
-    FnCall { name: String, args: Vec<Expr> },
+    FnCall {
+        name: String,
+        args: Vec<Expr>,
+    },
 }
 
 impl Expr {
     /// Convenience constructor for an unsigned sized literal.
     pub fn literal(width: u32, value: u64) -> Expr {
-        Expr::Literal { value: Bits::from_u64(width, value), sized: true }
+        Expr::Literal {
+            value: Bits::from_u64(width, value),
+            sized: true,
+        }
     }
 
     /// Convenience constructor for an unsized decimal literal.
     pub fn number(value: u64) -> Expr {
-        Expr::Literal { value: Bits::from_u64(32, value), sized: false }
+        Expr::Literal {
+            value: Bits::from_u64(32, value),
+            sized: false,
+        }
     }
 
     /// Convenience constructor for an identifier.
@@ -485,7 +582,11 @@ impl Expr {
                 lhs.visit_reads(f);
                 rhs.visit_reads(f);
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 cond.visit_reads(f);
                 then_expr.visit_reads(f);
                 else_expr.visit_reads(f);
@@ -499,7 +600,12 @@ impl Expr {
                 msb.visit_reads(f);
                 lsb.visit_reads(f);
             }
-            Expr::IndexedPart { base, offset, width, .. } => {
+            Expr::IndexedPart {
+                base,
+                offset,
+                width,
+                ..
+            } => {
                 base.visit_reads(f);
                 offset.visit_reads(f);
                 width.visit_reads(f);
@@ -536,14 +642,24 @@ impl Stmt {
                 lhs.visit_exprs(f);
                 f(rhs);
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 f(cond);
                 then_branch.visit_exprs(f);
                 if let Some(e) = else_branch {
                     e.visit_exprs(f);
                 }
             }
-            Stmt::Case { scrutinee, arms, default, .. } => {
+            Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                ..
+            } => {
                 f(scrutinee);
                 for arm in arms {
                     for l in &arm.labels {
@@ -555,7 +671,13 @@ impl Stmt {
                     d.visit_exprs(f);
                 }
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 init.visit_exprs(f);
                 f(cond);
                 step.visit_exprs(f);
@@ -589,7 +711,11 @@ impl Stmt {
             }
             Stmt::Blocking { lhs, .. } => f(lhs, true),
             Stmt::NonBlocking { lhs, .. } => f(lhs, false),
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 then_branch.visit_writes(f);
                 if let Some(e) = else_branch {
                     e.visit_writes(f);
@@ -603,7 +729,9 @@ impl Stmt {
                     d.visit_writes(f);
                 }
             }
-            Stmt::For { init, step, body, .. } => {
+            Stmt::For {
+                init, step, body, ..
+            } => {
                 init.visit_writes(f);
                 step.visit_writes(f);
                 body.visit_writes(f);
@@ -635,7 +763,9 @@ impl LValue {
                     p.visit_exprs_mut(f);
                 }
             }
-            LValue::IndexThenPart { index, msb, lsb, .. } => {
+            LValue::IndexThenPart {
+                index, msb, lsb, ..
+            } => {
                 f(index);
                 f(msb);
                 f(lsb);
@@ -662,7 +792,9 @@ impl LValue {
                     p.visit_exprs(f);
                 }
             }
-            LValue::IndexThenPart { index, msb, lsb, .. } => {
+            LValue::IndexThenPart {
+                index, msb, lsb, ..
+            } => {
                 f(index);
                 f(msb);
                 f(lsb);

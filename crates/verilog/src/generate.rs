@@ -78,8 +78,8 @@ fn expand_for(
         let idx = value.to_u64();
         let label = g.label.clone().unwrap_or_else(|| "genblk".to_string());
         instantiate_iteration(g, &env, &label, idx, out, budget)?;
-        value = const_eval(&g.step, &env)
-            .map_err(|d| err(format!("generate step: {}", d.message)))?;
+        value =
+            const_eval(&g.step, &env).map_err(|d| err(format!("generate step: {}", d.message)))?;
     }
     Ok(())
 }
@@ -107,7 +107,10 @@ fn instantiate_iteration(
             _ => {}
         }
     }
-    let genvar_value = env.get(&g.genvar).cloned().unwrap_or_else(|| Bits::from_u64(32, idx));
+    let genvar_value = env
+        .get(&g.genvar)
+        .cloned()
+        .unwrap_or_else(|| Bits::from_u64(32, idx));
     for item in &g.items {
         let mut it = item.clone();
         subst_item(&mut it, &g.genvar, &genvar_value, &renames)?;
@@ -194,7 +197,10 @@ fn subst_item(
 fn subst_expr(e: &mut Expr, genvar: &str, value: &Bits) {
     if let Expr::Ident(n) = e {
         if n == genvar {
-            *e = Expr::Literal { value: value.clone(), sized: false };
+            *e = Expr::Literal {
+                value: value.clone(),
+                sized: false,
+            };
         }
         return;
     }
@@ -226,14 +232,24 @@ fn visit_stmt_exprs_mut(s: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
             lhs.visit_exprs_mut(f);
             f(rhs);
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             f(cond);
             visit_stmt_exprs_mut(then_branch, f);
             if let Some(e) = else_branch {
                 visit_stmt_exprs_mut(e, f);
             }
         }
-        Stmt::Case { scrutinee, arms, default, .. } => {
+        Stmt::Case {
+            scrutinee,
+            arms,
+            default,
+            ..
+        } => {
             f(scrutinee);
             for arm in arms {
                 for l in &mut arm.labels {
@@ -245,7 +261,13 @@ fn visit_stmt_exprs_mut(s: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
                 visit_stmt_exprs_mut(d, f);
             }
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             visit_stmt_exprs_mut(init, f);
             f(cond);
             visit_stmt_exprs_mut(step, f);

@@ -44,7 +44,11 @@ pub fn inline_functions(module: &Module) -> FrontendResult<Module> {
             None => Ok(out),
         };
     }
-    let mut ctx = Inliner { functions, counter: 0, new_items: Vec::new() };
+    let mut ctx = Inliner {
+        functions,
+        counter: 0,
+        new_items: Vec::new(),
+    };
     for item in &mut out.items {
         ctx.rewrite_item(item, 0)?;
     }
@@ -55,7 +59,10 @@ pub fn inline_functions(module: &Module) -> FrontendResult<Module> {
 /// Whether the module declares or calls any functions (used to skip the
 /// pass cheaply).
 pub fn has_functions(module: &Module) -> bool {
-    module.items.iter().any(|i| matches!(i, ModuleItem::Function(_)))
+    module
+        .items
+        .iter()
+        .any(|i| matches!(i, ModuleItem::Function(_)))
         || find_any_call(module).is_some()
 }
 
@@ -151,14 +158,24 @@ impl Inliner {
             Stmt::Blocking { rhs, .. } | Stmt::NonBlocking { rhs, .. } => {
                 self.rewrite_expr(rhs, depth)?;
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.rewrite_expr(cond, depth)?;
                 self.rewrite_stmt(then_branch, depth)?;
                 if let Some(e) = else_branch {
                     self.rewrite_stmt(e, depth)?;
                 }
             }
-            Stmt::Case { scrutinee, arms, default, .. } => {
+            Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                ..
+            } => {
                 self.rewrite_expr(scrutinee, depth)?;
                 for arm in arms {
                     for l in &mut arm.labels {
@@ -170,7 +187,13 @@ impl Inliner {
                     self.rewrite_stmt(d, depth)?;
                 }
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.rewrite_stmt(init, depth)?;
                 self.rewrite_expr(cond, depth)?;
                 self.rewrite_stmt(step, depth)?;
@@ -235,7 +258,12 @@ impl Inliner {
             kind: NetKind::Reg,
             signed: f.signed,
             range: f.range.clone(),
-            decls: vec![Declarator { name: ret.clone(), array: None, init: None, span: Span::synthetic() }],
+            decls: vec![Declarator {
+                name: ret.clone(),
+                array: None,
+                init: None,
+                span: Span::synthetic(),
+            }],
             span: Span::synthetic(),
         }));
         // Materialized inputs (the copy gives input-width truncation).
@@ -312,14 +340,21 @@ fn expr_has_call(e: &Expr) -> bool {
 
 pub(crate) fn walk_subexprs(e: &Expr, f: &mut impl FnMut(&Expr)) {
     match e {
-        Expr::Literal { .. } | Expr::MaskedLiteral { .. } | Expr::Str(_) | Expr::Ident(_)
+        Expr::Literal { .. }
+        | Expr::MaskedLiteral { .. }
+        | Expr::Str(_)
+        | Expr::Ident(_)
         | Expr::Hier(_) => {}
         Expr::Unary { operand, .. } => f(operand),
         Expr::Binary { lhs, rhs, .. } => {
             f(lhs);
             f(rhs);
         }
-        Expr::Ternary { cond, then_expr, else_expr } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             f(cond);
             f(then_expr);
             f(else_expr);
@@ -333,7 +368,12 @@ pub(crate) fn walk_subexprs(e: &Expr, f: &mut impl FnMut(&Expr)) {
             f(msb);
             f(lsb);
         }
-        Expr::IndexedPart { base, offset, width, .. } => {
+        Expr::IndexedPart {
+            base,
+            offset,
+            width,
+            ..
+        } => {
             f(base);
             f(offset);
             f(width);
@@ -352,14 +392,21 @@ pub(crate) fn walk_subexprs_mut(
     f: &mut impl FnMut(&mut Expr) -> FrontendResult<()>,
 ) -> FrontendResult<()> {
     match e {
-        Expr::Literal { .. } | Expr::MaskedLiteral { .. } | Expr::Str(_) | Expr::Ident(_)
+        Expr::Literal { .. }
+        | Expr::MaskedLiteral { .. }
+        | Expr::Str(_)
+        | Expr::Ident(_)
         | Expr::Hier(_) => Ok(()),
         Expr::Unary { operand, .. } => f(operand),
         Expr::Binary { lhs, rhs, .. } => {
             f(lhs)?;
             f(rhs)
         }
-        Expr::Ternary { cond, then_expr, else_expr } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             f(cond)?;
             f(then_expr)?;
             f(else_expr)
@@ -373,7 +420,12 @@ pub(crate) fn walk_subexprs_mut(
             f(msb)?;
             f(lsb)
         }
-        Expr::IndexedPart { base, offset, width, .. } => {
+        Expr::IndexedPart {
+            base,
+            offset,
+            width,
+            ..
+        } => {
             f(base)?;
             f(offset)?;
             f(width)
@@ -430,7 +482,9 @@ pub(crate) fn rename_lvalue(lv: &mut LValue, renames: &BTreeMap<String, String>)
             rename_expr(offset, renames);
             rename_expr(width, renames);
         }
-        LValue::IndexThenPart { index, msb, lsb, .. } => {
+        LValue::IndexThenPart {
+            index, msb, lsb, ..
+        } => {
             rename_expr(index, renames);
             rename_expr(msb, renames);
             rename_expr(lsb, renames);
@@ -450,14 +504,24 @@ pub(crate) fn rename_stmt(s: &mut Stmt, renames: &BTreeMap<String, String>) {
             rename_lvalue(lhs, renames);
             rename_expr(rhs, renames);
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             rename_expr(cond, renames);
             rename_stmt(then_branch, renames);
             if let Some(e) = else_branch {
                 rename_stmt(e, renames);
             }
         }
-        Stmt::Case { scrutinee, arms, default, .. } => {
+        Stmt::Case {
+            scrutinee,
+            arms,
+            default,
+            ..
+        } => {
             rename_expr(scrutinee, renames);
             for arm in arms {
                 for l in &mut arm.labels {
@@ -469,7 +533,13 @@ pub(crate) fn rename_stmt(s: &mut Stmt, renames: &BTreeMap<String, String>) {
                 rename_stmt(d, renames);
             }
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             rename_stmt(init, renames);
             rename_expr(cond, renames);
             rename_stmt(step, renames);

@@ -10,7 +10,13 @@ use crate::token::{Keyword, Token, TokenKind};
 /// Returns a [`Diagnostic`] on an unterminated comment or string, an invalid
 /// based literal, or an unexpected character.
 pub fn lex(src: &str) -> FrontendResult<Vec<Token>> {
-    Lexer { src, bytes: src.as_bytes(), pos: 0, tokens: Vec::new() }.run()
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        tokens: Vec::new(),
+    }
+    .run()
 }
 
 struct Lexer<'a> {
@@ -62,7 +68,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn push(&mut self, kind: TokenKind, start: u32) {
-        self.tokens.push(Token { kind, span: Span::new(start, self.pos as u32) });
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start, self.pos as u32),
+        });
     }
 
     fn skip_trivia(&mut self) -> FrontendResult<()> {
@@ -183,10 +192,13 @@ impl<'a> Lexer<'a> {
                     break;
                 }
             }
-            let text: String =
-                self.src[dec_start..self.pos].chars().filter(|&c| c != '_').collect();
-            let value: u64 =
-                text.parse().map_err(|_| self.err(format!("bad decimal `{text}`"), start))?;
+            let text: String = self.src[dec_start..self.pos]
+                .chars()
+                .filter(|&c| c != '_')
+                .collect();
+            let value: u64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad decimal `{text}`"), start))?;
             // Whitespace may separate the size from the tick.
             let save = self.pos;
             while matches!(self.peek(), Some(b' ' | b'\t')) {
@@ -207,10 +219,13 @@ impl<'a> Lexer<'a> {
         }
         // At a tick.
         self.pos += 1;
-        let mut radix_char =
-            self.bump().ok_or_else(|| self.err("missing base after `'`", start))?;
+        let mut radix_char = self
+            .bump()
+            .ok_or_else(|| self.err("missing base after `'`", start))?;
         if radix_char == b's' || radix_char == b'S' {
-            radix_char = self.bump().ok_or_else(|| self.err("missing base after `'s`", start))?;
+            radix_char = self
+                .bump()
+                .ok_or_else(|| self.err("missing base after `'s`", start))?;
         }
         let radix = match radix_char.to_ascii_lowercase() {
             b'b' => 2,
@@ -248,8 +263,10 @@ impl<'a> Lexer<'a> {
         if self.pos == body_start {
             return Err(self.err("based literal has no digits", start));
         }
-        let body: String =
-            self.src[body_start..self.pos].chars().filter(|&c| c != '_').collect();
+        let body: String = self.src[body_start..self.pos]
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
         self.push(TokenKind::Number { size, radix, body }, start);
         Ok(())
     }
@@ -262,8 +279,9 @@ impl<'a> Lexer<'a> {
                 None | Some(b'\n') => return Err(self.err("unterminated string", start)),
                 Some(b'"') => break,
                 Some(b'\\') => {
-                    let esc =
-                        self.bump().ok_or_else(|| self.err("unterminated escape", start))?;
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| self.err("unterminated escape", start))?;
                     out.push(match esc {
                         b'n' => '\n',
                         b't' => '\t',
@@ -343,12 +361,18 @@ impl<'a> Lexer<'a> {
                     // ~& reduction NAND: treated as Tilde + Amp by the parser
                     // is ambiguous, so lex it as a distinct two-token shortcut:
                     // push Tilde now and Amp next round.
-                    self.tokens.push(Token { kind: Tilde, span: Span::new(start, start + 1) });
+                    self.tokens.push(Token {
+                        kind: Tilde,
+                        span: Span::new(start, start + 1),
+                    });
                     Amp
                 }
                 Some(b'|') => {
                     self.pos += 1;
-                    self.tokens.push(Token { kind: Tilde, span: Span::new(start, start + 1) });
+                    self.tokens.push(Token {
+                        kind: Tilde,
+                        span: Span::new(start, start + 1),
+                    });
                     Pipe
                 }
                 _ => Tilde,

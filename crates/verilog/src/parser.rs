@@ -78,7 +78,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -182,16 +184,15 @@ impl Parser {
             self.expect(TokenKind::RParen)?;
         }
         let mut ports = Vec::new();
-        if self.eat(&TokenKind::LParen)
-            && !self.eat(&TokenKind::RParen) {
-                loop {
-                    ports.push(self.port()?);
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                ports.push(self.port()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                self.expect(TokenKind::RParen)?;
             }
+            self.expect(TokenKind::RParen)?;
+        }
         self.expect(TokenKind::Semi)?;
         let mut items = Vec::new();
         while !self.at_kw(Keyword::Endmodule) {
@@ -201,7 +202,13 @@ impl Parser {
             items.push(self.module_item()?);
         }
         self.expect_kw(Keyword::Endmodule)?;
-        Ok(Module { name, params, ports, items, span: start.to(self.prev_span()) })
+        Ok(Module {
+            name,
+            params,
+            ports,
+            items,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn port(&mut self) -> FrontendResult<Port> {
@@ -220,7 +227,14 @@ impl Parser {
         let signed = self.eat_kw(Keyword::Signed);
         let range = self.opt_range()?;
         let name = self.ident()?;
-        Ok(Port { dir, is_reg, signed, range, name, span: start.to(self.prev_span()) })
+        Ok(Port {
+            dir,
+            is_reg,
+            signed,
+            range,
+            name,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn opt_range(&mut self) -> FrontendResult<Option<Range>> {
@@ -275,7 +289,10 @@ impl Parser {
                 let start = self.span();
                 self.bump();
                 let body = self.stmt()?;
-                Ok(ModuleItem::Initial(InitialBlock { body, span: start.to(self.prev_span()) }))
+                Ok(ModuleItem::Initial(InitialBlock {
+                    body,
+                    span: start.to(self.prev_span()),
+                }))
             }
             TokenKind::Keyword(Keyword::Function) => Ok(ModuleItem::Function(self.function()?)),
             TokenKind::Keyword(Keyword::Genvar) => {
@@ -317,20 +334,39 @@ impl Parser {
             other => return Err(self.err(format!("expected net kind, found {other}"))),
         };
         let signed = self.eat_kw(Keyword::Signed) || kind == NetKind::Integer;
-        let range = if kind == NetKind::Integer { None } else { self.opt_range()? };
+        let range = if kind == NetKind::Integer {
+            None
+        } else {
+            self.opt_range()?
+        };
         let mut decls = Vec::new();
         loop {
             let dstart = self.span();
             let name = self.ident()?;
             let array = self.opt_range()?;
-            let init = if self.eat(&TokenKind::Eq) { Some(self.expr()?) } else { None };
-            decls.push(Declarator { name, array, init, span: dstart.to(self.prev_span()) });
+            let init = if self.eat(&TokenKind::Eq) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            decls.push(Declarator {
+                name,
+                array,
+                init,
+                span: dstart.to(self.prev_span()),
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
         }
         self.expect(TokenKind::Semi)?;
-        Ok(NetDecl { kind, signed, range, decls, span: start.to(self.prev_span()) })
+        Ok(NetDecl {
+            kind,
+            signed,
+            range,
+            decls,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn param_decl(&mut self) -> FrontendResult<ParamDecl> {
@@ -345,7 +381,13 @@ impl Parser {
         self.expect(TokenKind::Eq)?;
         let value = self.expr()?;
         self.expect(TokenKind::Semi)?;
-        Ok(ParamDecl { local, range, name, value, span: start.to(self.prev_span()) })
+        Ok(ParamDecl {
+            local,
+            range,
+            name,
+            value,
+            span: start.to(self.prev_span()),
+        })
     }
 
     /// Parses a `for (...) begin : label ... end` generate loop.
@@ -369,7 +411,11 @@ impl Parser {
         let step = self.expr()?;
         self.expect(TokenKind::RParen)?;
         self.expect_kw(Keyword::Begin)?;
-        let label = if self.eat(&TokenKind::Colon) { Some(self.ident()?) } else { None };
+        let label = if self.eat(&TokenKind::Colon) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         let mut items = Vec::new();
         while !self.at_kw(Keyword::End) {
             if matches!(self.peek(), TokenKind::Eof) {
@@ -406,22 +452,21 @@ impl Parser {
         let name = self.ident()?;
         let mut inputs = Vec::new();
         // ANSI header: function [r] name(input [r] a, input [r] b);
-        if self.eat(&TokenKind::LParen)
-            && !self.eat(&TokenKind::RParen) {
-                loop {
-                    self.expect_kw(Keyword::Input)?;
-                    self.eat_kw(Keyword::Wire);
-                    self.eat_kw(Keyword::Reg);
-                    let in_signed = self.eat_kw(Keyword::Signed);
-                    let in_range = self.opt_range()?;
-                    let in_name = self.ident()?;
-                    inputs.push((in_name, in_range, in_signed));
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                self.expect_kw(Keyword::Input)?;
+                self.eat_kw(Keyword::Wire);
+                self.eat_kw(Keyword::Reg);
+                let in_signed = self.eat_kw(Keyword::Signed);
+                let in_range = self.opt_range()?;
+                let in_name = self.ident()?;
+                inputs.push((in_name, in_range, in_signed));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                self.expect(TokenKind::RParen)?;
             }
+            self.expect(TokenKind::RParen)?;
+        }
         self.expect(TokenKind::Semi)?;
         // Classic declarations: inputs and locals before the body.
         let mut locals = Vec::new();
@@ -502,11 +547,20 @@ impl Parser {
         }
         let name = self.ident()?;
         self.expect(TokenKind::LParen)?;
-        let ports =
-            if matches!(self.peek(), TokenKind::RParen) { Vec::new() } else { self.connections()? };
+        let ports = if matches!(self.peek(), TokenKind::RParen) {
+            Vec::new()
+        } else {
+            self.connections()?
+        };
         self.expect(TokenKind::RParen)?;
         self.expect(TokenKind::Semi)?;
-        Ok(Instance { module, name, params, ports, span: start.to(self.prev_span()) })
+        Ok(Instance {
+            module,
+            name,
+            params,
+            ports,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn connections(&mut self) -> FrontendResult<Vec<Connection>> {
@@ -516,13 +570,24 @@ impl Parser {
             if self.eat(&TokenKind::Dot) {
                 let name = self.ident()?;
                 self.expect(TokenKind::LParen)?;
-                let expr =
-                    if matches!(self.peek(), TokenKind::RParen) { None } else { Some(self.expr()?) };
+                let expr = if matches!(self.peek(), TokenKind::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(TokenKind::RParen)?;
-                out.push(Connection { name: Some(name), expr, span: start.to(self.prev_span()) });
+                out.push(Connection {
+                    name: Some(name),
+                    expr,
+                    span: start.to(self.prev_span()),
+                });
             } else {
                 let expr = self.expr()?;
-                out.push(Connection { name: None, expr: Some(expr), span: start.to(self.prev_span()) });
+                out.push(Connection {
+                    name: None,
+                    expr: Some(expr),
+                    span: start.to(self.prev_span()),
+                });
             }
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -540,8 +605,11 @@ impl Parser {
         match self.peek() {
             TokenKind::Keyword(Keyword::Begin) => {
                 self.bump();
-                let name =
-                    if self.eat(&TokenKind::Colon) { Some(self.ident()?) } else { None };
+                let name = if self.eat(&TokenKind::Colon) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 let mut stmts = Vec::new();
                 while !self.at_kw(Keyword::End) {
                     if matches!(self.peek(), TokenKind::Eof) {
@@ -563,7 +631,12 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then_branch, else_branch, span: start.to(self.prev_span()) })
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span: start.to(self.prev_span()),
+                })
             }
             TokenKind::Keyword(kw @ (Keyword::Case | Keyword::Casez | Keyword::Casex)) => {
                 let kind = match kw {
@@ -595,7 +668,13 @@ impl Parser {
                     arms.push(CaseArm { labels, body });
                 }
                 self.bump();
-                Ok(Stmt::Case { kind, scrutinee, arms, default, span: start.to(self.prev_span()) })
+                Ok(Stmt::Case {
+                    kind,
+                    scrutinee,
+                    arms,
+                    default,
+                    span: start.to(self.prev_span()),
+                })
             }
             TokenKind::Keyword(Keyword::For) => {
                 self.bump();
@@ -607,7 +686,13 @@ impl Parser {
                 let step = Box::new(self.assignment_no_semi()?);
                 self.expect(TokenKind::RParen)?;
                 let body = Box::new(self.stmt()?);
-                Ok(Stmt::For { init, cond, step, body, span: start.to(self.prev_span()) })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    span: start.to(self.prev_span()),
+                })
             }
             TokenKind::Keyword(Keyword::While) => {
                 self.bump();
@@ -615,7 +700,11 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(TokenKind::RParen)?;
                 let body = Box::new(self.stmt()?);
-                Ok(Stmt::While { cond, body, span: start.to(self.prev_span()) })
+                Ok(Stmt::While {
+                    cond,
+                    body,
+                    span: start.to(self.prev_span()),
+                })
             }
             TokenKind::Keyword(Keyword::Repeat) => {
                 self.bump();
@@ -623,12 +712,19 @@ impl Parser {
                 let count = self.expr()?;
                 self.expect(TokenKind::RParen)?;
                 let body = Box::new(self.stmt()?);
-                Ok(Stmt::Repeat { count, body, span: start.to(self.prev_span()) })
+                Ok(Stmt::Repeat {
+                    count,
+                    body,
+                    span: start.to(self.prev_span()),
+                })
             }
             TokenKind::Keyword(Keyword::Forever) => {
                 self.bump();
                 let body = Box::new(self.stmt()?);
-                Ok(Stmt::Forever { body, span: start.to(self.prev_span()) })
+                Ok(Stmt::Forever {
+                    body,
+                    span: start.to(self.prev_span()),
+                })
             }
             TokenKind::SysIdent(name) => {
                 let name = name.clone();
@@ -649,7 +745,11 @@ impl Parser {
                     self.expect(TokenKind::RParen)?;
                 }
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt::SystemTask { task, args, span: start.to(self.prev_span()) })
+                Ok(Stmt::SystemTask {
+                    task,
+                    args,
+                    span: start.to(self.prev_span()),
+                })
             }
             TokenKind::Semi => {
                 self.bump();
@@ -670,10 +770,18 @@ impl Parser {
         let lhs = self.lvalue()?;
         if self.eat(&TokenKind::Eq) {
             let rhs = self.expr()?;
-            Ok(Stmt::Blocking { lhs, rhs, span: start.to(self.prev_span()) })
+            Ok(Stmt::Blocking {
+                lhs,
+                rhs,
+                span: start.to(self.prev_span()),
+            })
         } else if self.eat(&TokenKind::LtEq) {
             let rhs = self.expr()?;
-            Ok(Stmt::NonBlocking { lhs, rhs, span: start.to(self.prev_span()) })
+            Ok(Stmt::NonBlocking {
+                lhs,
+                rhs,
+                span: start.to(self.prev_span()),
+            })
         } else {
             Err(self.err(format!("expected `=` or `<=`, found {}", self.peek())))
         }
@@ -708,7 +816,12 @@ impl Parser {
                     self.expect(TokenKind::Colon)?;
                     let lsb = self.expr()?;
                     self.expect(TokenKind::RBracket)?;
-                    Ok(LValue::IndexThenPart { base, index: first, msb, lsb })
+                    Ok(LValue::IndexThenPart {
+                        base,
+                        index: first,
+                        msb,
+                        lsb,
+                    })
                 } else {
                     Ok(LValue::Index { base, index: first })
                 }
@@ -716,17 +829,31 @@ impl Parser {
             TokenKind::Colon => {
                 let lsb = self.expr()?;
                 self.expect(TokenKind::RBracket)?;
-                Ok(LValue::Part { base, msb: first, lsb })
+                Ok(LValue::Part {
+                    base,
+                    msb: first,
+                    lsb,
+                })
             }
             TokenKind::PlusColon => {
                 let width = self.expr()?;
                 self.expect(TokenKind::RBracket)?;
-                Ok(LValue::IndexedPart { base, offset: first, width, ascending: true })
+                Ok(LValue::IndexedPart {
+                    base,
+                    offset: first,
+                    width,
+                    ascending: true,
+                })
             }
             TokenKind::MinusColon => {
                 let width = self.expr()?;
                 self.expect(TokenKind::RBracket)?;
-                Ok(LValue::IndexedPart { base, offset: first, width, ascending: false })
+                Ok(LValue::IndexedPart {
+                    base,
+                    offset: first,
+                    width,
+                    ascending: false,
+                })
             }
             other => Err(self.err(format!("expected `]`, `:`, `+:` or `-:`, found {other}"))),
         }
@@ -747,7 +874,11 @@ impl Parser {
             let then_expr = Box::new(self.expr()?);
             self.expect(TokenKind::Colon)?;
             let else_expr = Box::new(self.ternary()?);
-            Ok(Expr::Ternary { cond: Box::new(cond), then_expr, else_expr })
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr,
+                else_expr,
+            })
         } else {
             Ok(cond)
         }
@@ -793,7 +924,11 @@ impl Parser {
             // `**` is right-associative; everything else left.
             let next_min = if op == BinaryOp::Pow { prec } else { prec + 1 };
             let rhs = self.binary(next_min)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -837,7 +972,10 @@ impl Parser {
                 let first = self.expr()?;
                 match self.bump() {
                     TokenKind::RBracket => {
-                        base = Expr::Index { base: Box::new(base), index: Box::new(first) };
+                        base = Expr::Index {
+                            base: Box::new(base),
+                            index: Box::new(first),
+                        };
                     }
                     TokenKind::Colon => {
                         let lsb = self.expr()?;
@@ -884,7 +1022,10 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Decimal(v) => {
                 self.bump();
-                Ok(Expr::Literal { value: Bits::from_u64(32, v), sized: false })
+                Ok(Expr::Literal {
+                    value: Bits::from_u64(32, v),
+                    sized: false,
+                })
             }
             TokenKind::Number { size, radix, body } => {
                 self.bump();
@@ -959,9 +1100,15 @@ impl Parser {
                     }
                     self.expect(TokenKind::RBrace)?;
                     self.expect(TokenKind::RBrace)?;
-                    let inner_expr =
-                        if inner.len() == 1 { inner.pop().expect("one") } else { Expr::Concat(inner) };
-                    Ok(Expr::Replicate { count: Box::new(first), inner: Box::new(inner_expr) })
+                    let inner_expr = if inner.len() == 1 {
+                        inner.pop().expect("one")
+                    } else {
+                        Expr::Concat(inner)
+                    };
+                    Ok(Expr::Replicate {
+                        count: Box::new(first),
+                        inner: Box::new(inner_expr),
+                    })
                 } else {
                     let mut parts = vec![first];
                     while self.eat(&TokenKind::Comma) {
@@ -980,14 +1127,22 @@ impl Parser {
     fn based_literal(&mut self, size: Option<u32>, radix: u32, body: &str) -> FrontendResult<Expr> {
         let width = size.unwrap_or(32);
         if width == 0 {
-            return Err(Diagnostic::new(Phase::Parse, "zero-width literal", self.prev_span()));
+            return Err(Diagnostic::new(
+                Phase::Parse,
+                "zero-width literal",
+                self.prev_span(),
+            ));
         }
-        let has_wild = body.chars().any(|c| matches!(c, 'x' | 'X' | 'z' | 'Z' | '?'));
+        let has_wild = body
+            .chars()
+            .any(|c| matches!(c, 'x' | 'X' | 'z' | 'Z' | '?'));
         if !has_wild {
-            let value = Bits::from_str_radix(width, radix, body).map_err(|e| {
-                Diagnostic::new(Phase::Parse, e.to_string(), self.prev_span())
-            })?;
-            return Ok(Expr::Literal { value, sized: size.is_some() });
+            let value = Bits::from_str_radix(width, radix, body)
+                .map_err(|e| Diagnostic::new(Phase::Parse, e.to_string(), self.prev_span()))?;
+            return Ok(Expr::Literal {
+                value,
+                sized: size.is_some(),
+            });
         }
         if radix == 10 {
             return Err(Diagnostic::new(
@@ -1029,8 +1184,10 @@ impl Parser {
         // digit; approximate by marking unwritten high bits as care-zero.
         let digits_width = body.chars().filter(|&c| c != '_').count() as u32 * bits_per_digit;
         if digits_width < width {
-            let lead_wild =
-                body.chars().find(|&c| c != '_').is_some_and(|c| matches!(c, 'x' | 'X' | 'z' | 'Z' | '?'));
+            let lead_wild = body
+                .chars()
+                .find(|&c| c != '_')
+                .is_some_and(|c| matches!(c, 'x' | 'X' | 'z' | 'Z' | '?'));
             if !lead_wild {
                 for i in digits_width..width {
                     care.set_bit(i, true);

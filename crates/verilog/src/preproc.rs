@@ -63,8 +63,7 @@ fn preprocess_with(
     defines: &mut BTreeMap<String, String>,
     depth: usize,
 ) -> FrontendResult<String> {
-    let err =
-        |msg: String| Diagnostic::new(Phase::Preprocess, msg, Span::synthetic());
+    let err = |msg: String| Diagnostic::new(Phase::Preprocess, msg, Span::synthetic());
     if depth > 16 {
         return Err(err("include depth exceeds 16".into()));
     }
@@ -75,13 +74,11 @@ fn preprocess_with(
         let trimmed = line.trim_start();
         let active = conds.iter().all(|&(a, _)| a);
         if let Some(rest) = trimmed.strip_prefix('`') {
-            let (directive, arg) =
-                rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            let (directive, arg) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
             let arg = arg.trim();
             match directive {
                 "define" if active => {
-                    let (name, body) =
-                        arg.split_once(char::is_whitespace).unwrap_or((arg, ""));
+                    let (name, body) = arg.split_once(char::is_whitespace).unwrap_or((arg, ""));
                     if name.is_empty() {
                         return Err(err("`define needs a name".into()));
                     }
@@ -107,15 +104,18 @@ fn preprocess_with(
                     continue;
                 }
                 "else" => {
-                    let (branch, taken) =
-                        conds.pop().ok_or_else(|| err("`else without `ifdef".into()))?;
+                    let (branch, taken) = conds
+                        .pop()
+                        .ok_or_else(|| err("`else without `ifdef".into()))?;
                     let parent_active = conds.iter().all(|&(a, _)| a);
                     conds.push((parent_active && !taken && !branch, true));
                     out.push('\n');
                     continue;
                 }
                 "endif" => {
-                    conds.pop().ok_or_else(|| err("`endif without `ifdef".into()))?;
+                    conds
+                        .pop()
+                        .ok_or_else(|| err("`endif without `ifdef".into()))?;
                     out.push('\n');
                     continue;
                 }

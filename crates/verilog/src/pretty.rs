@@ -91,7 +91,11 @@ impl Printer {
                 };
                 let kind = if port.is_reg { " reg" } else { " wire" };
                 let signed = if port.signed { " signed" } else { "" };
-                let range = port.range.as_ref().map(|r| self.range(r)).unwrap_or_default();
+                let range = port
+                    .range
+                    .as_ref()
+                    .map(|r| self.range(r))
+                    .unwrap_or_default();
                 let comma = if i + 1 < m.ports.len() { "," } else { "" };
                 self.line(&format!("{dir}{kind}{signed}{range} {}{comma}", port.name));
             }
@@ -115,7 +119,11 @@ impl Printer {
             }
             ModuleItem::GenerateFor(g) => {
                 self.open("generate");
-                let label = g.label.as_deref().map(|l| format!(" : {l}")).unwrap_or_default();
+                let label = g
+                    .label
+                    .as_deref()
+                    .map(|l| format!(" : {l}"))
+                    .unwrap_or_default();
                 self.open(&format!(
                     "for ({gv} = {init}; {cond}; {gv} = {step}) begin{label}",
                     gv = g.genvar,
@@ -152,7 +160,11 @@ impl Printer {
                     NetKind::Reg => "reg",
                     NetKind::Integer => "integer",
                 };
-                let signed = if d.signed && d.kind != NetKind::Integer { " signed" } else { "" };
+                let signed = if d.signed && d.kind != NetKind::Integer {
+                    " signed"
+                } else {
+                    ""
+                };
                 let range = d.range.as_ref().map(|r| self.range(r)).unwrap_or_default();
                 let decls = d
                     .decls
@@ -174,10 +186,18 @@ impl Printer {
             ModuleItem::Param(p) => {
                 let kw = if p.local { "localparam" } else { "parameter" };
                 let range = p.range.as_ref().map(|r| self.range(r)).unwrap_or_default();
-                self.line(&format!("{kw}{range} {} = {};", p.name, print_expr(&p.value)));
+                self.line(&format!(
+                    "{kw}{range} {} = {};",
+                    p.name,
+                    print_expr(&p.value)
+                ));
             }
             ModuleItem::Assign(a) => {
-                self.line(&format!("assign {} = {};", self.lvalue(&a.lhs), print_expr(&a.rhs)));
+                self.line(&format!(
+                    "assign {} = {};",
+                    self.lvalue(&a.lhs),
+                    print_expr(&a.rhs)
+                ));
             }
             ModuleItem::Always(a) => {
                 let sens = match &a.sensitivity {
@@ -251,7 +271,12 @@ impl Printer {
             Stmt::NonBlocking { lhs, rhs, .. } => {
                 self.line(&format!("{} <= {};", self.lvalue(lhs), print_expr(rhs)));
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.open(&format!("if ({})", print_expr(cond)));
                 self.stmt(then_branch);
                 self.indent -= 1;
@@ -261,7 +286,13 @@ impl Printer {
                     self.indent -= 1;
                 }
             }
-            Stmt::Case { kind, scrutinee, arms, default, .. } => {
+            Stmt::Case {
+                kind,
+                scrutinee,
+                arms,
+                default,
+                ..
+            } => {
                 let kw = match kind {
                     CaseKind::Case => "case",
                     CaseKind::Casez => "casez",
@@ -286,7 +317,13 @@ impl Printer {
                 }
                 self.close("endcase");
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 let init_s = self.inline_assign(init);
                 let step_s = self.inline_assign(step);
                 self.open(&format!("for ({init_s}; {}; {step_s})", print_expr(cond)));
@@ -340,16 +377,29 @@ impl Printer {
             LValue::Part { base, msb, lsb } => {
                 format!("{base}[{}:{}]", print_expr(msb), print_expr(lsb))
             }
-            LValue::IndexedPart { base, offset, width, ascending } => {
+            LValue::IndexedPart {
+                base,
+                offset,
+                width,
+                ascending,
+            } => {
                 let op = if *ascending { "+:" } else { "-:" };
                 format!("{base}[{} {op} {}]", print_expr(offset), print_expr(width))
             }
             LValue::Concat(parts) => {
-                let inner =
-                    parts.iter().map(|p| self.lvalue(p)).collect::<Vec<_>>().join(", ");
+                let inner = parts
+                    .iter()
+                    .map(|p| self.lvalue(p))
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 format!("{{{inner}}}")
             }
-            LValue::IndexThenPart { base, index, msb, lsb } => format!(
+            LValue::IndexThenPart {
+                base,
+                index,
+                msb,
+                lsb,
+            } => format!(
                 "{base}[{}][{}:{}]",
                 print_expr(index),
                 print_expr(msb),
@@ -432,7 +482,11 @@ fn render_expr(e: &Expr) -> String {
             };
             format!("({} {op_s} {})", render_expr(lhs), render_expr(rhs))
         }
-        Expr::Ternary { cond, then_expr, else_expr } => format!(
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => format!(
             "({} ? {} : {})",
             render_expr(cond),
             render_expr(then_expr),
@@ -440,11 +494,26 @@ fn render_expr(e: &Expr) -> String {
         ),
         Expr::Index { base, index } => format!("{}[{}]", render_expr(base), render_expr(index)),
         Expr::Part { base, msb, lsb } => {
-            format!("{}[{}:{}]", render_expr(base), render_expr(msb), render_expr(lsb))
+            format!(
+                "{}[{}:{}]",
+                render_expr(base),
+                render_expr(msb),
+                render_expr(lsb)
+            )
         }
-        Expr::IndexedPart { base, offset, width, ascending } => {
+        Expr::IndexedPart {
+            base,
+            offset,
+            width,
+            ascending,
+        } => {
             let op = if *ascending { "+:" } else { "-:" };
-            format!("{}[{} {op} {}]", render_expr(base), render_expr(offset), render_expr(width))
+            format!(
+                "{}[{} {op} {}]",
+                render_expr(base),
+                render_expr(offset),
+                render_expr(width)
+            )
         }
         Expr::Concat(parts) => {
             let inner = parts.iter().map(render_expr).collect::<Vec<_>>().join(", ");

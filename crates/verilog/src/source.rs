@@ -90,19 +90,30 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates a diagnostic for the given phase.
     pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { phase, message: message.into(), span }
+        Diagnostic {
+            phase,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Renders with line/column resolved against the original source text.
     pub fn render(&self, source: &str) -> String {
         let lc = line_col(source, self.span.start);
-        format!("{}:{}: {} error: {}", lc.line, lc.col, self.phase, self.message)
+        format!(
+            "{}:{}: {} error: {}",
+            lc.line, lc.col, self.phase, self.message
+        )
     }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} error: {} (at byte {})", self.phase, self.message, self.span.start)
+        write!(
+            f,
+            "{} error: {} (at byte {})",
+            self.phase, self.message, self.span.start
+        )
     }
 }
 

@@ -63,7 +63,10 @@ fn modules(src: &str) -> Vec<Module> {
 #[test]
 fn lex_basic_tokens() {
     let toks = lex("module x; endmodule").unwrap();
-    assert!(matches!(toks[0].kind, TokenKind::Keyword(crate::Keyword::Module)));
+    assert!(matches!(
+        toks[0].kind,
+        TokenKind::Keyword(crate::Keyword::Module)
+    ));
     assert!(matches!(toks.last().unwrap().kind, TokenKind::Eof));
 }
 
@@ -77,13 +80,27 @@ fn lex_numbers() {
     assert!(
         matches!(&toks[2].kind, TokenKind::Number { size: Some(4), radix: 2, body } if body == "1010")
     );
-    assert!(matches!(&toks[3].kind, TokenKind::Number { size: None, radix: 10, .. }));
+    assert!(matches!(
+        &toks[3].kind,
+        TokenKind::Number {
+            size: None,
+            radix: 10,
+            ..
+        }
+    ));
 }
 
 #[test]
 fn lex_number_with_space_before_tick() {
     let toks = lex("8 'hff").unwrap();
-    assert!(matches!(&toks[0].kind, TokenKind::Number { size: Some(8), radix: 16, .. }));
+    assert!(matches!(
+        &toks[0].kind,
+        TokenKind::Number {
+            size: Some(8),
+            radix: 16,
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -166,27 +183,32 @@ fn parse_parameters() {
 
 #[test]
 fn parse_localparam_and_integer() {
-    let m = first_module(
-        "module T; localparam W = 8; integer i; reg [W-1:0] x; endmodule",
-    );
+    let m = first_module("module T; localparam W = 8; integer i; reg [W-1:0] x; endmodule");
     assert_eq!(m.items.len(), 3);
     assert!(matches!(
         &m.items[1],
-        ModuleItem::Net(NetDecl { kind: NetKind::Integer, .. })
+        ModuleItem::Net(NetDecl {
+            kind: NetKind::Integer,
+            ..
+        })
     ));
 }
 
 #[test]
 fn parse_memory_decl() {
     let m = first_module("module T; reg [31:0] mem [0:255]; endmodule");
-    let ModuleItem::Net(d) = &m.items[0] else { panic!() };
+    let ModuleItem::Net(d) = &m.items[0] else {
+        panic!()
+    };
     assert!(d.decls[0].array.is_some());
 }
 
 #[test]
 fn parse_multi_declarator() {
     let m = first_module("module T; wire [3:0] a, b = 4'h7, c; endmodule");
-    let ModuleItem::Net(d) = &m.items[0] else { panic!() };
+    let ModuleItem::Net(d) = &m.items[0] else {
+        panic!()
+    };
     assert_eq!(d.decls.len(), 3);
     assert!(d.decls[1].init.is_some());
 }
@@ -217,11 +239,18 @@ fn parse_always_variants() {
 
 #[test]
 fn parse_case_statement() {
-    let s = parse_stmt(
-        "case (x)\n 2'b00: y = 1;\n 2'b01, 2'b10: y = 2;\n default: y = 3;\n endcase",
-    )
-    .unwrap();
-    let Stmt::Case { arms, default, kind, .. } = s else { panic!() };
+    let s =
+        parse_stmt("case (x)\n 2'b00: y = 1;\n 2'b01, 2'b10: y = 2;\n default: y = 3;\n endcase")
+            .unwrap();
+    let Stmt::Case {
+        arms,
+        default,
+        kind,
+        ..
+    } = s
+    else {
+        panic!()
+    };
     assert_eq!(kind, CaseKind::Case);
     assert_eq!(arms.len(), 2);
     assert_eq!(arms[1].labels.len(), 2);
@@ -248,7 +277,9 @@ fn parse_for_loop() {
 #[test]
 fn parse_system_tasks() {
     let s = parse_stmt("$display(\"%d %h\", a, b);").unwrap();
-    let Stmt::SystemTask { task, args, .. } = s else { panic!() };
+    let Stmt::SystemTask { task, args, .. } = s else {
+        panic!()
+    };
     assert_eq!(task, SystemTask::Display);
     assert_eq!(args.len(), 3);
     assert!(parse_stmt("$finish;").is_ok());
@@ -280,17 +311,45 @@ fn parse_instances() {
 fn parse_expressions() {
     // Precedence: a + b * c == a + (b * c)
     let e = parse_expr("a + b * c").unwrap();
-    let Expr::Binary { op: BinaryOp::Add, rhs, .. } = e else { panic!() };
-    assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+    let Expr::Binary {
+        op: BinaryOp::Add,
+        rhs,
+        ..
+    } = e
+    else {
+        panic!()
+    };
+    assert!(matches!(
+        *rhs,
+        Expr::Binary {
+            op: BinaryOp::Mul,
+            ..
+        }
+    ));
 
     // Right-associative power.
     let e = parse_expr("a ** b ** c").unwrap();
-    let Expr::Binary { op: BinaryOp::Pow, rhs, .. } = e else { panic!() };
-    assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::Pow, .. }));
+    let Expr::Binary {
+        op: BinaryOp::Pow,
+        rhs,
+        ..
+    } = e
+    else {
+        panic!()
+    };
+    assert!(matches!(
+        *rhs,
+        Expr::Binary {
+            op: BinaryOp::Pow,
+            ..
+        }
+    ));
 
     // Ternary chains.
     let e = parse_expr("a ? b : c ? d : e").unwrap();
-    let Expr::Ternary { else_expr, .. } = e else { panic!() };
+    let Expr::Ternary { else_expr, .. } = e else {
+        panic!()
+    };
     assert!(matches!(*else_expr, Expr::Ternary { .. }));
 
     // Concatenation & replication.
@@ -303,11 +362,17 @@ fn parse_expressions() {
     assert!(matches!(parse_expr("x[7:0]").unwrap(), Expr::Part { .. }));
     assert!(matches!(
         parse_expr("x[i +: 8]").unwrap(),
-        Expr::IndexedPart { ascending: true, .. }
+        Expr::IndexedPart {
+            ascending: true,
+            ..
+        }
     ));
     assert!(matches!(
         parse_expr("x[i -: 8]").unwrap(),
-        Expr::IndexedPart { ascending: false, .. }
+        Expr::IndexedPart {
+            ascending: false,
+            ..
+        }
     ));
 
     // Hierarchical names.
@@ -315,13 +380,29 @@ fn parse_expressions() {
 
     // Reduction vs binary operators.
     let e = parse_expr("a & &b").unwrap();
-    let Expr::Binary { op: BinaryOp::And, rhs, .. } = e else { panic!() };
-    assert!(matches!(*rhs, Expr::Unary { op: UnaryOp::ReduceAnd, .. }));
+    let Expr::Binary {
+        op: BinaryOp::And,
+        rhs,
+        ..
+    } = e
+    else {
+        panic!()
+    };
+    assert!(matches!(
+        *rhs,
+        Expr::Unary {
+            op: UnaryOp::ReduceAnd,
+            ..
+        }
+    ));
 
     // Reduction nand.
     assert!(matches!(
         parse_expr("~&x").unwrap(),
-        Expr::Unary { op: UnaryOp::ReduceNand, .. }
+        Expr::Unary {
+            op: UnaryOp::ReduceNand,
+            ..
+        }
     ));
 }
 
@@ -329,27 +410,45 @@ fn parse_expressions() {
 fn parse_lvalues() {
     assert!(matches!(
         parse_stmt("x = 1;").unwrap(),
-        Stmt::Blocking { lhs: LValue::Ident(_), .. }
+        Stmt::Blocking {
+            lhs: LValue::Ident(_),
+            ..
+        }
     ));
     assert!(matches!(
         parse_stmt("x[3] <= 1;").unwrap(),
-        Stmt::NonBlocking { lhs: LValue::Index { .. }, .. }
+        Stmt::NonBlocking {
+            lhs: LValue::Index { .. },
+            ..
+        }
     ));
     assert!(matches!(
         parse_stmt("x[7:4] = 1;").unwrap(),
-        Stmt::Blocking { lhs: LValue::Part { .. }, .. }
+        Stmt::Blocking {
+            lhs: LValue::Part { .. },
+            ..
+        }
     ));
     assert!(matches!(
         parse_stmt("{c, s} = a + b;").unwrap(),
-        Stmt::Blocking { lhs: LValue::Concat(_), .. }
+        Stmt::Blocking {
+            lhs: LValue::Concat(_),
+            ..
+        }
     ));
     assert!(matches!(
         parse_stmt("mem[i][7:0] <= 0;").unwrap(),
-        Stmt::NonBlocking { lhs: LValue::IndexThenPart { .. }, .. }
+        Stmt::NonBlocking {
+            lhs: LValue::IndexThenPart { .. },
+            ..
+        }
     ));
     assert!(matches!(
         parse_stmt("x[i +: 4] = 0;").unwrap(),
-        Stmt::Blocking { lhs: LValue::IndexedPart { .. }, .. }
+        Stmt::Blocking {
+            lhs: LValue::IndexedPart { .. },
+            ..
+        }
     ));
 }
 
@@ -358,8 +457,14 @@ fn parse_root_items_for_repl() {
     let unit = parse("reg [7:0] cnt = 1;\nRol r(.x(cnt));\ncnt <= r.y;").unwrap();
     assert_eq!(unit.items.len(), 3);
     assert!(matches!(&unit.items[0], Item::RootItem(ModuleItem::Net(_))));
-    assert!(matches!(&unit.items[1], Item::RootItem(ModuleItem::Instance(_))));
-    assert!(matches!(&unit.items[2], Item::RootItem(ModuleItem::Statement(_))));
+    assert!(matches!(
+        &unit.items[1],
+        Item::RootItem(ModuleItem::Instance(_))
+    ));
+    assert!(matches!(
+        &unit.items[2],
+        Item::RootItem(ModuleItem::Statement(_))
+    ));
 }
 
 #[test]
@@ -486,7 +591,9 @@ fn typecheck_running_example() {
 
 #[test]
 fn typecheck_parameter_resolution() {
-    let lib = lib_of("module P #(parameter N = 4, parameter M = N * 2)(output wire [M-1:0] o); endmodule");
+    let lib = lib_of(
+        "module P #(parameter N = 4, parameter M = N * 2)(output wire [M-1:0] o); endmodule",
+    );
     let m = lib.get("P").unwrap().clone();
     let checked = check_module(&m, &ParamEnv::new(), &lib).unwrap();
     assert_eq!(checked.symbol("o").unwrap().width(), 8);
@@ -500,14 +607,14 @@ fn typecheck_parameter_resolution() {
 fn typecheck_rejects_bad_programs() {
     let lib = ModuleLibrary::new();
     let bad = [
-        "module T; wire x; wire x; endmodule",                        // duplicate
-        "module T; assign y = 1; endmodule",                          // undeclared lhs
-        "module T; wire y; assign y = z; endmodule",                  // undeclared rhs
-        "module T; reg r; assign r = 1; endmodule",                   // assign to reg
+        "module T; wire x; wire x; endmodule",       // duplicate
+        "module T; assign y = 1; endmodule",         // undeclared lhs
+        "module T; wire y; assign y = z; endmodule", // undeclared rhs
+        "module T; reg r; assign r = 1; endmodule",  // assign to reg
         "module T(input wire clk); wire w; always @(posedge clk) w <= 1; endmodule", // proc to wire
-        "module T(input wire i); assign i = 1; endmodule",            // assign to input
-        "module T; Unknown u(); endmodule",                           // unknown module
-        "module T; wire w; assign w = r.y; endmodule",                // unknown instance
+        "module T(input wire i); assign i = 1; endmodule", // assign to input
+        "module T; Unknown u(); endmodule",          // unknown module
+        "module T; wire w; assign w = r.y; endmodule", // unknown instance
     ];
     for src in bad {
         let m = first_module(src);
@@ -539,7 +646,10 @@ fn typecheck_instance_connections() {
          module T; wire x; wire z; Sub s(x, z); endmodule",
     );
     let t3 = lib3.get("T").unwrap().clone();
-    assert!(check_module(&t3, &ParamEnv::new(), &lib3).is_err(), "too many positional");
+    assert!(
+        check_module(&t3, &ParamEnv::new(), &lib3).is_err(),
+        "too many positional"
+    );
 }
 
 #[test]
@@ -698,10 +808,14 @@ fn parse_function_classic_style() {
          assign o = max2(a, b);\n\
          endmodule",
     );
-    let ModuleItem::Function(f) = &m.items[0] else { panic!("expected function") };
+    let ModuleItem::Function(f) = &m.items[0] else {
+        panic!("expected function")
+    };
     assert_eq!(f.name, "max2");
     assert_eq!(f.inputs.len(), 2);
-    let ModuleItem::Assign(a) = &m.items[1] else { panic!() };
+    let ModuleItem::Assign(a) = &m.items[1] else {
+        panic!()
+    };
     assert!(matches!(&a.rhs, Expr::FnCall { name, args } if name == "max2" && args.len() == 2));
 }
 
@@ -715,7 +829,9 @@ fn parse_function_ansi_style_with_locals() {
          endfunction\n\
          endmodule",
     );
-    let ModuleItem::Function(f) = &m.items[0] else { panic!() };
+    let ModuleItem::Function(f) = &m.items[0] else {
+        panic!()
+    };
     assert!(f.signed);
     assert_eq!(f.inputs.len(), 2);
     assert_eq!(f.locals.len(), 1);
@@ -733,7 +849,10 @@ fn inline_functions_produces_comb_blocks() {
          endmodule",
     );
     let out = crate::inline_functions(&m).unwrap();
-    assert!(!out.items.iter().any(|i| matches!(i, ModuleItem::Function(_))));
+    assert!(!out
+        .items
+        .iter()
+        .any(|i| matches!(i, ModuleItem::Function(_))));
     let blocks = out
         .items
         .iter()
@@ -819,7 +938,9 @@ fn parse_generate_for() {
          endmodule",
     );
     assert!(matches!(&m.items[0], ModuleItem::Genvar(names) if names == &vec!["i".to_string()]));
-    let ModuleItem::GenerateFor(g) = &m.items[1] else { panic!() };
+    let ModuleItem::GenerateFor(g) = &m.items[1] else {
+        panic!()
+    };
     assert_eq!(g.genvar, "i");
     assert_eq!(g.label.as_deref(), Some("bits"));
     assert_eq!(g.items.len(), 1);
@@ -838,10 +959,16 @@ fn expand_generates_unrolls_assigns() {
          endmodule",
     );
     let out = crate::expand_generates(&m, &ParamEnv::new()).unwrap();
-    let assigns =
-        out.items.iter().filter(|i| matches!(i, ModuleItem::Assign(_))).count();
+    let assigns = out
+        .items
+        .iter()
+        .filter(|i| matches!(i, ModuleItem::Assign(_)))
+        .count();
     assert_eq!(assigns, 4);
-    assert!(!out.items.iter().any(|i| matches!(i, ModuleItem::GenerateFor(_))));
+    assert!(!out
+        .items
+        .iter()
+        .any(|i| matches!(i, ModuleItem::GenerateFor(_))));
 }
 
 #[test]

@@ -147,7 +147,11 @@ pub enum TokenKind {
     Keyword(Keyword),
     /// An integer literal, kept textual until the parser sizes it:
     /// `(size, radix, digits)`; `size` is `None` for unsized literals.
-    Number { size: Option<u32>, radix: u32, body: String },
+    Number {
+        size: Option<u32>,
+        radix: u32,
+        body: String,
+    },
     /// A bare decimal literal such as `42`.
     Decimal(u64),
     /// A string literal (contents, unescaped).
@@ -166,8 +170,8 @@ pub enum TokenKind {
     Question,
     At,
     Hash,
-    Eq,        // =
-    PlusColon, // +:
+    Eq,         // =
+    PlusColon,  // +:
     MinusColon, // -:
     Plus,
     Minus,
@@ -191,10 +195,10 @@ pub enum TokenKind {
     LtEq,
     Gt,
     GtEq,
-    Shl,     // <<
-    Shr,     // >>
-    AShl,    // <<<
-    AShr,    // >>>
+    Shl,      // <<
+    Shr,      // >>
+    AShl,     // <<<
+    AShr,     // >>>
     LtAssign, // <= in statement position is nonblocking assign; lexed as LtEq and disambiguated by the parser
     /// End of input.
     Eof,

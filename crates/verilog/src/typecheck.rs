@@ -65,11 +65,19 @@ impl Symbol {
     /// Maps a source-level bit index to an offset from the LSB end, or
     /// `None` when out of declared range.
     pub fn bit_offset(&self, index: i64) -> Option<u32> {
-        let (lo, hi) = if self.msb >= self.lsb { (self.lsb, self.msb) } else { (self.msb, self.lsb) };
+        let (lo, hi) = if self.msb >= self.lsb {
+            (self.lsb, self.msb)
+        } else {
+            (self.msb, self.lsb)
+        };
         if index < lo || index > hi {
             return None;
         }
-        let off = if self.msb >= self.lsb { index - self.lsb } else { self.lsb - index };
+        let off = if self.msb >= self.lsb {
+            index - self.lsb
+        } else {
+            self.lsb - index
+        };
         Some(off as u32)
     }
 
@@ -149,7 +157,11 @@ pub fn const_eval(expr: &Expr, env: &ParamEnv) -> FrontendResult<Bits> {
             let r = const_eval(rhs, env)?;
             Ok(apply_binary(*op, &l, &r))
         }
-        Expr::Ternary { cond, then_expr, else_expr } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             if const_eval(cond, env)?.to_bool() {
                 const_eval(then_expr, env)
             } else {
@@ -168,11 +180,20 @@ pub fn const_eval(expr: &Expr, env: &ParamEnv) -> FrontendResult<Bits> {
             let (lo, hi) = if m >= l { (l, m) } else { (m, l) };
             Ok(b.slice(lo, hi - lo + 1))
         }
-        Expr::IndexedPart { base, offset, width, ascending } => {
+        Expr::IndexedPart {
+            base,
+            offset,
+            width,
+            ascending,
+        } => {
             let b = const_eval(base, env)?;
             let off = const_eval(offset, env)?.to_u64() as u32;
             let w = const_eval(width, env)?.to_u64() as u32;
-            let lo = if *ascending { off } else { off.saturating_sub(w.saturating_sub(1)) };
+            let lo = if *ascending {
+                off
+            } else {
+                off.saturating_sub(w.saturating_sub(1))
+            };
             Ok(b.slice(lo, w))
         }
         Expr::Concat(parts) => {
@@ -193,13 +214,15 @@ pub fn const_eval(expr: &Expr, env: &ParamEnv) -> FrontendResult<Bits> {
         Expr::SystemCall { func, args } => match func {
             SystemFunction::Clog2 => {
                 let v = const_eval(
-                    args.first().ok_or_else(|| err("$clog2 requires an argument".into()))?,
+                    args.first()
+                        .ok_or_else(|| err("$clog2 requires an argument".into()))?,
                     env,
                 )?;
                 Ok(Bits::from_u64(32, clog2(&v)))
             }
             SystemFunction::Signed | SystemFunction::Unsigned => const_eval(
-                args.first().ok_or_else(|| err(format!("{} requires an argument", func.as_str())))?,
+                args.first()
+                    .ok_or_else(|| err(format!("{} requires an argument", func.as_str())))?,
                 env,
             ),
             SystemFunction::Time | SystemFunction::Random => {
@@ -368,7 +391,8 @@ struct Checker<'a> {
 
 impl<'a> Checker<'a> {
     fn error(&mut self, msg: impl Into<String>, span: Span) {
-        self.diags.push(Diagnostic::new(Phase::Typecheck, msg, span));
+        self.diags
+            .push(Diagnostic::new(Phase::Typecheck, msg, span));
     }
 
     fn declare(&mut self, sym: Symbol, span: Span) {
@@ -411,7 +435,9 @@ impl<'a> Checker<'a> {
         for p in &module.params {
             let value = overrides.get(&p.name).cloned().or_else(|| {
                 const_eval(&p.value, &self.params)
-                    .map_err(|e| self.error(format!("parameter `{}`: {}", p.name, e.message), p.span))
+                    .map_err(|e| {
+                        self.error(format!("parameter `{}`: {}", p.name, e.message), p.span)
+                    })
                     .ok()
             });
             let value = value.unwrap_or_else(|| Bits::from_u64(32, 0));
@@ -441,7 +467,8 @@ impl<'a> Checker<'a> {
         for item in &module.items {
             if let ModuleItem::Param(p) = item {
                 if !p.local && overrides.contains_key(&p.name) {
-                    self.params.insert(p.name.clone(), overrides[&p.name].clone());
+                    self.params
+                        .insert(p.name.clone(), overrides[&p.name].clone());
                 } else {
                     match const_eval(&p.value, &self.params) {
                         Ok(v) => {
@@ -477,7 +504,11 @@ impl<'a> Checker<'a> {
             self.declare(
                 Symbol {
                     name: port.name.clone(),
-                    kind: if port.is_reg { SymbolKind::Reg } else { SymbolKind::Wire },
+                    kind: if port.is_reg {
+                        SymbolKind::Reg
+                    } else {
+                        SymbolKind::Wire
+                    },
                     signed: port.signed,
                     msb,
                     lsb,
@@ -566,8 +597,11 @@ impl<'a> Checker<'a> {
                 }
                 ModuleItem::Initial(i) => self.check_stmt(&i.body, &inst_names, i.span),
                 ModuleItem::Statement(s) => self.check_stmt(s, &inst_names, module.span),
-                ModuleItem::Net(_) | ModuleItem::Param(_) | ModuleItem::Instance(_)
-                | ModuleItem::Function(_) | ModuleItem::Genvar(_)
+                ModuleItem::Net(_)
+                | ModuleItem::Param(_)
+                | ModuleItem::Instance(_)
+                | ModuleItem::Function(_)
+                | ModuleItem::Genvar(_)
                 | ModuleItem::GenerateFor(_) => {}
             }
         }
@@ -605,10 +639,7 @@ impl<'a> Checker<'a> {
                             Some(p) => p.name.clone(),
                             None => {
                                 self.error(
-                                    format!(
-                                        "too many positional parameters for `{}`",
-                                        inst.module
-                                    ),
+                                    format!("too many positional parameters for `{}`", inst.module),
                                     conn.span,
                                 );
                                 continue;
@@ -642,10 +673,9 @@ impl<'a> Checker<'a> {
                                     connections.push((n.clone(), conn.expr.clone()));
                                 }
                             }
-                            None => self.error(
-                                "cannot mix named and positional connections",
-                                conn.span,
-                            ),
+                            None => {
+                                self.error("cannot mix named and positional connections", conn.span)
+                            }
                         }
                     }
                 } else {
@@ -662,7 +692,10 @@ impl<'a> Checker<'a> {
             }
         }
         if self.symbols.contains_key(&inst.name) {
-            self.error(format!("instance name `{}` conflicts with a declaration", inst.name), inst.span);
+            self.error(
+                format!("instance name `{}` conflicts with a declaration", inst.name),
+                inst.span,
+            );
         }
         ResolvedInstance {
             inst_name: inst.name.clone(),
@@ -686,14 +719,25 @@ impl<'a> Checker<'a> {
                 let mut f = |e: &Expr| self.check_expr_inner(e, inst_names, *span);
                 lhs.visit_exprs(&mut f);
             }
-            Stmt::If { cond, then_branch, else_branch, span } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
                 self.check_expr(cond, inst_names, *span);
                 self.check_stmt(then_branch, inst_names, *span);
                 if let Some(e) = else_branch {
                     self.check_stmt(e, inst_names, *span);
                 }
             }
-            Stmt::Case { scrutinee, arms, default, span, .. } => {
+            Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                span,
+                ..
+            } => {
                 self.check_expr(scrutinee, inst_names, *span);
                 for arm in arms {
                     for l in &arm.labels {
@@ -705,7 +749,13 @@ impl<'a> Checker<'a> {
                     self.check_stmt(d, inst_names, *span);
                 }
             }
-            Stmt::For { init, cond, step, body, span } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
                 self.check_stmt(init, inst_names, *span);
                 self.check_expr(cond, inst_names, *span);
                 self.check_stmt(step, inst_names, *span);
@@ -750,16 +800,10 @@ impl<'a> Checker<'a> {
                     None => self.error(format!("assignment to undeclared `{name}`"), span),
                     Some(sym) => {
                         if procedural && !sym.kind.is_variable() {
-                            self.error(
-                                format!("procedural assignment to non-reg `{name}`"),
-                                span,
-                            );
+                            self.error(format!("procedural assignment to non-reg `{name}`"), span);
                         }
                         if !procedural && sym.kind.is_variable() {
-                            self.error(
-                                format!("continuous assignment to reg `{name}`"),
-                                span,
-                            );
+                            self.error(format!("continuous assignment to reg `{name}`"), span);
                         }
                         if !procedural && sym.kind == SymbolKind::Parameter {
                             self.error(format!("assignment to parameter `{name}`"), span);
@@ -780,11 +824,7 @@ impl<'a> Checker<'a> {
     fn check_expr_inner(&mut self, expr: &Expr, inst_names: &BTreeMap<String, String>, span: Span) {
         // Function-call validation (names and arity).
         let mut call_errors: Vec<String> = Vec::new();
-        fn walk_calls(
-            e: &Expr,
-            functions: &BTreeMap<String, usize>,
-            errors: &mut Vec<String>,
-        ) {
+        fn walk_calls(e: &Expr, functions: &BTreeMap<String, usize>, errors: &mut Vec<String>) {
             if let Expr::FnCall { name, args } = e {
                 match functions.get(name) {
                     None => errors.push(format!("unknown function `{name}`")),
@@ -805,7 +845,11 @@ impl<'a> Checker<'a> {
                     walk_calls(lhs, functions, errors);
                     walk_calls(rhs, functions, errors);
                 }
-                Expr::Ternary { cond, then_expr, else_expr } => {
+                Expr::Ternary {
+                    cond,
+                    then_expr,
+                    else_expr,
+                } => {
                     walk_calls(cond, functions, errors);
                     walk_calls(then_expr, functions, errors);
                     walk_calls(else_expr, functions, errors);
@@ -819,7 +863,12 @@ impl<'a> Checker<'a> {
                     walk_calls(msb, functions, errors);
                     walk_calls(lsb, functions, errors);
                 }
-                Expr::IndexedPart { base, offset, width, .. } => {
+                Expr::IndexedPart {
+                    base,
+                    offset,
+                    width,
+                    ..
+                } => {
                     walk_calls(base, functions, errors);
                     walk_calls(offset, functions, errors);
                     walk_calls(width, functions, errors);

@@ -74,7 +74,11 @@ pub fn student_style(seed: u64) -> StudentStyle {
             // Log-normal-ish: most students build tens of times, a few over
             // a hundred (paper: mean 27, min 1, max 123).
             let base = u(next(), 1, 40);
-            let burst = if next() % 100 < 12 { u(next(), 40, 100) } else { 0 };
+            let burst = if next() % 100 < 12 {
+                u(next(), 40, 100)
+            } else {
+                0
+            };
             (base + burst) as u32
         },
     }
@@ -295,8 +299,7 @@ mod tests {
         for seed in 0..12 {
             let style = student_style(seed);
             let src = student_solution(&style);
-            cascade_verilog::parse(&src)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            cascade_verilog::parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
         }
     }
 

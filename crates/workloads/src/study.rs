@@ -24,12 +24,20 @@ impl ToolModel {
     /// The Quartus IDE flow: ~1.2 min compiles for the study's 50-line
     /// program (Fig. 13's x-axis tops out around 1.5 min average).
     pub fn quartus() -> ToolModel {
-        ToolModel { name: "quartus", compile_mean_min: 1.2, compile_jitter: 1.4 }
+        ToolModel {
+            name: "quartus",
+            compile_mean_min: 1.2,
+            compile_jitter: 1.4,
+        }
     }
 
     /// Cascade: sub-second compiles (the JIT hides the real one).
     pub fn cascade() -> ToolModel {
-        ToolModel { name: "cascade", compile_mean_min: 0.017, compile_jitter: 1.3 }
+        ToolModel {
+            name: "cascade",
+            compile_mean_min: 0.017,
+            compile_jitter: 1.3,
+        }
     }
 }
 
@@ -52,14 +60,16 @@ pub struct CohortResult {
 impl CohortResult {
     /// Mean builds per participant.
     pub fn mean_builds(&self) -> f64 {
-        self.participants.iter().map(|p| p.builds as f64).sum::<f64>()
+        self.participants
+            .iter()
+            .map(|p| p.builds as f64)
+            .sum::<f64>()
             / self.participants.len() as f64
     }
 
     /// Mean time to a working design, minutes.
     pub fn mean_total_min(&self) -> f64 {
-        self.participants.iter().map(|p| p.total_min).sum::<f64>()
-            / self.participants.len() as f64
+        self.participants.iter().map(|p| p.total_min).sum::<f64>() / self.participants.len() as f64
     }
 
     /// Mean time spent compiling, minutes.
@@ -70,8 +80,7 @@ impl CohortResult {
 
     /// Mean time spent testing/debugging between compiles, minutes.
     pub fn mean_debug_min(&self) -> f64 {
-        self.participants.iter().map(|p| p.debug_min).sum::<f64>()
-            / self.participants.len() as f64
+        self.participants.iter().map(|p| p.debug_min).sum::<f64>() / self.participants.len() as f64
     }
 }
 
@@ -126,7 +135,11 @@ pub fn simulate_participant(tool: &ToolModel, skill: f64, seed: u64) -> Particip
         // Test/debug phase: observe behaviour, reason about the bug. With
         // printf available in the run environment (Cascade), localization
         // is a bit faster; with a waveform/proxy detour it is slower.
-        let observe = rng.exp(if tool.compile_mean_min < 0.1 { 1.75 } else { 1.9 }) / skill;
+        let observe = rng.exp(if tool.compile_mean_min < 0.1 {
+            1.75
+        } else {
+            1.9
+        }) / skill;
         builds += 1;
         total += edit + c + observe;
         compile += c;
@@ -142,7 +155,12 @@ pub fn simulate_participant(tool: &ToolModel, skill: f64, seed: u64) -> Particip
             remaining += 0.12 * (batch - 1.0);
         }
     }
-    ParticipantResult { builds, total_min: total.min(max_minutes), compile_min: compile, debug_min: debug }
+    ParticipantResult {
+        builds,
+        total_min: total.min(max_minutes),
+        compile_min: compile,
+        debug_min: debug,
+    }
 }
 
 /// Simulates a cohort of `n` participants with mixed experience (the
@@ -155,7 +173,10 @@ pub fn simulate_cohort(tool: &ToolModel, n: usize, seed: u64) -> CohortResult {
             simulate_participant(tool, skill, seed.wrapping_add(i as u64 * 7919))
         })
         .collect();
-    CohortResult { tool: tool.name, participants }
+    CohortResult {
+        tool: tool.name,
+        participants,
+    }
 }
 
 #[cfg(test)]

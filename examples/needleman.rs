@@ -25,15 +25,25 @@ fn main() {
         "aligning {} vs {} (n={n}, {}, {} $display statements)",
         String::from_utf8_lossy(&a),
         String::from_utf8_lossy(&b),
-        if style.pipelined { "pipelined" } else { "single-shot" },
+        if style.pipelined {
+            "pipelined"
+        } else {
+            "single-shot"
+        },
         style.display_count
     );
     let expect = nw_score(&a, &b);
 
     let lib = library_from_source(&src).expect("generated solution parses");
     let overrides = ParamEnv::from([
-        ("SEQ_A".to_string(), Bits::from_u64(n as u32 * 2, pack_sequence(&a))),
-        ("SEQ_B".to_string(), Bits::from_u64(n as u32 * 2, pack_sequence(&b))),
+        (
+            "SEQ_A".to_string(),
+            Bits::from_u64(n as u32 * 2, pack_sequence(&a)),
+        ),
+        (
+            "SEQ_B".to_string(),
+            Bits::from_u64(n as u32 * 2, pack_sequence(&b)),
+        ),
     ]);
     let design = elaborate("Nw", &lib, &overrides).expect("elaborates");
     let mut sim = Simulator::new(Arc::new(design));
@@ -45,7 +55,10 @@ fn main() {
         sim.tick("clk").unwrap();
     }
     let got = sim.peek("score").to_i64();
-    println!("hardware score: {got}, reference: {expect} — {}", if got == expect { "OK" } else { "MISMATCH" });
+    println!(
+        "hardware score: {got}, reference: {expect} — {}",
+        if got == expect { "OK" } else { "MISMATCH" }
+    );
     assert_eq!(got, expect);
     for ev in sim.drain_events() {
         if let cascade_sim::SimEvent::Display(s) = ev {
@@ -70,8 +83,13 @@ fn main() {
             stats.display_statements,
         ]);
     }
-    let metrics =
-        ["lines of code", "always blocks", "blocking assigns", "nonblocking assigns", "display statements"];
+    let metrics = [
+        "lines of code",
+        "always blocks",
+        "blocking assigns",
+        "nonblocking assigns",
+        "display statements",
+    ];
     for (k, name) in metrics.iter().enumerate() {
         let vals: Vec<usize> = rows.iter().map(|r| r[k]).collect();
         let mean = vals.iter().sum::<usize>() / vals.len();

@@ -10,11 +10,16 @@
 
 use cascade_core::{JitConfig, Runtime};
 use cascade_fpga::Board;
-use cascade_workloads::sha256::{find_nonce, miner_verilog, Flavor, MinerConfig, CYCLES_PER_ATTEMPT};
+use cascade_workloads::sha256::{
+    find_nonce, miner_verilog, Flavor, MinerConfig, CYCLES_PER_ATTEMPT,
+};
 use std::time::Instant;
 
 fn main() -> Result<(), cascade_core::CascadeError> {
-    let cfg = MinerConfig { target: 0x0400_0000, ..MinerConfig::default() };
+    let cfg = MinerConfig {
+        target: 0x0400_0000,
+        ..MinerConfig::default()
+    };
     let (expect_nonce, expect_digest) = find_nonce(cfg.data, cfg.target, cfg.start_nonce);
     println!(
         "reference: nonce {expect_nonce:#010x} gives digest {:#010x} < target {:#010x}",
@@ -55,7 +60,10 @@ fn main() -> Result<(), cascade_core::CascadeError> {
     let budget = (expect_nonce as u64 + 2) * CYCLES_PER_ATTEMPT;
     rt.run_ticks(budget)?;
     let hw_rate = (rt.ticks() - t0) as f64 / (rt.wall_seconds() - w0);
-    println!("hardware phase: virtual clock {:.1} MHz (native fabric is 50 MHz)", hw_rate / 1e6);
+    println!(
+        "hardware phase: virtual clock {:.1} MHz (native fabric is 50 MHz)",
+        hw_rate / 1e6
+    );
     for line in rt.drain_output() {
         println!("  {line}");
     }

@@ -11,7 +11,10 @@ use cascade_core::{JitConfig, Runtime};
 use cascade_fpga::Board;
 
 fn leds_to_string(v: u64) -> String {
-    (0..8).rev().map(|i| if v >> i & 1 == 1 { '#' } else { '.' }).collect()
+    (0..8)
+        .rev()
+        .map(|i| if v >> i & 1 == 1 { '#' } else { '.' })
+        .collect()
 }
 
 fn main() -> Result<(), cascade_core::CascadeError> {
@@ -32,7 +35,10 @@ fn main() -> Result<(), cascade_core::CascadeError> {
     println!(">>> assign led.val = cnt;");
     cascade.eval("assign led.val = cnt;")?;
 
-    println!("\n-- running immediately, in software ({:?}) --", cascade.mode());
+    println!(
+        "\n-- running immediately, in software ({:?}) --",
+        cascade.mode()
+    );
     for _ in 0..4 {
         cascade.run_ticks(1)?;
         println!("  leds: {}", leds_to_string(board.leds().to_u64()));
@@ -48,7 +54,10 @@ fn main() -> Result<(), cascade_core::CascadeError> {
     cascade.wait_for_compile_worker();
     if let Some(ready) = cascade.compile_ready_at() {
         let wait = (ready - cascade.wall_seconds()).max(0.0);
-        println!("  bitstream ready after {:.0} modeled seconds of background work", wait);
+        println!(
+            "  bitstream ready after {:.0} modeled seconds of background work",
+            wait
+        );
         cascade.advance_wall(wait + 1.0);
     }
     cascade.run_ticks(1)?;

@@ -15,8 +15,13 @@ use cascade_workloads::regex::{compile, matcher_verilog, Flavor};
 const PATTERN: &str = "GET |POST |HEAD ";
 
 fn traffic(n: usize) -> Vec<u8> {
-    let requests: &[&[u8]] =
-        &[b"GET /a ", b"POST /b ", b"PUT /c ", b"HEAD /d ", b"noise...."];
+    let requests: &[&[u8]] = &[
+        b"GET /a ",
+        b"POST /b ",
+        b"PUT /c ",
+        b"HEAD /d ",
+        b"noise....",
+    ];
     let mut out = Vec::with_capacity(n);
     let mut i = 0;
     while out.len() < n {
@@ -29,10 +34,16 @@ fn traffic(n: usize) -> Vec<u8> {
 
 fn main() -> Result<(), cascade_core::CascadeError> {
     let dfa = compile(PATTERN).expect("pattern compiles");
-    println!("pattern `{PATTERN}` compiled to a {}-state DFA", dfa.states());
+    println!(
+        "pattern `{PATTERN}` compiled to a {}-state DFA",
+        dfa.states()
+    );
     let input = traffic(4_000);
     let expected = dfa.count_matches(&input);
-    println!("reference match count over {} bytes: {expected}", input.len());
+    println!(
+        "reference match count over {} bytes: {expected}",
+        input.len()
+    );
 
     let board = Board::new();
     board.set_fifo_capacity(1 << 16);

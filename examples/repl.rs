@@ -74,8 +74,10 @@ fn meta(cmd: &str, repl: &mut Repl, board: &Board) -> bool {
         "release" => board.set_button(arg.unwrap_or(0) as u32, false),
         "leds" => {
             let v = board.leds().to_u64();
-            let bar: String =
-                (0..8).rev().map(|i| if v >> i & 1 == 1 { '#' } else { '.' }).collect();
+            let bar: String = (0..8)
+                .rev()
+                .map(|i| if v >> i & 1 == 1 { '#' } else { '.' })
+                .collect();
             println!("leds: {bar} ({v:#04x})");
         }
         "stats" => {
@@ -94,7 +96,10 @@ fn meta(cmd: &str, repl: &mut Repl, board: &Board) -> bool {
                 let wait = (ready - rt.wall_seconds()).max(0.0);
                 rt.advance_wall(wait + 1.0);
                 let _ = rt.run_ticks(1);
-                println!("bitstream landed after {wait:.0} modeled seconds; mode={:?}", rt.mode());
+                println!(
+                    "bitstream landed after {wait:.0} modeled seconds; mode={:?}",
+                    rt.mode()
+                );
             } else {
                 println!("no compile in flight");
             }

@@ -1,62 +1,117 @@
 //! Property-based tests across the frontend and both evaluators:
 //! pretty-print/reparse round trips, and interpreter/netlist equivalence on
 //! randomized synthesizable programs.
+//!
+//! Randomized with the in-tree deterministic [`Prng`] (no registry access in
+//! the build environment, so `proptest` is unavailable). Every assertion
+//! carries the case seed; rerun a failure by fixing the seed locally.
 
-use cascade_bits::Bits;
+use cascade_bits::{Bits, Prng};
 use cascade_netlist::{synthesize, NetlistSim};
 use cascade_sim::{elaborate, library_from_source, Simulator};
-use proptest::prelude::*;
 use std::sync::Arc;
+
+// ----------------------------------------------------------------------
+// Random expression / statement grammars (proptest-strategy style).
+// ----------------------------------------------------------------------
+
+/// A random expression over inputs `a`/`b`, literals, and the operator set
+/// the frontend round-trips.
+fn arb_expr(rng: &mut Prng, depth: u32) -> String {
+    if depth == 0 {
+        match rng.below(4) {
+            0 => rng.range(1, 0xffff).to_string(),
+            1 => {
+                let w = rng.range(1, 16);
+                let v = rng.next_u64() & ((1u64 << w) - 1);
+                format!("{w}'h{v:x}")
+            }
+            2 => "a".to_string(),
+            _ => "b".to_string(),
+        }
+    } else {
+        match rng.below(5) {
+            0 => {
+                let op = *rng.pick(&["+", "-", "*", "&", "|", "^", "<<", ">>", "==", "<"]);
+                let l = arb_expr(rng, depth - 1);
+                let r = arb_expr(rng, depth - 1);
+                format!("({l} {op} {r})")
+            }
+            1 => {
+                let c = arb_expr(rng, depth - 1);
+                let t = arb_expr(rng, depth - 1);
+                let f = arb_expr(rng, depth - 1);
+                format!("({c} ? {t} : {f})")
+            }
+            2 => format!("(~{})", arb_expr(rng, depth - 1)),
+            3 => format!("{{2{{{}}}}}", arb_expr(rng, depth - 1)),
+            _ => {
+                let l = arb_expr(rng, depth - 1);
+                let r = arb_expr(rng, depth - 1);
+                format!("{{{l}, {r}}}")
+            }
+        }
+    }
+}
+
+/// A random guarded-update statement over regs r0..r2 and inputs a/b.
+fn arb_seq_stmt(rng: &mut Prng, depth: u32) -> String {
+    let assign = |rng: &mut Prng| {
+        let r = rng.below(3);
+        let e = arb_expr(rng, 1);
+        format!("r{r} <= {e};")
+    };
+    if depth == 0 {
+        return assign(rng);
+    }
+    match rng.below(7) {
+        0..=2 => assign(rng),
+        3 | 4 => {
+            let c = arb_expr(rng, 1);
+            let t = arb_seq_stmt(rng, depth - 1);
+            let e = arb_seq_stmt(rng, depth - 1);
+            format!("if ({c}) begin {t} end else begin {e} end")
+        }
+        5 => {
+            let scr = arb_expr(rng, 0);
+            let x = arb_seq_stmt(rng, depth - 1);
+            let y = arb_seq_stmt(rng, depth - 1);
+            let z = arb_seq_stmt(rng, depth - 1);
+            format!(
+                "case ({scr}[1:0]) 2'd0: begin {x} end 2'd1: begin {y} end default: begin {z} end endcase"
+            )
+        }
+        _ => {
+            let x = arb_seq_stmt(rng, depth - 1);
+            let y = arb_seq_stmt(rng, depth - 1);
+            format!("begin {x} {y} end")
+        }
+    }
+}
 
 // ----------------------------------------------------------------------
 // Expression round trip
 // ----------------------------------------------------------------------
 
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
-    if depth == 0 {
-        prop_oneof![
-            (1u64..=0xffff).prop_map(|v| v.to_string()),
-            (1u32..=16, any::<u64>()).prop_map(|(w, v)| format!(
-                "{w}'h{:x}",
-                v & ((1u64 << w) - 1)
-            )),
-            Just("a".to_string()),
-            Just("b".to_string()),
-        ]
-        .boxed()
-    } else {
-        let sub = arb_expr(depth - 1);
-        prop_oneof![
-            (sub.clone(), sub.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^"),
-                Just("<<"), Just(">>"), Just("=="), Just("<"),
-            ])
-                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
-            (sub.clone(), sub.clone(), sub.clone())
-                .prop_map(|(c, t, f)| format!("({c} ? {t} : {f})")),
-            sub.clone().prop_map(|e| format!("(~{e})")),
-            sub.clone().prop_map(|e| format!("{{2{{{e}}}}}")),
-            (sub.clone(), sub).prop_map(|(l, r)| format!("{{{l}, {r}}}")),
-        ]
-        .boxed()
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn expr_pretty_reparse_roundtrip(src in arb_expr(3)) {
+#[test]
+fn expr_pretty_reparse_roundtrip() {
+    for seed in 0..64 {
+        let mut rng = Prng::new(seed);
+        let src = arb_expr(&mut rng, 3);
         let e1 = cascade_verilog::parse_expr(&src).expect("generated expr parses");
         let printed = cascade_verilog::pretty::print_expr(&e1);
         let e2 = cascade_verilog::parse_expr(&printed)
             .unwrap_or_else(|err| panic!("reparse failed on `{printed}`: {err}"));
         let printed2 = cascade_verilog::pretty::print_expr(&e2);
-        prop_assert_eq!(printed, printed2);
+        assert_eq!(printed, printed2, "seed {seed}");
     }
+}
 
-    #[test]
-    fn module_roundtrip_with_expr(src in arb_expr(2)) {
+#[test]
+fn module_roundtrip_with_expr() {
+    for seed in 0..64 {
+        let mut rng = Prng::new(seed);
+        let src = arb_expr(&mut rng, 2);
         let module = format!(
             "module T(input wire [15:0] a, input wire [15:0] b, output wire [15:0] o);\n\
              assign o = {src};\nendmodule"
@@ -65,19 +120,25 @@ proptest! {
         let printed = cascade_verilog::pretty::print_unit(&unit);
         let reparsed = cascade_verilog::parse(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
-        prop_assert_eq!(cascade_verilog::pretty::print_unit(&reparsed), printed);
+        assert_eq!(
+            cascade_verilog::pretty::print_unit(&reparsed),
+            printed,
+            "seed {seed}"
+        );
     }
+}
 
-    // ------------------------------------------------------------------
-    // Interpreter vs netlist on randomized combinational expressions.
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Interpreter vs netlist on randomized combinational expressions.
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn sim_netlist_equivalence(
-        src in arb_expr(3),
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
+#[test]
+fn sim_netlist_equivalence() {
+    for seed in 0..64 {
+        let mut rng = Prng::new(seed);
+        let src = arb_expr(&mut rng, 3);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let module = format!(
             "module T(input wire clk, input wire [15:0] a, input wire [15:0] b,\n\
              output wire [15:0] o, output wire [15:0] q);\n\
@@ -87,9 +148,7 @@ proptest! {
              assign q = r;\nendmodule"
         );
         let lib = library_from_source(&module).expect("parse");
-        let design = Arc::new(
-            elaborate("T", &lib, &Default::default()).expect("elaborate"),
-        );
+        let design = Arc::new(elaborate("T", &lib, &Default::default()).expect("elaborate"));
         let mut sim = Simulator::new(Arc::clone(&design));
         sim.initialize().unwrap();
         let nl = synthesize(&design).expect("synthesize");
@@ -101,31 +160,44 @@ proptest! {
         sim.settle().unwrap();
         hw.set_by_name("a", av);
         hw.set_by_name("b", bv);
-        prop_assert_eq!(
-            sim.peek("o").clone(),
-            hw.get_by_name("o").unwrap().clone(),
-            "combinational divergence on `{}`", src
+        assert_eq!(
+            sim.peek("o"),
+            hw.get_by_name("o").unwrap(),
+            "combinational divergence on `{src}` (seed {seed})"
         );
         sim.tick("clk").unwrap();
         hw.step_clock(0);
-        prop_assert_eq!(
-            sim.peek("q").clone(),
-            hw.get_by_name("q").unwrap().clone(),
-            "registered divergence on `{}`", src
+        assert_eq!(
+            sim.peek("q"),
+            hw.get_by_name("q").unwrap(),
+            "registered divergence on `{src}` (seed {seed})"
         );
     }
+}
 
-    // ------------------------------------------------------------------
-    // The lexer never panics.
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// The lexer and parser never panic.
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn lexer_total(src in "\\PC*") {
+#[test]
+fn lexer_total() {
+    for seed in 0..64 {
+        let mut rng = Prng::new(seed);
+        let len = rng.below(200) as usize;
+        let src: String = (0..len)
+            .map(|_| char::from_u32(rng.range(1, 0x24f) as u32).unwrap_or('x'))
+            .collect();
         let _ = cascade_verilog::lex(&src);
     }
+}
 
-    #[test]
-    fn parser_total(src in "[a-z0-9 ;=()\\[\\]{}<>+*&|^~!?:.'\"@#,-]*") {
+#[test]
+fn parser_total() {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 ;=()[]{}<>+*&|^~!?:.'\"@#,-";
+    for seed in 0..64 {
+        let mut rng = Prng::new(seed);
+        let len = rng.below(200) as usize;
+        let src: String = (0..len).map(|_| *rng.pick(ALPHABET) as char).collect();
         let _ = cascade_verilog::parse(&src);
     }
 }
@@ -134,36 +206,15 @@ proptest! {
 // Sequential equivalence: randomized clocked programs with control flow.
 // ----------------------------------------------------------------------
 
-/// A random guarded-update statement over regs r0..r2 and inputs a/b.
-fn arb_seq_stmt(depth: u32) -> BoxedStrategy<String> {
-    let assign = (0u8..3, arb_expr(1)).prop_map(|(r, e)| format!("r{r} <= {e};"));
-    if depth == 0 {
-        assign.boxed()
-    } else {
-        let sub = arb_seq_stmt(depth - 1);
-        prop_oneof![
-            3 => assign,
-            2 => (arb_expr(1), sub.clone(), sub.clone())
-                .prop_map(|(c, t, e)| format!("if ({c}) begin {t} end else begin {e} end")),
-            1 => (arb_expr(0), sub.clone(), sub.clone(), sub.clone()).prop_map(
-                |(scr, x, y, z)| format!(
-                    "case ({scr}[1:0]) 2'd0: begin {x} end 2'd1: begin {y} end default: begin {z} end endcase"
-                )
-            ),
-            1 => (sub.clone(), sub).prop_map(|(x, y)| format!("begin {x} {y} end")),
-        ]
-        .boxed()
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sequential_sim_netlist_equivalence(
-        body in arb_seq_stmt(2),
-        stimulus in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..6),
-    ) {
+#[test]
+fn sequential_sim_netlist_equivalence() {
+    for seed in 0..48 {
+        let mut rng = Prng::new(seed);
+        let body = arb_seq_stmt(&mut rng, 2);
+        let stim_len = rng.range(1, 5);
+        let stimulus: Vec<(u64, u64)> = (0..stim_len)
+            .map(|_| (rng.next_u64(), rng.next_u64()))
+            .collect();
         // `a`/`b` are inputs; regs r0..r2 are state; every reg is also an
         // output so divergence anywhere is visible.
         let module = format!(
@@ -190,10 +241,10 @@ proptest! {
             sim.tick("clk").unwrap();
             hw.step_clock(0);
             for out in ["o0", "o1", "o2"] {
-                prop_assert_eq!(
-                    sim.peek(out).clone(),
-                    hw.get_by_name(out).unwrap().clone(),
-                    "divergence on {} running `{}`", out, body
+                assert_eq!(
+                    sim.peek(out),
+                    hw.get_by_name(out).unwrap(),
+                    "divergence on {out} running `{body}` (seed {seed})"
                 );
             }
         }

@@ -50,7 +50,10 @@ fn led_trace_identical_across_modes() {
     // Migrate at different points: the observable trace must not change.
     for migrate_at in [0u64, 3, 7, 15] {
         let t = led_trace(JitConfig::default(), 24, Some(migrate_at));
-        assert_eq!(t, reference, "divergence when migrating at tick {migrate_at}");
+        assert_eq!(
+            t, reference,
+            "divergence when migrating at tick {migrate_at}"
+        );
     }
 }
 
@@ -150,5 +153,8 @@ fn virtual_clock_gets_faster_over_time() {
          beyond software ({sw_rate:.0} Hz)"
     );
     // Within 3x of the native 50 MHz clock (paper's headline bound).
-    assert!(hw_rate > 50e6 / 3.0, "rate {hw_rate:.0} outside 3x of native");
+    assert!(
+        hw_rate > 50e6 / 3.0,
+        "rate {hw_rate:.0} outside 3x of native"
+    );
 }

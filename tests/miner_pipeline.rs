@@ -22,7 +22,10 @@ fn easy_config() -> (MinerConfig, u32, [u32; 8]) {
         use_functions: false,
     };
     let (nonce, digest) = find_nonce(cfg.data, cfg.target, cfg.start_nonce);
-    assert!(nonce < 200, "pick an easier target for tests (nonce={nonce})");
+    assert!(
+        nonce < 200,
+        "pick an easier target for tests (nonce={nonce})"
+    );
     (cfg, nonce, digest)
 }
 
@@ -41,7 +44,10 @@ fn miner_interpreter_matches_reference() {
         }
         sim.tick("clk").unwrap();
     }
-    assert!(sim.peek("found").to_bool(), "miner did not finish in {budget} cycles");
+    assert!(
+        sim.peek("found").to_bool(),
+        "miner did not finish in {budget} cycles"
+    );
     assert_eq!(sim.peek("nonce_out").to_u64(), expect_nonce as u64);
     assert_eq!(sim.peek("hash_hi").to_u64(), expect_digest[0] as u64);
 }
@@ -62,8 +68,14 @@ fn miner_netlist_matches_interpreter() {
         hw.step_clock(0);
     }
     assert!(hw.get_by_name("found").unwrap().to_bool());
-    assert_eq!(hw.get_by_name("nonce_out").unwrap().to_u64(), expect_nonce as u64);
-    assert_eq!(hw.get_by_name("hash_hi").unwrap().to_u64(), expect_digest[0] as u64);
+    assert_eq!(
+        hw.get_by_name("nonce_out").unwrap().to_u64(),
+        expect_nonce as u64
+    );
+    assert_eq!(
+        hw.get_by_name("hash_hi").unwrap().to_u64(),
+        expect_digest[0] as u64
+    );
 }
 
 #[test]
@@ -89,7 +101,10 @@ fn miner_under_cascade_jit_announces_from_hardware() {
         "FOUND nonce={:08x} hash={:08x}",
         expect_nonce, expect_digest[0]
     );
-    assert!(out.contains(&expect), "expected `{expect}` in output:\n{out}");
+    assert!(
+        out.contains(&expect),
+        "expected `{expect}` in output:\n{out}"
+    );
 }
 
 #[test]
@@ -136,6 +151,12 @@ fn function_style_miner_matches_wire_style() {
         }
         hw.step_clock(0);
     }
-    assert_eq!(hw.get_by_name("nonce_out").unwrap().to_u64(), expect_nonce as u64);
-    assert_eq!(hw.get_by_name("hash_hi").unwrap().to_u64(), expect_digest[0] as u64);
+    assert_eq!(
+        hw.get_by_name("nonce_out").unwrap().to_u64(),
+        expect_nonce as u64
+    );
+    assert_eq!(
+        hw.get_by_name("hash_hi").unwrap().to_u64(),
+        expect_digest[0] as u64
+    );
 }

@@ -20,8 +20,14 @@ fn run_solution(seed: u64) -> (i64, i64) {
     let expect = nw_score(&a, &b);
     let lib = library_from_source(&src).expect("parse");
     let overrides = ParamEnv::from([
-        ("SEQ_A".to_string(), Bits::from_u64(n as u32 * 2, pack_sequence(&a))),
-        ("SEQ_B".to_string(), Bits::from_u64(n as u32 * 2, pack_sequence(&b))),
+        (
+            "SEQ_A".to_string(),
+            Bits::from_u64(n as u32 * 2, pack_sequence(&a)),
+        ),
+        (
+            "SEQ_B".to_string(),
+            Bits::from_u64(n as u32 * 2, pack_sequence(&b)),
+        ),
     ]);
     let design = elaborate("Nw", &lib, &overrides).expect("elaborate");
     let mut sim = Simulator::new(Arc::new(design));
@@ -32,7 +38,10 @@ fn run_solution(seed: u64) -> (i64, i64) {
         }
         sim.tick("clk").unwrap();
     }
-    assert!(sim.peek("done").to_bool(), "seed {seed}: solution never finished");
+    assert!(
+        sim.peek("done").to_bool(),
+        "seed {seed}: solution never finished"
+    );
     let got = {
         let v = sim.peek("score");
         v.to_i64()
@@ -102,8 +111,14 @@ fn pipelined_solutions_synthesize_and_match() {
     let expect = nw_score(&a, &b);
     let lib = library_from_source(&src).expect("parse");
     let overrides = ParamEnv::from([
-        ("SEQ_A".to_string(), Bits::from_u64(n as u32 * 2, pack_sequence(&a))),
-        ("SEQ_B".to_string(), Bits::from_u64(n as u32 * 2, pack_sequence(&b))),
+        (
+            "SEQ_A".to_string(),
+            Bits::from_u64(n as u32 * 2, pack_sequence(&a)),
+        ),
+        (
+            "SEQ_B".to_string(),
+            Bits::from_u64(n as u32 * 2, pack_sequence(&b)),
+        ),
     ]);
     let design = elaborate("Nw", &lib, &overrides).expect("elaborate");
     let nl = cascade_netlist::synthesize(&design).expect("synthesize");

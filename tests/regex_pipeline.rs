@@ -46,7 +46,10 @@ fn matcher_netlist_matches_reference() {
         hw.set_by_name("byte_in", Bits::from_u64(8, b as u64));
         hw.step_clock(0);
     }
-    assert_eq!(hw.get_by_name("matches").unwrap().to_u64(), expected_matches());
+    assert_eq!(
+        hw.get_by_name("matches").unwrap().to_u64(),
+        expected_matches()
+    );
 }
 
 fn run_fifo_session(config: JitConfig, migrate: bool) -> u64 {
