@@ -41,9 +41,13 @@ impl Bits {
 
     /// Formats as lowercase hex without a prefix, the `%h` behaviour.
     pub fn to_hex_string(&self) -> String {
-        let digits = self.width().div_ceil(4).max(1);
-        let mut s = String::with_capacity(digits as usize);
-        for d in (0..digits).rev() {
+        let digits = self.width().div_ceil(4).max(1) as usize;
+        if self.width() <= 64 {
+            // Single-word fast path: no per-nibble slice allocations.
+            return format!("{:0digits$x}", self.to_u64());
+        }
+        let mut s = String::with_capacity(digits);
+        for d in (0..digits as u32).rev() {
             let nibble = self.slice(d * 4, 4).to_u64();
             s.push(char::from_digit(nibble as u32, 16).expect("nibble < 16"));
         }
@@ -52,8 +56,11 @@ impl Bits {
 
     /// Formats as binary without a prefix, the `%b` behaviour.
     pub fn to_binary_string(&self) -> String {
-        let w = self.width().max(1);
-        (0..w)
+        let digits = self.width().max(1) as usize;
+        if self.width() <= 64 {
+            return format!("{:0digits$b}", self.to_u64());
+        }
+        (0..digits as u32)
             .rev()
             .map(|i| if self.bit(i) { '1' } else { '0' })
             .collect()

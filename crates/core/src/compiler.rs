@@ -8,12 +8,24 @@
 //! program simply gets faster.
 
 use cascade_fpga::{wrapper_overhead_les, Bitstream, CompileError, Toolchain};
-use cascade_netlist::synthesize;
+use cascade_netlist::{fingerprint, synthesize};
 use cascade_sim::Design;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Bitstreams by content-hash cache key ([`Toolchain::cache_key`] over the
+/// synthesized netlist's structural fingerprint). Shared with worker
+/// threads, so a superseded compile still warms the cache.
+type BitstreamCache = Arc<Mutex<HashMap<u64, Bitstream>>>;
+
+/// Modeled latency of a cache hit: fetching a stored bitstream and
+/// reprogramming the fabric, not rerunning the toolchain (paper Sec. 7
+/// positions this as the biggest practical win for iterative development).
+const CACHE_HIT_LATENCY_S: f64 = 1.0;
 
 /// The outcome of one background compile.
 #[derive(Debug)]
@@ -35,6 +47,9 @@ pub struct BackgroundCompiler {
     submitted_version: u64,
     /// Completed outcome waiting for its modeled latency to elapse.
     staged: Option<CompileOutcome>,
+    cache: BitstreamCache,
+    cache_hits: Arc<AtomicU64>,
+    cache_misses: Arc<AtomicU64>,
 }
 
 impl Default for BackgroundCompiler {
@@ -52,7 +67,21 @@ impl BackgroundCompiler {
             submitted_s: 0.0,
             submitted_version: 0,
             staged: None,
+            cache: Arc::default(),
+            cache_hits: Arc::default(),
+            cache_misses: Arc::default(),
         }
+    }
+
+    /// Compiles whose synthesized netlist + toolchain matched a cached
+    /// bitstream (and so returned in ~[`CACHE_HIT_LATENCY_S`]).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Compiles that ran the full modeled toolchain flow.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
     }
 
     /// Whether a compile is in flight or staged.
@@ -70,8 +99,12 @@ impl BackgroundCompiler {
     /// submission.
     pub fn submit(&mut self, design: Arc<Design>, toolchain: Toolchain, version: u64, wall_s: f64) {
         let (tx, rx) = channel();
+        let cache = Arc::clone(&self.cache);
+        let hits = Arc::clone(&self.cache_hits);
+        let misses = Arc::clone(&self.cache_misses);
         let handle = std::thread::spawn(move || {
-            let outcome = compile_with_wrapper(&design, &toolchain, version);
+            let outcome =
+                compile_with_wrapper(&design, &toolchain, version, &cache, &hits, &misses);
             let _ = tx.send(outcome);
         });
         self.rx = Some(rx);
@@ -139,7 +172,19 @@ impl BackgroundCompiler {
 /// Runs the full flow: synthesis, wrapper-overhead accounting, placement,
 /// timing. Failures carry a modeled latency too — a timing-closure failure
 /// is only discovered after place-and-route (paper Sec. 6.4).
-fn compile_with_wrapper(design: &Design, toolchain: &Toolchain, version: u64) -> CompileOutcome {
+///
+/// The cache lookup happens *after* synthesis: the key is a content hash of
+/// the synthesized netlist (plus toolchain knobs), so semantically identical
+/// resubmissions — a re-eval of unchanged source, a whitespace edit — skip
+/// place-and-route and the minutes of modeled latency that dominate it.
+fn compile_with_wrapper(
+    design: &Design,
+    toolchain: &Toolchain,
+    version: u64,
+    cache: &BitstreamCache,
+    hits: &AtomicU64,
+    misses: &AtomicU64,
+) -> CompileOutcome {
     let netlist = match synthesize(design) {
         Ok(nl) => Arc::new(nl),
         Err(e) => {
@@ -153,16 +198,35 @@ fn compile_with_wrapper(design: &Design, toolchain: &Toolchain, version: u64) ->
     };
     let mut tc = toolchain.clone();
     tc.overhead_les = wrapper_overhead_les(&netlist);
+    let key = tc.cache_key(fingerprint(&netlist));
+    if let Some(bs) = cache.lock().expect("bitstream cache poisoned").get(&key) {
+        hits.fetch_add(1, Ordering::Relaxed);
+        let latency = Duration::from_secs_f64(CACHE_HIT_LATENCY_S * tc.time_scale);
+        let mut bs = bs.clone();
+        bs.modeled_duration = latency;
+        return CompileOutcome {
+            version,
+            result: Ok(bs),
+            latency,
+        };
+    }
+    misses.fetch_add(1, Ordering::Relaxed);
     let area = cascade_netlist::estimate_area(&netlist);
     let mut padded = area;
     padded.logic_elements += tc.overhead_les;
     let full_latency = tc.modeled_duration(&padded, netlist.cell_count());
     match tc.compile_netlist(Arc::clone(&netlist)) {
-        Ok(bs) => CompileOutcome {
-            version,
-            result: Ok(bs),
-            latency: full_latency,
-        },
+        Ok(bs) => {
+            cache
+                .lock()
+                .expect("bitstream cache poisoned")
+                .insert(key, bs.clone());
+            CompileOutcome {
+                version,
+                result: Ok(bs),
+                latency: full_latency,
+            }
+        }
         Err(e @ CompileError::DoesNotFit { .. }) => CompileOutcome {
             version,
             result: Err(e),

@@ -15,6 +15,9 @@ pub struct JitConfig {
     pub open_loop: bool,
     /// Start background hardware compilations automatically.
     pub auto_compile: bool,
+    /// Bytecode-compile software engines (the tree-walking interpreter is
+    /// kept as the semantic oracle and ablation baseline).
+    pub sw_compile: bool,
     /// Target modeled time between open-loop control returns, in seconds
     /// (the adaptive profiler aims here; paper: "a small number of
     /// seconds").
@@ -36,6 +39,7 @@ impl Default for JitConfig {
             forwarding: true,
             open_loop: true,
             auto_compile: true,
+            sw_compile: true,
             open_loop_target_s: 1.0,
             toolchain: Toolchain::new(Device::cyclone_v()),
             costs: CostModel::default(),
@@ -65,6 +69,7 @@ impl JitConfig {
             "forwarding" => self.forwarding = false,
             "open_loop" => self.open_loop = false,
             "auto_compile" => self.auto_compile = false,
+            "sw_compile" => self.sw_compile = false,
             other => panic!("unknown JIT stage `{other}`"),
         }
         self

@@ -1,22 +1,39 @@
-//! Software engines: subprograms interpreted by `cascade-sim`
+//! Software engines: subprograms executed by `cascade-sim`
 //! (paper Sec. 5.1). These begin execution in under a second and run until
 //! the background hardware compilation delivers a replacement.
+//!
+//! The execution backend is selected by `JitConfig::sw_compile`: the
+//! bytecode-compiling [`SwSim::Compiled`] backend by default, or the
+//! tree-walking oracle for ablation. Compiled engines with a single
+//! rising-edge clock domain also support open-loop scheduling — the runtime
+//! hands over a cycle budget and the whole batch runs inside the evaluator.
 
 use crate::engine::{Engine, EngineError, EngineKind, EngineState, TaskEvent};
 use cascade_bits::Bits;
 use cascade_fpga::CostModel;
-use cascade_sim::{Design, SimEvent, Simulator, VarClass, VarId};
+use cascade_sim::{Design, Process, SimEvent, SwSim, VarClass, VarId};
+use cascade_verilog::ast::Edge;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// An AST-interpreting engine over one subprogram.
+/// The promoted name of the global clock input on a transformed root
+/// subprogram (`clk.val` → port `clk_val`).
+const CLOCK_PORT: &str = "clk_val";
+
+/// An engine interpreting or bytecode-executing one subprogram.
 pub struct SwEngine {
-    sim: Simulator,
+    sim: SwSim,
     design: Arc<Design>,
     /// Output port name → var.
     outputs: BTreeMap<String, VarId>,
     /// Input port name → var.
     inputs: BTreeMap<String, VarId>,
+    /// The global clock input, when this subprogram's sequential logic is
+    /// all posedge-of-it (the open-loop eligibility condition).
+    open_loop_clock: Option<VarId>,
+    /// An error raised inside an open-loop batch, surfaced on the next
+    /// evaluate call.
+    pending_err: Option<EngineError>,
     last_activations: u64,
     last_statements: u64,
     tasks: Vec<TaskEvent>,
@@ -25,18 +42,20 @@ pub struct SwEngine {
 }
 
 impl SwEngine {
-    /// Builds and initializes a software engine (runs `initial` blocks).
+    /// Builds and initializes a compiled-backend software engine (runs
+    /// `initial` blocks).
     ///
     /// # Errors
     ///
     /// Returns [`EngineError`] if time-zero settlement fails.
     pub fn new(design: Arc<Design>) -> Result<Self, EngineError> {
-        Self::with_state(design, None)
+        Self::with_options(design, None, true)
     }
 
-    /// Builds a software engine, restoring `prior` state *before* running
-    /// `initial` blocks — newly eval'ed statements must observe the live
-    /// program state they were typed against (paper Sec. 3.5).
+    /// Builds a compiled-backend software engine, restoring `prior` state
+    /// *before* running `initial` blocks — newly eval'ed statements must
+    /// observe the live program state they were typed against (paper
+    /// Sec. 3.5).
     ///
     /// # Errors
     ///
@@ -45,7 +64,21 @@ impl SwEngine {
         design: Arc<Design>,
         prior: Option<&EngineState>,
     ) -> Result<Self, EngineError> {
-        let mut sim = Simulator::new(Arc::clone(&design));
+        Self::with_options(design, prior, true)
+    }
+
+    /// [`SwEngine::with_state`] with an explicit backend choice:
+    /// `compiled = false` selects the tree-walking oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if time-zero settlement fails.
+    pub fn with_options(
+        design: Arc<Design>,
+        prior: Option<&EngineState>,
+        compiled: bool,
+    ) -> Result<Self, EngineError> {
+        let mut sim = SwSim::new(Arc::clone(&design), compiled);
         let mut inputs = BTreeMap::new();
         let mut outputs = BTreeMap::new();
         for (name, id) in design.iter_vars() {
@@ -72,11 +105,18 @@ impl SwEngine {
             }
         }
         sim.initialize()?;
+        let open_loop_clock = single_posedge_clock(&design).filter(|id| {
+            // Only the runtime-driven global clock toggles during a batch;
+            // any other edge source invalidates internal self-clocking.
+            design.var(CLOCK_PORT) == Some(*id)
+        });
         let mut engine = SwEngine {
             sim,
             design,
             outputs,
             inputs,
+            open_loop_clock,
+            pending_err: None,
             last_activations: 0,
             last_statements: 0,
             tasks: Vec::new(),
@@ -92,6 +132,11 @@ impl SwEngine {
         &self.design
     }
 
+    /// `"compiled"` or `"tree"` (stats reporting).
+    pub fn backend_name(&self) -> &'static str {
+        self.sim.backend_name()
+    }
+
     fn collect_tasks(&mut self) {
         for ev in self.sim.drain_events() {
             self.tasks.push(match ev {
@@ -102,6 +147,29 @@ impl SwEngine {
             });
         }
     }
+}
+
+/// The single rising-edge clock variable of `design`, if every
+/// edge-sensitive process triggers on `posedge` of that one variable.
+fn single_posedge_clock(design: &Design) -> Option<VarId> {
+    let mut clock = None;
+    for p in &design.processes {
+        let Process::Always { sens, .. } = p else {
+            continue;
+        };
+        for s in sens {
+            match s.edge {
+                None => {}
+                Some(Edge::Pos) => match clock {
+                    None => clock = Some(s.var),
+                    Some(c) if c == s.var => {}
+                    Some(_) => return None,
+                },
+                Some(Edge::Neg) => return None,
+            }
+        }
+    }
+    clock
 }
 
 impl Engine for SwEngine {
@@ -165,10 +233,13 @@ impl Engine for SwEngine {
     }
 
     fn there_are_evals(&self) -> bool {
-        self.sim.has_evals()
+        self.pending_err.is_some() || self.sim.has_evals()
     }
 
     fn evaluate(&mut self) -> Result<(), EngineError> {
+        if let Some(e) = self.pending_err.take() {
+            return Err(e);
+        }
         self.sim.eval_phase()?;
         self.collect_tasks();
         Ok(())
@@ -199,11 +270,37 @@ impl Engine for SwEngine {
         std::mem::take(&mut self.tasks)
     }
 
+    fn open_loop(&mut self, steps: u64) -> u64 {
+        // Only the compiled backend batches (the tree walker is the
+        // measured baseline), and only from the inter-tick rest state.
+        if self.sim.as_compiled_mut().is_none() || self.sim.is_finished() {
+            return 0;
+        }
+        let Some(clk) = self.open_loop_clock else {
+            return 0;
+        };
+        if self.sim.peek_id(clk).to_bool() || self.half_steps != 0 {
+            return 0;
+        }
+        match self.sim.tick_n(clk, steps) {
+            Ok(done) => {
+                self.collect_tasks();
+                done
+            }
+            Err(e) => {
+                // Cycles already ran; surface the fault on the next
+                // evaluate instead of losing it.
+                self.pending_err = Some(EngineError::Sim(e));
+                0
+            }
+        }
+    }
+
     fn take_cost_ns(&mut self, costs: &CostModel) -> f64 {
-        let acts = self.sim.activations - self.last_activations;
-        self.last_activations = self.sim.activations;
-        let stmts = self.sim.statements - self.last_statements;
-        self.last_statements = self.sim.statements;
+        let acts = self.sim.activations() - self.last_activations;
+        self.last_activations = self.sim.activations();
+        let stmts = self.sim.statements() - self.last_statements;
+        self.last_statements = self.sim.statements();
         acts as f64 * costs.sw_activation_ns + stmts as f64 * costs.sw_statement_ns
     }
 

@@ -75,6 +75,10 @@ pub struct RuntimeStats {
     pub engines: Vec<(String, EngineKind)>,
     /// Whether the last `run_ticks` batch used open-loop scheduling.
     pub open_loop_active: bool,
+    /// Background compiles answered from the content-hash bitstream cache.
+    pub compile_cache_hits: u64,
+    /// Background compiles that ran the full modeled toolchain flow.
+    pub compile_cache_misses: u64,
 }
 
 /// The Cascade runtime: eval Verilog, run it immediately, let the JIT move
@@ -226,6 +230,8 @@ impl Runtime {
                 })
                 .collect(),
             open_loop_active: self.open_loop_last,
+            compile_cache_hits: self.compiler.cache_hits(),
+            compile_cache_misses: self.compiler.cache_misses(),
         }
     }
 
@@ -503,8 +509,12 @@ impl Runtime {
         for (inst_name, module_name, params) in &child_specs {
             let design = cascade_sim::elaborate(module_name, &self.lib, params)
                 .map_err(CascadeError::Elaborate)?;
-            let engine = SwEngine::with_state(Arc::new(design), saved.get(inst_name.as_str()))
-                .map_err(|e| CascadeError::Unsupported(e.to_string()))?;
+            let engine = SwEngine::with_options(
+                Arc::new(design),
+                saved.get(inst_name.as_str()),
+                self.config.sw_compile,
+            )
+            .map_err(|e| CascadeError::Unsupported(e.to_string()))?;
             slots.push(Slot {
                 name: inst_name.clone(),
                 engine: Box::new(engine),
@@ -523,8 +533,12 @@ impl Runtime {
             let hw = Arc::new(self.elaborate_subprogram(&hw_module)?);
             // Prior state is restored *before* initial blocks and freshly
             // eval'ed statements execute, so probes observe live values.
-            let engine = SwEngine::with_state(Arc::clone(&sw_design), saved.get(ROOT))
-                .map_err(|e| CascadeError::Unsupported(e.to_string()))?;
+            let engine = SwEngine::with_options(
+                Arc::clone(&sw_design),
+                saved.get(ROOT),
+                self.config.sw_compile,
+            )
+            .map_err(|e| CascadeError::Unsupported(e.to_string()))?;
             main_idx = Some(slots.len());
             slots.push(Slot {
                 name: ROOT.to_string(),
@@ -869,7 +883,10 @@ impl Runtime {
             return Ok(None); // peripherals still on the data plane
         }
         let kind = self.slots[main_idx].engine.kind();
-        if kind != EngineKind::Hardware && kind != EngineKind::Native {
+        if kind != EngineKind::Hardware
+            && kind != EngineKind::Native
+            && kind != EngineKind::Software
+        {
             return Ok(None);
         }
         // Adaptive budget: aim for the configured control-return period.
@@ -879,7 +896,15 @@ impl Runtime {
         // round trip per token).
         let mut budget = (self.open_loop_budget as u64).max(16).min(remaining.max(1));
         if let Some(ready_at) = self.compiler.ready_at() {
-            let per_tick_ns = self.config.costs.hw_cycle_ns.max(0.001);
+            // For a software batch, estimate the per-cycle cost from the
+            // adaptive controller's current target (software cycles are
+            // orders of magnitude more expensive than fabric cycles).
+            let per_tick_ns = if kind == EngineKind::Software {
+                self.config.open_loop_target_s * 1e9 / self.open_loop_budget.max(16.0)
+            } else {
+                self.config.costs.hw_cycle_ns
+            }
+            .max(0.001);
             let until = ((ready_at - self.wall.seconds()).max(0.0) * 1e9 / per_tick_ns) as u64;
             budget = budget.min(until.max(1));
         }

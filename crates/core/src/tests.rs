@@ -893,3 +893,71 @@ fn negedge_design_runs_in_hardware_closed_loop() {
         "negedge domain forces closed loop"
     );
 }
+
+#[test]
+fn resubmitting_unchanged_design_hits_bitstream_cache() {
+    use crate::BackgroundCompiler;
+    use std::sync::Arc;
+
+    let lib = cascade_sim::library_from_source(
+        "module M(input wire clk_val, output wire [7:0] led_val);\n\
+         reg [7:0] c = 0;\n\
+         always @(posedge clk_val) c <= c + 1;\n\
+         assign led_val = c;\nendmodule",
+    )
+    .unwrap();
+    let design = Arc::new(cascade_sim::elaborate("M", &lib, &Default::default()).unwrap());
+    let tc = Toolchain::new(Device::cyclone_v());
+    let mut bc = BackgroundCompiler::new();
+
+    bc.submit(Arc::clone(&design), tc.clone(), 1, 0.0);
+    bc.wait_worker();
+    let first = bc.poll(f64::INFINITY).expect("first outcome");
+    let first_bs = first.result.expect("compiles");
+    assert_eq!((bc.cache_hits(), bc.cache_misses()), (0, 1));
+    assert!(
+        first.latency.as_secs_f64() > 60.0,
+        "cold compile pays the modeled toolchain latency, got {:.1}s",
+        first.latency.as_secs_f64()
+    );
+
+    // Identical design, same toolchain: served from the cache at
+    // reprogramming cost, not place-and-route cost.
+    bc.submit(Arc::clone(&design), tc.clone(), 2, 0.0);
+    bc.wait_worker();
+    let second = bc.poll(f64::INFINITY).expect("second outcome");
+    let second_bs = second.result.expect("cache hit still succeeds");
+    assert_eq!((bc.cache_hits(), bc.cache_misses()), (1, 1));
+    assert!(
+        second.latency.as_secs_f64() < 5.0,
+        "cache hit must be near-instant, got {:.1}s",
+        second.latency.as_secs_f64()
+    );
+    assert_eq!(first_bs.fmax_mhz, second_bs.fmax_mhz);
+    assert_eq!(first_bs.logic_depth, second_bs.logic_depth);
+
+    // A different placement seed is a different cache key.
+    let reseeded = Toolchain {
+        seed: tc.seed + 1,
+        ..tc
+    };
+    bc.submit(design, reseeded, 3, 0.0);
+    bc.wait_worker();
+    let third = bc.poll(f64::INFINITY).expect("third outcome");
+    assert!(third.result.is_ok());
+    assert_eq!((bc.cache_hits(), bc.cache_misses()), (1, 2));
+}
+
+#[test]
+fn runtime_stats_expose_compile_cache_counters() {
+    let (mut rt, _) = runtime(JitConfig::default());
+    rt.eval("reg [7:0] a = 0;").unwrap();
+    rt.eval("always @(posedge clk.val) a <= a + 1;").unwrap();
+    rt.eval("assign led.val = a;").unwrap();
+    rt.wait_for_compile_worker();
+    let stats = rt.stats();
+    // Three evals submitted three (structurally different) designs; every
+    // worker ran, none could hit.
+    assert_eq!(stats.compile_cache_hits, 0);
+    assert!(stats.compile_cache_misses >= 1);
+}

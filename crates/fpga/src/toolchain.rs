@@ -175,6 +175,29 @@ impl Toolchain {
         })
     }
 
+    /// The bitstream-cache key for compiling a given netlist with this
+    /// toolchain: the netlist's structural fingerprint (see
+    /// [`cascade_netlist::fingerprint`]) folded with every knob that
+    /// changes the produced bitstream or its modeled latency — target
+    /// device, placement effort and seed, and the wrapper overhead charged
+    /// to area.
+    pub fn cache_key(&self, netlist_fp: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = netlist_fp;
+        let mix = |h: &mut u64, v: u64| *h = (*h ^ v).wrapping_mul(PRIME);
+        for b in self.device.name.as_bytes() {
+            mix(&mut h, *b as u64);
+        }
+        mix(&mut h, self.device.logic_elements);
+        mix(&mut h, self.device.bram_bits);
+        mix(&mut h, self.device.dsp_blocks);
+        mix(&mut h, self.device.clock_mhz.to_bits());
+        mix(&mut h, self.effort.to_bits());
+        mix(&mut h, self.seed);
+        mix(&mut h, self.overhead_les);
+        h
+    }
+
     /// The modeled wall-clock compile latency. Calibrated against the
     /// paper's observations: trivial designs take a couple of minutes and
     /// the SHA-256 proof-of-work miner takes roughly ten (Sec. 2, 6.1).

@@ -38,6 +38,7 @@
 
 mod eval;
 mod exec;
+mod fingerprint;
 mod interp;
 mod ir;
 mod level;
@@ -47,6 +48,7 @@ pub mod stats;
 
 pub use eval::{clock_edge, eval_cell, NetlistSim, TaskFire};
 pub use exec::ProgramStats;
+pub use fingerprint::fingerprint;
 pub use interp::ReferenceSim;
 pub use ir::{
     Cell, CellOp, ClockId, Def, MemId, Memory, NetId, NetInfo, Netlist, RegId, Register, TaskCell,

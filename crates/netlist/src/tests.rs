@@ -548,3 +548,22 @@ fn const_fold_pass_is_idempotent() {
     crate::const_fold(&mut nl);
     assert_eq!(nl.cell_count(), before, "builder already folded");
 }
+
+#[test]
+fn fingerprint_is_stable_and_structure_sensitive() {
+    let src = "module T(input wire clk, output wire [7:0] o);\n\
+         reg [7:0] c = 0;\n\
+         always @(posedge clk) c <= c + 1;\n\
+         assign o = c;\nendmodule";
+    let a = crate::fingerprint(&synthesize(&design_of(src, "T")).unwrap());
+    let b = crate::fingerprint(&synthesize(&design_of(src, "T")).unwrap());
+    assert_eq!(a, b, "same source, same netlist, same fingerprint");
+    // A different increment constant must change the hash.
+    let c =
+        crate::fingerprint(&synthesize(&design_of(&src.replace("c + 1", "c + 2"), "T")).unwrap());
+    assert_ne!(a, c);
+    // A pure formatting change must not.
+    let d =
+        crate::fingerprint(&synthesize(&design_of(&src.replace("c + 1", "c  +  1"), "T")).unwrap());
+    assert_eq!(a, d, "whitespace-only edits share a cache entry");
+}

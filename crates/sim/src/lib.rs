@@ -32,20 +32,26 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod compile;
 mod elaborate;
+mod exec;
 mod rir;
 #[allow(clippy::module_inception)]
 mod sim;
+mod swsim;
 mod vcd;
 
+pub use compile::{SwProgram, SwProgramStats};
 pub use elaborate::{
     collect_reads, collect_reads_stmt, elaborate, elaborate_leaf, library_from_source, Design,
 };
+pub use exec::CompiledSim;
 pub use rir::{
     Process, RCaseArm, RCaseLabel, RExpr, RExprKind, RLValue, RStmt, RTaskArg, Sens, VarClass,
     VarId, VarInfo,
 };
 pub use sim::{format_verilog, SimError, SimEvent, Simulator};
+pub use swsim::SwSim;
 pub use vcd::VcdWriter;
 
 #[cfg(test)]

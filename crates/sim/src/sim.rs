@@ -832,6 +832,23 @@ impl Simulator {
                 extend(&v, target, false)
             }
             RExprKind::Unary { op, operand } => {
+                // Narrow fast path for the width-preserving shapes: skip
+                // the apply-then-extend allocation pair (`from_u64`
+                // re-masks to `target`).
+                if target > 0 && target <= 64 {
+                    match op {
+                        UnaryOp::Plus => return self.eval(operand, target),
+                        UnaryOp::Neg => {
+                            let v = self.eval(operand, target).to_u64();
+                            return Bits::from_u64(target, v.wrapping_neg());
+                        }
+                        UnaryOp::BitNot => {
+                            let v = self.eval(operand, target).to_u64();
+                            return Bits::from_u64(target, !v);
+                        }
+                        _ => {}
+                    }
+                }
                 let v = match op {
                     UnaryOp::Plus | UnaryOp::Neg | UnaryOp::BitNot => self.eval(operand, target),
                     _ => self.eval(operand, 0),
@@ -883,9 +900,31 @@ impl Simulator {
             Add | Sub | Mul | Div | Rem | And | Or | Xor | Xnor => {
                 let l = self.eval(lhs, target);
                 let r = self.eval(rhs, target);
-                let v = if op == Div && lhs.signed && rhs.signed {
+                let signed = lhs.signed && rhs.signed;
+                // Narrow fast path: wrapping word arithmetic with one
+                // result allocation instead of the compute-then-resize
+                // pair. `from_u64` re-masks to `target`, and division by
+                // zero yields all-ones either way.
+                if target > 0 && target <= 64 && !(signed && matches!(op, Div | Rem)) {
+                    let a = l.to_u64();
+                    let b = r.to_u64();
+                    let v = match op {
+                        Add => a.wrapping_add(b),
+                        Sub => a.wrapping_sub(b),
+                        Mul => a.wrapping_mul(b),
+                        Div => a.checked_div(b).unwrap_or(u64::MAX),
+                        Rem => a.checked_rem(b).unwrap_or(u64::MAX),
+                        And => a & b,
+                        Or => a | b,
+                        Xor => a ^ b,
+                        Xnor => !(a ^ b),
+                        _ => unreachable!(),
+                    };
+                    return Bits::from_u64(target, v);
+                }
+                let v = if op == Div && signed {
                     signed_div(&l, &r)
-                } else if op == Rem && lhs.signed && rhs.signed {
+                } else if op == Rem && signed {
                     signed_rem(&l, &r)
                 } else {
                     cascade_verilog::typecheck::apply_binary(op, &l, &r)
@@ -977,7 +1016,7 @@ fn lv_selector_reads(lv: &RLValue, out: &mut Vec<VarId>) {
     }
 }
 
-fn extend(v: &Bits, target: u32, signed: bool) -> Bits {
+pub(crate) fn extend(v: &Bits, target: u32, signed: bool) -> Bits {
     if target == 0 || target == v.width() {
         return v.clone();
     }
@@ -988,7 +1027,7 @@ fn extend(v: &Bits, target: u32, signed: bool) -> Bits {
     }
 }
 
-fn signed_div(l: &Bits, r: &Bits) -> Bits {
+pub(crate) fn signed_div(l: &Bits, r: &Bits) -> Bits {
     let w = l.width().max(r.width());
     if !r.to_bool() {
         return Bits::ones(w);
@@ -1005,7 +1044,7 @@ fn signed_div(l: &Bits, r: &Bits) -> Bits {
     }
 }
 
-fn signed_rem(l: &Bits, r: &Bits) -> Bits {
+pub(crate) fn signed_rem(l: &Bits, r: &Bits) -> Bits {
     let w = l.width().max(r.width());
     if !r.to_bool() {
         return Bits::ones(w);
@@ -1026,6 +1065,7 @@ fn signed_rem(l: &Bits, r: &Bits) -> Bits {
 pub fn format_verilog(fmt: &str, values: &[Bits]) -> String {
     let mut out = String::with_capacity(fmt.len() + 16);
     let mut vi = 0;
+    let empty = Bits::default();
     let mut chars = fmt.chars().peekable();
     while let Some(c) = chars.next() {
         if c != '%' {
@@ -1045,7 +1085,7 @@ pub fn format_verilog(fmt: &str, values: &[Bits]) -> String {
             out.push('%');
             continue;
         }
-        let value = values.get(vi).cloned().unwrap_or_default();
+        let value = values.get(vi).unwrap_or(&empty);
         vi += 1;
         let rendered = match spec.to_ascii_lowercase() {
             'd' => value.to_decimal_string(),

@@ -1,0 +1,214 @@
+//! Backend dispatch for the software engine: the tree-walking
+//! [`Simulator`] (the semantic oracle) or the bytecode [`CompiledSim`],
+//! behind one enum so `SwEngine` and the runtime select a backend with a
+//! config knob and everything downstream stays untouched.
+
+use crate::elaborate::Design;
+use crate::exec::CompiledSim;
+use crate::rir::VarId;
+use crate::sim::{SimError, SimEvent, Simulator};
+use cascade_bits::Bits;
+use std::sync::Arc;
+
+/// A software simulation backend: same design, same observable semantics,
+/// different execution strategy.
+pub enum SwSim {
+    /// The recursive tree-walking interpreter.
+    Tree(Simulator),
+    /// The compiled bytecode executor.
+    Compiled(CompiledSim),
+}
+
+macro_rules! delegate {
+    ($self:ident, $sim:ident => $body:expr) => {
+        match $self {
+            SwSim::Tree($sim) => $body,
+            SwSim::Compiled($sim) => $body,
+        }
+    };
+}
+
+impl SwSim {
+    /// Creates a backend of the requested flavor over `design`.
+    pub fn new(design: Arc<Design>, compiled: bool) -> SwSim {
+        if compiled {
+            SwSim::Compiled(CompiledSim::new(design))
+        } else {
+            SwSim::Tree(Simulator::new(design))
+        }
+    }
+
+    /// `"compiled"` or `"tree"` (stats and log lines).
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            SwSim::Tree(_) => "tree",
+            SwSim::Compiled(_) => "compiled",
+        }
+    }
+
+    /// The compiled backend, if that is what this is.
+    pub fn as_compiled_mut(&mut self) -> Option<&mut CompiledSim> {
+        match self {
+            SwSim::Compiled(c) => Some(c),
+            SwSim::Tree(_) => None,
+        }
+    }
+
+    /// The design being simulated.
+    pub fn design(&self) -> &Arc<Design> {
+        delegate!(self, s => s.design())
+    }
+
+    /// Process activations so far (profiling; drives the cost model).
+    pub fn activations(&self) -> u64 {
+        delegate!(self, s => s.activations)
+    }
+
+    /// Statements executed so far (profiling; drives the cost model).
+    pub fn statements(&self) -> u64 {
+        delegate!(self, s => s.statements)
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> u64 {
+        delegate!(self, s => s.time())
+    }
+
+    /// Whether `$finish` has executed.
+    pub fn is_finished(&self) -> bool {
+        delegate!(self, s => s.is_finished())
+    }
+
+    /// Runs `initial` blocks and settles time zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on combinational loops or runaway processes.
+    pub fn initialize(&mut self) -> Result<(), SimError> {
+        delegate!(self, s => s.initialize())
+    }
+
+    /// Re-settles combinational logic after [`SwSim::force`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on combinational loops.
+    pub fn resettle(&mut self) -> Result<(), SimError> {
+        delegate!(self, s => s.resettle())
+    }
+
+    /// Runs evaluation/update phases to a fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on combinational loops or runaway processes.
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        delegate!(self, s => s.settle())
+    }
+
+    /// Runs one evaluation phase, leaving nonblocking updates pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on combinational loops or runaway processes.
+    pub fn eval_phase(&mut self) -> Result<(), SimError> {
+        delegate!(self, s => s.eval_phase())
+    }
+
+    /// Applies pending nonblocking updates.
+    pub fn apply_updates(&mut self) {
+        delegate!(self, s => s.apply_updates())
+    }
+
+    /// Whether evaluation events are active.
+    pub fn has_evals(&self) -> bool {
+        delegate!(self, s => s.has_evals())
+    }
+
+    /// Whether nonblocking updates are pending.
+    pub fn has_updates(&self) -> bool {
+        delegate!(self, s => s.has_updates())
+    }
+
+    /// Runs `$monitor` checks (end of a scheduler step).
+    pub fn end_step(&mut self) {
+        delegate!(self, s => s.end_step())
+    }
+
+    /// Advances logical time by one tick.
+    pub fn advance_time(&mut self) {
+        delegate!(self, s => s.advance_time())
+    }
+
+    /// One full clock cycle on `clk` by var id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from settling.
+    pub fn tick_id(&mut self, clk: VarId) -> Result<(), SimError> {
+        delegate!(self, s => s.tick_id(clk))
+    }
+
+    /// Batched open-loop run: up to `max` cycles, stopping early at
+    /// `$finish` or the first observable event. Returns completed cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from settling.
+    pub fn tick_n(&mut self, clk: VarId, max: u64) -> Result<u64, SimError> {
+        match self {
+            SwSim::Compiled(c) => c.tick_n(clk, max),
+            SwSim::Tree(s) => {
+                let mut done = 0;
+                while done < max && !s.is_finished() {
+                    s.tick_id(clk)?;
+                    done += 1;
+                    if s.has_events() {
+                        break;
+                    }
+                }
+                Ok(done)
+            }
+        }
+    }
+
+    /// Reads a variable by id.
+    pub fn peek_id(&self, id: VarId) -> Bits {
+        delegate!(self, s => s.peek_id(id))
+    }
+
+    /// Reads one word of a memory.
+    pub fn peek_array(&self, id: VarId, index: u64) -> Bits {
+        delegate!(self, s => s.peek_array(id, index))
+    }
+
+    /// Sets a variable by id, scheduling dependents on change.
+    pub fn poke_id(&mut self, id: VarId, value: Bits) {
+        delegate!(self, s => s.poke_id(id, value))
+    }
+
+    /// Writes a memory word without triggering events.
+    pub fn poke_array(&mut self, id: VarId, index: u64, value: Bits) {
+        delegate!(self, s => s.poke_array(id, index, value))
+    }
+
+    /// Forces a value without triggering events (state restoration).
+    pub fn force(&mut self, id: VarId, value: Bits) {
+        delegate!(self, s => s.force(id, value))
+    }
+
+    /// Drains accumulated side-effect events.
+    pub fn drain_events(&mut self) -> Vec<SimEvent> {
+        delegate!(self, s => s.drain_events())
+    }
+
+    /// Whether any events are pending.
+    pub fn has_events(&self) -> bool {
+        delegate!(self, s => s.has_events())
+    }
+
+    /// Seeds `$random`.
+    pub fn seed_random(&mut self, seed: u64) {
+        delegate!(self, s => s.seed_random(seed))
+    }
+}

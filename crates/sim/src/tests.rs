@@ -682,3 +682,247 @@ fn generate_bounds_from_parameters() {
     sim.settle().unwrap();
     assert_eq!(sim.peek("o").to_u64(), 0b01011);
 }
+
+// ---------------------------------------------------------------------
+// Compiled backend (bytecode) vs the tree-walking oracle
+// ---------------------------------------------------------------------
+
+/// Runs `src` on both backends for `cycles` clock ticks, comparing every
+/// variable, every rendered event, `$finish` timing, and `$time`.
+fn diff_run(src: &str, top: &str, cycles: u32) {
+    let lib = library_from_source(src).expect("parse");
+    let design = Arc::new(elaborate(top, &lib, &ParamEnv::new()).expect("elaborate"));
+    let mut tree = Simulator::new(Arc::clone(&design));
+    let mut comp = crate::CompiledSim::new(Arc::clone(&design));
+    tree.initialize().expect("tree initialize");
+    comp.initialize().expect("compiled initialize");
+    let compare = |tree: &mut Simulator, comp: &mut crate::CompiledSim, when: &str| {
+        for (name, id) in design.iter_vars() {
+            let info = design.info(id);
+            if info.is_array() {
+                for i in 0..info.array_len {
+                    assert_eq!(
+                        tree.peek_array(id, i),
+                        comp.peek_array(id, i),
+                        "{name}[{i}] diverged {when}"
+                    );
+                }
+            } else {
+                assert_eq!(tree.peek_id(id), comp.peek_id(id), "{name} diverged {when}");
+            }
+        }
+        assert_eq!(
+            tree.drain_events(),
+            comp.drain_events(),
+            "events diverged {when}"
+        );
+        assert_eq!(
+            tree.is_finished(),
+            comp.is_finished(),
+            "$finish diverged {when}"
+        );
+        assert_eq!(tree.time(), comp.time(), "$time diverged {when}");
+    };
+    compare(&mut tree, &mut comp, "after initialize");
+    let clk = design.var("clk");
+    for cycle in 0..cycles {
+        let Some(clk) = clk else { break };
+        if tree.is_finished() {
+            break;
+        }
+        tree.tick_id(clk).expect("tree tick");
+        comp.tick_id(clk).expect("compiled tick");
+        compare(&mut tree, &mut comp, &format!("at cycle {cycle}"));
+    }
+}
+
+#[test]
+fn compiled_matches_tree_on_counter() {
+    diff_run(
+        "module Count(input wire clk, output wire [7:0] o);\n\
+         reg [7:0] c = 0;\n\
+         always @(posedge clk) c <= c + 1;\n\
+         assign o = c;\nendmodule",
+        "Count",
+        12,
+    );
+}
+
+#[test]
+fn compiled_matches_tree_on_running_example() {
+    diff_run(cascade_verilog::corpus::RUNNING_EXAMPLE, "Main", 10);
+}
+
+#[test]
+fn compiled_matches_tree_on_wide_values() {
+    diff_run(
+        "module W(input wire clk, output wire [7:0] o);\n\
+         reg [95:0] acc = 96'h1;\n\
+         reg [127:0] mix = 0;\n\
+         always @(posedge clk) begin\n\
+           acc <= (acc << 3) ^ (acc + 96'hdeadbeef01234567);\n\
+           mix <= {acc[63:0], acc[95:32]} + mix;\n\
+           if (acc[95:88] == 8'h5a) $display(\"hit %h\", mix);\n\
+         end\n\
+         assign o = acc[7:0] ^ mix[127:120];\nendmodule",
+        "W",
+        24,
+    );
+}
+
+#[test]
+fn compiled_matches_tree_on_signed_arith() {
+    diff_run(
+        "module S(input wire clk, output wire [31:0] o);\n\
+         integer a = -7; integer b = 3; reg signed [15:0] s = -2;\n\
+         always @(posedge clk) begin\n\
+           a <= a * b - (a / b) + (a % b);\n\
+           b <= (b <<< 1) + (s >>> 2) + (a > b ? 1 : -1);\n\
+           s <= s - 1;\n\
+         end\n\
+         assign o = a ^ b;\nendmodule",
+        "S",
+        16,
+    );
+}
+
+#[test]
+fn compiled_matches_tree_on_arrays_and_parts() {
+    diff_run(
+        "module M(input wire clk, output wire [15:0] o);\n\
+         reg [15:0] mem [0:7];\n\
+         reg [2:0] wp = 0;\n\
+         reg [15:0] x = 16'habcd;\n\
+         integer i;\n\
+         initial begin\n\
+           for (i = 0; i < 8; i = i + 1) mem[i] = i * 17;\n\
+         end\n\
+         always @(posedge clk) begin\n\
+           mem[wp] <= mem[wp] + x[7:0];\n\
+           x[3:0] <= x[15:12];\n\
+           x[15:8] <= mem[wp ^ 3][7:0];\n\
+           wp <= wp + 1;\n\
+         end\n\
+         assign o = mem[wp] ^ x;\nendmodule",
+        "M",
+        20,
+    );
+}
+
+#[test]
+fn compiled_matches_tree_on_case_and_loops() {
+    diff_run(
+        "module C(input wire clk, output wire [7:0] o);\n\
+         reg [7:0] st = 0; reg [7:0] acc = 1;\n\
+         integer k;\n\
+         always @(posedge clk) begin\n\
+           case (st[1:0])\n\
+             2'd0: acc <= acc + 1;\n\
+             2'd1: begin for (k = 0; k < 3; k = k + 1) acc = acc ^ (k + 1); acc <= acc; end\n\
+             2'd2: casez (acc)\n\
+               8'b1???????: acc <= 8'h3c;\n\
+               default: acc <= acc << 1;\n\
+             endcase\n\
+             default: begin\n\
+               repeat (2) acc = acc + 3;\n\
+               acc <= acc;\n\
+             end\n\
+           endcase\n\
+           st <= st + 1;\n\
+           if (st == 14) $finish;\n\
+         end\n\
+         assign o = acc;\nendmodule",
+        "C",
+        20,
+    );
+}
+
+#[test]
+fn compiled_matches_tree_on_random_and_monitor() {
+    diff_run(
+        "module R(input wire clk, output wire [31:0] o);\n\
+         reg [31:0] r = 0; reg [7:0] n = 0;\n\
+         initial $monitor(\"r=%d n=%h\", r, n);\n\
+         always @(posedge clk) begin\n\
+           r <= $random;\n\
+           n <= n + 1;\n\
+           if (n[2]) $display(\"t=%d r=%d\", $time, r);\n\
+         end\n\
+         assign o = r;\nendmodule",
+        "R",
+        14,
+    );
+}
+
+#[test]
+fn compiled_matches_tree_on_concat_lvalues() {
+    diff_run(
+        "module K(input wire clk, output wire [15:0] o);\n\
+         reg [7:0] hi = 8'h12; reg [7:0] lo = 8'h34;\n\
+         always @(posedge clk) begin\n\
+           {hi, lo} <= {lo, hi} + 16'h0101;\n\
+           {hi[3:0], lo[7:4]} <= hi + lo;\n\
+         end\n\
+         assign o = {hi, lo};\nendmodule",
+        "K",
+        12,
+    );
+}
+
+#[test]
+fn compiled_tick_n_stops_on_events_and_finish() {
+    let src = "module B(input wire clk, output wire [7:0] o);\n\
+               reg [7:0] c = 0;\n\
+               always @(posedge clk) begin\n\
+                 c <= c + 1;\n\
+                 if (c == 5) $display(\"five\");\n\
+                 if (c == 9) $finish;\n\
+               end\n\
+               assign o = c;\nendmodule";
+    let lib = library_from_source(src).expect("parse");
+    let design = Arc::new(elaborate("B", &lib, &ParamEnv::new()).expect("elaborate"));
+    let clk = design.var("clk").unwrap();
+    let mut comp = crate::CompiledSim::new(Arc::clone(&design));
+    comp.initialize().unwrap();
+    // Stops at the $display cycle, not the full batch.
+    let done = comp.tick_n(clk, 100).unwrap();
+    assert_eq!(done, 6, "batch halts on the first observable event");
+    assert!(matches!(&comp.drain_events()[..], [SimEvent::Display(s)] if s == "five"));
+    // Resumes and stops at $finish.
+    let done = comp.tick_n(clk, 100).unwrap();
+    assert!(comp.is_finished());
+    assert_eq!(done, 4, "batch halts when $finish lands");
+    // Finished engines run no further cycles.
+    assert_eq!(comp.tick_n(clk, 100).unwrap(), 0);
+}
+
+#[test]
+fn equality_if_chain_compiles_to_fused_branches() {
+    // The DFA transition-row shape: `if (v == K) ... else if (v == K') ...`
+    // must compile to single compare-and-branch ops, not Ld + Cmp + Jz
+    // triples.
+    let lib = library_from_source(
+        "module T(input wire clk, input wire [7:0] b, output reg [7:0] y);\n\
+         always @(*) begin\n\
+           if (b == 8'd71) y = 1;\n\
+           else if (b == 8'd72) y = 2;\n\
+           else y = 0;\n\
+         end\nendmodule",
+    )
+    .unwrap();
+    let design = elaborate("T", &lib, &Default::default()).unwrap();
+    let prog = crate::compile::SwProgram::compile(&design);
+    let fused = prog
+        .code
+        .iter()
+        .filter(|op| matches!(op, crate::compile::Op::JnCmpMI { .. }))
+        .count();
+    assert_eq!(fused, 2, "both equality guards fuse to JnCmpMI");
+    assert!(
+        !prog
+            .code
+            .iter()
+            .any(|op| matches!(op, crate::compile::Op::Jz(..))),
+        "no unfused conditional branches remain"
+    );
+}
