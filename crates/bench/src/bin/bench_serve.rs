@@ -1,0 +1,201 @@
+//! Serving-layer load generator: throughput and request latency as the
+//! session count grows on a fixed two-fabric fleet.
+//!
+//! For each session count S, a fresh server hosts S concurrent clients.
+//! Each client evals the counter design (measuring `eval` round-trip
+//! latency), then hammers `run` commands until the deadline, with a few
+//! more timed evals spread through the run (the interactive-user pattern:
+//! code keeps changing while it executes). Reported per S: total virtual
+//! ticks/second across all sessions, and p50/p99 latency for `eval` and
+//! `run` round trips.
+//!
+//! Prints one row per session count and writes `BENCH_serve.json` at the
+//! repository root. Set `CASCADE_BENCH_SECS` (default 0.25) per point;
+//! CI smoke uses 0.05.
+
+use cascade_serve::{InProcClient, ServeConfig, Server};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const COUNTER: &str = "reg [31:0] cnt = 0;\n\
+                       always @(posedge clk.val) cnt <= cnt + 1;\n\
+                       assign led.val = cnt[7:0];";
+
+/// Extra timed evals per session after setup (kept small: every eval
+/// appends an item, and rebuild cost grows with program size).
+const EXTRA_EVALS: usize = 8;
+
+const RUN_TICKS: u64 = 256;
+
+struct Point {
+    sessions: usize,
+    ticks_per_sec: f64,
+    eval_p50_us: f64,
+    eval_p99_us: f64,
+    run_p50_us: f64,
+    run_p99_us: f64,
+    promotions: u64,
+    revocations: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn drive(sessions: usize, secs: f64) -> Point {
+    let mut config = ServeConfig::quick();
+    config.fabrics = 2;
+    config.workers = sessions.clamp(2, 8);
+    let server = Server::new(config);
+
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut client = InProcClient::connect(&server);
+                client.open().expect("open");
+                let mut eval_lat = Vec::new();
+                let mut run_lat = Vec::new();
+                let mut ticks = 0u64;
+                for line in COUNTER.lines() {
+                    let t0 = Instant::now();
+                    client.eval(line).expect("eval");
+                    eval_lat.push(micros(t0.elapsed()));
+                }
+                let deadline = Instant::now() + Duration::from_secs_f64(secs);
+                let mut iter = 0usize;
+                while Instant::now() < deadline {
+                    let t0 = Instant::now();
+                    let r = client.run(RUN_TICKS).expect("run");
+                    run_lat.push(micros(t0.elapsed()));
+                    ticks += r.ticks;
+                    iter += 1;
+                    // Interactive-user pattern: occasional live edits.
+                    if eval_lat.len() < COUNTER.lines().count() + EXTRA_EVALS
+                        && iter.is_multiple_of(16)
+                    {
+                        let t0 = Instant::now();
+                        client
+                            .eval(&format!("initial $display(\"hb{i} {iter}\");"))
+                            .expect("eval hb");
+                        eval_lat.push(micros(t0.elapsed()));
+                        let _ = client.drain().expect("drain");
+                    }
+                }
+                let stats = client.stats().expect("stats");
+                let promotions = stats
+                    .get("promotions")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                (eval_lat, run_lat, ticks, promotions)
+            })
+        })
+        .collect();
+
+    let mut eval_lat = Vec::new();
+    let mut run_lat = Vec::new();
+    let mut total_ticks = 0u64;
+    let mut promotions = 0u64;
+    let t0 = Instant::now();
+    for h in handles {
+        let (e, r, t, p) = h.join().expect("session thread");
+        eval_lat.extend(e);
+        run_lat.extend(r);
+        total_ticks += t;
+        promotions += p;
+    }
+    let elapsed = t0.elapsed().as_secs_f64().max(secs);
+
+    let mut probe = InProcClient::connect(&server);
+    probe.open().expect("open probe");
+    let server_stats = probe.server_stats().expect("server stats");
+    let revocations = server_stats
+        .get("fabric_revocations")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+
+    eval_lat.sort_by(f64::total_cmp);
+    run_lat.sort_by(f64::total_cmp);
+    Point {
+        sessions,
+        ticks_per_sec: total_ticks as f64 / elapsed,
+        eval_p50_us: percentile(&eval_lat, 0.50),
+        eval_p99_us: percentile(&eval_lat, 0.99),
+        run_p50_us: percentile(&run_lat, 0.50),
+        run_p99_us: percentile(&run_lat, 0.99),
+        promotions,
+        revocations,
+    }
+}
+
+fn render_json(points: &[Point]) -> String {
+    let mut out =
+        String::from("{\n  \"benchmark\": \"serve_scaling\",\n  \"fabrics\": 2,\n  \"rows\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"sessions\": {}, \"ticks_per_sec\": {:.0}, \
+             \"eval_p50_us\": {:.1}, \"eval_p99_us\": {:.1}, \
+             \"run_p50_us\": {:.1}, \"run_p99_us\": {:.1}, \
+             \"promotions\": {}, \"revocations\": {}}}{comma}",
+            p.sessions,
+            p.ticks_per_sec,
+            p.eval_p50_us,
+            p.eval_p99_us,
+            p.run_p50_us,
+            p.run_p99_us,
+            p.promotions,
+            p.revocations,
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let secs: f64 = std::env::var("CASCADE_BENCH_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    println!("serve scaling on a 2-fabric fleet ({secs}s per point)\n");
+    println!(
+        "{:>8} {:>14} {:>12} {:>12} {:>12} {:>12} {:>6} {:>6}",
+        "sessions",
+        "ticks/s",
+        "eval p50 µs",
+        "eval p99 µs",
+        "run p50 µs",
+        "run p99 µs",
+        "promo",
+        "revoke"
+    );
+    let mut points = Vec::new();
+    for sessions in [1usize, 2, 4, 8] {
+        let p = drive(sessions, secs);
+        println!(
+            "{:>8} {:>14.0} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>6}",
+            p.sessions,
+            p.ticks_per_sec,
+            p.eval_p50_us,
+            p.eval_p99_us,
+            p.run_p50_us,
+            p.run_p99_us,
+            p.promotions,
+            p.revocations,
+        );
+        points.push(p);
+    }
+    let json = render_json(&points);
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+}

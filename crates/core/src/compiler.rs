@@ -1,31 +1,149 @@
 //! The background compilation pipeline.
 //!
 //! When the runtime (re)builds its IR, it hands the user-logic subprogram to
-//! a worker thread running the virtual toolchain. Execution continues in
-//! software; when the bitstream is ready — and the *modeled* compile
-//! latency has elapsed on the virtual wall clock — the runtime swaps the
-//! software engine for a hardware engine. From the user's perspective the
-//! program simply gets faster.
+//! the virtual toolchain. Execution continues in software; when the
+//! bitstream is ready — and the *modeled* compile latency has elapsed on the
+//! virtual wall clock — the runtime swaps the software engine for a hardware
+//! engine. From the user's perspective the program simply gets faster.
+//!
+//! Two execution arrangements share this module:
+//!
+//! - **Solo** (the single-user REPL): each [`BackgroundCompiler`] spawns a
+//!   worker thread per submission, with a private [`BitstreamCache`].
+//! - **Pooled** (the multi-tenant server): a [`CompilePool`] owns K worker
+//!   threads, a bounded job queue, and one shared cache; every session's
+//!   `BackgroundCompiler` submits through a [`CompileQueue`] handle.
+//!   Concurrent submissions of the same synthesized netlist are coalesced
+//!   by content hash — one compile runs, every waiter gets the result.
 
 use cascade_fpga::{wrapper_overhead_les, Bitstream, CompileError, Toolchain};
-use cascade_netlist::{fingerprint, synthesize};
+use cascade_netlist::{fingerprint, synthesize, Netlist};
 use cascade_sim::Design;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// Bitstreams by content-hash cache key ([`Toolchain::cache_key`] over the
-/// synthesized netlist's structural fingerprint). Shared with worker
-/// threads, so a superseded compile still warms the cache.
-type BitstreamCache = Arc<Mutex<HashMap<u64, Bitstream>>>;
 
 /// Modeled latency of a cache hit: fetching a stored bitstream and
 /// reprogramming the fabric, not rerunning the toolchain (paper Sec. 7
 /// positions this as the biggest practical win for iterative development).
 const CACHE_HIT_LATENCY_S: f64 = 1.0;
+
+/// Default bound on the bitstream cache (entries). Bitstreams hold a full
+/// placed netlist, so an unbounded cache in a long-lived shared server
+/// would grow without limit.
+pub const DEFAULT_BITSTREAM_CACHE_CAPACITY: usize = 64;
+
+// ---------------------------------------------------------------------
+// Bounded LRU bitstream cache
+// ---------------------------------------------------------------------
+
+/// Bitstreams by content-hash cache key ([`Toolchain::cache_key`] over the
+/// synthesized netlist's structural fingerprint), bounded with
+/// least-recently-used eviction. Shared with worker threads, so a
+/// superseded compile still warms the cache.
+pub struct BitstreamCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct CacheInner {
+    map: HashMap<u64, CacheEntry>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+}
+
+struct CacheEntry {
+    bitstream: Bitstream,
+    used: u64,
+}
+
+impl BitstreamCache {
+    /// An empty cache bounded to `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BitstreamCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a bitstream, refreshing its LRU position. Does not touch
+    /// the hit/miss counters — those count whole compile requests, which
+    /// the compile paths record themselves.
+    fn get(&self, key: u64) -> Option<Bitstream> {
+        let mut inner = self.inner.lock().expect("bitstream cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(&key)?;
+        entry.used = tick;
+        Some(entry.bitstream.clone())
+    }
+
+    /// Inserts a bitstream, evicting the least-recently-used entry when
+    /// over capacity.
+    fn insert(&self, key: u64, bitstream: Bitstream) {
+        let mut inner = self.inner.lock().expect("bitstream cache poisoned");
+        inner.tick += 1;
+        let used = inner.tick;
+        inner.map.insert(key, CacheEntry { bitstream, used });
+        while inner.map.len() > self.capacity {
+            let Some(coldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            inner.map.remove(&coldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cached entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("bitstream cache poisoned")
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compile requests answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Compile requests that ran the full modeled toolchain flow.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay under the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compile outcome
+// ---------------------------------------------------------------------
 
 /// The outcome of one background compile.
 #[derive(Debug)]
@@ -37,8 +155,205 @@ pub struct CompileOutcome {
     pub latency: Duration,
 }
 
+impl CompileOutcome {
+    fn clone_for(&self, version: u64) -> CompileOutcome {
+        CompileOutcome {
+            version,
+            result: self.result.clone(),
+            latency: self.latency,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared compile pool (the server's K toolchain workers)
+// ---------------------------------------------------------------------
+
+struct Job {
+    design: Arc<Design>,
+    toolchain: Toolchain,
+    version: u64,
+    tx: Sender<CompileOutcome>,
+}
+
+/// Submissions waiting on an in-flight compile of the same content hash:
+/// `(runtime version, outcome channel)` per waiter.
+type Waiters = Vec<(u64, Sender<CompileOutcome>)>;
+
+struct QueueShared {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    cache: Arc<BitstreamCache>,
+    /// Content-hash keys being compiled right now, with the submissions
+    /// waiting on each (deduplication of concurrent identical compiles).
+    in_progress: Mutex<HashMap<u64, Waiters>>,
+    coalesced: AtomicU64,
+    dropped: AtomicU64,
+    capacity: usize,
+    shutdown: AtomicBool,
+}
+
+/// A cloneable submission handle into a [`CompilePool`].
+#[derive(Clone)]
+pub struct CompileQueue {
+    shared: Arc<QueueShared>,
+}
+
+impl CompileQueue {
+    fn submit(&self, job: Job) {
+        let mut q = self.shared.jobs.lock().expect("compile queue poisoned");
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return; // tx drops; the submitter degrades to software-only
+        }
+        if q.len() >= self.shared.capacity {
+            // Bounded queue: shed the oldest waiting job. Its submitter's
+            // receiver disconnects and that session simply stays on its
+            // software engine until it resubmits.
+            q.pop_front();
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(job);
+        self.shared.available.notify_one();
+    }
+
+    /// The shared bitstream cache.
+    pub fn cache(&self) -> &Arc<BitstreamCache> {
+        &self.shared.cache
+    }
+
+    /// Jobs waiting for a worker.
+    pub fn depth(&self) -> usize {
+        self.shared
+            .jobs
+            .lock()
+            .expect("compile queue poisoned")
+            .len()
+    }
+
+    /// Submissions coalesced onto an identical in-flight compile.
+    pub fn coalesced(&self) -> u64 {
+        self.shared.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Jobs shed because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// K worker threads draining a bounded queue of compile jobs into a shared
+/// [`BitstreamCache`]. Owns the threads; dropping the pool shuts them down
+/// (queued jobs are abandoned, in-flight compiles finish).
+pub struct CompilePool {
+    queue: CompileQueue,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CompilePool {
+    /// Spawns `workers` toolchain workers over a queue bounded to
+    /// `queue_capacity` jobs and a cache bounded to `cache_capacity`
+    /// bitstreams.
+    pub fn new(workers: usize, queue_capacity: usize, cache_capacity: usize) -> Self {
+        let shared = Arc::new(QueueShared {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            cache: Arc::new(BitstreamCache::new(cache_capacity)),
+            in_progress: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            capacity: queue_capacity.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        CompilePool {
+            queue: CompileQueue { shared },
+            workers: handles,
+        }
+    }
+
+    /// A submission handle for sessions.
+    pub fn queue(&self) -> CompileQueue {
+        self.queue.clone()
+    }
+}
+
+impl Drop for CompilePool {
+    fn drop(&mut self) {
+        self.queue.shared.shutdown.store(true, Ordering::Release);
+        self.queue.shared.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &QueueShared) {
+    loop {
+        let job = {
+            let mut q = shared.jobs.lock().expect("compile queue poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = shared.available.wait(q).expect("compile queue poisoned");
+            }
+        };
+        run_pooled_job(shared, job);
+    }
+}
+
+fn run_pooled_job(shared: &QueueShared, job: Job) {
+    let (netlist, tc, key) = match synth_for_compile(&job.design, &job.toolchain, job.version) {
+        Ok(parts) => parts,
+        Err(outcome) => {
+            let _ = job.tx.send(outcome);
+            return;
+        }
+    };
+    if let Some(bs) = shared.cache.get(key) {
+        shared.cache.hits.fetch_add(1, Ordering::Relaxed);
+        let _ = job.tx.send(hit_outcome(bs, &tc, job.version));
+        return;
+    }
+    {
+        let mut ip = shared.in_progress.lock().expect("in-progress map poisoned");
+        if let Some(waiters) = ip.get_mut(&key) {
+            // An identical compile is running: ride on its result.
+            waiters.push((job.version, job.tx));
+            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        ip.insert(key, Vec::new());
+    }
+    let outcome = run_toolchain(netlist, &tc, key, job.version, &shared.cache);
+    let waiters = shared
+        .in_progress
+        .lock()
+        .expect("in-progress map poisoned")
+        .remove(&key)
+        .unwrap_or_default();
+    for (version, tx) in waiters {
+        let _ = tx.send(outcome.clone_for(version));
+    }
+    let _ = job.tx.send(outcome);
+}
+
+// ---------------------------------------------------------------------
+// Per-session background compiler
+// ---------------------------------------------------------------------
+
 /// A single-slot background compiler (a newer submission supersedes an
-/// in-flight one: its result will be dropped as stale).
+/// in-flight one: its result will be dropped as stale). Standalone by
+/// default; attach a [`CompileQueue`] to share a server-wide worker pool
+/// and cache instead of spawning a thread per submission.
 pub struct BackgroundCompiler {
     rx: Option<Receiver<CompileOutcome>>,
     handle: Option<JoinHandle<()>>,
@@ -47,9 +362,8 @@ pub struct BackgroundCompiler {
     submitted_version: u64,
     /// Completed outcome waiting for its modeled latency to elapse.
     staged: Option<CompileOutcome>,
-    cache: BitstreamCache,
-    cache_hits: Arc<AtomicU64>,
-    cache_misses: Arc<AtomicU64>,
+    cache: Arc<BitstreamCache>,
+    queue: Option<CompileQueue>,
 }
 
 impl Default for BackgroundCompiler {
@@ -59,29 +373,54 @@ impl Default for BackgroundCompiler {
 }
 
 impl BackgroundCompiler {
-    /// An idle compiler.
+    /// An idle compiler with a private, default-bounded cache.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_BITSTREAM_CACHE_CAPACITY)
+    }
+
+    /// An idle compiler with a private cache bounded to `cache_capacity`.
+    pub fn with_capacity(cache_capacity: usize) -> Self {
         BackgroundCompiler {
             rx: None,
             handle: None,
             submitted_s: 0.0,
             submitted_version: 0,
             staged: None,
-            cache: Arc::default(),
-            cache_hits: Arc::default(),
-            cache_misses: Arc::default(),
+            cache: Arc::new(BitstreamCache::new(cache_capacity)),
+            queue: None,
+        }
+    }
+
+    /// An idle compiler submitting into a shared pool (the pool's cache
+    /// replaces the private one).
+    pub fn with_queue(queue: CompileQueue) -> Self {
+        let cache = Arc::clone(queue.cache());
+        BackgroundCompiler {
+            rx: None,
+            handle: None,
+            submitted_s: 0.0,
+            submitted_version: 0,
+            staged: None,
+            cache,
+            queue: Some(queue),
         }
     }
 
     /// Compiles whose synthesized netlist + toolchain matched a cached
-    /// bitstream (and so returned in ~[`CACHE_HIT_LATENCY_S`]).
+    /// bitstream (and so returned in ~[`CACHE_HIT_LATENCY_S`]). Shared
+    /// across sessions when pooled.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.cache.hits()
     }
 
     /// Compiles that ran the full modeled toolchain flow.
     pub fn cache_misses(&self) -> u64 {
-        self.cache_misses.load(Ordering::Relaxed)
+        self.cache.misses()
+    }
+
+    /// Bitstreams evicted from the (bounded) cache.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
     }
 
     /// Whether a compile is in flight or staged.
@@ -99,16 +438,23 @@ impl BackgroundCompiler {
     /// submission.
     pub fn submit(&mut self, design: Arc<Design>, toolchain: Toolchain, version: u64, wall_s: f64) {
         let (tx, rx) = channel();
-        let cache = Arc::clone(&self.cache);
-        let hits = Arc::clone(&self.cache_hits);
-        let misses = Arc::clone(&self.cache_misses);
-        let handle = std::thread::spawn(move || {
-            let outcome =
-                compile_with_wrapper(&design, &toolchain, version, &cache, &hits, &misses);
-            let _ = tx.send(outcome);
-        });
+        if let Some(queue) = &self.queue {
+            queue.submit(Job {
+                design,
+                toolchain,
+                version,
+                tx,
+            });
+            self.handle = None;
+        } else {
+            let cache = Arc::clone(&self.cache);
+            let handle = std::thread::spawn(move || {
+                let outcome = compile_with_wrapper(&design, &toolchain, version, &cache);
+                let _ = tx.send(outcome);
+            });
+            self.handle = Some(handle);
+        }
         self.rx = Some(rx);
-        self.handle = Some(handle);
         self.submitted_s = wall_s;
         self.submitted_version = version;
         self.staged = None;
@@ -129,6 +475,8 @@ impl BackgroundCompiler {
                     }
                     Err(TryRecvError::Empty) => {}
                     Err(TryRecvError::Disconnected) => {
+                        // Pool shut down or shed the job: no bitstream is
+                        // coming; stay in software.
                         self.rx = None;
                     }
                 }
@@ -169,58 +517,68 @@ impl BackgroundCompiler {
     }
 }
 
-/// Runs the full flow: synthesis, wrapper-overhead accounting, placement,
-/// timing. Failures carry a modeled latency too — a timing-closure failure
-/// is only discovered after place-and-route (paper Sec. 6.4).
-///
-/// The cache lookup happens *after* synthesis: the key is a content hash of
-/// the synthesized netlist (plus toolchain knobs), so semantically identical
-/// resubmissions — a re-eval of unchanged source, a whitespace edit — skip
-/// place-and-route and the minutes of modeled latency that dominate it.
-fn compile_with_wrapper(
+// ---------------------------------------------------------------------
+// The compile flow (shared by solo and pooled workers)
+// ---------------------------------------------------------------------
+
+/// Synthesis plus cache-key derivation: the common prefix of every compile.
+/// The key is a content hash of the synthesized netlist (plus toolchain
+/// knobs), so semantically identical resubmissions — a re-eval of unchanged
+/// source, a whitespace edit, another tenant running the same program —
+/// share one cache entry.
+// The large `Err` is deliberate: a synthesis failure IS a compile outcome
+// (cold path), not an error to box and rethrow.
+#[allow(clippy::type_complexity, clippy::result_large_err)]
+fn synth_for_compile(
     design: &Design,
     toolchain: &Toolchain,
     version: u64,
-    cache: &BitstreamCache,
-    hits: &AtomicU64,
-    misses: &AtomicU64,
-) -> CompileOutcome {
+) -> Result<(Arc<Netlist>, Toolchain, u64), CompileOutcome> {
     let netlist = match synthesize(design) {
         Ok(nl) => Arc::new(nl),
         Err(e) => {
-            return CompileOutcome {
+            return Err(CompileOutcome {
                 version,
                 result: Err(CompileError::Synth(e)),
                 // Synthesis errors surface early in a real flow.
                 latency: Duration::from_secs(30),
-            };
+            });
         }
     };
     let mut tc = toolchain.clone();
     tc.overhead_les = wrapper_overhead_les(&netlist);
     let key = tc.cache_key(fingerprint(&netlist));
-    if let Some(bs) = cache.lock().expect("bitstream cache poisoned").get(&key) {
-        hits.fetch_add(1, Ordering::Relaxed);
-        let latency = Duration::from_secs_f64(CACHE_HIT_LATENCY_S * tc.time_scale);
-        let mut bs = bs.clone();
-        bs.modeled_duration = latency;
-        return CompileOutcome {
-            version,
-            result: Ok(bs),
-            latency,
-        };
+    Ok((netlist, tc, key))
+}
+
+fn hit_outcome(mut bitstream: Bitstream, tc: &Toolchain, version: u64) -> CompileOutcome {
+    let latency = Duration::from_secs_f64(CACHE_HIT_LATENCY_S * tc.time_scale);
+    bitstream.modeled_duration = latency;
+    CompileOutcome {
+        version,
+        result: Ok(bitstream),
+        latency,
     }
-    misses.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Place-and-route with modeled latency; successful bitstreams enter the
+/// cache. Failures carry a modeled latency too — a timing-closure failure
+/// is only discovered after place-and-route (paper Sec. 6.4).
+fn run_toolchain(
+    netlist: Arc<Netlist>,
+    tc: &Toolchain,
+    key: u64,
+    version: u64,
+    cache: &BitstreamCache,
+) -> CompileOutcome {
+    cache.misses.fetch_add(1, Ordering::Relaxed);
     let area = cascade_netlist::estimate_area(&netlist);
     let mut padded = area;
     padded.logic_elements += tc.overhead_les;
     let full_latency = tc.modeled_duration(&padded, netlist.cell_count());
-    match tc.compile_netlist(Arc::clone(&netlist)) {
+    match tc.compile_netlist(netlist) {
         Ok(bs) => {
-            cache
-                .lock()
-                .expect("bitstream cache poisoned")
-                .insert(key, bs.clone());
+            cache.insert(key, bs.clone());
             CompileOutcome {
                 version,
                 result: Ok(bs),
@@ -239,4 +597,23 @@ fn compile_with_wrapper(
             latency: full_latency,
         },
     }
+}
+
+/// Runs the full solo flow: synthesis, wrapper-overhead accounting, cache
+/// lookup, placement, timing.
+fn compile_with_wrapper(
+    design: &Design,
+    toolchain: &Toolchain,
+    version: u64,
+    cache: &BitstreamCache,
+) -> CompileOutcome {
+    let (netlist, tc, key) = match synth_for_compile(design, toolchain, version) {
+        Ok(parts) => parts,
+        Err(outcome) => return outcome,
+    };
+    if let Some(bs) = cache.get(key) {
+        cache.hits.fetch_add(1, Ordering::Relaxed);
+        return hit_outcome(bs, &tc, version);
+    }
+    run_toolchain(netlist, &tc, key, version, cache)
 }

@@ -30,6 +30,10 @@ pub struct JitConfig {
     pub pad_width: u32,
     /// Width of the implicit LED bank.
     pub led_width: u32,
+    /// Bound on the bitstream compile cache (entries, LRU-evicted). Only
+    /// used for the runtime's private cache; a shared
+    /// [`CompilePool`](crate::CompilePool) brings its own bound.
+    pub bitstream_cache_capacity: usize,
 }
 
 impl Default for JitConfig {
@@ -45,6 +49,7 @@ impl Default for JitConfig {
             costs: CostModel::default(),
             pad_width: 4,
             led_width: 8,
+            bitstream_cache_capacity: crate::compiler::DEFAULT_BITSTREAM_CACHE_CAPACITY,
         }
     }
 }

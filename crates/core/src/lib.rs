@@ -39,7 +39,10 @@ mod repl;
 mod runtime;
 pub mod transform;
 
-pub use compiler::{BackgroundCompiler, CompileOutcome};
+pub use compiler::{
+    BackgroundCompiler, BitstreamCache, CompileOutcome, CompilePool, CompileQueue,
+    DEFAULT_BITSTREAM_CACHE_CAPACITY,
+};
 pub use config::JitConfig;
 pub use engine::{Engine, EngineKind, EngineState, TaskEvent};
 pub use error::CascadeError;

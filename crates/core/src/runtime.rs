@@ -7,7 +7,7 @@
 //! which is also when hardware engines replace software engines and
 //! interrupts (system-task side effects) are serviced.
 
-use crate::compiler::BackgroundCompiler;
+use crate::compiler::{BackgroundCompiler, CompileQueue};
 use crate::config::JitConfig;
 use crate::engine::clock::ClockEngine;
 use crate::engine::hw::{Forwarded, HwEngine};
@@ -18,7 +18,7 @@ use crate::engine::{Engine, EngineKind, EngineState, TaskEvent};
 use crate::error::CascadeError;
 use crate::transform::{transform_module, Externals, Wire};
 use cascade_bits::Bits;
-use cascade_fpga::{Board, VirtualWall};
+use cascade_fpga::{Board, Fleet, Lease, VirtualWall};
 use cascade_sim::Design;
 use cascade_verilog::ast::{Item, Module, ModuleItem};
 use cascade_verilog::typecheck::{check_module, const_eval, ModuleLibrary, ParamEnv};
@@ -79,6 +79,17 @@ pub struct RuntimeStats {
     pub compile_cache_hits: u64,
     /// Background compiles that ran the full modeled toolchain flow.
     pub compile_cache_misses: u64,
+    /// Bitstreams evicted from the bounded cache (LRU).
+    pub compile_cache_evictions: u64,
+    /// Whether this runtime currently holds a fabric lease from an
+    /// attached [`Fleet`].
+    pub lease_held: bool,
+    /// Whether a compiled bitstream is ready but waiting for a fabric.
+    pub hw_pending: bool,
+    /// Software→hardware engine swaps performed.
+    pub hw_promotions: u64,
+    /// Hardware→software demotions forced by fleet lease revocation.
+    pub lease_demotions: u64,
 }
 
 /// The Cascade runtime: eval Verilog, run it immediately, let the JIT move
@@ -129,7 +140,27 @@ pub struct Runtime {
     open_loop_budget: f64,
     /// Warnings surfaced asynchronously (compile failures).
     warnings: Vec<String>,
+
+    /// Shared fabric fleet this runtime arbitrates through (multi-tenant
+    /// serving); `None` means a dedicated fabric is always available.
+    fleet: Option<(Fleet, u64)>,
+    /// The fabric lease currently held (hardware execution).
+    lease: Option<Lease>,
+    /// Activity heat reported to the fleet arbiter (server-assigned,
+    /// monotonically increasing across tenants).
+    heat: f64,
+    /// A compiled bitstream waiting for a fabric lease.
+    pending_hw: Option<Arc<cascade_netlist::Netlist>>,
+    promotions: u64,
+    demotions: u64,
 }
+
+// Sessions are hosted on server worker threads; the runtime must be free
+// to migrate between them.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Runtime>();
+};
 
 impl Runtime {
     /// Creates a runtime bound to a virtual board. The standard library is
@@ -153,6 +184,7 @@ impl Runtime {
             .device
             .open_loop_batch_hint(config.open_loop_target_s)
             .min(1 << 22) as f64;
+        let cache_capacity = config.bitstream_cache_capacity;
         let mut rt = Runtime {
             config,
             board,
@@ -167,12 +199,18 @@ impl Runtime {
             finished: false,
             wall: VirtualWall::new(),
             iterations: 0,
-            compiler: BackgroundCompiler::new(),
+            compiler: BackgroundCompiler::with_capacity(cache_capacity),
             hw_design: None,
             native: false,
             open_loop_last: false,
             open_loop_budget,
             warnings: Vec::new(),
+            fleet: None,
+            lease: None,
+            heat: 0.0,
+            pending_hw: None,
+            promotions: 0,
+            demotions: 0,
         };
         rt.rebuild()?;
         Ok(rt)
@@ -232,7 +270,59 @@ impl Runtime {
             open_loop_active: self.open_loop_last,
             compile_cache_hits: self.compiler.cache_hits(),
             compile_cache_misses: self.compiler.cache_misses(),
+            compile_cache_evictions: self.compiler.cache_evictions(),
+            lease_held: self.lease.is_some(),
+            hw_pending: self.pending_hw.is_some(),
+            hw_promotions: self.promotions,
+            lease_demotions: self.demotions,
         }
+    }
+
+    /// Joins a shared virtual-FPGA fleet: hardware promotion now requires a
+    /// fabric lease from `fleet`, and the lease can be revoked (the runtime
+    /// migrates back to its software engine at the next tick boundary).
+    /// `tenant` must be unique across the fleet's tenants.
+    pub fn attach_fleet(&mut self, fleet: Fleet, tenant: u64) {
+        self.fleet = Some((fleet, tenant));
+    }
+
+    /// Routes background compiles through a shared [`CompilePool`] queue
+    /// (replacing the private per-runtime compiler and cache). Call before
+    /// the first `eval`.
+    ///
+    /// [`CompilePool`]: crate::CompilePool
+    pub fn attach_compile_queue(&mut self, queue: CompileQueue) {
+        self.compiler = BackgroundCompiler::with_queue(queue);
+    }
+
+    /// Reports this tenant's activity heat to the fleet arbiter (higher =
+    /// more recently active; the server assigns monotonically increasing
+    /// stamps across tenants).
+    pub fn set_heat(&mut self, heat: f64) {
+        self.heat = heat;
+        if let Some((fleet, tenant)) = &self.fleet {
+            fleet.touch(*tenant, heat);
+        }
+    }
+
+    /// Whether this runtime currently holds a fabric lease.
+    pub fn lease_held(&self) -> bool {
+        self.lease.is_some()
+    }
+
+    /// Services fleet and compiler events without advancing virtual time:
+    /// vacates a revoked lease (migrating state back to software), polls
+    /// the background compiler, and claims a fabric when one is available.
+    /// The server calls this on idle sessions so a revocation or a
+    /// reservation does not wait for the tenant's next command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError`] if an engine rebuild or swap fails.
+    pub fn service(&mut self) -> Result<(), CascadeError> {
+        self.check_revocation()?;
+        self.poll_compiler()?;
+        self.try_promote()
     }
 
     /// The current execution mode.
@@ -331,7 +421,9 @@ impl Runtime {
         let mut done = 0;
         self.open_loop_last = false;
         while done < n && !self.finished {
+            self.check_revocation()?;
             self.poll_compiler()?;
+            self.try_promote()?;
             if let Some(k) = self.try_open_loop(n - done)? {
                 done += k;
                 continue;
@@ -423,6 +515,11 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     fn rebuild(&mut self) -> Result<(), CascadeError> {
+        // Engines are about to be replaced with software: any staged
+        // bitstream is stale and a held fabric lease must be returned to
+        // the fleet (dropping it releases the fabric).
+        self.pending_hw = None;
+        self.lease = None;
         // 1. Save state.
         let mut saved: BTreeMap<String, EngineState> = BTreeMap::new();
         for slot in &mut self.slots {
@@ -740,7 +837,14 @@ impl Runtime {
         }
         match outcome.result {
             Ok(bitstream) => {
-                self.swap_to_hardware(Arc::clone(&bitstream.netlist))?;
+                if self.fleet.is_some() {
+                    // Fleet-arbitrated: hold the bitstream until a fabric
+                    // lease is granted.
+                    self.pending_hw = Some(Arc::clone(&bitstream.netlist));
+                    self.try_promote()?;
+                } else {
+                    self.swap_to_hardware(Arc::clone(&bitstream.netlist))?;
+                }
             }
             Err(e) => {
                 self.warnings
@@ -751,6 +855,42 @@ impl Runtime {
         Ok(())
     }
 
+    /// Claims a fabric lease for a pending bitstream, swapping to hardware
+    /// when granted. No-op without a pending bitstream or with a lease
+    /// already held; a denied request leaves the tenant registered as
+    /// pending with the arbiter (and may flag a colder holder for
+    /// revocation).
+    fn try_promote(&mut self) -> Result<(), CascadeError> {
+        if self.native || self.lease.is_some() || self.pending_hw.is_none() {
+            return Ok(());
+        }
+        let Some((fleet, tenant)) = &self.fleet else {
+            return Ok(());
+        };
+        let Some(lease) = fleet.request(*tenant, self.heat) else {
+            return Ok(());
+        };
+        self.lease = Some(lease);
+        let netlist = self.pending_hw.take().expect("pending bitstream");
+        self.swap_to_hardware(netlist)
+    }
+
+    /// Vacates a revoked fabric lease: the hardware engine's state migrates
+    /// back into a fresh software engine (`get_state`/`set_state` via
+    /// `rebuild`), and the fabric returns to the fleet. The rebuild
+    /// resubmits the design to the background compiler, so the tenant
+    /// re-promotes through the (cached) compile path when a fabric frees
+    /// up — the cache-hit latency doubles as thrash hysteresis.
+    fn check_revocation(&mut self) -> Result<(), CascadeError> {
+        let revoked = self.lease.as_ref().map(Lease::revoked).unwrap_or(false);
+        if !revoked {
+            return Ok(());
+        }
+        self.demotions += 1;
+        self.lease = None; // dropping the lease releases the fabric
+        self.rebuild()
+    }
+
     fn swap_to_hardware(
         &mut self,
         netlist: Arc<cascade_netlist::Netlist>,
@@ -758,6 +898,7 @@ impl Runtime {
         let Some(main_idx) = self.main_idx else {
             return Ok(());
         };
+        self.promotions += 1;
         // Swap only at a tick boundary (clock low) so edge detection stays
         // coherent.
         let mut hw =
@@ -926,6 +1067,17 @@ impl Runtime {
         }
         self.open_loop_last = true;
         Ok(Some(done))
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Return the fabric and withdraw any pending fleet request so a
+        // closed session cannot strand a reservation.
+        self.lease = None;
+        if let Some((fleet, tenant)) = &self.fleet {
+            fleet.cancel(*tenant);
+        }
     }
 }
 

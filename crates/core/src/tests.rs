@@ -482,6 +482,27 @@ fn repl_immediate_output() {
 }
 
 #[test]
+fn repl_batched_error_names_offending_item() {
+    let (rt, _) = runtime(no_compile_config());
+    let mut repl = Repl::new(rt);
+    // Two items close on one line; only the second is bad. The error must
+    // name item 2 and give a buffer-relative position (line 2), and the
+    // good first item must stay committed.
+    assert_eq!(repl.line("reg [3:0] a"), ReplResponse::Incomplete);
+    let ReplResponse::Error(msg) = repl.line("= 1; assign led.val = bad_name;") else {
+        panic!("expected error for the second item");
+    };
+    assert!(msg.contains("item 2 of 2"), "got: {msg}");
+    assert!(msg.contains("assign led.val"), "got: {msg}");
+    assert!(msg.contains("2:"), "expected buffer line 2, got: {msg}");
+    // `a` was committed before the failure.
+    assert!(matches!(
+        repl.line("assign led.val = a;"),
+        ReplResponse::Evaluated(_)
+    ));
+}
+
+#[test]
 fn repl_batch_mode() {
     let (rt, board) = runtime(no_compile_config());
     let mut repl = Repl::new(rt);

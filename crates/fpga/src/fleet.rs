@@ -1,0 +1,268 @@
+//! A shared fleet of virtual FPGA fabrics with lease-based arbitration.
+//!
+//! Cascade's engine ABI makes a program's location transparent: any engine
+//! can be `get_state`-ed out of hardware and resume in software with no
+//! observable difference. SYNERGY (Landgraf et al.) turns that mechanism
+//! into virtualization — many tenant programs share a small pool of
+//! physical fabrics, with the coldest tenant demoted back to its software
+//! engine when a hotter one needs the fabric. This module is the
+//! arbitration half of that design: [`Fleet`] tracks who holds which
+//! fabric, who is waiting, and who should be revoked.
+//!
+//! The protocol is cooperative. A tenant *requests* a fabric with its
+//! current heat (a monotonically increasing activity stamp assigned by the
+//! server — higher means more recently active). If a fabric is free the
+//! lease is granted immediately; otherwise the request is recorded as
+//! pending and, when the requester is strictly hotter than the coldest
+//! current holder, that holder's lease is flagged for revocation. Holders
+//! observe the flag at their next scheduler boundary, migrate their state
+//! back to software, and drop the [`Lease`]; the freed fabric is reserved
+//! for the hottest pending tenant so a colder latecomer cannot snipe it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shareable handle to a fleet of `capacity` virtual fabrics.
+#[derive(Clone)]
+pub struct Fleet {
+    inner: Arc<FleetShared>,
+}
+
+struct FleetShared {
+    state: Mutex<FleetState>,
+    granted: AtomicU64,
+    revocations: AtomicU64,
+}
+
+struct FleetState {
+    capacity: usize,
+    /// Tenants currently holding a fabric.
+    holders: BTreeMap<u64, Holder>,
+    /// Tenants waiting for a fabric, by latest reported heat.
+    pending: BTreeMap<u64, f64>,
+    /// Freed fabrics earmarked for specific pending tenants.
+    reserved: Vec<u64>,
+}
+
+struct Holder {
+    heat: f64,
+    revoke: Arc<AtomicBool>,
+}
+
+/// Point-in-time fleet statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    pub capacity: usize,
+    /// Fabrics currently held by tenants.
+    pub in_use: usize,
+    /// Fabrics freed and reserved for a pending tenant.
+    pub reserved: usize,
+    /// Tenants waiting for a fabric.
+    pub pending: usize,
+    /// Leases granted since the fleet was created.
+    pub granted: u64,
+    /// Revocations issued since the fleet was created.
+    pub revocations: u64,
+}
+
+/// Possession of one virtual fabric. Dropping the lease returns the fabric
+/// to the fleet (and hands it to the hottest pending tenant, if any).
+pub struct Lease {
+    fleet: Fleet,
+    tenant: u64,
+    revoke: Arc<AtomicBool>,
+}
+
+impl Lease {
+    /// Whether the arbiter has asked this tenant to vacate the fabric.
+    pub fn revoked(&self) -> bool {
+        self.revoke.load(Ordering::Acquire)
+    }
+
+    /// The tenant id this lease was granted to.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        self.fleet.release(self.tenant);
+    }
+}
+
+impl std::fmt::Debug for Lease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Lease(tenant={}, revoked={})",
+            self.tenant,
+            self.revoked()
+        )
+    }
+}
+
+impl Fleet {
+    /// A fleet of `capacity` fabrics. Zero is legal: every tenant stays in
+    /// software forever (a pure-interpreter server).
+    pub fn new(capacity: usize) -> Fleet {
+        Fleet {
+            inner: Arc::new(FleetShared {
+                state: Mutex::new(FleetState {
+                    capacity,
+                    holders: BTreeMap::new(),
+                    pending: BTreeMap::new(),
+                    reserved: Vec::new(),
+                }),
+                granted: AtomicU64::new(0),
+                revocations: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Requests a fabric for `tenant` at activity level `heat`. Returns a
+    /// lease when a fabric is free (or reserved for this tenant); otherwise
+    /// records the request as pending and, if the requester is strictly
+    /// hotter than the coldest holder, flags that holder for revocation.
+    ///
+    /// Poll-style: tenants re-issue the request at scheduler boundaries
+    /// until granted (or until they stop wanting hardware).
+    pub fn request(&self, tenant: u64, heat: f64) -> Option<Lease> {
+        let mut st = self.inner.state.lock().expect("fleet mutex");
+        if st.holders.contains_key(&tenant) {
+            return None; // already holds a fabric
+        }
+        let reserved_for_us = st.reserved.iter().position(|&t| t == tenant);
+        let free = st.capacity > st.holders.len() + st.reserved.len();
+        if reserved_for_us.is_some() || free {
+            if let Some(i) = reserved_for_us {
+                st.reserved.remove(i);
+            }
+            st.pending.remove(&tenant);
+            let revoke = Arc::new(AtomicBool::new(false));
+            st.holders.insert(
+                tenant,
+                Holder {
+                    heat,
+                    revoke: Arc::clone(&revoke),
+                },
+            );
+            self.inner.granted.fetch_add(1, Ordering::Relaxed);
+            return Some(Lease {
+                fleet: self.clone(),
+                tenant,
+                revoke,
+            });
+        }
+        st.pending.insert(tenant, heat);
+        // Revoke the coldest holder, but only for a strictly hotter
+        // requester — a cold tenant polling for hardware must not evict
+        // anyone (hysteresis against lease thrash).
+        let coldest = st
+            .holders
+            .iter()
+            .filter(|(_, h)| !h.revoke.load(Ordering::Relaxed))
+            .min_by(|a, b| a.1.heat.total_cmp(&b.1.heat))
+            .map(|(t, h)| (*t, h.heat));
+        if let Some((t, holder_heat)) = coldest {
+            if holder_heat < heat {
+                st.holders[&t].revoke.store(true, Ordering::Release);
+                self.inner.revocations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        None
+    }
+
+    /// Updates a tenant's heat (holders defend their lease by staying hot;
+    /// pending tenants improve their claim).
+    pub fn touch(&self, tenant: u64, heat: f64) {
+        let mut st = self.inner.state.lock().expect("fleet mutex");
+        if let Some(h) = st.holders.get_mut(&tenant) {
+            h.heat = h.heat.max(heat);
+        } else if let Some(h) = st.pending.get_mut(&tenant) {
+            *h = h.max(heat);
+        }
+    }
+
+    /// Withdraws a tenant entirely (session closed): clears any pending
+    /// request and releases any reservation.
+    pub fn cancel(&self, tenant: u64) {
+        let mut st = self.inner.state.lock().expect("fleet mutex");
+        st.pending.remove(&tenant);
+        if let Some(i) = st.reserved.iter().position(|&t| t == tenant) {
+            st.reserved.remove(i);
+            Self::reserve_next(&mut st);
+        }
+    }
+
+    /// Tenants whose leases are flagged for revocation — the server nudges
+    /// these sessions so idle holders vacate promptly.
+    pub fn revoking(&self) -> Vec<u64> {
+        let st = self.inner.state.lock().expect("fleet mutex");
+        st.holders
+            .iter()
+            .filter(|(_, h)| h.revoke.load(Ordering::Relaxed))
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Tenants holding a reservation for a freed fabric — the server
+    /// nudges these sessions so the fabric does not sit idle.
+    pub fn reserved(&self) -> Vec<u64> {
+        self.inner
+            .state
+            .lock()
+            .expect("fleet mutex")
+            .reserved
+            .clone()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> FleetStats {
+        let st = self.inner.state.lock().expect("fleet mutex");
+        FleetStats {
+            capacity: st.capacity,
+            in_use: st.holders.len(),
+            reserved: st.reserved.len(),
+            pending: st.pending.len(),
+            granted: self.inner.granted.load(Ordering::Relaxed),
+            revocations: self.inner.revocations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn release(&self, tenant: u64) {
+        let mut st = self.inner.state.lock().expect("fleet mutex");
+        if st.holders.remove(&tenant).is_none() {
+            return;
+        }
+        Self::reserve_next(&mut st);
+    }
+
+    /// Earmarks a freed fabric for the hottest pending tenant.
+    fn reserve_next(st: &mut FleetState) {
+        if st.capacity <= st.holders.len() + st.reserved.len() {
+            return;
+        }
+        let hottest = st
+            .pending
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(t, _)| *t);
+        if let Some(t) = hottest {
+            st.pending.remove(&t);
+            st.reserved.push(t);
+        }
+    }
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "Fleet(capacity={}, in_use={}, pending={})",
+            s.capacity, s.in_use, s.pending
+        )
+    }
+}

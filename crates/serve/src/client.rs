@@ -1,0 +1,349 @@
+//! Clients: a generic typed client over a line transport, with an
+//! in-process transport (tests, embedding) and a TCP transport. Both
+//! serialize through the same protocol lines, so an in-process test
+//! exercises exactly what a socket client would send.
+
+use crate::json::Json;
+use crate::protocol::Request;
+use crate::session::Server;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// A blocking line transport: one request line in, one reply line out.
+pub trait Transport {
+    /// Sends `line` and returns the reply line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error if the transport fails.
+    fn round_trip(&mut self, line: &str) -> std::io::Result<String>;
+}
+
+/// In-process transport: calls the server directly.
+pub struct InProc {
+    server: Arc<Server>,
+}
+
+impl Transport for InProc {
+    fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        Ok(self.server.handle_line(line))
+    }
+}
+
+/// TCP transport: newline-delimited JSON over a socket.
+pub struct Tcp {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Transport for Tcp {
+    fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+}
+
+/// The result of feeding one REPL line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalResult {
+    /// Item(s) accepted; immediate `$display` output attached.
+    Evaluated(Vec<String>),
+    /// More input needed.
+    Incomplete,
+    /// The item was rejected.
+    Error(String),
+}
+
+/// What a `run` command did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    pub ticks: u64,
+    pub backpressure: bool,
+    pub finished: bool,
+    pub mode: String,
+    pub lease_held: bool,
+}
+
+/// A typed client bound to one session over a [`Transport`].
+pub struct Client<T: Transport> {
+    transport: T,
+    session: Option<u64>,
+}
+
+/// In-process client (shares the server's address space).
+pub type InProcClient = Client<InProc>;
+
+/// Socket client.
+pub type TcpClient = Client<Tcp>;
+
+impl InProcClient {
+    /// Creates a client talking directly to `server`.
+    pub fn connect(server: &Arc<Server>) -> InProcClient {
+        Client {
+            transport: InProc {
+                server: Arc::clone(server),
+            },
+            session: None,
+        }
+    }
+}
+
+impl TcpClient {
+    /// Connects to a [`TcpServer`](crate::TcpServer).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            transport: Tcp {
+                reader,
+                writer: stream,
+            },
+            session: None,
+        })
+    }
+}
+
+impl<T: Transport> Client<T> {
+    /// Sends a raw request and parses the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures, unparseable replies, or
+    /// `{ok: false}` replies (except `eval`, whose errors are data).
+    pub fn raw(&mut self, req: &Request) -> Result<Json, String> {
+        let line = req.to_line();
+        let reply = self
+            .transport
+            .round_trip(&line)
+            .map_err(|e| format!("transport: {e}"))?;
+        Json::parse(&reply).map_err(|e| format!("bad reply `{reply}`: {e}"))
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> Result<Json, String> {
+        let reply = self.raw(req)?;
+        if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(reply)
+        } else {
+            Err(reply
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("request failed")
+                .to_string())
+        }
+    }
+
+    fn session(&self) -> Result<u64, String> {
+        self.session.ok_or_else(|| "no open session".to_string())
+    }
+
+    /// Opens a session and binds this client to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn open(&mut self) -> Result<u64, String> {
+        let reply = self.expect_ok(&Request::Open)?;
+        let id = reply
+            .get("session")
+            .and_then(Json::as_u64)
+            .ok_or("reply missing session id")?;
+        self.session = Some(id);
+        Ok(id)
+    }
+
+    /// Re-attaches to a live session by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message (e.g. the session is gone).
+    pub fn attach(&mut self, id: u64) -> Result<(), String> {
+        self.expect_ok(&Request::Attach { session: id })?;
+        self.session = Some(id);
+        Ok(())
+    }
+
+    /// Feeds one line of Verilog.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/protocol failures; rejected items come back as
+    /// [`EvalResult::Error`].
+    pub fn eval(&mut self, line: &str) -> Result<EvalResult, String> {
+        let reply = self.raw(&Request::Eval {
+            session: self.session()?,
+            line: line.to_string(),
+        })?;
+        match reply.get("status").and_then(Json::as_str) {
+            Some("evaluated") => Ok(EvalResult::Evaluated(string_array(&reply, "output"))),
+            Some("incomplete") => Ok(EvalResult::Incomplete),
+            Some("error") => Ok(EvalResult::Error(
+                reply
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("eval failed")
+                    .to_string(),
+            )),
+            _ => Err(format!("bad eval reply: {reply}")),
+        }
+    }
+
+    /// Feeds a multi-line source, line by line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rejected item's message.
+    pub fn eval_all(&mut self, src: &str) -> Result<Vec<String>, String> {
+        let mut output = Vec::new();
+        for line in src.lines() {
+            match self.eval(line)? {
+                EvalResult::Evaluated(mut out) => output.append(&mut out),
+                EvalResult::Incomplete => {}
+                EvalResult::Error(e) => return Err(e),
+            }
+        }
+        Ok(output)
+    }
+
+    /// Runs up to `ticks` virtual clock ticks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn run(&mut self, ticks: u64) -> Result<RunResult, String> {
+        let reply = self.expect_ok(&Request::Run {
+            session: self.session()?,
+            ticks,
+        })?;
+        Ok(RunResult {
+            ticks: reply.get("ticks").and_then(Json::as_u64).unwrap_or(0),
+            backpressure: reply
+                .get("backpressure")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            finished: reply
+                .get("finished")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            mode: reply
+                .get("mode")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            lease_held: reply
+                .get("lease_held")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        })
+    }
+
+    /// Drains queued `$display` output; returns `(lines, dropped)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn drain(&mut self) -> Result<(Vec<String>, u64), String> {
+        let reply = self.expect_ok(&Request::Drain {
+            session: self.session()?,
+        })?;
+        let dropped = reply.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+        Ok((string_array(&reply, "lines"), dropped))
+    }
+
+    /// Blocks until the in-flight compile resolves.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn wait_compile(&mut self) -> Result<Json, String> {
+        self.expect_ok(&Request::WaitCompile {
+            session: self.session()?,
+        })
+    }
+
+    /// Reads a named signal (`None` when the port does not exist yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn probe(&mut self, port: &str) -> Result<Option<u64>, String> {
+        let reply = self.expect_ok(&Request::Probe {
+            session: self.session()?,
+            port: port.to_string(),
+        })?;
+        Ok(reply.get("value").and_then(Json::as_u64))
+    }
+
+    /// Streams words into the session's input FIFO; returns how many fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn fifo_push(&mut self, width: u64, data: &[u64]) -> Result<u64, String> {
+        let reply = self.expect_ok(&Request::Fifo {
+            session: self.session()?,
+            width,
+            data: data.to_vec(),
+        })?;
+        Ok(reply.get("pushed").and_then(Json::as_u64).unwrap_or(0))
+    }
+
+    /// This session's statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.expect_ok(&Request::Stats {
+            session: Some(self.session()?),
+        })
+    }
+
+    /// Server-wide statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn server_stats(&mut self) -> Result<Json, String> {
+        self.expect_ok(&Request::Stats { session: None })
+    }
+
+    /// Closes the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn close(&mut self) -> Result<(), String> {
+        let id = self.session()?;
+        self.expect_ok(&Request::Close { session: id })?;
+        self.session = None;
+        Ok(())
+    }
+}
+
+fn string_array(reply: &Json, key: &str) -> Vec<String> {
+    reply
+        .get(key)
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
+}

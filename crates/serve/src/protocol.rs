@@ -1,0 +1,260 @@
+//! The wire protocol: newline-delimited JSON request/reply pairs.
+//!
+//! Every request is one line holding a JSON object with a `cmd` member;
+//! every reply is one line holding a JSON object with an `ok` member.
+//! Session-scoped commands carry the session id explicitly, so a single
+//! connection can multiplex several sessions and a reconnecting client
+//! can re-attach to a live session by id.
+//!
+//! | `cmd`          | members                | reply                                        |
+//! |----------------|------------------------|----------------------------------------------|
+//! | `open`         |                        | `{ok, session}`                              |
+//! | `attach`       | `session`              | `{ok}` (validates the id)                    |
+//! | `eval`         | `session`, `line`      | `{ok, status, output[], error?}`             |
+//! | `run`          | `session`, `ticks`     | `{ok, ticks, backpressure, mode, lease_held}`|
+//! | `drain`        | `session`              | `{ok, lines[], dropped}`                     |
+//! | `wait_compile` | `session`              | `{ok, mode, lease_held}`                     |
+//! | `probe`        | `session`, `port`      | `{ok, value}` (null when absent)             |
+//! | `fifo`         | `session`, `width`, `data[]` | `{ok, pushed}` (stops when full)       |
+//! | `stats`        | `session?`             | session stats, or server stats when omitted  |
+//! | `close`        | `session`              | `{ok}`                                       |
+
+use crate::json::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Creates a session; the reply carries its id.
+    Open,
+    /// Validates that a session id is live (re-attach after reconnect).
+    Attach { session: u64 },
+    /// Feeds one line of Verilog to the session's REPL.
+    Eval { session: u64, line: String },
+    /// Runs up to `ticks` virtual clock ticks.
+    Run { session: u64, ticks: u64 },
+    /// Drains queued `$display` output.
+    Drain { session: u64 },
+    /// Blocks until the session's in-flight compile resolves.
+    WaitCompile { session: u64 },
+    /// Reads a named signal.
+    Probe { session: u64, port: String },
+    /// Streams words into the session board's input FIFO.
+    Fifo {
+        session: u64,
+        width: u64,
+        data: Vec<u64>,
+    },
+    /// Session statistics, or server-wide statistics when `session` is
+    /// `None`.
+    Stats { session: Option<u64> },
+    /// Closes a session, releasing its fabric lease.
+    Close { session: u64 },
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, an unknown
+    /// `cmd`, or missing/mistyped members.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line)?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing `cmd` member")?;
+        let session = || {
+            v.get("session")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`{cmd}` needs a numeric `session`"))
+        };
+        match cmd {
+            "open" => Ok(Request::Open),
+            "attach" => Ok(Request::Attach {
+                session: session()?,
+            }),
+            "eval" => Ok(Request::Eval {
+                session: session()?,
+                line: v
+                    .get("line")
+                    .and_then(Json::as_str)
+                    .ok_or("`eval` needs a string `line`")?
+                    .to_string(),
+            }),
+            "run" => Ok(Request::Run {
+                session: session()?,
+                ticks: v
+                    .get("ticks")
+                    .and_then(Json::as_u64)
+                    .ok_or("`run` needs a numeric `ticks`")?,
+            }),
+            "drain" => Ok(Request::Drain {
+                session: session()?,
+            }),
+            "wait_compile" => Ok(Request::WaitCompile {
+                session: session()?,
+            }),
+            "probe" => Ok(Request::Probe {
+                session: session()?,
+                port: v
+                    .get("port")
+                    .and_then(Json::as_str)
+                    .ok_or("`probe` needs a string `port`")?
+                    .to_string(),
+            }),
+            "fifo" => Ok(Request::Fifo {
+                session: session()?,
+                width: v
+                    .get("width")
+                    .and_then(Json::as_u64)
+                    .ok_or("`fifo` needs a numeric `width`")?,
+                data: v
+                    .get("data")
+                    .and_then(Json::as_arr)
+                    .ok_or("`fifo` needs a `data` array")?
+                    .iter()
+                    .map(|x| {
+                        x.as_u64()
+                            .ok_or("`fifo` data must be non-negative integers")
+                    })
+                    .collect::<Result<Vec<u64>, _>>()?,
+            }),
+            "stats" => Ok(Request::Stats {
+                session: v.get("session").and_then(Json::as_u64),
+            }),
+            "close" => Ok(Request::Close {
+                session: session()?,
+            }),
+            other => Err(format!("unknown cmd `{other}`")),
+        }
+    }
+
+    /// Serializes the request to its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let json = match self {
+            Request::Open => Json::obj([("cmd", "open".into())]),
+            Request::Attach { session } => {
+                Json::obj([("cmd", "attach".into()), ("session", (*session).into())])
+            }
+            Request::Eval { session, line } => Json::obj([
+                ("cmd", "eval".into()),
+                ("session", (*session).into()),
+                ("line", line.as_str().into()),
+            ]),
+            Request::Run { session, ticks } => Json::obj([
+                ("cmd", "run".into()),
+                ("session", (*session).into()),
+                ("ticks", (*ticks).into()),
+            ]),
+            Request::Drain { session } => {
+                Json::obj([("cmd", "drain".into()), ("session", (*session).into())])
+            }
+            Request::WaitCompile { session } => Json::obj([
+                ("cmd", "wait_compile".into()),
+                ("session", (*session).into()),
+            ]),
+            Request::Probe { session, port } => Json::obj([
+                ("cmd", "probe".into()),
+                ("session", (*session).into()),
+                ("port", port.as_str().into()),
+            ]),
+            Request::Fifo {
+                session,
+                width,
+                data,
+            } => Json::obj([
+                ("cmd", "fifo".into()),
+                ("session", (*session).into()),
+                ("width", (*width).into()),
+                (
+                    "data",
+                    Json::Arr(data.iter().map(|&x| Json::from(x)).collect()),
+                ),
+            ]),
+            Request::Stats { session } => match session {
+                Some(s) => Json::obj([("cmd", "stats".into()), ("session", (*s).into())]),
+                None => Json::obj([("cmd", "stats".into())]),
+            },
+            Request::Close { session } => {
+                Json::obj([("cmd", "close".into()), ("session", (*session).into())])
+            }
+        };
+        json.to_string()
+    }
+}
+
+/// An `{ok: true, ...}` reply.
+pub fn ok(extra: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    pairs.extend(extra);
+    Json::obj(pairs)
+}
+
+/// An `{ok: false, error: ...}` reply.
+pub fn err(message: impl Into<String>) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let requests = [
+            Request::Open,
+            Request::Attach { session: 7 },
+            Request::Eval {
+                session: 1,
+                line: "assign led.val = \"odd\\nstring\";".to_string(),
+            },
+            Request::Run {
+                session: 2,
+                ticks: 1_000_000,
+            },
+            Request::Drain { session: 3 },
+            Request::WaitCompile { session: 4 },
+            Request::Probe {
+                session: 5,
+                port: "cnt".to_string(),
+            },
+            Request::Fifo {
+                session: 5,
+                width: 8,
+                data: vec![71, 69, 84, 32],
+            },
+            Request::Stats { session: None },
+            Request::Stats { session: Some(6) },
+            Request::Close { session: 8 },
+        ];
+        for r in requests {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "one request per line: {line}");
+            assert_eq!(Request::parse(&line).unwrap(), r, "through `{line}`");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{}").is_err());
+        assert!(Request::parse("{\"cmd\":\"warp\"}").is_err());
+        assert!(Request::parse("{\"cmd\":\"eval\",\"session\":1}").is_err());
+        assert!(Request::parse("{\"cmd\":\"run\",\"session\":1,\"ticks\":\"x\"}").is_err());
+        assert!(Request::parse("{\"cmd\":\"eval\",\"line\":\"x;\"}").is_err());
+    }
+
+    #[test]
+    fn reply_builders() {
+        let r = ok([("session", 3u64.into())]);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(r.get("session").and_then(Json::as_u64), Some(3));
+        let e = err("nope");
+        assert_eq!(e.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(e.get("error").and_then(Json::as_str), Some("nope"));
+    }
+}

@@ -1,0 +1,85 @@
+//! The TCP front end: newline-delimited JSON over a socket.
+//!
+//! Each accepted connection gets its own thread reading request lines and
+//! writing reply lines; all protocol work happens in
+//! [`Server::handle_line`], so TCP and the in-process client share one
+//! code path.
+
+use crate::session::Server;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A listening TCP endpoint over a [`Server`].
+pub struct TcpServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind(server: Arc<Server>, addr: &str) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || connection_loop(&server, stream));
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn connection_loop(server: &Server, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut reply = server.handle_line(&line);
+        reply.push('\n');
+        if writer.write_all(reply.as_bytes()).is_err() {
+            break;
+        }
+    }
+}

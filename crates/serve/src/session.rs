@@ -1,0 +1,666 @@
+//! The session layer: one [`Runtime`] per session, hosted on a worker
+//! thread pool, sharing a virtual-FPGA [`Fleet`] and one background
+//! compile pool across all tenants.
+//!
+//! A session's REPL is a checked-out resource: exactly one worker holds it
+//! at a time, drains the session's command queue through it, and puts it
+//! back. Commands are request/reply (the submitting connection blocks on a
+//! reply channel), except the internal `Service` pump which lets the
+//! sweeper advance compile/lease state machines of *idle* sessions — a
+//! revocation must not wait for the victim's next command.
+//!
+//! `$display` output produced by `run` is buffered in a bounded per-session
+//! queue. When the queue fills, `run` stops early (backpressure: the reply
+//! says so and the client drains before continuing); a single burst that
+//! overflows the bound drops the *oldest* lines and counts them.
+
+use crate::json::Json;
+use crate::protocol::{err, ok, Request};
+use cascade_core::{
+    CascadeError, CompilePool, CompileQueue, ExecMode, JitConfig, Repl, ReplResponse, Runtime,
+};
+use cascade_fpga::{Board, Fleet};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Ticks per scheduling quantum: a long `run` is sliced so output flushes
+/// into the session queue (and backpressure is observed) at this grain.
+const RUN_CHUNK: u64 = 128;
+
+/// How long a connection waits for its command's reply before giving up.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Virtual fabrics in the shared fleet (0 = software-only serving).
+    pub fabrics: usize,
+    /// Background toolchain worker threads shared by all sessions.
+    pub compile_workers: usize,
+    /// Bound on the pending compile-job queue (oldest jobs are shed).
+    pub compile_queue_capacity: usize,
+    /// Bound on the shared bitstream cache (entries, LRU).
+    pub compile_cache_capacity: usize,
+    /// Session executor threads.
+    pub workers: usize,
+    /// Bound on each session's `$display` output queue (lines).
+    pub output_capacity: usize,
+    /// Real seconds of inactivity after which a session is reaped.
+    pub idle_timeout_s: f64,
+    /// Template JIT configuration for new sessions (toolchain model,
+    /// optimization switches, cache bound for solo runtimes).
+    pub jit: JitConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            fabrics: 2,
+            compile_workers: 2,
+            compile_queue_capacity: 16,
+            compile_cache_capacity: 64,
+            workers: 4,
+            output_capacity: 4096,
+            idle_timeout_s: 300.0,
+            jit: JitConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A configuration for tests and demos: modeled compile latency is
+    /// compressed to microseconds so promotion happens within a short run.
+    pub fn quick() -> Self {
+        let mut c = ServeConfig::default();
+        c.jit.toolchain.time_scale = 1e-6;
+        c
+    }
+}
+
+/// One user command, carried to the worker holding the session's REPL.
+enum Cmd {
+    Eval {
+        line: String,
+        tx: Sender<Json>,
+    },
+    Run {
+        ticks: u64,
+        tx: Sender<Json>,
+    },
+    Drain {
+        tx: Sender<Json>,
+    },
+    WaitCompile {
+        tx: Sender<Json>,
+    },
+    Probe {
+        port: String,
+        tx: Sender<Json>,
+    },
+    Stats {
+        tx: Sender<Json>,
+    },
+    /// Internal pump: advance compile/lease state without user traffic.
+    Service,
+    /// `tx` is `None` when the idle reaper closes the session.
+    Close {
+        tx: Option<Sender<Json>>,
+    },
+}
+
+/// Bounded `$display` buffer.
+struct Output {
+    lines: VecDeque<String>,
+    dropped: u64,
+}
+
+struct Session {
+    id: u64,
+    /// The session's virtual board, shared with its runtime: FIFO input
+    /// streams in directly, even while a `run` command is executing.
+    board: Board,
+    cmds: Mutex<VecDeque<Cmd>>,
+    /// `None` while a worker has the REPL checked out.
+    repl: Mutex<Option<Box<Repl>>>,
+    output: Mutex<Output>,
+    last_active: Mutex<Instant>,
+    closed: AtomicBool,
+}
+
+struct Shared {
+    config: ServeConfig,
+    fleet: Fleet,
+    queue: CompileQueue,
+    /// Owns the toolchain worker threads; joined when the server drops.
+    _pool: CompilePool,
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    next_session: AtomicU64,
+    /// Monotonic activity clock: each user command takes a stamp, and the
+    /// stamp is the session's heat for fleet arbitration (most recently
+    /// active = hottest).
+    activity: AtomicU64,
+    runq: Mutex<VecDeque<u64>>,
+    runq_cond: Condvar,
+    shutdown: AtomicBool,
+    /// Server-wide counters.
+    evals: AtomicU64,
+    total_ticks: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_reaped: AtomicU64,
+}
+
+/// The multi-tenant Cascade server: sessions, workers, fleet, compile pool.
+///
+/// Protocol entry points are [`Server::request`] (typed) and
+/// [`Server::handle_line`] (wire). Dropping the server shuts down its
+/// worker and sweeper threads and releases every session's fabric lease.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server: `config.workers` session executors, a compile pool
+    /// of `config.compile_workers` threads, and the idle/service sweeper.
+    pub fn new(config: ServeConfig) -> Arc<Server> {
+        let pool = CompilePool::new(
+            config.compile_workers.max(1),
+            config.compile_queue_capacity.max(1),
+            config.compile_cache_capacity.max(1),
+        );
+        let shared = Arc::new(Shared {
+            fleet: Fleet::new(config.fabrics),
+            queue: pool.queue(),
+            _pool: pool,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            activity: AtomicU64::new(0),
+            runq: Mutex::new(VecDeque::new()),
+            runq_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            evals: AtomicU64::new(0),
+            total_ticks: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            sessions_reaped: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&s))
+            })
+            .collect();
+        let sweeper = {
+            let s = Arc::clone(&shared);
+            Some(std::thread::spawn(move || sweeper_loop(&s)))
+        };
+        Arc::new(Server {
+            shared,
+            workers,
+            sweeper,
+        })
+    }
+
+    /// Handles one wire line, returning the reply line (no newline).
+    pub fn handle_line(&self, line: &str) -> String {
+        let reply = match Request::parse(line) {
+            Ok(req) => self.request(req),
+            Err(e) => err(e),
+        };
+        reply.to_string()
+    }
+
+    /// Handles one typed request.
+    pub fn request(&self, req: Request) -> Json {
+        match req {
+            Request::Open => match self.open_session() {
+                Ok(id) => ok([("session", id.into())]),
+                Err(e) => err(e.to_string()),
+            },
+            Request::Attach { session } => match self.shared.session(session) {
+                Some(_) => ok([("session", session.into())]),
+                None => err(format!("no session {session}")),
+            },
+            Request::Stats { session: None } => self.server_stats(),
+            Request::Eval { session, line } => {
+                self.submit(session, true, |tx| Cmd::Eval { line, tx })
+            }
+            Request::Run { session, ticks } => {
+                self.submit(session, true, |tx| Cmd::Run { ticks, tx })
+            }
+            Request::Drain { session } => self.submit(session, false, |tx| Cmd::Drain { tx }),
+            Request::WaitCompile { session } => {
+                self.submit(session, true, |tx| Cmd::WaitCompile { tx })
+            }
+            Request::Probe { session, port } => {
+                self.submit(session, false, |tx| Cmd::Probe { port, tx })
+            }
+            Request::Fifo {
+                session,
+                width,
+                data,
+            } => {
+                let Some(s) = self.shared.session(session) else {
+                    return err(format!("no session {session}"));
+                };
+                if !(1..=64).contains(&width) {
+                    return err("fifo width must be 1..=64");
+                }
+                *s.last_active.lock().expect("activity mutex") = Instant::now();
+                let mut pushed = 0u64;
+                for &word in &data {
+                    if !s
+                        .board
+                        .fifo_push(cascade_bits::Bits::from_u64(width as u32, word))
+                    {
+                        break;
+                    }
+                    pushed += 1;
+                }
+                ok([("pushed", pushed.into())])
+            }
+            Request::Stats {
+                session: Some(session),
+            } => self.submit(session, false, |tx| Cmd::Stats { tx }),
+            Request::Close { session } => {
+                self.submit(session, false, |tx| Cmd::Close { tx: Some(tx) })
+            }
+        }
+    }
+
+    /// Creates a session: a fresh board and runtime wired to the shared
+    /// fleet and compile queue, hosted on the worker pool.
+    fn open_session(&self) -> Result<u64, CascadeError> {
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        let board = Board::new();
+        let mut runtime = Runtime::new(board.clone(), self.shared.config.jit.clone())?;
+        runtime.attach_compile_queue(self.shared.queue.clone());
+        runtime.attach_fleet(self.shared.fleet.clone(), id);
+        let session = Arc::new(Session {
+            id,
+            board,
+            cmds: Mutex::new(VecDeque::new()),
+            repl: Mutex::new(Some(Box::new(Repl::new(runtime)))),
+            output: Mutex::new(Output {
+                lines: VecDeque::new(),
+                dropped: 0,
+            }),
+            last_active: Mutex::new(Instant::now()),
+            closed: AtomicBool::new(false),
+        });
+        self.shared
+            .sessions
+            .lock()
+            .expect("sessions mutex")
+            .insert(id, session);
+        self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Enqueues a command and blocks for its reply.
+    fn submit(&self, id: u64, user_activity: bool, make: impl FnOnce(Sender<Json>) -> Cmd) -> Json {
+        let Some(session) = self.shared.session(id) else {
+            return err(format!("no session {id}"));
+        };
+        if user_activity {
+            *session.last_active.lock().expect("activity mutex") = Instant::now();
+        }
+        let (tx, rx) = channel();
+        session.cmds.lock().expect("cmds mutex").push_back(make(tx));
+        self.shared.wake(id);
+        match rx.recv_timeout(REPLY_TIMEOUT) {
+            Ok(reply) => reply,
+            Err(_) => err(format!("session {id} reply timed out")),
+        }
+    }
+
+    fn server_stats(&self) -> Json {
+        let s = &self.shared;
+        let fleet = s.fleet.stats();
+        let cache = s.queue.cache();
+        ok([
+            (
+                "sessions",
+                (s.sessions.lock().expect("sessions mutex").len() as u64).into(),
+            ),
+            (
+                "sessions_opened",
+                s.sessions_opened.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "sessions_reaped",
+                s.sessions_reaped.load(Ordering::Relaxed).into(),
+            ),
+            ("evals", s.evals.load(Ordering::Relaxed).into()),
+            ("ticks", s.total_ticks.load(Ordering::Relaxed).into()),
+            ("fabrics", (fleet.capacity as u64).into()),
+            ("fabrics_in_use", (fleet.in_use as u64).into()),
+            ("fabric_grants", fleet.granted.into()),
+            ("fabric_revocations", fleet.revocations.into()),
+            ("compile_queue_depth", (s.queue.depth() as u64).into()),
+            ("compiles_coalesced", s.queue.coalesced().into()),
+            ("compiles_shed", s.queue.dropped().into()),
+            ("cache_entries", (cache.len() as u64).into()),
+            ("cache_hits", cache.hits().into()),
+            ("cache_misses", cache.misses().into()),
+            ("cache_evictions", cache.evictions().into()),
+        ])
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.runq_cond.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(s) = self.sweeper.take() {
+            let _ = s.join();
+        }
+        // Dropping sessions drops their runtimes, releasing fleet leases.
+        self.shared.sessions.lock().expect("sessions mutex").clear();
+    }
+}
+
+impl Shared {
+    fn session(&self, id: u64) -> Option<Arc<Session>> {
+        self.sessions
+            .lock()
+            .expect("sessions mutex")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Marks a session runnable and wakes one worker.
+    fn wake(&self, id: u64) {
+        self.runq.lock().expect("runq mutex").push_back(id);
+        self.runq_cond.notify_one();
+    }
+
+    /// Fresh activity stamp (monotone across all sessions).
+    fn stamp(&self) -> f64 {
+        (self.activity.fetch_add(1, Ordering::Relaxed) + 1) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker: checks out a session's REPL and drains its command queue
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let id = {
+            let mut q = shared.runq.lock().expect("runq mutex");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = q.pop_front() {
+                    break id;
+                }
+                q = shared.runq_cond.wait(q).expect("runq cond");
+            }
+        };
+        let Some(session) = shared.session(id) else {
+            continue;
+        };
+        // Check the REPL out; if another worker has it, that worker will
+        // re-drain the queue before putting it back.
+        let Some(mut repl) = session.repl.lock().expect("repl mutex").take() else {
+            continue;
+        };
+        while let Some(cmd) = {
+            let popped = session.cmds.lock().expect("cmds mutex").pop_front();
+            popped
+        } {
+            execute(shared, &session, &mut repl, cmd);
+            if session.closed.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        if session.closed.load(Ordering::Relaxed) {
+            // Dropping the REPL drops the runtime: its `Drop` releases the
+            // fabric lease and cancels any pending fleet request.
+            shared
+                .sessions
+                .lock()
+                .expect("sessions mutex")
+                .remove(&session.id);
+            drop(repl);
+        } else {
+            *session.repl.lock().expect("repl mutex") = Some(repl);
+            // A command may have arrived between the last pop and the
+            // put-back; make sure it gets a worker.
+            if !session.cmds.lock().expect("cmds mutex").is_empty() {
+                shared.wake(session.id);
+            }
+        }
+    }
+}
+
+fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
+    match cmd {
+        Cmd::Eval { line, tx } => {
+            shared.evals.fetch_add(1, Ordering::Relaxed);
+            let heat = shared.stamp();
+            repl.runtime().set_heat(heat);
+            let reply = match repl.line(&line) {
+                ReplResponse::Evaluated(output) => ok([
+                    ("status", "evaluated".into()),
+                    ("output", Json::strings(output)),
+                ]),
+                ReplResponse::Incomplete => ok([("status", "incomplete".into())]),
+                ReplResponse::Error(e) => Json::obj([
+                    ("ok", false.into()),
+                    ("status", "error".into()),
+                    ("error", e.into()),
+                ]),
+            };
+            let _ = tx.send(reply);
+        }
+        Cmd::Run { ticks, tx } => {
+            let heat = shared.stamp();
+            let rt = repl.runtime();
+            rt.set_heat(heat);
+            let mut done = 0u64;
+            let mut backpressure = false;
+            while done < ticks && !rt.is_finished() {
+                if output_full(session, shared.config.output_capacity) {
+                    backpressure = true;
+                    break;
+                }
+                let chunk = (ticks - done).min(RUN_CHUNK);
+                match rt.run_ticks(chunk) {
+                    Ok(k) => {
+                        push_output(session, shared.config.output_capacity, rt.drain_output());
+                        if k == 0 {
+                            break;
+                        }
+                        done += k;
+                    }
+                    Err(e) => {
+                        let _ = tx.send(err(e.to_string()));
+                        return;
+                    }
+                }
+            }
+            shared.total_ticks.fetch_add(done, Ordering::Relaxed);
+            let _ = tx.send(ok([
+                ("ticks", done.into()),
+                ("backpressure", backpressure.into()),
+                ("finished", rt.is_finished().into()),
+                ("mode", mode_str(rt.mode()).into()),
+                ("lease_held", rt.lease_held().into()),
+            ]));
+        }
+        Cmd::Drain { tx } => {
+            // Sweep anything still inside the runtime, then hand over the
+            // whole queue.
+            let pending = repl.runtime().drain_output();
+            push_output(session, shared.config.output_capacity, pending);
+            let mut out = session.output.lock().expect("output mutex");
+            let lines: Vec<String> = out.lines.drain(..).collect();
+            let dropped = std::mem::take(&mut out.dropped);
+            let _ = tx.send(ok([
+                ("lines", Json::strings(lines)),
+                ("dropped", dropped.into()),
+            ]));
+        }
+        Cmd::WaitCompile { tx } => {
+            let rt = repl.runtime();
+            let reply = match wait_compile(rt) {
+                Ok(()) => ok([
+                    ("mode", mode_str(rt.mode()).into()),
+                    ("lease_held", rt.lease_held().into()),
+                    ("hw_pending", rt.stats().hw_pending.into()),
+                ]),
+                Err(e) => err(e.to_string()),
+            };
+            let _ = tx.send(reply);
+        }
+        Cmd::Probe { port, tx } => {
+            let value = match repl.runtime().probe(&port) {
+                Some(bits) => Json::from(bits.to_u64()),
+                None => Json::Null,
+            };
+            let _ = tx.send(ok([("value", value)]));
+        }
+        Cmd::Stats { tx } => {
+            let stats = repl.runtime().stats();
+            let rt = repl.runtime();
+            let out = session.output.lock().expect("output mutex");
+            let _ = tx.send(ok([
+                ("session", session.id.into()),
+                ("version", stats.version.into()),
+                ("ticks", stats.ticks.into()),
+                ("wall_seconds", stats.wall_seconds.into()),
+                ("mode", mode_str(stats.mode).into()),
+                ("lease_held", stats.lease_held.into()),
+                ("hw_pending", stats.hw_pending.into()),
+                ("promotions", stats.hw_promotions.into()),
+                ("demotions", stats.lease_demotions.into()),
+                ("compile_in_flight", stats.compile_in_flight.into()),
+                ("cache_hits", stats.compile_cache_hits.into()),
+                ("cache_misses", stats.compile_cache_misses.into()),
+                ("cache_evictions", stats.compile_cache_evictions.into()),
+                ("finished", rt.is_finished().into()),
+                ("leds", rt.board().leds().to_u64().into()),
+                ("output_queued", (out.lines.len() as u64).into()),
+                ("output_dropped", out.dropped.into()),
+            ]));
+        }
+        Cmd::Service => {
+            // Best effort: a service fault surfaces on the next command.
+            if let Err(e) = repl.runtime().service() {
+                push_output(
+                    session,
+                    shared.config.output_capacity,
+                    vec![format!("service error: {e}")],
+                );
+            }
+        }
+        Cmd::Close { tx } => {
+            session.closed.store(true, Ordering::Relaxed);
+            if let Some(tx) = tx {
+                let _ = tx.send(ok([]));
+            } else {
+                shared.sessions_reaped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Blocks until any in-flight compile resolves, advancing the session's
+/// modeled wall clock past the bitstream's ready time so promotion (or a
+/// fleet request) happens now rather than on some later tick.
+fn wait_compile(rt: &mut Runtime) -> Result<(), CascadeError> {
+    rt.service()?;
+    if rt.stats().compile_in_flight {
+        rt.wait_for_compile_worker();
+        if let Some(ready_at) = rt.compile_ready_at() {
+            let now = rt.wall_seconds();
+            if ready_at > now {
+                rt.advance_wall(ready_at - now + 1e-9);
+            }
+        }
+        rt.service()?;
+    }
+    Ok(())
+}
+
+fn output_full(session: &Session, capacity: usize) -> bool {
+    session.output.lock().expect("output mutex").lines.len() >= capacity
+}
+
+fn push_output(session: &Session, capacity: usize, lines: Vec<String>) {
+    if lines.is_empty() {
+        return;
+    }
+    let mut out = session.output.lock().expect("output mutex");
+    for line in lines {
+        if out.lines.len() >= capacity {
+            out.lines.pop_front();
+            out.dropped += 1;
+        }
+        out.lines.push_back(line);
+    }
+}
+
+fn mode_str(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Idle => "idle",
+        ExecMode::Software => "software",
+        ExecMode::Hardware => "hardware",
+        ExecMode::HardwareForwarded => "hardware_forwarded",
+        ExecMode::Native => "native",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sweeper: service pump + idle reaper
+// ---------------------------------------------------------------------
+
+/// Every few milliseconds: enqueue a `Service` for idle sessions whose
+/// lease/compile state machines may need to advance (the fleet names
+/// tenants being revoked or holding reservations; polling everyone is
+/// also how staged compiles land without user traffic), and reap sessions
+/// idle past the timeout.
+fn sweeper_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(5));
+        let sessions: Vec<Arc<Session>> = shared
+            .sessions
+            .lock()
+            .expect("sessions mutex")
+            .values()
+            .cloned()
+            .collect();
+        for session in sessions {
+            if session.closed.load(Ordering::Relaxed) {
+                continue;
+            }
+            let idle_s = session
+                .last_active
+                .lock()
+                .expect("activity mutex")
+                .elapsed()
+                .as_secs_f64();
+            let mut cmds = session.cmds.lock().expect("cmds mutex");
+            if idle_s > shared.config.idle_timeout_s {
+                cmds.push_back(Cmd::Close { tx: None });
+            } else if cmds.is_empty() {
+                cmds.push_back(Cmd::Service);
+            } else {
+                continue;
+            }
+            drop(cmds);
+            shared.wake(session.id);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Multi-tenant serving demo: two sessions share a one-fabric fleet.
+//!
+//! Session A evals a counter and gets promoted to the fabric when its
+//! background compile lands. Session B then arrives, becomes the hotter
+//! tenant, and steals the fabric: A's lease is revoked and its state
+//! migrates back to software mid-run — both keep counting, values intact.
+//!
+//! Run with `cargo run -p cascade-serve --example serve_demo`.
+
+use cascade_serve::{InProcClient, ServeConfig, Server, TcpClient, TcpServer};
+use std::time::{Duration, Instant};
+
+const COUNTER: &str = "reg [15:0] cnt = 0;\n\
+                       always @(posedge clk.val) cnt <= cnt + 1;\n\
+                       assign led.val = cnt[7:0];";
+
+fn banner(msg: &str) {
+    println!("\n=== {msg} ===");
+}
+
+fn show(name: &str, client: &mut InProcClient) {
+    let stats = client.stats().expect("stats");
+    println!(
+        "{name}: ticks={} mode={} lease_held={} promotions={} demotions={}",
+        stats.get("ticks").and_then(|v| v.as_u64()).unwrap_or(0),
+        stats.get("mode").and_then(|v| v.as_str()).unwrap_or("?"),
+        stats
+            .get("lease_held")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false),
+        stats
+            .get("promotions")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0),
+        stats.get("demotions").and_then(|v| v.as_u64()).unwrap_or(0),
+    );
+}
+
+fn main() {
+    let mut config = ServeConfig::quick();
+    config.fabrics = 1; // force contention
+    let server = Server::new(config);
+
+    banner("session A: eval a counter, compile in background");
+    let mut a = InProcClient::connect(&server);
+    a.open().expect("open A");
+    a.eval_all(COUNTER).expect("eval A");
+    a.run(50).expect("run A");
+    a.wait_compile().expect("wait A");
+    let run = a.run(50).expect("run A");
+    println!(
+        "A after compile: mode={} lease_held={}",
+        run.mode, run.lease_held
+    );
+    show("A", &mut a);
+
+    banner("session B arrives, hotter: steals the single fabric");
+    let mut b = InProcClient::connect(&server);
+    b.open().expect("open B");
+    b.eval_all(COUNTER).expect("eval B");
+    b.run(50).expect("run B");
+    b.wait_compile().expect("wait B");
+    // B is now the hottest tenant with a ready bitstream; the arbiter
+    // revokes A's lease. Give the sweeper a moment to migrate both.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let b_holds = b
+            .stats()
+            .expect("stats B")
+            .get("lease_held")
+            .and_then(|v| v.as_bool())
+            == Some(true);
+        if b_holds || Instant::now() > deadline {
+            break;
+        }
+        b.run(10).expect("run B");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    show("A", &mut a);
+    show("B", &mut b);
+
+    banner("both keep running; A is back in software with state intact");
+    a.run(50).expect("run A");
+    b.run(50).expect("run B");
+    let a_cnt = a.probe("cnt").expect("probe A");
+    let b_cnt = b.probe("cnt").expect("probe B");
+    println!("A cnt={a_cnt:?}  B cnt={b_cnt:?}");
+    show("A", &mut a);
+    show("B", &mut b);
+
+    banner("the same wire protocol over TCP");
+    let tcp = TcpServer::bind(server.clone(), "127.0.0.1:0").expect("bind");
+    let mut c = TcpClient::connect(tcp.addr()).expect("connect");
+    c.open().expect("open C");
+    c.eval("reg [7:0] x = 7;").expect("eval C");
+    let out = c
+        .eval("initial $display(\"tcp says x=%d\", x);")
+        .expect("eval C");
+    println!("C over {} -> {out:?}", tcp.addr());
+
+    let mut any = InProcClient::connect(&server);
+    any.open().expect("open");
+    let stats = any.server_stats().expect("server stats");
+    banner("server stats");
+    println!("{stats}");
+}
