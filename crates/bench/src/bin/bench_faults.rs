@@ -1,0 +1,235 @@
+//! Fault-recovery latency report: how much a contained fault costs, for
+//! each recovery path in the JIT pipeline — transient toolchain retry,
+//! watchdog-cancelled hang, readback-scrub rollback with software replay,
+//! and fabric loss with software fall-back.
+//!
+//! Each scenario runs the counter workload under a deterministic seeded
+//! [`FaultPlan`], so the numbers are reproducible. Two latencies are
+//! reported per scenario: the *modeled* seconds of virtual wall-clock the
+//! recovery consumed (what a user of the real system would wait), and the
+//! *host* nanoseconds the recovery machinery itself took (checkpoint
+//! restore, state migration, replay). Writes `BENCH_faults.json` at the
+//! repository root. Set `CASCADE_BENCH_SECS` to trade precision for
+//! runtime.
+
+use cascade_bench::harness::{fmt_ns, measure};
+use cascade_core::{JitConfig, Runtime};
+use cascade_fpga::{Board, FaultPlan, Fleet};
+use std::fmt::Write as _;
+
+const COUNTER: &str = "reg [15:0] cnt = 0;\n\
+                       always @(posedge clk.val) cnt <= cnt + 1;\n\
+                       assign led.val = cnt[7:0];";
+
+struct Row {
+    scenario: &'static str,
+    /// Virtual wall-clock seconds the recovery consumed (modeled time).
+    modeled_recovery_s: f64,
+    /// Host time for one full fault-to-recovered cycle.
+    host_recovery_ns: f64,
+    /// Recovery events observed in the run (retries, cancels, rollbacks…).
+    events: u64,
+    /// Ticks re-executed in software to recover (rollback replay depth).
+    ticks_replayed: u64,
+}
+
+fn base_config() -> JitConfig {
+    let mut config = JitConfig::default();
+    config.toolchain.time_scale = 1e-6;
+    config.scrub_interval_ticks = 8;
+    config
+}
+
+/// Drives a background compile to settlement, chasing retry backoffs and
+/// watchdog deadlines through modeled time.
+fn settle(rt: &mut Runtime) {
+    for _ in 0..64 {
+        if !rt.stats().compile_in_flight {
+            break;
+        }
+        rt.wait_for_compile_worker();
+        if let Some(at) = rt.compile_ready_at() {
+            rt.advance_wall((at - rt.wall_seconds()).max(0.0) + 1e-9);
+        }
+        rt.service().expect("service");
+    }
+}
+
+fn new_runtime(faults: FaultPlan) -> Runtime {
+    let mut config = base_config();
+    config.faults = faults;
+    let mut rt = Runtime::new(Board::new(), config).expect("runtime");
+    rt.eval(COUNTER).expect("eval");
+    rt
+}
+
+/// Modeled seconds from eval to hardware promotion under `faults`,
+/// relative to the fault-free baseline; plus one recovery-event count
+/// read through `pick`.
+fn compile_path_row(
+    scenario: &'static str,
+    faults: FaultPlan,
+    pick: fn(&cascade_core::RuntimeStats) -> u64,
+) -> Row {
+    let promote = |faults: FaultPlan| -> (f64, Runtime) {
+        let mut rt = new_runtime(faults);
+        settle(&mut rt);
+        rt.run_ticks(2).expect("run");
+        assert!(
+            rt.stats().hw_promotions >= 1,
+            "{scenario}: must still reach hardware"
+        );
+        (rt.wall_seconds(), rt)
+    };
+    let (baseline_s, _) = promote(FaultPlan::none());
+    let (faulted_s, rt) = promote(faults.clone());
+    let stats = rt.stats();
+    let events = pick(&stats);
+    assert!(events >= 1, "{scenario}: fault must have fired");
+
+    let host_ns = measure(&mut || {
+        let mut rt = new_runtime(faults.clone());
+        settle(&mut rt);
+        rt.run_ticks(2).expect("run");
+    });
+    Row {
+        scenario,
+        modeled_recovery_s: faulted_s - baseline_s,
+        host_recovery_ns: host_ns,
+        events,
+        ticks_replayed: 0,
+    }
+}
+
+/// A scrub-detected soft error: modeled cost is the bus scrub exchanges
+/// plus the re-executed window; host cost is rollback + replay.
+fn scrub_rollback_row() -> Row {
+    let plan = || {
+        FaultPlan::builder()
+            .scrub_soft_error(1, 0xDEAD_BEEF)
+            .build()
+    };
+    let run_to_detection = |faults: FaultPlan| -> (Runtime, u64) {
+        let mut rt = new_runtime(faults);
+        settle(&mut rt);
+        let mut ticks = 0;
+        for _ in 0..32 {
+            ticks += rt.run_ticks(16).expect("run");
+            if rt.stats().scrub_detections >= 1 {
+                break;
+            }
+        }
+        (rt, ticks)
+    };
+    let (rt, _) = run_to_detection(plan());
+    let stats = rt.stats();
+    assert!(stats.scrub_detections >= 1, "soft error must be detected");
+    assert!(stats.checkpoints_restored >= 1, "detection must roll back");
+
+    // The replay depth is bounded by the scrub window.
+    let ticks_replayed = base_config().scrub_interval_ticks;
+    let host_ns = measure(&mut || {
+        let (rt, _) = run_to_detection(plan());
+        assert!(rt.stats().scrub_detections >= 1);
+    });
+    // Modeled recovery: faulted wall minus a fault-free run of equal ticks.
+    let (faulted, ticks) = run_to_detection(plan());
+    let mut clean = new_runtime(FaultPlan::none());
+    settle(&mut clean);
+    clean.run_ticks(ticks).expect("run");
+    Row {
+        scenario: "scrub_rollback",
+        modeled_recovery_s: (faulted.wall_seconds() - clean.wall_seconds()).max(0.0),
+        host_recovery_ns: host_ns,
+        events: faulted.stats().scrub_detections,
+        ticks_replayed,
+    }
+}
+
+/// Fabric loss at scrub time: the program falls back to software with
+/// zero lost ticks; the cost is the rebuild plus losing hardware speed.
+fn fabric_loss_row() -> Row {
+    let run_to_loss = || -> Runtime {
+        let mut config = base_config();
+        config.faults = FaultPlan::builder().fabric_loss(1).build();
+        let mut rt = Runtime::new(Board::new(), config).expect("runtime");
+        rt.attach_fleet(Fleet::new(1), 1);
+        rt.eval(COUNTER).expect("eval");
+        settle(&mut rt);
+        for _ in 0..32 {
+            rt.run_ticks(16).expect("run");
+            if rt.stats().fabric_losses >= 1 {
+                break;
+            }
+        }
+        rt
+    };
+    let rt = run_to_loss();
+    let stats = rt.stats();
+    assert!(stats.fabric_losses >= 1, "loss must fire");
+    let host_ns = measure(&mut || {
+        let rt = run_to_loss();
+        assert!(rt.stats().fabric_losses >= 1);
+    });
+    Row {
+        scenario: "fabric_loss",
+        modeled_recovery_s: 0.0, // zero lost ticks; throughput degrades instead
+        host_recovery_ns: host_ns,
+        events: stats.fabric_losses,
+        ticks_replayed: 0,
+    }
+}
+
+fn main() {
+    let rows = vec![
+        compile_path_row(
+            "transient_retry",
+            FaultPlan::builder().toolchain_transient(1).build(),
+            |s| s.compile_retries,
+        ),
+        compile_path_row(
+            "watchdog_hang",
+            FaultPlan::builder().toolchain_hang(1).build(),
+            |s| s.compile_watchdog_cancels,
+        ),
+        compile_path_row(
+            "worker_panic",
+            FaultPlan::builder().worker_panic(1).build(),
+            |s| s.panics_contained,
+        ),
+        scrub_rollback_row(),
+        fabric_loss_row(),
+    ];
+
+    println!("fault recovery latency (counter workload, deterministic plans)");
+    for r in &rows {
+        println!(
+            "{:<16} modeled {:>12.6}s   host {:>10}   events {}   replayed {} ticks",
+            r.scenario,
+            r.modeled_recovery_s,
+            fmt_ns(r.host_recovery_ns),
+            r.events,
+            r.ticks_replayed
+        );
+    }
+
+    let json = render_json(&rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    std::fs::write(path, &json).expect("write BENCH_faults.json");
+    println!("\nwrote {path}");
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"fault_recovery_latency\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"scenario\": \"{}\", \"modeled_recovery_s\": {:.9}, \"host_recovery_ns\": {:.1}, \"events\": {}, \"ticks_replayed\": {}}}{comma}",
+            r.scenario, r.modeled_recovery_s, r.host_recovery_ns, r.events, r.ticks_replayed
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

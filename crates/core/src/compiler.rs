@@ -16,15 +16,30 @@
 //!   Concurrent submissions of the same synthesized netlist are coalesced
 //!   by content hash — one compile runs, every waiter gets the result.
 
-use cascade_fpga::{wrapper_overhead_les, Bitstream, CompileError, Toolchain};
+use cascade_fpga::{
+    wrapper_overhead_les, Bitstream, CompileError, FaultPlan, Toolchain, ToolchainFault,
+};
 use cascade_netlist::{fingerprint, synthesize, Netlist};
 use cascade_sim::Design;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Locks a mutex, tolerating poison: the protected state here (caches,
+/// queues, waiter maps) stays structurally valid at every await point, so
+/// a panic elsewhere must not cascade into every thread that shares the
+/// map (satellite of the fault-tolerance work: one panicked worker cannot
+/// take the pool down).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Modeled latency of noticing a crashed compile worker.
+const PANIC_LATENCY_S: f64 = 10.0;
 
 /// Modeled latency of a cache hit: fetching a stored bitstream and
 /// reprogramming the fabric, not rerunning the toolchain (paper Sec. 7
@@ -82,7 +97,7 @@ impl BitstreamCache {
     /// the hit/miss counters — those count whole compile requests, which
     /// the compile paths record themselves.
     fn get(&self, key: u64) -> Option<Bitstream> {
-        let mut inner = self.inner.lock().expect("bitstream cache poisoned");
+        let mut inner = lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         let entry = inner.map.get_mut(&key)?;
@@ -93,7 +108,7 @@ impl BitstreamCache {
     /// Inserts a bitstream, evicting the least-recently-used entry when
     /// over capacity.
     fn insert(&self, key: u64, bitstream: Bitstream) {
-        let mut inner = self.inner.lock().expect("bitstream cache poisoned");
+        let mut inner = lock(&self.inner);
         inner.tick += 1;
         let used = inner.tick;
         inner.map.insert(key, CacheEntry { bitstream, used });
@@ -113,11 +128,7 @@ impl BitstreamCache {
 
     /// Cached entries currently held.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("bitstream cache poisoned")
-            .map
-            .len()
+        lock(&self.inner).map.len()
     }
 
     /// Whether the cache is empty.
@@ -174,6 +185,7 @@ struct Job {
     toolchain: Toolchain,
     version: u64,
     tx: Sender<CompileOutcome>,
+    faults: FaultPlan,
 }
 
 /// Submissions waiting on an in-flight compile of the same content hash:
@@ -189,6 +201,7 @@ struct QueueShared {
     in_progress: Mutex<HashMap<u64, Waiters>>,
     coalesced: AtomicU64,
     dropped: AtomicU64,
+    worker_panics: AtomicU64,
     capacity: usize,
     shutdown: AtomicBool,
 }
@@ -201,7 +214,7 @@ pub struct CompileQueue {
 
 impl CompileQueue {
     fn submit(&self, job: Job) {
-        let mut q = self.shared.jobs.lock().expect("compile queue poisoned");
+        let mut q = lock(&self.shared.jobs);
         if self.shared.shutdown.load(Ordering::Acquire) {
             return; // tx drops; the submitter degrades to software-only
         }
@@ -223,11 +236,7 @@ impl CompileQueue {
 
     /// Jobs waiting for a worker.
     pub fn depth(&self) -> usize {
-        self.shared
-            .jobs
-            .lock()
-            .expect("compile queue poisoned")
-            .len()
+        lock(&self.shared.jobs).len()
     }
 
     /// Submissions coalesced onto an identical in-flight compile.
@@ -238,6 +247,12 @@ impl CompileQueue {
     /// Jobs shed because the queue was full.
     pub fn dropped(&self) -> u64 {
         self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Worker panics contained by the pool (each job's submitter got a
+    /// [`CompileError::WorkerPanic`] outcome and the worker kept serving).
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.worker_panics.load(Ordering::Relaxed)
     }
 }
 
@@ -261,6 +276,7 @@ impl CompilePool {
             in_progress: Mutex::new(HashMap::new()),
             coalesced: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             capacity: queue_capacity.max(1),
             shutdown: AtomicBool::new(false),
         });
@@ -295,7 +311,7 @@ impl Drop for CompilePool {
 fn worker_loop(shared: &QueueShared) {
     loop {
         let job = {
-            let mut q = shared.jobs.lock().expect("compile queue poisoned");
+            let mut q = lock(&shared.jobs);
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
@@ -303,10 +319,56 @@ fn worker_loop(shared: &QueueShared) {
                 if let Some(j) = q.pop_front() {
                     break j;
                 }
-                q = shared.available.wait(q).expect("compile queue poisoned");
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        run_pooled_job(shared, job);
+        // Contain panics at the job boundary: the submitter learns its
+        // compile died (a retryable outcome), the worker thread survives
+        // to serve other tenants, and the in-progress entry is cleaned by
+        // its guard. Cloned out of `job` first because the catch consumes
+        // it.
+        let tx = job.tx.clone();
+        let version = job.version;
+        let scale = job.toolchain.time_scale;
+        if catch_unwind(AssertUnwindSafe(|| run_pooled_job(shared, job))).is_err() {
+            shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(panic_outcome(version, scale));
+        }
+    }
+}
+
+fn panic_outcome(version: u64, time_scale: f64) -> CompileOutcome {
+    CompileOutcome {
+        version,
+        result: Err(CompileError::WorkerPanic),
+        latency: Duration::from_secs_f64(PANIC_LATENCY_S * time_scale),
+    }
+}
+
+/// Removes the in-progress entry for `key` on unwind, failing coalesced
+/// waiters with [`CompileError::WorkerPanic`] so they retry rather than
+/// wait forever on a compile nobody is running.
+struct InProgressGuard<'a> {
+    shared: &'a QueueShared,
+    key: u64,
+    time_scale: f64,
+    done: bool,
+}
+
+impl Drop for InProgressGuard<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        let waiters = lock(&self.shared.in_progress)
+            .remove(&self.key)
+            .unwrap_or_default();
+        for (version, tx) in waiters {
+            let _ = tx.send(panic_outcome(version, self.time_scale));
+        }
     }
 }
 
@@ -324,7 +386,7 @@ fn run_pooled_job(shared: &QueueShared, job: Job) {
         return;
     }
     {
-        let mut ip = shared.in_progress.lock().expect("in-progress map poisoned");
+        let mut ip = lock(&shared.in_progress);
         if let Some(waiters) = ip.get_mut(&key) {
             // An identical compile is running: ride on its result.
             waiters.push((job.version, job.tx));
@@ -333,13 +395,18 @@ fn run_pooled_job(shared: &QueueShared, job: Job) {
         }
         ip.insert(key, Vec::new());
     }
-    let outcome = run_toolchain(netlist, &tc, key, job.version, &shared.cache);
-    let waiters = shared
-        .in_progress
-        .lock()
-        .expect("in-progress map poisoned")
-        .remove(&key)
-        .unwrap_or_default();
+    let mut guard = InProgressGuard {
+        shared,
+        key,
+        time_scale: tc.time_scale,
+        done: false,
+    };
+    if job.faults.next_worker_panic() {
+        panic!("injected compile-worker panic");
+    }
+    let outcome = run_toolchain(netlist, &tc, key, job.version, &shared.cache, &job.faults);
+    let waiters = lock(&shared.in_progress).remove(&key).unwrap_or_default();
+    guard.done = true;
     for (version, tx) in waiters {
         let _ = tx.send(outcome.clone_for(version));
     }
@@ -349,6 +416,32 @@ fn run_pooled_job(shared: &QueueShared, job: Job) {
 // ---------------------------------------------------------------------
 // Per-session background compiler
 // ---------------------------------------------------------------------
+
+/// How a [`BackgroundCompiler`] responds to transient compile failures:
+/// bounded retry with exponential backoff, plus a modeled watchdog that
+/// cancels runs which never surface an outcome. All times are in modeled
+/// seconds on the same clock as compile latency (callers pre-scale by the
+/// toolchain's `time_scale`).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first try (total tries = 1 + this).
+    pub max_retries: u32,
+    /// First retry waits this long; each later retry doubles it.
+    pub backoff_s: f64,
+    /// A run with no outcome this long after submission is cancelled as
+    /// hung and retried. `0` disables the watchdog.
+    pub watchdog_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_s: 30.0,
+            watchdog_s: 3600.0,
+        }
+    }
+}
 
 /// A single-slot background compiler (a newer submission supersedes an
 /// in-flight one: its result will be dropped as stale). Standalone by
@@ -364,6 +457,15 @@ pub struct BackgroundCompiler {
     staged: Option<CompileOutcome>,
     cache: Arc<BitstreamCache>,
     queue: Option<CompileQueue>,
+    policy: RetryPolicy,
+    faults: FaultPlan,
+    /// The current submission, kept for re-dispatch on transient failure.
+    job: Option<(Arc<Design>, Toolchain)>,
+    /// Tries of the current submission so far (1 = first).
+    attempts: u32,
+    retries: u64,
+    watchdog_cancels: u64,
+    worker_panics: u64,
 }
 
 impl Default for BackgroundCompiler {
@@ -380,21 +482,16 @@ impl BackgroundCompiler {
 
     /// An idle compiler with a private cache bounded to `cache_capacity`.
     pub fn with_capacity(cache_capacity: usize) -> Self {
-        BackgroundCompiler {
-            rx: None,
-            handle: None,
-            submitted_s: 0.0,
-            submitted_version: 0,
-            staged: None,
-            cache: Arc::new(BitstreamCache::new(cache_capacity)),
-            queue: None,
-        }
+        Self::build(Arc::new(BitstreamCache::new(cache_capacity)), None)
     }
 
     /// An idle compiler submitting into a shared pool (the pool's cache
     /// replaces the private one).
     pub fn with_queue(queue: CompileQueue) -> Self {
-        let cache = Arc::clone(queue.cache());
+        Self::build(Arc::clone(queue.cache()), Some(queue))
+    }
+
+    fn build(cache: Arc<BitstreamCache>, queue: Option<CompileQueue>) -> Self {
         BackgroundCompiler {
             rx: None,
             handle: None,
@@ -402,8 +499,37 @@ impl BackgroundCompiler {
             submitted_version: 0,
             staged: None,
             cache,
-            queue: Some(queue),
+            queue,
+            policy: RetryPolicy::default(),
+            faults: FaultPlan::none(),
+            job: None,
+            attempts: 0,
+            retries: 0,
+            watchdog_cancels: 0,
+            worker_panics: 0,
         }
+    }
+
+    /// Installs the retry policy and fault schedule (idempotent; applies
+    /// to subsequent submissions).
+    pub fn configure(&mut self, policy: RetryPolicy, faults: FaultPlan) {
+        self.policy = policy;
+        self.faults = faults;
+    }
+
+    /// Transient-failure retries dispatched so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Hung compiles cancelled by the watchdog so far.
+    pub fn watchdog_cancels(&self) -> u64 {
+        self.watchdog_cancels
+    }
+
+    /// Worker-panic outcomes observed by this compiler.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics
     }
 
     /// Compiles whose synthesized netlist + toolchain matched a cached
@@ -437,60 +563,149 @@ impl BackgroundCompiler {
     /// overhead charged to area and latency. Supersedes any prior
     /// submission.
     pub fn submit(&mut self, design: Arc<Design>, toolchain: Toolchain, version: u64, wall_s: f64) {
+        self.submitted_version = version;
+        self.attempts = 1;
+        self.job = Some((Arc::clone(&design), toolchain.clone()));
+        self.dispatch(design, toolchain, wall_s);
+    }
+
+    fn dispatch(&mut self, design: Arc<Design>, toolchain: Toolchain, at_s: f64) {
         let (tx, rx) = channel();
+        let version = self.submitted_version;
+        let faults = self.faults.clone();
         if let Some(queue) = &self.queue {
             queue.submit(Job {
                 design,
                 toolchain,
                 version,
                 tx,
+                faults,
             });
             self.handle = None;
         } else {
             let cache = Arc::clone(&self.cache);
+            let scale = toolchain.time_scale;
             let handle = std::thread::spawn(move || {
-                let outcome = compile_with_wrapper(&design, &toolchain, version, &cache);
+                // The solo worker contains its own panics (the pooled
+                // equivalent lives in `worker_loop`).
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    compile_with_wrapper(&design, &toolchain, version, &cache, &faults)
+                }))
+                .unwrap_or_else(|_| panic_outcome(version, scale));
                 let _ = tx.send(outcome);
             });
             self.handle = Some(handle);
         }
         self.rx = Some(rx);
-        self.submitted_s = wall_s;
-        self.submitted_version = version;
+        self.submitted_s = at_s;
         self.staged = None;
     }
 
-    /// Polls the worker and, when the modeled latency has elapsed at
-    /// `wall_s`, returns the outcome.
-    pub fn poll(&mut self, wall_s: f64) -> Option<CompileOutcome> {
-        if self.staged.is_none() {
-            if let Some(rx) = &self.rx {
-                match rx.try_recv() {
-                    Ok(outcome) => {
-                        self.staged = Some(outcome);
-                        self.rx = None;
-                        if let Some(h) = self.handle.take() {
-                            let _ = h.join();
-                        }
-                    }
-                    Err(TryRecvError::Empty) => {}
-                    Err(TryRecvError::Disconnected) => {
-                        // Pool shut down or shed the job: no bitstream is
-                        // coming; stay in software.
-                        self.rx = None;
-                    }
+    /// Moves a completed worker result into the staging slot. A
+    /// disconnected channel (pool shut down or shed the job) stages a
+    /// transient failure so the retry policy decides what happens next.
+    fn pump(&mut self) {
+        if self.staged.is_some() {
+            return;
+        }
+        let Some(rx) = &self.rx else { return };
+        match rx.try_recv() {
+            Ok(outcome) => {
+                self.staged = Some(outcome);
+                self.rx = None;
+                if let Some(h) = self.handle.take() {
+                    let _ = h.join();
                 }
             }
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => {
+                self.rx = None;
+                self.handle = None;
+                self.staged = Some(CompileOutcome {
+                    version: self.submitted_version,
+                    result: Err(CompileError::TransientFault(
+                        "compile job shed by the pool".to_string(),
+                    )),
+                    latency: Duration::ZERO,
+                });
+            }
+        }
+    }
+
+    /// Whether the current run cannot surface an outcome by its watchdog
+    /// deadline (either nothing has arrived, or what arrived carries a
+    /// modeled latency past the deadline — a hung place-and-route).
+    fn watchdog_expired(&self, wall_s: f64) -> bool {
+        if self.policy.watchdog_s <= 0.0 || !self.busy() {
+            return false;
+        }
+        let deadline = self.submitted_s + self.policy.watchdog_s;
+        if wall_s < deadline {
+            return false;
+        }
+        match &self.staged {
+            Some(o) => self.submitted_s + o.latency.as_secs_f64() > deadline,
+            None => true,
+        }
+    }
+
+    /// Polls the worker and, when the modeled latency has elapsed at
+    /// `wall_s`, returns the outcome. Transient failures (faults, hangs,
+    /// worker panics, shed jobs) are retried with exponential backoff up
+    /// to the policy bound and only then surfaced; terminal design errors
+    /// surface immediately.
+    pub fn poll(&mut self, wall_s: f64) -> Option<CompileOutcome> {
+        self.pump();
+        if self.watchdog_expired(wall_s) {
+            self.watchdog_cancels += 1;
+            self.rx = None;
+            self.handle = None;
+            self.staged = None;
+            return self.retry_or_surface(CompileError::ToolchainHang, wall_s);
         }
         let ready = self
             .staged
             .as_ref()
             .map(|o| wall_s >= self.submitted_s + o.latency.as_secs_f64())
             .unwrap_or(false);
-        if ready {
-            self.staged.take()
-        } else {
-            None
+        if !ready {
+            return None;
+        }
+        let outcome = self.staged.take()?;
+        if outcome.version == self.submitted_version {
+            if let Err(e) = &outcome.result {
+                if e.is_transient() {
+                    if matches!(e, CompileError::WorkerPanic) {
+                        self.worker_panics += 1;
+                    }
+                    return self.retry_or_surface(e.clone(), wall_s);
+                }
+            }
+        }
+        self.job = None;
+        Some(outcome)
+    }
+
+    /// Re-dispatches the current submission after a transient failure, or
+    /// surfaces the failure once the retry budget is spent.
+    fn retry_or_surface(&mut self, err: CompileError, wall_s: f64) -> Option<CompileOutcome> {
+        let job = self.job.clone();
+        match job {
+            Some((design, toolchain)) if self.attempts <= self.policy.max_retries => {
+                let backoff = self.policy.backoff_s * f64::powi(2.0, self.attempts as i32 - 1);
+                self.attempts += 1;
+                self.retries += 1;
+                self.dispatch(design, toolchain, wall_s + backoff);
+                None
+            }
+            _ => {
+                self.job = None;
+                Some(CompileOutcome {
+                    version: self.submitted_version,
+                    result: Err(err),
+                    latency: Duration::ZERO,
+                })
+            }
         }
     }
 
@@ -500,6 +715,21 @@ impl BackgroundCompiler {
         self.staged
             .as_ref()
             .map(|o| self.submitted_s + o.latency.as_secs_f64())
+    }
+
+    /// The earliest modeled second at which `poll` could act: the staged
+    /// result's ready time or the watchdog deadline, whichever is sooner.
+    /// Unlike [`BackgroundCompiler::ready_at`], this is always finite
+    /// while a compile is in flight (hung runs are bounded by the
+    /// watchdog), so schedulers can sleep until it safely.
+    pub fn wake_at(&self) -> Option<f64> {
+        let ready = self.ready_at();
+        let dog = (self.policy.watchdog_s > 0.0 && self.busy())
+            .then_some(self.submitted_s + self.policy.watchdog_s);
+        match (ready, dog) {
+            (Some(r), Some(d)) => Some(r.min(d)),
+            (r, d) => r.or(d),
+        }
     }
 
     /// Blocks the calling thread until the worker finishes (test support;
@@ -570,12 +800,37 @@ fn run_toolchain(
     key: u64,
     version: u64,
     cache: &BitstreamCache,
+    faults: &FaultPlan,
 ) -> CompileOutcome {
     cache.misses.fetch_add(1, Ordering::Relaxed);
     let area = cascade_netlist::estimate_area(&netlist);
     let mut padded = area;
     padded.logic_elements += tc.overhead_les;
     let full_latency = tc.modeled_duration(&padded, netlist.cell_count());
+    match faults.next_toolchain_fault() {
+        Some(ToolchainFault::Transient) => {
+            // A mid-flight infrastructure failure: half the run elapsed
+            // before the toolchain died.
+            return CompileOutcome {
+                version,
+                result: Err(CompileError::TransientFault(
+                    "injected toolchain fault mid-place-and-route".to_string(),
+                )),
+                latency: Duration::from_secs_f64(full_latency.as_secs_f64() * 0.5),
+            };
+        }
+        Some(ToolchainFault::Hang) => {
+            // The run never surfaces: an unreachable ready time models a
+            // toolchain stuck in place-and-route. Only the submitter's
+            // watchdog recovers from this.
+            return CompileOutcome {
+                version,
+                result: Err(CompileError::ToolchainHang),
+                latency: Duration::MAX,
+            };
+        }
+        None => {}
+    }
     match tc.compile_netlist(netlist) {
         Ok(bs) => {
             cache.insert(key, bs.clone());
@@ -606,7 +861,11 @@ fn compile_with_wrapper(
     toolchain: &Toolchain,
     version: u64,
     cache: &BitstreamCache,
+    faults: &FaultPlan,
 ) -> CompileOutcome {
+    if faults.next_worker_panic() {
+        panic!("injected compile-worker panic");
+    }
     let (netlist, tc, key) = match synth_for_compile(design, toolchain, version) {
         Ok(parts) => parts,
         Err(outcome) => return outcome,
@@ -615,5 +874,5 @@ fn compile_with_wrapper(
         cache.hits.fetch_add(1, Ordering::Relaxed);
         return hit_outcome(bs, &tc, version);
     }
-    run_toolchain(netlist, &tc, key, version, cache)
+    run_toolchain(netlist, &tc, key, version, cache, faults)
 }

@@ -1,6 +1,6 @@
 //! Runtime configuration: the JIT policy knobs and platform models.
 
-use cascade_fpga::{CostModel, Device, Toolchain};
+use cascade_fpga::{CostModel, Device, FaultPlan, Toolchain};
 
 /// Cascade's optimization policy (paper Sec. 4). Every stage can be toggled
 /// independently — the ablation benchmarks exercise exactly these switches.
@@ -34,6 +34,33 @@ pub struct JitConfig {
     /// used for the runtime's private cache; a shared
     /// [`CompilePool`](crate::CompilePool) brings its own bound.
     pub bitstream_cache_capacity: usize,
+    /// Deterministic fault schedule injected into the toolchain, fabric,
+    /// and workers. Inactive by default.
+    pub faults: FaultPlan,
+    /// How many times a transiently-failed compilation (fault, hang,
+    /// worker panic) is retried before the failure surfaces. Terminal
+    /// design errors are never retried.
+    pub compile_max_retries: u32,
+    /// Base of the exponential retry backoff, in *modeled* seconds
+    /// (scaled by the toolchain's `time_scale` like compile latency).
+    pub compile_backoff_s: f64,
+    /// Modeled watchdog deadline for one toolchain run: a compile that
+    /// has not surfaced an outcome this long after submission is
+    /// cancelled as hung and retried. Must exceed the modeled compile
+    /// latency of legitimate designs (defaults leave ~5× headroom).
+    /// `0` disables the watchdog.
+    pub compile_watchdog_s: f64,
+    /// While a hardware engine runs the main program, verify its
+    /// configuration by readback scrubbing every this many ticks;
+    /// user-visible output produced between scrubs is quarantined until
+    /// the scrub validates the window. `0` disables scrubbing (hardware
+    /// output is trusted immediately, as in the paper's fault-free
+    /// model).
+    pub scrub_interval_ticks: u64,
+    /// Take a recovery checkpoint of the software engines at least every
+    /// this many ticks (hardware windows checkpoint at scrub boundaries
+    /// instead). `0` disables periodic checkpoints.
+    pub checkpoint_interval_ticks: u64,
 }
 
 impl Default for JitConfig {
@@ -50,6 +77,12 @@ impl Default for JitConfig {
             pad_width: 4,
             led_width: 8,
             bitstream_cache_capacity: crate::compiler::DEFAULT_BITSTREAM_CACHE_CAPACITY,
+            faults: FaultPlan::none(),
+            compile_max_retries: 3,
+            compile_backoff_s: 30.0,
+            compile_watchdog_s: 3600.0,
+            scrub_interval_ticks: 4096,
+            checkpoint_interval_ticks: 4096,
         }
     }
 }

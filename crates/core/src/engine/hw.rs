@@ -41,6 +41,12 @@ pub struct HwEngine {
     /// on-fabric and free).
     bus_msgs: u64,
     last_cycles: u64,
+    /// Configuration-readback CRC recorded at programming time (the
+    /// netlist fingerprint; see [`cascade_netlist::readback_crc`]).
+    golden_crc: u64,
+    /// Accumulated configuration disturbance from injected soft errors;
+    /// zero on a healthy fabric.
+    config_upsets: u64,
 }
 
 impl HwEngine {
@@ -61,6 +67,7 @@ impl HwEngine {
                 (name, edge)
             })
             .collect::<Vec<_>>();
+        let golden_crc = cascade_netlist::readback_crc(&netlist, 0);
         let core = MmioCore::new(netlist)
             .map_err(|e| EngineError::Internal(format!("levelization failed: {e}")))?;
         let clock_last = vec![false; clock_inputs.len()];
@@ -74,7 +81,41 @@ impl HwEngine {
             tasks: Vec::new(),
             bus_msgs: 0,
             last_cycles: 0,
+            golden_crc,
+            config_upsets: 0,
         })
+    }
+
+    /// One readback scrub: re-derives the configuration CRC and compares
+    /// it against the golden programming-time value. `true` means the
+    /// fabric is intact. Charged as one request/response bus exchange.
+    pub fn scrub_ok(&mut self) -> bool {
+        self.bus_msgs += 2;
+        let crc = cascade_netlist::readback_crc(self.core.sim_ref().netlist(), self.config_upsets);
+        crc == self.golden_crc
+    }
+
+    /// Injects a modeled single-event upset: flips one live register bit
+    /// (chosen by `salt`) and disturbs the configuration image so the
+    /// next readback CRC mismatches. State-only corruption without the
+    /// CRC disturbance would be undetectable — exactly the failure mode
+    /// scrubbing exists to bound.
+    pub fn inject_soft_error(&mut self, salt: u64) {
+        let nregs = self.core.sim_ref().netlist().regs.len();
+        if nregs > 0 {
+            let idx = cascade_netlist::RegId((salt % nregs as u64) as u32);
+            let mut v = self.core.sim().read_reg(idx);
+            if v.width() > 0 {
+                let bit = ((salt >> 16) % v.width() as u64) as u32;
+                let flipped = !v.bit(bit);
+                v.set_bit(bit, flipped);
+                self.core.sim().write_reg(idx, v);
+                self.core.sim().settle();
+            }
+        }
+        // `| 1` keeps the disturbance nonzero even for salt 0.
+        self.config_upsets ^= salt | 1;
+        self.dirty = true;
     }
 
     /// Absorbs standard-library components (ABI forwarding, Fig. 9.4).

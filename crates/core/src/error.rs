@@ -24,6 +24,9 @@ pub enum CascadeError {
     /// A hardware compilation failed (reported when native mode demands
     /// one, or surfaced as a warning otherwise).
     Compile(CompileError),
+    /// A contained internal failure (e.g. a panic caught at an isolation
+    /// boundary). The session survives; the offending operation did not.
+    Internal(String),
 }
 
 impl fmt::Display for CascadeError {
@@ -44,7 +47,19 @@ impl fmt::Display for CascadeError {
                 write!(f, "native mode unavailable: {msg}")
             }
             CascadeError::Compile(e) => write!(f, "{e}"),
+            CascadeError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
+    }
+}
+
+/// Renders a caught panic payload (from `catch_unwind`) as a message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
     }
 }
 

@@ -40,12 +40,12 @@ mod runtime;
 pub mod transform;
 
 pub use compiler::{
-    BackgroundCompiler, BitstreamCache, CompileOutcome, CompilePool, CompileQueue,
+    BackgroundCompiler, BitstreamCache, CompileOutcome, CompilePool, CompileQueue, RetryPolicy,
     DEFAULT_BITSTREAM_CACHE_CAPACITY,
 };
 pub use config::JitConfig;
 pub use engine::{Engine, EngineKind, EngineState, TaskEvent};
-pub use error::CascadeError;
+pub use error::{panic_message, CascadeError};
 pub use repl::{Repl, ReplResponse};
 pub use runtime::{ExecMode, Runtime, RuntimeStats};
 

@@ -5,10 +5,11 @@
 //! or a statement), which is then eval'ed into the running program. Errors
 //! are reported per item; code that passes begins execution immediately.
 
-use crate::error::CascadeError;
+use crate::error::{panic_message, CascadeError};
 use crate::runtime::Runtime;
 use cascade_verilog::ast::{Item, ModuleItem, Stmt};
 use cascade_verilog::{line_col, Diagnostic};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// What the REPL did with a line of input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,7 +65,7 @@ impl Repl {
         let src = std::mem::take(&mut self.buffer);
         let Some(chunks) = split_items(&src) else {
             // Unsplittable (parse error or exotic spans): evaluate whole.
-            return match self.runtime.eval(&src) {
+            return match self.eval_guarded(&src) {
                 Ok(()) => ReplResponse::Evaluated(self.runtime.drain_output()),
                 Err(CascadeError::Parse(d)) => ReplResponse::Error(d.render(&src)),
                 Err(e) => ReplResponse::Error(e.to_string()),
@@ -72,13 +73,23 @@ impl Repl {
         };
         let total = chunks.len();
         for (i, chunk) in chunks.iter().enumerate() {
-            if let Err(e) = self.runtime.eval(&chunk.text) {
+            if let Err(e) = self.eval_guarded(&chunk.text) {
                 // Output from already-committed items stays queued in the
                 // runtime for the next successful drain.
                 return ReplResponse::Error(render_item_error(&e, chunk, i + 1, total));
             }
         }
         ReplResponse::Evaluated(self.runtime.drain_output())
+    }
+
+    /// Evaluates one source chunk with panic containment: a panicking item
+    /// surfaces as a structured [`CascadeError::Internal`] instead of
+    /// unwinding through the session. The runtime restores its previous
+    /// program when a commit fails partway, so items already committed
+    /// stay live and consistent.
+    fn eval_guarded(&mut self, src: &str) -> Result<(), CascadeError> {
+        catch_unwind(AssertUnwindSafe(|| self.runtime.eval(src)))
+            .unwrap_or_else(|p| Err(CascadeError::Internal(panic_message(p.as_ref()))))
     }
 
     /// Feeds a whole file (batch mode, paper Sec. 3.1). The process is the
@@ -88,7 +99,7 @@ impl Repl {
     ///
     /// Returns the first evaluation error.
     pub fn batch(&mut self, src: &str) -> Result<Vec<String>, CascadeError> {
-        self.runtime.eval(src)?;
+        self.eval_guarded(src)?;
         Ok(self.runtime.drain_output())
     }
 

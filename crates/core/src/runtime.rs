@@ -7,7 +7,7 @@
 //! which is also when hardware engines replace software engines and
 //! interrupts (system-task side effects) are serviced.
 
-use crate::compiler::{BackgroundCompiler, CompileQueue};
+use crate::compiler::{BackgroundCompiler, CompileQueue, RetryPolicy};
 use crate::config::JitConfig;
 use crate::engine::clock::ClockEngine;
 use crate::engine::hw::{Forwarded, HwEngine};
@@ -15,15 +15,16 @@ use crate::engine::native::NativeEngine;
 use crate::engine::peripheral::{PeripheralEngine, PERIPHERAL_CLOCK_PORT};
 use crate::engine::sw::SwEngine;
 use crate::engine::{Engine, EngineKind, EngineState, TaskEvent};
-use crate::error::CascadeError;
+use crate::error::{panic_message, CascadeError};
 use crate::transform::{transform_module, Externals, Wire};
 use cascade_bits::Bits;
-use cascade_fpga::{Board, Fleet, Lease, VirtualWall};
+use cascade_fpga::{Board, FabricFault, Fleet, Lease, VirtualWall};
 use cascade_sim::Design;
 use cascade_verilog::ast::{Item, Module, ModuleItem};
 use cascade_verilog::typecheck::{check_module, const_eval, ModuleLibrary, ParamEnv};
 use cascade_verilog::Span;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// The name of the implicit root module.
@@ -47,6 +48,15 @@ struct ResolvedWire {
     from: (usize, String),
     to: (usize, String),
     last: Option<Bits>,
+}
+
+/// A consistent snapshot of every engine's state, taken at a verified
+/// point (a clean scrub boundary in hardware, a tick boundary in
+/// software). Restoring it rewinds the program to that point.
+struct Checkpoint {
+    states: BTreeMap<String, EngineState>,
+    iterations: u64,
+    finished: bool,
 }
 
 /// How the program is currently executing (for instrumentation).
@@ -90,6 +100,24 @@ pub struct RuntimeStats {
     pub hw_promotions: u64,
     /// Hardware→software demotions forced by fleet lease revocation.
     pub lease_demotions: u64,
+    /// Transient compile failures (faults, hangs, worker panics) that were
+    /// retried with exponential backoff.
+    pub compile_retries: u64,
+    /// Hung toolchain runs cancelled by the modeled compile watchdog.
+    pub compile_watchdog_cancels: u64,
+    /// Compile-worker panics contained at an isolation boundary.
+    pub panics_contained: u64,
+    /// Readback scrubs performed against the hardware engine.
+    pub scrubs: u64,
+    /// Scrubs that detected a fabric soft error (each triggers a rollback
+    /// to the last checkpoint and software re-execution).
+    pub scrub_detections: u64,
+    /// Recovery checkpoints taken.
+    pub checkpoints_taken: u64,
+    /// Recovery checkpoints restored (rollbacks).
+    pub checkpoints_restored: u64,
+    /// Fabric losses survived (the program resumed in software).
+    pub fabric_losses: u64,
 }
 
 /// The Cascade runtime: eval Verilog, run it immediately, let the JIT move
@@ -153,6 +181,25 @@ pub struct Runtime {
     pending_hw: Option<Arc<cascade_netlist::Netlist>>,
     promotions: u64,
     demotions: u64,
+
+    /// Last known-good snapshot (the rollback point).
+    checkpoint: Option<Checkpoint>,
+    /// Iteration of the last scrub boundary (hardware windows).
+    last_scrub_iter: u64,
+    /// Iteration of the last checkpoint.
+    last_ckpt_iter: u64,
+    /// Output produced inside the current unverified hardware window:
+    /// committed at the next clean scrub, discarded on rollback.
+    quarantine: Vec<String>,
+    /// Recovery events. Deliberately separate from `output`: fault
+    /// recovery must leave the user-visible transcript byte-identical to
+    /// a fault-free run.
+    recovery_log: Vec<String>,
+    scrubs: u64,
+    scrub_detections: u64,
+    checkpoints_taken: u64,
+    checkpoints_restored: u64,
+    fabric_losses: u64,
 }
 
 // Sessions are hosted on server worker threads; the runtime must be free
@@ -211,9 +258,32 @@ impl Runtime {
             pending_hw: None,
             promotions: 0,
             demotions: 0,
+            checkpoint: None,
+            last_scrub_iter: 0,
+            last_ckpt_iter: 0,
+            quarantine: Vec::new(),
+            recovery_log: Vec::new(),
+            scrubs: 0,
+            scrub_detections: 0,
+            checkpoints_taken: 0,
+            checkpoints_restored: 0,
+            fabric_losses: 0,
         };
+        let policy = rt.retry_policy();
+        rt.compiler.configure(policy, rt.config.faults.clone());
         rt.rebuild()?;
         Ok(rt)
+    }
+
+    /// The compile retry/watchdog policy, with modeled seconds compressed
+    /// by the toolchain's time scale (like compile latency itself).
+    fn retry_policy(&self) -> RetryPolicy {
+        let scale = self.config.toolchain.time_scale;
+        RetryPolicy {
+            max_retries: self.config.compile_max_retries,
+            backoff_s: self.config.compile_backoff_s * scale,
+            watchdog_s: self.config.compile_watchdog_s * scale,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -275,6 +345,14 @@ impl Runtime {
             hw_pending: self.pending_hw.is_some(),
             hw_promotions: self.promotions,
             lease_demotions: self.demotions,
+            compile_retries: self.compiler.retries(),
+            compile_watchdog_cancels: self.compiler.watchdog_cancels(),
+            panics_contained: self.compiler.worker_panics(),
+            scrubs: self.scrubs,
+            scrub_detections: self.scrub_detections,
+            checkpoints_taken: self.checkpoints_taken,
+            checkpoints_restored: self.checkpoints_restored,
+            fabric_losses: self.fabric_losses,
         }
     }
 
@@ -293,6 +371,8 @@ impl Runtime {
     /// [`CompilePool`]: crate::CompilePool
     pub fn attach_compile_queue(&mut self, queue: CompileQueue) {
         self.compiler = BackgroundCompiler::with_queue(queue);
+        self.compiler
+            .configure(self.retry_policy(), self.config.faults.clone());
     }
 
     /// Reports this tenant's activity heat to the fleet arbiter (higher =
@@ -402,13 +482,48 @@ impl Runtime {
             transform_module(ROOT, &root_module, &externals, &staged_lib, &mut wires)?;
         check_module(&transformed, &ParamEnv::new(), &staged_lib)
             .map_err(CascadeError::Typecheck)?;
-        // Commit.
-        self.lib = staged_lib;
-        self.root = staged_root;
+        // Commit. Any open speculation window is verified first so the
+        // state a rebuild migrates is trustworthy; a mid-commit rebuild
+        // failure (or panic) restores the previous program so one bad item
+        // cannot take the session down.
+        self.verify_speculation()?;
+        let prev_lib = std::mem::replace(&mut self.lib, staged_lib);
+        let prev_root = std::mem::replace(&mut self.root, staged_root);
         self.version += 1;
         self.native = false;
-        self.rebuild()?;
-        Ok(())
+        match catch_unwind(AssertUnwindSafe(|| self.rebuild())) {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => {
+                self.recover_failed_commit(prev_lib, prev_root);
+                Err(e)
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                self.recover_failed_commit(prev_lib, prev_root);
+                Err(CascadeError::Internal(msg))
+            }
+        }
+    }
+
+    /// Restores the previous (known-good) program after a failed eval
+    /// commit. Rebuilding the prior program is best-effort: it was running
+    /// a moment ago, so a second failure means engine state is torn — the
+    /// runtime is then left idle but alive.
+    fn recover_failed_commit(&mut self, lib: ModuleLibrary, root: Vec<RootEntry>) {
+        self.lib = lib;
+        self.root = root;
+        self.version += 1;
+        let recovered = matches!(
+            catch_unwind(AssertUnwindSafe(|| self.rebuild())),
+            Ok(Ok(()))
+        );
+        if !recovered {
+            self.slots.clear();
+            self.wires.clear();
+            self.clock_idx = 0;
+            self.main_idx = None;
+            self.hw_design = None;
+        }
     }
 
     /// Runs `n` virtual clock ticks (or until `$finish`), using open-loop
@@ -418,20 +533,42 @@ impl Runtime {
     ///
     /// Returns [`CascadeError`] on engine faults.
     pub fn run_ticks(&mut self, n: u64) -> Result<u64, CascadeError> {
-        let mut done = 0;
+        // Progress is derived from the iteration counter rather than
+        // accumulated locally: a scrub-detected fault rolls the counter
+        // back, and the rolled-back ticks must be re-executed.
+        let start = self.iterations;
         self.open_loop_last = false;
-        while done < n && !self.finished {
-            self.check_revocation()?;
-            self.poll_compiler()?;
-            self.try_promote()?;
-            if let Some(k) = self.try_open_loop(n - done)? {
-                done += k;
+        loop {
+            loop {
+                let done = self.iterations.saturating_sub(start) / 2;
+                if done >= n || self.finished {
+                    break;
+                }
+                self.check_revocation()?;
+                self.poll_compiler()?;
+                self.try_promote()?;
+                self.maybe_scrub()?;
+                self.maybe_checkpoint();
+                // Servicing above may have rewound or advanced progress.
+                let done = self.iterations.saturating_sub(start) / 2;
+                if done >= n || self.finished {
+                    break;
+                }
+                if self.try_open_loop(n - done)?.is_some() {
+                    continue;
+                }
+                self.tick()?;
+            }
+            // Never leave an unverified window at a command boundary: a
+            // detection here rolls back (rewinding `iterations`) and the
+            // outer loop re-executes the lost ticks in software.
+            if self.speculating() && self.iterations != self.last_scrub_iter {
+                self.scrub()?;
                 continue;
             }
-            self.tick()?;
-            done += 1;
+            break;
         }
-        Ok(done)
+        Ok(self.iterations.saturating_sub(start) / 2)
     }
 
     /// Runs one virtual clock tick (two scheduler iterations).
@@ -454,6 +591,7 @@ impl Runtime {
     /// Returns [`CascadeError::NativeIneligible`] when the program uses
     /// unsynthesizable Verilog, or the compile error otherwise.
     pub fn enter_native(&mut self) -> Result<(), CascadeError> {
+        self.verify_speculation()?;
         let design = self
             .hw_design
             .clone()
@@ -476,6 +614,10 @@ impl Runtime {
         // Only the clock and the native engine remain.
         self.retain_clock_and_main();
         self.native = true;
+        // Native mode restarts state; checkpoints of the old engines are
+        // meaningless now.
+        self.checkpoint = None;
+        self.board.fifo_unmark();
         Ok(())
     }
 
@@ -498,9 +640,48 @@ impl Runtime {
         self.compiler.wait_worker();
     }
 
-    /// The modeled second at which the pending bitstream becomes available.
+    /// The modeled second of the next compiler event: a staged outcome
+    /// becoming ready, or a watchdog deadline on a hung compile.
     pub fn compile_ready_at(&self) -> Option<f64> {
-        self.compiler.ready_at()
+        self.compiler.wake_at()
+    }
+
+    /// Takes an explicit recovery checkpoint of the program. Any open
+    /// speculation window is verified first. Returns whether a checkpoint
+    /// was taken (`false` without user logic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError`] if verifying the open window fails.
+    pub fn checkpoint_now(&mut self) -> Result<bool, CascadeError> {
+        self.verify_speculation()?;
+        if self.main_idx.is_none() {
+            return Ok(false);
+        }
+        self.take_checkpoint();
+        Ok(true)
+    }
+
+    /// Rewinds the program to the last recovery checkpoint (engine state,
+    /// tick count, `$finish` status, and peripheral FIFO positions),
+    /// resuming in software. Returns whether a checkpoint existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError`] if the software rebuild fails.
+    pub fn restore_checkpoint(&mut self) -> Result<bool, CascadeError> {
+        if self.checkpoint.is_none() {
+            return Ok(false);
+        }
+        self.rollback_to_checkpoint()?;
+        Ok(true)
+    }
+
+    /// Drains the recovery event log (retries, scrub detections,
+    /// rollbacks). Kept separate from [`Runtime::drain_output`] because
+    /// recovery must not perturb the user-visible transcript.
+    pub fn drain_recovery_log(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.recovery_log)
     }
 
     /// Reads a named signal from the main engine (outputs and promoted
@@ -515,16 +696,42 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     fn rebuild(&mut self) -> Result<(), CascadeError> {
+        self.rebuild_from(None)
+    }
+
+    /// Rebuilds engines from source, seeding them from `override_states`
+    /// when given (checkpoint restore — the live engines' state is
+    /// deliberately ignored) or from the live engines otherwise.
+    fn rebuild_from(
+        &mut self,
+        override_states: Option<BTreeMap<String, EngineState>>,
+    ) -> Result<(), CascadeError> {
         // Engines are about to be replaced with software: any staged
         // bitstream is stale and a held fabric lease must be returned to
         // the fleet (dropping it releases the fabric).
         self.pending_hw = None;
         self.lease = None;
-        // 1. Save state.
-        let mut saved: BTreeMap<String, EngineState> = BTreeMap::new();
-        for slot in &mut self.slots {
-            saved.insert(slot.name.clone(), slot.engine.get_state());
-        }
+        // Speculation bookkeeping resets with the engines. Quarantined
+        // output is committed — callers that intend to discard it
+        // (rollback) clear the quarantine first.
+        self.checkpoint = None;
+        self.board.fifo_unmark();
+        let leftover = std::mem::take(&mut self.quarantine);
+        self.output.extend(leftover);
+        // 1. Save state. A forwarding hardware engine reports absorbed
+        // peripheral state under `instance::element` keys; split those
+        // back out so peripherals survive demotion.
+        let mut saved: BTreeMap<String, EngineState> = match override_states {
+            Some(states) => states,
+            None => {
+                let mut saved = BTreeMap::new();
+                for slot in &mut self.slots {
+                    saved.insert(slot.name.clone(), slot.engine.get_state());
+                }
+                saved
+            }
+        };
+        split_forwarded_state(&mut saved);
         // 2. Compose and transform. Without inlining (paper Fig. 9.1), every
         // root-level user-module instance becomes its own engine on the
         // data/control plane; with inlining (Fig. 9.2) they stay inside the
@@ -796,16 +1003,30 @@ impl Runtime {
     }
 
     fn collect_interrupts(&mut self) {
-        for slot in &mut self.slots {
-            for ev in slot.engine.drain_tasks() {
+        // Inside an unverified hardware window, user-visible output is
+        // quarantined until a clean scrub proves the fabric configuration
+        // intact; it is discarded if the window rolls back.
+        let speculating = self.speculating();
+        for i in 0..self.slots.len() {
+            for ev in self.slots[i].engine.drain_tasks() {
                 match ev {
-                    TaskEvent::Display(s) => self.output.push(s),
-                    TaskEvent::Write(s) => self.output.push(s),
+                    TaskEvent::Display(s) | TaskEvent::Write(s) => {
+                        if speculating {
+                            self.quarantine.push(s);
+                        } else {
+                            self.output.push(s);
+                        }
+                    }
                     TaskEvent::Finish => {
                         self.finished = true;
                     }
                     TaskEvent::Fatal(s) => {
-                        self.output.push(format!("fatal: {s}"));
+                        let line = format!("fatal: {s}");
+                        if speculating {
+                            self.quarantine.push(line);
+                        } else {
+                            self.output.push(line);
+                        }
                         self.finished = true;
                     }
                 }
@@ -821,6 +1042,189 @@ impl Runtime {
         for slot in &mut self.slots {
             let ns = slot.engine.take_cost_ns(&costs);
             self.wall.advance_ns(ns);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault recovery: scrubbing, checkpoints, rollback
+    // ------------------------------------------------------------------
+
+    fn main_is_hw(&self) -> bool {
+        !self.native
+            && self
+                .main_idx
+                .map(|i| self.slots[i].engine.kind() == EngineKind::Hardware)
+                .unwrap_or(false)
+    }
+
+    /// Whether the main subprogram is executing inside an unverified
+    /// hardware window (readback scrubbing enabled, checkpoint armed).
+    fn speculating(&self) -> bool {
+        self.config.scrub_interval_ticks > 0 && self.checkpoint.is_some() && self.main_is_hw()
+    }
+
+    /// Snapshots every engine (plus peripheral FIFO read positions) as the
+    /// new rollback point.
+    fn take_checkpoint(&mut self) {
+        if self.main_idx.is_none() {
+            return;
+        }
+        let mut states = BTreeMap::new();
+        for slot in &mut self.slots {
+            states.insert(slot.name.clone(), slot.engine.get_state());
+        }
+        self.checkpoint = Some(Checkpoint {
+            states,
+            iterations: self.iterations,
+            finished: self.finished,
+        });
+        self.last_ckpt_iter = self.iterations;
+        self.checkpoints_taken += 1;
+        if self.main_is_hw() && self.config.scrub_interval_ticks > 0 {
+            // Journal FIFO consumption from here so a rollback restores
+            // stream peripherals too.
+            self.board.fifo_mark();
+        }
+    }
+
+    /// Periodic software checkpoints (hardware windows checkpoint at scrub
+    /// boundaries instead).
+    fn maybe_checkpoint(&mut self) {
+        let interval = self.config.checkpoint_interval_ticks;
+        if interval == 0 || self.native || self.main_is_hw() || self.main_idx.is_none() {
+            return;
+        }
+        if self.iterations.saturating_sub(self.last_ckpt_iter) >= interval * 2 {
+            self.take_checkpoint();
+        }
+    }
+
+    /// Scrubs the hardware window when it has run long enough.
+    fn maybe_scrub(&mut self) -> Result<(), CascadeError> {
+        if !self.speculating() {
+            return Ok(());
+        }
+        if self.iterations.saturating_sub(self.last_scrub_iter)
+            >= self.config.scrub_interval_ticks * 2
+        {
+            self.scrub()?;
+        }
+        Ok(())
+    }
+
+    /// One readback scrub: re-derive the configuration CRC from the fabric
+    /// and compare against the golden CRC recorded at programming time. A
+    /// clean scrub commits the quarantined output and advances the
+    /// checkpoint; a detection rolls back. Scrub boundaries are also where
+    /// the fault plan's scheduled fabric faults strike, so the *next*
+    /// window observes them.
+    fn scrub(&mut self) -> Result<(), CascadeError> {
+        let Some(main_idx) = self.main_idx else {
+            return Ok(());
+        };
+        self.last_scrub_iter = self.iterations;
+        let ok = match as_hw(&mut self.slots[main_idx].engine) {
+            Some(hw) => hw.scrub_ok(),
+            None => return Ok(()),
+        };
+        self.scrubs += 1;
+        if !ok {
+            self.scrub_detections += 1;
+            self.recovery_log.push(
+                "scrub detected a fabric soft error; rolled back to the last checkpoint"
+                    .to_string(),
+            );
+            return self.rollback_to_checkpoint();
+        }
+        // Clean window: the quarantined output is real.
+        let q = std::mem::take(&mut self.quarantine);
+        self.output.extend(q);
+        self.take_checkpoint();
+        match self.config.faults.next_scrub_fault() {
+            Some(FabricFault::SoftError { salt }) => {
+                if let Some(hw) = as_hw(&mut self.slots[main_idx].engine) {
+                    hw.inject_soft_error(salt);
+                }
+            }
+            Some(FabricFault::Loss) => {
+                // The fabric vanishes at the boundary we just verified, so
+                // nothing re-executes: resume in software from the
+                // checkpoint taken a moment ago.
+                self.fabric_losses += 1;
+                if let Some((fleet, tenant)) = &self.fleet {
+                    fleet.fail_fabric_of(*tenant);
+                }
+                self.recovery_log
+                    .push("fabric lost; resumed in software from the checkpoint".to_string());
+                self.rollback_to_checkpoint()?;
+            }
+            None => {}
+        }
+        Ok(())
+    }
+
+    /// Restores the last checkpoint: discards quarantined output, rewinds
+    /// peripheral FIFO consumption, rewinds the tick counter, and rebuilds
+    /// software engines from the checkpointed state. The checkpoint stays
+    /// armed — it remains the last known-good point.
+    fn rollback_to_checkpoint(&mut self) -> Result<(), CascadeError> {
+        let Some(cp) = self.checkpoint.take() else {
+            // No checkpoint (scrubbing disabled): degrade to a live-state
+            // software migration.
+            return self.rebuild();
+        };
+        self.quarantine.clear();
+        self.board.fifo_rewind();
+        self.iterations = cp.iterations;
+        self.finished = cp.finished;
+        self.checkpoints_restored += 1;
+        self.rebuild_from(Some(cp.states.clone()))?;
+        self.checkpoint = Some(cp);
+        self.last_ckpt_iter = self.iterations;
+        Ok(())
+    }
+
+    /// Rolls back to the last checkpoint and immediately re-executes the
+    /// rolled-back ticks in software, making the recovery invisible in the
+    /// transcript.
+    fn rollback_and_replay(&mut self) -> Result<(), CascadeError> {
+        let target = self.iterations;
+        self.rollback_to_checkpoint()?;
+        while self.iterations < target && !self.finished {
+            self.tick()?;
+        }
+        Ok(())
+    }
+
+    /// Closes any open speculation window before its state is trusted
+    /// elsewhere (eval, native entry, cooperative lease migration,
+    /// explicit checkpoints). On corruption the window is re-executed in
+    /// software before control returns.
+    fn verify_speculation(&mut self) -> Result<(), CascadeError> {
+        if !self.speculating() {
+            return Ok(());
+        }
+        let Some(main_idx) = self.main_idx else {
+            return Ok(());
+        };
+        let ok = match as_hw(&mut self.slots[main_idx].engine) {
+            Some(hw) => hw.scrub_ok(),
+            None => return Ok(()),
+        };
+        self.scrubs += 1;
+        self.last_scrub_iter = self.iterations;
+        if ok {
+            let q = std::mem::take(&mut self.quarantine);
+            self.output.extend(q);
+            self.take_checkpoint();
+            Ok(())
+        } else {
+            self.scrub_detections += 1;
+            self.recovery_log.push(
+                "scrub detected a fabric soft error; re-executed the window in software"
+                    .to_string(),
+            );
+            self.rollback_and_replay()
         }
     }
 
@@ -847,9 +1251,17 @@ impl Runtime {
                 }
             }
             Err(e) => {
-                self.warnings
-                    .push(format!("hardware compilation failed: {e}"));
-                self.collect_interrupts();
+                if e.is_transient() {
+                    // A transient failure that exhausted its retry budget.
+                    // The program keeps running in software either way, and
+                    // recovery events stay off the user transcript.
+                    self.recovery_log
+                        .push(format!("hardware compilation abandoned: {e}"));
+                } else {
+                    self.warnings
+                        .push(format!("hardware compilation failed: {e}"));
+                    self.collect_interrupts();
+                }
             }
         }
         Ok(())
@@ -871,6 +1283,14 @@ impl Runtime {
             return Ok(());
         };
         self.lease = Some(lease);
+        // A scheduled mid-migration revocation fires here: the lease is
+        // flagged before the swap completes, so the very next revocation
+        // check migrates straight back.
+        if self.config.faults.next_migration_revoke() {
+            if let Some((fleet, tenant)) = &self.fleet {
+                fleet.revoke(*tenant);
+            }
+        }
         let netlist = self.pending_hw.take().expect("pending bitstream");
         self.swap_to_hardware(netlist)
     }
@@ -882,11 +1302,34 @@ impl Runtime {
     /// re-promotes through the (cached) compile path when a fabric frees
     /// up — the cache-hit latency doubles as thrash hysteresis.
     fn check_revocation(&mut self) -> Result<(), CascadeError> {
-        let revoked = self.lease.as_ref().map(Lease::revoked).unwrap_or(false);
+        let (lost, revoked) = match &self.lease {
+            Some(l) => (l.lost(), l.revoked()),
+            None => return Ok(()),
+        };
+        if lost {
+            // The fabric is gone and its state with it. Resume from the
+            // last checkpoint and re-execute the lost window in software,
+            // so the transcript never notices.
+            self.demotions += 1;
+            self.fabric_losses += 1;
+            self.recovery_log
+                .push("fabric lost; resumed in software from the last checkpoint".to_string());
+            return self.rollback_and_replay();
+        }
         if !revoked {
             return Ok(());
         }
+        // Cooperative migration: never migrate unverified state. A failed
+        // verify rolls back and replays in software, which also vacates
+        // the lease.
+        if self.speculating() && self.iterations != self.last_scrub_iter {
+            self.verify_speculation()?;
+        }
         self.demotions += 1;
+        if self.lease.is_none() {
+            // The verify above rolled back (and released the fabric).
+            return Ok(());
+        }
         self.lease = None; // dropping the lease releases the fabric
         self.rebuild()
     }
@@ -917,6 +1360,13 @@ impl Runtime {
         self.wall.advance_ns(self.config.costs.reprogram_ns);
         if self.config.forwarding {
             self.absorb_peripherals(main_idx);
+        }
+        // Open a verified-execution window: checkpoint the just-migrated
+        // (known-good) state and quarantine output until the first clean
+        // scrub.
+        if self.config.scrub_interval_ticks > 0 {
+            self.last_scrub_iter = self.iterations;
+            self.take_checkpoint();
         }
         Ok(())
     }
@@ -1036,7 +1486,15 @@ impl Runtime {
         // pure compute (one fabric cycle) and host-coupled IO (a bus
         // round trip per token).
         let mut budget = (self.open_loop_budget as u64).max(16).min(remaining.max(1));
-        if let Some(ready_at) = self.compiler.ready_at() {
+        if self.speculating() {
+            // Batches never cross a scrub boundary, bounding how much
+            // work a detected fault can roll back.
+            let until_scrub = (self.config.scrub_interval_ticks * 2)
+                .saturating_sub(self.iterations.saturating_sub(self.last_scrub_iter))
+                / 2;
+            budget = budget.min(until_scrub.max(1));
+        }
+        if let Some(ready_at) = self.compiler.wake_at() {
             // For a software batch, estimate the per-cycle cost from the
             // adaptive controller's current target (software cycles are
             // orders of magnitude more expensive than fabric cycles).
@@ -1078,6 +1536,28 @@ impl Drop for Runtime {
         if let Some((fleet, tenant)) = &self.fleet {
             fleet.cancel(*tenant);
         }
+    }
+}
+
+/// Splits `instance::element` memory entries out of the root snapshot into
+/// per-instance peripheral snapshots — the inverse of ABI forwarding's
+/// state absorption. Existing per-instance snapshots win.
+fn split_forwarded_state(saved: &mut BTreeMap<String, EngineState>) {
+    let Some(root) = saved.get(ROOT) else {
+        return;
+    };
+    let mut split: BTreeMap<String, EngineState> = BTreeMap::new();
+    for (key, words) in &root.mems {
+        if let Some((inst, elem)) = key.split_once("::") {
+            split
+                .entry(inst.to_string())
+                .or_default()
+                .mems
+                .insert(elem.to_string(), words.clone());
+        }
+    }
+    for (inst, state) in split {
+        saved.entry(inst).or_insert(state);
     }
 }
 

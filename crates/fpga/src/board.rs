@@ -32,6 +32,14 @@ struct BoardState {
     led_writes: u64,
     /// Tokens consumed from the host->FPGA FIFO (Fig. 12's IO/s metric).
     fifo_pops: u64,
+    /// While marking: tokens popped from `fifo_in` since the mark, oldest
+    /// first, so a scrub rollback can push them back (see `fifo_rewind`).
+    popped_log: Vec<Bits>,
+    /// While marking: tokens pushed to `fifo_out` since the mark.
+    out_since_mark: usize,
+    /// Whether a speculation window is open (checkpoint taken but not yet
+    /// verified by a readback scrub).
+    marking: bool,
 }
 
 impl Default for BoardState {
@@ -47,6 +55,9 @@ impl Default for BoardState {
             fifo_capacity: 64,
             led_writes: 0,
             fifo_pops: 0,
+            popped_log: Vec::new(),
+            out_since_mark: 0,
+            marking: false,
         }
     }
 }
@@ -138,8 +149,11 @@ impl Board {
     pub fn fifo_pop(&self) -> Option<Bits> {
         let mut st = self.inner.lock().expect("board mutex");
         let v = st.fifo_in.pop_front();
-        if v.is_some() {
+        if let Some(v) = &v {
             st.fifo_pops += 1;
+            if st.marking {
+                st.popped_log.push(v.clone());
+            }
         }
         v
     }
@@ -173,11 +187,11 @@ impl Board {
 
     /// Engine pushes one token toward the host.
     pub fn fifo_out_push(&self, value: Bits) {
-        self.inner
-            .lock()
-            .expect("board mutex")
-            .fifo_out
-            .push_back(value);
+        let mut st = self.inner.lock().expect("board mutex");
+        if st.marking {
+            st.out_since_mark += 1;
+        }
+        st.fifo_out.push_back(value);
     }
 
     /// Host drains tokens produced by the engine.
@@ -193,5 +207,41 @@ impl Board {
     /// Changes the host FIFO depth.
     pub fn set_fifo_capacity(&self, capacity: usize) {
         self.inner.lock().expect("board mutex").fifo_capacity = capacity;
+    }
+
+    /// Opens a speculation window at a checkpoint: FIFO traffic from here
+    /// on is journaled so `fifo_rewind` can undo it.
+    pub fn fifo_mark(&self) {
+        let mut st = self.inner.lock().expect("board mutex");
+        st.popped_log.clear();
+        st.out_since_mark = 0;
+        st.marking = true;
+    }
+
+    /// Rolls FIFO state back to the last mark: tokens the engine consumed
+    /// during the window return to the front of the host FIFO (in original
+    /// order), and tokens it produced — if the host has not drained them —
+    /// are retracted. The window stays open for the re-execution.
+    pub fn fifo_rewind(&self) {
+        let mut st = self.inner.lock().expect("board mutex");
+        st.fifo_pops = st.fifo_pops.saturating_sub(st.popped_log.len() as u64);
+        let popped = std::mem::take(&mut st.popped_log);
+        for v in popped.into_iter().rev() {
+            st.fifo_in.push_front(v);
+        }
+        let retract = st.out_since_mark.min(st.fifo_out.len());
+        for _ in 0..retract {
+            st.fifo_out.pop_back();
+        }
+        st.out_since_mark = 0;
+    }
+
+    /// Closes the speculation window (the scrub verified it, or the engine
+    /// left hardware) and drops the journal.
+    pub fn fifo_unmark(&self) {
+        let mut st = self.inner.lock().expect("board mutex");
+        st.marking = false;
+        st.popped_log.clear();
+        st.out_since_mark = 0;
     }
 }

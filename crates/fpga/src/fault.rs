@@ -1,0 +1,325 @@
+//! Deterministic, seedable fault injection for the JIT pipeline.
+//!
+//! Real deployments of Cascade-style JIT-for-FPGA systems fail in a
+//! handful of characteristic ways: the blackbox vendor toolchain fails
+//! transiently (license hiccups, evicted build nodes) or simply hangs
+//! mid-place-and-route; the fabric itself takes configuration/state upsets
+//! (SEUs) that silently corrupt a running design; a fleet member goes
+//! offline with tenants still programmed on it; and, in a multi-tenant
+//! server, a compile worker or session worker panics. Rodrigues & Cardoso
+//! argue for *injecting* these faults systematically at the
+//! compiler/fabric boundary rather than waiting for them; this module is
+//! that injector.
+//!
+//! A [`FaultPlan`] is a deterministic schedule: each injection *site*
+//! (toolchain runs, compile-worker executions, scrub boundaries, lease
+//! migrations, session commands) keeps a monotonically increasing
+//! occurrence counter, and the plan maps occurrence indices (1-based) to
+//! faults. The same plan against the same command sequence injects the
+//! same faults — which is what lets the chaos suite compare a faulted run
+//! against a fault-free oracle, byte for byte. Plans are cheap to clone
+//! and share one set of counters (an `Arc`), so every consumer of a
+//! `JitConfig` — runtime, background compiler, pool workers, server — sees
+//! one consistent schedule.
+
+use cascade_bits::Prng;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A fault injected into one toolchain run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToolchainFault {
+    /// The run fails partway with a retryable error (modeled license
+    /// failure / build-node eviction).
+    Transient,
+    /// The run never surfaces an outcome; only a watchdog recovers it.
+    Hang,
+}
+
+/// A fault injected into the fabric at a scrub boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricFault {
+    /// A single-event upset: one live register bit flips and the
+    /// configuration image is disturbed, so the next readback CRC
+    /// mismatches the golden programming-time image.
+    SoftError {
+        /// Deterministically selects which register/bit is hit.
+        salt: u64,
+    },
+    /// The fabric goes offline entirely; state on it is unrecoverable.
+    Loss,
+}
+
+#[derive(Debug, Default)]
+struct Schedule {
+    /// Toolchain run index → fault.
+    toolchain: BTreeMap<u64, ToolchainFault>,
+    /// Compile-worker execution indices that panic.
+    worker_panics: BTreeMap<u64, ()>,
+    /// Scrub boundary index → fabric fault injected into the next window.
+    scrub: BTreeMap<u64, FabricFault>,
+    /// Promotion indices whose lease is revoked mid-migration.
+    migration_revokes: BTreeMap<u64, ()>,
+    /// Session `run` command indices whose worker panics.
+    session_panics: BTreeMap<u64, ()>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    toolchain: AtomicU64,
+    worker: AtomicU64,
+    scrub: AtomicU64,
+    migration: AtomicU64,
+    session: AtomicU64,
+    injected: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    schedule: Schedule,
+    counters: Counters,
+}
+
+/// A shared, deterministic fault schedule. The default plan injects
+/// nothing (and is free to consult).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<Inner>>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero overhead.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A builder for hand-written schedules (acceptance tests).
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            schedule: Schedule::default(),
+        }
+    }
+
+    /// A randomized schedule derived deterministically from `seed` — the
+    /// chaos suite's generator. Rates are tuned so runs recover: transient
+    /// bursts stay within the retry budget often enough for progress, and
+    /// fabric loss is rare.
+    pub fn random(seed: u64) -> FaultPlan {
+        let mut rng = Prng::new(seed);
+        let mut b = FaultPlan::builder();
+        for occ in 1..=8u64 {
+            if rng.chance(1, 4) {
+                if rng.chance(1, 3) {
+                    b = b.toolchain_hang(occ);
+                } else {
+                    b = b.toolchain_transient(occ);
+                }
+            }
+        }
+        for occ in 1..=8u64 {
+            if rng.chance(1, 6) {
+                b = b.worker_panic(occ);
+            }
+        }
+        for occ in 1..=16u64 {
+            if rng.chance(1, 5) {
+                b = b.scrub_soft_error(occ, rng.next_u64());
+            } else if rng.chance(1, 12) {
+                b = b.fabric_loss(occ);
+            }
+        }
+        for occ in 1..=4u64 {
+            if rng.chance(1, 8) {
+                b = b.migration_revoke(occ);
+            }
+        }
+        b.build()
+    }
+
+    /// Whether this plan can inject anything.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Faults actually injected so far (for tests and benches).
+    pub fn injected(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.counters.injected.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    fn consult<T: Copy>(
+        &self,
+        counter: impl Fn(&Counters) -> &AtomicU64,
+        lookup: impl Fn(&Schedule, u64) -> Option<T>,
+    ) -> Option<T> {
+        let inner = self.inner.as_ref()?;
+        let occ = counter(&inner.counters).fetch_add(1, Ordering::Relaxed) + 1;
+        let hit = lookup(&inner.schedule, occ);
+        if hit.is_some() {
+            inner.counters.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Consults the toolchain site: one call per actual toolchain run
+    /// (cache hits do not count).
+    pub fn next_toolchain_fault(&self) -> Option<ToolchainFault> {
+        self.consult(|c| &c.toolchain, |s, occ| s.toolchain.get(&occ).copied())
+    }
+
+    /// Consults the compile-worker site: one call per compile execution.
+    pub fn next_worker_panic(&self) -> bool {
+        self.consult(|c| &c.worker, |s, occ| s.worker_panics.get(&occ).copied())
+            .is_some()
+    }
+
+    /// Consults the fabric site: one call per scrub boundary.
+    pub fn next_scrub_fault(&self) -> Option<FabricFault> {
+        self.consult(|c| &c.scrub, |s, occ| s.scrub.get(&occ).copied())
+    }
+
+    /// Consults the migration site: one call per hardware promotion.
+    pub fn next_migration_revoke(&self) -> bool {
+        self.consult(
+            |c| &c.migration,
+            |s, occ| s.migration_revokes.get(&occ).copied(),
+        )
+        .is_some()
+    }
+
+    /// Consults the session site: one call per session `run` command.
+    pub fn next_session_panic(&self) -> bool {
+        self.consult(|c| &c.session, |s, occ| s.session_panics.get(&occ).copied())
+            .is_some()
+    }
+}
+
+/// Builds a [`FaultPlan`] one scheduled fault at a time. All occurrence
+/// indices are 1-based.
+pub struct FaultPlanBuilder {
+    schedule: Schedule,
+}
+
+impl FaultPlanBuilder {
+    /// The `occ`-th toolchain run fails transiently (retryable).
+    pub fn toolchain_transient(mut self, occ: u64) -> Self {
+        self.schedule
+            .toolchain
+            .insert(occ, ToolchainFault::Transient);
+        self
+    }
+
+    /// The `occ`-th toolchain run hangs (watchdog territory).
+    pub fn toolchain_hang(mut self, occ: u64) -> Self {
+        self.schedule.toolchain.insert(occ, ToolchainFault::Hang);
+        self
+    }
+
+    /// The `occ`-th compile-worker execution panics.
+    pub fn worker_panic(mut self, occ: u64) -> Self {
+        self.schedule.worker_panics.insert(occ, ());
+        self
+    }
+
+    /// The `occ`-th scrub boundary injects a soft error into the next
+    /// window.
+    pub fn scrub_soft_error(mut self, occ: u64, salt: u64) -> Self {
+        self.schedule
+            .scrub
+            .insert(occ, FabricFault::SoftError { salt });
+        self
+    }
+
+    /// The `occ`-th scrub boundary loses the fabric outright.
+    pub fn fabric_loss(mut self, occ: u64) -> Self {
+        self.schedule.scrub.insert(occ, FabricFault::Loss);
+        self
+    }
+
+    /// The `occ`-th hardware promotion has its lease revoked mid-migration.
+    pub fn migration_revoke(mut self, occ: u64) -> Self {
+        self.schedule.migration_revokes.insert(occ, ());
+        self
+    }
+
+    /// The `occ`-th session `run` command panics its worker.
+    pub fn session_panic(mut self, occ: u64) -> Self {
+        self.schedule.session_panics.insert(occ, ());
+        self
+    }
+
+    /// Finalizes the plan. An empty schedule yields the inactive plan.
+    pub fn build(self) -> FaultPlan {
+        let s = &self.schedule;
+        if s.toolchain.is_empty()
+            && s.worker_panics.is_empty()
+            && s.scrub.is_empty()
+            && s.migration_revokes.is_empty()
+            && s.session_panics.is_empty()
+        {
+            return FaultPlan::none();
+        }
+        FaultPlan {
+            inner: Some(Arc::new(Inner {
+                schedule: self.schedule,
+                counters: Counters::default(),
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert_eq!(p.next_toolchain_fault(), None);
+        assert!(!p.next_worker_panic());
+        assert_eq!(p.next_scrub_fault(), None);
+        assert_eq!(p.injected(), 0);
+    }
+
+    #[test]
+    fn occurrence_indexing_is_one_based_and_ordered() {
+        let p = FaultPlan::builder()
+            .toolchain_transient(2)
+            .toolchain_hang(3)
+            .build();
+        assert_eq!(p.next_toolchain_fault(), None);
+        assert_eq!(p.next_toolchain_fault(), Some(ToolchainFault::Transient));
+        assert_eq!(p.next_toolchain_fault(), Some(ToolchainFault::Hang));
+        assert_eq!(p.next_toolchain_fault(), None);
+        assert_eq!(p.injected(), 2);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let p = FaultPlan::builder().worker_panic(2).build();
+        let q = p.clone();
+        assert!(!p.next_worker_panic());
+        assert!(q.next_worker_panic());
+        assert_eq!(p.injected(), 1);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let a = FaultPlan::random(7);
+        let b = FaultPlan::random(7);
+        let drain = |p: &FaultPlan| {
+            let mut log = Vec::new();
+            for _ in 0..12 {
+                log.push(format!("{:?}", p.next_toolchain_fault()));
+                log.push(format!("{:?}", p.next_scrub_fault()));
+                log.push(format!("{}", p.next_worker_panic()));
+            }
+            log
+        };
+        assert_eq!(drain(&a), drain(&b));
+    }
+}

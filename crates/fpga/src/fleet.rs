@@ -33,10 +33,14 @@ struct FleetShared {
     state: Mutex<FleetState>,
     granted: AtomicU64,
     revocations: AtomicU64,
+    fabric_failures: AtomicU64,
 }
 
 struct FleetState {
     capacity: usize,
+    /// Fabrics currently offline (failed hardware). They stay out of the
+    /// allocatable pool until [`Fleet::restore_fabric`].
+    lost: usize,
     /// Tenants currently holding a fabric.
     holders: BTreeMap<u64, Holder>,
     /// Tenants waiting for a fabric, by latest reported heat.
@@ -48,6 +52,7 @@ struct FleetState {
 struct Holder {
     heat: f64,
     revoke: Arc<AtomicBool>,
+    lost: Arc<AtomicBool>,
 }
 
 /// Point-in-time fleet statistics.
@@ -64,6 +69,10 @@ pub struct FleetStats {
     pub granted: u64,
     /// Revocations issued since the fleet was created.
     pub revocations: u64,
+    /// Fabrics currently offline after hardware failure.
+    pub lost: usize,
+    /// Fabric failures since the fleet was created.
+    pub fabric_failures: u64,
 }
 
 /// Possession of one virtual fabric. Dropping the lease returns the fabric
@@ -72,12 +81,20 @@ pub struct Lease {
     fleet: Fleet,
     tenant: u64,
     revoke: Arc<AtomicBool>,
+    lost: Arc<AtomicBool>,
 }
 
 impl Lease {
     /// Whether the arbiter has asked this tenant to vacate the fabric.
     pub fn revoked(&self) -> bool {
         self.revoke.load(Ordering::Acquire)
+    }
+
+    /// Whether the fabric under this lease failed outright. Unlike a
+    /// revocation, the state programmed on it is unrecoverable — the
+    /// tenant must resume from its last software checkpoint.
+    pub fn lost(&self) -> bool {
+        self.lost.load(Ordering::Acquire)
     }
 
     /// The tenant id this lease was granted to.
@@ -111,12 +128,14 @@ impl Fleet {
             inner: Arc::new(FleetShared {
                 state: Mutex::new(FleetState {
                     capacity,
+                    lost: 0,
                     holders: BTreeMap::new(),
                     pending: BTreeMap::new(),
                     reserved: Vec::new(),
                 }),
                 granted: AtomicU64::new(0),
                 revocations: AtomicU64::new(0),
+                fabric_failures: AtomicU64::new(0),
             }),
         }
     }
@@ -134,18 +153,20 @@ impl Fleet {
             return None; // already holds a fabric
         }
         let reserved_for_us = st.reserved.iter().position(|&t| t == tenant);
-        let free = st.capacity > st.holders.len() + st.reserved.len();
+        let free = st.capacity.saturating_sub(st.lost) > st.holders.len() + st.reserved.len();
         if reserved_for_us.is_some() || free {
             if let Some(i) = reserved_for_us {
                 st.reserved.remove(i);
             }
             st.pending.remove(&tenant);
             let revoke = Arc::new(AtomicBool::new(false));
+            let lost = Arc::new(AtomicBool::new(false));
             st.holders.insert(
                 tenant,
                 Holder {
                     heat,
                     revoke: Arc::clone(&revoke),
+                    lost: Arc::clone(&lost),
                 },
             );
             self.inner.granted.fetch_add(1, Ordering::Relaxed);
@@ -153,6 +174,7 @@ impl Fleet {
                 fleet: self.clone(),
                 tenant,
                 revoke,
+                lost,
             });
         }
         st.pending.insert(tenant, heat);
@@ -218,6 +240,77 @@ impl Fleet {
             .clone()
     }
 
+    /// Flags a specific tenant's lease for revocation, as the arbiter
+    /// would for a hotter pending requester. Returns whether the tenant
+    /// held a fabric. Used by the fault injector to model mid-migration
+    /// revocation races.
+    pub fn revoke(&self, tenant: u64) -> bool {
+        let st = self.inner.state.lock().expect("fleet mutex");
+        match st.holders.get(&tenant) {
+            Some(h) => {
+                if !h.revoke.swap(true, Ordering::Release) {
+                    self.inner.revocations.fetch_add(1, Ordering::Relaxed);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Takes the fabric held by `tenant` offline: the holder's lease is
+    /// flagged lost (its programmed state is unrecoverable) and the
+    /// fabric leaves the allocatable pool until [`Fleet::restore_fabric`].
+    /// Returns whether the tenant held a fabric.
+    pub fn fail_fabric_of(&self, tenant: u64) -> bool {
+        let mut st = self.inner.state.lock().expect("fleet mutex");
+        match st.holders.get(&tenant) {
+            Some(h) if !h.lost.load(Ordering::Relaxed) => {
+                h.lost.store(true, Ordering::Release);
+                st.lost += 1;
+                self.inner.fabric_failures.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Takes one fabric offline, preferring a held one (returning the
+    /// affected tenant). With no holders, an idle fabric is lost instead
+    /// (`None`); with nothing left to lose, also `None`.
+    pub fn fail_any_fabric(&self) -> Option<u64> {
+        let victim = {
+            let st = self.inner.state.lock().expect("fleet mutex");
+            st.holders
+                .iter()
+                .find(|(_, h)| !h.lost.load(Ordering::Relaxed))
+                .map(|(t, _)| *t)
+        };
+        match victim {
+            Some(t) => {
+                self.fail_fabric_of(t);
+                Some(t)
+            }
+            None => {
+                let mut st = self.inner.state.lock().expect("fleet mutex");
+                if st.capacity > st.lost {
+                    st.lost += 1;
+                    self.inner.fabric_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        }
+    }
+
+    /// Brings one lost fabric back online (repair / replacement) and
+    /// hands it to the hottest pending tenant, if any.
+    pub fn restore_fabric(&self) {
+        let mut st = self.inner.state.lock().expect("fleet mutex");
+        if st.lost > 0 {
+            st.lost -= 1;
+            Self::reserve_next(&mut st);
+        }
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> FleetStats {
         let st = self.inner.state.lock().expect("fleet mutex");
@@ -228,6 +321,8 @@ impl Fleet {
             pending: st.pending.len(),
             granted: self.inner.granted.load(Ordering::Relaxed),
             revocations: self.inner.revocations.load(Ordering::Relaxed),
+            lost: st.lost,
+            fabric_failures: self.inner.fabric_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -241,7 +336,7 @@ impl Fleet {
 
     /// Earmarks a freed fabric for the hottest pending tenant.
     fn reserve_next(st: &mut FleetState) {
-        if st.capacity <= st.holders.len() + st.reserved.len() {
+        if st.capacity.saturating_sub(st.lost) <= st.holders.len() + st.reserved.len() {
             return;
         }
         let hottest = st

@@ -36,6 +36,28 @@ pub enum CompileError {
     /// "many submissions which ran correctly in simulation did not pass
     /// timing closure").
     TimingClosure { fmax_mhz: f64, required_mhz: f64 },
+    /// The toolchain failed for a reason unrelated to the design (modeled
+    /// license hiccup, evicted build node). Worth retrying.
+    TransientFault(String),
+    /// The toolchain stopped making progress mid-place-and-route and was
+    /// cancelled by the compile watchdog. Worth retrying.
+    ToolchainHang,
+    /// The compile worker executing the job panicked. Worth retrying.
+    WorkerPanic,
+}
+
+impl CompileError {
+    /// Whether retrying the same compilation could plausibly succeed.
+    /// Design errors (synthesis, fit, timing) are deterministic and
+    /// terminal; infrastructure errors are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            CompileError::TransientFault(_)
+                | CompileError::ToolchainHang
+                | CompileError::WorkerPanic
+        )
+    }
 }
 
 impl fmt::Display for CompileError {
@@ -59,6 +81,11 @@ impl fmt::Display for CompileError {
                 f,
                 "timing closure failed: fmax {fmax_mhz:.1} MHz < required {required_mhz:.1} MHz"
             ),
+            CompileError::TransientFault(why) => write!(f, "transient toolchain fault: {why}"),
+            CompileError::ToolchainHang => {
+                write!(f, "toolchain hang: cancelled by compile watchdog")
+            }
+            CompileError::WorkerPanic => write!(f, "compile worker panicked"),
         }
     }
 }

@@ -48,7 +48,7 @@ pub mod stats;
 
 pub use eval::{clock_edge, eval_cell, NetlistSim, TaskFire};
 pub use exec::ProgramStats;
-pub use fingerprint::fingerprint;
+pub use fingerprint::{fingerprint, readback_crc};
 pub use interp::ReferenceSim;
 pub use ir::{
     Cell, CellOp, ClockId, Def, MemId, Memory, NetId, NetInfo, Netlist, RegId, Register, TaskCell,

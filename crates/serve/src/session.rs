@@ -17,15 +17,31 @@
 use crate::json::Json;
 use crate::protocol::{err, ok, Request};
 use cascade_core::{
-    CascadeError, CompilePool, CompileQueue, ExecMode, JitConfig, Repl, ReplResponse, Runtime,
+    panic_message, CascadeError, CompilePool, CompileQueue, ExecMode, JitConfig, Repl,
+    ReplResponse, Runtime,
 };
 use cascade_fpga::{Board, Fleet};
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Poison-tolerant locking: a panic contained on one worker must not
+/// poison shared state for every other session. All data guarded by these
+/// mutexes stays consistent across a panic boundary (queues of owned
+/// values, timestamps, counters), so recovering the guard is safe.
+trait LockExt<T> {
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 /// Ticks per scheduling quantum: a long `run` is sliced so output flushes
 /// into the session queue (and backpressure is observed) at this grain.
@@ -112,6 +128,24 @@ enum Cmd {
     },
 }
 
+impl Cmd {
+    /// A clone of the command's reply channel, for replies delivered
+    /// outside the normal execution path (worker panic containment,
+    /// teardown of a dead session's queued commands).
+    fn reply_tx(&self) -> Option<Sender<Json>> {
+        match self {
+            Cmd::Eval { tx, .. }
+            | Cmd::Run { tx, .. }
+            | Cmd::Drain { tx }
+            | Cmd::WaitCompile { tx }
+            | Cmd::Probe { tx, .. }
+            | Cmd::Stats { tx } => Some(tx.clone()),
+            Cmd::Service => None,
+            Cmd::Close { tx } => tx.clone(),
+        }
+    }
+}
+
 /// Bounded `$display` buffer.
 struct Output {
     lines: VecDeque<String>,
@@ -151,6 +185,9 @@ struct Shared {
     total_ticks: AtomicU64,
     sessions_opened: AtomicU64,
     sessions_reaped: AtomicU64,
+    /// Worker panics contained at the session isolation boundary (the
+    /// session dies with a structured error; the server keeps serving).
+    session_panics: AtomicU64,
 }
 
 /// The multi-tenant Cascade server: sessions, workers, fleet, compile pool.
@@ -187,6 +224,7 @@ impl Server {
             total_ticks: AtomicU64::new(0),
             sessions_opened: AtomicU64::new(0),
             sessions_reaped: AtomicU64::new(0),
+            session_panics: AtomicU64::new(0),
             config,
         });
         let workers = (0..shared.config.workers.max(1))
@@ -251,7 +289,7 @@ impl Server {
                 if !(1..=64).contains(&width) {
                     return err("fifo width must be 1..=64");
                 }
-                *s.last_active.lock().expect("activity mutex") = Instant::now();
+                *s.last_active.lock_unpoisoned() = Instant::now();
                 let mut pushed = 0u64;
                 for &word in &data {
                     if !s
@@ -293,11 +331,7 @@ impl Server {
             last_active: Mutex::new(Instant::now()),
             closed: AtomicBool::new(false),
         });
-        self.shared
-            .sessions
-            .lock()
-            .expect("sessions mutex")
-            .insert(id, session);
+        self.shared.sessions.lock_unpoisoned().insert(id, session);
         self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
@@ -308,10 +342,10 @@ impl Server {
             return err(format!("no session {id}"));
         };
         if user_activity {
-            *session.last_active.lock().expect("activity mutex") = Instant::now();
+            *session.last_active.lock_unpoisoned() = Instant::now();
         }
         let (tx, rx) = channel();
-        session.cmds.lock().expect("cmds mutex").push_back(make(tx));
+        session.cmds.lock_unpoisoned().push_back(make(tx));
         self.shared.wake(id);
         match rx.recv_timeout(REPLY_TIMEOUT) {
             Ok(reply) => reply,
@@ -326,7 +360,7 @@ impl Server {
         ok([
             (
                 "sessions",
-                (s.sessions.lock().expect("sessions mutex").len() as u64).into(),
+                (s.sessions.lock_unpoisoned().len() as u64).into(),
             ),
             (
                 "sessions_opened",
@@ -349,6 +383,13 @@ impl Server {
             ("cache_hits", cache.hits().into()),
             ("cache_misses", cache.misses().into()),
             ("cache_evictions", cache.evictions().into()),
+            (
+                "session_panics",
+                s.session_panics.load(Ordering::Relaxed).into(),
+            ),
+            ("compile_worker_panics", s.queue.worker_panics().into()),
+            ("fabrics_lost", (fleet.lost as u64).into()),
+            ("fabric_failures", fleet.fabric_failures.into()),
         ])
     }
 }
@@ -364,22 +405,18 @@ impl Drop for Server {
             let _ = s.join();
         }
         // Dropping sessions drops their runtimes, releasing fleet leases.
-        self.shared.sessions.lock().expect("sessions mutex").clear();
+        self.shared.sessions.lock_unpoisoned().clear();
     }
 }
 
 impl Shared {
     fn session(&self, id: u64) -> Option<Arc<Session>> {
-        self.sessions
-            .lock()
-            .expect("sessions mutex")
-            .get(&id)
-            .cloned()
+        self.sessions.lock_unpoisoned().get(&id).cloned()
     }
 
     /// Marks a session runnable and wakes one worker.
     fn wake(&self, id: u64) {
-        self.runq.lock().expect("runq mutex").push_back(id);
+        self.runq.lock_unpoisoned().push_back(id);
         self.runq_cond.notify_one();
     }
 
@@ -396,7 +433,7 @@ impl Shared {
 fn worker_loop(shared: &Shared) {
     loop {
         let id = {
-            let mut q = shared.runq.lock().expect("runq mutex");
+            let mut q = shared.runq.lock_unpoisoned();
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -404,7 +441,10 @@ fn worker_loop(shared: &Shared) {
                 if let Some(id) = q.pop_front() {
                     break id;
                 }
-                q = shared.runq_cond.wait(q).expect("runq cond");
+                q = shared
+                    .runq_cond
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(session) = shared.session(id) else {
@@ -412,14 +452,42 @@ fn worker_loop(shared: &Shared) {
         };
         // Check the REPL out; if another worker has it, that worker will
         // re-drain the queue before putting it back.
-        let Some(mut repl) = session.repl.lock().expect("repl mutex").take() else {
+        let Some(mut repl) = session.repl.lock_unpoisoned().take() else {
             continue;
         };
         while let Some(cmd) = {
-            let popped = session.cmds.lock().expect("cmds mutex").pop_front();
+            let popped = session.cmds.lock_unpoisoned().pop_front();
             popped
         } {
-            execute(shared, &session, &mut repl, cmd);
+            // Isolation boundary: a panic while executing one session's
+            // command kills that session with a structured error. The
+            // worker, the server, and every other tenant keep running.
+            let reply_tx = cmd.reply_tx();
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                execute(shared, &session, &mut repl, cmd);
+            })) {
+                shared.session_panics.fetch_add(1, Ordering::Relaxed);
+                session.closed.store(true, Ordering::Relaxed);
+                let msg = panic_message(payload.as_ref());
+                if let Some(tx) = reply_tx {
+                    let _ = tx.send(Json::obj([
+                        ("ok", false.into()),
+                        ("status", "panicked".into()),
+                        ("error", format!("session worker panicked: {msg}").into()),
+                    ]));
+                }
+                // Commands already queued behind the panic get an error
+                // reply instead of a timeout.
+                let dead: Vec<Cmd> = session.cmds.lock_unpoisoned().drain(..).collect();
+                for c in dead {
+                    if let Some(tx) = c.reply_tx() {
+                        let _ = tx.send(err(format!(
+                            "session {} closed: worker panicked: {msg}",
+                            session.id
+                        )));
+                    }
+                }
+            }
             if session.closed.load(Ordering::Relaxed) {
                 break;
             }
@@ -427,17 +495,13 @@ fn worker_loop(shared: &Shared) {
         if session.closed.load(Ordering::Relaxed) {
             // Dropping the REPL drops the runtime: its `Drop` releases the
             // fabric lease and cancels any pending fleet request.
-            shared
-                .sessions
-                .lock()
-                .expect("sessions mutex")
-                .remove(&session.id);
+            shared.sessions.lock_unpoisoned().remove(&session.id);
             drop(repl);
         } else {
-            *session.repl.lock().expect("repl mutex") = Some(repl);
+            *session.repl.lock_unpoisoned() = Some(repl);
             // A command may have arrived between the last pop and the
             // put-back; make sure it gets a worker.
-            if !session.cmds.lock().expect("cmds mutex").is_empty() {
+            if !session.cmds.lock_unpoisoned().is_empty() {
                 shared.wake(session.id);
             }
         }
@@ -465,6 +529,12 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
             let _ = tx.send(reply);
         }
         Cmd::Run { ticks, tx } => {
+            // A scheduled worker fault strikes at the start of a run
+            // command; the containment boundary in `worker_loop` turns it
+            // into a structured session death.
+            if shared.config.jit.faults.next_session_panic() {
+                panic!("injected session worker panic");
+            }
             let heat = shared.stamp();
             let rt = repl.runtime();
             rt.set_heat(heat);
@@ -504,7 +574,7 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
             // whole queue.
             let pending = repl.runtime().drain_output();
             push_output(session, shared.config.output_capacity, pending);
-            let mut out = session.output.lock().expect("output mutex");
+            let mut out = session.output.lock_unpoisoned();
             let lines: Vec<String> = out.lines.drain(..).collect();
             let dropped = std::mem::take(&mut out.dropped);
             let _ = tx.send(ok([
@@ -534,7 +604,7 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
         Cmd::Stats { tx } => {
             let stats = repl.runtime().stats();
             let rt = repl.runtime();
-            let out = session.output.lock().expect("output mutex");
+            let out = session.output.lock_unpoisoned();
             let _ = tx.send(ok([
                 ("session", session.id.into()),
                 ("version", stats.version.into()),
@@ -553,6 +623,17 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
                 ("leds", rt.board().leds().to_u64().into()),
                 ("output_queued", (out.lines.len() as u64).into()),
                 ("output_dropped", out.dropped.into()),
+                ("compile_retries", stats.compile_retries.into()),
+                (
+                    "compile_watchdog_cancels",
+                    stats.compile_watchdog_cancels.into(),
+                ),
+                ("panics_contained", stats.panics_contained.into()),
+                ("scrubs", stats.scrubs.into()),
+                ("scrub_detections", stats.scrub_detections.into()),
+                ("checkpoints_taken", stats.checkpoints_taken.into()),
+                ("checkpoints_restored", stats.checkpoints_restored.into()),
+                ("fabric_losses", stats.fabric_losses.into()),
             ]));
         }
         Cmd::Service => {
@@ -581,12 +662,19 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
 /// fleet request) happens now rather than on some later tick.
 fn wait_compile(rt: &mut Runtime) -> Result<(), CascadeError> {
     rt.service()?;
-    if rt.stats().compile_in_flight {
+    // Transient faults re-dispatch the compile with a backoff, and a hung
+    // compile resolves only at its watchdog deadline — chase the wake-up
+    // chain. Bounded well above any retry budget so a compiler bug cannot
+    // hang the session worker.
+    for _ in 0..64 {
+        if !rt.stats().compile_in_flight {
+            break;
+        }
         rt.wait_for_compile_worker();
-        if let Some(ready_at) = rt.compile_ready_at() {
+        if let Some(wake_at) = rt.compile_ready_at() {
             let now = rt.wall_seconds();
-            if ready_at > now {
-                rt.advance_wall(ready_at - now + 1e-9);
+            if wake_at > now {
+                rt.advance_wall(wake_at - now + 1e-9);
             }
         }
         rt.service()?;
@@ -595,14 +683,14 @@ fn wait_compile(rt: &mut Runtime) -> Result<(), CascadeError> {
 }
 
 fn output_full(session: &Session, capacity: usize) -> bool {
-    session.output.lock().expect("output mutex").lines.len() >= capacity
+    session.output.lock_unpoisoned().lines.len() >= capacity
 }
 
 fn push_output(session: &Session, capacity: usize, lines: Vec<String>) {
     if lines.is_empty() {
         return;
     }
-    let mut out = session.output.lock().expect("output mutex");
+    let mut out = session.output.lock_unpoisoned();
     for line in lines {
         if out.lines.len() >= capacity {
             out.lines.pop_front();
@@ -636,8 +724,7 @@ fn sweeper_loop(shared: &Shared) {
         std::thread::sleep(Duration::from_millis(5));
         let sessions: Vec<Arc<Session>> = shared
             .sessions
-            .lock()
-            .expect("sessions mutex")
+            .lock_unpoisoned()
             .values()
             .cloned()
             .collect();
@@ -647,11 +734,10 @@ fn sweeper_loop(shared: &Shared) {
             }
             let idle_s = session
                 .last_active
-                .lock()
-                .expect("activity mutex")
+                .lock_unpoisoned()
                 .elapsed()
                 .as_secs_f64();
-            let mut cmds = session.cmds.lock().expect("cmds mutex");
+            let mut cmds = session.cmds.lock_unpoisoned();
             if idle_s > shared.config.idle_timeout_s {
                 cmds.push_back(Cmd::Close { tx: None });
             } else if cmds.is_empty() {

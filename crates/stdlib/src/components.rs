@@ -285,6 +285,19 @@ impl Peripheral for Fifo {
         }
     }
 
+    // The staged head token was already popped from the board, so it must
+    // migrate (and roll back) with the engines: losing it across a swap or
+    // checkpoint restore would silently drop one token from the stream.
+    fn get_state(&self) -> BTreeMap<String, Vec<Bits>> {
+        BTreeMap::from([("rdata".to_string(), vec![self.rdata.clone()])])
+    }
+
+    fn set_state(&mut self, state: &BTreeMap<String, Vec<Bits>>) {
+        if let Some(r) = state.get("rdata").and_then(|v| v.first()) {
+            self.rdata = r.resize(self.width);
+        }
+    }
+
     fn take_bus_words(&mut self) -> u64 {
         std::mem::take(&mut self.bus_words)
     }

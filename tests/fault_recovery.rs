@@ -1,0 +1,511 @@
+//! Fault-tolerance chaos suite: deterministic seeded fault schedules —
+//! transient toolchain failures, hangs, compile-worker panics, fabric soft
+//! errors and losses, session-worker panics — driven against the full JIT
+//! pipeline, with every run checked for byte-identical transcripts against
+//! a fault-free software-only oracle. Faults may cost wall-clock time;
+//! they must never change what the program observably does.
+
+use cascade_core::{ExecMode, JitConfig, Repl, ReplResponse, Runtime};
+use cascade_fpga::{Board, FaultPlan, Fleet};
+use cascade_serve::{InProcClient, Json, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+const COUNTER: &str = "reg [15:0] cnt = 0;\n\
+                       always @(posedge clk.val) cnt <= cnt + 1;\n\
+                       always @(posedge clk.val) if (cnt[2:0] == 3'd7) $display(\"c=%d\", cnt);\n\
+                       assign led.val = cnt[7:0];";
+
+/// A counter packaged as a single user module so that eval'ing it submits
+/// exactly one background compile (the module declaration itself submits
+/// nothing) — this pins fault-schedule occurrence numbers to known jobs.
+const COUNTER_MODULE: &str = "module Counter(input wire c);\n\
+      reg [15:0] cnt = 0;\n\
+      always @(posedge c) cnt <= cnt + 1;\n\
+      always @(posedge c) if (cnt[2:0] == 3'd7) $display(\"c=%d\", cnt);\n\
+    endmodule";
+
+/// A FIFO consumer: pops host tokens and folds them into a running sum.
+/// Exercises the FIFO journaling path under scrub rollbacks.
+const FIFO_SUM: &str = "wire [7:0] fd;\n\
+    wire fe;\n\
+    wire fful;\n\
+    FIFO #(.WIDTH(8)) f(.rreq(1'b1), .rdata(fd), .empty(fe), .wreq(1'b0), .wdata(8'd0), .full(fful));\n\
+    reg [15:0] sum = 0;\n\
+    always @(posedge clk.val) if (!fe) sum <= sum + fd;\n\
+    always @(posedge clk.val) if (!fe) $display(\"s=%d\", sum + fd);\n\
+    assign led.val = sum[7:0];";
+
+fn stat_u64(stats: &Json, key: &str) -> u64 {
+    stats.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn stat_bool(stats: &Json, key: &str) -> bool {
+    stats.get(key).and_then(Json::as_bool).unwrap_or(false)
+}
+
+/// Polls `cond` until it holds or the deadline passes.
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Drives a solo runtime's background compile to settlement: waits for the
+/// worker, advances the modeled wall past the next compiler wake-up (which
+/// may be a retry backoff or a watchdog deadline, not just a ready time),
+/// and services, until nothing is in flight or the round budget runs out.
+fn settle_compile(rt: &mut Runtime) {
+    for _ in 0..64 {
+        if !rt.stats().compile_in_flight {
+            break;
+        }
+        rt.wait_for_compile_worker();
+        if let Some(at) = rt.compile_ready_at() {
+            rt.advance_wall((at - rt.wall_seconds()).max(0.0) + 1e-9);
+        }
+        rt.service().expect("service");
+    }
+}
+
+/// A fault-free, software-only oracle runtime for transcript comparison.
+fn oracle(board: Board, mut config: JitConfig) -> Runtime {
+    config.faults = FaultPlan::none();
+    config.auto_compile = false;
+    Runtime::new(board, config).expect("oracle runtime")
+}
+
+/// The ISSUE acceptance run: one serve session suffers a compile-worker
+/// panic, a transient toolchain failure, and a fabric soft error in a
+/// single run, while a second session keeps serving; the faulted session's
+/// transcript must be byte-identical to a fault-free software oracle.
+#[test]
+fn combined_faults_transcript_matches_oracle() {
+    let mut config = ServeConfig::quick();
+    config.fabrics = 1;
+    config.jit.scrub_interval_ticks = 8;
+    config.jit.faults = FaultPlan::builder()
+        .worker_panic(1) // first pooled compile execution dies
+        .toolchain_transient(1) // its retry hits a transient tool failure
+        .scrub_soft_error(1, 0xDEAD_BEEF) // first clean scrub seeds a bit-flip
+        .build();
+    let jit = config.jit.clone();
+    let server = Server::new(config);
+
+    let mut s1 = InProcClient::connect(&server);
+    s1.open().expect("open s1");
+    s1.eval_all(COUNTER_MODULE).expect("eval module");
+    s1.eval_all("Counter c0(.c(clk.val));").expect("eval inst");
+    // Chase the compile through panic + transient retries to completion.
+    s1.wait_compile().expect("wait compile");
+    let mut s1_ticks = 0u64;
+    let mut s1_lines: Vec<String> = Vec::new();
+
+    // Promote onto the single fabric before opening the bystander.
+    wait_until(
+        || {
+            let r = s1.run(8).expect("run s1");
+            s1_ticks += r.ticks;
+            s1_lines.extend(s1.drain().expect("drain s1").0);
+            r.lease_held
+        },
+        "s1 promotion to the shared fabric",
+    );
+
+    // A second tenant opens and keeps serving throughout the faults.
+    let mut s2 = InProcClient::connect(&server);
+    s2.open().expect("open s2");
+    s2.eval_all(COUNTER).expect("eval s2");
+
+    // Run the faulted session across several scrub windows: the first
+    // clean scrub injects the soft error, the next one detects it, rolls
+    // back to the checkpoint and re-executes in software.
+    for _ in 0..6 {
+        let r = s1.run(40).expect("run s1");
+        assert_eq!(r.ticks, 40, "run must complete its full budget");
+        s1_ticks += r.ticks;
+        s1_lines.extend(s1.drain().expect("drain s1").0);
+
+        let r2 = s2.run(16).expect("run s2");
+        assert_eq!(r2.ticks, 16, "bystander session must keep serving");
+        s2.drain().expect("drain s2");
+    }
+
+    let stats = s1.stats().expect("stats s1");
+    assert!(
+        stat_u64(&stats, "panics_contained") >= 1,
+        "compile-worker panic must be contained and retried: {stats:?}"
+    );
+    assert!(
+        stat_u64(&stats, "compile_retries") >= 2,
+        "panic + transient failure each cost one retry: {stats:?}"
+    );
+    assert!(
+        stat_u64(&stats, "scrubs") >= 2,
+        "hardware run must be scrubbed: {stats:?}"
+    );
+    assert!(
+        stat_u64(&stats, "scrub_detections") >= 1,
+        "the seeded soft error must be detected: {stats:?}"
+    );
+    assert!(
+        stat_u64(&stats, "checkpoints_restored") >= 1,
+        "detection must roll back to the checkpoint: {stats:?}"
+    );
+    let sstats = s1.server_stats().expect("server stats");
+    assert!(
+        stat_u64(&sstats, "compile_worker_panics") >= 1,
+        "pool must count the contained panic: {sstats:?}"
+    );
+    assert_eq!(
+        stat_u64(&sstats, "session_panics"),
+        0,
+        "no session worker may die in this run: {sstats:?}"
+    );
+
+    // The bystander stayed healthy.
+    let stats2 = s2.stats().expect("stats s2");
+    assert!(!stat_bool(&stats2, "finished"));
+    assert!(stat_u64(&stats2, "ticks") >= 96);
+
+    // Byte-identical transcript against the fault-free software oracle.
+    let mut orc = oracle(Board::new(), jit);
+    orc.eval(COUNTER_MODULE).expect("oracle module");
+    orc.eval("Counter c0(.c(clk.val));").expect("oracle inst");
+    orc.run_ticks(s1_ticks).expect("oracle run");
+    assert_eq!(
+        s1_lines,
+        orc.drain_output(),
+        "faulted transcript diverged from the oracle"
+    );
+}
+
+/// A session-worker panic is contained: the panicking session dies with a
+/// structured error, its queued commands are answered, and both the server
+/// and other sessions keep working.
+#[test]
+fn session_panic_is_contained_and_server_survives() {
+    let mut config = ServeConfig::quick();
+    config.jit.faults = FaultPlan::builder().session_panic(1).build();
+    let server = Server::new(config);
+
+    let mut victim = InProcClient::connect(&server);
+    let id = victim.open().expect("open victim");
+    assert!(matches!(
+        victim.eval("reg [7:0] a = 1;").expect("eval"),
+        cascade_serve::EvalResult::Evaluated(_)
+    ));
+    let err = victim.run(8).expect_err("run must report the panic");
+    assert!(
+        err.contains("panicked"),
+        "structured panic reply expected, got: {err}"
+    );
+
+    // The session is removed (asynchronously — the worker finishes its
+    // drain after sending the structured reply); the server is not.
+    let mut probe = InProcClient::connect(&server);
+    wait_until(
+        || probe.attach(id).is_err(),
+        "panicked session to be removed",
+    );
+
+    let mut healthy = InProcClient::connect(&server);
+    healthy.open().expect("open healthy");
+    healthy.eval_all(COUNTER).expect("eval healthy");
+    let r = healthy.run(16).expect("run healthy");
+    assert_eq!(r.ticks, 16);
+    let sstats = healthy.server_stats().expect("server stats");
+    assert_eq!(stat_u64(&sstats, "session_panics"), 1, "{sstats:?}");
+}
+
+/// Seeded random fault schedules must never change observable behaviour:
+/// for a spread of seeds, the counter workload under chaos produces the
+/// same transcript, probe value, and LED state as the fault-free oracle.
+#[test]
+fn seeded_chaos_counter_matches_oracle() {
+    for seed in [1u64, 2, 3, 5, 8, 13] {
+        let mut config = JitConfig::default();
+        config.toolchain.time_scale = 1e-6;
+        config.scrub_interval_ticks = 4;
+        config.faults = FaultPlan::random(seed);
+
+        let board = Board::new();
+        let mut rt = Runtime::new(board.clone(), config.clone()).expect("runtime");
+        rt.eval(COUNTER).expect("eval");
+        let mut lines = Vec::new();
+        let mut ticks = 0u64;
+        for _ in 0..12 {
+            settle_compile(&mut rt);
+            ticks += rt.run_ticks(17).expect("run");
+            lines.extend(rt.drain_output());
+        }
+        // Verify any open speculation window so live state is trustworthy.
+        rt.checkpoint_now().expect("final verify");
+
+        let oboard = Board::new();
+        let mut orc = oracle(oboard.clone(), config);
+        orc.eval(COUNTER).expect("oracle eval");
+        orc.run_ticks(ticks).expect("oracle run");
+        let olines = orc.drain_output();
+        assert_eq!(lines, olines, "seed {seed}: transcript diverged");
+        assert_eq!(
+            rt.probe("cnt").map(|b| b.to_u64()),
+            orc.probe("cnt").map(|b| b.to_u64()),
+            "seed {seed}: counter state diverged"
+        );
+        assert_eq!(
+            board.leds().to_u64(),
+            oboard.leds().to_u64(),
+            "seed {seed}: LED state diverged"
+        );
+    }
+}
+
+/// The FIFO consumer under chaos: host-side FIFO pops are journaled during
+/// speculation windows, so scrub rollbacks re-deliver consumed tokens and
+/// the fold result matches the oracle exactly.
+#[test]
+fn seeded_chaos_fifo_matches_oracle() {
+    for seed in [4u64, 9, 21] {
+        let mut config = JitConfig::default();
+        config.toolchain.time_scale = 1e-6;
+        config.scrub_interval_ticks = 4;
+        config.faults = FaultPlan::random(seed);
+
+        let tokens: Vec<u64> = (1..=24).map(|i| (i * 7) % 251).collect();
+        let board = Board::new();
+        for &t in &tokens {
+            board.fifo_push(cascade_bits::Bits::from_u64(8, t));
+        }
+        let mut rt = Runtime::new(board.clone(), config.clone()).expect("runtime");
+        rt.eval(FIFO_SUM).expect("eval");
+        let mut lines = Vec::new();
+        let mut ticks = 0u64;
+        for _ in 0..10 {
+            settle_compile(&mut rt);
+            ticks += rt.run_ticks(13).expect("run");
+            lines.extend(rt.drain_output());
+        }
+        rt.checkpoint_now().expect("final verify");
+
+        let oboard = Board::new();
+        for &t in &tokens {
+            oboard.fifo_push(cascade_bits::Bits::from_u64(8, t));
+        }
+        let mut orc = oracle(oboard.clone(), config);
+        orc.eval(FIFO_SUM).expect("oracle eval");
+        orc.run_ticks(ticks).expect("oracle run");
+        assert_eq!(
+            lines,
+            orc.drain_output(),
+            "seed {seed}: transcript diverged"
+        );
+        assert_eq!(
+            rt.probe("sum").map(|b| b.to_u64()),
+            orc.probe("sum").map(|b| b.to_u64()),
+            "seed {seed}: FIFO fold diverged"
+        );
+        assert_eq!(
+            board.fifo_pops(),
+            oboard.fifo_pops(),
+            "seed {seed}: consumed token counts diverged"
+        );
+    }
+}
+
+/// A fabric loss at scrub time falls back to software with zero lost
+/// ticks; restoring fleet capacity lets the program re-promote.
+#[test]
+fn fabric_loss_falls_back_to_software_and_repromotes() {
+    let mut config = JitConfig::default();
+    config.toolchain.time_scale = 1e-6;
+    config.scrub_interval_ticks = 4;
+    config.faults = FaultPlan::builder().fabric_loss(1).build();
+
+    let board = Board::new();
+    let fleet = Fleet::new(1);
+    let mut rt = Runtime::new(board.clone(), config.clone()).expect("runtime");
+    rt.attach_fleet(fleet.clone(), 7);
+    rt.eval(COUNTER).expect("eval");
+    settle_compile(&mut rt);
+
+    let mut ticks = 0u64;
+    let mut lines = Vec::new();
+    // Promote, then hit the scheduled loss at the first clean scrub.
+    for _ in 0..8 {
+        settle_compile(&mut rt);
+        ticks += rt.run_ticks(16).expect("run");
+        lines.extend(rt.drain_output());
+        if rt.stats().fabric_losses >= 1 {
+            break;
+        }
+    }
+    let stats = rt.stats();
+    assert!(stats.fabric_losses >= 1, "loss must be recorded: {stats:?}");
+    assert_eq!(stats.mode, ExecMode::Software, "must fall back to software");
+    assert!(!stats.lease_held);
+    assert!(fleet.stats().fabric_failures >= 1);
+
+    // Capacity returns; the cached bitstream re-promotes the program.
+    fleet.restore_fabric();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !rt.lease_held() {
+        assert!(Instant::now() < deadline, "re-promotion timed out");
+        settle_compile(&mut rt);
+        ticks += rt.run_ticks(4).expect("run");
+        lines.extend(rt.drain_output());
+    }
+    ticks += rt.run_ticks(32).expect("run");
+    lines.extend(rt.drain_output());
+    rt.checkpoint_now().expect("final verify");
+
+    let mut orc = oracle(Board::new(), config);
+    orc.eval(COUNTER).expect("oracle eval");
+    orc.run_ticks(ticks).expect("oracle run");
+    assert_eq!(lines, orc.drain_output(), "transcript diverged across loss");
+}
+
+/// A hung toolchain run is cancelled by the modeled watchdog and retried;
+/// the program still reaches hardware.
+#[test]
+fn toolchain_hang_is_cancelled_by_watchdog() {
+    let mut config = JitConfig::default();
+    config.toolchain.time_scale = 1e-6;
+    config.faults = FaultPlan::builder().toolchain_hang(1).build();
+
+    let board = Board::new();
+    let mut rt = Runtime::new(board, config).expect("runtime");
+    rt.eval(COUNTER).expect("eval");
+    settle_compile(&mut rt);
+    rt.run_ticks(4).expect("run");
+
+    let stats = rt.stats();
+    assert!(
+        stats.compile_watchdog_cancels >= 1,
+        "watchdog must cancel the hung run: {stats:?}"
+    );
+    assert!(stats.compile_retries >= 1, "cancel must retry: {stats:?}");
+    assert!(
+        matches!(stats.mode, ExecMode::Hardware | ExecMode::HardwareForwarded),
+        "retry must still reach hardware: {stats:?}"
+    );
+}
+
+/// An abandoned compile (transient faults outlasting the retry budget) is
+/// reported in the recovery log and leaves the program running in software.
+#[test]
+fn exhausted_retries_abandon_compile_and_stay_software() {
+    let mut config = JitConfig::default();
+    config.toolchain.time_scale = 1e-6;
+    config.compile_max_retries = 1;
+    config.faults = FaultPlan::builder()
+        .toolchain_transient(1)
+        .toolchain_transient(2)
+        .build();
+
+    let board = Board::new();
+    let mut rt = Runtime::new(board, config).expect("runtime");
+    rt.eval(COUNTER).expect("eval");
+    settle_compile(&mut rt);
+    rt.run_ticks(16).expect("run");
+
+    let stats = rt.stats();
+    assert_eq!(stats.mode, ExecMode::Software);
+    assert!(!stats.compile_in_flight, "abandoned, not stuck: {stats:?}");
+    assert!(stats.compile_retries >= 1, "{stats:?}");
+    let log = rt.drain_recovery_log();
+    assert!(
+        log.iter().any(|l| l.contains("abandoned")),
+        "recovery log must record the abandonment: {log:?}"
+    );
+}
+
+/// The explicit checkpoint API: `checkpoint_now` snapshots the whole
+/// program, `restore_checkpoint` rewinds it, and re-execution replays the
+/// same output.
+#[test]
+fn checkpoint_restore_replays_identically() {
+    let config = JitConfig {
+        auto_compile: false,
+        ..JitConfig::default()
+    };
+    let board = Board::new();
+    let mut rt = Runtime::new(board.clone(), config).expect("runtime");
+    rt.eval(COUNTER).expect("eval");
+
+    rt.run_ticks(10).expect("run");
+    rt.drain_output();
+    assert!(rt.checkpoint_now().expect("checkpoint"));
+    let cnt_at_ckpt = rt.probe("cnt").map(|b| b.to_u64());
+
+    rt.run_ticks(6).expect("run");
+    let first = rt.drain_output();
+    assert!(rt.restore_checkpoint().expect("restore"));
+    assert_eq!(rt.probe("cnt").map(|b| b.to_u64()), cnt_at_ckpt);
+    rt.run_ticks(6).expect("run");
+    let second = rt.drain_output();
+    assert_eq!(first, second, "restored run must replay the same output");
+
+    let stats = rt.stats();
+    assert!(stats.checkpoints_taken >= 1);
+    assert!(stats.checkpoints_restored >= 1);
+}
+
+/// A failing item in a multi-item paste is named precisely, earlier items
+/// stay committed, later items are not applied, and the REPL keeps
+/// accepting input afterwards.
+#[test]
+fn repl_reports_failing_item_and_stays_consistent() {
+    let config = JitConfig {
+        auto_compile: false,
+        ..JitConfig::default()
+    };
+    let rt = Runtime::new(Board::new(), config).expect("runtime");
+    let mut repl = Repl::new(rt);
+
+    let r = repl.line("reg [7:0] a = 1; assign led.val = ghost; reg [7:0] b = 2;");
+    let ReplResponse::Error(msg) = r else {
+        panic!("expected a per-item error, got {r:?}");
+    };
+    assert!(msg.contains("item 2 of 3"), "got: {msg}");
+
+    // Item 1 committed, item 3 never applied, session still live.
+    assert_eq!(repl.runtime().probe("a").map(|b| b.to_u64()), Some(1));
+    // An unknown port probes as a zero-width value.
+    assert_eq!(repl.runtime().probe("b").map_or(0, |b| b.width()), 0);
+    let r = repl.line("assign led.val = a;");
+    assert!(matches!(r, ReplResponse::Evaluated(_)), "got {r:?}");
+    repl.runtime().run_ticks(1).expect("run");
+    assert_eq!(repl.runtime().board().leds().to_u64(), 1);
+}
+
+/// Fault schedules are deterministic: two identically-seeded plans drive
+/// identical recovery statistics.
+#[test]
+fn identical_seeds_give_identical_recovery_stats() {
+    let run = |seed: u64| {
+        let mut config = JitConfig::default();
+        config.toolchain.time_scale = 1e-6;
+        config.scrub_interval_ticks = 4;
+        config.faults = FaultPlan::random(seed);
+        let mut rt = Runtime::new(Board::new(), config).expect("runtime");
+        rt.eval(COUNTER).expect("eval");
+        let mut ticks = 0;
+        for _ in 0..8 {
+            settle_compile(&mut rt);
+            ticks += rt.run_ticks(11).expect("run");
+        }
+        let s = rt.stats();
+        (
+            ticks,
+            s.compile_retries,
+            s.compile_watchdog_cancels,
+            s.panics_contained,
+            s.scrub_detections,
+            s.fabric_losses,
+            s.checkpoints_restored,
+        )
+    };
+    assert_eq!(run(42), run(42), "same seed must replay the same faults");
+}
