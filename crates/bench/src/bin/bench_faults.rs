@@ -220,7 +220,9 @@ fn main() {
 }
 
 fn render_json(rows: &[Row]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"fault_recovery_latency\",\n  \"rows\": [\n");
+    let mut out = String::from("{\n");
+    out.push_str(&cascade_bench::schema_header("faults", "virtual+host"));
+    out.push_str("  \"benchmark\": \"fault_recovery_latency\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         writeln!(

@@ -110,8 +110,9 @@ fn describe(name: &str, nl: &Arc<Netlist>) {
 }
 
 fn render_json(rows: &[Row]) -> String {
-    let mut out =
-        String::from("{\n  \"benchmark\": \"netlist_eval_cycles_per_sec\",\n  \"rows\": [\n");
+    let mut out = String::from("{\n");
+    out.push_str(&cascade_bench::schema_header("netlist", "host"));
+    out.push_str("  \"benchmark\": \"netlist_eval_cycles_per_sec\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         writeln!(

@@ -137,8 +137,9 @@ fn drive(sessions: usize, secs: f64) -> Point {
 }
 
 fn render_json(points: &[Point]) -> String {
-    let mut out =
-        String::from("{\n  \"benchmark\": \"serve_scaling\",\n  \"fabrics\": 2,\n  \"rows\": [\n");
+    let mut out = String::from("{\n");
+    out.push_str(&cascade_bench::schema_header("serve", "host"));
+    out.push_str("  \"benchmark\": \"serve_scaling\",\n  \"fabrics\": 2,\n  \"rows\": [\n");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
         writeln!(

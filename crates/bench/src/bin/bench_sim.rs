@@ -156,8 +156,9 @@ fn describe(name: &str, design: &Arc<Design>) {
 }
 
 fn render_json(rows: &[Row]) -> String {
-    let mut out =
-        String::from("{\n  \"benchmark\": \"sw_engine_cycles_per_sec\",\n  \"rows\": [\n");
+    let mut out = String::from("{\n");
+    out.push_str(&cascade_bench::schema_header("sim", "host"));
+    out.push_str("  \"benchmark\": \"sw_engine_cycles_per_sec\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         writeln!(

@@ -1,0 +1,164 @@
+//! Tracing/profiling overhead report: the cost of the `cascade-trace`
+//! hooks on the two hot loops the JIT lives in — the bytecode software
+//! engine's batched `tick_n` (bench_sim's shape) and the netlist arena
+//! evaluator's `run_cycles` (bench_netlist's shape).
+//!
+//! The disabled path cannot be compiled out (it is one branch per
+//! `settle`/process activation), so "overhead when off" is measured as an
+//! A/A comparison: the same disabled loop timed twice, with the relative
+//! delta bounding the hook cost within measurement noise. The enabled
+//! path is measured against the disabled one directly. A third section
+//! times raw sink emission (disabled vs. ring-buffered).
+//!
+//! Writes `BENCH_trace.json` at the repository root; the acceptance gate
+//! is `max_off_overhead_pct <= 2`. Set `CASCADE_BENCH_SECS` to trade
+//! precision for runtime.
+
+use cascade_bench::harness::{fmt_si, measure};
+use cascade_netlist::{synthesize, NetlistSim};
+use cascade_sim::{elaborate, library_from_source, CompiledSim};
+use cascade_trace::{Arg, TraceSink};
+use cascade_workloads::sha256::{miner_verilog, Flavor, MinerConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const BATCH: u64 = 256;
+
+struct Row {
+    hot_loop: &'static str,
+    off_cps: f64,
+    off_aa_cps: f64,
+    on_cps: f64,
+}
+
+impl Row {
+    /// The A/A delta between the two disabled measurements, as a percent
+    /// of the faster one — the noise-bounded cost of the dormant hooks.
+    fn off_overhead_pct(&self) -> f64 {
+        let best = self.off_cps.max(self.off_aa_cps);
+        ((self.off_cps - self.off_aa_cps).abs() / best) * 100.0
+    }
+
+    /// Throughput lost with profiling actually enabled.
+    fn on_overhead_pct(&self) -> f64 {
+        let off = self.off_cps.max(self.off_aa_cps);
+        ((off - self.on_cps) / off) * 100.0
+    }
+}
+
+fn main() {
+    let cfg = MinerConfig {
+        target: 0,
+        announce: false,
+        ..MinerConfig::default()
+    };
+    let src = miner_verilog(&cfg, Flavor::Ported);
+    let lib = library_from_source(&src).expect("workload parses");
+    let design = Arc::new(elaborate("Miner", &lib, &Default::default()).expect("elaborates"));
+    let netlist = Arc::new(synthesize(&design).expect("synthesizes"));
+
+    let mut rows = Vec::new();
+
+    // Software engine: batched bytecode execution, profiling off/off/on.
+    {
+        let clk = design.var("clk").expect("clk port");
+        let mut sim = CompiledSim::new(Arc::clone(&design));
+        sim.initialize().expect("initializes");
+        sim.settle().expect("settles");
+        let loop_body = |sim: &mut CompiledSim| {
+            sim.tick_n(clk, BATCH).expect("batch runs");
+            sim.drain_events();
+        };
+        let off_a = BATCH as f64 * 1e9 / measure(&mut || loop_body(&mut sim));
+        let off_b = BATCH as f64 * 1e9 / measure(&mut || loop_body(&mut sim));
+        sim.enable_profiling();
+        let on = BATCH as f64 * 1e9 / measure(&mut || loop_body(&mut sim));
+        rows.push(Row {
+            hot_loop: "sim_tick_n",
+            off_cps: off_a,
+            off_aa_cps: off_b,
+            on_cps: on,
+        });
+    }
+
+    // Netlist arena evaluator: run_cycles, profiling off/off/on.
+    {
+        let mut sim = NetlistSim::new(Arc::clone(&netlist)).expect("levelize");
+        let loop_body = |sim: &mut NetlistSim| {
+            sim.run_cycles(BATCH, usize::MAX);
+            sim.drain_tasks();
+        };
+        let off_a = BATCH as f64 * 1e9 / measure(&mut || loop_body(&mut sim));
+        let off_b = BATCH as f64 * 1e9 / measure(&mut || loop_body(&mut sim));
+        sim.enable_profiling();
+        let on = BATCH as f64 * 1e9 / measure(&mut || loop_body(&mut sim));
+        rows.push(Row {
+            hot_loop: "netlist_run_cycles",
+            off_cps: off_a,
+            off_aa_cps: off_b,
+            on_cps: on,
+        });
+    }
+
+    for r in &rows {
+        println!(
+            "{:<20} off {:>9}cyc/s   on {:>9}cyc/s   off-overhead {:.2}%   on-overhead {:.2}%",
+            r.hot_loop,
+            fmt_si(r.off_cps.max(r.off_aa_cps)),
+            fmt_si(r.on_cps),
+            r.off_overhead_pct(),
+            r.on_overhead_pct(),
+        );
+    }
+
+    // Raw sink emission: a disabled sink (the default everywhere outside
+    // serve) against an enabled bounded ring.
+    let disabled = TraceSink::disabled();
+    let disabled_ns = measure(&mut || {
+        disabled.instant(0, "jit", "scrub", 1, &[("ok", Arg::Bool(true))]);
+    });
+    let ring = TraceSink::ring(4096);
+    let ring_ns = measure(&mut || {
+        ring.instant(0, "jit", "scrub", 1, &[("ok", Arg::Bool(true))]);
+    });
+    println!("sink emission: disabled {disabled_ns:.1} ns/event, ring {ring_ns:.1} ns/event");
+
+    let max_off = rows
+        .iter()
+        .map(Row::off_overhead_pct)
+        .fold(0.0f64, f64::max);
+    if max_off > 2.0 {
+        println!("WARNING: disabled-tracer overhead {max_off:.2}% exceeds the 2% budget");
+    }
+
+    let mut out = String::from("{\n");
+    out.push_str(&cascade_bench::schema_header("trace", "host"));
+    out.push_str("  \"benchmark\": \"trace_overhead\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"hot_loop\": \"{}\", \"off_cps\": {:.1}, \"off_aa_cps\": {:.1}, \
+             \"on_cps\": {:.1}, \"off_overhead_pct\": {:.3}, \"on_overhead_pct\": {:.3}}}{comma}",
+            r.hot_loop,
+            r.off_cps,
+            r.off_aa_cps,
+            r.on_cps,
+            r.off_overhead_pct(),
+            r.on_overhead_pct()
+        )
+        .unwrap();
+    }
+    out.push_str("  ],\n");
+    writeln!(
+        out,
+        "  \"sink_ns_per_event\": {{\"disabled\": {disabled_ns:.2}, \"ring\": {ring_ns:.2}}},"
+    )
+    .unwrap();
+    writeln!(out, "  \"max_off_overhead_pct\": {max_off:.3}").unwrap();
+    out.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(path, &out).expect("write BENCH_trace.json");
+    println!("\nwrote {path}");
+}

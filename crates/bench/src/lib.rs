@@ -63,6 +63,36 @@ impl Curve {
     }
 }
 
+/// The shared schema header every `bench_*` binary stamps into its JSON
+/// output, as a ready-to-splice fragment (one indented line ending in
+/// `,\n`): schema version, bench name, the repository revision, and which
+/// clock the numbers are measured on — `"host"` for real nanoseconds,
+/// `"virtual"` for the modeled wall, `"virtual+host"` for reports that
+/// carry both.
+pub fn schema_header(bench: &str, clock: &str) -> String {
+    format!(
+        "  \"schema\": {{\"version\": 1, \"bench\": \"{bench}\", \
+         \"git\": \"{}\", \"clock\": \"{clock}\"}},\n",
+        git_describe()
+    )
+}
+
+/// `git describe --always --dirty`, or `"unknown"` when git or the
+/// repository metadata is unavailable (a source tarball, a stripped CI
+/// checkout).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--tags", "--always", "--dirty"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Formats a rate in engineering units (Hz / KHz / MHz).
 pub fn fmt_rate(rate: f64) -> String {
     if rate >= 1e6 {

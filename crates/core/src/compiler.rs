@@ -21,6 +21,7 @@ use cascade_fpga::{
 };
 use cascade_netlist::{fingerprint, synthesize, Netlist};
 use cascade_sim::Design;
+use cascade_trace::{Arg, Counter, Histogram, Registry, TraceSink, LATENCY_BUCKETS_S};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -164,6 +165,9 @@ pub struct CompileOutcome {
     pub result: Result<Bitstream, CompileError>,
     /// Modeled latency from submission to availability.
     pub latency: Duration,
+    /// Whether the bitstream came from the content-hash cache (so the
+    /// latency models a fetch + reprogram, not a toolchain run).
+    pub cached: bool,
 }
 
 impl CompileOutcome {
@@ -172,6 +176,66 @@ impl CompileOutcome {
             version,
             result: self.result.clone(),
             latency: self.latency,
+            cached: self.cached,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiler telemetry (registry-backed counters + trace spans)
+// ---------------------------------------------------------------------
+
+/// Registry-backed counters incremented by a [`BackgroundCompiler`].
+///
+/// The runtime owns these handles and re-attaches them whenever it
+/// replaces its compiler (e.g. switching from a solo compiler to a shared
+/// [`CompileQueue`]), which is what keeps `RuntimeStats` recovery counters
+/// **monotonic across compiler swaps** — previously a swap silently reset
+/// retries/watchdog/panic counts to zero.
+#[derive(Clone, Debug)]
+pub struct CompilerMetrics {
+    /// Transient-failure retries dispatched.
+    pub retries: Counter,
+    /// Hung compiles cancelled by the modeled watchdog.
+    pub watchdog_cancels: Counter,
+    /// Worker-panic outcomes observed.
+    pub worker_panics: Counter,
+    /// Modeled end-to-end compile latency (successful outcomes), seconds.
+    pub compile_latency: Histogram,
+}
+
+impl CompilerMetrics {
+    /// Handles not attached to any registry (standalone compilers).
+    pub fn detached() -> Self {
+        CompilerMetrics {
+            retries: Counter::detached(),
+            watchdog_cancels: Counter::detached(),
+            worker_panics: Counter::detached(),
+            compile_latency: Histogram::detached(LATENCY_BUCKETS_S),
+        }
+    }
+
+    /// Declares (or re-fetches — registration is idempotent) the compiler
+    /// metric set in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        CompilerMetrics {
+            retries: registry.counter(
+                "jit_compile_retries_total",
+                "transient compile failures retried with backoff",
+            ),
+            watchdog_cancels: registry.counter(
+                "jit_compile_watchdog_cancels_total",
+                "hung compiles cancelled by the modeled watchdog",
+            ),
+            worker_panics: registry.counter(
+                "jit_compile_worker_panics_total",
+                "compile-worker panics contained and surfaced as outcomes",
+            ),
+            compile_latency: registry.histogram(
+                "jit_compile_latency_seconds",
+                "modeled latency from submission to a surfaced compile outcome",
+                LATENCY_BUCKETS_S,
+            ),
         }
     }
 }
@@ -345,6 +409,7 @@ fn panic_outcome(version: u64, time_scale: f64) -> CompileOutcome {
         version,
         result: Err(CompileError::WorkerPanic),
         latency: Duration::from_secs_f64(PANIC_LATENCY_S * time_scale),
+        cached: false,
     }
 }
 
@@ -463,9 +528,15 @@ pub struct BackgroundCompiler {
     job: Option<(Arc<Design>, Toolchain)>,
     /// Tries of the current submission so far (1 = first).
     attempts: u32,
-    retries: u64,
-    watchdog_cancels: u64,
-    worker_panics: u64,
+    /// Registry-backed counters — handles outlive this compiler, so a
+    /// compiler swap does not reset them.
+    metrics: CompilerMetrics,
+    /// Phase spans (synthesis, place-and-route, backoff) are emitted from
+    /// `poll`, which runs on the session thread against the modeled clock
+    /// — so traces stay deterministic even with pooled workers.
+    trace: TraceSink,
+    /// Trace track (serve session id; 0 standalone).
+    track: u64,
 }
 
 impl Default for BackgroundCompiler {
@@ -504,9 +575,9 @@ impl BackgroundCompiler {
             faults: FaultPlan::none(),
             job: None,
             attempts: 0,
-            retries: 0,
-            watchdog_cancels: 0,
-            worker_panics: 0,
+            metrics: CompilerMetrics::detached(),
+            trace: TraceSink::disabled(),
+            track: 0,
         }
     }
 
@@ -517,19 +588,28 @@ impl BackgroundCompiler {
         self.faults = faults;
     }
 
+    /// Attaches telemetry: counters to increment (handles shared with the
+    /// owner, so they survive compiler replacement) and a trace sink +
+    /// track for phase spans.
+    pub fn attach_telemetry(&mut self, metrics: CompilerMetrics, trace: TraceSink, track: u64) {
+        self.metrics = metrics;
+        self.trace = trace;
+        self.track = track;
+    }
+
     /// Transient-failure retries dispatched so far.
     pub fn retries(&self) -> u64 {
-        self.retries
+        self.metrics.retries.get()
     }
 
     /// Hung compiles cancelled by the watchdog so far.
     pub fn watchdog_cancels(&self) -> u64 {
-        self.watchdog_cancels
+        self.metrics.watchdog_cancels.get()
     }
 
     /// Worker-panic outcomes observed by this compiler.
     pub fn worker_panics(&self) -> u64 {
-        self.worker_panics
+        self.metrics.worker_panics.get()
     }
 
     /// Compiles whose synthesized netlist + toolchain matched a cached
@@ -627,6 +707,7 @@ impl BackgroundCompiler {
                         "compile job shed by the pool".to_string(),
                     )),
                     latency: Duration::ZERO,
+                    cached: false,
                 });
             }
         }
@@ -657,7 +738,8 @@ impl BackgroundCompiler {
     pub fn poll(&mut self, wall_s: f64) -> Option<CompileOutcome> {
         self.pump();
         if self.watchdog_expired(wall_s) {
-            self.watchdog_cancels += 1;
+            self.metrics.watchdog_cancels.inc();
+            self.emit_attempt(self.policy.watchdog_s, Some("watchdog: toolchain hang"));
             self.rx = None;
             self.handle = None;
             self.staged = None;
@@ -676,14 +758,74 @@ impl BackgroundCompiler {
             if let Err(e) = &outcome.result {
                 if e.is_transient() {
                     if matches!(e, CompileError::WorkerPanic) {
-                        self.worker_panics += 1;
+                        self.metrics.worker_panics.inc();
                     }
+                    self.emit_attempt(outcome.latency.as_secs_f64(), Some(&e.to_string()));
                     return self.retry_or_surface(e.clone(), wall_s);
                 }
             }
         }
         self.job = None;
+        let latency_s = outcome.latency.as_secs_f64();
+        self.metrics.compile_latency.observe(latency_s);
+        if outcome.cached {
+            self.emit_cache_hit(latency_s);
+        } else {
+            let err = outcome.result.as_ref().err().map(|e| e.to_string());
+            self.emit_attempt(latency_s, err.as_deref());
+        }
         Some(outcome)
+    }
+
+    /// Emits the synthesis + place-and-route spans of one toolchain
+    /// attempt, starting at the attempt's dispatch time on the modeled
+    /// clock. The modeled toolchain doesn't split its latency, so the
+    /// trace uses a fixed 10%/90% synthesis/P&R proportion.
+    fn emit_attempt(&self, dur_s: f64, error: Option<&str>) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let start_ns = (self.submitted_s * 1e9) as u64;
+        let total_ns = (dur_s.max(0.0) * 1e9) as u64;
+        let synth_ns = total_ns / 10;
+        let ok = error.is_none();
+        let args: &[(&str, Arg)] = &[
+            ("version", Arg::U64(self.submitted_version)),
+            ("attempt", Arg::U64(self.attempts as u64)),
+            ("ok", Arg::Bool(ok)),
+            ("error", Arg::Str(error.unwrap_or(""))),
+        ];
+        self.trace.span(
+            self.track,
+            "compile",
+            "synthesize",
+            start_ns,
+            synth_ns,
+            args,
+        );
+        self.trace.span(
+            self.track,
+            "compile",
+            "place_route",
+            start_ns + synth_ns,
+            total_ns - synth_ns,
+            args,
+        );
+    }
+
+    /// Emits the span of a content-hash cache hit (fetch + reprogram).
+    fn emit_cache_hit(&self, dur_s: f64) {
+        if !self.trace.enabled() {
+            return;
+        }
+        self.trace.span(
+            self.track,
+            "compile",
+            "bitstream_cache_hit",
+            (self.submitted_s * 1e9) as u64,
+            (dur_s.max(0.0) * 1e9) as u64,
+            &[("version", Arg::U64(self.submitted_version))],
+        );
     }
 
     /// Re-dispatches the current submission after a transient failure, or
@@ -694,7 +836,21 @@ impl BackgroundCompiler {
             Some((design, toolchain)) if self.attempts <= self.policy.max_retries => {
                 let backoff = self.policy.backoff_s * f64::powi(2.0, self.attempts as i32 - 1);
                 self.attempts += 1;
-                self.retries += 1;
+                self.metrics.retries.inc();
+                if self.trace.enabled() {
+                    self.trace.span(
+                        self.track,
+                        "compile",
+                        "backoff",
+                        (wall_s * 1e9) as u64,
+                        (backoff.max(0.0) * 1e9) as u64,
+                        &[
+                            ("version", Arg::U64(self.submitted_version)),
+                            ("next_attempt", Arg::U64(self.attempts as u64)),
+                            ("error", Arg::Str(&err.to_string())),
+                        ],
+                    );
+                }
                 self.dispatch(design, toolchain, wall_s + backoff);
                 None
             }
@@ -704,6 +860,7 @@ impl BackgroundCompiler {
                     version: self.submitted_version,
                     result: Err(err),
                     latency: Duration::ZERO,
+                    cached: false,
                 })
             }
         }
@@ -772,6 +929,7 @@ fn synth_for_compile(
                 result: Err(CompileError::Synth(e)),
                 // Synthesis errors surface early in a real flow.
                 latency: Duration::from_secs(30),
+                cached: false,
             });
         }
     };
@@ -788,6 +946,7 @@ fn hit_outcome(mut bitstream: Bitstream, tc: &Toolchain, version: u64) -> Compil
         version,
         result: Ok(bitstream),
         latency,
+        cached: true,
     }
 }
 
@@ -817,6 +976,7 @@ fn run_toolchain(
                     "injected toolchain fault mid-place-and-route".to_string(),
                 )),
                 latency: Duration::from_secs_f64(full_latency.as_secs_f64() * 0.5),
+                cached: false,
             };
         }
         Some(ToolchainFault::Hang) => {
@@ -827,6 +987,7 @@ fn run_toolchain(
                 version,
                 result: Err(CompileError::ToolchainHang),
                 latency: Duration::MAX,
+                cached: false,
             };
         }
         None => {}
@@ -838,6 +999,7 @@ fn run_toolchain(
                 version,
                 result: Ok(bs),
                 latency: full_latency,
+                cached: false,
             }
         }
         Err(e @ CompileError::DoesNotFit { .. }) => CompileOutcome {
@@ -845,11 +1007,13 @@ fn run_toolchain(
             result: Err(e),
             // Fit checks fail at the start of place-and-route.
             latency: Duration::from_secs_f64(full_latency.as_secs_f64() * 0.2),
+            cached: false,
         },
         Err(e) => CompileOutcome {
             version,
             result: Err(e),
             latency: full_latency,
+            cached: false,
         },
     }
 }

@@ -1,6 +1,7 @@
 //! Runtime configuration: the JIT policy knobs and platform models.
 
 use cascade_fpga::{CostModel, Device, FaultPlan, Toolchain};
+use cascade_trace::TraceSink;
 
 /// Cascade's optimization policy (paper Sec. 4). Every stage can be toggled
 /// independently — the ablation benchmarks exercise exactly these switches.
@@ -61,6 +62,11 @@ pub struct JitConfig {
     /// this many ticks (hardware windows checkpoint at scrub boundaries
     /// instead). `0` disables periodic checkpoints.
     pub checkpoint_interval_ticks: u64,
+    /// Where JIT lifecycle spans and events are recorded. The default is
+    /// a disabled sink (zero recording cost); clones of one enabled sink
+    /// share a single ring buffer, so a server can trace every session
+    /// into one timeline. See [`cascade_trace::TraceSink`].
+    pub trace: TraceSink,
 }
 
 impl Default for JitConfig {
@@ -83,6 +89,7 @@ impl Default for JitConfig {
             compile_watchdog_s: 3600.0,
             scrub_interval_ticks: 4096,
             checkpoint_interval_ticks: 4096,
+            trace: TraceSink::disabled(),
         }
     }
 }

@@ -86,6 +86,16 @@ impl HwEngine {
         })
     }
 
+    /// Switches on activity profiling in the arena evaluator.
+    pub fn enable_profiling(&mut self) {
+        self.core.sim().enable_profiling();
+    }
+
+    /// The collected activity profile, if profiling is enabled.
+    pub fn profile_report(&self) -> Option<cascade_netlist::NlProfileReport> {
+        self.core.sim_ref().profile_report()
+    }
+
     /// One readback scrub: re-derives the configuration CRC and compares
     /// it against the golden programming-time value. `true` means the
     /// fabric is intact. Charged as one request/response bus exchange.

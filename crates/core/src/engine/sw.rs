@@ -137,6 +137,17 @@ impl SwEngine {
         self.sim.backend_name()
     }
 
+    /// Switches on execution profiling in the underlying simulator
+    /// (compiled backend only).
+    pub fn enable_profiling(&mut self) {
+        self.sim.enable_profiling();
+    }
+
+    /// The collected execution profile, if profiling is enabled.
+    pub fn profile_report(&self) -> Option<cascade_sim::SwProfileReport> {
+        self.sim.profile_report()
+    }
+
     fn collect_tasks(&mut self) {
         for ev in self.sim.drain_events() {
             self.tasks.push(match ev {

@@ -7,7 +7,7 @@
 //! which is also when hardware engines replace software engines and
 //! interrupts (system-task side effects) are serviced.
 
-use crate::compiler::{BackgroundCompiler, CompileQueue, RetryPolicy};
+use crate::compiler::{BackgroundCompiler, CompileQueue, CompilerMetrics, RetryPolicy};
 use crate::config::JitConfig;
 use crate::engine::clock::ClockEngine;
 use crate::engine::hw::{Forwarded, HwEngine};
@@ -19,7 +19,11 @@ use crate::error::{panic_message, CascadeError};
 use crate::transform::{transform_module, Externals, Wire};
 use cascade_bits::Bits;
 use cascade_fpga::{Board, FabricFault, Fleet, Lease, VirtualWall};
-use cascade_sim::Design;
+use cascade_sim::{Design, PortVcd};
+use cascade_trace::{
+    expose, Arg, Counter, Histogram, MetricSnapshot, Registry, SnapValue, TraceSink,
+    LATENCY_BUCKETS_S,
+};
 use cascade_verilog::ast::{Item, Module, ModuleItem};
 use cascade_verilog::typecheck::{check_module, const_eval, ModuleLibrary, ParamEnv};
 use cascade_verilog::Span;
@@ -59,6 +63,71 @@ struct Checkpoint {
     finished: bool,
 }
 
+/// Registry-backed runtime counters. Handles are declared by name;
+/// re-declaring after a component swap (shared compile queue, checkpoint
+/// restore, engine replacement) returns the *same* cells, which is what
+/// keeps recovery counters monotonic across rollback and replay.
+#[derive(Clone)]
+struct RuntimeMetrics {
+    hw_promotions: Counter,
+    lease_demotions: Counter,
+    scrubs: Counter,
+    scrub_detections: Counter,
+    checkpoints_taken: Counter,
+    checkpoints_restored: Counter,
+    fabric_losses: Counter,
+    /// Virtual seconds from "bitstream ready" to "fabric lease granted".
+    lease_wait: Histogram,
+}
+
+impl RuntimeMetrics {
+    fn from_registry(reg: &Registry) -> Self {
+        RuntimeMetrics {
+            hw_promotions: reg.counter(
+                "jit_hw_promotions_total",
+                "software-to-hardware engine swaps performed",
+            ),
+            lease_demotions: reg.counter(
+                "jit_lease_demotions_total",
+                "hardware-to-software demotions forced by lease revocation",
+            ),
+            scrubs: reg.counter(
+                "jit_scrubs_total",
+                "readback scrubs performed against the hardware engine",
+            ),
+            scrub_detections: reg.counter(
+                "jit_scrub_detections_total",
+                "scrubs that detected a fabric soft error",
+            ),
+            checkpoints_taken: reg
+                .counter("jit_checkpoints_taken_total", "recovery checkpoints taken"),
+            checkpoints_restored: reg.counter(
+                "jit_checkpoints_restored_total",
+                "recovery checkpoints restored (rollbacks)",
+            ),
+            fabric_losses: reg.counter(
+                "jit_fabric_losses_total",
+                "fabric losses survived (the program resumed in software)",
+            ),
+            lease_wait: reg.histogram(
+                "jit_lease_wait_seconds",
+                "virtual seconds a ready bitstream waited for a fabric lease",
+                LATENCY_BUCKETS_S,
+            ),
+        }
+    }
+}
+
+/// An active waveform dump: a VCD stream fed one sample per tick.
+struct VcdTap {
+    writer: PortVcd<std::io::BufWriter<std::fs::File>>,
+    ports: Vec<String>,
+    path: String,
+}
+
+/// Emit a `ticks_per_s` trace sample at least every this many ticks.
+const RATE_SAMPLE_TICKS: u64 = 1024;
+
 /// How the program is currently executing (for instrumentation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -72,6 +141,19 @@ pub enum ExecMode {
     HardwareForwarded,
     /// Wrapper-free native execution.
     Native,
+}
+
+impl ExecMode {
+    /// Stable lowercase name (trace events, timeline, metrics).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Idle => "idle",
+            ExecMode::Software => "software",
+            ExecMode::Hardware => "hardware",
+            ExecMode::HardwareForwarded => "hardware-forwarded",
+            ExecMode::Native => "native",
+        }
+    }
 }
 
 /// Point-in-time runtime statistics.
@@ -179,8 +261,9 @@ pub struct Runtime {
     heat: f64,
     /// A compiled bitstream waiting for a fabric lease.
     pending_hw: Option<Arc<cascade_netlist::Netlist>>,
-    promotions: u64,
-    demotions: u64,
+    /// Virtual second at which `pending_hw` was staged (lease-wait
+    /// histogram start point).
+    hw_pending_since_s: Option<f64>,
 
     /// Last known-good snapshot (the rollback point).
     checkpoint: Option<Checkpoint>,
@@ -195,11 +278,26 @@ pub struct Runtime {
     /// recovery must leave the user-visible transcript byte-identical to
     /// a fault-free run.
     recovery_log: Vec<String>,
-    scrubs: u64,
-    scrub_detections: u64,
-    checkpoints_taken: u64,
-    checkpoints_restored: u64,
-    fabric_losses: u64,
+
+    /// Typed metric cells backing the recovery/JIT counters (see
+    /// [`RuntimeMetrics`]); declared in `registry`.
+    metrics: RuntimeMetrics,
+    /// The registry behind [`Runtime::metrics_snapshot`]; servers merge
+    /// per-session registries into one exposition.
+    registry: Registry,
+    /// JIT lifecycle trace sink (disabled by default; see `JitConfig`).
+    trace: TraceSink,
+    /// Track id stamped on trace events (the serve session id).
+    track: u64,
+    /// Last execution mode announced on the trace (dedup).
+    last_mode: Option<&'static str>,
+    /// `ticks_per_s` sampling state: virtual second and tick count of the
+    /// previous sample.
+    rate_last_s: f64,
+    rate_last_ticks: u64,
+    /// Active waveform dump, if any (disables open-loop batching so every
+    /// tick is observable).
+    vcd: Option<VcdTap>,
 }
 
 // Sessions are hosted on server worker threads; the runtime must be free
@@ -232,6 +330,9 @@ impl Runtime {
             .open_loop_batch_hint(config.open_loop_target_s)
             .min(1 << 22) as f64;
         let cache_capacity = config.bitstream_cache_capacity;
+        let registry = Registry::new();
+        let metrics = RuntimeMetrics::from_registry(&registry);
+        let trace = config.trace.clone();
         let mut rt = Runtime {
             config,
             board,
@@ -256,23 +357,109 @@ impl Runtime {
             lease: None,
             heat: 0.0,
             pending_hw: None,
-            promotions: 0,
-            demotions: 0,
+            hw_pending_since_s: None,
             checkpoint: None,
             last_scrub_iter: 0,
             last_ckpt_iter: 0,
             quarantine: Vec::new(),
             recovery_log: Vec::new(),
-            scrubs: 0,
-            scrub_detections: 0,
-            checkpoints_taken: 0,
-            checkpoints_restored: 0,
-            fabric_losses: 0,
+            metrics,
+            registry,
+            trace,
+            track: 0,
+            last_mode: None,
+            rate_last_s: 0.0,
+            rate_last_ticks: 0,
+            vcd: None,
         };
         let policy = rt.retry_policy();
         rt.compiler.configure(policy, rt.config.faults.clone());
+        rt.reattach_compiler_telemetry();
         rt.rebuild()?;
         Ok(rt)
+    }
+
+    /// (Re-)hands the compiler its registry-backed metric cells and the
+    /// trace sink. Registration is idempotent, so a replaced compiler
+    /// inherits the *same* counters — retries/watchdog/panic counts stay
+    /// monotonic across compiler swaps and checkpoint restores.
+    fn reattach_compiler_telemetry(&mut self) {
+        self.compiler.attach_telemetry(
+            CompilerMetrics::from_registry(&self.registry),
+            self.trace.clone(),
+            self.track,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Trace emission. Every virtual-clock event is emitted from this
+    // (session) thread against the modeled wall clock, so the
+    // virtual-time export is deterministic for a given seed + FaultPlan.
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn virt_ns(&self) -> u64 {
+        (self.wall.seconds() * 1e9) as u64
+    }
+
+    /// Announces the execution mode on the trace when it changed — the
+    /// paper's promotion staircase, one instant per step.
+    fn trace_mode(&mut self) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let m = self.mode().name();
+        if self.last_mode == Some(m) {
+            return;
+        }
+        self.last_mode = Some(m);
+        self.trace.instant(
+            self.track,
+            "jit",
+            "mode",
+            self.virt_ns(),
+            &[("mode", Arg::Str(m)), ("ticks", Arg::U64(self.ticks()))],
+        );
+    }
+
+    /// Rate-limited `ticks_per_s` counter samples: at most one per
+    /// [`RATE_SAMPLE_TICKS`] ticks of progress. The rate is virtual ticks
+    /// over virtual seconds — the "gets faster" curve itself.
+    fn trace_rate(&mut self) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let ticks = self.ticks();
+        if ticks.saturating_sub(self.rate_last_ticks) < RATE_SAMPLE_TICKS {
+            return;
+        }
+        let now = self.wall.seconds();
+        let dt = now - self.rate_last_s;
+        let dticks = ticks.saturating_sub(self.rate_last_ticks);
+        self.rate_last_s = now;
+        self.rate_last_ticks = ticks;
+        if dt <= 0.0 {
+            return;
+        }
+        let mode = self.mode().name();
+        self.trace.counter(
+            self.track,
+            "jit",
+            "ticks_per_s",
+            self.virt_ns(),
+            &[
+                ("value", Arg::F64(dticks as f64 / dt)),
+                ("mode", Arg::Str(mode)),
+            ],
+        );
+    }
+
+    /// Emits a virtual-clock instant in the `jit` category.
+    fn trace_instant(&self, name: &str, args: &[(&str, Arg)]) {
+        if self.trace.enabled() {
+            self.trace
+                .instant(self.track, "jit", name, self.virt_ns(), args);
+        }
     }
 
     /// The compile retry/watchdog policy, with modeled seconds compressed
@@ -343,17 +530,173 @@ impl Runtime {
             compile_cache_evictions: self.compiler.cache_evictions(),
             lease_held: self.lease.is_some(),
             hw_pending: self.pending_hw.is_some(),
-            hw_promotions: self.promotions,
-            lease_demotions: self.demotions,
+            hw_promotions: self.metrics.hw_promotions.get(),
+            lease_demotions: self.metrics.lease_demotions.get(),
             compile_retries: self.compiler.retries(),
             compile_watchdog_cancels: self.compiler.watchdog_cancels(),
             panics_contained: self.compiler.worker_panics(),
-            scrubs: self.scrubs,
-            scrub_detections: self.scrub_detections,
-            checkpoints_taken: self.checkpoints_taken,
-            checkpoints_restored: self.checkpoints_restored,
-            fabric_losses: self.fabric_losses,
+            scrubs: self.metrics.scrubs.get(),
+            scrub_detections: self.metrics.scrub_detections.get(),
+            checkpoints_taken: self.metrics.checkpoints_taken.get(),
+            checkpoints_restored: self.metrics.checkpoints_restored.get(),
+            fabric_losses: self.metrics.fabric_losses.get(),
         }
+    }
+
+    /// The metrics registry backing this runtime's typed counters and
+    /// histograms. A server merges per-session registries into one
+    /// Prometheus-style exposition.
+    pub fn metrics_registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Point-in-time metric snapshots: every registry metric plus derived
+    /// gauges/counters for the remaining [`RuntimeStats`] fields, so the
+    /// exposition covers the whole legacy stats surface.
+    pub fn metrics_snapshot(&self) -> Vec<MetricSnapshot> {
+        let mut snaps = self.registry.snapshot();
+        let s = self.stats();
+        let gauge = |name: &str, help: &str, v: f64| MetricSnapshot {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: SnapValue::Gauge(v),
+        };
+        let counter = |name: &str, help: &str, v: u64| MetricSnapshot {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: SnapValue::Counter(v),
+        };
+        let flag = |b: bool| {
+            if b {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let mode_code = match s.mode {
+            ExecMode::Idle => 0.0,
+            ExecMode::Software => 1.0,
+            ExecMode::Hardware => 2.0,
+            ExecMode::HardwareForwarded => 3.0,
+            ExecMode::Native => 4.0,
+        };
+        cascade_trace::merge(
+            &mut snaps,
+            vec![
+                counter("jit_ticks_total", "virtual clock ticks executed", s.ticks),
+                gauge(
+                    "jit_wall_seconds",
+                    "modeled wall-clock seconds elapsed",
+                    s.wall_seconds,
+                ),
+                gauge(
+                    "jit_version",
+                    "program version (eval count)",
+                    s.version as f64,
+                ),
+                gauge(
+                    "jit_mode",
+                    "execution mode (0=idle 1=software 2=hardware 3=hardware-forwarded 4=native)",
+                    mode_code,
+                ),
+                gauge(
+                    "jit_compile_in_flight",
+                    "whether a background compile is in flight",
+                    flag(s.compile_in_flight),
+                ),
+                gauge(
+                    "jit_open_loop_active",
+                    "whether the last batch used open-loop scheduling",
+                    flag(s.open_loop_active),
+                ),
+                counter(
+                    "jit_compile_cache_hits_total",
+                    "background compiles answered from the bitstream cache",
+                    s.compile_cache_hits,
+                ),
+                counter(
+                    "jit_compile_cache_misses_total",
+                    "background compiles that ran the full toolchain flow",
+                    s.compile_cache_misses,
+                ),
+                counter(
+                    "jit_compile_cache_evictions_total",
+                    "bitstreams evicted from the bounded cache",
+                    s.compile_cache_evictions,
+                ),
+                gauge(
+                    "jit_lease_held",
+                    "whether a fabric lease is currently held",
+                    flag(s.lease_held),
+                ),
+                gauge(
+                    "jit_hw_pending",
+                    "whether a compiled bitstream is waiting for a fabric",
+                    flag(s.hw_pending),
+                ),
+            ],
+        );
+        snaps
+    }
+
+    /// Prometheus-style text exposition of [`Runtime::metrics_snapshot`].
+    pub fn metrics_text(&self) -> String {
+        expose(&self.metrics_snapshot())
+    }
+
+    /// The trace sink this runtime emits JIT lifecycle events into.
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Renders the active main engine's execution profile, or `None` when
+    /// there is no user logic or profiling is off (tracing disabled).
+    /// Attribution follows the engine: the bytecode engine reports source
+    /// processes and opcode mnemonics, the virtual-hardware engine reports
+    /// combinational levels, kernels, and hot nets.
+    pub fn profile_text(&mut self) -> Option<String> {
+        let idx = self.main_idx?;
+        let engine = &mut self.slots[idx].engine;
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        if let Some(sw) = as_sw(engine) {
+            let rep = sw.profile_report()?;
+            let _ = writeln!(out, "profile (software engine, bytecode):");
+            let _ = writeln!(out, "  process activations:");
+            for (label, n) in rep.procs.iter().take(12) {
+                let _ = writeln!(out, "    {n:>12}  {label}");
+            }
+            let _ = writeln!(out, "  opcode executions (est):");
+            for (op, n) in rep.opcodes.iter().take(12) {
+                let _ = writeln!(out, "    {n:>12}  {op}");
+            }
+            return Some(out);
+        }
+        if let Some(hw) = as_hw(engine) {
+            let rep = hw.profile_report()?;
+            let _ = writeln!(out, "profile (hardware engine, arena):");
+            let _ = writeln!(out, "  instruction executions by level:");
+            for (lvl, n) in rep.levels.iter().take(12) {
+                let _ = writeln!(out, "    {n:>12}  level {lvl}");
+            }
+            let _ = writeln!(out, "  kernel executions:");
+            for (k, n) in rep.kernels.iter().take(12) {
+                let _ = writeln!(out, "    {n:>12}  {k}");
+            }
+            let _ = writeln!(out, "  hot nets:");
+            for (name, n) in rep.hot_nets.iter().take(12) {
+                let _ = writeln!(out, "    {n:>12}  {name}");
+            }
+            return Some(out);
+        }
+        None
+    }
+
+    /// Sets the track id stamped on this runtime's trace events (servers
+    /// use the session id, so one shared sink holds every session).
+    pub fn set_trace_track(&mut self, track: u64) {
+        self.track = track;
+        self.reattach_compiler_telemetry();
     }
 
     /// Joins a shared virtual-FPGA fleet: hardware promotion now requires a
@@ -362,6 +705,11 @@ impl Runtime {
     /// `tenant` must be unique across the fleet's tenants.
     pub fn attach_fleet(&mut self, fleet: Fleet, tenant: u64) {
         self.fleet = Some((fleet, tenant));
+    }
+
+    /// The trace track id stamped on this runtime's events.
+    pub fn trace_track(&self) -> u64 {
+        self.track
     }
 
     /// Routes background compiles through a shared [`CompilePool`] queue
@@ -373,6 +721,10 @@ impl Runtime {
         self.compiler = BackgroundCompiler::with_queue(queue);
         self.compiler
             .configure(self.retry_policy(), self.config.faults.clone());
+        // The replacement compiler re-fetches the same registry cells, so
+        // retry/watchdog/panic counts survive the swap instead of
+        // resetting to zero.
+        self.reattach_compiler_telemetry();
     }
 
     /// Reports this tenant's activity heat to the fleet arbiter (higher =
@@ -437,8 +789,11 @@ impl Runtime {
     /// Returns [`CascadeError`] on parse/type errors; the program is left
     /// unchanged.
     pub fn eval(&mut self, src: &str) -> Result<(), CascadeError> {
+        let t0 = self.virt_ns();
+        let h0 = self.trace.host_ns();
         let src = cascade_verilog::preproc::preprocess(src, &cascade_verilog::preproc::NoIncludes)?;
         let unit = cascade_verilog::parse(&src)?;
+        let h_parse = self.trace.host_ns();
         // Stage: validate before mutating.
         let mut staged_lib = self.lib.clone();
         let mut staged_root = self.root.clone();
@@ -482,6 +837,7 @@ impl Runtime {
             transform_module(ROOT, &root_module, &externals, &staged_lib, &mut wires)?;
         check_module(&transformed, &ParamEnv::new(), &staged_lib)
             .map_err(CascadeError::Typecheck)?;
+        let h_elaborate = self.trace.host_ns();
         // Commit. Any open speculation window is verified first so the
         // state a rebuild migrates is trustworthy; a mid-commit rebuild
         // failure (or panic) restores the previous program so one bad item
@@ -492,7 +848,39 @@ impl Runtime {
         self.version += 1;
         self.native = false;
         match catch_unwind(AssertUnwindSafe(|| self.rebuild())) {
-            Ok(Ok(())) => Ok(()),
+            Ok(Ok(())) => {
+                if self.trace.enabled() {
+                    self.trace.span(
+                        self.track,
+                        "jit",
+                        "eval",
+                        t0,
+                        self.virt_ns().saturating_sub(t0),
+                        &[("version", Arg::U64(self.version))],
+                    );
+                    // Host-clock parse/elaborate timings ride on a
+                    // non-deterministic instant so the virtual-time export
+                    // stays byte-identical across runs.
+                    self.trace.host_instant(
+                        self.track,
+                        "jit",
+                        "eval_host",
+                        &[
+                            ("parse_ns", Arg::U64(h_parse.saturating_sub(h0))),
+                            (
+                                "elaborate_ns",
+                                Arg::U64(h_elaborate.saturating_sub(h_parse)),
+                            ),
+                            (
+                                "total_ns",
+                                Arg::U64(self.trace.host_ns().saturating_sub(h0)),
+                            ),
+                        ],
+                    );
+                }
+                self.trace_mode();
+                Ok(())
+            }
             Ok(Err(e)) => {
                 self.recover_failed_commit(prev_lib, prev_root);
                 Err(e)
@@ -555,9 +943,11 @@ impl Runtime {
                     break;
                 }
                 if self.try_open_loop(n - done)?.is_some() {
+                    self.trace_rate();
                     continue;
                 }
                 self.tick()?;
+                self.trace_rate();
             }
             // Never leave an unverified window at a command boundary: a
             // detection here rolls back (rewinding `iterations`) and the
@@ -579,6 +969,9 @@ impl Runtime {
     pub fn tick(&mut self) -> Result<(), CascadeError> {
         self.iteration()?;
         self.iteration()?;
+        if self.vcd.is_some() {
+            self.vcd_sample();
+        }
         Ok(())
     }
 
@@ -604,6 +997,7 @@ impl Runtime {
                 "program contains unsynthesizable system tasks".to_string(),
             ));
         }
+        let t0 = self.virt_ns();
         self.wall.advance(bitstream.modeled_duration);
         // Gather peripherals for direct connection.
         let forwarded = self.collect_forwarded();
@@ -618,6 +1012,17 @@ impl Runtime {
         // meaningless now.
         self.checkpoint = None;
         self.board.fifo_unmark();
+        if self.trace.enabled() {
+            self.trace.span(
+                self.track,
+                "jit",
+                "native_handoff",
+                t0,
+                self.virt_ns().saturating_sub(t0),
+                &[("version", Arg::U64(self.version))],
+            );
+        }
+        self.trace_mode();
         Ok(())
     }
 
@@ -692,6 +1097,115 @@ impl Runtime {
     }
 
     // ------------------------------------------------------------------
+    // Waveform dumps (VCD)
+    // ------------------------------------------------------------------
+
+    /// Starts streaming a VCD waveform to `path`, sampled once per tick.
+    /// `ports` names main-engine signals (as [`Runtime::probe`] sees
+    /// them); an empty list defaults to every main-engine port on the
+    /// data plane. The clock is always included. Open-loop scheduling is
+    /// suspended while a dump is active so every tick is observable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Unsupported`] when there is no user logic,
+    /// a port is unknown, or the file cannot be created.
+    pub fn vcd_start(&mut self, path: &str, ports: &[String]) -> Result<(), CascadeError> {
+        if self.main_idx.is_none() {
+            return Err(CascadeError::Unsupported(
+                "vcd: no user logic to dump".to_string(),
+            ));
+        }
+        let mut names: Vec<String> = if ports.is_empty() {
+            let main_idx = self.main_idx;
+            let mut auto: Vec<String> = self
+                .wires
+                .iter()
+                .filter(|w| Some(w.from.0) == main_idx)
+                .map(|w| w.from.1.clone())
+                .collect();
+            auto.sort();
+            auto.dedup();
+            auto
+        } else {
+            ports.to_vec()
+        };
+        names.retain(|n| n != "clk");
+        names.insert(0, "clk".to_string());
+        // Resolve widths from live values; unknown ports fail fast.
+        let mut decls: Vec<(String, u32)> = Vec::new();
+        for name in &names {
+            let width = if name == "clk" {
+                1
+            } else {
+                match self.probe(name) {
+                    Some(b) => b.width(),
+                    None => {
+                        return Err(CascadeError::Unsupported(format!(
+                            "vcd: unknown port `{name}`"
+                        )))
+                    }
+                }
+            };
+            decls.push((name.clone(), width));
+        }
+        let file = std::fs::File::create(path)
+            .map_err(|e| CascadeError::Unsupported(format!("vcd: cannot create `{path}`: {e}")))?;
+        let writer = PortVcd::new(std::io::BufWriter::new(file), ROOT, &decls)
+            .map_err(|e| CascadeError::Unsupported(format!("vcd: write failed: {e}")))?;
+        self.vcd = Some(VcdTap {
+            writer,
+            ports: names,
+            path: path.to_string(),
+        });
+        // Record the starting values immediately.
+        self.vcd_sample();
+        Ok(())
+    }
+
+    /// Whether a VCD dump is active.
+    pub fn vcd_active(&self) -> bool {
+        self.vcd.is_some()
+    }
+
+    /// Stops the active VCD dump, flushing the file. Returns its path.
+    pub fn vcd_stop(&mut self) -> Option<String> {
+        let mut tap = self.vcd.take()?;
+        if let Err(e) = tap.writer.finish() {
+            self.warnings.push(format!("vcd: flush failed: {e}"));
+        }
+        Some(tap.path)
+    }
+
+    /// Appends one sample of every tracked port to the active dump. A
+    /// write failure stops the dump with a warning rather than killing
+    /// the session.
+    fn vcd_sample(&mut self) {
+        let Some(tap) = &self.vcd else {
+            return;
+        };
+        let names = tap.ports.clone();
+        let values: Vec<Option<Bits>> = names
+            .iter()
+            .map(|n| {
+                if n == "clk" {
+                    Some(self.slots[self.clock_idx].engine.output("val"))
+                } else {
+                    self.probe(n)
+                }
+            })
+            .collect();
+        let Some(tap) = &mut self.vcd else {
+            return;
+        };
+        if let Err(e) = tap.writer.sample(&values) {
+            self.warnings
+                .push(format!("vcd: write failed: {e}; dump stopped"));
+            self.vcd = None;
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Rebuild: source → partition → engines
     // ------------------------------------------------------------------
 
@@ -710,6 +1224,7 @@ impl Runtime {
         // bitstream is stale and a held fabric lease must be returned to
         // the fleet (dropping it releases the fabric).
         self.pending_hw = None;
+        self.hw_pending_since_s = None;
         self.lease = None;
         // Speculation bookkeeping resets with the engines. Quarantined
         // output is committed — callers that intend to discard it
@@ -904,6 +1419,27 @@ impl Runtime {
         // Initial propagation so peripherals see time-zero outputs.
         self.propagate();
 
+        // Building (or bytecode-compiling) the software engine is itself a
+        // JIT phase: announce it so the timeline shows the interpreter →
+        // compiled-software step. Modeled duration is zero — software
+        // compilation is instantaneous on the virtual clock.
+        if let (Some(idx), true) = (self.main_idx, self.trace.enabled()) {
+            if let Some(sw) = as_sw(&mut self.slots[idx].engine) {
+                sw.enable_profiling();
+            }
+            self.trace.span(
+                self.track,
+                "jit",
+                "software_compile",
+                self.virt_ns(),
+                0,
+                &[
+                    ("version", Arg::U64(self.version)),
+                    ("bytecode", Arg::Bool(self.config.sw_compile)),
+                ],
+            );
+        }
+
         // 6. Kick background compilation (only meaningful for the inlined
         // configuration: a partitioned program would need one compile per
         // engine, which the paper's flow sidesteps by inlining first).
@@ -915,8 +1451,18 @@ impl Runtime {
                     self.version,
                     self.wall.seconds(),
                 );
+                if self.trace.enabled() {
+                    self.trace.instant(
+                        self.track,
+                        "compile",
+                        "submit",
+                        self.virt_ns(),
+                        &[("version", Arg::U64(self.version))],
+                    );
+                }
             }
         }
+        self.trace_mode();
         Ok(())
     }
 
@@ -1079,7 +1625,7 @@ impl Runtime {
             finished: self.finished,
         });
         self.last_ckpt_iter = self.iterations;
-        self.checkpoints_taken += 1;
+        self.metrics.checkpoints_taken.inc();
         if self.main_is_hw() && self.config.scrub_interval_ticks > 0 {
             // Journal FIFO consumption from here so a rollback restores
             // stream peripherals too.
@@ -1127,9 +1673,11 @@ impl Runtime {
             Some(hw) => hw.scrub_ok(),
             None => return Ok(()),
         };
-        self.scrubs += 1;
+        self.metrics.scrubs.inc();
+        self.trace_instant("scrub", &[("ok", Arg::Bool(ok))]);
         if !ok {
-            self.scrub_detections += 1;
+            self.metrics.scrub_detections.inc();
+            self.trace_instant("scrub_detection", &[]);
             self.recovery_log.push(
                 "scrub detected a fabric soft error; rolled back to the last checkpoint"
                     .to_string(),
@@ -1150,7 +1698,8 @@ impl Runtime {
                 // The fabric vanishes at the boundary we just verified, so
                 // nothing re-executes: resume in software from the
                 // checkpoint taken a moment ago.
-                self.fabric_losses += 1;
+                self.metrics.fabric_losses.inc();
+                self.trace_instant("fabric_loss", &[]);
                 if let Some((fleet, tenant)) = &self.fleet {
                     fleet.fail_fabric_of(*tenant);
                 }
@@ -1175,9 +1724,11 @@ impl Runtime {
         };
         self.quarantine.clear();
         self.board.fifo_rewind();
+        let rewound = self.iterations.saturating_sub(cp.iterations) / 2;
         self.iterations = cp.iterations;
         self.finished = cp.finished;
-        self.checkpoints_restored += 1;
+        self.metrics.checkpoints_restored.inc();
+        self.trace_instant("rollback", &[("ticks_rewound", Arg::U64(rewound))]);
         self.rebuild_from(Some(cp.states.clone()))?;
         self.checkpoint = Some(cp);
         self.last_ckpt_iter = self.iterations;
@@ -1189,9 +1740,24 @@ impl Runtime {
     /// transcript.
     fn rollback_and_replay(&mut self) -> Result<(), CascadeError> {
         let target = self.iterations;
+        let t0 = self.virt_ns();
         self.rollback_to_checkpoint()?;
+        let replay_from = self.iterations;
         while self.iterations < target && !self.finished {
             self.tick()?;
+        }
+        if self.trace.enabled() {
+            self.trace.span(
+                self.track,
+                "jit",
+                "rollback_replay",
+                t0,
+                self.virt_ns().saturating_sub(t0),
+                &[(
+                    "ticks_replayed",
+                    Arg::U64(self.iterations.saturating_sub(replay_from) / 2),
+                )],
+            );
         }
         Ok(())
     }
@@ -1211,7 +1777,8 @@ impl Runtime {
             Some(hw) => hw.scrub_ok(),
             None => return Ok(()),
         };
-        self.scrubs += 1;
+        self.metrics.scrubs.inc();
+        self.trace_instant("scrub", &[("ok", Arg::Bool(ok))]);
         self.last_scrub_iter = self.iterations;
         if ok {
             let q = std::mem::take(&mut self.quarantine);
@@ -1219,7 +1786,8 @@ impl Runtime {
             self.take_checkpoint();
             Ok(())
         } else {
-            self.scrub_detections += 1;
+            self.metrics.scrub_detections.inc();
+            self.trace_instant("scrub_detection", &[]);
             self.recovery_log.push(
                 "scrub detected a fabric soft error; re-executed the window in software"
                     .to_string(),
@@ -1245,19 +1813,23 @@ impl Runtime {
                     // Fleet-arbitrated: hold the bitstream until a fabric
                     // lease is granted.
                     self.pending_hw = Some(Arc::clone(&bitstream.netlist));
+                    self.hw_pending_since_s = Some(self.wall.seconds());
                     self.try_promote()?;
                 } else {
                     self.swap_to_hardware(Arc::clone(&bitstream.netlist))?;
                 }
             }
             Err(e) => {
+                let msg = e.to_string();
                 if e.is_transient() {
                     // A transient failure that exhausted its retry budget.
                     // The program keeps running in software either way, and
                     // recovery events stay off the user transcript.
+                    self.trace_instant("hw_compile_abandoned", &[("error", Arg::Str(&msg))]);
                     self.recovery_log
                         .push(format!("hardware compilation abandoned: {e}"));
                 } else {
+                    self.trace_instant("hw_compile_failed", &[("error", Arg::Str(&msg))]);
                     self.warnings
                         .push(format!("hardware compilation failed: {e}"));
                     self.collect_interrupts();
@@ -1283,6 +1855,11 @@ impl Runtime {
             return Ok(());
         };
         self.lease = Some(lease);
+        if let Some(since) = self.hw_pending_since_s.take() {
+            let wait_s = (self.wall.seconds() - since).max(0.0);
+            self.metrics.lease_wait.observe(wait_s);
+            self.trace_instant("lease_granted", &[("wait_s", Arg::F64(wait_s))]);
+        }
         // A scheduled mid-migration revocation fires here: the lease is
         // flagged before the swap completes, so the very next revocation
         // check migrates straight back.
@@ -1310,8 +1887,9 @@ impl Runtime {
             // The fabric is gone and its state with it. Resume from the
             // last checkpoint and re-execute the lost window in software,
             // so the transcript never notices.
-            self.demotions += 1;
-            self.fabric_losses += 1;
+            self.metrics.lease_demotions.inc();
+            self.metrics.fabric_losses.inc();
+            self.trace_instant("fabric_loss", &[]);
             self.recovery_log
                 .push("fabric lost; resumed in software from the last checkpoint".to_string());
             return self.rollback_and_replay();
@@ -1325,12 +1903,14 @@ impl Runtime {
         if self.speculating() && self.iterations != self.last_scrub_iter {
             self.verify_speculation()?;
         }
-        self.demotions += 1;
+        self.metrics.lease_demotions.inc();
+        self.trace_instant("revocation", &[]);
         if self.lease.is_none() {
             // The verify above rolled back (and released the fabric).
             return Ok(());
         }
         self.lease = None; // dropping the lease releases the fabric
+        self.trace_instant("state_migration", &[("direction", Arg::Str("hw_to_sw"))]);
         self.rebuild()
     }
 
@@ -1341,13 +1921,16 @@ impl Runtime {
         let Some(main_idx) = self.main_idx else {
             return Ok(());
         };
-        self.promotions += 1;
+        self.metrics.hw_promotions.inc();
         // Swap only at a tick boundary (clock low) so edge detection stays
         // coherent.
         let mut hw =
             HwEngine::new(netlist).map_err(|e| CascadeError::Unsupported(e.to_string()))?;
         let state = self.slots[main_idx].engine.get_state();
         hw.set_state(&state);
+        if self.trace.enabled() {
+            hw.enable_profiling();
+        }
         self.slots[main_idx].engine = Box::new(hw);
         // Reset wire caches so current values are re-broadcast into the new
         // engine.
@@ -1357,7 +1940,19 @@ impl Runtime {
             }
         }
         self.propagate();
+        let t0 = self.virt_ns();
         self.wall.advance_ns(self.config.costs.reprogram_ns);
+        if self.trace.enabled() {
+            self.trace.span(
+                self.track,
+                "jit",
+                "program_fabric",
+                t0,
+                self.virt_ns().saturating_sub(t0),
+                &[("version", Arg::U64(self.version))],
+            );
+            self.trace_instant("state_migration", &[("direction", Arg::Str("sw_to_hw"))]);
+        }
         if self.config.forwarding {
             self.absorb_peripherals(main_idx);
         }
@@ -1368,6 +1963,7 @@ impl Runtime {
             self.last_scrub_iter = self.iterations;
             self.take_checkpoint();
         }
+        self.trace_mode();
         Ok(())
     }
 
@@ -1465,6 +2061,11 @@ impl Runtime {
     /// budget and let it run cycles internally.
     fn try_open_loop(&mut self, remaining: u64) -> Result<Option<u64>, CascadeError> {
         if !self.config.open_loop && !self.native {
+            return Ok(None);
+        }
+        if self.vcd.is_some() {
+            // Waveform dumps sample every tick; open-loop batches would
+            // skip them.
             return Ok(None);
         }
         let Some(main_idx) = self.main_idx else {
@@ -1671,6 +2272,10 @@ fn root_externals(
 
 fn as_hw(engine: &mut Box<dyn Engine>) -> Option<&mut HwEngine> {
     engine.as_any_mut().downcast_mut::<HwEngine>()
+}
+
+fn as_sw(engine: &mut Box<dyn Engine>) -> Option<&mut SwEngine> {
+    engine.as_any_mut().downcast_mut::<SwEngine>()
 }
 
 fn into_peripheral(engine: Box<dyn Engine>) -> Option<Box<dyn cascade_stdlib::Peripheral>> {

@@ -7,7 +7,7 @@
 //! changed is re-evaluated. The previous interpretive loop survives as
 //! [`crate::ReferenceSim`] for benchmarking and differential testing.
 
-use crate::exec::{Program, ProgramStats, State};
+use crate::exec::{kernel_name, Program, ProgramStats, State};
 use crate::ir::*;
 use crate::level::LevelError;
 use cascade_bits::Bits;
@@ -21,6 +21,20 @@ pub struct TaskFire {
     pub kind: TaskKind,
     /// Rendered text for display/write/fatal (empty for finish).
     pub text: String,
+}
+
+/// Activity profile of the arena evaluator: where settle work actually
+/// went, attributed to combinational levels, kernel kinds, and (named)
+/// output nets. Produced by [`NetlistSim::profile_report`].
+#[derive(Debug, Clone, Default)]
+pub struct NlProfileReport {
+    /// `(level, instruction executions)` for levels that saw work.
+    pub levels: Vec<(u32, u64)>,
+    /// Executions per kernel kind, hottest first.
+    pub kernels: Vec<(&'static str, u64)>,
+    /// Executions per output net, hottest first (top 16). Unnamed
+    /// temporaries appear as `$n<id>`.
+    pub hot_nets: Vec<(String, u64)>,
 }
 
 /// Executes a synthesized [`Netlist`] cycle by cycle.
@@ -94,6 +108,53 @@ impl NetlistSim {
     /// Instruction counts by kernel kind (diagnostic).
     pub fn kernel_histogram(&self) -> Vec<(&'static str, usize)> {
         self.prog.kernel_histogram()
+    }
+
+    /// Switches on activity profiling: per-level and per-instruction
+    /// execution counters feeding [`profile_report`](Self::profile_report).
+    /// Costs one counter bump per executed instruction while enabled and a
+    /// single branch per settle call when it never was (the default).
+    pub fn enable_profiling(&mut self) {
+        self.st.enable_profiling(&self.prog);
+    }
+
+    /// Aggregated activity counters, or `None` when profiling was never
+    /// enabled. Kernel and net attribution use source-level names where
+    /// the netlist kept them.
+    pub fn profile_report(&self) -> Option<NlProfileReport> {
+        let p = self.st.profile()?;
+        let levels = p
+            .level_execs
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(lvl, &n)| (lvl as u32, n))
+            .collect();
+        let mut by_kernel: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        let mut by_net: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for (i, &n) in p.instr_execs.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let ins = &self.prog.instrs[i];
+            *by_kernel.entry(kernel_name(&ins.kernel)).or_default() += n;
+            let name = match &self.nl.nets[ins.out as usize].name {
+                Some(name) => name.clone(),
+                None => format!("$n{}", ins.out),
+            };
+            *by_net.entry(name).or_default() += n;
+        }
+        let mut kernels: Vec<(&'static str, u64)> = by_kernel.into_iter().collect();
+        kernels.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let mut hot_nets: Vec<(String, u64)> = by_net.into_iter().collect();
+        hot_nets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot_nets.truncate(16);
+        Some(NlProfileReport {
+            levels,
+            kernels,
+            hot_nets,
+        })
     }
 
     /// Whether a `$finish` task has fired.

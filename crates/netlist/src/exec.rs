@@ -365,6 +365,19 @@ pub(crate) struct State {
     queued: Vec<bool>,
     /// Reused register-sample buffer for two-phase commits.
     scratch: Vec<u64>,
+    /// Per-level / per-instruction execution counters; `None` (the
+    /// default) keeps the settle paths branch-free apart from one check
+    /// per settle call.
+    profile: Option<Box<NlProfileState>>,
+}
+
+/// Raw activity counters collected when profiling is enabled.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NlProfileState {
+    /// Instruction executions per combinational level.
+    pub level_execs: Vec<u64>,
+    /// Executions per instruction (index-aligned with `Program::instrs`).
+    pub instr_execs: Vec<u64>,
 }
 
 /// Summary counters for diagnostics and benchmarks.
@@ -871,56 +884,9 @@ impl Program {
 
     /// Instruction counts by kernel kind (diagnostic).
     pub fn kernel_histogram(&self) -> Vec<(&'static str, usize)> {
-        use Kernel as K;
         let mut map: std::collections::BTreeMap<&'static str, usize> = Default::default();
         for ins in self.instrs.iter() {
-            let name = match &ins.kernel {
-                K::And { .. } => "And",
-                K::Or { .. } => "Or",
-                K::Xor { .. } => "Xor",
-                K::Xnor { .. } => "Xnor",
-                K::Not { .. } => "Not",
-                K::Add { .. } => "Add",
-                K::Sub { .. } => "Sub",
-                K::Neg { .. } => "Neg",
-                K::Mul { .. } => "Mul",
-                K::Concat2 { .. } => "Concat2",
-                K::Rot { .. } => "Rot",
-                K::Lookup { .. } => "Lookup",
-                K::ConstK { .. } => "ConstK",
-                K::Concat { .. } => "Concat",
-                K::Slice { .. } => "Slice",
-                K::ZExt { .. } => "ZExt",
-                K::SExt { .. } => "SExt",
-                K::Repeat { .. } => "Repeat",
-                K::Mux { .. } => "Mux",
-                K::MuxEq { .. } => "MuxEq",
-                K::MuxNe { .. } => "MuxNe",
-                K::MuxLtU { .. } => "MuxLtU",
-                K::MuxLeU { .. } => "MuxLeU",
-                K::Eq { .. } => "Eq",
-                K::Ne { .. } => "Ne",
-                K::LtU { .. } => "LtU",
-                K::LeU { .. } => "LeU",
-                K::LtS { .. } => "LtS",
-                K::LeS { .. } => "LeS",
-                K::Shl { .. } => "Shl",
-                K::Shr { .. } => "Shr",
-                K::AShr { .. } => "AShr",
-                K::DynSlice { .. } => "DynSlice",
-                K::RedAnd { .. } => "RedAnd",
-                K::RedOr { .. } => "RedOr",
-                K::RedXor { .. } => "RedXor",
-                K::LogNot { .. } => "LogNot",
-                K::DivU { .. } => "DivU",
-                K::RemU { .. } => "RemU",
-                K::DivS { .. } => "DivS",
-                K::RemS { .. } => "RemS",
-                K::MemRead { .. } => "MemRead",
-                K::Wide { .. } => "Wide",
-                K::WideMemRead { .. } => "WideMemRead",
-            };
-            *map.entry(name).or_default() += 1;
+            *map.entry(kernel_name(&ins.kernel)).or_default() += 1;
         }
         let mut v: Vec<_> = map.into_iter().collect();
         v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
@@ -936,6 +902,57 @@ impl Program {
             mem_arena_words: self.mem_arena_words,
             levels: self.num_levels,
         }
+    }
+}
+
+/// Stable mnemonic for a kernel kind (histograms, profiling).
+pub(crate) fn kernel_name(k: &Kernel) -> &'static str {
+    use Kernel as K;
+    match k {
+        K::And { .. } => "And",
+        K::Or { .. } => "Or",
+        K::Xor { .. } => "Xor",
+        K::Xnor { .. } => "Xnor",
+        K::Not { .. } => "Not",
+        K::Add { .. } => "Add",
+        K::Sub { .. } => "Sub",
+        K::Neg { .. } => "Neg",
+        K::Mul { .. } => "Mul",
+        K::Concat2 { .. } => "Concat2",
+        K::Rot { .. } => "Rot",
+        K::Lookup { .. } => "Lookup",
+        K::ConstK { .. } => "ConstK",
+        K::Concat { .. } => "Concat",
+        K::Slice { .. } => "Slice",
+        K::ZExt { .. } => "ZExt",
+        K::SExt { .. } => "SExt",
+        K::Repeat { .. } => "Repeat",
+        K::Mux { .. } => "Mux",
+        K::MuxEq { .. } => "MuxEq",
+        K::MuxNe { .. } => "MuxNe",
+        K::MuxLtU { .. } => "MuxLtU",
+        K::MuxLeU { .. } => "MuxLeU",
+        K::Eq { .. } => "Eq",
+        K::Ne { .. } => "Ne",
+        K::LtU { .. } => "LtU",
+        K::LeU { .. } => "LeU",
+        K::LtS { .. } => "LtS",
+        K::LeS { .. } => "LeS",
+        K::Shl { .. } => "Shl",
+        K::Shr { .. } => "Shr",
+        K::AShr { .. } => "AShr",
+        K::DynSlice { .. } => "DynSlice",
+        K::RedAnd { .. } => "RedAnd",
+        K::RedOr { .. } => "RedOr",
+        K::RedXor { .. } => "RedXor",
+        K::LogNot { .. } => "LogNot",
+        K::DivU { .. } => "DivU",
+        K::RemU { .. } => "RemU",
+        K::DivS { .. } => "DivS",
+        K::RemS { .. } => "RemS",
+        K::MemRead { .. } => "MemRead",
+        K::Wide { .. } => "Wide",
+        K::WideMemRead { .. } => "WideMemRead",
     }
 }
 
@@ -1438,6 +1455,7 @@ impl State {
                     .max()
                     .unwrap_or(0) as usize
             ],
+            profile: None,
         };
         for (i, net) in nl.nets.iter().enumerate() {
             match &net.def {
@@ -1490,6 +1508,9 @@ impl State {
     /// consumers sit at strictly higher levels, so one ascending pass
     /// reaches a fixed point.
     pub fn settle(&mut self, prog: &Program) {
+        if self.profile.is_some() {
+            return self.settle_profiled(prog);
+        }
         for lvl in 0..self.queues.len() {
             if self.queues[lvl].is_empty() {
                 continue;
@@ -1506,6 +1527,47 @@ impl State {
         }
     }
 
+    /// [`settle`](State::settle) with activity accounting: the same
+    /// drain, plus per-level and per-instruction execution counts.
+    fn settle_profiled(&mut self, prog: &Program) {
+        for lvl in 0..self.queues.len() {
+            if self.queues[lvl].is_empty() {
+                continue;
+            }
+            let mut q = std::mem::take(&mut self.queues[lvl]);
+            if let Some(p) = &mut self.profile {
+                p.level_execs[lvl] += q.len() as u64;
+                for &i in &q {
+                    p.instr_execs[i as usize] += 1;
+                }
+            }
+            for &i in &q {
+                self.queued[i as usize] = false;
+                self.exec(prog, i, true);
+            }
+            q.clear();
+            debug_assert!(self.queues[lvl].is_empty());
+            self.queues[lvl] = q;
+        }
+    }
+
+    /// Switches on activity profiling (idempotent). Enabled profiling
+    /// costs one counter bump per executed instruction; disabled, one
+    /// branch per settle call.
+    pub fn enable_profiling(&mut self, prog: &Program) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::new(NlProfileState {
+                level_execs: vec![0; prog.num_levels as usize],
+                instr_execs: vec![0; prog.instrs.len()],
+            }));
+        }
+    }
+
+    /// The collected activity counters, if profiling is enabled.
+    pub fn profile(&self) -> Option<&NlProfileState> {
+        self.profile.as_deref()
+    }
+
     /// Recomputes every instruction in topological order with no dirty
     /// bookkeeping — the straight-line schedule. Faster than [`settle`]
     /// when most of the netlist is active (change-compare, fan-out marking,
@@ -1513,6 +1575,13 @@ impl State {
     ///
     /// [`settle`]: State::settle
     pub fn settle_dense(&mut self, prog: &Program) {
+        if let Some(p) = &mut self.profile {
+            // The dense schedule executes every instruction exactly once.
+            for (i, lvl) in prog.level.iter().enumerate() {
+                p.instr_execs[i] += 1;
+                p.level_execs[*lvl as usize] += 1;
+            }
+        }
         for q in &mut self.queues {
             for &i in q.iter() {
                 self.queued[i as usize] = false;

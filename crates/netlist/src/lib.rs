@@ -46,7 +46,7 @@ mod lower;
 pub mod opt;
 pub mod stats;
 
-pub use eval::{clock_edge, eval_cell, NetlistSim, TaskFire};
+pub use eval::{clock_edge, eval_cell, NetlistSim, NlProfileReport, TaskFire};
 pub use exec::ProgramStats;
 pub use fingerprint::{fingerprint, readback_crc};
 pub use interp::ReferenceSim;

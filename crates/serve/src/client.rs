@@ -323,6 +323,102 @@ impl<T: Transport> Client<T> {
         self.expect_ok(&Request::Stats { session: None })
     }
 
+    /// This session's Prometheus-style metrics exposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn metrics(&mut self) -> Result<String, String> {
+        let reply = self.expect_ok(&Request::Metrics {
+            session: Some(self.session()?),
+        })?;
+        Ok(text_member(&reply))
+    }
+
+    /// The server-wide metrics exposition (all sessions merged).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn server_metrics(&mut self) -> Result<String, String> {
+        let reply = self.expect_ok(&Request::Metrics { session: None })?;
+        Ok(text_member(&reply))
+    }
+
+    /// This session's trace as Chrome-trace JSONL, plus the ring's
+    /// dropped-event count. `virtual_only` makes the export deterministic
+    /// (virtual clock only, sorted).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn trace_jsonl(&mut self, virtual_only: bool) -> Result<(String, u64), String> {
+        let reply = self.expect_ok(&Request::Trace {
+            session: Some(self.session()?),
+            virtual_only,
+        })?;
+        let dropped = reply.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+        let trace = reply
+            .get("trace")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        Ok((trace, dropped))
+    }
+
+    /// This session's JIT lifecycle rendered as a human-readable timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn timeline(&mut self) -> Result<String, String> {
+        let reply = self.expect_ok(&Request::Timeline {
+            session: Some(self.session()?),
+        })?;
+        Ok(text_member(&reply))
+    }
+
+    /// The execution profile of this session's active engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn profile(&mut self) -> Result<String, String> {
+        let reply = self.expect_ok(&Request::Profile {
+            session: self.session()?,
+        })?;
+        Ok(text_member(&reply))
+    }
+
+    /// Starts a VCD waveform dump into `path`. An empty `ports` list dumps
+    /// the clock and every named wire port.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn vcd_start(&mut self, path: &str, ports: &[&str]) -> Result<(), String> {
+        self.expect_ok(&Request::Vcd {
+            session: self.session()?,
+            path: Some(path.to_string()),
+            ports: ports.iter().map(|p| p.to_string()).collect(),
+        })?;
+        Ok(())
+    }
+
+    /// Stops the active VCD dump, returning its path if one was active.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn vcd_stop(&mut self) -> Result<Option<String>, String> {
+        let reply = self.expect_ok(&Request::Vcd {
+            session: self.session()?,
+            path: None,
+            ports: Vec::new(),
+        })?;
+        Ok(reply.get("path").and_then(Json::as_str).map(str::to_string))
+    }
+
     /// Closes the session.
     ///
     /// # Errors
@@ -334,6 +430,14 @@ impl<T: Transport> Client<T> {
         self.session = None;
         Ok(())
     }
+}
+
+fn text_member(reply: &Json) -> String {
+    reply
+        .get("text")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string()
 }
 
 fn string_array(reply: &Json, key: &str) -> Vec<String> {

@@ -17,6 +17,11 @@
 //! | `probe`        | `session`, `port`      | `{ok, value}` (null when absent)             |
 //! | `fifo`         | `session`, `width`, `data[]` | `{ok, pushed}` (stops when full)       |
 //! | `stats`        | `session?`             | session stats, or server stats when omitted  |
+//! | `metrics`      | `session?`             | `{ok, text}` Prometheus exposition           |
+//! | `trace`        | `session?`, `virtual_only?` | `{ok, trace, dropped}` Chrome-trace JSONL |
+//! | `timeline`     | `session?`             | `{ok, text}` human-readable JIT timeline     |
+//! | `profile`      | `session`              | `{ok, text}` engine execution profile        |
+//! | `vcd`          | `session`, `path?`, `ports?[]` | `{ok, active, path?}` start/stop dump |
 //! | `close`        | `session`              | `{ok}`                                       |
 
 use crate::json::Json;
@@ -47,6 +52,32 @@ pub enum Request {
     /// Session statistics, or server-wide statistics when `session` is
     /// `None`.
     Stats { session: Option<u64> },
+    /// Prometheus-style text exposition: one session's full metric set,
+    /// or the server-wide merge (every session's registry summed, plus
+    /// server gauges) when `session` is `None`.
+    Metrics { session: Option<u64> },
+    /// Exports the trace ring as Chrome-trace JSONL, filtered to one
+    /// session's track (or every track when `session` is `None`).
+    /// `virtual_only` redacts host clocks and sorts by virtual time, so
+    /// the output is deterministic for a given seed and fault plan.
+    Trace {
+        session: Option<u64>,
+        virtual_only: bool,
+    },
+    /// Renders the recorded JIT lifecycle as a human-readable timeline,
+    /// filtered like `Trace`.
+    Timeline { session: Option<u64> },
+    /// Execution profile of the session's active main engine (bytecode
+    /// process/opcode counts, or netlist level/kernel/net activity).
+    Profile { session: u64 },
+    /// Starts (`path` set) or stops (`path` absent) a VCD waveform dump
+    /// of the session's main-engine ports. An empty `ports` list dumps
+    /// the clock plus every named wire port.
+    Vcd {
+        session: u64,
+        path: Option<String>,
+        ports: Vec<String>,
+    },
     /// Closes a session, releasing its fabric lease.
     Close { session: u64 },
 }
@@ -123,6 +154,39 @@ impl Request {
             "stats" => Ok(Request::Stats {
                 session: v.get("session").and_then(Json::as_u64),
             }),
+            "metrics" => Ok(Request::Metrics {
+                session: v.get("session").and_then(Json::as_u64),
+            }),
+            "trace" => Ok(Request::Trace {
+                session: v.get("session").and_then(Json::as_u64),
+                virtual_only: v
+                    .get("virtual_only")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+            }),
+            "timeline" => Ok(Request::Timeline {
+                session: v.get("session").and_then(Json::as_u64),
+            }),
+            "profile" => Ok(Request::Profile {
+                session: session()?,
+            }),
+            "vcd" => Ok(Request::Vcd {
+                session: session()?,
+                path: v.get("path").and_then(Json::as_str).map(str::to_string),
+                ports: match v.get("ports") {
+                    None => Vec::new(),
+                    Some(arr) => arr
+                        .as_arr()
+                        .ok_or("`vcd` ports must be an array of strings")?
+                        .iter()
+                        .map(|x| {
+                            x.as_str()
+                                .map(str::to_string)
+                                .ok_or("`vcd` ports must be an array of strings")
+                        })
+                        .collect::<Result<Vec<String>, _>>()?,
+                },
+            }),
             "close" => Ok(Request::Close {
                 session: session()?,
             }),
@@ -176,6 +240,43 @@ impl Request {
                 Some(s) => Json::obj([("cmd", "stats".into()), ("session", (*s).into())]),
                 None => Json::obj([("cmd", "stats".into())]),
             },
+            Request::Metrics { session } => match session {
+                Some(s) => Json::obj([("cmd", "metrics".into()), ("session", (*s).into())]),
+                None => Json::obj([("cmd", "metrics".into())]),
+            },
+            Request::Trace {
+                session,
+                virtual_only,
+            } => {
+                let mut pairs = vec![("cmd", Json::from("trace"))];
+                if let Some(s) = session {
+                    pairs.push(("session", (*s).into()));
+                }
+                pairs.push(("virtual_only", (*virtual_only).into()));
+                Json::obj(pairs)
+            }
+            Request::Timeline { session } => match session {
+                Some(s) => Json::obj([("cmd", "timeline".into()), ("session", (*s).into())]),
+                None => Json::obj([("cmd", "timeline".into())]),
+            },
+            Request::Profile { session } => {
+                Json::obj([("cmd", "profile".into()), ("session", (*session).into())])
+            }
+            Request::Vcd {
+                session,
+                path,
+                ports,
+            } => {
+                let mut pairs = vec![("cmd", Json::from("vcd")), ("session", (*session).into())];
+                if let Some(p) = path {
+                    pairs.push(("path", p.as_str().into()));
+                }
+                pairs.push((
+                    "ports",
+                    Json::Arr(ports.iter().map(|p| Json::from(p.as_str())).collect()),
+                ));
+                Json::obj(pairs)
+            }
             Request::Close { session } => {
                 Json::obj([("cmd", "close".into()), ("session", (*session).into())])
             }
@@ -229,6 +330,29 @@ mod tests {
             },
             Request::Stats { session: None },
             Request::Stats { session: Some(6) },
+            Request::Metrics { session: None },
+            Request::Metrics { session: Some(2) },
+            Request::Trace {
+                session: Some(1),
+                virtual_only: true,
+            },
+            Request::Trace {
+                session: None,
+                virtual_only: false,
+            },
+            Request::Timeline { session: Some(3) },
+            Request::Timeline { session: None },
+            Request::Profile { session: 4 },
+            Request::Vcd {
+                session: 5,
+                path: Some("/tmp/wave.vcd".to_string()),
+                ports: vec!["clk".to_string(), "cnt".to_string()],
+            },
+            Request::Vcd {
+                session: 5,
+                path: None,
+                ports: vec![],
+            },
             Request::Close { session: 8 },
         ];
         for r in requests {

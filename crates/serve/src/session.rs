@@ -21,6 +21,10 @@ use cascade_core::{
     ReplResponse, Runtime,
 };
 use cascade_fpga::{Board, Fleet};
+use cascade_trace::{
+    export_jsonl, expose, merge, render_timeline, MetricSnapshot, Registry, SnapValue, TimeMode,
+    TraceEvent, TraceSink, DEFAULT_RING_CAPACITY,
+};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -70,6 +74,11 @@ pub struct ServeConfig {
     /// Template JIT configuration for new sessions (toolchain model,
     /// optimization switches, cache bound for solo runtimes).
     pub jit: JitConfig,
+    /// The shared trace sink every session records into (the session id
+    /// is the track, so one ring holds the whole server's timeline).
+    /// Enabled by default — serving is observability-on; disable with
+    /// [`TraceSink::disabled`] to shed even the ring-buffer cost.
+    pub trace: TraceSink,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +92,7 @@ impl Default for ServeConfig {
             output_capacity: 4096,
             idle_timeout_s: 300.0,
             jit: JitConfig::default(),
+            trace: TraceSink::ring(DEFAULT_RING_CAPACITY),
         }
     }
 }
@@ -120,6 +130,17 @@ enum Cmd {
     Stats {
         tx: Sender<Json>,
     },
+    Metrics {
+        tx: Sender<Json>,
+    },
+    Profile {
+        tx: Sender<Json>,
+    },
+    Vcd {
+        path: Option<String>,
+        ports: Vec<String>,
+        tx: Sender<Json>,
+    },
     /// Internal pump: advance compile/lease state without user traffic.
     Service,
     /// `tx` is `None` when the idle reaper closes the session.
@@ -139,7 +160,10 @@ impl Cmd {
             | Cmd::Drain { tx }
             | Cmd::WaitCompile { tx }
             | Cmd::Probe { tx, .. }
-            | Cmd::Stats { tx } => Some(tx.clone()),
+            | Cmd::Stats { tx }
+            | Cmd::Metrics { tx }
+            | Cmd::Profile { tx }
+            | Cmd::Vcd { tx, .. } => Some(tx.clone()),
             Cmd::Service => None,
             Cmd::Close { tx } => tx.clone(),
         }
@@ -154,6 +178,10 @@ struct Output {
 
 struct Session {
     id: u64,
+    /// Handle on the session runtime's metric registry (clones share
+    /// cells), so server-wide expositions can read counters without
+    /// waiting for the session's worker.
+    registry: Registry,
     /// The session's virtual board, shared with its runtime: FIFO input
     /// streams in directly, even while a `run` command is executing.
     board: Board,
@@ -168,6 +196,8 @@ struct Session {
 struct Shared {
     config: ServeConfig,
     fleet: Fleet,
+    /// The shared trace sink (a clone of `config.trace`).
+    trace: TraceSink,
     queue: CompileQueue,
     /// Owns the toolchain worker threads; joined when the server drops.
     _pool: CompilePool,
@@ -212,6 +242,7 @@ impl Server {
         );
         let shared = Arc::new(Shared {
             fleet: Fleet::new(config.fabrics),
+            trace: config.trace.clone(),
             queue: pool.queue(),
             _pool: pool,
             sessions: Mutex::new(HashMap::new()),
@@ -265,6 +296,35 @@ impl Server {
                 None => err(format!("no session {session}")),
             },
             Request::Stats { session: None } => self.server_stats(),
+            Request::Metrics { session: None } => self.server_metrics(),
+            Request::Metrics {
+                session: Some(session),
+            } => self.submit(session, false, |tx| Cmd::Metrics { tx }),
+            Request::Trace {
+                session,
+                virtual_only,
+            } => {
+                let mode = if virtual_only {
+                    TimeMode::VirtualOnly
+                } else {
+                    TimeMode::Full
+                };
+                let events = self.trace_events(session);
+                ok([
+                    ("trace", export_jsonl(&events, mode).into()),
+                    ("dropped", self.shared.trace.dropped().into()),
+                ])
+            }
+            Request::Timeline { session } => {
+                let events = self.trace_events(session);
+                ok([("text", render_timeline(&events).into())])
+            }
+            Request::Profile { session } => self.submit(session, false, |tx| Cmd::Profile { tx }),
+            Request::Vcd {
+                session,
+                path,
+                ports,
+            } => self.submit(session, true, |tx| Cmd::Vcd { path, ports, tx }),
             Request::Eval { session, line } => {
                 self.submit(session, true, |tx| Cmd::Eval { line, tx })
             }
@@ -316,11 +376,18 @@ impl Server {
     fn open_session(&self) -> Result<u64, CascadeError> {
         let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
         let board = Board::new();
-        let mut runtime = Runtime::new(board.clone(), self.shared.config.jit.clone())?;
+        let mut jit = self.shared.config.jit.clone();
+        jit.trace = self.shared.trace.clone();
+        let mut runtime = Runtime::new(board.clone(), jit)?;
         runtime.attach_compile_queue(self.shared.queue.clone());
         runtime.attach_fleet(self.shared.fleet.clone(), id);
+        // Stamp this session's id on every event it records (and on the
+        // compiler telemetry), so one shared ring multiplexes the fleet.
+        runtime.set_trace_track(id);
+        let registry = runtime.metrics_registry().clone();
         let session = Arc::new(Session {
             id,
+            registry,
             board,
             cmds: Mutex::new(VecDeque::new()),
             repl: Mutex::new(Some(Box::new(Repl::new(runtime)))),
@@ -390,7 +457,126 @@ impl Server {
             ("compile_worker_panics", s.queue.worker_panics().into()),
             ("fabrics_lost", (fleet.lost as u64).into()),
             ("fabric_failures", fleet.fabric_failures.into()),
+            ("trace_events", (s.trace.len() as u64).into()),
+            ("trace_dropped", s.trace.dropped().into()),
         ])
+    }
+
+    /// Events from the shared ring, filtered to one session's track (the
+    /// compile category rides on the submitting session's track too).
+    fn trace_events(&self, session: Option<u64>) -> Vec<TraceEvent> {
+        let mut events = self.shared.trace.snapshot();
+        if let Some(id) = session {
+            events.retain(|ev| ev.track == id);
+        }
+        events
+    }
+
+    /// Server-wide Prometheus exposition: every live session's registry
+    /// summed (counters and histogram buckets add; a restarted session's
+    /// cells simply stop contributing), plus server-level gauges.
+    fn server_metrics(&self) -> Json {
+        let s = &self.shared;
+        let mut snaps: Vec<MetricSnapshot> = Vec::new();
+        let registries: Vec<Registry> = s
+            .sessions
+            .lock_unpoisoned()
+            .values()
+            .map(|sess| sess.registry.clone())
+            .collect();
+        for reg in registries {
+            merge(&mut snaps, reg.snapshot());
+        }
+        let fleet = s.fleet.stats();
+        let cache = s.queue.cache();
+        let gauge = |name: &str, help: &str, v: f64| MetricSnapshot {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: SnapValue::Gauge(v),
+        };
+        let counter = |name: &str, help: &str, v: u64| MetricSnapshot {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: SnapValue::Counter(v),
+        };
+        merge(
+            &mut snaps,
+            vec![
+                gauge(
+                    "serve_sessions",
+                    "Live sessions",
+                    s.sessions.lock_unpoisoned().len() as f64,
+                ),
+                counter(
+                    "serve_sessions_opened_total",
+                    "Sessions ever opened",
+                    s.sessions_opened.load(Ordering::Relaxed),
+                ),
+                counter(
+                    "serve_sessions_reaped_total",
+                    "Sessions reaped by the idle timeout",
+                    s.sessions_reaped.load(Ordering::Relaxed),
+                ),
+                counter(
+                    "serve_evals_total",
+                    "Eval commands served",
+                    s.evals.load(Ordering::Relaxed),
+                ),
+                counter(
+                    "serve_ticks_total",
+                    "Virtual clock ticks run across all sessions",
+                    s.total_ticks.load(Ordering::Relaxed),
+                ),
+                counter(
+                    "serve_session_panics_total",
+                    "Worker panics contained at the session boundary",
+                    s.session_panics.load(Ordering::Relaxed),
+                ),
+                gauge("serve_fabrics", "Fleet capacity", fleet.capacity as f64),
+                gauge(
+                    "serve_fabrics_in_use",
+                    "Fabric leases currently held",
+                    fleet.in_use as f64,
+                ),
+                counter("serve_fabric_grants_total", "Leases granted", fleet.granted),
+                counter(
+                    "serve_fabric_revocations_total",
+                    "Leases revoked for arbitration",
+                    fleet.revocations,
+                ),
+                gauge(
+                    "serve_compile_queue_depth",
+                    "Pending jobs in the shared compile queue",
+                    s.queue.depth() as f64,
+                ),
+                counter(
+                    "serve_compiles_coalesced_total",
+                    "Compile jobs coalesced onto an identical in-flight job",
+                    s.queue.coalesced(),
+                ),
+                counter(
+                    "serve_compiles_shed_total",
+                    "Compile jobs shed by the bounded queue",
+                    s.queue.dropped(),
+                ),
+                counter(
+                    "serve_bitstream_cache_hits_total",
+                    "Shared bitstream cache hits",
+                    cache.hits(),
+                ),
+                counter(
+                    "serve_bitstream_cache_misses_total",
+                    "Shared bitstream cache misses",
+                    cache.misses(),
+                ),
+                counter(
+                    "serve_trace_events_dropped_total",
+                    "Trace events dropped by the bounded ring",
+                    s.trace.dropped(),
+                ),
+            ],
+        );
+        ok([("text", expose(&snaps).into())])
     }
 }
 
@@ -635,6 +821,30 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
                 ("checkpoints_restored", stats.checkpoints_restored.into()),
                 ("fabric_losses", stats.fabric_losses.into()),
             ]));
+        }
+        Cmd::Metrics { tx } => {
+            let _ = tx.send(ok([("text", repl.runtime().metrics_text().into())]));
+        }
+        Cmd::Profile { tx } => {
+            let reply = match repl.runtime().profile_text() {
+                Some(text) => ok([("text", text.into())]),
+                None => err("no profile: session has no user logic or tracing is disabled"),
+            };
+            let _ = tx.send(reply);
+        }
+        Cmd::Vcd { path, ports, tx } => {
+            let rt = repl.runtime();
+            let reply = match path {
+                Some(path) => match rt.vcd_start(&path, &ports) {
+                    Ok(()) => ok([("active", true.into()), ("path", path.as_str().into())]),
+                    Err(e) => err(e.to_string()),
+                },
+                None => match rt.vcd_stop() {
+                    Some(path) => ok([("active", false.into()), ("path", path.as_str().into())]),
+                    None => ok([("active", false.into())]),
+                },
+            };
+            let _ = tx.send(reply);
         }
         Cmd::Service => {
             // Best effort: a service fault surfaces on the next command.

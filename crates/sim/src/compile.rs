@@ -525,6 +525,75 @@ pub(crate) enum Op {
     Task(Box<TaskOp>),
 }
 
+/// Mnemonic for one opcode (profiling attribution).
+pub(crate) fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Step(_) => "step",
+        Op::Guard => "guard",
+        Op::Jmp(_) => "jmp",
+        Op::Jz(..) => "jz",
+        Op::Jnz(..) => "jnz",
+        Op::Switch { .. } => "switch",
+        Op::JnRange { .. } => "jn_range",
+        Op::JnRangeM { .. } => "jn_range_m",
+        Op::JnCmpI { .. } => "jn_cmp_i",
+        Op::JnCmpMI { .. } => "jn_cmp_mi",
+        Op::Halt => "halt",
+        Op::MovC(..) => "mov_c",
+        Op::Mov(..) => "mov",
+        Op::Ld(..) => "ld",
+        Op::LdSx { .. } => "ld_sx",
+        Op::LdArr { .. } => "ld_arr",
+        Op::Sext { .. } => "sext",
+        Op::Mask { .. } => "mask",
+        Op::Bin { .. } => "bin",
+        Op::BinImm { .. } => "bin_imm",
+        Op::DivS { .. } => "div_s",
+        Op::RemS { .. } => "rem_s",
+        Op::AShr { .. } => "ashr",
+        Op::AShrImm { .. } => "ashr_imm",
+        Op::CmpU { .. } => "cmp_u",
+        Op::CmpUI { .. } => "cmp_ui",
+        Op::CmpRange { .. } => "cmp_range",
+        Op::CmpS { .. } => "cmp_s",
+        Op::CmpSI { .. } => "cmp_si",
+        Op::Not { .. } => "not",
+        Op::Neg { .. } => "neg",
+        Op::Red { .. } => "red",
+        Op::Bool(..) => "bool",
+        Op::SliceC { .. } => "slice_c",
+        Op::SliceR { .. } => "slice_r",
+        Op::Concat2 { .. } => "concat2",
+        Op::Rotl { .. } => "rotl",
+        Op::Select { .. } => "select",
+        Op::CmpSel { .. } => "cmp_sel",
+        Op::Time(_) => "time",
+        Op::Random(_) => "random",
+        Op::WMovC(..) => "wmov_c",
+        Op::WLd { .. } => "wld",
+        Op::WLdArr { .. } => "wld_arr",
+        Op::WExt { .. } => "wext",
+        Op::WFromR { .. } => "wfrom_r",
+        Op::RFromW { .. } => "rfrom_w",
+        Op::RBoolFromW { .. } => "rbool_from_w",
+        Op::WBin { .. } => "wbin",
+        Op::WShift { .. } => "wshift",
+        Op::WPow { .. } => "wpow",
+        Op::WUn { .. } => "wun",
+        Op::WCmp { .. } => "wcmp",
+        Op::WConcat2 { .. } => "wconcat2",
+        Op::WRepeat { .. } => "wrepeat",
+        Op::WSliceN { .. } => "wslice_n",
+        Op::WSliceW { .. } => "wslice_w",
+        Op::St { .. } => "st",
+        Op::StQ { .. } => "st_q",
+        Op::NbSt { .. } => "nb_st",
+        Op::StoreGen { .. } => "store_gen",
+        Op::WStore { .. } => "wstore",
+        Op::Task(_) => "task",
+    }
+}
+
 /// Entry point and shape of one compiled process.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ProcInfo {

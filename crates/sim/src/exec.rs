@@ -17,7 +17,7 @@
 //! only the profiling `statements` counter (which feeds the modeled cost
 //! clock) differs microscopically on the final activation.
 
-use crate::compile::{sext, wmask, ArgV, NOp, Op, RedKind, SwProgram, TaskOp, VStore};
+use crate::compile::{op_name, sext, wmask, ArgV, NOp, Op, RedKind, SwProgram, TaskOp, VStore};
 use crate::elaborate::Design;
 use crate::rir::{ProcId, VarId};
 use crate::sim::{extend, format_verilog, signed_div, signed_rem, SimError, SimEvent};
@@ -84,6 +84,25 @@ pub struct CompiledSim {
     pub statements: u64,
     /// The process currently executing; self-writes do not rewake it.
     current: Option<ProcId>,
+    /// Per-process activation counts; `None` (the default) keeps the
+    /// dispatch path free of profiling work apart from one branch per
+    /// activation.
+    profile: Option<Box<[u64]>>,
+}
+
+/// Execution profile of the bytecode engine, attributed to Verilog source
+/// processes and opcode mnemonics. Produced by
+/// [`CompiledSim::profile_report`].
+#[derive(Debug, Clone, Default)]
+pub struct SwProfileReport {
+    /// `(source label, activations)` per process, hottest first. Labels
+    /// come from the elaborated design: `assign <name>`, `always @(...)`,
+    /// or `initial`.
+    pub procs: Vec<(String, u64)>,
+    /// `(mnemonic, executions)` per opcode, hottest first. Estimated as
+    /// each process's static op counts scaled by its activation count —
+    /// exact for straight-line processes, an upper bound across branches.
+    pub opcodes: Vec<(&'static str, u64)>,
 }
 
 impl fmt::Debug for CompiledSim {
@@ -157,8 +176,87 @@ impl CompiledSim {
             activations: 0,
             statements: 0,
             current: None,
+            profile: None,
             design,
             prog,
+        }
+    }
+
+    /// Switches on per-process activation profiling (idempotent). Costs
+    /// one counter bump per activation while enabled and a single branch
+    /// when it never was (the default).
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(vec![0u64; self.prog.procs.len()].into_boxed_slice());
+        }
+    }
+
+    /// Aggregated execution counters, or `None` when profiling was never
+    /// enabled.
+    pub fn profile_report(&self) -> Option<SwProfileReport> {
+        let counts = self.profile.as_deref()?;
+        // Process bodies are laid out contiguously: a body runs from its
+        // entry to the next-higher entry (or the end of the program).
+        let mut entries: Vec<u32> = self.prog.procs.iter().map(|p| p.entry).collect();
+        entries.sort_unstable();
+        let mut procs = Vec::new();
+        let mut by_op: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for (pi, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            procs.push((self.proc_label(pi), n));
+            let entry = self.prog.procs[pi].entry;
+            let end = entries
+                .iter()
+                .copied()
+                .find(|&e| e > entry)
+                .unwrap_or(self.prog.code.len() as u32);
+            for op in &self.prog.code[entry as usize..end as usize] {
+                *by_op.entry(op_name(op)).or_default() += n;
+            }
+        }
+        procs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut opcodes: Vec<(&'static str, u64)> = by_op.into_iter().collect();
+        opcodes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        Some(SwProfileReport { procs, opcodes })
+    }
+
+    /// A short source-level label for process `pi` (ProcIds align with
+    /// `design.processes`).
+    fn proc_label(&self, pi: usize) -> String {
+        use crate::rir::{Process, RLValue};
+        fn root_var(lv: &RLValue) -> Option<VarId> {
+            match lv {
+                RLValue::Var(v)
+                | RLValue::Range { var: v, .. }
+                | RLValue::ArrayWord { var: v, .. }
+                | RLValue::ArrayWordRange { var: v, .. } => Some(*v),
+                RLValue::Concat(parts) => parts.first().and_then(root_var),
+            }
+        }
+        match self.design.processes.get(pi) {
+            Some(Process::Assign { lhs, .. }) => match root_var(lhs) {
+                Some(v) => format!("assign {}", self.design.info(v).name),
+                None => "assign".to_string(),
+            },
+            Some(Process::Always { sens, .. }) => {
+                let terms: Vec<String> = sens
+                    .iter()
+                    .map(|s| {
+                        let name = &self.design.info(s.var).name;
+                        match s.edge {
+                            Some(Edge::Pos) => format!("posedge {name}"),
+                            Some(Edge::Neg) => format!("negedge {name}"),
+                            None => name.clone(),
+                        }
+                    })
+                    .collect();
+                format!("always @({})", terms.join(", "))
+            }
+            Some(Process::Initial { .. }) => "initial".to_string(),
+            None => format!("proc {pi}"),
         }
     }
 
@@ -620,6 +718,9 @@ impl CompiledSim {
     // ------------------------------------------------------------------
 
     fn run_process(&mut self, pid: ProcId) -> Result<(), SimError> {
+        if let Some(p) = &mut self.profile {
+            p[pid.0 as usize] += 1;
+        }
         let info = self.prog.procs[pid.0 as usize];
         if info.is_assign {
             // Continuous assignments have no loops and are not masked

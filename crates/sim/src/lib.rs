@@ -45,14 +45,14 @@ pub use compile::{SwProgram, SwProgramStats};
 pub use elaborate::{
     collect_reads, collect_reads_stmt, elaborate, elaborate_leaf, library_from_source, Design,
 };
-pub use exec::CompiledSim;
+pub use exec::{CompiledSim, SwProfileReport};
 pub use rir::{
     Process, RCaseArm, RCaseLabel, RExpr, RExprKind, RLValue, RStmt, RTaskArg, Sens, VarClass,
     VarId, VarInfo,
 };
 pub use sim::{format_verilog, SimError, SimEvent, Simulator};
 pub use swsim::SwSim;
-pub use vcd::VcdWriter;
+pub use vcd::{PortVcd, VcdWriter};
 
 #[cfg(test)]
 mod tests;

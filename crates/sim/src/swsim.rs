@@ -54,6 +54,22 @@ impl SwSim {
         }
     }
 
+    /// Switches on execution profiling (compiled backend only; the tree
+    /// interpreter has no bytecode to attribute and ignores this).
+    pub fn enable_profiling(&mut self) {
+        if let SwSim::Compiled(c) = self {
+            c.enable_profiling();
+        }
+    }
+
+    /// The collected execution profile, if profiling is enabled.
+    pub fn profile_report(&self) -> Option<crate::SwProfileReport> {
+        match self {
+            SwSim::Compiled(c) => c.profile_report(),
+            SwSim::Tree(_) => None,
+        }
+    }
+
     /// The design being simulated.
     pub fn design(&self) -> &Arc<Design> {
         delegate!(self, s => s.design())

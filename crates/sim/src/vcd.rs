@@ -84,6 +84,101 @@ impl<W: Write> VcdWriter<W> {
     }
 }
 
+/// A VCD writer over arbitrary named signals, not tied to a
+/// [`Simulator`]: the caller supplies each sample as a slice of values
+/// aligned with the ports declared at construction. The Cascade runtime
+/// uses this to stream waveforms from whatever engine currently executes
+/// the program (interpreter, bytecode, or virtual hardware).
+///
+/// # Examples
+///
+/// ```
+/// use cascade_bits::Bits;
+/// use cascade_sim::PortVcd;
+///
+/// let mut out = Vec::new();
+/// let mut vcd = PortVcd::new(&mut out, "main", &[("cnt".to_string(), 8)])?;
+/// vcd.sample(&[Some(Bits::from_u64(8, 1))])?;
+/// vcd.sample(&[Some(Bits::from_u64(8, 2))])?;
+/// let text = String::from_utf8(out).unwrap();
+/// assert!(text.contains("$var wire 8"));
+/// assert!(text.contains("#1"));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct PortVcd<W: Write> {
+    out: W,
+    codes: Vec<String>,
+    last: Vec<Option<Bits>>,
+    time: u64,
+}
+
+impl<W: Write> PortVcd<W> {
+    /// Writes the VCD header, declaring one wire per `(name, width)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn new(mut out: W, module: &str, ports: &[(String, u32)]) -> io::Result<Self> {
+        writeln!(out, "$timescale 1ns $end")?;
+        writeln!(out, "$scope module {module} $end")?;
+        let mut codes = Vec::new();
+        for (i, (name, width)) in ports.iter().enumerate() {
+            let code = code_for(i);
+            // Dots are scope separators in VCD identifiers; flatten them.
+            let flat = name.replace('.', "_");
+            writeln!(out, "$var wire {width} {code} {flat} $end")?;
+            codes.push(code);
+        }
+        writeln!(out, "$upscope $end")?;
+        writeln!(out, "$enddefinitions $end")?;
+        Ok(PortVcd {
+            out,
+            last: vec![None; codes.len()],
+            codes,
+            time: 0,
+        })
+    }
+
+    /// Records changed values at the next timestamp. `values` aligns with
+    /// the ports declared at construction; `None` entries (signals the
+    /// current engine cannot see) are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn sample(&mut self, values: &[Option<Bits>]) -> io::Result<()> {
+        let mut wrote_time = false;
+        for (i, v) in values.iter().enumerate().take(self.codes.len()) {
+            let Some(v) = v else { continue };
+            if self.last[i].as_ref() == Some(v) {
+                continue;
+            }
+            if !wrote_time {
+                writeln!(self.out, "#{}", self.time)?;
+                wrote_time = true;
+            }
+            let code = &self.codes[i];
+            if v.width() == 1 {
+                writeln!(self.out, "{}{}", if v.to_bool() { 1 } else { 0 }, code)?;
+            } else {
+                writeln!(self.out, "b{} {}", v.to_binary_string(), code)?;
+            }
+            self.last[i] = Some(v.clone());
+        }
+        self.time += 1;
+        Ok(())
+    }
+
+    /// Flushes the underlying writer (call when the dump ends).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
 fn code_for(i: usize) -> String {
     // Printable identifier codes: ! " # ... per the VCD convention.
     let mut n = i;

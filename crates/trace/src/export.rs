@@ -1,0 +1,238 @@
+//! Chrome-trace / Perfetto export.
+//!
+//! Each event becomes one JSON object in the [Trace Event Format]: `ph`,
+//! `name`, `cat`, `ts`/`dur` (microseconds), `pid`, `tid`, `args`. The
+//! JSONL form (`export_jsonl`) writes one object per line — streamable and
+//! easy to validate; the array form (`export_chrome_json`) wraps the same
+//! objects in `[...]` so the file loads directly in `ui.perfetto.dev` or
+//! `chrome://tracing`.
+//!
+//! Two time modes:
+//!
+//! - **Full** — `ts` is virtual time; `args` gains `host_ts_ns` and `seq`.
+//! - **VirtualOnly** — host time and `seq` are redacted and only events
+//!   with a meaningful virtual clock are kept, *sorted by virtual time*,
+//!   so two runs with the same seed and fault plan export byte-identical
+//!   text (the determinism contract tested in `tests/trace_pipeline.rs`).
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+use crate::event::{ArgValue, Phase, TraceEvent};
+
+/// Which clocks appear in the export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeMode {
+    /// Virtual `ts` plus host time and sequence numbers in `args`.
+    Full,
+    /// Deterministic: virtual clock only, host/seq redacted, events sorted.
+    VirtualOnly,
+}
+
+/// Escapes a string for a JSON string literal (without the quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as JSON (non-finite values clamp to 0).
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v}");
+    // `1e21`-style output is not valid JSON-number-parsable by some strict
+    // readers; our values (rates, seconds) never reach that range, but be
+    // safe and fall back to a fixed rendering.
+    if s.contains('e') || s.contains('E') {
+        format!("{v:.6}")
+    } else {
+        s
+    }
+}
+
+/// Nanoseconds → Chrome trace microseconds with exact 3-decimal rendering
+/// (integer arithmetic: deterministic across platforms and runs).
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn fmt_arg(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(n) => format!("{n}"),
+        ArgValue::F64(f) => fmt_f64(*f),
+        ArgValue::Str(s) => format!("\"{}\"", escape_json(s)),
+        ArgValue::Bool(b) => format!("{b}"),
+    }
+}
+
+/// Renders one event as a Chrome trace JSON object (no trailing newline).
+pub fn event_to_json(ev: &TraceEvent, mode: TimeMode) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    out.push_str(&format!("\"ph\":\"{}\"", ev.ph.code()));
+    out.push_str(&format!(",\"name\":\"{}\"", escape_json(&ev.name)));
+    out.push_str(&format!(",\"cat\":\"{}\"", escape_json(ev.cat)));
+    out.push_str(&format!(",\"ts\":{}", fmt_us(ev.virt_ns)));
+    if ev.ph == Phase::Span {
+        out.push_str(&format!(",\"dur\":{}", fmt_us(ev.virt_dur_ns)));
+    }
+    out.push_str(",\"pid\":1");
+    out.push_str(&format!(",\"tid\":{}", ev.track));
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    for (k, v) in &ev.args {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{}\":{}", escape_json(k), fmt_arg(v)));
+    }
+    if mode == TimeMode::Full {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"host_ts_ns\":{},\"seq\":{},\"vclock\":{}",
+            ev.host_ns, ev.seq, ev.vclock
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Selects and orders events for the given mode.
+fn prepare(events: &[TraceEvent], mode: TimeMode) -> Vec<&TraceEvent> {
+    let mut evs: Vec<&TraceEvent> = match mode {
+        TimeMode::Full => events.iter().collect(),
+        TimeMode::VirtualOnly => events.iter().filter(|e| e.vclock).collect(),
+    };
+    match mode {
+        // Full mode preserves emission order (seq).
+        TimeMode::Full => evs.sort_by_key(|e| e.seq),
+        // Deterministic mode orders by the virtual clock, breaking ties by
+        // content so concurrent emitters cannot perturb the byte stream.
+        TimeMode::VirtualOnly => evs.sort_by(|a, b| {
+            (a.virt_ns, a.track, a.cat, &a.name, a.virt_dur_ns).cmp(&(
+                b.virt_ns,
+                b.track,
+                b.cat,
+                &b.name,
+                b.virt_dur_ns,
+            ))
+        }),
+    }
+    evs
+}
+
+/// One JSON object per line (JSONL). Ends with a trailing newline when
+/// non-empty.
+pub fn export_jsonl(events: &[TraceEvent], mode: TimeMode) -> String {
+    let mut out = String::new();
+    for ev in prepare(events, mode) {
+        out.push_str(&event_to_json(ev, mode));
+        out.push('\n');
+    }
+    out
+}
+
+/// A Chrome trace JSON array — loads directly in Perfetto.
+pub fn export_chrome_json(events: &[TraceEvent], mode: TimeMode) -> String {
+    let mut out = String::from("[\n");
+    let evs = prepare(events, mode);
+    for (i, ev) in evs.iter().enumerate() {
+        out.push_str(&event_to_json(ev, mode));
+        if i + 1 < evs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// The field names every exported object carries, for schema validation.
+pub const SCHEMA_REQUIRED_FIELDS: &[&str] = &["ph", "name", "cat", "ts", "pid", "tid", "args"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Arg;
+    use crate::sink::TraceSink;
+
+    fn sample_sink() -> TraceSink {
+        let s = TraceSink::ring(64);
+        s.span(1, "jit", "eval", 1000, 500, &[("version", Arg::U64(1))]);
+        s.instant(1, "jit", "mode", 1500, &[("mode", Arg::Str("sw"))]);
+        s.counter(1, "jit", "ticks_per_s", 2000, &[("value", Arg::F64(12.5))]);
+        s.host_instant(1, "serve", "session_open", &[]);
+        s
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let s = sample_sink();
+        let text = export_jsonl(&s.snapshot(), TimeMode::Full);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            for f in SCHEMA_REQUIRED_FIELDS {
+                assert!(line.contains(&format!("\"{f}\"")), "missing {f} in {line}");
+            }
+        }
+        assert!(lines[0].contains("\"dur\":0.500"));
+        assert!(lines[0].contains("\"ts\":1.000"));
+    }
+
+    #[test]
+    fn virtual_only_redacts_host_and_filters() {
+        let s = sample_sink();
+        let text = export_jsonl(&s.snapshot(), TimeMode::VirtualOnly);
+        assert_eq!(text.lines().count(), 3, "host-only event filtered out");
+        assert!(!text.contains("host_ts_ns"));
+        assert!(!text.contains("\"seq\""));
+    }
+
+    #[test]
+    fn chrome_json_is_bracketed() {
+        let s = sample_sink();
+        let text = export_chrome_json(&s.snapshot(), TimeMode::Full);
+        assert!(text.starts_with("[\n"));
+        assert!(text.ends_with(']'));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn f64_rendering() {
+        assert_eq!(fmt_f64(12.5), "12.5");
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn deterministic_mode_sorts_by_virtual_time() {
+        // Emit out of order: the deterministic export sorts.
+        let s = TraceSink::ring(8);
+        s.instant(1, "t", "late", 100, &[]);
+        s.instant(1, "t", "early", 50, &[]);
+        let text = export_jsonl(&s.snapshot(), TimeMode::VirtualOnly);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("early"));
+        assert!(lines[1].contains("late"));
+    }
+}

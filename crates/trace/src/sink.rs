@@ -1,0 +1,322 @@
+//! The trace sink: a cloneable handle over a bounded event ring buffer.
+//!
+//! A disabled sink is a `None` — every emit path is a single branch on
+//! `Option::is_some` and performs **no allocation and no locking**. An
+//! enabled sink shares one `Mutex<Ring>` between all clones (runtime,
+//! compiler, serve sessions); emission sites are cold (JIT phase
+//! transitions, rate-limited counters), so one short lock per event is
+//! cheap. Hot-loop profiling (netlist kernels, bytecode opcodes) never
+//! goes through the sink per-operation — engines keep local counters and
+//! publish summaries at phase boundaries.
+
+use crate::event::{Arg, Phase, TraceEvent};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Default ring capacity (events) for [`TraceSink::ring`].
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    seq: u64,
+    dropped: u64,
+}
+
+struct SinkInner {
+    ring: Mutex<Ring>,
+    epoch: Instant,
+}
+
+/// A cloneable, thread-safe handle to a shared trace ring buffer.
+///
+/// `TraceSink::default()` is disabled: it records nothing, allocates
+/// nothing, and costs one branch per emit call.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<SinkInner>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "TraceSink(disabled)"),
+            Some(_) => write!(f, "TraceSink(enabled, {} events)", self.len()),
+        }
+    }
+}
+
+impl TraceSink {
+    /// A disabled sink (same as `default()`).
+    pub fn disabled() -> Self {
+        TraceSink { inner: None }
+    }
+
+    /// An enabled sink with a bounded ring of `capacity` events. When the
+    /// ring is full the **oldest** event is dropped (and counted), so the
+    /// buffer always holds the most recent window — the part of the
+    /// timeline a user asks about.
+    pub fn ring(capacity: usize) -> Self {
+        TraceSink {
+            inner: Some(Arc::new(SinkInner {
+                ring: Mutex::new(Ring {
+                    events: VecDeque::with_capacity(capacity.min(4096)),
+                    capacity: capacity.max(1),
+                    seq: 0,
+                    dropped: 0,
+                }),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded. Emit sites that need to build
+    /// names or arguments should guard on this first.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Nanoseconds of host time since this sink was created.
+    pub fn host_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    fn push(&self, mut ev: TraceEvent) {
+        let Some(inner) = &self.inner else { return };
+        ev.host_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let mut ring = inner.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        ev.seq = ring.seq;
+        ring.seq += 1;
+        if ring.events.len() >= ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Emits a complete span on the virtual clock.
+    #[inline]
+    pub fn span(
+        &self,
+        track: u64,
+        cat: &'static str,
+        name: &str,
+        virt_ns: u64,
+        virt_dur_ns: u64,
+        args: &[(&str, Arg)],
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(self.build(
+            track,
+            cat,
+            name,
+            Phase::Span,
+            virt_ns,
+            virt_dur_ns,
+            true,
+            args,
+        ));
+    }
+
+    /// Emits an instant event on the virtual clock.
+    #[inline]
+    pub fn instant(
+        &self,
+        track: u64,
+        cat: &'static str,
+        name: &str,
+        virt_ns: u64,
+        args: &[(&str, Arg)],
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(self.build(track, cat, name, Phase::Instant, virt_ns, 0, true, args));
+    }
+
+    /// Emits a counter sample on the virtual clock. `args` should carry
+    /// the sampled value(s), e.g. `("value", Arg::F64(rate))`.
+    #[inline]
+    pub fn counter(
+        &self,
+        track: u64,
+        cat: &'static str,
+        name: &str,
+        virt_ns: u64,
+        args: &[(&str, Arg)],
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(self.build(track, cat, name, Phase::Counter, virt_ns, 0, true, args));
+    }
+
+    /// Emits a host-clock-only instant (session lifecycle, sweeper
+    /// activity). Excluded from the deterministic export.
+    #[inline]
+    pub fn host_instant(&self, track: u64, cat: &'static str, name: &str, args: &[(&str, Arg)]) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(self.build(track, cat, name, Phase::Instant, 0, 0, false, args));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &self,
+        track: u64,
+        cat: &'static str,
+        name: &str,
+        ph: Phase,
+        virt_ns: u64,
+        virt_dur_ns: u64,
+        vclock: bool,
+        args: &[(&str, Arg)],
+    ) -> TraceEvent {
+        TraceEvent {
+            seq: 0,     // assigned under the ring lock
+            host_ns: 0, // assigned in push()
+            track,
+            cat,
+            name: name.to_string(),
+            ph,
+            virt_ns,
+            virt_dur_ns,
+            vclock,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_owned_value()))
+                .collect(),
+        }
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => {
+                let ring = inner.ring.lock().unwrap_or_else(PoisonError::into_inner);
+                ring.events.iter().cloned().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner
+                .ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .events
+                .len(),
+            None => 0,
+        }
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped to ring overflow since creation (or last `clear`).
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => {
+                inner
+                    .ring
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .dropped
+            }
+            None => 0,
+        }
+    }
+
+    /// Total events ever emitted into this sink.
+    pub fn emitted(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => {
+                inner
+                    .ring
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .seq
+            }
+            None => 0,
+        }
+    }
+
+    /// Discards all buffered events and resets the drop counter (the
+    /// sequence counter keeps running so `seq` stays unique).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            let mut ring = inner.ring.lock().unwrap_or_else(PoisonError::into_inner);
+            ring.events.clear();
+            ring.dropped = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let s = TraceSink::disabled();
+        assert!(!s.enabled());
+        s.span(0, "jit", "eval", 0, 10, &[("v", Arg::U64(1))]);
+        s.instant(0, "jit", "x", 5, &[]);
+        s.counter(0, "jit", "r", 5, &[("value", Arg::F64(1.0))]);
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.snapshot().len(), 0);
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.emitted(), 0);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let s = TraceSink::ring(4);
+        for i in 0..10u64 {
+            s.instant(0, "t", "e", i, &[]);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dropped(), 6);
+        assert_eq!(s.emitted(), 10);
+        let snap = s.snapshot();
+        // The survivors are the most recent four, in order.
+        let ts: Vec<u64> = snap.iter().map(|e| e.virt_ns).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+        // seq remains globally unique and ordered.
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let a = TraceSink::ring(16);
+        let b = a.clone();
+        a.instant(1, "t", "from_a", 1, &[]);
+        b.instant(2, "t", "from_b", 2, &[]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        b.clear();
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn host_clock_monotone() {
+        let s = TraceSink::ring(8);
+        s.instant(0, "t", "a", 0, &[]);
+        s.instant(0, "t", "b", 0, &[]);
+        let snap = s.snapshot();
+        assert!(snap[0].host_ns <= snap[1].host_ns);
+    }
+}

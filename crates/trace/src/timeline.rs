@@ -1,0 +1,237 @@
+//! A human-readable timeline: the paper's "gets faster" curve as text.
+//!
+//! For each track (serve session), events are listed in virtual-time
+//! order; `ticks_per_s` counter samples render a log-scale bar so the
+//! promotion staircase — interpreter → compiled software → hardware →
+//! native — is visible at a glance in a terminal.
+
+use crate::event::{ArgValue, Phase, TraceEvent};
+use std::collections::BTreeMap;
+
+fn fmt_secs(ns: u64) -> String {
+    format!("{:.6}s", ns as f64 / 1e9)
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.1}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.1}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// One `#` per decade of ticks/s: a log-scale sparkline.
+fn rate_bar(r: f64) -> String {
+    if r <= 1.0 {
+        return String::new();
+    }
+    let decades = r.log10().floor().max(0.0) as usize + 1;
+    "#".repeat(decades.min(12))
+}
+
+fn arg_str(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(n) => format!("{n}"),
+        ArgValue::F64(f) => format!("{f:.3}"),
+        ArgValue::Str(s) => s.clone(),
+        ArgValue::Bool(b) => format!("{b}"),
+    }
+}
+
+fn args_summary(ev: &TraceEvent, skip: &[&str]) -> String {
+    let parts: Vec<String> = ev
+        .args
+        .iter()
+        .filter(|(k, _)| !skip.contains(&k.as_str()))
+        .map(|(k, v)| format!("{k}={}", arg_str(v)))
+        .collect();
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(" ({})", parts.join(", "))
+    }
+}
+
+fn arg_f64(ev: &TraceEvent, key: &str) -> Option<f64> {
+    ev.args
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            ArgValue::F64(f) => Some(*f),
+            ArgValue::U64(n) => Some(*n as f64),
+            _ => None,
+        })
+}
+
+fn arg_text<'a>(ev: &'a TraceEvent, key: &str) -> Option<&'a str> {
+    ev.args
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            ArgValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+}
+
+/// Renders the timeline for every track in `events`.
+pub fn render_timeline(events: &[TraceEvent]) -> String {
+    let mut by_track: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for ev in events.iter().filter(|e| e.vclock) {
+        by_track.entry(ev.track).or_default().push(ev);
+    }
+    if by_track.is_empty() {
+        return "timeline: no virtual-clock events recorded (tracing off?)\n".to_string();
+    }
+    let mut out = String::new();
+    for (track, mut evs) in by_track {
+        evs.sort_by_key(|e| (e.virt_ns, e.seq));
+        out.push_str(&format!(
+            "== session {track} {}\n",
+            "=".repeat(60usize.saturating_sub(12)),
+        ));
+        out.push_str(&format!(
+            "{:>14}  {:<12} {:<10} event\n",
+            "virt", "ticks/s", ""
+        ));
+        let mut peak_rate = 0f64;
+        let mut last_mode = String::new();
+        for ev in &evs {
+            let t = fmt_secs(ev.virt_ns);
+            match ev.ph {
+                Phase::Counter if ev.name == "ticks_per_s" => {
+                    let rate = arg_f64(ev, "value").unwrap_or(0.0);
+                    peak_rate = peak_rate.max(rate);
+                    let mode = arg_text(ev, "mode").unwrap_or(&last_mode).to_string();
+                    out.push_str(&format!(
+                        "{t:>14}  {:<12} {:<10} [{mode}]\n",
+                        fmt_rate(rate),
+                        rate_bar(rate),
+                    ));
+                }
+                Phase::Counter => {
+                    out.push_str(&format!(
+                        "{t:>14}  {:<12} {:<10} {}{}\n",
+                        "",
+                        "",
+                        ev.name,
+                        args_summary(ev, &[]),
+                    ));
+                }
+                Phase::Instant if ev.name == "mode" => {
+                    let mode = arg_text(ev, "mode").unwrap_or("?").to_string();
+                    out.push_str(&format!(
+                        "{t:>14}  {:<12} {:<10} mode -> {mode}{}\n",
+                        "",
+                        "",
+                        args_summary(ev, &["mode"]),
+                    ));
+                    last_mode = mode;
+                }
+                Phase::Instant => {
+                    out.push_str(&format!(
+                        "{t:>14}  {:<12} {:<10} * {}{}\n",
+                        "",
+                        "",
+                        ev.name,
+                        args_summary(ev, &[]),
+                    ));
+                }
+                Phase::Span => {
+                    let dur_s = ev.virt_dur_ns as f64 / 1e9;
+                    out.push_str(&format!(
+                        "{t:>14}  {:<12} {:<10} {} [{dur_s:.6}s]{}\n",
+                        "",
+                        "",
+                        ev.name,
+                        args_summary(ev, &[]),
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "   -- {} events, peak {} ticks/s, final mode {}\n",
+            evs.len(),
+            fmt_rate(peak_rate),
+            if last_mode.is_empty() {
+                "?"
+            } else {
+                &last_mode
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Arg;
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn renders_modes_rates_and_spans() {
+        let s = TraceSink::ring(64);
+        s.instant(
+            1,
+            "jit",
+            "mode",
+            0,
+            &[("mode", Arg::Str("software-interp"))],
+        );
+        s.span(
+            1,
+            "compile",
+            "place_route",
+            0,
+            14_000_000_000,
+            &[("attempt", Arg::U64(1))],
+        );
+        s.counter(
+            1,
+            "jit",
+            "ticks_per_s",
+            1_000_000_000,
+            &[
+                ("value", Arg::F64(1.25e4)),
+                ("mode", Arg::Str("software-interp")),
+            ],
+        );
+        s.instant(
+            1,
+            "jit",
+            "mode",
+            15_000_000_000,
+            &[("mode", Arg::Str("hardware"))],
+        );
+        s.counter(
+            1,
+            "jit",
+            "ticks_per_s",
+            16_000_000_000,
+            &[("value", Arg::F64(2.5e6)), ("mode", Arg::Str("hardware"))],
+        );
+        let text = render_timeline(&s.snapshot());
+        assert!(text.contains("session 1"));
+        assert!(text.contains("mode -> software-interp"));
+        assert!(text.contains("mode -> hardware"));
+        assert!(text.contains("12.5k"));
+        assert!(text.contains("2.5M"));
+        assert!(text.contains("place_route"));
+        assert!(text.contains("peak 2.5M ticks/s"));
+        assert!(text.contains("final mode hardware"));
+        // The staircase: the hardware bar is longer than the interp bar.
+        let bar_interp = rate_bar(1.25e4).len();
+        let bar_hw = rate_bar(2.5e6).len();
+        assert!(bar_hw > bar_interp);
+    }
+
+    #[test]
+    fn empty_timeline_reports_gently() {
+        let text = render_timeline(&[]);
+        assert!(text.contains("no virtual-clock events"));
+    }
+}
