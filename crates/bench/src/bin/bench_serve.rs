@@ -6,12 +6,21 @@
 //! latency), then hammers `run` commands until the deadline, with a few
 //! more timed evals spread through the run (the interactive-user pattern:
 //! code keeps changing while it executes). Reported per S: total virtual
-//! ticks/second across all sessions, and p50/p99 latency for `eval` and
-//! `run` round trips.
+//! ticks/second across all sessions, p50/p99 latency for `eval` and `run`
+//! round trips, lease-wait p50/p99 (from the server's
+//! `jit_lease_wait_seconds` histogram — virtual seconds a ready bitstream
+//! waited for a fabric), work-steal count, promotions, and revocations
+//! (taken and suppressed by hysteresis).
 //!
 //! Prints one row per session count and writes `BENCH_serve.json` at the
-//! repository root. Set `CASCADE_BENCH_SECS` (default 0.25) per point;
-//! CI smoke uses 0.05.
+//! repository root. Knobs:
+//!
+//! - `CASCADE_BENCH_SECS`: seconds per point (default 0.25; CI smoke 0.05)
+//! - `CASCADE_BENCH_SESSIONS`: comma-separated sweep (default
+//!   `1,2,4,8,16,32,64`)
+//! - `CASCADE_BENCH_ASSERT=1`: exit non-zero if aggregate ticks/s drops
+//!   more than 20% between adjacent session counts (the serve-scale CI
+//!   gate; generous because CI machines are noisy)
 
 use cascade_serve::{InProcClient, ServeConfig, Server};
 use std::fmt::Write as _;
@@ -34,8 +43,12 @@ struct Point {
     eval_p99_us: f64,
     run_p50_us: f64,
     run_p99_us: f64,
+    lease_wait_p50_s: f64,
+    lease_wait_p99_s: f64,
+    steals: u64,
     promotions: u64,
     revocations: u64,
+    revocations_suppressed: u64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -50,10 +63,58 @@ fn micros(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
 }
 
+/// Estimates a percentile from a Prometheus cumulative histogram in the
+/// exposition text: the smallest bucket bound whose cumulative count
+/// reaches `p` of the total. Returns 0.0 when the histogram is empty.
+fn histogram_percentile(metrics_text: &str, name: &str, p: f64) -> f64 {
+    let prefix = format!("{name}_bucket{{le=\"");
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    for line in metrics_text.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some((le, count)) = rest.split_once("\"} ") else {
+            continue;
+        };
+        let bound = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse().unwrap_or(f64::INFINITY)
+        };
+        let count: u64 = count.trim().parse().unwrap_or(0);
+        buckets.push((bound, count));
+    }
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total = buckets.last().map_or(0, |b| b.1);
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (p * total as f64).ceil() as u64;
+    for (bound, cum) in &buckets {
+        if *cum >= target {
+            return if bound.is_finite() { *bound } else { f64::NAN };
+        }
+    }
+    f64::NAN
+}
+
 fn drive(sessions: usize, secs: f64) -> Point {
     let mut config = ServeConfig::quick();
-    config.fabrics = 2;
-    config.workers = sessions.clamp(2, 8);
+    config.fabrics = std::env::var("CASCADE_BENCH_FABRICS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    // Workers track cores, not tenants: the sharded scheduler multiplexes
+    // any number of sessions over a core-sized pool, and oversubscribing
+    // a small host with one thread per session only buys context-switch
+    // thrash.
+    config.workers = std::env::var("CASCADE_BENCH_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            (2 * cores).clamp(2, 8)
+        });
     let server = Server::new(config);
 
     let handles: Vec<_> = (0..sessions)
@@ -116,11 +177,12 @@ fn drive(sessions: usize, secs: f64) -> Point {
 
     let mut probe = InProcClient::connect(&server);
     probe.open().expect("open probe");
+    // Read the merged exposition *before* sessions can hibernate: a woken
+    // session's registry starts over, so the histogram must be captured
+    // while the load's cells are still live.
+    let metrics_text = probe.server_metrics().expect("server metrics");
     let server_stats = probe.server_stats().expect("server stats");
-    let revocations = server_stats
-        .get("fabric_revocations")
-        .and_then(|v| v.as_u64())
-        .unwrap_or(0);
+    let stat = |key: &str| server_stats.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
 
     eval_lat.sort_by(f64::total_cmp);
     run_lat.sort_by(f64::total_cmp);
@@ -131,8 +193,12 @@ fn drive(sessions: usize, secs: f64) -> Point {
         eval_p99_us: percentile(&eval_lat, 0.99),
         run_p50_us: percentile(&run_lat, 0.50),
         run_p99_us: percentile(&run_lat, 0.99),
+        lease_wait_p50_s: histogram_percentile(&metrics_text, "jit_lease_wait_seconds", 0.50),
+        lease_wait_p99_s: histogram_percentile(&metrics_text, "jit_lease_wait_seconds", 0.99),
+        steals: stat("steals"),
         promotions,
-        revocations,
+        revocations: stat("fabric_revocations"),
+        revocations_suppressed: stat("fabric_revocations_suppressed"),
     }
 }
 
@@ -147,15 +213,21 @@ fn render_json(points: &[Point]) -> String {
             "    {{\"sessions\": {}, \"ticks_per_sec\": {:.0}, \
              \"eval_p50_us\": {:.1}, \"eval_p99_us\": {:.1}, \
              \"run_p50_us\": {:.1}, \"run_p99_us\": {:.1}, \
-             \"promotions\": {}, \"revocations\": {}}}{comma}",
+             \"lease_wait_p50_s\": {:.6}, \"lease_wait_p99_s\": {:.6}, \
+             \"steals\": {}, \"promotions\": {}, \
+             \"revocations\": {}, \"revocations_suppressed\": {}}}{comma}",
             p.sessions,
             p.ticks_per_sec,
             p.eval_p50_us,
             p.eval_p99_us,
             p.run_p50_us,
             p.run_p99_us,
+            p.lease_wait_p50_s,
+            p.lease_wait_p99_s,
+            p.steals,
             p.promotions,
             p.revocations,
+            p.revocations_suppressed,
         )
         .unwrap();
     }
@@ -168,35 +240,66 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.25);
+    let sweep: Vec<usize> = std::env::var("CASCADE_BENCH_SESSIONS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32, 64]);
     println!("serve scaling on a 2-fabric fleet ({secs}s per point)\n");
     println!(
-        "{:>8} {:>14} {:>12} {:>12} {:>12} {:>12} {:>6} {:>6}",
+        "{:>8} {:>14} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>7} {:>6} {:>7} {:>9}",
         "sessions",
         "ticks/s",
         "eval p50 µs",
         "eval p99 µs",
         "run p50 µs",
         "run p99 µs",
+        "lw p50 s",
+        "lw p99 s",
+        "steals",
         "promo",
-        "revoke"
+        "revoke",
+        "suppress"
     );
     let mut points = Vec::new();
-    for sessions in [1usize, 2, 4, 8] {
+    for &sessions in &sweep {
         let p = drive(sessions, secs);
         println!(
-            "{:>8} {:>14.0} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>6}",
+            "{:>8} {:>14.0} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>10.4} {:>10.4} {:>7} {:>6} {:>7} {:>9}",
             p.sessions,
             p.ticks_per_sec,
             p.eval_p50_us,
             p.eval_p99_us,
             p.run_p50_us,
             p.run_p99_us,
+            p.lease_wait_p50_s,
+            p.lease_wait_p99_s,
+            p.steals,
             p.promotions,
             p.revocations,
+            p.revocations_suppressed,
         );
         points.push(p);
     }
     let json = render_json(&points);
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");
+
+    if std::env::var("CASCADE_BENCH_ASSERT").as_deref() == Ok("1") {
+        let mut failed = false;
+        for pair in points.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if b.ticks_per_sec < a.ticks_per_sec * 0.80 {
+                eprintln!(
+                    "FAIL: aggregate ticks/s regressed {} -> {} sessions: {:.0} -> {:.0} (> 20%)",
+                    a.sessions, b.sessions, a.ticks_per_sec, b.ticks_per_sec
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("scale assertion passed: no >20% adjacent-step regression");
+    }
 }

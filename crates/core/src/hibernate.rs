@@ -1,0 +1,297 @@
+//! Session hibernation images: a runtime frozen to bytes.
+//!
+//! Cascade's engine ABI already makes program state portable —
+//! `get_state` lifts any engine (software or hardware) into a
+//! [`EngineState`] value, and the PR-4 checkpoint machinery proves that a
+//! program rebuilt from those states plus its append-only source is
+//! indistinguishable from one that never stopped. A [`HibernateImage`]
+//! pushes that one step further: the committed source log, the
+//! checkpointed engine states, and the tick/wall bookkeeping are
+//! serialized to a flat byte buffer so the live `Runtime` (its engines,
+//! compiler, slots, and fabric lease) can be dropped entirely. A server
+//! holding ten thousand mostly-idle tenants keeps one image per dormant
+//! session and rebuilds a `Runtime` only when the next command arrives.
+//!
+//! The codec is a hand-rolled little-endian format (the workspace is
+//! deliberately dependency-free, so no serde): a magic/version header,
+//! then length-prefixed fields. It round-trips exactly — see the tests —
+//! and `from_bytes` is bounds-checked so a truncated or corrupt image
+//! surfaces as an error, never a panic.
+
+use std::collections::BTreeMap;
+
+use cascade_bits::Bits;
+
+use crate::engine::EngineState;
+
+const MAGIC: &[u8; 4] = b"CHIB";
+const VERSION: u32 = 1;
+
+/// Everything needed to resurrect a hibernated session: replay the source
+/// log through `eval`, then overwrite engine state with the checkpointed
+/// snapshot (exactly the `rollback_to_checkpoint` path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HibernateImage {
+    /// Committed source items in eval order (append-only program text).
+    pub source: String,
+    /// Engine states by slot name, from a verified checkpoint.
+    pub states: BTreeMap<String, EngineState>,
+    /// Scheduler iteration counter (2 per virtual tick).
+    pub iterations: u64,
+    /// Whether the program had hit `$finish`.
+    pub finished: bool,
+    /// Modeled wall clock at hibernation.
+    pub wall_seconds: f64,
+}
+
+impl HibernateImage {
+    /// The image of a session that never evaluated anything. Waking it is
+    /// just `Runtime::new`.
+    pub fn empty() -> HibernateImage {
+        HibernateImage {
+            source: String::new(),
+            states: BTreeMap::new(),
+            iterations: 0,
+            finished: false,
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Whether this image carries no program (fast-path wake).
+    pub fn is_empty(&self) -> bool {
+        self.source.is_empty() && self.states.is_empty() && self.iterations == 0
+    }
+
+    /// Serializes the image to a flat buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Vec::with_capacity(64 + self.source.len());
+        w.extend_from_slice(MAGIC);
+        put_u32(&mut w, VERSION);
+        put_u64(&mut w, self.iterations);
+        w.push(self.finished as u8);
+        put_u64(&mut w, self.wall_seconds.to_bits());
+        put_str(&mut w, &self.source);
+        put_u64(&mut w, self.states.len() as u64);
+        for (name, state) in &self.states {
+            put_str(&mut w, name);
+            put_u64(&mut w, state.regs.len() as u64);
+            for (reg, bits) in &state.regs {
+                put_str(&mut w, reg);
+                put_bits(&mut w, bits);
+            }
+            put_u64(&mut w, state.mems.len() as u64);
+            for (mem, words) in &state.mems {
+                put_str(&mut w, mem);
+                put_u64(&mut w, words.len() as u64);
+                for b in words {
+                    put_bits(&mut w, b);
+                }
+            }
+        }
+        w
+    }
+
+    /// Deserializes an image produced by [`HibernateImage::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (bad magic,
+    /// unsupported version, truncation, invalid UTF-8).
+    pub fn from_bytes(bytes: &[u8]) -> Result<HibernateImage, String> {
+        let mut r = Reader { buf: bytes, at: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err("hibernate image: bad magic".to_string());
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(format!("hibernate image: unsupported version {version}"));
+        }
+        let iterations = r.u64()?;
+        let finished = r.u8()? != 0;
+        let wall_seconds = f64::from_bits(r.u64()?);
+        let source = r.string()?;
+        let n_states = r.len()?;
+        let mut states = BTreeMap::new();
+        for _ in 0..n_states {
+            let name = r.string()?;
+            let mut regs = BTreeMap::new();
+            for _ in 0..r.len()? {
+                let reg = r.string()?;
+                let bits = r.bits()?;
+                regs.insert(reg, bits);
+            }
+            let mut mems = BTreeMap::new();
+            for _ in 0..r.len()? {
+                let mem = r.string()?;
+                let n = r.len()?;
+                let mut words = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    words.push(r.bits()?);
+                }
+                mems.insert(mem, words);
+            }
+            states.insert(name, EngineState { regs, mems });
+        }
+        Ok(HibernateImage {
+            source,
+            states,
+            iterations,
+            finished,
+            wall_seconds,
+        })
+    }
+}
+
+fn put_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(w: &mut Vec<u8>, v: u64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(w: &mut Vec<u8>, s: &str) {
+    put_u64(w, s.len() as u64);
+    w.extend_from_slice(s.as_bytes());
+}
+
+fn put_bits(w: &mut Vec<u8>, b: &Bits) {
+    put_u32(w, b.width());
+    let words = b.words();
+    put_u64(w, words.len() as u64);
+    for word in words {
+        put_u64(w, *word);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| "hibernate image: truncated".to_string())?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// A u64 length field, sanity-bounded by the remaining buffer so a
+    /// corrupt count cannot drive a huge allocation.
+    fn len(&mut self) -> Result<usize, String> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len().saturating_sub(self.at) {
+            return Err("hibernate image: length exceeds buffer".to_string());
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let n = self.len()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| "hibernate image: invalid utf-8".to_string())
+    }
+
+    fn bits(&mut self) -> Result<Bits, String> {
+        let width = self.u32()?;
+        let n = self.u64()? as usize;
+        // A width-w value needs ceil(w/64) words; reject mismatches early.
+        let expect = (width as usize).div_ceil(64).max(1);
+        if n != expect {
+            return Err(format!(
+                "hibernate image: width {width} with {n} words (expected {expect})"
+            ));
+        }
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(self.u64()?);
+        }
+        Ok(Bits::from_words(width, &words))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HibernateImage {
+        let mut regs = BTreeMap::new();
+        regs.insert("cnt".to_string(), Bits::from_u64(8, 0xA5));
+        regs.insert("wide".to_string(), Bits::from_words(100, &[u64::MAX, 0x3]));
+        let mut mems = BTreeMap::new();
+        mems.insert(
+            "ram".to_string(),
+            vec![Bits::from_u64(16, 1), Bits::from_u64(16, 2)],
+        );
+        let mut states = BTreeMap::new();
+        states.insert("__root".to_string(), EngineState { regs, mems });
+        states.insert(
+            "fifo0".to_string(),
+            EngineState {
+                regs: BTreeMap::new(),
+                mems: BTreeMap::new(),
+            },
+        );
+        HibernateImage {
+            source: "reg [7:0] cnt = 1;\nalways @(posedge clk.val) cnt <= cnt + 1;".to_string(),
+            states,
+            iterations: 1234,
+            finished: false,
+            wall_seconds: 0.125,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        let back = HibernateImage::from_bytes(&bytes).expect("decode");
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        let img = HibernateImage::empty();
+        assert!(img.is_empty());
+        let back = HibernateImage::from_bytes(&img.to_bytes()).expect("decode");
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                HibernateImage::from_bytes(&bytes[..cut]).is_err(),
+                "truncated at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(HibernateImage::from_bytes(&bytes).is_err());
+    }
+}

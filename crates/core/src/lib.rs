@@ -35,6 +35,7 @@ mod config;
 pub mod engine;
 mod error;
 pub mod fig10;
+pub mod hibernate;
 mod repl;
 mod runtime;
 pub mod transform;
@@ -46,6 +47,7 @@ pub use compiler::{
 pub use config::JitConfig;
 pub use engine::{Engine, EngineKind, EngineState, TaskEvent};
 pub use error::{panic_message, CascadeError};
+pub use hibernate::HibernateImage;
 pub use repl::{Repl, ReplResponse};
 pub use runtime::{ExecMode, Runtime, RuntimeStats};
 

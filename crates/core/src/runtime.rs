@@ -128,6 +128,12 @@ struct VcdTap {
 /// Emit a `ticks_per_s` trace sample at least every this many ticks.
 const RATE_SAMPLE_TICKS: u64 = 1024;
 
+/// Scheduler iterations (2 per tick) a denied lease request waits before
+/// re-asking the arbiter mid-run. Small enough that promotion lands within
+/// microseconds of a freed fabric; large enough that leaseless tenants
+/// don't serialize the server on the fleet mutex.
+const LEASE_POLL_STRIDE_ITERS: u64 = 128;
+
 /// How the program is currently executing (for instrumentation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -228,6 +234,10 @@ pub struct Runtime {
     lib: ModuleLibrary,
     root: Vec<RootEntry>,
     version: u64,
+    /// Committed source text in eval order. Programs are append-only
+    /// (paper Sec. 7.2), so this log plus a checkpoint's engine states is
+    /// a complete hibernation image — see [`Runtime::hibernate_image`].
+    src_log: Vec<String>,
 
     slots: Vec<Slot>,
     wires: Vec<ResolvedWire>,
@@ -264,6 +274,9 @@ pub struct Runtime {
     /// Virtual second at which `pending_hw` was staged (lease-wait
     /// histogram start point).
     hw_pending_since_s: Option<f64>,
+    /// Iteration before which a denied lease request is not retried
+    /// (per-tick arbiter polling serializes on the fleet mutex).
+    lease_backoff_until_iter: u64,
 
     /// Last known-good snapshot (the rollback point).
     checkpoint: Option<Checkpoint>,
@@ -339,6 +352,7 @@ impl Runtime {
             lib,
             root: Vec::new(),
             version: 0,
+            src_log: Vec::new(),
             slots: Vec::new(),
             wires: Vec::new(),
             clock_idx: 0,
@@ -358,6 +372,7 @@ impl Runtime {
             heat: 0.0,
             pending_hw: None,
             hw_pending_since_s: None,
+            lease_backoff_until_iter: 0,
             checkpoint: None,
             last_scrub_iter: 0,
             last_ckpt_iter: 0,
@@ -732,6 +747,7 @@ impl Runtime {
     /// stamps across tenants).
     pub fn set_heat(&mut self, heat: f64) {
         self.heat = heat;
+        self.lease_backoff_until_iter = 0;
         if let Some((fleet, tenant)) = &self.fleet {
             fleet.touch(*tenant, heat);
         }
@@ -754,6 +770,8 @@ impl Runtime {
     pub fn service(&mut self) -> Result<(), CascadeError> {
         self.check_revocation()?;
         self.poll_compiler()?;
+        // Command boundary: always re-ask the arbiter, even mid-backoff.
+        self.lease_backoff_until_iter = 0;
         self.try_promote()
     }
 
@@ -849,6 +867,10 @@ impl Runtime {
         self.native = false;
         match catch_unwind(AssertUnwindSafe(|| self.rebuild())) {
             Ok(Ok(())) => {
+                // Committed: the (preprocessed) text joins the hibernation
+                // replay log. Preprocessed form keeps `define scoping
+                // per-eval even when the log is replayed as one unit.
+                self.src_log.push(src.clone());
                 if self.trace.enabled() {
                     self.trace.span(
                         self.track,
@@ -1080,6 +1102,99 @@ impl Runtime {
         }
         self.rollback_to_checkpoint()?;
         Ok(true)
+    }
+
+    /// Freezes this runtime into a portable [`HibernateImage`]: the
+    /// committed source log plus a verified checkpoint of every engine.
+    /// Routes through the same machinery as [`Runtime::checkpoint_now`],
+    /// so any open speculation window is scrubbed (and re-executed on
+    /// corruption) before its state is trusted. After this returns the
+    /// runtime can simply be dropped — a held fabric lease is released by
+    /// the drop — and later resurrected with [`Runtime::restore_image`]
+    /// on a fresh runtime bound to the *same* board.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Unsupported`] in native mode (the program
+    /// is fused to its fabric) or during an active VCD dump (the tap
+    /// holds a live file), and propagates speculation-verify failures.
+    pub fn hibernate_image(&mut self) -> Result<crate::hibernate::HibernateImage, CascadeError> {
+        if self.native {
+            return Err(CascadeError::Unsupported(
+                "native sessions cannot hibernate".to_string(),
+            ));
+        }
+        if self.vcd.is_some() {
+            return Err(CascadeError::Unsupported(
+                "cannot hibernate during an active VCD dump".to_string(),
+            ));
+        }
+        let took = self.checkpoint_now()?;
+        let states = if took {
+            self.checkpoint
+                .as_ref()
+                .map(|cp| cp.states.clone())
+                .unwrap_or_default()
+        } else {
+            BTreeMap::new()
+        };
+        // take_checkpoint may have opened a FIFO journal mark (hardware
+        // mode); this runtime is about to be dropped, so leave the board
+        // unjournaled for its successor.
+        self.board.fifo_unmark();
+        Ok(crate::hibernate::HibernateImage {
+            source: self.src_log.join("\n"),
+            states,
+            iterations: self.iterations,
+            finished: self.finished,
+            wall_seconds: self.wall.seconds(),
+        })
+    }
+
+    /// Resurrects a hibernated program on this (fresh) runtime: advances
+    /// the modeled wall clock to the image's, replays the append-only
+    /// source log to rebuild the library and root structure (replay
+    /// output is discarded — it already happened), then overwrites engine
+    /// state with the checkpointed snapshot exactly as a rollback would.
+    /// The restored state is re-armed as the recovery checkpoint, and the
+    /// replayed design re-enters the compile pipeline (hitting the
+    /// bitstream cache when the design was compiled before).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError`] if the source replay or the state rebuild
+    /// fails; the runtime is then in the replayed-but-unrestored state
+    /// and should be discarded.
+    pub fn restore_image(
+        &mut self,
+        image: &crate::hibernate::HibernateImage,
+    ) -> Result<(), CascadeError> {
+        let dt = image.wall_seconds - self.wall.seconds();
+        if dt > 0.0 {
+            self.advance_wall(dt);
+        }
+        if !image.source.is_empty() {
+            self.eval(&image.source)?;
+        }
+        // Replay re-ran the program's one-shot items; their output (and
+        // any staged warnings) belongs to the pre-hibernation transcript.
+        self.output.clear();
+        self.iterations = image.iterations;
+        self.finished = image.finished;
+        if !image.states.is_empty() {
+            self.rebuild_from(Some(image.states.clone()))?;
+            self.output.clear();
+            // Arm the restored snapshot as the last known-good point so an
+            // immediate post-wake fault can still roll back.
+            self.checkpoint = Some(Checkpoint {
+                states: image.states.clone(),
+                iterations: self.iterations,
+                finished: self.finished,
+            });
+        }
+        self.last_ckpt_iter = self.iterations;
+        self.last_scrub_iter = self.iterations;
+        Ok(())
     }
 
     /// Drains the recovery event log (retries, scrub detections,
@@ -1533,16 +1648,19 @@ impl Runtime {
     /// Moves changed output values across data-plane wires. Returns whether
     /// anything moved.
     fn propagate(&mut self) -> bool {
+        // Field-level split borrow: wires are walked mutably while slots
+        // are indexed — port names stay borrowed, not cloned, because this
+        // runs several times per scheduler iteration.
         let mut moved = false;
-        for wi in 0..self.wires.len() {
-            let (from_idx, from_port) = self.wires[wi].from.clone();
-            let value = self.slots[from_idx].engine.output(&from_port);
-            if self.wires[wi].last.as_ref() == Some(&value) {
+        for w in &mut self.wires {
+            let (from_idx, from_port) = &w.from;
+            let value = self.slots[*from_idx].engine.output(from_port);
+            if w.last.as_ref() == Some(&value) {
                 continue;
             }
-            let (to_idx, to_port) = self.wires[wi].to.clone();
-            self.slots[to_idx].engine.read(&to_port, &value);
-            self.wires[wi].last = Some(value);
+            let (to_idx, to_port) = &w.to;
+            self.slots[*to_idx].engine.read(to_port, &value);
+            w.last = Some(value);
             moved = true;
         }
         moved
@@ -1814,6 +1932,7 @@ impl Runtime {
                     // lease is granted.
                     self.pending_hw = Some(Arc::clone(&bitstream.netlist));
                     self.hw_pending_since_s = Some(self.wall.seconds());
+                    self.lease_backoff_until_iter = 0;
                     self.try_promote()?;
                 } else {
                     self.swap_to_hardware(Arc::clone(&bitstream.netlist))?;
@@ -1848,10 +1967,19 @@ impl Runtime {
         if self.native || self.lease.is_some() || self.pending_hw.is_none() {
             return Ok(());
         }
+        // A denied request backs off for a stride of iterations: the
+        // arbiter's answer only changes on a heat/tenure/dwell edge, and
+        // re-asking under the fleet mutex on every tick of every leaseless
+        // tenant serializes the whole server on that lock. Heat changes
+        // and command boundaries clear the backoff.
+        if self.iterations < self.lease_backoff_until_iter {
+            return Ok(());
+        }
         let Some((fleet, tenant)) = &self.fleet else {
             return Ok(());
         };
         let Some(lease) = fleet.request(*tenant, self.heat) else {
+            self.lease_backoff_until_iter = self.iterations + LEASE_POLL_STRIDE_ITERS;
             return Ok(());
         };
         self.lease = Some(lease);

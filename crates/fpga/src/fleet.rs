@@ -13,15 +13,79 @@
 //! current heat (a monotonically increasing activity stamp assigned by the
 //! server — higher means more recently active). If a fabric is free the
 //! lease is granted immediately; otherwise the request is recorded as
-//! pending and, when the requester is strictly hotter than the coldest
-//! current holder, that holder's lease is flagged for revocation. Holders
-//! observe the flag at their next scheduler boundary, migrate their state
-//! back to software, and drop the [`Lease`]; the freed fabric is reserved
-//! for the hottest pending tenant so a colder latecomer cannot snipe it.
+//! pending. Revocation of a current holder is deliberately sticky
+//! ([`ArbiterConfig`]): the requester must beat the coldest holder's
+//! *decayed* heat by a margin plus the modeled cost of the migration and
+//! reprogram it would force, must sustain that advantage for a dwell
+//! window, and the holder is immune during a minimum tenure after its
+//! grant. Holders observe the revoke flag at their next scheduler
+//! boundary, migrate their state back to software, and drop the
+//! [`Lease`]; the freed fabric is reserved for the hottest pending tenant
+//! so a colder latecomer cannot snipe it.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Tuning for lease arbitration. All heats are in server activity stamps
+/// (one stamp per served command); times are host seconds.
+///
+/// The defaults are deliberately sticky: under uniform load the gap
+/// between the hottest and coldest tenant stays near the session count,
+/// far below `hysteresis_margin`, so fabrics stop ping-ponging — while a
+/// genuinely hot tenant facing an idle holder clears the bar within a few
+/// hundred commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbiterConfig {
+    /// Minimum heat advantage (in stamps) a requester needs over the
+    /// coldest holder's decayed heat before a revocation is considered.
+    pub hysteresis_margin: f64,
+    /// Modeled cost of a revocation — state migration off the fabric plus
+    /// the reprogram for the incoming tenant — charged against the
+    /// requester's advantage. Admission is cost-aware: an eviction only
+    /// happens when the expected heat gain pays for the move.
+    pub revoke_cost: f64,
+    /// A fresh holder is immune from revocation for this long after its
+    /// grant, so a lease is always held long enough to amortize the
+    /// reprogram it cost.
+    pub min_tenure_s: f64,
+    /// The requester's advantage must persist for this long (observed
+    /// across its polls) before the revocation fires. A single spiky poll
+    /// cannot evict anyone.
+    pub dwell_s: f64,
+    /// Half-life of holder/pending heat when idle. Effective heat is
+    /// `heat * 2^(-idle/half_life)`, so a stale tenant cannot camp a
+    /// fabric on an old stamp. `0` disables decay.
+    pub heat_half_life_s: f64,
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> ArbiterConfig {
+        ArbiterConfig {
+            hysteresis_margin: 32.0,
+            revoke_cost: 16.0,
+            min_tenure_s: 0.05,
+            dwell_s: 0.02,
+            heat_half_life_s: 5.0,
+        }
+    }
+}
+
+impl ArbiterConfig {
+    /// The pre-hysteresis arbiter: any strictly hotter requester evicts
+    /// the coldest holder immediately. Used by tests that need a
+    /// deterministic single-poll revocation.
+    pub fn eager() -> ArbiterConfig {
+        ArbiterConfig {
+            hysteresis_margin: 0.0,
+            revoke_cost: 0.0,
+            min_tenure_s: 0.0,
+            dwell_s: 0.0,
+            heat_half_life_s: 0.0,
+        }
+    }
+}
 
 /// A shareable handle to a fleet of `capacity` virtual fabrics.
 #[derive(Clone)]
@@ -33,26 +97,54 @@ struct FleetShared {
     state: Mutex<FleetState>,
     granted: AtomicU64,
     revocations: AtomicU64,
+    /// Revocations the old strictly-hotter policy would have issued but
+    /// hysteresis (margin/cost/tenure/dwell) suppressed.
+    suppressed: AtomicU64,
     fabric_failures: AtomicU64,
 }
 
 struct FleetState {
     capacity: usize,
+    config: ArbiterConfig,
     /// Fabrics currently offline (failed hardware). They stay out of the
     /// allocatable pool until [`Fleet::restore_fabric`].
     lost: usize,
     /// Tenants currently holding a fabric.
     holders: BTreeMap<u64, Holder>,
     /// Tenants waiting for a fabric, by latest reported heat.
-    pending: BTreeMap<u64, f64>,
+    pending: BTreeMap<u64, PendingReq>,
     /// Freed fabrics earmarked for specific pending tenants.
     reserved: Vec<u64>,
+    /// The victim a sustained-advantage window is currently open against.
+    candidate: Option<Candidate>,
 }
 
 struct Holder {
     heat: f64,
+    /// When the heat was last reported — idle time decays it.
+    last_touch: Instant,
+    granted_at: Instant,
     revoke: Arc<AtomicBool>,
     lost: Arc<AtomicBool>,
+}
+
+struct PendingReq {
+    heat: f64,
+    last_touch: Instant,
+}
+
+struct Candidate {
+    victim: u64,
+    since: Instant,
+}
+
+/// `heat` decayed by the idle time since `last_touch`.
+fn effective_heat(heat: f64, last_touch: Instant, now: Instant, half_life_s: f64) -> f64 {
+    if half_life_s <= 0.0 {
+        return heat;
+    }
+    let idle = now.saturating_duration_since(last_touch).as_secs_f64();
+    heat * (-idle * std::f64::consts::LN_2 / half_life_s).exp()
 }
 
 /// Point-in-time fleet statistics.
@@ -69,6 +161,9 @@ pub struct FleetStats {
     pub granted: u64,
     /// Revocations issued since the fleet was created.
     pub revocations: u64,
+    /// Revocations suppressed by hysteresis (margin, cost, tenure, or
+    /// dwell) that the old strictly-hotter policy would have issued.
+    pub revocations_suppressed: u64,
     /// Fabrics currently offline after hardware failure.
     pub lost: usize,
     /// Fabric failures since the fleet was created.
@@ -121,33 +216,46 @@ impl std::fmt::Debug for Lease {
 }
 
 impl Fleet {
-    /// A fleet of `capacity` fabrics. Zero is legal: every tenant stays in
-    /// software forever (a pure-interpreter server).
+    /// A fleet of `capacity` fabrics with the default sticky arbiter.
+    /// Zero is legal: every tenant stays in software forever (a
+    /// pure-interpreter server).
     pub fn new(capacity: usize) -> Fleet {
+        Fleet::with_config(capacity, ArbiterConfig::default())
+    }
+
+    /// A fleet with explicit arbitration tuning.
+    pub fn with_config(capacity: usize, config: ArbiterConfig) -> Fleet {
         Fleet {
             inner: Arc::new(FleetShared {
                 state: Mutex::new(FleetState {
                     capacity,
+                    config,
                     lost: 0,
                     holders: BTreeMap::new(),
                     pending: BTreeMap::new(),
                     reserved: Vec::new(),
+                    candidate: None,
                 }),
                 granted: AtomicU64::new(0),
                 revocations: AtomicU64::new(0),
+                suppressed: AtomicU64::new(0),
                 fabric_failures: AtomicU64::new(0),
             }),
         }
     }
 
     /// Requests a fabric for `tenant` at activity level `heat`. Returns a
-    /// lease when a fabric is free (or reserved for this tenant); otherwise
-    /// records the request as pending and, if the requester is strictly
-    /// hotter than the coldest holder, flags that holder for revocation.
+    /// lease when a fabric is free (or reserved for this tenant);
+    /// otherwise records the request as pending and opens (or advances) a
+    /// revocation window against the coldest holder when the requester's
+    /// advantage clears the configured hysteresis bar.
     ///
     /// Poll-style: tenants re-issue the request at scheduler boundaries
-    /// until granted (or until they stop wanting hardware).
+    /// until granted (or until they stop wanting hardware). With a
+    /// non-zero dwell a revocation needs at least two polls: one to open
+    /// the window, one after `dwell_s` to confirm the advantage held.
     pub fn request(&self, tenant: u64, heat: f64) -> Option<Lease> {
+        let now = Instant::now();
         let mut st = self.inner.state.lock().expect("fleet mutex");
         if st.holders.contains_key(&tenant) {
             return None; // already holds a fabric
@@ -165,6 +273,8 @@ impl Fleet {
                 tenant,
                 Holder {
                     heat,
+                    last_touch: now,
+                    granted_at: now,
                     revoke: Arc::clone(&revoke),
                     lost: Arc::clone(&lost),
                 },
@@ -177,33 +287,93 @@ impl Fleet {
                 lost,
             });
         }
-        st.pending.insert(tenant, heat);
-        // Revoke the coldest holder, but only for a strictly hotter
-        // requester — a cold tenant polling for hardware must not evict
-        // anyone (hysteresis against lease thrash).
-        let coldest = st
-            .holders
-            .iter()
-            .filter(|(_, h)| !h.revoke.load(Ordering::Relaxed))
-            .min_by(|a, b| a.1.heat.total_cmp(&b.1.heat))
-            .map(|(t, h)| (*t, h.heat));
-        if let Some((t, holder_heat)) = coldest {
-            if holder_heat < heat {
-                st.holders[&t].revoke.store(true, Ordering::Release);
-                self.inner.revocations.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        st.pending.insert(
+            tenant,
+            PendingReq {
+                heat,
+                last_touch: now,
+            },
+        );
+        self.arbitrate(&mut st, heat, now);
         None
     }
 
+    /// The sticky revocation decision: the coldest live holder loses its
+    /// fabric only when the requester's heat beats the holder's decayed
+    /// heat by margin + modeled revocation cost, the holder is past its
+    /// minimum tenure, and the advantage has persisted for the dwell
+    /// window.
+    fn arbitrate(&self, st: &mut FleetState, requester_heat: f64, now: Instant) {
+        let half_life = st.config.heat_half_life_s;
+        let coldest =
+            st.holders
+                .iter()
+                .filter(|(_, h)| {
+                    !h.revoke.load(Ordering::Relaxed) && !h.lost.load(Ordering::Relaxed)
+                })
+                .min_by(|a, b| {
+                    effective_heat(a.1.heat, a.1.last_touch, now, half_life)
+                        .total_cmp(&effective_heat(b.1.heat, b.1.last_touch, now, half_life))
+                })
+                .map(|(t, h)| {
+                    (
+                        *t,
+                        effective_heat(h.heat, h.last_touch, now, half_life),
+                        h.granted_at,
+                    )
+                });
+        let Some((victim, eff_holder, granted_at)) = coldest else {
+            return;
+        };
+        // The requester reported `heat` this very call — no decay on it.
+        let bar = eff_holder + st.config.hysteresis_margin + st.config.revoke_cost;
+        let clears_bar = requester_heat > bar;
+        let tenured =
+            now.saturating_duration_since(granted_at).as_secs_f64() >= st.config.min_tenure_s;
+        if clears_bar && tenured {
+            let dwelt = match &st.candidate {
+                Some(c) if c.victim == victim => {
+                    now.saturating_duration_since(c.since).as_secs_f64() >= st.config.dwell_s
+                }
+                _ => {
+                    st.candidate = Some(Candidate { victim, since: now });
+                    st.config.dwell_s <= 0.0
+                }
+            };
+            if dwelt {
+                if let Some(h) = st.holders.get(&victim) {
+                    h.revoke.store(true, Ordering::Release);
+                }
+                self.inner.revocations.fetch_add(1, Ordering::Relaxed);
+                st.candidate = None;
+            } else {
+                self.inner.suppressed.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            // Advantage evaporated (or never cleared the bar): close any
+            // window that was open against this victim.
+            if matches!(&st.candidate, Some(c) if c.victim == victim) {
+                st.candidate = None;
+            }
+            if requester_heat > eff_holder {
+                // The old strictly-hotter policy would have evicted here.
+                self.inner.suppressed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Updates a tenant's heat (holders defend their lease by staying hot;
-    /// pending tenants improve their claim).
+    /// pending tenants improve their claim). Touching also resets the
+    /// idle-decay clock.
     pub fn touch(&self, tenant: u64, heat: f64) {
+        let now = Instant::now();
         let mut st = self.inner.state.lock().expect("fleet mutex");
         if let Some(h) = st.holders.get_mut(&tenant) {
             h.heat = h.heat.max(heat);
-        } else if let Some(h) = st.pending.get_mut(&tenant) {
-            *h = h.max(heat);
+            h.last_touch = now;
+        } else if let Some(p) = st.pending.get_mut(&tenant) {
+            p.heat = p.heat.max(heat);
+            p.last_touch = now;
         }
     }
 
@@ -238,6 +408,18 @@ impl Fleet {
             .expect("fleet mutex")
             .reserved
             .clone()
+    }
+
+    /// Whether the arbiter has anything in flight a session should react
+    /// to promptly (a revocation to honor or a reservation to claim).
+    /// Cheap enough for workers to poll after each command batch.
+    pub fn needs_service(&self) -> bool {
+        let st = self.inner.state.lock().expect("fleet mutex");
+        !st.reserved.is_empty()
+            || st
+                .holders
+                .values()
+                .any(|h| h.revoke.load(Ordering::Relaxed))
     }
 
     /// Flags a specific tenant's lease for revocation, as the arbiter
@@ -321,6 +503,7 @@ impl Fleet {
             pending: st.pending.len(),
             granted: self.inner.granted.load(Ordering::Relaxed),
             revocations: self.inner.revocations.load(Ordering::Relaxed),
+            revocations_suppressed: self.inner.suppressed.load(Ordering::Relaxed),
             lost: st.lost,
             fabric_failures: self.inner.fabric_failures.load(Ordering::Relaxed),
         }
@@ -331,19 +514,28 @@ impl Fleet {
         if st.holders.remove(&tenant).is_none() {
             return;
         }
+        if matches!(&st.candidate, Some(c) if c.victim == tenant) {
+            st.candidate = None;
+        }
         Self::reserve_next(&mut st);
     }
 
-    /// Earmarks a freed fabric for the hottest pending tenant.
+    /// Earmarks a freed fabric for the hottest pending tenant (by decayed
+    /// heat, so a stale pending claim cannot outrank a live one).
     fn reserve_next(st: &mut FleetState) {
         if st.capacity.saturating_sub(st.lost) <= st.holders.len() + st.reserved.len() {
             return;
         }
-        let hottest = st
-            .pending
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(t, _)| *t);
+        let now = Instant::now();
+        let half_life = st.config.heat_half_life_s;
+        let hottest =
+            st.pending
+                .iter()
+                .max_by(|a, b| {
+                    effective_heat(a.1.heat, a.1.last_touch, now, half_life)
+                        .total_cmp(&effective_heat(b.1.heat, b.1.last_touch, now, half_life))
+                })
+                .map(|(t, _)| *t);
         if let Some(t) = hottest {
             st.pending.remove(&t);
             st.reserved.push(t);
@@ -359,5 +551,122 @@ impl std::fmt::Debug for Fleet {
             "Fleet(capacity={}, in_use={}, pending={})",
             s.capacity, s.in_use, s.pending
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+    use std::time::Duration;
+
+    fn sticky(margin: f64, cost: f64, tenure_s: f64, dwell_s: f64, half_life_s: f64) -> Fleet {
+        Fleet::with_config(
+            1,
+            ArbiterConfig {
+                hysteresis_margin: margin,
+                revoke_cost: cost,
+                min_tenure_s: tenure_s,
+                dwell_s,
+                heat_half_life_s: half_life_s,
+            },
+        )
+    }
+
+    #[test]
+    fn margin_blocks_marginally_hotter_requester() {
+        let fleet = sticky(32.0, 16.0, 0.0, 0.0, 0.0);
+        let lease = fleet.request(1, 100.0).expect("grant");
+        // Hotter, but inside margin + cost: no revocation, suppression counted.
+        assert!(fleet.request(2, 120.0).is_none());
+        assert!(!lease.revoked());
+        let s = fleet.stats();
+        assert_eq!(s.revocations, 0);
+        assert_eq!(s.revocations_suppressed, 1);
+        // Clears margin + cost (bar = 100+32+16): revoked in one poll (no dwell).
+        assert!(fleet.request(2, 149.0).is_none());
+        assert!(lease.revoked());
+    }
+
+    #[test]
+    fn margin_plus_cost_is_the_bar() {
+        let fleet = sticky(32.0, 16.0, 0.0, 0.0, 0.0);
+        let lease = fleet.request(1, 100.0).expect("grant");
+        assert!(fleet.request(2, 148.0).is_none()); // == bar, not strictly above
+        assert!(!lease.revoked());
+        assert!(fleet.request(2, 148.5).is_none()); // above the bar
+        assert!(lease.revoked());
+        assert_eq!(fleet.stats().revocations, 1);
+    }
+
+    #[test]
+    fn dwell_requires_sustained_advantage() {
+        let fleet = sticky(0.0, 0.0, 0.0, 0.01, 0.0);
+        let lease = fleet.request(1, 100.0).expect("grant");
+        // First poll opens the window, does not revoke.
+        assert!(fleet.request(2, 200.0).is_none());
+        assert!(!lease.revoked());
+        // Immediate re-poll: dwell not yet elapsed.
+        assert!(fleet.request(2, 200.0).is_none());
+        assert!(!lease.revoked());
+        sleep(Duration::from_millis(15));
+        assert!(fleet.request(2, 200.0).is_none());
+        assert!(lease.revoked());
+    }
+
+    #[test]
+    fn min_tenure_protects_fresh_holder() {
+        let fleet = sticky(0.0, 0.0, 10.0, 0.0, 0.0);
+        let lease = fleet.request(1, 100.0).expect("grant");
+        assert!(fleet.request(2, 1e6).is_none());
+        assert!(!lease.revoked(), "holder is inside its minimum tenure");
+        assert_eq!(fleet.stats().revocations, 0);
+    }
+
+    #[test]
+    fn heat_decay_lets_live_tenant_evict_stale_camper() {
+        // Aggressive half-life so the test runs fast: after ~30ms the
+        // camper's stamp has halved three times.
+        let fleet = sticky(10.0, 0.0, 0.0, 0.0, 0.01);
+        let lease = fleet.request(1, 1000.0).expect("grant");
+        // A requester at stamp 500 can't beat 1000 fresh...
+        assert!(fleet.request(2, 500.0).is_none());
+        assert!(!lease.revoked());
+        sleep(Duration::from_millis(40));
+        // ...but after the camper idles, its effective heat collapses.
+        assert!(fleet.request(2, 500.0).is_none());
+        assert!(lease.revoked());
+    }
+
+    #[test]
+    fn touch_defends_against_decay() {
+        let fleet = sticky(10.0, 0.0, 0.0, 0.0, 0.01);
+        let lease = fleet.request(1, 1000.0).expect("grant");
+        sleep(Duration::from_millis(25));
+        fleet.touch(1, 1000.0); // holder is still alive
+        assert!(fleet.request(2, 500.0).is_none());
+        assert!(!lease.revoked());
+    }
+
+    #[test]
+    fn eager_config_matches_old_strict_policy() {
+        let fleet = Fleet::with_config(1, ArbiterConfig::eager());
+        let lease = fleet.request(1, 5.0).expect("grant");
+        assert!(fleet.request(2, 5.0).is_none());
+        assert!(!lease.revoked(), "equal heat must not evict");
+        assert!(fleet.request(2, 6.0).is_none());
+        assert!(lease.revoked(), "strictly hotter evicts immediately");
+    }
+
+    #[test]
+    fn freed_fabric_reserved_for_hottest_pending() {
+        let fleet = Fleet::with_config(1, ArbiterConfig::eager());
+        let lease = fleet.request(1, 10.0).expect("grant");
+        assert!(fleet.request(2, 20.0).is_none());
+        assert!(fleet.request(3, 15.0).is_none());
+        drop(lease); // release → earmarked for tenant 2 (hottest pending)
+        assert_eq!(fleet.reserved(), vec![2]);
+        assert!(fleet.request(3, 16.0).is_none(), "reservation is sticky");
+        assert!(fleet.request(2, 20.0).is_some());
     }
 }

@@ -419,6 +419,25 @@ impl<T: Transport> Client<T> {
         Ok(reply.get("path").and_then(Json::as_str).map(str::to_string))
     }
 
+    /// Asks the server to hibernate this session now (freeze it to an
+    /// image and drop its runtime). Returns whether it actually froze —
+    /// the server refuses, without error, in native mode or while a VCD
+    /// dump is active. The session stays usable either way; the next
+    /// command wakes it transparently.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn hibernate(&mut self) -> Result<bool, String> {
+        let reply = self.expect_ok(&Request::Hibernate {
+            session: self.session()?,
+        })?;
+        Ok(reply
+            .get("hibernated")
+            .and_then(Json::as_bool)
+            .unwrap_or(false))
+    }
+
     /// Closes the session.
     ///
     /// # Errors

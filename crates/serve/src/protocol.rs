@@ -22,6 +22,7 @@
 //! | `timeline`     | `session?`             | `{ok, text}` human-readable JIT timeline     |
 //! | `profile`      | `session`              | `{ok, text}` engine execution profile        |
 //! | `vcd`          | `session`, `path?`, `ports?[]` | `{ok, active, path?}` start/stop dump |
+//! | `hibernate`    | `session`              | `{ok, hibernated, bytes?, reason?}`          |
 //! | `close`        | `session`              | `{ok}`                                       |
 
 use crate::json::Json;
@@ -78,6 +79,12 @@ pub enum Request {
         path: Option<String>,
         ports: Vec<String>,
     },
+    /// Freezes an idle session to a hibernation image and drops its
+    /// runtime (releasing its fabric lease). The next command wakes it
+    /// transparently; this just forces the transition the sweeper would
+    /// make on its own. Refused (with a `reason`) in native mode or while
+    /// a VCD dump is active.
+    Hibernate { session: u64 },
     /// Closes a session, releasing its fabric lease.
     Close { session: u64 },
 }
@@ -187,6 +194,9 @@ impl Request {
                         .collect::<Result<Vec<String>, _>>()?,
                 },
             }),
+            "hibernate" => Ok(Request::Hibernate {
+                session: session()?,
+            }),
             "close" => Ok(Request::Close {
                 session: session()?,
             }),
@@ -277,6 +287,9 @@ impl Request {
                 ));
                 Json::obj(pairs)
             }
+            Request::Hibernate { session } => {
+                Json::obj([("cmd", "hibernate".into()), ("session", (*session).into())])
+            }
             Request::Close { session } => {
                 Json::obj([("cmd", "close".into()), ("session", (*session).into())])
             }
@@ -353,6 +366,7 @@ mod tests {
                 path: None,
                 ports: vec![],
             },
+            Request::Hibernate { session: 6 },
             Request::Close { session: 8 },
         ];
         for r in requests {

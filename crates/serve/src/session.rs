@@ -2,6 +2,13 @@
 //! thread pool, sharing a virtual-FPGA [`Fleet`] and one background
 //! compile pool across all tenants.
 //!
+//! Scheduling is sharded: each worker owns a run-queue shard, sessions are
+//! pinned to a home shard by id hash, and an idle worker pops locally,
+//! then steals from a random victim shard, then parks. A session is marked
+//! runnable at most once at a time (`scheduled` flag), and the worker that
+//! claims it drains its whole command queue through one REPL checkout —
+//! so a burst of N commands costs one scheduling round-trip, not N.
+//!
 //! A session's REPL is a checked-out resource: exactly one worker holds it
 //! at a time, drains the session's command queue through it, and puts it
 //! back. Commands are request/reply (the submitting connection blocks on a
@@ -9,25 +16,38 @@
 //! sweeper advance compile/lease state machines of *idle* sessions — a
 //! revocation must not wait for the victim's next command.
 //!
+//! Idle sessions do not keep a live `Runtime` at all: the sweeper (or an
+//! explicit `hibernate` command) freezes them through the checkpoint
+//! machinery into a [`HibernateImage`] held in a bounded in-memory store
+//! that spills to disk, and the runtime — engines, compiler handle, fabric
+//! lease — is dropped. The next command wakes the session transparently by
+//! replaying its append-only source and restoring the checkpointed engine
+//! state. One process can hold tens of thousands of mostly-idle tenants
+//! this way. New sessions start dormant (an empty image), so `open` is a
+//! map insert, not an engine build.
+//!
 //! `$display` output produced by `run` is buffered in a bounded per-session
 //! queue. When the queue fills, `run` stops early (backpressure: the reply
 //! says so and the client drains before continuing); a single burst that
-//! overflows the bound drops the *oldest* lines and counts them.
+//! overflows the bound drops the *oldest* lines and counts them — per
+//! session (`stats`) and server-wide (`output_dropped` in `server-stats`
+//! and `serve_output_dropped_total` in the metrics exposition).
 
 use crate::json::Json;
 use crate::protocol::{err, ok, Request};
 use cascade_core::{
-    panic_message, CascadeError, CompilePool, CompileQueue, ExecMode, JitConfig, Repl,
-    ReplResponse, Runtime,
+    panic_message, CascadeError, CompilePool, CompileQueue, ExecMode, HibernateImage, JitConfig,
+    Repl, ReplResponse, Runtime,
 };
-use cascade_fpga::{Board, Fleet};
+use cascade_fpga::{ArbiterConfig, Board, Fleet};
 use cascade_trace::{
-    export_jsonl, expose, merge, render_timeline, MetricSnapshot, Registry, SnapValue, TimeMode,
-    TraceEvent, TraceSink, DEFAULT_RING_CAPACITY,
+    export_jsonl, expose, merge, render_timeline, Arg, MetricSnapshot, Registry, SnapValue,
+    TimeMode, TraceEvent, TraceSink, DEFAULT_RING_CAPACITY,
 };
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -54,23 +74,48 @@ const RUN_CHUNK: u64 = 128;
 /// How long a connection waits for its command's reply before giving up.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// Parked workers re-check their shards at least this often — a safety
+/// net under the notify protocol, and the shutdown latency bound.
+const PARK_TIMEOUT: Duration = Duration::from_millis(50);
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Virtual fabrics in the shared fleet (0 = software-only serving).
     pub fabrics: usize,
+    /// Lease arbitration tuning: hysteresis margin, modeled revocation
+    /// cost, minimum tenure, dwell, and heat decay.
+    pub arbiter: ArbiterConfig,
     /// Background toolchain worker threads shared by all sessions.
     pub compile_workers: usize,
     /// Bound on the pending compile-job queue (oldest jobs are shed).
     pub compile_queue_capacity: usize,
     /// Bound on the shared bitstream cache (entries, LRU).
     pub compile_cache_capacity: usize,
-    /// Session executor threads.
+    /// Session executor threads (one run-queue shard each).
     pub workers: usize,
     /// Bound on each session's `$display` output queue (lines).
     pub output_capacity: usize,
     /// Real seconds of inactivity after which a session is reaped.
     pub idle_timeout_s: f64,
+    /// Real seconds of inactivity after which a live session is
+    /// hibernated (runtime dropped, state frozen to an image). `0`
+    /// disables idle-triggered hibernation; the live-count bound below
+    /// still applies.
+    pub hibernate_after_s: f64,
+    /// Bound on concurrently live runtimes; the sweeper hibernates the
+    /// most-idle sessions to stay under it. `0` = unbounded.
+    pub max_live_sessions: usize,
+    /// In-memory budget for hibernation images; images past it spill to
+    /// disk under `hibernate_spill_dir`.
+    pub hibernate_mem_bytes: usize,
+    /// Directory for spilled images. `None` = a per-server directory
+    /// under the system temp dir, removed on shutdown.
+    pub hibernate_spill_dir: Option<String>,
+    /// Sweeper cadence in real milliseconds. The sweeper is also woken
+    /// event-driven by workers when the arbiter has a revocation or
+    /// reservation in flight, so this is the *idle* scan period.
+    pub sweeper_poll_ms: u64,
     /// Template JIT configuration for new sessions (toolchain model,
     /// optimization switches, cache bound for solo runtimes).
     pub jit: JitConfig,
@@ -85,12 +130,18 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             fabrics: 2,
+            arbiter: ArbiterConfig::default(),
             compile_workers: 2,
             compile_queue_capacity: 16,
             compile_cache_capacity: 64,
             workers: 4,
             output_capacity: 4096,
             idle_timeout_s: 300.0,
+            hibernate_after_s: 120.0,
+            max_live_sessions: 0,
+            hibernate_mem_bytes: 32 << 20,
+            hibernate_spill_dir: None,
+            sweeper_poll_ms: 5,
             jit: JitConfig::default(),
             trace: TraceSink::ring(DEFAULT_RING_CAPACITY),
         }
@@ -143,6 +194,11 @@ enum Cmd {
     },
     /// Internal pump: advance compile/lease state without user traffic.
     Service,
+    /// Freeze the session to a hibernation image and drop its runtime.
+    /// `tx` is `None` when the sweeper (idle/pressure) initiates it.
+    Hibernate {
+        tx: Option<Sender<Json>>,
+    },
     /// `tx` is `None` when the idle reaper closes the session.
     Close {
         tx: Option<Sender<Json>>,
@@ -165,8 +221,15 @@ impl Cmd {
             | Cmd::Profile { tx }
             | Cmd::Vcd { tx, .. } => Some(tx.clone()),
             Cmd::Service => None,
-            Cmd::Close { tx } => tx.clone(),
+            Cmd::Hibernate { tx } | Cmd::Close { tx } => tx.clone(),
         }
+    }
+
+    /// Whether a user is waiting on this command's latency (scheduled at
+    /// the front of its shard) rather than its throughput (the back).
+    /// `run` bursts and sweeper traffic are the bulk tier.
+    fn is_interactive(&self) -> bool {
+        !matches!(self, Cmd::Run { .. } | Cmd::Service)
     }
 }
 
@@ -176,21 +239,59 @@ struct Output {
     dropped: u64,
 }
 
+/// A hibernated session's frozen state.
+enum Dormant {
+    Mem(Vec<u8>),
+    Disk { path: PathBuf, bytes: usize },
+}
+
 struct Session {
     id: u64,
     /// Handle on the session runtime's metric registry (clones share
     /// cells), so server-wide expositions can read counters without
-    /// waiting for the session's worker.
-    registry: Registry,
+    /// waiting for the session's worker. Replaced on wake — a fresh
+    /// runtime brings fresh cells.
+    registry: Mutex<Registry>,
     /// The session's virtual board, shared with its runtime: FIFO input
-    /// streams in directly, even while a `run` command is executing.
+    /// streams in directly, even while a `run` command is executing (and
+    /// across hibernation — the board outlives the runtime).
     board: Board,
     cmds: Mutex<VecDeque<Cmd>>,
-    /// `None` while a worker has the REPL checked out.
+    /// `None` while a worker has the REPL checked out *or* the session is
+    /// dormant (see `dormant`).
     repl: Mutex<Option<Box<Repl>>>,
+    /// The hibernation image when the session has no live runtime.
+    dormant: Mutex<Option<Dormant>>,
+    /// Whether a run-queue entry (or the claiming worker) is already
+    /// responsible for this session — dedups wakeups so a burst of
+    /// commands schedules the session once.
+    scheduled: AtomicBool,
     output: Mutex<Output>,
     last_active: Mutex<Instant>,
     closed: AtomicBool,
+}
+
+/// One worker's run-queue shard.
+struct Shard {
+    queue: Mutex<VecDeque<u64>>,
+    cond: Condvar,
+    /// Queue length mirror readable without the lock (steal scan).
+    len: AtomicUsize,
+    /// Whether the owning worker is parked on `cond`.
+    parked: AtomicBool,
+    steals: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            len: AtomicUsize::new(0),
+            parked: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+        }
+    }
 }
 
 struct Shared {
@@ -207,8 +308,12 @@ struct Shared {
     /// stamp is the session's heat for fleet arbitration (most recently
     /// active = hottest).
     activity: AtomicU64,
-    runq: Mutex<VecDeque<u64>>,
-    runq_cond: Condvar,
+    /// Per-worker run-queue shards (work stealing).
+    shards: Vec<Shard>,
+    /// Sweeper gate: `true` when a worker has nudged the sweeper to run
+    /// early (arbiter has a revocation/reservation in flight).
+    sweep_gate: Mutex<bool>,
+    sweep_cond: Condvar,
     shutdown: AtomicBool,
     /// Server-wide counters.
     evals: AtomicU64,
@@ -218,6 +323,21 @@ struct Shared {
     /// Worker panics contained at the session isolation boundary (the
     /// session dies with a structured error; the server keeps serving).
     session_panics: AtomicU64,
+    /// Output lines dropped by bounded session queues, server-wide.
+    output_dropped: AtomicU64,
+    /// Sessions with a live runtime right now.
+    live_runtimes: AtomicUsize,
+    /// Sessions currently dormant (hibernated or never woken).
+    dormant_now: AtomicUsize,
+    hibernates: AtomicU64,
+    wakes: AtomicU64,
+    wake_failures: AtomicU64,
+    /// Hibernation store accounting.
+    hib_mem_bytes: AtomicUsize,
+    hib_disk_bytes: AtomicUsize,
+    hib_spills: AtomicU64,
+    spill_dir: PathBuf,
+    spill_seq: AtomicU64,
 }
 
 /// The multi-tenant Cascade server: sessions, workers, fleet, compile pool.
@@ -231,37 +351,62 @@ pub struct Server {
     sweeper: Option<JoinHandle<()>>,
 }
 
+/// Distinguishes spill directories of servers coexisting in one process.
+static SERVER_SEQ: AtomicU64 = AtomicU64::new(0);
+
 impl Server {
-    /// Starts a server: `config.workers` session executors, a compile pool
-    /// of `config.compile_workers` threads, and the idle/service sweeper.
+    /// Starts a server: `config.workers` session executors (one run-queue
+    /// shard each), a compile pool of `config.compile_workers` threads,
+    /// and the idle/service sweeper.
     pub fn new(config: ServeConfig) -> Arc<Server> {
         let pool = CompilePool::new(
             config.compile_workers.max(1),
             config.compile_queue_capacity.max(1),
             config.compile_cache_capacity.max(1),
         );
+        let nworkers = config.workers.max(1);
+        let spill_dir = match &config.hibernate_spill_dir {
+            Some(d) => PathBuf::from(d),
+            None => std::env::temp_dir().join(format!(
+                "cascade-hib-{}-{}",
+                std::process::id(),
+                SERVER_SEQ.fetch_add(1, Ordering::Relaxed)
+            )),
+        };
         let shared = Arc::new(Shared {
-            fleet: Fleet::new(config.fabrics),
+            fleet: Fleet::with_config(config.fabrics, config.arbiter.clone()),
             trace: config.trace.clone(),
             queue: pool.queue(),
             _pool: pool,
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),
             activity: AtomicU64::new(0),
-            runq: Mutex::new(VecDeque::new()),
-            runq_cond: Condvar::new(),
+            shards: (0..nworkers).map(|_| Shard::new()).collect(),
+            sweep_gate: Mutex::new(false),
+            sweep_cond: Condvar::new(),
             shutdown: AtomicBool::new(false),
             evals: AtomicU64::new(0),
             total_ticks: AtomicU64::new(0),
             sessions_opened: AtomicU64::new(0),
             sessions_reaped: AtomicU64::new(0),
             session_panics: AtomicU64::new(0),
+            output_dropped: AtomicU64::new(0),
+            live_runtimes: AtomicUsize::new(0),
+            dormant_now: AtomicUsize::new(0),
+            hibernates: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            wake_failures: AtomicU64::new(0),
+            hib_mem_bytes: AtomicUsize::new(0),
+            hib_disk_bytes: AtomicUsize::new(0),
+            hib_spills: AtomicU64::new(0),
+            spill_dir,
+            spill_seq: AtomicU64::new(0),
             config,
         });
-        let workers = (0..shared.config.workers.max(1))
-            .map(|_| {
+        let workers = (0..nworkers)
+            .map(|me| {
                 let s = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&s))
+                std::thread::spawn(move || worker_loop(&s, me))
             })
             .collect();
         let sweeper = {
@@ -365,32 +510,29 @@ impl Server {
             Request::Stats {
                 session: Some(session),
             } => self.submit(session, false, |tx| Cmd::Stats { tx }),
+            Request::Hibernate { session } => {
+                self.submit(session, false, |tx| Cmd::Hibernate { tx: Some(tx) })
+            }
             Request::Close { session } => {
                 self.submit(session, false, |tx| Cmd::Close { tx: Some(tx) })
             }
         }
     }
 
-    /// Creates a session: a fresh board and runtime wired to the shared
-    /// fleet and compile queue, hosted on the worker pool.
+    /// Creates a session. Sessions are born dormant — an empty hibernation
+    /// image, no runtime — so `open` is cheap at any tenant count; the
+    /// first command builds the runtime through the ordinary wake path.
     fn open_session(&self) -> Result<u64, CascadeError> {
         let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
         let board = Board::new();
-        let mut jit = self.shared.config.jit.clone();
-        jit.trace = self.shared.trace.clone();
-        let mut runtime = Runtime::new(board.clone(), jit)?;
-        runtime.attach_compile_queue(self.shared.queue.clone());
-        runtime.attach_fleet(self.shared.fleet.clone(), id);
-        // Stamp this session's id on every event it records (and on the
-        // compiler telemetry), so one shared ring multiplexes the fleet.
-        runtime.set_trace_track(id);
-        let registry = runtime.metrics_registry().clone();
         let session = Arc::new(Session {
             id,
-            registry,
+            registry: Mutex::new(Registry::new()),
             board,
             cmds: Mutex::new(VecDeque::new()),
-            repl: Mutex::new(Some(Box::new(Repl::new(runtime)))),
+            repl: Mutex::new(None),
+            dormant: Mutex::new(None),
+            scheduled: AtomicBool::new(false),
             output: Mutex::new(Output {
                 lines: VecDeque::new(),
                 dropped: 0,
@@ -398,6 +540,11 @@ impl Server {
             last_active: Mutex::new(Instant::now()),
             closed: AtomicBool::new(false),
         });
+        // The empty birth image goes through the same budgeted store as
+        // real hibernation images, so even opens alone cannot grow the
+        // in-memory store past its budget at high tenant counts.
+        self.shared
+            .store_dormant(&session, HibernateImage::empty().to_bytes());
         self.shared.sessions.lock_unpoisoned().insert(id, session);
         self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
         Ok(id)
@@ -412,8 +559,10 @@ impl Server {
             *session.last_active.lock_unpoisoned() = Instant::now();
         }
         let (tx, rx) = channel();
-        session.cmds.lock_unpoisoned().push_back(make(tx));
-        self.shared.wake(id);
+        let cmd = make(tx);
+        let interactive = cmd.is_interactive();
+        session.cmds.lock_unpoisoned().push_back(cmd);
+        self.shared.wake(&session, interactive);
         match rx.recv_timeout(REPLY_TIMEOUT) {
             Ok(reply) => reply,
             Err(_) => err(format!("session {id} reply timed out")),
@@ -424,10 +573,23 @@ impl Server {
         let s = &self.shared;
         let fleet = s.fleet.stats();
         let cache = s.queue.cache();
+        let steals: u64 = s
+            .shards
+            .iter()
+            .map(|sh| sh.steals.load(Ordering::Relaxed))
+            .sum();
         ok([
             (
                 "sessions",
                 (s.sessions.lock_unpoisoned().len() as u64).into(),
+            ),
+            (
+                "sessions_live",
+                (s.live_runtimes.load(Ordering::Relaxed) as u64).into(),
+            ),
+            (
+                "sessions_hibernated",
+                (s.dormant_now.load(Ordering::Relaxed) as u64).into(),
             ),
             (
                 "sessions_opened",
@@ -439,10 +601,37 @@ impl Server {
             ),
             ("evals", s.evals.load(Ordering::Relaxed).into()),
             ("ticks", s.total_ticks.load(Ordering::Relaxed).into()),
+            ("steals", steals.into()),
+            ("hibernates", s.hibernates.load(Ordering::Relaxed).into()),
+            ("wakes", s.wakes.load(Ordering::Relaxed).into()),
+            (
+                "wake_failures",
+                s.wake_failures.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "hibernate_spills",
+                s.hib_spills.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "hibernate_mem_bytes",
+                (s.hib_mem_bytes.load(Ordering::Relaxed) as u64).into(),
+            ),
+            (
+                "hibernate_disk_bytes",
+                (s.hib_disk_bytes.load(Ordering::Relaxed) as u64).into(),
+            ),
+            (
+                "output_dropped",
+                s.output_dropped.load(Ordering::Relaxed).into(),
+            ),
             ("fabrics", (fleet.capacity as u64).into()),
             ("fabrics_in_use", (fleet.in_use as u64).into()),
             ("fabric_grants", fleet.granted.into()),
             ("fabric_revocations", fleet.revocations.into()),
+            (
+                "fabric_revocations_suppressed",
+                fleet.revocations_suppressed.into(),
+            ),
             ("compile_queue_depth", (s.queue.depth() as u64).into()),
             ("compiles_coalesced", s.queue.coalesced().into()),
             ("compiles_shed", s.queue.dropped().into()),
@@ -473,8 +662,9 @@ impl Server {
     }
 
     /// Server-wide Prometheus exposition: every live session's registry
-    /// summed (counters and histogram buckets add; a restarted session's
-    /// cells simply stop contributing), plus server-level gauges.
+    /// summed (counters and histogram buckets add; a restarted or
+    /// hibernated session's cells simply stop contributing), plus
+    /// server-level gauges.
     fn server_metrics(&self) -> Json {
         let s = &self.shared;
         let mut snaps: Vec<MetricSnapshot> = Vec::new();
@@ -482,13 +672,18 @@ impl Server {
             .sessions
             .lock_unpoisoned()
             .values()
-            .map(|sess| sess.registry.clone())
+            .map(|sess| sess.registry.lock_unpoisoned().clone())
             .collect();
         for reg in registries {
             merge(&mut snaps, reg.snapshot());
         }
         let fleet = s.fleet.stats();
         let cache = s.queue.cache();
+        let steals: u64 = s
+            .shards
+            .iter()
+            .map(|sh| sh.steals.load(Ordering::Relaxed))
+            .sum();
         let gauge = |name: &str, help: &str, v: f64| MetricSnapshot {
             name: name.to_string(),
             help: help.to_string(),
@@ -506,6 +701,16 @@ impl Server {
                     "serve_sessions",
                     "Live sessions",
                     s.sessions.lock_unpoisoned().len() as f64,
+                ),
+                gauge(
+                    "serve_sessions_live",
+                    "Sessions with a live runtime",
+                    s.live_runtimes.load(Ordering::Relaxed) as f64,
+                ),
+                gauge(
+                    "serve_sessions_hibernated",
+                    "Sessions currently hibernated (runtime dropped)",
+                    s.dormant_now.load(Ordering::Relaxed) as f64,
                 ),
                 counter(
                     "serve_sessions_opened_total",
@@ -528,6 +733,42 @@ impl Server {
                     s.total_ticks.load(Ordering::Relaxed),
                 ),
                 counter(
+                    "serve_steals_total",
+                    "Sessions claimed from another worker's shard",
+                    steals,
+                ),
+                counter(
+                    "serve_hibernates_total",
+                    "Sessions frozen to a hibernation image",
+                    s.hibernates.load(Ordering::Relaxed),
+                ),
+                counter(
+                    "serve_wakes_total",
+                    "Sessions rebuilt from a hibernation image",
+                    s.wakes.load(Ordering::Relaxed),
+                ),
+                counter(
+                    "serve_wake_failures_total",
+                    "Sessions lost to an unrestorable hibernation image",
+                    s.wake_failures.load(Ordering::Relaxed),
+                ),
+                counter(
+                    "serve_hibernate_spills_total",
+                    "Hibernation images spilled to disk",
+                    s.hib_spills.load(Ordering::Relaxed),
+                ),
+                gauge(
+                    "serve_hibernate_bytes",
+                    "Bytes held by the hibernation store (memory + disk)",
+                    (s.hib_mem_bytes.load(Ordering::Relaxed)
+                        + s.hib_disk_bytes.load(Ordering::Relaxed)) as f64,
+                ),
+                counter(
+                    "serve_output_dropped_total",
+                    "Output lines dropped by bounded session queues",
+                    s.output_dropped.load(Ordering::Relaxed),
+                ),
+                counter(
                     "serve_session_panics_total",
                     "Worker panics contained at the session boundary",
                     s.session_panics.load(Ordering::Relaxed),
@@ -543,6 +784,11 @@ impl Server {
                     "serve_fabric_revocations_total",
                     "Leases revoked for arbitration",
                     fleet.revocations,
+                ),
+                counter(
+                    "serve_fabric_revocations_suppressed_total",
+                    "Revocations suppressed by lease hysteresis",
+                    fleet.revocations_suppressed,
                 ),
                 gauge(
                     "serve_compile_queue_depth",
@@ -583,7 +829,15 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.runq_cond.notify_all();
+        for shard in &self.shared.shards {
+            let _g = shard.queue.lock_unpoisoned();
+            shard.cond.notify_all();
+        }
+        {
+            let mut gate = self.shared.sweep_gate.lock_unpoisoned();
+            *gate = true;
+            self.shared.sweep_cond.notify_all();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -592,6 +846,10 @@ impl Drop for Server {
         }
         // Dropping sessions drops their runtimes, releasing fleet leases.
         self.shared.sessions.lock_unpoisoned().clear();
+        // Spilled images are worthless without their sessions.
+        if self.shared.config.hibernate_spill_dir.is_none() {
+            let _ = std::fs::remove_dir_all(&self.shared.spill_dir);
+        }
     }
 }
 
@@ -600,58 +858,265 @@ impl Shared {
         self.sessions.lock_unpoisoned().get(&id).cloned()
     }
 
-    /// Marks a session runnable and wakes one worker.
-    fn wake(&self, id: u64) {
-        self.runq.lock_unpoisoned().push_back(id);
-        self.runq_cond.notify_one();
+    /// The shard a session is pinned to (id hash, stable for its life).
+    fn home_shard(&self, id: u64) -> usize {
+        ((id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % self.shards.len() as u64) as usize
+    }
+
+    /// Marks a session runnable on its home shard and makes sure some
+    /// worker will claim it. Deduped: if the session is already scheduled
+    /// (queued or being drained), this is a no-op — the draining worker
+    /// re-checks the command queue before releasing the REPL.
+    ///
+    /// `interactive` puts the session at the *front* of its shard: a user
+    /// waiting on an eval or a probe should not queue behind a line of
+    /// 256-tick run bursts. Bulk traffic (run, service sweeps) goes to the
+    /// back. Sub-millisecond interactive tails at high tenant counts come
+    /// from this split, not from more worker threads.
+    fn wake(&self, session: &Session, interactive: bool) {
+        if session.scheduled.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let home = self.home_shard(session.id);
+        let shard = &self.shards[home];
+        let home_parked = {
+            let mut q = shard.queue.lock_unpoisoned();
+            if interactive {
+                q.push_front(session.id);
+            } else {
+                q.push_back(session.id);
+            }
+            shard.len.fetch_add(1, Ordering::SeqCst);
+            if shard.parked.load(Ordering::SeqCst) {
+                shard.cond.notify_one();
+                true
+            } else {
+                false
+            }
+        };
+        if home_parked {
+            return;
+        }
+        // The home worker is busy: hand the wakeup to any parked worker —
+        // it will find the session via its steal scan. Taking the victim's
+        // queue lock orders the notify against its park/re-check.
+        for s in &self.shards {
+            if s.parked.load(Ordering::SeqCst) {
+                let _g = s.queue.lock_unpoisoned();
+                s.cond.notify_one();
+                break;
+            }
+        }
+    }
+
+    /// Wakes the sweeper ahead of its poll tick (a worker observed the
+    /// arbiter with a revocation or reservation in flight).
+    fn nudge_sweeper(&self) {
+        let mut gate = self.sweep_gate.lock_unpoisoned();
+        if !*gate {
+            *gate = true;
+            self.sweep_cond.notify_one();
+        }
     }
 
     /// Fresh activity stamp (monotone across all sessions).
     fn stamp(&self) -> f64 {
         (self.activity.fetch_add(1, Ordering::Relaxed) + 1) as f64
     }
+
+    /// Takes a session's dormant image out of the store (accounting
+    /// updated). `None` means the session is not dormant — live, or its
+    /// REPL is checked out by some worker.
+    fn take_dormant(&self, session: &Session) -> Option<Dormant> {
+        let d = session.dormant.lock_unpoisoned().take()?;
+        self.dormant_now.fetch_sub(1, Ordering::Relaxed);
+        match &d {
+            Dormant::Mem(b) => {
+                self.hib_mem_bytes.fetch_sub(b.len(), Ordering::Relaxed);
+            }
+            Dormant::Disk { bytes, .. } => {
+                self.hib_disk_bytes.fetch_sub(*bytes, Ordering::Relaxed);
+            }
+        }
+        Some(d)
+    }
+
+    /// Puts a dormant image back untouched (the mirror of `take_dormant`).
+    fn restore_dormant(&self, session: &Session, d: Dormant) {
+        match &d {
+            Dormant::Mem(b) => {
+                self.hib_mem_bytes.fetch_add(b.len(), Ordering::Relaxed);
+            }
+            Dormant::Disk { bytes, .. } => {
+                self.hib_disk_bytes.fetch_add(*bytes, Ordering::Relaxed);
+            }
+        }
+        self.dormant_now.fetch_add(1, Ordering::Relaxed);
+        *session.dormant.lock_unpoisoned() = Some(d);
+    }
+
+    /// Stores a freshly serialized image, spilling to disk past the
+    /// memory budget.
+    fn store_dormant(&self, session: &Session, bytes: Vec<u8>) -> bool {
+        let len = bytes.len();
+        let budget = self.config.hibernate_mem_bytes;
+        let prev = self.hib_mem_bytes.fetch_add(len, Ordering::SeqCst);
+        let mut spilled = false;
+        let dormant = if prev + len > budget {
+            self.hib_mem_bytes.fetch_sub(len, Ordering::SeqCst);
+            match self.spill(session.id, &bytes) {
+                Some(path) => {
+                    self.hib_disk_bytes.fetch_add(len, Ordering::Relaxed);
+                    self.hib_spills.fetch_add(1, Ordering::Relaxed);
+                    spilled = true;
+                    Dormant::Disk { path, bytes: len }
+                }
+                None => {
+                    // Disk refused the image: keep it in memory over
+                    // budget rather than lose the session.
+                    self.hib_mem_bytes.fetch_add(len, Ordering::SeqCst);
+                    Dormant::Mem(bytes)
+                }
+            }
+        } else {
+            Dormant::Mem(bytes)
+        };
+        self.dormant_now.fetch_add(1, Ordering::Relaxed);
+        *session.dormant.lock_unpoisoned() = Some(dormant);
+        spilled
+    }
+
+    fn spill(&self, id: u64, bytes: &[u8]) -> Option<PathBuf> {
+        if std::fs::create_dir_all(&self.spill_dir).is_err() {
+            return None;
+        }
+        let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.spill_dir.join(format!("s{id}-{seq}.hib"));
+        std::fs::write(&path, bytes).ok()?;
+        Some(path)
+    }
 }
 
 // ---------------------------------------------------------------------
-// Worker: checks out a session's REPL and drains its command queue
+// Worker: sharded run queues with randomized stealing
 // ---------------------------------------------------------------------
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, me: usize) {
+    let mut prng = cascade_bits::Prng::new(0x5eed_0000 ^ me as u64);
     loop {
-        let id = {
-            let mut q = shared.runq.lock_unpoisoned();
-            loop {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                if let Some(id) = q.pop_front() {
-                    break id;
-                }
-                q = shared
-                    .runq_cond
-                    .wait(q)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(id) = next_session_id(shared, me, &mut prng) else {
+            continue; // parked and timed out (or woken empty): rescan
         };
         let Some(session) = shared.session(id) else {
-            continue;
+            continue; // closed while queued
         };
-        // Check the REPL out; if another worker has it, that worker will
-        // re-drain the queue before putting it back.
-        let Some(mut repl) = session.repl.lock_unpoisoned().take() else {
-            continue;
+        run_session(shared, &session);
+    }
+}
+
+/// Local pop → randomized steal scan → park (with a timeout safety net).
+fn next_session_id(shared: &Shared, me: usize, prng: &mut cascade_bits::Prng) -> Option<u64> {
+    let shards = &shared.shards;
+    let mine = &shards[me];
+    // 1. Local pop.
+    {
+        let mut q = mine.queue.lock_unpoisoned();
+        if let Some(id) = q.pop_front() {
+            mine.len.fetch_sub(1, Ordering::SeqCst);
+            return Some(id);
+        }
+    }
+    // 2. Steal scan from a random starting victim. Steals take the tail:
+    // the victim owner drains from the head.
+    let n = shards.len();
+    if n > 1 {
+        let start = prng.below(n as u64) as usize;
+        for k in 0..n {
+            let j = (start + k) % n;
+            if j == me || shards[j].len.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            let mut q = shards[j].queue.lock_unpoisoned();
+            if let Some(id) = q.pop_back() {
+                shards[j].len.fetch_sub(1, Ordering::SeqCst);
+                mine.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(id);
+            }
+        }
+    }
+    // 3. Park on the home shard. The parked flag is published before the
+    // final emptiness re-check; `wake` increments a shard len before
+    // reading parked flags — under SeqCst one side always sees the other,
+    // so a wakeup cannot be lost.
+    let mut q = mine.queue.lock_unpoisoned();
+    mine.parked.store(true, Ordering::SeqCst);
+    let work_visible = !q.is_empty()
+        || shared.shutdown.load(Ordering::SeqCst)
+        || shards
+            .iter()
+            .enumerate()
+            .any(|(j, s)| j != me && s.len.load(Ordering::SeqCst) > 0);
+    if !work_visible {
+        let (guard, _) = mine
+            .cond
+            .wait_timeout(q, PARK_TIMEOUT)
+            .unwrap_or_else(PoisonError::into_inner);
+        q = guard;
+    }
+    mine.parked.store(false, Ordering::SeqCst);
+    let id = q.pop_front();
+    if id.is_some() {
+        mine.len.fetch_sub(1, Ordering::SeqCst);
+    }
+    id
+}
+
+/// What `ensure_repl` decided about a command that arrived while the
+/// session had no live REPL in hand.
+enum Disposition {
+    /// Handled without a runtime; move to the next command.
+    Handled,
+    /// Session torn down (closed, or wake failed); stop draining.
+    Exit,
+    /// A runtime is now in hand; execute the command.
+    Execute(Cmd),
+}
+
+/// Drains a session's command queue through one REPL checkout. Claims the
+/// live REPL if present, wakes the session from its hibernation image on
+/// the first command that needs a runtime, and hands the commands back if
+/// another worker currently holds the REPL.
+fn run_session(shared: &Shared, session: &Arc<Session>) {
+    // This worker is now responsible: later wakes must re-enqueue.
+    session.scheduled.store(false, Ordering::SeqCst);
+    let mut repl: Option<Box<Repl>> = session.repl.lock_unpoisoned().take();
+    loop {
+        if session.closed.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some(cmd) = session.cmds.lock_unpoisoned().pop_front() else {
+            break;
         };
-        while let Some(cmd) = {
-            let popped = session.cmds.lock_unpoisoned().pop_front();
-            popped
-        } {
-            // Isolation boundary: a panic while executing one session's
-            // command kills that session with a structured error. The
-            // worker, the server, and every other tenant keep running.
-            let reply_tx = cmd.reply_tx();
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
-                execute(shared, &session, &mut repl, cmd);
-            })) {
+        let cmd = if repl.is_some() {
+            cmd
+        } else {
+            match ensure_repl(shared, session, &mut repl, cmd) {
+                Disposition::Handled => continue,
+                Disposition::Exit => return,
+                Disposition::Execute(cmd) => cmd,
+            }
+        };
+        let r = repl.as_mut().expect("repl in hand");
+        // Isolation boundary: a panic while executing one session's
+        // command kills that session with a structured error. The
+        // worker, the server, and every other tenant keep running.
+        let reply_tx = cmd.reply_tx();
+        let flow = match catch_unwind(AssertUnwindSafe(|| execute(shared, session, r, cmd))) {
+            Ok(flow) => flow,
+            Err(payload) => {
                 shared.session_panics.fetch_add(1, Ordering::Relaxed);
                 session.closed.store(true, Ordering::Relaxed);
                 let msg = panic_message(payload.as_ref());
@@ -673,28 +1138,252 @@ fn worker_loop(shared: &Shared) {
                         )));
                     }
                 }
+                Flow::Continue
             }
-            if session.closed.load(Ordering::Relaxed) {
-                break;
+        };
+        if let Flow::Hibernate(tx) = flow {
+            let held = repl.take().expect("repl in hand");
+            match try_hibernate(shared, session, held) {
+                Ok((bytes, spilled)) => {
+                    if let Some(tx) = tx {
+                        let _ = tx.send(ok([
+                            ("hibernated", true.into()),
+                            ("bytes", (bytes as u64).into()),
+                            ("spilled", spilled.into()),
+                        ]));
+                    }
+                }
+                Err((held, reason)) => {
+                    repl = Some(held);
+                    if let Some(tx) = tx {
+                        let _ = tx.send(ok([
+                            ("hibernated", false.into()),
+                            ("reason", reason.into()),
+                        ]));
+                    }
+                }
             }
         }
-        if session.closed.load(Ordering::Relaxed) {
-            // Dropping the REPL drops the runtime: its `Drop` releases the
-            // fabric lease and cancels any pending fleet request.
-            shared.sessions.lock_unpoisoned().remove(&session.id);
-            drop(repl);
-        } else {
-            *session.repl.lock_unpoisoned() = Some(repl);
-            // A command may have arrived between the last pop and the
-            // put-back; make sure it gets a worker.
-            if !session.cmds.lock_unpoisoned().is_empty() {
-                shared.wake(session.id);
+    }
+    if session.closed.load(Ordering::Relaxed) {
+        // Dropping the REPL drops the runtime: its `Drop` releases the
+        // fabric lease and cancels any pending fleet request.
+        shared.sessions.lock_unpoisoned().remove(&session.id);
+        if repl.take().is_some() {
+            shared.live_runtimes.fetch_sub(1, Ordering::Relaxed);
+        }
+    } else {
+        if let Some(r) = repl {
+            *session.repl.lock_unpoisoned() = Some(r);
+        }
+        // A command may have arrived between the last pop and the
+        // put-back; make sure it gets a worker (at the tier of whatever
+        // is now at the front).
+        let straggler = session
+            .cmds
+            .lock_unpoisoned()
+            .front()
+            .map(Cmd::is_interactive);
+        if let Some(interactive) = straggler {
+            shared.wake(session, interactive);
+        }
+        // Event-driven sweeper: if this batch left the arbiter with a
+        // revocation or reservation in flight, service the affected
+        // sessions now instead of on the next poll tick.
+        if shared.config.fabrics > 0 && shared.fleet.needs_service() {
+            shared.nudge_sweeper();
+        }
+    }
+}
+
+/// Obtains a runtime for a command that arrived while `repl` was empty:
+/// wakes a dormant session, short-circuits commands that need no runtime,
+/// and yields to the worker that has the REPL checked out.
+fn ensure_repl(
+    shared: &Shared,
+    session: &Arc<Session>,
+    repl: &mut Option<Box<Repl>>,
+    cmd: Cmd,
+) -> Disposition {
+    // The service pump has nothing to advance in a session with no
+    // runtime (no lease, no compile in flight).
+    if matches!(cmd, Cmd::Service) {
+        return Disposition::Handled;
+    }
+    match shared.take_dormant(session) {
+        Some(image) => match cmd {
+            Cmd::Hibernate { tx } => {
+                // Already dormant: put the image back untouched.
+                shared.restore_dormant(session, image);
+                if let Some(tx) = tx {
+                    let _ = tx.send(ok([("hibernated", true.into()), ("bytes", 0.into())]));
+                }
+                Disposition::Handled
+            }
+            Cmd::Close { tx } => {
+                // Close without waking: discard the image, drop the session.
+                if let Dormant::Disk { path, .. } = &image {
+                    let _ = std::fs::remove_file(path);
+                }
+                drop(image);
+                session.closed.store(true, Ordering::Relaxed);
+                shared.sessions.lock_unpoisoned().remove(&session.id);
+                match tx {
+                    Some(tx) => {
+                        let _ = tx.send(ok([]));
+                    }
+                    None => {
+                        shared.sessions_reaped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                fail_queued(session, &format!("session {} closed", session.id));
+                Disposition::Exit
+            }
+            cmd => match wake_session(shared, session, image) {
+                Ok(r) => {
+                    *repl = Some(r);
+                    Disposition::Execute(cmd)
+                }
+                Err(msg) => {
+                    shared.wake_failures.fetch_add(1, Ordering::Relaxed);
+                    session.closed.store(true, Ordering::Relaxed);
+                    shared.sessions.lock_unpoisoned().remove(&session.id);
+                    let full = format!("session {} wake failed: {msg}", session.id);
+                    if let Some(tx) = cmd.reply_tx() {
+                        let _ = tx.send(err(full.clone()));
+                    }
+                    fail_queued(session, &full);
+                    Disposition::Exit
+                }
+            },
+        },
+        None => {
+            // Another worker has the REPL checked out. Hand the command
+            // back for the holder's drain. If the holder put the REPL
+            // back in the meantime, claim it ourselves; otherwise its
+            // put-back re-check will see this command and re-wake.
+            session.cmds.lock_unpoisoned().push_front(cmd);
+            match session.repl.lock_unpoisoned().take() {
+                Some(r) => {
+                    *repl = Some(r);
+                    Disposition::Handled
+                }
+                None => Disposition::Exit,
             }
         }
     }
 }
 
-fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
+/// Error-replies every command still queued on a dead session.
+fn fail_queued(session: &Session, msg: &str) {
+    let dead: Vec<Cmd> = session.cmds.lock_unpoisoned().drain(..).collect();
+    for c in dead {
+        if let Some(tx) = c.reply_tx() {
+            let _ = tx.send(err(msg.to_string()));
+        }
+    }
+}
+
+/// Rebuilds a runtime from a hibernation image: replay the source log,
+/// restore the checkpointed engine state, reattach fleet/compiler/trace.
+fn wake_session(
+    shared: &Shared,
+    session: &Arc<Session>,
+    image: Dormant,
+) -> Result<Box<Repl>, String> {
+    let t0 = Instant::now();
+    let bytes = match image {
+        Dormant::Mem(b) => b,
+        Dormant::Disk { path, .. } => {
+            let b = std::fs::read(&path).map_err(|e| format!("spill read failed: {e}"))?;
+            let _ = std::fs::remove_file(&path);
+            b
+        }
+    };
+    let image = HibernateImage::from_bytes(&bytes)?;
+    let mut jit = shared.config.jit.clone();
+    jit.trace = shared.trace.clone();
+    let board = session.board.clone();
+    let queue = shared.queue.clone();
+    let fleet = shared.fleet.clone();
+    let id = session.id;
+    let built = catch_unwind(AssertUnwindSafe(|| -> Result<Runtime, String> {
+        let mut rt = Runtime::new(board, jit).map_err(|e| e.to_string())?;
+        rt.attach_compile_queue(queue);
+        rt.attach_fleet(fleet, id);
+        rt.set_trace_track(id);
+        rt.restore_image(&image).map_err(|e| e.to_string())?;
+        Ok(rt)
+    }));
+    let rt = match built {
+        Ok(Ok(rt)) => rt,
+        Ok(Err(e)) => return Err(e),
+        Err(payload) => return Err(panic_message(payload.as_ref())),
+    };
+    *session.registry.lock_unpoisoned() = rt.metrics_registry().clone();
+    shared.live_runtimes.fetch_add(1, Ordering::Relaxed);
+    shared.wakes.fetch_add(1, Ordering::Relaxed);
+    if shared.trace.enabled() {
+        shared.trace.host_instant(
+            session.id,
+            "serve",
+            "wake",
+            &[
+                ("bytes", Arg::U64(bytes.len() as u64)),
+                ("us", Arg::U64(t0.elapsed().as_micros() as u64)),
+            ],
+        );
+    }
+    Ok(Box::new(Repl::new(rt)))
+}
+
+/// Freezes a live session: verified checkpoint → image → store (spilling
+/// past the memory budget) → runtime dropped. On refusal (native mode,
+/// active VCD, speculation-verify failure) the REPL is handed back.
+fn try_hibernate(
+    shared: &Shared,
+    session: &Arc<Session>,
+    mut repl: Box<Repl>,
+) -> Result<(usize, bool), (Box<Repl>, String)> {
+    let t0 = Instant::now();
+    let rt = repl.runtime();
+    let image = match rt.hibernate_image() {
+        Ok(image) => image,
+        Err(e) => return Err((repl, e.to_string())),
+    };
+    // Verification may have committed quarantined output; flush the lot
+    // into the session queue before the runtime goes away.
+    let pending = rt.drain_output();
+    push_output(shared, session, pending);
+    drop(repl); // releases the fabric lease, cancels fleet/compile interest
+    shared.live_runtimes.fetch_sub(1, Ordering::Relaxed);
+    shared.hibernates.fetch_add(1, Ordering::Relaxed);
+    let bytes = image.to_bytes();
+    let len = bytes.len();
+    let spilled = shared.store_dormant(session, bytes);
+    if shared.trace.enabled() {
+        shared.trace.host_instant(
+            session.id,
+            "serve",
+            "hibernate",
+            &[
+                ("bytes", Arg::U64(len as u64)),
+                ("spilled", Arg::Bool(spilled)),
+                ("us", Arg::U64(t0.elapsed().as_micros() as u64)),
+            ],
+        );
+    }
+    Ok((len, spilled))
+}
+
+/// What the drain loop should do after a command executes.
+enum Flow {
+    Continue,
+    /// Consume the REPL and freeze the session (reply on the sender).
+    Hibernate(Option<Sender<Json>>),
+}
+
+fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flow {
     match cmd {
         Cmd::Eval { line, tx } => {
             shared.evals.fetch_add(1, Ordering::Relaxed);
@@ -716,7 +1405,7 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
         }
         Cmd::Run { ticks, tx } => {
             // A scheduled worker fault strikes at the start of a run
-            // command; the containment boundary in `worker_loop` turns it
+            // command; the containment boundary in `run_session` turns it
             // into a structured session death.
             if shared.config.jit.faults.next_session_panic() {
                 panic!("injected session worker panic");
@@ -734,7 +1423,8 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
                 let chunk = (ticks - done).min(RUN_CHUNK);
                 match rt.run_ticks(chunk) {
                     Ok(k) => {
-                        push_output(session, shared.config.output_capacity, rt.drain_output());
+                        let lines = rt.drain_output();
+                        push_output(shared, session, lines);
                         if k == 0 {
                             break;
                         }
@@ -742,7 +1432,7 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
                     }
                     Err(e) => {
                         let _ = tx.send(err(e.to_string()));
-                        return;
+                        return Flow::Continue;
                     }
                 }
             }
@@ -759,7 +1449,7 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
             // Sweep anything still inside the runtime, then hand over the
             // whole queue.
             let pending = repl.runtime().drain_output();
-            push_output(session, shared.config.output_capacity, pending);
+            push_output(shared, session, pending);
             let mut out = session.output.lock_unpoisoned();
             let lines: Vec<String> = out.lines.drain(..).collect();
             let dropped = std::mem::take(&mut out.dropped);
@@ -849,13 +1539,10 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
         Cmd::Service => {
             // Best effort: a service fault surfaces on the next command.
             if let Err(e) = repl.runtime().service() {
-                push_output(
-                    session,
-                    shared.config.output_capacity,
-                    vec![format!("service error: {e}")],
-                );
+                push_output(shared, session, vec![format!("service error: {e}")]);
             }
         }
+        Cmd::Hibernate { tx } => return Flow::Hibernate(tx),
         Cmd::Close { tx } => {
             session.closed.store(true, Ordering::Relaxed);
             if let Some(tx) = tx {
@@ -865,6 +1552,7 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) {
             }
         }
     }
+    Flow::Continue
 }
 
 /// Blocks until any in-flight compile resolves, advancing the session's
@@ -896,17 +1584,26 @@ fn output_full(session: &Session, capacity: usize) -> bool {
     session.output.lock_unpoisoned().lines.len() >= capacity
 }
 
-fn push_output(session: &Session, capacity: usize, lines: Vec<String>) {
+fn push_output(shared: &Shared, session: &Session, lines: Vec<String>) {
     if lines.is_empty() {
         return;
     }
+    let capacity = shared.config.output_capacity;
     let mut out = session.output.lock_unpoisoned();
+    let mut dropped_now = 0u64;
     for line in lines {
         if out.lines.len() >= capacity {
             out.lines.pop_front();
             out.dropped += 1;
+            dropped_now += 1;
         }
         out.lines.push_back(line);
+    }
+    drop(out);
+    if dropped_now > 0 {
+        shared
+            .output_dropped
+            .fetch_add(dropped_now, Ordering::Relaxed);
     }
 }
 
@@ -921,23 +1618,68 @@ fn mode_str(mode: ExecMode) -> &'static str {
 }
 
 // ---------------------------------------------------------------------
-// Sweeper: service pump + idle reaper
+// Sweeper: service pump + hibernation + idle reaper
 // ---------------------------------------------------------------------
 
-/// Every few milliseconds: enqueue a `Service` for idle sessions whose
-/// lease/compile state machines may need to advance (the fleet names
-/// tenants being revoked or holding reservations; polling everyone is
-/// also how staged compiles land without user traffic), and reap sessions
-/// idle past the timeout.
+/// Periodically (and on worker nudges, when the arbiter has a revocation
+/// or reservation in flight): enqueue a `Service` for idle *live*
+/// sessions so lease/compile state machines advance without user traffic,
+/// hibernate sessions idle past `hibernate_after_s` (or the most-idle
+/// ones when the live count exceeds `max_live_sessions`), and reap
+/// sessions idle past the timeout. Dormant sessions cost nothing here —
+/// they have no state machines to pump.
 fn sweeper_loop(shared: &Shared) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(Duration::from_millis(5));
+    let poll = Duration::from_millis(shared.config.sweeper_poll_ms.max(1));
+    loop {
+        {
+            let mut gate = shared.sweep_gate.lock_unpoisoned();
+            if !*gate {
+                let (guard, _) = shared
+                    .sweep_cond
+                    .wait_timeout(gate, poll)
+                    .unwrap_or_else(PoisonError::into_inner);
+                gate = guard;
+            }
+            *gate = false;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         let sessions: Vec<Arc<Session>> = shared
             .sessions
             .lock_unpoisoned()
             .values()
             .cloned()
             .collect();
+        // Live-count pressure: pick the most-idle live sessions to freeze
+        // when over budget.
+        let max_live = shared.config.max_live_sessions;
+        let mut pressure: Vec<u64> = Vec::new();
+        if max_live > 0 {
+            let live = shared.live_runtimes.load(Ordering::Relaxed);
+            if live > max_live {
+                let mut idle_live: Vec<(f64, u64)> = sessions
+                    .iter()
+                    .filter(|s| {
+                        !s.closed.load(Ordering::Relaxed)
+                            && s.dormant.lock_unpoisoned().is_none()
+                            && s.cmds.lock_unpoisoned().is_empty()
+                    })
+                    .map(|s| {
+                        (
+                            s.last_active.lock_unpoisoned().elapsed().as_secs_f64(),
+                            s.id,
+                        )
+                    })
+                    .collect();
+                idle_live.sort_by(|a, b| b.0.total_cmp(&a.0));
+                pressure = idle_live
+                    .into_iter()
+                    .take(live - max_live)
+                    .map(|(_, id)| id)
+                    .collect();
+            }
+        }
         for session in sessions {
             if session.closed.load(Ordering::Relaxed) {
                 continue;
@@ -947,16 +1689,31 @@ fn sweeper_loop(shared: &Shared) {
                 .lock_unpoisoned()
                 .elapsed()
                 .as_secs_f64();
-            let mut cmds = session.cmds.lock_unpoisoned();
             if idle_s > shared.config.idle_timeout_s {
-                cmds.push_back(Cmd::Close { tx: None });
-            } else if cmds.is_empty() {
-                cmds.push_back(Cmd::Service);
-            } else {
+                session
+                    .cmds
+                    .lock_unpoisoned()
+                    .push_back(Cmd::Close { tx: None });
+                shared.wake(&session, false);
                 continue;
             }
+            if session.dormant.lock_unpoisoned().is_some() {
+                continue; // nothing to pump, nothing to freeze
+            }
+            let hibernate = pressure.contains(&session.id)
+                || (shared.config.hibernate_after_s > 0.0
+                    && idle_s > shared.config.hibernate_after_s);
+            let mut cmds = session.cmds.lock_unpoisoned();
+            if !cmds.is_empty() {
+                continue; // busy: the drain loop is already servicing it
+            }
+            if hibernate {
+                cmds.push_back(Cmd::Hibernate { tx: None });
+            } else {
+                cmds.push_back(Cmd::Service);
+            }
             drop(cmds);
-            shared.wake(session.id);
+            shared.wake(&session, false);
         }
     }
 }

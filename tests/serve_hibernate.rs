@@ -1,0 +1,265 @@
+//! Session hibernation: freeze/wake transparency under chaos, the
+//! wake-under-revocation race, and the 10K mostly-idle tenant soak.
+//!
+//! Hibernation drops a session's entire runtime — engines, compiler
+//! handle, fabric lease — keeping only a serialized image. These tests
+//! pin down the contract: a session that hibernates and wakes (repeatedly,
+//! under a random fault schedule) produces a transcript byte-identical to
+//! a solo runtime that never stopped; a woken session re-promoting into a
+//! contended fleet survives a revocation injected mid-migration; and a
+//! server holding ten thousand mostly-idle sessions keeps its live-runtime
+//! count bounded while still serving a woken tenant's first command
+//! correctly.
+
+use cascade_core::{JitConfig, Runtime};
+use cascade_fpga::{ArbiterConfig, Board, FaultPlan};
+use cascade_serve::{InProcClient, Json, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+const COUNTER: &str = "reg [15:0] cnt = 0;\n\
+                       always @(posedge clk.val) cnt <= cnt + 1;\n\
+                       always @(posedge clk.val) if (cnt[2:0] == 3'd7) $display(\"c=%d\", cnt);\n\
+                       assign led.val = cnt[7:0];";
+
+fn stat_u64(stats: &Json, key: &str) -> u64 {
+    stats.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Polls `cond` until it holds or the deadline passes.
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A session that hibernates and wakes between every run burst, under a
+/// seeded random fault schedule, must produce the same `$display`
+/// transcript, probe state, and tick count as a fault-free solo runtime
+/// that never stopped.
+#[test]
+fn hibernate_wake_chaos_round_trip_matches_oracle() {
+    for seed in [1u64, 7, 42] {
+        let mut config = ServeConfig::quick();
+        config.fabrics = 1;
+        config.workers = 2;
+        config.jit.scrub_interval_ticks = 4;
+        config.jit.faults = FaultPlan::random(seed);
+        // Only explicit hibernate commands: the sweeper stays out of the
+        // timing so the test controls every freeze point.
+        config.hibernate_after_s = 0.0;
+        let server = Server::new(config);
+        let mut client = InProcClient::connect(&server);
+        client.open().expect("open");
+        client.eval_all(COUNTER).expect("eval counter");
+
+        let mut lines = Vec::new();
+        let mut ticks = 0u64;
+        let mut froze = 0u64;
+        for i in 0..10 {
+            let r = client.run(17).expect("run");
+            ticks += r.ticks;
+            let (batch, dropped) = client.drain().expect("drain");
+            assert_eq!(dropped, 0, "seed {seed}: no output may drop");
+            lines.extend(batch);
+            if i % 2 == 0 && client.hibernate().expect("hibernate") {
+                froze += 1;
+            }
+        }
+        assert!(froze >= 4, "seed {seed}: sessions froze only {froze} times");
+        // Wake once more for the final probe, then cross-check the books.
+        let cnt = client.probe("cnt").expect("probe").expect("cnt exists");
+        let stats = client.server_stats().expect("server stats");
+        assert!(
+            stat_u64(&stats, "wakes") > froze,
+            "every freeze implies a wake plus the lazy-open one"
+        );
+        assert_eq!(stat_u64(&stats, "wake_failures"), 0, "seed {seed}");
+
+        let oboard = Board::new();
+        let mut ocfg = JitConfig::default();
+        ocfg.toolchain.time_scale = 1e-6;
+        ocfg.scrub_interval_ticks = 4;
+        let mut oracle = Runtime::new(oboard, ocfg).expect("oracle runtime");
+        oracle.eval(COUNTER).expect("oracle eval");
+        oracle.run_ticks(ticks).expect("oracle run");
+        assert_eq!(
+            lines,
+            oracle.drain_output(),
+            "seed {seed}: transcript diverged across hibernation"
+        );
+        assert_eq!(
+            Some(cnt),
+            oracle.probe("cnt").map(|b| b.to_u64()),
+            "seed {seed}: counter state diverged across hibernation"
+        );
+    }
+}
+
+/// The wake-under-revocation race: a hibernated session wakes into a
+/// fully-contended one-fabric fleet, evicts the squatter (eager arbiter),
+/// and an injected `migration_revoke` yanks the lease back mid-migration.
+/// The woken session must land in software with exact state, not corrupt
+/// or deadlock.
+#[test]
+fn wake_survives_revocation_injected_mid_promotion() {
+    let mut config = ServeConfig::quick();
+    config.fabrics = 1;
+    config.workers = 2;
+    // Strict hottest-wins arbitration: the woken (hotter) session evicts
+    // immediately, which is exactly the window the fault targets.
+    config.arbiter = ArbiterConfig::eager();
+    config.jit.faults = FaultPlan::builder().migration_revoke(1).build();
+    config.hibernate_after_s = 0.0;
+    let server = Server::new(config);
+
+    let mut a = InProcClient::connect(&server);
+    a.open().expect("open a");
+    a.eval_all(COUNTER).expect("eval a");
+    let mut ra = a.run(64).expect("run a");
+    let mut ticks_a = ra.ticks;
+
+    // Freeze A: its lease (if any) returns to the fleet.
+    assert!(a.hibernate().expect("hibernate a"), "a must freeze");
+
+    // B takes over the only fabric while A sleeps.
+    let mut b = InProcClient::connect(&server);
+    b.open().expect("open b");
+    b.eval_all("reg [7:0] r = 0;\nalways @(posedge clk.val) r <= r + 2;")
+        .expect("eval b");
+    b.run(64).expect("run b");
+    b.wait_compile().expect("b compile");
+    b.run(64).expect("run b hw");
+
+    // A wakes hotter than B (every command takes a fresher activity
+    // stamp), re-compiles, and re-promotes — hitting the injected
+    // mid-migration revocation on the way up.
+    for _ in 0..30 {
+        ra = a.run(32).expect("run woken a");
+        ticks_a += ra.ticks;
+        a.wait_compile().expect("a compile");
+        let stats = a.server_stats().expect("stats");
+        if stat_u64(&stats, "fabric_revocations") >= 1 {
+            break;
+        }
+    }
+    let stats = a.server_stats().expect("stats");
+    assert!(
+        stat_u64(&stats, "fabric_revocations") >= 1,
+        "the contended wake never triggered a revocation"
+    );
+
+    // Both tenants still serve correct state after the scramble; A's
+    // transcript and counter must match a solo runtime that never left
+    // software.
+    let (lines, dropped) = a.drain().expect("drain a");
+    assert_eq!(dropped, 0);
+    let mut oracle = Runtime::new(Board::new(), JitConfig::default()).expect("oracle");
+    oracle.eval(COUNTER).expect("oracle eval");
+    oracle.run_ticks(ticks_a).expect("oracle run");
+    assert_eq!(
+        lines,
+        oracle.drain_output(),
+        "A's transcript broke across the race"
+    );
+    assert_eq!(
+        a.probe("cnt").expect("probe a"),
+        oracle.probe("cnt").map(|b| b.to_u64()),
+        "A's counter state broke across the race"
+    );
+    assert!(b.probe("r").expect("probe b").is_some(), "B died");
+}
+
+/// The 10K-tenant soak: ten thousand sessions, a handful active, the rest
+/// idle. The sweeper hibernates idle tenants (spilling images to disk past
+/// the memory budget), the live-runtime count stays bounded, and a woken
+/// tenant's first command after days asleep is served correctly.
+#[test]
+fn ten_thousand_idle_sessions_stay_bounded_and_wake_correctly() {
+    const SESSIONS: usize = 10_000;
+    const ACTIVE: usize = 24;
+    let mut config = ServeConfig::quick();
+    config.fabrics = 1;
+    config.workers = 2;
+    // The soak targets the hibernation store, not the JIT: skip auto
+    // compiles so the compile pool isn't a 24-job backlog in debug builds.
+    config.jit.auto_compile = false;
+    config.hibernate_after_s = 0.05;
+    config.sweeper_poll_ms = 5;
+    config.max_live_sessions = 32;
+    // A deliberately tiny memory budget forces images onto disk.
+    config.hibernate_mem_bytes = 64 << 10;
+    let server = Server::new(config);
+
+    let mut client = InProcClient::connect(&server);
+    let mut ids = Vec::with_capacity(SESSIONS);
+    for _ in 0..SESSIONS {
+        ids.push(client.open().expect("open"));
+    }
+
+    // A few tenants do real work (building real runtimes), the rest stay
+    // dormant-from-birth and must cost nothing.
+    let mut active = Vec::new();
+    for &id in ids.iter().take(ACTIVE) {
+        let mut c = InProcClient::connect(&server);
+        c.attach(id).expect("attach");
+        c.eval_all("reg [15:0] n = 0;\nalways @(posedge clk.val) n <= n + 1;")
+            .expect("eval");
+        let r = c.run(100).expect("run");
+        assert_eq!(r.ticks, 100);
+        active.push((c, id));
+    }
+
+    // The sweeper freezes the active set once it goes idle.
+    wait_until(
+        || {
+            let stats = client.server_stats().expect("stats");
+            stat_u64(&stats, "sessions_live") == 0
+        },
+        "all live runtimes to hibernate",
+    );
+
+    let stats = client.server_stats().expect("stats");
+    assert_eq!(stat_u64(&stats, "sessions"), SESSIONS as u64);
+    assert_eq!(stat_u64(&stats, "sessions_hibernated"), SESSIONS as u64);
+    assert!(
+        stat_u64(&stats, "hibernates") >= ACTIVE as u64,
+        "each active tenant hibernates at least once"
+    );
+    assert!(
+        stat_u64(&stats, "hibernate_spills") > 0,
+        "the tiny memory budget must spill images to disk"
+    );
+    assert!(
+        stat_u64(&stats, "hibernate_mem_bytes") <= (64 << 10) + 4096,
+        "the in-memory store must respect its budget (one image of slack)"
+    );
+
+    // Wake a mid-pack tenant: its first command must see exact state.
+    let (c, _) = &mut active[ACTIVE / 2];
+    assert_eq!(
+        c.probe("n").expect("probe woken"),
+        Some(100),
+        "woken tenant lost state"
+    );
+    let r = c.run(28).expect("run woken");
+    assert_eq!(r.ticks, 28);
+    assert_eq!(c.probe("n").expect("probe again"), Some(128));
+
+    // A dormant-from-birth tenant wakes into an empty-but-working REPL.
+    let mut fresh = InProcClient::connect(&server);
+    fresh.attach(ids[SESSIONS - 1]).expect("attach fresh");
+    fresh
+        .eval_all("reg [7:0] z = 9;")
+        .expect("eval fresh tenant");
+    assert_eq!(fresh.probe("z").expect("probe fresh"), Some(9));
+
+    let stats = client.server_stats().expect("stats");
+    assert!(
+        stat_u64(&stats, "sessions_live") <= 32,
+        "the live-runtime bound broke"
+    );
+    assert!(stat_u64(&stats, "wakes") >= (ACTIVE + 2) as u64);
+    assert_eq!(stat_u64(&stats, "wake_failures"), 0);
+}
