@@ -77,10 +77,19 @@ pub fn schema_header(bench: &str, clock: &str) -> String {
     )
 }
 
-/// `git describe --always --dirty`, or `"unknown"` when git or the
-/// repository metadata is unavailable (a source tarball, a stripped CI
-/// checkout).
+/// The revision stamped into bench output: `CASCADE_BENCH_GIT` when set
+/// (CI can pin the exact rev even in a stripped checkout), otherwise
+/// `git describe --always --dirty` run at bench time, or `"unknown"` when
+/// git or the repository metadata is unavailable (a source tarball).
+/// Stamping at runtime keeps `schema.git` honest — it names the tree the
+/// numbers were measured on, never a stale build-time constant.
 pub fn git_describe() -> String {
+    if let Some(rev) = std::env::var("CASCADE_BENCH_GIT")
+        .ok()
+        .filter(|s| !s.is_empty())
+    {
+        return rev;
+    }
     std::process::Command::new("git")
         .args(["describe", "--tags", "--always", "--dirty"])
         .current_dir(env!("CARGO_MANIFEST_DIR"))

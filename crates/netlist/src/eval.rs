@@ -7,9 +7,10 @@
 //! changed is re-evaluated. The previous interpretive loop survives as
 //! [`crate::ReferenceSim`] for benchmarking and differential testing.
 
-use crate::exec::{kernel_name, Program, ProgramStats, State};
+use crate::exec::{kernel_name, NlProfileState, Program, ProgramStats, State};
 use crate::ir::*;
 use crate::level::LevelError;
+use crate::par::EvalPool;
 use cascade_bits::Bits;
 use cascade_verilog::ast::Edge;
 use std::cmp::Ordering;
@@ -35,6 +36,18 @@ pub struct NlProfileReport {
     /// Executions per output net, hottest first (top 16). Unnamed
     /// temporaries appear as `$n<id>`.
     pub hot_nets: Vec<(String, u64)>,
+    /// `(level, share)` of each level's executions that ran split across
+    /// the worker pool (thread utilization of the cutover heuristic).
+    /// Empty when no pool is attached or no level crossed the cutover.
+    pub level_util: Vec<(u32, f64)>,
+    /// `(kernel, occupancy)`: the share of evaluated lanes whose output
+    /// actually changed, per kernel kind, on the change-tracking paths.
+    /// Low occupancy on a wide batch means lanes have diverged.
+    pub kernel_occupancy: Vec<(&'static str, f64)>,
+    /// Lane count of the profiled evaluator (1 for the scalar engine).
+    pub lanes: u32,
+    /// Worker-pool threads attached (1 = single-threaded).
+    pub threads: u32,
 }
 
 /// Executes a synthesized [`Netlist`] cycle by cycle.
@@ -123,38 +136,22 @@ impl NetlistSim {
     /// the netlist kept them.
     pub fn profile_report(&self) -> Option<NlProfileReport> {
         let p = self.st.profile()?;
-        let levels = p
-            .level_execs
-            .iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 0)
-            .map(|(lvl, &n)| (lvl as u32, n))
-            .collect();
-        let mut by_kernel: std::collections::BTreeMap<&'static str, u64> =
-            std::collections::BTreeMap::new();
-        let mut by_net: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
-        for (i, &n) in p.instr_execs.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            let ins = &self.prog.instrs[i];
-            *by_kernel.entry(kernel_name(&ins.kernel)).or_default() += n;
-            let name = match &self.nl.nets[ins.out as usize].name {
-                Some(name) => name.clone(),
-                None => format!("$n{}", ins.out),
-            };
-            *by_net.entry(name).or_default() += n;
-        }
-        let mut kernels: Vec<(&'static str, u64)> = by_kernel.into_iter().collect();
-        kernels.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-        let mut hot_nets: Vec<(String, u64)> = by_net.into_iter().collect();
-        hot_nets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        hot_nets.truncate(16);
-        Some(NlProfileReport {
-            levels,
-            kernels,
-            hot_nets,
-        })
+        Some(build_profile_report(
+            &self.nl,
+            &self.prog,
+            p,
+            self.st.pool_threads(),
+        ))
+    }
+
+    /// Attaches a worker pool of `n` total threads for dense settles
+    /// (`n <= 1` detaches). Wide combinational levels are split into
+    /// contiguous chunks across the pool; narrow levels — statically, or
+    /// as observed by the activity histograms when profiling is on — stay
+    /// single-threaded.
+    pub fn set_eval_threads(&mut self, n: u32) {
+        let pool = (n > 1).then(|| Arc::new(EvalPool::new(n as usize)));
+        self.st.set_pool(&self.prog, pool);
     }
 
     /// Whether a `$finish` task has fired.
@@ -402,6 +399,75 @@ impl NetlistSim {
             self.st.settle_auto(&prog);
         }
         done
+    }
+}
+
+/// Builds the user-facing activity report from raw counters. Shared by
+/// the scalar evaluator and the batch harness.
+pub(crate) fn build_profile_report(
+    nl: &Netlist,
+    prog: &Program,
+    p: &NlProfileState,
+    threads: u32,
+) -> NlProfileReport {
+    let levels: Vec<(u32, u64)> = p
+        .level_execs
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(lvl, &n)| (lvl as u32, n))
+        .collect();
+    let level_util: Vec<(u32, f64)> = p
+        .level_par_execs
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(lvl, &n)| (lvl as u32, n as f64 / p.level_execs[lvl].max(1) as f64))
+        .collect();
+    let mut by_kernel: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut by_net: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    // Occupancy numerator/denominator per kernel: changed lanes over
+    // evaluated lanes, on the paths that track changes.
+    let mut occ: std::collections::BTreeMap<&'static str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let lanes = p.lanes.max(1) as u64;
+    for (i, &n) in p.instr_execs.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let ins = &prog.instrs[i];
+        let kname = kernel_name(&ins.kernel);
+        *by_kernel.entry(kname).or_default() += n;
+        if p.instr_tracked[i] > 0 {
+            let e = occ.entry(kname).or_default();
+            e.0 += p.instr_changes[i];
+            e.1 += p.instr_tracked[i] * lanes;
+        }
+        let name = match &nl.nets[ins.out as usize].name {
+            Some(name) => name.clone(),
+            None => format!("$n{}", ins.out),
+        };
+        *by_net.entry(name).or_default() += n;
+    }
+    let mut kernels: Vec<(&'static str, u64)> = by_kernel.into_iter().collect();
+    kernels.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut kernel_occupancy: Vec<(&'static str, f64)> = occ
+        .into_iter()
+        .map(|(k, (c, t))| (k, c as f64 / t.max(1) as f64))
+        .collect();
+    kernel_occupancy.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+    let mut hot_nets: Vec<(String, u64)> = by_net.into_iter().collect();
+    hot_nets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hot_nets.truncate(16);
+    NlProfileReport {
+        levels,
+        kernels,
+        hot_nets,
+        level_util,
+        kernel_occupancy,
+        lanes: p.lanes.max(1),
+        threads: threads.max(1),
     }
 }
 

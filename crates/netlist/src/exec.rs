@@ -16,7 +16,9 @@
 
 use crate::ir::*;
 use crate::level::{levelize, levels, LevelError};
+use crate::par::{EvalPool, ParCtl};
 use cascade_bits::Bits;
+use std::sync::Arc;
 
 /// One net's run of words in the arena.
 #[derive(Debug, Clone, Copy)]
@@ -342,6 +344,10 @@ pub(crate) struct Program {
     pub instrs: Vec<Instr>,
     /// Combinational level of each instruction (0-based).
     pub level: Vec<u32>,
+    /// Per-level `[start, end)` instruction ranges: instructions are
+    /// sorted by level, so every level is one contiguous run. Empty levels
+    /// (possible after DCE) are `(0, 0)`.
+    pub level_ranges: Vec<(u32, u32)>,
     pub num_levels: u32,
     /// Net → instructions consuming it (deduplicated).
     pub fanout: Vec<Box<[u32]>>,
@@ -369,6 +375,9 @@ pub(crate) struct State {
     /// default) keeps the settle paths branch-free apart from one check
     /// per settle call.
     profile: Option<Box<NlProfileState>>,
+    /// Worker pool + per-level split policy; `None` (the default) keeps
+    /// every settle single-threaded.
+    par: Option<ParCtl>,
 }
 
 /// Raw activity counters collected when profiling is enabled.
@@ -378,6 +387,19 @@ pub(crate) struct NlProfileState {
     pub level_execs: Vec<u64>,
     /// Executions per instruction (index-aligned with `Program::instrs`).
     pub instr_execs: Vec<u64>,
+    /// Instruction executions per level that ran split across the pool.
+    pub level_par_execs: Vec<u64>,
+    /// Lanes whose output word(s) changed, per instruction — tracked on
+    /// the change-detecting paths only (see `instr_tracked`).
+    pub instr_changes: Vec<u64>,
+    /// Executions per instruction on paths that track changes (sparse
+    /// settles, and serial dense passes of the batch engine). Denominator
+    /// for lane occupancy.
+    pub instr_tracked: Vec<u64>,
+    /// Settle passes observed (denominator for mean per-level activity).
+    pub settles: u64,
+    /// Lane count of the owning evaluator (1 for the scalar engine).
+    pub lanes: u32,
 }
 
 /// Summary counters for diagnostics and benchmarks.
@@ -805,6 +827,22 @@ impl Program {
         items.sort_by_key(|(l, _, ins)| (*l, kernel_rank(&ins.kernel)));
         let level: Vec<u32> = items.iter().map(|&(l, _, _)| l).collect();
 
+        // Contiguous instruction range of each level (the sort above makes
+        // levels runs); the parallel splitter chunks these directly.
+        let mut level_ranges: Vec<(u32, u32)> = vec![(u32::MAX, 0); num_levels as usize];
+        for (i, &l) in level.iter().enumerate() {
+            let r = &mut level_ranges[l as usize];
+            if r.0 == u32::MAX {
+                r.0 = i as u32;
+            }
+            r.1 = i as u32 + 1;
+        }
+        for r in &mut level_ranges {
+            if r.0 == u32::MAX {
+                *r = (0, 0);
+            }
+        }
+
         // Fan-out: net -> consuming instructions, memory -> readers.
         // Built from kernel operands rather than netlist cell inputs: the
         // passes above reroute reads, and sparse invalidation must follow
@@ -871,6 +909,7 @@ impl Program {
             slots,
             instrs,
             level,
+            level_ranges,
             num_levels,
             fanout: fanout.into_iter().map(Vec::into_boxed_slice).collect(),
             mem_fanout: mem_fanout.into_iter().map(Vec::into_boxed_slice).collect(),
@@ -1456,6 +1495,7 @@ impl State {
                     .unwrap_or(0) as usize
             ],
             profile: None,
+            par: None,
         };
         for (i, net) in nl.nets.iter().enumerate() {
             match &net.def {
@@ -1539,15 +1579,22 @@ impl State {
                 p.level_execs[lvl] += q.len() as u64;
                 for &i in &q {
                     p.instr_execs[i as usize] += 1;
+                    p.instr_tracked[i as usize] += 1;
                 }
             }
             for &i in &q {
                 self.queued[i as usize] = false;
-                self.exec(prog, i, true);
+                let changed = self.exec(prog, i, true);
+                if let Some(p) = &mut self.profile {
+                    p.instr_changes[i as usize] += changed as u64;
+                }
             }
             q.clear();
             debug_assert!(self.queues[lvl].is_empty());
             self.queues[lvl] = q;
+        }
+        if let Some(p) = &mut self.profile {
+            p.settles += 1;
         }
     }
 
@@ -1559,6 +1606,11 @@ impl State {
             self.profile = Some(Box::new(NlProfileState {
                 level_execs: vec![0; prog.num_levels as usize],
                 instr_execs: vec![0; prog.instrs.len()],
+                level_par_execs: vec![0; prog.num_levels as usize],
+                instr_changes: vec![0; prog.instrs.len()],
+                instr_tracked: vec![0; prog.instrs.len()],
+                settles: 0,
+                lanes: 1,
             }));
         }
     }
@@ -1566,6 +1618,18 @@ impl State {
     /// The collected activity counters, if profiling is enabled.
     pub fn profile(&self) -> Option<&NlProfileState> {
         self.profile.as_deref()
+    }
+
+    /// Attaches (or detaches, with `None`) a worker pool for dense
+    /// settles. The split policy is derived per level from the program
+    /// and refined from the activity histograms while profiling is on.
+    pub fn set_pool(&mut self, prog: &Program, pool: Option<Arc<EvalPool>>) {
+        self.par = pool.map(|p| ParCtl::new(prog, p, 1));
+    }
+
+    /// Total participating threads (1 when no pool is attached).
+    pub fn pool_threads(&self) -> u32 {
+        self.par.as_ref().map_or(1, |c| c.pool.threads() as u32)
     }
 
     /// Recomputes every instruction in topological order with no dirty
@@ -1581,6 +1645,7 @@ impl State {
                 p.instr_execs[i] += 1;
                 p.level_execs[*lvl as usize] += 1;
             }
+            p.settles += 1;
         }
         for q in &mut self.queues {
             for &i in q.iter() {
@@ -1588,8 +1653,28 @@ impl State {
             }
             q.clear();
         }
-        for i in 0..prog.instrs.len() as u32 {
-            self.exec(prog, i, false);
+        let use_pool = match &mut self.par {
+            Some(ctl) => {
+                ctl.tick(prog, self.profile.as_deref());
+                ctl.any_par
+            }
+            None => false,
+        };
+        if use_pool {
+            let ctl = self.par.as_ref().expect("checked above");
+            if let Some(p) = &mut self.profile {
+                for (l, &(start, end)) in prog.level_ranges.iter().enumerate() {
+                    if ctl.par_level[l] {
+                        p.level_par_execs[l] += (end - start) as u64;
+                    }
+                }
+            }
+            ctl.pool
+                .run(prog, &mut self.arena, &self.mem_arena, 1, &ctl.par_level);
+        } else {
+            for i in 0..prog.instrs.len() as u32 {
+                self.exec(prog, i, false);
+            }
         }
     }
 
@@ -1666,8 +1751,10 @@ impl State {
 
     /// Executes one instruction. With `mark`, the write is change-detected
     /// and consumers of a changed output are queued; without it the value
-    /// is stored unconditionally (dense schedule).
-    fn exec(&mut self, prog: &Program, i: u32, mark: bool) {
+    /// is stored unconditionally (dense schedule). Returns whether the
+    /// output changed (always `true` on the unmarked path, where no
+    /// comparison is performed).
+    fn exec(&mut self, prog: &Program, i: u32, mark: bool) -> bool {
         debug_assert!((i as usize) < prog.instrs.len());
         // SAFETY: instruction indices come from the worklists and the
         // dense loop, both bounded by `prog.instrs.len()`.
@@ -1690,10 +1777,11 @@ impl State {
                     .collect();
                 let out_slot = prog.slots[ins.out as usize];
                 let v = crate::eval::eval_cell(*op, &values, out_slot.width).resize(out_slot.width);
-                if self.write_slot(out_slot, &v) && mark {
+                let changed = self.write_slot(out_slot, &v);
+                if changed && mark {
                     self.mark(prog, ins.out);
                 }
-                return;
+                return changed;
             }
             K::WideMemRead { mem, addr } => {
                 let m = prog.mems[*mem as usize];
@@ -1705,10 +1793,11 @@ impl State {
                 } else {
                     Bits::zero(m.width)
                 };
-                if self.write_slot(out_slot, &v.resize(out_slot.width)) && mark {
+                let changed = self.write_slot(out_slot, &v.resize(out_slot.width));
+                if changed && mark {
                     self.mark(prog, ins.out);
                 }
-                return;
+                return changed;
             }
             // `None` is impossible here: the stateful kernels are all
             // matched above, and `kernel_apply` evaluates every other.
@@ -1725,9 +1814,13 @@ impl State {
                 if v != old {
                     *self.arena.get_unchecked_mut(dst) = v;
                     self.mark(prog, ins.out);
+                    true
+                } else {
+                    false
                 }
             } else {
                 *self.arena.get_unchecked_mut(dst) = v;
+                true
             }
         }
     }
@@ -1851,6 +1944,486 @@ impl State {
             self.write_mem_ex(prog, mem, addr, &data, mark);
         }
     }
+}
+
+// --- Lane-group execution -------------------------------------------------
+//
+// The batched engine widens every arena word to a group of `lanes`
+// consecutive words (lane-major: scalar word offset `o`, lane `l` lives at
+// `o * lanes + l`), so one instruction dispatch evaluates `lanes`
+// independent stimulus vectors. The dispatcher below matches the kernel
+// once and runs a tight per-lane loop — logic ops vectorize trivially and
+// the arithmetic/compare/select/Lookup loops are simple enough for the
+// compiler to auto-vectorize. With `lanes == 1` this is exactly the dense
+// scalar schedule, which is what the worker pool executes.
+
+/// Per-lane unary kernel loop. Returns the number of lanes whose output
+/// word changed.
+///
+/// # Safety
+/// `arena` must hold `lanes` words per program arena word, and `dst`/`a`
+/// must be in-bounds slot offsets of the same program (a construction
+/// invariant, see [`State::w`]). `dst` never aliases an operand: operands
+/// come from strictly lower levels.
+#[inline(always)]
+unsafe fn lanes1(
+    arena: *mut u64,
+    lanes: usize,
+    dst: u32,
+    mask: u64,
+    a: u32,
+    f: impl Fn(u64) -> u64,
+) -> u32 {
+    let pa = arena.add(a as usize * lanes) as *const u64;
+    let pd = arena.add(dst as usize * lanes);
+    let mut changed = 0u32;
+    for l in 0..lanes {
+        let v = f(*pa.add(l)) & mask;
+        let d = pd.add(l);
+        changed += (*d != v) as u32;
+        *d = v;
+    }
+    changed
+}
+
+/// Per-lane binary kernel loop (see [`lanes1`] for the safety contract).
+#[inline(always)]
+unsafe fn lanes2(
+    arena: *mut u64,
+    lanes: usize,
+    dst: u32,
+    mask: u64,
+    a: u32,
+    b: u32,
+    f: impl Fn(u64, u64) -> u64,
+) -> u32 {
+    let pa = arena.add(a as usize * lanes) as *const u64;
+    let pb = arena.add(b as usize * lanes) as *const u64;
+    let pd = arena.add(dst as usize * lanes);
+    let mut changed = 0u32;
+    for l in 0..lanes {
+        let v = f(*pa.add(l), *pb.add(l)) & mask;
+        let d = pd.add(l);
+        changed += (*d != v) as u32;
+        *d = v;
+    }
+    changed
+}
+
+/// Per-lane ternary kernel loop (see [`lanes1`] for the safety contract).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn lanes3(
+    arena: *mut u64,
+    lanes: usize,
+    dst: u32,
+    mask: u64,
+    a: u32,
+    b: u32,
+    c: u32,
+    f: impl Fn(u64, u64, u64) -> u64,
+) -> u32 {
+    let pa = arena.add(a as usize * lanes) as *const u64;
+    let pb = arena.add(b as usize * lanes) as *const u64;
+    let pc = arena.add(c as usize * lanes) as *const u64;
+    let pd = arena.add(dst as usize * lanes);
+    let mut changed = 0u32;
+    for l in 0..lanes {
+        let v = f(*pa.add(l), *pb.add(l), *pc.add(l)) & mask;
+        let d = pd.add(l);
+        changed += (*d != v) as u32;
+        *d = v;
+    }
+    changed
+}
+
+/// Per-lane four-operand kernel loop (fused compare/select; see [`lanes1`]
+/// for the safety contract).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn lanes4(
+    arena: *mut u64,
+    lanes: usize,
+    dst: u32,
+    mask: u64,
+    a: u32,
+    b: u32,
+    t: u32,
+    e: u32,
+    f: impl Fn(u64, u64, u64, u64) -> u64,
+) -> u32 {
+    let pa = arena.add(a as usize * lanes) as *const u64;
+    let pb = arena.add(b as usize * lanes) as *const u64;
+    let pt = arena.add(t as usize * lanes) as *const u64;
+    let pe = arena.add(e as usize * lanes) as *const u64;
+    let pd = arena.add(dst as usize * lanes);
+    let mut changed = 0u32;
+    for l in 0..lanes {
+        let v = f(*pa.add(l), *pb.add(l), *pt.add(l), *pe.add(l)) & mask;
+        let d = pd.add(l);
+        changed += (*d != v) as u32;
+        *d = v;
+    }
+    changed
+}
+
+/// Reads one lane of a slot as [`Bits`] from a lane-major arena.
+///
+/// # Safety
+/// `arena` must hold `lanes` words per program arena word and `slot` must
+/// belong to the same program; `lane < lanes`.
+pub(crate) unsafe fn slot_bits_lane(
+    arena: *const u64,
+    lanes: usize,
+    lane: usize,
+    slot: Slot,
+) -> Bits {
+    if slot.width <= 64 {
+        Bits::from_u64(slot.width, *arena.add(slot.off as usize * lanes + lane))
+    } else {
+        let mut words = Vec::with_capacity(slot.words as usize);
+        for k in 0..slot.words {
+            words.push(*arena.add((slot.off + k) as usize * lanes + lane));
+        }
+        Bits::from_words(slot.width, &words)
+    }
+}
+
+/// Writes one lane of a slot (value already resized to the slot width)
+/// into a lane-major arena. Returns whether any word changed.
+///
+/// # Safety
+/// As [`slot_bits_lane`], with `arena` writable.
+pub(crate) unsafe fn write_slot_lane(
+    arena: *mut u64,
+    lanes: usize,
+    lane: usize,
+    slot: Slot,
+    value: &Bits,
+) -> bool {
+    let src = value.words();
+    let mut changed = false;
+    for k in 0..slot.words as usize {
+        let w = src.get(k).copied().unwrap_or(0);
+        let p = arena.add((slot.off as usize + k) * lanes + lane);
+        changed |= *p != w;
+        *p = w;
+    }
+    changed
+}
+
+/// Executes one instruction across all lanes of a lane-major arena,
+/// storing unconditionally (dense semantics). Returns the number of lanes
+/// whose output changed — the batch-aware dirty signal (a consumer is
+/// dirty if *any* lane changed).
+///
+/// # Safety
+/// `arena` must hold `lanes * prog.arena_words` words and `mem` must hold
+/// `lanes * prog.mem_arena_words` words, both lane-major; `i` must index
+/// `prog.instrs`. The caller must guarantee exclusive access to the
+/// destination slot (within a level, destinations are disjoint, so chunked
+/// parallel execution of one level satisfies this).
+pub(crate) unsafe fn exec_lanes(
+    prog: &Program,
+    arena: *mut u64,
+    mem: *const u64,
+    lanes: usize,
+    i: u32,
+) -> u32 {
+    debug_assert!((i as usize) < prog.instrs.len());
+    let ins = prog.instrs.get_unchecked(i as usize);
+    let dst = ins.dst;
+    let m = ins.mask;
+    use Kernel as K;
+    match &ins.kernel {
+        K::Not { a } => lanes1(arena, lanes, dst, m, *a, |x| !x),
+        K::Neg { a } => lanes1(arena, lanes, dst, m, *a, |x| x.wrapping_neg()),
+        K::RedAnd { a, full } => {
+            let full = *full;
+            lanes1(arena, lanes, dst, m, *a, move |x| (x == full) as u64)
+        }
+        K::RedOr { a } => lanes1(arena, lanes, dst, m, *a, |x| (x != 0) as u64),
+        K::RedXor { a } => lanes1(arena, lanes, dst, m, *a, |x| (x.count_ones() & 1) as u64),
+        K::LogNot { a } => lanes1(arena, lanes, dst, m, *a, |x| (x == 0) as u64),
+        K::Add { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| x.wrapping_add(y)),
+        K::Sub { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| x.wrapping_sub(y)),
+        K::Mul { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| x.wrapping_mul(y)),
+        K::DivU { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| {
+            x.checked_div(y).unwrap_or(u64::MAX)
+        }),
+        K::RemU { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| {
+            x.checked_rem(y).unwrap_or(u64::MAX)
+        }),
+        K::DivS { a, b, aw, bw } => {
+            let (aw, bw) = (*aw, *bw);
+            lanes2(arena, lanes, dst, m, *a, *b, move |x, y| {
+                if y == 0 {
+                    u64::MAX
+                } else {
+                    sext(x, aw).wrapping_div(sext(y, bw)) as u64
+                }
+            })
+        }
+        K::RemS { a, b, aw, bw } => {
+            let (aw, bw) = (*aw, *bw);
+            lanes2(arena, lanes, dst, m, *a, *b, move |x, y| {
+                if y == 0 {
+                    u64::MAX
+                } else {
+                    sext(x, aw).wrapping_rem(sext(y, bw)) as u64
+                }
+            })
+        }
+        K::And { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| x & y),
+        K::Or { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| x | y),
+        K::Xor { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| x ^ y),
+        K::Xnor { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| !(x ^ y)),
+        K::Shl { a, b, aw } => {
+            let aw = *aw as u64;
+            lanes2(arena, lanes, dst, m, *a, *b, move |x, y| {
+                if y >= aw {
+                    0
+                } else {
+                    x << y
+                }
+            })
+        }
+        K::Shr { a, b, aw } => {
+            let aw = *aw as u64;
+            lanes2(arena, lanes, dst, m, *a, *b, move |x, y| {
+                if y >= aw {
+                    0
+                } else {
+                    x >> y
+                }
+            })
+        }
+        K::AShr { a, b, aw } => {
+            let aw = *aw;
+            lanes2(arena, lanes, dst, m, *a, *b, move |x, y| {
+                if aw == 0 {
+                    0
+                } else {
+                    (sext(x, aw) >> y.min(63) as u32) as u64
+                }
+            })
+        }
+        K::Eq { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| (x == y) as u64),
+        K::Ne { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| (x != y) as u64),
+        K::LtU { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| (x < y) as u64),
+        K::LeU { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| (x <= y) as u64),
+        K::LtS { a, b, aw, bw } => {
+            let (aw, bw) = (*aw, *bw);
+            lanes2(arena, lanes, dst, m, *a, *b, move |x, y| {
+                (sext(x, aw) < sext(y, bw)) as u64
+            })
+        }
+        K::LeS { a, b, aw, bw } => {
+            let (aw, bw) = (*aw, *bw);
+            lanes2(arena, lanes, dst, m, *a, *b, move |x, y| {
+                (sext(x, aw) <= sext(y, bw)) as u64
+            })
+        }
+        K::Mux { s, t, e } => lanes3(
+            arena,
+            lanes,
+            dst,
+            m,
+            *s,
+            *t,
+            *e,
+            |s, t, e| {
+                if s != 0 {
+                    t
+                } else {
+                    e
+                }
+            },
+        ),
+        K::MuxEq { a, b, t, e } => lanes4(arena, lanes, dst, m, *a, *b, *t, *e, |x, y, t, e| {
+            if x == y {
+                t
+            } else {
+                e
+            }
+        }),
+        K::MuxNe { a, b, t, e } => lanes4(arena, lanes, dst, m, *a, *b, *t, *e, |x, y, t, e| {
+            if x != y {
+                t
+            } else {
+                e
+            }
+        }),
+        K::MuxLtU { a, b, t, e } => lanes4(arena, lanes, dst, m, *a, *b, *t, *e, |x, y, t, e| {
+            if x < y {
+                t
+            } else {
+                e
+            }
+        }),
+        K::MuxLeU { a, b, t, e } => lanes4(arena, lanes, dst, m, *a, *b, *t, *e, |x, y, t, e| {
+            if x <= y {
+                t
+            } else {
+                e
+            }
+        }),
+        K::Concat2 { a, sa, b, sb } => {
+            let (sa, sb) = (*sa, *sb);
+            lanes2(arena, lanes, dst, m, *a, *b, move |x, y| {
+                (x << sa) | (y << sb)
+            })
+        }
+        K::Rot {
+            a,
+            ra,
+            ma,
+            sa,
+            b,
+            rb,
+            mb,
+            sb,
+        } => {
+            let (ra, ma, sa, rb, mb, sb) = (*ra, *ma, *sa, *rb, *mb, *sb);
+            lanes2(arena, lanes, dst, m, *a, *b, move |x, y| {
+                (((x >> ra) & ma) << sa) | (((y >> rb) & mb) << sb)
+            })
+        }
+        K::Lookup {
+            idx,
+            table,
+            default,
+        } => {
+            let default = *default;
+            lanes1(arena, lanes, dst, m, *idx, move |x| {
+                table.get(x as usize).copied().unwrap_or(default)
+            })
+        }
+        K::ConstK { v } => {
+            let v = *v & m;
+            let pd = arena.add(dst as usize * lanes);
+            let mut changed = 0u32;
+            for l in 0..lanes {
+                let d = pd.add(l);
+                changed += (*d != v) as u32;
+                *d = v;
+            }
+            changed
+        }
+        K::Concat { parts } => {
+            let pd = arena.add(dst as usize * lanes);
+            let mut changed = 0u32;
+            for l in 0..lanes {
+                let mut acc = 0u64;
+                for &(off, shift) in parts.iter() {
+                    acc |= *arena.add(off as usize * lanes + l) << shift;
+                }
+                let v = acc & m;
+                let d = pd.add(l);
+                changed += (*d != v) as u32;
+                *d = v;
+            }
+            changed
+        }
+        K::Slice { a, offset } => {
+            let offset = *offset;
+            lanes1(arena, lanes, dst, m, *a, move |x| {
+                if offset >= 64 {
+                    0
+                } else {
+                    x >> offset
+                }
+            })
+        }
+        K::DynSlice { a, b } => lanes2(arena, lanes, dst, m, *a, *b, |x, y| {
+            if y >= 64 {
+                0
+            } else {
+                x >> y
+            }
+        }),
+        K::ZExt { a } => lanes1(arena, lanes, dst, m, *a, |x| x),
+        K::SExt { a, aw, fill } => {
+            let (aw, fill) = (*aw, *fill);
+            lanes1(arena, lanes, dst, m, *a, move |x| {
+                if aw > 0 && (x >> (aw - 1)) & 1 == 1 {
+                    x | fill
+                } else {
+                    x
+                }
+            })
+        }
+        K::Repeat { a, factor } => {
+            let factor = *factor;
+            lanes1(arena, lanes, dst, m, *a, move |x| x.wrapping_mul(factor))
+        }
+        K::MemRead { mem: mi, addr } => {
+            let ml = prog.mems[*mi as usize];
+            let pa = arena.add(*addr as usize * lanes) as *const u64;
+            let pd = arena.add(dst as usize * lanes);
+            let mut changed = 0u32;
+            for l in 0..lanes {
+                let a = *pa.add(l);
+                let v = if a < ml.count {
+                    *mem.add((ml.off + a as u32 * ml.words_per) as usize * lanes + l)
+                } else {
+                    0
+                } & m;
+                let d = pd.add(l);
+                changed += (*d != v) as u32;
+                *d = v;
+            }
+            changed
+        }
+        K::Wide { .. } | K::WideMemRead { .. } => exec_lanes_wide(prog, arena, mem, lanes, ins),
+    }
+}
+
+/// The multi-word fallback lane of [`exec_lanes`]: materialize each lane's
+/// operands as [`Bits`], evaluate, write the lane back.
+unsafe fn exec_lanes_wide(
+    prog: &Program,
+    arena: *mut u64,
+    mem: *const u64,
+    lanes: usize,
+    ins: &Instr,
+) -> u32 {
+    let mut changed = 0u32;
+    match &ins.kernel {
+        Kernel::Wide { op, inputs } => {
+            let out_slot = prog.slots[ins.out as usize];
+            let mut values: Vec<Bits> = Vec::with_capacity(inputs.len());
+            for lane in 0..lanes {
+                values.clear();
+                for n in inputs.iter() {
+                    values.push(slot_bits_lane(arena, lanes, lane, prog.slots[n.0 as usize]));
+                }
+                let v = crate::eval::eval_cell(*op, &values, out_slot.width).resize(out_slot.width);
+                changed += write_slot_lane(arena, lanes, lane, out_slot, &v) as u32;
+            }
+        }
+        Kernel::WideMemRead { mem: mi, addr } => {
+            let ml = prog.mems[*mi as usize];
+            let out_slot = prog.slots[ins.out as usize];
+            for lane in 0..lanes {
+                let a = *arena.add(*addr as usize * lanes + lane);
+                let v = if a < ml.count {
+                    let off = (ml.off + a as u32 * ml.words_per) as usize;
+                    let mut words = Vec::with_capacity(ml.words_per as usize);
+                    for k in 0..ml.words_per as usize {
+                        words.push(*mem.add((off + k) * lanes + lane));
+                    }
+                    Bits::from_words(ml.width, &words)
+                } else {
+                    Bits::zero(ml.width)
+                };
+                changed +=
+                    write_slot_lane(arena, lanes, lane, out_slot, &v.resize(out_slot.width)) as u32;
+            }
+        }
+        _ => unreachable!("exec_lanes_wide called on a single-word kernel"),
+    }
+    changed
 }
 
 /// Mask for the top (last) word of a `width`-bit multi-word value.

@@ -36,6 +36,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod batch;
 mod eval;
 mod exec;
 mod fingerprint;
@@ -44,8 +45,10 @@ mod ir;
 mod level;
 mod lower;
 pub mod opt;
+mod par;
 pub mod stats;
 
+pub use batch::{BatchHarness, MAX_BATCH_LANES};
 pub use eval::{clock_edge, eval_cell, NetlistSim, NlProfileReport, TaskFire};
 pub use exec::ProgramStats;
 pub use fingerprint::{fingerprint, readback_crc};

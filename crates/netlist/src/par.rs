@@ -1,0 +1,318 @@
+//! Level-parallel evaluation: a persistent worker pool that splits wide
+//! combinational levels into contiguous instruction chunks.
+//!
+//! Instructions within a level are independent by construction — every
+//! operand comes from a strictly lower level and every destination slot is
+//! owned by exactly one instruction — so a level can be executed by any
+//! number of threads with no locking, provided all of the previous level
+//! finished first. The pool therefore only parallelizes *dense* settles
+//! (the straight-line schedule with no dirty bookkeeping): sparse settles
+//! are narrow by definition, and staying single-threaded on them *is* the
+//! activity cutover.
+//!
+//! Which levels engage the pool is decided per evaluator by a
+//! [`ParCtl`] policy: statically from the level's instruction count (and
+//! batch lane count), then periodically refined from the profiling
+//! histograms when they are enabled, so a level that the dirty scheduler
+//! rarely fills stays on the single-threaded path even if it is wide on
+//! paper.
+
+use crate::exec::{exec_lanes, NlProfileState, Program};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Minimum per-thread work (instructions × lanes) for a level to be worth
+/// crossing a barrier for. Below this, dispatch overhead dominates.
+const PAR_MIN_CHUNK_WORK: u64 = 96;
+
+/// How many dense runs between policy refinements from the histograms.
+const REFINE_INTERVAL: u64 = 512;
+
+/// A centralized sense-reversing barrier: spin briefly, then yield (the
+/// pool must degrade gracefully on machines with fewer cores than
+/// participants).
+struct SpinBarrier {
+    total: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> SpinBarrier {
+        SpinBarrier {
+            total,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // Reset before the generation bump: stragglers only enter the
+            // next round after observing the bump.
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                spins += 1;
+                if spins >= 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// One dense pass handed to the pool: raw views of the program and the
+/// (possibly lane-widened) arenas. Validity is scoped to one
+/// [`EvalPool::run`] call — the final barrier keeps every worker inside
+/// that window.
+#[derive(Clone, Copy)]
+struct DenseJob {
+    prog: *const Program,
+    arena: *mut u64,
+    mem: *const u64,
+    lanes: usize,
+    par_level: *const bool,
+}
+
+// SAFETY: the raw pointers are only dereferenced between job publication
+// and the job's final barrier, while `EvalPool::run` holds the borrows
+// they were derived from. Chunks write disjoint destination slots.
+unsafe impl Send for DenseJob {}
+
+struct JobCell {
+    seq: u64,
+    job: Option<DenseJob>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    cell: Mutex<JobCell>,
+    cv: Condvar,
+    barrier: SpinBarrier,
+    threads: usize,
+}
+
+/// A persistent worker pool for dense settles. One pool serves one
+/// evaluator at a time (`run` is internally serialized); clones of an
+/// evaluator share the pool through an [`Arc`].
+pub(crate) struct EvalPool {
+    shared: Arc<PoolShared>,
+    /// Serializes dense passes from cloned evaluators sharing this pool.
+    run_lock: Mutex<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EvalPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalPool")
+            .field("threads", &self.shared.threads)
+            .finish()
+    }
+}
+
+impl EvalPool {
+    /// Spawns a pool of `threads` total participants (the calling thread
+    /// plus `threads - 1` workers). `threads` must be at least 2.
+    pub fn new(threads: usize) -> EvalPool {
+        let threads = threads.max(2);
+        let shared = Arc::new(PoolShared {
+            cell: Mutex::new(JobCell {
+                seq: 0,
+                job: None,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            barrier: SpinBarrier::new(threads),
+            threads,
+        });
+        let workers = (1..threads)
+            .map(|tid| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nl-eval-{tid}"))
+                    .spawn(move || worker_loop(&s, tid))
+                    .expect("spawn eval worker")
+            })
+            .collect();
+        EvalPool {
+            shared,
+            run_lock: Mutex::new(()),
+            workers,
+        }
+    }
+
+    /// Total participants, including the caller of [`run`](EvalPool::run).
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Executes one dense pass over every level, splitting the levels
+    /// flagged in `par_level` across all participants. Returns after every
+    /// participant has finished (the caller executes chunks too).
+    ///
+    /// `arena` holds `lanes` consecutive words per program arena word
+    /// (lane-major); `lanes == 1` is the ordinary scalar arena.
+    pub fn run(&self, prog: &Program, arena: &mut [u64], mem: &[u64], lanes: usize, par: &[bool]) {
+        let _serialize = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let job = DenseJob {
+            prog,
+            arena: arena.as_mut_ptr(),
+            mem: mem.as_ptr(),
+            lanes,
+            par_level: par.as_ptr(),
+        };
+        {
+            let mut cell = self.shared.cell.lock().unwrap_or_else(|e| e.into_inner());
+            cell.job = Some(job);
+            cell.seq += 1;
+            self.shared.cv.notify_all();
+        }
+        // SAFETY: the borrows backing the job outlive this call, and the
+        // job's final barrier keeps every worker inside it.
+        unsafe { run_dense(&job, 0, self.shared.threads, &self.shared.barrier) };
+    }
+}
+
+impl Drop for EvalPool {
+    fn drop(&mut self) {
+        {
+            let mut cell = self.shared.cell.lock().unwrap_or_else(|e| e.into_inner());
+            cell.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, tid: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut cell = shared.cell.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if cell.shutdown {
+                    return;
+                }
+                if cell.seq != seen {
+                    seen = cell.seq;
+                    break cell.job.expect("job published with seq bump");
+                }
+                cell = shared.cv.wait(cell).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: the publisher blocks inside `run` until the final
+        // barrier, so the job's pointers are valid for this whole pass.
+        unsafe { run_dense(&job, tid, shared.threads, &shared.barrier) };
+    }
+}
+
+/// One participant's walk over the levels. Parallel levels are split into
+/// contiguous chunks and fenced with barriers; serial stretches run on
+/// participant 0 alone, with one barrier before the next parallel level so
+/// no chunk reads a value the serial stretch has not produced yet.
+unsafe fn run_dense(job: &DenseJob, tid: usize, total: usize, barrier: &SpinBarrier) {
+    let prog = &*job.prog;
+    let mut pending_serial = false;
+    for (l, &(start, end)) in prog.level_ranges.iter().enumerate() {
+        if start == end {
+            continue;
+        }
+        if *job.par_level.add(l) {
+            if pending_serial {
+                barrier.wait();
+                pending_serial = false;
+            }
+            let n = (end - start) as usize;
+            let chunk = n.div_ceil(total);
+            let lo = (start as usize + tid * chunk).min(end as usize);
+            let hi = (lo + chunk).min(end as usize);
+            for i in lo..hi {
+                exec_lanes(prog, job.arena, job.mem, job.lanes, i as u32);
+            }
+            barrier.wait();
+        } else {
+            if tid == 0 {
+                for i in start..end {
+                    exec_lanes(prog, job.arena, job.mem, job.lanes, i);
+                }
+            }
+            pending_serial = true;
+        }
+    }
+    // Exit barrier: the publisher must not return (and release the job's
+    // borrows) while any worker is still inside the pass.
+    barrier.wait();
+}
+
+/// Per-evaluator parallel policy: the pool handle plus the set of levels
+/// worth splitting, refined from the activity histograms when available.
+#[derive(Debug, Clone)]
+pub(crate) struct ParCtl {
+    pub pool: Arc<EvalPool>,
+    pub par_level: Vec<bool>,
+    pub any_par: bool,
+    /// Lane count of the owning evaluator (1 for the scalar engine).
+    lanes: u64,
+    /// Dense passes since construction (drives periodic refinement).
+    dense_runs: u64,
+}
+
+impl ParCtl {
+    pub fn new(prog: &Program, pool: Arc<EvalPool>, lanes: u32) -> ParCtl {
+        let lanes = lanes.max(1) as u64;
+        let mut ctl = ParCtl {
+            pool,
+            par_level: vec![false; prog.num_levels as usize],
+            any_par: false,
+            lanes,
+            dense_runs: 0,
+        };
+        ctl.compute(prog, None);
+        ctl
+    }
+
+    /// Recomputes the per-level flags. With a profile, a level's observed
+    /// activity (mean executed instructions per settle) replaces its
+    /// static width, so levels the dirty scheduler rarely fills drop back
+    /// to the single-threaded path.
+    ///
+    /// `CASCADE_NETLIST_FORCE_PAR=1` flags every non-empty level
+    /// regardless of the work heuristic — a testing knob that lets the
+    /// equivalence suites drive the concurrent path on designs far too
+    /// small to clear the cutover naturally.
+    fn compute(&mut self, prog: &Program, profile: Option<&NlProfileState>) {
+        let force = std::env::var("CASCADE_NETLIST_FORCE_PAR").as_deref() == Ok("1");
+        let threads = self.pool.threads() as u64;
+        let min_level_work = threads * PAR_MIN_CHUNK_WORK;
+        self.any_par = false;
+        for (l, &(start, end)) in prog.level_ranges.iter().enumerate() {
+            let width = (end - start) as u64;
+            let activity = match profile {
+                Some(p) if p.settles > 0 => width.min(p.level_execs[l] / p.settles),
+                _ => width,
+            };
+            let on =
+                force && width > 0 || activity * self.lanes >= min_level_work && width >= threads;
+            self.par_level[l] = on;
+            self.any_par |= on;
+        }
+    }
+
+    /// Called once per dense pass; periodically re-derives the flags from
+    /// the histograms (no-op while profiling is off).
+    pub fn tick(&mut self, prog: &Program, profile: Option<&NlProfileState>) {
+        self.dense_runs += 1;
+        if profile.is_some() && self.dense_runs.is_multiple_of(REFINE_INTERVAL) {
+            self.compute(prog, profile);
+        }
+    }
+}

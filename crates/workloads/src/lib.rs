@@ -7,6 +7,7 @@
 //! parses, simulates, synthesizes, and JIT-compiles; the Rust reference
 //! implementations in each module pin down the expected answers.
 
+pub mod batch;
 pub mod needleman;
 pub mod regex;
 pub mod sha256;

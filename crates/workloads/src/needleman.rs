@@ -198,6 +198,67 @@ pub fn student_solution(style: &StudentStyle) -> String {
     expand_nw_max(&s)
 }
 
+/// Generates a gradeable Needleman-Wunsch module `NwGrader` whose
+/// sequences arrive as *input ports* rather than parameters, so one
+/// synthesized netlist can score any pair of length-`n` sequences — and,
+/// through [`cascade_netlist::BatchHarness`], many pairs at once, one per
+/// lane. The schedule is fixed (anti-diagonal fill, one diagonal per
+/// clock): `done` rises after `2n + 1` edges regardless of the data, which
+/// keeps every lane of a batch on the same step counter.
+pub fn grader_module(seq_len: usize, cell_width: u32) -> String {
+    let n = seq_len;
+    let w = cell_width;
+    assert!((1..=32).contains(&n), "grader supports 1..=32 symbols");
+    let mut s = String::with_capacity(16384);
+    let _ = writeln!(s, "module NwGrader(");
+    let _ = writeln!(s, "  input wire clk,");
+    let _ = writeln!(s, "  input wire [{}:0] seq_a,", n * 2 - 1);
+    let _ = writeln!(s, "  input wire [{}:0] seq_b,", n * 2 - 1);
+    let _ = writeln!(s, "  output wire signed [{}:0] score,", w - 1);
+    s.push_str("  output wire done\n);\n");
+    for i in 0..=n {
+        for j in 0..=n {
+            let _ = writeln!(s, "reg signed [{}:0] cell_{i}_{j} = 0;", w - 1);
+        }
+    }
+    s.push_str("reg [7:0] step = 0;\nreg finished = 0;\n");
+    s.push_str("always @(posedge clk) begin\n");
+    s.push_str("  if (step == 0) begin\n");
+    for i in 1..=n {
+        let _ = writeln!(s, "    cell_{i}_0 <= -$signed({i});");
+    }
+    for j in 1..=n {
+        let _ = writeln!(s, "    cell_0_{j} <= -$signed({j});");
+    }
+    s.push_str("    step <= 1;\n  end\n");
+    // Anti-diagonal d touches cells with i + j == d; those read only
+    // diagonals d-1 and d-2, so nonblocking updates are race-free.
+    for d in 2..=(2 * n) {
+        let _ = writeln!(s, "  else if (step == {}) begin", d - 1);
+        for i in 1..=n {
+            let j = d as i64 - i as i64;
+            if j >= 1 && j <= n as i64 {
+                let _ = writeln!(
+                    s,
+                    "    cell_{i}_{j} <= nw_max(cell_{im}_{jm} + (seq_a[{ai} +: 2] == seq_b[{bi} +: 2] ? $signed({w}'d1) : -$signed({w}'d1)), cell_{im}_{j} - $signed({w}'d1), cell_{i}_{jm} - $signed({w}'d1));",
+                    im = i - 1,
+                    jm = j as usize - 1,
+                    j = j as usize,
+                    ai = (i - 1) * 2,
+                    bi = (j as usize - 1) * 2,
+                );
+            }
+        }
+        let _ = writeln!(s, "    step <= {};", d);
+        s.push_str("  end\n");
+    }
+    let _ = writeln!(s, "  else if (step == {}) begin", 2 * n);
+    s.push_str("    finished <= 1;\n  end\nend\n");
+    let _ = writeln!(s, "assign score = cell_{n}_{n};");
+    s.push_str("assign done = finished;\nendmodule\n");
+    expand_nw_max(&s)
+}
+
 /// Expands `nw_max(a, b, c)` pseudo-calls into ternary max chains (keeps
 /// the generator readable while staying inside the language subset).
 fn expand_nw_max(src: &str) -> String {

@@ -11,7 +11,7 @@
 //! carries the case seed; rerun a failure by fixing the seed locally.
 
 use cascade_bits::{Bits, Prng};
-use cascade_netlist::{synthesize, NetlistSim, ReferenceSim, TaskKind};
+use cascade_netlist::{synthesize, BatchHarness, NetlistSim, ReferenceSim, TaskFire, TaskKind};
 use cascade_sim::{elaborate, library_from_source, Design, SimEvent, Simulator};
 use std::sync::Arc;
 
@@ -227,6 +227,258 @@ fn compiled_matches_reference_walker() {
             assert_eq!(rf.is_finished(), hw.is_finished(), "seed {seed}\n{src}");
         }
     }
+}
+
+/// Like [`arb_module`], but `$finish` depends on the *inputs*, so the
+/// lanes of a batch (which share the module yet see different stimulus)
+/// finish on different edges — the interesting case for per-lane
+/// commit-skip and task suppression.
+fn arb_batch_module(rng: &mut Prng) -> String {
+    let body = arb_seq_stmt(rng, 2);
+    let disp_cond = format!("r{}[{}]", rng.below(3), rng.below(4));
+    let min_at = rng.range(3, 8);
+    let bit = rng.below(4);
+    format!(
+        "module T(input wire clk, input wire [15:0] a, input wire [15:0] b,\n\
+         output wire [15:0] o0, output wire [15:0] o1, output wire [15:0] o2);\n\
+         reg [15:0] r0 = 1; reg [15:0] r1 = 2; reg [15:0] r2 = 3;\n\
+         reg [7:0] cc = 0;\n\
+         wire [15:0] fsel;\n\
+         assign fsel = a ^ b;\n\
+         always @(posedge clk) begin\n\
+           cc <= cc + 1;\n\
+           {body}\n\
+           if ({disp_cond}) $display(\"s=%d %h\", r0, r1);\n\
+           if (cc >= {min_at} && fsel[{bit}]) $finish;\n\
+         end\n\
+         assign o0 = r0; assign o1 = r1; assign o2 = r2;\nendmodule"
+    )
+}
+
+/// Test-harness batch width: `CASCADE_TEST_BATCH_WIDTH` (CI's
+/// parallel-smoke job sets 8) or 4.
+fn test_batch_width() -> u32 {
+    std::env::var("CASCADE_TEST_BATCH_WIDTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Worker threads applied to every batch harness under test:
+/// `CASCADE_TEST_EVAL_THREADS` (CI's parallel-smoke job sets 4) or 1.
+fn test_eval_threads() -> u32 {
+    std::env::var("CASCADE_TEST_EVAL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// A width-N batched run is bit-identical, lane for lane, to N sequential
+/// single-vector runs of the same netlist: outputs every cycle, rendered
+/// task text, the edge `$finish` lands on, and the per-lane cycle count.
+#[test]
+fn batch_lanes_match_sequential_runs() {
+    let width = test_batch_width();
+    let threads = test_eval_threads();
+    for seed in 0..24 {
+        let mut rng = Prng::new(seed + 3000);
+        let src = arb_batch_module(&mut rng);
+        let design = design_of(&src);
+        let nl = Arc::new(synthesize(&design).expect("synthesize"));
+        let mut batch = BatchHarness::new(Arc::clone(&nl), width).expect("levelize");
+        if threads > 1 {
+            batch.set_eval_threads(threads);
+        }
+        let mut scalars: Vec<NetlistSim> = (0..width)
+            .map(|_| NetlistSim::new(Arc::clone(&nl)).expect("levelize"))
+            .collect();
+        // Distinct precomputed stimulus per lane and cycle.
+        let stim: Vec<Vec<(Bits, Bits)>> = (0..width)
+            .map(|_| {
+                (0..20)
+                    .map(|_| {
+                        (
+                            Bits::from_u64(16, rng.next_u64() & 0xffff),
+                            Bits::from_u64(16, rng.next_u64() & 0xffff),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        #[allow(clippy::needless_range_loop)] // lock-step over cycles, not one stim row
+        for cycle in 0..20 {
+            for lane in 0..width {
+                let (a, b) = &stim[lane as usize][cycle];
+                batch.set_lane_by_name("a", lane, a.clone());
+                batch.set_lane_by_name("b", lane, b.clone());
+                let sim = &mut scalars[lane as usize];
+                if !sim.is_finished() {
+                    sim.set_by_name("a", a.clone());
+                    sim.set_by_name("b", b.clone());
+                }
+            }
+            for sim in scalars.iter_mut() {
+                if !sim.is_finished() {
+                    sim.step_clock(0);
+                }
+            }
+            batch.step_clock(0);
+            let mut per_lane: Vec<Vec<TaskFire>> = vec![Vec::new(); width as usize];
+            for (lane, fire) in batch.drain_tasks() {
+                per_lane[lane as usize].push(fire);
+            }
+            for lane in 0..width {
+                for out in OUTS {
+                    assert_eq!(
+                        scalars[lane as usize].get_by_name(out).unwrap(),
+                        batch.get_lane_by_name(out, lane).unwrap(),
+                        "{out} lane {lane} diverged at cycle {cycle} (seed {seed})\n{src}"
+                    );
+                }
+                assert_eq!(
+                    scalars[lane as usize].drain_tasks(),
+                    per_lane[lane as usize],
+                    "task firings lane {lane} diverged at cycle {cycle} (seed {seed})\n{src}"
+                );
+                assert_eq!(
+                    scalars[lane as usize].is_finished(),
+                    batch.is_finished(lane),
+                    "$finish lane {lane} diverged at cycle {cycle} (seed {seed})\n{src}"
+                );
+            }
+        }
+    }
+}
+
+/// The batch `run_cycles` fast path (dense-commit streaks with per-lane
+/// finish skips) matches per-lane sequential `run_cycles`, including how
+/// many edges each lane counted before its `$finish`.
+#[test]
+fn batch_run_cycles_matches_sequential_runs() {
+    let width = test_batch_width();
+    let threads = test_eval_threads();
+    for seed in 0..16 {
+        let mut rng = Prng::new(seed + 4000);
+        let src = arb_batch_module(&mut rng);
+        let design = design_of(&src);
+        let nl = Arc::new(synthesize(&design).expect("synthesize"));
+        let mut batch = BatchHarness::new(Arc::clone(&nl), width).expect("levelize");
+        if threads > 1 {
+            batch.set_eval_threads(threads);
+        }
+        // Constant per-lane stimulus; runs long enough to enter the dense
+        // streak. Lanes with (a ^ b)[bit] set finish early, others never.
+        let n = rng.range(100, 300);
+        let mut scalars = Vec::new();
+        for lane in 0..width {
+            let a = Bits::from_u64(16, rng.next_u64() & 0xffff);
+            let b = Bits::from_u64(16, rng.next_u64() & 0xffff);
+            batch.set_lane_by_name("a", lane, a.clone());
+            batch.set_lane_by_name("b", lane, b.clone());
+            let mut sim = NetlistSim::new(Arc::clone(&nl)).expect("levelize");
+            sim.set_by_name("a", a);
+            sim.set_by_name("b", b);
+            scalars.push(sim);
+        }
+        batch.run_cycles(n);
+        let mut per_lane: Vec<Vec<TaskFire>> = vec![Vec::new(); width as usize];
+        for (lane, fire) in batch.drain_tasks() {
+            per_lane[lane as usize].push(fire);
+        }
+        for (lane, sim) in scalars.iter_mut().enumerate() {
+            let done = sim.run_cycles(n, usize::MAX);
+            assert_eq!(
+                done,
+                batch.lane_cycles(lane as u32),
+                "cycle count lane {lane} diverged (seed {seed})\n{src}"
+            );
+            for out in OUTS {
+                assert_eq!(
+                    sim.get_by_name(out).unwrap(),
+                    batch.get_lane_by_name(out, lane as u32).unwrap(),
+                    "{out} lane {lane} diverged after run_cycles (seed {seed})\n{src}"
+                );
+            }
+            assert_eq!(
+                sim.drain_tasks(),
+                per_lane[lane],
+                "task streams lane {lane} diverged (seed {seed})\n{src}"
+            );
+            assert_eq!(
+                sim.is_finished(),
+                batch.is_finished(lane as u32),
+                "seed {seed}\n{src}"
+            );
+        }
+    }
+}
+
+/// Multicore eval is deterministic: with the pool forced onto every level
+/// (`CASCADE_NETLIST_FORCE_PAR`, since these tiny random programs never
+/// clear the activity cutover naturally), threads ∈ {2, 4, 8} produce
+/// byte-for-byte the single-threaded outputs and task streams — on both
+/// the scalar engine and a batch harness.
+#[test]
+fn multicore_eval_is_deterministic() {
+    std::env::set_var("CASCADE_NETLIST_FORCE_PAR", "1");
+    for seed in 0..8 {
+        let mut rng = Prng::new(seed + 5000);
+        let src = arb_batch_module(&mut rng);
+        let design = design_of(&src);
+        let nl = Arc::new(synthesize(&design).expect("synthesize"));
+        let a = Bits::from_u64(16, rng.next_u64() & 0xffff);
+        let b = Bits::from_u64(16, rng.next_u64() & 0xffff);
+        let n = rng.range(100, 300);
+
+        // Scalar engine: serial baseline, then each thread count.
+        let run_scalar = |threads: u32| {
+            let mut sim = NetlistSim::new(Arc::clone(&nl)).expect("levelize");
+            if threads > 1 {
+                sim.set_eval_threads(threads);
+            }
+            sim.set_by_name("a", a.clone());
+            sim.set_by_name("b", b.clone());
+            let done = sim.run_cycles(n, usize::MAX);
+            let outs: Vec<Bits> = OUTS.iter().map(|o| sim.get_by_name(o).unwrap()).collect();
+            (done, outs, sim.drain_tasks(), sim.is_finished())
+        };
+        let baseline = run_scalar(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                run_scalar(threads),
+                baseline,
+                "scalar t={threads} diverged from serial (seed {seed})\n{src}"
+            );
+        }
+
+        // Batch harness: 8 lanes of identical stimulus, same sweep.
+        let run_batch = |threads: u32| {
+            let mut h = BatchHarness::new(Arc::clone(&nl), 8).expect("levelize");
+            if threads > 1 {
+                h.set_eval_threads(threads);
+            }
+            h.set_all_by_name("a", a.clone());
+            h.set_all_by_name("b", b.clone());
+            h.run_cycles(n);
+            let outs: Vec<Bits> = (0..8)
+                .flat_map(|lane| {
+                    OUTS.iter()
+                        .map(|o| h.get_lane_by_name(o, lane).unwrap())
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            (outs, h.drain_tasks(), h.cycles())
+        };
+        let batch_baseline = run_batch(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                run_batch(threads),
+                batch_baseline,
+                "batch t={threads} diverged from serial (seed {seed})\n{src}"
+            );
+        }
+    }
+    std::env::remove_var("CASCADE_NETLIST_FORCE_PAR");
 }
 
 /// The batched open-loop path (`run_cycles` with its no-mark dense-commit
