@@ -1,0 +1,36 @@
+// cascade-verify regression
+// found: engine=refnl kind=Output cycle=1 detail=o0: oracle sum of fifo dout vs frozen 0 (hierarchy flattening wired VFifo's clk through a ZExt alias, landing the submodule's registers in a second clock domain the netlist engines never stepped)
+// replay: outputs=o0,of cycles=24 stim_seed=0x0000000000000007
+module T(input wire clk, input wire [15:0] a, input wire [15:0] b, output wire [15:0] o0, output wire [15:0] of);
+  reg [15:0] r0 = 0;
+  reg [7:0] cc = 0;
+  wire [15:0] fd; wire [3:0] fcnt;
+  VFifo vf(.clk(clk), .din(a), .push(a[0]), .pop(b[0]), .dout(fd), .count(fcnt));
+  always @(posedge clk) begin
+    cc <= cc + 1;
+    r0 <= (r0 + fd);
+  end
+  assign o0 = r0;
+  assign of = fd + fcnt;
+endmodule
+
+module VFifo(input wire clk, input wire [15:0] din, input wire push, input wire pop,
+             output wire [15:0] dout, output wire [3:0] count);
+  reg [15:0] q [0:7];
+  reg [2:0] rd = 0;
+  reg [2:0] wr = 0;
+  reg [3:0] cnt = 0;
+  always @(posedge clk) begin
+    if (push && (cnt < 8) && !(pop && (cnt > 0))) begin
+      q[wr[2:0]] <= din; wr <= wr + 1; cnt <= cnt + 1;
+    end
+    if (pop && (cnt > 0) && !(push && (cnt < 8))) begin
+      rd <= rd + 1; cnt <= cnt - 1;
+    end
+    if (push && (cnt < 8) && pop && (cnt > 0)) begin
+      q[wr[2:0]] <= din; wr <= wr + 1; rd <= rd + 1;
+    end
+  end
+  assign dout = q[rd[2:0]];
+  assign count = cnt;
+endmodule

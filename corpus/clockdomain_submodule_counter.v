@@ -1,0 +1,16 @@
+// cascade-verify regression
+// found: engine=netlist kind=Output cycle=0 detail=o0: oracle counting vs frozen (the top-level clk input's placeholder net stayed Undriven when the real input net was minted, orphaning the parent clock domain)
+// replay: outputs=o0 cycles=32 stim_seed=0x00000000000000a5
+module T(input wire clk, input wire [15:0] a, input wire [15:0] b, output wire [15:0] o0);
+  wire [15:0] s;
+  Sub u(.clk(clk), .inc(a), .o(s));
+  reg [15:0] r0 = 0;
+  always @(posedge clk) r0 <= r0 + 1;
+  assign o0 = r0 + s;
+endmodule
+
+module Sub(input wire clk, input wire [15:0] inc, output wire [15:0] o);
+  reg [15:0] n = 0;
+  always @(posedge clk) n <= n + inc;
+  assign o = n;
+endmodule

@@ -1,0 +1,19 @@
+// cascade-verify regression
+// found: engine=refnl kind=Tasks cycle=7 detail=display gated on a submodule register never fired while the tree-walking oracle printed every eighth cycle (second clock domain, never stepped)
+// replay: outputs=o0 cycles=40 stim_seed=0x000000000000002b
+module T(input wire clk, input wire [15:0] a, input wire [15:0] b, output wire [15:0] o0);
+  wire [15:0] s;
+  Sub u(.clk(clk), .o(s));
+  reg [15:0] r0 = 0;
+  always @(posedge clk) begin
+    r0 <= r0 + 1;
+    if (s[2:0] == 3'd7) $display("s=%d %h", s, r0[7:0]);
+  end
+  assign o0 = r0;
+endmodule
+
+module Sub(input wire clk, output wire [15:0] o);
+  reg [15:0] n = 0;
+  always @(posedge clk) n <= n + 1;
+  assign o = n;
+endmodule

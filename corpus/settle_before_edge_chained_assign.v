@@ -1,0 +1,36 @@
+// cascade-verify regression
+// found: engine=swc kind=Output cycle=2 detail=harness drove the oracle poke-settle-tick but swc poke-tick; the chained assign a->w0->din feeding the FIFO write port lost the race with the clock edge and captured stale din (fixed by settling swc before the edge)
+// replay: outputs=o0,of cycles=5 stim_seed=0x119e56f7818f36b4
+module T(input wire clk, input wire [15:0] a, input wire [15:0] b, output wire [15:0] o0, output wire [15:0] of);
+  reg [15:0] r0 = 1;
+  reg [7:0] cc = 0;
+  wire [15:0] w0; assign w0 = (r0 | a);
+  wire [15:0] fd; wire [3:0] fcnt;
+  VFifo vf(.clk(clk), .din((9'h93 & w0)), .push(b[0]), .pop(cc[0]), .dout(fd), .count(fcnt));
+  always @(posedge clk) begin
+    cc <= cc + 1;
+  end
+  assign o0 = r0;
+  assign of = fd + fcnt;
+endmodule
+
+module VFifo(input wire clk, input wire [15:0] din, input wire push, input wire pop,
+             output wire [15:0] dout, output wire [3:0] count);
+  reg [15:0] q [0:7];
+  reg [2:0] rd = 0;
+  reg [2:0] wr = 0;
+  reg [3:0] cnt = 0;
+  always @(posedge clk) begin
+    if (push && (cnt < 8) && !(pop && (cnt > 0))) begin
+      q[wr[2:0]] <= din; wr <= wr + 1; cnt <= cnt + 1;
+    end
+    if (pop && (cnt > 0) && !(push && (cnt < 8))) begin
+      rd <= rd + 1; cnt <= cnt - 1;
+    end
+    if (push && (cnt < 8) && pop && (cnt > 0)) begin
+      q[wr[2:0]] <= din; wr <= wr + 1; rd <= rd + 1;
+    end
+  end
+  assign dout = q[rd[2:0]];
+  assign count = cnt;
+endmodule

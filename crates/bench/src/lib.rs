@@ -9,6 +9,8 @@
 
 pub mod harness;
 
+pub use harness::{git_describe, schema_header};
+
 use cascade_core::{JitConfig, Runtime};
 use cascade_fpga::Board;
 
@@ -61,45 +63,6 @@ impl Curve {
             })
             .collect()
     }
-}
-
-/// The shared schema header every `bench_*` binary stamps into its JSON
-/// output, as a ready-to-splice fragment (one indented line ending in
-/// `,\n`): schema version, bench name, the repository revision, and which
-/// clock the numbers are measured on — `"host"` for real nanoseconds,
-/// `"virtual"` for the modeled wall, `"virtual+host"` for reports that
-/// carry both.
-pub fn schema_header(bench: &str, clock: &str) -> String {
-    format!(
-        "  \"schema\": {{\"version\": 1, \"bench\": \"{bench}\", \
-         \"git\": \"{}\", \"clock\": \"{clock}\"}},\n",
-        git_describe()
-    )
-}
-
-/// The revision stamped into bench output: `CASCADE_BENCH_GIT` when set
-/// (CI can pin the exact rev even in a stripped checkout), otherwise
-/// `git describe --always --dirty` run at bench time, or `"unknown"` when
-/// git or the repository metadata is unavailable (a source tarball).
-/// Stamping at runtime keeps `schema.git` honest — it names the tree the
-/// numbers were measured on, never a stale build-time constant.
-pub fn git_describe() -> String {
-    if let Some(rev) = std::env::var("CASCADE_BENCH_GIT")
-        .ok()
-        .filter(|s| !s.is_empty())
-    {
-        return rev;
-    }
-    std::process::Command::new("git")
-        .args(["describe", "--tags", "--always", "--dirty"])
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Formats a rate in engineering units (Hz / KHz / MHz).

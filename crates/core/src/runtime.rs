@@ -1264,8 +1264,14 @@ impl Runtime {
     }
 
     /// Reads a named signal from the main engine (outputs and promoted
-    /// ports), for tests and probes.
+    /// ports), for tests and probes. Any open speculation window is
+    /// verified first: a fault-plan upset can strike at the very scrub
+    /// boundary that just came back clean, and probing the raw engine
+    /// would leak that unverified (possibly corrupt) state to the caller.
+    /// Returns `None` when verification cannot restore a trustworthy
+    /// state.
     pub fn probe(&mut self, port: &str) -> Option<Bits> {
+        self.verify_speculation().ok()?;
         let idx = self.main_idx?;
         Some(self.slots[idx].engine.output(port))
     }
@@ -2086,8 +2092,10 @@ impl Runtime {
         }
         // Cooperative migration: never migrate unverified state. A failed
         // verify rolls back and replays in software, which also vacates
-        // the lease.
-        if self.speculating() && self.iterations != self.last_scrub_iter {
+        // the lease. No "just scrubbed" shortcut here: the fault plan
+        // injects upsets *at* clean scrub boundaries, so state can be
+        // corrupt even when `iterations == last_scrub_iter`.
+        if self.speculating() {
             self.verify_speculation()?;
         }
         self.metrics.lease_demotions.inc();

@@ -58,8 +58,8 @@ pub use ir::{
     TaskKind, WritePort,
 };
 pub use level::{levelize, levels, logic_depth, LevelError};
-pub use lower::{collect_writes, synthesize, SynthError};
-pub use opt::{balance_case_chains, const_fold, optimize, prune_dead, specialize};
+pub use lower::{collect_writes, synthesize, synthesize_raw, SynthError};
+pub use opt::{balance_case_chains, const_fold, dedupe_clocks, optimize, prune_dead, specialize};
 pub use stats::{
     cell_delay_ns, critical_path_ns, estimate_area, estimate_timing, level_population,
     AreaEstimate, TimingEstimate,

@@ -58,6 +58,17 @@ const UNROLL_LIMIT: u32 = 100_000;
 /// multiple drivers, multi-clock registers, or system tasks outside clocked
 /// blocks.
 pub fn synthesize(design: &Design) -> Result<Netlist, SynthError> {
+    let mut nl = synthesize_raw(design)?;
+    crate::opt::optimize(&mut nl);
+    Ok(nl)
+}
+
+/// [`synthesize`] without the post-synthesis optimization pipeline.
+///
+/// The raw netlist is what the optimizer consumes; keeping it reachable
+/// lets the equivalence checker (`cascade-verify`) prove the optimized
+/// netlist against it rather than trusting the passes.
+pub fn synthesize_raw(design: &Design) -> Result<Netlist, SynthError> {
     Synth::new(design).run()
 }
 
@@ -157,7 +168,7 @@ impl<'a> Synth<'a> {
         }
         self.check_drivers()?;
         let mut nl = self.nl;
-        crate::opt::optimize(&mut nl);
+        crate::opt::dedupe_clocks(&mut nl);
         Ok(nl)
     }
 
@@ -220,7 +231,17 @@ impl<'a> Synth<'a> {
                 continue;
             }
             if info.is_input {
-                let net = self.fresh_net(info.width, Some(info.name.clone()), Def::Input);
+                // Clock-domain discovery above may already have minted a
+                // placeholder net for this var (an input used as a clock);
+                // patch it in place so the domain's net IS the input net,
+                // rather than orphaning it as forever-undriven.
+                let net = match self.var_nets[i] {
+                    Some(existing) => {
+                        self.nl.nets[existing.0 as usize].def = Def::Input;
+                        existing
+                    }
+                    None => self.fresh_net(info.width, Some(info.name.clone()), Def::Input),
+                };
                 self.nl.inputs.push(net);
                 self.var_nets[i] = Some(net);
             } else if let Some(clock) = clocked_writes[i] {

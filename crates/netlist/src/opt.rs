@@ -7,7 +7,7 @@
 //! that rewrite; `prune_dead` then drops cells no longer reachable from any
 //! architectural root so area estimates reflect the optimized design.
 
-use crate::ir::{Cell, CellOp, Def, NetId, Netlist};
+use crate::ir::{Cell, CellOp, ClockId, Def, NetId, Netlist};
 use cascade_bits::Bits;
 use std::collections::BTreeMap;
 
@@ -15,6 +15,70 @@ use std::collections::BTreeMap;
 pub fn optimize(nl: &mut Netlist) {
     balance_case_chains(nl);
     prune_dead(nl);
+}
+
+/// Merges clock domains whose clock nets are aliases of the same root.
+///
+/// Hierarchy flattening wires a submodule's `clk` port to the parent's
+/// clock through an identity cell, so `always @(posedge clk)` blocks on
+/// the two sides of the instance boundary land in *different* domains of
+/// the same physical clock. Every execution engine steps one domain per
+/// edge (`step_clock(0)` in the MMIO `Latch` path, `run_cycles`, the
+/// batch/parallel evaluators), which silently froze the other half of the
+/// design. Resolving each domain's net through width-preserving identity
+/// chains (`ZExt`/`SExt`/`Slice@0` of an equal-width input) and merging
+/// equal `(root, edge)` pairs restores the single-domain semantics the
+/// event-driven simulator exhibits. Found by differential fuzzing.
+pub fn dedupe_clocks(nl: &mut Netlist) {
+    if nl.clocks.len() <= 1 {
+        return;
+    }
+    let resolve = |nets: &[crate::ir::NetInfo], mut n: NetId| -> NetId {
+        loop {
+            let info = &nets[n.0 as usize];
+            let Def::Cell(cell) = &info.def else {
+                return n;
+            };
+            let passthrough = matches!(
+                cell.op,
+                CellOp::ZExt | CellOp::SExt | CellOp::Slice { offset: 0 }
+            );
+            if !passthrough
+                || cell.inputs.len() != 1
+                || nets[cell.inputs[0].0 as usize].width != info.width
+            {
+                return n;
+            }
+            n = cell.inputs[0];
+        }
+    };
+    let mut canon: Vec<(NetId, cascade_verilog::ast::Edge)> = Vec::new();
+    let mut remap: Vec<ClockId> = Vec::with_capacity(nl.clocks.len());
+    for &(net, edge) in &nl.clocks {
+        let root = resolve(&nl.nets, net);
+        match canon.iter().position(|&(n, e)| n == root && e == edge) {
+            Some(at) => remap.push(ClockId(at as u32)),
+            None => {
+                canon.push((root, edge));
+                remap.push(ClockId(canon.len() as u32 - 1));
+            }
+        }
+    }
+    if canon.len() == nl.clocks.len() {
+        return;
+    }
+    nl.clocks = canon;
+    for r in &mut nl.regs {
+        r.clock = remap[r.clock.0 as usize];
+    }
+    for m in &mut nl.mems {
+        for wp in &mut m.write_ports {
+            wp.clock = remap[wp.clock.0 as usize];
+        }
+    }
+    for t in &mut nl.tasks {
+        t.clock = remap[t.clock.0 as usize];
+    }
 }
 
 /// Constant-folds cells whose inputs are all constants, in place. The

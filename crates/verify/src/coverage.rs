@@ -1,0 +1,98 @@
+//! Coverage feedback for the fuzzer.
+//!
+//! Observations come out of a differential run as `(key, count)` pairs:
+//! `nl:<kernel>` and `lvl:<level>` from the arena evaluator's profile
+//! report, `sw:<opcode>` from the bytecode engine's, and `spec:<feature>`
+//! structural features of the generated design itself. Raw counts are
+//! collapsed into log2 buckets (the classic AFL trick) so "this kernel ran
+//! 900 times instead of 800" is not novelty but "this kernel ran at all"
+//! and "this kernel ran 10× more than ever before" both are.
+
+use std::collections::BTreeMap;
+
+/// Log2 bucket of a hit count: 0 stays 0, otherwise `1 + floor(log2 n)`
+/// clamped to 16 buckets.
+fn bucket(count: u64) -> u8 {
+    if count == 0 {
+        0
+    } else {
+        (64 - count.leading_zeros()).min(16) as u8
+    }
+}
+
+/// The global coverage map: for every key, the set of log2 buckets ever
+/// observed (as a bitmask — bucket b sets bit b).
+#[derive(Debug, Default, Clone)]
+pub struct CoverageMap {
+    seen: BTreeMap<String, u32>,
+}
+
+impl CoverageMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges one run's observations; returns how many `(key, bucket)`
+    /// pairs were new. A positive return means the run was novel and its
+    /// spec is worth keeping in the corpus.
+    pub fn record(&mut self, observations: &[(String, u64)]) -> u32 {
+        let mut new_pairs = 0;
+        for (key, count) in observations {
+            let bit = 1u32 << bucket(*count);
+            let entry = self.seen.entry(key.clone()).or_insert(0);
+            if *entry & bit == 0 {
+                *entry |= bit;
+                new_pairs += 1;
+            }
+        }
+        new_pairs
+    }
+
+    /// Distinct keys ever observed.
+    pub fn keys(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Total `(key, bucket)` pairs observed — the fuzzer's coverage
+    /// metric.
+    pub fn points(&self) -> u32 {
+        self.seen.values().map(|m| m.count_ones()).sum()
+    }
+
+    /// Iterates keys with a given prefix (e.g. `"nl:"`) for reporting.
+    pub fn keys_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.seen
+            .keys()
+            .filter(move |k| k.starts_with(prefix))
+            .map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(1 << 40), 16);
+    }
+
+    #[test]
+    fn novelty_is_per_bucket() {
+        let mut map = CoverageMap::new();
+        assert_eq!(map.record(&[("nl:Add".into(), 3)]), 1);
+        // Same bucket: not novel.
+        assert_eq!(map.record(&[("nl:Add".into(), 2)]), 0);
+        // New bucket for the same key: novel again.
+        assert_eq!(map.record(&[("nl:Add".into(), 100)]), 1);
+        // New key.
+        assert_eq!(map.record(&[("sw:Mul".into(), 1)]), 1);
+        assert_eq!(map.keys(), 2);
+        assert_eq!(map.points(), 3);
+    }
+}

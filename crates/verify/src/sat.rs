@@ -1,0 +1,452 @@
+//! A small in-tree CDCL SAT solver.
+//!
+//! The workspace is dependency-free, so the bounded equivalence checker
+//! carries its own solver: two-watched-literal propagation, first-UIP
+//! conflict learning with activity-ordered (VSIDS-style) decisions,
+//! geometric restarts, and a conflict budget so a pathological miter
+//! degrades to "unknown" instead of hanging the test suite. No clause
+//! deletion — BMC instances here are bounded and short-lived.
+//!
+//! Literals are DIMACS-style non-zero `i32`s: variable `v` is `v`
+//! (positive) or `-v` (negated). Variables are 1-based.
+
+/// A DIMACS-style literal.
+pub type Lit = i32;
+
+/// Solver outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; query the model with [`Solver::model_value`].
+    Sat,
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted.
+    Unknown,
+}
+
+/// Search counters, exposed for benchmark reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatStats {
+    pub decisions: u64,
+    pub conflicts: u64,
+    pub propagations: u64,
+    pub learned: u64,
+}
+
+const UNASSIGNED: i8 = 0;
+
+/// Watch-list index of a literal (2v for positive, 2v+1 for negative).
+fn widx(l: Lit) -> usize {
+    let v = l.unsigned_abs() as usize;
+    2 * v + usize::from(l < 0)
+}
+
+pub struct Solver {
+    nvars: usize,
+    /// All clauses, original then learned.
+    clauses: Vec<Vec<Lit>>,
+    /// For each literal, the clauses watching it.
+    watches: Vec<Vec<u32>>,
+    /// Variable assignment: 0 unknown, 1 true, -1 false.
+    assign: Vec<i8>,
+    /// Decision level of each variable.
+    level: Vec<u32>,
+    /// Clause that implied each variable (`u32::MAX` for decisions).
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// VSIDS activity per variable, with a simple lazy max-scan order.
+    activity: Vec<f64>,
+    act_inc: f64,
+    /// Saved phase per variable.
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    /// Set when an empty clause is added.
+    unsat: bool,
+    pub stats: SatStats,
+}
+
+impl Solver {
+    pub fn new() -> Self {
+        Solver {
+            nvars: 0,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2],
+            assign: vec![UNASSIGNED],
+            level: vec![0],
+            reason: vec![u32::MAX],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0],
+            act_inc: 1.0,
+            phase: vec![false],
+            seen: vec![false],
+            unsat: false,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable, returning its positive literal.
+    pub fn new_var(&mut self) -> Lit {
+        self.nvars += 1;
+        self.assign.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(u32::MAX);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.nvars as Lit
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.nvars
+    }
+
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    fn value(&self, l: Lit) -> i8 {
+        let v = self.assign[l.unsigned_abs() as usize];
+        if l < 0 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Adds a clause. Must be called before `solve` (no incremental use).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        // Dedupe and drop tautologies.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!(l != 0 && l.unsigned_abs() as usize <= self.nvars);
+            if c.contains(&-l) {
+                return; // tautology
+            }
+            if !c.contains(&l) {
+                c.push(l);
+            }
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                match self.value(c[0]) {
+                    -1 => self.unsat = true,
+                    0 => self.enqueue(c[0], u32::MAX),
+                    _ => {}
+                };
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[widx(c[0])].push(ci);
+                self.watches[widx(c[1])].push(ci);
+                self.clauses.push(c);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        let v = l.unsigned_abs() as usize;
+        self.assign[v] = if l > 0 { 1 } else { -1 };
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.phase[v] = l > 0;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns a conflicting clause index or `None`.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = -p;
+            let mut ws = std::mem::take(&mut self.watches[widx(false_lit)]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                // Normalize: the falsified watch goes to slot 1.
+                if self.clauses[ci as usize][0] == false_lit {
+                    self.clauses[ci as usize].swap(0, 1);
+                }
+                let first = self.clauses[ci as usize][0];
+                if self.value(first) == 1 {
+                    i += 1;
+                    continue; // already satisfied
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci as usize].len() {
+                    let lk = self.clauses[ci as usize][k];
+                    if self.value(lk) != -1 {
+                        self.clauses[ci as usize].swap(1, k);
+                        self.watches[widx(lk)].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                if self.value(first) == -1 {
+                    // Conflict: restore the list wholesale. Processed
+                    // entries come back too — every entry still watches
+                    // false_lit except those already moved away.
+                    self.watches[widx(false_lit)].append(&mut ws);
+                    return Some(ci);
+                }
+                // Unit: imply `first`.
+                self.enqueue(first, ci);
+                i += 1;
+            }
+            self.watches[widx(false_lit)] = ws;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.act_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP learning. Returns (learnt clause, backjump level); the
+    /// asserting literal is `learnt[0]`.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![0]; // slot 0 for the asserting lit
+        let mut counter = 0usize;
+        let mut p: Lit = 0;
+        let mut idx = self.trail.len();
+        let cur_level = self.trail_lim.len() as u32;
+        loop {
+            let start = usize::from(p != 0);
+            for k in start..self.clauses[confl as usize].len() {
+                let q = self.clauses[confl as usize][k];
+                let v = q.unsigned_abs() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Pick the next trail literal seen in the conflict.
+            loop {
+                idx -= 1;
+                p = self.trail[idx];
+                if self.seen[p.unsigned_abs() as usize] {
+                    break;
+                }
+            }
+            let v = p.unsigned_abs() as usize;
+            self.seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = -p;
+                break;
+            }
+            confl = self.reason[v];
+        }
+        for &l in &learnt {
+            self.seen[l.unsigned_abs() as usize] = false;
+        }
+        let bj = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.unsigned_abs() as usize])
+            .max()
+            .unwrap_or(0);
+        // Watch an asserting-level literal in slot 1.
+        if learnt.len() > 1 {
+            let pos = 1 + learnt[1..]
+                .iter()
+                .position(|l| self.level[l.unsigned_abs() as usize] == bj)
+                .expect("backjump literal");
+            learnt.swap(1, pos);
+        }
+        (learnt, bj)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        while self.trail_lim.len() as u32 > lvl {
+            let lim = self.trail_lim.pop().expect("level");
+            for &l in &self.trail[lim..] {
+                let v = l.unsigned_abs() as usize;
+                self.assign[v] = UNASSIGNED;
+            }
+            self.trail.truncate(lim);
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best = 0usize;
+        let mut best_act = -1.0f64;
+        for v in 1..=self.nvars {
+            if self.assign[v] == UNASSIGNED && self.activity[v] > best_act {
+                best = v;
+                best_act = self.activity[v];
+            }
+        }
+        if best == 0 {
+            return None;
+        }
+        Some(if self.phase[best] {
+            best as Lit
+        } else {
+            -(best as Lit)
+        })
+    }
+
+    /// Solves with a conflict budget (`0` = unlimited).
+    pub fn solve(&mut self, max_conflicts: u64) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            return SatResult::Unsat;
+        }
+        let mut restart_at = 100u64;
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if max_conflicts > 0 && self.stats.conflicts >= max_conflicts {
+                    return SatResult::Unknown;
+                }
+                if self.trail_lim.is_empty() {
+                    return SatResult::Unsat;
+                }
+                let (learnt, bj) = self.analyze(confl);
+                self.cancel_until(bj);
+                self.stats.learned += 1;
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], u32::MAX);
+                } else {
+                    let ci = self.clauses.len() as u32;
+                    self.watches[widx(learnt[0])].push(ci);
+                    self.watches[widx(learnt[1])].push(ci);
+                    let assert_lit = learnt[0];
+                    self.clauses.push(learnt);
+                    self.enqueue(assert_lit, ci);
+                }
+                self.act_inc *= 1.0 / 0.95;
+            } else if conflicts_here >= restart_at {
+                conflicts_here = 0;
+                restart_at = restart_at + restart_at / 2;
+                self.cancel_until(0);
+            } else {
+                match self.decide() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, u32::MAX);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Model value of a literal after `Sat` (unassigned vars read false).
+    pub fn model_value(&self, l: Lit) -> bool {
+        self.value(l) == 1
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn simple_sat_and_model() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0], v[1]]);
+        s.add_clause(&[-v[0], v[2]]);
+        s.add_clause(&[-v[1]]);
+        assert_eq!(s.solve(0), SatResult::Sat);
+        // v1 false forces v0, which forces v2.
+        assert!(s.model_value(v[0]));
+        assert!(!s.model_value(v[1]));
+        assert!(s.model_value(v[2]));
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        s.add_clause(&[v[0], -v[1]]);
+        s.add_clause(&[-v[0], v[1]]);
+        s.add_clause(&[-v[0], -v[1]]);
+        assert_eq!(s.solve(0), SatResult::Unsat);
+    }
+
+    /// Pigeonhole: 4 pigeons, 3 holes. Small but requires real search.
+    #[test]
+    fn pigeonhole_unsat() {
+        let mut s = Solver::new();
+        const P: usize = 4;
+        const H: usize = 3;
+        let mut x = [[0 as Lit; H]; P];
+        for p in x.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for p in &x {
+            s.add_clause(&p[..]); // each pigeon in some hole
+        }
+        for p1 in 0..P {
+            for p2 in p1 + 1..P {
+                for (&a, &b) in x[p1].iter().zip(&x[p2]) {
+                    s.add_clause(&[-a, -b]);
+                }
+            }
+        }
+        assert_eq!(s.solve(0), SatResult::Unsat);
+    }
+
+    /// XOR chain satisfiable instance exercises learning + restarts.
+    #[test]
+    fn xor_chain_sat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 24);
+        // v[i] ^ v[i+1] = 1 for all i (alternating assignment exists).
+        for i in 0..v.len() - 1 {
+            s.add_clause(&[v[i], v[i + 1]]);
+            s.add_clause(&[-v[i], -v[i + 1]]);
+        }
+        assert_eq!(s.solve(0), SatResult::Sat);
+        for i in 0..v.len() - 1 {
+            assert!(s.model_value(v[i]) != s.model_value(v[i + 1]));
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Delta-debugging shrinker: reduce a diverging [`DesignSpec`] to a
+//! minimal reproducing design.
+//!
+//! The shrinker is greedy over a strictly-decreasing complexity metric:
+//! each round it enumerates candidate reductions from biggest win to
+//! smallest (drop the memory/FIFO/display, clear wires, delete statements,
+//! flatten `if`/`case` bodies into their parents, hoist subexpressions,
+//! collapse subtrees to literals, halve the cycle count), accepts the
+//! first candidate the caller's predicate still confirms, and restarts.
+//! Because every accepted step lowers the metric, termination is
+//! structural — no fuel counter needed, though one bounds pathological
+//! predicates anyway.
+//!
+//! The predicate is a black box. The fuzzer passes "still diverges with
+//! the same engine and divergence kind", but the same machinery shrinks
+//! any property (e.g. "still fails to synthesize").
+
+use crate::spec::{count_stmts, DesignSpec, Expr, Finish, Leaf, Stmt};
+
+/// Scalar complexity: strictly decreases on every accepted shrink step.
+fn complexity(spec: &DesignSpec) -> u64 {
+    let mut nodes: u64 = 0;
+    let mut probe = spec.clone();
+    probe.for_each_expr_mut(&mut |_| nodes += 1);
+    let mut c = u64::from(count_stmts(&spec.body)) * 1_000;
+    c += nodes * 10;
+    c += spec.wires.len() as u64 * 500;
+    c += spec.nregs as u64 * 200;
+    if spec.mem {
+        c += 2_000;
+    }
+    if spec.fifo {
+        c += 4_000;
+    }
+    if spec.display.is_some() {
+        c += 800;
+    }
+    if spec.finish != Finish::Never {
+        c += 400;
+    }
+    c += u64::from(spec.cycles);
+    c
+}
+
+/// Deletes the `target`-th statement (preorder) from a body tree.
+fn remove_stmt_at(body: &mut Vec<Stmt>, target: &mut usize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *target == 0 {
+            body.remove(i);
+            return true;
+        }
+        *target -= 1;
+        let done = match &mut body[i] {
+            Stmt::If { then_, else_, .. } => {
+                remove_stmt_at(then_, target) || remove_stmt_at(else_, target)
+            }
+            Stmt::Case {
+                arm0,
+                arm1,
+                default,
+                ..
+            } => {
+                remove_stmt_at(arm0, target)
+                    || remove_stmt_at(arm1, target)
+                    || remove_stmt_at(default, target)
+            }
+            _ => false,
+        };
+        if done {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Replaces the `target`-th statement, if it is an `if`/`case`, with the
+/// concatenation of its child statements (dropping the condition).
+fn flatten_stmt_at(body: &mut Vec<Stmt>, target: &mut usize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *target == 0 {
+            let kids = match &mut body[i] {
+                Stmt::If { then_, else_, .. } => {
+                    let mut k = std::mem::take(then_);
+                    k.append(else_);
+                    k
+                }
+                Stmt::Case {
+                    arm0,
+                    arm1,
+                    default,
+                    ..
+                } => {
+                    let mut k = std::mem::take(arm0);
+                    k.append(arm1);
+                    k.append(default);
+                    k
+                }
+                _ => return true, // leaf statement: nothing to flatten
+            };
+            body.splice(i..=i, kids);
+            return true;
+        }
+        *target -= 1;
+        let done = match &mut body[i] {
+            Stmt::If { then_, else_, .. } => {
+                flatten_stmt_at(then_, target) || flatten_stmt_at(else_, target)
+            }
+            Stmt::Case {
+                arm0,
+                arm1,
+                default,
+                ..
+            } => {
+                flatten_stmt_at(arm0, target)
+                    || flatten_stmt_at(arm1, target)
+                    || flatten_stmt_at(default, target)
+            }
+            _ => false,
+        };
+        if done {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Rewrites the `target`-th expression site with `make(old)`.
+fn rewrite_expr_at(spec: &mut DesignSpec, target: usize, make: impl Fn(&Expr) -> Option<Expr>) {
+    let mut idx = 0usize;
+    spec.for_each_expr_mut(&mut |e| {
+        if idx == target {
+            if let Some(n) = make(e) {
+                *e = n;
+            }
+        }
+        idx += 1;
+    });
+}
+
+/// Candidate reductions of `spec`, biggest wins first. Every candidate is
+/// already sanitized.
+fn candidates(spec: &DesignSpec) -> Vec<DesignSpec> {
+    let mut out = Vec::new();
+    let mut push = |mut c: DesignSpec| {
+        c.sanitize();
+        out.push(c);
+    };
+
+    // Structural drops: whole features at a time.
+    if spec.fifo {
+        let mut c = spec.clone();
+        c.fifo = false;
+        c.fifo_din = Expr::Leaf(Leaf::InputA);
+        push(c);
+    }
+    if spec.mem {
+        let mut c = spec.clone();
+        c.mem = false;
+        push(c);
+    }
+    if !spec.wires.is_empty() {
+        let mut c = spec.clone();
+        c.wires.clear();
+        push(c);
+        for i in (0..spec.wires.len()).rev() {
+            let mut c = spec.clone();
+            c.wires.remove(i);
+            push(c);
+        }
+    }
+    if spec.display.is_some() {
+        let mut c = spec.clone();
+        c.display = None;
+        push(c);
+    }
+    if spec.finish != Finish::Never {
+        let mut c = spec.clone();
+        c.finish = Finish::Never;
+        push(c);
+    }
+    if spec.nregs > 1 {
+        let mut c = spec.clone();
+        c.nregs -= 1;
+        push(c);
+    }
+
+    // Statement deletion (last first: later statements often shadow
+    // earlier ones, so dropping from the tail keeps more runs alive).
+    let nstmts = count_stmts(&spec.body) as usize;
+    for i in (0..nstmts).rev() {
+        let mut c = spec.clone();
+        let mut target = i;
+        remove_stmt_at(&mut c.body, &mut target);
+        push(c);
+    }
+    // Flatten compound statements into their parents.
+    for i in 0..nstmts {
+        let mut c = spec.clone();
+        let mut target = i;
+        if flatten_stmt_at(&mut c.body, &mut target) {
+            push(c);
+        }
+    }
+
+    // Expression hoists: replace a node with each of its children, or —
+    // for non-trivial subtrees — with a literal zero.
+    let nexprs = spec.count_exprs();
+    for i in 0..nexprs {
+        // Probe the site's child count without mutating.
+        let mut arity = 0usize;
+        {
+            let mut idx = 0usize;
+            let mut probe = spec.clone();
+            probe.for_each_expr_mut(&mut |e| {
+                if idx == i {
+                    arity = e.children().len();
+                }
+                idx += 1;
+            });
+        }
+        for k in 0..arity {
+            let mut c = spec.clone();
+            rewrite_expr_at(&mut c, i, |e| e.children().get(k).map(|c| (*c).clone()));
+            push(c);
+        }
+        if arity > 0 {
+            let mut c = spec.clone();
+            rewrite_expr_at(&mut c, i, |_| {
+                Some(Expr::Lit {
+                    width: 16,
+                    value: 0,
+                })
+            });
+            push(c);
+        }
+    }
+
+    // Shorten the run.
+    if spec.cycles > 2 {
+        let mut c = spec.clone();
+        c.cycles = (spec.cycles / 2).max(2);
+        push(c);
+    }
+
+    out
+}
+
+/// Greedily shrinks `spec` while `still_fails` keeps returning `true`.
+///
+/// Returns the smallest confirmed-failing spec found. The input spec is
+/// assumed to fail (callers verify before shrinking); if nothing smaller
+/// reproduces, the input is returned unchanged.
+pub fn shrink(spec: &DesignSpec, still_fails: &mut dyn FnMut(&DesignSpec) -> bool) -> DesignSpec {
+    let mut best = spec.clone();
+    let mut best_score = complexity(&best);
+    // Complexity strictly decreases on acceptance, so this terminates;
+    // the fuel bound just caps predicate invocations on huge specs.
+    let mut fuel: u32 = 4_000;
+    'outer: loop {
+        for cand in candidates(&best) {
+            if fuel == 0 {
+                break 'outer;
+            }
+            let score = complexity(&cand);
+            if score >= best_score {
+                continue;
+            }
+            fuel -= 1;
+            if still_fails(&cand) {
+                best = cand;
+                best_score = score;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_bits::Prng;
+
+    /// Shrinking against an always-true predicate collapses any generated
+    /// spec to (near-)nothing — and the result stays renderable.
+    #[test]
+    fn shrink_to_trivial_under_permissive_predicate() {
+        for seed in 0..12 {
+            let mut rng = Prng::new(seed + 500);
+            let spec = DesignSpec::generate(&mut rng);
+            let small = shrink(&spec, &mut |_| true);
+            assert!(
+                count_stmts(&small.body) == 0,
+                "seed {seed}: {} stmts left\n{}",
+                count_stmts(&small.body),
+                small.render()
+            );
+            assert!(!small.mem && !small.fifo && small.wires.is_empty());
+            assert!(small.top_lines() <= 9, "{}", small.render());
+        }
+    }
+
+    /// A predicate keyed on a specific feature keeps exactly that feature.
+    #[test]
+    fn shrink_preserves_the_failing_feature() {
+        let mut rng = Prng::new(77);
+        let mut spec = DesignSpec::generate(&mut rng);
+        spec.mem = true;
+        spec.sanitize();
+        let small = shrink(&spec, &mut |s| s.mem);
+        assert!(small.mem);
+        assert!(!small.fifo && small.wires.is_empty() && small.display.is_none());
+        assert_eq!(count_stmts(&small.body), 0);
+    }
+
+    /// The statement remover and flattener agree with `count_stmts`
+    /// preorder numbering.
+    #[test]
+    fn stmt_tree_surgery_is_preorder() {
+        let body = vec![
+            Stmt::Assign {
+                reg: 0,
+                rhs: Expr::Leaf(Leaf::InputA),
+            },
+            Stmt::If {
+                cond: Expr::Leaf(Leaf::InputB),
+                then_: vec![Stmt::Assign {
+                    reg: 0,
+                    rhs: Expr::Leaf(Leaf::Cc),
+                }],
+                else_: vec![],
+            },
+        ];
+        // Deleting index 2 (the nested assign) keeps the if.
+        let mut b = body.clone();
+        let mut t = 2;
+        assert!(remove_stmt_at(&mut b, &mut t));
+        assert_eq!(count_stmts(&b), 2);
+        assert!(matches!(&b[1], Stmt::If { then_, .. } if then_.is_empty()));
+        // Flattening index 1 (the if) splices its child up.
+        let mut b = body.clone();
+        let mut t = 1;
+        assert!(flatten_stmt_at(&mut b, &mut t));
+        assert_eq!(count_stmts(&b), 2);
+        assert!(matches!(&b[1], Stmt::Assign { .. }));
+    }
+}

@@ -314,6 +314,77 @@ fn seeded_chaos_fifo_matches_oracle() {
     }
 }
 
+/// A fault-plan upset strikes *at* the clean scrub boundary that
+/// scheduled it — the hardest case: live state goes corrupt at the exact
+/// iteration the trust guards used to treat as just-verified
+/// (`iterations == last_scrub_iter`). A probe at that boundary (or a
+/// lease revocation migrating hardware state into software) must verify
+/// the open window first rather than leak the flipped bit. Found by the
+/// chaos soak, where a tenant's final `cnt` probe read
+/// `expected + 0x8000`.
+#[test]
+fn boundary_probe_never_observes_unverified_state() {
+    let mut config = JitConfig::default();
+    config.toolchain.time_scale = 1e-6;
+    // One big window: no mid-run scrubs, only command-boundary ones.
+    config.scrub_interval_ticks = 4096;
+    // Salt 0xF_0000 lands on bit 15 of the counter register — the exact
+    // signature the soak caught escaping.
+    config.faults = FaultPlan::builder().scrub_soft_error(1, 0xF_0000).build();
+
+    let board = Board::new();
+    let mut rt = Runtime::new(board, config.clone()).expect("runtime");
+    rt.eval(COUNTER).expect("eval");
+    let mut ticks = 0u64;
+    let mut lines = Vec::new();
+    // Probe at every command boundary: each probe must see the fault-free
+    // counter value — including the probe right after the boundary whose
+    // closing scrub injected the upset (the probe's own verification
+    // detects the corruption and rolls back before reading).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let boundary_probe = |rt: &mut Runtime, ticks: u64| {
+        assert_eq!(
+            rt.probe("cnt").map(|b| b.to_u64()),
+            Some(ticks & 0xffff),
+            "a probe leaked unverified state"
+        );
+    };
+    while !matches!(
+        rt.stats().mode,
+        ExecMode::Hardware | ExecMode::HardwareForwarded
+    ) {
+        assert!(Instant::now() < deadline, "promotion timed out");
+        settle_compile(&mut rt);
+        ticks += rt.run_ticks(8).expect("run");
+        lines.extend(rt.drain_output());
+        boundary_probe(&mut rt, ticks);
+    }
+    for _ in 0..6 {
+        ticks += rt.run_ticks(8).expect("run");
+        lines.extend(rt.drain_output());
+        boundary_probe(&mut rt, ticks);
+    }
+    assert!(rt.stats().scrubs >= 1, "boundaries must have been scrubbed");
+    let stats = rt.stats();
+    assert!(
+        stats.scrub_detections >= 1,
+        "the boundary upset must be detected, not silently read: {stats:?}"
+    );
+    assert!(
+        stats.checkpoints_restored >= 1,
+        "detection must roll back: {stats:?}"
+    );
+    let mut orc = oracle(Board::new(), config);
+    orc.eval(COUNTER).expect("oracle eval");
+    orc.run_ticks(ticks).expect("oracle run");
+    assert_eq!(lines, orc.drain_output(), "transcript diverged");
+    assert_eq!(
+        rt.probe("cnt").map(|b| b.to_u64()),
+        orc.probe("cnt").map(|b| b.to_u64()),
+        "counter state diverged"
+    );
+}
+
 /// A fabric loss at scrub time falls back to software with zero lost
 /// ticks; restoring fleet capacity lets the program re-promote.
 #[test]

@@ -250,3 +250,59 @@ fn sequential_sim_netlist_equivalence() {
         }
     }
 }
+
+// ----------------------------------------------------------------------
+// Promoted regressions: seeds the randomized suite once minimized, kept
+// as named deterministic tests so the exact shapes never regress.
+// ----------------------------------------------------------------------
+
+/// Runs one fixed `(body, stimulus)` case through the sequential
+/// sim-vs-netlist harness.
+fn check_seq_case(name: &str, body: &str, stimulus: &[(u64, u64)]) {
+    let module = format!(
+        "module T(input wire clk, input wire [15:0] a, input wire [15:0] b,\n\
+         output wire [15:0] o0, output wire [15:0] o1, output wire [15:0] o2);\n\
+         reg [15:0] r0 = 1; reg [15:0] r1 = 2; reg [15:0] r2 = 3;\n\
+         always @(posedge clk) begin {body} end\n\
+         assign o0 = r0; assign o1 = r1; assign o2 = r2;\nendmodule"
+    );
+    let lib = library_from_source(&module).expect("parse");
+    let design = Arc::new(elaborate("T", &lib, &Default::default()).expect("elaborate"));
+    let mut sim = Simulator::new(Arc::clone(&design));
+    sim.initialize().unwrap();
+    let nl = synthesize(&design).expect("synthesize");
+    let mut hw = NetlistSim::new(Arc::new(nl)).expect("levelize");
+    for &(a, b) in stimulus {
+        let av = Bits::from_u64(16, a & 0xffff);
+        let bv = Bits::from_u64(16, b & 0xffff);
+        sim.poke("a", av.clone());
+        sim.poke("b", bv.clone());
+        sim.settle().unwrap();
+        hw.set_by_name("a", av);
+        hw.set_by_name("b", bv);
+        sim.tick("clk").unwrap();
+        hw.step_clock(0);
+        for out in ["o0", "o1", "o2"] {
+            assert_eq!(
+                sim.peek(out),
+                hw.get_by_name(out).unwrap(),
+                "regression {name}: divergence on {out} running `{body}`"
+            );
+        }
+    }
+}
+
+/// Promoted from `frontend_props.proptest-regressions` (seed
+/// `47fd54e9…`): a constant-true `if` whose taken arm is dead code, an
+/// else-arm concat with a truncating literal, and a same-cycle double
+/// write to `r2` where the later assignment must win. Historically the
+/// mux lowering dropped the second write's priority.
+#[test]
+fn regression_const_if_concat_and_double_write_priority() {
+    check_seq_case(
+        "const-if/double-write",
+        "begin if ((1'h0 + 34892)) begin r2 <= (b ^ b); end else begin r2 <= {7450, b}; end \
+         begin r0 <= (~48550); r2 <= (b & b); end end",
+        &[(15135785235765471721, 7058691194870242878)],
+    );
+}
