@@ -202,9 +202,89 @@ fn drive(sessions: usize, secs: f64) -> Point {
     }
 }
 
-fn render_json(points: &[Point]) -> String {
+struct RestartPoint {
+    cold_first_native_tick_ms: f64,
+    warm_first_native_tick_ms: f64,
+    warm_bitstream_hits: u64,
+}
+
+/// Times a tenant's path to its first hardware tick on a cold server
+/// (full toolchain compile) versus after a drain → recover restart, where
+/// the persistent bitstream store makes the recompile warm.
+fn drive_restart() -> RestartPoint {
+    let dir = std::env::temp_dir().join(format!("cascade-bench-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = ServeConfig::quick();
+    config.fabrics = 1;
+    config.workers = 2;
+    config.hibernate_after_s = 0.0;
+    config.durable_dir = Some(dir.to_string_lossy().into_owned());
+    // quick()'s 1e-6 scale shrinks the modeled toolchain below the
+    // request-loop noise floor; at 1e-3 the ~100-virtual-second cold
+    // compile costs ~100ms wall while the 2-virtual-second store hit
+    // costs ~2ms, so the row measures the toolchain, not the loop.
+    config.jit.toolchain.time_scale = 1e-3;
+
+    let first_native_tick = |client: &mut InProcClient| -> f64 {
+        let t0 = Instant::now();
+        loop {
+            client.run(RUN_TICKS).expect("run");
+            let stats = client.stats().expect("stats");
+            if stats
+                .get("promotions")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+                >= 1
+            {
+                return t0.elapsed().as_secs_f64() * 1e3;
+            }
+            assert!(
+                t0.elapsed().as_secs_f64() < 60.0,
+                "session never promoted to hardware"
+            );
+        }
+    };
+
+    let server = Server::new(config.clone());
+    let mut client = InProcClient::connect(&server);
+    let id = client.open().expect("open");
+    let token = client.token().expect("token");
+    client.eval_all(COUNTER).expect("eval");
+    let cold_ms = first_native_tick(&mut client);
+    client.drain_server().expect("drain");
+    drop(client);
+    drop(server);
+
+    let recovered = Server::recover(config);
+    let mut client = InProcClient::connect(&recovered);
+    let t0 = Instant::now();
+    client.resume(id, token).expect("resume");
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3 + first_native_tick(&mut client);
+    let server_stats = client.server_stats().expect("server stats");
+    let warm_hits = server_stats
+        .get("warm_bitstream_hits")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+    RestartPoint {
+        cold_first_native_tick_ms: cold_ms,
+        warm_first_native_tick_ms: warm_ms,
+        warm_bitstream_hits: warm_hits,
+    }
+}
+
+fn render_json(points: &[Point], restart: &RestartPoint) -> String {
     let mut out = String::from("{\n");
     out.push_str(&cascade_bench::schema_header("serve", "host"));
+    writeln!(
+        out,
+        "  \"restart\": {{\"cold_first_native_tick_ms\": {:.1}, \
+         \"warm_first_native_tick_ms\": {:.1}, \"warm_bitstream_hits\": {}}},",
+        restart.cold_first_native_tick_ms,
+        restart.warm_first_native_tick_ms,
+        restart.warm_bitstream_hits,
+    )
+    .unwrap();
     out.push_str("  \"benchmark\": \"serve_scaling\",\n  \"fabrics\": 2,\n  \"rows\": [\n");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
@@ -281,12 +361,23 @@ fn main() {
         );
         points.push(p);
     }
-    let json = render_json(&points);
+    let restart = drive_restart();
+    println!(
+        "\nrestart: first native tick cold {:.1} ms, warm {:.1} ms ({} warm store hits)",
+        restart.cold_first_native_tick_ms,
+        restart.warm_first_native_tick_ms,
+        restart.warm_bitstream_hits,
+    );
+    let json = render_json(&points, &restart);
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");
 
     if std::env::var("CASCADE_BENCH_ASSERT").as_deref() == Ok("1") {
         let mut failed = false;
+        if restart.warm_bitstream_hits == 0 {
+            eprintln!("FAIL: warm restart compiled from scratch (no bitstream-store hit)");
+            failed = true;
+        }
         for pair in points.windows(2) {
             let (a, b) = (&pair[0], &pair[1]);
             if b.ticks_per_sec < a.ticks_per_sec * 0.80 {

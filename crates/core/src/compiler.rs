@@ -16,6 +16,7 @@
 //!   Concurrent submissions of the same synthesized netlist are coalesced
 //!   by content hash — one compile runs, every waiter gets the result.
 
+use cascade_durable::BitstreamStore;
 use cascade_fpga::{
     wrapper_overhead_les, Bitstream, CompileError, FaultPlan, Toolchain, ToolchainFault,
 };
@@ -46,6 +47,12 @@ const PANIC_LATENCY_S: f64 = 10.0;
 /// reprogramming the fabric, not rerunning the toolchain (paper Sec. 7
 /// positions this as the biggest practical win for iterative development).
 const CACHE_HIT_LATENCY_S: f64 = 1.0;
+
+/// Modeled latency of a persistent-store hit: reading and verifying a
+/// stored bitstream record from disk and reprogramming the fabric —
+/// slower than the in-memory cache, vastly faster than a toolchain run.
+/// This is what makes a server restart *warm*.
+const STORE_HIT_LATENCY_S: f64 = 2.0;
 
 /// Default bound on the bitstream cache (entries). Bitstreams hold a full
 /// placed netlist, so an unbounded cache in a long-lived shared server
@@ -260,6 +267,10 @@ struct QueueShared {
     jobs: Mutex<VecDeque<Job>>,
     available: Condvar,
     cache: Arc<BitstreamCache>,
+    /// Persistent bitstream store behind the in-memory cache. Misses fall
+    /// through to it before the toolchain runs; successful compiles write
+    /// through to it. `None` for non-durable servers.
+    store: Option<Arc<BitstreamStore>>,
     /// Content-hash keys being compiled right now, with the submissions
     /// waiting on each (deduplication of concurrent identical compiles).
     in_progress: Mutex<HashMap<u64, Waiters>>,
@@ -298,6 +309,11 @@ impl CompileQueue {
         &self.shared.cache
     }
 
+    /// The persistent bitstream store, when this pool is durable.
+    pub fn store(&self) -> Option<&Arc<BitstreamStore>> {
+        self.shared.store.as_ref()
+    }
+
     /// Jobs waiting for a worker.
     pub fn depth(&self) -> usize {
         lock(&self.shared.jobs).len()
@@ -333,10 +349,24 @@ impl CompilePool {
     /// `queue_capacity` jobs and a cache bounded to `cache_capacity`
     /// bitstreams.
     pub fn new(workers: usize, queue_capacity: usize, cache_capacity: usize) -> Self {
+        Self::with_store(workers, queue_capacity, cache_capacity, None)
+    }
+
+    /// Like [`CompilePool::new`], additionally backing the in-memory
+    /// cache with a persistent [`BitstreamStore`]: cache misses consult
+    /// the store before running the toolchain, and successful compiles
+    /// write through to it — so a restarted server skips recompiles.
+    pub fn with_store(
+        workers: usize,
+        queue_capacity: usize,
+        cache_capacity: usize,
+        store: Option<Arc<BitstreamStore>>,
+    ) -> Self {
         let shared = Arc::new(QueueShared {
             jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             cache: Arc::new(BitstreamCache::new(cache_capacity)),
+            store,
             in_progress: Mutex::new(HashMap::new()),
             coalesced: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -438,7 +468,7 @@ impl Drop for InProgressGuard<'_> {
 }
 
 fn run_pooled_job(shared: &QueueShared, job: Job) {
-    let (netlist, tc, key) = match synth_for_compile(&job.design, &job.toolchain, job.version) {
+    let (netlist, tc, key, fp) = match synth_for_compile(&job.design, &job.toolchain, job.version) {
         Ok(parts) => parts,
         Err(outcome) => {
             let _ = job.tx.send(outcome);
@@ -447,8 +477,23 @@ fn run_pooled_job(shared: &QueueShared, job: Job) {
     };
     if let Some(bs) = shared.cache.get(key) {
         shared.cache.hits.fetch_add(1, Ordering::Relaxed);
-        let _ = job.tx.send(hit_outcome(bs, &tc, job.version));
+        let _ = job
+            .tx
+            .send(hit_outcome(bs, &tc, job.version, CACHE_HIT_LATENCY_S));
         return;
+    }
+    if let Some(store) = &shared.store {
+        // Warm-restart path: the store carries toolchain outputs from a
+        // previous server lifetime; the fingerprint check proves they
+        // belong to this netlist before they are served.
+        if let Some(bs) = store.load(key, fp, Arc::clone(&netlist)) {
+            shared.cache.insert(key, bs.clone());
+            shared.cache.hits.fetch_add(1, Ordering::Relaxed);
+            let _ = job
+                .tx
+                .send(hit_outcome(bs, &tc, job.version, STORE_HIT_LATENCY_S));
+            return;
+        }
     }
     {
         let mut ip = lock(&shared.in_progress);
@@ -469,7 +514,16 @@ fn run_pooled_job(shared: &QueueShared, job: Job) {
     if job.faults.next_worker_panic() {
         panic!("injected compile-worker panic");
     }
-    let outcome = run_toolchain(netlist, &tc, key, job.version, &shared.cache, &job.faults);
+    let outcome = run_toolchain(
+        netlist,
+        &tc,
+        key,
+        fp,
+        job.version,
+        &shared.cache,
+        shared.store.as_deref(),
+        &job.faults,
+    );
     let waiters = lock(&shared.in_progress).remove(&key).unwrap_or_default();
     guard.done = true;
     for (version, tx) in waiters {
@@ -920,7 +974,7 @@ fn synth_for_compile(
     design: &Design,
     toolchain: &Toolchain,
     version: u64,
-) -> Result<(Arc<Netlist>, Toolchain, u64), CompileOutcome> {
+) -> Result<(Arc<Netlist>, Toolchain, u64, u64), CompileOutcome> {
     let netlist = match synthesize(design) {
         Ok(nl) => Arc::new(nl),
         Err(e) => {
@@ -935,12 +989,18 @@ fn synth_for_compile(
     };
     let mut tc = toolchain.clone();
     tc.overhead_les = wrapper_overhead_les(&netlist);
-    let key = tc.cache_key(fingerprint(&netlist));
-    Ok((netlist, tc, key))
+    let fp = fingerprint(&netlist);
+    let key = tc.cache_key(fp);
+    Ok((netlist, tc, key, fp))
 }
 
-fn hit_outcome(mut bitstream: Bitstream, tc: &Toolchain, version: u64) -> CompileOutcome {
-    let latency = Duration::from_secs_f64(CACHE_HIT_LATENCY_S * tc.time_scale);
+fn hit_outcome(
+    mut bitstream: Bitstream,
+    tc: &Toolchain,
+    version: u64,
+    base_latency_s: f64,
+) -> CompileOutcome {
+    let latency = Duration::from_secs_f64(base_latency_s * tc.time_scale);
     bitstream.modeled_duration = latency;
     CompileOutcome {
         version,
@@ -953,12 +1013,15 @@ fn hit_outcome(mut bitstream: Bitstream, tc: &Toolchain, version: u64) -> Compil
 /// Place-and-route with modeled latency; successful bitstreams enter the
 /// cache. Failures carry a modeled latency too — a timing-closure failure
 /// is only discovered after place-and-route (paper Sec. 6.4).
+#[allow(clippy::too_many_arguments)]
 fn run_toolchain(
     netlist: Arc<Netlist>,
     tc: &Toolchain,
     key: u64,
+    fp: u64,
     version: u64,
     cache: &BitstreamCache,
+    store: Option<&BitstreamStore>,
     faults: &FaultPlan,
 ) -> CompileOutcome {
     cache.misses.fetch_add(1, Ordering::Relaxed);
@@ -995,6 +1058,9 @@ fn run_toolchain(
     match tc.compile_netlist(netlist) {
         Ok(bs) => {
             cache.insert(key, bs.clone());
+            if let Some(store) = store {
+                store.save(key, fp, &bs);
+            }
             CompileOutcome {
                 version,
                 result: Ok(bs),
@@ -1030,13 +1096,15 @@ fn compile_with_wrapper(
     if faults.next_worker_panic() {
         panic!("injected compile-worker panic");
     }
-    let (netlist, tc, key) = match synth_for_compile(design, toolchain, version) {
+    let (netlist, tc, key, fp) = match synth_for_compile(design, toolchain, version) {
         Ok(parts) => parts,
         Err(outcome) => return outcome,
     };
     if let Some(bs) = cache.get(key) {
         cache.hits.fetch_add(1, Ordering::Relaxed);
-        return hit_outcome(bs, &tc, version);
+        return hit_outcome(bs, &tc, version, CACHE_HIT_LATENCY_S);
     }
-    run_toolchain(netlist, &tc, key, version, cache, faults)
+    // The solo (single-user REPL) flow has no persistent store: warm
+    // restarts are a property of the pooled server.
+    run_toolchain(netlist, &tc, key, fp, version, cache, None, faults)
 }

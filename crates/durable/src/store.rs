@@ -1,0 +1,274 @@
+//! Persistent content-addressed bitstream store.
+//!
+//! The in-memory `BitstreamCache` makes repeat compiles free *within* a
+//! server lifetime; this store makes them free *across* lifetimes. Each
+//! entry is keyed by the toolchain cache key (a mix of the netlist
+//! content fingerprint and the toolchain configuration) and stores only
+//! the toolchain's *outputs* — placement, timing, area, modeled latency.
+//! The netlist itself is not serialized: computing the cache key already
+//! requires synthesizing the netlist, so the loader re-attaches that
+//! freshly synthesized netlist and merely verifies its content
+//! fingerprint against the stored one. A mismatch or a bad frame
+//! quarantines the entry and reports a miss — a corrupt record is never
+//! served as a bitstream.
+
+use crate::{codec, quarantine, DurableFs, ReadError};
+use cascade_fpga::Bitstream;
+use cascade_fpga::Placement;
+use cascade_netlist::{AreaEstimate, Netlist};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const MAGIC: &[u8; 4] = b"CBS1";
+
+/// On-disk bitstream cache keyed by content hash.
+pub struct BitstreamStore {
+    fs: DurableFs,
+    dir: PathBuf,
+    hits: AtomicU64,
+    saves: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl BitstreamStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: PathBuf, fs: DurableFs) -> BitstreamStore {
+        let _ = std::fs::create_dir_all(&dir);
+        BitstreamStore {
+            fs,
+            dir,
+            hits: AtomicU64::new(0),
+            saves: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("bs-{key:016x}.cbs"))
+    }
+
+    /// Loads the entry for `key`, re-attaching `netlist` (the freshly
+    /// synthesized netlist whose fingerprint must equal `fingerprint`).
+    /// Any verification failure quarantines the entry and returns `None`.
+    pub fn load(&self, key: u64, fingerprint: u64, netlist: Arc<Netlist>) -> Option<Bitstream> {
+        let path = self.path_for(key);
+        let payload = match self.fs.read_record(&path) {
+            Ok(p) => p,
+            Err(ReadError::Missing) => return None,
+            Err(ReadError::Corrupt(_)) => {
+                let _ = quarantine(&path);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode(&payload, key, fingerprint, netlist) {
+            Ok(bs) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(bs)
+            }
+            Err(_) => {
+                let _ = quarantine(&path);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists the toolchain outputs for `key`. Best-effort background
+    /// write: failures (including a crashed store) lose only warmth.
+    pub fn save(&self, key: u64, fingerprint: u64, bs: &Bitstream) {
+        let payload = encode(key, fingerprint, bs);
+        if self
+            .fs
+            .write_atomic_bg(&self.path_for(key), &payload)
+            .is_ok()
+        {
+            self.saves.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Verified loads served.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Entries persisted this lifetime.
+    pub fn saves(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
+    }
+
+    /// Entries quarantined for failed verification.
+    pub fn corrupt_quarantined(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+}
+
+fn encode(key: u64, fingerprint: u64, bs: &Bitstream) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    codec::put_u64(&mut out, key);
+    codec::put_u64(&mut out, fingerprint);
+    codec::put_u64(&mut out, bs.area.logic_elements);
+    codec::put_u64(&mut out, bs.area.registers);
+    codec::put_u64(&mut out, bs.area.bram_bits);
+    codec::put_u64(&mut out, bs.area.dsp_blocks);
+    codec::put_u64(&mut out, bs.placement.cells as u64);
+    codec::put_u32(&mut out, bs.placement.grid);
+    codec::put_f64(&mut out, bs.placement.avg_wirelength);
+    codec::put_u64(&mut out, bs.placement.moves);
+    codec::put_f64(&mut out, bs.fmax_mhz);
+    codec::put_u32(&mut out, bs.logic_depth);
+    codec::put_f64(&mut out, bs.modeled_duration.as_secs_f64());
+    out
+}
+
+fn decode(
+    payload: &[u8],
+    key: u64,
+    fingerprint: u64,
+    netlist: Arc<Netlist>,
+) -> Result<Bitstream, String> {
+    if payload.len() < 4 || &payload[..4] != MAGIC {
+        return Err("bad magic".into());
+    }
+    let mut r = codec::Reader::new(&payload[4..]);
+    let stored_key = r.u64()?;
+    let stored_fp = r.u64()?;
+    if stored_key != key {
+        return Err(format!("key mismatch: stored {stored_key:x}, want {key:x}"));
+    }
+    if stored_fp != fingerprint {
+        return Err(format!(
+            "netlist fingerprint mismatch: stored {stored_fp:x}, want {fingerprint:x}"
+        ));
+    }
+    let area = AreaEstimate {
+        logic_elements: r.u64()?,
+        registers: r.u64()?,
+        bram_bits: r.u64()?,
+        dsp_blocks: r.u64()?,
+    };
+    let placement = Placement {
+        cells: r.u64()? as usize,
+        grid: r.u32()?,
+        avg_wirelength: r.f64()?,
+        moves: r.u64()?,
+    };
+    let fmax_mhz = r.f64()?;
+    let logic_depth = r.u32()?;
+    let modeled_secs = r.f64()?;
+    r.finish()?;
+    if !modeled_secs.is_finite() || modeled_secs < 0.0 {
+        return Err(format!("bad modeled duration {modeled_secs}"));
+    }
+    Ok(Bitstream {
+        netlist,
+        area,
+        placement,
+        fmax_mhz,
+        logic_depth,
+        modeled_duration: Duration::from_secs_f64(modeled_secs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_fpga::FaultPlan;
+    use cascade_netlist::fingerprint;
+
+    fn tiny_netlist() -> Arc<Netlist> {
+        Arc::new(Netlist {
+            nets: Vec::new(),
+            regs: Vec::new(),
+            mems: Vec::new(),
+            tasks: Vec::new(),
+            clocks: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            name: "store-test".into(),
+        })
+    }
+
+    fn sample(nl: Arc<Netlist>) -> Bitstream {
+        Bitstream {
+            netlist: nl,
+            area: AreaEstimate {
+                logic_elements: 42,
+                registers: 16,
+                bram_bits: 0,
+                dsp_blocks: 1,
+            },
+            placement: Placement {
+                cells: 42,
+                grid: 7,
+                avg_wirelength: 2.25,
+                moves: 9001,
+            },
+            fmax_mhz: 151.5,
+            logic_depth: 5,
+            modeled_duration: Duration::from_secs_f64(0.125),
+        }
+    }
+
+    fn tdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cascade-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let d = tdir("rt");
+        let store = BitstreamStore::open(d.clone(), DurableFs::new(FaultPlan::none()));
+        let nl = tiny_netlist();
+        let fp = fingerprint(&nl);
+        let bs = sample(Arc::clone(&nl));
+        store.save(0x1234, fp, &bs);
+        assert_eq!(store.saves(), 1);
+        let got = store.load(0x1234, fp, nl).expect("warm hit");
+        assert_eq!(got.area, bs.area);
+        assert_eq!(got.fmax_mhz, bs.fmax_mhz);
+        assert_eq!(got.logic_depth, bs.logic_depth);
+        assert_eq!(got.modeled_duration, bs.modeled_duration);
+        assert_eq!(store.hits(), 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_quarantined_as_miss() {
+        let d = tdir("fp");
+        let store = BitstreamStore::open(d.clone(), DurableFs::new(FaultPlan::none()));
+        let nl = tiny_netlist();
+        let fp = fingerprint(&nl);
+        store.save(7, fp, &sample(Arc::clone(&nl)));
+        // A different source now maps to the same key (modeled collision
+        // or stale entry): the stored fingerprint must reject it.
+        assert!(store.load(7, fp ^ 0xff, Arc::clone(&nl)).is_none());
+        assert_eq!(store.corrupt_quarantined(), 1);
+        // Quarantine moved it aside: a retry is a clean miss.
+        assert!(store.load(7, fp, nl).is_none());
+        assert_eq!(store.corrupt_quarantined(), 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corrupt_record_is_quarantined_as_miss() {
+        let d = tdir("corrupt");
+        let store = BitstreamStore::open(d.clone(), DurableFs::new(FaultPlan::none()));
+        let nl = tiny_netlist();
+        let fp = fingerprint(&nl);
+        store.save(9, fp, &sample(Arc::clone(&nl)));
+        let path = d.join(format!("bs-{:016x}.cbs", 9));
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(store.load(9, fp, nl).is_none());
+        assert_eq!(store.corrupt_quarantined(), 1);
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -168,6 +168,14 @@ impl Board {
             .cloned()
     }
 
+    /// Snapshot of the unconsumed host-FIFO tokens, oldest first. The
+    /// durability layer checkpoints this residue so queued-but-unpopped
+    /// tokens survive a server restart.
+    pub fn fifo_snapshot(&self) -> Vec<Bits> {
+        let st = self.inner.lock().expect("board mutex");
+        st.fifo_in.iter().cloned().collect()
+    }
+
     /// Whether the host FIFO has data.
     pub fn fifo_nonempty(&self) -> bool {
         !self.inner.lock().expect("board mutex").fifo_in.is_empty()

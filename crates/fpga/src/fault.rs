@@ -51,6 +51,27 @@ pub enum FabricFault {
     Loss,
 }
 
+/// A fault injected into one durable write (journal append, atomic
+/// replace, hibernation spill). Every durable fault models the process
+/// dying at that write: the operation reports failure, the on-disk state
+/// is left in the corresponding partial condition, and the store refuses
+/// further writes until the server is restarted and recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurableFault {
+    /// The write is cut off mid-frame: a prefix of the framed record
+    /// reaches disk, so recovery sees a torn tail that fails its CRC.
+    TornWrite,
+    /// The frame header lands but the payload is short — the classic
+    /// "rename survived, data blocks didn't" anomaly an fsync-before-
+    /// rename discipline exists to prevent.
+    PartialWrite,
+    /// The data was written but fsync fails; the crash then drops the
+    /// cached bytes, so nothing of this write survives.
+    LostFsync,
+    /// The process dies just before the write starts; disk is untouched.
+    Crash,
+}
+
 #[derive(Debug, Default)]
 struct Schedule {
     /// Toolchain run index → fault.
@@ -63,6 +84,8 @@ struct Schedule {
     migration_revokes: BTreeMap<u64, ()>,
     /// Session `run` command indices whose worker panics.
     session_panics: BTreeMap<u64, ()>,
+    /// Durable write index → crash-point fault.
+    durable: BTreeMap<u64, DurableFault>,
 }
 
 #[derive(Debug, Default)]
@@ -72,6 +95,7 @@ struct Counters {
     scrub: AtomicU64,
     migration: AtomicU64,
     session: AtomicU64,
+    durable: AtomicU64,
     injected: AtomicU64,
 }
 
@@ -195,6 +219,22 @@ impl FaultPlan {
         self.consult(|c| &c.session, |s, occ| s.session_panics.get(&occ).copied())
             .is_some()
     }
+
+    /// Consults the durable-write site: one call per foreground durable
+    /// write (journal append, atomic replace, hibernation spill).
+    pub fn next_durable_fault(&self) -> Option<DurableFault> {
+        self.consult(|c| &c.durable, |s, occ| s.durable.get(&occ).copied())
+    }
+
+    /// How many durable write points have been consulted so far. The
+    /// crash-point fuzzer runs a clean pass with an armed-but-never-firing
+    /// plan to count the write points it must sweep.
+    pub fn durable_consults(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.counters.durable.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
 }
 
 /// Builds a [`FaultPlan`] one scheduled fault at a time. All occurrence
@@ -251,6 +291,12 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// The `occ`-th durable write takes `fault`.
+    pub fn durable_fault(mut self, occ: u64, fault: DurableFault) -> Self {
+        self.schedule.durable.insert(occ, fault);
+        self
+    }
+
     /// Finalizes the plan. An empty schedule yields the inactive plan.
     pub fn build(self) -> FaultPlan {
         let s = &self.schedule;
@@ -259,6 +305,7 @@ impl FaultPlanBuilder {
             && s.scrub.is_empty()
             && s.migration_revokes.is_empty()
             && s.session_panics.is_empty()
+            && s.durable.is_empty()
         {
             return FaultPlan::none();
         }
@@ -305,6 +352,27 @@ mod tests {
         assert!(!p.next_worker_panic());
         assert!(q.next_worker_panic());
         assert_eq!(p.injected(), 1);
+    }
+
+    #[test]
+    fn durable_site_counts_and_fires_by_occurrence() {
+        let p = FaultPlan::builder()
+            .durable_fault(2, DurableFault::TornWrite)
+            .durable_fault(3, DurableFault::Crash)
+            .build();
+        assert_eq!(p.next_durable_fault(), None);
+        assert_eq!(p.next_durable_fault(), Some(DurableFault::TornWrite));
+        assert_eq!(p.next_durable_fault(), Some(DurableFault::Crash));
+        assert_eq!(p.next_durable_fault(), None);
+        assert_eq!(p.durable_consults(), 4);
+        assert_eq!(p.injected(), 2);
+        // An armed-but-never-firing plan still counts write points.
+        let counting = FaultPlan::builder()
+            .durable_fault(u64::MAX, DurableFault::Crash)
+            .build();
+        assert!(counting.is_active());
+        assert_eq!(counting.next_durable_fault(), None);
+        assert_eq!(counting.durable_consults(), 1);
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod toolchain;
 pub use board::Board;
 pub use clock::{CostModel, VirtualWall};
 pub use device::Device;
-pub use fault::{FabricFault, FaultPlan, FaultPlanBuilder, ToolchainFault};
+pub use fault::{DurableFault, FabricFault, FaultPlan, FaultPlanBuilder, ToolchainFault};
 pub use fleet::{ArbiterConfig, Fleet, FleetStats, Lease};
 pub use mmio::{describe_task, wrapper_overhead_les, AddressMap, Ctrl, MmioCore, Slot};
 pub use place::{place, Placement};

@@ -80,6 +80,9 @@ pub struct RunResult {
 pub struct Client<T: Transport> {
     transport: T,
     session: Option<u64>,
+    token: Option<u64>,
+    /// Next command sequence number (exactly-once). 0 = unsequenced.
+    next_seq: u64,
 }
 
 /// In-process client (shares the server's address space).
@@ -96,6 +99,8 @@ impl InProcClient {
                 server: Arc::clone(server),
             },
             session: None,
+            token: None,
+            next_seq: 0,
         }
     }
 }
@@ -115,6 +120,8 @@ impl TcpClient {
                 writer: stream,
             },
             session: None,
+            token: None,
+            next_seq: 0,
         })
     }
 }
@@ -164,7 +171,49 @@ impl<T: Transport> Client<T> {
             .and_then(Json::as_u64)
             .ok_or("reply missing session id")?;
         self.session = Some(id);
+        self.token = reply.get("token").and_then(Json::as_u64);
         Ok(id)
+    }
+
+    /// The resume capability returned by [`open`](Self::open), needed to
+    /// reclaim this session from a recovered server.
+    pub fn token(&self) -> Option<u64> {
+        self.token
+    }
+
+    /// Reclaims a session recovered after a server restart. Returns the
+    /// last command sequence number the old server acknowledged, so the
+    /// caller knows exactly where to resume its command stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message (unknown session, bad token).
+    pub fn resume(&mut self, id: u64, token: u64) -> Result<u64, String> {
+        let reply = self.expect_ok(&Request::Resume { session: id, token })?;
+        self.session = Some(id);
+        self.token = Some(token);
+        Ok(reply.get("last_seq").and_then(Json::as_u64).unwrap_or(0))
+    }
+
+    /// Flushes every session's journal to a durable checkpoint and
+    /// hibernates live tenants — the graceful half of a restart. Returns
+    /// `(flushed, hibernated)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn drain_server(&mut self) -> Result<(u64, u64), String> {
+        let reply = self.expect_ok(&Request::DrainServer)?;
+        let flushed = reply.get("flushed").and_then(Json::as_u64).unwrap_or(0);
+        let hibernated = reply.get("hibernated").and_then(Json::as_u64).unwrap_or(0);
+        Ok((flushed, hibernated))
+    }
+
+    /// Allocates the next command sequence number for the `*_seq`
+    /// exactly-once variants.
+    pub fn next_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
     }
 
     /// Re-attaches to a live session by id.
@@ -185,9 +234,23 @@ impl<T: Transport> Client<T> {
     /// Returns transport/protocol failures; rejected items come back as
     /// [`EvalResult::Error`].
     pub fn eval(&mut self, line: &str) -> Result<EvalResult, String> {
+        self.eval_seq(line, 0)
+    }
+
+    /// [`eval`](Self::eval) with an explicit sequence number (see
+    /// [`next_seq`](Self::next_seq)): the server journals the command
+    /// before acknowledging, and re-sending the same `seq` after a
+    /// timeout returns the stored reply instead of re-executing.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/protocol failures; rejected items come back as
+    /// [`EvalResult::Error`].
+    pub fn eval_seq(&mut self, line: &str, seq: u64) -> Result<EvalResult, String> {
         let reply = self.raw(&Request::Eval {
             session: self.session()?,
             line: line.to_string(),
+            seq,
         })?;
         match reply.get("status").and_then(Json::as_str) {
             Some("evaluated") => Ok(EvalResult::Evaluated(string_array(&reply, "output"))),
@@ -226,9 +289,20 @@ impl<T: Transport> Client<T> {
     ///
     /// Returns the server's error message.
     pub fn run(&mut self, ticks: u64) -> Result<RunResult, String> {
+        self.run_seq(ticks, 0)
+    }
+
+    /// [`run`](Self::run) with an explicit sequence number for
+    /// exactly-once retry (see [`eval_seq`](Self::eval_seq)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn run_seq(&mut self, ticks: u64, seq: u64) -> Result<RunResult, String> {
         let reply = self.expect_ok(&Request::Run {
             session: self.session()?,
             ticks,
+            seq,
         })?;
         Ok(RunResult {
             ticks: reply.get("ticks").and_then(Json::as_u64).unwrap_or(0),
@@ -258,8 +332,19 @@ impl<T: Transport> Client<T> {
     ///
     /// Returns the server's error message.
     pub fn drain(&mut self) -> Result<(Vec<String>, u64), String> {
+        self.drain_seq(0)
+    }
+
+    /// [`drain`](Self::drain) with an explicit sequence number for
+    /// exactly-once retry (see [`eval_seq`](Self::eval_seq)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn drain_seq(&mut self, seq: u64) -> Result<(Vec<String>, u64), String> {
         let reply = self.expect_ok(&Request::Drain {
             session: self.session()?,
+            seq,
         })?;
         let dropped = reply.get("dropped").and_then(Json::as_u64).unwrap_or(0);
         Ok((string_array(&reply, "lines"), dropped))
@@ -295,10 +380,21 @@ impl<T: Transport> Client<T> {
     ///
     /// Returns the server's error message.
     pub fn fifo_push(&mut self, width: u64, data: &[u64]) -> Result<u64, String> {
+        self.fifo_push_seq(width, data, 0)
+    }
+
+    /// [`fifo_push`](Self::fifo_push) with an explicit sequence number
+    /// for exactly-once retry (see [`eval_seq`](Self::eval_seq)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn fifo_push_seq(&mut self, width: u64, data: &[u64], seq: u64) -> Result<u64, String> {
         let reply = self.expect_ok(&Request::Fifo {
             session: self.session()?,
             width,
             data: data.to_vec(),
+            seq,
         })?;
         Ok(reply.get("pushed").and_then(Json::as_u64).unwrap_or(0))
     }

@@ -8,8 +8,9 @@
 //!
 //! | `cmd`          | members                | reply                                        |
 //! |----------------|------------------------|----------------------------------------------|
-//! | `open`         |                        | `{ok, session}`                              |
+//! | `open`         |                        | `{ok, session, token}`                       |
 //! | `attach`       | `session`              | `{ok}` (validates the id)                    |
+//! | `resume`       | `session`, `token`     | `{ok, session, last_seq}` (after recovery)   |
 //! | `eval`         | `session`, `line`      | `{ok, status, output[], error?}`             |
 //! | `run`          | `session`, `ticks`     | `{ok, ticks, backpressure, mode, lease_held}`|
 //! | `drain`        | `session`              | `{ok, lines[], dropped}`                     |
@@ -24,7 +25,19 @@
 //! | `configure`    | `session`, `batch_width?`, `eval_threads?` | `{ok, batch_width, eval_threads}` |
 //! | `vcd`          | `session`, `path?`, `ports?[]` | `{ok, active, path?}` start/stop dump |
 //! | `hibernate`    | `session`              | `{ok, hibernated, bytes?, reason?}`          |
+//! | `drain_server` |                        | `{ok, flushed, hibernated}` durable flush    |
 //! | `close`        | `session`              | `{ok}`                                       |
+//!
+//! The mutating session commands (`eval`, `run`, `drain`, `fifo`) accept
+//! an optional `seq` member — a client-chosen, strictly increasing
+//! sequence number (0 / absent = unsequenced). On a durable server the
+//! command is journaled under that `seq` *before* the reply is released,
+//! and re-sending the last acknowledged `seq` after a reconnect returns
+//! the stored reply instead of executing twice — exactly-once delivery
+//! across crashes. `resume` re-attaches to a session rehydrated by
+//! crash recovery, proving ownership with the token `open` handed out;
+//! its reply reports the last journaled `seq` so the client knows
+//! whether its in-flight command was acknowledged.
 
 use crate::json::Json;
 
@@ -35,12 +48,21 @@ pub enum Request {
     Open,
     /// Validates that a session id is live (re-attach after reconnect).
     Attach { session: u64 },
-    /// Feeds one line of Verilog to the session's REPL.
-    Eval { session: u64, line: String },
+    /// Re-attaches to a session rehydrated by crash recovery, proving
+    /// ownership with the token `open` returned. The reply's `last_seq`
+    /// is the highest journaled sequence number.
+    Resume { session: u64, token: u64 },
+    /// Feeds one line of Verilog to the session's REPL. `seq` (0 =
+    /// unsequenced) enables exactly-once journaling and dedup.
+    Eval {
+        session: u64,
+        line: String,
+        seq: u64,
+    },
     /// Runs up to `ticks` virtual clock ticks.
-    Run { session: u64, ticks: u64 },
+    Run { session: u64, ticks: u64, seq: u64 },
     /// Drains queued `$display` output.
-    Drain { session: u64 },
+    Drain { session: u64, seq: u64 },
     /// Blocks until the session's in-flight compile resolves.
     WaitCompile { session: u64 },
     /// Reads a named signal.
@@ -50,6 +72,7 @@ pub enum Request {
         session: u64,
         width: u64,
         data: Vec<u64>,
+        seq: u64,
     },
     /// Session statistics, or server-wide statistics when `session` is
     /// `None`.
@@ -95,6 +118,11 @@ pub enum Request {
     /// make on its own. Refused (with a `reason`) in native mode or while
     /// a VCD dump is active.
     Hibernate { session: u64 },
+    /// Durably flushes every session (live ones are hibernated, journals
+    /// are compacted, counter baselines snapshotted) ahead of a graceful
+    /// restart. The reply counts `flushed` journals and `hibernated`
+    /// runtimes.
+    DrainServer,
     /// Closes a session, releasing its fabric lease.
     Close { session: u64 },
 }
@@ -117,10 +145,18 @@ impl Request {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("`{cmd}` needs a numeric `session`"))
         };
+        let seq = || v.get("seq").and_then(Json::as_u64).unwrap_or(0);
         match cmd {
             "open" => Ok(Request::Open),
             "attach" => Ok(Request::Attach {
                 session: session()?,
+            }),
+            "resume" => Ok(Request::Resume {
+                session: session()?,
+                token: v
+                    .get("token")
+                    .and_then(Json::as_u64)
+                    .ok_or("`resume` needs a numeric `token`")?,
             }),
             "eval" => Ok(Request::Eval {
                 session: session()?,
@@ -129,6 +165,7 @@ impl Request {
                     .and_then(Json::as_str)
                     .ok_or("`eval` needs a string `line`")?
                     .to_string(),
+                seq: seq(),
             }),
             "run" => Ok(Request::Run {
                 session: session()?,
@@ -136,9 +173,11 @@ impl Request {
                     .get("ticks")
                     .and_then(Json::as_u64)
                     .ok_or("`run` needs a numeric `ticks`")?,
+                seq: seq(),
             }),
             "drain" => Ok(Request::Drain {
                 session: session()?,
+                seq: seq(),
             }),
             "wait_compile" => Ok(Request::WaitCompile {
                 session: session()?,
@@ -167,6 +206,7 @@ impl Request {
                             .ok_or("`fifo` data must be non-negative integers")
                     })
                     .collect::<Result<Vec<u64>, _>>()?,
+                seq: seq(),
             }),
             "stats" => Ok(Request::Stats {
                 session: v.get("session").and_then(Json::as_u64),
@@ -212,6 +252,7 @@ impl Request {
             "hibernate" => Ok(Request::Hibernate {
                 session: session()?,
             }),
+            "drain_server" => Ok(Request::DrainServer),
             "close" => Ok(Request::Close {
                 session: session()?,
             }),
@@ -226,18 +267,43 @@ impl Request {
             Request::Attach { session } => {
                 Json::obj([("cmd", "attach".into()), ("session", (*session).into())])
             }
-            Request::Eval { session, line } => Json::obj([
-                ("cmd", "eval".into()),
+            Request::Resume { session, token } => Json::obj([
+                ("cmd", "resume".into()),
                 ("session", (*session).into()),
-                ("line", line.as_str().into()),
+                ("token", (*token).into()),
             ]),
-            Request::Run { session, ticks } => Json::obj([
-                ("cmd", "run".into()),
-                ("session", (*session).into()),
-                ("ticks", (*ticks).into()),
-            ]),
-            Request::Drain { session } => {
-                Json::obj([("cmd", "drain".into()), ("session", (*session).into())])
+            Request::Eval { session, line, seq } => {
+                let mut pairs = vec![
+                    ("cmd", Json::from("eval")),
+                    ("session", (*session).into()),
+                    ("line", line.as_str().into()),
+                ];
+                if *seq > 0 {
+                    pairs.push(("seq", (*seq).into()));
+                }
+                Json::obj(pairs)
+            }
+            Request::Run {
+                session,
+                ticks,
+                seq,
+            } => {
+                let mut pairs = vec![
+                    ("cmd", Json::from("run")),
+                    ("session", (*session).into()),
+                    ("ticks", (*ticks).into()),
+                ];
+                if *seq > 0 {
+                    pairs.push(("seq", (*seq).into()));
+                }
+                Json::obj(pairs)
+            }
+            Request::Drain { session, seq } => {
+                let mut pairs = vec![("cmd", Json::from("drain")), ("session", (*session).into())];
+                if *seq > 0 {
+                    pairs.push(("seq", (*seq).into()));
+                }
+                Json::obj(pairs)
             }
             Request::WaitCompile { session } => Json::obj([
                 ("cmd", "wait_compile".into()),
@@ -252,15 +318,22 @@ impl Request {
                 session,
                 width,
                 data,
-            } => Json::obj([
-                ("cmd", "fifo".into()),
-                ("session", (*session).into()),
-                ("width", (*width).into()),
-                (
-                    "data",
-                    Json::Arr(data.iter().map(|&x| Json::from(x)).collect()),
-                ),
-            ]),
+                seq,
+            } => {
+                let mut pairs = vec![
+                    ("cmd", Json::from("fifo")),
+                    ("session", (*session).into()),
+                    ("width", (*width).into()),
+                    (
+                        "data",
+                        Json::Arr(data.iter().map(|&x| Json::from(x)).collect()),
+                    ),
+                ];
+                if *seq > 0 {
+                    pairs.push(("seq", (*seq).into()));
+                }
+                Json::obj(pairs)
+            }
             Request::Stats { session } => match session {
                 Some(s) => Json::obj([("cmd", "stats".into()), ("session", (*s).into())]),
                 None => Json::obj([("cmd", "stats".into())]),
@@ -322,6 +395,7 @@ impl Request {
             Request::Hibernate { session } => {
                 Json::obj([("cmd", "hibernate".into()), ("session", (*session).into())])
             }
+            Request::DrainServer => Json::obj([("cmd", "drain_server".into())]),
             Request::Close { session } => {
                 Json::obj([("cmd", "close".into()), ("session", (*session).into())])
             }
@@ -354,15 +428,35 @@ mod tests {
         let requests = [
             Request::Open,
             Request::Attach { session: 7 },
+            Request::Resume {
+                session: 7,
+                token: 0xdead_beef_cafe,
+            },
             Request::Eval {
                 session: 1,
                 line: "assign led.val = \"odd\\nstring\";".to_string(),
+                seq: 0,
+            },
+            Request::Eval {
+                session: 1,
+                line: "reg r = 0;".to_string(),
+                seq: 41,
             },
             Request::Run {
                 session: 2,
                 ticks: 1_000_000,
+                seq: 0,
             },
-            Request::Drain { session: 3 },
+            Request::Run {
+                session: 2,
+                ticks: 64,
+                seq: 42,
+            },
+            Request::Drain { session: 3, seq: 0 },
+            Request::Drain {
+                session: 3,
+                seq: 43,
+            },
             Request::WaitCompile { session: 4 },
             Request::Probe {
                 session: 5,
@@ -372,6 +466,13 @@ mod tests {
                 session: 5,
                 width: 8,
                 data: vec![71, 69, 84, 32],
+                seq: 0,
+            },
+            Request::Fifo {
+                session: 5,
+                width: 16,
+                data: vec![9],
+                seq: 44,
             },
             Request::Stats { session: None },
             Request::Stats { session: Some(6) },
@@ -409,6 +510,7 @@ mod tests {
                 ports: vec![],
             },
             Request::Hibernate { session: 6 },
+            Request::DrainServer,
             Request::Close { session: 8 },
         ];
         for r in requests {
@@ -426,6 +528,22 @@ mod tests {
         assert!(Request::parse("{\"cmd\":\"eval\",\"session\":1}").is_err());
         assert!(Request::parse("{\"cmd\":\"run\",\"session\":1,\"ticks\":\"x\"}").is_err());
         assert!(Request::parse("{\"cmd\":\"eval\",\"line\":\"x;\"}").is_err());
+        assert!(Request::parse("{\"cmd\":\"resume\",\"session\":1}").is_err());
+    }
+
+    #[test]
+    fn omitted_seq_parses_as_unsequenced() {
+        let r = Request::parse("{\"cmd\":\"run\",\"session\":1,\"ticks\":8}").unwrap();
+        assert_eq!(
+            r,
+            Request::Run {
+                session: 1,
+                ticks: 8,
+                seq: 0
+            }
+        );
+        // And an unsequenced request does not emit a `seq` member.
+        assert!(!r.to_line().contains("seq"));
     }
 
     #[test]

@@ -39,12 +39,13 @@ use cascade_core::{
     panic_message, CascadeError, CompilePool, CompileQueue, ExecMode, HibernateImage, JitConfig,
     Repl, ReplResponse, Runtime,
 };
+use cascade_durable::{codec, quarantine, BitstreamStore, DurableFs};
 use cascade_fpga::{ArbiterConfig, Board, Fleet};
 use cascade_trace::{
     export_jsonl, expose, merge, render_timeline, Arg, MetricSnapshot, Registry, SnapValue,
     TimeMode, TraceEvent, TraceSink, DEFAULT_RING_CAPACITY,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -110,8 +111,21 @@ pub struct ServeConfig {
     /// disk under `hibernate_spill_dir`.
     pub hibernate_mem_bytes: usize,
     /// Directory for spilled images. `None` = a per-server directory
-    /// under the system temp dir, removed on shutdown.
+    /// under the system temp dir, removed on shutdown. **Retention
+    /// contract:** an explicitly configured directory is *never* removed
+    /// by the server — its spilled images survive `Server` drop and the
+    /// operator owns cleanup. (Durable recovery does not depend on spill
+    /// files: every hibernated session's image also lives in its
+    /// compacted journal.)
     pub hibernate_spill_dir: Option<String>,
+    /// Root directory for crash-safe durable state: write-ahead session
+    /// journals under `sessions/`, the persistent content-addressed
+    /// bitstream store under `bitstreams/`, and counter baselines in
+    /// `server.meta`. `None` disables durability — sessions and compiled
+    /// bitstreams die with the process. The directory is never removed
+    /// by the server; [`Server::recover`] rebuilds from it after a crash
+    /// or a graceful [`Server::drain`].
+    pub durable_dir: Option<String>,
     /// Sweeper cadence in real milliseconds. The sweeper is also woken
     /// event-driven by workers when the arbiter has a revocation or
     /// reservation in flight, so this is the *idle* scan period.
@@ -141,6 +155,7 @@ impl Default for ServeConfig {
             max_live_sessions: 0,
             hibernate_mem_bytes: 32 << 20,
             hibernate_spill_dir: None,
+            durable_dir: None,
             sweeper_poll_ms: 5,
             jit: JitConfig::default(),
             trace: TraceSink::ring(DEFAULT_RING_CAPACITY),
@@ -159,16 +174,21 @@ impl ServeConfig {
 }
 
 /// One user command, carried to the worker holding the session's REPL.
+/// The mutating commands carry the client's sequence number (`0` =
+/// unsequenced) for exactly-once journaling and dedup.
 enum Cmd {
     Eval {
         line: String,
+        seq: u64,
         tx: Sender<Json>,
     },
     Run {
         ticks: u64,
+        seq: u64,
         tx: Sender<Json>,
     },
     Drain {
+        seq: u64,
         tx: Sender<Json>,
     },
     WaitCompile {
@@ -218,7 +238,7 @@ impl Cmd {
         match self {
             Cmd::Eval { tx, .. }
             | Cmd::Run { tx, .. }
-            | Cmd::Drain { tx }
+            | Cmd::Drain { tx, .. }
             | Cmd::WaitCompile { tx }
             | Cmd::Probe { tx, .. }
             | Cmd::Stats { tx }
@@ -251,6 +271,94 @@ enum Dormant {
     Disk { path: PathBuf, bytes: usize },
 }
 
+// Write-ahead journal record tags. Every record after the first carries
+// `[tag u8][seq u64][reply str]` followed by tag-specific fields; the
+// first record is either `REC_OPEN` (`[token]`) or `REC_CKPT` (`[token]
+// [last_seq][last_reply][image][fifo residue][pending output]`).
+const REC_OPEN: u8 = 0;
+const REC_EVAL: u8 = 1;
+const REC_RUN: u8 = 2;
+const REC_FIFO: u8 = 3;
+const REC_DRAIN: u8 = 4;
+const REC_CKPT: u8 = 5;
+
+/// The server's durable roots (present when `durable_dir` is set).
+struct Durability {
+    fs: DurableFs,
+    sessions_dir: PathBuf,
+    meta_path: PathBuf,
+    store: Arc<BitstreamStore>,
+}
+
+impl Durability {
+    fn journal_path(&self, id: u64, gen: u64) -> PathBuf {
+        self.sessions_dir.join(format!("s{id}-{gen}.jnl"))
+    }
+}
+
+/// Per-session journal state; the lock also serializes appends against
+/// compaction.
+struct JournalState {
+    /// Current journal generation. Compaction writes generation `n+1`
+    /// complete (one checkpoint record) before removing generation `n`,
+    /// so a fault mid-compaction never destroys acknowledged state.
+    gen: u64,
+}
+
+/// One journaled command, re-applied at the session's first post-recovery
+/// wake.
+enum ReplayCmd {
+    Eval(String),
+    Run(u64),
+    Fifo(u32, Vec<u64>),
+    Drain,
+}
+
+/// Everything a recovered session re-applies on its first wake: the
+/// checkpoint's FIFO residue and undrained output, then the journaled
+/// command suffix.
+struct RecoveredReplay {
+    fifo: Vec<(u32, u64)>,
+    pending: Vec<String>,
+    cmds: Vec<ReplayCmd>,
+}
+
+impl RecoveredReplay {
+    fn empty() -> RecoveredReplay {
+        RecoveredReplay {
+            fifo: Vec::new(),
+            pending: Vec::new(),
+            cmds: Vec::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.fifo.is_empty() && self.pending.is_empty() && self.cmds.is_empty()
+    }
+}
+
+/// A session journal decoded for recovery.
+struct RecoveredSession {
+    token: u64,
+    last_seq: u64,
+    last_reply: Option<String>,
+    image: Vec<u8>,
+    replay: RecoveredReplay,
+}
+
+/// Deterministic per-session resume capability (splitmix64 of the id).
+/// A capability against accidental cross-tenant resume, not a secret.
+/// Masked to 48 bits so it round-trips losslessly through the protocol's
+/// f64 JSON number channel (exact up to 2^53).
+fn session_token(id: u64) -> u64 {
+    let mut z = id
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) & 0xffff_ffff_ffff
+}
+
 struct Session {
     id: u64,
     /// Handle on the session runtime's metric registry (clones share
@@ -275,6 +383,25 @@ struct Session {
     output: Mutex<Output>,
     last_active: Mutex<Instant>,
     closed: AtomicBool,
+    /// Resume capability returned by `open`; recovered sessions require
+    /// it (`resume`) before accepting commands.
+    token: u64,
+    /// Set for sessions rehydrated by recovery until the client resumes.
+    needs_resume: AtomicBool,
+    /// Exactly-once bookkeeping: the highest acknowledged sequence
+    /// number and the reply that acknowledged it (re-sent verbatim when
+    /// a reconnecting client retries the same `seq`).
+    last_seq: AtomicU64,
+    last_reply: Mutex<Option<String>>,
+    /// Write-ahead journal generation; the lock serializes appends
+    /// against compaction.
+    journal: Mutex<JournalState>,
+    /// Journal suffix not yet re-applied (recovered sessions replay it
+    /// on their first wake).
+    replay: Mutex<Option<RecoveredReplay>>,
+    /// Whether the journal holds records past its last checkpoint (so a
+    /// drain must compact it).
+    dirty: AtomicBool,
 }
 
 /// One worker's run-queue shard.
@@ -344,6 +471,20 @@ struct Shared {
     hib_spills: AtomicU64,
     spill_dir: PathBuf,
     spill_seq: AtomicU64,
+    /// The durable-write seam. Always present — non-durable servers use
+    /// it too (spill images go through the same atomic CRC-framed path),
+    /// sharing the fault plan's occurrence counters with the JIT layer.
+    dfs: DurableFs,
+    /// Durable roots; `None` when `durable_dir` is unset.
+    durable: Option<Durability>,
+    /// Counter floors from the previous lifetime's drain snapshot, so
+    /// `serve_*_total` counters are monotone across graceful restarts.
+    baseline: BTreeMap<String, u64>,
+    /// Recovery counters (`serve_recovery_*`).
+    recovered_sessions: AtomicU64,
+    recovery_replayed: AtomicU64,
+    recovery_quarantined: AtomicU64,
+    drain_flushes: AtomicU64,
 }
 
 /// The multi-tenant Cascade server: sessions, workers, fleet, compile pool.
@@ -365,10 +506,41 @@ impl Server {
     /// shard each), a compile pool of `config.compile_workers` threads,
     /// and the idle/service sweeper.
     pub fn new(config: ServeConfig) -> Arc<Server> {
-        let pool = CompilePool::new(
+        Server::build(config, false)
+    }
+
+    /// Rebuilds a server from the durable state under
+    /// `config.durable_dir`: every journaled session is rehydrated as a
+    /// dormant tenant (resumable by id + token), counter baselines from
+    /// the last drain are restored, and the persistent bitstream store
+    /// makes the first compiles warm. With no `durable_dir` this is just
+    /// [`Server::new`].
+    pub fn recover(config: ServeConfig) -> Arc<Server> {
+        Server::build(config, true)
+    }
+
+    fn build(config: ServeConfig, recovering: bool) -> Arc<Server> {
+        let dfs = DurableFs::new(config.jit.faults.clone());
+        let durable = config.durable_dir.as_ref().map(|root| {
+            let root = PathBuf::from(root);
+            let sessions_dir = root.join("sessions");
+            let _ = std::fs::create_dir_all(&sessions_dir);
+            Durability {
+                fs: dfs.clone(),
+                meta_path: root.join("server.meta"),
+                store: Arc::new(BitstreamStore::open(root.join("bitstreams"), dfs.clone())),
+                sessions_dir,
+            }
+        });
+        let baseline = match (&durable, recovering) {
+            (Some(d), true) => load_baseline(d),
+            _ => BTreeMap::new(),
+        };
+        let pool = CompilePool::with_store(
             config.compile_workers.max(1),
             config.compile_queue_capacity.max(1),
             config.compile_cache_capacity.max(1),
+            durable.as_ref().map(|d| Arc::clone(&d.store)),
         );
         let nworkers = config.workers.max(1);
         let spill_dir = match &config.hibernate_spill_dir {
@@ -407,8 +579,18 @@ impl Server {
             hib_spills: AtomicU64::new(0),
             spill_dir,
             spill_seq: AtomicU64::new(0),
+            dfs,
+            durable,
+            baseline,
+            recovered_sessions: AtomicU64::new(0),
+            recovery_replayed: AtomicU64::new(0),
+            recovery_quarantined: AtomicU64::new(0),
+            drain_flushes: AtomicU64::new(0),
             config,
         });
+        if recovering {
+            rehydrate(&shared);
+        }
         let workers = (0..nworkers)
             .map(|me| {
                 let s = Arc::clone(&shared);
@@ -439,13 +621,34 @@ impl Server {
     pub fn request(&self, req: Request) -> Json {
         match req {
             Request::Open => match self.open_session() {
-                Ok(id) => ok([("session", id.into())]),
-                Err(e) => err(e.to_string()),
+                Ok((id, token)) => ok([("session", id.into()), ("token", token.into())]),
+                Err(e) => err(e),
             },
             Request::Attach { session } => match self.shared.session(session) {
                 Some(_) => ok([("session", session.into())]),
                 None => err(format!("no session {session}")),
             },
+            Request::Resume { session, token } => {
+                let Some(s) = self.shared.session(session) else {
+                    return err(format!("no session {session}"));
+                };
+                if s.token != token {
+                    return err(format!("bad token for session {session}"));
+                }
+                s.needs_resume.store(false, Ordering::SeqCst);
+                *s.last_active.lock_unpoisoned() = Instant::now();
+                ok([
+                    ("session", session.into()),
+                    ("last_seq", s.last_seq.load(Ordering::SeqCst).into()),
+                ])
+            }
+            Request::DrainServer => {
+                let (flushed, hibernated) = self.drain();
+                ok([
+                    ("flushed", flushed.into()),
+                    ("hibernated", hibernated.into()),
+                ])
+            }
             Request::Stats { session: None } => self.server_stats(),
             Request::Metrics { session: None } => self.server_metrics(),
             Request::Metrics {
@@ -485,13 +688,17 @@ impl Server {
                 path,
                 ports,
             } => self.submit(session, true, |tx| Cmd::Vcd { path, ports, tx }),
-            Request::Eval { session, line } => {
-                self.submit(session, true, |tx| Cmd::Eval { line, tx })
+            Request::Eval { session, line, seq } => {
+                self.submit(session, true, |tx| Cmd::Eval { line, seq, tx })
             }
-            Request::Run { session, ticks } => {
-                self.submit(session, true, |tx| Cmd::Run { ticks, tx })
+            Request::Run {
+                session,
+                ticks,
+                seq,
+            } => self.submit(session, true, |tx| Cmd::Run { ticks, seq, tx }),
+            Request::Drain { session, seq } => {
+                self.submit(session, false, |tx| Cmd::Drain { seq, tx })
             }
-            Request::Drain { session } => self.submit(session, false, |tx| Cmd::Drain { tx }),
             Request::WaitCompile { session } => {
                 self.submit(session, true, |tx| Cmd::WaitCompile { tx })
             }
@@ -502,12 +709,31 @@ impl Server {
                 session,
                 width,
                 data,
+                seq,
             } => {
                 let Some(s) = self.shared.session(session) else {
                     return err(format!("no session {session}"));
                 };
+                if let Some(reason) = self.shared.refuse(&s) {
+                    return err(reason);
+                }
                 if !(1..=64).contains(&width) {
                     return err("fifo width must be 1..=64");
+                }
+                if let Some(reply) = Shared::dedup_reply(&s, seq) {
+                    return reply;
+                }
+                // A recovered session applies its journal (checkpoint
+                // FIFO residue plus replayed pushes) at wake; force the
+                // wake first so this push lands after them.
+                if s.replay.lock_unpoisoned().is_some() {
+                    let probe = self.submit(session, false, |tx| Cmd::Probe {
+                        port: String::new(),
+                        tx,
+                    });
+                    if probe.get("ok").and_then(Json::as_bool) != Some(true) {
+                        return probe;
+                    }
                 }
                 *s.last_active.lock_unpoisoned() = Instant::now();
                 let mut pushed = 0u64;
@@ -520,7 +746,16 @@ impl Server {
                     }
                     pushed += 1;
                 }
-                ok([("pushed", pushed.into())])
+                // Journal only the accepted prefix: replay must re-push
+                // exactly the words the board took.
+                let mut extra = Vec::new();
+                codec::put_u32(&mut extra, width as u32);
+                codec::put_u64(&mut extra, pushed);
+                for &word in &data[..pushed as usize] {
+                    codec::put_u64(&mut extra, word);
+                }
+                self.shared
+                    .commit(&s, seq, ok([("pushed", pushed.into())]), REC_FIFO, &extra)
             }
             Request::Stats {
                 session: Some(session),
@@ -537,8 +772,19 @@ impl Server {
     /// Creates a session. Sessions are born dormant — an empty hibernation
     /// image, no runtime — so `open` is cheap at any tenant count; the
     /// first command builds the runtime through the ordinary wake path.
-    fn open_session(&self) -> Result<u64, CascadeError> {
+    /// On a durable server the open itself is journaled (write-ahead)
+    /// before the id is handed out.
+    fn open_session(&self) -> Result<(u64, u64), String> {
         let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        let token = session_token(id);
+        if let Some(d) = &self.shared.durable {
+            let mut payload = Vec::new();
+            codec::put_u8(&mut payload, REC_OPEN);
+            codec::put_u64(&mut payload, token);
+            if let Err(e) = d.fs.write_atomic(&d.journal_path(id, 0), &payload) {
+                return Err(format!("open not acknowledged: {e}"));
+            }
+        }
         let board = Board::new();
         let session = Arc::new(Session {
             id,
@@ -554,6 +800,13 @@ impl Server {
             }),
             last_active: Mutex::new(Instant::now()),
             closed: AtomicBool::new(false),
+            token,
+            needs_resume: AtomicBool::new(false),
+            last_seq: AtomicU64::new(0),
+            last_reply: Mutex::new(None),
+            journal: Mutex::new(JournalState { gen: 0 }),
+            replay: Mutex::new(None),
+            dirty: AtomicBool::new(false),
         });
         // The empty birth image goes through the same budgeted store as
         // real hibernation images, so even opens alone cannot grow the
@@ -562,7 +815,7 @@ impl Server {
             .store_dormant(&session, HibernateImage::empty().to_bytes());
         self.shared.sessions.lock_unpoisoned().insert(id, session);
         self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
-        Ok(id)
+        Ok((id, token))
     }
 
     /// Enqueues a command and blocks for its reply.
@@ -570,6 +823,9 @@ impl Server {
         let Some(session) = self.shared.session(id) else {
             return err(format!("no session {id}"));
         };
+        if let Some(reason) = self.shared.refuse(&session) {
+            return err(reason);
+        }
         if user_activity {
             *session.last_active.lock_unpoisoned() = Instant::now();
         }
@@ -593,6 +849,14 @@ impl Server {
             .iter()
             .map(|sh| sh.steals.load(Ordering::Relaxed))
             .sum();
+        let (store_hits, store_saves, store_corrupt) = match &s.durable {
+            Some(d) => (
+                d.store.hits(),
+                d.store.saves(),
+                d.store.corrupt_quarantined(),
+            ),
+            None => (0, 0, 0),
+        };
         ok([
             (
                 "sessions",
@@ -663,7 +927,92 @@ impl Server {
             ("fabric_failures", fleet.fabric_failures.into()),
             ("trace_events", (s.trace.len() as u64).into()),
             ("trace_dropped", s.trace.dropped().into()),
+            (
+                "recovered_sessions",
+                s.recovered_sessions.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "recovery_replayed",
+                s.recovery_replayed.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "recovery_quarantined",
+                (s.recovery_quarantined.load(Ordering::Relaxed) + store_corrupt).into(),
+            ),
+            ("warm_bitstream_hits", store_hits.into()),
+            ("bitstream_store_saves", store_saves.into()),
+            (
+                "drain_flushes",
+                s.drain_flushes.load(Ordering::Relaxed).into(),
+            ),
         ])
+    }
+
+    /// Graceful pre-restart flush: every session's durable state is
+    /// brought current — live sessions are hibernated (compacting their
+    /// journals on the way down), already-dormant-but-dirty sessions get
+    /// their journals compacted from the stored image without waking,
+    /// and the counter-baseline snapshot is written. Returns `(flushed,
+    /// hibernated)`. Recovered-but-never-woken sessions are skipped:
+    /// their journals are already exactly what recovery needs. On a
+    /// non-durable server this only hibernates.
+    pub fn drain(&self) -> (u64, u64) {
+        let ids: Vec<u64> = {
+            let sessions = self.shared.sessions.lock_unpoisoned();
+            sessions.keys().copied().collect()
+        };
+        let mut flushed = 0u64;
+        let mut hibernated = 0u64;
+        for id in ids {
+            let Some(session) = self.shared.session(id) else {
+                continue;
+            };
+            if session.needs_resume.load(Ordering::SeqCst) {
+                continue;
+            }
+            if session.dormant.lock_unpoisoned().is_some() {
+                if self.shared.compact_dormant(&session) {
+                    flushed += 1;
+                }
+                continue;
+            }
+            let reply = self.submit(id, false, |tx| Cmd::Hibernate { tx: Some(tx) });
+            if reply.get("hibernated").and_then(Json::as_bool) == Some(true) {
+                hibernated += 1;
+                flushed += 1;
+            }
+        }
+        if let Some(d) = &self.shared.durable {
+            let counters = self.counter_baseline();
+            let mut payload = Vec::new();
+            codec::put_u64(&mut payload, counters.len() as u64);
+            for (name, value) in &counters {
+                codec::put_str(&mut payload, name);
+                codec::put_u64(&mut payload, *value);
+            }
+            let _ = d.fs.write_atomic(&d.meta_path, &payload);
+            self.shared
+                .drain_flushes
+                .fetch_add(flushed, Ordering::Relaxed);
+        }
+        (flushed, hibernated)
+    }
+
+    /// Every `serve_*_total` counter at its current (baseline-inclusive)
+    /// value — the floor a successor process must report from.
+    fn counter_baseline(&self) -> Vec<(String, u64)> {
+        self.metric_snapshots()
+            .into_iter()
+            .filter_map(|snap| {
+                if !snap.name.starts_with("serve_") || !snap.name.ends_with("_total") {
+                    return None;
+                }
+                match snap.value {
+                    SnapValue::Counter(v) => Some((snap.name, v)),
+                    _ => None,
+                }
+            })
+            .collect()
     }
 
     /// Events from the shared ring, filtered to one session's track (the
@@ -681,6 +1030,16 @@ impl Server {
     /// hibernated session's cells simply stop contributing), plus
     /// server-level gauges.
     fn server_metrics(&self) -> Json {
+        ok([("text", expose(&self.metric_snapshots()).into())])
+    }
+
+    /// The snapshots behind [`Server::server_metrics`]. Every
+    /// `serve_*_total` counter is reported baseline-inclusive: a server
+    /// recovered from a drain adds the previous lifetime's floor, so the
+    /// family is monotone across graceful restarts. (After a crash —
+    /// no drain snapshot — counters restart from the last *drained*
+    /// baseline, still a monotone lower bound of true lifetime totals.)
+    fn metric_snapshots(&self) -> Vec<MetricSnapshot> {
         let s = &self.shared;
         let mut snaps: Vec<MetricSnapshot> = Vec::new();
         let registries: Vec<Registry> = s
@@ -707,7 +1066,15 @@ impl Server {
         let counter = |name: &str, help: &str, v: u64| MetricSnapshot {
             name: name.to_string(),
             help: help.to_string(),
-            value: SnapValue::Counter(v),
+            value: SnapValue::Counter(v + s.baseline.get(name).copied().unwrap_or(0)),
+        };
+        let (store_hits, store_saves, store_corrupt) = match &s.durable {
+            Some(d) => (
+                d.store.hits(),
+                d.store.saves(),
+                d.store.corrupt_quarantined(),
+            ),
+            None => (0, 0, 0),
         };
         merge(
             &mut snaps,
@@ -835,9 +1202,39 @@ impl Server {
                     "Trace events dropped by the bounded ring",
                     s.trace.dropped(),
                 ),
+                counter(
+                    "serve_recovery_sessions_total",
+                    "Sessions rehydrated from write-ahead journals at recovery",
+                    s.recovered_sessions.load(Ordering::Relaxed),
+                ),
+                counter(
+                    "serve_recovery_journal_records_replayed_total",
+                    "Journaled commands replayed into woken sessions after recovery",
+                    s.recovery_replayed.load(Ordering::Relaxed),
+                ),
+                counter(
+                    "serve_recovery_corrupt_records_quarantined_total",
+                    "Corrupt journals, torn tails, spill images, and store entries quarantined",
+                    s.recovery_quarantined.load(Ordering::Relaxed) + store_corrupt,
+                ),
+                counter(
+                    "serve_recovery_warm_bitstream_hits_total",
+                    "Compiles skipped by the persistent bitstream store",
+                    store_hits,
+                ),
+                counter(
+                    "serve_recovery_bitstream_saves_total",
+                    "Bitstreams persisted to the durable store",
+                    store_saves,
+                ),
+                counter(
+                    "serve_recovery_drain_flushes_total",
+                    "Session journals flushed durably by server drains",
+                    s.drain_flushes.load(Ordering::Relaxed),
+                ),
             ],
         );
-        ok([("text", expose(&snaps).into())])
+        snaps
     }
 }
 
@@ -861,7 +1258,11 @@ impl Drop for Server {
         }
         // Dropping sessions drops their runtimes, releasing fleet leases.
         self.shared.sessions.lock_unpoisoned().clear();
-        // Spilled images are worthless without their sessions.
+        // Spilled images are worthless without their sessions — but only
+        // the server's *own* temp directory is removed; an explicitly
+        // configured spill dir (and all durable state under
+        // `durable_dir`) is retained for the operator / the successor
+        // process.
         if self.shared.config.hibernate_spill_dir.is_none() {
             let _ = std::fs::remove_dir_all(&self.shared.spill_dir);
         }
@@ -1007,8 +1408,142 @@ impl Shared {
         }
         let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
         let path = self.spill_dir.join(format!("s{id}-{seq}.hib"));
-        std::fs::write(&path, bytes).ok()?;
+        // Atomic + CRC-framed: a torn spill must be *detected* at wake
+        // (counted wake failure), never restored as a session.
+        self.dfs.write_atomic(&path, bytes).ok()?;
         Some(path)
+    }
+
+    /// Why a session cannot accept commands right now, if it cannot.
+    fn refuse(&self, session: &Session) -> Option<String> {
+        if let Some(d) = &self.durable {
+            if d.fs.crashed() {
+                return Some("durable store crashed; restart the server and recover".to_string());
+            }
+        }
+        if session.needs_resume.load(Ordering::SeqCst) {
+            return Some(format!(
+                "session {} was recovered; resume it with its token first",
+                session.id
+            ));
+        }
+        None
+    }
+
+    /// The dedup half of exactly-once: a client retrying its last
+    /// unacknowledged command re-sends the same `seq`; if that seq was
+    /// acknowledged, the stored reply is returned without re-executing.
+    /// `seq` 0 = unsequenced (never deduped).
+    fn dedup_reply(session: &Session, seq: u64) -> Option<Json> {
+        if seq == 0 || session.last_seq.load(Ordering::SeqCst) != seq {
+            return None;
+        }
+        let stored = session.last_reply.lock_unpoisoned().clone()?;
+        Json::parse(&stored).ok()
+    }
+
+    /// The write-ahead half of exactly-once: the record — including the
+    /// reply — is appended and fsynced *before* the reply is released.
+    /// A failed append returns an error reply instead: the command was
+    /// never acknowledged, so recovery rightly forgets it.
+    fn commit(&self, session: &Session, seq: u64, reply: Json, tag: u8, extra: &[u8]) -> Json {
+        let reply_text = reply.to_string();
+        if let Some(d) = &self.durable {
+            let mut payload = Vec::with_capacity(17 + reply_text.len() + extra.len());
+            codec::put_u8(&mut payload, tag);
+            codec::put_u64(&mut payload, seq);
+            codec::put_str(&mut payload, &reply_text);
+            payload.extend_from_slice(extra);
+            let journal = session.journal.lock_unpoisoned();
+            let path = d.journal_path(session.id, journal.gen);
+            if let Err(e) = d.fs.append(&path, &payload) {
+                return err(format!("not acknowledged: {e}"));
+            }
+        }
+        session.dirty.store(true, Ordering::Relaxed);
+        if seq > 0 {
+            session.last_seq.store(seq, Ordering::SeqCst);
+            *session.last_reply.lock_unpoisoned() = Some(reply_text);
+        }
+        reply
+    }
+
+    /// Rewrites a session's journal as one checkpoint record at
+    /// generation `gen+1`, then retires the old generation. The old file
+    /// is removed only after the new one is durably in place, so a fault
+    /// at any point leaves a parseable journal holding every
+    /// acknowledged command.
+    fn compact_journal(&self, session: &Session, image: &[u8]) -> bool {
+        let Some(d) = &self.durable else {
+            return false;
+        };
+        if !session.dirty.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut payload = Vec::new();
+        codec::put_u8(&mut payload, REC_CKPT);
+        codec::put_u64(&mut payload, session.token);
+        codec::put_u64(&mut payload, session.last_seq.load(Ordering::SeqCst));
+        codec::put_str(
+            &mut payload,
+            session
+                .last_reply
+                .lock_unpoisoned()
+                .as_deref()
+                .unwrap_or(""),
+        );
+        codec::put_bytes(&mut payload, image);
+        let fifo = session.board.fifo_snapshot();
+        codec::put_u64(&mut payload, fifo.len() as u64);
+        for bits in &fifo {
+            codec::put_bits(&mut payload, bits);
+        }
+        let queued: Vec<String> = {
+            let out = session.output.lock_unpoisoned();
+            out.lines.iter().cloned().collect()
+        };
+        codec::put_u64(&mut payload, queued.len() as u64);
+        for line in &queued {
+            codec::put_str(&mut payload, line);
+        }
+        let mut journal = session.journal.lock_unpoisoned();
+        let next = journal.gen + 1;
+        if d.fs
+            .write_atomic(&d.journal_path(session.id, next), &payload)
+            .is_err()
+        {
+            return false; // old generation remains authoritative
+        }
+        let _ = std::fs::remove_file(d.journal_path(session.id, journal.gen));
+        journal.gen = next;
+        drop(journal);
+        session.dirty.store(false, Ordering::Relaxed);
+        true
+    }
+
+    /// Compacts a dormant session's journal from its stored image
+    /// without waking it (drain of a FIFO-dirtied or long-dormant
+    /// session). Refuses while a replay suffix is pending — the stored
+    /// image does not include it yet.
+    fn compact_dormant(&self, session: &Session) -> bool {
+        if self.durable.is_none()
+            || !session.dirty.load(Ordering::Relaxed)
+            || session.replay.lock_unpoisoned().is_some()
+        {
+            return false;
+        }
+        let bytes = {
+            let dormant = session.dormant.lock_unpoisoned();
+            match dormant.as_ref() {
+                Some(Dormant::Mem(b)) => b.clone(),
+                Some(Dormant::Disk { path, .. }) => match self.dfs.read_record(path) {
+                    Ok(b) => b,
+                    Err(_) => return false,
+                },
+                None => return false,
+            }
+        };
+        self.compact_journal(session, &bytes)
     }
 }
 
@@ -1310,9 +1845,20 @@ fn wake_session(
     let bytes = match image {
         Dormant::Mem(b) => b,
         Dormant::Disk { path, .. } => {
-            let b = std::fs::read(&path).map_err(|e| format!("spill read failed: {e}"))?;
-            let _ = std::fs::remove_file(&path);
-            b
+            // CRC-framed read: a torn or bit-rotted spill is quarantined
+            // and surfaces as a counted wake failure, never as a
+            // half-restored session.
+            match shared.dfs.read_record(&path) {
+                Ok(b) => {
+                    let _ = std::fs::remove_file(&path);
+                    b
+                }
+                Err(e) => {
+                    let _ = quarantine(&path);
+                    shared.recovery_quarantined.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!("spill image rejected: {e}"));
+                }
+            }
         }
     };
     let image = HibernateImage::from_bytes(&bytes)?;
@@ -1336,6 +1882,14 @@ fn wake_session(
         Err(payload) => return Err(panic_message(payload.as_ref())),
     };
     *session.registry.lock_unpoisoned() = rt.metrics_registry().clone();
+    let mut repl = Box::new(Repl::new(rt));
+    // A recovered session's image is its last checkpoint; the journal
+    // suffix of commands acknowledged after that checkpoint is replayed
+    // here, on first wake, to land exactly where the crashed server left
+    // the tenant.
+    if let Some(plan) = session.replay.lock_unpoisoned().take() {
+        replay_journal(shared, session, &mut repl, plan)?;
+    }
     shared.live_runtimes.fetch_add(1, Ordering::Relaxed);
     shared.wakes.fetch_add(1, Ordering::Relaxed);
     if shared.trace.enabled() {
@@ -1349,7 +1903,270 @@ fn wake_session(
             ],
         );
     }
-    Ok(Box::new(Repl::new(rt)))
+    Ok(repl)
+}
+
+/// Re-executes the journal suffix against a freshly restored runtime.
+/// Replayed work is deterministic re-derivation of already-acknowledged
+/// state, so it is not re-counted in `total_ticks` — only in the
+/// recovery counters.
+fn replay_journal(
+    shared: &Shared,
+    session: &Session,
+    repl: &mut Repl,
+    plan: RecoveredReplay,
+) -> Result<(), String> {
+    let n = plan.cmds.len() as u64;
+    for &(width, word) in &plan.fifo {
+        session
+            .board
+            .fifo_push(cascade_bits::Bits::from_u64(width, word));
+    }
+    // Output queued at checkpoint time comes first, then whatever the
+    // replayed commands produce, in command order.
+    let mut pending = plan.pending;
+    for cmd in plan.cmds {
+        match cmd {
+            ReplayCmd::Eval(line) => {
+                // Output stays inside the runtime, exactly as after the
+                // live `Eval`; the next Run/Drain sweeps it.
+                let _ = repl.line(&line);
+            }
+            ReplayCmd::Run(ticks) => {
+                let rt = repl.runtime();
+                let mut done = 0u64;
+                while done < ticks && !rt.is_finished() {
+                    let chunk = (ticks - done).min(RUN_CHUNK);
+                    match rt.run_ticks(chunk) {
+                        Ok(0) => break,
+                        Ok(k) => done += k,
+                        Err(e) => return Err(format!("replay run failed: {e}")),
+                    }
+                }
+                pending.extend(rt.drain_output());
+            }
+            ReplayCmd::Fifo(width, words) => {
+                for word in words {
+                    session
+                        .board
+                        .fifo_push(cascade_bits::Bits::from_u64(width, word));
+                }
+            }
+            ReplayCmd::Drain => {
+                let _ = repl.runtime().drain_output();
+                pending.clear();
+                session.output.lock_unpoisoned().lines.clear();
+            }
+        }
+    }
+    push_output(shared, session, pending);
+    shared.recovery_replayed.fetch_add(n, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Decodes a complete journal (one generation file) into the recovered
+/// session it describes: identity from the head record, then the replay
+/// suffix of everything acknowledged since.
+fn decode_journal(records: &[Vec<u8>]) -> Result<RecoveredSession, String> {
+    let mut iter = records.iter();
+    let head = iter.next().ok_or("empty journal")?;
+    let mut r = codec::Reader::new(head);
+    let mut rec = match r.u8()? {
+        REC_OPEN => {
+            let token = r.u64()?;
+            r.finish()?;
+            RecoveredSession {
+                token,
+                last_seq: 0,
+                last_reply: None,
+                image: HibernateImage::empty().to_bytes(),
+                replay: RecoveredReplay::empty(),
+            }
+        }
+        REC_CKPT => {
+            let token = r.u64()?;
+            let last_seq = r.u64()?;
+            let reply = r.string()?;
+            let image = r.bytes()?;
+            let mut fifo = Vec::new();
+            for _ in 0..r.u64()? {
+                let bits = r.bits()?;
+                fifo.push((bits.width(), bits.to_u64()));
+            }
+            let mut pending = Vec::new();
+            for _ in 0..r.u64()? {
+                pending.push(r.string()?);
+            }
+            r.finish()?;
+            RecoveredSession {
+                token,
+                last_seq,
+                last_reply: (!reply.is_empty()).then_some(reply),
+                image,
+                replay: RecoveredReplay {
+                    fifo,
+                    pending,
+                    cmds: Vec::new(),
+                },
+            }
+        }
+        tag => return Err(format!("journal head has tag {tag}, want open/checkpoint")),
+    };
+    for record in iter {
+        let mut r = codec::Reader::new(record);
+        let tag = r.u8()?;
+        let seq = r.u64()?;
+        let reply = r.string()?;
+        let cmd = match tag {
+            REC_EVAL => ReplayCmd::Eval(r.string()?),
+            REC_RUN => ReplayCmd::Run(r.u64()?),
+            REC_FIFO => {
+                let width = r.u32()?;
+                let n = r.u64()?;
+                let mut words = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    words.push(r.u64()?);
+                }
+                ReplayCmd::Fifo(width, words)
+            }
+            REC_DRAIN => ReplayCmd::Drain,
+            tag => return Err(format!("journal record has unknown tag {tag}")),
+        };
+        r.finish()?;
+        if seq > 0 {
+            rec.last_seq = seq;
+            rec.last_reply = Some(reply);
+        }
+        rec.replay.cmds.push(cmd);
+    }
+    Ok(rec)
+}
+
+/// `s{id}-{gen}.jnl` → `(id, gen)`.
+fn parse_journal_name(name: &str) -> Option<(u64, u64)> {
+    let stem = name.strip_prefix('s')?.strip_suffix(".jnl")?;
+    let (id, gen) = stem.split_once('-')?;
+    Some((id.parse().ok()?, gen.parse().ok()?))
+}
+
+/// Installs one recovered session as a dormant tenant awaiting `resume`.
+fn install_recovered(shared: &Shared, id: u64, gen: u64, rec: RecoveredSession) {
+    let has_replay = !rec.replay.is_empty();
+    let session = Arc::new(Session {
+        id,
+        token: rec.token,
+        board: Board::new(),
+        cmds: Mutex::new(VecDeque::new()),
+        repl: Mutex::new(None),
+        dormant: Mutex::new(None),
+        output: Mutex::new(Output {
+            lines: VecDeque::new(),
+            dropped: 0,
+        }),
+        registry: Mutex::new(Registry::new()),
+        last_active: Mutex::new(Instant::now()),
+        closed: AtomicBool::new(false),
+        scheduled: AtomicBool::new(false),
+        needs_resume: AtomicBool::new(true),
+        last_seq: AtomicU64::new(rec.last_seq),
+        last_reply: Mutex::new(rec.last_reply),
+        journal: Mutex::new(JournalState { gen }),
+        replay: Mutex::new(if has_replay { Some(rec.replay) } else { None }),
+        // A pending replay means the stored image alone is stale —
+        // compaction must wait until the suffix has been applied.
+        dirty: AtomicBool::new(has_replay),
+    });
+    shared.store_dormant(&session, rec.image);
+    shared.sessions.lock_unpoisoned().insert(id, session);
+    shared.recovered_sessions.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Scans the sessions directory and rebuilds every decodable tenant.
+/// Newest generation wins; corrupt generations are quarantined and the
+/// scan falls back to the previous one. Torn tails (a crash mid-append)
+/// are truncated to the last whole record — those commands were never
+/// acknowledged.
+fn rehydrate(shared: &Shared) {
+    let Some(d) = &shared.durable else {
+        return;
+    };
+    let Ok(entries) = std::fs::read_dir(&d.sessions_dir) else {
+        return;
+    };
+    let mut gens: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for entry in entries.flatten() {
+        if let Some((id, gen)) = entry.file_name().to_str().and_then(parse_journal_name) {
+            gens.entry(id).or_default().push(gen);
+        }
+    }
+    let mut max_id = 0u64;
+    for (id, mut generations) in gens {
+        generations.sort_unstable_by(|a, b| b.cmp(a));
+        let mut chosen: Option<u64> = None;
+        for &gen in &generations {
+            let path = d.journal_path(id, gen);
+            let scan = match d.fs.read_journal(&path) {
+                Ok(scan) => scan,
+                Err(_) => {
+                    let _ = quarantine(&path);
+                    shared.recovery_quarantined.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            if scan.torn_bytes > 0 {
+                let _ = d.fs.truncate(&path, scan.clean_len);
+                shared.recovery_quarantined.fetch_add(1, Ordering::Relaxed);
+            }
+            match decode_journal(&scan.records) {
+                Ok(rec) => {
+                    install_recovered(shared, id, gen, rec);
+                    chosen = Some(gen);
+                    break;
+                }
+                Err(_) => {
+                    let _ = quarantine(&path);
+                    shared.recovery_quarantined.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if let Some(kept) = chosen {
+            max_id = max_id.max(id);
+            for &gen in &generations {
+                if gen < kept {
+                    let _ = std::fs::remove_file(d.journal_path(id, gen));
+                }
+            }
+        }
+    }
+    // `open` allocates `fetch_add(1) + 1`, so parking the counter at the
+    // highest recovered id hands out fresh ids above every tenant.
+    let prev = shared.next_session.load(Ordering::Relaxed);
+    shared
+        .next_session
+        .store(prev.max(max_id), Ordering::Relaxed);
+}
+
+/// Loads the counter baselines persisted by the last graceful drain.
+/// Missing or unreadable baselines start from zero — crash restarts
+/// keep counters monotone as a lower bound, not exact.
+fn load_baseline(d: &Durability) -> BTreeMap<String, u64> {
+    let Ok(payload) = d.fs.read_record(&d.meta_path) else {
+        return BTreeMap::new();
+    };
+    let mut r = codec::Reader::new(&payload);
+    let mut out = BTreeMap::new();
+    let Ok(n) = r.u64() else {
+        return BTreeMap::new();
+    };
+    for _ in 0..n {
+        match (r.string(), r.u64()) {
+            (Ok(name), Ok(value)) => {
+                out.insert(name, value);
+            }
+            _ => return BTreeMap::new(),
+        }
+    }
+    out
 }
 
 /// Freezes a live session: verified checkpoint → image → store (spilling
@@ -1371,11 +2188,18 @@ fn try_hibernate(
     let pending = rt.drain_output();
     push_output(shared, session, pending);
     drop(repl); // releases the fabric lease, cancels fleet/compile interest
-    shared.live_runtimes.fetch_sub(1, Ordering::Relaxed);
     shared.hibernates.fetch_add(1, Ordering::Relaxed);
     let bytes = image.to_bytes();
     let len = bytes.len();
+    // Hibernation already serialized full session state: fold the
+    // journal down to one checkpoint record while the image is in hand.
+    shared.compact_journal(session, &bytes);
     let spilled = shared.store_dormant(session, bytes);
+    // Decrement live only after the dormant image is in the store, so an
+    // observer that sees `sessions_live == 0` also sees every frozen
+    // session counted in `sessions_hibernated` (transient double-count
+    // over missing-count).
+    shared.live_runtimes.fetch_sub(1, Ordering::Relaxed);
     if shared.trace.enabled() {
         shared.trace.host_instant(
             session.id,
@@ -1400,7 +2224,11 @@ enum Flow {
 
 fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flow {
     match cmd {
-        Cmd::Eval { line, tx } => {
+        Cmd::Eval { line, seq, tx } => {
+            if let Some(reply) = Shared::dedup_reply(session, seq) {
+                let _ = tx.send(reply);
+                return Flow::Continue;
+            }
             shared.evals.fetch_add(1, Ordering::Relaxed);
             let heat = shared.stamp();
             repl.runtime().set_heat(heat);
@@ -1416,9 +2244,16 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flo
                     ("error", e.into()),
                 ]),
             };
+            let mut extra = Vec::new();
+            codec::put_str(&mut extra, &line);
+            let reply = shared.commit(session, seq, reply, REC_EVAL, &extra);
             let _ = tx.send(reply);
         }
-        Cmd::Run { ticks, tx } => {
+        Cmd::Run { ticks, seq, tx } => {
+            if let Some(reply) = Shared::dedup_reply(session, seq) {
+                let _ = tx.send(reply);
+                return Flow::Continue;
+            }
             // A scheduled worker fault strikes at the start of a run
             // command; the containment boundary in `run_session` turns it
             // into a structured session death.
@@ -1452,15 +2287,26 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flo
                 }
             }
             shared.total_ticks.fetch_add(done, Ordering::Relaxed);
-            let _ = tx.send(ok([
+            let reply = ok([
                 ("ticks", done.into()),
                 ("backpressure", backpressure.into()),
                 ("finished", rt.is_finished().into()),
                 ("mode", mode_str(rt.mode()).into()),
                 ("lease_held", rt.lease_held().into()),
-            ]));
+            ]);
+            // The journal records the ticks actually *performed* (`done`),
+            // not the ticks requested: replay must land on the same tick
+            // count the client was told about.
+            let mut extra = Vec::new();
+            codec::put_u64(&mut extra, done);
+            let reply = shared.commit(session, seq, reply, REC_RUN, &extra);
+            let _ = tx.send(reply);
         }
-        Cmd::Drain { tx } => {
+        Cmd::Drain { seq, tx } => {
+            if let Some(reply) = Shared::dedup_reply(session, seq) {
+                let _ = tx.send(reply);
+                return Flow::Continue;
+            }
             // Sweep anything still inside the runtime, then hand over the
             // whole queue.
             let pending = repl.runtime().drain_output();
@@ -1468,10 +2314,10 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flo
             let mut out = session.output.lock_unpoisoned();
             let lines: Vec<String> = out.lines.drain(..).collect();
             let dropped = std::mem::take(&mut out.dropped);
-            let _ = tx.send(ok([
-                ("lines", Json::strings(lines)),
-                ("dropped", dropped.into()),
-            ]));
+            drop(out);
+            let reply = ok([("lines", Json::strings(lines)), ("dropped", dropped.into())]);
+            let reply = shared.commit(session, seq, reply, REC_DRAIN, &[]);
+            let _ = tx.send(reply);
         }
         Cmd::WaitCompile { tx } => {
             let rt = repl.runtime();

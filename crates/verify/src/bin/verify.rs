@@ -15,7 +15,8 @@ use cascade_bits::Prng;
 use cascade_netlist::{synthesize, synthesize_raw};
 use cascade_sim::{elaborate, library_from_source};
 use cascade_verify::{
-    check_equiv, BmcResult, DesignSpec, DiffConfig, DiffOutcome, FuzzConfig, Fuzzer, SoakConfig,
+    check_equiv, BmcResult, CrashConfig, DesignSpec, DiffConfig, DiffOutcome, FuzzConfig, Fuzzer,
+    SoakConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -172,6 +173,40 @@ fn cmd_soak(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_crash(args: &[String]) -> ExitCode {
+    let defaults = CrashConfig::default();
+    let cfg = CrashConfig {
+        seed: parse_u64(args, "--seed", defaults.seed),
+        seeds: parse_u64(args, "--seeds", defaults.seeds as u64) as u32,
+        max_points: parse_u64(args, "--max-points", defaults.max_points as u64) as u32,
+        tenants: parse_u64(args, "--tenants", defaults.tenants as u64) as u32,
+        bursts: parse_u64(args, "--bursts", defaults.bursts as u64) as u32,
+    };
+    let start = std::time::Instant::now();
+    let report = cascade_verify::run_crash(&cfg);
+    let dt = start.elapsed().as_secs_f64();
+    println!(
+        "crash: {} crash points / {} write points across {} seeds in {dt:.2}s | \
+         {} recoveries, {} resumes, {} records replayed, {} quarantined, {} warm hits",
+        report.crash_points,
+        report.write_points,
+        cfg.seeds,
+        report.recoveries,
+        report.resumes,
+        report.replayed_records,
+        report.quarantined,
+        report.warm_hits
+    );
+    for v in &report.violations {
+        println!("  VIOLATION {v}");
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_replay(args: &[String]) -> ExitCode {
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if files.is_empty() {
@@ -223,14 +258,17 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("bmc") => cmd_bmc(&args[1..]),
         Some("soak") => cmd_soak(&args[1..]),
+        Some("crash") => cmd_crash(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
             eprintln!(
-                "usage: verify <fuzz|bmc|soak|replay> [options]\n\
+                "usage: verify <fuzz|bmc|soak|crash|replay> [options]\n\
                  \n\
                  fuzz   [--iters N] [--seed S] [--corpus DIR]   differential fuzzing\n\
                  bmc    [--designs N] [--k K] [--seed S]        bounded equivalence checking\n\
                  soak   [--sessions N] [--seed S]               chaos soak of the serving stack\n\
+                 crash  [--seeds N] [--seed S] [--tenants T]\n\
+                 \x20       [--bursts B] [--max-points K]          crash-point fuzzing of durability\n\
                  replay FILE [FILE...]                          re-run corpus repro files"
             );
             ExitCode::from(2)

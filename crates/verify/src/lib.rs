@@ -24,15 +24,22 @@
 //!    invariants — no lost ticks, transcript byte-identity against a
 //!    never-faulted solo oracle, monotone metrics counters, lease
 //!    accounting sanity.
+//! 4. **Crash-point fuzzing** ([`crash`]): a deterministic serve script
+//!    is crashed and recovered at *every* durable write point (torn
+//!    write, partial write, lost fsync, die-before-write), asserting no
+//!    acknowledged tick is lost, transcripts stay byte-identical to a
+//!    never-crashed oracle, retried commands execute exactly once, and
+//!    graceful drain/restart keeps counters monotone.
 //!
-//! The `verify` binary exposes all three (`verify fuzz`, `verify bmc`,
-//! `verify soak`, `verify replay`); see the README's "Proving it correct"
-//! quickstart.
+//! The `verify` binary exposes all four (`verify fuzz`, `verify bmc`,
+//! `verify soak`, `verify crash`, `verify replay`); see the README's
+//! "Proving it correct" quickstart.
 //!
 //! [`FaultPlan::random`]: cascade_fpga::FaultPlan::random
 
 pub mod bmc;
 pub mod coverage;
+pub mod crash;
 pub mod diff;
 pub mod fuzz;
 pub mod sat;
@@ -42,6 +49,7 @@ pub mod spec;
 
 pub use bmc::{check_equiv, check_equiv_budget, BmcResult, BmcStats};
 pub use coverage::CoverageMap;
+pub use crash::{run_crash, CrashConfig, CrashReport};
 pub use diff::{run_differential, DiffConfig, DiffOutcome, Divergence, EngineId};
 pub use fuzz::{FuzzConfig, FuzzStats, Fuzzer};
 pub use shrink::shrink;

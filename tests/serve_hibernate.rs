@@ -263,3 +263,109 @@ fn ten_thousand_idle_sessions_stay_bounded_and_wake_correctly() {
     assert!(stat_u64(&stats, "wakes") >= (ACTIVE + 2) as u64);
     assert_eq!(stat_u64(&stats, "wake_failures"), 0);
 }
+
+/// The durable 10K soak: ten thousand mostly-idle journaled tenants drain
+/// gracefully, the server restarts, and sampled tenants — busy and
+/// dormant-from-birth alike — resume by id+token with exact state, while
+/// the live-runtime bound keeps holding on the recovered server.
+#[test]
+fn ten_thousand_tenant_drain_and_restart_soak() {
+    const SESSIONS: usize = 10_000;
+    const ACTIVE: usize = 16;
+    let dir = std::env::temp_dir().join(format!("cascade-soak-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = ServeConfig::quick();
+    config.fabrics = 1;
+    config.workers = 2;
+    config.jit.auto_compile = false;
+    config.hibernate_after_s = 0.05;
+    config.sweeper_poll_ms = 5;
+    config.max_live_sessions = 32;
+    config.hibernate_mem_bytes = 64 << 10;
+    config.durable_dir = Some(dir.to_string_lossy().into_owned());
+    let server = Server::new(config.clone());
+
+    let mut client = InProcClient::connect(&server);
+    let mut tenants = Vec::with_capacity(SESSIONS);
+    for _ in 0..SESSIONS {
+        let id = client.open().expect("open");
+        tenants.push((id, client.token().expect("durable open returns token")));
+    }
+
+    for &(id, _) in tenants.iter().take(ACTIVE) {
+        let mut c = InProcClient::connect(&server);
+        c.attach(id).expect("attach");
+        c.eval_all("reg [15:0] n = 0;\nalways @(posedge clk.val) n <= n + 1;")
+            .expect("eval");
+        assert_eq!(c.run(100).expect("run").ticks, 100);
+    }
+    wait_until(
+        || stat_u64(&client.server_stats().expect("stats"), "sessions_live") == 0,
+        "all live runtimes to hibernate",
+    );
+
+    // The sweeper already compacted every busy tenant's journal at
+    // hibernate time, so drain finds nothing left to flush — it only has
+    // to land the counter baselines durably.
+    client.drain_server().expect("drain server");
+    drop(client);
+    drop(server);
+
+    let journals = std::fs::read_dir(dir.join("sessions"))
+        .expect("sessions dir")
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "jnl"))
+        .count();
+    assert_eq!(journals, SESSIONS, "one journal generation per tenant");
+
+    let recovered = Server::recover(config);
+    let mut client = InProcClient::connect(&recovered);
+    let stats = client.server_stats().expect("stats");
+    assert_eq!(
+        stat_u64(&stats, "recovered_sessions"),
+        SESSIONS as u64,
+        "every journaled tenant must rehydrate"
+    );
+    assert_eq!(stat_u64(&stats, "recovery_quarantined"), 0);
+    assert_eq!(
+        stat_u64(&stats, "recovery_replayed"),
+        0,
+        "a graceful drain leaves only checkpoints, nothing to replay"
+    );
+    assert_eq!(
+        stat_u64(&stats, "sessions_live"),
+        0,
+        "recovered tenants are dormant until resumed"
+    );
+
+    // Busy tenants resume with exact state and keep counting.
+    for &(id, token) in tenants.iter().take(ACTIVE).step_by(3) {
+        let mut c = InProcClient::connect(&recovered);
+        c.resume(id, token).expect("resume busy tenant");
+        assert_eq!(c.probe("n").expect("probe"), Some(100), "tenant {id}");
+        assert_eq!(c.run(28).expect("run").ticks, 28);
+        assert_eq!(c.probe("n").expect("probe"), Some(128), "tenant {id}");
+    }
+    // Dormant-from-birth tenants resume into a working empty REPL.
+    for &(id, token) in tenants.iter().skip(SESSIONS - 4) {
+        let mut c = InProcClient::connect(&recovered);
+        c.resume(id, token).expect("resume idle tenant");
+        c.eval_all("reg [7:0] z = 9;").expect("eval");
+        assert_eq!(c.probe("z").expect("probe"), Some(9), "tenant {id}");
+    }
+    // A wrong token is still rejected after recovery.
+    let (id, token) = tenants[SESSIONS / 2];
+    let mut c = InProcClient::connect(&recovered);
+    assert!(
+        c.resume(id, token ^ 1).is_err(),
+        "bad token must be refused"
+    );
+
+    let stats = client.server_stats().expect("stats");
+    assert!(
+        stat_u64(&stats, "sessions_live") <= 32,
+        "the live-runtime bound broke on the recovered server"
+    );
+    assert_eq!(stat_u64(&stats, "wake_failures"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

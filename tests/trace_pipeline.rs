@@ -192,6 +192,21 @@ fn serve_chaos_trace_shows_full_jit_lifecycle_in_order() {
     let server_metrics = c.server_metrics().expect("server metrics");
     assert!(server_metrics.contains("serve_sessions"));
     assert!(server_metrics.contains("jit_hw_promotions_total"));
+    // The durability counter family is always exposed — zero-valued on a
+    // server without a durable root — so dashboards never miss the names.
+    for name in [
+        "serve_recovery_sessions_total",
+        "serve_recovery_journal_records_replayed_total",
+        "serve_recovery_corrupt_records_quarantined_total",
+        "serve_recovery_warm_bitstream_hits_total",
+        "serve_recovery_bitstream_saves_total",
+        "serve_recovery_drain_flushes_total",
+    ] {
+        assert!(
+            server_metrics.contains(name),
+            "missing recovery metric {name}"
+        );
+    }
 }
 
 /// Runs a faulted solo pipeline to completion and exports the
