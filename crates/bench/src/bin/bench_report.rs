@@ -1,0 +1,237 @@
+//! Cross-bench trend report: folds every `BENCH_*.json` at the repository
+//! root (they share the schema header) into one markdown table keyed by
+//! each file's `schema.git` stamp, so the bench trajectory is readable
+//! without opening the individual reports.
+//!
+//! Tracked metrics are the rate-style numeric leaves — member names
+//! ending in `_per_sec`, `_per_s`, `_cps`, or `_rps`, where higher is
+//! always better — addressed by their JSON path, with array rows labeled
+//! by their identifying members (`rows[pow:compiled].cycles_per_sec`).
+//!
+//! - default: writes `BENCH_REPORT.md`, diffs against
+//!   `BENCH_BASELINE.json`, and warns on any tracked rate more than 20%
+//!   below its baseline
+//! - `--write-baseline`: (re)writes `BENCH_BASELINE.json` from the
+//!   current reports
+//! - `CASCADE_BENCH_ASSERT=1`: a >20% regression exits non-zero with a
+//!   loud per-metric diff (the CI trend gate)
+
+use cascade_bench::harness::fmt_si;
+use cascade_serve::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const RATE_SUFFIXES: [&str; 4] = ["_per_sec", "_per_s", "_cps", "_rps"];
+
+/// The regression budget: a tracked rate may not fall more than this
+/// fraction below its committed baseline.
+const BUDGET: f64 = 0.20;
+
+fn is_rate_key(key: &str) -> bool {
+    RATE_SUFFIXES.iter().any(|s| key.ends_with(s))
+}
+
+/// A stable label for one array row: its string members joined in key
+/// order, plus the small identifying integers the benches sweep over.
+fn row_label(v: &Json) -> Option<String> {
+    let Json::Obj(m) = v else { return None };
+    const AXES: [&str; 4] = ["sessions", "batch_width", "threads", "k"];
+    let mut parts = Vec::new();
+    for (k, val) in m {
+        match val {
+            Json::Str(s) => parts.push(s.clone()),
+            Json::Num(n) if AXES.contains(&k.as_str()) => parts.push(format!("{k}{n}")),
+            _ => {}
+        }
+    }
+    (!parts.is_empty()).then(|| parts.join(":"))
+}
+
+/// Walks one report collecting every rate leaf under its JSON path.
+fn collect(path: &str, v: &Json, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Obj(m) => {
+            for (k, val) in m {
+                if k == "schema" {
+                    continue;
+                }
+                let sub = format!("{path}.{k}");
+                if let Json::Num(n) = val {
+                    if is_rate_key(k) {
+                        out.insert(sub, *n);
+                    }
+                } else {
+                    collect(&sub, val, out);
+                }
+            }
+        }
+        Json::Arr(a) => {
+            for (i, el) in a.iter().enumerate() {
+                let label = row_label(el).unwrap_or_else(|| i.to_string());
+                collect(&format!("{path}[{label}]"), el, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn load_baseline(path: &PathBuf) -> BTreeMap<String, f64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let Ok(json) = Json::parse(&text) else {
+        eprintln!("warning: {} is not valid JSON; ignoring it", path.display());
+        return BTreeMap::new();
+    };
+    let Some(Json::Obj(m)) = json.get("metrics").cloned() else {
+        return BTreeMap::new();
+    };
+    m.into_iter()
+        .filter_map(|(k, v)| v.as_f64().map(|n| (k, n)))
+        .collect()
+}
+
+fn main() {
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&root)
+        .expect("read repository root")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_BASELINE.json"
+            })
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!(
+            "no BENCH_*.json at {}; run the bench bins first",
+            root.display()
+        );
+        std::process::exit(2);
+    }
+
+    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+    let mut stamps: BTreeMap<String, String> = BTreeMap::new();
+    for f in &files {
+        let text = std::fs::read_to_string(f).expect("read bench report");
+        let json = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("warning: skipping {}: {e}", f.display());
+                continue;
+            }
+        };
+        let schema = json.get("schema");
+        let bench = schema
+            .and_then(|s| s.get("bench"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let git = schema
+            .and_then(|s| s.get("git"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        stamps.insert(bench.clone(), git);
+        collect(&bench, &json, &mut metrics);
+    }
+
+    let baseline_path = root.join("BENCH_BASELINE.json");
+    if write_baseline {
+        let mut top = BTreeMap::new();
+        top.insert(
+            "git".to_string(),
+            Json::Obj(
+                stamps
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        );
+        top.insert(
+            "metrics".to_string(),
+            Json::Obj(
+                metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        );
+        std::fs::write(&baseline_path, format!("{}\n", Json::Obj(top))).expect("write baseline");
+        println!(
+            "wrote {} ({} tracked rates)",
+            baseline_path.display(),
+            metrics.len()
+        );
+    }
+    let baseline = load_baseline(&baseline_path);
+
+    // The trend table: one row per tracked rate, keyed by the stamp of
+    // the report it came from.
+    let mut md = String::from("# Bench trend\n\n");
+    let _ = writeln!(
+        md,
+        "{} tracked rates across {} reports. Regression budget: {}% below \
+         `BENCH_BASELINE.json` fails under `CASCADE_BENCH_ASSERT=1`.\n",
+        metrics.len(),
+        stamps.len(),
+        (BUDGET * 100.0) as u32
+    );
+    md.push_str("| metric | git | value | baseline | Δ% |\n");
+    md.push_str("|---|---|---:|---:|---:|\n");
+    let mut regressed: Vec<(String, f64, f64)> = Vec::new();
+    for (name, value) in &metrics {
+        let bench = name.split('.').next().unwrap_or("");
+        let git = stamps.get(bench).map_or("unknown", String::as_str);
+        let (base_s, delta_s) = match baseline.get(name) {
+            Some(base) if *base > 0.0 => {
+                let delta = (value - base) / base * 100.0;
+                if *value < base * (1.0 - BUDGET) {
+                    regressed.push((name.clone(), *base, *value));
+                }
+                (fmt_si(*base), format!("{delta:+.1}%"))
+            }
+            _ => ("—".to_string(), "—".to_string()),
+        };
+        let _ = writeln!(
+            md,
+            "| `{name}` | {git} | {} | {base_s} | {delta_s} |",
+            fmt_si(*value)
+        );
+    }
+    let report_path = root.join("BENCH_REPORT.md");
+    std::fs::write(&report_path, &md).expect("write BENCH_REPORT.md");
+    print!("{md}");
+    println!("\nwrote {}", report_path.display());
+    if baseline.is_empty() {
+        println!("no baseline: run `bench_report --write-baseline` to pin one");
+    }
+
+    if !regressed.is_empty() {
+        eprintln!(
+            "\n{} tracked rate(s) regressed more than {}% vs baseline:",
+            regressed.len(),
+            (BUDGET * 100.0) as u32
+        );
+        for (name, base, value) in &regressed {
+            eprintln!(
+                "  {name}: {} -> {} ({:+.1}%)",
+                fmt_si(*base),
+                fmt_si(*value),
+                (value - base) / base * 100.0
+            );
+        }
+        if std::env::var("CASCADE_BENCH_ASSERT").as_deref() == Ok("1") {
+            std::process::exit(1);
+        }
+    } else if !baseline.is_empty() {
+        println!(
+            "trend gate passed: no tracked rate >{}% below baseline",
+            (BUDGET * 100.0) as u32
+        );
+    }
+}

@@ -22,7 +22,7 @@ use cascade_fpga::{
 };
 use cascade_netlist::{fingerprint, synthesize, Netlist};
 use cascade_sim::Design;
-use cascade_trace::{Arg, Counter, Histogram, Registry, TraceSink, LATENCY_BUCKETS_S};
+use cascade_trace::{Arg, Counter, Histogram, Registry, SpanRef, TraceSink, LATENCY_BUCKETS_S};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -257,11 +257,24 @@ struct Job {
     version: u64,
     tx: Sender<CompileOutcome>,
     faults: FaultPlan,
+    /// The submitting request's compile span (zeroed when the submitter
+    /// has no request context). Dedup joins link back to the leader's.
+    origin: SpanRef,
+    /// Parent span id for events this job emits into the submitter's tree
+    /// (the request root), so dedup joins stay connected to it.
+    origin_parent: u64,
 }
 
 /// Submissions waiting on an in-flight compile of the same content hash:
 /// `(runtime version, outcome channel)` per waiter.
 type Waiters = Vec<(u64, Sender<CompileOutcome>)>;
+
+/// One in-flight compile of a content-hash key: the leader's request span
+/// (for dedup join links) and the submissions riding on its result.
+struct InFlight {
+    leader: SpanRef,
+    waiters: Waiters,
+}
 
 struct QueueShared {
     jobs: Mutex<VecDeque<Job>>,
@@ -273,12 +286,16 @@ struct QueueShared {
     store: Option<Arc<BitstreamStore>>,
     /// Content-hash keys being compiled right now, with the submissions
     /// waiting on each (deduplication of concurrent identical compiles).
-    in_progress: Mutex<HashMap<u64, Waiters>>,
+    in_progress: Mutex<HashMap<u64, InFlight>>,
     coalesced: AtomicU64,
     dropped: AtomicU64,
     worker_panics: AtomicU64,
     capacity: usize,
     shutdown: AtomicBool,
+    /// Server-wide trace sink for events that happen on pool workers
+    /// (dedup joins). Host-clock only, so worker scheduling cannot perturb
+    /// the deterministic export.
+    trace: Mutex<TraceSink>,
 }
 
 /// A cloneable submission handle into a [`CompilePool`].
@@ -334,6 +351,12 @@ impl CompileQueue {
     pub fn worker_panics(&self) -> u64 {
         self.shared.worker_panics.load(Ordering::Relaxed)
     }
+
+    /// Installs the server-wide trace sink used for pool-side events
+    /// (compile-dedup join links). Idempotent; affects subsequent jobs.
+    pub fn set_trace(&self, trace: TraceSink) {
+        *lock(&self.shared.trace) = trace;
+    }
 }
 
 /// K worker threads draining a bounded queue of compile jobs into a shared
@@ -373,6 +396,7 @@ impl CompilePool {
             worker_panics: AtomicU64::new(0),
             capacity: queue_capacity.max(1),
             shutdown: AtomicBool::new(false),
+            trace: Mutex::new(TraceSink::disabled()),
         });
         let handles = (0..workers.max(1))
             .map(|_| {
@@ -460,6 +484,7 @@ impl Drop for InProgressGuard<'_> {
         }
         let waiters = lock(&self.shared.in_progress)
             .remove(&self.key)
+            .map(|f| f.waiters)
             .unwrap_or_default();
         for (version, tx) in waiters {
             let _ = tx.send(panic_outcome(version, self.time_scale));
@@ -497,13 +522,39 @@ fn run_pooled_job(shared: &QueueShared, job: Job) {
     }
     {
         let mut ip = lock(&shared.in_progress);
-        if let Some(waiters) = ip.get_mut(&key) {
-            // An identical compile is running: ride on its result.
-            waiters.push((job.version, job.tx));
+        if let Some(inflight) = ip.get_mut(&key) {
+            // An identical compile is running: ride on its result. The
+            // join is recorded as a span *link* from the joiner's compile
+            // span to the leader's — the causal edge dedup would otherwise
+            // erase from the trace.
+            let leader = inflight.leader;
+            inflight.waiters.push((job.version, job.tx));
             shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            drop(ip);
+            if job.origin.is_some() {
+                let trace = lock(&shared.trace).clone();
+                trace.host_instant_ctx(
+                    job.origin.tenant,
+                    "compile",
+                    "compile_dedup_join",
+                    job.origin,
+                    job.origin_parent,
+                    leader.span,
+                    &[
+                        ("leader_req", Arg::U64(leader.req)),
+                        ("leader_tenant", Arg::U64(leader.tenant)),
+                    ],
+                );
+            }
             return;
         }
-        ip.insert(key, Vec::new());
+        ip.insert(
+            key,
+            InFlight {
+                leader: job.origin,
+                waiters: Vec::new(),
+            },
+        );
     }
     let mut guard = InProgressGuard {
         shared,
@@ -524,7 +575,10 @@ fn run_pooled_job(shared: &QueueShared, job: Job) {
         shared.store.as_deref(),
         &job.faults,
     );
-    let waiters = lock(&shared.in_progress).remove(&key).unwrap_or_default();
+    let waiters = lock(&shared.in_progress)
+        .remove(&key)
+        .map(|f| f.waiters)
+        .unwrap_or_default();
     guard.done = true;
     for (version, tx) in waiters {
         let _ = tx.send(outcome.clone_for(version));
@@ -591,6 +645,12 @@ pub struct BackgroundCompiler {
     trace: TraceSink,
     /// Trace track (serve session id; 0 standalone).
     track: u64,
+    /// The current submission's request span (zeroed when the submitter
+    /// has no request context): compile spans and pooled jobs carry it so
+    /// one request's compile work stays in its span tree.
+    origin: SpanRef,
+    /// Parent span id for emitted compile spans (the request root).
+    origin_parent: u64,
 }
 
 impl Default for BackgroundCompiler {
@@ -632,6 +692,8 @@ impl BackgroundCompiler {
             metrics: CompilerMetrics::detached(),
             trace: TraceSink::disabled(),
             track: 0,
+            origin: SpanRef::default(),
+            origin_parent: 0,
         }
     }
 
@@ -649,6 +711,15 @@ impl BackgroundCompiler {
         self.metrics = metrics;
         self.trace = trace;
         self.track = track;
+    }
+
+    /// Attributes the *next* submission (and its retries) to a request
+    /// span: emitted compile spans carry `origin` with `parent`, and
+    /// pooled jobs carry `origin` so dedup joins can link to it. A default
+    /// `origin` clears attribution.
+    pub fn set_origin(&mut self, origin: SpanRef, parent: u64) {
+        self.origin = origin;
+        self.origin_parent = parent;
     }
 
     /// Transient-failure retries dispatched so far.
@@ -714,6 +785,8 @@ impl BackgroundCompiler {
                 version,
                 tx,
                 faults,
+                origin: self.origin,
+                origin_parent: self.origin_parent,
             });
             self.handle = None;
         } else {
@@ -849,20 +922,24 @@ impl BackgroundCompiler {
             ("ok", Arg::Bool(ok)),
             ("error", Arg::Str(error.unwrap_or(""))),
         ];
-        self.trace.span(
+        self.trace.span_ctx(
             self.track,
             "compile",
             "synthesize",
             start_ns,
             synth_ns,
+            self.origin,
+            self.origin_parent,
             args,
         );
-        self.trace.span(
+        self.trace.span_ctx(
             self.track,
             "compile",
             "place_route",
             start_ns + synth_ns,
             total_ns - synth_ns,
+            self.origin,
+            self.origin_parent,
             args,
         );
     }
@@ -872,12 +949,14 @@ impl BackgroundCompiler {
         if !self.trace.enabled() {
             return;
         }
-        self.trace.span(
+        self.trace.span_ctx(
             self.track,
             "compile",
             "bitstream_cache_hit",
             (self.submitted_s * 1e9) as u64,
             (dur_s.max(0.0) * 1e9) as u64,
+            self.origin,
+            self.origin_parent,
             &[("version", Arg::U64(self.submitted_version))],
         );
     }
@@ -892,12 +971,14 @@ impl BackgroundCompiler {
                 self.attempts += 1;
                 self.metrics.retries.inc();
                 if self.trace.enabled() {
-                    self.trace.span(
+                    self.trace.span_ctx(
                         self.track,
                         "compile",
                         "backoff",
                         (wall_s * 1e9) as u64,
                         (backoff.max(0.0) * 1e9) as u64,
+                        self.origin,
+                        self.origin_parent,
                         &[
                             ("version", Arg::U64(self.submitted_version)),
                             ("next_attempt", Arg::U64(self.attempts as u64)),

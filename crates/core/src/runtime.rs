@@ -21,8 +21,8 @@ use cascade_bits::Bits;
 use cascade_fpga::{Board, FabricFault, Fleet, Lease, VirtualWall};
 use cascade_sim::{Design, PortVcd};
 use cascade_trace::{
-    expose, Arg, Counter, Histogram, MetricSnapshot, Registry, SnapValue, TraceSink,
-    LATENCY_BUCKETS_S,
+    expose, Arg, Counter, Histogram, MetricSnapshot, Registry, RequestCtx, SnapValue, SpanRef,
+    TraceSink, LATENCY_BUCKETS_S,
 };
 use cascade_verilog::ast::{Item, Module, ModuleItem};
 use cascade_verilog::typecheck::{check_module, const_eval, ModuleLibrary, ParamEnv};
@@ -302,6 +302,10 @@ pub struct Runtime {
     trace: TraceSink,
     /// Track id stamped on trace events (the serve session id).
     track: u64,
+    /// The request currently being serviced (causal tracing): every trace
+    /// event emitted while set joins that request's span tree, and compile
+    /// submissions carry it into the shared pool.
+    req_ctx: Option<RequestCtx>,
     /// Last execution mode announced on the trace (dedup).
     last_mode: Option<&'static str>,
     /// `ticks_per_s` sampling state: virtual second and tick count of the
@@ -382,6 +386,7 @@ impl Runtime {
             registry,
             trace,
             track: 0,
+            req_ctx: None,
             last_mode: None,
             rate_last_s: 0.0,
             rate_last_ticks: 0,
@@ -417,6 +422,16 @@ impl Runtime {
         (self.wall.seconds() * 1e9) as u64
     }
 
+    /// `(event span, parent)` for an emission under the active request:
+    /// each event gets a fresh child span under the request root. Zeroed
+    /// (no attribution) outside a request.
+    fn req_at(&self) -> (SpanRef, u64) {
+        match &self.req_ctx {
+            Some(ctx) => (ctx.span_ref(ctx.child_span()), ctx.root_span()),
+            None => (SpanRef::default(), 0),
+        }
+    }
+
     /// Announces the execution mode on the trace when it changed — the
     /// paper's promotion staircase, one instant per step.
     fn trace_mode(&mut self) {
@@ -428,11 +443,14 @@ impl Runtime {
             return;
         }
         self.last_mode = Some(m);
-        self.trace.instant(
+        let (at, parent) = self.req_at();
+        self.trace.instant_ctx(
             self.track,
             "jit",
             "mode",
             self.virt_ns(),
+            at,
+            parent,
             &[("mode", Arg::Str(m)), ("ticks", Arg::U64(self.ticks()))],
         );
     }
@@ -469,11 +487,13 @@ impl Runtime {
         );
     }
 
-    /// Emits a virtual-clock instant in the `jit` category.
+    /// Emits a virtual-clock instant in the `jit` category, attributed to
+    /// the active request (when any).
     fn trace_instant(&self, name: &str, args: &[(&str, Arg)]) {
         if self.trace.enabled() {
+            let (at, parent) = self.req_at();
             self.trace
-                .instant(self.track, "jit", name, self.virt_ns(), args);
+                .instant_ctx(self.track, "jit", name, self.virt_ns(), at, parent, args);
         }
     }
 
@@ -649,6 +669,11 @@ impl Runtime {
                     "whether a compiled bitstream is waiting for a fabric",
                     flag(s.hw_pending),
                 ),
+                counter(
+                    "trace_ring_dropped_total",
+                    "trace events dropped to ring-buffer overflow",
+                    self.trace.dropped(),
+                ),
             ],
         );
         snaps
@@ -771,6 +796,14 @@ impl Runtime {
     pub fn set_trace_track(&mut self, track: u64) {
         self.track = track;
         self.reattach_compiler_telemetry();
+    }
+
+    /// Enters (or leaves, with `None`) a request's causal context: until
+    /// changed, every trace event this runtime emits joins that request's
+    /// span tree, and compile submissions carry the context into the
+    /// shared pool. Servers set this around each protocol command.
+    pub fn set_request_ctx(&mut self, ctx: Option<RequestCtx>) {
+        self.req_ctx = ctx;
     }
 
     /// Joins a shared virtual-FPGA fleet: hardware promotion now requires a
@@ -931,12 +964,15 @@ impl Runtime {
                 // per-eval even when the log is replayed as one unit.
                 self.src_log.push(src.clone());
                 if self.trace.enabled() {
-                    self.trace.span(
+                    let (at, parent) = self.req_at();
+                    self.trace.span_ctx(
                         self.track,
                         "jit",
                         "eval",
                         t0,
                         self.virt_ns().saturating_sub(t0),
+                        at,
+                        parent,
                         &[("version", Arg::U64(self.version))],
                     );
                     // Host-clock parse/elaborate timings ride on a
@@ -1094,12 +1130,15 @@ impl Runtime {
         self.checkpoint = None;
         self.board.fifo_unmark();
         if self.trace.enabled() {
-            self.trace.span(
+            let (at, parent) = self.req_at();
+            self.trace.span_ctx(
                 self.track,
                 "jit",
                 "native_handoff",
                 t0,
                 self.virt_ns().saturating_sub(t0),
+                at,
+                parent,
                 &[("version", Arg::U64(self.version))],
             );
         }
@@ -1607,12 +1646,15 @@ impl Runtime {
             if let Some(sw) = as_sw(&mut self.slots[idx].engine) {
                 sw.enable_profiling();
             }
-            self.trace.span(
+            let (at, parent) = self.req_at();
+            self.trace.span_ctx(
                 self.track,
                 "jit",
                 "software_compile",
                 self.virt_ns(),
                 0,
+                at,
+                parent,
                 &[
                     ("version", Arg::U64(self.version)),
                     ("bytecode", Arg::Bool(self.config.sw_compile)),
@@ -1625,6 +1667,12 @@ impl Runtime {
         // engine, which the paper's flow sidesteps by inlining first).
         if self.config.auto_compile && self.config.inline {
             if let Some(design) = &self.hw_design {
+                // The compile work is attributed to the submitting request:
+                // one child span covers the whole toolchain flow (attempts,
+                // backoff) and rides into the shared pool so dedup joins can
+                // link to it from other requests.
+                let (at, parent) = self.req_at();
+                self.compiler.set_origin(at, parent);
                 self.compiler.submit(
                     Arc::clone(design),
                     self.config.toolchain.clone(),
@@ -1632,11 +1680,13 @@ impl Runtime {
                     self.wall.seconds(),
                 );
                 if self.trace.enabled() {
-                    self.trace.instant(
+                    self.trace.instant_ctx(
                         self.track,
                         "compile",
                         "submit",
                         self.virt_ns(),
+                        at,
+                        parent,
                         &[("version", Arg::U64(self.version))],
                     );
                 }
@@ -1930,12 +1980,15 @@ impl Runtime {
             self.tick()?;
         }
         if self.trace.enabled() {
-            self.trace.span(
+            let (at, parent) = self.req_at();
+            self.trace.span_ctx(
                 self.track,
                 "jit",
                 "rollback_replay",
                 t0,
                 self.virt_ns().saturating_sub(t0),
+                at,
+                parent,
                 &[(
                     "ticks_replayed",
                     Arg::U64(self.iterations.saturating_sub(replay_from) / 2),
@@ -2141,12 +2194,15 @@ impl Runtime {
         let t0 = self.virt_ns();
         self.wall.advance_ns(self.config.costs.reprogram_ns);
         if self.trace.enabled() {
-            self.trace.span(
+            let (at, parent) = self.req_at();
+            self.trace.span_ctx(
                 self.track,
                 "jit",
                 "program_fabric",
                 t0,
                 self.virt_ns().saturating_sub(t0),
+                at,
+                parent,
                 &[("version", Arg::U64(self.version))],
             );
             self.trace_instant("state_migration", &[("direction", Arg::Str("sw_to_hw"))]);

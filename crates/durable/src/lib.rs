@@ -340,6 +340,29 @@ impl DurableFs {
         Ok(scan)
     }
 
+    /// Crash-path sidecar write: atomically replaces `path` with *raw*
+    /// (unframed) bytes — temp file → fsync → rename → parent-dir fsync —
+    /// bypassing both the fault schedule and the crashed flag. The flight
+    /// recorder uses this to land its trace exactly when the store has
+    /// crashed and every framed write path is refusing; the payload is
+    /// self-describing text (JSONL), so CRC framing would only make it
+    /// unreadable by standard tools.
+    pub fn write_sidecar(&self, path: &Path, payload: &[u8]) -> Result<(), DurableError> {
+        let tmp = tmp_path(path);
+        {
+            let mut f = Self::io(File::create(&tmp))?;
+            Self::io(f.write_all(payload))?;
+            Self::io(f.sync_all())?;
+        }
+        Self::io(std::fs::rename(&tmp, path))?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
     /// Recovery-time repair: truncates `path` to `len` (dropping a torn
     /// tail) and fsyncs. Not a faulted write point — it runs during
     /// recovery, before service resumes.
@@ -492,6 +515,22 @@ mod tests {
         let scan = DurableFs::new(FaultPlan::none()).read_journal(&p).unwrap();
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn sidecar_writes_raw_bytes_even_after_crash() {
+        let d = tdir("sidecar");
+        let plan = FaultPlan::builder().durable_fault(1, F::Crash).build();
+        let fs = DurableFs::new(plan);
+        let p = d.join("rec.bin");
+        assert!(fs.write_atomic(&p, b"doomed").is_err());
+        assert!(fs.crashed());
+        // Framed writes refuse, but the sidecar path still lands — and
+        // the file holds the raw payload, not a CRC frame.
+        let side = d.join("last-crash.trace.jsonl");
+        fs.write_sidecar(&side, b"{\"ph\":\"i\"}\n").unwrap();
+        assert_eq!(std::fs::read(&side).unwrap(), b"{\"ph\":\"i\"}\n");
         let _ = std::fs::remove_dir_all(&d);
     }
 

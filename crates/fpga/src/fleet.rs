@@ -117,6 +117,9 @@ struct FleetState {
     reserved: Vec<u64>,
     /// The victim a sustained-advantage window is currently open against.
     candidate: Option<Candidate>,
+    /// Cumulative fabric-hold time per tenant, accumulated when a lease is
+    /// released. Live holds are added on read so the meter is monotone.
+    lease_seconds: BTreeMap<u64, f64>,
 }
 
 struct Holder {
@@ -235,6 +238,7 @@ impl Fleet {
                     pending: BTreeMap::new(),
                     reserved: Vec::new(),
                     candidate: None,
+                    lease_seconds: BTreeMap::new(),
                 }),
                 granted: AtomicU64::new(0),
                 revocations: AtomicU64::new(0),
@@ -509,11 +513,33 @@ impl Fleet {
         }
     }
 
+    /// Cumulative seconds `tenant` has held a fabric, including the live
+    /// hold if it currently has one. Monotone non-decreasing across reads —
+    /// the per-tenant metering plane charges fabric time from this.
+    pub fn tenant_lease_seconds(&self, tenant: u64) -> f64 {
+        let st = self.inner.state.lock().expect("fleet mutex");
+        let settled = st.lease_seconds.get(&tenant).copied().unwrap_or(0.0);
+        let live = st
+            .holders
+            .get(&tenant)
+            .map(|h| {
+                Instant::now()
+                    .saturating_duration_since(h.granted_at)
+                    .as_secs_f64()
+            })
+            .unwrap_or(0.0);
+        settled + live
+    }
+
     fn release(&self, tenant: u64) {
         let mut st = self.inner.state.lock().expect("fleet mutex");
-        if st.holders.remove(&tenant).is_none() {
+        let Some(h) = st.holders.remove(&tenant) else {
             return;
-        }
+        };
+        let held = Instant::now()
+            .saturating_duration_since(h.granted_at)
+            .as_secs_f64();
+        *st.lease_seconds.entry(tenant).or_insert(0.0) += held;
         if matches!(&st.candidate, Some(c) if c.victim == tenant) {
             st.candidate = None;
         }
@@ -656,6 +682,25 @@ mod tests {
         assert!(!lease.revoked(), "equal heat must not evict");
         assert!(fleet.request(2, 6.0).is_none());
         assert!(lease.revoked(), "strictly hotter evicts immediately");
+    }
+
+    #[test]
+    fn lease_seconds_accumulate_and_stay_monotone() {
+        let fleet = Fleet::new(1);
+        assert_eq!(fleet.tenant_lease_seconds(1), 0.0);
+        let lease = fleet.request(1, 10.0).expect("grant");
+        sleep(Duration::from_millis(5));
+        let live = fleet.tenant_lease_seconds(1);
+        assert!(live > 0.0, "live hold is charged");
+        drop(lease);
+        let settled = fleet.tenant_lease_seconds(1);
+        assert!(settled >= live, "release must not lose charged time");
+        // A second lease keeps accumulating on top of the settled total.
+        let lease = fleet.request(1, 10.0).expect("re-grant");
+        sleep(Duration::from_millis(5));
+        assert!(fleet.tenant_lease_seconds(1) > settled);
+        drop(lease);
+        assert!(fleet.tenant_lease_seconds(1) > settled);
     }
 
     #[test]

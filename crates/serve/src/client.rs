@@ -541,6 +541,76 @@ impl<T: Transport> Client<T> {
         Ok(reply.get("path").and_then(Json::as_str).map(str::to_string))
     }
 
+    /// Tail-latency attribution: the server's recent slow requests with
+    /// their dominant-phase breakdowns. `percentile` is `p50`, `p90`, or
+    /// `p99`. Returns `(text, requests_considered, coverage)` where
+    /// `coverage` is the named-phase fraction of the slowest request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn explain(&mut self, percentile: &str) -> Result<(String, u64, f64), String> {
+        let reply = self.expect_ok(&Request::Explain {
+            percentile: percentile.to_string(),
+        })?;
+        let requests = reply.get("requests").and_then(Json::as_u64).unwrap_or(0);
+        let coverage = reply.get("coverage").and_then(Json::as_f64).unwrap_or(0.0);
+        Ok((text_member(&reply), requests, coverage))
+    }
+
+    /// The top `n` tenants ranked by recent burn. Returns the rendered
+    /// table and one JSON object per tenant (session, burn, meters).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn server_top(&mut self, n: u64) -> Result<(String, Vec<Json>), String> {
+        let reply = self.expect_ok(&Request::ServerTop { n })?;
+        let tenants = reply
+            .get("tenants")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        Ok((text_member(&reply), tenants))
+    }
+
+    /// Subscribes this session to a live telemetry stream (`metrics` or
+    /// `events`). Frames arrive as JSON lines in the session's output
+    /// queue — interleave [`drain`](Self::drain) with
+    /// [`take_frames`](Self::take_frames) to separate them from
+    /// `$display` output. `interval_ms = 0` cancels the stream's
+    /// subscription. Returns whether a subscription is now active.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message.
+    pub fn subscribe(&mut self, stream: &str, interval_ms: u64) -> Result<bool, String> {
+        let reply = self.expect_ok(&Request::Subscribe {
+            session: self.session()?,
+            stream: stream.to_string(),
+            interval_ms,
+        })?;
+        Ok(reply
+            .get("subscribed")
+            .and_then(Json::as_bool)
+            .unwrap_or(false))
+    }
+
+    /// Splits drained output lines into telemetry frames and ordinary
+    /// `$display` lines: `(frames, rest)`. A frame is a JSON object with
+    /// a `"frame"` member (`metrics` or `events`).
+    pub fn take_frames(lines: Vec<String>) -> (Vec<Json>, Vec<String>) {
+        let mut frames = Vec::new();
+        let mut rest = Vec::new();
+        for line in lines {
+            match Json::parse(&line) {
+                Ok(v) if v.get("frame").and_then(Json::as_str).is_some() => frames.push(v),
+                _ => rest.push(line),
+            }
+        }
+        (frames, rest)
+    }
+
     /// Asks the server to hibernate this session now (freeze it to an
     /// image and drop its runtime). Returns whether it actually froze —
     /// the server refuses, without error, in native mode or while a VCD

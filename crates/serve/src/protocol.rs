@@ -26,6 +26,9 @@
 //! | `vcd`          | `session`, `path?`, `ports?[]` | `{ok, active, path?}` start/stop dump |
 //! | `hibernate`    | `session`              | `{ok, hibernated, bytes?, reason?}`          |
 //! | `drain_server` |                        | `{ok, flushed, hibernated}` durable flush    |
+//! | `explain`      | `percentile?`          | `{ok, text, requests, coverage}` tail-latency phase breakdown |
+//! | `server_top`   | `n?`                   | `{ok, text, tenants[]}` tenants ranked by recent burn |
+//! | `subscribe`    | `session`, `stream`, `interval_ms?` | `{ok, subscribed, stream}` live telemetry frames |
 //! | `close`        | `session`              | `{ok}`                                       |
 //!
 //! The mutating session commands (`eval`, `run`, `drain`, `fifo`) accept
@@ -123,6 +126,25 @@ pub enum Request {
     /// restart. The reply counts `flushed` journals and `hibernated`
     /// runtimes.
     DrainServer,
+    /// Tail-latency attribution over the server's recent-request ring:
+    /// which named phases (queue, wake, compile, eval, flush, journal)
+    /// dominate wall time at and above the given percentile (`"p50"` or
+    /// `"p99"`, default `"p99"`).
+    Explain { percentile: String },
+    /// The top `n` tenants ranked by recent metered burn (ticks,
+    /// compile time, fabric-lease time, journal and output bytes).
+    ServerTop { n: u64 },
+    /// Subscribes the session's output queue to periodic telemetry
+    /// frames: `stream` is `"metrics"` (meter snapshots) or `"events"`
+    /// (incremental trace events). `interval_ms = 0` cancels the
+    /// stream's subscription. Frames are newline-JSON objects with a
+    /// `frame` member, delivered through the bounded output queue
+    /// (oldest dropped and accounted under backpressure).
+    Subscribe {
+        session: u64,
+        stream: String,
+        interval_ms: u64,
+    },
     /// Closes a session, releasing its fabric lease.
     Close { session: u64 },
 }
@@ -253,6 +275,26 @@ impl Request {
                 session: session()?,
             }),
             "drain_server" => Ok(Request::DrainServer),
+            // `server-top` is accepted as an operator-friendly alias.
+            "explain" => Ok(Request::Explain {
+                percentile: v
+                    .get("percentile")
+                    .and_then(Json::as_str)
+                    .unwrap_or("p99")
+                    .to_string(),
+            }),
+            "server_top" | "server-top" => Ok(Request::ServerTop {
+                n: v.get("n").and_then(Json::as_u64).unwrap_or(10),
+            }),
+            "subscribe" => Ok(Request::Subscribe {
+                session: session()?,
+                stream: v
+                    .get("stream")
+                    .and_then(Json::as_str)
+                    .ok_or("`subscribe` needs a string `stream`")?
+                    .to_string(),
+                interval_ms: v.get("interval_ms").and_then(Json::as_u64).unwrap_or(100),
+            }),
             "close" => Ok(Request::Close {
                 session: session()?,
             }),
@@ -396,6 +438,23 @@ impl Request {
                 Json::obj([("cmd", "hibernate".into()), ("session", (*session).into())])
             }
             Request::DrainServer => Json::obj([("cmd", "drain_server".into())]),
+            Request::Explain { percentile } => Json::obj([
+                ("cmd", "explain".into()),
+                ("percentile", percentile.as_str().into()),
+            ]),
+            Request::ServerTop { n } => {
+                Json::obj([("cmd", "server_top".into()), ("n", (*n).into())])
+            }
+            Request::Subscribe {
+                session,
+                stream,
+                interval_ms,
+            } => Json::obj([
+                ("cmd", "subscribe".into()),
+                ("session", (*session).into()),
+                ("stream", stream.as_str().into()),
+                ("interval_ms", (*interval_ms).into()),
+            ]),
             Request::Close { session } => {
                 Json::obj([("cmd", "close".into()), ("session", (*session).into())])
             }
@@ -511,6 +570,15 @@ mod tests {
             },
             Request::Hibernate { session: 6 },
             Request::DrainServer,
+            Request::Explain {
+                percentile: "p99".to_string(),
+            },
+            Request::ServerTop { n: 5 },
+            Request::Subscribe {
+                session: 7,
+                stream: "metrics".to_string(),
+                interval_ms: 50,
+            },
             Request::Close { session: 8 },
         ];
         for r in requests {

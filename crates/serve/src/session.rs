@@ -42,8 +42,9 @@ use cascade_core::{
 use cascade_durable::{codec, quarantine, BitstreamStore, DurableFs};
 use cascade_fpga::{ArbiterConfig, Board, Fleet};
 use cascade_trace::{
-    export_jsonl, expose, merge, render_timeline, Arg, MetricSnapshot, Registry, SnapValue,
-    TimeMode, TraceEvent, TraceSink, DEFAULT_RING_CAPACITY,
+    export_jsonl, expose, merge, render_timeline, Arg, Histogram, MetricSnapshot, Registry,
+    RequestCtx, SnapValue, SpanRef, TimeMode, TraceEvent, TraceSink, DEFAULT_RING_CAPACITY,
+    LATENCY_BUCKETS_S,
 };
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -78,6 +79,118 @@ const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
 /// Parked workers re-check their shards at least this often — a safety
 /// net under the notify protocol, and the shutdown latency bound.
 const PARK_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Completed requests kept in the server's recent ring for `explain`.
+const RECENT_CAP: usize = 512;
+
+/// Events per `subscribe events` frame (bounds frame size, not delivery:
+/// the next due frame resumes from the last delivered sequence number).
+const EVENTS_FRAME_CAP: usize = 256;
+
+/// Capacity of the always-on crash flight recorder ring.
+const FLIGHT_RING: usize = 2048;
+
+// Named wall-time phases a request's latency decomposes into. `other` is
+// the residual (total minus every named phase): lock handoffs, channel
+// sends, scheduling gaps. Fleet lease waits surface inside `compile` —
+// `wait_compile` is where a session blocks for promotion resources.
+const PH_QUEUE: usize = 0;
+const PH_WAKE: usize = 1;
+const PH_COMPILE: usize = 2;
+const PH_EVAL_SW: usize = 3;
+const PH_EVAL_HW: usize = 4;
+const PH_FLUSH: usize = 5;
+const PH_JOURNAL: usize = 6;
+const PH_OTHER: usize = 7;
+const PHASE_NAMES: [&str; 8] = [
+    "queue", "wake", "compile", "eval_sw", "eval_hw", "flush", "journal", "other",
+];
+
+/// Wall-time accumulator for one request, indexed by the `PH_*` phases.
+#[derive(Default)]
+struct PhaseAcc {
+    ns: [u64; 8],
+}
+
+impl PhaseAcc {
+    fn add(&mut self, phase: usize, d: Duration) {
+        self.ns[phase] += d.as_nanos() as u64;
+    }
+}
+
+/// Causal metadata minted when a user command is submitted: the request
+/// context every downstream span attributes to, the enqueue stamp the
+/// queue phase is measured from, and the protocol name for the root span.
+struct ReqMeta {
+    ctx: RequestCtx,
+    enq: Instant,
+    name: &'static str,
+}
+
+/// A queue entry: the command plus its request metadata. Internal traffic
+/// (sweeper pumps, reaper closes, replays) carries no metadata and is
+/// invisible to request tracing and tail attribution.
+struct Queued {
+    cmd: Cmd,
+    meta: Option<ReqMeta>,
+}
+
+impl Queued {
+    fn internal(cmd: Cmd) -> Queued {
+        Queued { cmd, meta: None }
+    }
+}
+
+/// One completed request in the recent ring.
+#[derive(Clone)]
+struct ReqRecord {
+    req: u64,
+    tenant: u64,
+    name: &'static str,
+    total_ns: u64,
+    phase_ns: [u64; 8],
+}
+
+/// Monotone per-session resource meters. Counters only ever grow for the
+/// life of the tenant — they survive hibernation (the `Session` object
+/// persists) and restarts (checkpoints carry them; see `REC_CKPT`).
+#[derive(Default)]
+struct Meter {
+    /// Virtual clock ticks executed for this tenant.
+    ticks: AtomicU64,
+    /// Wall nanoseconds spent in the compile phase on this tenant's
+    /// behalf (includes lease waits inside `wait-compile`).
+    compile_ns: AtomicU64,
+    /// Bytes appended to the tenant's write-ahead journal.
+    journal_bytes: AtomicU64,
+    /// Bytes of `$display` output and telemetry frames queued.
+    output_bytes: AtomicU64,
+    /// Fabric lease-microseconds from previous lifetimes (recovery seed);
+    /// the live fleet meter is added on read.
+    lease_base_us: AtomicU64,
+    /// EWMA of recent burn (f64 bits), settled by the sweeper.
+    burn: AtomicU64,
+    /// The weighted score at the last sweep (f64 bits).
+    last_score: AtomicU64,
+}
+
+/// What a `subscribe` delivers.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SubStream {
+    Metrics,
+    Events,
+}
+
+/// One live telemetry subscription on a session. Frames are pushed into
+/// the session's bounded output queue by the sweeper; a slow consumer
+/// sheds oldest-first like any other output (drops are accounted).
+struct Subscription {
+    stream: SubStream,
+    interval: Duration,
+    next_at: Instant,
+    /// High-water mark of delivered trace events (`events` stream).
+    last_seq: u64,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -257,12 +370,34 @@ impl Cmd {
     fn is_interactive(&self) -> bool {
         !matches!(self, Cmd::Run { .. } | Cmd::Service)
     }
+
+    /// Protocol name, used as the request root span's name.
+    fn name(&self) -> &'static str {
+        match self {
+            Cmd::Eval { .. } => "eval",
+            Cmd::Run { .. } => "run",
+            Cmd::Drain { .. } => "drain",
+            Cmd::WaitCompile { .. } => "wait-compile",
+            Cmd::Probe { .. } => "probe",
+            Cmd::Stats { .. } => "stats",
+            Cmd::Metrics { .. } => "metrics",
+            Cmd::Profile { .. } => "profile",
+            Cmd::Configure { .. } => "configure",
+            Cmd::Vcd { .. } => "vcd",
+            Cmd::Service => "service",
+            Cmd::Hibernate { .. } => "hibernate",
+            Cmd::Close { .. } => "close",
+        }
+    }
 }
 
-/// Bounded `$display` buffer.
+/// Bounded `$display` buffer. `dropped` is the drainable delta handed to
+/// the client on `drain`; `dropped_total` never resets — it backs the
+/// per-session `serve_session_output_dropped_total` exposition.
 struct Output {
     lines: VecDeque<String>,
     dropped: u64,
+    dropped_total: u64,
 }
 
 /// A hibernated session's frozen state.
@@ -287,6 +422,8 @@ struct Durability {
     fs: DurableFs,
     sessions_dir: PathBuf,
     meta_path: PathBuf,
+    /// Where the crash flight recorder dumps its ring.
+    crash_path: PathBuf,
     store: Arc<BitstreamStore>,
 }
 
@@ -344,6 +481,9 @@ struct RecoveredSession {
     last_reply: Option<String>,
     image: Vec<u8>,
     replay: RecoveredReplay,
+    /// Checkpointed meter counters: ticks, compile_ns, journal_bytes,
+    /// output_bytes, lease_us. Zero for pre-meter journals.
+    meters: [u64; 5],
 }
 
 /// Deterministic per-session resume capability (splitmix64 of the id).
@@ -366,11 +506,21 @@ struct Session {
     /// waiting for the session's worker. Replaced on wake — a fresh
     /// runtime brings fresh cells.
     registry: Mutex<Registry>,
+    /// The runtime's full metric snapshot (registry plus stats-derived
+    /// series like `jit_ticks_total`) captured at hibernation, so
+    /// observability reads against the dormant session see the complete
+    /// exposition without waking it. Empty until the first freeze.
+    frozen_metrics: Mutex<Vec<MetricSnapshot>>,
     /// The session's virtual board, shared with its runtime: FIFO input
     /// streams in directly, even while a `run` command is executing (and
     /// across hibernation — the board outlives the runtime).
     board: Board,
-    cmds: Mutex<VecDeque<Cmd>>,
+    cmds: Mutex<VecDeque<Queued>>,
+    /// Monotone resource meters (ticks, compile time, journal/output
+    /// bytes, lease time) — the tenant's bill.
+    meter: Meter,
+    /// Live telemetry subscriptions, serviced by the sweeper.
+    subs: Mutex<Vec<Subscription>>,
     /// `None` while a worker has the REPL checked out *or* the session is
     /// dormant (see `dormant`).
     repl: Mutex<Option<Box<Repl>>>,
@@ -485,6 +635,25 @@ struct Shared {
     recovery_replayed: AtomicU64,
     recovery_quarantined: AtomicU64,
     drain_flushes: AtomicU64,
+    /// Server-wide request id mint (1-based; 0 = "no request").
+    next_req: AtomicU64,
+    /// Server-level observability registry (phase histograms live here;
+    /// merged into the exposition alongside session registries).
+    obs: Registry,
+    /// Per-phase request latency histograms, indexed like `PHASE_NAMES`.
+    phase_hists: Vec<Histogram>,
+    /// Ring of recently completed requests (`explain` reads it).
+    recent: Mutex<VecDeque<ReqRecord>>,
+    /// Always-on crash flight recorder: a small ring separate from the
+    /// configurable trace sink, stamped by an ordinal virtual clock so
+    /// its export is deterministic under seeded re-runs.
+    flight: TraceSink,
+    flight_clock: AtomicU64,
+    /// The flight ring is dumped at most once per process.
+    flight_dumped: AtomicBool,
+    /// The previous lifetime's crash trace (`last-crash.trace.jsonl`),
+    /// loaded by [`Server::recover`].
+    last_crash: Option<String>,
 }
 
 /// The multi-tenant Cascade server: sessions, workers, fleet, compile pool.
@@ -528,6 +697,7 @@ impl Server {
             Durability {
                 fs: dfs.clone(),
                 meta_path: root.join("server.meta"),
+                crash_path: root.join("last-crash.trace.jsonl"),
                 store: Arc::new(BitstreamStore::open(root.join("bitstreams"), dfs.clone())),
                 sessions_dir,
             }
@@ -536,6 +706,21 @@ impl Server {
             (Some(d), true) => load_baseline(d),
             _ => BTreeMap::new(),
         };
+        let last_crash = match (&durable, recovering) {
+            (Some(d), true) => std::fs::read_to_string(&d.crash_path).ok(),
+            _ => None,
+        };
+        let obs = Registry::new();
+        let phase_hists: Vec<Histogram> = PHASE_NAMES
+            .iter()
+            .map(|p| {
+                obs.histogram(
+                    &format!("serve_phase_{p}_seconds"),
+                    "Wall seconds requests spent in this phase",
+                    LATENCY_BUCKETS_S,
+                )
+            })
+            .collect();
         let pool = CompilePool::with_store(
             config.compile_workers.max(1),
             config.compile_queue_capacity.max(1),
@@ -551,10 +736,14 @@ impl Server {
                 SERVER_SEQ.fetch_add(1, Ordering::Relaxed)
             )),
         };
+        // Wire the compile queue into the trace plane: dedup joins on
+        // shared in-flight jobs are recorded as span links.
+        let queue = pool.queue();
+        queue.set_trace(config.trace.clone());
         let shared = Arc::new(Shared {
             fleet: Fleet::with_config(config.fabrics, config.arbiter.clone()),
             trace: config.trace.clone(),
-            queue: pool.queue(),
+            queue,
             _pool: pool,
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),
@@ -586,6 +775,14 @@ impl Server {
             recovery_replayed: AtomicU64::new(0),
             recovery_quarantined: AtomicU64::new(0),
             drain_flushes: AtomicU64::new(0),
+            next_req: AtomicU64::new(0),
+            obs,
+            phase_hists,
+            recent: Mutex::new(VecDeque::new()),
+            flight: TraceSink::ring(FLIGHT_RING),
+            flight_clock: AtomicU64::new(0),
+            flight_dumped: AtomicBool::new(false),
+            last_crash,
             config,
         });
         if recovering {
@@ -653,7 +850,32 @@ impl Server {
             Request::Metrics { session: None } => self.server_metrics(),
             Request::Metrics {
                 session: Some(session),
-            } => self.submit(session, false, |tx| Cmd::Metrics { tx }),
+            } => {
+                // A dormant session's registry is a frozen snapshot of its
+                // last live runtime: render it directly instead of waking
+                // (and re-hibernating) the tenant for a read.
+                if let Some(s) = self.shared.session(session) {
+                    if self.shared.refuse(&s).is_none() && s.dormant.lock_unpoisoned().is_some() {
+                        let frozen = s.frozen_metrics.lock_unpoisoned();
+                        let text = if frozen.is_empty() {
+                            // Recovered-from-disk dormancy: no in-process
+                            // freeze happened; the registry is all we have.
+                            expose(&s.registry.lock_unpoisoned().snapshot())
+                        } else {
+                            expose(&frozen)
+                        };
+                        return ok([("text", text.into()), ("dormant", true.into())]);
+                    }
+                }
+                self.submit(session, false, |tx| Cmd::Metrics { tx })
+            }
+            Request::Explain { percentile } => self.explain(&percentile),
+            Request::ServerTop { n } => self.server_top(n),
+            Request::Subscribe {
+                session,
+                stream,
+                interval_ms,
+            } => self.subscribe(session, &stream, interval_ms),
             Request::Trace {
                 session,
                 virtual_only,
@@ -736,6 +958,13 @@ impl Server {
                     }
                 }
                 *s.last_active.lock_unpoisoned() = Instant::now();
+                // FIFO pushes execute inline (no session worker), so the
+                // request context and phase clock are minted right here.
+                let meta = ReqMeta {
+                    ctx: self.shared.mint_req(session),
+                    enq: Instant::now(),
+                    name: "fifo",
+                };
                 let mut pushed = 0u64;
                 for &word in &data {
                     if !s
@@ -754,8 +983,14 @@ impl Server {
                 for &word in &data[..pushed as usize] {
                     codec::put_u64(&mut extra, word);
                 }
-                self.shared
-                    .commit(&s, seq, ok([("pushed", pushed.into())]), REC_FIFO, &extra)
+                let mut acc = PhaseAcc::default();
+                let t_journal = Instant::now();
+                let reply =
+                    self.shared
+                        .commit(&s, seq, ok([("pushed", pushed.into())]), REC_FIFO, &extra);
+                acc.add(PH_JOURNAL, t_journal.elapsed());
+                finish_request(&self.shared, &s, &meta, &mut acc);
+                reply
             }
             Request::Stats {
                 session: Some(session),
@@ -782,6 +1017,7 @@ impl Server {
             codec::put_u8(&mut payload, REC_OPEN);
             codec::put_u64(&mut payload, token);
             if let Err(e) = d.fs.write_atomic(&d.journal_path(id, 0), &payload) {
+                self.shared.dump_flight("open journal write failed");
                 return Err(format!("open not acknowledged: {e}"));
             }
         }
@@ -789,14 +1025,18 @@ impl Server {
         let session = Arc::new(Session {
             id,
             registry: Mutex::new(Registry::new()),
+            frozen_metrics: Mutex::new(Vec::new()),
             board,
             cmds: Mutex::new(VecDeque::new()),
+            meter: Meter::default(),
+            subs: Mutex::new(Vec::new()),
             repl: Mutex::new(None),
             dormant: Mutex::new(None),
             scheduled: AtomicBool::new(false),
             output: Mutex::new(Output {
                 lines: VecDeque::new(),
                 dropped: 0,
+                dropped_total: 0,
             }),
             last_active: Mutex::new(Instant::now()),
             closed: AtomicBool::new(false),
@@ -815,6 +1055,7 @@ impl Server {
             .store_dormant(&session, HibernateImage::empty().to_bytes());
         self.shared.sessions.lock_unpoisoned().insert(id, session);
         self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        self.shared.flight(id, "open", &[]);
         Ok((id, token))
     }
 
@@ -832,7 +1073,26 @@ impl Server {
         let (tx, rx) = channel();
         let cmd = make(tx);
         let interactive = cmd.is_interactive();
-        session.cmds.lock_unpoisoned().push_back(cmd);
+        // Mint the causal context here, at protocol ingress: every span the
+        // request produces downstream — wake, compile, engine eval, journal
+        // — hangs off this id, across threads and crates.
+        let meta = ReqMeta {
+            ctx: self.shared.mint_req(id),
+            enq: Instant::now(),
+            name: cmd.name(),
+        };
+        self.shared.flight(
+            id,
+            "submit",
+            &[
+                ("cmd", Arg::Str(meta.name)),
+                ("req", Arg::U64(meta.ctx.req)),
+            ],
+        );
+        session.cmds.lock_unpoisoned().push_back(Queued {
+            cmd,
+            meta: Some(meta),
+        });
         self.shared.wake(&session, interactive);
         match rx.recv_timeout(REPLY_TIMEOUT) {
             Ok(reply) => reply,
@@ -879,6 +1139,7 @@ impl Server {
                 s.sessions_reaped.load(Ordering::Relaxed).into(),
             ),
             ("evals", s.evals.load(Ordering::Relaxed).into()),
+            ("requests", s.next_req.load(Ordering::Relaxed).into()),
             ("ticks", s.total_ticks.load(Ordering::Relaxed).into()),
             ("steals", steals.into()),
             ("hibernates", s.hibernates.load(Ordering::Relaxed).into()),
@@ -946,6 +1207,187 @@ impl Server {
                 s.drain_flushes.load(Ordering::Relaxed).into(),
             ),
         ])
+    }
+
+    /// Tail-latency attribution over the recent-request ring: picks the
+    /// requests at or past the given percentile of total wall time and
+    /// prints each one's dominant phase and full phase breakdown.
+    fn explain(&self, percentile: &str) -> Json {
+        let q = match percentile {
+            "p50" => 0.50,
+            "p90" => 0.90,
+            "p99" => 0.99,
+            other => return err(format!("unknown percentile `{other}` (want p50|p90|p99)")),
+        };
+        let recs: Vec<ReqRecord> = self
+            .shared
+            .recent
+            .lock_unpoisoned()
+            .iter()
+            .cloned()
+            .collect();
+        if recs.is_empty() {
+            return ok([
+                ("text", "no requests recorded".into()),
+                ("requests", 0.into()),
+                ("coverage", 0.0.into()),
+            ]);
+        }
+        let mut totals: Vec<u64> = recs.iter().map(|r| r.total_ns).collect();
+        totals.sort_unstable();
+        let idx = (((totals.len() - 1) as f64) * q).round() as usize;
+        let threshold = totals[idx.min(totals.len() - 1)];
+        let mut slow: Vec<&ReqRecord> = recs.iter().filter(|r| r.total_ns >= threshold).collect();
+        slow.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+        slow.truncate(10);
+        let mut text = format!(
+            "{percentile} tail of {} recent requests (threshold {:.3} ms):\n",
+            recs.len(),
+            threshold as f64 / 1e6,
+        );
+        for r in &slow {
+            let (dom, dom_ns) = r
+                .phase_ns
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, ns)| **ns)
+                .map(|(i, ns)| (PHASE_NAMES[i], *ns))
+                .unwrap_or(("other", 0));
+            let pct = if r.total_ns > 0 {
+                100.0 * dom_ns as f64 / r.total_ns as f64
+            } else {
+                0.0
+            };
+            let breakdown: Vec<String> = r
+                .phase_ns
+                .iter()
+                .enumerate()
+                .filter(|(_, ns)| **ns > 0)
+                .map(|(i, ns)| format!("{} {:.3}ms", PHASE_NAMES[i], *ns as f64 / 1e6))
+                .collect();
+            text.push_str(&format!(
+                "  req {} session {} {}: {:.3} ms, dominant {dom} ({pct:.0}%)  [{}]\n",
+                r.req,
+                r.tenant,
+                r.name,
+                r.total_ns as f64 / 1e6,
+                breakdown.join(" | "),
+            ));
+        }
+        // Named-phase coverage of the slowest request: everything except
+        // the unattributed residual.
+        let coverage = slow
+            .first()
+            .map(|r| {
+                if r.total_ns == 0 {
+                    1.0
+                } else {
+                    (r.total_ns.saturating_sub(r.phase_ns[PH_OTHER])) as f64 / r.total_ns as f64
+                }
+            })
+            .unwrap_or(0.0);
+        ok([
+            ("text", text.into()),
+            ("requests", (recs.len() as u64).into()),
+            ("coverage", coverage.into()),
+        ])
+    }
+
+    /// Ranks tenants by recent burn (the sweeper's EWMA over each
+    /// session's weighted meter growth). Reads only meters — no session
+    /// is woken.
+    fn server_top(&self, n: u64) -> Json {
+        let sessions: Vec<Arc<Session>> = self
+            .shared
+            .sessions
+            .lock_unpoisoned()
+            .values()
+            .cloned()
+            .collect();
+        let mut rows: Vec<(f64, Json, String)> = sessions
+            .iter()
+            .map(|s| {
+                let m = &s.meter;
+                let burn = f64::from_bits(m.burn.load(Ordering::Relaxed));
+                let ticks = m.ticks.load(Ordering::Relaxed);
+                let compile_ms = m.compile_ns.load(Ordering::Relaxed) as f64 / 1e6;
+                let journal_bytes = m.journal_bytes.load(Ordering::Relaxed);
+                let output_bytes = m.output_bytes.load(Ordering::Relaxed);
+                let lease_ms = self.shared.lease_us_total(s) as f64 / 1e3;
+                let row = Json::obj([
+                    ("session", s.id.into()),
+                    ("burn", burn.into()),
+                    ("ticks", ticks.into()),
+                    ("compile_ms", compile_ms.into()),
+                    ("journal_bytes", journal_bytes.into()),
+                    ("output_bytes", output_bytes.into()),
+                    ("lease_ms", lease_ms.into()),
+                ]);
+                let line = format!(
+                    "  session {} burn {burn:.1} ticks {ticks} compile {compile_ms:.3}ms \
+                     lease {lease_ms:.3}ms journal {journal_bytes}B output {output_bytes}B",
+                    s.id,
+                );
+                (burn, row, line)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+        rows.truncate(n.max(1) as usize);
+        let mut text = format!("top {} tenants by recent burn:\n", rows.len());
+        let mut tenants = Vec::with_capacity(rows.len());
+        for (_, row, line) in rows {
+            text.push_str(&line);
+            text.push('\n');
+            tenants.push(row);
+        }
+        ok([("text", text.into()), ("tenants", Json::Arr(tenants))])
+    }
+
+    /// Adds (interval > 0) or cancels (interval 0) a live telemetry
+    /// subscription on a session. Frames are delivered through the
+    /// session's bounded output queue by the sweeper.
+    fn subscribe(&self, session: u64, stream: &str, interval_ms: u64) -> Json {
+        let Some(s) = self.shared.session(session) else {
+            return err(format!("no session {session}"));
+        };
+        if let Some(reason) = self.shared.refuse(&s) {
+            return err(reason);
+        }
+        let st = match stream {
+            "metrics" => SubStream::Metrics,
+            "events" => SubStream::Events,
+            other => return err(format!("unknown stream `{other}` (want metrics|events)")),
+        };
+        let mut subs = s.subs.lock_unpoisoned();
+        subs.retain(|sub| sub.stream != st);
+        let subscribed = interval_ms > 0;
+        if subscribed {
+            // Event streams start at the ring's current high-water mark:
+            // subscribers see what happens next, not history.
+            let last_seq = match st {
+                SubStream::Events => self
+                    .shared
+                    .trace
+                    .snapshot()
+                    .last()
+                    .map(|e| e.seq)
+                    .unwrap_or(0),
+                SubStream::Metrics => 0,
+            };
+            subs.push(Subscription {
+                stream: st,
+                interval: Duration::from_millis(interval_ms),
+                next_at: Instant::now(),
+                last_seq,
+            });
+        }
+        ok([("subscribed", subscribed.into()), ("stream", stream.into())])
+    }
+
+    /// The flight-recorder trace persisted by the previous lifetime's
+    /// crash, if recovery found one (`last-crash.trace.jsonl`).
+    pub fn last_crash_trace(&self) -> Option<String> {
+        self.shared.last_crash.clone()
     }
 
     /// Graceful pre-restart flush: every session's durable state is
@@ -1042,15 +1484,30 @@ impl Server {
     fn metric_snapshots(&self) -> Vec<MetricSnapshot> {
         let s = &self.shared;
         let mut snaps: Vec<MetricSnapshot> = Vec::new();
-        let registries: Vec<Registry> = s
+        let per_session: Vec<(u64, Registry, u64)> = s
             .sessions
             .lock_unpoisoned()
             .values()
-            .map(|sess| sess.registry.lock_unpoisoned().clone())
+            .map(|sess| {
+                (
+                    sess.id,
+                    sess.registry.lock_unpoisoned().clone(),
+                    sess.output.lock_unpoisoned().dropped_total,
+                )
+            })
             .collect();
-        for reg in registries {
+        let mut labeled = Vec::with_capacity(per_session.len());
+        for (id, reg, dropped_total) in per_session {
             merge(&mut snaps, reg.snapshot());
+            labeled.push(MetricSnapshot {
+                name: format!("serve_session_output_dropped_total{{session=\"{id}\"}}"),
+                help: "Output lines dropped by one session's bounded queue".to_string(),
+                value: SnapValue::Counter(dropped_total),
+            });
         }
+        merge(&mut snaps, labeled);
+        // Server-level phase histograms (`serve_phase_*_seconds`).
+        merge(&mut snaps, s.obs.snapshot());
         let fleet = s.fleet.stats();
         let cache = s.queue.cache();
         let steals: u64 = s
@@ -1414,10 +1871,48 @@ impl Shared {
         Some(path)
     }
 
+    /// Mints the causal context for the next request of `tenant`.
+    fn mint_req(&self, tenant: u64) -> RequestCtx {
+        RequestCtx::new(tenant, self.next_req.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// A tenant's total fabric lease time in microseconds: the recovered
+    /// floor plus what the live fleet has metered this lifetime. Monotone.
+    fn lease_us_total(&self, session: &Session) -> u64 {
+        session.meter.lease_base_us.load(Ordering::Relaxed)
+            + (self.fleet.tenant_lease_seconds(session.id) * 1e6) as u64
+    }
+
+    /// Records one flight-recorder breadcrumb. The flight ring runs on an
+    /// ordinal virtual clock, so a seeded re-run that performs the same
+    /// operations exports byte-identical records.
+    fn flight(&self, track: u64, name: &'static str, args: &[(&str, Arg)]) {
+        let at = self.flight_clock.fetch_add(1, Ordering::Relaxed);
+        self.flight.instant(track, "flight", name, at, args);
+    }
+
+    /// Persists the flight ring as `last-crash.trace.jsonl` under the
+    /// durable root — once per process, through the raw sidecar path that
+    /// still works after the durable layer latches its crash flag.
+    fn dump_flight(&self, reason: &str) {
+        let Some(d) = &self.durable else {
+            return;
+        };
+        if self.flight_dumped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let at = self.flight_clock.fetch_add(1, Ordering::Relaxed);
+        self.flight
+            .instant(0, "flight", "dump", at, &[("reason", Arg::Str(reason))]);
+        let text = export_jsonl(&self.flight.snapshot(), TimeMode::VirtualOnly);
+        let _ = d.fs.write_sidecar(&d.crash_path, text.as_bytes());
+    }
+
     /// Why a session cannot accept commands right now, if it cannot.
     fn refuse(&self, session: &Session) -> Option<String> {
         if let Some(d) = &self.durable {
             if d.fs.crashed() {
+                self.dump_flight("durable store crashed");
                 return Some("durable store crashed; restart the server and recover".to_string());
             }
         }
@@ -1457,9 +1952,20 @@ impl Shared {
             let journal = session.journal.lock_unpoisoned();
             let path = d.journal_path(session.id, journal.gen);
             if let Err(e) = d.fs.append(&path, &payload) {
+                drop(journal);
+                self.dump_flight("journal append failed");
                 return err(format!("not acknowledged: {e}"));
             }
+            session
+                .meter
+                .journal_bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
         }
+        self.flight(
+            session.id,
+            "commit",
+            &[("tag", Arg::U64(tag as u64)), ("seq", Arg::U64(seq))],
+        );
         session.dirty.store(true, Ordering::Relaxed);
         if seq > 0 {
             session.last_seq.store(seq, Ordering::SeqCst);
@@ -1506,6 +2012,15 @@ impl Shared {
         for line in &queued {
             codec::put_str(&mut payload, line);
         }
+        // Trailing meter block (added after the original checkpoint
+        // layout; decode treats it as optional for old journals): the
+        // tenant's monotone resource counters survive the restart.
+        let m = &session.meter;
+        codec::put_u64(&mut payload, m.ticks.load(Ordering::Relaxed));
+        codec::put_u64(&mut payload, m.compile_ns.load(Ordering::Relaxed));
+        codec::put_u64(&mut payload, m.journal_bytes.load(Ordering::Relaxed));
+        codec::put_u64(&mut payload, m.output_bytes.load(Ordering::Relaxed));
+        codec::put_u64(&mut payload, self.lease_us_total(session));
         let mut journal = session.journal.lock_unpoisoned();
         let next = journal.gen + 1;
         if d.fs
@@ -1632,7 +2147,7 @@ enum Disposition {
     /// Session torn down (closed, or wake failed); stop draining.
     Exit,
     /// A runtime is now in hand; execute the command.
-    Execute(Cmd),
+    Execute(Queued),
 }
 
 /// Drains a session's command queue through one REPL checkout. Claims the
@@ -1647,29 +2162,39 @@ fn run_session(shared: &Shared, session: &Arc<Session>) {
         if session.closed.load(Ordering::Relaxed) {
             break;
         }
-        let Some(cmd) = session.cmds.lock_unpoisoned().pop_front() else {
+        let Some(q) = session.cmds.lock_unpoisoned().pop_front() else {
             break;
         };
-        let cmd = if repl.is_some() {
-            cmd
+        // The queue phase ends here: a worker has claimed the command.
+        let mut acc = PhaseAcc::default();
+        if let Some(m) = &q.meta {
+            acc.add(PH_QUEUE, m.enq.elapsed());
+        }
+        let q = if repl.is_some() {
+            q
         } else {
-            match ensure_repl(shared, session, &mut repl, cmd) {
+            match ensure_repl(shared, session, &mut repl, q, &mut acc) {
                 Disposition::Handled => continue,
                 Disposition::Exit => return,
-                Disposition::Execute(cmd) => cmd,
+                Disposition::Execute(q) => q,
             }
         };
+        let Queued { cmd, meta } = q;
         let r = repl.as_mut().expect("repl in hand");
         // Isolation boundary: a panic while executing one session's
         // command kills that session with a structured error. The
         // worker, the server, and every other tenant keep running.
         let reply_tx = cmd.reply_tx();
-        let flow = match catch_unwind(AssertUnwindSafe(|| execute(shared, session, r, cmd))) {
+        let flow = match catch_unwind(AssertUnwindSafe(|| {
+            execute(shared, session, r, cmd, meta.as_ref(), &mut acc)
+        })) {
             Ok(flow) => flow,
             Err(payload) => {
                 shared.session_panics.fetch_add(1, Ordering::Relaxed);
                 session.closed.store(true, Ordering::Relaxed);
                 let msg = panic_message(payload.as_ref());
+                shared.flight(session.id, "panic", &[]);
+                shared.dump_flight("session worker panicked");
                 if let Some(tx) = reply_tx {
                     let _ = tx.send(Json::obj([
                         ("ok", false.into()),
@@ -1679,9 +2204,9 @@ fn run_session(shared: &Shared, session: &Arc<Session>) {
                 }
                 // Commands already queued behind the panic get an error
                 // reply instead of a timeout.
-                let dead: Vec<Cmd> = session.cmds.lock_unpoisoned().drain(..).collect();
+                let dead: Vec<Queued> = session.cmds.lock_unpoisoned().drain(..).collect();
                 for c in dead {
-                    if let Some(tx) = c.reply_tx() {
+                    if let Some(tx) = c.cmd.reply_tx() {
                         let _ = tx.send(err(format!(
                             "session {} closed: worker panicked: {msg}",
                             session.id
@@ -1693,7 +2218,8 @@ fn run_session(shared: &Shared, session: &Arc<Session>) {
         };
         if let Flow::Hibernate(tx) = flow {
             let held = repl.take().expect("repl in hand");
-            match try_hibernate(shared, session, held) {
+            let (at, parent) = request_span(&meta);
+            match try_hibernate(shared, session, held, at, parent) {
                 Ok((bytes, spilled)) => {
                     if let Some(tx) = tx {
                         let _ = tx.send(ok([
@@ -1714,6 +2240,9 @@ fn run_session(shared: &Shared, session: &Arc<Session>) {
                 }
             }
         }
+        if let Some(m) = &meta {
+            finish_request(shared, session, m, &mut acc);
+        }
     }
     if session.closed.load(Ordering::Relaxed) {
         // Dropping the REPL drops the runtime: its `Drop` releases the
@@ -1733,7 +2262,7 @@ fn run_session(shared: &Shared, session: &Arc<Session>) {
             .cmds
             .lock_unpoisoned()
             .front()
-            .map(Cmd::is_interactive);
+            .map(|q| q.cmd.is_interactive());
         if let Some(interactive) = straggler {
             shared.wake(session, interactive);
         }
@@ -1753,8 +2282,10 @@ fn ensure_repl(
     shared: &Shared,
     session: &Arc<Session>,
     repl: &mut Option<Box<Repl>>,
-    cmd: Cmd,
+    q: Queued,
+    acc: &mut PhaseAcc,
 ) -> Disposition {
+    let Queued { cmd, meta } = q;
     // The service pump has nothing to advance in a session with no
     // runtime (no lease, no compile in flight).
     if matches!(cmd, Cmd::Service) {
@@ -1789,30 +2320,38 @@ fn ensure_repl(
                 fail_queued(session, &format!("session {} closed", session.id));
                 Disposition::Exit
             }
-            cmd => match wake_session(shared, session, image) {
-                Ok(r) => {
-                    *repl = Some(r);
-                    Disposition::Execute(cmd)
-                }
-                Err(msg) => {
-                    shared.wake_failures.fetch_add(1, Ordering::Relaxed);
-                    session.closed.store(true, Ordering::Relaxed);
-                    shared.sessions.lock_unpoisoned().remove(&session.id);
-                    let full = format!("session {} wake failed: {msg}", session.id);
-                    if let Some(tx) = cmd.reply_tx() {
-                        let _ = tx.send(err(full.clone()));
+            cmd => {
+                let t0 = Instant::now();
+                let (at, parent) = request_span(&meta);
+                match wake_session(shared, session, image, at, parent) {
+                    Ok(r) => {
+                        acc.add(PH_WAKE, t0.elapsed());
+                        *repl = Some(r);
+                        Disposition::Execute(Queued { cmd, meta })
                     }
-                    fail_queued(session, &full);
-                    Disposition::Exit
+                    Err(msg) => {
+                        shared.wake_failures.fetch_add(1, Ordering::Relaxed);
+                        session.closed.store(true, Ordering::Relaxed);
+                        shared.sessions.lock_unpoisoned().remove(&session.id);
+                        let full = format!("session {} wake failed: {msg}", session.id);
+                        if let Some(tx) = cmd.reply_tx() {
+                            let _ = tx.send(err(full.clone()));
+                        }
+                        fail_queued(session, &full);
+                        Disposition::Exit
+                    }
                 }
-            },
+            }
         },
         None => {
             // Another worker has the REPL checked out. Hand the command
             // back for the holder's drain. If the holder put the REPL
             // back in the meantime, claim it ourselves; otherwise its
             // put-back re-check will see this command and re-wake.
-            session.cmds.lock_unpoisoned().push_front(cmd);
+            session
+                .cmds
+                .lock_unpoisoned()
+                .push_front(Queued { cmd, meta });
             match session.repl.lock_unpoisoned().take() {
                 Some(r) => {
                     *repl = Some(r);
@@ -1826,11 +2365,20 @@ fn ensure_repl(
 
 /// Error-replies every command still queued on a dead session.
 fn fail_queued(session: &Session, msg: &str) {
-    let dead: Vec<Cmd> = session.cmds.lock_unpoisoned().drain(..).collect();
+    let dead: Vec<Queued> = session.cmds.lock_unpoisoned().drain(..).collect();
     for c in dead {
-        if let Some(tx) = c.reply_tx() {
+        if let Some(tx) = c.cmd.reply_tx() {
             let _ = tx.send(err(msg.to_string()));
         }
+    }
+}
+
+/// `(child span, root span)` of a request, for attributing lifecycle
+/// events (wake, hibernate) to it. Zeroed when there is no request.
+fn request_span(meta: &Option<ReqMeta>) -> (SpanRef, u64) {
+    match meta {
+        Some(m) => (m.ctx.span_ref(m.ctx.child_span()), m.ctx.root_span()),
+        None => (SpanRef::default(), 0),
     }
 }
 
@@ -1840,6 +2388,8 @@ fn wake_session(
     shared: &Shared,
     session: &Arc<Session>,
     image: Dormant,
+    at: SpanRef,
+    parent: u64,
 ) -> Result<Box<Repl>, String> {
     let t0 = Instant::now();
     let bytes = match image {
@@ -1892,11 +2442,15 @@ fn wake_session(
     }
     shared.live_runtimes.fetch_add(1, Ordering::Relaxed);
     shared.wakes.fetch_add(1, Ordering::Relaxed);
+    shared.flight(session.id, "wake", &[]);
     if shared.trace.enabled() {
-        shared.trace.host_instant(
+        shared.trace.host_instant_ctx(
             session.id,
             "serve",
             "wake",
+            at,
+            parent,
+            0,
             &[
                 ("bytes", Arg::U64(bytes.len() as u64)),
                 ("us", Arg::U64(t0.elapsed().as_micros() as u64)),
@@ -1981,6 +2535,7 @@ fn decode_journal(records: &[Vec<u8>]) -> Result<RecoveredSession, String> {
                 last_reply: None,
                 image: HibernateImage::empty().to_bytes(),
                 replay: RecoveredReplay::empty(),
+                meters: [0; 5],
             }
         }
         REC_CKPT => {
@@ -1997,6 +2552,12 @@ fn decode_journal(records: &[Vec<u8>]) -> Result<RecoveredSession, String> {
             for _ in 0..r.u64()? {
                 pending.push(r.string()?);
             }
+            // Optional trailing meter block (absent in pre-meter journals).
+            let meters = if r.remaining() > 0 {
+                [r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?]
+            } else {
+                [0; 5]
+            };
             r.finish()?;
             RecoveredSession {
                 token,
@@ -2008,6 +2569,7 @@ fn decode_journal(records: &[Vec<u8>]) -> Result<RecoveredSession, String> {
                     pending,
                     cmds: Vec::new(),
                 },
+                meters,
             }
         }
         tag => return Err(format!("journal head has tag {tag}, want open/checkpoint")),
@@ -2057,13 +2619,28 @@ fn install_recovered(shared: &Shared, id: u64, gen: u64, rec: RecoveredSession) 
         token: rec.token,
         board: Board::new(),
         cmds: Mutex::new(VecDeque::new()),
+        // Meters resume from the checkpointed floor; the fleet's live
+        // lease meter restarts at zero, so the floor includes all prior
+        // lease time (monotone across the restart).
+        meter: Meter {
+            ticks: AtomicU64::new(rec.meters[0]),
+            compile_ns: AtomicU64::new(rec.meters[1]),
+            journal_bytes: AtomicU64::new(rec.meters[2]),
+            output_bytes: AtomicU64::new(rec.meters[3]),
+            lease_base_us: AtomicU64::new(rec.meters[4]),
+            burn: AtomicU64::new(0),
+            last_score: AtomicU64::new(0),
+        },
+        subs: Mutex::new(Vec::new()),
         repl: Mutex::new(None),
         dormant: Mutex::new(None),
         output: Mutex::new(Output {
             lines: VecDeque::new(),
             dropped: 0,
+            dropped_total: 0,
         }),
         registry: Mutex::new(Registry::new()),
+        frozen_metrics: Mutex::new(Vec::new()),
         last_active: Mutex::new(Instant::now()),
         closed: AtomicBool::new(false),
         scheduled: AtomicBool::new(false),
@@ -2176,6 +2753,8 @@ fn try_hibernate(
     shared: &Shared,
     session: &Arc<Session>,
     mut repl: Box<Repl>,
+    at: SpanRef,
+    parent: u64,
 ) -> Result<(usize, bool), (Box<Repl>, String)> {
     let t0 = Instant::now();
     let rt = repl.runtime();
@@ -2183,6 +2762,10 @@ fn try_hibernate(
         Ok(image) => image,
         Err(e) => return Err((repl, e.to_string())),
     };
+    // Freeze the full exposition (registry + stats-derived series) so a
+    // `metrics` read against the dormant session is complete without a
+    // wake.
+    *session.frozen_metrics.lock_unpoisoned() = rt.metrics_snapshot();
     // Verification may have committed quarantined output; flush the lot
     // into the session queue before the runtime goes away.
     let pending = rt.drain_output();
@@ -2200,11 +2783,15 @@ fn try_hibernate(
     // session counted in `sessions_hibernated` (transient double-count
     // over missing-count).
     shared.live_runtimes.fetch_sub(1, Ordering::Relaxed);
+    shared.flight(session.id, "hibernate", &[]);
     if shared.trace.enabled() {
-        shared.trace.host_instant(
+        shared.trace.host_instant_ctx(
             session.id,
             "serve",
             "hibernate",
+            at,
+            parent,
+            0,
             &[
                 ("bytes", Arg::U64(len as u64)),
                 ("spilled", Arg::Bool(spilled)),
@@ -2222,7 +2809,19 @@ enum Flow {
     Hibernate(Option<Sender<Json>>),
 }
 
-fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flow {
+fn execute(
+    shared: &Shared,
+    session: &Session,
+    repl: &mut Repl,
+    cmd: Cmd,
+    meta: Option<&ReqMeta>,
+    acc: &mut PhaseAcc,
+) -> Flow {
+    // Propagate (or clear) the causal context into the runtime: compile
+    // jobs, fleet requests, and engine spans emitted while this command
+    // executes attribute to this request's tree. Always set, so a stale
+    // context from the previous command never leaks into internal work.
+    repl.runtime().set_request_ctx(meta.map(|m| m.ctx.clone()));
     match cmd {
         Cmd::Eval { line, seq, tx } => {
             if let Some(reply) = Shared::dedup_reply(session, seq) {
@@ -2232,6 +2831,7 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flo
             shared.evals.fetch_add(1, Ordering::Relaxed);
             let heat = shared.stamp();
             repl.runtime().set_heat(heat);
+            let t_eval = Instant::now();
             let reply = match repl.line(&line) {
                 ReplResponse::Evaluated(output) => ok([
                     ("status", "evaluated".into()),
@@ -2244,9 +2844,12 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flo
                     ("error", e.into()),
                 ]),
             };
+            acc.add(eval_phase(repl.runtime().mode()), t_eval.elapsed());
             let mut extra = Vec::new();
             codec::put_str(&mut extra, &line);
+            let t_journal = Instant::now();
             let reply = shared.commit(session, seq, reply, REC_EVAL, &extra);
+            acc.add(PH_JOURNAL, t_journal.elapsed());
             let _ = tx.send(reply);
         }
         Cmd::Run { ticks, seq, tx } => {
@@ -2271,22 +2874,28 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flo
                     break;
                 }
                 let chunk = (ticks - done).min(RUN_CHUNK);
+                let t_run = Instant::now();
                 match rt.run_ticks(chunk) {
                     Ok(k) => {
+                        acc.add(eval_phase(rt.mode()), t_run.elapsed());
+                        let t_flush = Instant::now();
                         let lines = rt.drain_output();
                         push_output(shared, session, lines);
+                        acc.add(PH_FLUSH, t_flush.elapsed());
                         if k == 0 {
                             break;
                         }
                         done += k;
                     }
                     Err(e) => {
+                        acc.add(eval_phase(rt.mode()), t_run.elapsed());
                         let _ = tx.send(err(e.to_string()));
                         return Flow::Continue;
                     }
                 }
             }
             shared.total_ticks.fetch_add(done, Ordering::Relaxed);
+            session.meter.ticks.fetch_add(done, Ordering::Relaxed);
             let reply = ok([
                 ("ticks", done.into()),
                 ("backpressure", backpressure.into()),
@@ -2299,7 +2908,9 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flo
             // count the client was told about.
             let mut extra = Vec::new();
             codec::put_u64(&mut extra, done);
+            let t_journal = Instant::now();
             let reply = shared.commit(session, seq, reply, REC_RUN, &extra);
+            acc.add(PH_JOURNAL, t_journal.elapsed());
             let _ = tx.send(reply);
         }
         Cmd::Drain { seq, tx } => {
@@ -2309,18 +2920,23 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flo
             }
             // Sweep anything still inside the runtime, then hand over the
             // whole queue.
+            let t_flush = Instant::now();
             let pending = repl.runtime().drain_output();
             push_output(shared, session, pending);
             let mut out = session.output.lock_unpoisoned();
             let lines: Vec<String> = out.lines.drain(..).collect();
             let dropped = std::mem::take(&mut out.dropped);
             drop(out);
+            acc.add(PH_FLUSH, t_flush.elapsed());
             let reply = ok([("lines", Json::strings(lines)), ("dropped", dropped.into())]);
+            let t_journal = Instant::now();
             let reply = shared.commit(session, seq, reply, REC_DRAIN, &[]);
+            acc.add(PH_JOURNAL, t_journal.elapsed());
             let _ = tx.send(reply);
         }
         Cmd::WaitCompile { tx } => {
             let rt = repl.runtime();
+            let t_compile = Instant::now();
             let reply = match wait_compile(rt) {
                 Ok(()) => ok([
                     ("mode", mode_str(rt.mode()).into()),
@@ -2329,6 +2945,7 @@ fn execute(shared: &Shared, session: &Session, repl: &mut Repl, cmd: Cmd) -> Flo
                 ]),
                 Err(e) => err(e.to_string()),
             };
+            acc.add(PH_COMPILE, t_compile.elapsed());
             let _ = tx.send(reply);
         }
         Cmd::Probe { port, tx } => {
@@ -2468,19 +3085,88 @@ fn push_output(shared: &Shared, session: &Session, lines: Vec<String>) {
     let capacity = shared.config.output_capacity;
     let mut out = session.output.lock_unpoisoned();
     let mut dropped_now = 0u64;
+    let mut bytes = 0u64;
     for line in lines {
         if out.lines.len() >= capacity {
             out.lines.pop_front();
             out.dropped += 1;
+            out.dropped_total += 1;
             dropped_now += 1;
         }
+        bytes += line.len() as u64;
         out.lines.push_back(line);
     }
     drop(out);
+    session
+        .meter
+        .output_bytes
+        .fetch_add(bytes, Ordering::Relaxed);
     if dropped_now > 0 {
         shared
             .output_dropped
             .fetch_add(dropped_now, Ordering::Relaxed);
+    }
+}
+
+/// Which eval phase a slice of engine time belongs to, by exec mode.
+fn eval_phase(mode: ExecMode) -> usize {
+    match mode {
+        ExecMode::Hardware | ExecMode::HardwareForwarded | ExecMode::Native => PH_EVAL_HW,
+        ExecMode::Idle | ExecMode::Software => PH_EVAL_SW,
+    }
+}
+
+/// Closes out one traced request: the residual becomes the `other` phase,
+/// the server-wide phase histograms and the tenant's meters absorb the
+/// breakdown, the request lands in the recent ring for `explain`, and the
+/// root span ties the whole tree together in the trace export.
+fn finish_request(shared: &Shared, session: &Session, meta: &ReqMeta, acc: &mut PhaseAcc) {
+    let total_ns = (meta.enq.elapsed().as_nanos() as u64).max(1);
+    let named: u64 = acc.ns[..PH_OTHER].iter().sum();
+    acc.ns[PH_OTHER] = total_ns.saturating_sub(named);
+    for (i, h) in shared.phase_hists.iter().enumerate() {
+        if acc.ns[i] > 0 {
+            h.observe(acc.ns[i] as f64 / 1e9);
+        }
+    }
+    session
+        .meter
+        .compile_ns
+        .fetch_add(acc.ns[PH_COMPILE], Ordering::Relaxed);
+    {
+        let mut recent = shared.recent.lock_unpoisoned();
+        if recent.len() >= RECENT_CAP {
+            recent.pop_front();
+        }
+        recent.push_back(ReqRecord {
+            req: meta.ctx.req,
+            tenant: session.id,
+            name: meta.name,
+            total_ns,
+            phase_ns: acc.ns,
+        });
+    }
+    if shared.trace.enabled() {
+        let start = shared.trace.host_ns().saturating_sub(total_ns);
+        shared.trace.host_span_ctx(
+            session.id,
+            "req",
+            meta.name,
+            start,
+            total_ns,
+            meta.ctx.span_ref(meta.ctx.root_span()),
+            0,
+            &[
+                ("queue_us", Arg::U64(acc.ns[PH_QUEUE] / 1000)),
+                ("wake_us", Arg::U64(acc.ns[PH_WAKE] / 1000)),
+                ("compile_us", Arg::U64(acc.ns[PH_COMPILE] / 1000)),
+                ("eval_sw_us", Arg::U64(acc.ns[PH_EVAL_SW] / 1000)),
+                ("eval_hw_us", Arg::U64(acc.ns[PH_EVAL_HW] / 1000)),
+                ("flush_us", Arg::U64(acc.ns[PH_FLUSH] / 1000)),
+                ("journal_us", Arg::U64(acc.ns[PH_JOURNAL] / 1000)),
+                ("other_us", Arg::U64(acc.ns[PH_OTHER] / 1000)),
+            ],
+        );
     }
 }
 
@@ -2561,6 +3247,12 @@ fn sweeper_loop(shared: &Shared) {
             if session.closed.load(Ordering::Relaxed) {
                 continue;
             }
+            // Metering and live streaming ride the sweep: every pass
+            // settles the tenant's burn EWMA and delivers due telemetry
+            // frames — dormant sessions included, without waking them
+            // (meters and subscriptions outlive the runtime).
+            settle_burn(shared, &session);
+            service_subscriptions(shared, &session);
             let idle_s = session
                 .last_active
                 .lock_unpoisoned()
@@ -2570,7 +3262,7 @@ fn sweeper_loop(shared: &Shared) {
                 session
                     .cmds
                     .lock_unpoisoned()
-                    .push_back(Cmd::Close { tx: None });
+                    .push_back(Queued::internal(Cmd::Close { tx: None }));
                 shared.wake(&session, false);
                 continue;
             }
@@ -2585,12 +3277,111 @@ fn sweeper_loop(shared: &Shared) {
                 continue; // busy: the drain loop is already servicing it
             }
             if hibernate {
-                cmds.push_back(Cmd::Hibernate { tx: None });
+                cmds.push_back(Queued::internal(Cmd::Hibernate { tx: None }));
             } else {
-                cmds.push_back(Cmd::Service);
+                cmds.push_back(Queued::internal(Cmd::Service));
             }
             drop(cmds);
             shared.wake(&session, false);
         }
     }
+}
+
+/// Settles one tenant's burn EWMA from the growth of its weighted meter
+/// score since the last sweep. The score weighs each meter into one
+/// comparable "work units" number: ticks + compile-µs + lease-µs +
+/// journal/output bytes.
+fn settle_burn(shared: &Shared, session: &Session) {
+    let m = &session.meter;
+    let score = m.ticks.load(Ordering::Relaxed) as f64
+        + m.compile_ns.load(Ordering::Relaxed) as f64 / 1e3
+        + shared.lease_us_total(session) as f64
+        + m.journal_bytes.load(Ordering::Relaxed) as f64
+        + m.output_bytes.load(Ordering::Relaxed) as f64;
+    let last = f64::from_bits(m.last_score.load(Ordering::Relaxed));
+    m.last_score.store(score.to_bits(), Ordering::Relaxed);
+    let delta = (score - last).max(0.0);
+    let burn = f64::from_bits(m.burn.load(Ordering::Relaxed));
+    m.burn
+        .store((0.7 * burn + 0.3 * delta).to_bits(), Ordering::Relaxed);
+}
+
+/// Delivers due telemetry frames for one session's subscriptions through
+/// its bounded output queue (newline-JSON frames; a slow consumer sheds
+/// oldest-first and the drops are accounted like any other output).
+fn service_subscriptions(shared: &Shared, session: &Session) {
+    let now = Instant::now();
+    let mut frames: Vec<String> = Vec::new();
+    {
+        let mut subs = session.subs.lock_unpoisoned();
+        if subs.is_empty() {
+            return;
+        }
+        for sub in subs.iter_mut() {
+            if now < sub.next_at {
+                continue;
+            }
+            sub.next_at = now + sub.interval;
+            match sub.stream {
+                SubStream::Metrics => frames.push(metrics_frame(shared, session).to_string()),
+                SubStream::Events => {
+                    let events: Vec<TraceEvent> = shared
+                        .trace
+                        .snapshot()
+                        .into_iter()
+                        .filter(|e| e.track == session.id && e.seq > sub.last_seq)
+                        .take(EVENTS_FRAME_CAP)
+                        .collect();
+                    let Some(last) = events.last() else {
+                        continue;
+                    };
+                    sub.last_seq = last.seq;
+                    let lines: Vec<Json> = export_jsonl(&events, TimeMode::Full)
+                        .lines()
+                        .map(|l| Json::Str(l.to_string()))
+                        .collect();
+                    frames.push(
+                        Json::obj([
+                            ("frame", "events".into()),
+                            ("session", session.id.into()),
+                            ("events", Json::Arr(lines)),
+                        ])
+                        .to_string(),
+                    );
+                }
+            }
+        }
+    }
+    push_output(shared, session, frames);
+}
+
+/// One incremental metrics frame: the tenant's meters and burn, cheap
+/// enough to stream every interval without touching the session worker.
+fn metrics_frame(shared: &Shared, session: &Session) -> Json {
+    let m = &session.meter;
+    Json::obj([
+        ("frame", "metrics".into()),
+        ("session", session.id.into()),
+        ("ticks", m.ticks.load(Ordering::Relaxed).into()),
+        (
+            "compile_ms",
+            (m.compile_ns.load(Ordering::Relaxed) as f64 / 1e6).into(),
+        ),
+        (
+            "journal_bytes",
+            m.journal_bytes.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "output_bytes",
+            m.output_bytes.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "lease_ms",
+            (shared.lease_us_total(session) as f64 / 1e3).into(),
+        ),
+        (
+            "burn",
+            f64::from_bits(m.burn.load(Ordering::Relaxed)).into(),
+        ),
+    ])
 }

@@ -107,6 +107,15 @@ pub struct TraceEvent {
     /// True when `virt_ns` is meaningful and deterministic; host-side
     /// bookkeeping events (session open, sweeper activity) clear this.
     pub vclock: bool,
+    /// Request id this event belongs to (causal tracing); 0 = none.
+    pub req: u64,
+    /// Span id within the request's tree; 0 = none.
+    pub span_id: u64,
+    /// Parent span id; 0 = this is the request's root (or no context).
+    pub parent: u64,
+    /// Cross-request span link (e.g. a compile-dedup join pointing at the
+    /// leader's compile span); 0 = none.
+    pub link: u64,
     /// Key/value payload, preserved in emission order.
     pub args: Vec<(String, ArgValue)>,
 }

@@ -88,6 +88,17 @@ pub fn event_to_json(ev: &TraceEvent, mode: TimeMode) -> String {
     }
     out.push_str(",\"pid\":1");
     out.push_str(&format!(",\"tid\":{}", ev.track));
+    // Causal request context: rendered only when present, so traces from
+    // context-free emitters are byte-identical to the pre-context format.
+    if ev.req != 0 {
+        out.push_str(&format!(
+            ",\"req\":{},\"span\":{},\"parent\":{}",
+            ev.req, ev.span_id, ev.parent
+        ));
+    }
+    if ev.link != 0 {
+        out.push_str(&format!(",\"link\":{}", ev.link));
+    }
     out.push_str(",\"args\":{");
     let mut first = true;
     for (k, v) in &ev.args {
@@ -122,13 +133,24 @@ fn prepare(events: &[TraceEvent], mode: TimeMode) -> Vec<&TraceEvent> {
         // Deterministic mode orders by the virtual clock, breaking ties by
         // content so concurrent emitters cannot perturb the byte stream.
         TimeMode::VirtualOnly => evs.sort_by(|a, b| {
-            (a.virt_ns, a.track, a.cat, &a.name, a.virt_dur_ns).cmp(&(
-                b.virt_ns,
-                b.track,
-                b.cat,
-                &b.name,
-                b.virt_dur_ns,
-            ))
+            (
+                a.virt_ns,
+                a.track,
+                a.cat,
+                &a.name,
+                a.virt_dur_ns,
+                a.req,
+                a.span_id,
+            )
+                .cmp(&(
+                    b.virt_ns,
+                    b.track,
+                    b.cat,
+                    &b.name,
+                    b.virt_dur_ns,
+                    b.req,
+                    b.span_id,
+                ))
         }),
     }
     evs

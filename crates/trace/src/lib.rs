@@ -35,20 +35,22 @@
 //! assert!(reg.expose().contains("compile_retries_total 1"));
 //! ```
 
+mod ctx;
 mod event;
 mod export;
 mod metrics;
 mod sink;
 mod timeline;
 
+pub use ctx::{RequestCtx, SpanRef};
 pub use event::{Arg, ArgValue, Phase, TraceEvent};
 pub use export::{
     escape_json, event_to_json, export_chrome_json, export_jsonl, fmt_f64, TimeMode,
     SCHEMA_REQUIRED_FIELDS,
 };
 pub use metrics::{
-    expose, merge, valid_metric_name, Counter, Gauge, Histogram, MetricSnapshot, Registry,
-    SnapValue, LATENCY_BUCKETS_S,
+    expose, family_name, merge, valid_metric_name, Counter, Gauge, Histogram, MetricSnapshot,
+    Registry, SnapValue, LATENCY_BUCKETS_S,
 };
 pub use sink::{TraceSink, DEFAULT_RING_CAPACITY};
 pub use timeline::render_timeline;

@@ -373,19 +373,40 @@ fn fmt_bound(b: f64) -> String {
     crate::export::fmt_f64(b)
 }
 
+/// The metric family name: everything before a `{label="..."}` suffix.
+/// Snapshot names may carry Prometheus labels (per-session series such as
+/// `serve_session_output_dropped_total{session="3"}`); `HELP`/`TYPE` lines
+/// must name the family, not the labeled series.
+pub fn family_name(name: &str) -> &str {
+    match name.find('{') {
+        Some(i) => &name[..i],
+        None => name,
+    }
+}
+
 /// Prometheus text exposition for a snapshot set.
 pub fn expose(snaps: &[MetricSnapshot]) -> String {
     let mut out = String::new();
+    let mut last_family = String::new();
     for m in snaps {
+        let family = family_name(&m.name);
+        // Labeled series of the same family sort adjacently (the registry
+        // snapshot is name-sorted); emit HELP/TYPE once per family.
+        let header = family != last_family;
+        last_family = family.to_string();
         match &m.value {
             SnapValue::Counter(v) => {
-                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
-                out.push_str(&format!("# TYPE {} counter\n", m.name));
+                if header {
+                    out.push_str(&format!("# HELP {} {}\n", family, m.help));
+                    out.push_str(&format!("# TYPE {family} counter\n"));
+                }
                 out.push_str(&format!("{} {}\n", m.name, v));
             }
             SnapValue::Gauge(v) => {
-                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
-                out.push_str(&format!("# TYPE {} gauge\n", m.name));
+                if header {
+                    out.push_str(&format!("# HELP {} {}\n", family, m.help));
+                    out.push_str(&format!("# TYPE {family} gauge\n"));
+                }
                 out.push_str(&format!("{} {}\n", m.name, crate::export::fmt_f64(*v)));
             }
             SnapValue::Histogram {
@@ -394,8 +415,10 @@ pub fn expose(snaps: &[MetricSnapshot]) -> String {
                 sum,
                 count,
             } => {
-                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
-                out.push_str(&format!("# TYPE {} histogram\n", m.name));
+                if header {
+                    out.push_str(&format!("# HELP {} {}\n", family, m.help));
+                    out.push_str(&format!("# TYPE {family} histogram\n"));
+                }
                 let mut cum = 0u64;
                 for (i, b) in bounds.iter().enumerate() {
                     cum += counts.get(i).copied().unwrap_or(0);

@@ -9,6 +9,7 @@
 //! goes through the sink per-operation — engines keep local counters and
 //! publish summaries at phase boundaries.
 
+use crate::ctx::SpanRef;
 use crate::event::{Arg, Phase, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -110,6 +111,34 @@ impl TraceSink {
         virt_dur_ns: u64,
         args: &[(&str, Arg)],
     ) {
+        self.span_ctx(
+            track,
+            cat,
+            name,
+            virt_ns,
+            virt_dur_ns,
+            SpanRef::default(),
+            0,
+            args,
+        );
+    }
+
+    /// Emits a complete span on the virtual clock, attributed to a request
+    /// span (`at`) with an optional parent span id. A default `at` behaves
+    /// exactly like [`TraceSink::span`].
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn span_ctx(
+        &self,
+        track: u64,
+        cat: &'static str,
+        name: &str,
+        virt_ns: u64,
+        virt_dur_ns: u64,
+        at: SpanRef,
+        parent: u64,
+        args: &[(&str, Arg)],
+    ) {
         if self.inner.is_none() {
             return;
         }
@@ -121,6 +150,44 @@ impl TraceSink {
             virt_ns,
             virt_dur_ns,
             true,
+            at,
+            parent,
+            0,
+            args,
+        ));
+    }
+
+    /// Emits a host-clock span (`vclock = false`): `virt_ns`/`virt_dur_ns`
+    /// carry *host* nanoseconds and the event is excluded from the
+    /// deterministic export. Used for request root spans, whose queue/wake
+    /// phases exist only in host time.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn host_span_ctx(
+        &self,
+        track: u64,
+        cat: &'static str,
+        name: &str,
+        start_ns: u64,
+        dur_ns: u64,
+        at: SpanRef,
+        parent: u64,
+        args: &[(&str, Arg)],
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(self.build(
+            track,
+            cat,
+            name,
+            Phase::Span,
+            start_ns,
+            dur_ns,
+            false,
+            at,
+            parent,
+            0,
             args,
         ));
     }
@@ -135,10 +202,39 @@ impl TraceSink {
         virt_ns: u64,
         args: &[(&str, Arg)],
     ) {
+        self.instant_ctx(track, cat, name, virt_ns, SpanRef::default(), 0, args);
+    }
+
+    /// Emits an instant event on the virtual clock, attributed to a
+    /// request span. A default `at` behaves like [`TraceSink::instant`].
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn instant_ctx(
+        &self,
+        track: u64,
+        cat: &'static str,
+        name: &str,
+        virt_ns: u64,
+        at: SpanRef,
+        parent: u64,
+        args: &[(&str, Arg)],
+    ) {
         if self.inner.is_none() {
             return;
         }
-        self.push(self.build(track, cat, name, Phase::Instant, virt_ns, 0, true, args));
+        self.push(self.build(
+            track,
+            cat,
+            name,
+            Phase::Instant,
+            virt_ns,
+            0,
+            true,
+            at,
+            parent,
+            0,
+            args,
+        ));
     }
 
     /// Emits a counter sample on the virtual clock. `args` should carry
@@ -155,17 +251,60 @@ impl TraceSink {
         if self.inner.is_none() {
             return;
         }
-        self.push(self.build(track, cat, name, Phase::Counter, virt_ns, 0, true, args));
+        self.push(self.build(
+            track,
+            cat,
+            name,
+            Phase::Counter,
+            virt_ns,
+            0,
+            true,
+            SpanRef::default(),
+            0,
+            0,
+            args,
+        ));
     }
 
     /// Emits a host-clock-only instant (session lifecycle, sweeper
     /// activity). Excluded from the deterministic export.
     #[inline]
     pub fn host_instant(&self, track: u64, cat: &'static str, name: &str, args: &[(&str, Arg)]) {
+        self.host_instant_ctx(track, cat, name, SpanRef::default(), 0, 0, args);
+    }
+
+    /// Emits a host-clock-only instant attributed to a request span, with
+    /// an optional cross-request `link` (e.g. a compile-dedup join pointing
+    /// at the leader's compile span). A default `at` with `parent = 0` and
+    /// `link = 0` behaves like [`TraceSink::host_instant`].
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn host_instant_ctx(
+        &self,
+        track: u64,
+        cat: &'static str,
+        name: &str,
+        at: SpanRef,
+        parent: u64,
+        link: u64,
+        args: &[(&str, Arg)],
+    ) {
         if self.inner.is_none() {
             return;
         }
-        self.push(self.build(track, cat, name, Phase::Instant, 0, 0, false, args));
+        self.push(self.build(
+            track,
+            cat,
+            name,
+            Phase::Instant,
+            0,
+            0,
+            false,
+            at,
+            parent,
+            link,
+            args,
+        ));
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -178,6 +317,9 @@ impl TraceSink {
         virt_ns: u64,
         virt_dur_ns: u64,
         vclock: bool,
+        at: SpanRef,
+        parent: u64,
+        link: u64,
         args: &[(&str, Arg)],
     ) -> TraceEvent {
         TraceEvent {
@@ -190,6 +332,10 @@ impl TraceSink {
             virt_ns,
             virt_dur_ns,
             vclock,
+            req: at.req,
+            span_id: at.span,
+            parent,
+            link,
             args: args
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.to_owned_value()))

@@ -20,6 +20,10 @@
 //!   above.
 //! - **Exactly-once dedup**: re-sending the last acknowledged sequence
 //!   number returns the stored reply verbatim without re-executing.
+//! - **Flight recorder survives**: the dying server dumps its in-memory
+//!   trace ring to `last-crash.trace.jsonl` through the raw sidecar path,
+//!   and recovery surfaces a decodable dump whose final record is the
+//!   `dump` marker naming why the recorder fired.
 //!
 //! A separate graceful pass per seed checks **counter monotonicity**: a
 //! drain → recover restart must never make a `serve_*_total` counter go
@@ -79,6 +83,8 @@ pub struct CrashReport {
     pub quarantined: u64,
     /// Warm bitstream-store hits observed.
     pub warm_hits: u64,
+    /// Flight-recorder records decoded out of post-crash dumps.
+    pub flight_records: u64,
     /// Every invariant violation found; empty means a clean campaign.
     pub violations: Vec<String>,
 }
@@ -348,6 +354,44 @@ fn sweep_point(
     // Recover a fresh server from the same durable root, fault-free.
     let recovered = Server::recover(durable_config(&dir, FaultPlan::none()));
     report.recoveries += 1;
+    // Every injected fault latches the store into its crashed state, which
+    // fires the flight-recorder dump on the dying server. Recovery must
+    // surface a decodable dump that ends with the `dump` marker.
+    match recovered.last_crash_trace() {
+        Some(text) => {
+            let mut decoded = 0u64;
+            let mut last_name = String::new();
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                match Json::parse(line) {
+                    Ok(ev) => match ev.get("name").and_then(Json::as_str) {
+                        Some(name) => {
+                            decoded += 1;
+                            last_name = name.to_string();
+                        }
+                        None => report.violations.push(here(&format!(
+                            "k={k} {fault:?}: flight record without a name: {ev}"
+                        ))),
+                    },
+                    Err(e) => report.violations.push(here(&format!(
+                        "k={k} {fault:?}: undecodable flight record: {e}"
+                    ))),
+                }
+            }
+            if decoded == 0 {
+                report
+                    .violations
+                    .push(here(&format!("k={k} {fault:?}: flight dump was empty")));
+            } else if last_name != "dump" {
+                report.violations.push(here(&format!(
+                    "k={k} {fault:?}: flight dump tail is {last_name:?}, not the dump marker"
+                )));
+            }
+            report.flight_records += decoded;
+        }
+        None => report.violations.push(here(&format!(
+            "k={k} {fault:?}: no last-crash.trace.jsonl after injected crash"
+        ))),
+    }
     let mut client = InProcClient::connect(&recovered);
     for (t, state) in states.iter_mut().enumerate() {
         let Some(id) = state.session else {
@@ -591,6 +635,7 @@ mod tests {
         assert!(report.write_points >= 6, "script too small to sweep");
         assert!(report.recoveries >= 7, "every point + graceful recovers");
         assert!(report.resumes > 0, "no tenant ever resumed");
+        assert!(report.flight_records > 0, "no flight dump ever decoded");
     }
 
     /// The write-point count is stable for a fixed script — the sweep

@@ -1,0 +1,484 @@
+//! The observability-plane suite: the ISSUE acceptance runs for causal
+//! request tracing, tail-latency attribution, per-tenant metering, live
+//! telemetry streaming, and the crash flight recorder.
+//!
+//! - a chaos serve run (random faults, two fabrics, compile dedup in
+//!   play) exports a trace where every acked request's spans form one
+//!   connected tree across session/compile-pool/fleet boundaries;
+//! - `explain p99` attributes ≥90% of a slow request's wall time to
+//!   named phases;
+//! - per-tenant meters stay monotone across hibernate/wake and
+//!   drain/restart;
+//! - a crash-point kill leaves a decodable `last-crash.trace.jsonl`
+//!   that is byte-identical under a seeded re-run;
+//! - a faulted many-session soak with streaming subscribers attached
+//!   keeps delivering parseable frames (the CI `obs-smoke` job runs this
+//!   at 200 sessions via `CASCADE_OBS_SOAK_SESSIONS`).
+
+use cascade_fpga::{DurableFault, FaultPlan};
+use cascade_serve::{InProcClient, Json, Request, ServeConfig, Server};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const COUNTER_MODULE: &str = "module Counter(input wire c);\n\
+      reg [15:0] cnt = 0;\n\
+      always @(posedge c) cnt <= cnt + 1;\n\
+      always @(posedge c) if (cnt[2:0] == 3'd7) $display(\"c=%d\", cnt);\n\
+    endmodule";
+
+/// Polls `cond` until it holds or the deadline passes.
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cascade-obs-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// One exported trace event's causal fields.
+struct SpanRow {
+    req: u64,
+    span: u64,
+    parent: u64,
+    link: u64,
+    name: String,
+}
+
+fn span_rows(jsonl: &str) -> Vec<SpanRow> {
+    jsonl
+        .lines()
+        .filter_map(|l| {
+            let obj = Json::parse(l).expect("trace line parses");
+            let req = obj.get("req").and_then(Json::as_u64)?;
+            Some(SpanRow {
+                req,
+                span: obj.get("span").and_then(Json::as_u64).unwrap_or(0),
+                parent: obj.get("parent").and_then(Json::as_u64).unwrap_or(0),
+                link: obj.get("link").and_then(Json::as_u64).unwrap_or(0),
+                name: obj
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            })
+        })
+        .collect()
+}
+
+/// The acceptance run for causal tracing: two tenants on a two-fabric
+/// fleet under a random fault schedule, submitting the identical module
+/// (so the shared compile pool can coalesce). Every request id in the
+/// exported trace must form one connected span tree: a single root (the
+/// request span, parent 0) with every other event's parent resolving to
+/// a span of the same request.
+#[test]
+fn chaos_trace_spans_form_connected_trees_per_request() {
+    let mut config = ServeConfig::quick();
+    config.fabrics = 2;
+    config.workers = 2;
+    config.jit.scrub_interval_ticks = 8;
+    config.jit.faults = FaultPlan::random(3);
+    let server = Server::new(config);
+
+    let mut a = InProcClient::connect(&server);
+    let mut b = InProcClient::connect(&server);
+    a.open().expect("open a");
+    b.open().expect("open b");
+    // Identical source, back to back: when both background compiles are
+    // in flight together the pool coalesces the second onto the first.
+    a.eval_all(COUNTER_MODULE).expect("eval a");
+    b.eval_all(COUNTER_MODULE).expect("eval b");
+    a.eval_all("Counter c0(.c(clk.val));").expect("inst a");
+    b.eval_all("Counter c0(.c(clk.val));").expect("inst b");
+    for _ in 0..6 {
+        a.run(16).expect("run a");
+        b.run(16).expect("run b");
+    }
+    a.wait_compile().expect("wait a");
+    b.wait_compile().expect("wait b");
+    a.drain().expect("drain a");
+    b.drain().expect("drain b");
+
+    let reply = a
+        .raw(&Request::Trace {
+            session: None,
+            virtual_only: false,
+        })
+        .expect("server-wide trace");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        reply.get("dropped").and_then(Json::as_u64),
+        Some(0),
+        "ring overflowed; connectivity check needs the full trace"
+    );
+    let jsonl = reply
+        .get("trace")
+        .and_then(Json::as_str)
+        .expect("trace member");
+    let rows = span_rows(jsonl);
+    assert!(!rows.is_empty(), "no request-context events in the trace");
+
+    let mut by_req: BTreeMap<u64, Vec<&SpanRow>> = BTreeMap::new();
+    for r in &rows {
+        by_req.entry(r.req).or_default().push(r);
+    }
+    // Both tenants issued eval/run/wait/drain rounds; each acked request
+    // mints a fresh id and must appear rooted in the trace.
+    assert!(
+        by_req.len() >= 20,
+        "expected one span tree per request, got {} trees",
+        by_req.len()
+    );
+    for (req, group) in &by_req {
+        let spans: BTreeSet<u64> = group.iter().map(|r| r.span).collect();
+        let roots: Vec<_> = group.iter().filter(|r| r.parent == 0).collect();
+        assert_eq!(
+            roots.len(),
+            1,
+            "req {req}: want exactly one root span, got {} ({:?})",
+            roots.len(),
+            group.iter().map(|r| &r.name).collect::<Vec<_>>()
+        );
+        for r in group.iter().filter(|r| r.parent != 0) {
+            assert!(
+                spans.contains(&r.parent),
+                "req {req}: event `{}` parent {:#x} not in this request's span set — \
+                 the tree is disconnected",
+                r.name,
+                r.parent
+            );
+        }
+    }
+
+    // Dedup joins surface as span links when the schedules overlapped
+    // (soft gate: the race is real, so only assert when it happened).
+    let stats = a.server_stats().expect("server stats");
+    let coalesced = stats
+        .get("compiles_coalesced")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if coalesced >= 1 {
+        assert!(
+            rows.iter().any(|r| r.link != 0),
+            "{coalesced} compiles coalesced but no span link was recorded"
+        );
+    }
+}
+
+/// Tail-latency attribution: `explain p99` must attribute at least 90%
+/// of the slowest request's wall time to named phases, name the dominant
+/// phase, and reject unknown percentiles.
+#[test]
+fn explain_p99_attributes_slow_requests_to_named_phases() {
+    let mut config = ServeConfig::quick();
+    config.fabrics = 1;
+    config.workers = 2;
+    let server = Server::new(config);
+    let mut c = InProcClient::connect(&server);
+    c.open().expect("open");
+    c.eval_all(
+        "reg [15:0] cnt = 0;\n\
+         always @(posedge clk.val) cnt <= cnt + 1;\n\
+         assign led.val = cnt[7:0];",
+    )
+    .expect("eval");
+    // A spread of cheap requests plus a few heavy runs: the p99 tail is
+    // dominated by eval time, which the phase clock attributes directly.
+    for _ in 0..20 {
+        c.run(8).expect("small run");
+    }
+    for _ in 0..3 {
+        c.run(4096).expect("big run");
+    }
+    c.drain().expect("drain");
+
+    let (text, requests, coverage) = c.explain("p99").expect("explain");
+    assert!(requests >= 1, "no slow requests reported:\n{text}");
+    assert!(
+        coverage >= 0.90,
+        "only {:.1}% of the slowest request's wall time is attributed:\n{text}",
+        coverage * 100.0
+    );
+    assert!(
+        text.contains("eval_sw") || text.contains("eval_hw") || text.contains("compile"),
+        "no named eval phase in the breakdown:\n{text}"
+    );
+
+    let (_, p50_requests, _) = c.explain("p50").expect("explain p50");
+    assert!(p50_requests >= requests, "p50 covers at least the p99 tail");
+    assert!(c.explain("p73").is_err(), "unknown percentile must refuse");
+}
+
+/// One tenant's `server-top` meter row, pulled out by session id.
+fn meter_row(c: &mut InProcClient, id: u64) -> BTreeMap<String, f64> {
+    let (_, tenants) = c.server_top(100).expect("server top");
+    let row = tenants
+        .iter()
+        .find(|t| t.get("session").and_then(Json::as_u64) == Some(id))
+        .unwrap_or_else(|| panic!("session {id} missing from server-top"));
+    [
+        "ticks",
+        "compile_ms",
+        "journal_bytes",
+        "output_bytes",
+        "lease_ms",
+    ]
+    .iter()
+    .map(|k| {
+        (
+            k.to_string(),
+            row.get(k).and_then(Json::as_f64).unwrap_or(-1.0),
+        )
+    })
+    .collect()
+}
+
+fn assert_monotone(before: &BTreeMap<String, f64>, after: &BTreeMap<String, f64>, at: &str) {
+    for (k, was) in before {
+        let now = after.get(k).copied().unwrap_or(-1.0);
+        assert!(
+            now >= *was,
+            "meter `{k}` went backwards {at}: {was} -> {now}"
+        );
+    }
+}
+
+/// Per-tenant meters are monotone counters: hibernate/wake must not
+/// reset them, and a graceful drain → recover restores them from the
+/// journal's checkpoint meter block.
+#[test]
+fn per_tenant_meters_stay_monotone_across_hibernate_and_restart() {
+    let dir = fresh_dir("meters");
+    let mut config = ServeConfig::quick();
+    config.fabrics = 1;
+    config.workers = 2;
+    config.hibernate_after_s = 0.0;
+    config.durable_dir = Some(dir.to_string_lossy().into_owned());
+    let server = Server::new(config.clone());
+
+    let mut c = InProcClient::connect(&server);
+    let id = c.open().expect("open");
+    let token = c.token().expect("token");
+    c.eval_all(COUNTER_MODULE).expect("eval module");
+    c.eval_all("Counter c0(.c(clk.val));").expect("eval inst");
+    c.run(100).expect("run");
+    c.drain().expect("drain");
+    let m1 = meter_row(&mut c, id);
+    assert_eq!(m1["ticks"], 100.0, "tick meter counts acked ticks");
+    assert!(m1["journal_bytes"] > 0.0, "journaled commands meter bytes");
+    assert!(m1["output_bytes"] > 0.0, "drained lines meter bytes");
+
+    // Hibernate: the dormant session keeps its meters visible and intact.
+    assert!(c.hibernate().expect("hibernate"), "session must freeze");
+    let m2 = meter_row(&mut c, id);
+    assert_monotone(&m1, &m2, "across hibernate");
+
+    // Wake and keep counting.
+    c.run(50).expect("run woken");
+    let m3 = meter_row(&mut c, id);
+    assert_monotone(&m2, &m3, "across wake");
+    assert_eq!(m3["ticks"], 150.0, "woken tenant keeps counting");
+
+    // Graceful restart: meters come back from the journal's meter block.
+    c.drain_server().expect("drain server");
+    drop(c);
+    drop(server);
+    let recovered = Server::recover(config);
+    let mut c = InProcClient::connect(&recovered);
+    c.resume(id, token).expect("resume");
+    let m4 = meter_row(&mut c, id);
+    assert_monotone(&m3, &m4, "across drain/restart");
+    c.run(10).expect("run resumed");
+    let m5 = meter_row(&mut c, id);
+    assert_eq!(m5["ticks"], 160.0, "resumed tenant keeps counting");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs a fixed script into a scheduled durable crash, recovers, and
+/// returns the flight-recorder dump the dying server persisted.
+fn crash_and_read_flight(tag: &str) -> String {
+    let dir = fresh_dir(tag);
+    let mut config = ServeConfig::quick();
+    config.fabrics = 1;
+    config.workers = 2;
+    config.hibernate_after_s = 0.0;
+    config.max_live_sessions = 0;
+    config.idle_timeout_s = 3600.0;
+    config.durable_dir = Some(dir.to_string_lossy().into_owned());
+    config.jit.faults = FaultPlan::builder()
+        .durable_fault(4, DurableFault::Crash)
+        .build();
+    let server = Server::new(config.clone());
+    let mut c = InProcClient::connect(&server);
+    c.open().expect("open");
+    let mut failed = false;
+    for (i, line) in COUNTER_MODULE.lines().enumerate() {
+        if c.eval_seq(line, (i + 1) as u64).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    if !failed {
+        // The fault fires on a journal append somewhere in the script;
+        // keep issuing writes until it does.
+        for seq in 10..30 {
+            if c.run_seq(16, seq).is_err() {
+                failed = true;
+                break;
+            }
+        }
+    }
+    assert!(failed, "the scheduled durable crash never fired");
+    drop(c);
+    drop(server);
+
+    let mut clean = config;
+    clean.jit.faults = FaultPlan::none();
+    let recovered = Server::recover(clean);
+    let text = recovered
+        .last_crash_trace()
+        .expect("crash must leave last-crash.trace.jsonl");
+    let _ = std::fs::remove_dir_all(&dir);
+    text
+}
+
+/// The flight recorder's contract: a crash-point kill leaves a decodable
+/// `last-crash.trace.jsonl` whose records are on the deterministic
+/// ordinal clock — a seeded re-run produces a byte-identical dump.
+#[test]
+fn flight_recorder_dump_is_decodable_and_deterministic() {
+    let a = crash_and_read_flight("flight-a");
+    let names: Vec<String> = a
+        .lines()
+        .map(|l| {
+            Json::parse(l)
+                .expect("flight line decodes")
+                .get("name")
+                .and_then(Json::as_str)
+                .expect("flight record has a name")
+                .to_string()
+        })
+        .collect();
+    assert!(!names.is_empty(), "flight dump is empty");
+    // The tail matches the pre-crash journal: the last breadcrumbs are
+    // the submitted command, then the dump marker naming the failure.
+    assert_eq!(names.last().map(String::as_str), Some("dump"));
+    assert!(
+        names.iter().any(|n| n == "commit"),
+        "no journal-commit breadcrumb in the flight dump: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "submit"),
+        "no request-submit breadcrumb in the flight dump: {names:?}"
+    );
+
+    let b = crash_and_read_flight("flight-b");
+    assert_eq!(a, b, "flight dump is not deterministic under re-run");
+}
+
+/// The streaming soak (the CI `obs-smoke` shape): many faulted sessions,
+/// every fourth with a live `subscribe` attached, must keep delivering
+/// parseable telemetry frames through the bounded output queues while
+/// `server-top` and `explain` stay serviceable.
+#[test]
+fn faulted_soak_with_streaming_subscribers_delivers_frames() {
+    let sessions: usize = std::env::var("CASCADE_OBS_SOAK_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let mut config = ServeConfig::quick();
+    config.fabrics = 2;
+    config.workers = 4;
+    // The soak targets the telemetry plane, not the JIT: skip auto
+    // compiles so the pool isn't a giant backlog in debug builds.
+    config.jit.auto_compile = false;
+    config.jit.faults = FaultPlan::random(9);
+    config.sweeper_poll_ms = 5;
+    let server = Server::new(config);
+
+    let mut clients = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        let mut c = InProcClient::connect(&server);
+        let id = c.open().expect("open");
+        c.eval_all("reg [15:0] n = 0;\nalways @(posedge clk.val) n <= n + 1;")
+            .expect("eval");
+        if i % 4 == 0 {
+            assert!(c.subscribe("metrics", 10).expect("subscribe metrics"));
+        }
+        if i % 8 == 0 {
+            assert!(c.subscribe("events", 10).expect("subscribe events"));
+        }
+        c.run(64).expect("run");
+        clients.push((i, id, c));
+    }
+
+    // Keep the subscribed tenants active until frames flow: every request
+    // feeds the trace ring (events frames) and the meters (metrics
+    // frames), and the sweeper flushes due subscriptions into the output
+    // queues.
+    for (i, id, c) in &mut clients {
+        if *i % 4 != 0 {
+            continue;
+        }
+        let mut metrics_frames = 0u64;
+        let mut events_frames = 0u64;
+        wait_until(
+            || {
+                c.run(8).expect("run subscribed");
+                let (lines, _) = c.drain().expect("drain");
+                let (frames, _rest) = InProcClient::take_frames(lines);
+                for f in frames {
+                    assert_eq!(
+                        f.get("session").and_then(Json::as_u64),
+                        Some(*id),
+                        "frame routed to the wrong tenant"
+                    );
+                    match f.get("frame").and_then(Json::as_str) {
+                        Some("metrics") => {
+                            assert!(f.get("ticks").and_then(Json::as_u64).is_some());
+                            metrics_frames += 1;
+                        }
+                        Some("events") => {
+                            let evs = f.get("events").and_then(Json::as_arr).unwrap_or(&[]);
+                            for line in evs {
+                                let line = line.as_str().expect("event frame line is a string");
+                                Json::parse(line).expect("streamed event decodes");
+                            }
+                            events_frames += 1;
+                        }
+                        other => panic!("unknown frame kind {other:?}"),
+                    }
+                }
+                metrics_frames >= 2 && (*i % 8 != 0 || events_frames >= 1)
+            },
+            "telemetry frames to stream",
+        );
+    }
+
+    // Unsubscribing (interval 0) stops the stream.
+    let (_, _, c0) = &mut clients[0];
+    assert!(!c0.subscribe("metrics", 0).expect("unsubscribe"));
+    assert!(!c0.subscribe("events", 0).expect("unsubscribe events"));
+
+    // The roll-up commands stay serviceable under the full population.
+    let mut probe = InProcClient::connect(&server);
+    probe.open().expect("open probe");
+    let (text, tenants) = probe.server_top(5).expect("server top");
+    assert!(tenants.len() <= 5, "server-top over-returned: {text}");
+    assert!(!tenants.is_empty(), "server-top returned no tenants");
+    let (_, requests, _) = probe.explain("p99").expect("explain");
+    assert!(requests >= 1, "explain found no requests after the soak");
+
+    // Drop accounting is first-class: both families are in the server
+    // exposition even when zero.
+    let metrics = probe.server_metrics().expect("server metrics");
+    assert!(metrics.contains("serve_trace_events_dropped_total"));
+    assert!(metrics.contains("serve_session_output_dropped_total{session="));
+}

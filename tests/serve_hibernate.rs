@@ -97,6 +97,56 @@ fn hibernate_wake_chaos_round_trip_matches_oracle() {
     }
 }
 
+/// Observability reads must not perturb the hibernation economy: against
+/// a dormant session, `timeline`, `trace`, and `metrics` return the
+/// preserved ring summary and frozen registry without waking the tenant.
+#[test]
+fn observability_reads_do_not_wake_dormant_sessions() {
+    let mut config = ServeConfig::quick();
+    config.fabrics = 1;
+    config.workers = 2;
+    config.hibernate_after_s = 0.0;
+    let server = Server::new(config);
+    let mut c = InProcClient::connect(&server);
+    c.open().expect("open");
+    c.eval_all(COUNTER).expect("eval");
+    c.run(32).expect("run");
+    c.drain().expect("drain");
+    assert!(c.hibernate().expect("hibernate"), "session must freeze");
+
+    let stats = c.server_stats().expect("stats");
+    let wakes_before = stat_u64(&stats, "wakes");
+    assert_eq!(stat_u64(&stats, "sessions_hibernated"), 1);
+
+    // All three observability reads serve from preserved state.
+    let timeline = c.timeline().expect("timeline against dormant session");
+    assert!(timeline.contains("eval"), "timeline lost: {timeline}");
+    let (jsonl, _) = c.trace_jsonl(true).expect("trace against dormant session");
+    assert!(!jsonl.is_empty(), "trace ring lost across hibernation");
+    let metrics = c.metrics().expect("metrics against dormant session");
+    assert!(
+        metrics.contains("jit_ticks_total"),
+        "frozen registry not rendered:\n{metrics}"
+    );
+
+    let stats = c.server_stats().expect("stats");
+    assert_eq!(
+        stat_u64(&stats, "wakes"),
+        wakes_before,
+        "an observability read woke the tenant"
+    );
+    assert_eq!(
+        stat_u64(&stats, "sessions_hibernated"),
+        1,
+        "the tenant is no longer dormant after a read"
+    );
+
+    // A data-plane command still wakes it, with state intact.
+    assert_eq!(c.probe("cnt").expect("probe"), Some(32));
+    let stats = c.server_stats().expect("stats");
+    assert_eq!(stat_u64(&stats, "wakes"), wakes_before + 1);
+}
+
 /// The wake-under-revocation race: a hibernated session wakes into a
 /// fully-contended one-fabric fleet, evicts the squatter (eager arbiter),
 /// and an injected `migration_revoke` yanks the lease back mid-migration.

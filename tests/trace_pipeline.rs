@@ -207,6 +207,96 @@ fn serve_chaos_trace_shows_full_jit_lifecycle_in_order() {
             "missing recovery metric {name}"
         );
     }
+    // Drop accounting is first-class too: the trace ring's drop counter
+    // and every session's bounded-output drop counter (a labeled series
+    // per tenant), not just server-stats fields.
+    assert!(
+        server_metrics.contains("serve_trace_events_dropped_total"),
+        "missing trace-ring drop counter"
+    );
+    assert!(
+        server_metrics.contains("serve_session_output_dropped_total{session="),
+        "missing per-session output drop series"
+    );
+}
+
+/// The sweeper's roll-up (`merge`) racing a live exposition must never
+/// produce a torn or non-monotone read: 8 writer threads bump a shared
+/// counter 1000 times each while merging live snapshots, and a
+/// concurrent reader sees only monotonically non-decreasing values that
+/// never exceed the true total.
+#[test]
+fn concurrent_merge_during_exposition_is_monotone_and_untorn() {
+    use cascade_trace::{expose, merge, Registry};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc as StdArc;
+
+    const THREADS: usize = 8;
+    const ITERS: usize = 1000;
+    let reg = Registry::new();
+    let counter = reg.counter("obs_race_total", "Concurrency-test counter");
+    let done = StdArc::new(AtomicBool::new(false));
+
+    let reader = {
+        let reg = reg.clone();
+        let done = StdArc::clone(&done);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            let mut reads = 0u64;
+            while !done.load(Ordering::Acquire) {
+                // The same path the sweeper races: merge a live snapshot
+                // into a roll-up, then render the exposition.
+                let mut snaps = Vec::new();
+                merge(&mut snaps, reg.snapshot());
+                let text = expose(&snaps);
+                let value: u64 = text
+                    .lines()
+                    .find_map(|l| l.strip_prefix("obs_race_total "))
+                    .expect("counter exposed")
+                    .trim()
+                    .parse()
+                    .expect("counter value is a clean integer, not torn");
+                assert!(value >= last, "counter went backwards: {last} -> {value}");
+                assert!(
+                    value <= (THREADS * ITERS) as u64,
+                    "counter overshot the true total: {value}"
+                );
+                last = value;
+                reads += 1;
+            }
+            (last, reads)
+        })
+    };
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let reg = reg.clone();
+            let counter = counter.clone();
+            std::thread::spawn(move || {
+                for _ in 0..ITERS {
+                    counter.inc();
+                    // Each bump also rolls up a snapshot, so merges and
+                    // expositions overlap heavily across threads.
+                    let mut snaps = Vec::new();
+                    merge(&mut snaps, reg.snapshot());
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer");
+    }
+    done.store(true, Ordering::Release);
+    let (last, reads) = reader.join().expect("reader");
+    assert!(reads > 0, "the reader never overlapped the writers");
+    assert!(last <= (THREADS * ITERS) as u64);
+    assert_eq!(counter.get(), (THREADS * ITERS) as u64);
+    // The settled exposition reads the exact total.
+    let text = reg.expose();
+    assert!(
+        text.contains(&format!("obs_race_total {}", THREADS * ITERS)),
+        "settled exposition wrong:\n{text}"
+    );
 }
 
 /// Runs a faulted solo pipeline to completion and exports the
